@@ -1,0 +1,75 @@
+//! TLB structure micro-benchmarks: lookup and fill throughput of the
+//! split L1, shared L2, and page-walk cache models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mv_tlb::{L1Tlb, L2Key, L2Tlb, PwCache, PwcKey, TlbConfig, TlbEntry};
+use mv_types::{PageSize, Prot};
+
+fn entry(base: u64) -> TlbEntry {
+    TlbEntry {
+        page_base: base,
+        size: PageSize::Size4K,
+        prot: Prot::RW,
+    }
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let cfg = TlbConfig::sandy_bridge();
+    let mut group = c.benchmark_group("tlb");
+
+    let mut l1 = L1Tlb::new(&cfg);
+    for i in 0..64u64 {
+        l1.insert(0, i << 12, entry(i << 12));
+    }
+    let mut i = 0u64;
+    group.bench_function("l1_lookup_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 64;
+            l1.lookup(0, i << 12)
+        })
+    });
+    group.bench_function("l1_lookup_miss", |b| {
+        b.iter(|| {
+            i += 1;
+            l1.lookup(0, (1 << 30) + (i << 12))
+        })
+    });
+
+    let mut l2 = L2Tlb::new(&cfg);
+    for i in 0..512u64 {
+        l2.insert(L2Key::Guest { asid: 0, vpn: i }, entry(i << 12));
+    }
+    let mut i = 0u64;
+    group.bench_function("l2_lookup_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 512;
+            l2.lookup(L2Key::Guest { asid: 0, vpn: i })
+        })
+    });
+    let mut i = 0u64;
+    group.bench_function("l2_fill", |b| {
+        b.iter(|| {
+            i += 1;
+            l2.insert(L2Key::Nested { gfn: i }, entry(i << 12));
+        })
+    });
+
+    let mut pwc = PwCache::new(&cfg);
+    let mut i = 0u64;
+    group.bench_function("pwc_insert_lookup", |b| {
+        b.iter(|| {
+            i += 1;
+            let key = PwcKey {
+                asid: 0,
+                points_to_level: 1 + (i % 3) as u8,
+                va_prefix: i,
+            };
+            pwc.insert(key, i);
+            pwc.lookup(key)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tlb);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks of the translation fast paths: L1 hit,
+//! Dual Direct segment bypass, L2 hit, and full walks. These measure the
+//! *simulator's* per-access cost (model throughput), while the printed
+//! cycle figures are the modeled hardware costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_core::{MemoryContext, Mmu, MmuConfig, Segment, TranslationMode};
+use mv_phys::PhysMem;
+use mv_pt::PageTable;
+use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize, Prot, MIB};
+
+struct World {
+    gmem: PhysMem<Gpa>,
+    hmem: PhysMem<Hpa>,
+    gpt: PageTable<Gva, Gpa>,
+    npt: PageTable<Gpa, Hpa>,
+    backing_base: Hpa,
+}
+
+fn build_world() -> World {
+    let mut gmem: PhysMem<Gpa> = PhysMem::new(64 * MIB);
+    let mut hmem: PhysMem<Hpa> = PhysMem::new(256 * MIB);
+    let mut gpt: PageTable<Gva, Gpa> = PageTable::new(&mut gmem).unwrap();
+    let mut npt: PageTable<Gpa, Hpa> = PageTable::new(&mut hmem).unwrap();
+    let backing = hmem.reserve_contiguous(64 * MIB, PageSize::Size2M).unwrap();
+    for gpa in AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB)).pages(PageSize::Size4K) {
+        npt.map(
+            &mut hmem,
+            gpa,
+            Hpa::new(gpa.as_u64() + backing.start().as_u64()),
+            PageSize::Size4K,
+            Prot::RW,
+        )
+        .unwrap();
+    }
+    // Map 16 MiB of guest pages at gVA 16M → gPA 16M (identity-ish).
+    // Carve the whole frame range first so intermediate page-table pages
+    // never land inside it.
+    gmem.carve_range(&AddrRange::from_start_len(Gpa::new(16 * MIB), 16 * MIB))
+        .unwrap();
+    for off in (0..16 * MIB).step_by(4096) {
+        let gpa = Gpa::new(16 * MIB + off);
+        gpt.map(&mut gmem, Gva::new(16 * MIB + off), gpa, PageSize::Size4K, Prot::RW)
+            .unwrap();
+    }
+    World {
+        gmem,
+        hmem,
+        gpt,
+        npt,
+        backing_base: backing.start(),
+    }
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let w = build_world();
+    let mut group = c.benchmark_group("translation_paths");
+
+    // L1 hit: repeat the same address.
+    let mut mmu = Mmu::new(MmuConfig::default());
+    {
+        let ctx = MemoryContext::Virtualized {
+            gpt: &w.gpt,
+            gmem: &w.gmem,
+            npt: &w.npt,
+            hmem: &w.hmem,
+        };
+        mmu.access(&ctx, 0, Gva::new(16 * MIB), false).unwrap();
+        group.bench_function("l1_hit", |b| {
+            b.iter(|| mmu.access(&ctx, 0, Gva::new(16 * MIB + 64), false).unwrap())
+        });
+    }
+
+    // Dual Direct 0D bypass: sweep a range far larger than the L1 TLB so
+    // almost every access misses L1 and exercises the bypass.
+    let mut mmu = Mmu::new(MmuConfig {
+        mode: TranslationMode::DualDirect,
+        ..MmuConfig::default()
+    });
+    mmu.set_guest_segment(Segment::map(
+        AddrRange::new(Gva::new(1 << 30), Gva::new((1 << 30) + 64 * MIB)),
+        Gpa::ZERO,
+    ));
+    mmu.set_vmm_segment(Segment::map(
+        AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB)),
+        w.backing_base,
+    ));
+    {
+        let ctx = MemoryContext::Virtualized {
+            gpt: &w.gpt,
+            gmem: &w.gmem,
+            npt: &w.npt,
+            hmem: &w.hmem,
+        };
+        let mut cursor = 0u64;
+        group.bench_function("dual_direct_bypass", |b| {
+            b.iter(|| {
+                cursor = (cursor + 4096) % (64 * MIB);
+                mmu.access(&ctx, 0, Gva::new((1 << 30) + cursor), false).unwrap()
+            })
+        });
+    }
+
+    // Full 2D walk (cold-ish): sweep addresses so TLBs miss.
+    for (name, mode) in [
+        ("walk_2d_base", TranslationMode::BaseVirtualized),
+        ("walk_1d_vmm_direct", TranslationMode::VmmDirect),
+    ] {
+        let mut mmu = Mmu::new(MmuConfig {
+            mode,
+            ..MmuConfig::default()
+        });
+        if mode == TranslationMode::VmmDirect {
+            mmu.set_vmm_segment(Segment::map(
+                AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB)),
+                w.backing_base,
+            ));
+        }
+        let ctx = MemoryContext::Virtualized {
+            gpt: &w.gpt,
+            gmem: &w.gmem,
+            npt: &w.npt,
+            hmem: &w.hmem,
+        };
+        let mut cursor = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                cursor = (cursor + 4096) % (16 * MIB);
+                mmu.access(&ctx, 0, Gva::new(16 * MIB + cursor), false).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Calibration probe: prints raw per-workload translation statistics
+//! (miss rates, cycles per miss, translation cycles per access) for the
+//! key configurations, so workload `cycles_per_access` constants can be
+//! set to land native overheads near the paper's measurements.
+
+use mv_bench::experiments::{config, parse_scale};
+use mv_metrics::Table;
+use mv_sim::{Env, GuestPaging, Simulation};
+use mv_types::PageSize;
+use mv_workloads::WorkloadKind;
+
+fn main() {
+    let scale = parse_scale();
+    let mut t = Table::new(&[
+        "workload", "config", "mpka", "cyc/miss", "trl-cyc/acc", "overhead",
+    ]);
+    for w in WorkloadKind::ALL {
+        for (paging, env, label) in [
+            (
+                GuestPaging::Fixed(PageSize::Size4K),
+                Env::native(),
+                "4K",
+            ),
+            (
+                GuestPaging::Fixed(PageSize::Size2M),
+                Env::native(),
+                "2M",
+            ),
+            (
+                GuestPaging::Fixed(PageSize::Size4K),
+                Env::base_virtualized(PageSize::Size4K),
+                "4K+4K",
+            ),
+            (
+                GuestPaging::Fixed(PageSize::Size4K),
+                Env::base_virtualized(PageSize::Size2M),
+                "4K+2M",
+            ),
+        ] {
+            let cfg = config(w, paging, env, &scale);
+            eprintln!("running {} / {label}...", w.label());
+            let r = match Simulation::run(&cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("  failed: {e}");
+                    continue;
+                }
+            };
+            t.row(&[
+                w.label().to_string(),
+                label.to_string(),
+                format!("{:.1}", r.mpka()),
+                format!("{:.1}", r.cycles_per_miss()),
+                format!("{:.2}", r.translation_cycles / r.accesses as f64),
+                r.overhead_pct(),
+            ]);
+        }
+    }
+    println!("{t}");
+}

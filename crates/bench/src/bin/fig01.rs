@@ -1,0 +1,53 @@
+//! Figure 1: the paper's motivating preview — overheads for selected
+//! workloads under native 4K, virtualized page-size combinations, and the
+//! proposed Dual Direct / VMM Direct modes. Pass `--quick` for a fast run.
+
+use mv_bench::experiments::{pct, run_bar};
+use mv_metrics::Table;
+use mv_sim::{Env, GuestPaging};
+use mv_types::PageSize;
+use mv_workloads::WorkloadKind;
+
+fn main() {
+    let scale = mv_bench::parse_scale();
+    use GuestPaging::Fixed;
+    use PageSize::*;
+    let configs: Vec<(GuestPaging, Env)> = vec![
+        (Fixed(Size4K), Env::native()),
+        (Fixed(Size4K), Env::base_virtualized(Size4K)),
+        (Fixed(Size4K), Env::base_virtualized(Size2M)),
+        (Fixed(Size4K), Env::base_virtualized(Size1G)),
+        (Fixed(Size4K), Env::dual_direct()),
+        (Fixed(Size4K), Env::vmm_direct()),
+    ];
+
+    let workloads = [
+        WorkloadKind::Graph500,
+        WorkloadKind::Memcached,
+        WorkloadKind::Gups,
+    ];
+    let mut headers: Vec<String> = vec!["workload".into()];
+    let mut first = true;
+    let mut rows = Vec::new();
+    for w in workloads {
+        let mut cells = vec![w.label().to_string()];
+        for &(paging, env) in &configs {
+            let r = run_bar(w, paging, env, &scale);
+            if first {
+                headers.push(r.label.clone());
+            }
+            cells.push(pct(r.overhead));
+        }
+        first = false;
+        rows.push(cells);
+    }
+
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for row in rows {
+        t.row(&row);
+    }
+    println!("\nFigure 1 — overheads associated with virtual memory (preview)");
+    println!("(gups uses a scaled axis in the paper; shown unscaled here)\n");
+    println!("{t}");
+}

@@ -1,0 +1,41 @@
+//! Figure 11: virtual-memory overhead per big-memory workload, across
+//! native page sizes, virtualized page-size combinations, and the proposed
+//! direct-segment modes.
+//!
+//! Regenerates the paper's bar chart as a table: one row per workload, one
+//! column per configuration, cells are execution-time overheads
+//! ((T_E − T_ideal) / T_ideal). Pass `--quick` for a fast smoke run.
+
+use mv_bench::experiments::{fig11_configs, pct, run_bar};
+use mv_metrics::Table;
+use mv_workloads::WorkloadKind;
+
+fn main() {
+    let scale = mv_bench::parse_scale();
+    let configs = fig11_configs();
+    let mut headers: Vec<String> = vec!["workload".into()];
+    let mut first = true;
+
+    let mut rows = Vec::new();
+    for w in WorkloadKind::BIG_MEMORY {
+        let mut cells = vec![w.label().to_string()];
+        for &(paging, env) in &configs {
+            let r = run_bar(w, paging, env, &scale);
+            if first {
+                headers.push(r.label.clone());
+            }
+            cells.push(pct(r.overhead));
+        }
+        first = false;
+        rows.push(cells);
+    }
+
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for row in rows {
+        t.row(&row);
+    }
+    println!("\nFigure 11 — virtual memory overhead per big-memory workload");
+    println!("(execution-time overhead vs ideal; paper Figure 11)\n");
+    println!("{t}");
+}

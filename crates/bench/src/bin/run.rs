@@ -1,0 +1,201 @@
+//! General-purpose configuration runner: run any workload under any
+//! environment from the command line and print the full measurement.
+//!
+//! ```text
+//! cargo run --release -p mv-bench --bin run -- \
+//!     --workload graph500 --env dd --footprint 512M --accesses 1000000
+//! ```
+//!
+//! Options:
+//!
+//! * `--workload <name>` — one of the Table V names
+//!   (graph500, memcached, npb:cg, gups, mcf, omnetpp, cactusADM,
+//!   GemsFDTD, canneal, streamcluster). Default: graph500.
+//! * `--env <cfg>` — `native`, `ds`, `shadow`, `vd`, `gd`, `dd`, or a
+//!   page-size pair like `4k+4k`, `4k+2m`, `2m+1g`. Default: 4k+4k.
+//! * `--guest <4k|2m|1g|thp>` — guest paging policy. Default: 4k.
+//! * `--footprint <N[K|M|G]>` — arena size. Default: 512M.
+//! * `--accesses <N>` / `--warmup <N>` — window sizes.
+//! * `--seed <N>` — workload seed.
+
+use mv_sim::{Env, GuestPaging, SimConfig, Simulation};
+use mv_types::{PageSize, GIB, KIB, MIB};
+use mv_workloads::WorkloadKind;
+
+fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], KIB),
+        'm' | 'M' => (&s[..s.len() - 1], MIB),
+        'g' | 'G' => (&s[..s.len() - 1], GIB),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok().map(|n| n * mult)
+}
+
+fn parse_page(s: &str) -> Option<PageSize> {
+    match s.to_ascii_lowercase().as_str() {
+        "4k" => Some(PageSize::Size4K),
+        "2m" => Some(PageSize::Size2M),
+        "1g" => Some(PageSize::Size1G),
+        _ => None,
+    }
+}
+
+fn parse_workload(s: &str) -> Option<WorkloadKind> {
+    WorkloadKind::ALL
+        .into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(s))
+}
+
+fn parse_env(s: &str) -> Option<Env> {
+    match s.to_ascii_lowercase().as_str() {
+        "native" => Some(Env::native()),
+        "ds" => Some(Env::native_direct()),
+        "vd" => Some(Env::vmm_direct()),
+        "gd" => Some(Env::guest_direct(PageSize::Size4K)),
+        "dd" => Some(Env::dual_direct()),
+        "shadow" => Some(Env::Shadow {
+            nested: PageSize::Size4K,
+        }),
+        pair => {
+            let (_, nested) = pair.split_once('+')?;
+            Some(Env::base_virtualized(parse_page(nested)?))
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run [--workload NAME] [--env native|ds|shadow|vd|gd|dd|4k+4k|...]\n\
+         \x20          [--guest 4k|2m|1g|thp] [--footprint N[K|M|G]]\n\
+         \x20          [--accesses N] [--warmup N] [--seed N] [--csv]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut workload = WorkloadKind::Graph500;
+    let mut env = Env::base_virtualized(PageSize::Size4K);
+    let mut guest = GuestPaging::Fixed(PageSize::Size4K);
+    let mut footprint = 512 * MIB;
+    let mut accesses = 1_000_000u64;
+    let mut warmup = 250_000u64;
+    let mut seed = 42u64;
+    let mut csv = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .as_str()
+        };
+        match flag.as_str() {
+            "--workload" => {
+                let v = value("--workload");
+                workload = parse_workload(v).unwrap_or_else(|| {
+                    eprintln!("unknown workload {v:?}");
+                    usage()
+                });
+            }
+            "--env" => {
+                let v = value("--env");
+                env = parse_env(v).unwrap_or_else(|| {
+                    eprintln!("unknown env {v:?}");
+                    usage()
+                });
+            }
+            "--guest" => {
+                let v = value("--guest");
+                guest = if v.eq_ignore_ascii_case("thp") {
+                    GuestPaging::Thp
+                } else {
+                    GuestPaging::Fixed(parse_page(v).unwrap_or_else(|| {
+                        eprintln!("unknown guest paging {v:?}");
+                        usage()
+                    }))
+                };
+            }
+            "--footprint" => {
+                let v = value("--footprint");
+                footprint = parse_size(v).unwrap_or_else(|| {
+                    eprintln!("bad size {v:?}");
+                    usage()
+                });
+            }
+            "--accesses" => accesses = value("--accesses").parse().unwrap_or_else(|_| usage()),
+            "--warmup" => warmup = value("--warmup").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--csv" => csv = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let cfg = SimConfig {
+        workload,
+        footprint,
+        guest_paging: guest,
+        env,
+        accesses,
+        warmup,
+        seed,
+    };
+    eprintln!(
+        "running {} / {} (footprint {} MiB, {} accesses after {} warmup, seed {seed})...",
+        workload.label(),
+        cfg.label(),
+        footprint / MIB,
+        accesses,
+        warmup
+    );
+    let r = match Simulation::run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if csv {
+        println!("{}", mv_sim::RunResult::csv_header());
+        println!("{}", r.csv_row());
+        return;
+    }
+    println!("configuration:        {} / {}", r.workload, r.label);
+    println!("overhead:             {}", r.overhead_pct());
+    println!("translation cycles:   {:.0}", r.translation_cycles);
+    println!("ideal cycles:         {:.0}", r.ideal_cycles);
+    println!("L1 misses / 1K acc:   {:.1}", r.mpka());
+    println!("cycles per miss:      {:.1}", r.cycles_per_miss());
+    println!("walks (L2 misses):    {}", r.counters.l2_misses);
+    println!("walk refs (g/n):      {} / {}", r.counters.guest_walk_refs, r.counters.nested_walk_refs);
+    println!("bound checks:         {}", r.counters.bound_checks);
+    println!(
+        "miss categories:      both={} vmm={} guest={} neither={} ds={}",
+        r.counters.cat_both,
+        r.counters.cat_vmm_only,
+        r.counters.cat_guest_only,
+        r.counters.cat_neither,
+        r.counters.ds_hits
+    );
+    println!(
+        "coverage fractions:   F_DD={:.3} F_VD={:.3} F_GD={:.3} F_DS={:.3}",
+        r.f_dd(),
+        r.f_vd(),
+        r.f_gd(),
+        r.f_ds()
+    );
+    println!("escape-filter hits:   {}", r.counters.escape_hits);
+    println!("VM exits:             {}", r.vm_exits);
+    let (nl, nh) = r.nested_l2;
+    println!("nested L2 (lkup/hit): {nl} / {nh}");
+}

@@ -1,0 +1,71 @@
+//! Section IX.D: shadow paging vs VMM Direct. Shadow paging eliminates 2D
+//! walks but pays a VM exit for every guest page-table update, so
+//! allocation-churny workloads (memcached, GemsFDTD, omnetpp, canneal)
+//! slow down while static workloads do fine. VMM Direct serves both.
+
+use mv_bench::experiments::{config, parse_scale, pct};
+use mv_metrics::Table;
+use mv_sim::{Env, GuestPaging, Simulation};
+use mv_types::PageSize;
+use mv_workloads::WorkloadKind;
+
+fn main() {
+    let scale = parse_scale();
+    let paging = GuestPaging::Fixed(PageSize::Size4K);
+    let all = [
+        // Paper's high-churn category:
+        WorkloadKind::Memcached,
+        WorkloadKind::GemsFdtd,
+        WorkloadKind::Omnetpp,
+        WorkloadKind::Canneal,
+        // Low-churn category:
+        WorkloadKind::Graph500,
+        WorkloadKind::NpbCg,
+        WorkloadKind::Gups,
+        WorkloadKind::Mcf,
+        WorkloadKind::CactusAdm,
+        WorkloadKind::Streamcluster,
+    ];
+
+    let mut t = Table::new(&[
+        "workload",
+        "native",
+        "shadow",
+        "VD",
+        "shadow slowdown",
+        "VD slowdown",
+        "shadow exits",
+    ]);
+    for w in all {
+        eprintln!("running {}...", w.label());
+        let native = Simulation::run(&config(w, paging, Env::native(), &scale)).unwrap();
+        let shadow = Simulation::run(&config(
+            w,
+            paging,
+            Env::Shadow {
+                nested: PageSize::Size4K,
+            },
+            &scale,
+        ))
+        .unwrap();
+        let vd = Simulation::run(&config(w, paging, Env::vmm_direct(), &scale)).unwrap();
+        // Slowdown vs native execution: extra translation+exit time over
+        // the same ideal cycles.
+        let slow = |r: &mv_sim::RunResult| {
+            (r.translation_cycles - native.translation_cycles) / (native.ideal_cycles + native.translation_cycles)
+        };
+        t.row(&[
+            w.label().to_string(),
+            pct(native.overhead),
+            pct(shadow.overhead),
+            pct(vd.overhead),
+            pct(slow(&shadow)),
+            pct(slow(&vd)),
+            shadow.vm_exits.to_string(),
+        ]);
+    }
+    println!("\nSection IX.D — shadow paging vs VMM Direct");
+    println!("(paper: shadow up to 29.2% slower than native for churny workloads,");
+    println!(" under 5% for static ones; VMM Direct at most 7.3% slower)\n");
+    println!("{t}");
+}

@@ -1,0 +1,43 @@
+//! Table II: the trade-off matrix of the virtualized translation modes —
+//! printed directly from the mode model, which the test suite verifies
+//! against the paper's table.
+
+use mv_core::TranslationMode;
+use mv_metrics::Table;
+
+fn main() {
+    let modes = TranslationMode::VIRTUALIZED;
+    let mut headers = vec!["property".to_string()];
+    headers.extend(modes.iter().map(|m| m.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+
+    let fmt_support = |s: Option<mv_core::Support>| {
+        s.map_or("n/a".to_string(), |x| x.to_string())
+    };
+    let fmt_bool = |b: bool| if b { "required" } else { "none" }.to_string();
+
+    let rows: Vec<(&str, Box<dyn Fn(TranslationMode) -> String>)> = vec![
+        ("page walk dimensions", Box::new(|m: TranslationMode| format!("{}D", m.walk_dimensions()))),
+        ("memory accesses (common walk)", Box::new(|m: TranslationMode| m.common_walk_refs().to_string())),
+        ("base-bound checks", Box::new(|m: TranslationMode| m.bound_checks().to_string())),
+        ("guest OS modifications", Box::new(move |m| fmt_bool(m.requires_guest_os_changes()))),
+        ("VMM modifications", Box::new(move |m| fmt_bool(m.requires_vmm_changes()))),
+        ("application category", Box::new(|m: TranslationMode| {
+            if m.suits_any_application() { "any" } else { "big memory" }.to_string()
+        })),
+        ("page sharing", Box::new(move |m| fmt_support(m.page_sharing()))),
+        ("ballooning", Box::new(move |m| fmt_support(m.ballooning()))),
+        ("guest swapping", Box::new(move |m| fmt_support(m.guest_swapping()))),
+        ("VMM swapping", Box::new(move |m| fmt_support(m.vmm_swapping()))),
+    ];
+
+    for (name, f) in rows {
+        let mut cells = vec![name.to_string()];
+        cells.extend(modes.iter().map(|&m| f(m)));
+        t.row(&cells);
+    }
+
+    println!("\nTable II — trade-offs among virtualized translation modes\n");
+    println!("{t}");
+}

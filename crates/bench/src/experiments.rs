@@ -1,0 +1,137 @@
+//! Shared experiment machinery: scaling, configuration sets, runners.
+
+use mv_sim::{Env, GuestPaging, RunResult, SimConfig, Simulation};
+use mv_types::{PageSize, GIB, MIB};
+use mv_workloads::WorkloadKind;
+
+/// Run sizing. The paper's testbed runs 60–75 GB datasets to completion;
+/// the simulator scales footprints down (TLB reach is what matters — see
+/// DESIGN.md) and measures a steady-state window.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Arena bytes for big-memory workloads.
+    pub big_footprint: u64,
+    /// Arena bytes for compute workloads.
+    pub compute_footprint: u64,
+    /// Measured accesses.
+    pub accesses: u64,
+    /// Warmup accesses.
+    pub warmup: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Full scale used for the reported EXPERIMENTS.md numbers.
+    pub fn full() -> Scale {
+        Scale {
+            big_footprint: 6 * GIB,
+            compute_footprint: GIB,
+            accesses: 2_000_000,
+            warmup: 500_000,
+            seed: 42,
+        }
+    }
+
+    /// Quick scale for smoke runs (`--quick`).
+    pub fn quick() -> Scale {
+        Scale {
+            big_footprint: 128 * MIB,
+            compute_footprint: 64 * MIB,
+            accesses: 200_000,
+            warmup: 50_000,
+            seed: 42,
+        }
+    }
+
+    /// Footprint for a workload kind.
+    pub fn footprint_for(&self, w: WorkloadKind) -> u64 {
+        if w.is_big_memory() {
+            self.big_footprint
+        } else {
+            self.compute_footprint
+        }
+    }
+}
+
+/// Parses `--quick` from the command line.
+pub fn parse_scale() -> Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        Scale::quick()
+    } else {
+        Scale::full()
+    }
+}
+
+/// Builds the [`SimConfig`] for one bar.
+pub fn config(w: WorkloadKind, paging: GuestPaging, env: Env, scale: &Scale) -> SimConfig {
+    SimConfig {
+        workload: w,
+        footprint: scale.footprint_for(w),
+        guest_paging: paging,
+        env,
+        accesses: scale.accesses,
+        warmup: scale.warmup,
+        seed: scale.seed,
+    }
+}
+
+/// Runs one bar, printing progress to stderr.
+///
+/// # Panics
+///
+/// Panics if the configuration cannot run — figure binaries are expected
+/// to be correctly wired.
+pub fn run_bar(w: WorkloadKind, paging: GuestPaging, env: Env, scale: &Scale) -> RunResult {
+    let cfg = config(w, paging, env, scale);
+    eprintln!("  running {:>12} / {:<10}...", w.label(), cfg.label());
+    Simulation::run(&cfg).unwrap_or_else(|e| panic!("{} / {}: {e}", w.label(), cfg.label()))
+}
+
+/// The (paging, env) configuration set of Figure 11 for big-memory
+/// workloads: native page sizes, virtualized combinations, and the
+/// proposed modes.
+pub fn fig11_configs() -> Vec<(GuestPaging, Env)> {
+    use GuestPaging::Fixed;
+    use PageSize::*;
+    vec![
+        // Native baselines.
+        (Fixed(Size4K), Env::native()),
+        (Fixed(Size2M), Env::native()),
+        (Fixed(Size1G), Env::native()),
+        (Fixed(Size4K), Env::native_direct()),
+        // Base virtualized combinations (guest+VMM page sizes).
+        (Fixed(Size4K), Env::base_virtualized(Size4K)),
+        (Fixed(Size4K), Env::base_virtualized(Size2M)),
+        (Fixed(Size4K), Env::base_virtualized(Size1G)),
+        (Fixed(Size2M), Env::base_virtualized(Size2M)),
+        (Fixed(Size2M), Env::base_virtualized(Size1G)),
+        (Fixed(Size1G), Env::base_virtualized(Size1G)),
+        // Proposed modes.
+        (Fixed(Size4K), Env::dual_direct()),
+        (Fixed(Size4K), Env::vmm_direct()),
+        (Fixed(Size4K), Env::guest_direct(Size4K)),
+    ]
+}
+
+/// The Figure 12 configuration set for compute workloads (THP instead of
+/// explicit huge pages; VMM Direct is the applicable proposed mode).
+pub fn fig12_configs() -> Vec<(GuestPaging, Env)> {
+    use GuestPaging::{Fixed, Thp};
+    use PageSize::*;
+    vec![
+        (Fixed(Size4K), Env::native()),
+        (Thp, Env::native()),
+        (Fixed(Size4K), Env::base_virtualized(Size4K)),
+        (Fixed(Size4K), Env::base_virtualized(Size2M)),
+        (Fixed(Size4K), Env::base_virtualized(Size1G)),
+        (Thp, Env::base_virtualized(Size2M)),
+        (Fixed(Size4K), Env::vmm_direct()),
+        (Thp, Env::vmm_direct()),
+    ]
+}
+
+/// Formats an overhead as a percent cell.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}

@@ -1,0 +1,14 @@
+//! Experiment harness shared by the per-figure binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index). This library provides the shared
+//! machinery: run scaling, the standard configuration sets, and result
+//! printing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+
+pub use experiments::{parse_scale, Scale};

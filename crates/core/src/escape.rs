@@ -1,0 +1,276 @@
+//! The escape filter (Section V).
+//!
+//! A single faulty physical page would otherwise prevent creating a large
+//! direct segment. The escape filter is a small hardware Bloom filter
+//! checked in parallel with the segment registers: a page whose frame
+//! number hits in the filter "escapes" segment translation and falls back
+//! to conventional paging, so the OS/VMM can remap it. Because a Bloom
+//! filter has false positives, the VMM must also create page-table mappings
+//! for falsely-escaped pages — correctness is preserved, only a little
+//! performance is lost.
+//!
+//! The paper evaluates a 256-bit parallel Bloom filter with four H3 hash
+//! functions (citing Sanchez et al. on transactional-memory signatures) and
+//! shows it absorbs 16 faulty pages with under 0.06% slowdown (Figure 13).
+//! Other geometries can be constructed with
+//! [`EscapeFilter::with_geometry`] for ablation studies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default number of filter bits (2^8 = 256, as evaluated in the paper).
+pub const FILTER_BITS: usize = 256;
+
+/// Default number of H3 hash functions.
+pub const NUM_HASHES: usize = 4;
+
+/// A parallel Bloom filter over 4 KiB frame numbers, using H3 hash
+/// functions.
+///
+/// H3 hashing computes each output bit as the parity of the input ANDed
+/// with a fixed random row, which is cheap in hardware (one XOR tree per
+/// bit). The rows are derived deterministically from a seed so simulations
+/// are reproducible.
+///
+/// # Example
+///
+/// ```
+/// use mv_core::EscapeFilter;
+///
+/// let mut f = EscapeFilter::new(7);
+/// assert!(!f.maybe_contains(0x5000));
+/// f.insert(0x5000);
+/// assert!(f.maybe_contains(0x5000), "no false negatives");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscapeFilter {
+    bits: Vec<u64>,
+    index_bits: u32,
+    /// H3 matrices: one row of 64 random bits per output bit per hash.
+    rows: Vec<Vec<u64>>,
+    inserted: u32,
+}
+
+impl EscapeFilter {
+    /// Creates an empty 256-bit, 4-hash filter (the paper's geometry)
+    /// whose H3 matrices derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self::with_geometry(seed, FILTER_BITS, NUM_HASHES)
+    }
+
+    /// Creates a filter of `filter_bits` bits (a power of two between 2
+    /// and 2^20) with `num_hashes` H3 hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `filter_bits` is not a power of two in range, or
+    /// `num_hashes` is 0.
+    pub fn with_geometry(seed: u64, filter_bits: usize, num_hashes: usize) -> Self {
+        assert!(
+            filter_bits.is_power_of_two() && (2..=(1 << 20)).contains(&filter_bits),
+            "filter_bits must be a power of two in [2, 2^20]"
+        );
+        assert!(num_hashes > 0, "need at least one hash function");
+        let index_bits = filter_bits.trailing_zeros();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xe5ca_9e_f117e5);
+        let rows = (0..num_hashes)
+            .map(|_| (0..index_bits).map(|_| rng.gen()).collect())
+            .collect();
+        EscapeFilter {
+            bits: vec![0; filter_bits.div_ceil(64)],
+            index_bits,
+            rows,
+            inserted: 0,
+        }
+    }
+
+    /// Filter size in bits.
+    pub fn filter_bits(&self) -> usize {
+        1 << self.index_bits
+    }
+
+    /// Number of H3 hash functions.
+    pub fn num_hashes(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// One H3 hash: an `index_bits`-bit index into the filter.
+    fn h3(&self, hash: usize, key: u64) -> usize {
+        let mut idx = 0usize;
+        for (bit, row) in self.rows[hash].iter().enumerate() {
+            idx |= (((key & row).count_ones() as usize) & 1) << bit;
+        }
+        idx
+    }
+
+    /// Inserts the page with base address `page_addr` (any address within
+    /// the page works; the 4 KiB frame number is the key).
+    pub fn insert(&mut self, page_addr: u64) {
+        let key = page_addr >> 12;
+        for h in 0..self.rows.len() {
+            let idx = self.h3(h, key);
+            self.bits[idx / 64] |= 1 << (idx % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Whether the page containing `page_addr` may be escaped. False
+    /// positives are possible; false negatives are not.
+    #[inline]
+    pub fn maybe_contains(&self, page_addr: u64) -> bool {
+        let key = page_addr >> 12;
+        (0..self.rows.len()).all(|h| {
+            let idx = self.h3(h, key);
+            self.bits[idx / 64] & (1 << (idx % 64)) != 0
+        })
+    }
+
+    /// Whether no pages have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Number of insertions performed.
+    pub fn inserted(&self) -> u32 {
+        self.inserted
+    }
+
+    /// Fraction of filter bits set — a proxy for expected false-positive
+    /// rate ((set/total)^k).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        f64::from(set) / self.filter_bits() as f64
+    }
+
+    /// Expected false-positive probability given the current fill.
+    pub fn expected_false_positive_rate(&self) -> f64 {
+        self.fill_ratio().powi(self.num_hashes() as i32)
+    }
+
+    /// Clears the filter (keeps the hash matrices).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.inserted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = EscapeFilter::new(1);
+        assert!(f.is_empty());
+        assert_eq!(f.filter_bits(), 256);
+        assert_eq!(f.num_hashes(), 4);
+        for addr in [0u64, 0x1000, 0xdead_b000, u64::MAX & !0xfff] {
+            assert!(!f.maybe_contains(addr));
+        }
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = EscapeFilter::new(2);
+        let pages: Vec<u64> = (0..16).map(|i| 0x10_0000 + i * 0x1000).collect();
+        for &p in &pages {
+            f.insert(p);
+        }
+        for &p in &pages {
+            assert!(f.maybe_contains(p));
+        }
+        assert_eq!(f.inserted(), 16);
+    }
+
+    #[test]
+    fn any_address_within_the_page_matches() {
+        let mut f = EscapeFilter::new(3);
+        f.insert(0x5000);
+        assert!(f.maybe_contains(0x5fff));
+        assert!(f.maybe_contains(0x5001));
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_with_16_entries() {
+        // The paper's sizing claim: 256 bits / 4 hashes / 16 bad pages
+        // keeps false positives near zero.
+        let mut f = EscapeFilter::new(4);
+        for i in 0..16u64 {
+            f.insert(0x100_0000 + i * 0x1000);
+        }
+        let probes = 100_000u64;
+        let fps = (0..probes)
+            .filter(|i| f.maybe_contains(0x9000_0000 + i * 0x1000))
+            .count();
+        let rate = fps as f64 / probes as f64;
+        assert!(
+            rate < 0.01,
+            "false-positive rate {rate} too high for 16 entries"
+        );
+        assert!(f.expected_false_positive_rate() < 0.01);
+    }
+
+    #[test]
+    fn smaller_filters_have_more_false_positives() {
+        let measure = |bits: usize| {
+            let mut f = EscapeFilter::with_geometry(9, bits, 4);
+            for i in 0..16u64 {
+                f.insert(i * 0x1000);
+            }
+            let probes = 50_000u64;
+            (0..probes)
+                .filter(|i| f.maybe_contains(0x5000_0000 + i * 0x1000))
+                .count() as f64
+                / probes as f64
+        };
+        let small = measure(64);
+        let default = measure(256);
+        let large = measure(1024);
+        assert!(small > default, "64-bit filter fp {small} vs 256-bit {default}");
+        assert!(default >= large, "256-bit fp {default} vs 1024-bit {large}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_hashes() {
+        let mut a = EscapeFilter::new(10);
+        let mut b = EscapeFilter::new(11);
+        a.insert(0x1000);
+        b.insert(0x1000);
+        assert_ne!(a.bits, b.bits);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let mut a = EscapeFilter::new(10);
+        let mut b = EscapeFilter::new(10);
+        a.insert(0x1000);
+        b.insert(0x1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let mut f = EscapeFilter::new(5);
+        f.insert(0x1000);
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.maybe_contains(0x1000));
+        assert_eq!(f.inserted(), 0);
+    }
+
+    #[test]
+    fn fill_ratio_grows_with_insertions() {
+        let mut f = EscapeFilter::new(6);
+        let r0 = f.fill_ratio();
+        f.insert(0x1000);
+        let r1 = f.fill_ratio();
+        assert!(r1 > r0);
+        assert!(r1 <= (NUM_HASHES as f64) / FILTER_BITS as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_geometry_panics() {
+        let _ = EscapeFilter::with_geometry(0, 100, 4);
+    }
+}

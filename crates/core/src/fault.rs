@@ -1,0 +1,67 @@
+//! Translation faults surfaced to the guest OS / VMM.
+
+use core::fmt;
+
+use mv_types::{Gpa, Gva};
+
+/// A fault raised during address translation. The owning layer (guest OS
+/// for guest faults, VMM for nested faults) services the fault — e.g. by
+/// demand-mapping the page — and the access is retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TranslationFault {
+    /// The first dimension (gVA→gPA, or VA→PA natively) has no mapping.
+    GuestNotMapped {
+        /// Faulting guest virtual address.
+        gva: Gva,
+    },
+    /// The second dimension (gPA→hPA) has no mapping; `gpa` is the guest
+    /// physical address that missed, which may be a page-table pointer of
+    /// the first dimension.
+    NestedNotMapped {
+        /// Faulting guest virtual address (the original access).
+        gva: Gva,
+        /// Guest physical address with no nested mapping.
+        gpa: Gpa,
+    },
+    /// A write hit a read-only mapping (copy-on-write break, write
+    /// tracking).
+    WriteProtected {
+        /// Faulting guest virtual address.
+        gva: Gva,
+    },
+}
+
+impl fmt::Display for TranslationFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslationFault::GuestNotMapped { gva } => {
+                write!(f, "guest page fault at {gva}")
+            }
+            TranslationFault::NestedNotMapped { gva, gpa } => {
+                write!(f, "nested page fault at {gpa} (gVA {gva})")
+            }
+            TranslationFault::WriteProtected { gva } => {
+                write!(f, "write-protection fault at {gva}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslationFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_addresses() {
+        let f = TranslationFault::GuestNotMapped { gva: Gva::new(0x1000) };
+        assert_eq!(f.to_string(), "guest page fault at 0x1000");
+        let f = TranslationFault::NestedNotMapped {
+            gva: Gva::new(0x1000),
+            gpa: Gpa::new(0x2000),
+        };
+        assert!(f.to_string().contains("0x2000"));
+    }
+}

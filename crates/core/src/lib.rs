@@ -1,0 +1,57 @@
+//! The paper's primary contribution: direct-segment hardware for
+//! virtualized address translation.
+//!
+//! *Efficient Memory Virtualization: Reducing Dimensionality of Nested Page
+//! Walks* (Gandhi, Basu, Hill, Swift — MICRO 2014) proposes two levels of
+//! direct-segment registers plus an escape filter, yielding three new
+//! virtualized translation modes that flatten the 24-reference 2D nested
+//! page walk down to 4 (VMM Direct, Guest Direct) or 0 (Dual Direct)
+//! memory references. This crate models that hardware:
+//!
+//! * [`Segment`] — BASE/LIMIT/OFFSET register sets for each translation
+//!   level (Section III).
+//! * [`TranslationMode`] — the Figure 3 modes with the Table II trade-off
+//!   matrix.
+//! * [`EscapeFilter`] — the 256-bit H3 Bloom filter that lets faulty pages
+//!   escape a segment back to paging (Section V).
+//! * [`Mmu`] — the full translation pipeline of Figure 5: split L1 TLB,
+//!   shared L2/nested TLB, page-walk caches, segment checks, and the
+//!   per-mode walker implementing Table I, with exact event counting
+//!   ([`MmuCounters`]) and a cycle cost model ([`CostParams`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mv_core::{Segment, TranslationMode};
+//! use mv_types::{AddrRange, Gpa, Hpa, GIB};
+//!
+//! // A VMM segment mapping 4 GiB of guest-physical space at host offset 1 GiB.
+//! let seg: Segment<Gpa, Hpa> = Segment::map(
+//!     AddrRange::new(Gpa::new(0), Gpa::new(4 * GIB)),
+//!     Hpa::new(GIB),
+//! );
+//! assert_eq!(seg.translate(Gpa::new(42)), Some(Hpa::new(GIB + 42)));
+//! assert_eq!(TranslationMode::VmmDirect.common_walk_refs(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cost;
+mod counters;
+mod escape;
+mod fault;
+mod mmu;
+mod mode;
+mod segment;
+mod trace;
+
+pub use cost::{CostParams, PteCache};
+pub use counters::MmuCounters;
+pub use escape::{EscapeFilter, FILTER_BITS, NUM_HASHES};
+pub use fault::TranslationFault;
+pub use mmu::{AccessOutcome, HitPath, MemoryContext, Mmu, MmuConfig};
+pub use mode::{SegmentCategory, Support, TranslationMode};
+pub use segment::Segment;
+pub use trace::{MissRecord, MissTrace};

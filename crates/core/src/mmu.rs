@@ -1,0 +1,781 @@
+//! The virtualized MMU model: Figure 5's translation flow and Table I's
+//! per-category steps, with exact event counting.
+//!
+//! One [`Mmu`] models one hardware thread's translation machinery: split L1
+//! TLB, unified L2 TLB (shared with nested entries), guest and nested
+//! page-walk caches, the two levels of direct-segment registers, the escape
+//! filter, and the (up to) 2D page walker. The page tables and physical
+//! memories it walks are borrowed per access through [`MemoryContext`],
+//! since they belong to the guest OS and VMM models.
+
+use mv_phys::PhysMem;
+use mv_pt::{entry_addr, PageTable, Pte};
+use mv_tlb::{L1Tlb, L2Key, L2Tlb, PwCache, PwcKey, TlbConfig, TlbEntry};
+use mv_types::{Gpa, Gva, Hpa, PageSize, Prot};
+
+use crate::cost::{CostParams, PteCache};
+use crate::counters::MmuCounters;
+use crate::escape::EscapeFilter;
+use crate::fault::TranslationFault;
+use crate::mode::TranslationMode;
+use crate::segment::Segment;
+use crate::trace::{MissRecord, MissTrace};
+
+/// The translation structures an access runs against: either a native
+/// 1-level configuration or the virtualized 2-level configuration.
+#[derive(Debug)]
+pub enum MemoryContext<'a> {
+    /// Native execution: one page table mapping VA→PA.
+    Native {
+        /// The process page table.
+        pt: &'a PageTable<Gva, Hpa>,
+        /// Physical memory holding the page table.
+        mem: &'a PhysMem<Hpa>,
+    },
+    /// Virtualized execution: guest page table plus nested page table.
+    Virtualized {
+        /// Guest page table (gVA→gPA), stored in guest-physical frames.
+        gpt: &'a PageTable<Gva, Gpa>,
+        /// Guest-physical memory.
+        gmem: &'a PhysMem<Gpa>,
+        /// Nested page table (gPA→hPA), stored in host-physical frames.
+        npt: &'a PageTable<Gpa, Hpa>,
+        /// Host-physical memory.
+        hmem: &'a PhysMem<Hpa>,
+    },
+}
+
+/// Which path completed a translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitPath {
+    /// L1 TLB hit — no overhead.
+    L1Hit,
+    /// Completed by segment registers on the L1-miss path (0D / DS).
+    SegmentBypass,
+    /// L2 TLB hit.
+    L2Hit,
+    /// Required a page walk (of whatever dimensionality the mode allows).
+    PageWalk,
+}
+
+/// Result of a successful access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Final host-physical address.
+    pub hpa: Hpa,
+    /// Path that produced the translation.
+    pub path: HitPath,
+    /// Cycles charged to translation for this access (0 on L1 hits).
+    pub cycles: u64,
+}
+
+/// Configuration for constructing an [`Mmu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmuConfig {
+    /// TLB/PWC geometry.
+    pub tlb: TlbConfig,
+    /// Cycle prices.
+    pub costs: CostParams,
+    /// Initial translation mode.
+    pub mode: TranslationMode,
+    /// Enables the page-walk caches and the nested TLB. Disabling them
+    /// exposes the architectural worst case (24 references per 2D walk) for
+    /// ablation studies; real hardware has them on.
+    pub walk_caching: bool,
+    /// PTE-residency model size in 64-byte lines (see
+    /// [`crate::PteCache`]); the default models the share of a last-level
+    /// cache that page-table lines hold.
+    pub pte_cache_lines: usize,
+    /// PTE-residency model associativity.
+    pub pte_cache_ways: usize,
+}
+
+impl Default for MmuConfig {
+    fn default() -> Self {
+        MmuConfig {
+            tlb: TlbConfig::sandy_bridge(),
+            costs: CostParams::default(),
+            mode: TranslationMode::BaseVirtualized,
+            walk_caching: true,
+            pte_cache_lines: 4096,
+            pte_cache_ways: 8,
+        }
+    }
+}
+
+/// The MMU model.
+///
+/// # Example
+///
+/// Running one access against a virtualized context (see `mv-sim` for the
+/// full wiring):
+///
+/// ```
+/// use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationMode};
+/// use mv_phys::PhysMem;
+/// use mv_pt::PageTable;
+/// use mv_types::{Gpa, Gva, Hpa, PageSize, Prot, MIB};
+///
+/// let mut gmem: PhysMem<Gpa> = PhysMem::new(32 * MIB);
+/// let mut hmem: PhysMem<Hpa> = PhysMem::new(64 * MIB);
+/// let mut gpt: PageTable<Gva, Gpa> = PageTable::new(&mut gmem)?;
+/// let mut npt: PageTable<Gpa, Hpa> = PageTable::new(&mut hmem)?;
+///
+/// // Map one guest page and identity-map guest-physical memory.
+/// let gframe = gmem.alloc(PageSize::Size4K)?;
+/// gpt.map(&mut gmem, Gva::new(0x1000), gframe, PageSize::Size4K, Prot::RW)?;
+/// for off in (0..(32 * MIB)).step_by(2 << 20) {
+///     let h = hmem.alloc(PageSize::Size2M)?;
+///     npt.map(&mut hmem, Gpa::new(off), h, PageSize::Size2M, Prot::RW)?;
+/// }
+///
+/// let mut mmu = Mmu::new(MmuConfig::default());
+/// let ctx = MemoryContext::Virtualized { gpt: &gpt, gmem: &gmem, npt: &npt, hmem: &hmem };
+/// let out = mmu.access(&ctx, 0, Gva::new(0x1234), false)?;
+/// assert!(out.cycles > 0, "first access walks");
+/// let again = mmu.access(&ctx, 0, Gva::new(0x1234), false)?;
+/// assert_eq!(again.cycles, 0, "second access hits L1");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Mmu {
+    mode: TranslationMode,
+    costs: CostParams,
+    walk_caching: bool,
+    l1: L1Tlb,
+    l2: L2Tlb,
+    guest_pwc: PwCache,
+    nested_pwc: PwCache,
+    pte_cache: PteCache,
+    /// Guest segment: gVA→gPA (Dual/Guest Direct).
+    guest_seg: Segment<Gva, Gpa>,
+    /// VMM segment: gPA→hPA (Dual/VMM Direct).
+    vmm_seg: Segment<Gpa, Hpa>,
+    /// Native direct segment: VA→PA (Section III.D mode, reusing the guest
+    /// segment registers in hardware).
+    native_seg: Segment<Gva, Hpa>,
+    /// Escape filter checked against the VMM segment (and native segment).
+    vmm_escape: Option<EscapeFilter>,
+    /// Escape filter checked against the guest segment.
+    guest_escape: Option<EscapeFilter>,
+    /// Optional DTLB-miss trace (the simulator's BadgerTrap, Section VII).
+    miss_trace: Option<MissTrace>,
+    counters: MmuCounters,
+}
+
+impl Mmu {
+    /// Creates an MMU with nullified segments and empty TLBs.
+    pub fn new(cfg: MmuConfig) -> Self {
+        Mmu {
+            mode: cfg.mode,
+            costs: cfg.costs,
+            walk_caching: cfg.walk_caching,
+            l1: L1Tlb::new(&cfg.tlb),
+            l2: L2Tlb::new(&cfg.tlb),
+            guest_pwc: PwCache::new(&cfg.tlb),
+            nested_pwc: PwCache::new(&cfg.tlb),
+            pte_cache: PteCache::new(cfg.pte_cache_lines, cfg.pte_cache_ways),
+            guest_seg: Segment::nullified(),
+            vmm_seg: Segment::nullified(),
+            native_seg: Segment::nullified(),
+            vmm_escape: None,
+            guest_escape: None,
+            miss_trace: None,
+            counters: MmuCounters::default(),
+        }
+    }
+
+    /// Attaches a DTLB-miss trace of at most `capacity` records — the
+    /// simulator's BadgerTrap (Section VII). Each page walk appends its
+    /// `(gVA, gPA)` pair for offline segment classification.
+    pub fn enable_miss_trace(&mut self, capacity: usize) {
+        self.miss_trace = Some(MissTrace::new(capacity));
+    }
+
+    /// Detaches and returns the miss trace, if one was enabled.
+    pub fn take_miss_trace(&mut self) -> Option<MissTrace> {
+        self.miss_trace.take()
+    }
+
+    /// Current translation mode.
+    #[inline]
+    pub fn mode(&self) -> TranslationMode {
+        self.mode
+    }
+
+    /// Switches translation mode, flushing all cached translation state
+    /// (modes can be switched dynamically during execution; flushing keeps
+    /// the switch trivially correct).
+    pub fn set_mode(&mut self, mode: TranslationMode) {
+        self.mode = mode;
+        self.flush_all();
+    }
+
+    /// Programs the guest segment registers (BASE_G/LIMIT_G/OFFSET_G).
+    /// Saved/restored on guest context switches by the guest OS.
+    pub fn set_guest_segment(&mut self, seg: Segment<Gva, Gpa>) {
+        self.guest_seg = seg;
+        self.flush_all();
+    }
+
+    /// Programs the VMM segment registers (BASE_V/LIMIT_V/OFFSET_V).
+    /// Saved/restored on VM exit/entry by the VMM.
+    pub fn set_vmm_segment(&mut self, seg: Segment<Gpa, Hpa>) {
+        self.vmm_seg = seg;
+        self.flush_all();
+    }
+
+    /// Programs the native direct segment (Section III.D mode).
+    pub fn set_native_segment(&mut self, seg: Segment<Gva, Hpa>) {
+        self.native_seg = seg;
+        self.flush_all();
+    }
+
+    /// Current guest segment registers.
+    pub fn guest_segment(&self) -> Segment<Gva, Gpa> {
+        self.guest_seg
+    }
+
+    /// Current VMM segment registers.
+    pub fn vmm_segment(&self) -> Segment<Gpa, Hpa> {
+        self.vmm_seg
+    }
+
+    /// Installs (or clears) the escape filter checked against the VMM /
+    /// native segment.
+    pub fn set_vmm_escape_filter(&mut self, filter: Option<EscapeFilter>) {
+        self.vmm_escape = filter;
+        self.flush_all();
+    }
+
+    /// Installs (or clears) the escape filter checked against the guest
+    /// segment.
+    pub fn set_guest_escape_filter(&mut self, filter: Option<EscapeFilter>) {
+        self.guest_escape = filter;
+        self.flush_all();
+    }
+
+    /// Counter snapshot.
+    #[inline]
+    pub fn counters(&self) -> &MmuCounters {
+        &self.counters
+    }
+
+    /// Resets counters (not cached state).
+    pub fn reset_counters(&mut self) {
+        self.counters = MmuCounters::default();
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.guest_pwc.reset_stats();
+        self.nested_pwc.reset_stats();
+    }
+
+    /// `(lookups, hits)` of nested-kind entries in the shared L2 TLB —
+    /// the §IX.A capacity-pollution diagnostic.
+    pub fn nested_l2_stats(&self) -> (u64, u64) {
+        self.l2.nested_stats()
+    }
+
+    /// Flushes every TLB, PWC, and residency structure.
+    pub fn flush_all(&mut self) {
+        self.l1.flush_all();
+        self.l2.flush_all();
+        self.guest_pwc.flush_all();
+        self.nested_pwc.flush_all();
+        self.pte_cache.flush();
+    }
+
+    /// Invalidates cached translations for the page at `va` in `asid`
+    /// (guest `invlpg`).
+    pub fn invalidate_page(&mut self, asid: u16, va: Gva) {
+        self.l1.invalidate_page(asid, va.as_u64());
+        self.l2.invalidate_page(asid, va.as_u64());
+    }
+
+    /// Invalidates cached state for an address space (guest CR3 switch
+    /// without ASID reuse).
+    pub fn flush_asid(&mut self, asid: u16) {
+        self.l1.flush_asid(asid);
+        self.l2.flush_asid(asid);
+        self.guest_pwc.flush_asid(asid);
+    }
+
+    /// Invalidates the nested translation for a guest frame (VMM changed
+    /// the nested page table, e.g. page sharing or swapping).
+    pub fn invalidate_nested(&mut self, gpa: Gpa) {
+        self.l2.invalidate_nested(gpa.as_u64() >> 12);
+        // Conservatively drop complete translations: any L1/L2 guest entry
+        // may embed the old hPA.
+        self.l1.flush_all();
+        self.l2.flush_all();
+    }
+
+    /// Performs one data access: the full Figure 5 flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslationFault`] if a dimension is unmapped or the
+    /// access violates the leaf protection. The caller services the fault
+    /// and retries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context kind does not match the mode (native context
+    /// with a virtualized mode or vice versa) — a wiring bug.
+    pub fn access(
+        &mut self,
+        ctx: &MemoryContext<'_>,
+        asid: u16,
+        va: Gva,
+        write: bool,
+    ) -> Result<AccessOutcome, TranslationFault> {
+        match (ctx, self.mode.is_virtualized()) {
+            (MemoryContext::Native { .. }, false) | (MemoryContext::Virtualized { .. }, true) => {}
+            _ => panic!(
+                "context kind does not match mode {:?} (native context ↔ native mode)",
+                self.mode
+            ),
+        }
+        self.counters.accesses += 1;
+        if write {
+            self.counters.writes += 1;
+        }
+
+        // L1 TLB (no charged cost — the baseline path).
+        if let Some(e) = self.l1.lookup(asid, va.as_u64()) {
+            if write && !e.prot.contains(Prot::WRITE) {
+                self.counters.prot_faults += 1;
+                self.l1.invalidate_page(asid, va.as_u64());
+                self.l2.invalidate_page(asid, va.as_u64());
+                return Err(TranslationFault::WriteProtected { gva: va });
+            }
+            return Ok(AccessOutcome {
+                hpa: Hpa::new(e.translate(va.as_u64())),
+                path: HitPath::L1Hit,
+                cycles: 0,
+            });
+        }
+        self.counters.l1_misses += 1;
+        let mut cycles = 0u64;
+
+        // Segment bypass on the L1-miss path (Table I "Both" column, and
+        // the Section III.D native direct-segment mode).
+        if let Some(hpa) = self.segment_bypass(va) {
+            self.l1.insert(
+                asid,
+                va.as_u64(),
+                TlbEntry {
+                    page_base: hpa.as_u64() & !0xfff,
+                    size: PageSize::Size4K,
+                    prot: Prot::RW,
+                },
+            );
+            self.counters.translation_cycles += cycles;
+            return Ok(AccessOutcome {
+                hpa,
+                path: HitPath::SegmentBypass,
+                cycles,
+            });
+        }
+
+        // L2 TLB.
+        let l2key = L2Key::Guest {
+            asid,
+            vpn: va.as_u64() >> 12,
+        };
+        if let Some(e) = self.l2.lookup(l2key) {
+            cycles += self.costs.l2_tlb_hit;
+            self.counters.translation_cycles += cycles;
+            if write && !e.prot.contains(Prot::WRITE) {
+                self.counters.prot_faults += 1;
+                self.l2.invalidate_page(asid, va.as_u64());
+                return Err(TranslationFault::WriteProtected { gva: va });
+            }
+            self.l1.insert(asid, va.as_u64(), e);
+            return Ok(AccessOutcome {
+                hpa: Hpa::new(e.translate(va.as_u64())),
+                path: HitPath::L2Hit,
+                cycles,
+            });
+        }
+        self.counters.l2_misses += 1;
+
+        // Page walk (whatever dimensionality the mode leaves standing).
+        let walk = match ctx {
+            MemoryContext::Native { pt, mem } => self.native_walk(pt, mem, asid, va, &mut cycles),
+            MemoryContext::Virtualized {
+                gpt,
+                gmem,
+                npt,
+                hmem,
+            } => self.nested_walk_2d(gpt, gmem, npt, hmem, asid, va, write, &mut cycles),
+        };
+        self.counters.translation_cycles += cycles;
+        let (hpa_page, size, prot) = walk?;
+
+        if write && !prot.contains(Prot::WRITE) {
+            self.counters.prot_faults += 1;
+            return Err(TranslationFault::WriteProtected { gva: va });
+        }
+
+        let entry = TlbEntry {
+            page_base: hpa_page.as_u64(),
+            size,
+            prot,
+        };
+        self.l2.insert(l2key, entry); // 4K entries only; larger are skipped
+        self.l1.insert(asid, va.as_u64(), entry);
+        Ok(AccessOutcome {
+            hpa: Hpa::new(entry.translate(va.as_u64())),
+            path: HitPath::PageWalk,
+            cycles,
+        })
+    }
+
+    /// The L1-miss segment fast path: Dual Direct's 0D translation and the
+    /// unvirtualized direct-segment mode.
+    fn segment_bypass(&mut self, va: Gva) -> Option<Hpa> {
+        // The bypass check runs in parallel with the L2 TLB lookup
+        // (Section III.D moved it off the L1 critical path), so its
+        // latency is hidden: Table IV prices these misses at zero cycles.
+        match self.mode {
+            TranslationMode::DualDirect => {
+                self.counters.bound_checks += 1;
+                let gpa = self.guest_seg.translate(va)?;
+                if self.guest_escaped(va.as_u64()) {
+                    return None;
+                }
+                let hpa = self.vmm_seg.translate(gpa)?;
+                if self.vmm_escaped(gpa.as_u64()) {
+                    return None;
+                }
+                self.counters.cat_both += 1;
+                Some(hpa)
+            }
+            TranslationMode::NativeDirect => {
+                self.counters.bound_checks += 1;
+                let pa = self.native_seg.translate(va)?;
+                if self.vmm_escaped(va.as_u64()) || self.guest_escaped(va.as_u64()) {
+                    return None;
+                }
+                self.counters.ds_hits += 1;
+                Some(pa)
+            }
+            _ => None,
+        }
+    }
+
+    fn guest_escaped(&mut self, raw: u64) -> bool {
+        match &self.guest_escape {
+            Some(f) if f.maybe_contains(raw) => {
+                self.counters.escape_hits += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn vmm_escaped(&mut self, raw: u64) -> bool {
+        match &self.vmm_escape {
+            Some(f) if f.maybe_contains(raw) => {
+                self.counters.escape_hits += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Native 1D walk with page-walk-cache skipping.
+    fn native_walk(
+        &mut self,
+        pt: &PageTable<Gva, Hpa>,
+        mem: &PhysMem<Hpa>,
+        asid: u16,
+        va: Gva,
+        cycles: &mut u64,
+    ) -> Result<(Hpa, PageSize, Prot), TranslationFault> {
+        self.counters.cat_neither += 1;
+        let raw = va.as_u64();
+        let (mut level, mut table) = self.pwc_probe(false, asid, raw, pt.root().as_u64(), cycles);
+        loop {
+            let eaddr = entry_addr(Hpa::new(table), raw, level);
+            *cycles += self.pte_cache.access(eaddr.as_u64(), &self.costs);
+            self.counters.guest_walk_refs += 1;
+            let pte = Pte::from_bits(mem.read_u64(eaddr));
+            if !pte.is_present() {
+                self.counters.guest_faults += 1;
+                return Err(TranslationFault::GuestNotMapped { gva: va });
+            }
+            if level == 1 || pte.is_huge() {
+                let size = leaf_size(level);
+                return Ok((pte.addr(), size, pte.prot()));
+            }
+            table = pte.addr::<Hpa>().as_u64();
+            self.pwc_insert(false, asid, raw, level - 1, table);
+            level -= 1;
+        }
+    }
+
+    /// The 2D walk of Figure 2, flattened per mode: each guest page-table
+    /// pointer (and the final gPA) goes through [`Self::nested_translate`],
+    /// which is where VMM Direct's dimensionality reduction happens; the
+    /// guest dimension itself may be replaced by the guest segment (Guest
+    /// Direct / Dual Direct).
+    #[allow(clippy::too_many_arguments)]
+    fn nested_walk_2d(
+        &mut self,
+        gpt: &PageTable<Gva, Gpa>,
+        gmem: &PhysMem<Gpa>,
+        npt: &PageTable<Gpa, Hpa>,
+        hmem: &PhysMem<Hpa>,
+        asid: u16,
+        va: Gva,
+        write: bool,
+        cycles: &mut u64,
+    ) -> Result<(Hpa, PageSize, Prot), TranslationFault> {
+        let raw = va.as_u64();
+        let guest_seg_active = matches!(
+            self.mode,
+            TranslationMode::GuestDirect | TranslationMode::DualDirect
+        ) && !self.guest_seg.is_nullified();
+
+        // First dimension: gVA → gPA.
+        let mut used_guest_seg = false;
+        let (gpa_page, size, prot) = if guest_seg_active {
+            self.counters.bound_checks += 1;
+            *cycles += self.costs.bound_check;
+            match self.guest_seg.translate(va) {
+                Some(gpa) if !self.guest_escaped(raw) => {
+                    used_guest_seg = true;
+                    (
+                        Gpa::new(gpa.as_u64() & !0xfff),
+                        PageSize::Size4K,
+                        Prot::RW,
+                    )
+                }
+                _ => self.guest_dimension_walk(gpt, gmem, npt, hmem, asid, va, cycles)?,
+            }
+        } else {
+            self.guest_dimension_walk(gpt, gmem, npt, hmem, asid, va, cycles)?
+        };
+
+        // Second dimension for the final guest-physical address.
+        let gpa_of_access = Gpa::new(gpa_page.as_u64() + (raw & size.offset_mask()));
+        if let Some(trace) = &mut self.miss_trace {
+            trace.record(MissRecord {
+                gva: va,
+                gpa: gpa_of_access,
+                write,
+            });
+        }
+        let (hpa, used_vmm_seg, nested_leaf) =
+            self.nested_translate(npt, hmem, va, gpa_of_access, cycles)?;
+        // Effective protection is the intersection of both dimensions: the
+        // VMM write-protects nested entries for dirty tracking and
+        // copy-on-write sharing, and those traps must fire regardless of
+        // the guest's own permissions.
+        let prot = match nested_leaf {
+            Some((_, nprot)) => prot & nprot,
+            None => prot,
+        };
+
+        // Table I category bookkeeping (the "Both" category was already
+        // served by the 0D bypass before the L2 lookup).
+        match (used_guest_seg, used_vmm_seg) {
+            (true, _) => self.counters.cat_guest_only += 1,
+            (false, true) => self.counters.cat_vmm_only += 1,
+            (false, false) => self.counters.cat_neither += 1,
+        }
+
+        // The TLB entry covers the largest region over which both
+        // dimensions are contiguous: min(guest leaf, nested leaf), with the
+        // VMM segment providing unbounded second-dimension contiguity.
+        let eff = if used_guest_seg {
+            PageSize::Size4K
+        } else {
+            match nested_leaf {
+                Some((n, _)) => size.min(n),
+                None => size, // VMM segment: guest leaf size governs
+            }
+        };
+        let page_base = hpa.as_u64() - (raw & eff.offset_mask());
+        Ok((Hpa::new(page_base), eff, prot))
+    }
+
+    /// Walks the guest page table, translating each table pointer through
+    /// the nested dimension.
+    fn guest_dimension_walk(
+        &mut self,
+        gpt: &PageTable<Gva, Gpa>,
+        gmem: &PhysMem<Gpa>,
+        npt: &PageTable<Gpa, Hpa>,
+        hmem: &PhysMem<Hpa>,
+        asid: u16,
+        va: Gva,
+        cycles: &mut u64,
+    ) -> Result<(Gpa, PageSize, Prot), TranslationFault> {
+        let raw = va.as_u64();
+        let (mut level, mut table_gpa) =
+            self.pwc_probe(false, asid, raw, gpt.root().as_u64(), cycles);
+        loop {
+            let entry_gpa = entry_addr(Gpa::new(table_gpa), raw, level);
+            // The guest entry lives in guest-physical memory, which the
+            // hardware reaches through the second dimension.
+            let (entry_hpa, _, _) = self.nested_translate(npt, hmem, va, entry_gpa, cycles)?;
+            *cycles += self.pte_cache.access(entry_hpa.as_u64(), &self.costs);
+            self.counters.guest_walk_refs += 1;
+            let pte = Pte::from_bits(gmem.read_u64(entry_gpa));
+            if !pte.is_present() {
+                self.counters.guest_faults += 1;
+                return Err(TranslationFault::GuestNotMapped { gva: va });
+            }
+            if level == 1 || pte.is_huge() {
+                return Ok((pte.addr(), leaf_size(level), pte.prot()));
+            }
+            table_gpa = pte.addr::<Gpa>().as_u64();
+            self.pwc_insert(false, asid, raw, level - 1, table_gpa);
+            level -= 1;
+        }
+    }
+
+    /// Second-dimension translation of one guest-physical address:
+    /// VMM-segment check, then nested TLB, then a nested walk. Returns the
+    /// hPA for exactly `gpa`, whether the VMM segment served it, and the
+    /// nested leaf's `(size, prot)` (`None` when the segment served it —
+    /// segment contiguity is unbounded and always read-write).
+    fn nested_translate(
+        &mut self,
+        npt: &PageTable<Gpa, Hpa>,
+        hmem: &PhysMem<Hpa>,
+        gva: Gva,
+        gpa: Gpa,
+        cycles: &mut u64,
+    ) -> Result<(Hpa, bool, Option<(PageSize, Prot)>), TranslationFault> {
+        if matches!(
+            self.mode,
+            TranslationMode::VmmDirect | TranslationMode::DualDirect
+        ) && !self.vmm_seg.is_nullified()
+        {
+            self.counters.bound_checks += 1;
+            *cycles += self.costs.bound_check;
+            if let Some(hpa) = self.vmm_seg.translate(gpa) {
+                if !self.vmm_escaped(gpa.as_u64()) {
+                    return Ok((hpa, true, None));
+                }
+            }
+        }
+
+        // Nested TLB: shares the L2 structure (Table VI).
+        let gfn = gpa.as_u64() >> 12;
+        if self.walk_caching {
+            if let Some(e) = self.l2.lookup(L2Key::Nested { gfn }) {
+                *cycles += self.costs.nested_tlb_hit;
+                return Ok((
+                    Hpa::new(e.translate(gpa.as_u64())),
+                    false,
+                    Some((PageSize::Size4K, e.prot)),
+                ));
+            }
+        }
+
+        // Nested page walk with its own walk cache.
+        let raw = gpa.as_u64();
+        let (mut level, mut table) =
+            self.pwc_probe(true, 0, raw, npt.root().as_u64(), cycles);
+        loop {
+            let eaddr = entry_addr(Hpa::new(table), raw, level);
+            *cycles += self.pte_cache.access(eaddr.as_u64(), &self.costs);
+            self.counters.nested_walk_refs += 1;
+            let pte = Pte::from_bits(hmem.read_u64(eaddr));
+            if !pte.is_present() {
+                self.counters.nested_faults += 1;
+                return Err(TranslationFault::NestedNotMapped { gva, gpa });
+            }
+            if level == 1 || pte.is_huge() {
+                let size = leaf_size(level);
+                let hpa_4k_page =
+                    pte.addr::<Hpa>().as_u64() + ((raw & size.offset_mask()) & !0xfff);
+                // The nested TLB caches at 4 KiB granularity.
+                if self.walk_caching {
+                    self.l2.insert(
+                        L2Key::Nested { gfn },
+                        TlbEntry {
+                            page_base: hpa_4k_page,
+                            size: PageSize::Size4K,
+                            prot: pte.prot(),
+                        },
+                    );
+                }
+                return Ok((
+                    Hpa::new(hpa_4k_page + (raw & 0xfff)),
+                    false,
+                    Some((size, pte.prot())),
+                ));
+            }
+            table = pte.addr::<Hpa>().as_u64();
+            self.pwc_insert(true, 0, raw, level - 1, table);
+            level -= 1;
+        }
+    }
+
+    /// Finds the deepest page-walk-cache hit for `raw`, returning the level
+    /// to start reading at and that level's table base. `nested` selects
+    /// the nested-dimension cache.
+    fn pwc_probe(
+        &mut self,
+        nested: bool,
+        asid: u16,
+        raw: u64,
+        root: u64,
+        cycles: &mut u64,
+    ) -> (u8, u64) {
+        if !self.walk_caching {
+            return (4, root);
+        }
+        let pwc = if nested {
+            &mut self.nested_pwc
+        } else {
+            &mut self.guest_pwc
+        };
+        for points_to in 1..=3u8 {
+            let key = PwcKey {
+                asid,
+                points_to_level: points_to,
+                va_prefix: raw >> (12 + 9 * points_to as u32),
+            };
+            if let Some(table) = pwc.lookup(key) {
+                *cycles += self.costs.pwc_hit;
+                return (points_to, table);
+            }
+        }
+        (4, root)
+    }
+
+    fn pwc_insert(&mut self, nested: bool, asid: u16, raw: u64, points_to: u8, table: u64) {
+        if !self.walk_caching {
+            return;
+        }
+        let pwc = if nested {
+            &mut self.nested_pwc
+        } else {
+            &mut self.guest_pwc
+        };
+        pwc.insert(
+            PwcKey {
+                asid,
+                points_to_level: points_to,
+                va_prefix: raw >> (12 + 9 * points_to as u32),
+            },
+            table,
+        );
+    }
+}
+
+fn leaf_size(level: u8) -> PageSize {
+    match level {
+        1 => PageSize::Size4K,
+        2 => PageSize::Size2M,
+        3 => PageSize::Size1G,
+        _ => unreachable!("no leaves above level 3"),
+    }
+}

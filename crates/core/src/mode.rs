@@ -1,0 +1,315 @@
+//! Translation modes and their trade-offs (Figure 3 / Table II).
+
+use core::fmt;
+
+/// How freely a virtualization feature can be used under a mode (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Support {
+    /// The feature works for all memory.
+    Unrestricted,
+    /// The feature works only for memory outside the direct segment(s).
+    Limited,
+}
+
+impl fmt::Display for Support {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Support::Unrestricted => "unrestricted",
+            Support::Limited => "limited",
+        })
+    }
+}
+
+/// The six translation modes of Figure 3: two native (1D) and four
+/// virtualized (2D) configurations, four of which use the proposed
+/// direct-segment hardware (shaded in the figure).
+///
+/// # Example
+///
+/// ```
+/// use mv_core::TranslationMode;
+///
+/// let m = TranslationMode::DualDirect;
+/// assert_eq!(m.walk_dimensions(), 0);
+/// assert_eq!(m.common_walk_refs(), 0);
+/// assert!(m.requires_guest_os_changes() && m.requires_vmm_changes());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TranslationMode {
+    /// Native execution with conventional 4-level paging (1D walk).
+    BaseNative,
+    /// Native execution with a direct segment (the original Basu et al.
+    /// proposal, re-implemented on the less intrusive L2-parallel hardware
+    /// of Section III.D).
+    NativeDirect,
+    /// Virtualized execution with hardware nested paging (2D walk, the
+    /// x86-64 status quo).
+    BaseVirtualized,
+    /// Both levels mapped by direct segments: gVA→gPA *and* gPA→hPA by
+    /// addition — a 0D walk for addresses inside both segments
+    /// (Section III.A).
+    DualDirect,
+    /// Second level (gPA→hPA) mapped by the VMM segment; guest uses
+    /// ordinary paging. TLB misses walk only the guest page table: a 1D
+    /// walk with 4 references plus 5 base-bound checks (Section III.B).
+    VmmDirect,
+    /// First level (gVA→gPA) mapped by the guest segment; the VMM keeps
+    /// nested paging (preserving sharing/migration). A 1D walk with 4
+    /// references plus 1 check (Section III.C).
+    GuestDirect,
+}
+
+impl TranslationMode {
+    /// All modes, in Figure 3's left-to-right order.
+    pub const ALL: [TranslationMode; 6] = [
+        TranslationMode::BaseNative,
+        TranslationMode::NativeDirect,
+        TranslationMode::BaseVirtualized,
+        TranslationMode::DualDirect,
+        TranslationMode::VmmDirect,
+        TranslationMode::GuestDirect,
+    ];
+
+    /// The four virtualized modes (Table II columns).
+    pub const VIRTUALIZED: [TranslationMode; 4] = [
+        TranslationMode::BaseVirtualized,
+        TranslationMode::DualDirect,
+        TranslationMode::VmmDirect,
+        TranslationMode::GuestDirect,
+    ];
+
+    /// Whether the mode runs under a VMM.
+    pub fn is_virtualized(self) -> bool {
+        !matches!(
+            self,
+            TranslationMode::BaseNative | TranslationMode::NativeDirect
+        )
+    }
+
+    /// Page-walk dimensionality for addresses on the mode's fast path
+    /// (Table II row 1).
+    pub fn walk_dimensions(self) -> u8 {
+        match self {
+            TranslationMode::BaseNative | TranslationMode::NativeDirect => 1,
+            TranslationMode::BaseVirtualized => 2,
+            TranslationMode::DualDirect => 0,
+            TranslationMode::VmmDirect | TranslationMode::GuestDirect => 1,
+        }
+    }
+
+    /// Memory accesses for most page walks (Table II row 2). `NativeDirect`
+    /// is 0 inside the segment (pure calculation).
+    pub fn common_walk_refs(self) -> u32 {
+        match self {
+            TranslationMode::BaseNative => 4,
+            TranslationMode::NativeDirect => 0,
+            TranslationMode::BaseVirtualized => 24,
+            TranslationMode::DualDirect => 0,
+            TranslationMode::VmmDirect | TranslationMode::GuestDirect => 4,
+        }
+    }
+
+    /// Base-bound checks per walk (Table II row 3). VMM Direct checks each
+    /// of the four guest page-table pointers plus the final gPA.
+    pub fn bound_checks(self) -> u32 {
+        match self {
+            TranslationMode::BaseNative => 0,
+            TranslationMode::NativeDirect => 1,
+            TranslationMode::BaseVirtualized => 0,
+            TranslationMode::DualDirect => 1,
+            TranslationMode::VmmDirect => 5,
+            TranslationMode::GuestDirect => 1,
+        }
+    }
+
+    /// Whether the guest OS must be modified (Table II row 4).
+    pub fn requires_guest_os_changes(self) -> bool {
+        matches!(
+            self,
+            TranslationMode::NativeDirect | TranslationMode::DualDirect | TranslationMode::GuestDirect
+        )
+    }
+
+    /// Whether the VMM must be modified (Table II row 5).
+    pub fn requires_vmm_changes(self) -> bool {
+        matches!(self, TranslationMode::DualDirect | TranslationMode::VmmDirect)
+    }
+
+    /// Whether the mode suits arbitrary applications or only big-memory
+    /// ones with a primary region (Table II row 6).
+    pub fn suits_any_application(self) -> bool {
+        matches!(
+            self,
+            TranslationMode::BaseNative | TranslationMode::BaseVirtualized | TranslationMode::VmmDirect
+        )
+    }
+
+    /// Content-based page sharing support (Table II row 7); `None` for
+    /// native modes where the feature does not apply.
+    pub fn page_sharing(self) -> Option<Support> {
+        self.feature(Support::Unrestricted, Support::Limited, Support::Limited, Support::Unrestricted)
+    }
+
+    /// Ballooning support (Table II row 8).
+    pub fn ballooning(self) -> Option<Support> {
+        self.feature(Support::Unrestricted, Support::Limited, Support::Limited, Support::Unrestricted)
+    }
+
+    /// Guest swapping support (Table II row 9).
+    pub fn guest_swapping(self) -> Option<Support> {
+        self.feature(Support::Unrestricted, Support::Limited, Support::Unrestricted, Support::Limited)
+    }
+
+    /// VMM swapping support (Table II row 10).
+    pub fn vmm_swapping(self) -> Option<Support> {
+        self.feature(Support::Unrestricted, Support::Limited, Support::Limited, Support::Unrestricted)
+    }
+
+    fn feature(
+        self,
+        base: Support,
+        dual: Support,
+        vmm: Support,
+        guest: Support,
+    ) -> Option<Support> {
+        match self {
+            TranslationMode::BaseVirtualized => Some(base),
+            TranslationMode::DualDirect => Some(dual),
+            TranslationMode::VmmDirect => Some(vmm),
+            TranslationMode::GuestDirect => Some(guest),
+            _ => None,
+        }
+    }
+
+    /// Configuration label used in the paper's figures (e.g. `"DD"`,
+    /// `"4K+VD"` uses this as suffix).
+    pub fn label(self) -> &'static str {
+        match self {
+            TranslationMode::BaseNative => "base",
+            TranslationMode::NativeDirect => "DS",
+            TranslationMode::BaseVirtualized => "virt",
+            TranslationMode::DualDirect => "DD",
+            TranslationMode::VmmDirect => "VD",
+            TranslationMode::GuestDirect => "GD",
+        }
+    }
+}
+
+impl fmt::Display for TranslationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TranslationMode::BaseNative => "Base Native",
+            TranslationMode::NativeDirect => "Direct Segment",
+            TranslationMode::BaseVirtualized => "Base Virtualized",
+            TranslationMode::DualDirect => "Dual Direct",
+            TranslationMode::VmmDirect => "VMM Direct",
+            TranslationMode::GuestDirect => "Guest Direct",
+        })
+    }
+}
+
+/// Which segments a guest address fell into — the four columns of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentCategory {
+    /// In both the guest and VMM segments: 0D translation by two additions.
+    Both,
+    /// Only the final gPA range is covered by the VMM segment: guest walk
+    /// with nested references replaced by additions.
+    VmmOnly,
+    /// Only in the guest segment: gPA by addition, then a nested walk.
+    GuestOnly,
+    /// In neither segment: full 2D nested walk.
+    Neither,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_row_1_dimensions() {
+        use TranslationMode::*;
+        assert_eq!(BaseVirtualized.walk_dimensions(), 2);
+        assert_eq!(DualDirect.walk_dimensions(), 0);
+        assert_eq!(VmmDirect.walk_dimensions(), 1);
+        assert_eq!(GuestDirect.walk_dimensions(), 1);
+    }
+
+    #[test]
+    fn table_ii_row_2_memory_accesses() {
+        use TranslationMode::*;
+        assert_eq!(BaseVirtualized.common_walk_refs(), 24);
+        assert_eq!(DualDirect.common_walk_refs(), 0);
+        assert_eq!(VmmDirect.common_walk_refs(), 4);
+        assert_eq!(GuestDirect.common_walk_refs(), 4);
+    }
+
+    #[test]
+    fn table_ii_row_3_bound_checks() {
+        use TranslationMode::*;
+        assert_eq!(BaseVirtualized.bound_checks(), 0);
+        assert_eq!(DualDirect.bound_checks(), 1);
+        assert_eq!(VmmDirect.bound_checks(), 5);
+        assert_eq!(GuestDirect.bound_checks(), 1);
+    }
+
+    #[test]
+    fn table_ii_rows_4_5_required_changes() {
+        use TranslationMode::*;
+        assert!(!BaseVirtualized.requires_guest_os_changes());
+        assert!(!BaseVirtualized.requires_vmm_changes());
+        assert!(DualDirect.requires_guest_os_changes());
+        assert!(DualDirect.requires_vmm_changes());
+        assert!(!VmmDirect.requires_guest_os_changes());
+        assert!(VmmDirect.requires_vmm_changes());
+        assert!(GuestDirect.requires_guest_os_changes());
+        assert!(!GuestDirect.requires_vmm_changes());
+    }
+
+    #[test]
+    fn table_ii_row_6_application_category() {
+        use TranslationMode::*;
+        assert!(BaseVirtualized.suits_any_application());
+        assert!(VmmDirect.suits_any_application());
+        assert!(!DualDirect.suits_any_application());
+        assert!(!GuestDirect.suits_any_application());
+    }
+
+    #[test]
+    fn table_ii_rows_7_to_10_feature_matrix() {
+        use Support::*;
+        use TranslationMode::*;
+        // Page sharing
+        assert_eq!(BaseVirtualized.page_sharing(), Some(Unrestricted));
+        assert_eq!(DualDirect.page_sharing(), Some(Limited));
+        assert_eq!(VmmDirect.page_sharing(), Some(Limited));
+        assert_eq!(GuestDirect.page_sharing(), Some(Unrestricted));
+        // Ballooning
+        assert_eq!(VmmDirect.ballooning(), Some(Limited));
+        assert_eq!(GuestDirect.ballooning(), Some(Unrestricted));
+        // Guest swapping
+        assert_eq!(VmmDirect.guest_swapping(), Some(Unrestricted));
+        assert_eq!(GuestDirect.guest_swapping(), Some(Limited));
+        // VMM swapping
+        assert_eq!(VmmDirect.vmm_swapping(), Some(Limited));
+        assert_eq!(GuestDirect.vmm_swapping(), Some(Unrestricted));
+        // Features do not apply natively.
+        assert_eq!(BaseNative.page_sharing(), None);
+    }
+
+    #[test]
+    fn native_modes_are_not_virtualized() {
+        assert!(!TranslationMode::BaseNative.is_virtualized());
+        assert!(!TranslationMode::NativeDirect.is_virtualized());
+        for m in TranslationMode::VIRTUALIZED {
+            assert!(m.is_virtualized());
+        }
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(TranslationMode::DualDirect.label(), "DD");
+        assert_eq!(TranslationMode::DualDirect.to_string(), "Dual Direct");
+        assert_eq!(TranslationMode::VmmDirect.label(), "VD");
+    }
+}

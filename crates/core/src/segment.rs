@@ -1,0 +1,209 @@
+//! Direct-segment registers.
+//!
+//! A direct segment maps a contiguous range of a source address space to a
+//! contiguous range of a destination space with three registers — BASE,
+//! LIMIT, OFFSET — replacing page walks with one base-bound check and an
+//! addition (Section II.B). The proposed hardware has *two* independent
+//! instances:
+//!
+//! * the **guest segment** (BASE_G/LIMIT_G/OFFSET_G), translating gVA→gPA,
+//!   owned by the guest OS and swapped on guest context switches;
+//! * the **VMM segment** (BASE_V/LIMIT_V/OFFSET_V), translating gPA→hPA,
+//!   owned by the VMM and swapped on VM exit/entry.
+//!
+//! Setting BASE = LIMIT nullifies a segment (it contains no addresses),
+//! which is how the hardware switches between the Dual/VMM/Guest Direct
+//! modes (Sections III.B–III.C).
+
+use core::fmt;
+
+use mv_types::{AddrRange, Address};
+
+/// One direct-segment register set (BASE, LIMIT, OFFSET) translating
+/// addresses from space `S` to space `D`.
+///
+/// OFFSET is stored as a wrapping difference so destination bases below
+/// source bases work naturally (two's-complement addition, as hardware
+/// would).
+///
+/// # Example
+///
+/// ```
+/// use mv_core::Segment;
+/// use mv_types::{AddrRange, Gpa, Gva};
+///
+/// let seg: Segment<Gva, Gpa> = Segment::map(
+///     AddrRange::new(Gva::new(0x1000_0000), Gva::new(0x5000_0000)),
+///     Gpa::new(0x2_0000_0000),
+/// );
+/// assert_eq!(seg.translate(Gva::new(0x1000_0042)), Some(Gpa::new(0x2_0000_0042)));
+/// assert_eq!(seg.translate(Gva::new(0xffff)), None);
+/// ```
+pub struct Segment<S, D> {
+    base: u64,
+    limit: u64,
+    offset: u64, // wrapping: dest = src + offset
+    _spaces: core::marker::PhantomData<fn(S) -> D>,
+}
+
+impl<S: Address, D: Address> Segment<S, D> {
+    /// A nullified segment (BASE = LIMIT = 0): contains nothing.
+    pub fn nullified() -> Self {
+        Segment {
+            base: 0,
+            limit: 0,
+            offset: 0,
+            _spaces: core::marker::PhantomData,
+        }
+    }
+
+    /// Programs the segment to map the source range `src` onto the
+    /// destination range starting at `dst_base`.
+    pub fn map(src: AddrRange<S>, dst_base: D) -> Self {
+        Segment {
+            base: src.start().as_u64(),
+            limit: src.end().as_u64(),
+            offset: dst_base.as_u64().wrapping_sub(src.start().as_u64()),
+            _spaces: core::marker::PhantomData,
+        }
+    }
+
+    /// Whether the segment is nullified (BASE = LIMIT).
+    #[inline]
+    pub fn is_nullified(&self) -> bool {
+        self.base == self.limit
+    }
+
+    /// The BASE register (start of the mapped source range).
+    #[inline]
+    pub fn base(&self) -> S {
+        S::from_u64(self.base)
+    }
+
+    /// The LIMIT register (end, exclusive, of the mapped source range).
+    #[inline]
+    pub fn limit(&self) -> S {
+        S::from_u64(self.limit)
+    }
+
+    /// The mapped source range.
+    pub fn range(&self) -> AddrRange<S> {
+        AddrRange::new(S::from_u64(self.base), S::from_u64(self.limit))
+    }
+
+    /// The base-bound check: BASE ≤ addr < LIMIT.
+    #[inline]
+    pub fn contains(&self, addr: S) -> bool {
+        let a = addr.as_u64();
+        self.base <= a && a < self.limit
+    }
+
+    /// Translates `addr` if the base-bound check passes: `addr + OFFSET`.
+    #[inline]
+    pub fn translate(&self, addr: S) -> Option<D> {
+        self.contains(addr)
+            .then(|| D::from_u64(addr.as_u64().wrapping_add(self.offset)))
+    }
+
+    /// Translates without the bound check (caller already checked).
+    #[inline]
+    pub fn translate_unchecked(&self, addr: S) -> D {
+        debug_assert!(self.contains(addr));
+        D::from_u64(addr.as_u64().wrapping_add(self.offset))
+    }
+}
+
+impl<S, D> Copy for Segment<S, D> {}
+impl<S, D> Clone for Segment<S, D> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S, D> PartialEq for Segment<S, D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.base == other.base && self.limit == other.limit && self.offset == other.offset
+    }
+}
+impl<S, D> Eq for Segment<S, D> {}
+
+impl<S: Address, D: Address> Default for Segment<S, D> {
+    fn default() -> Self {
+        Self::nullified()
+    }
+}
+
+impl<S: Address, D: Address> fmt::Debug for Segment<S, D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_nullified() {
+            write!(f, "Segment<{}→{}>(nullified)", S::SPACE, D::SPACE)
+        } else {
+            write!(
+                f,
+                "Segment<{}→{}>[{:#x}..{:#x}) + {:#x}",
+                S::SPACE,
+                D::SPACE,
+                self.base,
+                self.limit,
+                self.offset
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_types::{Gpa, Gva, Hpa};
+
+    fn seg(base: u64, limit: u64, dst: u64) -> Segment<Gva, Gpa> {
+        Segment::map(AddrRange::new(Gva::new(base), Gva::new(limit)), Gpa::new(dst))
+    }
+
+    #[test]
+    fn translation_is_addition_within_bounds() {
+        let s = seg(0x1000, 0x9000, 0x10_0000);
+        assert_eq!(s.translate(Gva::new(0x1000)), Some(Gpa::new(0x10_0000)));
+        assert_eq!(s.translate(Gva::new(0x8fff)), Some(Gpa::new(0x10_7fff)));
+        assert_eq!(s.translate(Gva::new(0x9000)), None, "limit is exclusive");
+        assert_eq!(s.translate(Gva::new(0xfff)), None, "below base");
+    }
+
+    #[test]
+    fn downward_offset_works() {
+        // Destination below source: offset wraps.
+        let s = seg(0x8000_0000, 0x9000_0000, 0x1000);
+        assert_eq!(s.translate(Gva::new(0x8000_0042)), Some(Gpa::new(0x1042)));
+    }
+
+    #[test]
+    fn nullified_contains_nothing() {
+        let s: Segment<Gpa, Hpa> = Segment::nullified();
+        assert!(s.is_nullified());
+        assert!(!s.contains(Gpa::new(0)));
+        assert_eq!(s.translate(Gpa::new(0x1234)), None);
+        assert_eq!(s, Segment::default());
+    }
+
+    #[test]
+    fn base_equal_limit_nullifies_any_segment() {
+        let s = seg(0x5000, 0x5000, 0x9000);
+        assert!(s.is_nullified());
+        assert!(!s.contains(Gva::new(0x5000)));
+    }
+
+    #[test]
+    fn accessors_expose_registers() {
+        let s = seg(0x1000, 0x2000, 0xa000);
+        assert_eq!(s.base(), Gva::new(0x1000));
+        assert_eq!(s.limit(), Gva::new(0x2000));
+        assert_eq!(s.range().len(), 0x1000);
+    }
+
+    #[test]
+    fn debug_shows_nullified_state() {
+        let s: Segment<Gva, Gpa> = Segment::nullified();
+        assert!(format!("{s:?}").contains("nullified"));
+        let s = seg(0x1000, 0x2000, 0x3000);
+        assert!(format!("{s:?}").contains("gVA→gPA"));
+    }
+}

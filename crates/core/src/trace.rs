@@ -1,0 +1,172 @@
+//! DTLB-miss tracing — the simulator's BadgerTrap.
+//!
+//! The paper's methodology (Section VII) instruments every DTLB miss with
+//! BadgerTrap, extracts each miss's gVA and gPA, classifies the miss
+//! against the would-be segment ranges, and feeds the resulting fractions
+//! into the Table IV linear models. [`MissTrace`] replicates that
+//! instrument: when attached to an [`crate::Mmu`], every page walk logs a
+//! [`MissRecord`], which offline analysis can classify exactly as the
+//! paper does — *without* running the proposed modes at all.
+
+use mv_types::{Gpa, Gva};
+
+/// One traced DTLB miss (page-walk invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissRecord {
+    /// Faulting guest virtual address.
+    pub gva: Gva,
+    /// Guest physical address it resolved to (the final gPA of the first
+    /// translation dimension).
+    pub gpa: Gpa,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+/// A bounded in-memory DTLB-miss trace.
+///
+/// # Example
+///
+/// ```
+/// use mv_core::{MissRecord, MissTrace};
+/// use mv_types::{Gpa, Gva};
+///
+/// let mut t = MissTrace::new(2);
+/// t.record(MissRecord { gva: Gva::new(0x1000), gpa: Gpa::new(0x2000), write: false });
+/// t.record(MissRecord { gva: Gva::new(0x3000), gpa: Gpa::new(0x4000), write: true });
+/// t.record(MissRecord { gva: Gva::new(0x5000), gpa: Gpa::new(0x6000), write: false });
+/// assert_eq!(t.records().len(), 2, "bounded at capacity");
+/// assert_eq!(t.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MissTrace {
+    records: Vec<MissRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl MissTrace {
+    /// Creates a trace that keeps at most `capacity` records (the rest are
+    /// counted but dropped, like a sampling run out of buffer).
+    pub fn new(capacity: usize) -> Self {
+        MissTrace {
+            records: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record (or counts it as dropped when full).
+    pub fn record(&mut self, r: MissRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(r);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The captured records.
+    pub fn records(&self) -> &[MissRecord] {
+        &self.records
+    }
+
+    /// Records that arrived after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total misses observed (captured + dropped).
+    pub fn total(&self) -> u64 {
+        self.records.len() as u64 + self.dropped
+    }
+
+    /// Classifies every captured miss against hypothetical guest and VMM
+    /// segments, returning the Table IV fractions
+    /// `(F_DD, F_VD, F_GD)` — exactly the paper's Section VII
+    /// classification, computed offline from a Base Virtualized trace.
+    pub fn classify(
+        &self,
+        guest_seg: &crate::Segment<Gva, Gpa>,
+        vmm_seg: &crate::Segment<Gpa, mv_types::Hpa>,
+    ) -> (f64, f64, f64) {
+        if self.records.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let mut dd = 0u64;
+        let mut vd = 0u64;
+        let mut gd = 0u64;
+        for r in &self.records {
+            let in_g = guest_seg.contains(r.gva);
+            // For addresses the guest segment would cover, the gPA it
+            // would produce (not the traced one) decides the VMM side.
+            let gpa = if in_g {
+                guest_seg.translate_unchecked(r.gva)
+            } else {
+                r.gpa
+            };
+            let in_v = vmm_seg.contains(gpa);
+            match (in_g, in_v) {
+                (true, true) => dd += 1,
+                (false, true) => vd += 1,
+                (true, false) => gd += 1,
+                (false, false) => {}
+            }
+        }
+        let n = self.records.len() as f64;
+        (dd as f64 / n, vd as f64 / n, gd as f64 / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Segment;
+    use mv_types::{AddrRange, Hpa, MIB};
+
+    fn rec(gva: u64, gpa: u64) -> MissRecord {
+        MissRecord {
+            gva: Gva::new(gva),
+            gpa: Gpa::new(gpa),
+            write: false,
+        }
+    }
+
+    #[test]
+    fn classification_partitions_the_trace() {
+        let gseg: Segment<Gva, Gpa> = Segment::map(
+            AddrRange::from_start_len(Gva::new(1 << 30), 16 * MIB),
+            Gpa::new(16 * MIB),
+        );
+        let vseg: Segment<Gpa, Hpa> = Segment::map(
+            AddrRange::from_start_len(Gpa::new(0), 24 * MIB),
+            Hpa::new(0),
+        );
+        let mut t = MissTrace::new(16);
+        t.record(rec(1 << 30, 999)); // in gseg → gpa 16M → in vseg: DD
+        t.record(rec((1 << 30) + 9 * MIB, 999)); // gseg → gpa 25M: GD only
+        t.record(rec(0x1000, 4 * MIB)); // not gseg, gpa in vseg: VD only
+        t.record(rec(0x2000, 30 * MIB)); // neither
+        let (dd, vd, gd) = t.classify(&gseg, &vseg);
+        assert_eq!(dd, 0.25);
+        assert_eq!(vd, 0.25);
+        assert_eq!(gd, 0.25);
+    }
+
+    #[test]
+    fn empty_trace_classifies_to_zero() {
+        let t = MissTrace::new(4);
+        let gseg: Segment<Gva, Gpa> = Segment::nullified();
+        let vseg: Segment<Gpa, Hpa> = Segment::nullified();
+        assert_eq!(t.classify(&gseg, &vseg), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn capacity_bounds_memory() {
+        let mut t = MissTrace::new(3);
+        for i in 0..10 {
+            t.record(rec(i * 0x1000, i * 0x1000));
+        }
+        assert_eq!(t.records().len(), 3);
+        assert_eq!(t.dropped(), 7);
+        assert_eq!(t.total(), 10);
+    }
+}

@@ -1,0 +1,457 @@
+//! Behavioral tests for the MMU: Table I translation steps, Figure 2 walk
+//! dimensionality, escape-filter semantics, and fault surfacing.
+
+use mv_core::{
+    EscapeFilter, HitPath, MemoryContext, Mmu, MmuConfig, Segment, TranslationFault,
+    TranslationMode,
+};
+use mv_phys::PhysMem;
+use mv_pt::PageTable;
+use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize, Prot, MIB};
+
+/// A two-level translation rig: guest memory + gPT, host memory + nPT.
+struct Rig {
+    gmem: PhysMem<Gpa>,
+    hmem: PhysMem<Hpa>,
+    gpt: PageTable<Gva, Gpa>,
+    npt: PageTable<Gpa, Hpa>,
+    /// hPA = gPA + this offset for nested-identity setups.
+    nested_offset: u64,
+}
+
+impl Rig {
+    /// Builds a rig where all of guest-physical memory is nested-mapped
+    /// with `nested_size` pages at a fixed offset in host memory.
+    fn new(gsize: u64, nested_size: PageSize) -> Rig {
+        let mut gmem: PhysMem<Gpa> = PhysMem::new(gsize);
+        let mut hmem: PhysMem<Hpa> = PhysMem::new(4 * gsize);
+        let npt: PageTable<Gpa, Hpa> = PageTable::new(&mut hmem).unwrap();
+        let mut rig = Rig {
+            gpt: PageTable::new(&mut gmem).unwrap(),
+            gmem,
+            hmem,
+            npt,
+            nested_offset: 0,
+        };
+        // Back all of guest-physical memory with one contiguous host block
+        // so the identity relation hPA = gPA + off holds exactly.
+        let backing = rig
+            .hmem
+            .reserve_contiguous(gsize, PageSize::Size1G)
+            .or_else(|_| rig.hmem.reserve_contiguous(gsize, PageSize::Size2M))
+            .unwrap();
+        rig.nested_offset = backing.start().as_u64();
+        for gpa in AddrRange::new(Gpa::ZERO, Gpa::new(gsize)).pages(nested_size) {
+            rig.npt
+                .map(
+                    &mut rig.hmem,
+                    gpa,
+                    Hpa::new(gpa.as_u64() + rig.nested_offset),
+                    nested_size,
+                    Prot::RW,
+                )
+                .unwrap();
+        }
+        rig
+    }
+
+    /// Maps one guest page at `va`, returning its gPA frame.
+    fn map_guest(&mut self, va: u64, size: PageSize, prot: Prot) -> Gpa {
+        let frame = self.gmem.alloc(size).unwrap();
+        self.gpt
+            .map(&mut self.gmem, Gva::new(va), frame, size, prot)
+            .unwrap();
+        frame
+    }
+
+    fn ctx(&self) -> MemoryContext<'_> {
+        MemoryContext::Virtualized {
+            gpt: &self.gpt,
+            gmem: &self.gmem,
+            npt: &self.npt,
+            hmem: &self.hmem,
+        }
+    }
+
+    /// Reference translation: software-walk both dimensions.
+    fn reference(&self, va: u64) -> Option<Hpa> {
+        let g = self.gpt.translate(&self.gmem, Gva::new(va))?;
+        let n = self.npt.translate(&self.hmem, g.pa)?;
+        Some(n.pa)
+    }
+}
+
+fn mmu(mode: TranslationMode, caching: bool) -> Mmu {
+    Mmu::new(MmuConfig {
+        mode,
+        walk_caching: caching,
+        ..MmuConfig::default()
+    })
+}
+
+#[test]
+fn base_virtualized_cold_walk_performs_24_references() {
+    let mut rig = Rig::new(64 * MIB, PageSize::Size4K);
+    rig.map_guest(0x40_0000, PageSize::Size4K, Prot::RW);
+    let mut m = mmu(TranslationMode::BaseVirtualized, false);
+    let out = m.access(&rig.ctx(), 0, Gva::new(0x40_0123), false).unwrap();
+    assert_eq!(out.path, HitPath::PageWalk);
+    let c = m.counters();
+    assert_eq!(c.guest_walk_refs, 4, "4 guest page-table reads");
+    assert_eq!(
+        c.nested_walk_refs, 20,
+        "5 nested walks of 4 reads each (Figure 2's 5*4+4 = 24 total)"
+    );
+    assert_eq!(c.walk_refs(), 24);
+    assert_eq!(c.bound_checks, 0, "base virtualized performs no checks");
+    // Reference agreement.
+    assert_eq!(Some(out.hpa), rig.reference(0x40_0123));
+}
+
+#[test]
+fn walk_caching_reduces_references_below_24() {
+    let mut rig = Rig::new(64 * MIB, PageSize::Size4K);
+    rig.map_guest(0x40_0000, PageSize::Size4K, Prot::RW);
+    rig.map_guest(0x40_1000, PageSize::Size4K, Prot::RW);
+    let mut m = mmu(TranslationMode::BaseVirtualized, true);
+    m.access(&rig.ctx(), 0, Gva::new(0x40_0000), false).unwrap();
+    let refs_first = m.counters().walk_refs();
+    assert!(refs_first <= 24);
+    // Neighboring page: PWCs and the nested TLB shortcut most of the walk.
+    m.access(&rig.ctx(), 0, Gva::new(0x40_1000), false).unwrap();
+    let refs_second = m.counters().walk_refs() - refs_first;
+    assert!(
+        refs_second <= 2,
+        "warm walk should need at most the leaf references, got {refs_second}"
+    );
+}
+
+#[test]
+fn second_access_hits_l1_with_zero_cost() {
+    let mut rig = Rig::new(64 * MIB, PageSize::Size4K);
+    rig.map_guest(0x40_0000, PageSize::Size4K, Prot::RW);
+    let mut m = mmu(TranslationMode::BaseVirtualized, true);
+    let first = m.access(&rig.ctx(), 0, Gva::new(0x40_0040), false).unwrap();
+    let second = m.access(&rig.ctx(), 0, Gva::new(0x40_0080), false).unwrap();
+    assert_eq!(second.path, HitPath::L1Hit);
+    assert_eq!(second.cycles, 0);
+    assert_eq!(second.hpa, Hpa::new(first.hpa.as_u64() + 0x40));
+    assert_eq!(m.counters().l1_misses, 1);
+}
+
+#[test]
+fn vmm_direct_walk_is_4_references_and_5_checks() {
+    let mut rig = Rig::new(64 * MIB, PageSize::Size4K);
+    rig.map_guest(0x40_0000, PageSize::Size4K, Prot::RW);
+    let mut m = mmu(TranslationMode::VmmDirect, false);
+    m.set_vmm_segment(Segment::map(
+        AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB)),
+        Hpa::new(rig.nested_offset),
+    ));
+    let out = m.access(&rig.ctx(), 0, Gva::new(0x40_0123), false).unwrap();
+    let c = m.counters();
+    assert_eq!(c.guest_walk_refs, 4, "guest dimension still walks");
+    assert_eq!(c.nested_walk_refs, 0, "nested dimension replaced by additions");
+    assert_eq!(c.bound_checks, 5, "Δ_VD = 5: four pointers + final gPA");
+    assert_eq!(c.cat_vmm_only, 1);
+    assert_eq!(Some(out.hpa), rig.reference(0x40_0123));
+}
+
+#[test]
+fn guest_direct_walk_is_4_references_and_1_check() {
+    let rig = Rig::new(64 * MIB, PageSize::Size4K);
+    // Guest segment: a primary region over gVA [1G, 1G+16M) → gPA [16M, 32M).
+    let seg_gva = AddrRange::new(Gva::new(1 << 30), Gva::new((1 << 30) + 16 * MIB));
+    let seg_gpa_base = Gpa::new(16 * MIB);
+    let mut m = mmu(TranslationMode::GuestDirect, false);
+    m.set_guest_segment(Segment::map(seg_gva, seg_gpa_base));
+    let out = m
+        .access(&rig.ctx(), 0, Gva::new((1 << 30) + 0x1234), false)
+        .unwrap();
+    let c = m.counters();
+    assert_eq!(c.guest_walk_refs, 0, "first dimension is one addition");
+    assert_eq!(c.nested_walk_refs, 4, "one nested walk for the final gPA");
+    assert_eq!(c.bound_checks, 1, "Δ_GD = 1");
+    assert_eq!(c.cat_guest_only, 1);
+    // hPA = (gVA - base + 16M) + nested_offset.
+    assert_eq!(
+        out.hpa,
+        Hpa::new(16 * MIB + 0x1234 + rig.nested_offset)
+    );
+}
+
+#[test]
+fn dual_direct_is_a_zero_reference_bypass() {
+    let rig = Rig::new(64 * MIB, PageSize::Size4K);
+    let seg_gva = AddrRange::new(Gva::new(1 << 30), Gva::new((1 << 30) + 16 * MIB));
+    let mut m = mmu(TranslationMode::DualDirect, false);
+    m.set_guest_segment(Segment::map(seg_gva, Gpa::new(16 * MIB)));
+    m.set_vmm_segment(Segment::map(
+        AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB)),
+        Hpa::new(rig.nested_offset),
+    ));
+    let out = m
+        .access(&rig.ctx(), 0, Gva::new((1 << 30) + 0x4567), false)
+        .unwrap();
+    assert_eq!(out.path, HitPath::SegmentBypass);
+    let c = m.counters();
+    assert_eq!(c.walk_refs(), 0, "0D: no memory references at all");
+    assert_eq!(c.cat_both, 1);
+    assert_eq!(c.l2_misses, 0, "bypass happens before the L2 lookup");
+    assert_eq!(c.bound_checks, 1, "Table II: one check for Dual Direct");
+    assert_eq!(out.hpa, Hpa::new(16 * MIB + 0x4567 + rig.nested_offset));
+    // And it still L1-hits afterwards.
+    let again = m
+        .access(&rig.ctx(), 0, Gva::new((1 << 30) + 0x4000), false)
+        .unwrap();
+    assert_eq!(again.path, HitPath::L1Hit);
+}
+
+#[test]
+fn dual_direct_outside_segment_falls_back_to_full_walk() {
+    let mut rig = Rig::new(64 * MIB, PageSize::Size4K);
+    rig.map_guest(0x40_0000, PageSize::Size4K, Prot::RW);
+    let mut m = mmu(TranslationMode::DualDirect, false);
+    m.set_guest_segment(Segment::map(
+        AddrRange::new(Gva::new(1 << 30), Gva::new((1 << 30) + MIB)),
+        Gpa::new(16 * MIB),
+    ));
+    m.set_vmm_segment(Segment::map(
+        AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB)),
+        Hpa::new(rig.nested_offset),
+    ));
+    // 0x40_0000 is outside the guest segment → VMM-only category.
+    let out = m.access(&rig.ctx(), 0, Gva::new(0x40_0123), false).unwrap();
+    assert_eq!(out.path, HitPath::PageWalk);
+    let c = m.counters();
+    assert_eq!(c.cat_vmm_only, 1);
+    assert_eq!(c.guest_walk_refs, 4);
+    assert_eq!(c.nested_walk_refs, 0);
+    assert_eq!(Some(out.hpa), rig.reference(0x40_0123));
+}
+
+#[test]
+fn all_modes_agree_with_the_reference_translation() {
+    for mode in [
+        TranslationMode::BaseVirtualized,
+        TranslationMode::VmmDirect,
+        TranslationMode::GuestDirect,
+        TranslationMode::DualDirect,
+    ] {
+        let mut rig = Rig::new(64 * MIB, PageSize::Size4K);
+        // Pages both inside and outside the (eventual) guest segment.
+        rig.map_guest(0x40_0000, PageSize::Size4K, Prot::RW);
+        rig.map_guest(0x7000_0000, PageSize::Size4K, Prot::RW);
+        let mut m = mmu(mode, true);
+        m.set_guest_segment(Segment::map(
+            AddrRange::new(Gva::new(1 << 30), Gva::new((1 << 30) + 8 * MIB)),
+            Gpa::new(32 * MIB),
+        ));
+        m.set_vmm_segment(Segment::map(
+            AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB)),
+            Hpa::new(rig.nested_offset),
+        ));
+        for va in [0x40_0000u64, 0x40_0abc, 0x7000_0777] {
+            let out = m.access(&rig.ctx(), 0, Gva::new(va), false).unwrap();
+            assert_eq!(
+                Some(out.hpa),
+                rig.reference(va),
+                "mode {mode:?} mistranslated {va:#x}"
+            );
+        }
+        // Segment-covered address (not in the gPT at all): modes with a
+        // guest segment translate it; hPA = gPA + nested_offset.
+        if matches!(
+            mode,
+            TranslationMode::GuestDirect | TranslationMode::DualDirect
+        ) {
+            let va = (1u64 << 30) + 0x2345;
+            let out = m.access(&rig.ctx(), 0, Gva::new(va), false).unwrap();
+            assert_eq!(out.hpa, Hpa::new(32 * MIB + 0x2345 + rig.nested_offset));
+        }
+    }
+}
+
+#[test]
+fn escaped_page_falls_back_to_nested_paging() {
+    let mut rig = Rig::new(64 * MIB, PageSize::Size4K);
+    let mut m = mmu(TranslationMode::DualDirect, true);
+    let seg_gva = AddrRange::new(Gva::new(1 << 30), Gva::new((1 << 30) + 16 * MIB));
+    m.set_guest_segment(Segment::map(seg_gva, Gpa::new(16 * MIB)));
+    m.set_vmm_segment(Segment::map(
+        AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB)),
+        Hpa::new(rig.nested_offset),
+    ));
+
+    // The VMM escapes gPA page 16M+8K (say its host frame went bad) and
+    // remaps it in the nested page table to a spare host frame.
+    let bad_gpa = Gpa::new(16 * MIB + 0x2000);
+    let spare = rig.hmem.alloc(PageSize::Size4K).unwrap();
+    rig.npt
+        .remap(&mut rig.hmem, bad_gpa, PageSize::Size4K, spare)
+        .unwrap();
+    let mut filter = EscapeFilter::new(1);
+    filter.insert(bad_gpa.as_u64());
+    m.set_vmm_escape_filter(Some(filter));
+
+    // An access to the escaped page goes through paging to the spare frame.
+    let va = Gva::new((1 << 30) + 0x2abc);
+    let out = m.access(&rig.ctx(), 0, va, false).unwrap();
+    assert_eq!(out.path, HitPath::PageWalk);
+    assert_eq!(out.hpa, spare.add(0xabc));
+    assert!(m.counters().escape_hits >= 1);
+
+    // A non-escaped neighbor still takes the 0D path.
+    let out2 = m
+        .access(&rig.ctx(), 0, Gva::new((1 << 30) + 0x5000), false)
+        .unwrap();
+    assert_eq!(out2.path, HitPath::SegmentBypass);
+}
+
+#[test]
+fn guest_fault_and_nested_fault_are_distinguished() {
+    let mut rig = Rig::new(64 * MIB, PageSize::Size4K);
+    let mut m = mmu(TranslationMode::BaseVirtualized, true);
+    // Unmapped gVA → guest fault.
+    let err = m.access(&rig.ctx(), 0, Gva::new(0x123_4000), false).unwrap_err();
+    assert_eq!(
+        err,
+        TranslationFault::GuestNotMapped {
+            gva: Gva::new(0x123_4000)
+        }
+    );
+    assert_eq!(m.counters().guest_faults, 1);
+
+    // Mapped gVA whose gPA has no nested mapping → nested fault.
+    let gframe = rig.gmem.alloc(PageSize::Size4K).unwrap();
+    rig.gpt
+        .map(&mut rig.gmem, Gva::new(0x55_5000), gframe, PageSize::Size4K, Prot::RW)
+        .unwrap();
+    rig.npt.unmap(&mut rig.hmem, gframe, PageSize::Size4K).ok();
+    // (nested mapping in the rig is 4K so the unmap removed exactly it)
+    let err = m.access(&rig.ctx(), 0, Gva::new(0x55_5123), false).unwrap_err();
+    match err {
+        TranslationFault::NestedNotMapped { gva, gpa } => {
+            assert_eq!(gva, Gva::new(0x55_5123));
+            assert_eq!(gpa.align_down(4096), gframe);
+        }
+        other => panic!("expected nested fault, got {other:?}"),
+    }
+    assert!(m.counters().nested_faults >= 1);
+}
+
+#[test]
+fn write_to_read_only_page_faults_on_walk_and_on_l1_hit() {
+    let mut rig = Rig::new(64 * MIB, PageSize::Size4K);
+    rig.map_guest(0x40_0000, PageSize::Size4K, Prot::READ);
+    let mut m = mmu(TranslationMode::BaseVirtualized, true);
+    // Fault surfaced by the walk.
+    let err = m.access(&rig.ctx(), 0, Gva::new(0x40_0000), true).unwrap_err();
+    assert_eq!(err, TranslationFault::WriteProtected { gva: Gva::new(0x40_0000) });
+    // Reads succeed and fill the TLB...
+    m.access(&rig.ctx(), 0, Gva::new(0x40_0000), false).unwrap();
+    // ...and a write then faults from the L1 hit path too.
+    let err = m.access(&rig.ctx(), 0, Gva::new(0x40_0004), true).unwrap_err();
+    assert_eq!(err, TranslationFault::WriteProtected { gva: Gva::new(0x40_0004) });
+    assert_eq!(m.counters().prot_faults, 2);
+}
+
+#[test]
+fn huge_guest_and_nested_pages_yield_huge_tlb_entries() {
+    let mut rig = Rig::new(64 * MIB, PageSize::Size2M);
+    rig.map_guest(0x20_0000, PageSize::Size2M, Prot::RW);
+    let mut m = mmu(TranslationMode::BaseVirtualized, true);
+    m.access(&rig.ctx(), 0, Gva::new(0x20_0000), false).unwrap();
+    // Any other address in the same 2 MiB page must hit L1 — the entry
+    // granularity is min(guest 2M, nested 2M) = 2M.
+    let out = m.access(&rig.ctx(), 0, Gva::new(0x3f_ffff), false).unwrap();
+    assert_eq!(out.path, HitPath::L1Hit);
+    assert_eq!(m.counters().l1_misses, 1);
+}
+
+#[test]
+fn four_kib_nested_pages_cap_tlb_entry_granularity() {
+    let mut rig = Rig::new(64 * MIB, PageSize::Size4K);
+    rig.map_guest(0x20_0000, PageSize::Size2M, Prot::RW);
+    let mut m = mmu(TranslationMode::BaseVirtualized, true);
+    m.access(&rig.ctx(), 0, Gva::new(0x20_0000), false).unwrap();
+    // A distant address in the same guest 2M page misses L1: the entry was
+    // capped at 4K by the nested dimension.
+    let out = m.access(&rig.ctx(), 0, Gva::new(0x3f_0000), false).unwrap();
+    assert_ne!(out.path, HitPath::L1Hit);
+    assert_eq!(m.counters().l1_misses, 2);
+    assert_eq!(Some(out.hpa), rig.reference(0x3f_0000));
+}
+
+#[test]
+fn native_walk_performs_4_references() {
+    let mut mem: PhysMem<Hpa> = PhysMem::new(64 * MIB);
+    let mut pt: PageTable<Gva, Hpa> = PageTable::new(&mut mem).unwrap();
+    let frame = mem.alloc(PageSize::Size4K).unwrap();
+    pt.map(&mut mem, Gva::new(0x40_0000), frame, PageSize::Size4K, Prot::RW)
+        .unwrap();
+    let mut m = mmu(TranslationMode::BaseNative, false);
+    let ctx = MemoryContext::Native { pt: &pt, mem: &mem };
+    let out = m.access(&ctx, 0, Gva::new(0x40_0123), false).unwrap();
+    assert_eq!(m.counters().guest_walk_refs, 4);
+    assert_eq!(m.counters().nested_walk_refs, 0);
+    assert_eq!(out.hpa, frame.add(0x123));
+}
+
+#[test]
+fn native_direct_segment_translates_with_one_calculation() {
+    let mut mem: PhysMem<Hpa> = PhysMem::new(64 * MIB);
+    let pt: PageTable<Gva, Hpa> = PageTable::new(&mut mem).unwrap();
+    let backing = mem.reserve_contiguous(16 * MIB, PageSize::Size2M).unwrap();
+    let mut m = mmu(TranslationMode::NativeDirect, false);
+    m.set_native_segment(Segment::map(
+        AddrRange::new(Gva::new(1 << 30), Gva::new((1 << 30) + 16 * MIB)),
+        backing.start(),
+    ));
+    let ctx = MemoryContext::Native { pt: &pt, mem: &mem };
+    let out = m.access(&ctx, 0, Gva::new((1 << 30) + 0x7777), false).unwrap();
+    assert_eq!(out.path, HitPath::SegmentBypass);
+    assert_eq!(out.hpa, backing.start().add(0x7777));
+    let c = m.counters();
+    assert_eq!(c.ds_hits, 1);
+    assert_eq!(c.walk_refs(), 0);
+    assert_eq!(c.bound_checks, 1);
+}
+
+#[test]
+fn invalidate_nested_drops_stale_translations() {
+    let mut rig = Rig::new(64 * MIB, PageSize::Size4K);
+    let gframe = rig.map_guest(0x40_0000, PageSize::Size4K, Prot::RW);
+    let mut m = mmu(TranslationMode::BaseVirtualized, true);
+    let before = m.access(&rig.ctx(), 0, Gva::new(0x40_0000), false).unwrap();
+    // The VMM moves the backing host frame (e.g. page sharing break).
+    let new_frame = rig.hmem.alloc(PageSize::Size4K).unwrap();
+    rig.npt
+        .remap(&mut rig.hmem, gframe, PageSize::Size4K, new_frame)
+        .unwrap();
+    m.invalidate_nested(gframe);
+    let after = m.access(&rig.ctx(), 0, Gva::new(0x40_0000), false).unwrap();
+    assert_ne!(before.hpa, after.hpa);
+    assert_eq!(after.hpa, new_frame);
+}
+
+#[test]
+fn asids_keep_processes_separate() {
+    let mut rig = Rig::new(64 * MIB, PageSize::Size4K);
+    rig.map_guest(0x40_0000, PageSize::Size4K, Prot::RW);
+    let mut m = mmu(TranslationMode::BaseVirtualized, true);
+    m.access(&rig.ctx(), 1, Gva::new(0x40_0000), false).unwrap();
+    // Same VA from a different ASID must not hit the other process's entry.
+    m.access(&rig.ctx(), 2, Gva::new(0x40_0000), false).unwrap();
+    assert_eq!(m.counters().l1_misses, 2);
+}
+
+#[test]
+#[should_panic(expected = "context kind does not match mode")]
+fn mismatched_context_panics() {
+    let mut mem: PhysMem<Hpa> = PhysMem::new(16 * MIB);
+    let pt: PageTable<Gva, Hpa> = PageTable::new(&mut mem).unwrap();
+    let mut m = mmu(TranslationMode::BaseVirtualized, true);
+    let ctx = MemoryContext::Native { pt: &pt, mem: &mem };
+    let _ = m.access(&ctx, 0, Gva::new(0), false);
+}

@@ -1,0 +1,123 @@
+//! MMU state-management tests: mode switches, counter resets, and the
+//! cached-translation hygiene around segment reprogramming.
+
+use mv_core::{MemoryContext, Mmu, MmuConfig, Segment, TranslationMode};
+use mv_phys::PhysMem;
+use mv_pt::PageTable;
+use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize, Prot, MIB};
+
+fn world() -> (PhysMem<Gpa>, PhysMem<Hpa>, PageTable<Gva, Gpa>, PageTable<Gpa, Hpa>, Hpa) {
+    let mut gmem: PhysMem<Gpa> = PhysMem::new(32 * MIB);
+    let mut hmem: PhysMem<Hpa> = PhysMem::new(128 * MIB);
+    let mut gpt: PageTable<Gva, Gpa> = PageTable::new(&mut gmem).unwrap();
+    let mut npt: PageTable<Gpa, Hpa> = PageTable::new(&mut hmem).unwrap();
+    let backing = hmem.reserve_contiguous(32 * MIB, PageSize::Size2M).unwrap();
+    for gpa in AddrRange::new(Gpa::ZERO, Gpa::new(32 * MIB)).pages(PageSize::Size4K) {
+        npt.map(
+            &mut hmem,
+            gpa,
+            Hpa::new(gpa.as_u64() + backing.start().as_u64()),
+            PageSize::Size4K,
+            Prot::RW,
+        )
+        .unwrap();
+    }
+    let frame = gmem.alloc(PageSize::Size4K).unwrap();
+    gpt.map(&mut gmem, Gva::new(0x40_0000), frame, PageSize::Size4K, Prot::RW)
+        .unwrap();
+    (gmem, hmem, gpt, npt, backing.start())
+}
+
+#[test]
+fn set_mode_flushes_cached_translations() {
+    let (gmem, hmem, gpt, npt, _) = world();
+    let mut mmu = Mmu::new(MmuConfig::default());
+    let ctx = MemoryContext::Virtualized {
+        gpt: &gpt,
+        gmem: &gmem,
+        npt: &npt,
+        hmem: &hmem,
+    };
+    mmu.access(&ctx, 0, Gva::new(0x40_0000), false).unwrap();
+    assert_eq!(mmu.counters().l1_misses, 1);
+    // Re-access hits L1...
+    mmu.access(&ctx, 0, Gva::new(0x40_0000), false).unwrap();
+    assert_eq!(mmu.counters().l1_misses, 1);
+    // ...until a mode switch flushes everything.
+    mmu.set_mode(TranslationMode::BaseVirtualized);
+    mmu.access(&ctx, 0, Gva::new(0x40_0000), false).unwrap();
+    assert_eq!(mmu.counters().l1_misses, 2);
+}
+
+#[test]
+fn reset_counters_keeps_cached_state() {
+    let (gmem, hmem, gpt, npt, _) = world();
+    let mut mmu = Mmu::new(MmuConfig::default());
+    let ctx = MemoryContext::Virtualized {
+        gpt: &gpt,
+        gmem: &gmem,
+        npt: &npt,
+        hmem: &hmem,
+    };
+    mmu.access(&ctx, 0, Gva::new(0x40_0000), false).unwrap();
+    mmu.reset_counters();
+    assert_eq!(mmu.counters().accesses, 0);
+    // The TLB entry survived the counter reset.
+    let out = mmu.access(&ctx, 0, Gva::new(0x40_0000), false).unwrap();
+    assert_eq!(out.path, mv_core::HitPath::L1Hit);
+    assert_eq!(mmu.counters().l1_misses, 0);
+}
+
+#[test]
+fn segment_reprogramming_flushes() {
+    let (gmem, hmem, gpt, npt, backing) = world();
+    let mut mmu = Mmu::new(MmuConfig {
+        mode: TranslationMode::DualDirect,
+        ..MmuConfig::default()
+    });
+    let seg_a = Segment::map(
+        AddrRange::from_start_len(Gva::new(1 << 30), 8 * MIB),
+        Gpa::new(0),
+    );
+    let seg_b = Segment::map(
+        AddrRange::from_start_len(Gva::new(1 << 30), 8 * MIB),
+        Gpa::new(8 * MIB),
+    );
+    let vseg = Segment::map(AddrRange::from_start_len(Gpa::ZERO, 32 * MIB), backing);
+    mmu.set_vmm_segment(vseg);
+
+    let ctx = MemoryContext::Virtualized {
+        gpt: &gpt,
+        gmem: &gmem,
+        npt: &npt,
+        hmem: &hmem,
+    };
+    mmu.set_guest_segment(seg_a);
+    let a = mmu.access(&ctx, 0, Gva::new(1 << 30), false).unwrap().hpa;
+    // Reprogramming the guest segment must not serve stale L1 entries.
+    mmu.set_guest_segment(seg_b);
+    let b = mmu.access(&ctx, 0, Gva::new(1 << 30), false).unwrap().hpa;
+    assert_eq!(b.as_u64() - a.as_u64(), 8 * MIB, "new registers take effect");
+}
+
+#[test]
+fn miss_trace_round_trip() {
+    let (gmem, hmem, gpt, npt, _) = world();
+    let mut mmu = Mmu::new(MmuConfig::default());
+    assert!(mmu.take_miss_trace().is_none(), "no trace by default");
+    mmu.enable_miss_trace(8);
+    let ctx = MemoryContext::Virtualized {
+        gpt: &gpt,
+        gmem: &gmem,
+        npt: &npt,
+        hmem: &hmem,
+    };
+    mmu.access(&ctx, 0, Gva::new(0x40_0123), false).unwrap();
+    let trace = mmu.take_miss_trace().expect("trace was enabled");
+    assert_eq!(trace.records().len(), 1);
+    assert_eq!(trace.records()[0].gva, Gva::new(0x40_0123));
+    // The traced gPA matches the software walk.
+    let expect = gpt.translate(&gmem, Gva::new(0x40_0123)).unwrap().pa;
+    assert_eq!(trace.records()[0].gpa, expect);
+    assert!(mmu.take_miss_trace().is_none(), "take detaches");
+}

@@ -1,0 +1,193 @@
+//! Property test: for ANY mapping layout, segment configuration, escape
+//! set, access sequence, and translation mode, the MMU's result equals the
+//! reference translation (software-composing the two page tables, with
+//! segments taking precedence where architecture says they do).
+
+use mv_core::{EscapeFilter, MemoryContext, Mmu, MmuConfig, Segment, TranslationMode};
+use mv_phys::PhysMem;
+use mv_pt::PageTable;
+use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize, Prot, MIB};
+use proptest::prelude::*;
+
+const GMEM: u64 = 32 * MIB;
+const SEG_GVA_BASE: u64 = 1 << 30;
+
+#[derive(Debug, Clone)]
+struct Layout {
+    /// Guest pages: (va_slot, gpa_slot) pairs, each slot 4 KiB.
+    guest_pages: Vec<(u64, u64)>,
+    /// Guest segment covers this many MiB of gVA at SEG_GVA_BASE → gPA 16M.
+    gseg_mib: u64,
+    /// VMM segment covers the first this-many MiB of gPA.
+    vseg_mib: u64,
+    /// Pages (by gpa slot within the vmm segment) escaped to paging.
+    escaped: Vec<u64>,
+    mode: TranslationMode,
+    accesses: Vec<(u64, bool)>, // (va selector, write)
+}
+
+fn layout_strategy() -> impl Strategy<Value = Layout> {
+    let mode = prop_oneof![
+        Just(TranslationMode::BaseVirtualized),
+        Just(TranslationMode::VmmDirect),
+        Just(TranslationMode::GuestDirect),
+        Just(TranslationMode::DualDirect),
+    ];
+    (
+        proptest::collection::vec((0u64..512, 0u64..1024), 1..40),
+        0u64..8,
+        0u64..24,
+        proptest::collection::vec(0u64..2048, 0..4),
+        mode,
+        proptest::collection::vec((0u64..4096, any::<bool>()), 1..150),
+    )
+        .prop_map(|(guest_pages, gseg_mib, vseg_mib, escaped, mode, accesses)| Layout {
+            guest_pages,
+            gseg_mib,
+            vseg_mib,
+            escaped,
+            mode,
+            accesses,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn mmu_matches_reference_translation(l in layout_strategy()) {
+        // --- Build the two-level world. -------------------------------
+        let mut gmem: PhysMem<Gpa> = PhysMem::new(GMEM);
+        let mut hmem: PhysMem<Hpa> = PhysMem::new(4 * GMEM);
+        let mut gpt: PageTable<Gva, Gpa> = PageTable::new(&mut gmem).unwrap();
+        let mut npt: PageTable<Gpa, Hpa> = PageTable::new(&mut hmem).unwrap();
+
+        // Nested: all of gPA backed contiguously (so the VMM segment is an
+        // exact shortcut of the nested table).
+        let backing = hmem.reserve_contiguous(GMEM, PageSize::Size2M).unwrap();
+        for gpa in AddrRange::new(Gpa::ZERO, Gpa::new(GMEM)).pages(PageSize::Size4K) {
+            npt.map(
+                &mut hmem,
+                gpa,
+                Hpa::new(gpa.as_u64() + backing.start().as_u64()),
+                PageSize::Size4K,
+                Prot::RW,
+            )
+            .unwrap();
+        }
+
+        // Guest pages: dedicated gPA window [24M, 28M) so they never
+        // collide with page-table pages or the guest-segment backing.
+        let gpa_window = 24 * MIB;
+        let mut mapped = std::collections::HashMap::new();
+        for &(va_slot, gpa_slot) in &l.guest_pages {
+            let va = Gva::new(0x10_0000_0000 + va_slot * 4096);
+            let gpa = Gpa::new(gpa_window + gpa_slot * 4096);
+            if mapped.contains_key(&va) {
+                continue;
+            }
+            if gmem.carve_range(&AddrRange::from_start_len(gpa, 4096)).is_err() {
+                // Another va already took this frame — fine, share it.
+            }
+            if gpt.map(&mut gmem, va, gpa, PageSize::Size4K, Prot::RW).is_ok() {
+                mapped.insert(va, gpa);
+            }
+        }
+
+        // Segments.
+        let gseg = Segment::map(
+            AddrRange::from_start_len(Gva::new(SEG_GVA_BASE), l.gseg_mib * MIB),
+            Gpa::new(16 * MIB),
+        );
+        let vseg = Segment::map(
+            AddrRange::from_start_len(Gpa::ZERO, l.vseg_mib * MIB),
+            backing.start(),
+        );
+
+        // Escape filter: escaped pages are remapped to spare frames.
+        let mut filter = EscapeFilter::new(9);
+        let mut remapped = std::collections::HashMap::new();
+        for &slot in &l.escaped {
+            let gpa = Gpa::new((slot * 4096) % GMEM);
+            if remapped.contains_key(&gpa) {
+                continue;
+            }
+            let spare = hmem.alloc(PageSize::Size4K).unwrap();
+            npt.remap(&mut hmem, gpa, PageSize::Size4K, spare).unwrap();
+            filter.insert(gpa.as_u64());
+            remapped.insert(gpa, spare);
+        }
+        let use_filter = !l.escaped.is_empty();
+
+        let mut mmu = Mmu::new(MmuConfig {
+            mode: l.mode,
+            ..MmuConfig::default()
+        });
+        mmu.set_guest_segment(gseg);
+        mmu.set_vmm_segment(vseg);
+        if use_filter {
+            mmu.set_vmm_escape_filter(Some(filter.clone()));
+        }
+
+        // --- Reference translation. ------------------------------------
+        let guest_seg_active = matches!(
+            l.mode,
+            TranslationMode::GuestDirect | TranslationMode::DualDirect
+        ) && !gseg.is_nullified();
+        let reference = |va: Gva| -> Option<Hpa> {
+            // First dimension.
+            let gpa = if guest_seg_active {
+                match gseg.translate(va) {
+                    Some(g) => g,
+                    None => gpt.translate(&gmem, va)?.pa,
+                }
+            } else {
+                gpt.translate(&gmem, va)?.pa
+            };
+            // Second dimension: the nested page table is ground truth —
+            // the segment (when active and not escaped) is an exact
+            // shortcut of it except for escaped pages.
+            Some(npt.translate(&hmem, gpa)?.pa)
+        };
+
+        // --- Drive accesses through the MMU and compare. ----------------
+        let va_pool: Vec<Gva> = mapped
+            .keys()
+            .copied()
+            .chain((0..64).map(|i| Gva::new(SEG_GVA_BASE + i * 37 * 4096)))
+            .chain((0..8).map(|i| Gva::new(0x20_0000_0000 + i * 4096))) // unmapped
+            .collect();
+
+        for &(sel, write) in &l.accesses {
+            let va = va_pool[(sel as usize) % va_pool.len()];
+            let expect = reference(va);
+            let got = {
+                let ctx = MemoryContext::Virtualized {
+                    gpt: &gpt,
+                    gmem: &gmem,
+                    npt: &npt,
+                    hmem: &hmem,
+                };
+                mmu.access(&ctx, 0, va, write)
+            };
+            match (got, expect) {
+                (Ok(out), Some(hpa)) => prop_assert_eq!(
+                    out.hpa, hpa,
+                    "mode {:?} mistranslated {:?}", l.mode, va
+                ),
+                (Err(_), None) => {} // unmapped: any not-mapped fault is right
+                (Ok(out), None) => {
+                    return Err(TestCaseError::fail(format!(
+                        "mode {:?}: MMU translated unmapped {va:?} to {:?}",
+                        l.mode, out.hpa
+                    )))
+                }
+                (Err(f), Some(_)) => {
+                    return Err(TestCaseError::fail(format!(
+                        "mode {:?}: MMU faulted ({f}) on mapped {va:?}",
+                        l.mode
+                    )))
+                }
+            }
+        }
+    }
+}

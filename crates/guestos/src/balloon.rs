@@ -1,0 +1,102 @@
+//! The balloon driver (guest half of self-ballooning, Section IV).
+//!
+//! A balloon driver asks its own OS for pages, pins them so the guest can
+//! neither use nor swap them, and hands them to the VMM for reclamation.
+//! Self-ballooning pairs an inflate with a hotplug-add of the same amount
+//! of *contiguous* guest-physical memory, converting fragmented free memory
+//! into contiguous free memory without copying.
+
+use mv_phys::PhysMem;
+use mv_types::{Gpa, PageSize};
+
+use crate::OsError;
+
+/// State of the guest balloon driver.
+#[derive(Debug, Default)]
+pub struct BalloonDriver {
+    /// Frames currently held by the balloon (pinned, surrendered to VMM).
+    held: Vec<Gpa>,
+}
+
+impl BalloonDriver {
+    /// Creates a deflated balloon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of 4 KiB frames currently ballooned out.
+    pub fn held_frames(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Inflates by `frames` 4 KiB frames: allocates whatever (possibly
+    /// fragmented) free frames the OS can spare, pins them, and returns
+    /// their addresses for the VMM to reclaim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::Phys`] if the guest does not have enough free
+    /// memory; frames allocated before the failure are released again.
+    pub fn inflate(
+        &mut self,
+        mem: &mut PhysMem<Gpa>,
+        frames: usize,
+    ) -> Result<Vec<Gpa>, OsError> {
+        let mut got = Vec::with_capacity(frames);
+        for _ in 0..frames {
+            match mem.alloc(PageSize::Size4K) {
+                Ok(f) => got.push(f),
+                Err(e) => {
+                    for f in got {
+                        mem.free(f, PageSize::Size4K).expect("just allocated");
+                    }
+                    return Err(OsError::Phys(e));
+                }
+            }
+        }
+        for &f in &got {
+            mem.set_pinned(f, true).expect("just allocated");
+        }
+        self.held.extend(got.iter().copied());
+        Ok(got)
+    }
+
+    /// Deflates by returning every held frame to the guest's free pool
+    /// (the VMM re-populated their backing).
+    pub fn deflate_all(&mut self, mem: &mut PhysMem<Gpa>) -> Result<usize, OsError> {
+        let n = self.held.len();
+        for f in self.held.drain(..) {
+            mem.set_pinned(f, false).map_err(OsError::Phys)?;
+            mem.free(f, PageSize::Size4K).map_err(OsError::Phys)?;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_types::MIB;
+
+    #[test]
+    fn inflate_pins_and_deflate_releases() {
+        let mut mem: PhysMem<Gpa> = PhysMem::new(4 * MIB);
+        let mut b = BalloonDriver::new();
+        let frames = b.inflate(&mut mem, 100).unwrap();
+        assert_eq!(frames.len(), 100);
+        assert_eq!(b.held_frames(), 100);
+        assert_eq!(mem.free_bytes(), 4 * MIB - 100 * 4096);
+        assert_eq!(b.deflate_all(&mut mem).unwrap(), 100);
+        assert_eq!(mem.free_bytes(), 4 * MIB);
+        assert_eq!(b.held_frames(), 0);
+    }
+
+    #[test]
+    fn failed_inflate_rolls_back() {
+        let mut mem: PhysMem<Gpa> = PhysMem::new(MIB); // 256 frames
+        let mut b = BalloonDriver::new();
+        assert!(b.inflate(&mut mem, 1000).is_err());
+        assert_eq!(mem.free_bytes(), MIB, "partial allocation released");
+        assert_eq!(b.held_frames(), 0);
+    }
+}

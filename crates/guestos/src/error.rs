@@ -1,0 +1,137 @@
+//! Guest-OS error type.
+
+use core::fmt;
+
+use mv_phys::PhysError;
+use mv_pt::PtError;
+
+/// Errors surfaced by guest-OS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OsError {
+    /// No such process.
+    NoSuchProcess {
+        /// The unknown pid.
+        pid: u32,
+    },
+    /// The faulting address is not inside any VMA (a real SIGSEGV).
+    SegmentationFault {
+        /// Raw faulting address.
+        va: u64,
+    },
+    /// Guest physical memory is too fragmented for a contiguous
+    /// reservation; self-ballooning or compaction is needed.
+    Fragmented {
+        /// Bytes requested.
+        requested: u64,
+        /// Largest contiguous run currently available.
+        largest_run: u64,
+    },
+    /// The process has no primary region to back with a segment.
+    NoPrimaryRegion {
+        /// The pid lacking one.
+        pid: u32,
+    },
+    /// Memory hotplug / unplug failed (range busy or offline).
+    Hotplug {
+        /// What went wrong.
+        what: &'static str,
+    },
+    /// The page cannot be swapped in the current mode (Table II: guest
+    /// swapping is limited to memory outside direct segments under
+    /// Guest/Dual Direct).
+    SwapPrecluded {
+        /// Raw page address.
+        va: u64,
+        /// What stands in the way.
+        why: &'static str,
+    },
+    /// The faulting address is a registered guard page (Section V: the
+    /// escape filter can implement pages with different protection).
+    GuardPageHit {
+        /// Raw guard-page address.
+        va: u64,
+    },
+    /// Out of guest physical memory.
+    Phys(PhysError),
+    /// Page-table manipulation failed (indicates an OS bug).
+    PageTable(PtError),
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::NoSuchProcess { pid } => write!(f, "no such process {pid}"),
+            OsError::SegmentationFault { va } => write!(f, "segmentation fault at {va:#x}"),
+            OsError::Fragmented {
+                requested,
+                largest_run,
+            } => write!(
+                f,
+                "guest memory fragmented: need {requested:#x} contiguous, largest run {largest_run:#x}"
+            ),
+            OsError::NoPrimaryRegion { pid } => write!(f, "process {pid} has no primary region"),
+            OsError::Hotplug { what } => write!(f, "memory hotplug failed: {what}"),
+            OsError::GuardPageHit { va } => write!(f, "guard page hit at {va:#x}"),
+            OsError::SwapPrecluded { va, why } => {
+                write!(f, "cannot swap page at {va:#x}: {why}")
+            }
+            OsError::Phys(e) => write!(f, "guest physical memory error: {e}"),
+            OsError::PageTable(e) => write!(f, "guest page-table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OsError::Phys(e) => Some(e),
+            OsError::PageTable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PhysError> for OsError {
+    fn from(e: PhysError) -> Self {
+        match e {
+            PhysError::Fragmented {
+                requested,
+                largest_free_run,
+            } => OsError::Fragmented {
+                requested,
+                largest_run: largest_free_run,
+            },
+            other => OsError::Phys(other),
+        }
+    }
+}
+
+impl From<PtError> for OsError {
+    fn from(e: PtError) -> Self {
+        OsError::PageTable(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragmentation_error_converts_specially() {
+        let e = OsError::from(PhysError::Fragmented {
+            requested: 100,
+            largest_free_run: 10,
+        });
+        assert!(matches!(e, OsError::Fragmented { requested: 100, largest_run: 10 }));
+        let e = OsError::from(PhysError::OutOfMemory { requested: 1, free: 0 });
+        assert!(matches!(e, OsError::Phys(_)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(OsError::SegmentationFault { va: 0x1234 }
+            .to_string()
+            .contains("0x1234"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Guest operating-system model.
+//!
+//! Models the guest-side software the paper modifies (Linux in the
+//! prototype): process address spaces with demand paging, transparent
+//! huge pages, primary regions and guest-segment setup, boot-time
+//! contiguous reservation (Section VI.A), the balloon driver used by
+//! self-ballooning, and memory hotplug including the I/O-gap relocation of
+//! Section VI.C.
+//!
+//! The guest OS owns its guest-physical memory ([`mv_phys::PhysMem<Gpa>`])
+//! and the per-process guest page tables. The VMM (in `mv-vmm`) owns the
+//! host side; the two interact only through explicit calls (balloon,
+//! hotplug), exactly like a paravirtual driver boundary.
+//!
+//! # Example
+//!
+//! ```
+//! use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
+//! use mv_types::{PageSize, Prot, MIB};
+//!
+//! let mut os = GuestOs::boot(GuestConfig::small(256 * MIB));
+//! let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+//! let va = os.mmap(pid, 4 * MIB, Prot::RW)?;
+//! os.handle_page_fault(pid, va)?; // demand paging maps the first page
+//! # Ok::<(), mv_guestos::OsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod balloon;
+mod error;
+mod os;
+mod process;
+
+pub use balloon::BalloonDriver;
+pub use error::OsError;
+pub use os::{FaultFix, GuestConfig, GuestOs};
+pub use process::{PageSizePolicy, Pid, Process, Vma};

@@ -1,0 +1,582 @@
+//! The guest OS: boot layout, demand paging, primary regions, hotplug.
+
+use std::collections::HashMap;
+
+use mv_core::Segment;
+use mv_phys::PhysMem;
+use mv_pt::PageTable;
+use mv_types::{
+    layout::{IO_GAP_END, IO_GAP_START},
+    AddrRange, Gpa, Gva, PageSize, Prot,
+};
+
+use crate::balloon::BalloonDriver;
+use crate::process::{PageSizePolicy, Pid, Process, Vma, PRIMARY_BASE};
+use crate::OsError;
+
+/// Boot-time configuration of a guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuestConfig {
+    /// Guest memory online at boot.
+    pub installed_bytes: u64,
+    /// Extra guest-physical address span kept offline for hotplug-add
+    /// (the prototype extends the second KVM slot this way, Section VI.C).
+    pub hotplug_capacity: u64,
+    /// Model the x86-64 I/O gap at [3 GiB, 4 GiB).
+    pub model_io_gap: bool,
+    /// Contiguous guest-physical bytes reserved at startup for direct
+    /// segments (Section VI.A); 0 disables the reservation.
+    pub boot_reservation: u64,
+}
+
+impl GuestConfig {
+    /// A small flat guest: no I/O gap, no hotplug, no reservation.
+    /// Convenient for unit tests.
+    pub fn small(installed_bytes: u64) -> Self {
+        GuestConfig {
+            installed_bytes,
+            hotplug_capacity: 0,
+            model_io_gap: false,
+            boot_reservation: 0,
+        }
+    }
+
+    /// A realistic guest with the I/O gap modeled.
+    pub fn with_io_gap(installed_bytes: u64, hotplug_capacity: u64) -> Self {
+        GuestConfig {
+            installed_bytes,
+            hotplug_capacity,
+            model_io_gap: true,
+            boot_reservation: 0,
+        }
+    }
+}
+
+/// What a serviced demand fault mapped — reported so the simulation can
+/// drive shadow-page-table updates (Section IX.D) and nested mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultFix {
+    /// Base of the newly mapped virtual page.
+    pub va_page: Gva,
+    /// Guest-physical frame it maps to.
+    pub gpa: Gpa,
+    /// Mapping size.
+    pub size: PageSize,
+    /// Protection.
+    pub prot: Prot,
+}
+
+/// The guest operating system.
+#[derive(Debug)]
+pub struct GuestOs {
+    mem: PhysMem<Gpa>,
+    processes: HashMap<Pid, Process>,
+    next_pid: Pid,
+    /// Offline region available for hotplug-add (start advances as added).
+    offline: Option<AddrRange<Gpa>>,
+    /// Regions removed by hot-unplug (e.g. low memory below the I/O gap).
+    unplugged: Vec<AddrRange<Gpa>>,
+    /// Remaining boot-time contiguous reservation.
+    reservation: Option<AddrRange<Gpa>>,
+    /// The balloon driver.
+    pub balloon: BalloonDriver,
+    config: GuestConfig,
+}
+
+impl GuestOs {
+    /// Boots a guest with the given memory layout.
+    ///
+    /// With `model_io_gap`, installed memory is split KVM-style: up to
+    /// 3 GiB below the gap and the remainder starting at 4 GiB. The
+    /// hotplug-capacity region sits above installed high memory, offline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `installed_bytes` is 0 or the boot reservation cannot be
+    /// satisfied (a configuration error).
+    pub fn boot(config: GuestConfig) -> Self {
+        assert!(config.installed_bytes > 0, "guest needs memory");
+        let low = if config.model_io_gap {
+            config.installed_bytes.min(IO_GAP_START.as_u64())
+        } else {
+            config.installed_bytes
+        };
+        let high_installed = config.installed_bytes - low;
+        let needs_high = config.model_io_gap && (high_installed + config.hotplug_capacity > 0);
+        let span = if needs_high {
+            IO_GAP_END.as_u64() + high_installed + config.hotplug_capacity
+        } else {
+            low + config.hotplug_capacity
+        };
+        let mut mem: PhysMem<Gpa> = PhysMem::new(span);
+
+        // Carve everything that is not online low/high memory.
+        if needs_high {
+            // Uninstalled space below the gap, the gap itself, and the
+            // offline hotplug area.
+            if low < IO_GAP_START.as_u64() {
+                mem.carve_range(&AddrRange::new(Gpa::new(low), IO_GAP_START))
+                    .expect("fresh memory");
+            }
+            mem.carve_range(&AddrRange::new(IO_GAP_START, IO_GAP_END))
+                .expect("fresh memory");
+        }
+        let offline = if config.hotplug_capacity > 0 {
+            let start = if needs_high {
+                IO_GAP_END.as_u64() + high_installed
+            } else {
+                low
+            };
+            let r = AddrRange::from_start_len(Gpa::new(start), config.hotplug_capacity);
+            mem.carve_range(&r).expect("fresh memory");
+            Some(r)
+        } else {
+            None
+        };
+
+        let reservation = if config.boot_reservation > 0 {
+            Some(
+                mem.reserve_contiguous(config.boot_reservation, PageSize::Size2M)
+                    .expect("boot reservation must fit in fresh memory"),
+            )
+        } else {
+            None
+        };
+
+        GuestOs {
+            mem,
+            processes: HashMap::new(),
+            next_pid: 1,
+            offline,
+            unplugged: Vec::new(),
+            reservation,
+            balloon: BalloonDriver::new(),
+            config,
+        }
+    }
+
+    /// The guest-physical memory.
+    pub fn mem(&self) -> &PhysMem<Gpa> {
+        &self.mem
+    }
+
+    /// Mutable access to guest-physical memory (used by the VMM model for
+    /// self-ballooning coordination and by tests).
+    pub fn mem_mut(&mut self) -> &mut PhysMem<Gpa> {
+        &mut self.mem
+    }
+
+    /// Boot configuration.
+    pub fn config(&self) -> &GuestConfig {
+        &self.config
+    }
+
+    /// Remaining boot-time reservation, if any.
+    pub fn reservation(&self) -> Option<AddrRange<Gpa>> {
+        self.reservation
+    }
+
+    /// Creates a process with the given page-size policy, returning its
+    /// pid (used as the TLB ASID).
+    pub fn create_process(&mut self, policy: PageSizePolicy) -> Pid {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let pt = PageTable::new(&mut self.mem).expect("guest memory for a root table");
+        self.processes.insert(pid, Process::new(pid, policy, pt));
+        pid
+    }
+
+    /// The process with this pid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is unknown (callers hold pids they created).
+    pub fn process(&self, pid: Pid) -> &Process {
+        &self.processes[&pid]
+    }
+
+    /// Maps `len` bytes of anonymous memory, returning the start address.
+    /// Pages materialize on demand via [`Self::handle_page_fault`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::NoSuchProcess`] for an unknown pid.
+    pub fn mmap(&mut self, pid: Pid, len: u64, prot: Prot) -> Result<Gva, OsError> {
+        let proc = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(OsError::NoSuchProcess { pid })?;
+        let align = match proc.policy() {
+            PageSizePolicy::Fixed(s) => s.bytes(),
+            PageSizePolicy::Thp => PageSize::Size2M.bytes(),
+        };
+        let range = proc.place_mmap(len, align);
+        proc.add_vma(Vma {
+            range,
+            prot,
+            primary: false,
+        });
+        Ok(range.start())
+    }
+
+    /// Declares the process's primary region: `len` bytes of uniformly
+    /// `RW` anonymous memory at a fixed high address, eligible for guest-
+    /// segment backing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::NoSuchProcess`] for an unknown pid.
+    pub fn create_primary_region(&mut self, pid: Pid, len: u64) -> Result<Gva, OsError> {
+        let proc = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(OsError::NoSuchProcess { pid })?;
+        let range = AddrRange::from_start_len(Gva::new(PRIMARY_BASE), len);
+        proc.add_vma(Vma {
+            range,
+            prot: Prot::RW,
+            primary: true,
+        });
+        Ok(range.start())
+    }
+
+    /// Establishes the guest segment for the process's primary region:
+    /// finds contiguous guest-physical backing (boot reservation first,
+    /// then the general pool) and programs BASE_G/LIMIT_G/OFFSET_G.
+    ///
+    /// # Errors
+    ///
+    /// * [`OsError::NoPrimaryRegion`] — process declared none.
+    /// * [`OsError::Fragmented`] — no contiguous backing available; the
+    ///   caller should invoke self-ballooning (Section IV) and retry.
+    pub fn setup_guest_segment(&mut self, pid: Pid) -> Result<Segment<Gva, Gpa>, OsError> {
+        let proc = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(OsError::NoSuchProcess { pid })?;
+        let region = proc
+            .primary_region()
+            .ok_or(OsError::NoPrimaryRegion { pid })?
+            .range;
+        let backing = Self::take_backing(&mut self.mem, &mut self.reservation, region.len())?;
+        let seg = Segment::map(region, backing.start());
+        proc.segment = Some(seg);
+        proc.segment_backing = Some(backing);
+        Ok(seg)
+    }
+
+    fn take_backing(
+        mem: &mut PhysMem<Gpa>,
+        reservation: &mut Option<AddrRange<Gpa>>,
+        len: u64,
+    ) -> Result<AddrRange<Gpa>, OsError> {
+        if let Some(res) = reservation {
+            if res.len() >= len {
+                let taken = AddrRange::from_start_len(res.start(), len);
+                *reservation = (res.len() > len)
+                    .then(|| AddrRange::new(taken.end(), res.end()));
+                return Ok(taken);
+            }
+        }
+        Ok(mem.reserve_contiguous(len, PageSize::Size4K)?)
+    }
+
+    /// Swaps out the 4 KiB page at `va`: the mapping is removed and the
+    /// frame freed; the next access faults and swaps the page back in.
+    ///
+    /// Table II: under Guest/Dual Direct, guest swapping is *limited* —
+    /// segment-covered pages translate by arithmetic, never fault, and so
+    /// cannot be swapped.
+    ///
+    /// # Errors
+    ///
+    /// * [`OsError::SwapPrecluded`] — the page is covered by the process's
+    ///   guest segment.
+    /// * [`OsError::NotMapped`]-like behavior: swapping an unmapped page is
+    ///   an error surfaced as [`OsError::SegmentationFault`].
+    pub fn swap_out(&mut self, pid: Pid, va: Gva) -> Result<(), OsError> {
+        let proc = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(OsError::NoSuchProcess { pid })?;
+        let va_page = Gva::new(va.as_u64() & !0xfff);
+        if proc.segment.is_some_and(|s| s.contains(va_page)) {
+            return Err(OsError::SwapPrecluded {
+                va: va_page.as_u64(),
+                why: "page is covered by the guest segment (Table II)",
+            });
+        }
+        let Some(t) = proc.pt.translate(&self.mem, va_page) else {
+            return Err(OsError::SegmentationFault { va: va.as_u64() });
+        };
+        if t.size != PageSize::Size4K {
+            return Err(OsError::SwapPrecluded {
+                va: va_page.as_u64(),
+                why: "huge mappings are not swapped in this model",
+            });
+        }
+        let frame = proc.pt.unmap(&mut self.mem, va_page, PageSize::Size4K)?;
+        self.mem.free(frame, PageSize::Size4K)?;
+        proc.swapped.insert(va_page.as_u64());
+        Ok(())
+    }
+
+    /// Registers guard pages inside the process's segment-backed primary
+    /// region using a guest-level escape filter (Section V: "it may be
+    /// useful to have escape filters at both levels of translation so the
+    /// guest OS can escape pages as well"). Accesses to a guard page
+    /// escape the segment, miss in the page table, and surface
+    /// [`OsError::GuardPageHit`]; filter false positives are simply
+    /// demand-mapped to their segment-computed frames, so they stay
+    /// transparent.
+    ///
+    /// Returns the filter to program into the MMU
+    /// ([`mv_core::Mmu::set_guest_escape_filter`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`OsError::NoPrimaryRegion`] — no segment-backed region exists.
+    pub fn protect_guard_pages(
+        &mut self,
+        pid: Pid,
+        pages: &[Gva],
+    ) -> Result<mv_core::EscapeFilter, OsError> {
+        let proc = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(OsError::NoSuchProcess { pid })?;
+        let seg = proc.segment.ok_or(OsError::NoPrimaryRegion { pid })?;
+        let mut filter = mv_core::EscapeFilter::new(0x6a4d);
+        for &va in pages {
+            assert!(seg.contains(va), "guard pages must lie inside the segment");
+            let page = va.as_u64() & !0xfff;
+            proc.guards.insert(page);
+            filter.insert(page);
+        }
+        Ok(filter)
+    }
+
+    /// Services a demand fault at `va`: allocates a frame per the process's
+    /// page-size policy and maps it. For addresses covered by the guest
+    /// segment, maps the segment-computed frame (used for pages that escape
+    /// the segment).
+    ///
+    /// # Errors
+    ///
+    /// * [`OsError::SegmentationFault`] — no VMA covers `va`.
+    /// * [`OsError::Phys`] — out of guest memory.
+    pub fn handle_page_fault(&mut self, pid: Pid, va: Gva) -> Result<FaultFix, OsError> {
+        let proc = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(OsError::NoSuchProcess { pid })?;
+        if proc.is_guard(va) {
+            return Err(OsError::GuardPageHit { va: va.as_u64() });
+        }
+        if proc.swapped.remove(&(va.as_u64() & !0xfff)) {
+            proc.swap_ins += 1;
+        }
+        let vma = proc
+            .vma_at(va)
+            .ok_or(OsError::SegmentationFault { va: va.as_u64() })?
+            .clone();
+
+        // Escaped (or pre-segment) pages of a segment-backed region map to
+        // their segment-computed frame so the address-space layout stays
+        // coherent.
+        if let Some(seg) = proc.segment {
+            if let Some(gpa) = seg.translate(va) {
+                let va_page = Gva::new(va.as_u64() & !0xfff);
+                let gpa_page = Gpa::new(gpa.as_u64() & !0xfff);
+                proc.pt
+                    .map(&mut self.mem, va_page, gpa_page, PageSize::Size4K, vma.prot)?;
+                proc.faults += 1;
+                return Ok(FaultFix {
+                    va_page,
+                    gpa: gpa_page,
+                    size: PageSize::Size4K,
+                    prot: vma.prot,
+                });
+            }
+        }
+
+        // THP: try to map the whole aligned 2 MiB region in one shot when
+        // the VMA covers it and a huge frame is available.
+        if matches!(proc.policy(), PageSizePolicy::Thp) {
+            let huge_va = Gva::new(va.as_u64() & !PageSize::Size2M.offset_mask());
+            let huge_range = AddrRange::from_start_len(huge_va, PageSize::Size2M.bytes());
+            if vma.range.contains_range(&huge_range) {
+                if let Ok(frame) = self.mem.alloc(PageSize::Size2M) {
+                    proc.pt
+                        .map(&mut self.mem, huge_va, frame, PageSize::Size2M, vma.prot)?;
+                    proc.faults += 1;
+                    proc.thp_promotions += 1;
+                    return Ok(FaultFix {
+                        va_page: huge_va,
+                        gpa: frame,
+                        size: PageSize::Size2M,
+                        prot: vma.prot,
+                    });
+                }
+            }
+        }
+
+        let size = proc.policy().fault_size();
+        let va_page = Gva::new(va.as_u64() & !size.offset_mask());
+        let frame = self.mem.alloc(size)?;
+        proc.pt.map(&mut self.mem, va_page, frame, size, vma.prot)?;
+        proc.faults += 1;
+        Ok(FaultFix {
+            va_page,
+            gpa: frame,
+            size,
+            prot: vma.prot,
+        })
+    }
+
+    /// Pre-faults every page of `[va, va+len)` — applications that
+    /// explicitly request huge pages typically touch their dataset eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fault-servicing failure.
+    pub fn populate(&mut self, pid: Pid, va: Gva, len: u64) -> Result<(), OsError> {
+        let proc = self
+            .processes
+            .get(&pid)
+            .ok_or(OsError::NoSuchProcess { pid })?;
+        let step = match proc.policy() {
+            PageSizePolicy::Fixed(s) => s.bytes(),
+            PageSizePolicy::Thp => PageSize::Size2M.bytes(),
+        };
+        let mut cursor = va.as_u64() & !(step - 1);
+        while cursor < va.as_u64() + len {
+            if self
+                .processes
+                .get(&pid)
+                .expect("checked above")
+                .pt
+                .translate(&self.mem, Gva::new(cursor))
+                .is_none()
+            {
+                self.handle_page_fault(pid, Gva::new(cursor))?;
+            }
+            cursor += step;
+        }
+        Ok(())
+    }
+
+    /// Borrows the pieces an MMU context needs: the process page table and
+    /// guest memory.
+    pub fn pt_and_mem(&self, pid: Pid) -> (&PageTable<Gva, Gpa>, &PhysMem<Gpa>) {
+        (&self.processes[&pid].pt, &self.mem)
+    }
+
+    /// Hotplug-adds `bytes` from the offline region, returning the newly
+    /// online contiguous range (the VMM's hot-add path, Section VI.C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::Hotplug`] if the offline region is exhausted.
+    pub fn hotplug_add(&mut self, bytes: u64) -> Result<AddrRange<Gpa>, OsError> {
+        let offline = self.offline.as_mut().ok_or(OsError::Hotplug {
+            what: "no offline capacity configured",
+        })?;
+        if offline.len() < bytes {
+            return Err(OsError::Hotplug {
+                what: "offline capacity exhausted",
+            });
+        }
+        let added = AddrRange::from_start_len(offline.start(), bytes);
+        *offline = AddrRange::new(added.end(), offline.end());
+        self.mem
+            .release_range(&added)
+            .map_err(|_| OsError::Hotplug {
+                what: "offline range unexpectedly busy",
+            })?;
+        Ok(added)
+    }
+
+    /// Hot-unplugs low memory, keeping only `keep` bytes at the bottom
+    /// (Section VI.C found 256 MiB suffices to boot Linux). The removed
+    /// range must currently be free. Returns the bytes removed so the VMM
+    /// can extend high memory by the same amount.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::Hotplug`] if the low range is still in use.
+    pub fn unplug_low_memory(&mut self, keep: u64) -> Result<u64, OsError> {
+        let low_end = if self.config.model_io_gap {
+            self.config.installed_bytes.min(IO_GAP_START.as_u64())
+        } else {
+            self.config.installed_bytes
+        };
+        if keep >= low_end {
+            return Ok(0);
+        }
+        let range = AddrRange::new(Gpa::new(keep), Gpa::new(low_end));
+        self.mem.carve_range(&range).map_err(|_| OsError::Hotplug {
+            what: "low memory still in use",
+        })?;
+        self.unplugged.push(range);
+        Ok(range.len())
+    }
+
+    /// Unmaps the page covering `va` (any size), freeing its frame unless
+    /// it belongs to the process's segment backing. Returns the unmapped
+    /// page's base and size, or `None` if nothing was mapped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::NoSuchProcess`] for an unknown pid.
+    pub fn unmap_page(&mut self, pid: Pid, va: Gva) -> Result<Option<(Gva, PageSize)>, OsError> {
+        let proc = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(OsError::NoSuchProcess { pid })?;
+        let Some(t) = proc.pt.translate(&self.mem, va) else {
+            return Ok(None);
+        };
+        let va_page = Gva::new(va.as_u64() & !t.size.offset_mask());
+        let frame = proc.pt.unmap(&mut self.mem, va_page, t.size)?;
+        let in_segment = proc
+            .segment_backing
+            .as_ref()
+            .is_some_and(|b| b.contains(frame));
+        if !in_segment {
+            self.mem.free(frame, t.size)?;
+        }
+        Ok(Some((va_page, t.size)))
+    }
+
+    /// Inflates the balloon by `frames` 4 KiB frames (see
+    /// [`BalloonDriver::inflate`]); a convenience that splits the borrow of
+    /// the driver and guest memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::Phys`] if the guest lacks free memory.
+    pub fn balloon_inflate(&mut self, frames: usize) -> Result<Vec<Gpa>, OsError> {
+        self.balloon.inflate(&mut self.mem, frames)
+    }
+
+    /// Deflates the balloon fully (see [`BalloonDriver::deflate_all`]); a
+    /// convenience that splits the borrow of the driver and guest memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on frame-accounting corruption.
+    pub fn balloon_deflate_all(&mut self) -> Result<usize, OsError> {
+        self.balloon.deflate_all(&mut self.mem)
+    }
+
+    /// Remaining offline hotplug capacity in bytes.
+    pub fn offline_capacity(&self) -> u64 {
+        self.offline.as_ref().map_or(0, AddrRange::len)
+    }
+
+    /// Ranges removed by hot-unplug so far.
+    pub fn unplugged(&self) -> &[AddrRange<Gpa>] {
+        &self.unplugged
+    }
+}

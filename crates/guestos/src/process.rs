@@ -1,0 +1,177 @@
+//! Guest processes and their address spaces.
+
+use std::collections::BTreeMap;
+
+use mv_core::Segment;
+use mv_pt::PageTable;
+use mv_types::{AddrRange, Gpa, Gva, PageSize, Prot};
+
+/// Guest process identifier (also used as the TLB ASID).
+pub type Pid = u32;
+
+/// How a process's anonymous memory is mapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageSizePolicy {
+    /// All mappings use this page size (big-memory applications explicitly
+    /// request 4 KiB / 2 MiB / 1 GiB pages — Section VIII).
+    Fixed(PageSize),
+    /// 4 KiB demand paging with transparent-huge-page promotion: aligned
+    /// 512-page groups are collapsed to 2 MiB when complete.
+    Thp,
+}
+
+impl PageSizePolicy {
+    /// The size a fresh fault maps at.
+    pub fn fault_size(self) -> PageSize {
+        match self {
+            PageSizePolicy::Fixed(s) => s,
+            PageSizePolicy::Thp => PageSize::Size4K,
+        }
+    }
+}
+
+/// A virtual memory area.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vma {
+    /// Covered virtual range.
+    pub range: AddrRange<Gva>,
+    /// Protection.
+    pub prot: Prot,
+    /// Whether this VMA is the process's primary region (a contiguous,
+    /// uniformly-protected range eligible for direct-segment backing).
+    pub primary: bool,
+}
+
+/// A guest process: page table, VMAs, and optional guest segment.
+#[derive(Debug)]
+pub struct Process {
+    pid: Pid,
+    policy: PageSizePolicy,
+    /// VMAs keyed by start address.
+    vmas: BTreeMap<u64, Vma>,
+    /// Per-process guest page table.
+    pub(crate) pt: PageTable<Gva, Gpa>,
+    /// Bump pointer for mmap placement.
+    mmap_cursor: u64,
+    /// Guest-segment registers for this process, if established.
+    pub(crate) segment: Option<Segment<Gva, Gpa>>,
+    /// The contiguous guest-physical backing of the segment.
+    pub(crate) segment_backing: Option<AddrRange<Gpa>>,
+    /// Registered guard pages (4 KiB page base addresses) inside the
+    /// primary region, escaped from the guest segment.
+    pub(crate) guards: std::collections::BTreeSet<u64>,
+    /// Pages currently swapped out (page base addresses).
+    pub(crate) swapped: std::collections::BTreeSet<u64>,
+    /// Swap-ins serviced (pages brought back by faults).
+    pub(crate) swap_ins: u64,
+    /// Demand faults serviced.
+    pub(crate) faults: u64,
+    /// 2 MiB THP promotions performed.
+    pub(crate) thp_promotions: u64,
+}
+
+/// Base of the mmap area (matches a typical x86-64 layout scaled down).
+const MMAP_BASE: u64 = 0x1000_0000;
+/// Base of the primary-region area, far from ordinary mmaps.
+pub(crate) const PRIMARY_BASE: u64 = 0x100_0000_0000;
+
+impl Process {
+    pub(crate) fn new(pid: Pid, policy: PageSizePolicy, pt: PageTable<Gva, Gpa>) -> Self {
+        Process {
+            pid,
+            policy,
+            vmas: BTreeMap::new(),
+            pt,
+            mmap_cursor: MMAP_BASE,
+            segment: None,
+            segment_backing: None,
+            guards: std::collections::BTreeSet::new(),
+            swapped: std::collections::BTreeSet::new(),
+            swap_ins: 0,
+            faults: 0,
+            thp_promotions: 0,
+        }
+    }
+
+    /// Process id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Page-size policy.
+    pub fn policy(&self) -> PageSizePolicy {
+        self.policy
+    }
+
+    /// The process's guest page table (shared reference, e.g. for building
+    /// an MMU context).
+    pub fn page_table(&self) -> &PageTable<Gva, Gpa> {
+        &self.pt
+    }
+
+    /// Established guest segment, if any.
+    pub fn segment(&self) -> Option<Segment<Gva, Gpa>> {
+        self.segment
+    }
+
+    /// Contiguous guest-physical range backing the segment, if any.
+    pub fn segment_backing(&self) -> Option<AddrRange<Gpa>> {
+        self.segment_backing
+    }
+
+    /// Demand faults serviced for this process.
+    pub fn fault_count(&self) -> u64 {
+        self.faults
+    }
+
+    /// THP promotions performed for this process.
+    pub fn thp_promotions(&self) -> u64 {
+        self.thp_promotions
+    }
+
+    /// The VMA containing `va`, if any.
+    pub fn vma_at(&self, va: Gva) -> Option<&Vma> {
+        let (_, vma) = self.vmas.range(..=va.as_u64()).next_back()?;
+        vma.range.contains(va).then_some(vma)
+    }
+
+    /// Whether the page containing `va` is currently swapped out.
+    pub fn is_swapped(&self, va: Gva) -> bool {
+        self.swapped.contains(&(va.as_u64() & !0xfff))
+    }
+
+    /// Swap-ins serviced for this process.
+    pub fn swap_ins(&self) -> u64 {
+        self.swap_ins
+    }
+
+    /// Whether the page containing `va` is a registered guard page.
+    pub fn is_guard(&self, va: Gva) -> bool {
+        self.guards.contains(&(va.as_u64() & !0xfff))
+    }
+
+    /// The process's primary region, if declared.
+    pub fn primary_region(&self) -> Option<&Vma> {
+        self.vmas.values().find(|v| v.primary)
+    }
+
+    /// Iterates over the VMAs in address order.
+    pub fn vmas(&self) -> impl Iterator<Item = &Vma> {
+        self.vmas.values()
+    }
+
+    pub(crate) fn add_vma(&mut self, vma: Vma) {
+        debug_assert!(
+            !self.vmas.values().any(|v| v.range.overlaps(&vma.range)),
+            "overlapping VMA"
+        );
+        self.vmas.insert(vma.range.start().as_u64(), vma);
+    }
+
+    /// Picks a placement for `len` bytes, aligned to `align`.
+    pub(crate) fn place_mmap(&mut self, len: u64, align: u64) -> AddrRange<Gva> {
+        let start = Gva::new(self.mmap_cursor).align_up(align);
+        self.mmap_cursor = start.as_u64() + len;
+        AddrRange::from_start_len(start, len)
+    }
+}

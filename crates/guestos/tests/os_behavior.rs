@@ -1,0 +1,213 @@
+//! Behavioral tests for the guest OS: demand paging, THP, primary regions,
+//! guest-segment setup, hotplug, and the I/O-gap layout.
+
+use mv_guestos::{GuestConfig, GuestOs, OsError, PageSizePolicy};
+use mv_types::{
+    layout::{IO_GAP_END, IO_GAP_START},
+    Gva, PageSize, Prot, GIB, MIB,
+};
+
+#[test]
+fn demand_paging_maps_on_fault() {
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let va = os.mmap(pid, MIB, Prot::RW).unwrap();
+    let (pt, mem) = os.pt_and_mem(pid);
+    assert!(pt.translate(mem, va).is_none(), "nothing mapped before fault");
+
+    let fix = os.handle_page_fault(pid, Gva::new(va.as_u64() + 0x123)).unwrap();
+    assert_eq!(fix.va_page, va);
+    assert_eq!(fix.size, PageSize::Size4K);
+    let (pt, mem) = os.pt_and_mem(pid);
+    let t = pt.translate(mem, va).expect("mapped after fault");
+    assert_eq!(t.page_base, fix.gpa);
+    assert_eq!(os.process(pid).fault_count(), 1);
+}
+
+#[test]
+fn fault_outside_vma_is_a_segfault() {
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let err = os.handle_page_fault(pid, Gva::new(0xdead_0000)).unwrap_err();
+    assert_eq!(err, OsError::SegmentationFault { va: 0xdead_0000 });
+}
+
+#[test]
+fn fixed_2m_policy_maps_huge_pages() {
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size2M));
+    let va = os.mmap(pid, 8 * MIB, Prot::RW).unwrap();
+    assert!(va.is_aligned(PageSize::Size2M), "mmap aligns to policy size");
+    let fix = os.handle_page_fault(pid, va).unwrap();
+    assert_eq!(fix.size, PageSize::Size2M);
+}
+
+#[test]
+fn thp_maps_whole_regions_as_2m_when_possible() {
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
+    let pid = os.create_process(PageSizePolicy::Thp);
+    let va = os.mmap(pid, 4 * MIB, Prot::RW).unwrap();
+    let fix = os.handle_page_fault(pid, Gva::new(va.as_u64() + 0x5000)).unwrap();
+    assert_eq!(fix.size, PageSize::Size2M, "THP promoted the fault");
+    assert_eq!(os.process(pid).thp_promotions(), 1);
+}
+
+#[test]
+fn thp_falls_back_to_4k_for_partial_regions() {
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
+    let pid = os.create_process(PageSizePolicy::Thp);
+    // A VMA smaller than 2 MiB can never hold a huge page.
+    let va = os.mmap(pid, 64 * 1024, Prot::RW).unwrap();
+    let fix = os.handle_page_fault(pid, va).unwrap();
+    assert_eq!(fix.size, PageSize::Size4K);
+    assert_eq!(os.process(pid).thp_promotions(), 0);
+}
+
+#[test]
+fn populate_prefaults_a_range() {
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let va = os.mmap(pid, MIB, Prot::RW).unwrap();
+    os.populate(pid, va, MIB).unwrap();
+    assert_eq!(os.process(pid).fault_count(), 256);
+    let (pt, mem) = os.pt_and_mem(pid);
+    for off in (0..MIB).step_by(4096) {
+        assert!(pt.translate(mem, Gva::new(va.as_u64() + off)).is_some());
+    }
+}
+
+#[test]
+fn guest_segment_requires_primary_region() {
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    assert_eq!(
+        os.setup_guest_segment(pid).unwrap_err(),
+        OsError::NoPrimaryRegion { pid }
+    );
+}
+
+#[test]
+fn guest_segment_maps_primary_region_contiguously() {
+    let mut os = GuestOs::boot(GuestConfig::small(128 * MIB));
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let base = os.create_primary_region(pid, 32 * MIB).unwrap();
+    let seg = os.setup_guest_segment(pid).unwrap();
+    assert!(seg.contains(base));
+    assert!(seg.contains(Gva::new(base.as_u64() + 32 * MIB - 1)));
+    assert!(!seg.contains(Gva::new(base.as_u64() + 32 * MIB)));
+    // Backing is a real contiguous reservation.
+    let backing = os.process(pid).segment_backing().unwrap();
+    assert_eq!(backing.len(), 32 * MIB);
+    assert_eq!(seg.translate(base).unwrap(), backing.start());
+}
+
+#[test]
+fn boot_reservation_feeds_segments_first() {
+    let mut os = GuestOs::boot(GuestConfig {
+        boot_reservation: 32 * MIB,
+        ..GuestConfig::small(128 * MIB)
+    });
+    let reserved = os.reservation().unwrap();
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    os.create_primary_region(pid, 16 * MIB).unwrap();
+    let seg = os.setup_guest_segment(pid).unwrap();
+    let backing = os.process(pid).segment_backing().unwrap();
+    assert_eq!(backing.start(), reserved.start(), "carved from the reservation");
+    assert_eq!(os.reservation().unwrap().len(), 16 * MIB, "half remains");
+    let _ = seg;
+}
+
+#[test]
+fn fragmented_guest_memory_blocks_segment_creation() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
+    let mut rng = StdRng::seed_from_u64(5);
+    let _held = os.mem_mut().fragment(&mut rng, 0.4);
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    os.create_primary_region(pid, 32 * MIB).unwrap();
+    let err = os.setup_guest_segment(pid).unwrap_err();
+    assert!(
+        matches!(err, OsError::Fragmented { .. }),
+        "fragmentation must surface so self-ballooning can kick in, got {err:?}"
+    );
+}
+
+#[test]
+fn escaped_segment_page_faults_map_segment_computed_frame() {
+    let mut os = GuestOs::boot(GuestConfig::small(128 * MIB));
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let base = os.create_primary_region(pid, 16 * MIB).unwrap();
+    let seg = os.setup_guest_segment(pid).unwrap();
+    let va = Gva::new(base.as_u64() + 0x3000);
+    let fix = os.handle_page_fault(pid, va).unwrap();
+    assert_eq!(fix.gpa, seg.translate(va).unwrap(), "layout stays coherent");
+}
+
+#[test]
+fn io_gap_layout_splits_memory() {
+    // 5 GiB installed with the gap: [0,3G) low + [4G,6G) high.
+    let os = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, 0));
+    let stats = os.mem().stats();
+    assert_eq!(stats.size_bytes, 6 * GIB);
+    assert_eq!(stats.free_bytes, 5 * GIB, "1 GiB gap is not allocatable");
+    // The largest contiguous run is capped by the gap.
+    assert!(stats.largest_free_run_bytes <= 3 * GIB);
+}
+
+#[test]
+fn io_gap_reclaim_unplugs_low_and_hotplugs_high() {
+    // The Section VI.C flow: keep 256 MiB low, move the rest above 4 GiB.
+    let keep = 256 * MIB;
+    let mut os = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, 3 * GIB));
+    let removed = os.unplug_low_memory(keep).unwrap();
+    assert_eq!(removed, 3 * GIB - keep);
+    let added = os.hotplug_add(removed).unwrap();
+    assert_eq!(added.len(), removed);
+    assert!(added.start() >= IO_GAP_END);
+    // Now a direct segment can cover nearly all guest memory: the largest
+    // contiguous run spans installed-high + hot-added memory.
+    let stats = os.mem().stats();
+    assert!(
+        stats.largest_free_run_bytes >= 2 * GIB + removed,
+        "high memory is contiguous: got {:#x}",
+        stats.largest_free_run_bytes
+    );
+    assert!(os.unplugged()[0].start().as_u64() == keep);
+    assert!(os.unplugged()[0].end() == IO_GAP_START);
+}
+
+#[test]
+fn hotplug_capacity_is_bounded() {
+    let mut os = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, GIB));
+    assert_eq!(os.offline_capacity(), GIB);
+    os.hotplug_add(GIB).unwrap();
+    assert_eq!(os.offline_capacity(), 0);
+    assert!(matches!(
+        os.hotplug_add(4096),
+        Err(OsError::Hotplug { .. })
+    ));
+}
+
+#[test]
+fn unplug_of_busy_low_memory_fails() {
+    let mut os = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, 0));
+    // Occupy some low memory.
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let va = os.mmap(pid, MIB, Prot::RW).unwrap();
+    os.populate(pid, va, MIB).unwrap();
+    let err = os.unplug_low_memory(0).unwrap_err();
+    assert!(matches!(err, OsError::Hotplug { .. }));
+}
+
+#[test]
+fn processes_have_distinct_page_tables() {
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
+    let a = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let b = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let va_a = os.mmap(a, MIB, Prot::RW).unwrap();
+    os.handle_page_fault(a, va_a).unwrap();
+    let (pt_b, mem) = os.pt_and_mem(b);
+    assert!(pt_b.translate(mem, va_a).is_none(), "process b cannot see a's pages");
+}

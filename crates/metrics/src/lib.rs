@@ -1,0 +1,67 @@
+//! Counters, linear performance models, statistics, and report tables.
+//!
+//! Section VII of the paper predicts each proposed mode's performance with
+//! linear models over measured quantities (Table IV): native and
+//! virtualized cycles-per-miss (`C_n`, `C_v`), native miss counts (`M_n`),
+//! and the fractions of misses covered by each segment (`F_DS`, `F_VD`,
+//! `F_GD`, `F_DD`). This crate implements those models, the
+//! execution-time-overhead metric of Section VIII
+//! ((T_E − T_2Mideal) / T_2Mideal), and the statistics used in Figure 13
+//! (means with 95% confidence intervals over 30 random trials).
+//!
+//! # Example
+//!
+//! ```
+//! use mv_metrics::LinearModel;
+//!
+//! let m = LinearModel { c_n: 40.0, c_v: 100.0, m_n: 1_000_000 };
+//! // A VMM segment covering 99% of misses gets walk time close to native.
+//! let cycles = m.vmm_direct(0.99);
+//! assert!(cycles < 1.2 * m.c_n * m.m_n as f64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod energy;
+mod model;
+mod stats;
+mod table;
+
+pub use energy::{translation_energy, EnergyWeights};
+pub use model::{LinearModel, DELTA_GD, DELTA_VD};
+pub use stats::{confidence95, geomean, mean, stddev, Summary};
+pub use table::Table;
+
+/// The paper's execution-time overhead metric: extra time relative to the
+/// ideal (translation-free) execution, as a fraction.
+///
+/// `ideal_cycles` plays the role of T_2Mideal (execution time minus page
+/// walks); `translation_cycles` is the page-walk time added back.
+///
+/// # Example
+///
+/// ```
+/// use mv_metrics::overhead;
+///
+/// assert_eq!(overhead(50.0, 100.0), 0.5); // 50% overhead
+/// assert_eq!(overhead(0.0, 100.0), 0.0);
+/// ```
+pub fn overhead(translation_cycles: f64, ideal_cycles: f64) -> f64 {
+    if ideal_cycles <= 0.0 {
+        0.0
+    } else {
+        translation_cycles / ideal_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_handles_degenerate_ideal() {
+        assert_eq!(overhead(100.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! The Table IV linear models for cycles spent on page walks.
+
+/// Δ for VMM Direct: five base-bound checks per walk (four page-table
+/// pointers plus the final gPA), at one cycle each.
+pub const DELTA_VD: f64 = 5.0;
+
+/// Δ for Guest Direct: one base-bound check per walk.
+pub const DELTA_GD: f64 = 1.0;
+
+/// Measured inputs to the Table IV models.
+///
+/// * `c_n` — cycles per TLB miss executing natively,
+/// * `c_v` — cycles per TLB miss executing virtualized (2D walks),
+/// * `m_n` — TLB misses for the fixed amount of work, measured natively.
+///
+/// # Example
+///
+/// ```
+/// use mv_metrics::LinearModel;
+///
+/// let m = LinearModel { c_n: 40.0, c_v: 96.0, m_n: 10_000 };
+/// // With no segment coverage every model degenerates to the 2D cost...
+/// assert_eq!(m.vmm_direct(0.0), 96.0 * 10_000.0);
+/// // ...and with full coverage Dual Direct eliminates walks entirely.
+/// assert_eq!(m.dual_direct(1.0, 0.0, 0.0), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// Native cycles per TLB miss.
+    pub c_n: f64,
+    /// Virtualized cycles per TLB miss.
+    pub c_v: f64,
+    /// Native TLB miss count.
+    pub m_n: u64,
+}
+
+impl LinearModel {
+    /// Direct Segment (native): `C_n · (1 − F_DS) · M_n` — misses inside
+    /// the segment are eliminated.
+    pub fn direct_segment(&self, f_ds: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&f_ds));
+        self.c_n * (1.0 - f_ds) * self.m_n as f64
+    }
+
+    /// VMM Direct: `[(C_n + Δ_VD)·F_VD + C_v·(1 − F_VD)] · M_n`.
+    pub fn vmm_direct(&self, f_vd: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&f_vd));
+        ((self.c_n + DELTA_VD) * f_vd + self.c_v * (1.0 - f_vd)) * self.m_n as f64
+    }
+
+    /// Guest Direct: `[(C_n + Δ_GD)·F_GD + C_v·(1 − F_GD)] · M_n`.
+    pub fn guest_direct(&self, f_gd: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&f_gd));
+        ((self.c_n + DELTA_GD) * f_gd + self.c_v * (1.0 - f_gd)) * self.m_n as f64
+    }
+
+    /// Dual Direct:
+    /// `[(C_n+Δ_VD)·F_VD + (C_n+Δ_GD)·F_GD + C_v·(1−F_GD−F_VD−F_DD)] · M_n`
+    /// — misses in both segments (`f_dd`) are free; misses in only one are
+    /// priced like the corresponding single-segment mode.
+    pub fn dual_direct(&self, f_dd: f64, f_vd: f64, f_gd: f64) -> f64 {
+        debug_assert!(f_dd + f_vd + f_gd <= 1.0 + 1e-9);
+        ((self.c_n + DELTA_VD) * f_vd
+            + (self.c_n + DELTA_GD) * f_gd
+            + self.c_v * (1.0 - f_gd - f_vd - f_dd))
+            * self.m_n as f64
+    }
+
+    /// Base virtualized cost for reference: `C_v · M_n`.
+    pub fn base_virtualized(&self) -> f64 {
+        self.c_v * self.m_n as f64
+    }
+
+    /// Base native cost for reference: `C_n · M_n`.
+    pub fn base_native(&self) -> f64 {
+        self.c_n * self.m_n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> LinearModel {
+        LinearModel {
+            c_n: 40.0,
+            c_v: 96.0,
+            m_n: 1_000,
+        }
+    }
+
+    #[test]
+    fn direct_segment_scales_with_coverage() {
+        let m = m();
+        assert_eq!(m.direct_segment(0.0), m.base_native());
+        assert_eq!(m.direct_segment(1.0), 0.0);
+        assert!((m.direct_segment(0.99) - 0.01 * m.base_native()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vmm_direct_interpolates_native_plus_delta_and_virtualized() {
+        let m = m();
+        assert_eq!(m.vmm_direct(0.0), m.base_virtualized());
+        assert_eq!(m.vmm_direct(1.0), (40.0 + 5.0) * 1_000.0);
+        let half = m.vmm_direct(0.5);
+        assert!(half > m.vmm_direct(1.0) && half < m.vmm_direct(0.0));
+    }
+
+    #[test]
+    fn guest_direct_has_smaller_delta_than_vmm_direct() {
+        let m = m();
+        assert!(m.guest_direct(1.0) < m.vmm_direct(1.0));
+        assert_eq!(m.guest_direct(1.0), (40.0 + 1.0) * 1_000.0);
+    }
+
+    #[test]
+    fn dual_direct_composes_all_categories() {
+        let m = m();
+        // Fully covered by both segments: zero walk cycles.
+        assert_eq!(m.dual_direct(1.0, 0.0, 0.0), 0.0);
+        // Degenerates to VMM Direct when only the VMM segment covers.
+        assert_eq!(m.dual_direct(0.0, 1.0, 0.0), m.vmm_direct(1.0));
+        // Degenerates to Guest Direct when only the guest segment covers.
+        assert_eq!(m.dual_direct(0.0, 0.0, 1.0), m.guest_direct(1.0));
+        // No coverage at all: base virtualized.
+        assert_eq!(m.dual_direct(0.0, 0.0, 0.0), m.base_virtualized());
+    }
+
+    #[test]
+    fn mode_ordering_matches_table_ii() {
+        // At equal (high) coverage: Dual < Guest < VMM < Base virtualized.
+        let m = m();
+        let dd = m.dual_direct(0.98, 0.01, 0.01);
+        let gd = m.guest_direct(0.98);
+        let vd = m.vmm_direct(0.98);
+        assert!(dd < gd);
+        assert!(gd < vd);
+        assert!(vd < m.base_virtualized());
+    }
+}

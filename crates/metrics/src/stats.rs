@@ -1,0 +1,133 @@
+//! Statistics for experiment reporting.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean; 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics in debug builds if any value is negative.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(xs.iter().all(|&x| x >= 0.0));
+    let log_sum: f64 = xs.iter().map(|&x| (x.max(1e-300)).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Sample standard deviation (n−1 denominator); 0 for fewer than two
+/// samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Half-width of the 95% confidence interval of the mean, using Student's
+/// t distribution (the paper's Figure 13 plots 95% CIs over 30 trials).
+pub fn confidence95(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let t = t_value_95(xs.len() - 1);
+    t * stddev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Two-sided 95% t critical value for `df` degrees of freedom.
+fn t_value_95(df: usize) -> f64 {
+    // Table for small df; converges to the normal 1.96 beyond 30.
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Mean ± 95% CI summary of a set of trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval.
+    pub ci95: f64,
+    /// Number of trials.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a set of trials.
+    pub fn of(xs: &[f64]) -> Summary {
+        Summary {
+            mean: mean(xs),
+            ci95: confidence95(xs),
+            n: xs.len(),
+        }
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.ci95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.138089935).abs() < 1e-6);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn geomean_of_powers() {
+        assert!((geomean(&[1.0, 4.0, 16.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_n() {
+        let few: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let many: Vec<f64> = (0..50).map(|i| (i % 5) as f64).collect();
+        assert!(confidence95(&many) < confidence95(&few));
+        assert_eq!(confidence95(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn t_values_bracket_the_normal() {
+        assert!(t_value_95(29) > 1.96);
+        assert_eq!(t_value_95(100), 1.96);
+    }
+
+    #[test]
+    fn summary_formats() {
+        let s = Summary::of(&[1.0, 1.0, 1.0]);
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.to_string(), "1.0000 ± 0.0000");
+    }
+}

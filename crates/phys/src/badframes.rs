@@ -1,0 +1,180 @@
+//! Bad-frame (hard-fault) tracking.
+//!
+//! Commodity OSes keep faulty physical pages on a bad-page list so they are
+//! never handed to applications (paper Section V). With direct segments a
+//! *single* bad frame inside the would-be segment range blocks creation of
+//! the segment — the motivation for the escape filter. This module models
+//! the list of permanently faulty frames.
+
+use std::collections::BTreeSet;
+
+use mv_types::{AddrRange, Address, PAGE_SHIFT_4K, PAGE_SIZE_4K};
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+/// Set of permanently faulty 4 KiB frames in a physical address space.
+///
+/// # Example
+///
+/// ```
+/// use mv_phys::BadFrames;
+/// use mv_types::{AddrRange, Hpa};
+///
+/// let mut bad: BadFrames<Hpa> = BadFrames::new();
+/// bad.mark(Hpa::new(0x5000));
+/// assert!(bad.is_bad(Hpa::new(0x5123)));
+/// let r = AddrRange::new(Hpa::new(0x4000), Hpa::new(0x8000));
+/// assert_eq!(bad.bad_in_range(&r), vec![Hpa::new(0x5000)]);
+/// ```
+pub struct BadFrames<A> {
+    frames: BTreeSet<u64>,
+    _space: core::marker::PhantomData<fn() -> A>,
+}
+
+impl<A: Address> BadFrames<A> {
+    /// Creates an empty bad-frame list.
+    pub fn new() -> Self {
+        Self {
+            frames: BTreeSet::new(),
+            _space: core::marker::PhantomData,
+        }
+    }
+
+    /// Marks the frame containing `addr` as bad.
+    pub fn mark(&mut self, addr: A) {
+        self.frames.insert(addr.as_u64() >> PAGE_SHIFT_4K);
+    }
+
+    /// Whether the frame containing `addr` is bad.
+    pub fn is_bad(&self, addr: A) -> bool {
+        self.frames.contains(&(addr.as_u64() >> PAGE_SHIFT_4K))
+    }
+
+    /// Number of bad frames.
+    pub fn count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Base addresses of bad frames falling inside `range`, in address
+    /// order.
+    pub fn bad_in_range(&self, range: &AddrRange<A>) -> Vec<A> {
+        let start = range.start().as_u64() >> PAGE_SHIFT_4K;
+        let end = range.end().as_u64().div_ceil(PAGE_SIZE_4K);
+        self.frames
+            .range(start..end)
+            .map(|&f| A::from_u64(f << PAGE_SHIFT_4K))
+            .collect()
+    }
+
+    /// Whether any bad frame falls inside `range`.
+    pub fn any_in_range(&self, range: &AddrRange<A>) -> bool {
+        let start = range.start().as_u64() >> PAGE_SHIFT_4K;
+        let end = range.end().as_u64().div_ceil(PAGE_SIZE_4K);
+        self.frames.range(start..end).next().is_some()
+    }
+
+    /// Marks `n` distinct random frames within `range` as bad (used by the
+    /// Figure 13 escape-filter experiment, which draws 30 random fault sets
+    /// per count). Frames already bad are not double-counted; exactly `n`
+    /// *new* bad frames are added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` has fewer than `n` good frames.
+    pub fn inject_random<R: Rng>(&mut self, rng: &mut R, range: &AddrRange<A>, n: usize) {
+        let start = range.start().as_u64() >> PAGE_SHIFT_4K;
+        let end = range.end().as_u64() >> PAGE_SHIFT_4K;
+        let candidates = (start..end).filter(|f| !self.frames.contains(f));
+        let chosen = candidates.choose_multiple(rng, n);
+        assert_eq!(chosen.len(), n, "range has fewer than {n} good frames");
+        self.frames.extend(chosen);
+    }
+
+    /// Iterates over bad frame base addresses in address order.
+    pub fn iter(&self) -> impl Iterator<Item = A> + '_ {
+        self.frames.iter().map(|&f| A::from_u64(f << PAGE_SHIFT_4K))
+    }
+}
+
+impl<A: Address> Default for BadFrames<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Address> std::fmt::Debug for BadFrames<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BadFrames")
+            .field("space", &A::SPACE)
+            .field("count", &self.frames.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_types::Hpa;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn range(start: u64, end: u64) -> AddrRange<Hpa> {
+        AddrRange::new(Hpa::new(start), Hpa::new(end))
+    }
+
+    #[test]
+    fn mark_and_query() {
+        let mut bad: BadFrames<Hpa> = BadFrames::new();
+        assert!(!bad.is_bad(Hpa::new(0x5000)));
+        bad.mark(Hpa::new(0x5abc));
+        assert!(bad.is_bad(Hpa::new(0x5000)));
+        assert!(bad.is_bad(Hpa::new(0x5fff)));
+        assert!(!bad.is_bad(Hpa::new(0x6000)));
+        assert_eq!(bad.count(), 1);
+    }
+
+    #[test]
+    fn range_queries() {
+        let mut bad: BadFrames<Hpa> = BadFrames::new();
+        bad.mark(Hpa::new(0x3000));
+        bad.mark(Hpa::new(0x9000));
+        let r = range(0x2000, 0x8000);
+        assert!(bad.any_in_range(&r));
+        assert_eq!(bad.bad_in_range(&r), vec![Hpa::new(0x3000)]);
+        assert!(!bad.any_in_range(&range(0x4000, 0x9000)));
+        assert!(bad.any_in_range(&range(0x9000, 0x9001)));
+    }
+
+    #[test]
+    fn inject_random_adds_exactly_n_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut bad: BadFrames<Hpa> = BadFrames::new();
+        let r = range(0x10_000, 0x100_000);
+        bad.inject_random(&mut rng, &r, 16);
+        assert_eq!(bad.count(), 16);
+        for f in bad.iter() {
+            assert!(r.contains(f));
+        }
+    }
+
+    #[test]
+    fn inject_random_is_deterministic_per_seed() {
+        let r = range(0, 0x1000_0000);
+        let collect = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut bad: BadFrames<Hpa> = BadFrames::new();
+            bad.inject_random(&mut rng, &r, 8);
+            bad.iter().collect::<Vec<_>>()
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "good frames")]
+    fn inject_more_than_available_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut bad: BadFrames<Hpa> = BadFrames::new();
+        bad.inject_random(&mut rng, &range(0, 0x2000), 3);
+    }
+}

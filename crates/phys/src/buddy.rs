@@ -1,0 +1,659 @@
+//! Binary buddy allocator over 4 KiB frames.
+//!
+//! The allocator tracks frames by index (frame 0 is physical address 0).
+//! Blocks are power-of-two runs of frames, from order 0 (4 KiB) to order 18
+//! (1 GiB), matching the three x86-64 mapping granularities. Besides the
+//! usual `alloc`/`free`, it supports **carving** arbitrary aligned ranges out
+//! of the free pool (used for boot-time contiguous reservations and for
+//! modeling the I/O gap) and reports **merged free runs** that span buddy
+//! boundaries, which fragmentation statistics and compaction need.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::PhysError;
+
+/// Highest supported block order (2^18 frames = 1 GiB).
+pub const MAX_ORDER: u8 = 18;
+
+/// Block metadata for an allocated block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Block {
+    pub order: u8,
+    pub pinned: bool,
+}
+
+/// A binary buddy allocator over frame indices.
+///
+/// # Example
+///
+/// ```
+/// use mv_phys::buddy::BuddyAllocator;
+///
+/// let mut b = BuddyAllocator::new(1024); // 4 MiB of frames
+/// let frame = b.alloc(0)?;
+/// let big = b.alloc(9)?; // one 2 MiB block
+/// b.free(frame, 0)?;
+/// b.free(big, 9)?;
+/// assert_eq!(b.free_frames(), 1024);
+/// # Ok::<(), mv_phys::PhysError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    nframes: u64,
+    free_frames: u64,
+    /// Free block start indices per order.
+    free_lists: Vec<BTreeSet<u64>>,
+    /// Allocated blocks: start index -> metadata.
+    allocated: BTreeMap<u64, Block>,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator managing frames `[0, nframes)`, all free.
+    ///
+    /// `nframes` need not be a power of two; the range is covered greedily
+    /// with maximal aligned blocks.
+    pub fn new(nframes: u64) -> Self {
+        let mut b = BuddyAllocator {
+            nframes,
+            free_frames: 0,
+            free_lists: vec![BTreeSet::new(); MAX_ORDER as usize + 1],
+            allocated: BTreeMap::new(),
+        };
+        b.insert_region(0, nframes);
+        b
+    }
+
+    /// Inserts `[start, start+len)` into the free pool as maximal aligned
+    /// blocks.
+    fn insert_region(&mut self, mut start: u64, len: u64) {
+        let end = start + len;
+        while start < end {
+            let align_order = if start == 0 {
+                MAX_ORDER
+            } else {
+                (start.trailing_zeros() as u8).min(MAX_ORDER)
+            };
+            let mut order = align_order;
+            while start + (1 << order) > end {
+                order -= 1;
+            }
+            self.free_lists[order as usize].insert(start);
+            self.free_frames += 1 << order;
+            start += 1 << order;
+        }
+    }
+
+    /// Total frames managed.
+    #[inline]
+    pub fn frames(&self) -> u64 {
+        self.nframes
+    }
+
+    /// Frames currently free.
+    #[inline]
+    pub fn free_frames(&self) -> u64 {
+        self.free_frames
+    }
+
+    /// Number of allocated blocks (not frames).
+    #[inline]
+    pub fn allocated_blocks(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Allocates a block of `2^order` frames, returning its first frame
+    /// index. Prefers the lowest-addressed suitable block, so allocation is
+    /// deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysError::OutOfMemory`] if no block of sufficient order is
+    /// free.
+    pub fn alloc(&mut self, order: u8) -> Result<u64, PhysError> {
+        assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+        let mut found = None;
+        for o in order..=MAX_ORDER {
+            if let Some(&start) = self.free_lists[o as usize].iter().next() {
+                found = Some((start, o));
+                break;
+            }
+        }
+        let (start, mut o) = found.ok_or(PhysError::OutOfMemory {
+            requested: (1u64 << order) * 4096,
+            free: self.free_frames * 4096,
+        })?;
+        self.free_lists[o as usize].remove(&start);
+        // Split down to the requested order, returning upper halves to the
+        // free lists.
+        while o > order {
+            o -= 1;
+            self.free_lists[o as usize].insert(start + (1 << o));
+        }
+        self.free_frames -= 1 << order;
+        self.allocated.insert(
+            start,
+            Block {
+                order,
+                pinned: false,
+            },
+        );
+        Ok(start)
+    }
+
+    /// Frees the block of `2^order` frames starting at `start`, coalescing
+    /// with free buddies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysError::BadState`] if the block is not currently
+    /// allocated at that order.
+    pub fn free(&mut self, start: u64, order: u8) -> Result<(), PhysError> {
+        match self.allocated.get(&start) {
+            Some(b) if b.order == order => {
+                self.allocated.remove(&start);
+            }
+            Some(b) => {
+                return Err(PhysError::BadState {
+                    addr: start * 4096,
+                    what: if b.order > order {
+                        "freed with smaller order than allocated"
+                    } else {
+                        "freed with larger order than allocated"
+                    },
+                })
+            }
+            None => {
+                return Err(PhysError::BadState {
+                    addr: start * 4096,
+                    what: "double free or never allocated",
+                })
+            }
+        }
+        self.free_frames += 1 << order;
+        self.insert_free_coalescing(start, order);
+        Ok(())
+    }
+
+    fn insert_free_coalescing(&mut self, mut start: u64, mut order: u8) {
+        while order < MAX_ORDER {
+            let buddy = start ^ (1 << order);
+            if buddy + (1 << order) > self.nframes {
+                break;
+            }
+            if !self.free_lists[order as usize].remove(&buddy) {
+                break;
+            }
+            start = start.min(buddy);
+            order += 1;
+        }
+        self.free_lists[order as usize].insert(start);
+    }
+
+    /// Whether the frame at `idx` is currently allocated.
+    pub fn is_allocated(&self, idx: u64) -> bool {
+        self.block_containing(idx).is_some()
+    }
+
+    /// The allocated block `(start, order, pinned)` containing frame `idx`,
+    /// if any.
+    pub fn block_containing(&self, idx: u64) -> Option<(u64, u8, bool)> {
+        let (&start, block) = self.allocated.range(..=idx).next_back()?;
+        if idx < start + (1u64 << block.order) {
+            Some((start, block.order, block.pinned))
+        } else {
+            None
+        }
+    }
+
+    /// Marks the allocated block containing `idx` as pinned (unmovable by
+    /// compaction) or movable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysError::BadState`] if no allocated block contains `idx`.
+    pub fn set_pinned(&mut self, idx: u64, pinned: bool) -> Result<(), PhysError> {
+        let (start, _, _) = self.block_containing(idx).ok_or(PhysError::BadState {
+            addr: idx * 4096,
+            what: "pin of unallocated frame",
+        })?;
+        self.allocated
+            .get_mut(&start)
+            .expect("block_containing returned a live block")
+            .pinned = pinned;
+        Ok(())
+    }
+
+    /// Removes the specific range `[start, start+len)` from the free pool,
+    /// marking it allocated. The range is decomposed into maximal aligned
+    /// blocks, each recorded in the allocation map so [`Self::free_range`]
+    /// can return it later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysError::BadState`] if any frame in the range is not
+    /// free. On error, no frames are carved (the operation is atomic).
+    pub fn carve(&mut self, start: u64, len: u64) -> Result<(), PhysError> {
+        if start + len > self.nframes {
+            return Err(PhysError::OutOfBounds {
+                addr: (start + len) * 4096,
+                size: self.nframes * 4096,
+            });
+        }
+        // Validate first so failure leaves state untouched.
+        for (bstart, border) in Self::aligned_blocks(start, len) {
+            if !self.is_block_free(bstart, border) {
+                return Err(PhysError::BadState {
+                    addr: bstart * 4096,
+                    what: "carve of non-free frames",
+                });
+            }
+        }
+        for (bstart, border) in Self::aligned_blocks(start, len) {
+            self.remove_free_block(bstart, border);
+            self.free_frames -= 1 << border;
+            self.allocated.insert(
+                bstart,
+                Block {
+                    order: border,
+                    pinned: false,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Frees the range `[start, start+len)`. The range may be any
+    /// combination of (parts of) allocated blocks: larger allocated blocks
+    /// are split as needed, so a sub-range of a carved region can be
+    /// returned independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysError::BadState`] if any frame in the range is not
+    /// currently allocated.
+    pub fn free_range(&mut self, start: u64, len: u64) -> Result<(), PhysError> {
+        for (bstart, border) in Self::aligned_blocks(start, len) {
+            self.free_block_flexible(bstart, border)?;
+        }
+        Ok(())
+    }
+
+    /// Frees the exact block `[start, start+2^order)` regardless of how the
+    /// underlying allocations tile it.
+    fn free_block_flexible(&mut self, start: u64, order: u8) -> Result<(), PhysError> {
+        match self.block_containing(start) {
+            Some((bs, bo, _)) if bs == start && bo == order => self.free(start, order),
+            Some((bs, bo, _)) if bo > order => {
+                // Split the containing block until an exact match exists.
+                debug_assert!(bs <= start);
+                self.split_allocated(bs, bo, start, order);
+                self.free(start, order)
+            }
+            _ => {
+                if order == 0 {
+                    return Err(PhysError::BadState {
+                        addr: start * 4096,
+                        what: "free of unallocated frame",
+                    });
+                }
+                // The block is tiled by smaller allocations; free each half.
+                let half = 1u64 << (order - 1);
+                self.free_block_flexible(start, order - 1)?;
+                self.free_block_flexible(start + half, order - 1)
+            }
+        }
+    }
+
+    /// Splits the allocated block `(bs, bo)` into halves (inheriting the
+    /// pinned flag) until a block exactly `(target, target_order)` exists.
+    fn split_allocated(&mut self, bs: u64, bo: u8, target: u64, target_order: u8) {
+        let block = self
+            .allocated
+            .remove(&bs)
+            .expect("split_allocated of unallocated block");
+        debug_assert_eq!(block.order, bo);
+        let mut cur = bs;
+        let mut cur_order = bo;
+        while cur_order > target_order {
+            cur_order -= 1;
+            let half = 1u64 << cur_order;
+            let (keep, descend) = if target < cur + half {
+                (cur + half, cur)
+            } else {
+                (cur, cur + half)
+            };
+            self.allocated.insert(
+                keep,
+                Block {
+                    order: cur_order,
+                    pinned: block.pinned,
+                },
+            );
+            cur = descend;
+        }
+        debug_assert_eq!(cur, target);
+        self.allocated.insert(
+            cur,
+            Block {
+                order: target_order,
+                pinned: block.pinned,
+            },
+        );
+    }
+
+    /// Decomposes `[start, start+len)` into maximal aligned power-of-two
+    /// blocks, yielding `(start, order)` pairs.
+    pub(crate) fn aligned_blocks(mut start: u64, len: u64) -> Vec<(u64, u8)> {
+        let end = start + len;
+        let mut out = Vec::new();
+        while start < end {
+            let align_order = if start == 0 {
+                MAX_ORDER
+            } else {
+                (start.trailing_zeros() as u8).min(MAX_ORDER)
+            };
+            let mut order = align_order;
+            while start + (1u64 << order) > end {
+                order -= 1;
+            }
+            out.push((start, order));
+            start += 1 << order;
+        }
+        out
+    }
+
+    /// Whether the exact block `[start, start + 2^order)` is entirely free.
+    fn is_block_free(&self, start: u64, order: u8) -> bool {
+        // A block is free iff it is contained in some free-list entry.
+        for o in order..=MAX_ORDER {
+            let aligned = start & !((1u64 << o) - 1);
+            if self.free_lists[o as usize].contains(&aligned)
+                && start + (1 << order) <= aligned + (1 << o)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes the exact free block `[start, start+2^order)`, splitting a
+    /// containing larger free block if necessary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not free (callers must check first).
+    fn remove_free_block(&mut self, start: u64, order: u8) {
+        if self.free_lists[order as usize].remove(&start) {
+            return;
+        }
+        // Find the containing free block and split.
+        for o in (order + 1)..=MAX_ORDER {
+            let aligned = start & !((1u64 << o) - 1);
+            if self.free_lists[o as usize].remove(&aligned) {
+                // Split down, keeping the halves that do not contain `start`.
+                let mut cur = aligned;
+                let mut cur_order = o;
+                while cur_order > order {
+                    cur_order -= 1;
+                    let half = 1u64 << cur_order;
+                    if start < cur + half {
+                        // Target in lower half; free the upper half.
+                        self.free_lists[cur_order as usize].insert(cur + half);
+                    } else {
+                        // Target in upper half; free the lower half.
+                        self.free_lists[cur_order as usize].insert(cur);
+                        cur += half;
+                    }
+                }
+                debug_assert_eq!(cur, start);
+                return;
+            }
+        }
+        panic!("remove_free_block: block {start:#x} order {order} not free");
+    }
+
+    /// Iterates over all free blocks as `(start, order)` pairs, in address
+    /// order.
+    pub fn free_blocks(&self) -> impl Iterator<Item = (u64, u8)> + '_ {
+        let mut all: Vec<(u64, u8)> = self
+            .free_lists
+            .iter()
+            .enumerate()
+            .flat_map(|(o, set)| set.iter().map(move |&s| (s, o as u8)))
+            .collect();
+        all.sort_unstable();
+        all.into_iter()
+    }
+
+    /// Iterates over allocated blocks as `(start, order, pinned)`.
+    pub fn allocated_iter(&self) -> impl Iterator<Item = (u64, u8, bool)> + '_ {
+        self.allocated
+            .iter()
+            .map(|(&s, b)| (s, b.order, b.pinned))
+    }
+
+    /// Merged free runs `(start, len)` in frames, coalescing adjacent free
+    /// blocks across buddy boundaries.
+    pub fn free_runs(&self) -> Vec<(u64, u64)> {
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for (start, order) in self.free_blocks() {
+            let len = 1u64 << order;
+            match runs.last_mut() {
+                Some((rs, rl)) if *rs + *rl == start => *rl += len,
+                _ => runs.push((start, len)),
+            }
+        }
+        runs
+    }
+
+    /// Length in frames of the largest merged free run.
+    pub fn largest_free_run(&self) -> u64 {
+        self.free_runs().iter().map(|&(_, l)| l).max().unwrap_or(0)
+    }
+
+    /// Finds the lowest free run of at least `nframes` frames whose start is
+    /// aligned to `align_frames` (a power of two), returning the aligned
+    /// start index.
+    pub fn find_free_run(&self, nframes: u64, align_frames: u64) -> Option<u64> {
+        debug_assert!(align_frames.is_power_of_two());
+        for (start, len) in self.free_runs() {
+            let aligned = (start + align_frames - 1) & !(align_frames - 1);
+            if aligned + nframes <= start + len {
+                return Some(aligned);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_allocator_is_fully_free() {
+        let b = BuddyAllocator::new(1 << 18);
+        assert_eq!(b.free_frames(), 1 << 18);
+        assert_eq!(b.largest_free_run(), 1 << 18);
+        assert_eq!(b.allocated_blocks(), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_sizes_are_covered() {
+        let b = BuddyAllocator::new(1000);
+        assert_eq!(b.free_frames(), 1000);
+        assert_eq!(b.largest_free_run(), 1000);
+    }
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let mut b = BuddyAllocator::new(1024);
+        let f = b.alloc(0).unwrap();
+        assert_eq!(b.free_frames(), 1023);
+        assert!(b.is_allocated(f));
+        b.free(f, 0).unwrap();
+        assert_eq!(b.free_frames(), 1024);
+        assert_eq!(b.largest_free_run(), 1024);
+        assert!(!b.is_allocated(f));
+    }
+
+    #[test]
+    fn alloc_prefers_lowest_address() {
+        let mut b = BuddyAllocator::new(1024);
+        assert_eq!(b.alloc(0).unwrap(), 0);
+        assert_eq!(b.alloc(0).unwrap(), 1);
+        assert_eq!(b.alloc(9).unwrap(), 512);
+    }
+
+    #[test]
+    fn split_and_coalesce() {
+        let mut b = BuddyAllocator::new(1024);
+        let frames: Vec<u64> = (0..1024).map(|_| b.alloc(0).unwrap()).collect();
+        assert_eq!(b.free_frames(), 0);
+        assert!(b.alloc(0).is_err());
+        for f in frames {
+            b.free(f, 0).unwrap();
+        }
+        assert_eq!(b.free_frames(), 1024);
+        // Everything coalesced back into one block.
+        assert_eq!(b.free_blocks().count(), 1);
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let mut b = BuddyAllocator::new(64);
+        let f = b.alloc(0).unwrap();
+        b.free(f, 0).unwrap();
+        let err = b.free(f, 0).unwrap_err();
+        assert!(matches!(err, PhysError::BadState { .. }));
+    }
+
+    #[test]
+    fn wrong_order_free_is_rejected() {
+        let mut b = BuddyAllocator::new(1024);
+        let f = b.alloc(3).unwrap();
+        assert!(b.free(f, 2).is_err());
+        assert!(b.free(f, 4).is_err());
+        b.free(f, 3).unwrap();
+    }
+
+    #[test]
+    fn out_of_memory_error_reports_free() {
+        let mut b = BuddyAllocator::new(8);
+        let err = b.alloc(4).unwrap_err();
+        assert_eq!(
+            err,
+            PhysError::OutOfMemory {
+                requested: 16 * 4096,
+                free: 8 * 4096
+            }
+        );
+    }
+
+    #[test]
+    fn carve_specific_range() {
+        let mut b = BuddyAllocator::new(1 << 12);
+        b.carve(100, 50).unwrap();
+        assert_eq!(b.free_frames(), (1 << 12) - 50);
+        assert!(b.is_allocated(100));
+        assert!(b.is_allocated(149));
+        assert!(!b.is_allocated(99));
+        assert!(!b.is_allocated(150));
+        b.free_range(100, 50).unwrap();
+        assert_eq!(b.free_frames(), 1 << 12);
+        assert_eq!(b.free_blocks().count(), 1);
+    }
+
+    #[test]
+    fn carve_of_allocated_range_fails_atomically() {
+        let mut b = BuddyAllocator::new(256);
+        b.carve(10, 10).unwrap();
+        let before: Vec<_> = b.free_blocks().collect();
+        assert!(b.carve(5, 10).is_err()); // overlaps [10,20)
+        let after: Vec<_> = b.free_blocks().collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn carve_out_of_bounds_fails() {
+        let mut b = BuddyAllocator::new(256);
+        assert!(matches!(
+            b.carve(200, 100),
+            Err(PhysError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn aligned_block_decomposition_covers_range_exactly() {
+        for (start, len) in [(0u64, 7u64), (3, 13), (100, 50), (0, 1 << 18), (5, 1)] {
+            let blocks = BuddyAllocator::aligned_blocks(start, len);
+            let mut cursor = start;
+            for (s, o) in &blocks {
+                assert_eq!(*s, cursor);
+                assert_eq!(s % (1 << o), 0, "block not aligned");
+                cursor += 1u64 << o;
+            }
+            assert_eq!(cursor, start + len);
+        }
+    }
+
+    #[test]
+    fn free_runs_merge_across_buddy_boundaries() {
+        let mut b = BuddyAllocator::new(64);
+        // Allocate everything then free a run [10, 30) that crosses buddy
+        // boundaries.
+        b.carve(0, 64).unwrap();
+        b.free_range(10, 20).unwrap();
+        assert_eq!(b.free_runs(), vec![(10, 20)]);
+        assert_eq!(b.largest_free_run(), 20);
+    }
+
+    #[test]
+    fn find_free_run_respects_alignment() {
+        let mut b = BuddyAllocator::new(1024);
+        b.carve(0, 100).unwrap();
+        // Free space starts at 100; the first 64-aligned start is 128.
+        assert_eq!(b.find_free_run(64, 64), Some(128));
+        assert_eq!(b.find_free_run(900, 1), Some(100));
+        assert_eq!(b.find_free_run(925, 1), None);
+    }
+
+    #[test]
+    fn pinning_blocks() {
+        let mut b = BuddyAllocator::new(64);
+        let f = b.alloc(2).unwrap();
+        b.set_pinned(f + 3, true).unwrap();
+        assert_eq!(b.block_containing(f), Some((f, 2, true)));
+        b.set_pinned(f, false).unwrap();
+        assert_eq!(b.block_containing(f + 1), Some((f, 2, false)));
+        assert!(b.set_pinned(63, true).is_err());
+    }
+
+    #[test]
+    fn mixed_order_stress_preserves_frame_accounting() {
+        let mut b = BuddyAllocator::new(1 << 14);
+        let mut live = Vec::new();
+        // Deterministic pseudo-random order pattern.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let order = (x >> 60) as u8 % 5;
+            if x & 1 == 0 || live.is_empty() {
+                if let Ok(f) = b.alloc(order) {
+                    live.push((f, order));
+                }
+            } else {
+                let idx = (x as usize >> 8) % live.len();
+                let (f, o) = live.swap_remove(idx);
+                b.free(f, o).unwrap();
+            }
+        }
+        let live_frames: u64 = live.iter().map(|&(_, o)| 1u64 << o).sum();
+        assert_eq!(b.free_frames() + live_frames, 1 << 14);
+        for (f, o) in live {
+            b.free(f, o).unwrap();
+        }
+        assert_eq!(b.free_frames(), 1 << 14);
+        assert_eq!(b.free_blocks().count(), 1);
+    }
+}

@@ -1,0 +1,349 @@
+//! Memory-compaction model.
+//!
+//! Section IV of the paper leverages the OS memory-compaction daemon to
+//! manufacture contiguous host-physical memory for a VMM segment: compaction
+//! "slowly relocates pages", after which a Guest Direct (or Base Virtualized)
+//! VM can be upgraded to Dual Direct (or VMM Direct) — the Table III
+//! transitions. This module implements the relocation: pick the cheapest
+//! window of the requested size, move every movable allocated frame out of
+//! it, and reserve the resulting contiguous run. The number of pages moved
+//! is the cost metric the experiments report.
+
+use mv_types::{AddrRange, Address, PageSize, PAGE_SHIFT_4K, PAGE_SIZE_4K};
+
+use crate::mem::PhysMem;
+use crate::PhysError;
+
+/// Result of a successful [`PhysMem::compact_and_reserve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionOutcome<A: Address> {
+    /// The contiguous range produced and reserved.
+    pub range: AddrRange<A>,
+    /// Number of 4 KiB pages relocated to clear the window.
+    pub pages_moved: u64,
+    /// Bad frames inside the range (empty unless `allow_bad` was set).
+    pub bad_inside: Vec<A>,
+}
+
+/// Cumulative compaction statistics for a physical space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Total 4 KiB pages moved over the lifetime of the space.
+    pub pages_moved: u64,
+    /// Number of compaction runs performed.
+    pub runs: u64,
+}
+
+pub(crate) fn compact_and_reserve<A: Address>(
+    mem: &mut PhysMem<A>,
+    len: u64,
+    align: PageSize,
+    allow_bad: bool,
+    on_move: &mut dyn FnMut(A, A),
+) -> Result<CompactionOutcome<A>, PhysError> {
+    let nframes = len.div_ceil(PAGE_SIZE_4K);
+    let align_frames = align.covered_4k_pages();
+    let total_frames = mem.size_bytes() >> PAGE_SHIFT_4K;
+
+    // Fast path: contiguity already exists.
+    if let Some(start) = mem.buddy().find_free_run(nframes, align_frames) {
+        mem.buddy_mut().carve(start, nframes)?;
+        mem.stats_mut().runs += 1;
+        return Ok(CompactionOutcome {
+            range: frame_range(start, nframes),
+            pages_moved: 0,
+            bad_inside: Vec::new(),
+        });
+    }
+
+    let window = choose_window(mem, nframes, align_frames, total_frames, allow_bad).ok_or(
+        PhysError::Fragmented {
+            requested: len,
+            largest_free_run: mem.buddy().largest_free_run() * PAGE_SIZE_4K,
+        },
+    )?;
+
+    let range = frame_range(window, nframes);
+    let bad_inside: Vec<A> = mem.bad_frames().bad_in_range(&range);
+
+    // Pre-carve the free portions of the window (marked pinned) so
+    // relocation destinations are always allocated outside it and the
+    // relocation loop below skips them.
+    let free_in_window: Vec<(u64, u64)> = mem
+        .buddy()
+        .free_runs()
+        .into_iter()
+        .filter_map(|(s, l)| {
+            let lo = s.max(window);
+            let hi = (s + l).min(window + nframes);
+            (lo < hi).then(|| (lo, hi - lo))
+        })
+        .collect();
+    for &(s, l) in &free_in_window {
+        mem.buddy_mut().carve(s, l)?;
+        for f in s..s + l {
+            mem.buddy_mut().set_pinned(f, true)?;
+        }
+    }
+
+    // Relocate every movable allocated block overlapping the window.
+    // Collect first: we mutate the allocator while iterating otherwise.
+    let to_move: Vec<(u64, u8)> = mem
+        .buddy()
+        .allocated_iter()
+        .filter(|&(s, o, _)| {
+            let bstart = s;
+            let bend = s + (1u64 << o);
+            bend > window && bstart < window + nframes
+        })
+        .filter(|&(s, _, pinned)| {
+            !pinned && !mem.bad_frames().is_bad(A::from_u64(s << PAGE_SHIFT_4K))
+        })
+        .map(|(s, o, _)| (s, o))
+        .collect();
+
+    let mut pages_moved = 0u64;
+    let moved_blocks = to_move.clone();
+    for (bstart, border) in to_move {
+        let bframes = 1u64 << border;
+        // Allocate a destination for each 4 KiB frame individually; the
+        // copies need not stay contiguous.
+        for i in 0..bframes {
+            let src = bstart + i;
+            let dst = mem.buddy_mut().alloc(0).map_err(|_| PhysError::Fragmented {
+                requested: len,
+                largest_free_run: mem.buddy().largest_free_run() * PAGE_SIZE_4K,
+            })?;
+            debug_assert!(
+                !(dst >= window && dst < window + nframes),
+                "relocation destination landed inside the window"
+            );
+            mem.store_mut().relocate_frame(src, dst);
+            on_move(
+                A::from_u64(src << PAGE_SHIFT_4K),
+                A::from_u64(dst << PAGE_SHIFT_4K),
+            );
+            pages_moved += 1;
+        }
+    }
+    // Free the moved-out source blocks only now: freeing them mid-loop
+    // would let a later destination allocation land back inside the window.
+    for &(bstart, border) in &moved_blocks {
+        mem.buddy_mut().free(bstart, border)?;
+    }
+
+    // Return the pre-carves, then atomically carve the whole window (minus
+    // bad frames, which stay carved as part of the bad-frame bookkeeping).
+    for &(s, l) in &free_in_window {
+        mem.buddy_mut().free_range(s, l)?;
+    }
+    let mut cursor = window;
+    let end = window + nframes;
+    for b in &bad_inside {
+        let bframe = b.as_u64() >> PAGE_SHIFT_4K;
+        if bframe > cursor {
+            mem.buddy_mut().carve(cursor, bframe - cursor)?;
+        }
+        cursor = bframe + 1;
+    }
+    if end > cursor {
+        mem.buddy_mut().carve(cursor, end - cursor)?;
+    }
+
+    mem.stats_mut().pages_moved += pages_moved;
+    mem.stats_mut().runs += 1;
+    Ok(CompactionOutcome {
+        range,
+        pages_moved,
+        bad_inside,
+    })
+}
+
+fn frame_range<A: Address>(start_frame: u64, nframes: u64) -> AddrRange<A> {
+    AddrRange::from_start_len(
+        A::from_u64(start_frame << PAGE_SHIFT_4K),
+        nframes << PAGE_SHIFT_4K,
+    )
+}
+
+/// Chooses the window `[w, w+nframes)` (aligned to `align_frames`)
+/// minimizing the number of frames that must be relocated, subject to:
+/// no pinned blocks inside, no bad frames inside (unless `allow_bad`), and
+/// enough free space outside the window to absorb its movable contents.
+fn choose_window<A: Address>(
+    mem: &PhysMem<A>,
+    nframes: u64,
+    align_frames: u64,
+    total_frames: u64,
+    allow_bad: bool,
+) -> Option<u64> {
+    if nframes > total_frames {
+        return None;
+    }
+    let mut best: Option<(u64, u64)> = None; // (cost, window_start)
+    let step = align_frames.max(nframes / 64).next_power_of_two();
+    let mut w = 0;
+    while w + nframes <= total_frames {
+        if let Some(cost) = window_cost(mem, w, nframes, allow_bad) {
+            let free_outside = mem.buddy().free_frames() - free_in(mem, w, nframes);
+            if cost <= free_outside && best.map_or(true, |(c, _)| cost < c) {
+                best = Some((cost, w));
+                if cost == 0 {
+                    break;
+                }
+            }
+        }
+        w += step;
+    }
+    best.map(|(_, w)| w)
+}
+
+/// Frames that would need moving for window `[w, w+n)`; `None` if the
+/// window is invalid (pinned or disallowed bad frames present).
+fn window_cost<A: Address>(mem: &PhysMem<A>, w: u64, n: u64, allow_bad: bool) -> Option<u64> {
+    let range = frame_range::<A>(w, n);
+    if !allow_bad && mem.bad_frames().any_in_range(&range) {
+        return None;
+    }
+    let mut cost = 0u64;
+    for (bstart, border, pinned) in mem.buddy().allocated_iter() {
+        let bend = bstart + (1u64 << border);
+        if bend <= w || bstart >= w + n {
+            continue;
+        }
+        let is_bad_carve = mem.bad_frames().is_bad(A::from_u64(bstart << PAGE_SHIFT_4K));
+        if is_bad_carve {
+            if allow_bad {
+                continue;
+            }
+            return None;
+        }
+        if pinned {
+            return None;
+        }
+        // Whole blocks move, including any part outside the window.
+        cost += 1u64 << border;
+    }
+    Some(cost)
+}
+
+fn free_in<A: Address>(mem: &PhysMem<A>, w: u64, n: u64) -> u64 {
+    mem.buddy()
+        .free_runs()
+        .into_iter()
+        .map(|(s, l)| {
+            let lo = s.max(w);
+            let hi = (s + l).min(w + n);
+            hi.saturating_sub(lo)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_types::{Hpa, MIB};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn already_contiguous_memory_needs_no_moves() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(64 * MIB);
+        let out = mem
+            .compact_and_reserve(16 * MIB, PageSize::Size2M, false, &mut |_, _| {})
+            .unwrap();
+        assert_eq!(out.pages_moved, 0);
+        assert_eq!(out.range.len(), 16 * MIB);
+    }
+
+    #[test]
+    fn compaction_clears_a_fragmented_window() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(64 * MIB);
+        let mut rng = StdRng::seed_from_u64(3);
+        let held = mem.fragment(&mut rng, 0.3);
+        assert!(mem.reserve_contiguous(32 * MIB, PageSize::Size4K).is_err());
+
+        let mut moves = Vec::new();
+        let out = mem
+            .compact_and_reserve(32 * MIB, PageSize::Size4K, false, &mut |a, b| {
+                moves.push((a, b))
+            })
+            .unwrap();
+        assert_eq!(out.range.len(), 32 * MIB);
+        assert_eq!(out.pages_moved as usize, moves.len());
+        assert!(out.pages_moved > 0, "fragmented memory requires moves");
+        // Every move destination lies outside the produced range.
+        for &(src, dst) in &moves {
+            assert!(out.range.contains(src));
+            assert!(!out.range.contains(dst));
+        }
+        // Frame accounting is intact: held + moved pages all still allocated.
+        assert_eq!(
+            mem.free_bytes(),
+            64 * MIB - 32 * MIB - (held.len() as u64 - out.pages_moved) * 4096
+                - out.pages_moved * 4096
+        );
+    }
+
+    #[test]
+    fn compaction_moves_frame_contents() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(16 * MIB);
+        // Occupy a frame in the middle with known contents.
+        let r = AddrRange::new(Hpa::new(8 * MIB), Hpa::new(8 * MIB + 4096));
+        mem.carve_range(&r).unwrap();
+        mem.write_u64(Hpa::new(8 * MIB), 0xfeed);
+
+        let mut moved_to = None;
+        let out = mem
+            .compact_and_reserve(16 * MIB - 4096 * 4, PageSize::Size4K, false, &mut |src, dst| {
+                assert_eq!(src, Hpa::new(8 * MIB));
+                moved_to = Some(dst);
+            })
+            .unwrap();
+        assert_eq!(out.pages_moved, 1);
+        let dst = moved_to.expect("one move must occur");
+        assert_eq!(mem.read_u64(dst), 0xfeed);
+        assert_eq!(mem.read_u64(Hpa::new(8 * MIB)), 0, "source cleared");
+    }
+
+    #[test]
+    fn pinned_frames_block_windows() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(8 * MIB);
+        // Pin one frame in the middle of the only possible window.
+        let p = Hpa::new(4 * MIB);
+        mem.carve_range(&AddrRange::from_start_len(p, 4096)).unwrap();
+        mem.set_pinned(p, true).unwrap();
+        let err = mem
+            .compact_and_reserve(8 * MIB, PageSize::Size4K, false, &mut |_, _| {})
+            .unwrap_err();
+        assert!(matches!(err, PhysError::Fragmented { .. }));
+    }
+
+    #[test]
+    fn allow_bad_reports_holes() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(8 * MIB);
+        mem.mark_bad(Hpa::new(4 * MIB)).unwrap();
+        // Full-space reservation impossible without tolerance...
+        assert!(mem
+            .compact_and_reserve(8 * MIB, PageSize::Size4K, false, &mut |_, _| {})
+            .is_err());
+        // ...but allowed with the escape-filter path.
+        let out = mem
+            .compact_and_reserve(8 * MIB, PageSize::Size4K, true, &mut |_, _| {})
+            .unwrap();
+        assert_eq!(out.bad_inside, vec![Hpa::new(4 * MIB)]);
+        assert_eq!(out.range.len(), 8 * MIB);
+    }
+
+    #[test]
+    fn compaction_stats_accumulate() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(32 * MIB);
+        let mut rng = StdRng::seed_from_u64(11);
+        let _held = mem.fragment(&mut rng, 0.2);
+        let out = mem
+            .compact_and_reserve(16 * MIB, PageSize::Size4K, false, &mut |_, _| {})
+            .unwrap();
+        let s = mem.stats();
+        assert_eq!(s.pages_moved_by_compaction, out.pages_moved);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for physical-memory operations.
+
+use core::fmt;
+
+/// Errors returned by the physical-memory substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PhysError {
+    /// The allocator has no free run of the requested size.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Total free bytes remaining (possibly fragmented).
+        free: u64,
+    },
+    /// No contiguous region of the requested size exists, though enough
+    /// total memory is free (i.e., memory is fragmented).
+    Fragmented {
+        /// Bytes requested contiguously.
+        requested: u64,
+        /// Largest contiguous free run available, in bytes.
+        largest_free_run: u64,
+    },
+    /// The given address or range is outside this physical address space.
+    OutOfBounds {
+        /// Raw address that was out of bounds.
+        addr: u64,
+        /// Size of the address space in bytes.
+        size: u64,
+    },
+    /// The frame is already free (double free) or already allocated.
+    BadState {
+        /// Raw frame base address.
+        addr: u64,
+        /// What went wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for PhysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysError::OutOfMemory { requested, free } => write!(
+                f,
+                "out of memory: requested {requested:#x} bytes, {free:#x} free"
+            ),
+            PhysError::Fragmented {
+                requested,
+                largest_free_run,
+            } => write!(
+                f,
+                "no contiguous run of {requested:#x} bytes (largest free run {largest_free_run:#x})"
+            ),
+            PhysError::OutOfBounds { addr, size } => write!(
+                f,
+                "address {addr:#x} outside physical space of {size:#x} bytes"
+            ),
+            PhysError::BadState { addr, what } => {
+                write!(f, "frame {addr:#x} in bad state: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PhysError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PhysError::OutOfMemory {
+            requested: 0x1000,
+            free: 0,
+        };
+        assert!(e.to_string().contains("out of memory"));
+        let e = PhysError::Fragmented {
+            requested: 0x40000000,
+            largest_free_run: 0x200000,
+        };
+        assert!(e.to_string().contains("contiguous"));
+    }
+}

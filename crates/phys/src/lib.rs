@@ -1,0 +1,55 @@
+//! Physical-memory substrate for the memory-virtualization simulator.
+//!
+//! Both the **host physical** (hPA) and **guest physical** (gPA) address
+//! spaces are instances of [`PhysMem`], parameterized by the address type.
+//! The substrate provides everything the paper's software stack needs from
+//! a physical memory manager:
+//!
+//! * A binary **buddy allocator** over 4 KiB frames ([`buddy::BuddyAllocator`])
+//!   with allocation at 4 KiB / 2 MiB / 1 GiB orders, used by the guest OS
+//!   and the VMM for page placement.
+//! * **Contiguous reservations** for direct-segment backing (Section VI.A of
+//!   the paper reserves memory at startup for long-lived VMs).
+//! * **Fragmentation injection** so experiments can start from a fragmented
+//!   machine state (Section IV / Table III).
+//! * A **bad-frame list** modeling permanent hard faults (Section V: a single
+//!   faulty page can otherwise prevent a large direct segment).
+//! * A **memory-compaction** model ([`compact`]) which relocates movable
+//!   allocated frames to manufacture contiguity, with page-move cost
+//!   accounting (Section IV, "Memory compaction").
+//! * A **frame store** holding real 512-entry page-table page contents, so
+//!   page walks in `mv-pt` / `mv-core` read actual memory.
+//!
+//! # Example
+//!
+//! ```
+//! use mv_phys::PhysMem;
+//! use mv_types::{Hpa, PageSize, GIB};
+//!
+//! let mut mem: PhysMem<Hpa> = PhysMem::new(4 * GIB);
+//! let seg = mem.reserve_contiguous(GIB, PageSize::Size1G).expect("fresh memory");
+//! assert_eq!(seg.len(), GIB);
+//! let frame = mem.alloc(PageSize::Size4K).expect("plenty left");
+//! assert!(!seg.contains(frame));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod badframes;
+pub mod buddy;
+pub mod compact;
+mod error;
+mod mem;
+pub mod store;
+
+pub use badframes::BadFrames;
+pub use buddy::BuddyAllocator;
+pub use compact::{CompactionOutcome, CompactionStats};
+pub use error::PhysError;
+pub use mem::{PhysMem, PhysMemStats};
+pub use store::FrameStore;
+
+/// Number of 64-bit entries in one 4 KiB frame.
+pub const ENTRIES_PER_FRAME: usize = 512;

@@ -1,0 +1,610 @@
+//! The physical address space façade.
+
+use mv_types::{AddrRange, Address, PageSize, PAGE_SHIFT_4K, PAGE_SIZE_4K};
+use rand::Rng;
+
+use crate::badframes::BadFrames;
+use crate::buddy::BuddyAllocator;
+use crate::compact::{self, CompactionOutcome, CompactionStats};
+use crate::error::PhysError;
+use crate::store::FrameStore;
+
+/// A physical address space: buddy allocator + frame contents + bad-frame
+/// list.
+///
+/// Instantiated as `PhysMem<Hpa>` for the host machine and `PhysMem<Gpa>`
+/// for each virtual machine's guest-physical space.
+///
+/// # Example
+///
+/// ```
+/// use mv_phys::PhysMem;
+/// use mv_types::{Gpa, PageSize, MIB};
+///
+/// let mut mem: PhysMem<Gpa> = PhysMem::new(64 * MIB);
+/// let page = mem.alloc(PageSize::Size2M)?;
+/// assert!(page.is_aligned(PageSize::Size2M));
+/// mem.free(page, PageSize::Size2M)?;
+/// # Ok::<(), mv_phys::PhysError>(())
+/// ```
+pub struct PhysMem<A> {
+    size: u64,
+    buddy: BuddyAllocator,
+    store: FrameStore<A>,
+    bad: BadFrames<A>,
+    stats: CompactionStats,
+}
+
+/// Point-in-time statistics about a physical address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhysMemStats {
+    /// Total size in bytes.
+    pub size_bytes: u64,
+    /// Free bytes (possibly fragmented).
+    pub free_bytes: u64,
+    /// Largest contiguous free run in bytes.
+    pub largest_free_run_bytes: u64,
+    /// Number of permanently faulty frames.
+    pub bad_frames: usize,
+    /// Cumulative 4 KiB pages moved by compaction.
+    pub pages_moved_by_compaction: u64,
+}
+
+impl<A: Address> PhysMem<A> {
+    /// Creates a physical space of `size_bytes` (rounded down to whole 4 KiB
+    /// frames), fully free, with no bad frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is smaller than one frame.
+    pub fn new(size_bytes: u64) -> Self {
+        let nframes = size_bytes >> PAGE_SHIFT_4K;
+        assert!(nframes > 0, "physical space must hold at least one frame");
+        Self {
+            size: nframes << PAGE_SHIFT_4K,
+            buddy: BuddyAllocator::new(nframes),
+            store: FrameStore::new(),
+            bad: BadFrames::new(),
+            stats: CompactionStats::default(),
+        }
+    }
+
+    /// Total size in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.size
+    }
+
+    /// Free bytes (possibly fragmented).
+    #[inline]
+    pub fn free_bytes(&self) -> u64 {
+        self.buddy.free_frames() * PAGE_SIZE_4K
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> PhysMemStats {
+        PhysMemStats {
+            size_bytes: self.size,
+            free_bytes: self.free_bytes(),
+            largest_free_run_bytes: self.buddy.largest_free_run() * PAGE_SIZE_4K,
+            bad_frames: self.bad.count(),
+            pages_moved_by_compaction: self.stats.pages_moved,
+        }
+    }
+
+    /// Marks the frame containing `addr` as permanently faulty. The frame is
+    /// removed from the free pool so it is never allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysError::BadState`] if the frame is currently allocated,
+    /// or [`PhysError::OutOfBounds`] if outside the space.
+    pub fn mark_bad(&mut self, addr: A) -> Result<(), PhysError> {
+        self.check_bounds(addr)?;
+        let frame = addr.as_u64() >> PAGE_SHIFT_4K;
+        self.buddy.carve(frame, 1)?;
+        self.bad.mark(addr);
+        Ok(())
+    }
+
+    /// Marks `n` random currently-free frames within `range` as faulty.
+    /// Used to set up the Figure 13 escape-filter experiment.
+    pub fn inject_bad_frames<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        range: &AddrRange<A>,
+        n: usize,
+    ) -> Result<Vec<A>, PhysError> {
+        let mut injected = Vec::with_capacity(n);
+        let mut attempts = 0;
+        while injected.len() < n {
+            attempts += 1;
+            if attempts > n * 1000 {
+                return Err(PhysError::BadState {
+                    addr: range.start().as_u64(),
+                    what: "could not find enough free frames to mark bad",
+                });
+            }
+            let nframes = range.len() >> PAGE_SHIFT_4K;
+            let frame_off = rng.gen_range(0..nframes);
+            let addr = A::from_u64(range.start().as_u64() + (frame_off << PAGE_SHIFT_4K));
+            if self.bad.is_bad(addr) {
+                continue;
+            }
+            if self.mark_bad(addr).is_ok() {
+                injected.push(addr);
+            }
+        }
+        Ok(injected)
+    }
+
+    /// Read access to the bad-frame list.
+    pub fn bad_frames(&self) -> &BadFrames<A> {
+        &self.bad
+    }
+
+    /// Allocates one page of the given size, returning its base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysError::OutOfMemory`] if no suitably sized block is
+    /// free.
+    pub fn alloc(&mut self, size: PageSize) -> Result<A, PhysError> {
+        let order = Self::order_of(size);
+        let frame = self.buddy.alloc(order)?;
+        Ok(A::from_u64(frame << PAGE_SHIFT_4K))
+    }
+
+    /// Frees a page previously returned by [`Self::alloc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysError::BadState`] on double free or size mismatch.
+    pub fn free(&mut self, addr: A, size: PageSize) -> Result<(), PhysError> {
+        self.check_bounds(addr)?;
+        let frame = addr.as_u64() >> PAGE_SHIFT_4K;
+        self.buddy.free(frame, Self::order_of(size))?;
+        for f in 0..size.covered_4k_pages() {
+            self.store.clear_frame(frame + f);
+        }
+        Ok(())
+    }
+
+    /// Removes the specific range from the free pool (boot-time
+    /// reservations, I/O gap carving).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any frame in the range is not free or the range is
+    /// unaligned/out of bounds.
+    pub fn carve_range(&mut self, range: &AddrRange<A>) -> Result<(), PhysError> {
+        self.check_range(range)?;
+        self.buddy.carve(
+            range.start().as_u64() >> PAGE_SHIFT_4K,
+            range.len() >> PAGE_SHIFT_4K,
+        )
+    }
+
+    /// Returns a carved range to the free pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range was not carved/allocated exactly.
+    pub fn release_range(&mut self, range: &AddrRange<A>) -> Result<(), PhysError> {
+        self.check_range(range)?;
+        self.buddy.free_range(
+            range.start().as_u64() >> PAGE_SHIFT_4K,
+            range.len() >> PAGE_SHIFT_4K,
+        )
+    }
+
+    /// Reserves the lowest available contiguous run of `len` bytes whose
+    /// start is aligned to `align`. Bad frames never appear inside the
+    /// returned range (they are excluded from the free pool).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysError::Fragmented`] if no such run exists.
+    pub fn reserve_contiguous(
+        &mut self,
+        len: u64,
+        align: PageSize,
+    ) -> Result<AddrRange<A>, PhysError> {
+        let nframes = len.div_ceil(PAGE_SIZE_4K);
+        let align_frames = align.covered_4k_pages();
+        let start = self
+            .buddy
+            .find_free_run(nframes, align_frames)
+            .ok_or_else(|| PhysError::Fragmented {
+                requested: len,
+                largest_free_run: self.buddy.largest_free_run() * PAGE_SIZE_4K,
+            })?;
+        self.buddy.carve(start, nframes)?;
+        Ok(AddrRange::from_start_len(
+            A::from_u64(start << PAGE_SHIFT_4K),
+            nframes << PAGE_SHIFT_4K,
+        ))
+    }
+
+    /// Like [`Self::reserve_contiguous`], but tolerates bad frames inside
+    /// the run: the returned range may contain faulty frames, which are
+    /// reported so the caller can escape them (Section V). Only the good
+    /// frames are carved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysError::Fragmented`] if no run exists even allowing bad
+    /// frames.
+    pub fn reserve_contiguous_allowing_bad(
+        &mut self,
+        len: u64,
+        align: PageSize,
+    ) -> Result<(AddrRange<A>, Vec<A>), PhysError> {
+        let nframes = len.div_ceil(PAGE_SIZE_4K);
+        let align_frames = align.covered_4k_pages();
+        // Merge free runs across bad frames: a candidate window is valid if
+        // every frame in it is either free or bad.
+        let start = self
+            .find_run_allowing_bad(nframes, align_frames)
+            .ok_or_else(|| PhysError::Fragmented {
+                requested: len,
+                largest_free_run: self.buddy.largest_free_run() * PAGE_SIZE_4K,
+            })?;
+        let range = AddrRange::from_start_len(
+            A::from_u64(start << PAGE_SHIFT_4K),
+            nframes << PAGE_SHIFT_4K,
+        );
+        let bad = self.bad.bad_in_range(&range);
+        // Carve the good sub-ranges between bad frames.
+        let mut cursor = start;
+        let end = start + nframes;
+        for b in &bad {
+            let bframe = b.as_u64() >> PAGE_SHIFT_4K;
+            if bframe > cursor {
+                self.buddy.carve(cursor, bframe - cursor)?;
+            }
+            cursor = bframe + 1;
+        }
+        if end > cursor {
+            self.buddy.carve(cursor, end - cursor)?;
+        }
+        Ok((range, bad))
+    }
+
+    fn find_run_allowing_bad(&self, nframes: u64, align_frames: u64) -> Option<u64> {
+        // Build merged runs of (free ∪ bad) frames.
+        let mut events: Vec<(u64, u64)> = self.buddy.free_runs();
+        events.extend(
+            self.bad
+                .iter()
+                .map(|a| (a.as_u64() >> PAGE_SHIFT_4K, 1u64)),
+        );
+        events.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::new();
+        for (s, l) in events {
+            match merged.last_mut() {
+                Some((ms, ml)) if *ms + *ml >= s => *ml = (*ml).max(s + l - *ms),
+                _ => merged.push((s, l)),
+            }
+        }
+        for (s, l) in merged {
+            let aligned = (s + align_frames - 1) & !(align_frames - 1);
+            if aligned + nframes <= s + l {
+                return Some(aligned);
+            }
+        }
+        None
+    }
+
+    /// Pins (or unpins) the allocated block containing `addr`, preventing
+    /// compaction from moving it. Balloon drivers pin the pages they
+    /// reclaim (Section IV).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` is not in an allocated block.
+    pub fn set_pinned(&mut self, addr: A, pinned: bool) -> Result<(), PhysError> {
+        self.check_bounds(addr)?;
+        self.buddy
+            .set_pinned(addr.as_u64() >> PAGE_SHIFT_4K, pinned)
+    }
+
+    /// Fragments free memory by carving each currently-free 4 KiB frame with
+    /// probability `occupancy`, simulating long-running mixed allocation.
+    /// Returns the carved frame base addresses (the simulated "other
+    /// tenants'" pages) so tests can release them later.
+    pub fn fragment<R: Rng>(&mut self, rng: &mut R, occupancy: f64) -> Vec<A> {
+        assert!((0.0..=1.0).contains(&occupancy), "occupancy must be in [0,1]");
+        let free: Vec<(u64, u64)> = self.buddy.free_runs();
+        let mut carved = Vec::new();
+        for (start, len) in free {
+            for f in start..start + len {
+                if rng.gen_bool(occupancy) {
+                    self.buddy
+                        .carve(f, 1)
+                        .expect("frame listed free must be carvable");
+                    carved.push(A::from_u64(f << PAGE_SHIFT_4K));
+                }
+            }
+        }
+        carved
+    }
+
+    /// Compacts memory to produce (and reserve) a contiguous run of `len`
+    /// bytes aligned to `align`, relocating movable allocated frames out of
+    /// the chosen window. Each relocation invokes `on_move(old, new)` with
+    /// 4 KiB frame base addresses so the owner can update its page tables.
+    ///
+    /// If `allow_bad` is true, bad frames inside the window are tolerated
+    /// and reported in the outcome instead of disqualifying the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysError::Fragmented`] if no window can be cleared (all
+    /// windows contain pinned blocks, or there is not enough free space
+    /// outside any window to absorb its contents).
+    pub fn compact_and_reserve(
+        &mut self,
+        len: u64,
+        align: PageSize,
+        allow_bad: bool,
+        on_move: &mut dyn FnMut(A, A),
+    ) -> Result<CompactionOutcome<A>, PhysError> {
+        compact::compact_and_reserve(self, len, align, allow_bad, on_move)
+    }
+
+    /// Reads the naturally-aligned 64-bit word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `addr` is outside the space or unaligned.
+    #[inline]
+    pub fn read_u64(&self, addr: A) -> u64 {
+        debug_assert!(addr.as_u64() < self.size, "read outside physical space");
+        self.store.read_u64(addr)
+    }
+
+    /// Writes the naturally-aligned 64-bit word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `addr` is outside the space or unaligned.
+    #[inline]
+    pub fn write_u64(&mut self, addr: A, value: u64) {
+        debug_assert!(addr.as_u64() < self.size, "write outside physical space");
+        self.store.write_u64(addr, value);
+    }
+
+    /// Pins (or unpins) every allocated block overlapping `range`. Used to
+    /// protect direct-segment backing from compaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accounting errors.
+    pub fn set_pinned_range(&mut self, range: &AddrRange<A>, pinned: bool) -> Result<(), PhysError> {
+        let start = range.start().as_u64() >> PAGE_SHIFT_4K;
+        let end = range.end().as_u64() >> PAGE_SHIFT_4K;
+        let blocks: Vec<u64> = self
+            .buddy
+            .allocated_iter()
+            .filter(|&(s, o, _)| s < end && s + (1u64 << o) > start)
+            .map(|(s, _, _)| s)
+            .collect();
+        for b in blocks {
+            self.buddy.set_pinned(b, pinned)?;
+        }
+        Ok(())
+    }
+
+    /// Lists allocated blocks as `(start_frame_index, order, pinned)`.
+    /// Used by owners (e.g. the VMM) to pin unmovable allocations before
+    /// compaction.
+    pub fn allocated_blocks(&self) -> Vec<(u64, u8, bool)> {
+        self.buddy.allocated_iter().collect()
+    }
+
+    /// Moves the 4 KiB of contents at frame `from` to frame `to`
+    /// (addresses must be frame-aligned). The owner is responsible for
+    /// updating any mappings.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if either address is unaligned.
+    pub fn relocate_contents(&mut self, from: A, to: A) {
+        debug_assert!(from.is_aligned(PageSize::Size4K));
+        debug_assert!(to.is_aligned(PageSize::Size4K));
+        self.store
+            .relocate_frame(from.as_u64() >> PAGE_SHIFT_4K, to.as_u64() >> PAGE_SHIFT_4K);
+    }
+
+    fn order_of(size: PageSize) -> u8 {
+        (size.shift() - PAGE_SHIFT_4K) as u8
+    }
+
+    fn check_bounds(&self, addr: A) -> Result<(), PhysError> {
+        if addr.as_u64() >= self.size {
+            Err(PhysError::OutOfBounds {
+                addr: addr.as_u64(),
+                size: self.size,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_range(&self, range: &AddrRange<A>) -> Result<(), PhysError> {
+        if range.end().as_u64() > self.size {
+            return Err(PhysError::OutOfBounds {
+                addr: range.end().as_u64(),
+                size: self.size,
+            });
+        }
+        if !range.is_aligned(PageSize::Size4K) {
+            return Err(PhysError::BadState {
+                addr: range.start().as_u64(),
+                what: "range not 4K-aligned",
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn buddy(&self) -> &BuddyAllocator {
+        &self.buddy
+    }
+
+    pub(crate) fn buddy_mut(&mut self) -> &mut BuddyAllocator {
+        &mut self.buddy
+    }
+
+    pub(crate) fn store_mut(&mut self) -> &mut FrameStore<A> {
+        &mut self.store
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut CompactionStats {
+        &mut self.stats
+    }
+}
+
+impl<A: Address> std::fmt::Debug for PhysMem<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhysMem")
+            .field("space", &A::SPACE)
+            .field("size_bytes", &self.size)
+            .field("free_bytes", &self.free_bytes())
+            .field("bad_frames", &self.bad.count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_types::{Hpa, GIB, MIB};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alloc_honors_page_size_alignment() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(2 * GIB);
+        let a4k = mem.alloc(PageSize::Size4K).unwrap();
+        let a2m = mem.alloc(PageSize::Size2M).unwrap();
+        let a1g = mem.alloc(PageSize::Size1G).unwrap();
+        assert!(a4k.is_aligned(PageSize::Size4K));
+        assert!(a2m.is_aligned(PageSize::Size2M));
+        assert!(a1g.is_aligned(PageSize::Size1G));
+        mem.free(a1g, PageSize::Size1G).unwrap();
+        mem.free(a2m, PageSize::Size2M).unwrap();
+        mem.free(a4k, PageSize::Size4K).unwrap();
+        assert_eq!(mem.free_bytes(), 2 * GIB);
+    }
+
+    #[test]
+    fn reserve_contiguous_is_aligned_and_exclusive() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(GIB);
+        let r = mem.reserve_contiguous(256 * MIB, PageSize::Size2M).unwrap();
+        assert!(r.start().is_aligned(PageSize::Size2M));
+        assert_eq!(r.len(), 256 * MIB);
+        // Subsequent allocations fall outside the reservation.
+        for _ in 0..16 {
+            let p = mem.alloc(PageSize::Size2M).unwrap();
+            assert!(!r.contains(p));
+        }
+    }
+
+    #[test]
+    fn reserve_fails_when_fragmented() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(64 * MIB);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _held = mem.fragment(&mut rng, 0.5);
+        let err = mem.reserve_contiguous(32 * MIB, PageSize::Size4K).unwrap_err();
+        assert!(matches!(err, PhysError::Fragmented { .. }));
+    }
+
+    #[test]
+    fn bad_frames_are_never_allocated() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(MIB);
+        let bad_addr = Hpa::new(0x4000);
+        mem.mark_bad(bad_addr).unwrap();
+        let mut seen = Vec::new();
+        while let Ok(p) = mem.alloc(PageSize::Size4K) {
+            assert_ne!(p, bad_addr);
+            seen.push(p);
+        }
+        assert_eq!(seen.len() as u64, MIB / 4096 - 1);
+    }
+
+    #[test]
+    fn bad_frame_splits_contiguous_reservation() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(16 * MIB);
+        mem.mark_bad(Hpa::new(8 * MIB)).unwrap();
+        // A single bad page in the middle blocks the full-range reservation
+        // (the paper's Section V motivation)...
+        assert!(mem.reserve_contiguous(16 * MIB, PageSize::Size4K).is_err());
+        // ...but the bad-tolerant variant succeeds and reports the hole.
+        let (range, bad) = mem
+            .reserve_contiguous_allowing_bad(16 * MIB, PageSize::Size4K)
+            .unwrap();
+        assert_eq!(range.len(), 16 * MIB);
+        assert_eq!(bad, vec![Hpa::new(8 * MIB)]);
+    }
+
+    #[test]
+    fn mark_bad_of_allocated_frame_fails() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(MIB);
+        let p = mem.alloc(PageSize::Size4K).unwrap();
+        assert!(mem.mark_bad(p).is_err());
+    }
+
+    #[test]
+    fn inject_bad_frames_is_seeded_and_in_range() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(64 * MIB);
+        let range = AddrRange::new(Hpa::new(16 * MIB), Hpa::new(48 * MIB));
+        let mut rng = StdRng::seed_from_u64(9);
+        let bad = mem.inject_bad_frames(&mut rng, &range, 16).unwrap();
+        assert_eq!(bad.len(), 16);
+        for b in &bad {
+            assert!(range.contains(*b));
+            assert!(mem.bad_frames().is_bad(*b));
+        }
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(MIB);
+        mem.write_u64(Hpa::new(0x8), 0x1234);
+        assert_eq!(mem.read_u64(Hpa::new(0x8)), 0x1234);
+        assert_eq!(mem.read_u64(Hpa::new(0x10)), 0);
+    }
+
+    #[test]
+    fn free_clears_frame_contents() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(MIB);
+        let p = mem.alloc(PageSize::Size4K).unwrap();
+        mem.write_u64(p, 99);
+        mem.free(p, PageSize::Size4K).unwrap();
+        let p2 = mem.alloc(PageSize::Size4K).unwrap();
+        assert_eq!(p2, p, "buddy hands back the lowest frame");
+        assert_eq!(mem.read_u64(p2), 0, "recycled frame must read zero");
+    }
+
+    #[test]
+    fn carve_and_release_round_trip() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(MIB);
+        let r = AddrRange::new(Hpa::new(0x10000), Hpa::new(0x20000));
+        mem.carve_range(&r).unwrap();
+        assert!(mem.carve_range(&r).is_err());
+        mem.release_range(&r).unwrap();
+        assert_eq!(mem.free_bytes(), MIB);
+    }
+
+    #[test]
+    fn stats_reflect_state() {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(MIB);
+        let _ = mem.alloc(PageSize::Size4K).unwrap();
+        let s = mem.stats();
+        assert_eq!(s.size_bytes, MIB);
+        assert_eq!(s.free_bytes, MIB - 4096);
+        assert!(s.largest_free_run_bytes >= MIB / 2);
+        assert_eq!(s.bad_frames, 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Sparse backing store for frame contents.
+//!
+//! Page tables in this simulator are *real* data structures: each page-table
+//! page occupies one simulated physical frame holding 512 64-bit entries,
+//! and page walks read those entries through this store. Only frames that
+//! have ever been written are materialized, so multi-GiB physical spaces stay
+//! cheap to model.
+
+use std::collections::HashMap;
+
+use mv_types::{Address, PAGE_SHIFT_4K};
+
+use crate::ENTRIES_PER_FRAME;
+
+/// Sparse map from frame index to 512-entry frame contents.
+///
+/// # Example
+///
+/// ```
+/// use mv_phys::FrameStore;
+/// use mv_types::Hpa;
+///
+/// let mut store: FrameStore<Hpa> = FrameStore::new();
+/// store.write_u64(Hpa::new(0x1008), 0xdead_beef);
+/// assert_eq!(store.read_u64(Hpa::new(0x1008)), 0xdead_beef);
+/// assert_eq!(store.read_u64(Hpa::new(0x2000)), 0); // untouched memory reads zero
+/// ```
+pub struct FrameStore<A> {
+    frames: HashMap<u64, Box<[u64; ENTRIES_PER_FRAME]>>,
+    _space: core::marker::PhantomData<fn() -> A>,
+}
+
+impl<A: Address> FrameStore<A> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self {
+            frames: HashMap::new(),
+            _space: core::marker::PhantomData,
+        }
+    }
+
+    /// Reads the naturally-aligned 64-bit word at `addr`. Untouched memory
+    /// reads as zero, matching freshly-zeroed frames.
+    pub fn read_u64(&self, addr: A) -> u64 {
+        let raw = addr.as_u64();
+        debug_assert_eq!(raw % 8, 0, "unaligned 64-bit read at {raw:#x}");
+        let frame = raw >> PAGE_SHIFT_4K;
+        let idx = ((raw & 0xfff) / 8) as usize;
+        self.frames.get(&frame).map_or(0, |f| f[idx])
+    }
+
+    /// Writes the naturally-aligned 64-bit word at `addr`, materializing the
+    /// frame if needed.
+    pub fn write_u64(&mut self, addr: A, value: u64) {
+        let raw = addr.as_u64();
+        debug_assert_eq!(raw % 8, 0, "unaligned 64-bit write at {raw:#x}");
+        let frame = raw >> PAGE_SHIFT_4K;
+        let idx = ((raw & 0xfff) / 8) as usize;
+        self.frames
+            .entry(frame)
+            .or_insert_with(|| Box::new([0; ENTRIES_PER_FRAME]))[idx] = value;
+    }
+
+    /// Moves the contents of frame `from` to frame `to` (frame indices, not
+    /// byte addresses). Used by memory compaction. A source frame that was
+    /// never written moves as all-zeroes (i.e., clears the destination).
+    pub fn relocate_frame(&mut self, from: u64, to: u64) {
+        match self.frames.remove(&from) {
+            Some(contents) => {
+                self.frames.insert(to, contents);
+            }
+            None => {
+                self.frames.remove(&to);
+            }
+        }
+    }
+
+    /// Discards the contents of frame `frame_idx` (frees the backing
+    /// storage).
+    pub fn clear_frame(&mut self, frame_idx: u64) {
+        self.frames.remove(&frame_idx);
+    }
+
+    /// Number of materialized frames.
+    pub fn materialized_frames(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+impl<A: Address> Default for FrameStore<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Address> std::fmt::Debug for FrameStore<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameStore")
+            .field("space", &A::SPACE)
+            .field("materialized_frames", &self.frames.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_types::Hpa;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut s: FrameStore<Hpa> = FrameStore::new();
+        s.write_u64(Hpa::new(0x3000), 1);
+        s.write_u64(Hpa::new(0x3ff8), 2);
+        assert_eq!(s.read_u64(Hpa::new(0x3000)), 1);
+        assert_eq!(s.read_u64(Hpa::new(0x3ff8)), 2);
+        assert_eq!(s.materialized_frames(), 1);
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let s: FrameStore<Hpa> = FrameStore::new();
+        assert_eq!(s.read_u64(Hpa::new(0x0)), 0);
+        assert_eq!(s.read_u64(Hpa::new(0xffff_f000)), 0);
+        assert_eq!(s.materialized_frames(), 0);
+    }
+
+    #[test]
+    fn relocate_moves_contents() {
+        let mut s: FrameStore<Hpa> = FrameStore::new();
+        s.write_u64(Hpa::new(0x1000), 42);
+        s.relocate_frame(1, 5);
+        assert_eq!(s.read_u64(Hpa::new(0x1000)), 0);
+        assert_eq!(s.read_u64(Hpa::new(0x5000)), 42);
+    }
+
+    #[test]
+    fn relocate_of_empty_source_clears_destination() {
+        let mut s: FrameStore<Hpa> = FrameStore::new();
+        s.write_u64(Hpa::new(0x5000), 42);
+        s.relocate_frame(1, 5); // frame 1 never written
+        assert_eq!(s.read_u64(Hpa::new(0x5000)), 0);
+    }
+
+    #[test]
+    fn clear_frame_discards_contents() {
+        let mut s: FrameStore<Hpa> = FrameStore::new();
+        s.write_u64(Hpa::new(0x2000), 7);
+        s.clear_frame(2);
+        assert_eq!(s.read_u64(Hpa::new(0x2000)), 0);
+        assert_eq!(s.materialized_frames(), 0);
+    }
+
+    #[test]
+    fn distinct_words_in_same_frame() {
+        let mut s: FrameStore<Hpa> = FrameStore::new();
+        for i in 0..512u64 {
+            s.write_u64(Hpa::new(0x8000 + i * 8), i + 1);
+        }
+        for i in 0..512u64 {
+            assert_eq!(s.read_u64(Hpa::new(0x8000 + i * 8)), i + 1);
+        }
+        assert_eq!(s.materialized_frames(), 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the physical-memory substrate.
+
+use mv_phys::PhysMem;
+use mv_types::{Hpa, PageSize, MIB};
+use proptest::prelude::*;
+
+/// A random sequence of allocator operations.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(PageSize),
+    FreeNth(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => prop_oneof![
+            Just(Op::Alloc(PageSize::Size4K)),
+            Just(Op::Alloc(PageSize::Size2M)),
+        ],
+        2 => any::<usize>().prop_map(Op::FreeNth),
+    ]
+}
+
+proptest! {
+    /// Allocation never double-hands-out memory, frees restore accounting,
+    /// and a fully-freed space coalesces back to one run.
+    #[test]
+    fn allocator_conserves_frames(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let total = 16 * MIB;
+        let mut mem: PhysMem<Hpa> = PhysMem::new(total);
+        let mut live: Vec<(Hpa, PageSize)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(size) => {
+                    if let Ok(addr) = mem.alloc(size) {
+                        // No overlap with any live allocation.
+                        for &(other, osize) in &live {
+                            let a = addr.as_u64();
+                            let b = other.as_u64();
+                            prop_assert!(
+                                a + size.bytes() <= b || b + osize.bytes() <= a,
+                                "overlapping allocations {addr:?} and {other:?}"
+                            );
+                        }
+                        prop_assert!(addr.is_aligned(size));
+                        live.push((addr, size));
+                    }
+                }
+                Op::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (addr, size) = live.swap_remove(n % live.len());
+                        mem.free(addr, size).unwrap();
+                    }
+                }
+            }
+            let live_bytes: u64 = live.iter().map(|&(_, s)| s.bytes()).sum();
+            prop_assert_eq!(mem.free_bytes() + live_bytes, total);
+        }
+
+        for (addr, size) in live.drain(..) {
+            mem.free(addr, size).unwrap();
+        }
+        prop_assert_eq!(mem.free_bytes(), total);
+        prop_assert_eq!(mem.stats().largest_free_run_bytes, total);
+    }
+
+    /// Reservations are disjoint from each other and later allocations.
+    #[test]
+    fn reservations_are_exclusive(lens in proptest::collection::vec(1u64..(2 * MIB), 1..8)) {
+        let mut mem: PhysMem<Hpa> = PhysMem::new(64 * MIB);
+        let mut ranges = Vec::new();
+        for len in lens {
+            if let Ok(r) = mem.reserve_contiguous(len, PageSize::Size4K) {
+                for other in &ranges {
+                    prop_assert!(!r.overlaps(other));
+                }
+                ranges.push(r);
+            }
+        }
+        for _ in 0..32 {
+            if let Ok(p) = mem.alloc(PageSize::Size4K) {
+                for r in &ranges {
+                    prop_assert!(!r.contains(p));
+                }
+            }
+        }
+    }
+
+    /// Compaction preserves frame contents under the relocation map.
+    #[test]
+    fn compaction_preserves_contents(
+        seed in any::<u64>(),
+        occupancy in 0.05f64..0.4,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut mem: PhysMem<Hpa> = PhysMem::new(8 * MIB);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let held = mem.fragment(&mut rng, occupancy);
+        // Stamp every held frame with a value derived from its identity.
+        for (i, &f) in held.iter().enumerate() {
+            mem.write_u64(f, i as u64 + 1);
+        }
+        let mut location: std::collections::HashMap<Hpa, Hpa> =
+            held.iter().map(|&f| (f, f)).collect();
+
+        let out = mem.compact_and_reserve(4 * MIB, PageSize::Size4K, false, &mut |src, dst| {
+            // Find which logical frame currently lives at src.
+            let logical = *location
+                .iter()
+                .find(|&(_, &cur)| cur == src)
+                .expect("moved frame must be tracked")
+                .0;
+            location.insert(logical, dst);
+        });
+        if let Ok(out) = out {
+            prop_assert_eq!(out.range.len(), 4 * MIB);
+            for (i, f) in held.iter().enumerate() {
+                let cur = location[f];
+                prop_assert_eq!(mem.read_u64(cur), i as u64 + 1);
+                prop_assert!(!out.range.contains(cur));
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for page-table operations.
+
+use core::fmt;
+
+use mv_phys::PhysError;
+
+/// Errors returned by page-table mutation and translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PtError {
+    /// The virtual address is already mapped (possibly by a larger page
+    /// covering it).
+    AlreadyMapped {
+        /// Raw virtual address.
+        va: u64,
+    },
+    /// The virtual address is not mapped.
+    NotMapped {
+        /// Raw virtual address.
+        va: u64,
+    },
+    /// Address not aligned to the requested page size.
+    Misaligned {
+        /// Raw address.
+        addr: u64,
+        /// Required page size in bytes.
+        size: u64,
+    },
+    /// A huge-page leaf sits where a table page is needed (or vice versa).
+    HugeConflict {
+        /// Raw virtual address.
+        va: u64,
+        /// Level at which the conflict occurred.
+        level: u8,
+    },
+    /// The backing physical space could not supply a table page.
+    Phys(PhysError),
+}
+
+impl fmt::Display for PtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtError::AlreadyMapped { va } => write!(f, "virtual address {va:#x} already mapped"),
+            PtError::NotMapped { va } => write!(f, "virtual address {va:#x} not mapped"),
+            PtError::Misaligned { addr, size } => {
+                write!(f, "address {addr:#x} not aligned to {size:#x}-byte page")
+            }
+            PtError::HugeConflict { va, level } => write!(
+                f,
+                "huge-page conflict at {va:#x} (level {level}): leaf where table expected"
+            ),
+            PtError::Phys(e) => write!(f, "physical memory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PtError::Phys(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PhysError> for PtError {
+    fn from(e: PhysError) -> Self {
+        PtError::Phys(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = PtError::NotMapped { va: 0x1000 };
+        assert_eq!(e.to_string(), "virtual address 0x1000 not mapped");
+        assert!(e.source().is_none());
+        let e = PtError::from(PhysError::OutOfMemory {
+            requested: 4096,
+            free: 0,
+        });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,47 @@
+//! x86-64 4-level radix page tables, stored in simulated physical frames.
+//!
+//! Page tables here are *real* data structures, not lookup maps: every
+//! page-table page occupies one 4 KiB frame of a [`mv_phys::PhysMem`] and
+//! holds 512 64-bit entries in (simplified) x86-64 format. A walk therefore
+//! performs genuine memory reads — which is exactly what the paper's 2D
+//! nested-walk cost model counts. The same type serves as:
+//!
+//! * the **guest page table** (gVA→gPA), living in guest-physical frames,
+//! * the **nested page table** (gPA→hPA), living in host-physical frames,
+//! * the **shadow page table** (gVA→hPA) for the Section IX.D comparison,
+//! * a plain **native page table** (VA→PA) for unvirtualized baselines.
+//!
+//! The crate separates pure index math ([`walk`]) from table mutation
+//! ([`PageTable`]) so the nested walker in `mv-core` can drive a guest walk
+//! one memory reference at a time, translating each page-table pointer
+//! through the second dimension.
+//!
+//! # Example
+//!
+//! ```
+//! use mv_phys::PhysMem;
+//! use mv_pt::PageTable;
+//! use mv_types::{Address, Gpa, Gva, PageSize, Prot, MIB};
+//!
+//! let mut mem: PhysMem<Gpa> = PhysMem::new(16 * MIB);
+//! let mut pt: PageTable<Gva, Gpa> = PageTable::new(&mut mem)?;
+//! let frame = mem.alloc(PageSize::Size4K)?;
+//! pt.map(&mut mem, Gva::new(0x4000_0000), frame, PageSize::Size4K, Prot::RW)?;
+//! let hit = pt.translate(&mem, Gva::new(0x4000_0123)).expect("mapped");
+//! assert_eq!(hit.pa, frame.add(0x123));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+pub mod pte;
+mod table;
+pub mod walk;
+
+pub use error::PtError;
+pub use pte::Pte;
+pub use table::{PageTable, PtStats, Translation};
+pub use walk::{entry_addr, table_index, LEVELS, ROOT_LEVEL};

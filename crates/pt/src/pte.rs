@@ -1,0 +1,238 @@
+//! Page-table entry encoding (simplified x86-64 long-mode format).
+
+use mv_types::{Address, Prot};
+
+/// Bit 0: entry is present.
+const PRESENT: u64 = 1 << 0;
+/// Bit 1: writable.
+const WRITABLE: u64 = 1 << 1;
+/// Bit 2: user-accessible.
+const USER: u64 = 1 << 2;
+/// Bit 5: accessed by the hardware walker.
+const ACCESSED: u64 = 1 << 5;
+/// Bit 6: written through this translation.
+const DIRTY: u64 = 1 << 6;
+/// Bit 7: page-size bit — the entry is a leaf at level 2 (2 MiB) or level 3
+/// (1 GiB).
+const PS: u64 = 1 << 7;
+/// Bit 63: no-execute.
+const NX: u64 = 1 << 63;
+/// Bits 12..=51: physical frame base.
+const ADDR_MASK: u64 = 0x000f_ffff_ffff_f000;
+
+/// One 64-bit page-table entry.
+///
+/// # Example
+///
+/// ```
+/// use mv_pt::Pte;
+/// use mv_types::{Hpa, Prot};
+///
+/// let pte = Pte::leaf(Hpa::new(0x1234_5000), Prot::RW);
+/// assert!(pte.is_present());
+/// assert_eq!(pte.addr::<Hpa>(), Hpa::new(0x1234_5000));
+/// assert!(pte.prot().contains(Prot::WRITE));
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Default)]
+pub struct Pte(u64);
+
+impl Pte {
+    /// The all-zero (not-present) entry.
+    pub const EMPTY: Pte = Pte(0);
+
+    /// Reconstructs an entry from its raw bits.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Pte {
+        Pte(bits)
+    }
+
+    /// Raw bits of the entry.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a leaf entry mapping to `frame` with protection `prot`.
+    /// The PS bit is *not* set; use [`Pte::huge_leaf`] for 2 MiB / 1 GiB
+    /// leaves.
+    pub fn leaf<A: Address>(frame: A, prot: Prot) -> Pte {
+        Pte(Self::encode(frame.as_u64(), prot))
+    }
+
+    /// Builds a large-page leaf entry (PS bit set) for level 2 or 3.
+    pub fn huge_leaf<A: Address>(frame: A, prot: Prot) -> Pte {
+        Pte(Self::encode(frame.as_u64(), prot) | PS)
+    }
+
+    /// Builds a non-leaf entry pointing at the next-level table page.
+    /// Intermediate entries carry permissive flags; protection is enforced
+    /// at the leaf, as the simulator's simplification.
+    pub fn table<A: Address>(next_table: A) -> Pte {
+        Pte((next_table.as_u64() & ADDR_MASK) | PRESENT | WRITABLE | USER)
+    }
+
+    fn encode(addr: u64, prot: Prot) -> u64 {
+        debug_assert_eq!(addr & !ADDR_MASK, 0, "frame address {addr:#x} out of PTE range");
+        let mut bits = (addr & ADDR_MASK) | PRESENT | USER;
+        if prot.contains(Prot::WRITE) {
+            bits |= WRITABLE;
+        }
+        if !prot.contains(Prot::EXEC) {
+            bits |= NX;
+        }
+        bits
+    }
+
+    /// Whether the entry is present.
+    #[inline]
+    pub const fn is_present(self) -> bool {
+        self.0 & PRESENT != 0
+    }
+
+    /// Whether the entry is a large-page leaf (PS bit).
+    #[inline]
+    pub const fn is_huge(self) -> bool {
+        self.0 & PS != 0
+    }
+
+    /// The physical address stored in the entry.
+    #[inline]
+    pub fn addr<A: Address>(self) -> A {
+        A::from_u64(self.0 & ADDR_MASK)
+    }
+
+    /// Protection implied by the flag bits.
+    pub fn prot(self) -> Prot {
+        let mut p = Prot::NONE;
+        if self.is_present() {
+            p |= Prot::READ;
+            if self.0 & WRITABLE != 0 {
+                p |= Prot::WRITE;
+            }
+            if self.0 & NX == 0 {
+                p |= Prot::EXEC;
+            }
+        }
+        p
+    }
+
+    /// Returns the entry with the accessed bit set.
+    #[inline]
+    #[must_use]
+    pub const fn with_accessed(self) -> Pte {
+        Pte(self.0 | ACCESSED)
+    }
+
+    /// Returns the entry with the dirty bit set.
+    #[inline]
+    #[must_use]
+    pub const fn with_dirty(self) -> Pte {
+        Pte(self.0 | DIRTY)
+    }
+
+    /// Whether the accessed bit is set.
+    #[inline]
+    pub const fn accessed(self) -> bool {
+        self.0 & ACCESSED != 0
+    }
+
+    /// Whether the dirty bit is set.
+    #[inline]
+    pub const fn dirty(self) -> bool {
+        self.0 & DIRTY != 0
+    }
+
+    /// Returns the entry with write permission removed (used for
+    /// copy-on-write and dirty-tracking write protection).
+    #[inline]
+    #[must_use]
+    pub const fn write_protected(self) -> Pte {
+        Pte(self.0 & !WRITABLE)
+    }
+}
+
+impl core::fmt::Debug for Pte {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if !self.is_present() {
+            return write!(f, "Pte(not present)");
+        }
+        write!(
+            f,
+            "Pte(addr={:#x}, {}{}{}{})",
+            self.0 & ADDR_MASK,
+            self.prot(),
+            if self.is_huge() { ", huge" } else { "" },
+            if self.accessed() { ", A" } else { "" },
+            if self.dirty() { ", D" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_types::Hpa;
+
+    #[test]
+    fn empty_entry_is_not_present() {
+        assert!(!Pte::EMPTY.is_present());
+        assert_eq!(Pte::EMPTY.prot(), Prot::NONE);
+        assert_eq!(format!("{:?}", Pte::EMPTY), "Pte(not present)");
+    }
+
+    #[test]
+    fn leaf_round_trips_address_and_prot() {
+        let pte = Pte::leaf(Hpa::new(0xabc_d000), Prot::RW);
+        assert!(pte.is_present());
+        assert!(!pte.is_huge());
+        assert_eq!(pte.addr::<Hpa>(), Hpa::new(0xabc_d000));
+        assert_eq!(pte.prot(), Prot::RW);
+    }
+
+    #[test]
+    fn exec_maps_to_nx_bit() {
+        let rx = Pte::leaf(Hpa::new(0x1000), Prot::READ | Prot::EXEC);
+        assert!(rx.prot().contains(Prot::EXEC));
+        assert!(!rx.prot().contains(Prot::WRITE));
+        let ro = Pte::leaf(Hpa::new(0x1000), Prot::READ);
+        assert!(!ro.prot().contains(Prot::EXEC));
+    }
+
+    #[test]
+    fn huge_leaf_sets_ps() {
+        let pde = Pte::huge_leaf(Hpa::new(0x20_0000), Prot::RW);
+        assert!(pde.is_huge());
+        assert_eq!(pde.addr::<Hpa>(), Hpa::new(0x20_0000));
+    }
+
+    #[test]
+    fn table_entry_points_at_next_level() {
+        let e = Pte::table(Hpa::new(0x7000));
+        assert!(e.is_present());
+        assert!(!e.is_huge());
+        assert_eq!(e.addr::<Hpa>(), Hpa::new(0x7000));
+    }
+
+    #[test]
+    fn accessed_and_dirty_bits() {
+        let pte = Pte::leaf(Hpa::new(0x1000), Prot::RW);
+        assert!(!pte.accessed());
+        let pte = pte.with_accessed().with_dirty();
+        assert!(pte.accessed());
+        assert!(pte.dirty());
+        assert_eq!(pte.addr::<Hpa>(), Hpa::new(0x1000), "flags leave addr intact");
+    }
+
+    #[test]
+    fn write_protection_removes_write() {
+        let pte = Pte::leaf(Hpa::new(0x1000), Prot::RW).write_protected();
+        assert!(!pte.prot().contains(Prot::WRITE));
+        assert!(pte.prot().contains(Prot::READ));
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let pte = Pte::huge_leaf(Hpa::new(0x4000_0000), Prot::RWX).with_accessed();
+        assert_eq!(Pte::from_bits(pte.bits()), pte);
+    }
+}

@@ -1,0 +1,777 @@
+//! The radix page table.
+
+use core::marker::PhantomData;
+
+use mv_phys::PhysMem;
+use mv_types::{Address, PageSize, Prot};
+
+use crate::pte::Pte;
+use crate::walk::{entry_addr, ROOT_LEVEL};
+use crate::PtError;
+
+/// A 4-level radix page table translating `VA`-space addresses into
+/// `PA`-space addresses, with its table pages stored in a
+/// [`PhysMem<PA>`](mv_phys::PhysMem).
+///
+/// The table does not own the physical space (several tables plus data pages
+/// share it), so every operation borrows the `PhysMem` explicitly.
+///
+/// # Example
+///
+/// ```
+/// use mv_phys::PhysMem;
+/// use mv_pt::PageTable;
+/// use mv_types::{Gpa, Gva, PageSize, Prot, MIB};
+///
+/// let mut mem: PhysMem<Gpa> = PhysMem::new(16 * MIB);
+/// let mut pt: PageTable<Gva, Gpa> = PageTable::new(&mut mem)?;
+/// let frame = mem.alloc(PageSize::Size2M)?;
+/// pt.map(&mut mem, Gva::new(0x20_0000), frame, PageSize::Size2M, Prot::RW)?;
+/// assert!(pt.translate(&mem, Gva::new(0x3f_ffff)).is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct PageTable<VA, PA> {
+    root: PA,
+    stats: PtStats,
+    _va: PhantomData<fn() -> VA>,
+}
+
+/// Counters describing a page table's footprint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PtStats {
+    /// Table pages currently allocated (including the root).
+    pub table_pages: u64,
+    /// Live 4 KiB leaf mappings.
+    pub leaves_4k: u64,
+    /// Live 2 MiB leaf mappings.
+    pub leaves_2m: u64,
+    /// Live 1 GiB leaf mappings.
+    pub leaves_1g: u64,
+    /// Leaf mutations (map/unmap/protect) over the table's lifetime —
+    /// the update stream that shadow paging must intercept.
+    pub leaf_updates: u64,
+}
+
+impl PtStats {
+    /// Total live leaf mappings of any size.
+    pub fn leaves(&self) -> u64 {
+        self.leaves_4k + self.leaves_2m + self.leaves_1g
+    }
+}
+
+/// Result of a successful software translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation<PA> {
+    /// Translated physical address (leaf base + page offset).
+    pub pa: PA,
+    /// Base physical address of the containing page.
+    pub page_base: PA,
+    /// Size of the mapping that translated the address.
+    pub size: PageSize,
+    /// Leaf protection.
+    pub prot: Prot,
+}
+
+impl<VA: Address, PA: Address> PageTable<VA, PA> {
+    /// Allocates a fresh, empty page table (one zeroed root page) in `mem`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `mem` cannot supply a frame for the root.
+    pub fn new(mem: &mut PhysMem<PA>) -> Result<Self, PtError> {
+        let root = mem.alloc(PageSize::Size4K)?;
+        Ok(Self {
+            root,
+            stats: PtStats {
+                table_pages: 1,
+                ..PtStats::default()
+            },
+            _va: PhantomData,
+        })
+    }
+
+    /// Physical address of the root (PML4) page.
+    #[inline]
+    pub fn root(&self) -> PA {
+        self.root
+    }
+
+    /// Footprint counters.
+    #[inline]
+    pub fn stats(&self) -> &PtStats {
+        &self.stats
+    }
+
+    /// Maps the page of `size` at `va` to the frame at `pa`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PtError::Misaligned`] — `va` or `pa` not `size`-aligned.
+    /// * [`PtError::AlreadyMapped`] — a leaf already covers `va`.
+    /// * [`PtError::HugeConflict`] — a larger leaf covers `va`.
+    /// * [`PtError::Phys`] — no memory for intermediate table pages.
+    pub fn map(
+        &mut self,
+        mem: &mut PhysMem<PA>,
+        va: VA,
+        pa: PA,
+        size: PageSize,
+        prot: Prot,
+    ) -> Result<(), PtError> {
+        if !va.is_aligned(size) {
+            return Err(PtError::Misaligned {
+                addr: va.as_u64(),
+                size: size.bytes(),
+            });
+        }
+        if !pa.is_aligned(size) {
+            return Err(PtError::Misaligned {
+                addr: pa.as_u64(),
+                size: size.bytes(),
+            });
+        }
+        let leaf_level = size.leaf_level();
+        let mut table = self.root;
+        for level in (leaf_level..=ROOT_LEVEL).rev() {
+            let eaddr = entry_addr(table, va.as_u64(), level);
+            let entry = Pte::from_bits(mem.read_u64(eaddr));
+            if level == leaf_level {
+                if entry.is_present() {
+                    // A lingering (but empty) lower-level table can be
+                    // reclaimed and overwritten by a huge leaf, as an OS
+                    // collapsing page tables would.
+                    if level > 1 && !entry.is_huge() && self.subtree_empty(mem, entry.addr(), level - 1)
+                    {
+                        Self::free_tables_counted(mem, entry.addr(), level - 1, &mut self.stats)?;
+                    } else {
+                        return Err(PtError::AlreadyMapped { va: va.as_u64() });
+                    }
+                }
+                let leaf = if level > 1 {
+                    Pte::huge_leaf(pa, prot)
+                } else {
+                    Pte::leaf(pa, prot)
+                };
+                mem.write_u64(eaddr, leaf.bits());
+                match size {
+                    PageSize::Size4K => self.stats.leaves_4k += 1,
+                    PageSize::Size2M => self.stats.leaves_2m += 1,
+                    PageSize::Size1G => self.stats.leaves_1g += 1,
+                }
+                self.stats.leaf_updates += 1;
+                return Ok(());
+            }
+            table = if entry.is_present() {
+                if entry.is_huge() {
+                    return Err(PtError::HugeConflict {
+                        va: va.as_u64(),
+                        level,
+                    });
+                }
+                entry.addr()
+            } else {
+                let page = mem.alloc(PageSize::Size4K)?;
+                self.stats.table_pages += 1;
+                mem.write_u64(eaddr, Pte::table(page).bits());
+                page
+            };
+        }
+        unreachable!("loop returns at the leaf level");
+    }
+
+    /// Unmaps the page of `size` at `va`, returning the frame it mapped.
+    ///
+    /// # Errors
+    ///
+    /// * [`PtError::NotMapped`] — no leaf of that size at `va`.
+    /// * [`PtError::HugeConflict`] — a leaf of a different size covers `va`.
+    pub fn unmap(&mut self, mem: &mut PhysMem<PA>, va: VA, size: PageSize) -> Result<PA, PtError> {
+        let (eaddr, entry) = self.leaf_entry(mem, va, size)?;
+        mem.write_u64(eaddr, Pte::EMPTY.bits());
+        match size {
+            PageSize::Size4K => self.stats.leaves_4k -= 1,
+            PageSize::Size2M => self.stats.leaves_2m -= 1,
+            PageSize::Size1G => self.stats.leaves_1g -= 1,
+        }
+        self.stats.leaf_updates += 1;
+        Ok(entry.addr())
+    }
+
+    /// Rewrites the protection of the leaf of `size` at `va`, returning the
+    /// previous protection.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::unmap`].
+    pub fn protect(
+        &mut self,
+        mem: &mut PhysMem<PA>,
+        va: VA,
+        size: PageSize,
+        prot: Prot,
+    ) -> Result<Prot, PtError> {
+        let (eaddr, entry) = self.leaf_entry(mem, va, size)?;
+        let old = entry.prot();
+        let new = if size.leaf_level() > 1 {
+            Pte::huge_leaf(entry.addr::<PA>(), prot)
+        } else {
+            Pte::leaf(entry.addr::<PA>(), prot)
+        };
+        mem.write_u64(eaddr, new.bits());
+        self.stats.leaf_updates += 1;
+        Ok(old)
+    }
+
+    /// Remaps the leaf of `size` at `va` to a new frame, preserving
+    /// protection. Used when compaction relocates a backing frame.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::unmap`].
+    pub fn remap(
+        &mut self,
+        mem: &mut PhysMem<PA>,
+        va: VA,
+        size: PageSize,
+        new_pa: PA,
+    ) -> Result<PA, PtError> {
+        if !new_pa.is_aligned(size) {
+            return Err(PtError::Misaligned {
+                addr: new_pa.as_u64(),
+                size: size.bytes(),
+            });
+        }
+        let (eaddr, entry) = self.leaf_entry(mem, va, size)?;
+        let old = entry.addr();
+        let new = if size.leaf_level() > 1 {
+            Pte::huge_leaf(new_pa, entry.prot())
+        } else {
+            Pte::leaf(new_pa, entry.prot())
+        };
+        mem.write_u64(eaddr, new.bits());
+        self.stats.leaf_updates += 1;
+        Ok(old)
+    }
+
+    fn leaf_entry(
+        &self,
+        mem: &PhysMem<PA>,
+        va: VA,
+        size: PageSize,
+    ) -> Result<(PA, Pte), PtError> {
+        if !va.is_aligned(size) {
+            return Err(PtError::Misaligned {
+                addr: va.as_u64(),
+                size: size.bytes(),
+            });
+        }
+        let leaf_level = size.leaf_level();
+        let mut table = self.root;
+        for level in (leaf_level..=ROOT_LEVEL).rev() {
+            let eaddr = entry_addr(table, va.as_u64(), level);
+            let entry = Pte::from_bits(mem.read_u64(eaddr));
+            if !entry.is_present() {
+                return Err(PtError::NotMapped { va: va.as_u64() });
+            }
+            if level == leaf_level {
+                if level > 1 && !entry.is_huge() {
+                    return Err(PtError::HugeConflict {
+                        va: va.as_u64(),
+                        level,
+                    });
+                }
+                return Ok((eaddr, entry));
+            }
+            if entry.is_huge() {
+                return Err(PtError::HugeConflict {
+                    va: va.as_u64(),
+                    level,
+                });
+            }
+            table = entry.addr();
+        }
+        unreachable!("loop returns at the leaf level");
+    }
+
+    /// Software-walks the table and translates `va`, or returns `None` if
+    /// unmapped. This is the *reference* translation the MMU models are
+    /// checked against; it performs no cost accounting.
+    pub fn translate(&self, mem: &PhysMem<PA>, va: VA) -> Option<Translation<PA>> {
+        let raw = va.as_u64();
+        let mut table = self.root;
+        for level in (1..=ROOT_LEVEL).rev() {
+            let entry = Pte::from_bits(mem.read_u64(entry_addr(table, raw, level)));
+            if !entry.is_present() {
+                return None;
+            }
+            if level == 1 || entry.is_huge() {
+                let size = match level {
+                    1 => PageSize::Size4K,
+                    2 => PageSize::Size2M,
+                    3 => PageSize::Size1G,
+                    _ => return None, // no 512 GiB leaves
+                };
+                let base: PA = entry.addr();
+                return Some(Translation {
+                    pa: PA::from_u64(base.as_u64() + (raw & size.offset_mask())),
+                    page_base: base,
+                    size,
+                    prot: entry.prot(),
+                });
+            }
+            table = entry.addr();
+        }
+        None
+    }
+
+    /// Sets the accessed (and optionally dirty) bit on the leaf covering
+    /// `va`, as a hardware walker would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PtError::NotMapped`] if `va` has no leaf.
+    pub fn mark_accessed(
+        &mut self,
+        mem: &mut PhysMem<PA>,
+        va: VA,
+        write: bool,
+    ) -> Result<(), PtError> {
+        let t = self
+            .translate(mem, va)
+            .ok_or(PtError::NotMapped { va: va.as_u64() })?;
+        let aligned = VA::from_u64(va.as_u64() & !t.size.offset_mask());
+        let (eaddr, entry) = self.leaf_entry(mem, aligned, t.size)?;
+        let mut updated = entry.with_accessed();
+        if write {
+            updated = updated.with_dirty();
+        }
+        if updated != entry {
+            mem.write_u64(eaddr, updated.bits());
+        }
+        Ok(())
+    }
+
+    /// Attempts to collapse the 512 4 KiB mappings covering the 2 MiB region
+    /// at `va` into a single 2 MiB leaf — the transparent-huge-page
+    /// promotion the paper's native baselines rely on (Section VIII uses THP
+    /// for SPEC/PARSEC). Succeeds only if all 512 PTEs are present, share
+    /// protection, and map physically contiguous, 2 MiB-aligned frames.
+    ///
+    /// Returns `true` if promoted. The freed page-table page is returned to
+    /// `mem`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PtError::Misaligned`] — `va` not 2 MiB-aligned.
+    pub fn promote_2m(&mut self, mem: &mut PhysMem<PA>, va: VA) -> Result<bool, PtError> {
+        if !va.is_aligned(PageSize::Size2M) {
+            return Err(PtError::Misaligned {
+                addr: va.as_u64(),
+                size: PageSize::Size2M.bytes(),
+            });
+        }
+        // Find the PD entry (level 2).
+        let raw = va.as_u64();
+        let mut table = self.root;
+        for level in (3..=ROOT_LEVEL).rev() {
+            let entry = Pte::from_bits(mem.read_u64(entry_addr(table, raw, level)));
+            if !entry.is_present() || entry.is_huge() {
+                return Ok(false);
+            }
+            table = entry.addr();
+        }
+        let pd_entry_addr = entry_addr(table, raw, 2);
+        let pd_entry = Pte::from_bits(mem.read_u64(pd_entry_addr));
+        if !pd_entry.is_present() || pd_entry.is_huge() {
+            return Ok(false);
+        }
+        let pt_page: PA = pd_entry.addr();
+
+        // Scan the 512 PTEs for contiguity and uniform protection.
+        let first = Pte::from_bits(mem.read_u64(pt_page));
+        if !first.is_present() || !first.addr::<PA>().is_aligned(PageSize::Size2M) {
+            return Ok(false);
+        }
+        let base = first.addr::<PA>().as_u64();
+        let prot = first.prot();
+        for i in 1..512u64 {
+            let pte = Pte::from_bits(mem.read_u64(PA::from_u64(pt_page.as_u64() + i * 8)));
+            if !pte.is_present() || pte.prot() != prot || pte.addr::<PA>().as_u64() != base + i * 4096
+            {
+                return Ok(false);
+            }
+        }
+
+        mem.write_u64(pd_entry_addr, Pte::huge_leaf(PA::from_u64(base), prot).bits());
+        mem.free(pt_page, PageSize::Size4K)?;
+        self.stats.table_pages -= 1;
+        self.stats.leaves_4k -= 512;
+        self.stats.leaves_2m += 1;
+        self.stats.leaf_updates += 1;
+        Ok(true)
+    }
+
+    /// Visits every leaf mapping as `(va, pte, size)`, in address order.
+    /// Used to build shadow page tables and for consistency checks.
+    pub fn for_each_leaf(&self, mem: &PhysMem<PA>, f: &mut dyn FnMut(VA, Pte, PageSize)) {
+        self.visit(mem, self.root, ROOT_LEVEL, 0, f);
+    }
+
+    fn visit(
+        &self,
+        mem: &PhysMem<PA>,
+        table: PA,
+        level: u8,
+        va_prefix: u64,
+        f: &mut dyn FnMut(VA, Pte, PageSize),
+    ) {
+        for i in 0..512u64 {
+            let entry = Pte::from_bits(mem.read_u64(PA::from_u64(table.as_u64() + i * 8)));
+            if !entry.is_present() {
+                continue;
+            }
+            let va = va_prefix + i * crate::walk::level_coverage(level);
+            if level == 1 || entry.is_huge() {
+                let size = match level {
+                    1 => PageSize::Size4K,
+                    2 => PageSize::Size2M,
+                    _ => PageSize::Size1G,
+                };
+                f(VA::from_u64(va), entry, size);
+            } else {
+                self.visit(mem, entry.addr(), level - 1, va, f);
+            }
+        }
+    }
+
+    /// Lists the physical addresses of every page-table page (root
+    /// included). Owners use this to pin table pages against memory
+    /// compaction — page tables are unmovable kernel allocations.
+    pub fn table_pages(&self, mem: &PhysMem<PA>) -> Vec<PA> {
+        let mut out = Vec::with_capacity(self.stats.table_pages as usize);
+        Self::collect_tables(mem, self.root, ROOT_LEVEL, &mut out);
+        out
+    }
+
+    fn collect_tables(mem: &PhysMem<PA>, table: PA, level: u8, out: &mut Vec<PA>) {
+        out.push(table);
+        if level > 1 {
+            for i in 0..512u64 {
+                let entry = Pte::from_bits(mem.read_u64(PA::from_u64(table.as_u64() + i * 8)));
+                if entry.is_present() && !entry.is_huge() {
+                    Self::collect_tables(mem, entry.addr(), level - 1, out);
+                }
+            }
+        }
+    }
+
+    /// Frees every table page (the mappings become unreachable). The frames
+    /// *mapped by* the table are not freed — they belong to their owners.
+    ///
+    /// # Errors
+    ///
+    /// Propagates physical-space accounting errors (which indicate
+    /// corruption).
+    pub fn destroy(mut self, mem: &mut PhysMem<PA>) -> Result<(), PtError> {
+        Self::free_tables(mem, self.root, ROOT_LEVEL)?;
+        self.stats = PtStats::default();
+        Ok(())
+    }
+
+    /// Whether the subtree rooted at `table` (at `level`) contains no
+    /// present entries.
+    fn subtree_empty(&self, mem: &PhysMem<PA>, table: PA, level: u8) -> bool {
+        for i in 0..512u64 {
+            let entry = Pte::from_bits(mem.read_u64(PA::from_u64(table.as_u64() + i * 8)));
+            if entry.is_present() {
+                if level > 1 && !entry.is_huge() {
+                    if !self.subtree_empty(mem, entry.addr(), level - 1) {
+                        return false;
+                    }
+                } else {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Frees the table pages of a subtree, updating `stats.table_pages`.
+    fn free_tables_counted(
+        mem: &mut PhysMem<PA>,
+        table: PA,
+        level: u8,
+        stats: &mut PtStats,
+    ) -> Result<(), PtError> {
+        if level > 1 {
+            for i in 0..512u64 {
+                let entry = Pte::from_bits(mem.read_u64(PA::from_u64(table.as_u64() + i * 8)));
+                if entry.is_present() && !entry.is_huge() {
+                    Self::free_tables_counted(mem, entry.addr(), level - 1, stats)?;
+                }
+            }
+        }
+        mem.free(table, PageSize::Size4K)?;
+        stats.table_pages -= 1;
+        Ok(())
+    }
+
+    fn free_tables(mem: &mut PhysMem<PA>, table: PA, level: u8) -> Result<(), PtError> {
+        if level > 1 {
+            for i in 0..512u64 {
+                let entry = Pte::from_bits(mem.read_u64(PA::from_u64(table.as_u64() + i * 8)));
+                if entry.is_present() && !entry.is_huge() {
+                    Self::free_tables(mem, entry.addr(), level - 1)?;
+                }
+            }
+        }
+        mem.free(table, PageSize::Size4K)?;
+        Ok(())
+    }
+}
+
+impl<VA: Address, PA: Address> core::fmt::Debug for PageTable<VA, PA> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PageTable")
+            .field("va_space", &VA::SPACE)
+            .field("pa_space", &PA::SPACE)
+            .field("root", &self.root)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_types::{Gpa, Gva, MIB};
+
+    fn setup() -> (PhysMem<Gpa>, PageTable<Gva, Gpa>) {
+        let mut mem: PhysMem<Gpa> = PhysMem::new(64 * MIB);
+        let pt = PageTable::new(&mut mem).unwrap();
+        (mem, pt)
+    }
+
+    #[test]
+    fn map_translate_round_trip_4k() {
+        let (mut mem, mut pt) = setup();
+        let frame = mem.alloc(PageSize::Size4K).unwrap();
+        pt.map(&mut mem, Gva::new(0x7000_1000), frame, PageSize::Size4K, Prot::RW)
+            .unwrap();
+        let t = pt.translate(&mem, Gva::new(0x7000_1abc)).unwrap();
+        assert_eq!(t.pa, frame.add(0xabc));
+        assert_eq!(t.size, PageSize::Size4K);
+        assert_eq!(t.prot, Prot::RW);
+        assert!(pt.translate(&mem, Gva::new(0x7000_2000)).is_none());
+    }
+
+    #[test]
+    fn map_translate_round_trip_2m_and_1g() {
+        let mut mem: PhysMem<Gpa> = PhysMem::new(4 << 30);
+        let mut pt: PageTable<Gva, Gpa> = PageTable::new(&mut mem).unwrap();
+        let f2m = mem.alloc(PageSize::Size2M).unwrap();
+        let f1g = mem.alloc(PageSize::Size1G).unwrap();
+        pt.map(&mut mem, Gva::new(2 << 20), f2m, PageSize::Size2M, Prot::RW)
+            .unwrap();
+        pt.map(&mut mem, Gva::new(1 << 30), f1g, PageSize::Size1G, Prot::READ)
+            .unwrap();
+        let t = pt.translate(&mem, Gva::new((2 << 20) + 12345)).unwrap();
+        assert_eq!(t.pa, f2m.add(12345));
+        assert_eq!(t.size, PageSize::Size2M);
+        let t = pt.translate(&mem, Gva::new((1 << 30) + 999)).unwrap();
+        assert_eq!(t.pa, f1g.add(999));
+        assert_eq!(t.size, PageSize::Size1G);
+        assert_eq!(t.prot, Prot::READ);
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let (mut mem, mut pt) = setup();
+        let f = mem.alloc(PageSize::Size4K).unwrap();
+        let va = Gva::new(0x1000);
+        pt.map(&mut mem, va, f, PageSize::Size4K, Prot::RW).unwrap();
+        let err = pt.map(&mut mem, va, f, PageSize::Size4K, Prot::RW).unwrap_err();
+        assert_eq!(err, PtError::AlreadyMapped { va: 0x1000 });
+    }
+
+    #[test]
+    fn misaligned_map_rejected() {
+        let (mut mem, mut pt) = setup();
+        let f = mem.alloc(PageSize::Size2M).unwrap();
+        assert!(matches!(
+            pt.map(&mut mem, Gva::new(0x1000), f, PageSize::Size2M, Prot::RW),
+            Err(PtError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            pt.map(&mut mem, Gva::new(0x20_0000), f.add(0x1000), PageSize::Size2M, Prot::RW),
+            Err(PtError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn mapping_under_a_huge_page_conflicts() {
+        let (mut mem, mut pt) = setup();
+        let f2m = mem.alloc(PageSize::Size2M).unwrap();
+        pt.map(&mut mem, Gva::new(0), f2m, PageSize::Size2M, Prot::RW).unwrap();
+        let f = mem.alloc(PageSize::Size4K).unwrap();
+        let err = pt
+            .map(&mut mem, Gva::new(0x1000), f, PageSize::Size4K, Prot::RW)
+            .unwrap_err();
+        assert!(matches!(err, PtError::HugeConflict { level: 2, .. }));
+    }
+
+    #[test]
+    fn unmap_returns_frame_and_clears() {
+        let (mut mem, mut pt) = setup();
+        let f = mem.alloc(PageSize::Size4K).unwrap();
+        let va = Gva::new(0x8000);
+        pt.map(&mut mem, va, f, PageSize::Size4K, Prot::RW).unwrap();
+        assert_eq!(pt.unmap(&mut mem, va, PageSize::Size4K).unwrap(), f);
+        assert!(pt.translate(&mem, va).is_none());
+        assert_eq!(
+            pt.unmap(&mut mem, va, PageSize::Size4K).unwrap_err(),
+            PtError::NotMapped { va: 0x8000 }
+        );
+    }
+
+    #[test]
+    fn protect_rewrites_leaf() {
+        let (mut mem, mut pt) = setup();
+        let f = mem.alloc(PageSize::Size4K).unwrap();
+        let va = Gva::new(0x8000);
+        pt.map(&mut mem, va, f, PageSize::Size4K, Prot::RW).unwrap();
+        let old = pt.protect(&mut mem, va, PageSize::Size4K, Prot::READ).unwrap();
+        assert_eq!(old, Prot::RW);
+        assert_eq!(pt.translate(&mem, va).unwrap().prot, Prot::READ);
+    }
+
+    #[test]
+    fn remap_points_to_new_frame() {
+        let (mut mem, mut pt) = setup();
+        let f1 = mem.alloc(PageSize::Size4K).unwrap();
+        let f2 = mem.alloc(PageSize::Size4K).unwrap();
+        let va = Gva::new(0x9000);
+        pt.map(&mut mem, va, f1, PageSize::Size4K, Prot::RW).unwrap();
+        assert_eq!(pt.remap(&mut mem, va, PageSize::Size4K, f2).unwrap(), f1);
+        assert_eq!(pt.translate(&mem, va).unwrap().page_base, f2);
+        assert_eq!(pt.translate(&mem, va).unwrap().prot, Prot::RW);
+    }
+
+    #[test]
+    fn stats_track_tables_and_leaves() {
+        let (mut mem, mut pt) = setup();
+        assert_eq!(pt.stats().table_pages, 1);
+        let f = mem.alloc(PageSize::Size4K).unwrap();
+        pt.map(&mut mem, Gva::new(0x1000), f, PageSize::Size4K, Prot::RW).unwrap();
+        // Root + 3 intermediate levels.
+        assert_eq!(pt.stats().table_pages, 4);
+        assert_eq!(pt.stats().leaves_4k, 1);
+        // Another page in the same 2 MiB region reuses all tables.
+        let f2 = mem.alloc(PageSize::Size4K).unwrap();
+        pt.map(&mut mem, Gva::new(0x2000), f2, PageSize::Size4K, Prot::RW).unwrap();
+        assert_eq!(pt.stats().table_pages, 4);
+        assert_eq!(pt.stats().leaves_4k, 2);
+        assert_eq!(pt.stats().leaf_updates, 2);
+    }
+
+    #[test]
+    fn accessed_and_dirty_bits_are_set() {
+        let (mut mem, mut pt) = setup();
+        let f = mem.alloc(PageSize::Size4K).unwrap();
+        let va = Gva::new(0x1000);
+        pt.map(&mut mem, va, f, PageSize::Size4K, Prot::RW).unwrap();
+        pt.mark_accessed(&mut mem, Gva::new(0x1234), false).unwrap();
+        let mut seen = Vec::new();
+        pt.for_each_leaf(&mem, &mut |va, pte, _| seen.push((va, pte)));
+        assert!(seen[0].1.accessed());
+        assert!(!seen[0].1.dirty());
+        pt.mark_accessed(&mut mem, Gva::new(0x1234), true).unwrap();
+        let mut seen = Vec::new();
+        pt.for_each_leaf(&mem, &mut |va, pte, _| seen.push((va, pte)));
+        assert!(seen[0].1.dirty());
+    }
+
+    #[test]
+    fn promote_2m_collapses_contiguous_run() {
+        let mut mem: PhysMem<Gpa> = PhysMem::new(64 * MIB);
+        let mut pt: PageTable<Gva, Gpa> = PageTable::new(&mut mem).unwrap();
+        let region = mem.reserve_contiguous(2 * MIB, PageSize::Size2M).unwrap();
+        for i in 0..512u64 {
+            pt.map(
+                &mut mem,
+                Gva::new(0x20_0000 + i * 4096),
+                region.start().add(i * 4096),
+                PageSize::Size4K,
+                Prot::RW,
+            )
+            .unwrap();
+        }
+        let tables_before = pt.stats().table_pages;
+        assert!(pt.promote_2m(&mut mem, Gva::new(0x20_0000)).unwrap());
+        assert_eq!(pt.stats().table_pages, tables_before - 1);
+        assert_eq!(pt.stats().leaves_2m, 1);
+        assert_eq!(pt.stats().leaves_4k, 0);
+        let t = pt.translate(&mem, Gva::new(0x20_0000 + 123456)).unwrap();
+        assert_eq!(t.size, PageSize::Size2M);
+        assert_eq!(t.pa, region.start().add(123456));
+    }
+
+    #[test]
+    fn promote_2m_refuses_non_contiguous_run() {
+        let mut mem: PhysMem<Gpa> = PhysMem::new(64 * MIB);
+        let mut pt: PageTable<Gva, Gpa> = PageTable::new(&mut mem).unwrap();
+        for i in 0..512u64 {
+            let f = mem.alloc(PageSize::Size4K).unwrap();
+            pt.map(&mut mem, Gva::new(0x20_0000 + i * 4096), f, PageSize::Size4K, Prot::RW)
+                .unwrap();
+        }
+        // Frames interleave with table-page allocations, so the run is not
+        // physically contiguous.
+        assert!(!pt.promote_2m(&mut mem, Gva::new(0x20_0000)).unwrap());
+        assert_eq!(pt.stats().leaves_4k, 512);
+    }
+
+    #[test]
+    fn promote_2m_refuses_partial_run() {
+        let mut mem: PhysMem<Gpa> = PhysMem::new(64 * MIB);
+        let mut pt: PageTable<Gva, Gpa> = PageTable::new(&mut mem).unwrap();
+        let region = mem.reserve_contiguous(2 * MIB, PageSize::Size2M).unwrap();
+        for i in 0..511u64 {
+            pt.map(
+                &mut mem,
+                Gva::new(i * 4096),
+                region.start().add(i * 4096),
+                PageSize::Size4K,
+                Prot::RW,
+            )
+            .unwrap();
+        }
+        assert!(!pt.promote_2m(&mut mem, Gva::new(0)).unwrap());
+    }
+
+    #[test]
+    fn for_each_leaf_enumerates_in_order() {
+        let (mut mem, mut pt) = setup();
+        let mut expected = Vec::new();
+        for va in [0x1000u64, 0x40_0000, 0x8000_0000] {
+            let f = mem.alloc(PageSize::Size4K).unwrap();
+            pt.map(&mut mem, Gva::new(va), f, PageSize::Size4K, Prot::RW).unwrap();
+            expected.push(Gva::new(va));
+        }
+        let mut seen = Vec::new();
+        pt.for_each_leaf(&mem, &mut |va, _, _| seen.push(va));
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn destroy_frees_all_table_pages() {
+        let mut mem: PhysMem<Gpa> = PhysMem::new(64 * MIB);
+        let free_before = mem.free_bytes();
+        let mut pt: PageTable<Gva, Gpa> = PageTable::new(&mut mem).unwrap();
+        let f = mem.alloc(PageSize::Size4K).unwrap();
+        pt.map(&mut mem, Gva::new(0x1000), f, PageSize::Size4K, Prot::RW).unwrap();
+        pt.destroy(&mut mem).unwrap();
+        mem.free(f, PageSize::Size4K).unwrap();
+        assert_eq!(mem.free_bytes(), free_before);
+    }
+}

@@ -1,0 +1,96 @@
+//! Pure page-walk index arithmetic.
+//!
+//! These functions compute *where* a hardware walker would read, without
+//! touching memory. The nested walker in `mv-core` uses them to interleave
+//! guest-level reads with nested translations, reproducing the Figure 2
+//! state machine reference-by-reference.
+
+use mv_types::Address;
+
+/// Number of radix levels (4 in x86-64 long mode).
+pub const LEVELS: u8 = 4;
+
+/// The root level of the walk (level 4 = PML4).
+pub const ROOT_LEVEL: u8 = 4;
+
+/// Index into the level-`level` table for virtual address `va`
+/// (level 4 = PML4 … level 1 = PT).
+///
+/// # Panics
+///
+/// Panics in debug builds if `level` is not in `1..=4`.
+///
+/// # Example
+///
+/// ```
+/// use mv_pt::table_index;
+///
+/// // Second 2 MiB region of the address space: PML4/PDPT index 0, PD index 1.
+/// assert_eq!(table_index(0x20_0000, 4), 0);
+/// assert_eq!(table_index(0x20_0000, 2), 1);
+/// ```
+#[inline]
+pub fn table_index(va: u64, level: u8) -> u64 {
+    debug_assert!((1..=LEVELS).contains(&level));
+    (va >> (12 + 9 * (level - 1) as u32)) & 0x1ff
+}
+
+/// Physical address of the entry a walker reads at `level` given the
+/// table page base `table_base`.
+///
+/// # Example
+///
+/// ```
+/// use mv_pt::entry_addr;
+/// use mv_types::Hpa;
+///
+/// let e = entry_addr(Hpa::new(0x8000), 0x20_0000, 2);
+/// assert_eq!(e, Hpa::new(0x8008)); // index 1 at the PD level
+/// ```
+#[inline]
+pub fn entry_addr<A: Address>(table_base: A, va: u64, level: u8) -> A {
+    A::from_u64(table_base.as_u64() + table_index(va, level) * 8)
+}
+
+/// Bytes covered by one entry at `level` (4 KiB at level 1 up to 512 GiB at
+/// level 4).
+#[inline]
+pub fn level_coverage(level: u8) -> u64 {
+    1u64 << (12 + 9 * (level - 1) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_types::Hpa;
+
+    #[test]
+    fn indices_decompose_the_address() {
+        let va = 0x0000_7f12_3456_7890u64;
+        assert_eq!(table_index(va, 4), (va >> 39) & 0x1ff);
+        assert_eq!(table_index(va, 3), (va >> 30) & 0x1ff);
+        assert_eq!(table_index(va, 2), (va >> 21) & 0x1ff);
+        assert_eq!(table_index(va, 1), (va >> 12) & 0x1ff);
+    }
+
+    #[test]
+    fn indices_cover_all_nine_bits() {
+        assert_eq!(table_index(u64::MAX, 1), 0x1ff);
+        assert_eq!(table_index(0, 1), 0);
+    }
+
+    #[test]
+    fn entry_addr_is_base_plus_index_times_eight() {
+        let base = Hpa::new(0x1_0000);
+        let va = 3u64 << 39; // PML4 index 3
+        assert_eq!(entry_addr(base, va, 4), Hpa::new(0x1_0018));
+    }
+
+    #[test]
+    fn level_coverage_matches_page_sizes() {
+        assert_eq!(level_coverage(1), 4 << 10);
+        assert_eq!(level_coverage(2), 2 << 20);
+        assert_eq!(level_coverage(3), 1 << 30);
+        assert_eq!(level_coverage(4), 512u64 << 30);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests: the radix page table agrees with a flat reference
+//! model under arbitrary map/unmap sequences.
+
+use std::collections::HashMap;
+
+use mv_phys::PhysMem;
+use mv_pt::{PageTable, PtError};
+use mv_types::{Gpa, Gva, PageSize, Prot, MIB};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Map { slot: u64, size: PageSize, prot: Prot },
+    Unmap { slot: u64 },
+    Probe { slot: u64, offset: u64 },
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    let size = prop_oneof![Just(PageSize::Size4K), Just(PageSize::Size2M)];
+    let prot = prop_oneof![Just(Prot::RW), Just(Prot::READ), Just(Prot::RWX)];
+    prop_oneof![
+        3 => (0u64..32, size, prot).prop_map(|(slot, size, prot)| Op::Map { slot, size, prot }),
+        1 => (0u64..32).prop_map(|slot| Op::Unmap { slot }),
+        2 => (0u64..32, 0u64..(2 * MIB)).prop_map(|(slot, offset)| Op::Probe { slot, offset }),
+    ]
+}
+
+/// Each slot is a disjoint 2 MiB-aligned region so sizes never conflict
+/// between slots; the reference model tracks the live mapping per slot.
+fn slot_va(slot: u64) -> Gva {
+    Gva::new(0x4000_0000 + slot * (2 * MIB))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn radix_table_matches_reference(ops in proptest::collection::vec(ops(), 1..120)) {
+        let mut mem: PhysMem<Gpa> = PhysMem::new(256 * MIB);
+        let mut pt: PageTable<Gva, Gpa> = PageTable::new(&mut mem).unwrap();
+        // slot -> (frame, size, prot)
+        let mut model: HashMap<u64, (Gpa, PageSize, Prot)> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Map { slot, size, prot } => {
+                    let va = slot_va(slot);
+                    let frame = mem.alloc(size).unwrap();
+                    match pt.map(&mut mem, va, frame, size, prot) {
+                        Ok(()) => {
+                            prop_assert!(!model.contains_key(&slot), "map succeeded over live mapping");
+                            model.insert(slot, (frame, size, prot));
+                        }
+                        Err(PtError::AlreadyMapped { .. } | PtError::HugeConflict { .. }) => {
+                            prop_assert!(model.contains_key(&slot), "map failed on empty slot");
+                            mem.free(frame, size).unwrap();
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+                    }
+                }
+                Op::Unmap { slot } => {
+                    let va = slot_va(slot);
+                    match model.remove(&slot) {
+                        Some((frame, size, _)) => {
+                            let got = pt.unmap(&mut mem, va, size).unwrap();
+                            prop_assert_eq!(got, frame);
+                            mem.free(frame, size).unwrap();
+                        }
+                        None => {
+                            // Either size is fine; both must report NotMapped.
+                            prop_assert!(pt.unmap(&mut mem, va, PageSize::Size4K).is_err());
+                        }
+                    }
+                }
+                Op::Probe { slot, offset } => {
+                    let va = Gva::new(slot_va(slot).as_u64() + offset);
+                    let got = pt.translate(&mem, va);
+                    match model.get(&slot) {
+                        Some(&(frame, size, prot)) if offset < size.bytes() => {
+                            let t = got.expect("model says mapped");
+                            prop_assert_eq!(t.pa, frame.add(offset));
+                            prop_assert_eq!(t.size, size);
+                            prop_assert_eq!(t.prot, prot);
+                        }
+                        _ => prop_assert!(got.is_none(), "model says unmapped at {va}"),
+                    }
+                }
+            }
+        }
+
+        // Enumeration agrees with the model.
+        let mut count = 0;
+        pt.for_each_leaf(&mem, &mut |va, pte, size| {
+            count += 1;
+            let slot = (va.as_u64() - 0x4000_0000) / (2 * MIB);
+            let (frame, msize, prot) = model[&slot];
+            assert_eq!(pte.addr::<Gpa>(), frame);
+            assert_eq!(size, msize);
+            assert_eq!(pte.prot(), prot);
+        });
+        prop_assert_eq!(count, model.len());
+    }
+}

@@ -1,0 +1,184 @@
+//! Experiment configurations and their paper-style labels.
+
+use mv_core::TranslationMode;
+use mv_types::PageSize;
+use mv_workloads::WorkloadKind;
+
+/// How the guest (or native) OS maps application memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuestPaging {
+    /// Explicitly requested page size (big-memory applications).
+    Fixed(PageSize),
+    /// 4 KiB demand paging with transparent huge pages (SPEC/PARSEC).
+    Thp,
+}
+
+impl GuestPaging {
+    /// Label fragment used in configuration names.
+    pub fn label(self) -> &'static str {
+        match self {
+            GuestPaging::Fixed(s) => s.label(),
+            GuestPaging::Thp => "THP",
+        }
+    }
+}
+
+/// The execution environment of a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Env {
+    /// Native execution; `direct_segment` selects the Section III.D mode.
+    Native {
+        /// Use the (unvirtualized) direct segment for the primary region.
+        direct_segment: bool,
+    },
+    /// Virtualized with hardware nested paging, possibly with the proposed
+    /// segment modes.
+    Virtualized {
+        /// VMM page size for nested mappings.
+        nested: PageSize,
+        /// Translation mode (BaseVirtualized / VmmDirect / GuestDirect /
+        /// DualDirect).
+        mode: TranslationMode,
+    },
+    /// Virtualized with shadow paging (Section IX.D): the hardware walks a
+    /// VMM-maintained gVA→hPA shadow table; guest page-table updates take
+    /// VM exits.
+    Shadow {
+        /// VMM page size used when composing shadow leaves.
+        nested: PageSize,
+    },
+}
+
+impl Env {
+    /// Plain native paging.
+    pub fn native() -> Env {
+        Env::Native {
+            direct_segment: false,
+        }
+    }
+
+    /// Native with a direct segment (`DS`).
+    pub fn native_direct() -> Env {
+        Env::Native {
+            direct_segment: true,
+        }
+    }
+
+    /// Base virtualized with the given VMM page size.
+    pub fn base_virtualized(nested: PageSize) -> Env {
+        Env::Virtualized {
+            nested,
+            mode: TranslationMode::BaseVirtualized,
+        }
+    }
+
+    /// VMM Direct (`…+VD`).
+    pub fn vmm_direct() -> Env {
+        Env::Virtualized {
+            nested: PageSize::Size4K,
+            mode: TranslationMode::VmmDirect,
+        }
+    }
+
+    /// Guest Direct (`…+GD`) with the given VMM page size.
+    pub fn guest_direct(nested: PageSize) -> Env {
+        Env::Virtualized {
+            nested,
+            mode: TranslationMode::GuestDirect,
+        }
+    }
+
+    /// Dual Direct (`DD`).
+    pub fn dual_direct() -> Env {
+        Env::Virtualized {
+            nested: PageSize::Size4K,
+            mode: TranslationMode::DualDirect,
+        }
+    }
+}
+
+/// One experiment configuration: workload × environment × sizing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Which Table V workload to run.
+    pub workload: WorkloadKind,
+    /// Workload arena size in bytes.
+    pub footprint: u64,
+    /// Guest (or native) OS paging policy.
+    pub guest_paging: GuestPaging,
+    /// Environment.
+    pub env: Env,
+    /// Measured accesses (after warmup).
+    pub accesses: u64,
+    /// Warmup accesses (caches/TLBs fill; counters then reset).
+    pub warmup: u64,
+    /// Random seed for the workload and any stochastic machinery.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The configuration label used in the paper's figures: `4K`, `2M+2M`,
+    /// `DD`, `4K+VD`, `4K+shadow`, …
+    pub fn label(&self) -> String {
+        match self.env {
+            Env::Native { direct_segment } => {
+                if direct_segment {
+                    "DS".to_string()
+                } else {
+                    self.guest_paging.label().to_string()
+                }
+            }
+            Env::Virtualized { nested, mode } => match mode {
+                TranslationMode::BaseVirtualized => {
+                    format!("{}+{}", self.guest_paging.label(), nested.label())
+                }
+                TranslationMode::DualDirect => "DD".to_string(),
+                TranslationMode::VmmDirect => format!("{}+VD", self.guest_paging.label()),
+                TranslationMode::GuestDirect => format!("{}+GD", self.guest_paging.label()),
+                m => format!("{}+{}", self.guest_paging.label(), m.label()),
+            },
+            Env::Shadow { .. } => format!("{}+shadow", self.guest_paging.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(guest: GuestPaging, env: Env) -> SimConfig {
+        SimConfig {
+            workload: WorkloadKind::Gups,
+            footprint: 1 << 20,
+            guest_paging: guest,
+            env,
+            accesses: 1,
+            warmup: 0,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        use GuestPaging::Fixed;
+        use PageSize::*;
+        assert_eq!(cfg(Fixed(Size4K), Env::native()).label(), "4K");
+        assert_eq!(cfg(Fixed(Size2M), Env::native()).label(), "2M");
+        assert_eq!(cfg(GuestPaging::Thp, Env::native()).label(), "THP");
+        assert_eq!(cfg(Fixed(Size4K), Env::native_direct()).label(), "DS");
+        assert_eq!(
+            cfg(Fixed(Size4K), Env::base_virtualized(Size2M)).label(),
+            "4K+2M"
+        );
+        assert_eq!(cfg(Fixed(Size4K), Env::vmm_direct()).label(), "4K+VD");
+        assert_eq!(
+            cfg(Fixed(Size4K), Env::guest_direct(Size4K)).label(),
+            "4K+GD"
+        );
+        assert_eq!(cfg(Fixed(Size4K), Env::dual_direct()).label(), "DD");
+        assert_eq!(
+            cfg(Fixed(Size4K), Env::Shadow { nested: Size4K }).label(),
+            "4K+shadow"
+        );
+    }
+}

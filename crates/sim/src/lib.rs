@@ -1,0 +1,45 @@
+//! Simulation façade: wires host memory, VMM, guest OS, workloads, and the
+//! MMU into runnable experiment configurations.
+//!
+//! A [`Simulation`] reproduces one bar of the paper's figures: a workload
+//! (Table V) under a configuration (native/virtualized, guest and VMM page
+//! sizes, translation mode — the `4K+2M` / `DD` / `4K+VD` labels of
+//! Figures 1, 11, and 12). It drives the workload's reference stream
+//! through the [`mv_core::Mmu`], services guest and nested faults through
+//! the OS and VMM models, and reports counters plus the paper's
+//! execution-time-overhead metric.
+//!
+//! # Example
+//!
+//! ```
+//! use mv_sim::{Env, GuestPaging, SimConfig, Simulation};
+//! use mv_types::{PageSize, MIB};
+//! use mv_workloads::WorkloadKind;
+//!
+//! let cfg = SimConfig {
+//!     workload: WorkloadKind::Gups,
+//!     footprint: 8 * MIB,
+//!     guest_paging: GuestPaging::Fixed(PageSize::Size4K),
+//!     env: Env::base_virtualized(PageSize::Size4K),
+//!     accesses: 20_000,
+//!     warmup: 5_000,
+//!     seed: 42,
+//! };
+//! let result = Simulation::run(&cfg)?;
+//! assert!(result.overhead > 0.0, "virtualized gups pays for 2D walks");
+//! # Ok::<(), mv_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod native;
+mod result;
+mod run;
+
+pub use config::{Env, GuestPaging, SimConfig};
+pub use native::NativeOs;
+pub use result::RunResult;
+pub use run::{SimError, Simulation};

@@ -1,0 +1,181 @@
+//! Minimal native OS model for the unvirtualized baselines.
+//!
+//! Mirrors the guest OS's demand paging and primary-region handling, but
+//! over host-physical memory directly (one translation level). Used for
+//! the `4K`/`2M`/`1G`/`THP` native bars and the `DS` direct-segment mode.
+
+use mv_core::Segment;
+use mv_phys::PhysMem;
+use mv_pt::PageTable;
+use mv_types::{AddrRange, Gva, Hpa, PageSize, Prot};
+
+use crate::config::GuestPaging;
+use crate::run::SimError;
+
+/// Base virtual address of the native process's data arena.
+const ARENA_BASE: u64 = 0x100_0000_0000;
+
+/// A single-process native OS: physical memory, one page table, demand
+/// paging, and an optional direct segment over the arena.
+#[derive(Debug)]
+pub struct NativeOs {
+    mem: PhysMem<Hpa>,
+    pt: PageTable<Gva, Hpa>,
+    paging: GuestPaging,
+    arena: AddrRange<Gva>,
+    segment: Option<Segment<Gva, Hpa>>,
+    faults: u64,
+}
+
+impl NativeOs {
+    /// Boots a native system with `phys_bytes` of memory and an arena of
+    /// `arena_bytes` at a fixed base.
+    ///
+    /// # Errors
+    ///
+    /// Fails if physical memory cannot hold the root page table.
+    pub fn boot(
+        phys_bytes: u64,
+        arena_bytes: u64,
+        paging: GuestPaging,
+    ) -> Result<NativeOs, SimError> {
+        let mut mem = PhysMem::new(phys_bytes);
+        let pt = PageTable::new(&mut mem).map_err(mv_guestos::OsError::from)?;
+        Ok(NativeOs {
+            mem,
+            pt,
+            paging,
+            arena: AddrRange::from_start_len(Gva::new(ARENA_BASE), arena_bytes),
+            segment: None,
+            faults: 0,
+        })
+    }
+
+    /// The arena's base address.
+    pub fn arena_base(&self) -> Gva {
+        self.arena.start()
+    }
+
+    /// Establishes a direct segment over the whole arena (the `DS` mode):
+    /// reserves contiguous physical backing and programs BASE/LIMIT/OFFSET.
+    ///
+    /// # Errors
+    ///
+    /// Fails if physical memory is fragmented.
+    pub fn setup_direct_segment(&mut self) -> Result<Segment<Gva, Hpa>, SimError> {
+        let backing = self
+            .mem
+            .reserve_contiguous(self.arena.len(), PageSize::Size2M)
+            .map_err(mv_guestos::OsError::from)?;
+        let seg = Segment::map(self.arena, backing.start());
+        self.segment = Some(seg);
+        Ok(seg)
+    }
+
+    /// Services a demand fault at `va` per the paging policy.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-memory or a fault outside the arena.
+    pub fn handle_page_fault(&mut self, va: Gva) -> Result<(), SimError> {
+        if !self.arena.contains(va) {
+            return Err(SimError::Os(mv_guestos::OsError::SegmentationFault {
+                va: va.as_u64(),
+            }));
+        }
+        // Segment-covered pages map their segment-computed frame (used
+        // only for escaped pages; normally the segment translates them).
+        if let Some(seg) = self.segment {
+            if let Some(pa) = seg.translate(va) {
+                let va_page = Gva::new(va.as_u64() & !0xfff);
+                let pa_page = Hpa::new(pa.as_u64() & !0xfff);
+                self.pt
+                    .map(&mut self.mem, va_page, pa_page, PageSize::Size4K, Prot::RW)
+                    .map_err(mv_guestos::OsError::from)?;
+                self.faults += 1;
+                return Ok(());
+            }
+        }
+        let size = match self.paging {
+            GuestPaging::Fixed(s) => s,
+            GuestPaging::Thp => {
+                // Try a huge page when the arena covers the aligned region.
+                let huge_va = Gva::new(va.as_u64() & !PageSize::Size2M.offset_mask());
+                let huge = AddrRange::from_start_len(huge_va, PageSize::Size2M.bytes());
+                if self.arena.contains_range(&huge) {
+                    if let Ok(frame) = self.mem.alloc(PageSize::Size2M) {
+                        self.pt
+                            .map(&mut self.mem, huge_va, frame, PageSize::Size2M, Prot::RW)
+                            .map_err(mv_guestos::OsError::from)?;
+                        self.faults += 1;
+                        return Ok(());
+                    }
+                }
+                PageSize::Size4K
+            }
+        };
+        let va_page = Gva::new(va.as_u64() & !size.offset_mask());
+        let frame = self.mem.alloc(size).map_err(mv_guestos::OsError::from)?;
+        self.pt
+            .map(&mut self.mem, va_page, frame, size, Prot::RW)
+            .map_err(mv_guestos::OsError::from)?;
+        self.faults += 1;
+        Ok(())
+    }
+
+    /// Demand faults serviced.
+    pub fn fault_count(&self) -> u64 {
+        self.faults
+    }
+
+    /// Borrows the page table and memory for an MMU context.
+    pub fn pt_and_mem(&self) -> (&PageTable<Gva, Hpa>, &PhysMem<Hpa>) {
+        (&self.pt, &self.mem)
+    }
+
+    /// The direct segment, if established.
+    pub fn segment(&self) -> Option<Segment<Gva, Hpa>> {
+        self.segment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_types::MIB;
+
+    #[test]
+    fn demand_faults_map_pages() {
+        let mut os = NativeOs::boot(64 * MIB, 8 * MIB, GuestPaging::Fixed(PageSize::Size4K))
+            .unwrap();
+        let va = os.arena_base();
+        os.handle_page_fault(va).unwrap();
+        let (pt, mem) = os.pt_and_mem();
+        assert!(pt.translate(mem, va).is_some());
+        assert_eq!(os.fault_count(), 1);
+    }
+
+    #[test]
+    fn fault_outside_arena_is_rejected() {
+        let mut os = NativeOs::boot(64 * MIB, MIB, GuestPaging::Fixed(PageSize::Size4K)).unwrap();
+        assert!(os.handle_page_fault(Gva::new(0x1000)).is_err());
+    }
+
+    #[test]
+    fn thp_prefers_huge_pages() {
+        let mut os = NativeOs::boot(64 * MIB, 8 * MIB, GuestPaging::Thp).unwrap();
+        let va = os.arena_base();
+        os.handle_page_fault(va).unwrap();
+        let (pt, mem) = os.pt_and_mem();
+        assert_eq!(pt.translate(mem, va).unwrap().size, PageSize::Size2M);
+    }
+
+    #[test]
+    fn direct_segment_covers_the_arena() {
+        let mut os = NativeOs::boot(64 * MIB, 8 * MIB, GuestPaging::Fixed(PageSize::Size4K))
+            .unwrap();
+        let seg = os.setup_direct_segment().unwrap();
+        assert!(seg.contains(os.arena_base()));
+        assert!(seg.contains(Gva::new(os.arena_base().as_u64() + 8 * MIB - 1)));
+    }
+}

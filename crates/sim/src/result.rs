@@ -1,0 +1,160 @@
+//! Results of a simulation run.
+
+use mv_core::MmuCounters;
+
+/// Measurements from one configuration run — one bar of a paper figure.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Configuration label (`4K`, `4K+2M`, `DD`, …).
+    pub label: String,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Measured accesses (after warmup).
+    pub accesses: u64,
+    /// MMU counters over the measured window.
+    pub counters: MmuCounters,
+    /// Ideal (translation-free) execution cycles for the window.
+    pub ideal_cycles: f64,
+    /// Cycles attributable to address translation (walks, checks, L2-hit
+    /// latency) plus any VM-exit cycles charged to the window.
+    pub translation_cycles: f64,
+    /// The paper's overhead metric: `translation_cycles / ideal_cycles`.
+    pub overhead: f64,
+    /// VM exits charged to the measured window (shadow paging, churn).
+    pub vm_exits: u64,
+    /// Nested-kind lookups and hits in the shared L2 TLB.
+    pub nested_l2: (u64, u64),
+}
+
+impl RunResult {
+    /// TLB (L1) misses per thousand accesses.
+    pub fn mpka(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            1000.0 * self.counters.l1_misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Average translation cycles per TLB miss (the paper's C_n / C_v).
+    pub fn cycles_per_miss(&self) -> f64 {
+        self.counters.cycles_per_miss()
+    }
+
+    /// Fraction of TLB misses covered by both segments (F_DD).
+    pub fn f_dd(&self) -> f64 {
+        self.fraction(self.counters.cat_both)
+    }
+
+    /// Fraction covered by the VMM segment only (F_VD).
+    pub fn f_vd(&self) -> f64 {
+        self.fraction(self.counters.cat_vmm_only)
+    }
+
+    /// Fraction covered by the guest segment only (F_GD).
+    pub fn f_gd(&self) -> f64 {
+        self.fraction(self.counters.cat_guest_only)
+    }
+
+    /// Fraction covered by the native direct segment (F_DS).
+    pub fn f_ds(&self) -> f64 {
+        self.fraction(self.counters.ds_hits)
+    }
+
+    fn fraction(&self, n: u64) -> f64 {
+        if self.counters.l1_misses == 0 {
+            0.0
+        } else {
+            n as f64 / self.counters.l1_misses as f64
+        }
+    }
+
+    /// Overhead as a percentage string (`"28.3%"`).
+    pub fn overhead_pct(&self) -> String {
+        format!("{:.1}%", self.overhead * 100.0)
+    }
+
+    /// CSV header matching [`RunResult::csv_row`], for scripting around
+    /// the experiment binaries.
+    pub fn csv_header() -> &'static str {
+        "workload,config,accesses,overhead,mpka,cycles_per_miss,l1_misses,l2_misses,\
+         guest_walk_refs,nested_walk_refs,bound_checks,translation_cycles,ideal_cycles,\
+         cat_both,cat_vmm_only,cat_guest_only,cat_neither,ds_hits,escape_hits,vm_exits"
+    }
+
+    /// One CSV row of the measurement.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{:.6},{:.3},{:.3},{},{},{},{},{},{:.0},{:.0},{},{},{},{},{},{},{}",
+            self.workload,
+            self.label,
+            self.accesses,
+            self.overhead,
+            self.mpka(),
+            self.cycles_per_miss(),
+            self.counters.l1_misses,
+            self.counters.l2_misses,
+            self.counters.guest_walk_refs,
+            self.counters.nested_walk_refs,
+            self.counters.bound_checks,
+            self.translation_cycles,
+            self.ideal_cycles,
+            self.counters.cat_both,
+            self.counters.cat_vmm_only,
+            self.counters.cat_guest_only,
+            self.counters.cat_neither,
+            self.counters.ds_hits,
+            self.counters.escape_hits,
+            self.vm_exits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_row_matches_header_width() {
+        let r = RunResult {
+            label: "4K".into(),
+            workload: "gups",
+            accesses: 10,
+            counters: MmuCounters::default(),
+            ideal_cycles: 1.0,
+            translation_cycles: 0.0,
+            overhead: 0.0,
+            vm_exits: 0,
+            nested_l2: (0, 0),
+        };
+        let cols = RunResult::csv_header().split(',').count();
+        assert_eq!(r.csv_row().split(',').count(), cols);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = RunResult {
+            label: "4K".into(),
+            workload: "gups",
+            accesses: 1000,
+            counters: MmuCounters {
+                l1_misses: 100,
+                cat_both: 50,
+                cat_vmm_only: 25,
+                translation_cycles: 5000,
+                ..MmuCounters::default()
+            },
+            ideal_cycles: 10_000.0,
+            translation_cycles: 5000.0,
+            overhead: 0.5,
+            vm_exits: 0,
+            nested_l2: (0, 0),
+        };
+        assert!((r.mpka() - 100.0).abs() < 1e-12);
+        assert!((r.cycles_per_miss() - 50.0).abs() < 1e-12);
+        assert!((r.f_dd() - 0.5).abs() < 1e-12);
+        assert!((r.f_vd() - 0.25).abs() < 1e-12);
+        assert_eq!(r.f_gd(), 0.0);
+        assert_eq!(r.overhead_pct(), "50.0%");
+    }
+}

@@ -1,0 +1,280 @@
+//! Generic set-associative cache with true-LRU replacement.
+
+use core::fmt;
+use core::hash::Hash;
+
+/// Hit/miss counters for a cache structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub lookups: u64,
+    /// Lookups that found a matching entry.
+    pub hits: u64,
+    /// Entries displaced by fills.
+    pub evictions: u64,
+    /// Fills performed.
+    pub fills: u64,
+}
+
+impl CacheStats {
+    /// Lookups that missed.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.lookups - self.hits
+    }
+
+    /// Hit ratio in `[0, 1]`; `1.0` for an unused cache.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Way<K, V> {
+    key: K,
+    value: V,
+    stamp: u64,
+}
+
+/// A set-associative cache mapping keys to values, with per-set true-LRU
+/// replacement. The caller supplies the set index on each access, which
+/// lets differently-shaped keys (guest vs. nested TLB entries) share the
+/// structure the way real hardware shares it.
+///
+/// # Example
+///
+/// ```
+/// use mv_tlb::AssocCache;
+///
+/// let mut c: AssocCache<u64, &str> = AssocCache::new(4, 2);
+/// c.insert(0, 100, "a");
+/// assert_eq!(c.lookup(0, &100), Some(&"a"));
+/// assert_eq!(c.lookup(0, &101), None);
+/// assert_eq!(c.stats().hits, 1);
+/// ```
+pub struct AssocCache<K, V> {
+    sets: Vec<Vec<Way<K, V>>>,
+    ways: usize,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Copy, V> AssocCache<K, V> {
+    /// Creates a cache with `nsets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nsets` or `ways` is zero.
+    pub fn new(nsets: usize, ways: usize) -> Self {
+        assert!(nsets > 0 && ways > 0, "cache must have sets and ways");
+        Self {
+            sets: (0..nsets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn nsets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Total capacity in entries.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Counter snapshot.
+    #[inline]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the counters (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Looks up `key` in set `set`, updating LRU state and counters.
+    pub fn lookup(&mut self, set: usize, key: &K) -> Option<&V> {
+        self.stats.lookups += 1;
+        self.stamp += 1;
+        let idx = set % self.sets.len();
+        let set = &mut self.sets[idx];
+        for way in set.iter_mut() {
+            if way.key == *key {
+                way.stamp = self.stamp;
+                self.stats.hits += 1;
+                return Some(&way.value);
+            }
+        }
+        None
+    }
+
+    /// Checks for `key` without updating LRU or counters.
+    pub fn peek(&self, set: usize, key: &K) -> Option<&V> {
+        self.sets[set % self.sets.len()]
+            .iter()
+            .find(|w| w.key == *key)
+            .map(|w| &w.value)
+    }
+
+    /// Inserts `key → value` into set `set`, evicting the LRU way if the
+    /// set is full. An existing entry for `key` is replaced in place.
+    pub fn insert(&mut self, set: usize, key: K, value: V) {
+        self.stamp += 1;
+        self.stats.fills += 1;
+        let stamp = self.stamp;
+        let nsets = self.sets.len();
+        let set = &mut self.sets[set % nsets];
+        if let Some(way) = set.iter_mut().find(|w| w.key == key) {
+            way.value = value;
+            way.stamp = stamp;
+            return;
+        }
+        if set.len() == self.ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            set.swap_remove(lru);
+            self.stats.evictions += 1;
+        }
+        set.push(Way { key, value, stamp });
+    }
+
+    /// Removes entries matching the predicate. Returns how many were
+    /// removed.
+    pub fn invalidate_if(&mut self, mut pred: impl FnMut(&K, &V) -> bool) -> usize {
+        let mut removed = 0;
+        for set in &mut self.sets {
+            set.retain(|w| {
+                let kill = pred(&w.key, &w.value);
+                removed += usize::from(kill);
+                !kill
+            });
+        }
+        removed
+    }
+
+    /// Removes every entry.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K, V> fmt::Debug for AssocCache<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AssocCache")
+            .field("nsets", &self.sets.len())
+            .field("ways", &self.ways)
+            .field("live", &self.sets.iter().map(Vec::len).sum::<usize>())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut c: AssocCache<u64, u64> = AssocCache::new(2, 2);
+        assert_eq!(c.lookup(0, &1), None);
+        c.insert(0, 1, 10);
+        assert_eq!(c.lookup(0, &1), Some(&10));
+        let s = c.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses(), 1);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c: AssocCache<u64, u64> = AssocCache::new(1, 2);
+        c.insert(0, 1, 10);
+        c.insert(0, 2, 20);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.lookup(0, &1).is_some());
+        c.insert(0, 3, 30);
+        assert!(c.peek(0, &1).is_some());
+        assert!(c.peek(0, &2).is_none(), "LRU way must be evicted");
+        assert!(c.peek(0, &3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn insert_replaces_in_place() {
+        let mut c: AssocCache<u64, u64> = AssocCache::new(1, 2);
+        c.insert(0, 1, 10);
+        c.insert(0, 1, 11);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(0, &1), Some(&11));
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c: AssocCache<u64, u64> = AssocCache::new(2, 1);
+        c.insert(0, 1, 10);
+        c.insert(1, 2, 20);
+        assert_eq!(c.len(), 2);
+        c.insert(0, 3, 30); // evicts only from set 0
+        assert!(c.peek(1, &2).is_some());
+        assert!(c.peek(0, &1).is_none());
+    }
+
+    #[test]
+    fn invalidate_if_removes_matching() {
+        let mut c: AssocCache<u64, u64> = AssocCache::new(4, 2);
+        for k in 0..8u64 {
+            c.insert(k as usize, k, k * 10);
+        }
+        let removed = c.invalidate_if(|k, _| k % 2 == 0);
+        assert_eq!(removed, 4);
+        assert_eq!(c.len(), 4);
+        assert!(c.peek(1, &1).is_some());
+        assert!(c.peek(2, &2).is_none());
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut c: AssocCache<u64, u64> = AssocCache::new(4, 2);
+        for k in 0..8u64 {
+            c.insert(k as usize, k, k);
+        }
+        c.flush();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut c: AssocCache<u64, u64> = AssocCache::new(1, 1);
+        c.insert(0, 1, 10);
+        let _ = c.peek(0, &1);
+        assert_eq!(c.stats().lookups, 0);
+    }
+}

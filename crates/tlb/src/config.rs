@@ -1,0 +1,78 @@
+//! TLB geometry configuration.
+
+/// Geometry of the modeled TLB hierarchy and page-walk cache.
+///
+/// The default, [`TlbConfig::sandy_bridge`], matches Table VI of the paper.
+///
+/// # Example
+///
+/// ```
+/// use mv_tlb::TlbConfig;
+///
+/// let cfg = TlbConfig::sandy_bridge();
+/// assert_eq!(cfg.l2_entries, 512);
+/// let tiny = TlbConfig { l2_entries: 64, ..cfg };
+/// assert_eq!(tiny.l2_entries, 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// L1 4 KiB-page entries.
+    pub l1_4k_entries: usize,
+    /// L1 4 KiB-page associativity.
+    pub l1_4k_ways: usize,
+    /// L1 2 MiB-page entries.
+    pub l1_2m_entries: usize,
+    /// L1 2 MiB-page associativity.
+    pub l1_2m_ways: usize,
+    /// L1 1 GiB-page entries (fully associative).
+    pub l1_1g_entries: usize,
+    /// Unified L2 entries (4 KiB granularity, shared with nested entries).
+    pub l2_entries: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Page-walk-cache entries.
+    pub pwc_entries: usize,
+    /// Page-walk-cache associativity.
+    pub pwc_ways: usize,
+}
+
+impl TlbConfig {
+    /// The Table VI SandyBridge geometry used throughout the paper's
+    /// evaluation.
+    pub const fn sandy_bridge() -> Self {
+        TlbConfig {
+            l1_4k_entries: 64,
+            l1_4k_ways: 4,
+            l1_2m_entries: 32,
+            l1_2m_ways: 4,
+            l1_1g_entries: 4,
+            l2_entries: 512,
+            l2_ways: 4,
+            pwc_entries: 32,
+            pwc_ways: 4,
+        }
+    }
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        Self::sandy_bridge()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sandy_bridge_matches_table_vi() {
+        let c = TlbConfig::sandy_bridge();
+        assert_eq!(c.l1_4k_entries, 64);
+        assert_eq!(c.l1_4k_ways, 4);
+        assert_eq!(c.l1_2m_entries, 32);
+        assert_eq!(c.l1_1g_entries, 4);
+        assert_eq!(c.l2_entries, 512);
+        assert_eq!(c.l2_ways, 4);
+        assert_eq!(TlbConfig::default(), c);
+    }
+}

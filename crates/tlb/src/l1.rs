@@ -1,0 +1,214 @@
+//! Split L1 data TLB (per-page-size arrays).
+
+use mv_types::PageSize;
+
+use crate::assoc::{AssocCache, CacheStats};
+use crate::config::TlbConfig;
+use crate::TlbEntry;
+
+type Key = (u16, u64); // (asid, vpn)
+
+/// The L1 data TLB: three parallel arrays, one per page size, looked up
+/// simultaneously (at most one can match, since a virtual address is mapped
+/// at exactly one granularity).
+///
+/// # Example
+///
+/// ```
+/// use mv_tlb::{L1Tlb, TlbConfig, TlbEntry};
+/// use mv_types::{PageSize, Prot};
+///
+/// let mut l1 = L1Tlb::new(&TlbConfig::sandy_bridge());
+/// l1.insert(3, 0x40_0000, TlbEntry {
+///     page_base: 0x8000_0000, size: PageSize::Size2M, prot: Prot::RW,
+/// });
+/// let hit = l1.lookup(3, 0x40_1234).expect("covered by the 2M entry");
+/// assert_eq!(hit.translate(0x40_1234), 0x8000_1234);
+/// assert!(l1.lookup(4, 0x40_1234).is_none(), "other ASIDs do not hit");
+/// ```
+#[derive(Debug)]
+pub struct L1Tlb {
+    t4k: AssocCache<Key, TlbEntry>,
+    t2m: AssocCache<Key, TlbEntry>,
+    t1g: AssocCache<Key, TlbEntry>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl L1Tlb {
+    /// Builds the L1 TLB from a geometry config.
+    pub fn new(cfg: &TlbConfig) -> Self {
+        L1Tlb {
+            t4k: AssocCache::new(cfg.l1_4k_entries / cfg.l1_4k_ways, cfg.l1_4k_ways),
+            t2m: AssocCache::new(cfg.l1_2m_entries / cfg.l1_2m_ways, cfg.l1_2m_ways),
+            t1g: AssocCache::new(1, cfg.l1_1g_entries), // fully associative
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Looks up `va` for address-space `asid` in all three arrays.
+    pub fn lookup(&mut self, asid: u16, va: u64) -> Option<TlbEntry> {
+        self.lookups += 1;
+        let hit = self
+            .probe(asid, va, PageSize::Size4K)
+            .or_else(|| self.probe(asid, va, PageSize::Size2M))
+            .or_else(|| self.probe(asid, va, PageSize::Size1G));
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    fn probe(&mut self, asid: u16, va: u64, size: PageSize) -> Option<TlbEntry> {
+        let vpn = va >> size.shift();
+        let key = (asid, vpn);
+        let cache = self.array_mut(size);
+        let set = vpn as usize;
+        cache.lookup(set, &key).copied()
+    }
+
+    /// Inserts a completed translation for `va`. The array is chosen by the
+    /// entry's page size.
+    pub fn insert(&mut self, asid: u16, va: u64, entry: TlbEntry) {
+        let vpn = va >> entry.size.shift();
+        let key = (asid, vpn);
+        self.array_mut(entry.size).insert(vpn as usize, key, entry);
+    }
+
+    fn array_mut(&mut self, size: PageSize) -> &mut AssocCache<Key, TlbEntry> {
+        match size {
+            PageSize::Size4K => &mut self.t4k,
+            PageSize::Size2M => &mut self.t2m,
+            PageSize::Size1G => &mut self.t1g,
+        }
+    }
+
+    /// Drops every entry whose page covers `va` in address space `asid`
+    /// (an `invlpg`).
+    pub fn invalidate_page(&mut self, asid: u16, va: u64) {
+        for size in PageSize::ALL {
+            let vpn = va >> size.shift();
+            self.array_mut(size)
+                .invalidate_if(|&(a, v), _| a == asid && v == vpn);
+        }
+    }
+
+    /// Drops every entry belonging to `asid`.
+    pub fn flush_asid(&mut self, asid: u16) {
+        for size in PageSize::ALL {
+            self.array_mut(size).invalidate_if(|&(a, _), _| a == asid);
+        }
+    }
+
+    /// Drops everything.
+    pub fn flush_all(&mut self) {
+        self.t4k.flush();
+        self.t2m.flush();
+        self.t1g.flush();
+    }
+
+    /// Combined lookup/hit counters across the three arrays.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups,
+            hits: self.hits,
+            evictions: self.t4k.stats().evictions
+                + self.t2m.stats().evictions
+                + self.t1g.stats().evictions,
+            fills: self.t4k.stats().fills + self.t2m.stats().fills + self.t1g.stats().fills,
+        }
+    }
+
+    /// Resets the counters (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.lookups = 0;
+        self.hits = 0;
+        self.t4k.reset_stats();
+        self.t2m.reset_stats();
+        self.t1g.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_types::Prot;
+
+    fn entry(base: u64, size: PageSize) -> TlbEntry {
+        TlbEntry {
+            page_base: base,
+            size,
+            prot: Prot::RW,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut l1 = L1Tlb::new(&TlbConfig::sandy_bridge());
+        assert!(l1.lookup(0, 0x1000).is_none());
+        l1.insert(0, 0x1000, entry(0xa000, PageSize::Size4K));
+        let hit = l1.lookup(0, 0x1234).unwrap();
+        assert_eq!(hit.translate(0x1234), 0xa234);
+        let s = l1.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn page_sizes_use_separate_arrays() {
+        let mut l1 = L1Tlb::new(&TlbConfig::sandy_bridge());
+        l1.insert(0, 0, entry(0x10_0000_0000, PageSize::Size1G));
+        l1.insert(0, 0x4000_0000, entry(0x20_0000, PageSize::Size2M));
+        assert_eq!(l1.lookup(0, 0x3fff_ffff).unwrap().size, PageSize::Size1G);
+        assert_eq!(l1.lookup(0, 0x4000_0001).unwrap().size, PageSize::Size2M);
+    }
+
+    #[test]
+    fn capacity_matches_table_vi() {
+        let mut l1 = L1Tlb::new(&TlbConfig::sandy_bridge());
+        // Fill 65 distinct 4K pages that all map to different sets/ways;
+        // with 64 entries at least one of the first 65 must be evicted.
+        for i in 0..65u64 {
+            l1.insert(0, i << 12, entry(i << 12, PageSize::Size4K));
+        }
+        let survivors = (0..65u64).filter(|&i| l1.lookup(0, i << 12).is_some()).count();
+        assert_eq!(survivors, 64);
+    }
+
+    #[test]
+    fn one_gib_array_is_tiny() {
+        let mut l1 = L1Tlb::new(&TlbConfig::sandy_bridge());
+        for i in 0..5u64 {
+            l1.insert(0, i << 30, entry(i << 30, PageSize::Size1G));
+        }
+        let survivors = (0..5u64).filter(|&i| l1.lookup(0, i << 30).is_some()).count();
+        assert_eq!(survivors, 4, "only 4 fully-associative 1G entries");
+    }
+
+    #[test]
+    fn asids_are_isolated() {
+        let mut l1 = L1Tlb::new(&TlbConfig::sandy_bridge());
+        l1.insert(1, 0x1000, entry(0xa000, PageSize::Size4K));
+        assert!(l1.lookup(2, 0x1000).is_none());
+        assert!(l1.lookup(1, 0x1000).is_some());
+        l1.flush_asid(1);
+        assert!(l1.lookup(1, 0x1000).is_none());
+    }
+
+    #[test]
+    fn invalidate_page_hits_all_sizes() {
+        let mut l1 = L1Tlb::new(&TlbConfig::sandy_bridge());
+        l1.insert(0, 0x20_0000, entry(0x100000, PageSize::Size2M));
+        l1.invalidate_page(0, 0x20_1234);
+        assert!(l1.lookup(0, 0x20_0000).is_none());
+    }
+
+    #[test]
+    fn flush_all_clears() {
+        let mut l1 = L1Tlb::new(&TlbConfig::sandy_bridge());
+        l1.insert(0, 0x1000, entry(0xa000, PageSize::Size4K));
+        l1.flush_all();
+        assert!(l1.lookup(0, 0x1000).is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Page-walk cache (paging-structure / MMU cache).
+//!
+//! Caches non-leaf page-table entries keyed by `(asid, level, va-prefix)`,
+//! so a walker can skip the upper levels of a walk — the "translation
+//! caching" of Barr et al. that the paper assumes as baseline hardware.
+//! Both the guest dimension and the nested dimension of a 2D walk get their
+//! own instance in the MMU model.
+
+use crate::assoc::{AssocCache, CacheStats};
+use crate::config::TlbConfig;
+
+/// Key of a page-walk-cache entry: identifies one non-leaf entry of a walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PwcKey {
+    /// Address-space id.
+    pub asid: u16,
+    /// Level of the table *pointed to* (3 = PDPT, 2 = PD, 1 = PT).
+    pub points_to_level: u8,
+    /// The virtual-address prefix translated so far (va >> coverage of the
+    /// pointed-to level's parent entry).
+    pub va_prefix: u64,
+}
+
+/// A small cache of upper-level page-table entries.
+///
+/// The cached value is the physical base address of the next-level table
+/// page, letting the walker resume at `points_to_level` directly.
+///
+/// # Example
+///
+/// ```
+/// use mv_tlb::{PwCache, PwcKey, TlbConfig};
+///
+/// let mut pwc = PwCache::new(&TlbConfig::sandy_bridge());
+/// let key = PwcKey { asid: 0, points_to_level: 2, va_prefix: 0x7f12 >> 2 };
+/// pwc.insert(key, 0xdead_0000);
+/// assert_eq!(pwc.lookup(key), Some(0xdead_0000));
+/// ```
+#[derive(Debug)]
+pub struct PwCache {
+    cache: AssocCache<PwcKey, u64>,
+}
+
+impl PwCache {
+    /// Builds the cache from a geometry config.
+    pub fn new(cfg: &TlbConfig) -> Self {
+        PwCache {
+            cache: AssocCache::new(cfg.pwc_entries / cfg.pwc_ways, cfg.pwc_ways),
+        }
+    }
+
+    /// Looks up the table base for a walk prefix.
+    pub fn lookup(&mut self, key: PwcKey) -> Option<u64> {
+        let set = (key.va_prefix ^ u64::from(key.points_to_level)) as usize;
+        self.cache.lookup(set, &key).copied()
+    }
+
+    /// Caches the table base for a walk prefix.
+    pub fn insert(&mut self, key: PwcKey, table_base: u64) {
+        let set = (key.va_prefix ^ u64::from(key.points_to_level)) as usize;
+        self.cache.insert(set, key, table_base);
+    }
+
+    /// Drops every entry belonging to `asid`.
+    pub fn flush_asid(&mut self, asid: u16) {
+        self.cache.invalidate_if(|k, _| k.asid == asid);
+    }
+
+    /// Drops everything.
+    pub fn flush_all(&mut self) {
+        self.cache.flush();
+    }
+
+    /// Structure counters.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resets counters (not contents).
+    pub fn reset_stats(&mut self) {
+        self.cache.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut pwc = PwCache::new(&TlbConfig::sandy_bridge());
+        let key = PwcKey {
+            asid: 1,
+            points_to_level: 3,
+            va_prefix: 0x42,
+        };
+        assert_eq!(pwc.lookup(key), None);
+        pwc.insert(key, 0x9000);
+        assert_eq!(pwc.lookup(key), Some(0x9000));
+    }
+
+    #[test]
+    fn levels_do_not_alias() {
+        let mut pwc = PwCache::new(&TlbConfig::sandy_bridge());
+        let k3 = PwcKey { asid: 0, points_to_level: 3, va_prefix: 7 };
+        let k2 = PwcKey { asid: 0, points_to_level: 2, va_prefix: 7 };
+        pwc.insert(k3, 0x1000);
+        assert_eq!(pwc.lookup(k2), None);
+    }
+
+    #[test]
+    fn flush_asid_is_selective() {
+        let mut pwc = PwCache::new(&TlbConfig::sandy_bridge());
+        let ka = PwcKey { asid: 1, points_to_level: 2, va_prefix: 1 };
+        let kb = PwcKey { asid: 2, points_to_level: 2, va_prefix: 1 };
+        pwc.insert(ka, 0x1000);
+        pwc.insert(kb, 0x2000);
+        pwc.flush_asid(1);
+        assert_eq!(pwc.lookup(ka), None);
+        assert_eq!(pwc.lookup(kb), Some(0x2000));
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let cfg = TlbConfig::sandy_bridge();
+        let mut pwc = PwCache::new(&cfg);
+        for i in 0..(cfg.pwc_entries as u64 * 2) {
+            pwc.insert(
+                PwcKey { asid: 0, points_to_level: 2, va_prefix: i },
+                i,
+            );
+        }
+        let live = (0..(cfg.pwc_entries as u64 * 2))
+            .filter(|&i| {
+                pwc.lookup(PwcKey { asid: 0, points_to_level: 2, va_prefix: i })
+                    .is_some()
+            })
+            .count();
+        assert!(live <= cfg.pwc_entries);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests: the set-associative cache agrees with a reference
+//! fully-mapped model plus LRU semantics.
+
+use mv_tlb::AssocCache;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: u64, val: u64 },
+    Lookup { key: u64 },
+    InvalidateOdd,
+    Flush,
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..64, any::<u64>()).prop_map(|(key, val)| Op::Insert { key, val }),
+        4 => (0u64..64).prop_map(|key| Op::Lookup { key }),
+        1 => Just(Op::InvalidateOdd),
+        1 => Just(Op::Flush),
+    ]
+}
+
+proptest! {
+    /// Hits always return the latest inserted value; misses never invent
+    /// one; capacity per set is respected; a hit refreshes LRU rank.
+    #[test]
+    fn cache_agrees_with_reference(seq in proptest::collection::vec(ops(), 1..200)) {
+        const SETS: usize = 4;
+        const WAYS: usize = 2;
+        let mut cache: AssocCache<u64, u64> = AssocCache::new(SETS, WAYS);
+        // Reference: per-set vectors ordered by recency (front = MRU).
+        let mut model: Vec<Vec<(u64, u64)>> = vec![Vec::new(); SETS];
+        let set_of = |key: u64| (key as usize) % SETS;
+
+        for op in seq {
+            match op {
+                Op::Insert { key, val } => {
+                    cache.insert(set_of(key), key, val);
+                    let set = &mut model[set_of(key)];
+                    if let Some(pos) = set.iter().position(|&(k, _)| k == key) {
+                        set.remove(pos);
+                    } else if set.len() == WAYS {
+                        set.pop(); // evict LRU (back)
+                    }
+                    set.insert(0, (key, val));
+                }
+                Op::Lookup { key } => {
+                    let got = cache.lookup(set_of(key), &key).copied();
+                    let set = &mut model[set_of(key)];
+                    let expect = set.iter().position(|&(k, _)| k == key);
+                    match (got, expect) {
+                        (Some(v), Some(pos)) => {
+                            prop_assert_eq!(v, set[pos].1, "stale value for {}", key);
+                            let entry = set.remove(pos);
+                            set.insert(0, entry); // refresh MRU
+                        }
+                        (None, None) => {}
+                        (got, expect) => {
+                            return Err(TestCaseError::fail(format!(
+                                "presence mismatch for {key}: cache={got:?} model={expect:?}"
+                            )))
+                        }
+                    }
+                }
+                Op::InvalidateOdd => {
+                    cache.invalidate_if(|k, _| k % 2 == 1);
+                    for set in &mut model {
+                        set.retain(|&(k, _)| k % 2 == 0);
+                    }
+                }
+                Op::Flush => {
+                    cache.flush();
+                    for set in &mut model {
+                        set.clear();
+                    }
+                }
+            }
+            prop_assert_eq!(
+                cache.len(),
+                model.iter().map(Vec::len).sum::<usize>(),
+                "live-entry counts diverged"
+            );
+        }
+
+        // Final full agreement via peek (no LRU perturbation).
+        let mut expected: HashMap<u64, u64> = HashMap::new();
+        for set in &model {
+            for &(k, v) in set {
+                expected.insert(k, v);
+            }
+        }
+        for key in 0..64u64 {
+            prop_assert_eq!(
+                cache.peek(set_of(key), &key).copied(),
+                expected.get(&key).copied(),
+                "final state mismatch at {}", key
+            );
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Strongly-typed addresses for the four address spaces of virtualized
+//! execution.
+//!
+//! Virtualized address translation involves four distinct address spaces:
+//!
+//! * **gVA** — guest virtual addresses, what a guest application issues.
+//! * **gPA** — guest physical addresses, what the guest OS believes is RAM.
+//! * **hVA** — host virtual addresses, the VMM process's own address space
+//!   (KVM maps guest physical memory into the VMM process).
+//! * **hPA** — host physical addresses, actual machine memory.
+//!
+//! Confusing these spaces is the classic source of bugs in MMU code, so each
+//! gets its own newtype. The sealed [`Address`] trait lets generic machinery
+//! (page tables, allocators, ranges) work across spaces without permitting
+//! accidental cross-space arithmetic.
+
+use core::fmt;
+
+mod private {
+    pub trait Sealed {}
+}
+
+/// A 64-bit address in one specific address space.
+///
+/// This trait is sealed: only the four address types defined in this module
+/// implement it. It provides the minimal raw-value round-trip that generic
+/// containers (page tables, TLBs, allocators) need, while the newtypes keep
+/// distinct address spaces from mixing.
+///
+/// # Example
+///
+/// ```
+/// use mv_types::{Address, Gva};
+///
+/// fn page_offset<A: Address>(a: A) -> u64 {
+///     a.as_u64() & 0xfff
+/// }
+/// assert_eq!(page_offset(Gva::new(0x1234)), 0x234);
+/// ```
+pub trait Address:
+    private::Sealed
+    + Copy
+    + Clone
+    + Eq
+    + PartialEq
+    + Ord
+    + PartialOrd
+    + core::hash::Hash
+    + fmt::Debug
+    + fmt::Display
+    + Default
+    + Send
+    + Sync
+    + 'static
+{
+    /// Short human-readable name of the address space (e.g. `"gVA"`).
+    const SPACE: &'static str;
+
+    /// Constructs an address from its raw 64-bit value.
+    fn from_u64(raw: u64) -> Self;
+
+    /// Returns the raw 64-bit value of this address.
+    fn as_u64(self) -> u64;
+
+    /// Returns the address advanced by `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the addition overflows `u64`.
+    #[inline]
+    #[must_use]
+    fn add(self, bytes: u64) -> Self {
+        Self::from_u64(self.as_u64() + bytes)
+    }
+
+    /// Byte distance from `other` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `other > self`.
+    #[inline]
+    fn offset_from(self, other: Self) -> u64 {
+        self.as_u64() - other.as_u64()
+    }
+
+    /// Rounds the address down to a multiple of `align` (a power of two).
+    #[inline]
+    #[must_use]
+    fn align_down(self, align: u64) -> Self {
+        debug_assert!(align.is_power_of_two());
+        Self::from_u64(self.as_u64() & !(align - 1))
+    }
+
+    /// Rounds the address up to a multiple of `align` (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if rounding up overflows `u64`.
+    #[inline]
+    #[must_use]
+    fn align_up(self, align: u64) -> Self {
+        debug_assert!(align.is_power_of_two());
+        Self::from_u64((self.as_u64() + align - 1) & !(align - 1))
+    }
+
+    /// Whether the address is a multiple of the given page size.
+    #[inline]
+    fn is_aligned(self, size: crate::PageSize) -> bool {
+        self.as_u64() % size.bytes() == 0
+    }
+}
+
+macro_rules! define_address {
+    ($(#[$meta:meta])* $name:ident, $space:literal) => {
+        $(#[$meta])*
+        #[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates a new address from a raw 64-bit value.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The zero address of this space.
+            pub const ZERO: Self = Self(0);
+
+            /// Returns the raw 64-bit value.
+            #[inline]
+            pub const fn as_u64(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the address advanced by `bytes`.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if the addition overflows `u64`.
+            #[inline]
+            #[must_use]
+            pub const fn add(self, bytes: u64) -> Self {
+                Self(self.0 + bytes)
+            }
+
+            /// Returns the address advanced by `bytes`, checking for
+            /// overflow.
+            #[inline]
+            pub const fn checked_add(self, bytes: u64) -> Option<Self> {
+                match self.0.checked_add(bytes) {
+                    Some(v) => Some(Self(v)),
+                    None => None,
+                }
+            }
+
+            /// Returns the address moved back by `bytes`.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if the subtraction underflows.
+            #[inline]
+            #[must_use]
+            pub const fn sub(self, bytes: u64) -> Self {
+                Self(self.0 - bytes)
+            }
+
+            /// Byte distance from `other` to `self`.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if `other > self`.
+            #[inline]
+            pub const fn offset_from(self, other: Self) -> u64 {
+                self.0 - other.0
+            }
+
+            /// Rounds the address down to a multiple of `align` (a power of
+            /// two).
+            #[inline]
+            #[must_use]
+            pub const fn align_down(self, align: u64) -> Self {
+                debug_assert!(align.is_power_of_two());
+                Self(self.0 & !(align - 1))
+            }
+
+            /// Rounds the address up to a multiple of `align` (a power of
+            /// two).
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if rounding up overflows `u64`.
+            #[inline]
+            #[must_use]
+            pub const fn align_up(self, align: u64) -> Self {
+                debug_assert!(align.is_power_of_two());
+                Self((self.0 + align - 1) & !(align - 1))
+            }
+
+            /// Whether the address is a multiple of the given page size.
+            #[inline]
+            pub const fn is_aligned(self, size: crate::PageSize) -> bool {
+                self.0 % size.bytes() == 0
+            }
+
+            /// Offset of this address within its containing page of the
+            /// given size.
+            #[inline]
+            pub const fn page_offset(self, size: crate::PageSize) -> u64 {
+                self.0 & (size.bytes() - 1)
+            }
+        }
+
+        impl private::Sealed for $name {}
+
+        impl Address for $name {
+            const SPACE: &'static str = $space;
+
+            #[inline]
+            fn from_u64(raw: u64) -> Self {
+                Self::new(raw)
+            }
+
+            #[inline]
+            fn as_u64(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($space, "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<$name> for u64 {
+            #[inline]
+            fn from(a: $name) -> u64 {
+                a.0
+            }
+        }
+    };
+}
+
+define_address!(
+    /// A guest virtual address — what guest applications issue.
+    Gva,
+    "gVA"
+);
+define_address!(
+    /// A guest physical address — what the guest OS manages as "RAM".
+    Gpa,
+    "gPA"
+);
+define_address!(
+    /// A host physical address — actual machine memory.
+    Hpa,
+    "hPA"
+);
+define_address!(
+    /// A host virtual address — the VMM process's own address space.
+    Hva,
+    "hVA"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PageSize;
+
+    #[test]
+    fn constructs_and_extracts_raw_value() {
+        let a = Gva::new(0xdead_beef);
+        assert_eq!(a.as_u64(), 0xdead_beef);
+        assert_eq!(u64::from(a), 0xdead_beef);
+        assert_eq!(Gpa::from_u64(7).as_u64(), 7);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let a = Hpa::new(0x1000);
+        assert_eq!(a.add(0x234).as_u64(), 0x1234);
+        assert_eq!(a.add(0x234).sub(0x234), a);
+        assert_eq!(a.add(0x234).offset_from(a), 0x234);
+        assert_eq!(a.checked_add(u64::MAX), None);
+        assert_eq!(a.checked_add(1), Some(Hpa::new(0x1001)));
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let a = Gva::new(0x1234);
+        assert_eq!(a.align_down(0x1000), Gva::new(0x1000));
+        assert_eq!(a.align_up(0x1000), Gva::new(0x2000));
+        assert!(Gva::new(0x2000).is_aligned(PageSize::Size4K));
+        assert!(!a.is_aligned(PageSize::Size4K));
+        assert_eq!(a.page_offset(PageSize::Size4K), 0x234);
+        assert_eq!(a.page_offset(PageSize::Size2M), 0x1234);
+    }
+
+    #[test]
+    fn align_of_aligned_address_is_identity() {
+        let a = Gpa::new(0x20_0000);
+        assert_eq!(a.align_down(0x20_0000), a);
+        assert_eq!(a.align_up(0x20_0000), a);
+    }
+
+    #[test]
+    fn debug_names_the_space() {
+        assert_eq!(format!("{:?}", Gva::new(0x10)), "gVA(0x10)");
+        assert_eq!(format!("{:?}", Hpa::new(0x10)), "hPA(0x10)");
+        assert_eq!(format!("{}", Hva::new(0x10)), "0x10");
+        assert_eq!(format!("{:x}", Gpa::new(0xAB)), "ab");
+        assert_eq!(format!("{:X}", Gpa::new(0xab)), "AB");
+    }
+
+    #[test]
+    fn ordering_and_default() {
+        assert!(Gva::new(1) < Gva::new(2));
+        assert_eq!(Gva::default(), Gva::ZERO);
+    }
+
+    #[test]
+    fn address_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Gva>();
+        assert_send_sync::<Gpa>();
+        assert_send_sync::<Hpa>();
+        assert_send_sync::<Hva>();
+    }
+}

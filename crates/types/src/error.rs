@@ -1,0 +1,67 @@
+//! Small shared error types.
+
+use core::fmt;
+
+/// An address failed an alignment requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlignError {
+    /// Raw address value that failed the check.
+    pub addr: u64,
+    /// Required alignment in bytes.
+    pub required: u64,
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "address {:#x} is not aligned to {:#x} bytes",
+            self.addr, self.required
+        )
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+/// An address fell outside the expected range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeError {
+    /// Raw address value that failed the check.
+    pub addr: u64,
+    /// Start of the permitted range.
+    pub start: u64,
+    /// End (exclusive) of the permitted range.
+    pub end: u64,
+}
+
+impl fmt::Display for RangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "address {:#x} outside range [{:#x}..{:#x})",
+            self.addr, self.start, self.end
+        )
+    }
+}
+
+impl std::error::Error for RangeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = AlignError {
+            addr: 0x1234,
+            required: 0x1000,
+        };
+        assert_eq!(e.to_string(), "address 0x1234 is not aligned to 0x1000 bytes");
+        let e = RangeError {
+            addr: 0x10,
+            start: 0x100,
+            end: 0x200,
+        };
+        assert_eq!(e.to_string(), "address 0x10 outside range [0x100..0x200)");
+    }
+}

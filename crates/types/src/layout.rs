@@ -1,0 +1,71 @@
+//! x86-64 address-space layout constants.
+//!
+//! Two architectural facts matter to the paper:
+//!
+//! * The virtual address space is 48-bit canonical (256 TiB), which is why
+//!   both translation levels need 4-level radix page tables — and why a 2D
+//!   nested walk costs up to 24 memory references.
+//! * The physical address space has a ~1 GiB **I/O gap** just below 4 GiB
+//!   reserved for memory-mapped I/O (Section IV: "Reclaiming I/O gap
+//!   memory"). The gap splits low physical memory and prevents a single
+//!   direct segment from covering all of a VM's guest-physical memory unless
+//!   the OS relocates memory from below the gap.
+
+use crate::{AddrRange, Gpa, GIB};
+
+/// Number of virtual-address bits translated by the 4-level page table.
+pub const VA_BITS: u32 = 48;
+
+/// Size of the canonical lower half of the virtual address space in bytes.
+pub const CANONICAL_LOW_SIZE: u64 = 1 << (VA_BITS - 1);
+
+/// Number of page-table levels in x86-64 long mode.
+pub const PT_LEVELS: u8 = 4;
+
+/// Maximum memory references for a native (1D) page walk.
+pub const NATIVE_WALK_MAX_REFS: u32 = PT_LEVELS as u32;
+
+/// Maximum memory references for a virtualized (2D) nested page walk:
+/// translating the root pointer and each of the 4 guest levels costs a full
+/// nested walk plus the guest reference itself (5 × 4 + 4 = 24).
+pub const NESTED_WALK_MAX_REFS: u32 = (PT_LEVELS as u32 + 1) * PT_LEVELS as u32 + PT_LEVELS as u32;
+
+/// First byte of the x86-64 memory-mapped-I/O gap (3 GiB).
+pub const IO_GAP_START: Gpa = Gpa::new(3 * GIB);
+
+/// One past the last byte of the I/O gap (4 GiB).
+pub const IO_GAP_END: Gpa = Gpa::new(4 * GIB);
+
+/// The guest-physical I/O gap as a range.
+#[must_use]
+pub fn io_gap() -> AddrRange<Gpa> {
+    AddrRange::new(IO_GAP_START, IO_GAP_END)
+}
+
+/// Amount of low memory a Linux guest keeps below the I/O gap after
+/// hot-unplugging the rest (Section VI.C found 256 MiB suffices to boot).
+pub const LOW_MEMORY_KEEP: u64 = 256 << 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_walk_is_24_references() {
+        assert_eq!(NESTED_WALK_MAX_REFS, 24);
+        assert_eq!(NATIVE_WALK_MAX_REFS, 4);
+    }
+
+    #[test]
+    fn io_gap_is_one_gib_below_4g() {
+        let gap = io_gap();
+        assert_eq!(gap.len(), GIB);
+        assert_eq!(gap.start().as_u64(), 3 * GIB);
+        assert_eq!(gap.end().as_u64(), 4 * GIB);
+    }
+
+    #[test]
+    fn canonical_space_is_128_tib_per_half() {
+        assert_eq!(CANONICAL_LOW_SIZE, 128 << 40);
+    }
+}

@@ -1,0 +1,53 @@
+//! Common foundation types for the memory-virtualization simulator.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * Strongly-typed addresses for each of the four address spaces involved in
+//!   virtualized execution ([`Gva`], [`Gpa`], [`Hpa`], [`Hva`]), tied together
+//!   by the sealed [`Address`] trait.
+//! * Page-granularity helpers: [`PageSize`] (4 KiB / 2 MiB / 1 GiB, the three
+//!   x86-64 translation sizes) and typed page/frame numbers.
+//! * Half-open address ranges ([`AddrRange`]) used for segments, memory
+//!   slots, VMAs, and reservations.
+//! * Protection flags ([`Prot`]).
+//! * The x86-64 physical-address-space layout constants ([`layout`]),
+//!   including the 3–4 GiB memory-mapped-I/O gap that Section IV of the
+//!   paper works around.
+//!
+//! # Example
+//!
+//! ```
+//! use mv_types::{Gva, Gpa, PageSize, AddrRange};
+//!
+//! let va = Gva::new(0x7f00_0000_1000);
+//! assert!(va.is_aligned(PageSize::Size4K));
+//! let seg: AddrRange<Gpa> = AddrRange::from_start_len(Gpa::new(4 << 30), 1 << 30);
+//! assert!(seg.contains(Gpa::new(0x1_2345_6000)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod error;
+pub mod layout;
+mod page;
+mod prot;
+mod range;
+
+pub use addr::{Address, Gpa, Gva, Hpa, Hva};
+pub use error::{AlignError, RangeError};
+pub use page::{PageCount, PageNum, PageSize, PAGE_SHIFT_4K, PAGE_SIZE_4K};
+pub use prot::Prot;
+pub use range::AddrRange;
+
+/// Number of bytes in one kibibyte.
+pub const KIB: u64 = 1 << 10;
+/// Number of bytes in one mebibyte.
+pub const MIB: u64 = 1 << 20;
+/// Number of bytes in one gibibyte.
+pub const GIB: u64 = 1 << 30;
+/// Number of bytes in one tebibyte.
+pub const TIB: u64 = 1 << 40;

@@ -1,0 +1,303 @@
+//! Page sizes and typed page/frame numbers.
+
+use core::fmt;
+use core::marker::PhantomData;
+
+use crate::addr::Address;
+
+/// Shift of the base (4 KiB) page size.
+pub const PAGE_SHIFT_4K: u32 = 12;
+/// The base page size in bytes (4 KiB).
+pub const PAGE_SIZE_4K: u64 = 1 << PAGE_SHIFT_4K;
+
+/// One of the three x86-64 translation granularities.
+///
+/// x86-64 maps memory at 4 KiB (leaf at level 1), 2 MiB (leaf at level 2),
+/// or 1 GiB (leaf at level 3). The paper's evaluation sweeps guest and VMM
+/// page-size combinations across all three.
+///
+/// # Example
+///
+/// ```
+/// use mv_types::PageSize;
+///
+/// assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+/// assert_eq!(PageSize::Size2M.covered_4k_pages(), 512);
+/// assert!(PageSize::Size4K < PageSize::Size1G);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub enum PageSize {
+    /// 4 KiB page (level-1 leaf).
+    #[default]
+    Size4K,
+    /// 2 MiB page (level-2 leaf).
+    Size2M,
+    /// 1 GiB page (level-3 leaf).
+    Size1G,
+}
+
+impl PageSize {
+    /// All page sizes, smallest first.
+    pub const ALL: [PageSize; 3] = [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G];
+
+    /// Size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Size4K => 4 << 10,
+            PageSize::Size2M => 2 << 20,
+            PageSize::Size1G => 1 << 30,
+        }
+    }
+
+    /// log2 of the size in bytes.
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// Page-table level at which a leaf of this size sits (1-based: PTE=1,
+    /// PDE=2, PDPTE=3).
+    #[inline]
+    pub const fn leaf_level(self) -> u8 {
+        match self {
+            PageSize::Size4K => 1,
+            PageSize::Size2M => 2,
+            PageSize::Size1G => 3,
+        }
+    }
+
+    /// Number of 4 KiB pages covered by one page of this size.
+    #[inline]
+    pub const fn covered_4k_pages(self) -> u64 {
+        self.bytes() / PAGE_SIZE_4K
+    }
+
+    /// Mask selecting the offset-within-page bits.
+    #[inline]
+    pub const fn offset_mask(self) -> u64 {
+        self.bytes() - 1
+    }
+
+    /// Short label used in experiment output (`"4K"`, `"2M"`, `"1G"`),
+    /// matching the configuration labels in the paper's figures.
+    #[inline]
+    pub const fn label(self) -> &'static str {
+        match self {
+            PageSize::Size4K => "4K",
+            PageSize::Size2M => "2M",
+            PageSize::Size1G => "1G",
+        }
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A 4 KiB-granule page (or frame) number in address space `A`.
+///
+/// Page numbers always use the base 4 KiB granule; larger pages are
+/// represented by their first 4 KiB page number plus a [`PageSize`].
+///
+/// # Example
+///
+/// ```
+/// use mv_types::{Gpa, PageNum, PageSize};
+///
+/// let pn = PageNum::<Gpa>::containing(Gpa::new(0x5432));
+/// assert_eq!(pn.index(), 5);
+/// assert_eq!(pn.base(), Gpa::new(0x5000));
+/// ```
+pub struct PageNum<A> {
+    index: u64,
+    _space: PhantomData<fn() -> A>,
+}
+
+impl<A: Address> PageNum<A> {
+    /// Creates a page number from its index (address / 4 KiB).
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        Self {
+            index,
+            _space: PhantomData,
+        }
+    }
+
+    /// The page containing `addr`.
+    #[inline]
+    pub fn containing(addr: A) -> Self {
+        Self::new(addr.as_u64() >> PAGE_SHIFT_4K)
+    }
+
+    /// The raw page index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.index
+    }
+
+    /// The first byte address of the page.
+    #[inline]
+    pub fn base(self) -> A {
+        A::from_u64(self.index << PAGE_SHIFT_4K)
+    }
+
+    /// The page `n` pages after this one.
+    #[inline]
+    #[must_use]
+    pub const fn add(self, n: u64) -> Self {
+        Self::new(self.index + n)
+    }
+}
+
+// Manual impls so `A` need not implement the traits (C-STRUCT-BOUNDS).
+impl<A> Copy for PageNum<A> {}
+impl<A> Clone for PageNum<A> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<A> PartialEq for PageNum<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+impl<A> Eq for PageNum<A> {}
+impl<A> PartialOrd for PageNum<A> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<A> Ord for PageNum<A> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.index.cmp(&other.index)
+    }
+}
+impl<A> core::hash::Hash for PageNum<A> {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.index.hash(state);
+    }
+}
+impl<A: Address> fmt::Debug for PageNum<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageNum<{}>({:#x})", A::SPACE, self.index)
+    }
+}
+
+/// A count of 4 KiB pages, with byte-size conversion helpers.
+///
+/// # Example
+///
+/// ```
+/// use mv_types::PageCount;
+///
+/// let c = PageCount::from_bytes_ceil(5000);
+/// assert_eq!(c.pages(), 2);
+/// assert_eq!(c.bytes(), 8192);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct PageCount(u64);
+
+impl PageCount {
+    /// A count of exactly `pages` 4 KiB pages.
+    #[inline]
+    pub const fn new(pages: u64) -> Self {
+        Self(pages)
+    }
+
+    /// The smallest page count covering `bytes` bytes.
+    #[inline]
+    pub const fn from_bytes_ceil(bytes: u64) -> Self {
+        Self(bytes.div_ceil(PAGE_SIZE_4K))
+    }
+
+    /// Number of pages.
+    #[inline]
+    pub const fn pages(self) -> u64 {
+        self.0
+    }
+
+    /// Total bytes covered.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        self.0 * PAGE_SIZE_4K
+    }
+}
+
+impl fmt::Display for PageCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} pages", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gva;
+
+    #[test]
+    fn page_size_bytes_and_shifts_agree() {
+        for s in PageSize::ALL {
+            assert_eq!(s.bytes(), 1u64 << s.shift());
+            assert_eq!(s.offset_mask(), s.bytes() - 1);
+        }
+    }
+
+    #[test]
+    fn page_size_leaf_levels() {
+        assert_eq!(PageSize::Size4K.leaf_level(), 1);
+        assert_eq!(PageSize::Size2M.leaf_level(), 2);
+        assert_eq!(PageSize::Size1G.leaf_level(), 3);
+    }
+
+    #[test]
+    fn page_size_coverage() {
+        assert_eq!(PageSize::Size4K.covered_4k_pages(), 1);
+        assert_eq!(PageSize::Size2M.covered_4k_pages(), 512);
+        assert_eq!(PageSize::Size1G.covered_4k_pages(), 512 * 512);
+    }
+
+    #[test]
+    fn page_size_labels() {
+        assert_eq!(PageSize::Size4K.to_string(), "4K");
+        assert_eq!(PageSize::Size2M.to_string(), "2M");
+        assert_eq!(PageSize::Size1G.to_string(), "1G");
+    }
+
+    #[test]
+    fn page_size_ordering() {
+        assert!(PageSize::Size4K < PageSize::Size2M);
+        assert!(PageSize::Size2M < PageSize::Size1G);
+        assert_eq!(PageSize::default(), PageSize::Size4K);
+    }
+
+    #[test]
+    fn page_num_round_trips() {
+        let pn = PageNum::<Gva>::containing(Gva::new(0x1234_5678));
+        assert_eq!(pn.index(), 0x1234_5678 >> 12);
+        assert_eq!(pn.base(), Gva::new(0x1234_5000));
+        assert_eq!(pn.add(2).base(), Gva::new(0x1234_7000));
+    }
+
+    #[test]
+    fn page_num_debug_names_space() {
+        let pn = PageNum::<Gva>::new(0x10);
+        assert_eq!(format!("{pn:?}"), "PageNum<gVA>(0x10)");
+    }
+
+    #[test]
+    fn page_count_conversions() {
+        assert_eq!(PageCount::from_bytes_ceil(0).pages(), 0);
+        assert_eq!(PageCount::from_bytes_ceil(1).pages(), 1);
+        assert_eq!(PageCount::from_bytes_ceil(4096).pages(), 1);
+        assert_eq!(PageCount::from_bytes_ceil(4097).pages(), 2);
+        assert_eq!(PageCount::new(3).bytes(), 12288);
+        assert_eq!(PageCount::new(3).to_string(), "3 pages");
+    }
+}

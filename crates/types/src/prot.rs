@@ -1,0 +1,152 @@
+//! Page-protection flags.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitOrAssign};
+
+/// Page protection flags (read / write / execute / user).
+///
+/// A tiny hand-rolled flag set (the workspace avoids external flag crates).
+/// Primary regions in the paper are defined as contiguous virtual address
+/// ranges mapped *with the same access permissions*, so protections are
+/// compared frequently.
+///
+/// # Example
+///
+/// ```
+/// use mv_types::Prot;
+///
+/// let rw = Prot::READ | Prot::WRITE;
+/// assert!(rw.contains(Prot::READ));
+/// assert!(!rw.contains(Prot::EXEC));
+/// assert_eq!(format!("{rw}"), "rw-");
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Default)]
+pub struct Prot(u8);
+
+impl Prot {
+    /// No access.
+    pub const NONE: Prot = Prot(0);
+    /// Readable.
+    pub const READ: Prot = Prot(1);
+    /// Writable.
+    pub const WRITE: Prot = Prot(2);
+    /// Executable.
+    pub const EXEC: Prot = Prot(4);
+    /// Read + write, the typical data mapping.
+    pub const RW: Prot = Prot(1 | 2);
+    /// Read + write + execute.
+    pub const RWX: Prot = Prot(1 | 2 | 4);
+
+    /// Whether every flag in `other` is set in `self`.
+    #[inline]
+    pub const fn contains(self, other: Prot) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether no flags are set.
+    #[inline]
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw bits (bit 0 = read, bit 1 = write, bit 2 = exec).
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs flags from raw bits, ignoring unknown bits.
+    #[inline]
+    pub const fn from_bits_truncate(bits: u8) -> Prot {
+        Prot(bits & 0b111)
+    }
+}
+
+impl BitOr for Prot {
+    type Output = Prot;
+    #[inline]
+    fn bitor(self, rhs: Prot) -> Prot {
+        Prot(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Prot {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Prot) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Prot {
+    type Output = Prot;
+    #[inline]
+    fn bitand(self, rhs: Prot) -> Prot {
+        Prot(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for Prot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.contains(Prot::READ) { 'r' } else { '-' },
+            if self.contains(Prot::WRITE) { 'w' } else { '-' },
+            if self.contains(Prot::EXEC) { 'x' } else { '-' },
+        )
+    }
+}
+
+impl fmt::Debug for Prot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Prot({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_semantics() {
+        assert!(Prot::RW.contains(Prot::READ));
+        assert!(Prot::RW.contains(Prot::WRITE));
+        assert!(Prot::RW.contains(Prot::RW));
+        assert!(!Prot::RW.contains(Prot::EXEC));
+        assert!(Prot::RWX.contains(Prot::RW));
+        // NONE is contained in everything.
+        assert!(Prot::NONE.contains(Prot::NONE));
+        assert!(Prot::READ.contains(Prot::NONE));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(Prot::READ | Prot::WRITE, Prot::RW);
+        assert_eq!(Prot::RWX & Prot::WRITE, Prot::WRITE);
+        let mut p = Prot::READ;
+        p |= Prot::EXEC;
+        assert!(p.contains(Prot::EXEC));
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for bits in 0..8 {
+            assert_eq!(Prot::from_bits_truncate(bits).bits(), bits);
+        }
+        assert_eq!(Prot::from_bits_truncate(0xff), Prot::RWX);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Prot::NONE.to_string(), "---");
+        assert_eq!(Prot::READ.to_string(), "r--");
+        assert_eq!(Prot::RW.to_string(), "rw-");
+        assert_eq!(Prot::RWX.to_string(), "rwx");
+        assert_eq!(format!("{:?}", Prot::RW), "Prot(rw-)");
+    }
+
+    #[test]
+    fn default_is_none() {
+        assert!(Prot::default().is_none());
+    }
+}

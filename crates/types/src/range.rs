@@ -1,0 +1,313 @@
+//! Half-open address ranges.
+
+use core::fmt;
+
+use crate::addr::Address;
+use crate::page::{PageSize, PAGE_SIZE_4K};
+
+/// A half-open address range `[start, end)` in address space `A`.
+///
+/// Ranges are the unit of segments (BASE..LIMIT), VMAs, KVM memory slots, and
+/// physical reservations throughout the simulator. An empty range
+/// (`start == end`) is valid and contains no addresses; this mirrors the
+/// paper's convention of "nullifying" a segment by setting BASE = LIMIT.
+///
+/// # Example
+///
+/// ```
+/// use mv_types::{AddrRange, Gva};
+///
+/// let r = AddrRange::new(Gva::new(0x1000), Gva::new(0x3000));
+/// assert_eq!(r.len(), 0x2000);
+/// assert!(r.contains(Gva::new(0x2fff)));
+/// assert!(!r.contains(Gva::new(0x3000)));
+/// ```
+pub struct AddrRange<A> {
+    start: A,
+    end: A,
+}
+
+impl<A: Address> AddrRange<A> {
+    /// Creates the range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    #[inline]
+    pub fn new(start: A, end: A) -> Self {
+        assert!(
+            end >= start,
+            "range end {:#x} precedes start {:#x}",
+            end.as_u64(),
+            start.as_u64()
+        );
+        Self { start, end }
+    }
+
+    /// Creates the range `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` overflows `u64`.
+    #[inline]
+    pub fn from_start_len(start: A, len: u64) -> Self {
+        let end = start
+            .as_u64()
+            .checked_add(len)
+            .expect("range end overflows u64");
+        Self::new(start, A::from_u64(end))
+    }
+
+    /// The empty range at address zero.
+    #[inline]
+    pub fn empty() -> Self {
+        Self::new(A::from_u64(0), A::from_u64(0))
+    }
+
+    /// First address in the range.
+    #[inline]
+    pub fn start(&self) -> A {
+        self.start
+    }
+
+    /// One past the last address in the range.
+    #[inline]
+    pub fn end(&self) -> A {
+        self.end
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.end.as_u64() - self.start.as_u64()
+    }
+
+    /// Whether the range contains no addresses.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `addr` lies within the range.
+    #[inline]
+    pub fn contains(&self, addr: A) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Whether `other` is entirely within this range.
+    #[inline]
+    pub fn contains_range(&self, other: &Self) -> bool {
+        other.is_empty() || (other.start >= self.start && other.end <= self.end)
+    }
+
+    /// Whether the two ranges share any address.
+    #[inline]
+    pub fn overlaps(&self, other: &Self) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
+    }
+
+    /// The intersection of the two ranges, or `None` if disjoint.
+    pub fn intersection(&self, other: &Self) -> Option<Self> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(Self::new(start, end))
+        } else {
+            None
+        }
+    }
+
+    /// Whether both endpoints are aligned to `size`.
+    #[inline]
+    pub fn is_aligned(&self, size: PageSize) -> bool {
+        self.start.is_aligned(size) && self.end.is_aligned(size)
+    }
+
+    /// Number of whole 4 KiB pages in the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not 4 KiB-aligned.
+    pub fn page_count_4k(&self) -> u64 {
+        assert!(
+            self.is_aligned(PageSize::Size4K),
+            "range {self:?} is not 4K-aligned"
+        );
+        self.len() / PAGE_SIZE_4K
+    }
+
+    /// Iterates over the base addresses of each page of size `size` in the
+    /// range. Partial pages at either end are not yielded.
+    pub fn pages(&self, size: PageSize) -> Pages<A> {
+        let bytes = size.bytes();
+        let first = self.start.align_up(bytes);
+        Pages {
+            next: first.as_u64(),
+            end: self.end.as_u64(),
+            step: bytes,
+            _space: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<A> Copy for AddrRange<A> where A: Copy {}
+impl<A: Clone> Clone for AddrRange<A> {
+    fn clone(&self) -> Self {
+        Self {
+            start: self.start.clone(),
+            end: self.end.clone(),
+        }
+    }
+}
+impl<A: PartialEq> PartialEq for AddrRange<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.start == other.start && self.end == other.end
+    }
+}
+impl<A: Eq> Eq for AddrRange<A> {}
+impl<A: core::hash::Hash> core::hash::Hash for AddrRange<A> {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.start.hash(state);
+        self.end.hash(state);
+    }
+}
+
+impl<A: Address> fmt::Debug for AddrRange<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{:#x}..{:#x})",
+            A::SPACE,
+            self.start.as_u64(),
+            self.end.as_u64()
+        )
+    }
+}
+
+impl<A: Address> fmt::Display for AddrRange<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}..{:#x})", self.start.as_u64(), self.end.as_u64())
+    }
+}
+
+/// Iterator over page base addresses in a range; created by
+/// [`AddrRange::pages`].
+#[derive(Debug, Clone)]
+pub struct Pages<A> {
+    next: u64,
+    end: u64,
+    step: u64,
+    _space: core::marker::PhantomData<fn() -> A>,
+}
+
+impl<A: Address> Iterator for Pages<A> {
+    type Item = A;
+
+    fn next(&mut self) -> Option<A> {
+        if self.next.checked_add(self.step)? <= self.end {
+            let out = A::from_u64(self.next);
+            self.next += self.step;
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.end.saturating_sub(self.next) / self.step) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl<A: Address> ExactSizeIterator for Pages<A> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gpa, Gva};
+
+    fn r(start: u64, end: u64) -> AddrRange<Gva> {
+        AddrRange::new(Gva::new(start), Gva::new(end))
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let x = r(0x1000, 0x3000);
+        assert_eq!(x.start(), Gva::new(0x1000));
+        assert_eq!(x.end(), Gva::new(0x3000));
+        assert_eq!(x.len(), 0x2000);
+        assert!(!x.is_empty());
+        assert!(AddrRange::<Gpa>::empty().is_empty());
+    }
+
+    #[test]
+    fn from_start_len_matches_new() {
+        assert_eq!(AddrRange::from_start_len(Gva::new(0x1000), 0x2000), r(0x1000, 0x3000));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes start")]
+    fn reversed_range_panics() {
+        let _ = r(0x2000, 0x1000);
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let x = r(0x1000, 0x3000);
+        assert!(x.contains(Gva::new(0x1000)));
+        assert!(x.contains(Gva::new(0x2fff)));
+        assert!(!x.contains(Gva::new(0x3000)));
+        assert!(!x.contains(Gva::new(0xfff)));
+        assert!(!r(0x1000, 0x1000).contains(Gva::new(0x1000)));
+    }
+
+    #[test]
+    fn contains_range_rules() {
+        let x = r(0x1000, 0x3000);
+        assert!(x.contains_range(&r(0x1000, 0x3000)));
+        assert!(x.contains_range(&r(0x1800, 0x2000)));
+        assert!(x.contains_range(&r(0, 0))); // empty is contained anywhere
+        assert!(!x.contains_range(&r(0x800, 0x2000)));
+        assert!(!x.contains_range(&r(0x2000, 0x3001)));
+    }
+
+    #[test]
+    fn overlap_rules() {
+        let x = r(0x1000, 0x3000);
+        assert!(x.overlaps(&r(0x2fff, 0x4000)));
+        assert!(!x.overlaps(&r(0x3000, 0x4000)));
+        assert!(!x.overlaps(&r(0, 0x1000)));
+        assert!(!x.overlaps(&r(0x2000, 0x2000))); // empty never overlaps
+    }
+
+    #[test]
+    fn intersection_rules() {
+        let x = r(0x1000, 0x3000);
+        assert_eq!(x.intersection(&r(0x2000, 0x4000)), Some(r(0x2000, 0x3000)));
+        assert_eq!(x.intersection(&r(0x3000, 0x4000)), None);
+        assert_eq!(x.intersection(&x), Some(x));
+    }
+
+    #[test]
+    fn page_iteration_trims_partial_pages() {
+        let x = r(0x1800, 0x4800);
+        let pages: Vec<_> = x.pages(PageSize::Size4K).collect();
+        assert_eq!(pages, vec![Gva::new(0x2000), Gva::new(0x3000)]);
+        assert_eq!(x.pages(PageSize::Size4K).len(), 2);
+    }
+
+    #[test]
+    fn page_iteration_aligned_range() {
+        let x = r(0x2000, 0x5000);
+        assert_eq!(x.page_count_4k(), 3);
+        assert_eq!(x.pages(PageSize::Size4K).count(), 3);
+        assert_eq!(x.pages(PageSize::Size2M).count(), 0);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let x = r(0x1000, 0x2000);
+        assert_eq!(format!("{x}"), "[0x1000..0x2000)");
+        assert_eq!(format!("{x:?}"), "gVA[0x1000..0x2000)");
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the foundation types.
+
+use mv_types::{AddrRange, Gva, PageNum, PageSize, Prot};
+use proptest::prelude::*;
+
+proptest! {
+    /// align_down is idempotent, never increases, and yields aligned values.
+    #[test]
+    fn align_down_properties(raw in any::<u64>(), shift in 12u32..=30) {
+        let align = 1u64 << shift;
+        let a = Gva::new(raw);
+        let down = a.align_down(align);
+        prop_assert!(down.as_u64() <= raw);
+        prop_assert_eq!(down.as_u64() % align, 0);
+        prop_assert_eq!(down.align_down(align), down);
+        prop_assert!(raw - down.as_u64() < align);
+    }
+
+    /// align_up is idempotent, never decreases, and yields aligned values.
+    #[test]
+    fn align_up_properties(raw in 0u64..(1 << 48), shift in 12u32..=30) {
+        let align = 1u64 << shift;
+        let a = Gva::new(raw);
+        let up = a.align_up(align);
+        prop_assert!(up.as_u64() >= raw);
+        prop_assert_eq!(up.as_u64() % align, 0);
+        prop_assert_eq!(up.align_up(align), up);
+        prop_assert!(up.as_u64() - raw < align);
+    }
+
+    /// A page number round-trips through its base address.
+    #[test]
+    fn page_num_round_trip(raw in any::<u64>()) {
+        let a = Gva::new(raw & !0xfff);
+        let pn = PageNum::containing(a);
+        prop_assert_eq!(pn.base(), a);
+    }
+
+    /// Range intersection is commutative and contained in both operands.
+    #[test]
+    fn intersection_properties(
+        (s1, e1) in (0u64..1 << 40).prop_flat_map(|s| (Just(s), s..1 << 40)),
+        (s2, e2) in (0u64..1 << 40).prop_flat_map(|s| (Just(s), s..1 << 40)),
+    ) {
+        let a = AddrRange::new(Gva::new(s1), Gva::new(e1));
+        let b = AddrRange::new(Gva::new(s2), Gva::new(e2));
+        let i1 = a.intersection(&b);
+        let i2 = b.intersection(&a);
+        prop_assert_eq!(i1, i2);
+        if let Some(i) = i1 {
+            prop_assert!(a.contains_range(&i));
+            prop_assert!(b.contains_range(&i));
+            prop_assert!(!i.is_empty());
+            prop_assert!(a.overlaps(&b));
+        } else {
+            prop_assert!(!a.overlaps(&b));
+        }
+    }
+
+    /// Every page yielded by pages() lies in the range and is aligned.
+    #[test]
+    fn pages_iterator_properties(
+        start in 0u64..1 << 30,
+        len in 0u64..1 << 24,
+        size_idx in 0usize..2,
+    ) {
+        let size = PageSize::ALL[size_idx];
+        let r = AddrRange::from_start_len(Gva::new(start), len);
+        for page in r.pages(size) {
+            prop_assert!(page.is_aligned(size));
+            prop_assert!(r.contains(page));
+            prop_assert!(page.as_u64() + size.bytes() <= r.end().as_u64());
+        }
+    }
+
+    /// Prot bit operations respect set semantics.
+    #[test]
+    fn prot_set_semantics(a in 0u8..8, b in 0u8..8) {
+        let pa = Prot::from_bits_truncate(a);
+        let pb = Prot::from_bits_truncate(b);
+        let union = pa | pb;
+        prop_assert!(union.contains(pa));
+        prop_assert!(union.contains(pb));
+        let inter = pa & pb;
+        prop_assert!(pa.contains(inter));
+        prop_assert!(pb.contains(inter));
+    }
+}

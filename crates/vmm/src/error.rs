@@ -1,0 +1,129 @@
+//! VMM error type.
+
+use core::fmt;
+
+use mv_guestos::OsError;
+use mv_phys::PhysError;
+use mv_pt::PtError;
+
+/// Errors surfaced by hypervisor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmmError {
+    /// No VM with this id.
+    NoSuchVm {
+        /// The unknown id.
+        id: u32,
+    },
+    /// Host physical memory is too fragmented for a VMM segment; memory
+    /// compaction is needed (Table III).
+    HostFragmented {
+        /// Bytes requested contiguously.
+        requested: u64,
+        /// Largest contiguous run available.
+        largest_run: u64,
+    },
+    /// The guest-physical address lies outside every memory slot.
+    OutsideSlots {
+        /// Raw guest-physical address.
+        gpa: u64,
+    },
+    /// Host physical memory exhausted.
+    Phys(PhysError),
+    /// Nested page-table manipulation failed.
+    PageTable(PtError),
+    /// A guest-side operation failed during a cross-layer flow.
+    Guest(OsError),
+    /// The page cannot be swapped in the current mode (Table II: VMM
+    /// swapping is limited under Dual/VMM Direct).
+    SwapPrecluded {
+        /// Raw guest-physical page address.
+        gpa: u64,
+        /// What stands in the way.
+        why: &'static str,
+    },
+    /// The VM's configuration precludes live migration (Table II).
+    MigrationPrecluded {
+        /// What stands in the way.
+        why: &'static str,
+    },
+}
+
+impl fmt::Display for VmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmmError::NoSuchVm { id } => write!(f, "no such vm {id}"),
+            VmmError::HostFragmented {
+                requested,
+                largest_run,
+            } => write!(
+                f,
+                "host memory fragmented: need {requested:#x} contiguous, largest run {largest_run:#x}"
+            ),
+            VmmError::OutsideSlots { gpa } => {
+                write!(f, "guest physical address {gpa:#x} outside memory slots")
+            }
+            VmmError::Phys(e) => write!(f, "host physical memory error: {e}"),
+            VmmError::PageTable(e) => write!(f, "nested page-table error: {e}"),
+            VmmError::Guest(e) => write!(f, "guest error during vmm flow: {e}"),
+            VmmError::MigrationPrecluded { why } => {
+                write!(f, "live migration precluded: {why}")
+            }
+            VmmError::SwapPrecluded { gpa, why } => {
+                write!(f, "cannot swap guest page at {gpa:#x}: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmmError::Phys(e) => Some(e),
+            VmmError::PageTable(e) => Some(e),
+            VmmError::Guest(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PhysError> for VmmError {
+    fn from(e: PhysError) -> Self {
+        match e {
+            PhysError::Fragmented {
+                requested,
+                largest_free_run,
+            } => VmmError::HostFragmented {
+                requested,
+                largest_run: largest_free_run,
+            },
+            other => VmmError::Phys(other),
+        }
+    }
+}
+
+impl From<PtError> for VmmError {
+    fn from(e: PtError) -> Self {
+        VmmError::PageTable(e)
+    }
+}
+
+impl From<OsError> for VmmError {
+    fn from(e: OsError) -> Self {
+        VmmError::Guest(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragmentation_converts_specially() {
+        let e = VmmError::from(PhysError::Fragmented {
+            requested: 64,
+            largest_free_run: 8,
+        });
+        assert!(matches!(e, VmmError::HostFragmented { .. }));
+    }
+}

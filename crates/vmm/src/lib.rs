@@ -1,0 +1,50 @@
+//! Hypervisor (VMM) model.
+//!
+//! Models the KVM-side software of the paper's prototype: per-VM nested
+//! page tables with demand backing, VMM-segment creation (with boot-time
+//! reservation, memory compaction, and escape-filter handling of bad host
+//! frames), the host half of ballooning and self-ballooning, shadow paging
+//! (the Section IX.D comparison), and content-based page sharing (the
+//! Section IX.E study).
+//!
+//! The VMM owns host-physical memory; guests own their guest-physical
+//! spaces. Cross-layer flows (self-ballooning, I/O-gap reclamation) are
+//! explicit methods taking both sides.
+//!
+//! # Example
+//!
+//! ```
+//! use mv_vmm::{VmConfig, Vmm};
+//! use mv_types::{Gpa, PageSize, MIB};
+//!
+//! let mut vmm = Vmm::new(256 * MIB);
+//! let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size2M));
+//! vmm.handle_nested_fault(vm, Gpa::new(0x123_4000))?; // demand backing
+//! let (npt, hmem) = vmm.npt_and_hmem(vm);
+//! assert!(npt.translate(hmem, Gpa::new(0x123_4000)).is_some());
+//! # Ok::<(), mv_vmm::VmmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod migrate;
+mod selfballoon;
+mod shadow;
+mod sharing;
+mod vm;
+mod vmm;
+
+pub use error::VmmError;
+pub use migrate::{Migration, MigrationStats};
+pub use shadow::ShadowPaging;
+pub use sharing::ShareOutcome;
+pub use vm::{Vm, VmConfig, VmCounters, VmId};
+pub use vmm::{SegmentOptions, Vmm};
+
+/// Cycles charged per VM exit (hypervisor round trip). The value matches
+/// the order of magnitude of hardware-assisted exits on the paper's era of
+/// hardware (~1–2k cycles).
+pub const VM_EXIT_CYCLES: u64 = 1500;

@@ -1,0 +1,258 @@
+//! Pre-copy live migration with dirty tracking.
+//!
+//! Live migration is *why* Guest Direct mode exists: it keeps 4 KiB nested
+//! page tables in the VMM, so the hypervisor can still write-protect guest
+//! pages, track dirtying, and stream the VM to another host while the
+//! guest segment keeps translation near-native (Table II: VMM segments
+//! preclude this; Dual/VMM Direct must first drop their segment).
+//!
+//! The model implements the classic pre-copy loop:
+//!
+//! 1. write-protect everything and enqueue all backed pages;
+//! 2. each **round** sends the current dirty set and re-protects it;
+//!    writes during the round trap (VM exit), re-dirtying pages;
+//! 3. when the dirty set stops shrinking (or is small enough), stop the VM
+//!    and send the remainder — the **downtime set**.
+
+use std::collections::BTreeSet;
+
+use mv_types::{Gpa, PageSize, Prot};
+
+use crate::vm::VmId;
+use crate::vmm::Vmm;
+use crate::VmmError;
+
+/// An in-progress pre-copy migration of one VM.
+#[derive(Debug)]
+pub struct Migration {
+    vm: VmId,
+    /// 4 KiB guest frames dirtied since they were last sent.
+    dirty: BTreeSet<u64>,
+    stats: MigrationStats,
+}
+
+/// Statistics of a completed (or in-progress) migration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Pre-copy rounds performed.
+    pub rounds: u64,
+    /// Pages transferred during pre-copy (guest still running).
+    pub precopy_pages: u64,
+    /// Pages transferred during the stop-and-copy phase (downtime).
+    pub downtime_pages: u64,
+    /// Write faults absorbed for dirty tracking.
+    pub tracking_faults: u64,
+}
+
+impl Migration {
+    /// The VM being migrated.
+    pub fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    /// Pages currently dirty (pending transfer).
+    pub fn dirty_pages(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MigrationStats {
+        self.stats
+    }
+}
+
+impl Vmm {
+    /// Begins pre-copy migration of `id`: write-protects every backed page
+    /// and marks the whole footprint dirty (the round-0 transfer set).
+    ///
+    /// # Errors
+    ///
+    /// * [`VmmError::MigrationPrecluded`] — the VM has a VMM segment
+    ///   (segment-covered memory cannot be tracked; drop to Guest Direct
+    ///   first, per Table II) or uses huge nested pages.
+    pub fn start_migration(&mut self, id: VmId) -> Result<Migration, VmmError> {
+        let vm = self.vms.get_mut(&id.0).ok_or(VmmError::NoSuchVm { id: id.0 })?;
+        if vm.segment.is_some() {
+            return Err(VmmError::MigrationPrecluded {
+                why: "VMM segment precludes dirty tracking; drop the segment (Guest Direct) first",
+            });
+        }
+        if vm.cfg.nested_page_size != PageSize::Size4K {
+            return Err(VmmError::MigrationPrecluded {
+                why: "dirty tracking requires 4 KiB nested pages",
+            });
+        }
+        let mut dirty = BTreeSet::new();
+        for (&gfn, _) in vm.backing.iter() {
+            let gpa = Gpa::new(gfn << 12);
+            vm.npt
+                .protect(&mut self.hmem, gpa, PageSize::Size4K, Prot::READ)?;
+            dirty.insert(gfn);
+        }
+        Ok(Migration {
+            vm: id,
+            dirty,
+            stats: MigrationStats::default(),
+        })
+    }
+
+    /// Absorbs a write-protection fault during migration: re-enables write
+    /// access and marks the page dirty. Costs a VM exit.
+    ///
+    /// Pages shared copy-on-write are *not* handled here — route those to
+    /// [`Vmm::break_cow`] (the CoW map distinguishes them).
+    ///
+    /// # Errors
+    ///
+    /// Fails on nested-table corruption only.
+    pub fn migration_write_fault(
+        &mut self,
+        m: &mut Migration,
+        gpa: Gpa,
+    ) -> Result<(), VmmError> {
+        let gfn = gpa.as_u64() >> 12;
+        let vm = self.vms.get_mut(&m.vm.0).expect("migration holds a live vm");
+        vm.counters.vm_exits += 1;
+        m.stats.tracking_faults += 1;
+        vm.npt.protect(
+            &mut self.hmem,
+            Gpa::new(gpa.as_u64() & !0xfff),
+            PageSize::Size4K,
+            Prot::RW,
+        )?;
+        m.dirty.insert(gfn);
+        Ok(())
+    }
+
+    /// Performs one pre-copy round: "sends" the current dirty set and
+    /// re-write-protects those pages so new writes are tracked. Returns
+    /// the number of pages sent this round.
+    ///
+    /// # Errors
+    ///
+    /// Fails on nested-table corruption only.
+    pub fn migration_round(&mut self, m: &mut Migration) -> Result<u64, VmmError> {
+        let vm = self.vms.get_mut(&m.vm.0).expect("migration holds a live vm");
+        let sending: Vec<u64> = m.dirty.iter().copied().collect();
+        m.dirty.clear();
+        for gfn in &sending {
+            // The page may have been ballooned out mid-migration.
+            if vm.backing.contains_key(gfn) {
+                vm.npt.protect(
+                    &mut self.hmem,
+                    Gpa::new(gfn << 12),
+                    PageSize::Size4K,
+                    Prot::READ,
+                )?;
+            }
+        }
+        m.stats.rounds += 1;
+        m.stats.precopy_pages += sending.len() as u64;
+        Ok(sending.len() as u64)
+    }
+
+    /// Stop-and-copy: sends the remaining dirty set (the downtime cost),
+    /// restores write access everywhere, and returns the final statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on nested-table corruption only.
+    pub fn complete_migration(&mut self, mut m: Migration) -> Result<MigrationStats, VmmError> {
+        m.stats.downtime_pages = m.dirty.len() as u64;
+        let vm = self.vms.get_mut(&m.vm.0).expect("migration holds a live vm");
+        let backed: Vec<u64> = vm.backing.keys().copied().collect();
+        for gfn in backed {
+            vm.npt.protect(
+                &mut self.hmem,
+                Gpa::new(gfn << 12),
+                PageSize::Size4K,
+                Prot::RW,
+            )?;
+        }
+        Ok(m.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmConfig;
+    use crate::vmm::SegmentOptions;
+    use mv_types::{AddrRange, MIB};
+
+    fn backed_vmm() -> (Vmm, VmId) {
+        let mut vmm = Vmm::new(128 * MIB);
+        let vm = vmm.create_vm(VmConfig::new(16 * MIB, PageSize::Size4K));
+        vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(4 * MIB)))
+            .unwrap();
+        (vmm, vm)
+    }
+
+    #[test]
+    fn start_protects_and_enqueues_everything() {
+        let (mut vmm, vm) = backed_vmm();
+        let m = vmm.start_migration(vm).unwrap();
+        assert_eq!(m.dirty_pages(), 1024);
+        let (npt, hmem) = vmm.npt_and_hmem(vm);
+        assert_eq!(
+            npt.translate(hmem, Gpa::new(0x1000)).unwrap().prot,
+            Prot::READ
+        );
+    }
+
+    #[test]
+    fn write_faults_redirty_pages() {
+        let (mut vmm, vm) = backed_vmm();
+        let mut m = vmm.start_migration(vm).unwrap();
+        vmm.migration_round(&mut m).unwrap();
+        assert_eq!(m.dirty_pages(), 0);
+        vmm.migration_write_fault(&mut m, Gpa::new(0x2345)).unwrap();
+        assert_eq!(m.dirty_pages(), 1);
+        let (npt, hmem) = vmm.npt_and_hmem(vm);
+        assert_eq!(npt.translate(hmem, Gpa::new(0x2000)).unwrap().prot, Prot::RW);
+        assert_eq!(m.stats().tracking_faults, 1);
+    }
+
+    #[test]
+    fn precopy_converges_and_completes() {
+        let (mut vmm, vm) = backed_vmm();
+        let mut m = vmm.start_migration(vm).unwrap();
+        // Round 0 sends everything.
+        assert_eq!(vmm.migration_round(&mut m).unwrap(), 1024);
+        // The guest dirties 3 pages during the round.
+        for gpa in [0x1000u64, 0x5000, 0x9000] {
+            vmm.migration_write_fault(&mut m, Gpa::new(gpa)).unwrap();
+        }
+        assert_eq!(vmm.migration_round(&mut m).unwrap(), 3);
+        // One last write, then stop-and-copy.
+        vmm.migration_write_fault(&mut m, Gpa::new(0x1000)).unwrap();
+        let stats = vmm.complete_migration(m).unwrap();
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.precopy_pages, 1027);
+        assert_eq!(stats.downtime_pages, 1);
+        // Everything is writable again.
+        let (npt, hmem) = vmm.npt_and_hmem(vm);
+        assert_eq!(npt.translate(hmem, Gpa::new(0x7000)).unwrap().prot, Prot::RW);
+    }
+
+    #[test]
+    fn vmm_segment_precludes_migration() {
+        let (mut vmm, vm) = backed_vmm();
+        vmm.create_vmm_segment(
+            vm,
+            AddrRange::new(Gpa::ZERO, Gpa::new(16 * MIB)),
+            SegmentOptions::default(),
+        )
+        .unwrap();
+        let err = vmm.start_migration(vm).unwrap_err();
+        assert!(matches!(err, VmmError::MigrationPrecluded { .. }));
+    }
+
+    #[test]
+    fn huge_nested_pages_preclude_migration() {
+        let mut vmm = Vmm::new(128 * MIB);
+        let vm = vmm.create_vm(VmConfig::new(16 * MIB, PageSize::Size2M));
+        let err = vmm.start_migration(vm).unwrap_err();
+        assert!(matches!(err, VmmError::MigrationPrecluded { .. }));
+    }
+}

@@ -1,0 +1,73 @@
+//! Self-ballooning and I/O-gap reclamation (Section IV / VI.C).
+//!
+//! Self-ballooning converts *fragmented* free guest-physical memory into
+//! *contiguous* free guest-physical memory without copying:
+//!
+//! 1. the guest balloon driver pins and surrenders fragmented free frames;
+//! 2. the VMM reclaims their host backing;
+//! 3. the VMM hot-adds the same amount of fresh, contiguous guest-physical
+//!    address space (from the pre-provisioned offline region);
+//! 4. the guest creates its guest segment in the new contiguous range.
+//!
+//! I/O-gap reclamation uses hot-*unplug* instead of ballooning, because
+//! unplug removes *specific* addresses (those below the gap), letting a
+//! single segment cover almost all guest memory.
+
+use mv_guestos::GuestOs;
+use mv_types::{AddrRange, Gpa, PAGE_SIZE_4K};
+
+use crate::vm::VmId;
+use crate::vmm::Vmm;
+use crate::VmmError;
+
+impl Vmm {
+    /// Runs the self-ballooning flow for `bytes` of contiguous guest
+    /// memory, returning the newly online contiguous range.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmmError::Guest`] — the guest lacks free memory to balloon or
+    ///   offline capacity to hot-add.
+    pub fn self_balloon(
+        &mut self,
+        id: VmId,
+        guest: &mut GuestOs,
+        bytes: u64,
+    ) -> Result<AddrRange<Gpa>, VmmError> {
+        let frames = (bytes / PAGE_SIZE_4K) as usize;
+        // 1–2. Balloon out fragmented frames and reclaim their backing.
+        let surrendered = guest.balloon_inflate(frames)?;
+        self.balloon_reclaim(id, &surrendered)?;
+        // 3. Hot-add the same amount of contiguous guest-physical memory.
+        let added = guest.hotplug_add(bytes)?;
+        Ok(added)
+    }
+
+    /// Runs the I/O-gap reclamation flow: the guest hot-unplugs its low
+    /// memory (keeping `keep` bytes to boot), the VMM reclaims the backing
+    /// of the removed range, and the guest hot-adds the same amount above
+    /// the gap. Returns the newly online high range.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmmError::Guest`] — low memory is busy or capacity exhausted.
+    pub fn reclaim_io_gap(
+        &mut self,
+        id: VmId,
+        guest: &mut GuestOs,
+        keep: u64,
+    ) -> Result<AddrRange<Gpa>, VmmError> {
+        let removed = guest.unplug_low_memory(keep)?;
+        if removed == 0 {
+            return Err(VmmError::Guest(mv_guestos::OsError::Hotplug {
+                what: "nothing to unplug below the gap",
+            }));
+        }
+        // Reclaim host backing of the unplugged range, if any was mapped.
+        let unplugged = *guest.unplugged().last().expect("just unplugged");
+        let gpas: Vec<Gpa> = unplugged.pages(mv_types::PageSize::Size4K).collect();
+        self.balloon_reclaim(id, &gpas)?;
+        let added = guest.hotplug_add(removed)?;
+        Ok(added)
+    }
+}

@@ -1,0 +1,152 @@
+//! Shadow paging (the Section IX.D alternative).
+//!
+//! With shadow paging the VMM composes the guest page table (gVA→gPA) and
+//! its own nested mapping (gPA→hPA) into a *shadow* table (gVA→hPA) that
+//! the hardware walks directly — a 1D walk on TLB misses. The price is
+//! coherence: every guest page-table update traps to the VMM (a VM exit)
+//! so the shadow copy can be fixed, which is exactly why workloads with
+//! frequent mapping churn (memcached, GemsFDTD, omnetpp, canneal) suffer
+//! under shadow paging while static workloads do fine.
+
+use mv_guestos::FaultFix;
+use mv_pt::PageTable;
+use mv_types::{Gpa, Gva, Hpa, PageSize};
+
+use crate::vm::VmId;
+use crate::vmm::Vmm;
+use crate::{VmmError, VM_EXIT_CYCLES};
+
+/// Shadow page tables for one VM: one gVA→hPA table per guest process.
+#[derive(Debug)]
+pub struct ShadowPaging {
+    vm: VmId,
+    tables: std::collections::HashMap<u32, PageTable<Gva, Hpa>>,
+    vm_exits: u64,
+    exit_cycles: u64,
+}
+
+impl ShadowPaging {
+    /// Creates an empty shadow state for `vm`.
+    pub fn new(vm: VmId) -> Self {
+        ShadowPaging {
+            vm,
+            tables: std::collections::HashMap::new(),
+            vm_exits: 0,
+            exit_cycles: 0,
+        }
+    }
+
+    /// VM exits taken to keep shadows coherent.
+    pub fn vm_exits(&self) -> u64 {
+        self.vm_exits
+    }
+
+    /// Cycles spent in those exits.
+    pub fn exit_cycles(&self) -> u64 {
+        self.exit_cycles
+    }
+
+    /// The shadow table for guest process `pid`, creating it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Fails if host memory cannot supply the root table page.
+    pub fn shadow_for(
+        &mut self,
+        vmm: &mut Vmm,
+        pid: u32,
+    ) -> Result<&PageTable<Gva, Hpa>, VmmError> {
+        if !self.tables.contains_key(&pid) {
+            let pt = PageTable::new(vmm.hmem_mut())?;
+            self.tables.insert(pid, pt);
+        }
+        Ok(&self.tables[&pid])
+    }
+
+    /// Intercepts one guest page-table update (the guest mapped `fix`):
+    /// takes a VM exit, composes gPA→hPA through the VM's backing, and
+    /// installs the combined gVA→hPA mapping in the shadow.
+    ///
+    /// The shadow maps at the *nested* granularity: a guest 2 MiB mapping
+    /// over 4 KiB nested backing becomes 512 shadow entries, as real
+    /// shadow implementations do.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the guest page has no host backing yet and none can be
+    /// allocated.
+    pub fn on_guest_update(&mut self, vmm: &mut Vmm, pid: u32, fix: &FaultFix) -> Result<(), VmmError> {
+        self.vm_exits += 1;
+        self.exit_cycles += VM_EXIT_CYCLES;
+        let vm_id = self.vm;
+        if !self.tables.contains_key(&pid) {
+            let pt = PageTable::new(vmm.hmem_mut())?;
+            self.tables.insert(pid, pt);
+        }
+        let shadow = self.tables.get_mut(&pid).expect("just inserted");
+
+        // Compose each 4 KiB (or larger, when both levels align) piece.
+        let nested_size = vmm.vm(vm_id).config().nested_page_size;
+        let piece = nested_size.min(fix.size);
+        let mut off = 0;
+        while off < fix.size.bytes() {
+            let gpa = Gpa::new(fix.gpa.as_u64() + off);
+            vmm.handle_nested_fault(vm_id, gpa)?;
+            let (npt, hmem_ref) = vmm.npt_and_hmem(vm_id);
+            let hpa = npt
+                .translate(hmem_ref, gpa)
+                .expect("just backed")
+                .pa;
+            let hpa_page = Hpa::new(hpa.as_u64() & !piece.offset_mask());
+            let va = Gva::new(fix.va_page.as_u64() + off);
+            match shadow.map(vmm.hmem_mut(), va, hpa_page, piece, fix.prot) {
+                Ok(()) => {}
+                Err(mv_pt::PtError::AlreadyMapped { .. }) => {
+                    shadow.remap(vmm.hmem_mut(), va, piece, hpa_page)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+            off += piece.bytes();
+        }
+        Ok(())
+    }
+
+    /// Intercepts a guest unmap: VM exit plus shadow invalidation.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on accounting corruption.
+    pub fn on_guest_unmap(
+        &mut self,
+        vmm: &mut Vmm,
+        pid: u32,
+        va: Gva,
+        size: PageSize,
+    ) -> Result<(), VmmError> {
+        self.vm_exits += 1;
+        self.exit_cycles += VM_EXIT_CYCLES;
+        if let Some(shadow) = self.tables.get_mut(&pid) {
+            let nested_size = vmm.vm(self.vm).config().nested_page_size;
+            let piece = nested_size.min(size);
+            let mut off = 0;
+            while off < size.bytes() {
+                let _ = shadow.unmap(
+                    vmm.hmem_mut(),
+                    Gva::new(va.as_u64() + off),
+                    piece,
+                );
+                off += piece.bytes();
+            }
+        }
+        Ok(())
+    }
+
+    /// Read access to a process's shadow table (for building MMU contexts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no shadow exists for `pid` yet.
+    pub fn table(&self, pid: u32) -> &PageTable<Gva, Hpa> {
+        &self.tables[&pid]
+    }
+}

@@ -1,0 +1,140 @@
+//! Content-based page sharing (the Section IX.E study).
+//!
+//! The VMM scans guest pages for identical contents; duplicates are backed
+//! by a single host frame mapped copy-on-write into every sharer. The
+//! paper finds this saves under 3% for big-memory workloads — their data
+//! is overwhelmingly unique — while VMM segments preclude sharing for
+//! segment-covered memory (Table II), so the feature matters most for
+//! compute workloads under Base Virtualized / Guest Direct.
+//!
+//! Page contents are modeled as 64-bit fingerprints supplied by the
+//! workload model (two pages share iff fingerprints match, a collision-free
+//! idealization that, if anything, *over*states sharing).
+
+use std::collections::HashMap;
+
+use mv_types::{Gpa, Hpa, PageSize, Prot};
+
+use crate::vm::VmId;
+use crate::vmm::Vmm;
+use crate::VmmError;
+
+/// Result of a sharing scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShareOutcome {
+    /// Pages examined across all VMs.
+    pub scanned_pages: u64,
+    /// Pages now backed by another page's frame.
+    pub deduplicated_pages: u64,
+    /// Host bytes freed.
+    pub bytes_saved: u64,
+}
+
+impl Vmm {
+    /// Scans the given `(vm, gpa, fingerprint)` triples and deduplicates
+    /// pages with identical fingerprints, rewriting nested mappings
+    /// copy-on-write. Only 4 KiB-backed pages outside any VMM segment are
+    /// eligible (Table II's sharing restriction).
+    ///
+    /// # Errors
+    ///
+    /// Fails only on nested-page-table corruption.
+    pub fn share_pages(&mut self, pages: &[(VmId, Gpa, u64)]) -> Result<ShareOutcome, VmmError> {
+        let mut out = ShareOutcome::default();
+        // fingerprint -> canonical (vm, gpa page, host frame)
+        let mut canonical: HashMap<u64, (VmId, Gpa, Hpa)> = HashMap::new();
+
+        for &(id, gpa, print) in pages {
+            out.scanned_pages += 1;
+            {
+                let vm = self.vm(id);
+                if vm.config().nested_page_size != PageSize::Size4K {
+                    continue; // huge backing cannot be shared at 4 KiB
+                }
+                if vm.segment().is_some_and(|s| s.contains(gpa)) {
+                    continue; // segment-covered memory cannot be shared
+                }
+            }
+            let gpa_page = Gpa::new(gpa.as_u64() & !0xfff);
+            let gfn = gpa_page.as_u64() >> 12;
+            let Some(&frame) = self.vms[&id.0].backing.get(&gfn) else {
+                continue; // unbacked pages have no copy to share
+            };
+
+            match canonical.get(&print).copied() {
+                None => {
+                    canonical.insert(print, (id, gpa_page, frame));
+                }
+                Some((_, _, keep_frame)) if keep_frame == frame => {}
+                Some((canon_vm, canon_gpa, keep_frame)) => {
+                    // Retarget this page at the canonical frame,
+                    // write-protect both sharers, free the duplicate.
+                    {
+                        let vm = self.vms.get_mut(&id.0).expect("live id");
+                        vm.npt
+                            .remap(&mut self.hmem, gpa_page, PageSize::Size4K, keep_frame)?;
+                    }
+                    self.write_protect_shared(id, gpa_page, keep_frame)?;
+                    self.write_protect_shared(canon_vm, canon_gpa, keep_frame)?;
+                    // Free the duplicate frame.
+                    self.owners.remove(&(frame.as_u64() >> 12));
+                    self.hmem.free(frame, PageSize::Size4K)?;
+                    let vm = self.vms.get_mut(&id.0).expect("live id");
+                    vm.backing.remove(&gfn);
+                    vm.counters.backed_pages -= 1;
+                    out.deduplicated_pages += 1;
+                    out.bytes_saved += PageSize::Size4K.bytes();
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn write_protect_shared(
+        &mut self,
+        id: VmId,
+        gpa_page: Gpa,
+        frame: Hpa,
+    ) -> Result<(), VmmError> {
+        let gfn = gpa_page.as_u64() >> 12;
+        let vm = self.vms.get_mut(&id.0).expect("live id");
+        if vm.cow.insert(gfn, frame).is_none() {
+            vm.npt
+                .protect(&mut self.hmem, gpa_page, PageSize::Size4K, Prot::READ)?;
+            vm.counters.shared_pages += 1;
+        }
+        Ok(())
+    }
+
+    /// Breaks copy-on-write after a write fault on a shared page: gives the
+    /// writing VM a private copy with write access restored. Costs a VM
+    /// exit.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmmError::Phys`] — host memory exhausted.
+    pub fn break_cow(&mut self, id: VmId, gpa: Gpa) -> Result<(), VmmError> {
+        let gpa_page = Gpa::new(gpa.as_u64() & !0xfff);
+        let gfn = gpa_page.as_u64() >> 12;
+        let vm = self.vms.get_mut(&id.0).ok_or(VmmError::NoSuchVm { id: id.0 })?;
+        vm.counters.vm_exits += 1;
+        if vm.cow.remove(&gfn).is_none() {
+            // Not shared (e.g. plain write-protection): restore access.
+            vm.npt
+                .protect(&mut self.hmem, gpa_page, PageSize::Size4K, Prot::RW)?;
+            return Ok(());
+        }
+        let private = self.hmem.alloc(PageSize::Size4K)?;
+        let vm = self.vms.get_mut(&id.0).expect("live id");
+        vm.npt
+            .remap(&mut self.hmem, gpa_page, PageSize::Size4K, private)?;
+        vm.npt
+            .protect(&mut self.hmem, gpa_page, PageSize::Size4K, Prot::RW)?;
+        vm.backing.insert(gfn, private);
+        vm.counters.backed_pages += 1;
+        vm.counters.cow_breaks += 1;
+        vm.counters.shared_pages = vm.counters.shared_pages.saturating_sub(1);
+        self.owners.insert(private.as_u64() >> 12, (id, gpa_page));
+        Ok(())
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-VM state.
+
+use std::collections::BTreeMap;
+
+use mv_core::{EscapeFilter, Segment};
+use mv_pt::PageTable;
+use mv_types::{AddrRange, Gpa, Hpa, PageSize};
+
+/// Virtual-machine identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmId(pub u32);
+
+impl core::fmt::Display for VmId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// Configuration of a virtual machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Guest-physical span the VMM is willing to back (memory-slot size).
+    pub guest_span: u64,
+    /// Page size the VMM uses for nested mappings (the "+4K"/"+2M"/"+1G"
+    /// of the paper's configuration labels).
+    pub nested_page_size: PageSize,
+}
+
+impl VmConfig {
+    /// Convenience constructor.
+    pub fn new(guest_span: u64, nested_page_size: PageSize) -> Self {
+        VmConfig {
+            guest_span,
+            nested_page_size,
+        }
+    }
+}
+
+/// Event counters for one VM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmCounters {
+    /// Nested page faults the VMM serviced (each costs a VM exit).
+    pub nested_faults: u64,
+    /// Total VM exits (faults, balloon operations, shadow updates).
+    pub vm_exits: u64,
+    /// 4 KiB-equivalents of host memory currently backing the guest
+    /// outside any segment.
+    pub backed_pages: u64,
+    /// Pages reclaimed through ballooning.
+    pub ballooned_pages: u64,
+    /// Pages currently deduplicated by content-based sharing.
+    pub shared_pages: u64,
+    /// Copy-on-write breaks performed.
+    pub cow_breaks: u64,
+}
+
+/// One virtual machine: nested page table, backing map, optional VMM
+/// segment and escape filter.
+#[derive(Debug)]
+pub struct Vm {
+    pub(crate) id: VmId,
+    pub(crate) cfg: VmConfig,
+    pub(crate) npt: PageTable<Gpa, Hpa>,
+    /// Host frames backing guest pages, keyed by guest frame number at the
+    /// VM's nested page granularity.
+    pub(crate) backing: BTreeMap<u64, Hpa>,
+    /// VMM segment, once established.
+    pub(crate) segment: Option<Segment<Gpa, Hpa>>,
+    /// Host range backing the segment.
+    pub(crate) segment_backing: Option<AddrRange<Hpa>>,
+    /// Escape filter for bad frames inside the segment.
+    pub(crate) escape: Option<EscapeFilter>,
+    /// Guest pages currently shared copy-on-write (by 4 KiB gfn).
+    pub(crate) cow: BTreeMap<u64, Hpa>,
+    pub(crate) counters: VmCounters,
+}
+
+impl Vm {
+    pub(crate) fn new(id: VmId, cfg: VmConfig, npt: PageTable<Gpa, Hpa>) -> Self {
+        Vm {
+            id,
+            cfg,
+            npt,
+            backing: BTreeMap::new(),
+            segment: None,
+            segment_backing: None,
+            escape: None,
+            cow: BTreeMap::new(),
+            counters: VmCounters::default(),
+        }
+    }
+
+    /// The VM's id.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// The VM's configuration.
+    pub fn config(&self) -> &VmConfig {
+        &self.cfg
+    }
+
+    /// The nested page table.
+    pub fn npt(&self) -> &PageTable<Gpa, Hpa> {
+        &self.npt
+    }
+
+    /// Established VMM segment, if any.
+    pub fn segment(&self) -> Option<Segment<Gpa, Hpa>> {
+        self.segment
+    }
+
+    /// The escape filter guarding the segment, if any.
+    pub fn escape_filter(&self) -> Option<&EscapeFilter> {
+        self.escape.as_ref()
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> &VmCounters {
+        &self.counters
+    }
+
+    /// Number of distinct backed guest pages (at nested granularity).
+    pub fn backed_pages(&self) -> usize {
+        self.backing.len()
+    }
+
+    /// Number of distinct guest pages with a live nested mapping: pages
+    /// with private backing plus shared (copy-on-write) pages, counting a
+    /// page that is both (a canonical sharer) once.
+    pub fn resident_pages(&self) -> usize {
+        let mut gfns: std::collections::BTreeSet<u64> =
+            self.backing.keys().copied().collect();
+        gfns.extend(self.cow.keys().copied());
+        gfns.len()
+    }
+
+    /// Whether the guest page at `gpa` is currently shared copy-on-write.
+    pub fn is_shared(&self, gpa: Gpa) -> bool {
+        self.cow.contains_key(&(gpa.as_u64() >> 12))
+    }
+
+    /// Whether `gpa` lies in the VM's addressable span.
+    pub fn in_span(&self, gpa: Gpa) -> bool {
+        gpa.as_u64() < self.cfg.guest_span
+    }
+
+    /// The guest frame number of `gpa` at the VM's nested granularity.
+    pub(crate) fn gfn(&self, gpa: Gpa) -> u64 {
+        gpa.as_u64() >> self.cfg.nested_page_size.shift()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_phys::PhysMem;
+    use mv_types::MIB;
+
+    #[test]
+    fn vm_accessors() {
+        let mut hmem: PhysMem<Hpa> = PhysMem::new(16 * MIB);
+        let npt = PageTable::new(&mut hmem).unwrap();
+        let vm = Vm::new(VmId(3), VmConfig::new(8 * MIB, PageSize::Size2M), npt);
+        assert_eq!(vm.id(), VmId(3));
+        assert_eq!(vm.id().to_string(), "vm3");
+        assert!(vm.in_span(Gpa::new(8 * MIB - 1)));
+        assert!(!vm.in_span(Gpa::new(8 * MIB)));
+        assert_eq!(vm.gfn(Gpa::new(2 * MIB)), 1);
+        assert_eq!(vm.backed_pages(), 0);
+        assert!(vm.segment().is_none());
+    }
+}

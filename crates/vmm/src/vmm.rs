@@ -1,0 +1,395 @@
+//! The hypervisor: host memory, VM lifecycle, nested backing, and
+//! VMM-segment creation.
+
+use std::collections::HashMap;
+
+use mv_core::{EscapeFilter, Segment};
+use mv_phys::PhysMem;
+use mv_pt::PageTable;
+use mv_types::{AddrRange, Gpa, Hpa, PageSize, Prot, PAGE_SIZE_4K};
+
+use crate::vm::{Vm, VmConfig, VmId};
+use crate::VmmError;
+
+/// Options for [`Vmm::create_vmm_segment`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SegmentOptions {
+    /// Tolerate bad host frames inside the segment window by escaping them
+    /// through the Bloom filter (Section V).
+    pub allow_bad: bool,
+    /// Run memory compaction to manufacture contiguity if none exists
+    /// (Section IV / Table III).
+    pub compact: bool,
+    /// Seed for the escape filter's H3 hash matrices.
+    pub escape_seed: u64,
+}
+
+/// The hypervisor.
+///
+/// Owns host-physical memory and every VM's nested state. See the crate
+/// docs for an example.
+#[derive(Debug)]
+pub struct Vmm {
+    pub(crate) hmem: PhysMem<Hpa>,
+    pub(crate) vms: HashMap<u32, Vm>,
+    next_id: u32,
+    /// Reverse map: host 4 KiB frame index → (vm, gpa page base) for
+    /// movable 4 KiB backings, so compaction can fix nested mappings.
+    pub(crate) owners: HashMap<u64, (VmId, Gpa)>,
+}
+
+impl Vmm {
+    /// Creates a hypervisor managing `host_bytes` of host-physical memory.
+    pub fn new(host_bytes: u64) -> Self {
+        Vmm {
+            hmem: PhysMem::new(host_bytes),
+            vms: HashMap::new(),
+            next_id: 0,
+            owners: HashMap::new(),
+        }
+    }
+
+    /// Host-physical memory (shared).
+    pub fn hmem(&self) -> &PhysMem<Hpa> {
+        &self.hmem
+    }
+
+    /// Host-physical memory (mutable — used by experiments to fragment or
+    /// damage the host).
+    pub fn hmem_mut(&mut self) -> &mut PhysMem<Hpa> {
+        &mut self.hmem
+    }
+
+    /// Creates a VM with an empty nested page table.
+    pub fn create_vm(&mut self, cfg: VmConfig) -> VmId {
+        let id = VmId(self.next_id);
+        self.next_id += 1;
+        let npt = PageTable::new(&mut self.hmem).expect("host memory for the nested root");
+        self.vms.insert(id.0, Vm::new(id, cfg, npt));
+        id
+    }
+
+    /// The VM with this id.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown id (callers hold ids they created).
+    pub fn vm(&self, id: VmId) -> &Vm {
+        &self.vms[&id.0]
+    }
+
+    /// Borrows the nested page table and host memory for an MMU context.
+    pub fn npt_and_hmem(&self, id: VmId) -> (&PageTable<Gpa, Hpa>, &PhysMem<Hpa>) {
+        (&self.vms[&id.0].npt, &self.hmem)
+    }
+
+    /// Services a nested page fault: allocates host backing at the VM's
+    /// nested page size and maps it. Spurious faults (already mapped) are
+    /// no-ops. Each genuine fault costs a VM exit.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmmError::OutsideSlots`] — `gpa` beyond the VM's span.
+    /// * [`VmmError::Phys`] — host memory exhausted.
+    pub fn handle_nested_fault(&mut self, id: VmId, gpa: Gpa) -> Result<(), VmmError> {
+        let vm = self.vms.get_mut(&id.0).ok_or(VmmError::NoSuchVm { id: id.0 })?;
+        if !vm.in_span(gpa) {
+            return Err(VmmError::OutsideSlots { gpa: gpa.as_u64() });
+        }
+        if vm.npt.translate(&self.hmem, gpa).is_some() {
+            return Ok(());
+        }
+        let size = vm.cfg.nested_page_size;
+        let gpa_page = Gpa::new(gpa.as_u64() & !size.offset_mask());
+        let frame = self.hmem.alloc(size)?;
+        vm.npt.map(&mut self.hmem, gpa_page, frame, size, Prot::RW)?;
+        vm.backing.insert(vm.gfn(gpa_page), frame);
+        if size == PageSize::Size4K {
+            self.owners
+                .insert(frame.as_u64() >> 12, (id, gpa_page));
+        } else {
+            // Huge backings are unmovable by compaction (as in Linux).
+            self.hmem.set_pinned(frame, true)?;
+        }
+        vm.counters.nested_faults += 1;
+        vm.counters.vm_exits += 1;
+        vm.counters.backed_pages += size.covered_4k_pages();
+        Ok(())
+    }
+
+    /// Eagerly backs an entire guest-physical range (experiments prefill
+    /// so that steady-state measurements see no nested faults).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backing failure.
+    pub fn map_guest_range(&mut self, id: VmId, range: AddrRange<Gpa>) -> Result<(), VmmError> {
+        let step = self.vm(id).cfg.nested_page_size.bytes();
+        let mut gpa = range.start().as_u64() & !(step - 1);
+        while gpa < range.end().as_u64() {
+            self.handle_nested_fault(id, Gpa::new(gpa))?;
+            gpa += step;
+        }
+        Ok(())
+    }
+
+    /// Creates the VMM segment covering guest-physical range `cover`:
+    /// finds contiguous host backing (optionally via compaction), migrates
+    /// any existing scattered backing into it, escapes bad frames through a
+    /// Bloom filter, and pre-maps filter false positives so escaped
+    /// translations always succeed (Section V).
+    ///
+    /// Returns the programmed segment registers; the escape filter (if one
+    /// was needed) is available via [`Vm::escape_filter`].
+    ///
+    /// # Errors
+    ///
+    /// * [`VmmError::HostFragmented`] — no contiguous run and compaction
+    ///   disabled or impossible.
+    pub fn create_vmm_segment(
+        &mut self,
+        id: VmId,
+        cover: AddrRange<Gpa>,
+        opts: SegmentOptions,
+    ) -> Result<Segment<Gpa, Hpa>, VmmError> {
+        if !self.vms.contains_key(&id.0) {
+            return Err(VmmError::NoSuchVm { id: id.0 });
+        }
+        let len = cover.len();
+
+        // 1. Contiguous host backing.
+        let (backing, bad) = if opts.compact {
+            // Pin every nested-page-table page — page tables are unmovable
+            // kernel allocations in the real system too. Everything else
+            // (4 KiB backings, anonymous filler) is movable; backings are
+            // fixed up through the owners map after the move, and filler
+            // has no mapping to fix.
+            let mut temp_pinned = Vec::new();
+            for vm in self.vms.values() {
+                for page in vm.npt.table_pages(&self.hmem) {
+                    self.hmem.set_pinned(page, true)?;
+                    temp_pinned.push(page.as_u64() >> 12);
+                }
+            }
+            // Collect the moves and fix nested mappings afterwards: the
+            // callback cannot touch host memory (compaction holds it), and
+            // compaction itself never consults the nested page tables.
+            let mut moves: Vec<(Hpa, Hpa)> = Vec::new();
+            let outcome = self.hmem.compact_and_reserve(
+                len,
+                PageSize::Size2M,
+                opts.allow_bad,
+                &mut |old, new| moves.push((old, new)),
+            );
+            for start in temp_pinned {
+                self.hmem.set_pinned(Hpa::new(start << 12), false)?;
+            }
+            let outcome = outcome?;
+            for (old, new) in moves {
+                // Frames without an owner are anonymous filler (other
+                // tenants' movable pages) — nothing of ours points at them.
+                let Some((vm_id, gpa_page)) = self.owners.remove(&(old.as_u64() >> 12)) else {
+                    continue;
+                };
+                let vm = self.vms.get_mut(&vm_id.0).expect("owner VM exists");
+                vm.npt
+                    .remap(&mut self.hmem, gpa_page, PageSize::Size4K, new)
+                    .expect("remap of moved backing");
+                vm.backing.insert(vm.gfn(gpa_page), new);
+                self.owners.insert(new.as_u64() >> 12, (vm_id, gpa_page));
+            }
+            (outcome.range, outcome.bad_inside)
+        } else if opts.allow_bad {
+            let (range, bad) = self
+                .hmem
+                .reserve_contiguous_allowing_bad(len, PageSize::Size2M)?;
+            (range, bad)
+        } else {
+            (self.hmem.reserve_contiguous(len, PageSize::Size2M)?, Vec::new())
+        };
+
+        let seg = Segment::map(cover, backing.start());
+        let offset = backing.start().as_u64().wrapping_sub(cover.start().as_u64());
+
+        // 2. Escape filter for truly bad frames.
+        let mut filter = (!bad.is_empty()).then(|| EscapeFilter::new(opts.escape_seed));
+        let bad_gpas: Vec<Gpa> = bad
+            .iter()
+            .map(|h| Gpa::new(h.as_u64().wrapping_sub(offset)))
+            .collect();
+
+        // 3. Migrate existing scattered backing into the segment.
+        let vm = self.vms.get_mut(&id.0).expect("checked above");
+        let in_range: Vec<(u64, Hpa)> = vm
+            .backing
+            .iter()
+            .map(|(&gfn, &frame)| (gfn, frame))
+            .filter(|&(gfn, _)| {
+                let gpa = Gpa::new(gfn << vm.cfg.nested_page_size.shift());
+                cover.contains(gpa)
+            })
+            .collect();
+        for (gfn, old_frame) in in_range {
+            let size = vm.cfg.nested_page_size;
+            let gpa_page = Gpa::new(gfn << size.shift());
+            let target = Hpa::new(gpa_page.as_u64().wrapping_add(offset));
+            for off in (0..size.bytes()).step_by(PAGE_SIZE_4K as usize) {
+                let dst = target.add(off);
+                if !self.hmem.bad_frames().is_bad(dst) {
+                    self.hmem.relocate_contents(old_frame.add(off), dst);
+                }
+            }
+            // The nested entry now points into the segment backing, so the
+            // mapping stays coherent if the segment is later dropped (e.g.
+            // a downgrade to Guest Direct for live migration).
+            vm.npt.remap(&mut self.hmem, gpa_page, size, target)?;
+            if size == PageSize::Size4K {
+                self.owners.remove(&(old_frame.as_u64() >> 12));
+            } else {
+                self.hmem.set_pinned(old_frame, false)?;
+            }
+            self.hmem.free(old_frame, size)?;
+            vm.backing.insert(gfn, target);
+        }
+
+        // 4. Remap bad frames to spares and insert them into the filter.
+        for gpa_b in &bad_gpas {
+            let spare = self.hmem.alloc(PageSize::Size4K)?;
+            self.owners
+                .insert(spare.as_u64() >> 12, (id, Gpa::new(gpa_b.as_u64() & !0xfff)));
+            // Map (or remap) the 4 KiB nested entry for the escaped page.
+            match vm.npt.translate(&self.hmem, *gpa_b) {
+                Some(t) if t.size == PageSize::Size4K => {
+                    vm.npt.remap(&mut self.hmem, Gpa::new(gpa_b.as_u64() & !0xfff), PageSize::Size4K, spare)?;
+                }
+                Some(_) => {
+                    return Err(VmmError::PageTable(mv_pt::PtError::HugeConflict {
+                        va: gpa_b.as_u64(),
+                        level: 2,
+                    }))
+                }
+                None => {
+                    vm.npt.map(
+                        &mut self.hmem,
+                        Gpa::new(gpa_b.as_u64() & !0xfff),
+                        spare,
+                        PageSize::Size4K,
+                        Prot::RW,
+                    )?;
+                }
+            }
+            filter
+                .as_mut()
+                .expect("filter exists when bad frames exist")
+                .insert(gpa_b.as_u64());
+        }
+
+        // 5. Pre-map filter false positives: any page the filter claims is
+        // escaped must have a working nested mapping.
+        if let Some(f) = &filter {
+            let mut gpa = cover.start().as_u64();
+            while gpa < cover.end().as_u64() {
+                if f.maybe_contains(gpa) && vm.npt.translate(&self.hmem, Gpa::new(gpa)).is_none() {
+                    vm.npt.map(
+                        &mut self.hmem,
+                        Gpa::new(gpa),
+                        Hpa::new(gpa.wrapping_add(offset)),
+                        PageSize::Size4K,
+                        Prot::RW,
+                    )?;
+                }
+                gpa += PAGE_SIZE_4K;
+            }
+        }
+
+        vm.segment = Some(seg);
+        vm.segment_backing = Some(backing);
+        vm.escape = filter;
+        // Segment backing is unmovable: protect it from future compaction.
+        self.hmem.set_pinned_range(&backing, true)?;
+        Ok(seg)
+    }
+
+    /// Swaps out the host backing of the guest page at `gpa`: the nested
+    /// mapping is removed and the host frame freed; the next access takes a
+    /// nested fault and swaps the page back in.
+    ///
+    /// Table II: under Dual/VMM Direct, VMM swapping is *limited* —
+    /// segment-covered guest-physical pages translate by arithmetic and
+    /// never take nested faults, so they cannot be swapped.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmmError::SwapPrecluded`] — the page is covered by the VMM
+    ///   segment, is shared copy-on-write, or uses a huge backing.
+    pub fn swap_out_guest_page(&mut self, id: VmId, gpa: Gpa) -> Result<(), VmmError> {
+        let vm = self.vms.get_mut(&id.0).ok_or(VmmError::NoSuchVm { id: id.0 })?;
+        let gpa_page = Gpa::new(gpa.as_u64() & !0xfff);
+        if vm.segment.is_some_and(|s| s.contains(gpa_page)) {
+            return Err(VmmError::SwapPrecluded {
+                gpa: gpa_page.as_u64(),
+                why: "page is covered by the VMM segment (Table II)",
+            });
+        }
+        if vm.cfg.nested_page_size != PageSize::Size4K {
+            return Err(VmmError::SwapPrecluded {
+                gpa: gpa_page.as_u64(),
+                why: "huge nested backings are not swapped in this model",
+            });
+        }
+        let gfn = gpa_page.as_u64() >> 12;
+        if vm.cow.contains_key(&gfn) {
+            return Err(VmmError::SwapPrecluded {
+                gpa: gpa_page.as_u64(),
+                why: "shared (copy-on-write) pages are not swapped",
+            });
+        }
+        let Some(frame) = vm.backing.remove(&gfn) else {
+            return Ok(()); // unbacked pages have nothing to swap
+        };
+        vm.npt.unmap(&mut self.hmem, gpa_page, PageSize::Size4K)?;
+        self.owners.remove(&(frame.as_u64() >> 12));
+        self.hmem.free(frame, PageSize::Size4K)?;
+        vm.counters.backed_pages -= 1;
+        vm.counters.vm_exits += 1;
+        Ok(())
+    }
+
+    /// Host half of ballooning: reclaims the backing of guest frames the
+    /// balloon driver surrendered. Only 4 KiB-backed VMs release memory;
+    /// huge backings are merely counted (they cannot be split, as in
+    /// Linux/THP).
+    ///
+    /// # Errors
+    ///
+    /// Returns accounting errors on corruption only.
+    pub fn balloon_reclaim(&mut self, id: VmId, frames: &[Gpa]) -> Result<u64, VmmError> {
+        let vm = self.vms.get_mut(&id.0).ok_or(VmmError::NoSuchVm { id: id.0 })?;
+        let mut freed = 0;
+        for &gpa in frames {
+            vm.counters.ballooned_pages += 1;
+            if vm.cfg.nested_page_size != PageSize::Size4K {
+                continue;
+            }
+            let gfn = vm.gfn(gpa);
+            let in_segment = vm
+                .segment_backing
+                .as_ref()
+                .zip(vm.backing.get(&gfn))
+                .is_some_and(|(b, f)| b.contains(*f));
+            if in_segment {
+                continue; // Table II: ballooning is limited under segments
+            }
+            if let Some(frame) = vm.backing.remove(&gfn) {
+                vm.npt
+                    .unmap(&mut self.hmem, Gpa::new(gpa.as_u64() & !0xfff), PageSize::Size4K)?;
+                self.owners.remove(&(frame.as_u64() >> 12));
+                self.hmem.free(frame, PageSize::Size4K)?;
+                vm.counters.backed_pages -= 1;
+                freed += 1;
+            }
+        }
+        vm.counters.vm_exits += 1;
+        Ok(freed)
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the hypervisor: host-frame conservation and
+//! nested-mapping consistency under arbitrary fault / balloon / sharing /
+//! CoW sequences across two VMs.
+
+use mv_types::{Gpa, PageSize, Prot, MIB};
+use mv_vmm::{VmConfig, VmId, Vmm};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Fault { vm: u8, page: u64 },
+    Balloon { vm: u8, page: u64 },
+    Share { page_a: u64, page_b: u64 },
+    BreakCow { vm: u8, page: u64 },
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u8..2, 0u64..128).prop_map(|(vm, page)| Op::Fault { vm, page }),
+        2 => (0u8..2, 0u64..128).prop_map(|(vm, page)| Op::Balloon { vm, page }),
+        2 => (0u64..128, 0u64..128).prop_map(|(page_a, page_b)| Op::Share { page_a, page_b }),
+        2 => (0u8..2, 0u64..128).prop_map(|(vm, page)| Op::BreakCow { vm, page }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn vmm_preserves_mapping_invariants(seq in proptest::collection::vec(ops(), 1..100)) {
+        let mut vmm = Vmm::new(64 * MIB);
+        let vms = [
+            vmm.create_vm(VmConfig::new(8 * MIB, PageSize::Size4K)),
+            vmm.create_vm(VmConfig::new(8 * MIB, PageSize::Size4K)),
+        ];
+        let vm_of = |i: u8| -> VmId { vms[i as usize] };
+
+        for op in seq {
+            match op {
+                Op::Fault { vm, page } => {
+                    vmm.handle_nested_fault(vm_of(vm), Gpa::new(page * 4096)).unwrap();
+                }
+                Op::Balloon { vm, page } => {
+                    vmm.balloon_reclaim(vm_of(vm), &[Gpa::new(page * 4096)]).unwrap();
+                }
+                Op::Share { page_a, page_b } => {
+                    // Same synthetic content for both pages; the scan may
+                    // share them if both are backed and unshared.
+                    let pages = vec![
+                        (vms[0], Gpa::new(page_a * 4096), 0xc0de),
+                        (vms[1], Gpa::new(page_b * 4096), 0xc0de),
+                    ];
+                    vmm.share_pages(&pages).unwrap();
+                }
+                Op::BreakCow { vm, page } => {
+                    let gpa = Gpa::new(page * 4096);
+                    let id = vm_of(vm);
+                    // Only meaningful if mapped at all.
+                    let mapped = {
+                        let (npt, hmem) = vmm.npt_and_hmem(id);
+                        npt.translate(hmem, gpa).is_some()
+                    };
+                    if mapped {
+                        vmm.break_cow(id, gpa).unwrap();
+                    }
+                }
+            }
+
+            // Invariant 1: every backed page has a present 4 KiB nested leaf.
+            for &id in &vms {
+                let vm = vmm.vm(id);
+                let backed: Vec<u64> = (0..128)
+                    .filter(|&p| {
+                        let (npt, hmem) = vmm.npt_and_hmem(id);
+                        npt.translate(hmem, Gpa::new(p * 4096)).is_some()
+                    })
+                    .collect();
+                prop_assert_eq!(
+                    backed.len(),
+                    vm.resident_pages(),
+                    "vm {:?}: mapped-leaf count diverged from resident set", id
+                );
+            }
+
+            // Invariant 2: no two distinct unshared pages point at the same
+            // host frame; shared pages are read-only.
+            let mut seen = std::collections::HashMap::new();
+            for &id in &vms {
+                for p in 0..128u64 {
+                    let gpa = Gpa::new(p * 4096);
+                    let (npt, hmem) = vmm.npt_and_hmem(id);
+                    let Some(t) = npt.translate(hmem, gpa) else { continue };
+                    if let Some(&(oid, op_)) = seen.get(&t.page_base) {
+                        // Aliasing is legal only for read-only (shared) pages.
+                        prop_assert_eq!(
+                            t.prot, Prot::READ,
+                            "writable frame aliased by {:?}:{} and {:?}:{}",
+                            oid, op_, id, p
+                        );
+                    } else {
+                        seen.insert(t.page_base, (id, p));
+                    }
+                }
+            }
+        }
+    }
+}

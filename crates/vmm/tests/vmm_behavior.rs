@@ -1,0 +1,328 @@
+//! Behavioral tests for the VMM: nested backing, segment creation with
+//! compaction and escape filters, ballooning flows, shadow paging, and
+//! content-based page sharing.
+
+use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
+use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize, Prot, GIB, MIB};
+use mv_vmm::{ShadowPaging, VmConfig, Vmm, VmmError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn seg_opts() -> mv_vmm::SegmentOptions {
+    mv_vmm::SegmentOptions::default()
+}
+
+#[test]
+fn nested_faults_back_memory_at_configured_size() {
+    let mut vmm = Vmm::new(256 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size2M));
+    vmm.handle_nested_fault(vm, Gpa::new(0x123_4567)).unwrap();
+    let (npt, hmem) = vmm.npt_and_hmem(vm);
+    let t = npt.translate(hmem, Gpa::new(0x123_4567)).unwrap();
+    assert_eq!(t.size, PageSize::Size2M);
+    assert_eq!(vmm.vm(vm).counters().nested_faults, 1);
+    assert_eq!(vmm.vm(vm).counters().backed_pages, 512);
+    // Spurious refault is a no-op.
+    vmm.handle_nested_fault(vm, Gpa::new(0x123_0000)).unwrap();
+    assert_eq!(vmm.vm(vm).counters().nested_faults, 1);
+}
+
+#[test]
+fn faults_outside_the_span_are_rejected() {
+    let mut vmm = Vmm::new(64 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(16 * MIB, PageSize::Size4K));
+    let err = vmm.handle_nested_fault(vm, Gpa::new(16 * MIB)).unwrap_err();
+    assert!(matches!(err, VmmError::OutsideSlots { .. }));
+}
+
+#[test]
+fn vmm_segment_on_fresh_host_translates_by_addition() {
+    let mut vmm = Vmm::new(256 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    let cover = AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB));
+    let seg = vmm.create_vmm_segment(vm, cover, seg_opts()).unwrap();
+    assert!(seg.contains(Gpa::new(64 * MIB - 1)));
+    assert!(vmm.vm(vm).escape_filter().is_none(), "healthy host needs no filter");
+    let hpa = seg.translate(Gpa::new(0x1234)).unwrap();
+    assert_eq!(
+        hpa.as_u64() - seg.translate(Gpa::new(0)).unwrap().as_u64(),
+        0x1234
+    );
+}
+
+#[test]
+fn segment_creation_migrates_existing_backing() {
+    let mut vmm = Vmm::new(256 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    // Pre-back a couple of pages (scattered).
+    vmm.handle_nested_fault(vm, Gpa::new(0x5000)).unwrap();
+    vmm.handle_nested_fault(vm, Gpa::new(0x9000)).unwrap();
+    let backed_before = vmm.vm(vm).counters().backed_pages;
+    assert_eq!(backed_before, 2);
+
+    let cover = AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB));
+    let seg = vmm.create_vmm_segment(vm, cover, seg_opts()).unwrap();
+    // The scattered backing was migrated into the segment: the nested page
+    // table now agrees with the segment's arithmetic, so dropping the
+    // segment later (e.g. for live migration) keeps translations coherent.
+    for gpa in [Gpa::new(0x5000), Gpa::new(0x9000)] {
+        let (npt, hmem) = vmm.npt_and_hmem(vm);
+        let via_npt = npt.translate(hmem, gpa).expect("still mapped").pa;
+        assert_eq!(Some(via_npt), seg.translate(gpa));
+    }
+    assert_eq!(vmm.vm(vm).counters().backed_pages, backed_before);
+}
+
+#[test]
+fn fragmented_host_blocks_segment_without_compaction() {
+    let mut vmm = Vmm::new(128 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    let mut rng = StdRng::seed_from_u64(3);
+    let _held = vmm.hmem_mut().fragment(&mut rng, 0.3);
+    let cover = AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB));
+    let err = vmm.create_vmm_segment(vm, cover, seg_opts()).unwrap_err();
+    assert!(matches!(err, VmmError::HostFragmented { .. }));
+}
+
+#[test]
+fn compaction_rescues_a_fragmented_host() {
+    let mut vmm = Vmm::new(256 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    // Give the VM real backing first, then fragment the rest of the host.
+    vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(8 * MIB)))
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let _held = vmm.hmem_mut().fragment(&mut rng, 0.25);
+
+    let cover = AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB));
+    assert!(vmm
+        .create_vmm_segment(vm, cover, seg_opts())
+        .is_err());
+    let seg = vmm
+        .create_vmm_segment(
+            vm,
+            cover,
+            mv_vmm::SegmentOptions {
+                compact: true,
+                ..seg_opts()
+            },
+        )
+        .unwrap();
+    assert!(seg.contains(Gpa::new(32 * MIB)));
+    assert!(vmm.hmem().stats().pages_moved_by_compaction > 0);
+    // Nested page table survived compaction: previously backed range was
+    // migrated into the segment; the rest of guest memory still faults in.
+    vmm.handle_nested_fault(vm, Gpa::new(63 * MIB)).unwrap();
+}
+
+#[test]
+fn bad_host_frames_get_escaped_and_remapped() {
+    let mut vmm = Vmm::new(256 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    // Damage a frame near the middle of the host.
+    let bad = Hpa::new(64 * MIB);
+    vmm.hmem_mut().mark_bad(bad).unwrap();
+
+    let cover = AddrRange::new(Gpa::ZERO, Gpa::new(128 * MIB));
+    // Without tolerance, no 128M window avoids the bad frame in a 256M host
+    // after the npt root allocation fragmented the front... allow_bad path:
+    let seg = vmm
+        .create_vmm_segment(
+            vm,
+            cover,
+            mv_vmm::SegmentOptions {
+                allow_bad: true,
+                ..seg_opts()
+            },
+        )
+        .unwrap();
+    let filter = vmm.vm(vm).escape_filter();
+    if let Some(f) = filter {
+        // The bad frame's guest address is in the filter, and the nested
+        // page table maps it to a working spare frame.
+        let offset = seg.translate(Gpa::ZERO).unwrap().as_u64();
+        if bad.as_u64() >= offset {
+            let bad_gpa = Gpa::new(bad.as_u64() - offset);
+            if seg.contains(bad_gpa) {
+                assert!(f.maybe_contains(bad_gpa.as_u64()));
+                let (npt, hmem) = vmm.npt_and_hmem(vm);
+                let t = npt.translate(hmem, bad_gpa).expect("escaped page is mapped");
+                assert_ne!(t.page_base, bad, "remapped away from the bad frame");
+            }
+        }
+    }
+}
+
+#[test]
+fn escape_filter_false_positives_are_premapped() {
+    let mut vmm = Vmm::new(512 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(256 * MIB, PageSize::Size4K));
+    // Damage a frame inside what will be the segment backing so a filter
+    // exists.
+    vmm.hmem_mut().mark_bad(Hpa::new(128 * MIB)).unwrap();
+    let cover = AddrRange::new(Gpa::ZERO, Gpa::new(256 * MIB));
+    let _seg = vmm
+        .create_vmm_segment(
+            vm,
+            cover,
+            mv_vmm::SegmentOptions {
+                allow_bad: true,
+                ..seg_opts()
+            },
+        )
+        .unwrap();
+    let f = vmm.vm(vm).escape_filter().expect("bad frame forces a filter").clone();
+    // Every address the filter claims escaped must have a nested mapping.
+    let (npt, hmem) = vmm.npt_and_hmem(vm);
+    let mut positives = 0;
+    for gpa in cover.pages(PageSize::Size4K) {
+        if f.maybe_contains(gpa.as_u64()) {
+            positives += 1;
+            assert!(
+                npt.translate(hmem, gpa).is_some(),
+                "filter-positive page {gpa} lacks a nested mapping"
+            );
+        }
+    }
+    assert!(positives >= 1, "at least the truly bad page is positive");
+}
+
+#[test]
+fn self_ballooning_creates_contiguous_guest_memory() {
+    let mut vmm = Vmm::new(GIB);
+    let vm = vmm.create_vm(VmConfig::new(512 * MIB, PageSize::Size4K));
+    let mut guest = GuestOs::boot(GuestConfig {
+        installed_bytes: 128 * MIB,
+        hotplug_capacity: 64 * MIB,
+        model_io_gap: false,
+        boot_reservation: 0,
+    });
+    // Fragment free guest memory badly.
+    let mut rng = StdRng::seed_from_u64(11);
+    let _held = guest.mem_mut().fragment(&mut rng, 0.5);
+    let want = 32 * MIB;
+    assert!(
+        guest.mem().stats().largest_free_run_bytes < want,
+        "fragmentation precondition"
+    );
+
+    let added = vmm.self_balloon(vm, &mut guest, want).unwrap();
+    assert_eq!(added.len(), want);
+    // The added range is contiguous free guest-physical memory: a guest
+    // segment can now be created.
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    guest.create_primary_region(pid, want).unwrap();
+    let seg = guest.setup_guest_segment(pid).unwrap();
+    let backing = guest.process(pid).segment_backing().unwrap();
+    assert!(
+        backing.overlaps(&added),
+        "segment backing {backing:?} uses the hot-added contiguous range {added:?}"
+    );
+    let _ = seg;
+}
+
+#[test]
+fn io_gap_reclaim_flow_yields_big_contiguous_region() {
+    let mut vmm = Vmm::new(8 * GIB);
+    let vm = vmm.create_vm(VmConfig::new(8 * GIB, PageSize::Size4K));
+    let mut guest = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, 3 * GIB));
+    let added = vmm.reclaim_io_gap(vm, &mut guest, 256 * MIB).unwrap();
+    assert_eq!(added.len(), 3 * GIB - 256 * MIB);
+    // Guest high memory is now one long run: [4G, 4G+2G installed) plus the
+    // added range.
+    assert!(guest.mem().stats().largest_free_run_bytes >= 2 * GIB + added.len());
+}
+
+#[test]
+fn shadow_paging_composes_and_counts_exits() {
+    let mut vmm = Vmm::new(256 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    let mut guest = GuestOs::boot(GuestConfig::small(64 * MIB));
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let va = guest.mmap(pid, MIB, Prot::RW).unwrap();
+
+    let mut shadow = ShadowPaging::new(vm);
+    // Guest maps two pages; each update traps to the VMM.
+    for off in [0u64, 0x1000] {
+        let fix = guest
+            .handle_page_fault(pid, Gva::new(va.as_u64() + off))
+            .unwrap();
+        shadow.on_guest_update(&mut vmm, pid, &fix).unwrap();
+    }
+    assert_eq!(shadow.vm_exits(), 2);
+    assert!(shadow.exit_cycles() >= 2 * mv_vmm::VM_EXIT_CYCLES);
+
+    // The shadow composes both translations: gVA → hPA directly.
+    let spt = shadow.table(pid);
+    let t = spt.translate(vmm.hmem(), va).expect("shadow maps the page");
+    let (gpt, gmem) = guest.pt_and_mem(pid);
+    let gpa = gpt.translate(gmem, va).unwrap().pa;
+    let (npt, hmem) = vmm.npt_and_hmem(vm);
+    assert_eq!(t.pa, npt.translate(hmem, gpa).unwrap().pa);
+}
+
+#[test]
+fn page_sharing_deduplicates_identical_content() {
+    let mut vmm = Vmm::new(256 * MIB);
+    let a = vmm.create_vm(VmConfig::new(32 * MIB, PageSize::Size4K));
+    let b = vmm.create_vm(VmConfig::new(32 * MIB, PageSize::Size4K));
+    for vm in [a, b] {
+        vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(MIB)))
+            .unwrap();
+    }
+    // VM a and b each have 256 pages; 64 have identical content across the
+    // two (e.g. OS code pages), the rest are unique.
+    let mut pages = Vec::new();
+    for (vm, salt) in [(a, 1_000_000u64), (b, 2_000_000)] {
+        for i in 0..256u64 {
+            let print = if i < 64 { i } else { salt + i };
+            pages.push((vm, Gpa::new(i * 4096), print));
+        }
+    }
+    let free_before = vmm.hmem().free_bytes();
+    let out = vmm.share_pages(&pages).unwrap();
+    assert_eq!(out.scanned_pages, 512);
+    assert_eq!(out.deduplicated_pages, 64);
+    assert_eq!(out.bytes_saved, 64 * 4096);
+    assert_eq!(vmm.hmem().free_bytes(), free_before + 64 * 4096);
+
+    // Shared pages are read-only in the nested table.
+    let shared_gpa = Gpa::new(0x3000);
+    let (npt, hmem) = vmm.npt_and_hmem(b);
+    assert_eq!(npt.translate(hmem, shared_gpa).unwrap().prot, Prot::READ);
+    // Both VMs resolve to the same host frame.
+    let pa_a = {
+        let (npt, hmem) = vmm.npt_and_hmem(a);
+        npt.translate(hmem, shared_gpa).unwrap().pa
+    };
+    let pa_b = {
+        let (npt, hmem) = vmm.npt_and_hmem(b);
+        npt.translate(hmem, shared_gpa).unwrap().pa
+    };
+    assert_eq!(pa_a, pa_b);
+
+    // Breaking CoW gives the writer a private, writable copy.
+    vmm.break_cow(b, shared_gpa).unwrap();
+    let (npt, hmem) = vmm.npt_and_hmem(b);
+    let t = npt.translate(hmem, shared_gpa).unwrap();
+    assert_eq!(t.prot, Prot::RW);
+    assert_ne!(t.pa, pa_a);
+    assert_eq!(vmm.vm(b).counters().cow_breaks, 1);
+}
+
+#[test]
+fn sharing_skips_segment_covered_memory() {
+    let mut vmm = Vmm::new(256 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(32 * MIB, PageSize::Size4K));
+    vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(MIB)))
+        .unwrap();
+    vmm.create_vmm_segment(vm, AddrRange::new(Gpa::ZERO, Gpa::new(32 * MIB)), seg_opts())
+        .unwrap();
+    // Two identical pages inside the segment: Table II says no sharing.
+    let pages = vec![
+        (vm, Gpa::new(0x1000), 42u64),
+        (vm, Gpa::new(0x2000), 42u64),
+    ];
+    let out = vmm.share_pages(&pages).unwrap();
+    assert_eq!(out.deduplicated_pages, 0);
+}

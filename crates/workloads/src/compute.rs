@@ -1,0 +1,386 @@
+//! Compute workloads: SPEC 2006 (mcf, omnetpp, cactusADM, GemsFDTD) and
+//! PARSEC (canneal, streamcluster) analogues.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::pattern::{skewed, uniform, Access, Cursor};
+use crate::Workload;
+
+/// mcf: network-simplex optimization — pointer chasing over arc/node
+/// arrays with mild hot-set locality and a large, TLB-hostile footprint.
+#[derive(Debug)]
+pub struct Mcf {
+    arena: u64,
+    rng: StdRng,
+}
+
+impl Mcf {
+    /// Creates an instance over `arena` bytes.
+    pub fn new(arena: u64, seed: u64) -> Self {
+        Mcf {
+            arena,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Workload for Mcf {
+    fn name(&self) -> &'static str {
+        "mcf"
+    }
+
+    fn footprint(&self) -> u64 {
+        self.arena
+    }
+
+    fn next_access(&mut self) -> Access {
+        // 70% of references chase within a hot 20% of the network.
+        let off = skewed(&mut self.rng, self.arena, 0.2, 0.7);
+        if self.rng.gen_bool(0.15) {
+            Access::write(off)
+        } else {
+            Access::read(off)
+        }
+    }
+
+    fn cycles_per_access(&self) -> f64 {
+        317.0
+    }
+
+    fn churn_per_million(&self) -> u64 {
+        10
+    }
+
+    fn duplicate_fraction(&self) -> f64 {
+        0.05
+    }
+}
+
+/// omnetpp: discrete-event network simulation — heap-allocated event
+/// objects with decent locality but constant allocation/deallocation,
+/// putting it in the shadow-paging-hostile category (Section IX.D).
+#[derive(Debug)]
+pub struct Omnetpp {
+    arena: u64,
+    rng: StdRng,
+}
+
+impl Omnetpp {
+    /// Creates an instance over `arena` bytes.
+    pub fn new(arena: u64, seed: u64) -> Self {
+        Omnetpp {
+            arena,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Workload for Omnetpp {
+    fn name(&self) -> &'static str {
+        "omnetpp"
+    }
+
+    fn footprint(&self) -> u64 {
+        self.arena
+    }
+
+    fn next_access(&mut self) -> Access {
+        let off = skewed(&mut self.rng, self.arena, 0.1, 0.8);
+        if self.rng.gen_bool(0.3) {
+            Access::write(off)
+        } else {
+            Access::read(off)
+        }
+    }
+
+    fn cycles_per_access(&self) -> f64 {
+        363.0
+    }
+
+    fn churn_per_million(&self) -> u64 {
+        21_000 // event-object heap churn
+    }
+
+    fn duplicate_fraction(&self) -> f64 {
+        0.08
+    }
+}
+
+/// cactusADM: numerical relativity stencil — sweeps 3D grid planes with a
+/// large stride, so consecutive references land on different pages even
+/// though the pattern is regular. High TLB overhead despite THP, as the
+/// paper observes.
+#[derive(Debug)]
+pub struct CactusAdm {
+    arena: u64,
+    cursor: Cursor,
+    plane: u64,
+    toggle: bool,
+}
+
+impl CactusAdm {
+    /// Creates an instance over `arena` bytes.
+    pub fn new(arena: u64, _seed: u64) -> Self {
+        // Plane stride: a few pages, so plane-crossing sweeps touch a new
+        // page almost every reference.
+        let plane = 3 * 4096 + 256;
+        CactusAdm {
+            arena,
+            cursor: Cursor::new(arena, plane),
+            plane,
+            toggle: false,
+        }
+    }
+}
+
+impl Workload for CactusAdm {
+    fn name(&self) -> &'static str {
+        "cactusADM"
+    }
+
+    fn footprint(&self) -> u64 {
+        self.arena
+    }
+
+    fn next_access(&mut self) -> Access {
+        self.toggle = !self.toggle;
+        let off = self.cursor.next();
+        // Each stencil point also touches the neighboring plane.
+        if self.toggle {
+            Access::read((off + self.plane / 2) % self.arena)
+        } else {
+            Access::write(off)
+        }
+    }
+
+    fn cycles_per_access(&self) -> f64 {
+        210.0 // heavy floating-point work per access
+    }
+
+    fn churn_per_million(&self) -> u64 {
+        2
+    }
+
+    fn duplicate_fraction(&self) -> f64 {
+        0.03
+    }
+}
+
+/// GemsFDTD: finite-difference time-domain electromagnetics — strided 3D
+/// sweeps like cactusADM but with periodic field reallocations, giving it
+/// both high TLB overhead and shadow-paging-hostile churn.
+#[derive(Debug)]
+pub struct GemsFdtd {
+    arena: u64,
+    cursor: Cursor,
+    rng: StdRng,
+}
+
+impl GemsFdtd {
+    /// Creates an instance over `arena` bytes.
+    pub fn new(arena: u64, seed: u64) -> Self {
+        GemsFdtd {
+            arena,
+            cursor: Cursor::new(arena, 2 * 4096 + 512),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Workload for GemsFdtd {
+    fn name(&self) -> &'static str {
+        "GemsFDTD"
+    }
+
+    fn footprint(&self) -> u64 {
+        self.arena
+    }
+
+    fn next_access(&mut self) -> Access {
+        let off = self.cursor.next();
+        if self.rng.gen_bool(0.4) {
+            Access::write(off)
+        } else {
+            Access::read(off)
+        }
+    }
+
+    fn cycles_per_access(&self) -> f64 {
+        284.0
+    }
+
+    fn churn_per_million(&self) -> u64 {
+        23_000 // periodic field reallocation
+    }
+
+    fn duplicate_fraction(&self) -> f64 {
+        0.04
+    }
+}
+
+/// canneal: simulated-annealing chip routing — random element swaps over a
+/// huge netlist (cache- and TLB-hostile random reads) with moderate heap
+/// churn.
+#[derive(Debug)]
+pub struct Canneal {
+    arena: u64,
+    rng: StdRng,
+}
+
+impl Canneal {
+    /// Creates an instance over `arena` bytes.
+    pub fn new(arena: u64, seed: u64) -> Self {
+        Canneal {
+            arena,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Workload for Canneal {
+    fn name(&self) -> &'static str {
+        "canneal"
+    }
+
+    fn footprint(&self) -> u64 {
+        self.arena
+    }
+
+    fn next_access(&mut self) -> Access {
+        let off = uniform(&mut self.rng, self.arena);
+        if self.rng.gen_bool(0.1) {
+            Access::write(off)
+        } else {
+            Access::read(off)
+        }
+    }
+
+    fn cycles_per_access(&self) -> f64 {
+        641.0
+    }
+
+    fn churn_per_million(&self) -> u64 {
+        14_000 // netlist element churn
+    }
+
+    fn duplicate_fraction(&self) -> f64 {
+        0.05
+    }
+}
+
+/// streamcluster: online clustering — streams through the point buffer
+/// sequentially while repeatedly touching the medoid set (hot).
+#[derive(Debug)]
+pub struct Streamcluster {
+    arena: u64,
+    cursor: Cursor,
+    rng: StdRng,
+}
+
+impl Streamcluster {
+    /// Creates an instance over `arena` bytes.
+    pub fn new(arena: u64, seed: u64) -> Self {
+        Streamcluster {
+            arena,
+            cursor: Cursor::new(arena, 64),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Workload for Streamcluster {
+    fn name(&self) -> &'static str {
+        "streamcluster"
+    }
+
+    fn footprint(&self) -> u64 {
+        self.arena
+    }
+
+    fn next_access(&mut self) -> Access {
+        if self.rng.gen_bool(0.25) {
+            // Medoid/center comparisons: small hot set.
+            Access::read(uniform(&mut self.rng, self.arena / 64))
+        } else {
+            Access::read(self.cursor.next())
+        }
+    }
+
+    fn cycles_per_access(&self) -> f64 {
+        96.0
+    }
+
+    fn churn_per_million(&self) -> u64 {
+        40
+    }
+
+    fn duplicate_fraction(&self) -> f64 {
+        0.06
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accesses_stay_in_bounds() {
+        let arena = 16 << 20;
+        let mut all: Vec<Box<dyn Workload>> = vec![
+            Box::new(Mcf::new(arena, 1)),
+            Box::new(Omnetpp::new(arena, 1)),
+            Box::new(CactusAdm::new(arena, 1)),
+            Box::new(GemsFdtd::new(arena, 1)),
+            Box::new(Canneal::new(arena, 1)),
+            Box::new(Streamcluster::new(arena, 1)),
+        ];
+        for w in &mut all {
+            for _ in 0..5_000 {
+                assert!(w.next_access().offset < arena, "{}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn stencils_cross_pages_constantly() {
+        let mut c = CactusAdm::new(64 << 20, 0);
+        let mut pages = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            pages.insert(c.next_access().offset >> 12);
+        }
+        assert!(pages.len() > 400, "stride sweeps touch many pages: {}", pages.len());
+    }
+
+    #[test]
+    fn streamcluster_is_mostly_sequential() {
+        let mut s = Streamcluster::new(64 << 20, 1);
+        let mut pages = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            pages.insert(s.next_access().offset >> 12);
+        }
+        assert!(pages.len() < 300, "streaming reuses pages: {}", pages.len());
+    }
+
+    #[test]
+    fn churn_categories_match_section_9d() {
+        // Shadow-paging-hostile workloads have visibly higher churn.
+        let hostile = [
+            Memcached_churn(),
+            GemsFdtd::new(1 << 20, 0).churn_per_million(),
+            Omnetpp::new(1 << 20, 0).churn_per_million(),
+            Canneal::new(1 << 20, 0).churn_per_million(),
+        ];
+        let friendly = [
+            Mcf::new(1 << 20, 0).churn_per_million(),
+            CactusAdm::new(1 << 20, 0).churn_per_million(),
+            Streamcluster::new(1 << 20, 0).churn_per_million(),
+        ];
+        assert!(hostile.iter().min().unwrap() > friendly.iter().max().unwrap());
+    }
+
+    #[allow(non_snake_case)]
+    fn Memcached_churn() -> u64 {
+        crate::bigmem::Memcached::new(1 << 20, 0).churn_per_million()
+    }
+}

@@ -1,0 +1,137 @@
+//! Workload factory and classification.
+
+use crate::bigmem::{Graph500, Gups, Memcached, NpbCg};
+use crate::compute::{CactusAdm, Canneal, GemsFdtd, Mcf, Omnetpp, Streamcluster};
+use crate::Workload;
+
+/// The ten Table V workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// HPCC GUPS random-access micro-benchmark.
+    Gups,
+    /// graph500 BFS.
+    Graph500,
+    /// memcached key-value cache.
+    Memcached,
+    /// NAS Parallel Benchmarks: CG.
+    NpbCg,
+    /// SPEC 2006 mcf.
+    Mcf,
+    /// SPEC 2006 omnetpp.
+    Omnetpp,
+    /// SPEC 2006 cactusADM.
+    CactusAdm,
+    /// SPEC 2006 GemsFDTD.
+    GemsFdtd,
+    /// PARSEC canneal.
+    Canneal,
+    /// PARSEC streamcluster.
+    Streamcluster,
+}
+
+impl WorkloadKind {
+    /// The big-memory workloads of the paper's Figures 1 and 11 (plus the
+    /// GUPS micro-benchmark, plotted on its own axis).
+    pub const BIG_MEMORY: [WorkloadKind; 4] = [
+        WorkloadKind::Graph500,
+        WorkloadKind::Memcached,
+        WorkloadKind::NpbCg,
+        WorkloadKind::Gups,
+    ];
+
+    /// The compute workloads of Figure 12.
+    pub const COMPUTE: [WorkloadKind; 6] = [
+        WorkloadKind::CactusAdm,
+        WorkloadKind::GemsFdtd,
+        WorkloadKind::Mcf,
+        WorkloadKind::Omnetpp,
+        WorkloadKind::Canneal,
+        WorkloadKind::Streamcluster,
+    ];
+
+    /// All ten workloads.
+    pub const ALL: [WorkloadKind; 10] = [
+        WorkloadKind::Graph500,
+        WorkloadKind::Memcached,
+        WorkloadKind::NpbCg,
+        WorkloadKind::Gups,
+        WorkloadKind::CactusAdm,
+        WorkloadKind::GemsFdtd,
+        WorkloadKind::Mcf,
+        WorkloadKind::Omnetpp,
+        WorkloadKind::Canneal,
+        WorkloadKind::Streamcluster,
+    ];
+
+    /// Whether the workload belongs to the big-memory category (has a
+    /// primary region and benefits from guest segments).
+    pub fn is_big_memory(self) -> bool {
+        Self::BIG_MEMORY.contains(&self)
+    }
+
+    /// Instantiates the workload over `arena` bytes with a seed.
+    pub fn build(self, arena: u64, seed: u64) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::Gups => Box::new(Gups::new(arena, seed)),
+            WorkloadKind::Graph500 => Box::new(Graph500::new(arena, seed)),
+            WorkloadKind::Memcached => Box::new(Memcached::new(arena, seed)),
+            WorkloadKind::NpbCg => Box::new(NpbCg::new(arena, seed)),
+            WorkloadKind::Mcf => Box::new(Mcf::new(arena, seed)),
+            WorkloadKind::Omnetpp => Box::new(Omnetpp::new(arena, seed)),
+            WorkloadKind::CactusAdm => Box::new(CactusAdm::new(arena, seed)),
+            WorkloadKind::GemsFdtd => Box::new(GemsFdtd::new(arena, seed)),
+            WorkloadKind::Canneal => Box::new(Canneal::new(arena, seed)),
+            WorkloadKind::Streamcluster => Box::new(Streamcluster::new(arena, seed)),
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Gups => "gups",
+            WorkloadKind::Graph500 => "graph500",
+            WorkloadKind::Memcached => "memcached",
+            WorkloadKind::NpbCg => "npb:cg",
+            WorkloadKind::Mcf => "mcf",
+            WorkloadKind::Omnetpp => "omnetpp",
+            WorkloadKind::CactusAdm => "cactusADM",
+            WorkloadKind::GemsFdtd => "GemsFDTD",
+            WorkloadKind::Canneal => "canneal",
+            WorkloadKind::Streamcluster => "streamcluster",
+        }
+    }
+}
+
+impl core::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_matches_labels() {
+        for kind in WorkloadKind::ALL {
+            let w = kind.build(1 << 20, 0);
+            assert_eq!(w.name(), kind.label());
+            assert_eq!(w.footprint(), 1 << 20);
+        }
+    }
+
+    #[test]
+    fn categories_partition_all() {
+        assert_eq!(
+            WorkloadKind::BIG_MEMORY.len() + WorkloadKind::COMPUTE.len(),
+            WorkloadKind::ALL.len()
+        );
+        for k in WorkloadKind::BIG_MEMORY {
+            assert!(k.is_big_memory());
+        }
+        for k in WorkloadKind::COMPUTE {
+            assert!(!k.is_big_memory());
+        }
+    }
+}

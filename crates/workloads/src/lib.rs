@@ -1,0 +1,91 @@
+//! Synthetic workload generators mirroring the paper's benchmarks
+//! (Table V).
+//!
+//! The paper drives its evaluation with big-memory workloads (graph500,
+//! memcached, NPB:CG, the GUPS micro-benchmark) and compute workloads
+//! (SPEC 2006: cactusADM, GemsFDTD, mcf, omnetpp; PARSEC: canneal,
+//! streamcluster). What the evaluation actually consumes from each
+//! workload is its *memory-access structure*: footprint, locality (which
+//! sets TLB miss rates), page-mapping churn (which sets shadow-paging
+//! cost), and content duplication (which sets page-sharing savings). Each
+//! generator here reproduces those features with a seeded, deterministic
+//! reference stream.
+//!
+//! # Example
+//!
+//! ```
+//! use mv_workloads::{Workload, WorkloadKind};
+//!
+//! let mut w = WorkloadKind::Gups.build(64 << 20, 42);
+//! let r = w.next_access();
+//! assert!(r.offset < w.footprint());
+//! assert_eq!(w.name(), "gups");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub(crate) mod bigmem;
+mod compute;
+mod kind;
+mod pattern;
+
+pub use kind::WorkloadKind;
+pub use pattern::Access;
+
+/// A deterministic memory-reference generator with the paper-relevant
+/// workload metadata.
+pub trait Workload: std::fmt::Debug + Send {
+    /// Short name matching the paper's figures (e.g. `"graph500"`).
+    fn name(&self) -> &'static str;
+
+    /// Bytes of the workload's data arena. Generated offsets are `<` this.
+    fn footprint(&self) -> u64;
+
+    /// Produces the next memory reference (offset within the arena).
+    fn next_access(&mut self) -> Access;
+
+    /// Ideal (translation-free) cycles per memory access — converts
+    /// translation cycles into the paper's execution-time overhead metric.
+    fn cycles_per_access(&self) -> f64;
+
+    /// Page-mapping churn: map/unmap events per million accesses. High
+    /// churn is what makes shadow paging expensive (Section IX.D).
+    fn churn_per_million(&self) -> u64;
+
+    /// Fraction of pages whose contents duplicate some other page (OS
+    /// text, zero pages, common structures) — drives the Section IX.E
+    /// page-sharing study. Big-memory datasets are almost entirely unique.
+    fn duplicate_fraction(&self) -> f64;
+
+    /// Content fingerprint of the page at `page_index` (4 KiB granules of
+    /// the arena) for dataset instance 0. See
+    /// [`Workload::page_fingerprint_instanced`].
+    fn page_fingerprint(&self, page_index: u64) -> u64 {
+        self.page_fingerprint_instanced(page_index, 0)
+    }
+
+    /// Content fingerprint of the page at `page_index` for a specific
+    /// dataset `instance` (e.g. the VM running the workload). Pages within
+    /// the duplicate fraction draw fingerprints from a small pool shared by
+    /// *all* instances and workloads (OS text, zero pages); the rest are
+    /// unique to the workload *and* instance — two VMs running the same
+    /// benchmark on their own datasets share only the common pool, which is
+    /// what makes big-memory page sharing save so little (Section IX.E).
+    fn page_fingerprint_instanced(&self, page_index: u64, instance: u64) -> u64 {
+        let dup_pages = (self.duplicate_fraction() * (self.footprint() / 4096) as f64) as u64;
+        if page_index < dup_pages {
+            // Shared pool: identical across workloads, VMs, and instances.
+            0xc0de_0000_0000_0000 | (page_index % 512)
+        } else {
+            // Unique: derived from name, instance, and index.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in self.name().bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+            }
+            h ^= instance.wrapping_mul(0xd6e8_feb8_6659_fd93);
+            h ^ page_index.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        }
+    }
+}

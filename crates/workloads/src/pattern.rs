@@ -1,0 +1,115 @@
+//! Shared access-pattern building blocks.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One memory reference: byte offset within the workload's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Byte offset within the arena.
+    pub offset: u64,
+    /// Whether the reference writes.
+    pub write: bool,
+}
+
+impl Access {
+    /// A read at `offset`.
+    pub fn read(offset: u64) -> Access {
+        Access {
+            offset,
+            write: false,
+        }
+    }
+
+    /// A write at `offset`.
+    pub fn write(offset: u64) -> Access {
+        Access {
+            offset,
+            write: true,
+        }
+    }
+}
+
+/// Uniform random 8-byte-aligned offset within `[0, arena)`.
+pub(crate) fn uniform(rng: &mut StdRng, arena: u64) -> u64 {
+    rng.gen_range(0..arena / 8) * 8
+}
+
+/// Hot/cold skewed offset: with probability `hot_prob` the reference lands
+/// in the first `hot_fraction` of the arena; otherwise anywhere. Models
+/// the mild locality of pointer-heavy workloads (mcf, omnetpp).
+pub(crate) fn skewed(rng: &mut StdRng, arena: u64, hot_fraction: f64, hot_prob: f64) -> u64 {
+    let hot_bytes = ((arena as f64 * hot_fraction) as u64).max(8);
+    if rng.gen_bool(hot_prob) {
+        rng.gen_range(0..hot_bytes / 8) * 8
+    } else {
+        uniform(rng, arena)
+    }
+}
+
+/// A sequential cursor that walks the arena in `stride`-byte steps and
+/// wraps, used for scan phases (matrix values, streaming buffers).
+#[derive(Debug, Clone)]
+pub(crate) struct Cursor {
+    pos: u64,
+    stride: u64,
+    arena: u64,
+}
+
+impl Cursor {
+    pub(crate) fn new(arena: u64, stride: u64) -> Cursor {
+        Cursor {
+            pos: 0,
+            stride,
+            arena,
+        }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        let out = self.pos;
+        self.pos = (self.pos + self.stride) % self.arena;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_stays_in_arena() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let o = uniform(&mut rng, 1 << 20);
+            assert!(o < 1 << 20);
+            assert_eq!(o % 8, 0);
+        }
+    }
+
+    #[test]
+    fn skewed_prefers_the_hot_set() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let arena = 1u64 << 24;
+        let hot = (0..10_000)
+            .filter(|_| skewed(&mut rng, arena, 0.1, 0.9) < arena / 10)
+            .count();
+        assert!(hot > 8_500, "roughly 90% of references hit the hot tenth");
+    }
+
+    #[test]
+    fn cursor_wraps() {
+        let mut c = Cursor::new(100, 30);
+        assert_eq!(c.next(), 0);
+        assert_eq!(c.next(), 30);
+        assert_eq!(c.next(), 60);
+        assert_eq!(c.next(), 90);
+        assert_eq!(c.next(), 20);
+    }
+
+    #[test]
+    fn access_constructors() {
+        assert!(!Access::read(8).write);
+        assert!(Access::write(8).write);
+    }
+}

@@ -1,0 +1,146 @@
+//! Statistical validation of the workload generators: the locality,
+//! write-mix, churn, and duplication profiles that the paper's experiments
+//! depend on must order the workloads the way the real benchmarks do.
+
+use mv_workloads::WorkloadKind;
+use std::collections::HashSet;
+
+const ARENA: u64 = 256 << 20;
+const SAMPLES: usize = 50_000;
+
+fn distinct_pages(kind: WorkloadKind) -> usize {
+    let mut w = kind.build(ARENA, 11);
+    let mut pages = HashSet::new();
+    for _ in 0..SAMPLES {
+        pages.insert(w.next_access().offset >> 12);
+    }
+    pages.len()
+}
+
+fn write_fraction(kind: WorkloadKind) -> f64 {
+    let mut w = kind.build(ARENA, 11);
+    let writes = (0..SAMPLES).filter(|_| w.next_access().write).count();
+    writes as f64 / SAMPLES as f64
+}
+
+#[test]
+fn every_workload_is_deterministic_and_in_bounds() {
+    for kind in WorkloadKind::ALL {
+        let collect = |seed: u64| {
+            let mut w = kind.build(ARENA, seed);
+            (0..2000)
+                .map(|_| {
+                    let a = w.next_access();
+                    assert!(a.offset < ARENA, "{kind} escaped its arena");
+                    a.offset
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(5), collect(5), "{kind} must be deterministic");
+    }
+}
+
+#[test]
+fn random_workloads_touch_more_pages_than_streaming_ones() {
+    // TLB-hostile workloads must show wider page working sets in a fixed
+    // window than the streaming/hot-set ones.
+    let gups = distinct_pages(WorkloadKind::Gups);
+    let canneal = distinct_pages(WorkloadKind::Canneal);
+    let stream = distinct_pages(WorkloadKind::Streamcluster);
+    assert!(
+        gups > 4 * stream,
+        "gups ({gups}) must dwarf streamcluster ({stream})"
+    );
+    assert!(
+        canneal > 4 * stream,
+        "canneal ({canneal}) must dwarf streamcluster ({stream})"
+    );
+}
+
+#[test]
+fn write_mixes_match_the_modeled_applications() {
+    // GUPS is read-modify-write: exactly half the references write.
+    let gups = write_fraction(WorkloadKind::Gups);
+    assert!((gups - 0.5).abs() < 0.02, "gups write mix {gups}");
+    // memcached is GET-dominated.
+    let mc = write_fraction(WorkloadKind::Memcached);
+    assert!(mc > 0.02 && mc < 0.25, "memcached write mix {mc}");
+    // CG's SpMV only reads.
+    assert_eq!(write_fraction(WorkloadKind::NpbCg), 0.0);
+    // GemsFDTD updates fields heavily.
+    assert!(write_fraction(WorkloadKind::GemsFdtd) > 0.3);
+}
+
+#[test]
+fn churn_ordering_matches_section_9d_categories() {
+    let churn = |k: WorkloadKind| k.build(ARENA, 0).churn_per_million();
+    // The paper's shadow-hostile category...
+    let hostile = [
+        churn(WorkloadKind::Memcached),
+        churn(WorkloadKind::GemsFdtd),
+        churn(WorkloadKind::Omnetpp),
+        churn(WorkloadKind::Canneal),
+    ];
+    // ...must churn at least 100x the friendly category.
+    let friendly = [
+        churn(WorkloadKind::Graph500),
+        churn(WorkloadKind::NpbCg),
+        churn(WorkloadKind::Gups),
+        churn(WorkloadKind::Mcf),
+        churn(WorkloadKind::CactusAdm),
+        churn(WorkloadKind::Streamcluster),
+    ];
+    let min_hostile = hostile.iter().min().unwrap();
+    let max_friendly = friendly.iter().max().unwrap();
+    assert!(
+        min_hostile >= &(100 * max_friendly.max(&1)),
+        "churn categories overlap: hostile min {min_hostile}, friendly max {max_friendly}"
+    );
+    // And memcached leads, as the paper's worst case.
+    assert_eq!(hostile.iter().max().unwrap(), &churn(WorkloadKind::Memcached));
+}
+
+#[test]
+fn duplicate_fractions_are_small_for_big_memory() {
+    // Section IX.E's finding depends on big-memory data being unique.
+    for k in WorkloadKind::BIG_MEMORY {
+        let d = k.build(ARENA, 0).duplicate_fraction();
+        assert!(d <= 0.03, "{k} duplicate fraction {d} too high");
+    }
+}
+
+#[test]
+fn fingerprints_are_instance_stable_and_pool_shared() {
+    let a = WorkloadKind::Graph500.build(ARENA, 1);
+    let b = WorkloadKind::Graph500.build(ARENA, 2);
+    // Instance-0 pool pages are shared even across workload types.
+    let m = WorkloadKind::Memcached.build(ARENA, 3);
+    assert_eq!(
+        a.page_fingerprint_instanced(0, 1),
+        m.page_fingerprint_instanced(0, 2),
+        "the common pool models OS pages shared by everyone"
+    );
+    // Deep pages differ across instances of the same workload...
+    assert_ne!(
+        a.page_fingerprint_instanced(50_000, 1),
+        b.page_fingerprint_instanced(50_000, 2)
+    );
+    // ...but are stable within an instance.
+    assert_eq!(
+        a.page_fingerprint_instanced(50_000, 1),
+        a.page_fingerprint_instanced(50_000, 1)
+    );
+}
+
+#[test]
+fn cycles_per_access_reflect_memory_boundness() {
+    // The calibration constants must keep the DRAM-bound microbenchmark
+    // cheapest per access and the compute-heavy codes most expensive.
+    let cpa = |k: WorkloadKind| k.build(ARENA, 0).cycles_per_access();
+    assert!(cpa(WorkloadKind::Gups) < cpa(WorkloadKind::Memcached));
+    assert!(cpa(WorkloadKind::Graph500) < cpa(WorkloadKind::NpbCg));
+    for k in WorkloadKind::ALL {
+        let c = cpa(k);
+        assert!((50.0..1000.0).contains(&c), "{k} cpa {c} out of plausible range");
+    }
+}

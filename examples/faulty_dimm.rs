@@ -1,0 +1,114 @@
+//! A host with a flaky DIMM: several physical frames have permanent hard
+//! faults right in the middle of where the VMM segment must live. Without
+//! the escape filter a *single* bad frame kills the whole segment
+//! (Section V's motivation); with it, the faulty pages are remapped
+//! through nested paging and the segment survives with negligible cost.
+//!
+//! ```text
+//! cargo run --release -p mv-examples --bin faulty_dimm
+//! ```
+
+use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
+use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
+use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize, MIB};
+use mv_vmm::{SegmentOptions, VmConfig, Vmm, VmmError};
+use mv_workloads::WorkloadKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let footprint = 128 * MIB;
+    let installed = footprint + footprint / 2 + 96 * MIB;
+    let mut vmm = Vmm::new(2 * installed + 128 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(installed, PageSize::Size4K));
+    let mut guest = GuestOs::boot(GuestConfig::small(installed));
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let base = guest.create_primary_region(pid, footprint)?.as_u64();
+
+    // The flaky DIMM: 12 dead frames spread across the whole module, so
+    // no window large enough for the segment is entirely clean.
+    let host_bytes = vmm.hmem().size_bytes();
+    let mut bad = Vec::new();
+    for i in 0..12u64 {
+        let addr = Hpa::new((8 * MIB + i * (host_bytes - 16 * MIB) / 12) & !0xfff);
+        vmm.hmem_mut().mark_bad(addr)?;
+        bad.push(addr);
+    }
+    println!("hard faults at {} host frames, e.g. {:?}\n", bad.len(), &bad[..3]);
+
+    // Without tolerance, no contiguous window exists.
+    let cover = AddrRange::new(Gpa::ZERO, Gpa::new(installed));
+    match vmm.create_vmm_segment(vm, cover, SegmentOptions::default()) {
+        Err(VmmError::HostFragmented { largest_run, .. }) => println!(
+            "without the escape filter: segment impossible (largest clean run {} MiB)",
+            largest_run / MIB
+        ),
+        other => panic!("expected failure, got {other:?}"),
+    }
+
+    // With the escape filter: bad frames are remapped to spares through
+    // nested paging, filter false positives are pre-mapped, and the
+    // segment covers the whole guest-physical space anyway.
+    let vseg = vmm.create_vmm_segment(
+        vm,
+        cover,
+        SegmentOptions {
+            allow_bad: true,
+            escape_seed: 99,
+            ..SegmentOptions::default()
+        },
+    )?;
+    let filter = vmm.vm(vm).escape_filter().expect("faults force a filter").clone();
+    println!(
+        "with the escape filter: segment {vseg:?} created;\n  filter holds {} pages, fill {:.1}%, expected fp rate {:.4}%\n",
+        filter.inserted(),
+        filter.fill_ratio() * 100.0,
+        filter.expected_false_positive_rate() * 100.0
+    );
+
+    // Run the database in Dual Direct with the filter active and count how
+    // many translations actually escape to paging.
+    let gseg = guest.setup_guest_segment(pid)?;
+    let mut mmu = Mmu::new(MmuConfig {
+        mode: TranslationMode::DualDirect,
+        ..MmuConfig::default()
+    });
+    mmu.set_guest_segment(gseg);
+    mmu.set_vmm_segment(vseg);
+    mmu.set_vmm_escape_filter(Some(filter));
+
+    let mut w = WorkloadKind::Memcached.build(footprint, 3);
+    let accesses = 400_000u64;
+    for _ in 0..accesses {
+        let acc = w.next_access();
+        let va = Gva::new(base + acc.offset);
+        loop {
+            let outcome = {
+                let (gpt, gmem) = guest.pt_and_mem(pid);
+                let (npt, hmem) = vmm.npt_and_hmem(vm);
+                let ctx = MemoryContext::Virtualized { gpt, gmem, npt, hmem };
+                mmu.access(&ctx, pid as u16, va, acc.write)
+            };
+            match outcome {
+                Ok(_) => break,
+                Err(TranslationFault::GuestNotMapped { gva }) => {
+                    guest.handle_page_fault(pid, gva)?;
+                }
+                Err(TranslationFault::NestedNotMapped { gpa, .. }) => {
+                    vmm.handle_nested_fault(vm, gpa)?;
+                }
+                Err(f) => panic!("unexpected fault: {f}"),
+            }
+        }
+    }
+    let c = mmu.counters();
+    println!("ran {} accesses in Dual Direct over the damaged segment:", accesses);
+    println!("  0D bypasses:        {}", c.cat_both);
+    println!("  escaped-to-paging:  {} ({:.4}% of misses)",
+        c.escape_hits,
+        100.0 * c.escape_hits as f64 / c.l1_misses.max(1) as f64);
+    println!("  translation cycles: {} ({:.4} per access)",
+        c.translation_cycles,
+        c.translation_cycles as f64 / accesses as f64);
+    println!("\nThe segment keeps ~all of its benefit despite the dead frames");
+    println!("(the paper's Figure 13: under 0.06% slowdown at 16 faults).");
+    Ok(())
+}

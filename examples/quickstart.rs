@@ -1,0 +1,68 @@
+//! Quickstart: run one workload under every translation mode and compare
+//! address-translation overheads.
+//!
+//! ```text
+//! cargo run --release -p mv-examples --bin quickstart
+//! ```
+//!
+//! This is the five-minute tour of the library: a [`SimConfig`] describes a
+//! workload plus an environment (native, virtualized with a page-size
+//! combination, or one of the paper's proposed direct-segment modes), and
+//! [`Simulation::run`] builds the whole stack — host memory, VMM, guest OS,
+//! page tables, MMU — and drives the workload's reference stream through
+//! it.
+
+use mv_metrics::Table;
+use mv_sim::{Env, GuestPaging, SimConfig, Simulation};
+use mv_types::{PageSize, MIB};
+use mv_workloads::WorkloadKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A memcached-like key-value workload over a 256 MiB dataset.
+    let base = SimConfig {
+        workload: WorkloadKind::Memcached,
+        footprint: 256 * MIB,
+        guest_paging: GuestPaging::Fixed(PageSize::Size4K),
+        env: Env::native(),
+        accesses: 400_000,
+        warmup: 100_000,
+        seed: 1,
+    };
+
+    let envs: Vec<(&str, Env)> = vec![
+        ("native 4K paging", Env::native()),
+        ("native direct segment", Env::native_direct()),
+        ("virtualized, 4K nested pages", Env::base_virtualized(PageSize::Size4K)),
+        ("virtualized, 2M nested pages", Env::base_virtualized(PageSize::Size2M)),
+        ("VMM Direct (paper §III.B)", Env::vmm_direct()),
+        ("Guest Direct (paper §III.C)", Env::guest_direct(PageSize::Size4K)),
+        ("Dual Direct (paper §III.A)", Env::dual_direct()),
+        ("shadow paging (paper §IX.D)", Env::Shadow { nested: PageSize::Size4K }),
+    ];
+
+    let mut t = Table::new(&[
+        "environment", "config", "overhead", "cycles/miss", "walk refs", "VM exits",
+    ]);
+    for (name, env) in envs {
+        let cfg = SimConfig { env, ..base };
+        let r = Simulation::run(&cfg)?;
+        t.row(&[
+            name.to_string(),
+            r.label.clone(),
+            r.overhead_pct(),
+            format!("{:.0}", r.cycles_per_miss()),
+            r.counters.walk_refs().to_string(),
+            r.vm_exits.to_string(),
+        ]);
+    }
+
+    println!("\nmemcached (256 MiB) under every translation mode:\n");
+    println!("{t}");
+    println!("Things to notice (the paper's story in one table):");
+    println!(" * virtualization multiplies the native overhead — the 2D walk;");
+    println!(" * 2M nested pages help but do not close the gap;");
+    println!(" * VMM Direct recovers near-native without guest changes;");
+    println!(" * Dual Direct drives translation overhead to ~zero;");
+    println!(" * shadow paging looks native per-walk but pays VM exits.");
+    Ok(())
+}

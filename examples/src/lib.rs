@@ -1,0 +1,2 @@
+//! Shared nothing: the examples are standalone binaries; this library
+//! target exists only so the package has a stable build unit.

@@ -1,0 +1,181 @@
+//! Server consolidation: two VMs share one physical core, so the VMM
+//! segment registers are saved/restored on every VM switch ("On
+//! VM-exit/entry, hardware must save/restore BASE_V, LIMIT_V and OFFSET_V
+//! along with other VM state" — Section III.A). Each VM keeps its own
+//! Dual Direct world and translations never leak across the switch.
+
+use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
+use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
+use mv_types::{AddrRange, Gpa, Gva, PageSize, MIB};
+use mv_vmm::{SegmentOptions, VmConfig, VmId, Vmm};
+use mv_workloads::WorkloadKind;
+
+struct Tenant {
+    vm: VmId,
+    guest: GuestOs,
+    pid: u32,
+    base: u64,
+    gseg: mv_core::Segment<Gva, Gpa>,
+    vseg: mv_core::Segment<Gpa, mv_types::Hpa>,
+}
+
+fn boot_tenant(vmm: &mut Vmm, footprint: u64) -> Tenant {
+    let installed = footprint + footprint / 2 + 96 * MIB;
+    let vm = vmm.create_vm(VmConfig::new(installed, PageSize::Size4K));
+    let mut guest = GuestOs::boot(GuestConfig::small(installed));
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let base = guest.create_primary_region(pid, footprint).unwrap().as_u64();
+    let gseg = guest.setup_guest_segment(pid).unwrap();
+    let vseg = vmm
+        .create_vmm_segment(
+            vm,
+            AddrRange::new(Gpa::ZERO, Gpa::new(installed)),
+            SegmentOptions::default(),
+        )
+        .unwrap();
+    Tenant {
+        vm,
+        guest,
+        pid,
+        base,
+        gseg,
+        vseg,
+    }
+}
+
+/// "VM entry": restore the tenant's segment registers.
+fn vm_entry(mmu: &mut Mmu, t: &Tenant) {
+    mmu.set_guest_segment(t.gseg);
+    mmu.set_vmm_segment(t.vseg);
+}
+
+fn access(mmu: &mut Mmu, vmm: &mut Vmm, t: &mut Tenant, va: Gva) -> mv_core::AccessOutcome {
+    loop {
+        let outcome = {
+            let (gpt, gmem) = t.guest.pt_and_mem(t.pid);
+            let (npt, hmem) = vmm.npt_and_hmem(t.vm);
+            let ctx = MemoryContext::Virtualized { gpt, gmem, npt, hmem };
+            mmu.access(&ctx, t.pid as u16, va, false)
+        };
+        match outcome {
+            Ok(out) => return out,
+            Err(TranslationFault::GuestNotMapped { gva }) => {
+                t.guest.handle_page_fault(t.pid, gva).unwrap();
+            }
+            Err(TranslationFault::NestedNotMapped { gpa, .. }) => {
+                vmm.handle_nested_fault(t.vm, gpa).unwrap();
+            }
+            Err(f) => panic!("unexpected {f}"),
+        }
+    }
+}
+
+#[test]
+fn two_dual_direct_vms_share_a_core() {
+    let footprint = 16 * MIB;
+    let mut vmm = Vmm::new(GIB);
+    const GIB: u64 = 1 << 30;
+    let mut a = boot_tenant(&mut vmm, footprint);
+    let mut b = boot_tenant(&mut vmm, footprint);
+    assert_ne!(
+        a.vseg.translate(Gpa::ZERO),
+        b.vseg.translate(Gpa::ZERO),
+        "tenants have disjoint host backing"
+    );
+
+    let mut mmu = Mmu::new(MmuConfig {
+        mode: TranslationMode::DualDirect,
+        ..MmuConfig::default()
+    });
+
+    // Time-slice the two tenants; the same gVA must translate to each
+    // tenant's own host memory, every slice, entirely via the 0D path.
+    let mut wa = WorkloadKind::Memcached.build(footprint, 1);
+    let mut wb = WorkloadKind::Graph500.build(footprint, 2);
+    let mut seen_a = None;
+    let mut seen_b = None;
+    for _slice in 0..6 {
+        vm_entry(&mut mmu, &a);
+        for _ in 0..2000 {
+            let off = wa.next_access().offset;
+            let va = Gva::new(a.base + off);
+            let out = access(&mut mmu, &mut vmm, &mut a, va);
+            let expect = a
+                .vseg
+                .translate(a.gseg.translate(Gva::new(a.base + off)).unwrap())
+                .unwrap();
+            assert_eq!(out.hpa, expect, "tenant A mistranslated");
+        }
+        let va = Gva::new(a.base);
+        let probe = access(&mut mmu, &mut vmm, &mut a, va);
+        match seen_a {
+            None => seen_a = Some(probe.hpa),
+            Some(h) => assert_eq!(h, probe.hpa, "tenant A's memory moved across slices"),
+        }
+
+        vm_entry(&mut mmu, &b);
+        for _ in 0..2000 {
+            let off = wb.next_access().offset;
+            let va = Gva::new(b.base + off);
+            let out = access(&mut mmu, &mut vmm, &mut b, va);
+            let expect = b
+                .vseg
+                .translate(b.gseg.translate(Gva::new(b.base + off)).unwrap())
+                .unwrap();
+            assert_eq!(out.hpa, expect, "tenant B mistranslated");
+        }
+        let va = Gva::new(b.base);
+        let probe = access(&mut mmu, &mut vmm, &mut b, va);
+        match seen_b {
+            None => seen_b = Some(probe.hpa),
+            Some(h) => assert_eq!(h, probe.hpa, "tenant B's memory moved across slices"),
+        }
+    }
+    assert_ne!(seen_a, seen_b, "tenants never alias");
+
+    // Every L1 miss inside the primary regions ran 0D: no page walks at
+    // all beyond the few demand-fault retries.
+    let c = mmu.counters();
+    assert!(
+        c.cat_both > 2_000,
+        "the bypass carried the misses: {}",
+        c.cat_both
+    );
+    assert_eq!(c.cat_neither, 0, "no 2D walks for segment-covered tenants");
+}
+
+#[test]
+fn forgetting_to_restore_segments_is_caught() {
+    // A defensive check: if the hypervisor "forgot" the segment swap on a
+    // VM switch, tenant B would read tenant A's memory. The translations
+    // diverge, demonstrating why BASE_V/LIMIT_V/OFFSET_V are part of VM
+    // state.
+    let footprint = 8 * MIB;
+    let mut vmm = Vmm::new(512 * MIB);
+    let mut a = boot_tenant(&mut vmm, footprint);
+    let mut b = boot_tenant(&mut vmm, footprint);
+
+    let mut mmu = Mmu::new(MmuConfig {
+        mode: TranslationMode::DualDirect,
+        ..MmuConfig::default()
+    });
+    vm_entry(&mut mmu, &a);
+    let va_a = Gva::new(a.base);
+    let correct_a = access(&mut mmu, &mut vmm, &mut a, va_a).hpa;
+
+    // Switch to B but (incorrectly) keep A's registers: the bypass
+    // produces A's host address for B's access.
+    let va_b = Gva::new(b.base);
+    let wrong = access(&mut mmu, &mut vmm, &mut b, va_b).hpa;
+    assert_eq!(wrong, correct_a, "stale registers leak tenant A's memory");
+
+    // With the proper restore, B gets its own memory.
+    mmu.flush_asid(b.pid as u16);
+    vm_entry(&mut mmu, &b);
+    let right = access(&mut mmu, &mut vmm, &mut b, va_b).hpa;
+    assert_ne!(right, correct_a);
+    assert_eq!(
+        right,
+        b.vseg.translate(b.gseg.translate(va_b).unwrap()).unwrap()
+    );
+}

@@ -1,0 +1,170 @@
+//! End-to-end integration tests: every mode of Figure 3 runs the full
+//! stack and produces sane, correctly-ordered overheads.
+
+use mv_sim::{Env, GuestPaging, SimConfig, Simulation};
+use mv_types::{PageSize, MIB};
+use mv_workloads::WorkloadKind;
+
+fn cfg(workload: WorkloadKind, env: Env) -> SimConfig {
+    SimConfig {
+        workload,
+        footprint: 32 * MIB,
+        guest_paging: GuestPaging::Fixed(PageSize::Size4K),
+        env,
+        accesses: 60_000,
+        warmup: 20_000,
+        seed: 7,
+    }
+}
+
+#[test]
+fn all_environments_run_to_completion() {
+    let envs = [
+        Env::native(),
+        Env::native_direct(),
+        Env::base_virtualized(PageSize::Size4K),
+        Env::base_virtualized(PageSize::Size2M),
+        Env::vmm_direct(),
+        Env::guest_direct(PageSize::Size4K),
+        Env::dual_direct(),
+        Env::Shadow {
+            nested: PageSize::Size4K,
+        },
+    ];
+    for env in envs {
+        let c = cfg(WorkloadKind::Gups, env);
+        let r = Simulation::run(&c).unwrap_or_else(|e| panic!("{}: {e}", c.label()));
+        assert_eq!(r.accesses, 60_000);
+        assert!(r.overhead >= 0.0, "{}: negative overhead", r.label);
+        assert!(r.counters.accesses >= 60_000, "retries may add accesses");
+    }
+}
+
+#[test]
+fn virtualization_multiplies_native_overhead() {
+    // The paper's headline observation: 2D walks multiply translation
+    // overhead vs native (≈3.6× geomean increase at 4K+4K).
+    let native = Simulation::run(&cfg(WorkloadKind::Gups, Env::native())).unwrap();
+    let virt =
+        Simulation::run(&cfg(WorkloadKind::Gups, Env::base_virtualized(PageSize::Size4K)))
+            .unwrap();
+    assert!(
+        virt.overhead > 1.5 * native.overhead,
+        "virtualized {:.3} should far exceed native {:.3}",
+        virt.overhead,
+        native.overhead
+    );
+    // And cycles-per-miss grows (paper: ~2.4x at 4K+4K).
+    assert!(virt.cycles_per_miss() > 1.5 * native.cycles_per_miss());
+}
+
+#[test]
+fn proposed_modes_recover_native_performance() {
+    let native = Simulation::run(&cfg(WorkloadKind::Gups, Env::native())).unwrap();
+    let base = Simulation::run(&cfg(
+        WorkloadKind::Gups,
+        Env::base_virtualized(PageSize::Size4K),
+    ))
+    .unwrap();
+    let vd = Simulation::run(&cfg(WorkloadKind::Gups, Env::vmm_direct())).unwrap();
+    let gd = Simulation::run(&cfg(WorkloadKind::Gups, Env::guest_direct(PageSize::Size4K)))
+        .unwrap();
+    let dd = Simulation::run(&cfg(WorkloadKind::Gups, Env::dual_direct())).unwrap();
+
+    // VMM Direct ≈ native (paper: 2% slower geomean).
+    assert!(
+        vd.overhead < base.overhead,
+        "VD {:.3} must beat base {:.3}",
+        vd.overhead,
+        base.overhead
+    );
+    assert!(
+        vd.overhead < 1.5 * native.overhead + 0.02,
+        "VD {:.3} should approach native {:.3}",
+        vd.overhead,
+        native.overhead
+    );
+    // Guest Direct ≈ native for big-memory workloads.
+    assert!(gd.overhead < base.overhead);
+    // Dual Direct ≈ zero.
+    assert!(
+        dd.overhead < 0.01,
+        "DD overhead {:.4} must be negligible",
+        dd.overhead
+    );
+    assert!(dd.f_dd() > 0.95, "nearly all misses covered by both segments");
+}
+
+#[test]
+fn segment_coverage_fractions_partition_misses() {
+    let r = Simulation::run(&cfg(WorkloadKind::Graph500, Env::dual_direct())).unwrap();
+    let sum = r.f_dd() + r.f_vd() + r.f_gd();
+    assert!(sum <= 1.0 + 1e-9);
+    assert!(r.f_dd() > 0.5, "the primary region dominates accesses");
+}
+
+#[test]
+fn nested_entries_pollute_the_shared_l2() {
+    let r = Simulation::run(&cfg(
+        WorkloadKind::Gups,
+        Env::base_virtualized(PageSize::Size4K),
+    ))
+    .unwrap();
+    let (nested_lookups, _) = r.nested_l2;
+    assert!(
+        nested_lookups > 0,
+        "2D walks must consult the shared nested TLB"
+    );
+    // And the native run never touches nested entries.
+    let n = Simulation::run(&cfg(WorkloadKind::Gups, Env::native())).unwrap();
+    assert_eq!(n.nested_l2.0, 0);
+}
+
+#[test]
+fn shadow_paging_hurts_churny_workloads_more() {
+    // Small footprint + long run so steady-state churn (not first-touch
+    // shadow fills) dominates the exit counts.
+    let shadow_cfg = |w| SimConfig {
+        footprint: 8 * MIB,
+        accesses: 200_000,
+        warmup: 100_000,
+        ..cfg(
+            w,
+            Env::Shadow {
+                nested: PageSize::Size4K,
+            },
+        )
+    };
+    let churny = Simulation::run(&shadow_cfg(WorkloadKind::Memcached)).unwrap();
+    let calm = Simulation::run(&shadow_cfg(WorkloadKind::Graph500)).unwrap();
+    assert!(
+        churny.vm_exits > 5 * calm.vm_exits,
+        "memcached churn ({}) must dwarf graph500 ({})",
+        churny.vm_exits,
+        calm.vm_exits
+    );
+}
+
+#[test]
+fn huge_pages_reduce_overhead_at_both_levels() {
+    let w = WorkloadKind::Gups;
+    let k4 = Simulation::run(&cfg(w, Env::base_virtualized(PageSize::Size4K))).unwrap();
+    let k4_2m = Simulation::run(&cfg(w, Env::base_virtualized(PageSize::Size2M))).unwrap();
+    let both_2m = Simulation::run(&SimConfig {
+        guest_paging: GuestPaging::Fixed(PageSize::Size2M),
+        ..cfg(w, Env::base_virtualized(PageSize::Size2M))
+    })
+    .unwrap();
+    assert!(
+        k4_2m.overhead < k4.overhead,
+        "2M nested pages shorten walks: {:.3} vs {:.3}",
+        k4_2m.overhead,
+        k4.overhead
+    );
+    assert!(
+        both_2m.overhead < k4.overhead,
+        "2M at both levels beats 4K+4K: {:.3} vs {:.3}",
+        both_2m.overhead,
+        k4.overhead
+    );
+}

@@ -1,0 +1,141 @@
+//! Multiple guest processes: per-process page tables and guest segments,
+//! with segment registers swapped on context switch (Section III.A: "the
+//! guest segment register values are set per guest process and must be set
+//! during guest OS context switches").
+
+use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
+use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
+use mv_types::{Gva, PageSize, Prot, MIB};
+use mv_vmm::{VmConfig, Vmm};
+
+fn access(
+    mmu: &mut Mmu,
+    guest: &mut GuestOs,
+    vmm: &mut Vmm,
+    vm: mv_vmm::VmId,
+    pid: u32,
+    va: Gva,
+) -> mv_core::AccessOutcome {
+    loop {
+        let outcome = {
+            let (gpt, gmem) = guest.pt_and_mem(pid);
+            let (npt, hmem) = vmm.npt_and_hmem(vm);
+            let ctx = MemoryContext::Virtualized { gpt, gmem, npt, hmem };
+            mmu.access(&ctx, pid as u16, va, false)
+        };
+        match outcome {
+            Ok(out) => return out,
+            Err(TranslationFault::GuestNotMapped { gva }) => {
+                guest.handle_page_fault(pid, gva).unwrap();
+            }
+            Err(TranslationFault::NestedNotMapped { gpa, .. }) => {
+                vmm.handle_nested_fault(vm, gpa).unwrap();
+            }
+            Err(f) => panic!("unexpected {f}"),
+        }
+    }
+}
+
+#[test]
+fn same_va_in_two_processes_translates_differently() {
+    let mut vmm = Vmm::new(512 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(192 * MIB, PageSize::Size4K));
+    let mut guest = GuestOs::boot(GuestConfig::small(192 * MIB));
+    let a = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let b = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let va_a = guest.mmap(a, MIB, Prot::RW).unwrap();
+    let va_b = guest.mmap(b, MIB, Prot::RW).unwrap();
+    assert_eq!(va_a, va_b, "identical layouts on purpose");
+
+    let mut mmu = Mmu::new(MmuConfig::default());
+    let out_a = access(&mut mmu, &mut guest, &mut vmm, vm, a, va_a);
+    let out_b = access(&mut mmu, &mut guest, &mut vmm, vm, b, va_b);
+    assert_ne!(out_a.hpa, out_b.hpa, "distinct address spaces");
+    // Re-access without flushing: ASIDs keep both resident in the L1.
+    mmu.reset_counters();
+    assert_eq!(access(&mut mmu, &mut guest, &mut vmm, vm, a, va_a).hpa, out_a.hpa);
+    assert_eq!(access(&mut mmu, &mut guest, &mut vmm, vm, b, va_b).hpa, out_b.hpa);
+    assert_eq!(mmu.counters().l1_misses, 0, "re-accesses hit L1 per ASID");
+}
+
+#[test]
+fn per_process_guest_segments_swap_on_context_switch() {
+    let mut vmm = Vmm::new(GIB_HALF);
+    const GIB_HALF: u64 = 512 * MIB;
+    let vm = vmm.create_vm(VmConfig::new(256 * MIB, PageSize::Size4K));
+    let mut guest = GuestOs::boot(GuestConfig::small(256 * MIB));
+
+    // Two big-memory processes, each with its own primary region/segment.
+    let a = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let b = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    guest.create_primary_region(a, 32 * MIB).unwrap();
+    guest.create_primary_region(b, 32 * MIB).unwrap();
+    let seg_a = guest.setup_guest_segment(a).unwrap();
+    let seg_b = guest.setup_guest_segment(b).unwrap();
+    assert_ne!(
+        seg_a.translate(seg_a.base()),
+        seg_b.translate(seg_b.base()),
+        "each process got its own backing"
+    );
+
+    let mut mmu = Mmu::new(MmuConfig {
+        mode: TranslationMode::GuestDirect,
+        ..MmuConfig::default()
+    });
+
+    // Context switch to A: program A's registers (flushes, as hardware
+    // without segment-ASIDs would).
+    mmu.set_guest_segment(seg_a);
+    let va = seg_a.base();
+    let out_a = access(&mut mmu, &mut guest, &mut vmm, vm, a, va);
+
+    // Switch to B.
+    mmu.set_guest_segment(seg_b);
+    let out_b = access(&mut mmu, &mut guest, &mut vmm, vm, b, va);
+    assert_ne!(out_a.hpa, out_b.hpa, "same gVA, different segments");
+
+    // Switch back to A: translation is stable.
+    mmu.set_guest_segment(seg_a);
+    let again = access(&mut mmu, &mut guest, &mut vmm, vm, a, va);
+    assert_eq!(again.hpa, out_a.hpa);
+}
+
+#[test]
+fn compute_process_coexists_with_big_memory_process() {
+    // A VMM Direct host runs both kinds at once: the compute process uses
+    // plain paging, the big-memory one adds a guest segment (its own mode
+    // per address space — Section III: "each guest process uses one mode").
+    let mut vmm = Vmm::new(512 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(224 * MIB, PageSize::Size4K));
+    let mut guest = GuestOs::boot(GuestConfig::small(224 * MIB));
+    let compute = guest.create_process(PageSizePolicy::Thp);
+    let bigmem = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let cva = guest.mmap(compute, 8 * MIB, Prot::RW).unwrap();
+    guest.create_primary_region(bigmem, 32 * MIB).unwrap();
+    let seg = guest.setup_guest_segment(bigmem).unwrap();
+
+    let mut vd = Mmu::new(MmuConfig {
+        mode: TranslationMode::VmmDirect,
+        ..MmuConfig::default()
+    });
+    let installed = guest.mem().size_bytes();
+    let vseg = vmm
+        .create_vmm_segment(
+            vm,
+            mv_types::AddrRange::new(mv_types::Gpa::ZERO, mv_types::Gpa::new(installed)),
+            mv_vmm::SegmentOptions::default(),
+        )
+        .unwrap();
+    vd.set_vmm_segment(vseg);
+    let out = access(&mut vd, &mut guest, &mut vmm, vm, compute, cva);
+    assert!(out.cycles > 0, "compute process walks its guest table");
+
+    let mut dd = Mmu::new(MmuConfig {
+        mode: TranslationMode::DualDirect,
+        ..MmuConfig::default()
+    });
+    dd.set_vmm_segment(vseg);
+    dd.set_guest_segment(seg);
+    let out = access(&mut dd, &mut guest, &mut vmm, vm, bigmem, seg.base());
+    assert_eq!(out.path, mv_core::HitPath::SegmentBypass);
+}

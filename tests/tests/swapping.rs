@@ -1,0 +1,121 @@
+//! Table II's swapping rows, end to end: guest swapping works outside
+//! segments and is precluded inside the guest segment; VMM swapping works
+//! outside the VMM segment and is precluded inside it.
+
+use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault};
+use mv_guestos::{GuestConfig, GuestOs, OsError, PageSizePolicy};
+use mv_types::{AddrRange, Gpa, PageSize, Prot, MIB};
+use mv_vmm::{SegmentOptions, VmConfig, Vmm, VmmError};
+
+#[test]
+fn guest_swapping_round_trips_outside_segments() {
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let va = os.mmap(pid, MIB, Prot::RW).unwrap();
+    os.populate(pid, va, MIB).unwrap();
+    let free_before = os.mem().free_bytes();
+
+    os.swap_out(pid, va).unwrap();
+    assert!(os.process(pid).is_swapped(va));
+    assert_eq!(os.mem().free_bytes(), free_before + 4096, "frame reclaimed");
+    {
+        let (pt, mem) = os.pt_and_mem(pid);
+        assert!(pt.translate(mem, va).is_none(), "mapping removed");
+    }
+
+    // The next fault swaps the page back in.
+    os.handle_page_fault(pid, va).unwrap();
+    assert!(!os.process(pid).is_swapped(va));
+    assert_eq!(os.process(pid).swap_ins(), 1);
+    let (pt, mem) = os.pt_and_mem(pid);
+    assert!(pt.translate(mem, va).is_some());
+}
+
+#[test]
+fn guest_swapping_is_precluded_inside_the_guest_segment() {
+    let mut os = GuestOs::boot(GuestConfig::small(128 * MIB));
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let base = os.create_primary_region(pid, 16 * MIB).unwrap();
+    os.setup_guest_segment(pid).unwrap();
+    let err = os.swap_out(pid, base).unwrap_err();
+    assert!(matches!(err, OsError::SwapPrecluded { .. }));
+
+    // Memory outside the segment still swaps (Table II: "limited", not
+    // "forbidden").
+    let other = os.mmap(pid, MIB, Prot::RW).unwrap();
+    os.populate(pid, other, MIB).unwrap();
+    os.swap_out(pid, other).unwrap();
+}
+
+#[test]
+fn vmm_swapping_round_trips_through_nested_faults() {
+    let mut vmm = Vmm::new(256 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    let mut guest = GuestOs::boot(GuestConfig::small(64 * MIB));
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let va = guest.mmap(pid, MIB, Prot::RW).unwrap();
+    guest.populate(pid, va, MIB).unwrap();
+    let gpa = {
+        let (gpt, gmem) = guest.pt_and_mem(pid);
+        gpt.translate(gmem, va).unwrap().pa
+    };
+    vmm.handle_nested_fault(vm, gpa).unwrap();
+    let host_free = vmm.hmem().free_bytes();
+
+    // Swap the backing out: the VMM reclaims the host frame.
+    vmm.swap_out_guest_page(vm, gpa).unwrap();
+    assert_eq!(vmm.hmem().free_bytes(), host_free + 4096);
+
+    // The guest doesn't notice until it touches the page: nested faults
+    // (for the page and for any unbacked page-table pointers the walk
+    // touches) swap everything back in transparently.
+    let mut mmu = Mmu::new(MmuConfig::default());
+    let mut nested_faults = 0;
+    loop {
+        let outcome = {
+            let (gpt, gmem) = guest.pt_and_mem(pid);
+            let (npt, hmem) = vmm.npt_and_hmem(vm);
+            let ctx = MemoryContext::Virtualized { gpt, gmem, npt, hmem };
+            mmu.access(&ctx, pid as u16, va, false)
+        };
+        match outcome {
+            Ok(_) => break,
+            Err(TranslationFault::NestedNotMapped { gpa: g, .. }) => {
+                nested_faults += 1;
+                vmm.handle_nested_fault(vm, g).unwrap();
+            }
+            other => panic!("expected a nested fault, got {other:?}"),
+        }
+        assert!(nested_faults < 16, "walk must converge");
+    }
+    assert!(nested_faults >= 1, "the swapped page must refault");
+}
+
+#[test]
+fn vmm_swapping_is_precluded_inside_the_vmm_segment() {
+    let mut vmm = Vmm::new(512 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    vmm.create_vmm_segment(
+        vm,
+        AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB)),
+        SegmentOptions::default(),
+    )
+    .unwrap();
+    let err = vmm.swap_out_guest_page(vm, Gpa::new(8 * MIB)).unwrap_err();
+    assert!(matches!(err, VmmError::SwapPrecluded { .. }));
+
+}
+
+#[test]
+fn modes_without_segments_swap_unrestricted() {
+    // Base Virtualized / Guest Direct keep 4K nested pages and no VMM
+    // segment: any page can be VMM-swapped — the Table II "unrestricted"
+    // cells.
+    let mut vmm = Vmm::new(256 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(4 * MIB)))
+        .unwrap();
+    for page in (0..4 * MIB).step_by(4096 * 64) {
+        vmm.swap_out_guest_page(vm, Gpa::new(page)).unwrap();
+    }
+}
