@@ -2,11 +2,11 @@
 //! false-positive behavior across fill levels (supporting Section V's
 //! 256-bit / 4-hash sizing claim).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_bench::BenchGroup;
 use mv_core::EscapeFilter;
 
-fn bench_escape(c: &mut Criterion) {
-    let mut group = c.benchmark_group("escape_filter");
+fn bench_escape() {
+    let mut group = BenchGroup::new("escape_filter");
 
     for &inserted in &[0usize, 1, 16, 64] {
         let mut f = EscapeFilter::new(7);
@@ -14,24 +14,20 @@ fn bench_escape(c: &mut Criterion) {
             f.insert(0x1000_0000 + (i as u64) * 0x1000);
         }
         let mut probe = 0u64;
-        group.bench_function(BenchmarkId::new("lookup", inserted), |b| {
-            b.iter(|| {
-                probe = probe.wrapping_add(0x1000);
-                f.maybe_contains(0x9000_0000 + probe)
-            })
+        group.bench_function(&format!("lookup/{inserted}"), || {
+            probe = probe.wrapping_add(0x1000);
+            f.maybe_contains(0x9000_0000 + probe)
         });
     }
 
     let mut f = EscapeFilter::new(7);
     let mut next = 0u64;
-    group.bench_function("insert", |b| {
-        b.iter(|| {
-            next += 0x1000;
-            f.insert(next);
-            if f.inserted() > 64 {
-                f.clear();
-            }
-        })
+    group.bench_function("insert", || {
+        next += 0x1000;
+        f.insert(next);
+        if f.inserted() > 64 {
+            f.clear();
+        }
     });
     group.finish();
 
@@ -54,5 +50,6 @@ fn bench_escape(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_escape);
-criterion_main!(benches);
+fn main() {
+    bench_escape();
+}

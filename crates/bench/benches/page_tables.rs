@@ -1,26 +1,24 @@
 //! Page-table substrate micro-benchmarks: map/unmap/translate throughput
 //! of the radix tables and buddy-allocator operation costs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mv_bench::BenchGroup;
 use mv_phys::PhysMem;
 use mv_pt::PageTable;
 use mv_types::{Gpa, Gva, PageSize, Prot, MIB};
 
-fn bench_page_tables(c: &mut Criterion) {
-    let mut group = c.benchmark_group("page_tables");
+fn bench_page_tables() {
+    let mut group = BenchGroup::new("page_tables");
 
     // map + unmap round trip (steady-state table reuse).
     let mut mem: PhysMem<Gpa> = PhysMem::new(256 * MIB);
     let mut pt: PageTable<Gva, Gpa> = PageTable::new(&mut mem).unwrap();
     let frame = mem.alloc(PageSize::Size4K).unwrap();
     let mut i = 0u64;
-    group.bench_function("map_unmap_4k", |b| {
-        b.iter(|| {
-            let va = Gva::new(0x4000_0000 + ((i % 512) << 12));
-            i += 1;
-            pt.map(&mut mem, va, frame, PageSize::Size4K, Prot::RW).unwrap();
-            pt.unmap(&mut mem, va, PageSize::Size4K).unwrap();
-        })
+    group.bench_function("map_unmap_4k", || {
+        let va = Gva::new(0x4000_0000 + ((i % 512) << 12));
+        i += 1;
+        pt.map(&mut mem, va, frame, PageSize::Size4K, Prot::RW).unwrap();
+        pt.unmap(&mut mem, va, PageSize::Size4K).unwrap();
     });
 
     // translate over a populated region.
@@ -32,29 +30,24 @@ fn bench_page_tables(c: &mut Criterion) {
             .unwrap();
     }
     let mut i = 0u64;
-    group.bench_function("translate_4k", |b| {
-        b.iter(|| {
-            i = (i + 4096) % (16 * MIB);
-            pt.translate(&mem, Gva::new(0x1000_0000 + i)).unwrap()
-        })
+    group.bench_function("translate_4k", || {
+        i = (i + 4096) % (16 * MIB);
+        pt.translate(&mem, Gva::new(0x1000_0000 + i)).unwrap()
     });
 
     // buddy allocator alloc/free cycle.
     let mut mem: PhysMem<Gpa> = PhysMem::new(256 * MIB);
-    group.bench_function("buddy_alloc_free_4k", |b| {
-        b.iter(|| {
-            let f = mem.alloc(PageSize::Size4K).unwrap();
-            mem.free(f, PageSize::Size4K).unwrap();
-        })
+    group.bench_function("buddy_alloc_free_4k", || {
+        let f = mem.alloc(PageSize::Size4K).unwrap();
+        mem.free(f, PageSize::Size4K).unwrap();
     });
-    group.bench_function("buddy_alloc_free_2m", |b| {
-        b.iter(|| {
-            let f = mem.alloc(PageSize::Size2M).unwrap();
-            mem.free(f, PageSize::Size2M).unwrap();
-        })
+    group.bench_function("buddy_alloc_free_2m", || {
+        let f = mem.alloc(PageSize::Size2M).unwrap();
+        mem.free(f, PageSize::Size2M).unwrap();
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_page_tables);
-criterion_main!(benches);
+fn main() {
+    bench_page_tables();
+}

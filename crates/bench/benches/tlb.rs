@@ -1,7 +1,7 @@
 //! TLB structure micro-benchmarks: lookup and fill throughput of the
 //! split L1, shared L2, and page-walk cache models.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mv_bench::BenchGroup;
 use mv_tlb::{L1Tlb, L2Key, L2Tlb, PwCache, PwcKey, TlbConfig, TlbEntry};
 use mv_types::{PageSize, Prot};
 
@@ -13,26 +13,22 @@ fn entry(base: u64) -> TlbEntry {
     }
 }
 
-fn bench_tlb(c: &mut Criterion) {
+fn bench_tlb() {
     let cfg = TlbConfig::sandy_bridge();
-    let mut group = c.benchmark_group("tlb");
+    let mut group = BenchGroup::new("tlb");
 
     let mut l1 = L1Tlb::new(&cfg);
     for i in 0..64u64 {
         l1.insert(0, i << 12, entry(i << 12));
     }
     let mut i = 0u64;
-    group.bench_function("l1_lookup_hit", |b| {
-        b.iter(|| {
-            i = (i + 1) % 64;
-            l1.lookup(0, i << 12)
-        })
+    group.bench_function("l1_lookup_hit", || {
+        i = (i + 1) % 64;
+        l1.lookup(0, i << 12)
     });
-    group.bench_function("l1_lookup_miss", |b| {
-        b.iter(|| {
-            i += 1;
-            l1.lookup(0, (1 << 30) + (i << 12))
-        })
+    group.bench_function("l1_lookup_miss", || {
+        i += 1;
+        l1.lookup(0, (1 << 30) + (i << 12))
     });
 
     let mut l2 = L2Tlb::new(&cfg);
@@ -40,36 +36,31 @@ fn bench_tlb(c: &mut Criterion) {
         l2.insert(L2Key::Guest { asid: 0, vpn: i }, entry(i << 12));
     }
     let mut i = 0u64;
-    group.bench_function("l2_lookup_hit", |b| {
-        b.iter(|| {
-            i = (i + 1) % 512;
-            l2.lookup(L2Key::Guest { asid: 0, vpn: i })
-        })
+    group.bench_function("l2_lookup_hit", || {
+        i = (i + 1) % 512;
+        l2.lookup(L2Key::Guest { asid: 0, vpn: i })
     });
     let mut i = 0u64;
-    group.bench_function("l2_fill", |b| {
-        b.iter(|| {
-            i += 1;
-            l2.insert(L2Key::Nested { gfn: i }, entry(i << 12));
-        })
+    group.bench_function("l2_fill", || {
+        i += 1;
+        l2.insert(L2Key::Nested { gfn: i }, entry(i << 12));
     });
 
     let mut pwc = PwCache::new(&cfg);
     let mut i = 0u64;
-    group.bench_function("pwc_insert_lookup", |b| {
-        b.iter(|| {
-            i += 1;
-            let key = PwcKey {
-                asid: 0,
-                points_to_level: 1 + (i % 3) as u8,
-                va_prefix: i,
-            };
-            pwc.insert(key, i);
-            pwc.lookup(key)
-        })
+    group.bench_function("pwc_insert_lookup", || {
+        i += 1;
+        let key = PwcKey {
+            asid: 0,
+            points_to_level: 1 + (i % 3) as u8,
+            va_prefix: i,
+        };
+        pwc.insert(key, i);
+        pwc.lookup(key)
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_tlb);
-criterion_main!(benches);
+fn main() {
+    bench_tlb();
+}

@@ -1,9 +1,9 @@
-//! Criterion micro-benchmarks of the translation fast paths: L1 hit,
-//! Dual Direct segment bypass, L2 hit, and full walks. These measure the
-//! *simulator's* per-access cost (model throughput), while the printed
-//! cycle figures are the modeled hardware costs.
+//! Micro-benchmarks of the translation fast paths: L1 hit, Dual Direct
+//! segment bypass, L2 hit, and full walks. These measure the *simulator's*
+//! per-access cost (model throughput), while the printed cycle figures are
+//! the modeled hardware costs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_bench::BenchGroup;
 use mv_core::{MemoryContext, Mmu, MmuConfig, Segment, TranslationMode};
 use mv_phys::PhysMem;
 use mv_pt::PageTable;
@@ -52,9 +52,9 @@ fn build_world() -> World {
     }
 }
 
-fn bench_paths(c: &mut Criterion) {
+fn bench_paths() {
     let w = build_world();
-    let mut group = c.benchmark_group("translation_paths");
+    let mut group = BenchGroup::new("translation_paths");
 
     // L1 hit: repeat the same address.
     let mut mmu = Mmu::new(MmuConfig::default());
@@ -66,8 +66,8 @@ fn bench_paths(c: &mut Criterion) {
             hmem: &w.hmem,
         };
         mmu.access(&ctx, 0, Gva::new(16 * MIB), false).unwrap();
-        group.bench_function("l1_hit", |b| {
-            b.iter(|| mmu.access(&ctx, 0, Gva::new(16 * MIB + 64), false).unwrap())
+        group.bench_function("l1_hit", || {
+            mmu.access(&ctx, 0, Gva::new(16 * MIB + 64), false).unwrap()
         });
     }
 
@@ -93,11 +93,9 @@ fn bench_paths(c: &mut Criterion) {
             hmem: &w.hmem,
         };
         let mut cursor = 0u64;
-        group.bench_function("dual_direct_bypass", |b| {
-            b.iter(|| {
-                cursor = (cursor + 4096) % (64 * MIB);
-                mmu.access(&ctx, 0, Gva::new((1 << 30) + cursor), false).unwrap()
-            })
+        group.bench_function("dual_direct_bypass", || {
+            cursor = (cursor + 4096) % (64 * MIB);
+            mmu.access(&ctx, 0, Gva::new((1 << 30) + cursor), false).unwrap()
         });
     }
 
@@ -123,15 +121,14 @@ fn bench_paths(c: &mut Criterion) {
             hmem: &w.hmem,
         };
         let mut cursor = 0u64;
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                cursor = (cursor + 4096) % (16 * MIB);
-                mmu.access(&ctx, 0, Gva::new(16 * MIB + cursor), false).unwrap()
-            })
+        group.bench_function(name, || {
+            cursor = (cursor + 4096) % (16 * MIB);
+            mmu.access(&ctx, 0, Gva::new(16 * MIB + cursor), false).unwrap()
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_paths);
-criterion_main!(benches);
+fn main() {
+    bench_paths();
+}

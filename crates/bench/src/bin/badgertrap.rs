@@ -12,12 +12,22 @@
 use mv_bench::experiments::{config, parse_scale};
 use mv_core::{MmuConfig, Segment};
 use mv_metrics::{LinearModel, Table};
-use mv_sim::{Env, GuestPaging, Simulation};
+use mv_sim::{Env, GuestPaging, Simulation, TelemetryConfig};
 use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize};
 use mv_workloads::WorkloadKind;
 
+/// Parses `--telemetry-out BASE`: write each traced run's telemetry as
+/// JSONL to `BASE.<workload>.jsonl`.
+fn parse_telemetry_out() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--telemetry-out")
+        .map(|i| args.get(i + 1).expect("--telemetry-out needs a path").clone())
+}
+
 fn main() {
     let scale = parse_scale();
+    let telemetry_out = parse_telemetry_out();
     let paging = GuestPaging::Fixed(PageSize::Size4K);
 
     let mut t = Table::new(&[
@@ -30,10 +40,14 @@ fn main() {
         // 1. Native and base-virtualized runs give C_n, C_v, M_n; the
         // base run also yields the miss trace.
         let native = Simulation::run(&config(w, paging, Env::native(), &scale)).unwrap();
-        let (base, trace) = Simulation::run_traced(
+        let (base, trace) = Simulation::run_instrumented(
             &config(w, paging, Env::base_virtualized(PageSize::Size4K), &scale),
             MmuConfig::default(),
             Some(4_000_000),
+            Some(TelemetryConfig {
+                epoch_len: (scale.accesses / 16).max(1),
+                flight_capacity: 0,
+            }),
         )
         .unwrap();
         let trace = trace.expect("tracing was enabled");
@@ -42,6 +56,27 @@ fn main() {
             trace.records().len(),
             trace.dropped()
         );
+        if let Some(t) = &base.telemetry {
+            // The per-miss latency profile behind C_v, and its drift over
+            // the run (a rising trend would mean the measurement window
+            // had not reached steady state).
+            eprintln!("  walk latency: {}", t.hist());
+            let drift: Vec<String> = t
+                .epochs()
+                .iter()
+                .map(|e| format!("{:.0}", e.cycles_per_miss()))
+                .collect();
+            eprintln!("  cycles/miss by epoch: [{}]", drift.join(" "));
+            if let Some(base_path) = &telemetry_out {
+                let path = format!("{base_path}.{}.jsonl", w.label());
+                let mut f = std::fs::File::create(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot create {path}: {e}");
+                    std::process::exit(1);
+                });
+                t.write_jsonl(&mut f).expect("telemetry write");
+                eprintln!("  wrote telemetry to {path}");
+            }
+        }
 
         // 2. Classify against the segments the modes *would* use. The
         // simulator's guest segment maps the primary region at the top of

@@ -25,8 +25,7 @@ fn run_trial(
     bad_frames: usize,
     seed: u64,
 ) -> f64 {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mv_types::rng::StdRng;
 
     let installed = footprint + footprint / 2 + 96 * MIB;
     let mut vmm = Vmm::new(2 * installed + 128 * MIB);

@@ -17,8 +17,17 @@
 //! * `--footprint <N[K|M|G]>` — arena size. Default: 512M.
 //! * `--accesses <N>` / `--warmup <N>` — window sizes.
 //! * `--seed <N>` — workload seed.
+//! * `--telemetry-out <PATH>` — attach walk-event telemetry over the
+//!   measured window, write epoch snapshots (and any flight-recorder
+//!   events) as JSONL to `PATH`, and print a Prometheus-style counter
+//!   dump to stdout after the report.
+//! * `--epoch-len <N>` — accesses per telemetry epoch (default 10000).
+//! * `--trace <N>` — keep the last N walk events in a flight recorder
+//!   (exported into the JSONL file). Default 0 (off).
 
-use mv_sim::{Env, GuestPaging, SimConfig, Simulation};
+use std::io::Write;
+
+use mv_sim::{Env, GuestPaging, SimConfig, Simulation, TelemetryConfig};
 use mv_types::{PageSize, GIB, KIB, MIB};
 use mv_workloads::WorkloadKind;
 
@@ -69,7 +78,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: run [--workload NAME] [--env native|ds|shadow|vd|gd|dd|4k+4k|...]\n\
          \x20          [--guest 4k|2m|1g|thp] [--footprint N[K|M|G]]\n\
-         \x20          [--accesses N] [--warmup N] [--seed N] [--csv]"
+         \x20          [--accesses N] [--warmup N] [--seed N] [--csv]\n\
+         \x20          [--telemetry-out PATH] [--epoch-len N] [--trace N]"
     );
     std::process::exit(2);
 }
@@ -83,6 +93,9 @@ fn main() {
     let mut warmup = 250_000u64;
     let mut seed = 42u64;
     let mut csv = false;
+    let mut telemetry_out: Option<String> = None;
+    let mut epoch_len = 10_000u64;
+    let mut flight = 0usize;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -132,6 +145,9 @@ fn main() {
             "--warmup" => warmup = value("--warmup").parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--csv" => csv = true,
+            "--telemetry-out" => telemetry_out = Some(value("--telemetry-out").to_string()),
+            "--epoch-len" => epoch_len = value("--epoch-len").parse().unwrap_or_else(|_| usage()),
+            "--trace" => flight = value("--trace").parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -157,13 +173,42 @@ fn main() {
         accesses,
         warmup
     );
-    let r = match Simulation::run(&cfg) {
+    let observe = telemetry_out.is_some() || flight > 0;
+    let run = || {
+        if observe {
+            Simulation::run_observed(
+                &cfg,
+                Default::default(),
+                TelemetryConfig {
+                    epoch_len,
+                    flight_capacity: flight,
+                },
+            )
+        } else {
+            Simulation::run(&cfg)
+        }
+    };
+    let r = match run() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("simulation failed: {e}");
             std::process::exit(1);
         }
     };
+
+    if let (Some(path), Some(t)) = (&telemetry_out, &r.telemetry) {
+        let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        t.write_jsonl(&mut f).expect("telemetry write");
+        f.flush().expect("telemetry flush");
+        eprintln!(
+            "wrote {} epoch snapshots and {} flight events to {path}",
+            t.epochs().len(),
+            t.flight().len()
+        );
+    }
 
     if csv {
         println!("{}", mv_sim::RunResult::csv_header());
@@ -198,4 +243,12 @@ fn main() {
     println!("VM exits:             {}", r.vm_exits);
     let (nl, nh) = r.nested_l2;
     println!("nested L2 (lkup/hit): {nl} / {nh}");
+
+    if let Some(t) = &r.telemetry {
+        println!("walk latency:         {}", t.hist());
+        if let Some(prom) = r.prometheus() {
+            println!("\n--- telemetry (Prometheus text exposition) ---");
+            print!("{prom}");
+        }
+    }
 }

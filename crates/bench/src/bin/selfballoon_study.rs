@@ -10,8 +10,7 @@ use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
 use mv_metrics::Table;
 use mv_types::{Gva, PageSize, Prot, MIB};
 use mv_vmm::{VmConfig, Vmm};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mv_types::rng::StdRng;
 
 fn main() {
     let want = 64 * MIB;

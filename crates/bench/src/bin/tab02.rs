@@ -17,7 +17,8 @@ fn main() {
     };
     let fmt_bool = |b: bool| if b { "required" } else { "none" }.to_string();
 
-    let rows: Vec<(&str, Box<dyn Fn(TranslationMode) -> String>)> = vec![
+    type ModeColumn = Box<dyn Fn(TranslationMode) -> String>;
+    let rows: Vec<(&str, ModeColumn)> = vec![
         ("page walk dimensions", Box::new(|m: TranslationMode| format!("{}D", m.walk_dimensions()))),
         ("memory accesses (common walk)", Box::new(|m: TranslationMode| m.common_walk_refs().to_string())),
         ("base-bound checks", Box::new(|m: TranslationMode| m.bound_checks().to_string())),

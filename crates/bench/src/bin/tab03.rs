@@ -7,8 +7,7 @@ use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
 use mv_metrics::Table;
 use mv_types::{AddrRange, Gpa, PageSize, MIB};
 use mv_vmm::{SegmentOptions, VmConfig, Vmm};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mv_types::rng::StdRng;
 
 struct Scenario {
     name: &'static str,

@@ -10,5 +10,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod microbench;
 
 pub use experiments::{parse_scale, Scale};
+pub use microbench::BenchGroup;

@@ -1,0 +1,89 @@
+//! A minimal micro-benchmark harness (std-only Criterion stand-in).
+//!
+//! The workspace builds with no external dependencies so it can compile
+//! and test fully offline; this module supplies the small slice of
+//! Criterion the `benches/` targets need: named timed closures with
+//! warmup, repeated measurement, and a median-of-runs report.
+//!
+//! Each measurement runs the closure in batches, timing whole batches
+//! with [`std::time::Instant`] so per-iteration overhead stays small, and
+//! reports the median per-iteration time over several batches (the median
+//! is robust to scheduler noise).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Number of timed batches per benchmark (median is reported).
+const BATCHES: usize = 7;
+/// Target wall time per batch; iteration count is calibrated to this.
+const BATCH_TARGET_NANOS: u128 = 20_000_000;
+
+/// A named group of micro-benchmarks, printed as one table section.
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+}
+
+impl BenchGroup {
+    /// Starts a group with a section header.
+    pub fn new(name: &str) -> Self {
+        eprintln!("\n== {name} ==");
+        BenchGroup { name: name.to_string() }
+    }
+
+    /// Group name (used for result labelling).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Times `f` and prints its median per-iteration latency. The
+    /// closure's return value is passed through [`black_box`] so the
+    /// optimizer cannot delete the measured work.
+    pub fn bench_function<T, F: FnMut() -> T>(&mut self, label: &str, mut f: F) {
+        // Calibrate: grow the batch until it takes a measurable slice.
+        let mut iters: u64 = 16;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos();
+            if elapsed >= BATCH_TARGET_NANOS / 4 || iters >= 1 << 24 {
+                if elapsed < BATCH_TARGET_NANOS && iters < 1 << 24 {
+                    let scale = (BATCH_TARGET_NANOS / elapsed.max(1)).min(64) as u64;
+                    iters = (iters * scale.max(2)).min(1 << 24);
+                }
+                break;
+            }
+            iters *= 8;
+        }
+
+        let mut per_iter: Vec<f64> = (0..BATCHES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        eprintln!(
+            "{label:<28} {median:>10.1} ns/iter  (min {min:.1}, max {max:.1}, {iters} iters x {BATCHES})"
+        );
+    }
+
+    /// Ends the group (symmetry with Criterion's API; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// Entry point helper: runs each registered bench function.
+pub fn run_benches(name: &str, fns: &[fn()]) {
+    eprintln!("micro-benchmarks: {name} ({} groups)", fns.len());
+    for f in fns {
+        f();
+    }
+}

@@ -15,8 +15,7 @@
 //! Other geometries can be constructed with
 //! [`EscapeFilter::with_geometry`] for ablation studies.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mv_types::rng::StdRng;
 
 /// Default number of filter bits (2^8 = 256, as evaluated in the paper).
 pub const FILTER_BITS: usize = 256;
@@ -72,9 +71,9 @@ impl EscapeFilter {
         );
         assert!(num_hashes > 0, "need at least one hash function");
         let index_bits = filter_bits.trailing_zeros();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xe5ca_9e_f117e5);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xe5ca_9ef1_17e5);
         let rows = (0..num_hashes)
-            .map(|_| (0..index_bits).map(|_| rng.gen()).collect())
+            .map(|_| (0..index_bits).map(|_| rng.next_word()).collect())
             .collect();
         EscapeFilter {
             bits: vec![0; filter_bits.div_ceil(64)],
@@ -164,7 +163,7 @@ mod tests {
         assert!(f.is_empty());
         assert_eq!(f.filter_bits(), 256);
         assert_eq!(f.num_hashes(), 4);
-        for addr in [0u64, 0x1000, 0xdead_b000, u64::MAX & !0xfff] {
+        for addr in [0u64, 0x1000, 0xdead_b000, !0xfffu64] {
             assert!(!f.maybe_contains(addr));
         }
     }

@@ -55,3 +55,7 @@ pub use mmu::{AccessOutcome, HitPath, MemoryContext, Mmu, MmuConfig};
 pub use mode::{SegmentCategory, Support, TranslationMode};
 pub use segment::Segment;
 pub use trace::{MissRecord, MissTrace};
+
+// Observability vocabulary, re-exported so MMU users can attach observers
+// without naming `mv-obs` directly.
+pub use mv_obs::{EscapeOutcome, FaultKind, WalkClass, WalkEvent, WalkObserver};

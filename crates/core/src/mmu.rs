@@ -8,6 +8,7 @@
 //! memories it walks are borrowed per access through [`MemoryContext`],
 //! since they belong to the guest OS and VMM models.
 
+use mv_obs::{EscapeOutcome, FaultKind, WalkClass, WalkEvent, WalkObserver};
 use mv_phys::PhysMem;
 use mv_pt::{entry_addr, PageTable, Pte};
 use mv_tlb::{L1Tlb, L2Key, L2Tlb, PwCache, PwcKey, TlbConfig, TlbEntry};
@@ -20,6 +21,10 @@ use crate::fault::TranslationFault;
 use crate::mode::TranslationMode;
 use crate::segment::Segment;
 use crate::trace::{MissRecord, MissTrace};
+
+/// Leaf metadata from the nested dimension: `None` when the VMM segment
+/// served the translation (unbounded contiguity, always read-write).
+type NestedLeaf = Option<(PageSize, Prot)>;
 
 /// The translation structures an access runs against: either a native
 /// 1-level configuration or the virtualized 2-level configuration.
@@ -160,6 +165,12 @@ pub struct Mmu {
     guest_escape: Option<EscapeFilter>,
     /// Optional DTLB-miss trace (the simulator's BadgerTrap, Section VII).
     miss_trace: Option<MissTrace>,
+    /// Optional structured-event observer, invoked once per L1 miss. When
+    /// `None` (the default) the miss path pays exactly one branch.
+    observer: Option<Box<dyn WalkObserver>>,
+    /// Final first-dimension gPA of the walk in flight, captured for the
+    /// observer (meaningful only while an observer is attached).
+    pending_gpa: Option<u64>,
     counters: MmuCounters,
 }
 
@@ -181,6 +192,8 @@ impl Mmu {
             vmm_escape: None,
             guest_escape: None,
             miss_trace: None,
+            observer: None,
+            pending_gpa: None,
             counters: MmuCounters::default(),
         }
     }
@@ -195,6 +208,24 @@ impl Mmu {
     /// Detaches and returns the miss trace, if one was enabled.
     pub fn take_miss_trace(&mut self) -> Option<MissTrace> {
         self.miss_trace.take()
+    }
+
+    /// Attaches a [`WalkObserver`], which receives one [`WalkEvent`] per L1
+    /// TLB miss. Attachment changes no translation state or counters — an
+    /// observed run measures identically to an unobserved one — and costs
+    /// the unobserved miss path a single branch.
+    pub fn set_observer(&mut self, observer: Box<dyn WalkObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the observer, if one was attached.
+    pub fn take_observer(&mut self) -> Option<Box<dyn WalkObserver>> {
+        self.observer.take()
+    }
+
+    /// Whether a walk observer is currently attached.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
     }
 
     /// Current translation mode.
@@ -356,6 +387,24 @@ impl Mmu {
             });
         }
         self.counters.l1_misses += 1;
+        if self.observer.is_none() {
+            return self.miss_path(ctx, asid, va, write);
+        }
+        let pre = self.counters;
+        self.pending_gpa = None;
+        let result = self.miss_path(ctx, asid, va, write);
+        self.emit_event(va, write, &pre, &result);
+        result
+    }
+
+    /// Everything below the L1 TLB: segment bypass, L2 lookup, page walk.
+    fn miss_path(
+        &mut self,
+        ctx: &MemoryContext<'_>,
+        asid: u16,
+        va: Gva,
+        write: bool,
+    ) -> Result<AccessOutcome, TranslationFault> {
         let mut cycles = 0u64;
 
         // Segment bypass on the L1-miss path (Table I "Both" column, and
@@ -430,6 +479,75 @@ impl Mmu {
             path: HitPath::PageWalk,
             cycles,
         })
+    }
+
+    /// Builds the structured event for the miss just serviced (from counter
+    /// deltas, so observation never perturbs the counted quantities) and
+    /// delivers it to the attached observer.
+    fn emit_event(
+        &mut self,
+        va: Gva,
+        write: bool,
+        pre: &MmuCounters,
+        result: &Result<AccessOutcome, TranslationFault>,
+    ) {
+        let Some(mut observer) = self.observer.take() else {
+            return;
+        };
+        let c = &self.counters;
+        let class = match result {
+            Ok(o) => match o.path {
+                HitPath::SegmentBypass => {
+                    if c.ds_hits > pre.ds_hits {
+                        WalkClass::DirectSegment
+                    } else {
+                        WalkClass::Bypass0d
+                    }
+                }
+                HitPath::L2Hit => WalkClass::L2Hit,
+                // L1Hit returns before the miss path; walks classify by the
+                // Table I category they incremented.
+                HitPath::L1Hit | HitPath::PageWalk => {
+                    if c.cat_guest_only > pre.cat_guest_only {
+                        WalkClass::GuestSeg1d
+                    } else if c.cat_vmm_only > pre.cat_vmm_only {
+                        WalkClass::VmmSeg1d
+                    } else if self.mode.is_virtualized() {
+                        WalkClass::Walk2d
+                    } else {
+                        WalkClass::Walk1d
+                    }
+                }
+            },
+            Err(_) => WalkClass::Faulted,
+        };
+        let fault = match result {
+            Ok(_) => FaultKind::None,
+            Err(TranslationFault::GuestNotMapped { .. }) => FaultKind::GuestNotMapped,
+            Err(TranslationFault::NestedNotMapped { .. }) => FaultKind::NestedNotMapped,
+            Err(TranslationFault::WriteProtected { .. }) => FaultKind::WriteProtected,
+        };
+        let escape = if c.escape_hits > pre.escape_hits {
+            EscapeOutcome::Escaped
+        } else if c.bound_checks > pre.bound_checks {
+            EscapeOutcome::Passed
+        } else {
+            EscapeOutcome::NotChecked
+        };
+        observer.on_walk(&WalkEvent {
+            seq: c.accesses,
+            gva: va.as_u64(),
+            gpa: self.pending_gpa,
+            mode: self.mode.label(),
+            class,
+            write,
+            cycles: c.translation_cycles - pre.translation_cycles,
+            guest_refs: (c.guest_walk_refs - pre.guest_walk_refs) as u32,
+            nested_refs: (c.nested_walk_refs - pre.nested_walk_refs) as u32,
+            escape,
+            fault,
+        });
+        self.observer = Some(observer);
     }
 
     /// The L1-miss segment fast path: Dual Direct's 0D translation and the
@@ -561,6 +679,7 @@ impl Mmu {
 
         // Second dimension for the final guest-physical address.
         let gpa_of_access = Gpa::new(gpa_page.as_u64() + (raw & size.offset_mask()));
+        self.pending_gpa = Some(gpa_of_access.as_u64());
         if let Some(trace) = &mut self.miss_trace {
             trace.record(MissRecord {
                 gva: va,
@@ -604,6 +723,7 @@ impl Mmu {
 
     /// Walks the guest page table, translating each table pointer through
     /// the nested dimension.
+    #[allow(clippy::too_many_arguments)] // the walk needs both dimensions' tables and memories
     fn guest_dimension_walk(
         &mut self,
         gpt: &PageTable<Gva, Gpa>,
@@ -650,7 +770,7 @@ impl Mmu {
         gva: Gva,
         gpa: Gpa,
         cycles: &mut u64,
-    ) -> Result<(Hpa, bool, Option<(PageSize, Prot)>), TranslationFault> {
+    ) -> Result<(Hpa, bool, NestedLeaf), TranslationFault> {
         if matches!(
             self.mode,
             TranslationMode::VmmDirect | TranslationMode::DualDirect

@@ -24,6 +24,11 @@ pub struct MissRecord {
 
 /// A bounded in-memory DTLB-miss trace.
 ///
+/// Keeps the *first* `capacity` records and counts the rest as dropped —
+/// the complement of [`mv_obs::FlightRecorder`], which keeps the *last*
+/// `capacity`. A trace with `capacity == 0` captures nothing and counts
+/// every record as dropped; it is trivially [`full`](MissTrace::is_full).
+///
 /// # Example
 ///
 /// ```
@@ -35,7 +40,9 @@ pub struct MissRecord {
 /// t.record(MissRecord { gva: Gva::new(0x3000), gpa: Gpa::new(0x4000), write: true });
 /// t.record(MissRecord { gva: Gva::new(0x5000), gpa: Gpa::new(0x6000), write: false });
 /// assert_eq!(t.records().len(), 2, "bounded at capacity");
+/// assert!(t.is_full());
 /// assert_eq!(t.dropped(), 1);
+/// assert_eq!(t.iter().filter(|r| r.write).count(), 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct MissTrace {
@@ -67,6 +74,40 @@ impl MissTrace {
     /// The captured records.
     pub fn records(&self) -> &[MissRecord] {
         &self.records
+    }
+
+    /// Iterates over the captured records in arrival order.
+    pub fn iter(&self) -> std::slice::Iter<'_, MissRecord> {
+        self.records.iter()
+    }
+
+    /// The capacity this trace was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of captured records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing has been captured (either no misses yet, or a
+    /// zero-capacity trace).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// `true` once the buffer holds `capacity` records and further misses
+    /// are only counted as dropped. A zero-capacity trace is always full.
+    pub fn is_full(&self) -> bool {
+        self.records.len() >= self.capacity
+    }
+
+    /// Discards captured records and the dropped count, keeping the
+    /// capacity — ready to capture a fresh window.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
     }
 
     /// Records that arrived after the buffer filled.
@@ -116,6 +157,15 @@ impl MissTrace {
     }
 }
 
+impl<'a> IntoIterator for &'a MissTrace {
+    type Item = &'a MissRecord;
+    type IntoIter = std::slice::Iter<'a, MissRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,11 +212,55 @@ mod tests {
     #[test]
     fn capacity_bounds_memory() {
         let mut t = MissTrace::new(3);
+        assert!(!t.is_full());
         for i in 0..10 {
             t.record(rec(i * 0x1000, i * 0x1000));
         }
         assert_eq!(t.records().len(), 3);
+        assert_eq!(t.len(), 3);
+        assert!(t.is_full());
+        assert_eq!(t.capacity(), 3);
         assert_eq!(t.dropped(), 7);
         assert_eq!(t.total(), 10);
+    }
+
+    #[test]
+    fn zero_capacity_counts_everything_as_dropped() {
+        let mut t = MissTrace::new(0);
+        assert!(t.is_full(), "a zero-capacity trace is full from the start");
+        assert!(t.is_empty());
+        for i in 0..5 {
+            t.record(rec(i * 0x1000, i * 0x1000));
+        }
+        assert!(t.records().is_empty());
+        assert_eq!(t.dropped(), 5);
+        assert_eq!(t.total(), 5);
+    }
+
+    #[test]
+    fn clear_resets_for_a_fresh_window() {
+        let mut t = MissTrace::new(2);
+        for i in 0..4 {
+            t.record(rec(i * 0x1000, i * 0x1000));
+        }
+        assert_eq!((t.len(), t.dropped()), (2, 2));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.capacity(), 2, "capacity survives clear");
+        t.record(rec(0x9000, 0x9000));
+        assert_eq!(t.total(), 1);
+    }
+
+    #[test]
+    fn iteration_yields_arrival_order() {
+        let mut t = MissTrace::new(4);
+        for i in 0..3 {
+            t.record(rec(i * 0x1000, i * 0x2000));
+        }
+        let gvas: Vec<u64> = t.iter().map(|r| r.gva.as_u64()).collect();
+        assert_eq!(gvas, [0x0, 0x1000, 0x2000]);
+        let by_ref: Vec<u64> = (&t).into_iter().map(|r| r.gpa.as_u64()).collect();
+        assert_eq!(by_ref, [0x0, 0x2000, 0x4000]);
     }
 }

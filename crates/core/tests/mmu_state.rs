@@ -6,7 +6,9 @@ use mv_phys::PhysMem;
 use mv_pt::PageTable;
 use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize, Prot, MIB};
 
-fn world() -> (PhysMem<Gpa>, PhysMem<Hpa>, PageTable<Gva, Gpa>, PageTable<Gpa, Hpa>, Hpa) {
+type World = (PhysMem<Gpa>, PhysMem<Hpa>, PageTable<Gva, Gpa>, PageTable<Gpa, Hpa>, Hpa);
+
+fn world() -> World {
     let mut gmem: PhysMem<Gpa> = PhysMem::new(32 * MIB);
     let mut hmem: PhysMem<Hpa> = PhysMem::new(128 * MIB);
     let mut gpt: PageTable<Gva, Gpa> = PageTable::new(&mut gmem).unwrap();

@@ -2,12 +2,13 @@
 //! set, access sequence, and translation mode, the MMU's result equals the
 //! reference translation (software-composing the two page tables, with
 //! segments taking precedence where architecture says they do).
+//! Randomized via the workspace's internal deterministic RNG.
 
 use mv_core::{EscapeFilter, MemoryContext, Mmu, MmuConfig, Segment, TranslationMode};
 use mv_phys::PhysMem;
 use mv_pt::PageTable;
+use mv_types::rng::{Rng, StdRng};
 use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize, Prot, MIB};
-use proptest::prelude::*;
 
 const GMEM: u64 = 32 * MIB;
 const SEG_GVA_BASE: u64 = 1 << 30;
@@ -26,35 +27,39 @@ struct Layout {
     accesses: Vec<(u64, bool)>, // (va selector, write)
 }
 
-fn layout_strategy() -> impl Strategy<Value = Layout> {
-    let mode = prop_oneof![
-        Just(TranslationMode::BaseVirtualized),
-        Just(TranslationMode::VmmDirect),
-        Just(TranslationMode::GuestDirect),
-        Just(TranslationMode::DualDirect),
+fn random_layout(rng: &mut StdRng) -> Layout {
+    const MODES: [TranslationMode; 4] = [
+        TranslationMode::BaseVirtualized,
+        TranslationMode::VmmDirect,
+        TranslationMode::GuestDirect,
+        TranslationMode::DualDirect,
     ];
-    (
-        proptest::collection::vec((0u64..512, 0u64..1024), 1..40),
-        0u64..8,
-        0u64..24,
-        proptest::collection::vec(0u64..2048, 0..4),
-        mode,
-        proptest::collection::vec((0u64..4096, any::<bool>()), 1..150),
-    )
-        .prop_map(|(guest_pages, gseg_mib, vseg_mib, escaped, mode, accesses)| Layout {
-            guest_pages,
-            gseg_mib,
-            vseg_mib,
-            escaped,
-            mode,
-            accesses,
-        })
+    let n_pages = rng.gen_range(1usize..40);
+    let guest_pages = (0..n_pages)
+        .map(|_| (rng.gen_range(0u64..512), rng.gen_range(0u64..1024)))
+        .collect();
+    let n_escaped = rng.gen_range(0usize..4);
+    let escaped = (0..n_escaped).map(|_| rng.gen_range(0u64..2048)).collect();
+    let n_accesses = rng.gen_range(1usize..150);
+    let accesses = (0..n_accesses)
+        .map(|_| (rng.gen_range(0u64..4096), rng.gen_bool(0.5)))
+        .collect();
+    Layout {
+        guest_pages,
+        gseg_mib: rng.gen_range(0u64..8),
+        vseg_mib: rng.gen_range(0u64..24),
+        escaped,
+        mode: MODES[rng.gen_range(0usize..MODES.len())],
+        accesses,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn mmu_matches_reference_translation(l in layout_strategy()) {
+#[test]
+fn mmu_matches_reference_translation() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x3_0050_0000u64 + case);
+        let l = random_layout(&mut rng);
+
         // --- Build the two-level world. -------------------------------
         let mut gmem: PhysMem<Gpa> = PhysMem::new(GMEM);
         let mut hmem: PhysMem<Hpa> = PhysMem::new(4 * GMEM);
@@ -170,23 +175,20 @@ proptest! {
                 mmu.access(&ctx, 0, va, write)
             };
             match (got, expect) {
-                (Ok(out), Some(hpa)) => prop_assert_eq!(
+                (Ok(out), Some(hpa)) => assert_eq!(
                     out.hpa, hpa,
-                    "mode {:?} mistranslated {:?}", l.mode, va
+                    "case {case}: mode {:?} mistranslated {va:?}",
+                    l.mode
                 ),
                 (Err(_), None) => {} // unmapped: any not-mapped fault is right
-                (Ok(out), None) => {
-                    return Err(TestCaseError::fail(format!(
-                        "mode {:?}: MMU translated unmapped {va:?} to {:?}",
-                        l.mode, out.hpa
-                    )))
-                }
-                (Err(f), Some(_)) => {
-                    return Err(TestCaseError::fail(format!(
-                        "mode {:?}: MMU faulted ({f}) on mapped {va:?}",
-                        l.mode
-                    )))
-                }
+                (Ok(out), None) => panic!(
+                    "case {case}: mode {:?}: MMU translated unmapped {va:?} to {:?}",
+                    l.mode, out.hpa
+                ),
+                (Err(f), Some(_)) => panic!(
+                    "case {case}: mode {:?}: MMU faulted ({f}) on mapped {va:?}",
+                    l.mode
+                ),
             }
         }
     }

@@ -119,8 +119,7 @@ fn boot_reservation_feeds_segments_first() {
 
 #[test]
 fn fragmented_guest_memory_blocks_segment_creation() {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mv_types::rng::StdRng;
 
     let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
     let mut rng = StdRng::seed_from_u64(5);

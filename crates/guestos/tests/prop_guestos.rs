@@ -1,9 +1,10 @@
 //! Property tests for the guest OS: frame conservation under arbitrary
-//! fault/unmap/balloon sequences, and translation consistency.
+//! fault/unmap/balloon sequences, and translation consistency. Randomized
+//! via the workspace's internal deterministic RNG.
 
 use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
+use mv_types::rng::{Rng, StdRng};
 use mv_types::{Gva, PageSize, Prot, MIB};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -13,27 +14,34 @@ enum Op {
     BalloonDeflate,
 }
 
-fn ops() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => (0u64..256).prop_map(|page| Op::Fault { page }),
-        3 => (0u64..256).prop_map(|page| Op::Unmap { page }),
-        1 => (1usize..64).prop_map(|frames| Op::BalloonInflate { frames }),
-        1 => Just(Op::BalloonDeflate),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0u32..10) {
+        0..=4 => Op::Fault {
+            page: rng.gen_range(0u64..256),
+        },
+        5..=7 => Op::Unmap {
+            page: rng.gen_range(0u64..256),
+        },
+        8 => Op::BalloonInflate {
+            frames: rng.gen_range(1usize..64),
+        },
+        _ => Op::BalloonDeflate,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn guest_os_conserves_frames(seq in proptest::collection::vec(ops(), 1..120)) {
+#[test]
+fn guest_os_conserves_frames() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x50e5_7000u64 + case);
+        let n_ops = rng.gen_range(1usize..120);
         let installed = 32 * MIB;
         let mut os = GuestOs::boot(GuestConfig::small(installed));
         let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
         let base = os.mmap(pid, 2 * MIB, Prot::RW).unwrap().as_u64();
         let mut model = std::collections::HashSet::new();
 
-        for op in seq {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Fault { page } => {
                     let va = Gva::new(base + page * 4096);
                     if model.contains(&page) {
@@ -47,7 +55,7 @@ proptest! {
                 Op::Unmap { page } => {
                     let va = Gva::new(base + page * 4096);
                     let r = os.unmap_page(pid, va).unwrap();
-                    prop_assert_eq!(r.is_some(), model.remove(&page));
+                    assert_eq!(r.is_some(), model.remove(&page), "case {case}");
                 }
                 Op::BalloonInflate { frames } => {
                     // May fail when memory is tight; both outcomes are fine.
@@ -62,38 +70,48 @@ proptest! {
             // always equals installed memory.
             let stats = os.mem().stats();
             let pt_pages = os.process(pid).page_table().stats().table_pages;
-            let used = model.len() as u64
-                + os.balloon.held_frames() as u64
-                + pt_pages;
-            prop_assert_eq!(
+            let used = model.len() as u64 + os.balloon.held_frames() as u64 + pt_pages;
+            assert_eq!(
                 stats.free_bytes + used * 4096,
                 installed,
-                "frame accounting diverged"
+                "case {case}: frame accounting diverged"
             );
 
             // Translation consistency: exactly the model's pages map.
             let (pt, mem) = os.pt_and_mem(pid);
             for page in 0..256u64 {
                 let va = Gva::new(base + page * 4096);
-                prop_assert_eq!(
+                assert_eq!(
                     pt.translate(mem, va).is_some(),
                     model.contains(&page),
-                    "mapping state diverged at page {}", page
+                    "case {case}: mapping state diverged at page {page}"
                 );
             }
         }
     }
+}
 
-    /// Distinct mapped pages always get distinct frames.
-    #[test]
-    fn mapped_frames_never_alias(pages in proptest::collection::hash_set(0u64..512, 1..64)) {
+/// Distinct mapped pages always get distinct frames.
+#[test]
+fn mapped_frames_never_alias() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x50e5_7100u64 + case);
+        let n = rng.gen_range(1usize..64);
+        let mut pages = std::collections::HashSet::new();
+        while pages.len() < n {
+            pages.insert(rng.gen_range(0u64..512));
+        }
         let mut os = GuestOs::boot(GuestConfig::small(32 * MIB));
         let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
         let base = os.mmap(pid, 4 * MIB, Prot::RW).unwrap().as_u64();
         let mut frames = std::collections::HashSet::new();
         for &page in &pages {
             let fix = os.handle_page_fault(pid, Gva::new(base + page * 4096)).unwrap();
-            prop_assert!(frames.insert(fix.gpa), "frame {:?} handed out twice", fix.gpa);
+            assert!(
+                frames.insert(fix.gpa),
+                "case {case}: frame {:?} handed out twice",
+                fix.gpa
+            );
         }
     }
 }

@@ -1,0 +1,76 @@
+//! Periodic telemetry snapshots.
+
+use crate::event::WalkClass;
+use crate::hist::LatencyHistogram;
+
+/// Telemetry aggregated over one epoch (a fixed-length window of accesses).
+///
+/// Epochs are keyed by access sequence number, not by event count, so a
+/// quiet epoch (few TLB misses) and a stormy one cover the same amount of
+/// simulated work and their rates are directly comparable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSnapshot {
+    /// Epoch index (0-based).
+    pub index: u64,
+    /// First access sequence number the epoch covers (1-based, inclusive).
+    pub start_seq: u64,
+    /// Last access sequence number the epoch covers (inclusive). For the
+    /// trailing partial epoch this is the run's final access.
+    pub end_seq: u64,
+    /// Walk events (L1 misses) observed in the epoch.
+    pub events: u64,
+    /// Per-[`WalkClass`] event counts (indexed by [`WalkClass::index`]).
+    pub class_counts: [u64; WalkClass::ALL.len()],
+    /// Faults observed (any kind).
+    pub faults: u64,
+    /// Escape-filter escapes observed.
+    pub escapes: u64,
+    /// Latency histogram of the epoch's events.
+    pub hist: LatencyHistogram,
+}
+
+impl EpochSnapshot {
+    /// Accesses the epoch spans.
+    pub fn span(&self) -> u64 {
+        self.end_seq.saturating_sub(self.start_seq) + 1
+    }
+
+    /// TLB misses per thousand accesses within the epoch.
+    pub fn mpka(&self) -> f64 {
+        if self.span() == 0 {
+            0.0
+        } else {
+            1000.0 * self.events as f64 / self.span() as f64
+        }
+    }
+
+    /// Mean translation cycles per miss within the epoch.
+    pub fn cycles_per_miss(&self) -> f64 {
+        self.hist.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(10);
+        hist.record(30);
+        let s = EpochSnapshot {
+            index: 0,
+            start_seq: 1,
+            end_seq: 1000,
+            events: 2,
+            class_counts: [0; WalkClass::ALL.len()],
+            faults: 0,
+            escapes: 0,
+            hist,
+        };
+        assert_eq!(s.span(), 1000);
+        assert!((s.mpka() - 2.0).abs() < 1e-12);
+        assert!((s.cycles_per_miss() - 20.0).abs() < 1e-12);
+    }
+}

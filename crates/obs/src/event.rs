@@ -1,0 +1,178 @@
+//! The structured walk event and the observer hook.
+
+use core::fmt;
+
+/// How a TLB-missing access was ultimately served — the dimensionality
+/// vocabulary of the paper (0D bypass, 1D single-dimension walks, the full
+/// 2D nested walk) plus the cache paths that short-circuit a walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WalkClass {
+    /// Served by the shared L2 TLB; no walk performed.
+    L2Hit,
+    /// Dual Direct's 0D path: both segment register sets, zero references.
+    Bypass0d,
+    /// The unvirtualized direct-segment path (Section III.D).
+    DirectSegment,
+    /// Guest Direct 1D: guest segment replaced the guest dimension.
+    GuestSeg1d,
+    /// VMM Direct 1D: VMM segment replaced the nested dimension.
+    VmmSeg1d,
+    /// Full 2D nested walk — both dimensions paged.
+    Walk2d,
+    /// Native 1D walk (unvirtualized paging, shadow paging).
+    Walk1d,
+    /// The access faulted before a translation completed.
+    Faulted,
+}
+
+impl WalkClass {
+    /// All classes, in rendering order.
+    pub const ALL: [WalkClass; 8] = [
+        WalkClass::L2Hit,
+        WalkClass::Bypass0d,
+        WalkClass::DirectSegment,
+        WalkClass::GuestSeg1d,
+        WalkClass::VmmSeg1d,
+        WalkClass::Walk2d,
+        WalkClass::Walk1d,
+        WalkClass::Faulted,
+    ];
+
+    /// Stable snake_case identifier used by both exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            WalkClass::L2Hit => "l2_hit",
+            WalkClass::Bypass0d => "bypass_0d",
+            WalkClass::DirectSegment => "direct_segment",
+            WalkClass::GuestSeg1d => "guest_seg_1d",
+            WalkClass::VmmSeg1d => "vmm_seg_1d",
+            WalkClass::Walk2d => "walk_2d",
+            WalkClass::Walk1d => "walk_1d",
+            WalkClass::Faulted => "faulted",
+        }
+    }
+
+    /// Index into a dense per-class counter array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for WalkClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fault observed on the walk, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultKind {
+    /// The translation completed.
+    #[default]
+    None,
+    /// First dimension unmapped (guest page fault).
+    GuestNotMapped,
+    /// Second dimension unmapped (nested page fault).
+    NestedNotMapped,
+    /// Write hit a read-only leaf.
+    WriteProtected,
+}
+
+impl FaultKind {
+    /// Stable snake_case identifier used by both exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::None => "none",
+            FaultKind::GuestNotMapped => "guest_not_mapped",
+            FaultKind::NestedNotMapped => "nested_not_mapped",
+            FaultKind::WriteProtected => "write_protected",
+        }
+    }
+}
+
+/// What the escape filter said about this access's segment candidacy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EscapeOutcome {
+    /// No segment bound check ran on this path.
+    #[default]
+    NotChecked,
+    /// A bound check ran and the filter let the segment serve the access.
+    Passed,
+    /// The filter flagged the address; it escaped back to paging.
+    Escaped,
+}
+
+impl EscapeOutcome {
+    /// Stable snake_case identifier used by both exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            EscapeOutcome::NotChecked => "not_checked",
+            EscapeOutcome::Passed => "passed",
+            EscapeOutcome::Escaped => "escaped",
+        }
+    }
+}
+
+/// One structured TLB-miss event: everything the MMU knew about how an
+/// L1-missing access was translated. Addresses are raw `u64` so this crate
+/// stays dependency-free; the emitting layer owns the typed views.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkEvent {
+    /// Access sequence number within the observed window (1-based).
+    pub seq: u64,
+    /// Guest virtual address of the access.
+    pub gva: u64,
+    /// Final guest-physical address of the first dimension, when a
+    /// virtualized walk resolved one (`None` on L2 hits, bypasses, native
+    /// walks, and first-dimension faults).
+    pub gpa: Option<u64>,
+    /// Translation-mode label of the emitting MMU.
+    pub mode: &'static str,
+    /// Path that served (or failed) the access.
+    pub class: WalkClass,
+    /// Whether the access was a write.
+    pub write: bool,
+    /// Translation cycles charged to this access.
+    pub cycles: u64,
+    /// Guest-dimension page-table references performed.
+    pub guest_refs: u32,
+    /// Nested-dimension page-table references performed.
+    pub nested_refs: u32,
+    /// Escape-filter outcome.
+    pub escape: EscapeOutcome,
+    /// Fault observed, if any.
+    pub fault: FaultKind,
+}
+
+/// Receiver for [`WalkEvent`]s, attached to an MMU.
+///
+/// The hook is invoked once per L1 TLB miss — never on L1 hits — so an
+/// attached observer rides the already-expensive slow path, and a detached
+/// one costs the emitting MMU a single branch.
+pub trait WalkObserver: fmt::Debug {
+    /// Called after each L1 miss has been fully serviced (or faulted).
+    fn on_walk(&mut self, event: &WalkEvent);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_dense_and_stable() {
+        for (i, c) in WalkClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        let labels: std::collections::HashSet<_> =
+            WalkClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), WalkClass::ALL.len(), "labels are unique");
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(WalkClass::Walk2d.to_string(), "walk_2d");
+        assert_eq!(FaultKind::default().label(), "none");
+        assert_eq!(EscapeOutcome::default().label(), "not_checked");
+    }
+}

@@ -1,0 +1,356 @@
+//! Exporters: JSONL (events + epoch snapshots) and Prometheus-style text.
+//!
+//! Both are hand-rolled — the values are integers, floats, booleans, and
+//! identifier-like strings, so no general serializer is needed. The JSONL
+//! schema is documented in README.md's Observability section.
+
+use std::io::{self, Write};
+
+use crate::epoch::EpochSnapshot;
+use crate::event::{WalkClass, WalkEvent};
+use crate::hist::{LatencyHistogram, BUCKETS};
+use crate::telemetry::Telemetry;
+
+/// Escapes a string for a JSON value. Labels here are `snake_case`
+/// identifiers, but the exporter stays correct for arbitrary input.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one walk event as a JSONL line (no trailing newline).
+pub fn event_jsonl(e: &WalkEvent) -> String {
+    let gpa = match e.gpa {
+        Some(g) => format!("\"{g:#x}\""),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"type\":\"event\",\"seq\":{},\"gva\":\"{:#x}\",\"gpa\":{},\
+         \"mode\":\"{}\",\"class\":\"{}\",\"write\":{},\"cycles\":{},\
+         \"guest_refs\":{},\"nested_refs\":{},\"escape\":\"{}\",\"fault\":\"{}\"}}",
+        e.seq,
+        e.gva,
+        gpa,
+        json_escape(e.mode),
+        e.class.label(),
+        e.write,
+        e.cycles,
+        e.guest_refs,
+        e.nested_refs,
+        e.escape.label(),
+        e.fault.label(),
+    )
+}
+
+/// Renders one epoch snapshot as a JSONL line (no trailing newline).
+pub fn epoch_jsonl(s: &EpochSnapshot) -> String {
+    let classes: Vec<String> = WalkClass::ALL
+        .iter()
+        .filter(|c| s.class_counts[c.index()] > 0)
+        .map(|c| format!("\"{}\":{}", c.label(), s.class_counts[c.index()]))
+        .collect();
+    format!(
+        "{{\"type\":\"epoch\",\"index\":{},\"start_seq\":{},\"end_seq\":{},\
+         \"events\":{},\"mpka\":{:.3},\"cycles_sum\":{},\"cycles_per_miss\":{:.3},\
+         \"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\
+         \"faults\":{},\"escapes\":{},\"classes\":{{{}}}}}",
+        s.index,
+        s.start_seq,
+        s.end_seq,
+        s.events,
+        s.mpka(),
+        s.hist.sum(),
+        s.cycles_per_miss(),
+        s.hist.percentile(0.50),
+        s.hist.percentile(0.95),
+        s.hist.percentile(0.99),
+        s.hist.max(),
+        s.faults,
+        s.escapes,
+        classes.join(","),
+    )
+}
+
+impl Telemetry {
+    /// Writes the full telemetry as JSONL: a `meta` line, one `epoch` line
+    /// per snapshot, one `event` line per flight-recorder entry, and a
+    /// final `summary` line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(
+            w,
+            "{{\"type\":\"meta\",\"epoch_len\":{},\"flight_capacity\":{}}}",
+            self.config().epoch_len,
+            self.config().flight_capacity,
+        )?;
+        for s in self.epochs() {
+            writeln!(w, "{}", epoch_jsonl(s))?;
+        }
+        for e in self.flight().events() {
+            writeln!(w, "{}", event_jsonl(e))?;
+        }
+        let h = self.hist();
+        writeln!(
+            w,
+            "{{\"type\":\"summary\",\"events\":{},\"cycles_sum\":{},\
+             \"cycles_per_miss\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\
+             \"epochs\":{},\"flight_kept\":{},\"flight_overwritten\":{}}}",
+            self.events(),
+            h.sum(),
+            h.mean(),
+            h.percentile(0.50),
+            h.percentile(0.95),
+            h.percentile(0.99),
+            h.max(),
+            self.epochs().len(),
+            self.flight().len(),
+            self.flight().overwritten(),
+        )
+    }
+
+    /// Renders the final counters in the Prometheus text exposition format
+    /// (`# HELP`/`# TYPE` comments, `name{labels} value` samples). `labels`
+    /// are attached to every sample — pass run identity like
+    /// `[("workload", "gups"), ("config", "4K+4K")]`.
+    pub fn prometheus(&self, labels: &[(&str, &str)]) -> String {
+        let mut out = String::new();
+        let with = |extra: &[(&str, String)]| -> String {
+            let mut parts: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+                .collect();
+            parts.extend(
+                extra
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v))),
+            );
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        };
+
+        out.push_str("# HELP mv_walk_events_total TLB-miss walk events observed.\n");
+        out.push_str("# TYPE mv_walk_events_total counter\n");
+        out.push_str(&format!(
+            "mv_walk_events_total{} {}\n",
+            with(&[]),
+            self.events()
+        ));
+
+        out.push_str("# HELP mv_walk_class_total Walk events by translation path.\n");
+        out.push_str("# TYPE mv_walk_class_total counter\n");
+        for c in WalkClass::ALL {
+            out.push_str(&format!(
+                "mv_walk_class_total{} {}\n",
+                with(&[("class", c.label().to_string())]),
+                self.class_count(c)
+            ));
+        }
+
+        out.push_str("# HELP mv_walk_faults_total Walk events that faulted, by kind.\n");
+        out.push_str("# TYPE mv_walk_faults_total counter\n");
+        for (kind, label) in [
+            (crate::FaultKind::GuestNotMapped, "guest_not_mapped"),
+            (crate::FaultKind::NestedNotMapped, "nested_not_mapped"),
+            (crate::FaultKind::WriteProtected, "write_protected"),
+        ] {
+            out.push_str(&format!(
+                "mv_walk_faults_total{} {}\n",
+                with(&[("kind", label.to_string())]),
+                self.fault_count(kind)
+            ));
+        }
+
+        out.push_str("# HELP mv_escape_total Escape-filter outcomes on segment checks.\n");
+        out.push_str("# TYPE mv_escape_total counter\n");
+        for (o, label) in [
+            (crate::EscapeOutcome::Passed, "passed"),
+            (crate::EscapeOutcome::Escaped, "escaped"),
+        ] {
+            out.push_str(&format!(
+                "mv_escape_total{} {}\n",
+                with(&[("outcome", label.to_string())]),
+                self.escape_count(o)
+            ));
+        }
+
+        out.push_str(
+            "# HELP mv_walk_cycles Translation cycles charged per TLB miss.\n",
+        );
+        out.push_str("# TYPE mv_walk_cycles histogram\n");
+        out.push_str(&prometheus_histogram("mv_walk_cycles", self.hist(), &with));
+
+        out.push_str("# HELP mv_flight_overwritten_total Flight-recorder events evicted.\n");
+        out.push_str("# TYPE mv_flight_overwritten_total counter\n");
+        out.push_str(&format!(
+            "mv_flight_overwritten_total{} {}\n",
+            with(&[]),
+            self.flight().overwritten()
+        ));
+        out
+    }
+}
+
+fn prom_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a `{label="value",...}` sample suffix from extra labels.
+type LabelRenderer<'a> = &'a dyn Fn(&[(&str, String)]) -> String;
+
+/// Renders one histogram in Prometheus exposition form (cumulative
+/// `_bucket{le=...}` samples plus `_sum` and `_count`).
+fn prometheus_histogram(name: &str, h: &LatencyHistogram, with: LabelRenderer<'_>) -> String {
+    let mut out = String::new();
+    let mut cumulative = 0u64;
+    for (i, &c) in h.counts().iter().enumerate() {
+        cumulative += c;
+        // Skip interior empty buckets past the data to keep output small,
+        // but always emit buckets that advance the cumulative count.
+        if c == 0 && i != 0 && i != BUCKETS - 1 {
+            continue;
+        }
+        let le = if i == BUCKETS - 1 {
+            "+Inf".to_string()
+        } else {
+            LatencyHistogram::bucket_bound(i).to_string()
+        };
+        out.push_str(&format!(
+            "{name}_bucket{} {cumulative}\n",
+            with(&[("le", le)])
+        ));
+    }
+    out.push_str(&format!("{name}_sum{} {}\n", with(&[]), h.sum()));
+    out.push_str(&format!("{name}_count{} {}\n", with(&[]), h.count()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EscapeOutcome, FaultKind, WalkObserver};
+    use crate::telemetry::TelemetryConfig;
+
+    fn sample_telemetry() -> Telemetry {
+        let mut t = Telemetry::new(TelemetryConfig {
+            epoch_len: 10,
+            flight_capacity: 2,
+        });
+        for s in 1..=25u64 {
+            t.on_walk(&WalkEvent {
+                seq: s,
+                gva: 0x1000 * s,
+                gpa: (s % 2 == 0).then_some(0x2000 * s),
+                mode: "4K+4K",
+                class: if s % 5 == 0 {
+                    WalkClass::L2Hit
+                } else {
+                    WalkClass::Walk2d
+                },
+                write: s % 3 == 0,
+                cycles: 40 + s,
+                guest_refs: 4,
+                nested_refs: 20,
+                escape: EscapeOutcome::NotChecked,
+                fault: FaultKind::None,
+            });
+        }
+        t.finish(25);
+        t
+    }
+
+    #[test]
+    fn jsonl_lines_are_well_formed() {
+        let t = sample_telemetry();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // meta + 3 epochs + 2 flight events + summary.
+        assert_eq!(lines.len(), 1 + 3 + 2 + 1);
+        for line in &lines {
+            assert!(line.starts_with("{\"type\":\""), "line: {line}");
+            assert!(line.ends_with('}'), "line: {line}");
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "balanced braces: {line}"
+            );
+        }
+        assert!(lines[0].contains("\"epoch_len\":10"));
+        assert!(lines[1].contains("\"type\":\"epoch\""));
+        assert!(text.contains("\"type\":\"summary\""));
+    }
+
+    #[test]
+    fn event_json_renders_null_gpa() {
+        let e = WalkEvent {
+            seq: 1,
+            gva: 0x1000,
+            gpa: None,
+            mode: "native",
+            class: WalkClass::Walk1d,
+            write: false,
+            cycles: 30,
+            guest_refs: 4,
+            nested_refs: 0,
+            escape: EscapeOutcome::NotChecked,
+            fault: FaultKind::None,
+        };
+        let s = event_jsonl(&e);
+        assert!(s.contains("\"gpa\":null"));
+        assert!(s.contains("\"gva\":\"0x1000\""));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let t = sample_telemetry();
+        let text = t.prometheus(&[("workload", "gups"), ("config", "4K+4K")]);
+        assert!(text.contains("# TYPE mv_walk_events_total counter"));
+        assert!(text
+            .contains("mv_walk_events_total{workload=\"gups\",config=\"4K+4K\"} 25"));
+        assert!(text.contains("class=\"walk_2d\"} 20"));
+        assert!(text.contains("class=\"l2_hit\"} 5"));
+        // Histogram: +Inf bucket equals the count, sum matches.
+        assert!(text.contains("le=\"+Inf\"} 25"));
+        assert!(text.contains(&format!("mv_walk_cycles_sum{{workload=\"gups\",config=\"4K+4K\"}} {}", t.hist().sum())));
+        // Every non-comment line is `name{...} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name_labels, value) = line.rsplit_once(' ').unwrap();
+            assert!(!name_labels.is_empty());
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "value parses: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_cumulative_buckets_are_monotone() {
+        let t = sample_telemetry();
+        let text = t.prometheus(&[]);
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("mv_walk_cycles_bucket")) {
+            let v: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(v >= last, "cumulative: {line}");
+            last = v;
+        }
+        assert_eq!(last, 25);
+    }
+}

@@ -1,0 +1,180 @@
+//! Flight recorder: a bounded overwrite-ring of recent walk events.
+//!
+//! Where `mv_core::MissTrace` keeps the *first* `capacity` records and
+//! drops the rest (a sampling buffer), the flight recorder keeps the *last*
+//! `capacity` events — the black-box view: when something goes wrong at
+//! event N, the events leading up to N are the ones worth having.
+
+use crate::event::WalkEvent;
+
+/// A ring buffer of the most recent [`WalkEvent`]s.
+///
+/// # Example
+///
+/// ```
+/// use mv_obs::{EscapeOutcome, FaultKind, FlightRecorder, WalkClass, WalkEvent};
+///
+/// let mut fr = FlightRecorder::new(2);
+/// for seq in 1..=5 {
+///     fr.push(WalkEvent {
+///         seq, gva: 0x1000 * seq, gpa: None, mode: "4K+4K",
+///         class: WalkClass::Walk2d, write: false, cycles: 40,
+///         guest_refs: 4, nested_refs: 20,
+///         escape: EscapeOutcome::NotChecked, fault: FaultKind::None,
+///     });
+/// }
+/// let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+/// assert_eq!(seqs, [4, 5], "only the most recent events survive");
+/// assert_eq!(fr.overwritten(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    buf: Vec<WalkEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    overwritten: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` events. A capacity of
+    /// 0 records nothing: every push counts as overwritten.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            buf: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            head: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest once full.
+    pub fn push(&mut self, e: WalkEvent) {
+        if self.capacity == 0 {
+            self.overwritten += 1;
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Events in arrival order (oldest surviving first).
+    pub fn events(&self) -> impl Iterator<Item = &WalkEvent> {
+        let (tail, front) = self.buf.split_at(self.head);
+        front.iter().chain(tail.iter())
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the recorder holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the ring has reached capacity (subsequent pushes evict).
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted (or refused, for capacity 0) so far.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Total events ever pushed.
+    pub fn total(&self) -> u64 {
+        self.buf.len() as u64 + self.overwritten
+    }
+
+    /// Empties the ring (capacity and overwritten count are kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EscapeOutcome, FaultKind, WalkClass};
+
+    fn ev(seq: u64) -> WalkEvent {
+        WalkEvent {
+            seq,
+            gva: seq * 0x1000,
+            gpa: None,
+            mode: "test",
+            class: WalkClass::Walk2d,
+            write: false,
+            cycles: seq,
+            guest_refs: 0,
+            nested_refs: 0,
+            escape: EscapeOutcome::NotChecked,
+            fault: FaultKind::None,
+        }
+    }
+
+    #[test]
+    fn keeps_the_newest_events_in_order() {
+        let mut fr = FlightRecorder::new(3);
+        for s in 1..=7 {
+            fr.push(ev(s));
+        }
+        let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, [5, 6, 7]);
+        assert_eq!(fr.overwritten(), 4);
+        assert_eq!(fr.total(), 7);
+        assert!(fr.is_full());
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut fr = FlightRecorder::new(8);
+        for s in 1..=3 {
+            fr.push(ev(s));
+        }
+        assert_eq!(fr.len(), 3);
+        assert!(!fr.is_full());
+        assert_eq!(fr.overwritten(), 0);
+        let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, [1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_refuses_everything() {
+        let mut fr = FlightRecorder::new(0);
+        for s in 1..=4 {
+            fr.push(ev(s));
+        }
+        assert!(fr.is_empty());
+        assert!(fr.is_full(), "a zero-capacity ring is trivially full");
+        assert_eq!(fr.overwritten(), 4);
+        assert_eq!(fr.total(), 4);
+    }
+
+    #[test]
+    fn clear_resets_contents_only() {
+        let mut fr = FlightRecorder::new(2);
+        for s in 1..=5 {
+            fr.push(ev(s));
+        }
+        fr.clear();
+        assert!(fr.is_empty());
+        assert_eq!(fr.overwritten(), 3, "history of evictions survives clear");
+        fr.push(ev(9));
+        assert_eq!(fr.events().map(|e| e.seq).collect::<Vec<_>>(), [9]);
+    }
+}

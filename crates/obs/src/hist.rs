@@ -1,0 +1,234 @@
+//! Fixed-bucket log2 latency histogram.
+
+use core::fmt;
+
+/// Number of buckets. Bucket 0 holds exactly the value 0; bucket `i` (for
+/// `1 <= i < BUCKETS-1`) holds values in `[2^(i-1), 2^i - 1]`; the last
+/// bucket holds everything from `2^(BUCKETS-2)` up.
+pub const BUCKETS: usize = 32;
+
+/// A log2-bucketed histogram of per-miss translation latencies.
+///
+/// Fixed size (no allocation per record), mergeable, and cheap enough to
+/// keep one per epoch. Counts are conserved: the bucket counts always sum
+/// to [`LatencyHistogram::count`].
+///
+/// # Example
+///
+/// ```
+/// use mv_obs::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for c in [0, 1, 7, 44, 44, 200] {
+///     h.record(c);
+/// }
+/// assert_eq!(h.count(), 6);
+/// assert_eq!(h.sum(), 296);
+/// assert_eq!(h.percentile(0.5), 7, "p50 falls in the [4,7] bucket");
+/// assert_eq!(h.percentile(0.95), 200, "p95 bound is clamped to the observed max");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value lands in.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= BUCKETS`.
+    pub fn bucket_bound(i: usize) -> u64 {
+        assert!(i < BUCKETS, "bucket index out of range");
+        if i == 0 {
+            0
+        } else if i == BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one value. The running sum saturates at `u64::MAX` rather
+    /// than wrapping, so pathological inputs degrade the mean instead of
+    /// corrupting it.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether nothing has been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile (`0 < p <= 1`);
+    /// the exact value when it falls in the first two buckets. Returns 0 on
+    /// an empty histogram, and the max-value's bucket bound for `p = 1`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report a bound past the observed maximum.
+                return Self::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds another histogram's contents into this one. Merging is
+    /// commutative and associative, so shards can combine in any order.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    /// Compact one-line rendering: `n=…, mean=…, p50=…, p95=…, p99=…, max=…`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50<={} p95<={} p99<={} max={}",
+            self.count,
+            self.mean(),
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.percentile(0.99),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 1);
+        assert_eq!(LatencyHistogram::bucket_index(2), 2);
+        assert_eq!(LatencyHistogram::bucket_index(3), 2);
+        assert_eq!(LatencyHistogram::bucket_index(4), 3);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), BUCKETS - 1);
+        // Every value lands in the bucket whose bound covers it.
+        for v in [0u64, 1, 5, 100, 4096, 1 << 40] {
+            let i = LatencyHistogram::bucket_index(v);
+            assert!(v <= LatencyHistogram::bucket_bound(i));
+            if i > 0 {
+                assert!(v > LatencyHistogram::bucket_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn counts_and_moments() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 3, 3, 10, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 116);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 23.2).abs() < 1e-12);
+        assert_eq!(h.counts().iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn percentiles_of_empty_and_single() {
+        assert_eq!(LatencyHistogram::new().percentile(0.5), 0);
+        let mut h = LatencyHistogram::new();
+        h.record(44);
+        assert_eq!(h.percentile(0.5), 44, "clamped to the observed max");
+        assert_eq!(h.percentile(1.0), 44);
+    }
+
+    #[test]
+    fn merge_is_add() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(1);
+        a.record(50);
+        b.record(7);
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum(), 58);
+        assert_eq!(m.max(), 50);
+    }
+}

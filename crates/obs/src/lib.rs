@@ -1,0 +1,64 @@
+//! Observability for the simulation stack: structured walk events, latency
+//! histograms, epoch telemetry, and exporters.
+//!
+//! The paper's evaluation lives and dies by *measurement*: every reported
+//! number is a counted translation event (Section VII). This crate makes
+//! that measurement a first-class, zero-cost-when-disabled subsystem:
+//!
+//! * [`WalkEvent`] / [`WalkObserver`] — a structured record of each TLB
+//!   miss (addresses, dimensionality class, charged cycles, escape-filter
+//!   outcome, fault kind) delivered through a hook the MMU invokes only on
+//!   its already-slow miss path. With no observer attached the hot path
+//!   pays a single branch.
+//! * [`LatencyHistogram`] — fixed log2-bucket histogram of per-miss
+//!   latency: no allocation per record, mergeable across shards.
+//! * [`Telemetry`] / [`EpochSnapshot`] — run-level aggregation with
+//!   periodic per-epoch snapshots (every N accesses), so drift over a run
+//!   (TLB warmup, ballooning, churn) is visible, not averaged away.
+//! * [`FlightRecorder`] — a bounded ring of the most recent events (the
+//!   black-box complement to `mv_core::MissTrace`, which keeps the first
+//!   N).
+//! * Exporters — JSONL ([`Telemetry::write_jsonl`]) and Prometheus text
+//!   exposition ([`Telemetry::prometheus`]).
+//!
+//! This crate is dependency-free (addresses are raw `u64`); `mv-core`
+//! emits events, `mv-sim` wires collection into runs, and the `mv-bench`
+//! binaries export the results.
+//!
+//! # Example
+//!
+//! ```
+//! use mv_obs::{SharedTelemetry, TelemetryConfig, WalkClass, WalkEvent, WalkObserver};
+//! use mv_obs::{EscapeOutcome, FaultKind};
+//!
+//! let shared = SharedTelemetry::new(TelemetryConfig { epoch_len: 100, flight_capacity: 8 });
+//! let mut observer = shared.observer(); // attach this to an Mmu
+//! observer.on_walk(&WalkEvent {
+//!     seq: 1, gva: 0x7000_0000, gpa: Some(0x1000), mode: "4K+4K",
+//!     class: WalkClass::Walk2d, write: false, cycles: 44,
+//!     guest_refs: 4, nested_refs: 20,
+//!     escape: EscapeOutcome::NotChecked, fault: FaultKind::None,
+//! });
+//! drop(observer);
+//! let telemetry = shared.take(1);
+//! assert_eq!(telemetry.events(), 1);
+//! assert_eq!(telemetry.hist().sum(), 44);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod epoch;
+mod event;
+mod export;
+mod flight;
+mod hist;
+mod telemetry;
+
+pub use epoch::EpochSnapshot;
+pub use event::{EscapeOutcome, FaultKind, WalkClass, WalkEvent, WalkObserver};
+pub use export::{epoch_jsonl, event_jsonl};
+pub use flight::FlightRecorder;
+pub use hist::{LatencyHistogram, BUCKETS};
+pub use telemetry::{SharedTelemetry, Telemetry, TelemetryConfig};

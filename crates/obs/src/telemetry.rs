@@ -1,0 +1,333 @@
+//! The telemetry aggregator: one observer that feeds histograms, epoch
+//! snapshots, and the flight recorder.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::epoch::EpochSnapshot;
+use crate::event::{EscapeOutcome, FaultKind, WalkClass, WalkEvent, WalkObserver};
+use crate::flight::FlightRecorder;
+use crate::hist::LatencyHistogram;
+
+/// Configuration for a [`Telemetry`] collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Accesses per epoch snapshot; 0 disables epoch collection (only the
+    /// run-total aggregates are kept).
+    pub epoch_len: u64,
+    /// Flight-recorder capacity in events; 0 disables event retention.
+    pub flight_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            epoch_len: 10_000,
+            flight_capacity: 0,
+        }
+    }
+}
+
+/// Run-level telemetry: cumulative latency histogram and per-class /
+/// per-fault / per-escape counters, plus periodic [`EpochSnapshot`]s and an
+/// optional [`FlightRecorder`] of recent events.
+///
+/// Implements [`WalkObserver`] directly; use [`SharedTelemetry`] when the
+/// collector must outlive the observer attachment (the usual case — the
+/// MMU owns the observer box while the harness wants the data afterward).
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    cfg: TelemetryConfig,
+    hist: LatencyHistogram,
+    class_counts: [u64; WalkClass::ALL.len()],
+    fault_counts: [u64; 4],
+    escape_counts: [u64; 3],
+    events: u64,
+    last_seq: u64,
+    epochs: Vec<EpochSnapshot>,
+    cur: Option<EpochAccum>,
+    flight: FlightRecorder,
+    finished: bool,
+}
+
+/// In-progress epoch.
+#[derive(Debug, Clone)]
+struct EpochAccum {
+    index: u64,
+    events: u64,
+    class_counts: [u64; WalkClass::ALL.len()],
+    faults: u64,
+    escapes: u64,
+    hist: LatencyHistogram,
+}
+
+impl EpochAccum {
+    fn new(index: u64) -> Self {
+        EpochAccum {
+            index,
+            events: 0,
+            class_counts: [0; WalkClass::ALL.len()],
+            faults: 0,
+            escapes: 0,
+            hist: LatencyHistogram::new(),
+        }
+    }
+
+    fn snapshot(&self, epoch_len: u64, end_seq: u64) -> EpochSnapshot {
+        EpochSnapshot {
+            index: self.index,
+            start_seq: self.index * epoch_len + 1,
+            end_seq,
+            events: self.events,
+            class_counts: self.class_counts,
+            faults: self.faults,
+            escapes: self.escapes,
+            hist: self.hist,
+        }
+    }
+}
+
+impl Telemetry {
+    /// Creates an empty collector.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Telemetry {
+            flight: FlightRecorder::new(cfg.flight_capacity),
+            cfg,
+            ..Telemetry::default()
+        }
+    }
+
+    /// The configuration the collector was built with.
+    pub fn config(&self) -> TelemetryConfig {
+        self.cfg
+    }
+
+    /// Cumulative latency histogram over all observed events.
+    pub fn hist(&self) -> &LatencyHistogram {
+        &self.hist
+    }
+
+    /// Total walk events observed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Events observed for one [`WalkClass`].
+    pub fn class_count(&self, class: WalkClass) -> u64 {
+        self.class_counts[class.index()]
+    }
+
+    /// Events observed for one [`FaultKind`] (including `FaultKind::None`).
+    pub fn fault_count(&self, fault: FaultKind) -> u64 {
+        self.fault_counts[fault as usize]
+    }
+
+    /// Events observed for one [`EscapeOutcome`].
+    pub fn escape_count(&self, escape: EscapeOutcome) -> u64 {
+        self.escape_counts[escape as usize]
+    }
+
+    /// Completed epoch snapshots (includes the trailing partial epoch once
+    /// [`Telemetry::finish`] has run).
+    pub fn epochs(&self) -> &[EpochSnapshot] {
+        &self.epochs
+    }
+
+    /// The flight recorder of recent events.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Closes the collector at `total_accesses` accesses, flushing the
+    /// trailing partial epoch (if it saw any events). Idempotent.
+    pub fn finish(&mut self, total_accesses: u64) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if let Some(cur) = self.cur.take() {
+            let end = total_accesses.max(self.last_seq);
+            self.epochs.push(cur.snapshot(self.cfg.epoch_len, end));
+        }
+    }
+}
+
+impl WalkObserver for Telemetry {
+    fn on_walk(&mut self, e: &WalkEvent) {
+        self.events += 1;
+        self.last_seq = e.seq;
+        self.hist.record(e.cycles);
+        self.class_counts[e.class.index()] += 1;
+        self.fault_counts[e.fault as usize] += 1;
+        self.escape_counts[e.escape as usize] += 1;
+
+        if let Some(epoch) = e.seq.saturating_sub(1).checked_div(self.cfg.epoch_len) {
+            match &self.cur {
+                Some(cur) if cur.index != epoch => {
+                    let cur = self.cur.take().expect("matched Some");
+                    let end = (cur.index + 1) * self.cfg.epoch_len;
+                    self.epochs.push(cur.snapshot(self.cfg.epoch_len, end));
+                    self.cur = Some(EpochAccum::new(epoch));
+                }
+                None => self.cur = Some(EpochAccum::new(epoch)),
+                Some(_) => {}
+            }
+            let cur = self.cur.as_mut().expect("just ensured");
+            cur.events += 1;
+            cur.class_counts[e.class.index()] += 1;
+            if e.fault != FaultKind::None {
+                cur.faults += 1;
+            }
+            if e.escape == EscapeOutcome::Escaped {
+                cur.escapes += 1;
+            }
+            cur.hist.record(e.cycles);
+        }
+
+        if self.cfg.flight_capacity > 0 {
+            self.flight.push(*e);
+        }
+    }
+}
+
+/// A clonable handle to a [`Telemetry`] collector.
+///
+/// The attachment side hands a boxed clone to the MMU ([`SharedTelemetry::observer`])
+/// while keeping its own handle; after the run, [`SharedTelemetry::take`]
+/// recovers the collected data without any downcasting.
+///
+/// # Example
+///
+/// ```
+/// use mv_obs::{SharedTelemetry, TelemetryConfig, WalkObserver};
+///
+/// let shared = SharedTelemetry::new(TelemetryConfig::default());
+/// let mut observer = shared.observer();
+/// // ... attach `observer` to an MMU and run ...
+/// drop(observer);
+/// let telemetry = shared.take(123);
+/// assert_eq!(telemetry.events(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedTelemetry(Rc<RefCell<Telemetry>>);
+
+impl SharedTelemetry {
+    /// Creates a fresh collector behind a shared handle.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        SharedTelemetry(Rc::new(RefCell::new(Telemetry::new(cfg))))
+    }
+
+    /// A boxed observer feeding this handle's collector.
+    pub fn observer(&self) -> Box<dyn WalkObserver> {
+        Box::new(self.clone())
+    }
+
+    /// Finishes the collector at `total_accesses` and returns it. Clones
+    /// the inner data only if another handle is still alive.
+    pub fn take(self, total_accesses: u64) -> Telemetry {
+        self.0.borrow_mut().finish(total_accesses);
+        match Rc::try_unwrap(self.0) {
+            Ok(cell) => cell.into_inner(),
+            Err(rc) => rc.borrow().clone(),
+        }
+    }
+}
+
+impl WalkObserver for SharedTelemetry {
+    fn on_walk(&mut self, event: &WalkEvent) {
+        self.0.borrow_mut().on_walk(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, cycles: u64, class: WalkClass) -> WalkEvent {
+        WalkEvent {
+            seq,
+            gva: seq * 0x1000,
+            gpa: Some(seq * 0x1000),
+            mode: "test",
+            class,
+            write: false,
+            cycles,
+            guest_refs: 4,
+            nested_refs: 20,
+            escape: EscapeOutcome::NotChecked,
+            fault: FaultKind::None,
+        }
+    }
+
+    #[test]
+    fn epochs_key_on_access_seq() {
+        let mut t = Telemetry::new(TelemetryConfig {
+            epoch_len: 100,
+            flight_capacity: 0,
+        });
+        // Events in accesses 1..=100 (epoch 0), 101..=200 (epoch 1), and
+        // one event in epoch 3 — epoch 2 has no misses at all.
+        t.on_walk(&ev(5, 40, WalkClass::Walk2d));
+        t.on_walk(&ev(99, 44, WalkClass::Walk2d));
+        t.on_walk(&ev(150, 10, WalkClass::L2Hit));
+        t.on_walk(&ev(350, 44, WalkClass::Walk2d));
+        t.finish(400);
+
+        let epochs = t.epochs();
+        assert_eq!(epochs.len(), 3, "only epochs with events snapshot");
+        assert_eq!(epochs[0].index, 0);
+        assert_eq!((epochs[0].start_seq, epochs[0].end_seq), (1, 100));
+        assert_eq!(epochs[0].events, 2);
+        assert_eq!(epochs[1].index, 1);
+        assert_eq!(epochs[1].events, 1);
+        assert_eq!(epochs[2].index, 3);
+        assert_eq!(epochs[2].end_seq, 400, "trailing epoch ends at the run");
+
+        // Conservation: epoch events sum to the run total.
+        assert_eq!(epochs.iter().map(|e| e.events).sum::<u64>(), t.events());
+        assert_eq!(t.class_count(WalkClass::Walk2d), 3);
+        assert_eq!(t.class_count(WalkClass::L2Hit), 1);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        t.on_walk(&ev(1, 5, WalkClass::Walk2d));
+        t.finish(10);
+        t.finish(10);
+        assert_eq!(t.epochs().len(), 1);
+    }
+
+    #[test]
+    fn zero_epoch_len_disables_snapshots() {
+        let mut t = Telemetry::new(TelemetryConfig {
+            epoch_len: 0,
+            flight_capacity: 0,
+        });
+        for s in 1..=50 {
+            t.on_walk(&ev(s, 44, WalkClass::Walk2d));
+        }
+        t.finish(50);
+        assert!(t.epochs().is_empty());
+        assert_eq!(t.events(), 50);
+        assert_eq!(t.hist().count(), 50);
+    }
+
+    #[test]
+    fn shared_handle_round_trips() {
+        let shared = SharedTelemetry::new(TelemetryConfig {
+            epoch_len: 10,
+            flight_capacity: 4,
+        });
+        let mut obs = shared.observer();
+        for s in 1..=25 {
+            obs.on_walk(&ev(s, s, WalkClass::Walk2d));
+        }
+        drop(obs);
+        let t = shared.take(25);
+        assert_eq!(t.events(), 25);
+        assert_eq!(t.epochs().len(), 3);
+        assert_eq!(t.flight().len(), 4);
+        assert_eq!(t.flight().overwritten(), 21);
+    }
+}

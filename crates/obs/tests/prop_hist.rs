@@ -1,0 +1,159 @@
+//! Randomized property tests for [`mv_obs::LatencyHistogram`].
+//!
+//! Hand-rolled property testing over `mv_types::rng::StdRng` (the
+//! workspace has no external dependencies): each property is checked
+//! across many seeded random cases, and a failure message carries the
+//! seed so the case can be replayed.
+
+use mv_obs::{LatencyHistogram, BUCKETS};
+use mv_types::rng::{Rng, StdRng};
+
+const CASES: u64 = 200;
+
+/// Draws a value distribution that exercises every bucket regime: zeros,
+/// small counts, mid-range cycle costs, and huge outliers.
+fn draw_value(rng: &mut StdRng) -> u64 {
+    match rng.gen_range(0u32..4) {
+        0 => 0,
+        1 => rng.gen_range(0u64..16),
+        2 => rng.gen_range(0u64..10_000),
+        _ => 1u64 << rng.gen_range(0u32..63),
+    }
+}
+
+fn random_hist(rng: &mut StdRng, n: usize) -> (LatencyHistogram, Vec<u64>) {
+    let mut h = LatencyHistogram::new();
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = draw_value(rng);
+        h.record(v);
+        values.push(v);
+    }
+    (h, values)
+}
+
+#[test]
+fn total_count_and_sum_are_conserved() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(0usize..500);
+        let (h, values) = random_hist(&mut rng, n);
+
+        assert_eq!(h.count(), n as u64, "seed {seed}: count mismatch");
+        let bucket_total: u64 = h.counts().iter().sum();
+        assert_eq!(
+            bucket_total,
+            n as u64,
+            "seed {seed}: bucket counts must sum to the record count"
+        );
+        // The histogram's sum saturates (never wraps); mirror that here.
+        let expected_sum = values.iter().fold(0u64, |acc, &v| acc.saturating_add(v));
+        assert_eq!(h.sum(), expected_sum, "seed {seed}: sum mismatch");
+        assert_eq!(
+            h.max(),
+            values.iter().copied().max().unwrap_or(0),
+            "seed {seed}: max mismatch"
+        );
+    }
+}
+
+#[test]
+fn every_value_lands_in_a_bucket_covering_it() {
+    // Bucket bounds are monotone and each recorded value falls in exactly
+    // the bucket whose (lower, upper] range contains it.
+    for i in 1..BUCKETS {
+        assert!(
+            LatencyHistogram::bucket_bound(i) > LatencyHistogram::bucket_bound(i - 1),
+            "bucket bounds must be strictly increasing"
+        );
+    }
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let v = draw_value(&mut rng);
+        let mut h = LatencyHistogram::new();
+        h.record(v);
+        let idx = h
+            .counts()
+            .iter()
+            .position(|&c| c == 1)
+            .expect("one bucket holds the value");
+        assert!(
+            v <= LatencyHistogram::bucket_bound(idx),
+            "seed {seed}: value {v} exceeds its bucket's upper bound"
+        );
+        if idx > 0 {
+            assert!(
+                v > LatencyHistogram::bucket_bound(idx - 1),
+                "seed {seed}: value {v} also fits the previous bucket"
+            );
+        }
+    }
+}
+
+#[test]
+fn percentiles_are_monotone_and_bounded() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let n = rng.gen_range(1usize..300);
+        let (h, values) = random_hist(&mut rng, n);
+
+        let mut last = 0u64;
+        for p in [0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0] {
+            let q = h.percentile(p);
+            assert!(q >= last, "seed {seed}: percentile not monotone in p");
+            assert!(q <= h.max(), "seed {seed}: percentile above observed max");
+            last = q;
+        }
+        // The reported quantile is an upper bound: at least ceil(p*n)
+        // values are <= it (the bucket bound can only over-estimate).
+        for p in [0.5, 0.9] {
+            let q = h.percentile(p);
+            let rank = (p * n as f64).ceil() as usize;
+            let at_or_below = values.iter().filter(|&&v| v <= q).count();
+            assert!(
+                at_or_below >= rank,
+                "seed {seed}: p{p} bound {q} covers only {at_or_below}/{rank}"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_is_commutative_and_associative() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3000 + seed);
+        let (a, _) = { let n = rng.gen_range(0usize..100); random_hist(&mut rng, n) };
+        let (b, _) = { let n = rng.gen_range(0usize..100); random_hist(&mut rng, n) };
+        let (c, _) = { let n = rng.gen_range(0usize..100); random_hist(&mut rng, n) };
+
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "seed {seed}: merge must be commutative");
+
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "seed {seed}: merge must be associative");
+    }
+}
+
+#[test]
+fn merge_equals_recording_the_concatenation() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        let (mut a, va) = { let n = rng.gen_range(0usize..100); random_hist(&mut rng, n) };
+        let (b, vb) = { let n = rng.gen_range(0usize..100); random_hist(&mut rng, n) };
+        a.merge(&b);
+
+        let mut whole = LatencyHistogram::new();
+        for v in va.iter().chain(vb.iter()) {
+            whole.record(*v);
+        }
+        assert_eq!(a, whole, "seed {seed}: merge differs from concatenation");
+    }
+}

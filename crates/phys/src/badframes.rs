@@ -9,8 +9,8 @@
 use std::collections::BTreeSet;
 
 use mv_types::{AddrRange, Address, PAGE_SHIFT_4K, PAGE_SIZE_4K};
-use rand::seq::IteratorRandom;
-use rand::Rng;
+use mv_types::rng::IteratorRandom;
+use mv_types::rng::Rng;
 
 /// Set of permanently faulty 4 KiB frames in a physical address space.
 ///
@@ -115,8 +115,7 @@ impl<A: Address> std::fmt::Debug for BadFrames<A> {
 mod tests {
     use super::*;
     use mv_types::Hpa;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mv_types::rng::StdRng;
 
     fn range(start: u64, end: u64) -> AddrRange<Hpa> {
         AddrRange::new(Hpa::new(start), Hpa::new(end))

@@ -243,8 +243,7 @@ fn free_in<A: Address>(mem: &PhysMem<A>, w: u64, n: u64) -> u64 {
 mod tests {
     use super::*;
     use mv_types::{Hpa, MIB};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mv_types::rng::StdRng;
 
     #[test]
     fn already_contiguous_memory_needs_no_moves() {

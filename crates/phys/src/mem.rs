@@ -1,7 +1,7 @@
 //! The physical address space façade.
 
 use mv_types::{AddrRange, Address, PageSize, PAGE_SHIFT_4K, PAGE_SIZE_4K};
-use rand::Rng;
+use mv_types::rng::Rng;
 
 use crate::badframes::BadFrames;
 use crate::buddy::BuddyAllocator;
@@ -480,8 +480,7 @@ impl<A: Address> std::fmt::Debug for PhysMem<A> {
 mod tests {
     use super::*;
     use mv_types::{Hpa, GIB, MIB};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mv_types::rng::StdRng;
 
     #[test]
     fn alloc_honors_page_size_alignment() {

@@ -1,8 +1,9 @@
-//! Property-based tests for the physical-memory substrate.
+//! Property-based tests for the physical-memory substrate, driven by the
+//! workspace's internal deterministic RNG.
 
 use mv_phys::PhysMem;
+use mv_types::rng::{Rng, StdRng};
 use mv_types::{Hpa, PageSize, MIB};
-use proptest::prelude::*;
 
 /// A random sequence of allocator operations.
 #[derive(Debug, Clone)]
@@ -11,39 +12,39 @@ enum Op {
     FreeNth(usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => prop_oneof![
-            Just(Op::Alloc(PageSize::Size4K)),
-            Just(Op::Alloc(PageSize::Size2M)),
-        ],
-        2 => any::<usize>().prop_map(Op::FreeNth),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0u32..5) {
+        0 | 1 => Op::Alloc(PageSize::Size4K),
+        2 => Op::Alloc(PageSize::Size2M),
+        _ => Op::FreeNth(rng.gen_range(0usize..usize::MAX)),
+    }
 }
 
-proptest! {
-    /// Allocation never double-hands-out memory, frees restore accounting,
-    /// and a fully-freed space coalesces back to one run.
-    #[test]
-    fn allocator_conserves_frames(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+/// Allocation never double-hands-out memory, frees restore accounting,
+/// and a fully-freed space coalesces back to one run.
+#[test]
+fn allocator_conserves_frames() {
+    for case in 0..96u64 {
+        let mut rng = StdRng::seed_from_u64(0x0947_5000u64 + case);
+        let n_ops = rng.gen_range(1usize..200);
         let total = 16 * MIB;
         let mut mem: PhysMem<Hpa> = PhysMem::new(total);
         let mut live: Vec<(Hpa, PageSize)> = Vec::new();
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Alloc(size) => {
                     if let Ok(addr) = mem.alloc(size) {
                         // No overlap with any live allocation.
                         for &(other, osize) in &live {
                             let a = addr.as_u64();
                             let b = other.as_u64();
-                            prop_assert!(
+                            assert!(
                                 a + size.bytes() <= b || b + osize.bytes() <= a,
-                                "overlapping allocations {addr:?} and {other:?}"
+                                "case {case}: overlapping allocations {addr:?} and {other:?}"
                             );
                         }
-                        prop_assert!(addr.is_aligned(size));
+                        assert!(addr.is_aligned(size), "case {case}");
                         live.push((addr, size));
                     }
                 }
@@ -55,25 +56,30 @@ proptest! {
                 }
             }
             let live_bytes: u64 = live.iter().map(|&(_, s)| s.bytes()).sum();
-            prop_assert_eq!(mem.free_bytes() + live_bytes, total);
+            assert_eq!(mem.free_bytes() + live_bytes, total, "case {case}");
         }
 
         for (addr, size) in live.drain(..) {
             mem.free(addr, size).unwrap();
         }
-        prop_assert_eq!(mem.free_bytes(), total);
-        prop_assert_eq!(mem.stats().largest_free_run_bytes, total);
+        assert_eq!(mem.free_bytes(), total, "case {case}");
+        assert_eq!(mem.stats().largest_free_run_bytes, total, "case {case}");
     }
+}
 
-    /// Reservations are disjoint from each other and later allocations.
-    #[test]
-    fn reservations_are_exclusive(lens in proptest::collection::vec(1u64..(2 * MIB), 1..8)) {
+/// Reservations are disjoint from each other and later allocations.
+#[test]
+fn reservations_are_exclusive() {
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x0947_5100u64 + case);
+        let n = rng.gen_range(1usize..8);
         let mut mem: PhysMem<Hpa> = PhysMem::new(64 * MIB);
         let mut ranges = Vec::new();
-        for len in lens {
+        for _ in 0..n {
+            let len = rng.gen_range(1u64..(2 * MIB));
             if let Ok(r) = mem.reserve_contiguous(len, PageSize::Size4K) {
                 for other in &ranges {
-                    prop_assert!(!r.overlaps(other));
+                    assert!(!r.overlaps(other), "case {case}");
                 }
                 ranges.push(r);
             }
@@ -81,23 +87,21 @@ proptest! {
         for _ in 0..32 {
             if let Ok(p) = mem.alloc(PageSize::Size4K) {
                 for r in &ranges {
-                    prop_assert!(!r.contains(p));
+                    assert!(!r.contains(p), "case {case}");
                 }
             }
         }
     }
+}
 
-    /// Compaction preserves frame contents under the relocation map.
-    #[test]
-    fn compaction_preserves_contents(
-        seed in any::<u64>(),
-        occupancy in 0.05f64..0.4,
-    ) {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+/// Compaction preserves frame contents under the relocation map.
+#[test]
+fn compaction_preserves_contents() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x0947_5200u64 + case);
+        let occupancy = 0.05 + rng.gen_f64() * 0.35;
 
         let mut mem: PhysMem<Hpa> = PhysMem::new(8 * MIB);
-        let mut rng = StdRng::seed_from_u64(seed);
         let held = mem.fragment(&mut rng, occupancy);
         // Stamp every held frame with a value derived from its identity.
         for (i, &f) in held.iter().enumerate() {
@@ -116,11 +120,11 @@ proptest! {
             location.insert(logical, dst);
         });
         if let Ok(out) = out {
-            prop_assert_eq!(out.range.len(), 4 * MIB);
+            assert_eq!(out.range.len(), 4 * MIB, "case {case}");
             for (i, f) in held.iter().enumerate() {
                 let cur = location[f];
-                prop_assert_eq!(mem.read_u64(cur), i as u64 + 1);
-                prop_assert!(!out.range.contains(cur));
+                assert_eq!(mem.read_u64(cur), i as u64 + 1, "case {case}");
+                assert!(!out.range.contains(cur), "case {case}");
             }
         }
     }

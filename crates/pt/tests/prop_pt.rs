@@ -1,12 +1,13 @@
 //! Property-based tests: the radix page table agrees with a flat reference
-//! model under arbitrary map/unmap sequences.
+//! model under arbitrary map/unmap sequences drawn from the workspace's
+//! internal deterministic RNG.
 
 use std::collections::HashMap;
 
 use mv_phys::PhysMem;
 use mv_pt::{PageTable, PtError};
+use mv_types::rng::{Rng, StdRng};
 use mv_types::{Gpa, Gva, PageSize, Prot, MIB};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,14 +16,29 @@ enum Op {
     Probe { slot: u64, offset: u64 },
 }
 
-fn ops() -> impl Strategy<Value = Op> {
-    let size = prop_oneof![Just(PageSize::Size4K), Just(PageSize::Size2M)];
-    let prot = prop_oneof![Just(Prot::RW), Just(Prot::READ), Just(Prot::RWX)];
-    prop_oneof![
-        3 => (0u64..32, size, prot).prop_map(|(slot, size, prot)| Op::Map { slot, size, prot }),
-        1 => (0u64..32).prop_map(|slot| Op::Unmap { slot }),
-        2 => (0u64..32, 0u64..(2 * MIB)).prop_map(|(slot, offset)| Op::Probe { slot, offset }),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0u32..6) {
+        0..=2 => Op::Map {
+            slot: rng.gen_range(0u64..32),
+            size: if rng.gen_bool(0.5) {
+                PageSize::Size4K
+            } else {
+                PageSize::Size2M
+            },
+            prot: match rng.gen_range(0u32..3) {
+                0 => Prot::RW,
+                1 => Prot::READ,
+                _ => Prot::RWX,
+            },
+        },
+        3 => Op::Unmap {
+            slot: rng.gen_range(0u64..32),
+        },
+        _ => Op::Probe {
+            slot: rng.gen_range(0u64..32),
+            offset: rng.gen_range(0u64..(2 * MIB)),
+        },
+    }
 }
 
 /// Each slot is a disjoint 2 MiB-aligned region so sizes never conflict
@@ -31,30 +47,37 @@ fn slot_va(slot: u64) -> Gva {
     Gva::new(0x4000_0000 + slot * (2 * MIB))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn radix_table_matches_reference(ops in proptest::collection::vec(ops(), 1..120)) {
+#[test]
+fn radix_table_matches_reference() {
+    for case in 0..96u64 {
+        let mut rng = StdRng::seed_from_u64(0x9_7ab1_e000u64 + case);
+        let n_ops = rng.gen_range(1usize..120);
         let mut mem: PhysMem<Gpa> = PhysMem::new(256 * MIB);
         let mut pt: PageTable<Gva, Gpa> = PageTable::new(&mut mem).unwrap();
         // slot -> (frame, size, prot)
         let mut model: HashMap<u64, (Gpa, PageSize, Prot)> = HashMap::new();
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Map { slot, size, prot } => {
                     let va = slot_va(slot);
                     let frame = mem.alloc(size).unwrap();
                     match pt.map(&mut mem, va, frame, size, prot) {
                         Ok(()) => {
-                            prop_assert!(!model.contains_key(&slot), "map succeeded over live mapping");
+                            assert!(
+                                !model.contains_key(&slot),
+                                "case {case}: map succeeded over live mapping"
+                            );
                             model.insert(slot, (frame, size, prot));
                         }
                         Err(PtError::AlreadyMapped { .. } | PtError::HugeConflict { .. }) => {
-                            prop_assert!(model.contains_key(&slot), "map failed on empty slot");
+                            assert!(
+                                model.contains_key(&slot),
+                                "case {case}: map failed on empty slot"
+                            );
                             mem.free(frame, size).unwrap();
                         }
-                        Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+                        Err(e) => panic!("case {case}: unexpected {e}"),
                     }
                 }
                 Op::Unmap { slot } => {
@@ -62,12 +85,15 @@ proptest! {
                     match model.remove(&slot) {
                         Some((frame, size, _)) => {
                             let got = pt.unmap(&mut mem, va, size).unwrap();
-                            prop_assert_eq!(got, frame);
+                            assert_eq!(got, frame, "case {case}");
                             mem.free(frame, size).unwrap();
                         }
                         None => {
                             // Either size is fine; both must report NotMapped.
-                            prop_assert!(pt.unmap(&mut mem, va, PageSize::Size4K).is_err());
+                            assert!(
+                                pt.unmap(&mut mem, va, PageSize::Size4K).is_err(),
+                                "case {case}"
+                            );
                         }
                     }
                 }
@@ -77,11 +103,11 @@ proptest! {
                     match model.get(&slot) {
                         Some(&(frame, size, prot)) if offset < size.bytes() => {
                             let t = got.expect("model says mapped");
-                            prop_assert_eq!(t.pa, frame.add(offset));
-                            prop_assert_eq!(t.size, size);
-                            prop_assert_eq!(t.prot, prot);
+                            assert_eq!(t.pa, frame.add(offset), "case {case}");
+                            assert_eq!(t.size, size, "case {case}");
+                            assert_eq!(t.prot, prot, "case {case}");
                         }
-                        _ => prop_assert!(got.is_none(), "model says unmapped at {va}"),
+                        _ => assert!(got.is_none(), "case {case}: model says unmapped at {va}"),
                     }
                 }
             }
@@ -97,6 +123,6 @@ proptest! {
             assert_eq!(size, msize);
             assert_eq!(pte.prot(), prot);
         });
-        prop_assert_eq!(count, model.len());
+        assert_eq!(count, model.len(), "case {case}");
     }
 }

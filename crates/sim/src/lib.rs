@@ -43,3 +43,7 @@ pub use config::{Env, GuestPaging, SimConfig};
 pub use native::NativeOs;
 pub use result::RunResult;
 pub use run::{SimError, Simulation};
+
+// Telemetry vocabulary, re-exported so harness binaries can configure
+// observed runs without naming `mv-obs` directly.
+pub use mv_obs::{EpochSnapshot, Telemetry, TelemetryConfig};

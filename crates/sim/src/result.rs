@@ -1,6 +1,7 @@
 //! Results of a simulation run.
 
 use mv_core::MmuCounters;
+use mv_obs::Telemetry;
 
 /// Measurements from one configuration run — one bar of a paper figure.
 #[derive(Debug, Clone)]
@@ -24,6 +25,9 @@ pub struct RunResult {
     pub vm_exits: u64,
     /// Nested-kind lookups and hits in the shared L2 TLB.
     pub nested_l2: (u64, u64),
+    /// Walk-event telemetry over the measured window, when the run was
+    /// started through [`crate::Simulation::run_observed`].
+    pub telemetry: Option<Telemetry>,
 }
 
 impl RunResult {
@@ -72,6 +76,15 @@ impl RunResult {
     /// Overhead as a percentage string (`"28.3%"`).
     pub fn overhead_pct(&self) -> String {
         format!("{:.1}%", self.overhead * 100.0)
+    }
+
+    /// Renders this run's telemetry as Prometheus text exposition, labeled
+    /// with the run's workload and configuration. `None` when the run was
+    /// not observed.
+    pub fn prometheus(&self) -> Option<String> {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.prometheus(&[("workload", self.workload), ("config", &self.label)]))
     }
 
     /// CSV header matching [`RunResult::csv_row`], for scripting around
@@ -126,6 +139,7 @@ mod tests {
             overhead: 0.0,
             vm_exits: 0,
             nested_l2: (0, 0),
+            telemetry: None,
         };
         let cols = RunResult::csv_header().split(',').count();
         assert_eq!(r.csv_row().split(',').count(), cols);
@@ -149,6 +163,7 @@ mod tests {
             overhead: 0.5,
             vm_exits: 0,
             nested_l2: (0, 0),
+            telemetry: None,
         };
         assert!((r.mpka() - 100.0).abs() < 1e-12);
         assert!((r.cycles_per_miss() - 50.0).abs() < 1e-12);

@@ -5,6 +5,7 @@ use core::fmt;
 
 use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
 use mv_guestos::{GuestConfig, GuestOs, OsError, PageSizePolicy};
+use mv_obs::{SharedTelemetry, Telemetry, TelemetryConfig};
 use mv_types::{AddrRange, Gpa, Gva, PageSize, Prot, MIB};
 use mv_vmm::{SegmentOptions, ShadowPaging, VmConfig, Vmm, VmmError, VM_EXIT_CYCLES};
 
@@ -108,12 +109,81 @@ impl Simulation {
         hw: MmuConfig,
         trace_capacity: Option<usize>,
     ) -> Result<(RunResult, Option<mv_core::MissTrace>), SimError> {
+        Self::run_instrumented(cfg, hw, trace_capacity, None)
+    }
+
+    /// Like [`Simulation::run_with_mmu`], attaching a walk-event telemetry
+    /// collector over the measured window. The returned result carries the
+    /// collected [`mv_obs::Telemetry`] in [`RunResult::telemetry`];
+    /// attaching it does not change any measured counter (the observer
+    /// rides the miss path and reads counter deltas).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run`].
+    pub fn run_observed(
+        cfg: &SimConfig,
+        hw: MmuConfig,
+        telemetry: TelemetryConfig,
+    ) -> Result<RunResult, SimError> {
+        Ok(Self::run_instrumented(cfg, hw, None, Some(telemetry))?.0)
+    }
+
+    /// The fully-instrumented entry point: optional miss trace plus
+    /// optional telemetry in one run.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run`].
+    pub fn run_instrumented(
+        cfg: &SimConfig,
+        hw: MmuConfig,
+        trace_capacity: Option<usize>,
+        telemetry: Option<TelemetryConfig>,
+    ) -> Result<(RunResult, Option<mv_core::MissTrace>), SimError> {
+        let instr = Instruments {
+            trace_capacity,
+            telemetry,
+        };
         match cfg.env {
-            Env::Native { .. } => run_native(cfg, hw, trace_capacity),
-            Env::Virtualized { .. } => run_virtualized(cfg, hw, trace_capacity),
-            Env::Shadow { .. } => run_shadow(cfg, hw, trace_capacity),
+            Env::Native { .. } => run_native(cfg, hw, &instr),
+            Env::Virtualized { .. } => run_virtualized(cfg, hw, &instr),
+            Env::Shadow { .. } => run_shadow(cfg, hw, &instr),
         }
     }
+}
+
+/// Instrumentation requested for a run. Both instruments attach at the
+/// warmup boundary so they cover exactly the measured window.
+#[derive(Debug, Clone, Copy, Default)]
+struct Instruments {
+    trace_capacity: Option<usize>,
+    telemetry: Option<TelemetryConfig>,
+}
+
+impl Instruments {
+    /// Attaches the requested instruments to the MMU (called at the warmup
+    /// boundary), returning the handle to collect telemetry from later.
+    fn attach(&self, mmu: &mut Mmu) -> Option<SharedTelemetry> {
+        if let Some(cap) = self.trace_capacity {
+            mmu.enable_miss_trace(cap);
+        }
+        self.telemetry.map(|tc| {
+            let shared = SharedTelemetry::new(tc);
+            mmu.set_observer(shared.observer());
+            shared
+        })
+    }
+}
+
+/// Detaches the observer and closes the telemetry window at `accesses`.
+fn collect_telemetry(
+    mmu: &mut Mmu,
+    shared: Option<SharedTelemetry>,
+    accesses: u64,
+) -> Option<Telemetry> {
+    drop(mmu.take_observer());
+    shared.map(|s| s.take(accesses))
 }
 
 fn mmu_for(hw: MmuConfig, mode: TranslationMode) -> Mmu {
@@ -123,7 +193,7 @@ fn mmu_for(hw: MmuConfig, mode: TranslationMode) -> Mmu {
 fn run_native(
     cfg: &SimConfig,
     hw: MmuConfig,
-    trace_capacity: Option<usize>,
+    instr: &Instruments,
 ) -> Result<(RunResult, Option<mv_core::MissTrace>), SimError> {
     let Env::Native { direct_segment } = cfg.env else {
         unreachable!("dispatched on env");
@@ -155,13 +225,12 @@ fn run_native(
         }
     }
     let mut workload = cfg.workload.build(cfg.footprint, cfg.seed);
+    let mut telemetry = None;
     let total = cfg.warmup + cfg.accesses;
     for i in 0..total {
         if i == cfg.warmup {
             mmu.reset_counters();
-            if let Some(cap) = trace_capacity {
-                mmu.enable_miss_trace(cap);
-            }
+            telemetry = instr.attach(&mut mmu);
         }
         let acc = workload.next_access();
         let va = Gva::new(base + acc.offset);
@@ -187,14 +256,18 @@ fn run_native(
         }
     }
 
+    let telemetry = collect_telemetry(&mut mmu, telemetry, cfg.accesses);
     let trace = mmu.take_miss_trace();
-    Ok((finish(cfg, &mmu, workload.cycles_per_access(), 0.0, 0), trace))
+    Ok((
+        finish(cfg, &mmu, workload.cycles_per_access(), 0.0, 0, telemetry),
+        trace,
+    ))
 }
 
 fn run_virtualized(
     cfg: &SimConfig,
     hw: MmuConfig,
-    trace_capacity: Option<usize>,
+    instr: &Instruments,
 ) -> Result<(RunResult, Option<mv_core::MissTrace>), SimError> {
     let Env::Virtualized { nested, mode } = cfg.env else {
         unreachable!("dispatched on env");
@@ -235,15 +308,14 @@ fn run_virtualized(
     let churn_base = guest.mmap(pid, CHURN_REGION, Prot::RW)?;
     let mut churn_cursor = 0u64;
 
+    let mut telemetry = None;
     let mut exits_at_reset = 0u64;
     let total = cfg.warmup + cfg.accesses;
     for i in 0..total {
         if i == cfg.warmup {
             mmu.reset_counters();
             exits_at_reset = vmm.vm(vm).counters().vm_exits;
-            if let Some(cap) = trace_capacity {
-                mmu.enable_miss_trace(cap);
-            }
+            telemetry = instr.attach(&mut mmu);
         }
         if churn.due(i) {
             churn_event(&mut guest, pid, churn_base, &mut churn_cursor, &mut mmu)?;
@@ -288,9 +360,10 @@ fn run_virtualized(
     let exit_cycles =
         (vmm.vm(vm).counters().vm_exits - exits_at_reset) as f64 * VM_EXIT_CYCLES as f64;
     let vm_exits = vmm.vm(vm).counters().vm_exits - exits_at_reset;
+    let telemetry = collect_telemetry(&mut mmu, telemetry, cfg.accesses);
     let trace = mmu.take_miss_trace();
     Ok((
-        finish(cfg, &mmu, workload.cycles_per_access(), exit_cycles, vm_exits),
+        finish(cfg, &mmu, workload.cycles_per_access(), exit_cycles, vm_exits, telemetry),
         trace,
     ))
 }
@@ -298,7 +371,7 @@ fn run_virtualized(
 fn run_shadow(
     cfg: &SimConfig,
     hw: MmuConfig,
-    trace_capacity: Option<usize>,
+    instr: &Instruments,
 ) -> Result<(RunResult, Option<mv_core::MissTrace>), SimError> {
     let Env::Shadow { nested } = cfg.env else {
         unreachable!("dispatched on env");
@@ -334,6 +407,7 @@ fn run_shadow(
     let churn_base = guest.mmap(pid, CHURN_REGION, Prot::RW)?;
     let mut churn_cursor = 0u64;
 
+    let mut telemetry = None;
     let mut exit_cycles_at_reset = 0u64;
     let mut exits_at_reset = 0u64;
     let total = cfg.warmup + cfg.accesses;
@@ -342,9 +416,7 @@ fn run_shadow(
             mmu.reset_counters();
             exit_cycles_at_reset = shadow.exit_cycles();
             exits_at_reset = shadow.vm_exits();
-            if let Some(cap) = trace_capacity {
-                mmu.enable_miss_trace(cap);
-            }
+            telemetry = instr.attach(&mut mmu);
         }
         if churn.due(i) {
             shadow_churn_event(
@@ -398,9 +470,10 @@ fn run_shadow(
 
     let exit_cycles = (shadow.exit_cycles() - exit_cycles_at_reset) as f64;
     let vm_exits = shadow.vm_exits() - exits_at_reset;
+    let telemetry = collect_telemetry(&mut mmu, telemetry, cfg.accesses);
     let trace = mmu.take_miss_trace();
     Ok((
-        finish(cfg, &mmu, workload.cycles_per_access(), exit_cycles, vm_exits),
+        finish(cfg, &mmu, workload.cycles_per_access(), exit_cycles, vm_exits, telemetry),
         trace,
     ))
 }
@@ -452,11 +525,9 @@ impl ChurnPlan {
 
 fn churn_plan(_cfg: &SimConfig, per_million: u64) -> ChurnPlan {
     ChurnPlan {
-        interval: if per_million == 0 {
-            0
-        } else {
-            (1_000_000 / per_million).max(1)
-        },
+        interval: 1_000_000u64
+            .checked_div(per_million)
+            .map_or(0, |i| i.max(1)),
     }
 }
 
@@ -507,6 +578,7 @@ fn finish(
     cycles_per_access: f64,
     exit_cycles: f64,
     vm_exits: u64,
+    telemetry: Option<Telemetry>,
 ) -> RunResult {
     let counters = *mmu.counters();
     let ideal = cfg.accesses as f64 * cycles_per_access;
@@ -521,5 +593,6 @@ fn finish(
         overhead: mv_metrics::overhead(translation, ideal),
         vm_exits,
         nested_l2: mmu.nested_l2_stats(),
+        telemetry,
     }
 }

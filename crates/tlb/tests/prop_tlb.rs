@@ -1,8 +1,9 @@
 //! Property tests: the set-associative cache agrees with a reference
-//! fully-mapped model plus LRU semantics.
+//! fully-mapped model plus LRU semantics, under randomized op sequences
+//! drawn from the workspace's internal RNG.
 
 use mv_tlb::AssocCache;
-use proptest::prelude::*;
+use mv_types::rng::{Rng, StdRng};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -13,20 +14,28 @@ enum Op {
     Flush,
 }
 
-fn ops() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0u64..64, any::<u64>()).prop_map(|(key, val)| Op::Insert { key, val }),
-        4 => (0u64..64).prop_map(|key| Op::Lookup { key }),
-        1 => Just(Op::InvalidateOdd),
-        1 => Just(Op::Flush),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0u32..10) {
+        0..=3 => Op::Insert {
+            key: rng.gen_range(0u64..64),
+            val: rng.next_word(),
+        },
+        4..=7 => Op::Lookup {
+            key: rng.gen_range(0u64..64),
+        },
+        8 => Op::InvalidateOdd,
+        _ => Op::Flush,
+    }
 }
 
-proptest! {
-    /// Hits always return the latest inserted value; misses never invent
-    /// one; capacity per set is respected; a hit refreshes LRU rank.
-    #[test]
-    fn cache_agrees_with_reference(seq in proptest::collection::vec(ops(), 1..200)) {
+/// Hits always return the latest inserted value; misses never invent
+/// one; capacity per set is respected; a hit refreshes LRU rank.
+#[test]
+fn cache_agrees_with_reference() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x71b_000 + case);
+        let n_ops = rng.gen_range(1usize..200);
+
         const SETS: usize = 4;
         const WAYS: usize = 2;
         let mut cache: AssocCache<u64, u64> = AssocCache::new(SETS, WAYS);
@@ -34,8 +43,8 @@ proptest! {
         let mut model: Vec<Vec<(u64, u64)>> = vec![Vec::new(); SETS];
         let set_of = |key: u64| (key as usize) % SETS;
 
-        for op in seq {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Insert { key, val } => {
                     cache.insert(set_of(key), key, val);
                     let set = &mut model[set_of(key)];
@@ -52,16 +61,15 @@ proptest! {
                     let expect = set.iter().position(|&(k, _)| k == key);
                     match (got, expect) {
                         (Some(v), Some(pos)) => {
-                            prop_assert_eq!(v, set[pos].1, "stale value for {}", key);
+                            assert_eq!(v, set[pos].1, "case {case}: stale value for {key}");
                             let entry = set.remove(pos);
                             set.insert(0, entry); // refresh MRU
                         }
                         (None, None) => {}
-                        (got, expect) => {
-                            return Err(TestCaseError::fail(format!(
-                                "presence mismatch for {key}: cache={got:?} model={expect:?}"
-                            )))
-                        }
+                        (got, expect) => panic!(
+                            "case {case}: presence mismatch for {key}: \
+                             cache={got:?} model={expect:?}"
+                        ),
                     }
                 }
                 Op::InvalidateOdd => {
@@ -77,10 +85,10 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(
+            assert_eq!(
                 cache.len(),
                 model.iter().map(Vec::len).sum::<usize>(),
-                "live-entry counts diverged"
+                "case {case}: live-entry counts diverged"
             );
         }
 
@@ -92,10 +100,10 @@ proptest! {
             }
         }
         for key in 0..64u64 {
-            prop_assert_eq!(
+            assert_eq!(
                 cache.peek(set_of(key), &key).copied(),
                 expected.get(&key).copied(),
-                "final state mismatch at {}", key
+                "case {case}: final state mismatch at {key}"
             );
         }
     }

@@ -36,6 +36,7 @@ pub mod layout;
 mod page;
 mod prot;
 mod range;
+pub mod rng;
 
 pub use addr::{Address, Gpa, Gva, Hpa, Hva};
 pub use error::{AlignError, RangeError};

@@ -1,0 +1,269 @@
+//! A small, dependency-free pseudo-random number generator.
+//!
+//! The simulator needs deterministic, seedable randomness for workload
+//! reference streams, fault injection, and randomized tests — it does not
+//! need cryptographic strength. [`StdRng`] is xoshiro256++ (Blackman &
+//! Vigna), seeded through SplitMix64 so that any 64-bit seed yields a
+//! well-mixed state. The API mirrors the subset of the `rand` crate the
+//! workspace uses, so call sites read the same while the workspace builds
+//! with no external dependencies (and therefore fully offline).
+//!
+//! # Example
+//!
+//! ```
+//! use mv_types::rng::{Rng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let die = rng.gen_range(1u32..7);
+//! assert!((1..7).contains(&die));
+//! let coin = rng.gen_bool(0.5);
+//! let again = StdRng::seed_from_u64(42).gen_range(1u32..7);
+//! assert_eq!(die, again, "same seed, same stream");
+//! let _ = coin;
+//! ```
+
+use core::ops::Range;
+
+/// Uniform random generation over the integer types the simulator samples.
+///
+/// Implemented via 128-bit widening multiply (Lemire's method), which maps
+/// a 64-bit draw onto `[0, span)` with bias below 2⁻⁶⁴ — irrelevant for
+/// simulation purposes and branch-free.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a uniform value in `[low, high)` from `word`, a uniform u64.
+    fn from_word(word: u64, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn from_word(word: u64, low: Self, high: Self) -> Self {
+                let span = (high as u128).wrapping_sub(low as u128) as u64;
+                let off = ((word as u128 * span as u128) >> 64) as u64;
+                low.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The generator interface: everything is derived from [`Rng::next_u64`].
+pub trait Rng {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::from_word(self.next_u64(), range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        // Compare in the 53-bit fixed-point domain: exact for p = 0 and 1.
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// xoshiro256++ — the workspace's deterministic generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Creates a generator from a 64-bit seed, expanding it through
+    /// SplitMix64 (the initialization xoshiro's authors recommend).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next uniform u64 (inherent mirror of [`Rng::next_u64`] so the trait
+    /// need not be in scope).
+    #[inline]
+    pub fn next_word(&mut self) -> u64 {
+        Rng::next_u64(self)
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Random selection from iterators (the `rand::seq::IteratorRandom`
+/// subset the workspace uses).
+pub trait IteratorRandom: Iterator + Sized {
+    /// Reservoir-samples up to `n` distinct items uniformly from the
+    /// iterator. Returns fewer than `n` only if the iterator is shorter
+    /// than `n`. Order of the sample is arbitrary.
+    fn choose_multiple<R: Rng>(self, rng: &mut R, n: usize) -> Vec<Self::Item> {
+        let mut reservoir: Vec<Self::Item> = Vec::with_capacity(n);
+        for (i, item) in self.enumerate() {
+            if reservoir.len() < n {
+                reservoir.push(item);
+            } else {
+                let j = rng.gen_range(0..i + 1);
+                if j < n {
+                    reservoir[j] = item;
+                }
+            }
+        }
+        reservoir
+    }
+
+    /// Uniformly chooses one item, if the iterator is non-empty.
+    fn choose<R: Rng>(self, rng: &mut R) -> Option<Self::Item> {
+        self.choose_multiple(rng, 1).pop()
+    }
+}
+
+impl<I: Iterator> IteratorRandom for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(8);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&w));
+            let u = r.gen_range(0usize..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..10 drawn");
+    }
+
+    #[test]
+    fn gen_bool_edge_probabilities() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4000..6000).contains(&heads), "p=0.5 near half: {heads}");
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn choose_multiple_samples_without_replacement() {
+        let mut r = StdRng::seed_from_u64(5);
+        let sample = (0u64..100).choose_multiple(&mut r, 10);
+        assert_eq!(sample.len(), 10);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "no duplicates");
+        // Short iterators yield everything.
+        let all = (0u64..3).choose_multiple(&mut r, 10);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn choose_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(6);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[(0usize..4).choose(&mut r).unwrap()] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+}

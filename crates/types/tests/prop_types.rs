@@ -1,88 +1,111 @@
-//! Property-based tests for the foundation types.
+//! Property-based tests for the foundation types, driven by the
+//! workspace's internal deterministic RNG (no external test deps).
 
+use mv_types::rng::{Rng, StdRng};
 use mv_types::{AddrRange, Gva, PageNum, PageSize, Prot};
-use proptest::prelude::*;
 
-proptest! {
-    /// align_down is idempotent, never increases, and yields aligned values.
-    #[test]
-    fn align_down_properties(raw in any::<u64>(), shift in 12u32..=30) {
+const CASES: u64 = 512;
+
+/// align_down is idempotent, never increases, and yields aligned values.
+#[test]
+fn align_down_properties() {
+    let mut rng = StdRng::seed_from_u64(0xa11a1);
+    for case in 0..CASES {
+        let raw = rng.next_word();
+        let shift = rng.gen_range(12u32..31);
         let align = 1u64 << shift;
         let a = Gva::new(raw);
         let down = a.align_down(align);
-        prop_assert!(down.as_u64() <= raw);
-        prop_assert_eq!(down.as_u64() % align, 0);
-        prop_assert_eq!(down.align_down(align), down);
-        prop_assert!(raw - down.as_u64() < align);
+        assert!(down.as_u64() <= raw, "case {case}: align_down increased");
+        assert_eq!(down.as_u64() % align, 0, "case {case}: unaligned result");
+        assert_eq!(down.align_down(align), down, "case {case}: not idempotent");
+        assert!(raw - down.as_u64() < align, "case {case}: moved too far");
     }
+}
 
-    /// align_up is idempotent, never decreases, and yields aligned values.
-    #[test]
-    fn align_up_properties(raw in 0u64..(1 << 48), shift in 12u32..=30) {
+/// align_up is idempotent, never decreases, and yields aligned values.
+#[test]
+fn align_up_properties() {
+    let mut rng = StdRng::seed_from_u64(0xa11a2);
+    for case in 0..CASES {
+        let raw = rng.gen_range(0u64..1 << 48);
+        let shift = rng.gen_range(12u32..31);
         let align = 1u64 << shift;
         let a = Gva::new(raw);
         let up = a.align_up(align);
-        prop_assert!(up.as_u64() >= raw);
-        prop_assert_eq!(up.as_u64() % align, 0);
-        prop_assert_eq!(up.align_up(align), up);
-        prop_assert!(up.as_u64() - raw < align);
+        assert!(up.as_u64() >= raw, "case {case}: align_up decreased");
+        assert_eq!(up.as_u64() % align, 0, "case {case}: unaligned result");
+        assert_eq!(up.align_up(align), up, "case {case}: not idempotent");
+        assert!(up.as_u64() - raw < align, "case {case}: moved too far");
     }
+}
 
-    /// A page number round-trips through its base address.
-    #[test]
-    fn page_num_round_trip(raw in any::<u64>()) {
-        let a = Gva::new(raw & !0xfff);
+/// A page number round-trips through its base address.
+#[test]
+fn page_num_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xa11a3);
+    for case in 0..CASES {
+        let a = Gva::new(rng.next_word() & !0xfff);
         let pn = PageNum::containing(a);
-        prop_assert_eq!(pn.base(), a);
+        assert_eq!(pn.base(), a, "case {case}");
     }
+}
 
-    /// Range intersection is commutative and contained in both operands.
-    #[test]
-    fn intersection_properties(
-        (s1, e1) in (0u64..1 << 40).prop_flat_map(|s| (Just(s), s..1 << 40)),
-        (s2, e2) in (0u64..1 << 40).prop_flat_map(|s| (Just(s), s..1 << 40)),
-    ) {
+/// Range intersection is commutative and contained in both operands.
+#[test]
+fn intersection_properties() {
+    let mut rng = StdRng::seed_from_u64(0xa11a4);
+    for case in 0..CASES {
+        let s1 = rng.gen_range(0u64..1 << 40);
+        let e1 = rng.gen_range(s1..1 << 40);
+        let s2 = rng.gen_range(0u64..1 << 40);
+        let e2 = rng.gen_range(s2..1 << 40);
         let a = AddrRange::new(Gva::new(s1), Gva::new(e1));
         let b = AddrRange::new(Gva::new(s2), Gva::new(e2));
         let i1 = a.intersection(&b);
         let i2 = b.intersection(&a);
-        prop_assert_eq!(i1, i2);
+        assert_eq!(i1, i2, "case {case}: intersection not commutative");
         if let Some(i) = i1 {
-            prop_assert!(a.contains_range(&i));
-            prop_assert!(b.contains_range(&i));
-            prop_assert!(!i.is_empty());
-            prop_assert!(a.overlaps(&b));
+            assert!(a.contains_range(&i), "case {case}");
+            assert!(b.contains_range(&i), "case {case}");
+            assert!(!i.is_empty(), "case {case}");
+            assert!(a.overlaps(&b), "case {case}");
         } else {
-            prop_assert!(!a.overlaps(&b));
+            assert!(!a.overlaps(&b), "case {case}");
         }
     }
+}
 
-    /// Every page yielded by pages() lies in the range and is aligned.
-    #[test]
-    fn pages_iterator_properties(
-        start in 0u64..1 << 30,
-        len in 0u64..1 << 24,
-        size_idx in 0usize..2,
-    ) {
-        let size = PageSize::ALL[size_idx];
+/// Every page yielded by pages() lies in the range and is aligned.
+#[test]
+fn pages_iterator_properties() {
+    let mut rng = StdRng::seed_from_u64(0xa11a5);
+    for case in 0..128 {
+        let start = rng.gen_range(0u64..1 << 30);
+        let len = rng.gen_range(0u64..1 << 24);
+        let size = PageSize::ALL[rng.gen_range(0usize..2)];
         let r = AddrRange::from_start_len(Gva::new(start), len);
         for page in r.pages(size) {
-            prop_assert!(page.is_aligned(size));
-            prop_assert!(r.contains(page));
-            prop_assert!(page.as_u64() + size.bytes() <= r.end().as_u64());
+            assert!(page.is_aligned(size), "case {case}");
+            assert!(r.contains(page), "case {case}");
+            assert!(page.as_u64() + size.bytes() <= r.end().as_u64(), "case {case}");
         }
     }
+}
 
-    /// Prot bit operations respect set semantics.
-    #[test]
-    fn prot_set_semantics(a in 0u8..8, b in 0u8..8) {
-        let pa = Prot::from_bits_truncate(a);
-        let pb = Prot::from_bits_truncate(b);
-        let union = pa | pb;
-        prop_assert!(union.contains(pa));
-        prop_assert!(union.contains(pb));
-        let inter = pa & pb;
-        prop_assert!(pa.contains(inter));
-        prop_assert!(pb.contains(inter));
+/// Prot bit operations respect set semantics.
+#[test]
+fn prot_set_semantics() {
+    for a in 0u8..8 {
+        for b in 0u8..8 {
+            let pa = Prot::from_bits_truncate(a);
+            let pb = Prot::from_bits_truncate(b);
+            let union = pa | pb;
+            assert!(union.contains(pa));
+            assert!(union.contains(pb));
+            let inter = pa & pb;
+            assert!(pa.contains(inter));
+            assert!(pb.contains(inter));
+        }
     }
 }

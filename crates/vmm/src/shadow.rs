@@ -56,9 +56,8 @@ impl ShadowPaging {
         vmm: &mut Vmm,
         pid: u32,
     ) -> Result<&PageTable<Gva, Hpa>, VmmError> {
-        if !self.tables.contains_key(&pid) {
-            let pt = PageTable::new(vmm.hmem_mut())?;
-            self.tables.insert(pid, pt);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.tables.entry(pid) {
+            e.insert(PageTable::new(vmm.hmem_mut())?);
         }
         Ok(&self.tables[&pid])
     }
@@ -79,9 +78,8 @@ impl ShadowPaging {
         self.vm_exits += 1;
         self.exit_cycles += VM_EXIT_CYCLES;
         let vm_id = self.vm;
-        if !self.tables.contains_key(&pid) {
-            let pt = PageTable::new(vmm.hmem_mut())?;
-            self.tables.insert(pid, pt);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.tables.entry(pid) {
+            e.insert(PageTable::new(vmm.hmem_mut())?);
         }
         let shadow = self.tables.get_mut(&pid).expect("just inserted");
 

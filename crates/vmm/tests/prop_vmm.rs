@@ -1,10 +1,11 @@
 //! Property tests for the hypervisor: host-frame conservation and
 //! nested-mapping consistency under arbitrary fault / balloon / sharing /
-//! CoW sequences across two VMs.
+//! CoW sequences across two VMs. Randomized via the workspace's internal
+//! deterministic RNG.
 
+use mv_types::rng::{Rng, StdRng};
 use mv_types::{Gpa, PageSize, Prot, MIB};
 use mv_vmm::{VmConfig, VmId, Vmm};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -14,19 +15,32 @@ enum Op {
     BreakCow { vm: u8, page: u64 },
 }
 
-fn ops() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => (0u8..2, 0u64..128).prop_map(|(vm, page)| Op::Fault { vm, page }),
-        2 => (0u8..2, 0u64..128).prop_map(|(vm, page)| Op::Balloon { vm, page }),
-        2 => (0u64..128, 0u64..128).prop_map(|(page_a, page_b)| Op::Share { page_a, page_b }),
-        2 => (0u8..2, 0u64..128).prop_map(|(vm, page)| Op::BreakCow { vm, page }),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0u32..11) {
+        0..=4 => Op::Fault {
+            vm: rng.gen_range(0u8..2),
+            page: rng.gen_range(0u64..128),
+        },
+        5 | 6 => Op::Balloon {
+            vm: rng.gen_range(0u8..2),
+            page: rng.gen_range(0u64..128),
+        },
+        7 | 8 => Op::Share {
+            page_a: rng.gen_range(0u64..128),
+            page_b: rng.gen_range(0u64..128),
+        },
+        _ => Op::BreakCow {
+            vm: rng.gen_range(0u8..2),
+            page: rng.gen_range(0u64..128),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn vmm_preserves_mapping_invariants(seq in proptest::collection::vec(ops(), 1..100)) {
+#[test]
+fn vmm_preserves_mapping_invariants() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x1509_5000 + case);
+        let n_ops = rng.gen_range(1usize..100);
         let mut vmm = Vmm::new(64 * MIB);
         let vms = [
             vmm.create_vm(VmConfig::new(8 * MIB, PageSize::Size4K)),
@@ -34,8 +48,8 @@ proptest! {
         ];
         let vm_of = |i: u8| -> VmId { vms[i as usize] };
 
-        for op in seq {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Fault { vm, page } => {
                     vmm.handle_nested_fault(vm_of(vm), Gpa::new(page * 4096)).unwrap();
                 }
@@ -74,10 +88,10 @@ proptest! {
                         npt.translate(hmem, Gpa::new(p * 4096)).is_some()
                     })
                     .collect();
-                prop_assert_eq!(
+                assert_eq!(
                     backed.len(),
                     vm.resident_pages(),
-                    "vm {:?}: mapped-leaf count diverged from resident set", id
+                    "case {case}: vm {id:?}: mapped-leaf count diverged from resident set"
                 );
             }
 
@@ -91,10 +105,10 @@ proptest! {
                     let Some(t) = npt.translate(hmem, gpa) else { continue };
                     if let Some(&(oid, op_)) = seen.get(&t.page_base) {
                         // Aliasing is legal only for read-only (shared) pages.
-                        prop_assert_eq!(
+                        assert_eq!(
                             t.prot, Prot::READ,
-                            "writable frame aliased by {:?}:{} and {:?}:{}",
-                            oid, op_, id, p
+                            "case {case}: writable frame aliased by \
+                             {oid:?}:{op_} and {id:?}:{p}"
                         );
                     } else {
                         seen.insert(t.page_base, (id, p));

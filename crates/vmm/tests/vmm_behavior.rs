@@ -5,8 +5,7 @@
 use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
 use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize, Prot, GIB, MIB};
 use mv_vmm::{ShadowPaging, VmConfig, Vmm, VmmError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mv_types::rng::StdRng;
 
 fn seg_opts() -> mv_vmm::SegmentOptions {
     mv_vmm::SegmentOptions::default()

@@ -1,7 +1,7 @@
 //! Big-memory workloads: GUPS, graph500 BFS, memcached, NPB:CG.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mv_types::rng::StdRng;
+use mv_types::rng::Rng;
 
 use crate::pattern::{uniform, Access, Cursor};
 use crate::Workload;

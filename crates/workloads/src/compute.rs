@@ -1,8 +1,8 @@
 //! Compute workloads: SPEC 2006 (mcf, omnetpp, cactusADM, GemsFDTD) and
 //! PARSEC (canneal, streamcluster) analogues.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mv_types::rng::StdRng;
+use mv_types::rng::Rng;
 
 use crate::pattern::{skewed, uniform, Access, Cursor};
 use crate::Workload;

@@ -1,7 +1,7 @@
 //! Shared access-pattern building blocks.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use mv_types::rng::StdRng;
+use mv_types::rng::Rng;
 
 /// One memory reference: byte offset within the workload's arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +75,6 @@ impl Cursor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_stays_in_arena() {

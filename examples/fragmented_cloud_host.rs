@@ -10,8 +10,7 @@
 use mv_guestos::{GuestConfig, GuestOs, OsError, PageSizePolicy};
 use mv_types::{AddrRange, Gpa, PageSize, MIB};
 use mv_vmm::{SegmentOptions, VmConfig, Vmm, VmmError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mv_types::rng::StdRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let footprint = 64 * MIB;

@@ -147,12 +147,19 @@ fn shadow_paging_hurts_churny_workloads_more() {
 
 #[test]
 fn huge_pages_reduce_overhead_at_both_levels() {
+    // The footprint must exceed what the nested TLB and page-walk caches
+    // cover, or the nested page size cannot matter at all (at 32 MiB the
+    // 4K and 2M nested configurations measure identically).
     let w = WorkloadKind::Gups;
-    let k4 = Simulation::run(&cfg(w, Env::base_virtualized(PageSize::Size4K))).unwrap();
-    let k4_2m = Simulation::run(&cfg(w, Env::base_virtualized(PageSize::Size2M))).unwrap();
+    let big = |env| SimConfig {
+        footprint: 256 * MIB,
+        ..cfg(w, env)
+    };
+    let k4 = Simulation::run(&big(Env::base_virtualized(PageSize::Size4K))).unwrap();
+    let k4_2m = Simulation::run(&big(Env::base_virtualized(PageSize::Size2M))).unwrap();
     let both_2m = Simulation::run(&SimConfig {
         guest_paging: GuestPaging::Fixed(PageSize::Size2M),
-        ..cfg(w, Env::base_virtualized(PageSize::Size2M))
+        ..big(Env::base_virtualized(PageSize::Size2M))
     })
     .unwrap();
     assert!(

@@ -1,0 +1,158 @@
+//! Observer non-perturbation and telemetry-consistency integration tests.
+//!
+//! The whole point of `mv-obs` is that attaching a [`mv_obs::WalkObserver`]
+//! is *measurement*, not *intervention*: an observed run must produce
+//! byte-for-byte the same counters, overhead, and derived metrics as the
+//! identical unobserved run, and the telemetry it yields must agree with
+//! those counters.
+
+use mv_core::MmuConfig;
+use mv_obs::{EscapeOutcome, WalkClass};
+use mv_sim::{Env, GuestPaging, SimConfig, Simulation, TelemetryConfig};
+use mv_types::{PageSize, MIB};
+use mv_workloads::WorkloadKind;
+
+fn cfg(workload: WorkloadKind, env: Env) -> SimConfig {
+    SimConfig {
+        workload,
+        footprint: 48 * MIB,
+        guest_paging: GuestPaging::Fixed(PageSize::Size4K),
+        env,
+        accesses: 60_000,
+        warmup: 15_000,
+        seed: 7,
+    }
+}
+
+type EnvCtor = fn() -> Env;
+
+const ENVS: [(&str, EnvCtor); 4] = [
+    ("native", Env::native),
+    ("base virtualized", || Env::base_virtualized(PageSize::Size4K)),
+    ("dual direct", Env::dual_direct),
+    ("vmm direct", Env::vmm_direct),
+];
+
+#[test]
+fn observer_does_not_perturb_the_simulation() {
+    for (name, env) in ENVS {
+        let c = cfg(WorkloadKind::Gups, env());
+        let plain = Simulation::run(&c).unwrap();
+        let observed = Simulation::run_observed(
+            &c,
+            MmuConfig::default(),
+            TelemetryConfig {
+                epoch_len: 10_000,
+                flight_capacity: 32,
+            },
+        )
+        .unwrap();
+
+        // MmuCounters is PartialEq over every field: any drift — an extra
+        // walk, a perturbed cache, a double-counted cycle — fails here.
+        assert_eq!(
+            plain.counters, observed.counters,
+            "{name}: observation changed the MMU counters"
+        );
+        assert_eq!(
+            plain.translation_cycles, observed.translation_cycles,
+            "{name}: observation changed charged cycles"
+        );
+        assert_eq!(
+            plain.overhead, observed.overhead,
+            "{name}: observation changed the overhead metric"
+        );
+        assert_eq!(plain.vm_exits, observed.vm_exits, "{name}: VM exits drifted");
+        assert!(plain.telemetry.is_none());
+        assert!(observed.telemetry.is_some());
+    }
+}
+
+#[test]
+fn telemetry_agrees_with_the_counters() {
+    let c = cfg(WorkloadKind::Graph500, Env::base_virtualized(PageSize::Size4K));
+    let r = Simulation::run_observed(
+        &c,
+        MmuConfig::default(),
+        TelemetryConfig {
+            epoch_len: 5_000,
+            flight_capacity: 16,
+        },
+    )
+    .unwrap();
+    let t = r.telemetry.as_ref().unwrap();
+
+    // One event per L1 miss over the measured window.
+    assert_eq!(t.events(), r.counters.l1_misses);
+    assert_eq!(t.hist().count(), r.counters.l1_misses);
+
+    // Class counts partition the events. Under base virtualized there are
+    // no segments and nothing faults, so every L1 miss either hit the L2
+    // or walked: the L2-hit class is exactly l1_misses - l2_misses.
+    let by_class: u64 = WalkClass::ALL.iter().map(|&c| t.class_count(c)).sum();
+    assert_eq!(by_class, t.events(), "classes must partition the events");
+    assert_eq!(t.class_count(WalkClass::Faulted), 0);
+    assert_eq!(
+        t.class_count(WalkClass::L2Hit),
+        r.counters.l1_misses - r.counters.l2_misses
+    );
+
+    // Cycle totals agree with the counter the simulator charges from.
+    assert_eq!(t.hist().sum(), r.counters.translation_cycles);
+
+    // Escape outcomes never exceed the bound checks performed.
+    let checked =
+        t.escape_count(EscapeOutcome::Passed) + t.escape_count(EscapeOutcome::Escaped);
+    assert!(checked <= r.counters.bound_checks);
+
+    // Epoch snapshots tile the window: non-overlapping, ordered, and their
+    // event totals add back up to the run total.
+    let epochs = t.epochs();
+    assert!(!epochs.is_empty());
+    let mut last_end = 0;
+    for e in epochs {
+        assert!(e.start_seq > last_end, "epochs must not overlap");
+        assert!(e.end_seq >= e.start_seq);
+        last_end = e.end_seq;
+    }
+    let epoch_events: u64 = epochs.iter().map(|e| e.events).sum();
+    assert_eq!(epoch_events, t.events());
+
+    // The flight recorder kept the most recent events, bounded.
+    assert!(t.flight().len() <= 16);
+    assert_eq!(t.flight().total(), t.events());
+}
+
+#[test]
+fn jsonl_export_is_line_delimited_and_balanced() {
+    let c = cfg(WorkloadKind::Gups, Env::base_virtualized(PageSize::Size4K));
+    let r = Simulation::run_observed(
+        &c,
+        MmuConfig::default(),
+        TelemetryConfig {
+            epoch_len: 10_000,
+            flight_capacity: 8,
+        },
+    )
+    .unwrap();
+    let t = r.telemetry.as_ref().unwrap();
+    let mut out = Vec::new();
+    t.write_jsonl(&mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+
+    let lines: Vec<&str> = text.lines().collect();
+    // meta + epochs + flight events + summary.
+    assert_eq!(lines.len(), 1 + t.epochs().len() + t.flight().len() + 1);
+    assert!(lines.first().unwrap().contains("\"type\":\"meta\""));
+    assert!(lines.last().unwrap().contains("\"type\":\"summary\""));
+    for line in &lines {
+        // Minimal structural validity: an object per line with balanced
+        // braces and quotes (the exporter emits no nested strings with
+        // braces — addresses are hex, labels are snake_case).
+        assert!(line.starts_with('{') && line.ends_with('}'), "not an object: {line}");
+        let opens = line.matches('{').count();
+        let closes = line.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced braces: {line}");
+        assert_eq!(line.matches('"').count() % 2, 0, "unbalanced quotes: {line}");
+    }
+}
