@@ -8,8 +8,15 @@
 //! measured C_n, C_v, M_n feed the Table IV linear models. Here the same
 //! pipeline runs against the simulator, and — unlike on real hardware —
 //! the prediction can be checked by actually simulating each mode.
+//!
+//! The per-workload pipelines are independent and run on a worker pool
+//! (`--jobs N`, default: available parallelism). Each workload's
+//! diagnostics — miss counts, walk-latency histogram, the per-epoch
+//! cycles-per-miss drift line — are emitted as one atomic block through a
+//! mutex-guarded reporter, so blocks never interleave no matter how the
+//! pool schedules them; `--quiet` suppresses them entirely.
 
-use mv_bench::experiments::{config, parse_scale};
+use mv_bench::experiments::{config, parse_parallelism, parse_scale};
 use mv_core::{MmuConfig, Segment};
 use mv_metrics::{LinearModel, Table};
 use mv_sim::{Env, GuestPaging, Simulation, TelemetryConfig};
@@ -25,16 +32,24 @@ fn parse_telemetry_out() -> Option<String> {
         .map(|i| args.get(i + 1).expect("--telemetry-out needs a path").clone())
 }
 
+
 fn main() {
+    use std::fmt::Write as _;
+
     let scale = parse_scale();
+    let (jobs, reporter) = parse_parallelism();
     let telemetry_out = parse_telemetry_out();
     let paging = GuestPaging::Fixed(PageSize::Size4K);
 
-    let mut t = Table::new(&[
-        "workload", "mode", "F (trace)", "predicted Mcyc", "simulated Mcyc", "pred/sim",
-    ]);
-    for w in WorkloadKind::BIG_MEMORY {
-        eprintln!("tracing {} under base virtualized...", w.label());
+    let workloads = WorkloadKind::BIG_MEMORY;
+    let total = workloads.len();
+    let reports = mv_par::par_map(jobs, &workloads, |i, &w| {
+        reporter.line(format!(
+            "  [{:>3}/{total}] tracing {} under base virtualized...",
+            i + 1,
+            w.label()
+        ));
+        let mut diag = String::new();
         let footprint = scale.footprint_for(w);
 
         // 1. Native and base-virtualized runs give C_n, C_v, M_n; the
@@ -51,30 +66,31 @@ fn main() {
         )
         .unwrap();
         let trace = trace.expect("tracing was enabled");
-        eprintln!(
+        writeln!(diag, "{}:", w.label()).unwrap();
+        writeln!(
+            diag,
             "  captured {} misses ({} dropped)",
             trace.records().len(),
             trace.dropped()
-        );
+        )
+        .unwrap();
         if let Some(t) = &base.telemetry {
             // The per-miss latency profile behind C_v, and its drift over
             // the run (a rising trend would mean the measurement window
             // had not reached steady state).
-            eprintln!("  walk latency: {}", t.hist());
+            writeln!(diag, "  walk latency: {}", t.hist()).unwrap();
             let drift: Vec<String> = t
                 .epochs()
                 .iter()
                 .map(|e| format!("{:.0}", e.cycles_per_miss()))
                 .collect();
-            eprintln!("  cycles/miss by epoch: [{}]", drift.join(" "));
+            writeln!(diag, "  cycles/miss by epoch: [{}]", drift.join(" ")).unwrap();
             if let Some(base_path) = &telemetry_out {
                 let path = format!("{base_path}.{}.jsonl", w.label());
-                let mut f = std::fs::File::create(&path).unwrap_or_else(|e| {
-                    eprintln!("cannot create {path}: {e}");
-                    std::process::exit(1);
-                });
+                let mut f = std::fs::File::create(&path)
+                    .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
                 t.write_jsonl(&mut f).expect("telemetry write");
-                eprintln!("  wrote telemetry to {path}");
+                writeln!(diag, "  wrote telemetry to {path}").unwrap();
             }
         }
 
@@ -107,8 +123,8 @@ fn main() {
         ];
 
         // 4. Validate each prediction by direct simulation.
+        let mut rows = Vec::with_capacity(predictions.len());
         for (name, predicted, fraction, env) in predictions {
-            eprintln!("  simulating {} for validation...", name);
             let sim = Simulation::run(&config(w, paging, env, &scale)).unwrap();
             let simulated = sim.translation_cycles;
             let ratio = if predicted > 0.0 {
@@ -118,7 +134,7 @@ fn main() {
             } else {
                 f64::INFINITY
             };
-            t.row(&[
+            rows.push([
                 w.label().to_string(),
                 name.to_string(),
                 format!("{fraction:.3}"),
@@ -126,6 +142,36 @@ fn main() {
                 format!("{:.2}", simulated / 1e6),
                 format!("{ratio:.2}"),
             ]);
+        }
+        // The whole diagnostic block lands on stderr in one locked write —
+        // never interleaved with another workload's block.
+        reporter.block(&diag);
+        rows
+    });
+
+    // Deterministic assembly in workload order, whatever order the pool
+    // finished in. A poisoned workload becomes a failed row, not a dead run.
+    let mut t = Table::new(&[
+        "workload", "mode", "F (trace)", "predicted Mcyc", "simulated Mcyc", "pred/sim",
+    ]);
+    for (&w, report) in workloads.iter().zip(reports) {
+        match report {
+            Ok(rows) => {
+                for row in &rows {
+                    t.row(row);
+                }
+            }
+            Err(p) => {
+                eprintln!("{}: pipeline failed: {p}", w.label());
+                t.row(&[
+                    w.label().to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "failed!".to_string(),
+                    "failed!".to_string(),
+                    "-".to_string(),
+                ]);
+            }
         }
     }
     println!("\nSection VII methodology replication — trace-classified fractions");

@@ -1,15 +1,16 @@
 //! Figure 1: the paper's motivating preview — overheads for selected
 //! workloads under native 4K, virtualized page-size combinations, and the
-//! proposed Dual Direct / VMM Direct modes. Pass `--quick` for a fast run.
+//! proposed Dual Direct / VMM Direct modes. Pass `--quick` for a fast run,
+//! `--jobs N` to size the worker pool, `--quiet` to suppress progress.
 
-use mv_bench::experiments::{pct, run_bar};
-use mv_metrics::Table;
+use mv_bench::experiments::{overhead_table, parse_parallelism};
 use mv_sim::{Env, GuestPaging};
 use mv_types::PageSize;
 use mv_workloads::WorkloadKind;
 
 fn main() {
     let scale = mv_bench::parse_scale();
+    let (jobs, reporter) = parse_parallelism();
     use GuestPaging::Fixed;
     use PageSize::*;
     let configs: Vec<(GuestPaging, Env)> = vec![
@@ -26,27 +27,7 @@ fn main() {
         WorkloadKind::Memcached,
         WorkloadKind::Gups,
     ];
-    let mut headers: Vec<String> = vec!["workload".into()];
-    let mut first = true;
-    let mut rows = Vec::new();
-    for w in workloads {
-        let mut cells = vec![w.label().to_string()];
-        for &(paging, env) in &configs {
-            let r = run_bar(w, paging, env, &scale);
-            if first {
-                headers.push(r.label.clone());
-            }
-            cells.push(pct(r.overhead));
-        }
-        first = false;
-        rows.push(cells);
-    }
-
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut t = Table::new(&header_refs);
-    for row in rows {
-        t.row(&row);
-    }
+    let t = overhead_table(&workloads, &configs, &scale, jobs, &reporter);
     println!("\nFigure 1 — overheads associated with virtual memory (preview)");
     println!("(gups uses a scaled axis in the paper; shown unscaled here)\n");
     println!("{t}");

@@ -4,37 +4,22 @@
 //!
 //! Regenerates the paper's bar chart as a table: one row per workload, one
 //! column per configuration, cells are execution-time overheads
-//! ((T_E − T_ideal) / T_ideal). Pass `--quick` for a fast smoke run.
+//! ((T_E − T_ideal) / T_ideal). Pass `--quick` for a fast smoke run,
+//! `--jobs N` to size the worker pool, `--quiet` to suppress progress.
 
-use mv_bench::experiments::{fig11_configs, pct, run_bar};
-use mv_metrics::Table;
+use mv_bench::experiments::{fig11_configs, overhead_table, parse_parallelism};
 use mv_workloads::WorkloadKind;
 
 fn main() {
     let scale = mv_bench::parse_scale();
-    let configs = fig11_configs();
-    let mut headers: Vec<String> = vec!["workload".into()];
-    let mut first = true;
-
-    let mut rows = Vec::new();
-    for w in WorkloadKind::BIG_MEMORY {
-        let mut cells = vec![w.label().to_string()];
-        for &(paging, env) in &configs {
-            let r = run_bar(w, paging, env, &scale);
-            if first {
-                headers.push(r.label.clone());
-            }
-            cells.push(pct(r.overhead));
-        }
-        first = false;
-        rows.push(cells);
-    }
-
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut t = Table::new(&header_refs);
-    for row in rows {
-        t.row(&row);
-    }
+    let (jobs, reporter) = parse_parallelism();
+    let t = overhead_table(
+        &WorkloadKind::BIG_MEMORY,
+        &fig11_configs(),
+        &scale,
+        jobs,
+        &reporter,
+    );
     println!("\nFigure 11 — virtual memory overhead per big-memory workload");
     println!("(execution-time overhead vs ideal; paper Figure 11)\n");
     println!("{t}");

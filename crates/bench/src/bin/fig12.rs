@@ -1,36 +1,21 @@
 //! Figure 12: virtual-memory overhead per compute workload (SPEC 2006 and
 //! PARSEC analogues) across native (4K/THP), virtualized, and VMM Direct
-//! configurations. Pass `--quick` for a fast smoke run.
+//! configurations. Pass `--quick` for a fast smoke run, `--jobs N` to size
+//! the worker pool, `--quiet` to suppress progress.
 
-use mv_bench::experiments::{fig12_configs, pct, run_bar};
-use mv_metrics::Table;
+use mv_bench::experiments::{fig12_configs, overhead_table, parse_parallelism};
 use mv_workloads::WorkloadKind;
 
 fn main() {
     let scale = mv_bench::parse_scale();
-    let configs = fig12_configs();
-    let mut headers: Vec<String> = vec!["workload".into()];
-    let mut first = true;
-
-    let mut rows = Vec::new();
-    for w in WorkloadKind::COMPUTE {
-        let mut cells = vec![w.label().to_string()];
-        for &(paging, env) in &configs {
-            let r = run_bar(w, paging, env, &scale);
-            if first {
-                headers.push(r.label.clone());
-            }
-            cells.push(pct(r.overhead));
-        }
-        first = false;
-        rows.push(cells);
-    }
-
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut t = Table::new(&header_refs);
-    for row in rows {
-        t.row(&row);
-    }
+    let (jobs, reporter) = parse_parallelism();
+    let t = overhead_table(
+        &WorkloadKind::COMPUTE,
+        &fig12_configs(),
+        &scale,
+        jobs,
+        &reporter,
+    );
     println!("\nFigure 12 — virtual memory overhead per compute workload");
     println!("(execution-time overhead vs ideal; paper Figure 12)\n");
     println!("{t}");

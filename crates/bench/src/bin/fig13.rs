@@ -1,8 +1,16 @@
 //! Figure 13: escape-filter resilience — normalized execution time for
 //! big-memory workloads in Dual Direct mode with 1–16 bad host frames
 //! inside the VMM segment, 30 random fault sets per count, with 95%
-//! confidence intervals. Pass `--quick` for fewer trials.
+//! confidence intervals. Pass `--quick` for fewer trials, `--jobs N` to
+//! size the worker pool (default: available parallelism), `--quiet` to
+//! suppress per-trial progress.
+//!
+//! Every (workload, bad-frame count, trial) cell is an independent
+//! simulation seeded purely from its coordinates, so the full grid runs
+//! on a worker pool and the printed table is byte-identical for any
+//! `--jobs` value.
 
+use mv_bench::experiments::parse_parallelism;
 use mv_core::TranslationFault;
 use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationMode};
 use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
@@ -10,10 +18,6 @@ use mv_metrics::{Summary, Table};
 use mv_types::{AddrRange, Gpa, Gva, PageSize, GIB, MIB};
 use mv_vmm::{SegmentOptions, VmConfig, Vmm};
 use mv_workloads::WorkloadKind;
-
-struct Trial {
-    overhead_vs_clean: f64,
-}
 
 /// Runs one Dual Direct configuration with `bad_frames` random bad host
 /// frames inside the segment window; returns translation cycles per access.
@@ -100,8 +104,18 @@ fn run_trial(
     mmu.counters().translation_cycles as f64 / accesses as f64
 }
 
+/// One grid cell: a workload's clean baseline (`bad_frames == 0`) or one
+/// random fault set. The seed is a pure function of the coordinates.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    workload: WorkloadKind,
+    bad_frames: usize,
+    seed: u64,
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let (jobs, reporter) = parse_parallelism();
     let (footprint, accesses, warmup, trials) = if quick {
         (128 * MIB, 100_000u64, 25_000u64, 5usize)
     } else {
@@ -115,36 +129,76 @@ fn main() {
         WorkloadKind::Gups,
     ];
 
-    let mut t = Table::new(&["workload", "bad pages", "normalized time", "95% CI"]);
+    // The full grid, flat: per workload, the clean baseline followed by
+    // counts × trials fault sets. Each cell is independent — its seed
+    // comes from its coordinates, never from run order — so the pool may
+    // execute them in any order on any number of workers.
+    let mut cells = Vec::new();
     for w in workloads {
-        eprintln!("running {} (clean baseline)...", w.label());
-        let clean = run_trial(w, footprint, accesses, warmup, 0, 1);
+        cells.push(Cell {
+            workload: w,
+            bad_frames: 0,
+            seed: 1,
+        });
+        for &n in &counts {
+            for trial in 0..trials {
+                cells.push(Cell {
+                    workload: w,
+                    bad_frames: n,
+                    seed: 1000 + trial as u64,
+                });
+            }
+        }
+    }
+
+    let total = cells.len();
+    let results = mv_par::par_map(jobs, &cells, |i, c| {
+        reporter.line(format!(
+            "  [{:>3}/{total}] {} bad={} seed={}",
+            i + 1,
+            c.workload.label(),
+            c.bad_frames,
+            c.seed
+        ));
+        run_trial(c.workload, footprint, accesses, warmup, c.bad_frames, c.seed)
+    });
+
+    // Deterministic assembly: results are in cell order, so walking the
+    // same (workload, count, trial) nesting reproduces the serial table.
+    let mut t = Table::new(&["workload", "bad pages", "normalized time", "95% CI"]);
+    let mut it = results.into_iter();
+    let mut next = || it.next().expect("one result per cell");
+    for w in workloads {
+        let clean = next().unwrap_or_else(|p| panic!("clean baseline failed: {p}"));
         let cpa = w.build(footprint, 0).cycles_per_access();
         for &n in &counts {
             let mut samples = Vec::with_capacity(trials);
-            for trial in 0..trials {
-                eprintln!("  {} bad={n} trial {}/{trials}", w.label(), trial + 1);
-                let dirty = run_trial(
-                    w,
-                    footprint,
-                    accesses,
-                    warmup,
-                    n,
-                    1000 + trial as u64,
-                );
-                // Normalized execution time vs. the no-bad-pages run:
-                // (ideal + dirty translation) / (ideal + clean translation).
-                let trialled = Trial {
-                    overhead_vs_clean: (cpa + dirty) / (cpa + clean),
-                };
-                samples.push(trialled.overhead_vs_clean);
+            let mut failed = 0usize;
+            for _ in 0..trials {
+                match next() {
+                    // Normalized execution time vs. the no-bad-pages run:
+                    // (ideal + dirty translation) / (ideal + clean translation).
+                    Ok(dirty) => samples.push((cpa + dirty) / (cpa + clean)),
+                    Err(p) => {
+                        failed += 1;
+                        reporter.line(format!("  {} bad={n}: {p}", w.label()));
+                    }
+                }
             }
             let s = Summary::of(&samples);
             t.row(&[
                 w.label().to_string(),
                 n.to_string(),
-                format!("{:.5}", s.mean),
-                format!("±{:.5}", s.ci95),
+                if samples.is_empty() {
+                    "failed!".to_string()
+                } else {
+                    format!("{:.5}", s.mean)
+                },
+                if failed > 0 {
+                    format!("±{:.5} ({failed} failed)", s.ci95)
+                } else {
+                    format!("±{:.5}", s.ci95)
+                },
             ]);
         }
     }

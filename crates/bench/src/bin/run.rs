@@ -17,17 +17,29 @@
 //! * `--footprint <N[K|M|G]>` — arena size. Default: 512M.
 //! * `--accesses <N>` / `--warmup <N>` — window sizes.
 //! * `--seed <N>` — workload seed.
+//! * `--trials <N>` — run N independent trials of the configuration,
+//!   seeding trial t with `split_seed(seed, t)`, and report per-trial
+//!   rows plus the merged measurement. Default 1 (single run, seed used
+//!   directly, output unchanged from earlier versions).
+//! * `--jobs <N>` — worker threads for the trial grid (default: available
+//!   parallelism). Output is byte-identical for every value of `--jobs`.
+//! * `--quick` — small smoke-run defaults (64M footprint, 100k accesses,
+//!   25k warmup); explicit sizing flags still override.
+//! * `--quiet` — suppress progress lines on stderr.
 //! * `--telemetry-out <PATH>` — attach walk-event telemetry over the
 //!   measured window, write epoch snapshots (and any flight-recorder
 //!   events) as JSONL to `PATH`, and print a Prometheus-style counter
-//!   dump to stdout after the report.
+//!   dump to stdout after the report. With `--trials`, the written
+//!   telemetry is the deterministic merge over all trials.
 //! * `--epoch-len <N>` — accesses per telemetry epoch (default 10000).
 //! * `--trace <N>` — keep the last N walk events in a flight recorder
-//!   (exported into the JSONL file). Default 0 (off).
+//!   (exported into the JSONL file; cleared by a `--trials` merge).
+//!   Default 0 (off).
 
 use std::io::Write;
 
-use mv_sim::{Env, GuestPaging, SimConfig, Simulation, TelemetryConfig};
+use mv_par::Reporter;
+use mv_sim::{Env, GridCell, GuestPaging, SimConfig, Simulation, TelemetryConfig};
 use mv_types::{PageSize, GIB, KIB, MIB};
 use mv_workloads::WorkloadKind;
 
@@ -79,6 +91,7 @@ fn usage() -> ! {
         "usage: run [--workload NAME] [--env native|ds|shadow|vd|gd|dd|4k+4k|...]\n\
          \x20          [--guest 4k|2m|1g|thp] [--footprint N[K|M|G]]\n\
          \x20          [--accesses N] [--warmup N] [--seed N] [--csv]\n\
+         \x20          [--trials N] [--jobs N] [--quick] [--quiet]\n\
          \x20          [--telemetry-out PATH] [--epoch-len N] [--trace N]"
     );
     std::process::exit(2);
@@ -88,11 +101,15 @@ fn main() {
     let mut workload = WorkloadKind::Graph500;
     let mut env = Env::base_virtualized(PageSize::Size4K);
     let mut guest = GuestPaging::Fixed(PageSize::Size4K);
-    let mut footprint = 512 * MIB;
-    let mut accesses = 1_000_000u64;
-    let mut warmup = 250_000u64;
+    let mut footprint: Option<u64> = None;
+    let mut accesses: Option<u64> = None;
+    let mut warmup: Option<u64> = None;
     let mut seed = 42u64;
     let mut csv = false;
+    let mut quick = false;
+    let mut quiet = false;
+    let mut trials = 1u64;
+    let mut jobs = mv_par::default_jobs();
     let mut telemetry_out: Option<String> = None;
     let mut epoch_len = 10_000u64;
     let mut flight = 0usize;
@@ -136,14 +153,31 @@ fn main() {
             }
             "--footprint" => {
                 let v = value("--footprint");
-                footprint = parse_size(v).unwrap_or_else(|| {
+                footprint = Some(parse_size(v).unwrap_or_else(|| {
                     eprintln!("bad size {v:?}");
+                    usage()
+                }));
+            }
+            "--accesses" => {
+                accesses = Some(value("--accesses").parse().unwrap_or_else(|_| usage()))
+            }
+            "--warmup" => warmup = Some(value("--warmup").parse().unwrap_or_else(|_| usage())),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--trials" => {
+                trials = value("--trials").parse().unwrap_or_else(|_| usage());
+                if trials == 0 {
+                    eprintln!("--trials must be at least 1");
+                    usage();
+                }
+            }
+            "--jobs" => {
+                jobs = value("--jobs").parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs wants a positive worker count");
                     usage()
                 });
             }
-            "--accesses" => accesses = value("--accesses").parse().unwrap_or_else(|_| usage()),
-            "--warmup" => warmup = value("--warmup").parse().unwrap_or_else(|_| usage()),
-            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--quick" => quick = true,
+            "--quiet" => quiet = true,
             "--csv" => csv = true,
             "--telemetry-out" => telemetry_out = Some(value("--telemetry-out").to_string()),
             "--epoch-len" => epoch_len = value("--epoch-len").parse().unwrap_or_else(|_| usage()),
@@ -156,6 +190,10 @@ fn main() {
         }
     }
 
+    let footprint = footprint.unwrap_or(if quick { 64 * MIB } else { 512 * MIB });
+    let accesses = accesses.unwrap_or(if quick { 100_000 } else { 1_000_000 });
+    let warmup = warmup.unwrap_or(if quick { 25_000 } else { 250_000 });
+
     let cfg = SimConfig {
         workload,
         footprint,
@@ -165,33 +203,45 @@ fn main() {
         warmup,
         seed,
     };
-    eprintln!(
-        "running {} / {} (footprint {} MiB, {} accesses after {} warmup, seed {seed})...",
+    let reporter = Reporter::new(quiet);
+    reporter.line(format!(
+        "running {} / {} (footprint {} MiB, {} accesses after {} warmup, seed {seed}, {trials} trial(s))...",
         workload.label(),
         cfg.label(),
         footprint / MIB,
         accesses,
         warmup
-    );
+    ));
     let observe = telemetry_out.is_some() || flight > 0;
-    let run = || {
-        if observe {
-            Simulation::run_observed(
-                &cfg,
-                Default::default(),
-                TelemetryConfig {
-                    epoch_len,
-                    flight_capacity: flight,
-                },
-            )
-        } else {
-            Simulation::run(&cfg)
-        }
+    let tcfg = TelemetryConfig {
+        epoch_len,
+        flight_capacity: flight,
     };
-    let r = match run() {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("simulation failed: {e}");
+
+    // A single trial reproduces the classic one-shot run exactly (the seed
+    // is used directly); `--trials N` derives trial t's seed from
+    // `split_seed(seed, t)` so every cell is an independent stream and the
+    // grid can run on any number of workers with byte-identical output.
+    let cells: Vec<GridCell> = (0..trials)
+        .map(|t| {
+            let mut cell = GridCell::new(cfg);
+            if trials > 1 {
+                cell = cell.trial(t);
+            }
+            if observe {
+                cell = cell.observed(tcfg);
+            }
+            cell
+        })
+        .collect();
+    let report = Simulation::run_grid_reported(&cells, jobs, &reporter);
+    for (i, failure) in report.failures() {
+        eprintln!("trial {i} (seed {}) failed: {failure}", cells[i].cfg.seed);
+    }
+    let r = match report.merged() {
+        Some(r) => r,
+        None => {
+            eprintln!("simulation failed: no trial succeeded");
             std::process::exit(1);
         }
     };
@@ -203,17 +253,28 @@ fn main() {
         });
         t.write_jsonl(&mut f).expect("telemetry write");
         f.flush().expect("telemetry flush");
-        eprintln!(
+        reporter.line(format!(
             "wrote {} epoch snapshots and {} flight events to {path}",
             t.epochs().len(),
             t.flight().len()
-        );
+        ));
     }
 
     if csv {
+        // One row per successful trial, in cell order — byte-identical
+        // output for any `--jobs` value (the CI determinism check diffs
+        // this against itself at different worker counts).
         println!("{}", mv_sim::RunResult::csv_header());
-        println!("{}", r.csv_row());
+        for trial in report.results() {
+            println!("{}", trial.csv_row());
+        }
         return;
+    }
+    if trials > 1 {
+        println!(
+            "merged over {} of {trials} trials:",
+            report.results().count()
+        );
     }
     println!("configuration:        {} / {}", r.workload, r.label);
     println!("overhead:             {}", r.overhead_pct());

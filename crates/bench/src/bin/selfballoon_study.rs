@@ -5,56 +5,92 @@
 //! the claim across fragmentation levels, and also shows the secondary
 //! benefit the paper notes: the reclaimed contiguity lets the guest map
 //! 2 MiB pages again.
+//!
+//! The occupancy levels are independent experiments (each builds its own
+//! host and guest from fixed seeds) and run on a worker pool (`--jobs N`,
+//! `--quiet`); the table rows come back in occupancy order.
 
+use mv_bench::experiments::parse_parallelism;
 use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
 use mv_metrics::Table;
+use mv_types::rng::StdRng;
 use mv_types::{Gva, PageSize, Prot, MIB};
 use mv_vmm::{VmConfig, Vmm};
-use mv_types::rng::StdRng;
+
+/// Measures both contiguity mechanisms at one fragmentation level and
+/// returns the table row.
+fn run_level(occupancy: f64, want: u64, installed: u64) -> [String; 4] {
+    // Guest side: self-ballooning.
+    let mut vmm = Vmm::new(2 * installed + 256 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(installed + 128 * MIB, PageSize::Size4K));
+    let mut guest = GuestOs::boot(GuestConfig {
+        installed_bytes: installed,
+        hotplug_capacity: 128 * MIB,
+        model_io_gap: false,
+        boot_reservation: 0,
+    });
+    let mut rng = StdRng::seed_from_u64(77);
+    let _junk = guest.mem_mut().fragment(&mut rng, occupancy);
+    let before = guest.mem().stats().largest_free_run_bytes;
+    vmm.self_balloon(vm, &mut guest, want).expect("capacity provisioned");
+    let balloon_moved = 0u64; // ballooning never copies page contents
+
+    // Host side: compaction for the same goal on an equally fragmented
+    // physical space.
+    let mut host = mv_phys::PhysMem::<mv_types::Hpa>::new(installed);
+    let mut rng = StdRng::seed_from_u64(77);
+    let _junk = host.fragment(&mut rng, occupancy);
+    let outcome = host
+        .compact_and_reserve(want, PageSize::Size2M, false, &mut |_, _| {})
+        .expect("enough free memory to compact");
+
+    [
+        format!("{:.0}%", occupancy * 100.0),
+        format!("{} MiB", before / MIB),
+        balloon_moved.to_string(),
+        outcome.pages_moved.to_string(),
+    ]
+}
 
 fn main() {
     let want = 64 * MIB;
     let installed = 256 * MIB;
+    let (jobs, reporter) = parse_parallelism();
 
     println!("\nSelf-ballooning vs. host-side compaction: cost to create {} MiB", want / MIB);
     println!("of contiguous memory at increasing fragmentation\n");
+    let levels = [0.1f64, 0.2, 0.3, 0.4, 0.5];
+    let rows = mv_par::par_map(jobs, &levels, |i, &occupancy| {
+        reporter.line(format!(
+            "  [{}/{}] occupancy {:.0}%...",
+            i + 1,
+            levels.len(),
+            occupancy * 100.0
+        ));
+        run_level(occupancy, want, installed)
+    });
+
     let mut t = Table::new(&[
         "occupancy",
         "largest run before",
         "self-balloon pages moved",
         "compaction pages moved",
     ]);
-    for &occupancy in &[0.1f64, 0.2, 0.3, 0.4, 0.5] {
-        // Guest side: self-ballooning.
-        let mut vmm = Vmm::new(2 * installed + 256 * MIB);
-        let vm = vmm.create_vm(VmConfig::new(installed + 128 * MIB, PageSize::Size4K));
-        let mut guest = GuestOs::boot(GuestConfig {
-            installed_bytes: installed,
-            hotplug_capacity: 128 * MIB,
-            model_io_gap: false,
-            boot_reservation: 0,
-        });
-        let mut rng = StdRng::seed_from_u64(77);
-        let _junk = guest.mem_mut().fragment(&mut rng, occupancy);
-        let before = guest.mem().stats().largest_free_run_bytes;
-        vmm.self_balloon(vm, &mut guest, want).expect("capacity provisioned");
-        let balloon_moved = 0u64; // ballooning never copies page contents
-
-        // Host side: compaction for the same goal on an equally fragmented
-        // physical space.
-        let mut host = mv_phys::PhysMem::<mv_types::Hpa>::new(installed);
-        let mut rng = StdRng::seed_from_u64(77);
-        let _junk = host.fragment(&mut rng, occupancy);
-        let outcome = host
-            .compact_and_reserve(want, PageSize::Size2M, false, &mut |_, _| {})
-            .expect("enough free memory to compact");
-
-        t.row(&[
-            format!("{:.0}%", occupancy * 100.0),
-            format!("{} MiB", before / MIB),
-            balloon_moved.to_string(),
-            outcome.pages_moved.to_string(),
-        ]);
+    for (occupancy, row) in levels.iter().zip(rows) {
+        match row {
+            Ok(row) => {
+                t.row(&row);
+            }
+            Err(p) => {
+                eprintln!("occupancy {:.0}%: failed: {p}", occupancy * 100.0);
+                t.row(&[
+                    format!("{:.0}%", occupancy * 100.0),
+                    "-".to_string(),
+                    "failed!".to_string(),
+                    "failed!".to_string(),
+                ]);
+            }
+        }
     }
     println!("{t}");
     println!("(self-ballooning trades pre-provisioned guest-physical address");

@@ -1,41 +1,75 @@
 //! Table II: the trade-off matrix of the virtualized translation modes —
 //! printed directly from the mode model, which the test suite verifies
 //! against the paper's table.
+//!
+//! Each mode's column is computed independently on the worker pool
+//! (`--jobs N`, `--quiet`) — trivial work here, but it keeps the CLI
+//! uniform with the simulation sweeps, and column assembly is in mode
+//! order so the table never depends on scheduling.
 
-use mv_core::TranslationMode;
+use mv_bench::experiments::parse_parallelism;
+use mv_core::{Support, TranslationMode};
 use mv_metrics::Table;
 
+/// The row labels, in print order.
+const ROWS: [&str; 10] = [
+    "page walk dimensions",
+    "memory accesses (common walk)",
+    "base-bound checks",
+    "guest OS modifications",
+    "VMM modifications",
+    "application category",
+    "page sharing",
+    "ballooning",
+    "guest swapping",
+    "VMM swapping",
+];
+
+fn fmt_support(s: Option<Support>) -> String {
+    s.map_or("n/a".to_string(), |x| x.to_string())
+}
+
+fn fmt_bool(b: bool) -> String {
+    if b { "required" } else { "none" }.to_string()
+}
+
+/// One cell of the matrix, as a pure function of (row, mode).
+fn cell(row: usize, m: TranslationMode) -> String {
+    match row {
+        0 => format!("{}D", m.walk_dimensions()),
+        1 => m.common_walk_refs().to_string(),
+        2 => m.bound_checks().to_string(),
+        3 => fmt_bool(m.requires_guest_os_changes()),
+        4 => fmt_bool(m.requires_vmm_changes()),
+        5 => if m.suits_any_application() { "any" } else { "big memory" }.to_string(),
+        6 => fmt_support(m.page_sharing()),
+        7 => fmt_support(m.ballooning()),
+        8 => fmt_support(m.guest_swapping()),
+        9 => fmt_support(m.vmm_swapping()),
+        _ => unreachable!("row out of range"),
+    }
+}
+
 fn main() {
+    let (jobs, _reporter) = parse_parallelism();
     let modes = TranslationMode::VIRTUALIZED;
+
+    // One column per mode, computed on the pool; assembled in mode order.
+    let columns = mv_par::par_map(jobs, &modes, |_, &m| {
+        (0..ROWS.len()).map(|r| cell(r, m)).collect::<Vec<String>>()
+    });
+    let columns: Vec<Vec<String>> = columns
+        .into_iter()
+        .map(|c| c.unwrap_or_else(|p| panic!("mode model panicked: {p}")))
+        .collect();
+
     let mut headers = vec!["property".to_string()];
     headers.extend(modes.iter().map(|m| m.to_string()));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut t = Table::new(&header_refs);
-
-    let fmt_support = |s: Option<mv_core::Support>| {
-        s.map_or("n/a".to_string(), |x| x.to_string())
-    };
-    let fmt_bool = |b: bool| if b { "required" } else { "none" }.to_string();
-
-    type ModeColumn = Box<dyn Fn(TranslationMode) -> String>;
-    let rows: Vec<(&str, ModeColumn)> = vec![
-        ("page walk dimensions", Box::new(|m: TranslationMode| format!("{}D", m.walk_dimensions()))),
-        ("memory accesses (common walk)", Box::new(|m: TranslationMode| m.common_walk_refs().to_string())),
-        ("base-bound checks", Box::new(|m: TranslationMode| m.bound_checks().to_string())),
-        ("guest OS modifications", Box::new(move |m| fmt_bool(m.requires_guest_os_changes()))),
-        ("VMM modifications", Box::new(move |m| fmt_bool(m.requires_vmm_changes()))),
-        ("application category", Box::new(|m: TranslationMode| {
-            if m.suits_any_application() { "any" } else { "big memory" }.to_string()
-        })),
-        ("page sharing", Box::new(move |m| fmt_support(m.page_sharing()))),
-        ("ballooning", Box::new(move |m| fmt_support(m.ballooning()))),
-        ("guest swapping", Box::new(move |m| fmt_support(m.guest_swapping()))),
-        ("VMM swapping", Box::new(move |m| fmt_support(m.vmm_swapping()))),
-    ];
-
-    for (name, f) in rows {
+    for (r, name) in ROWS.iter().enumerate() {
         let mut cells = vec![name.to_string()];
-        cells.extend(modes.iter().map(|&m| f(m)));
+        cells.extend(columns.iter().map(|col| col[r].clone()));
         t.row(&cells);
     }
 

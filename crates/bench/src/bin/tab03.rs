@@ -1,13 +1,18 @@
 //! Table III: modes utilized in fragmented systems — runs each
 //! fragmentation scenario end-to-end and reports the mode transitions the
 //! system actually takes (self-ballooning, host compaction, or both).
+//!
+//! Each scenario builds its own VMM and guest from a fixed seed, so the
+//! three recovery flows run on a worker pool (`--jobs N`, `--quiet`) and
+//! the table is assembled in scenario order regardless of scheduling.
 
+use mv_bench::experiments::parse_parallelism;
 use mv_core::TranslationMode;
 use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
 use mv_metrics::Table;
+use mv_types::rng::StdRng;
 use mv_types::{AddrRange, Gpa, PageSize, MIB};
 use mv_vmm::{SegmentOptions, VmConfig, Vmm};
-use mv_types::rng::StdRng;
 
 struct Scenario {
     name: &'static str,
@@ -15,88 +20,108 @@ struct Scenario {
     fragment_guest: bool,
 }
 
+/// Runs one fragmentation scenario's full recovery flow and returns its
+/// table row.
+fn run_scenario(sc: &Scenario) -> [String; 5] {
+    let footprint = 64 * MIB;
+    let installed = 160 * MIB;
+    let mut vmm = Vmm::new(512 * MIB);
+    let vm = vmm.create_vm(VmConfig::new(installed, PageSize::Size4K));
+    let mut guest = GuestOs::boot(GuestConfig {
+        installed_bytes: installed,
+        hotplug_capacity: 128 * MIB,
+        model_io_gap: false,
+        boot_reservation: 0,
+    });
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    guest.create_primary_region(pid, footprint).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    if sc.fragment_host {
+        let _held = vmm.hmem_mut().fragment(&mut rng, 0.3);
+    }
+    if sc.fragment_guest {
+        let _held = guest.mem_mut().fragment(&mut rng, 0.5);
+    }
+
+    // Try the guest segment; on fragmentation, run self-ballooning.
+    let mut mechanisms = Vec::new();
+    let gseg = match guest.setup_guest_segment(pid) {
+        Ok(seg) => seg,
+        Err(mv_guestos::OsError::Fragmented { .. }) => {
+            mechanisms.push("self-balloon");
+            vmm.self_balloon(vm, &mut guest, footprint)
+                .expect("self-ballooning creates contiguity");
+            guest
+                .setup_guest_segment(pid)
+                .expect("hot-added range is contiguous")
+        }
+        Err(e) => panic!("unexpected: {e}"),
+    };
+    let initial = TranslationMode::GuestDirect;
+    let _ = gseg;
+
+    // Try the VMM segment; on fragmentation, run host compaction.
+    let cover = AddrRange::new(Gpa::ZERO, Gpa::new(guest.mem().size_bytes()));
+    let direct = vmm.create_vmm_segment(vm, cover, SegmentOptions::default());
+    let (final_mode, moved) = match direct {
+        Ok(_) => (TranslationMode::DualDirect, 0),
+        Err(mv_vmm::VmmError::HostFragmented { .. }) => {
+            mechanisms.push("host compaction");
+            vmm.create_vmm_segment(
+                vm,
+                cover,
+                SegmentOptions {
+                    compact: true,
+                    ..SegmentOptions::default()
+                },
+            )
+            .expect("compaction manufactures contiguity");
+            (
+                TranslationMode::DualDirect,
+                vmm.hmem().stats().pages_moved_by_compaction,
+            )
+        }
+        Err(e) => panic!("unexpected: {e}"),
+    };
+
+    [
+        sc.name.to_string(),
+        initial.to_string(),
+        if mechanisms.is_empty() {
+            "none needed".to_string()
+        } else {
+            mechanisms.join(" + ")
+        },
+        final_mode.to_string(),
+        moved.to_string(),
+    ]
+}
+
 fn main() {
+    let (jobs, reporter) = parse_parallelism();
     let scenarios = [
         Scenario { name: "host fragmented", fragment_host: true, fragment_guest: false },
         Scenario { name: "guest fragmented", fragment_host: false, fragment_guest: true },
         Scenario { name: "host+guest fragmented", fragment_host: true, fragment_guest: true },
     ];
 
+    let rows = mv_par::par_map(jobs, &scenarios, |i, sc| {
+        reporter.line(format!("  [{}/{}] {}...", i + 1, scenarios.len(), sc.name));
+        run_scenario(sc)
+    });
+
     let mut t = Table::new(&["VM state", "initial mode", "mechanism", "final mode", "pages moved"]);
-    for sc in scenarios {
-        let footprint = 64 * MIB;
-        let installed = 160 * MIB;
-        let mut vmm = Vmm::new(512 * MIB);
-        let vm = vmm.create_vm(VmConfig::new(installed, PageSize::Size4K));
-        let mut guest = GuestOs::boot(GuestConfig {
-            installed_bytes: installed,
-            hotplug_capacity: 128 * MIB,
-            model_io_gap: false,
-            boot_reservation: 0,
-        });
-        let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
-        guest.create_primary_region(pid, footprint).unwrap();
-
-        let mut rng = StdRng::seed_from_u64(7);
-        if sc.fragment_host {
-            let _held = vmm.hmem_mut().fragment(&mut rng, 0.3);
-        }
-        if sc.fragment_guest {
-            let _held = guest.mem_mut().fragment(&mut rng, 0.5);
-        }
-
-        // Try the guest segment; on fragmentation, run self-ballooning.
-        let mut mechanisms = Vec::new();
-        let gseg = match guest.setup_guest_segment(pid) {
-            Ok(seg) => seg,
-            Err(mv_guestos::OsError::Fragmented { .. }) => {
-                mechanisms.push("self-balloon");
-                vmm.self_balloon(vm, &mut guest, footprint)
-                    .expect("self-ballooning creates contiguity");
-                guest
-                    .setup_guest_segment(pid)
-                    .expect("hot-added range is contiguous")
+    for (sc, row) in scenarios.iter().zip(rows) {
+        match row {
+            Ok(row) => {
+                t.row(&row);
             }
-            Err(e) => panic!("unexpected: {e}"),
-        };
-        let initial = TranslationMode::GuestDirect;
-        let _ = gseg;
-
-        // Try the VMM segment; on fragmentation, run host compaction.
-        let cover = AddrRange::new(Gpa::ZERO, Gpa::new(guest.mem().size_bytes()));
-        let direct = vmm.create_vmm_segment(vm, cover, SegmentOptions::default());
-        let (final_mode, moved) = match direct {
-            Ok(_) => (TranslationMode::DualDirect, 0),
-            Err(mv_vmm::VmmError::HostFragmented { .. }) => {
-                mechanisms.push("host compaction");
-                vmm.create_vmm_segment(
-                    vm,
-                    cover,
-                    SegmentOptions {
-                        compact: true,
-                        ..SegmentOptions::default()
-                    },
-                )
-                .expect("compaction manufactures contiguity");
-                (
-                    TranslationMode::DualDirect,
-                    vmm.hmem().stats().pages_moved_by_compaction,
-                )
+            Err(p) => {
+                eprintln!("{}: scenario failed: {p}", sc.name);
+                t.row(&[sc.name, "-", "failed!", "-", "-"]);
             }
-            Err(e) => panic!("unexpected: {e}"),
-        };
-
-        t.row(&[
-            sc.name.to_string(),
-            initial.to_string(),
-            if mechanisms.is_empty() {
-                "none needed".to_string()
-            } else {
-                mechanisms.join(" + ")
-            },
-            final_mode.to_string(),
-            moved.to_string(),
-        ]);
+        }
     }
 
     println!("\nTable III — modes utilized in fragmented systems (big-memory VM)");

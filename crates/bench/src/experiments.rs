@@ -1,6 +1,10 @@
 //! Shared experiment machinery: scaling, configuration sets, runners.
 
-use mv_sim::{Env, GuestPaging, RunResult, SimConfig, Simulation};
+use std::num::NonZeroUsize;
+
+use mv_metrics::Table;
+use mv_par::{cli, Reporter};
+use mv_sim::{Env, GridCell, GuestPaging, RunResult, SimConfig, Simulation};
 use mv_types::{PageSize, GIB, MIB};
 use mv_workloads::WorkloadKind;
 
@@ -61,6 +65,72 @@ pub fn parse_scale() -> Scale {
     } else {
         Scale::full()
     }
+}
+
+/// Parses the standard parallelism flags every experiment binary accepts:
+/// `--jobs N` (worker count, default: available parallelism) and
+/// `--quiet` (suppress progress lines). Exits with usage on a bad value.
+pub fn parse_parallelism() -> (NonZeroUsize, Reporter) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = cli::parse_jobs(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    (jobs, Reporter::new(cli::has_flag(&args, "--quiet")))
+}
+
+/// Runs a {workloads} × {configs} grid in parallel and renders the
+/// standard per-workload overhead table (one row per workload, one column
+/// per configuration). Results are assembled in grid order, so the table
+/// is identical for any `jobs` value. A failed cell renders as `failed!`
+/// and its error goes to the reporter; the rest of the sweep is
+/// unaffected.
+pub fn overhead_table(
+    workloads: &[WorkloadKind],
+    configs: &[(GuestPaging, Env)],
+    scale: &Scale,
+    jobs: NonZeroUsize,
+    reporter: &Reporter,
+) -> Table {
+    let cells: Vec<GridCell> = workloads
+        .iter()
+        .flat_map(|&w| {
+            configs
+                .iter()
+                .map(move |&(paging, env)| GridCell::new(config(w, paging, env, scale)))
+        })
+        .collect();
+    let report = Simulation::run_grid_reported(&cells, jobs, reporter);
+    for (i, failure) in report.failures() {
+        reporter.line(format!(
+            "  cell {} ({} / {}) failed: {failure}",
+            i,
+            cells[i].cfg.workload.label(),
+            cells[i].cfg.label()
+        ));
+    }
+
+    let mut headers = vec!["workload".to_string()];
+    headers.extend(
+        configs
+            .iter()
+            .map(|&(paging, env)| config(workloads[0], paging, env, scale).label()),
+    );
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for (wi, &w) in workloads.iter().enumerate() {
+        let mut row = vec![w.label().to_string()];
+        for ci in 0..configs.len() {
+            row.push(
+                match &report.outcomes()[wi * configs.len() + ci].outcome {
+                    Ok(r) => pct(r.overhead),
+                    Err(_) => "failed!".to_string(),
+                },
+            );
+        }
+        t.row(&row);
+    }
+    t
 }
 
 /// Builds the [`SimConfig`] for one bar.

@@ -292,8 +292,8 @@ impl GuestOs {
     ///
     /// * [`OsError::SwapPrecluded`] — the page is covered by the process's
     ///   guest segment.
-    /// * [`OsError::NotMapped`]-like behavior: swapping an unmapped page is
-    ///   an error surfaced as [`OsError::SegmentationFault`].
+    /// * [`OsError::SegmentationFault`] — the page is not mapped, so there
+    ///   is nothing to swap out.
     pub fn swap_out(&mut self, pid: Pid, va: Gva) -> Result<(), OsError> {
         let proc = self
             .processes

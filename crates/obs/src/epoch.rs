@@ -48,6 +48,32 @@ impl EpochSnapshot {
     pub fn cycles_per_miss(&self) -> f64 {
         self.hist.mean()
     }
+
+    /// Folds another snapshot of the **same epoch index** into this one
+    /// (used when merging telemetry from parallel runs that each covered
+    /// the same access window). Counts add, the latency histograms merge,
+    /// and the covered span becomes the union of both spans. Commutative
+    /// and associative, like [`LatencyHistogram::merge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the epoch indices differ — merging different windows
+    /// would silently corrupt per-epoch rates.
+    pub fn merge(&mut self, other: &EpochSnapshot) {
+        assert_eq!(
+            self.index, other.index,
+            "merged snapshots must cover the same epoch"
+        );
+        self.start_seq = self.start_seq.min(other.start_seq);
+        self.end_seq = self.end_seq.max(other.end_seq);
+        self.events += other.events;
+        for (a, b) in self.class_counts.iter_mut().zip(other.class_counts.iter()) {
+            *a += b;
+        }
+        self.faults += other.faults;
+        self.escapes += other.escapes;
+        self.hist.merge(&other.hist);
+    }
 }
 
 #[cfg(test)]

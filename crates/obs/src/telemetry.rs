@@ -138,6 +138,64 @@ impl Telemetry {
         &self.flight
     }
 
+    /// Folds another (finished) collector into this one: histograms and
+    /// per-class/fault/escape counters add, and epoch snapshots with the
+    /// same index merge pairwise (parallel trials each observe the same
+    /// access windows, so epoch `i` of every trial describes the same
+    /// window of simulated work).
+    ///
+    /// The fold is order-insensitive in everything it keeps — counter
+    /// addition and [`LatencyHistogram::merge`] are commutative and
+    /// associative — which is what makes a parallel sweep's merged
+    /// telemetry byte-identical for any worker count. The flight recorder
+    /// is the one exception: a ring of "most recent" events has no
+    /// meaningful order across concurrent runs, so the merged collector
+    /// *clears* it rather than keeping an arbitrary interleaving.
+    ///
+    /// Epoch lists are expected to use the same `epoch_len` (the grid
+    /// runner always merges runs of one configuration); `self`'s
+    /// configuration is kept.
+    pub fn merge(&mut self, other: &Telemetry) {
+        self.hist.merge(&other.hist);
+        for (a, b) in self.class_counts.iter_mut().zip(other.class_counts.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.fault_counts.iter_mut().zip(other.fault_counts.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.escape_counts.iter_mut().zip(other.escape_counts.iter()) {
+            *a += b;
+        }
+        self.events += other.events;
+        self.last_seq = self.last_seq.max(other.last_seq);
+
+        // Merge-join the (index-sorted) epoch lists.
+        let mut merged = Vec::with_capacity(self.epochs.len().max(other.epochs.len()));
+        let mut mine = std::mem::take(&mut self.epochs).into_iter().peekable();
+        let mut theirs = other.epochs.iter().peekable();
+        loop {
+            match (mine.peek(), theirs.peek()) {
+                (Some(a), Some(b)) if a.index == b.index => {
+                    let mut a = mine.next().expect("peeked");
+                    a.merge(theirs.next().expect("peeked"));
+                    merged.push(a);
+                }
+                (Some(a), Some(b)) if a.index < b.index => {
+                    merged.push(mine.next().expect("peeked"));
+                    let _ = b;
+                }
+                (Some(_), Some(_)) | (None, Some(_)) => {
+                    merged.push(theirs.next().expect("peeked").clone());
+                }
+                (Some(_), None) => merged.push(mine.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        self.epochs = merged;
+
+        self.flight = FlightRecorder::new(self.cfg.flight_capacity);
+    }
+
     /// Closes the collector at `total_accesses` accesses, flushing the
     /// trailing partial epoch (if it saw any events). Idempotent.
     pub fn finish(&mut self, total_accesses: u64) {
@@ -311,6 +369,82 @@ mod tests {
         assert!(t.epochs().is_empty());
         assert_eq!(t.events(), 50);
         assert_eq!(t.hist().count(), 50);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_and_joins_epochs() {
+        let collect = |seqs: &[u64]| {
+            let mut t = Telemetry::new(TelemetryConfig {
+                epoch_len: 100,
+                flight_capacity: 4,
+            });
+            for &s in seqs {
+                t.on_walk(&ev(s, 10 + s, WalkClass::Walk2d));
+            }
+            t.finish(400);
+            t
+        };
+        // Trial A misses in epochs 0 and 1; trial B in epochs 1 and 3.
+        let a = collect(&[5, 150]);
+        let b = collect(&[160, 350]);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        assert_eq!(ab.events(), 4);
+        assert_eq!(ab.hist(), ba.hist());
+        assert_eq!(ab.epochs(), ba.epochs());
+        let indices: Vec<u64> = ab.epochs().iter().map(|e| e.index).collect();
+        assert_eq!(indices, vec![0, 1, 3], "union of epoch indices, sorted");
+        assert_eq!(ab.epochs()[1].events, 2, "same-index epochs fold");
+        assert_eq!(
+            ab.epochs().iter().map(|e| e.events).sum::<u64>(),
+            ab.events(),
+            "conservation survives the merge"
+        );
+        assert_eq!(ab.flight().len(), 0, "merged flight recorder is cleared");
+        assert_eq!(ab.class_count(WalkClass::Walk2d), 4);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let one = |seq: u64, cycles: u64| {
+            let mut t = Telemetry::new(TelemetryConfig {
+                epoch_len: 50,
+                flight_capacity: 0,
+            });
+            t.on_walk(&ev(seq, cycles, WalkClass::L2Hit));
+            t.finish(200);
+            t
+        };
+        let (a, b, c) = (one(10, 5), one(60, 7), one(110, 9));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.epochs(), right.epochs());
+        assert_eq!(left.hist(), right.hist());
+        assert_eq!(left.events(), right.events());
+    }
+
+    #[test]
+    #[should_panic(expected = "same epoch")]
+    fn epoch_merge_rejects_mismatched_indices() {
+        let mut t = Telemetry::new(TelemetryConfig {
+            epoch_len: 100,
+            flight_capacity: 0,
+        });
+        t.on_walk(&ev(5, 1, WalkClass::Walk2d));
+        t.finish(100);
+        let mut a = t.epochs()[0].clone();
+        let mut b = a.clone();
+        b.index += 1;
+        a.merge(&b);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Minimal command-line helpers shared by the experiment binaries, so
+//! every binary spells `--jobs N` and `--quiet` the same way.
+
+use std::num::NonZeroUsize;
+
+use crate::pool::default_jobs;
+
+/// Extracts `--jobs N` from an argument list, defaulting to
+/// [`default_jobs`] (the machine's available
+/// parallelism) when absent.
+///
+/// # Errors
+///
+/// Returns a message suitable for printing when the value is missing,
+/// not a number, or zero.
+///
+/// # Example
+///
+/// ```
+/// let args: Vec<String> = vec!["--quick".into(), "--jobs".into(), "4".into()];
+/// assert_eq!(mv_par::cli::parse_jobs(&args).unwrap().get(), 4);
+/// assert!(mv_par::cli::parse_jobs(&["--jobs".into(), "0".into()]).is_err());
+/// ```
+pub fn parse_jobs(args: &[String]) -> Result<NonZeroUsize, String> {
+    let Some(i) = args.iter().position(|a| a == "--jobs") else {
+        return Ok(default_jobs());
+    };
+    let value = args
+        .get(i + 1)
+        .ok_or_else(|| "--jobs needs a value".to_string())?;
+    value
+        .parse::<NonZeroUsize>()
+        .map_err(|_| format!("--jobs needs a positive integer, got {value:?}"))
+}
+
+/// Whether a bare flag (e.g. `--quiet`) appears in the argument list.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_when_absent() {
+        assert_eq!(parse_jobs(&args(&["--quick"])).unwrap(), default_jobs());
+    }
+
+    #[test]
+    fn explicit_value_wins() {
+        assert_eq!(parse_jobs(&args(&["--jobs", "7"])).unwrap().get(), 7);
+    }
+
+    #[test]
+    fn bad_values_error() {
+        assert!(parse_jobs(&args(&["--jobs"])).is_err());
+        assert!(parse_jobs(&args(&["--jobs", "zero"])).is_err());
+        assert!(parse_jobs(&args(&["--jobs", "0"])).is_err());
+    }
+
+    #[test]
+    fn flags_detected() {
+        assert!(has_flag(&args(&["--quiet"]), "--quiet"));
+        assert!(!has_flag(&args(&["--quick"]), "--quiet"));
+    }
+}

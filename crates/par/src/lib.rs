@@ -1,0 +1,53 @@
+//! Parallel experiment execution for the simulation workspace.
+//!
+//! The paper's evaluation is a grid — {workloads} × {translation modes} ×
+//! {trials} (Figure 13 alone runs 30 random trials per point) — and every
+//! cell is an independent simulation: it builds its own guest, VMM, and
+//! MMU, and derives all randomness from its own seed. This crate exploits
+//! that independence with three pieces, all `std`-only (the workspace
+//! builds offline, with no external dependencies):
+//!
+//! * [`par_map`] — a scoped worker pool (`std::thread::scope`) over a
+//!   shared work queue. Results come back **in item order**, so output is
+//!   identical for any worker count; a panic in one job becomes an
+//!   `Err(`[`JobPanic`]`)` in that job's slot instead of killing the sweep.
+//! * [`Reporter`] — a mutex-guarded progress writer, so concurrent jobs'
+//!   stderr lines never interleave mid-line, with a `--quiet` switch.
+//! * [`cli`] — shared parsing for the `--jobs N` / `--quiet` flags every
+//!   experiment binary exposes.
+//!
+//! # Determinism
+//!
+//! The pool does not make programs deterministic — it *preserves* the
+//! determinism of jobs that are already pure functions of their inputs.
+//! The workspace's convention (enforced by the `mv-sim` grid runner and
+//! its integration tests) is to derive each cell's seed with
+//! `mv_types::rng::split_seed` from the cell's coordinates, never from
+//! shared state, and to merge per-cell counters and telemetry with
+//! order-insensitive (commutative, associative) merges. Under those rules
+//! `--jobs 1` and `--jobs N` produce byte-identical tables, which CI
+//! asserts.
+//!
+//! # Example
+//!
+//! ```
+//! use std::num::NonZeroUsize;
+//!
+//! // Four workers, five independent jobs, results in submission order.
+//! let seeds: Vec<u64> = (0..5).collect();
+//! let jobs = NonZeroUsize::new(4).unwrap();
+//! let out = mv_par::par_map(jobs, &seeds, |_, &seed| seed.wrapping_mul(31));
+//! assert_eq!(out.len(), 5);
+//! assert!(out.iter().all(Result::is_ok));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cli;
+mod pool;
+mod reporter;
+
+pub use pool::{default_jobs, par_map, JobPanic, JobResult};
+pub use reporter::Reporter;

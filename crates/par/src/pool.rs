@@ -1,0 +1,200 @@
+//! The scoped worker pool: a shared work queue of independent jobs,
+//! executed by `std::thread::scope` workers with per-job panic isolation.
+
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A job that panicked instead of producing a result.
+///
+/// The panic is contained to its job: the worker that caught it moves on
+/// to the next queue entry, and every other job's result is unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the job in the submitted slice.
+    pub index: usize,
+    /// The panic payload, when it was a string (the overwhelmingly common
+    /// case); `"non-string panic payload"` otherwise.
+    pub message: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Result of one pool job: the mapped value, or the contained panic.
+pub type JobResult<R> = Result<R, JobPanic>;
+
+/// The number of workers the pool uses by default: the machine's available
+/// parallelism, or 1 if it cannot be queried.
+pub fn default_jobs() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads, returning results
+/// in **item order** regardless of worker count or completion order.
+///
+/// Work distribution is a shared atomic cursor: each worker claims the
+/// next unclaimed index, so there is no static partitioning and stragglers
+/// do not idle the pool. A panicking job yields `Err(JobPanic)` in its
+/// slot; the remaining jobs run to completion.
+///
+/// Determinism contract: `f` must derive everything from its arguments
+/// (index and item) — never from shared mutable state, thread identity, or
+/// wall-clock time. Under that contract the returned vector is identical
+/// for every `jobs` value, which is what lets callers assert byte-identical
+/// output between `--jobs 1` and `--jobs N`.
+///
+/// With one worker (or zero/one item) everything runs inline on the
+/// calling thread — no threads are spawned, but panic isolation still
+/// applies so the two paths are observationally identical.
+///
+/// # Example
+///
+/// ```
+/// use std::num::NonZeroUsize;
+///
+/// let jobs = NonZeroUsize::new(4).unwrap();
+/// let out = mv_par::par_map(jobs, &[1u64, 2, 3], |i, &x| x * 10 + i as u64);
+/// let values: Vec<u64> = out.into_iter().map(Result::unwrap).collect();
+/// assert_eq!(values, vec![10, 21, 32]);
+/// ```
+pub fn par_map<T, R, F>(jobs: NonZeroUsize, items: &[T], f: F) -> Vec<JobResult<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = jobs.get().min(items.len());
+    let run_one = |i: usize| -> JobResult<R> {
+        panic::catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).map_err(|payload| JobPanic {
+            index: i,
+            message: panic_message(payload),
+        })
+    };
+
+    if workers <= 1 {
+        return (0..items.len()).map(run_one).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<JobResult<R>>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = run_one(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed index was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(x: usize) -> NonZeroUsize {
+        NonZeroUsize::new(x).unwrap()
+    }
+
+    #[test]
+    fn maps_in_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let got: Vec<u64> = par_map(n(jobs), &items, |_, &x| x * x)
+                .into_iter()
+                .map(Result::unwrap)
+                .collect();
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<JobResult<u64>> = par_map(n(8), &[] as &[u64], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = par_map(n(8), &[7u64], |i, &x| (i, x));
+        assert_eq!(out, vec![Ok((0, 7))]);
+    }
+
+    #[test]
+    fn panic_is_contained_to_its_job() {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let items: Vec<u64> = (0..20).collect();
+        let out = par_map(n(4), &items, |_, &x| {
+            assert!(x != 13, "unlucky item");
+            x + 1
+        });
+        panic::set_hook(prev);
+        assert_eq!(out.len(), 20);
+        for (i, r) in out.iter().enumerate() {
+            if i == 13 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 13);
+                assert!(e.message.contains("unlucky item"), "{}", e.message);
+            } else {
+                assert_eq!(*r, Ok(i as u64 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn panic_message_extracts_both_string_kinds() {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        let out = par_map(n(1), &[0u8, 1], |_, &x| {
+            if x == 0 {
+                panic!("static str");
+            } else {
+                panic!("formatted {x}");
+            }
+        });
+        panic::set_hook(prev);
+        assert_eq!(out[0].as_ref().unwrap_err().message, "static str");
+        assert_eq!(out[1].as_ref().unwrap_err().message, "formatted 1");
+    }
+
+    #[test]
+    fn job_panic_displays_index_and_message() {
+        let p = JobPanic {
+            index: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(p.to_string(), "job 3 panicked: boom");
+    }
+}

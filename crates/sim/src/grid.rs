@@ -1,0 +1,265 @@
+//! Parallel experiment grids: many independent [`SimConfig`] cells run on
+//! a worker pool, with deterministic assembly and merge of the results.
+//!
+//! The paper's evaluation is a grid — {workloads} × {translation modes} ×
+//! {trials} — and each cell builds its own guest, VMM, and MMU from its
+//! own seed, so cells are embarrassingly parallel. [`Simulation::run_grid`]
+//! runs them on an [`mv_par`] pool and returns results **in cell order**:
+//! the output (and any [`GridReport::merged`] reduction) is byte-identical
+//! whether the grid ran on 1 worker or 16, in whatever completion order.
+//!
+//! Per-trial seeds come from [`GridCell::trial`], which splits the cell's
+//! base seed through [`mv_types::rng::split_seed`] — a pure function of
+//! (seed, trial index), never of shared state — so adding workers cannot
+//! reassign randomness between cells.
+
+use std::fmt;
+use std::num::NonZeroUsize;
+
+use mv_core::MmuConfig;
+use mv_obs::TelemetryConfig;
+use mv_par::Reporter;
+use mv_types::rng::split_seed;
+
+use crate::config::SimConfig;
+use crate::result::RunResult;
+use crate::run::{SimError, Simulation};
+
+/// One cell of an experiment grid: a configuration plus the hardware
+/// parameters and instrumentation it should run with.
+#[derive(Debug, Clone, Copy)]
+pub struct GridCell {
+    /// The experiment configuration (workload, environment, sizing, seed).
+    pub cfg: SimConfig,
+    /// MMU hardware parameters (TLB geometry, cost model, walk caching).
+    pub hw: MmuConfig,
+    /// Walk-event telemetry to collect over the measured window, if any.
+    pub telemetry: Option<TelemetryConfig>,
+}
+
+impl GridCell {
+    /// A cell running `cfg` on default hardware, unobserved.
+    pub fn new(cfg: SimConfig) -> GridCell {
+        GridCell {
+            cfg,
+            hw: MmuConfig::default(),
+            telemetry: None,
+        }
+    }
+
+    /// Replaces the MMU hardware parameters (ablation sweeps).
+    #[must_use]
+    pub fn with_hw(mut self, hw: MmuConfig) -> GridCell {
+        self.hw = hw;
+        self
+    }
+
+    /// Attaches walk-event telemetry collection to the cell.
+    #[must_use]
+    pub fn observed(mut self, telemetry: TelemetryConfig) -> GridCell {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Derives the cell for trial `index`: the configuration's seed is
+    /// split through [`split_seed`], so every trial gets a statistically
+    /// independent stream that is a pure function of (base seed, index).
+    /// Trial 0 is *also* split — a grid's trials are peers, none reuses
+    /// the base seed directly.
+    #[must_use]
+    pub fn trial(mut self, index: u64) -> GridCell {
+        self.cfg.seed = split_seed(self.cfg.seed, index);
+        self
+    }
+}
+
+/// Why a grid cell produced no result. The failure is contained to its
+/// row: the rest of the sweep completes normally.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CellFailure {
+    /// The simulation returned an error (mis-wired configuration).
+    Sim(SimError),
+    /// The cell's job panicked; the message is the panic payload.
+    Panicked(String),
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellFailure::Sim(e) => write!(f, "simulation error: {e}"),
+            CellFailure::Panicked(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CellFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CellFailure::Sim(e) => Some(e),
+            CellFailure::Panicked(_) => None,
+        }
+    }
+}
+
+/// The outcome of one grid cell, carrying the cell it came from.
+#[derive(Debug)]
+pub struct CellOutcome {
+    /// The cell that ran.
+    pub cell: GridCell,
+    /// Its measurement, or the contained failure.
+    pub outcome: Result<RunResult, CellFailure>,
+}
+
+/// Results of a grid run, in cell order (independent of worker count).
+#[derive(Debug, Default)]
+pub struct GridReport {
+    outcomes: Vec<CellOutcome>,
+}
+
+impl GridReport {
+    /// Per-cell outcomes, in the order the cells were submitted.
+    pub fn outcomes(&self) -> &[CellOutcome] {
+        &self.outcomes
+    }
+
+    /// Consumes the report into its per-cell outcomes.
+    pub fn into_outcomes(self) -> Vec<CellOutcome> {
+        self.outcomes
+    }
+
+    /// Number of cells the grid ran.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the grid was empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Successful results, in cell order.
+    pub fn results(&self) -> impl Iterator<Item = &RunResult> {
+        self.outcomes.iter().filter_map(|o| o.outcome.as_ref().ok())
+    }
+
+    /// Failed cells as `(cell index, failure)`, in cell order.
+    pub fn failures(&self) -> impl Iterator<Item = (usize, &CellFailure)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.outcome.as_ref().err().map(|e| (i, e)))
+    }
+
+    /// Deterministically reduces the successful results into one:
+    /// counters, cycles, VM exits, and telemetry all merge (see
+    /// [`RunResult::merge`]), folding in cell order so the reduction is
+    /// identical for any worker count. `None` if no cell succeeded.
+    ///
+    /// Meaningful when the cells are trials of one configuration (the
+    /// label of the first successful cell is kept).
+    pub fn merged(&self) -> Option<RunResult> {
+        let mut it = self.results();
+        let mut acc = it.next()?.clone();
+        for r in it {
+            acc.merge(r);
+        }
+        Some(acc)
+    }
+}
+
+impl Simulation {
+    /// Runs every cell of an experiment grid on up to `jobs` worker
+    /// threads, silently. See [`Simulation::run_grid_reported`].
+    pub fn run_grid(cells: &[GridCell], jobs: NonZeroUsize) -> GridReport {
+        Self::run_grid_reported(cells, jobs, &Reporter::new(true))
+    }
+
+    /// Runs every cell of an experiment grid on up to `jobs` worker
+    /// threads, announcing per-cell progress through `reporter`.
+    ///
+    /// Results come back in cell order regardless of worker count or
+    /// completion order. A cell that fails (simulation error or panic)
+    /// becomes a failed row in the report instead of aborting the sweep.
+    pub fn run_grid_reported(
+        cells: &[GridCell],
+        jobs: NonZeroUsize,
+        reporter: &Reporter,
+    ) -> GridReport {
+        let total = cells.len();
+        let raw = mv_par::par_map(jobs, cells, |i, cell| {
+            reporter.line(format!(
+                "  [{:>3}/{total}] {} / {} (seed {})...",
+                i + 1,
+                cell.cfg.workload.label(),
+                cell.cfg.label(),
+                cell.cfg.seed
+            ));
+            match cell.telemetry {
+                Some(tc) => Simulation::run_observed(&cell.cfg, cell.hw, tc),
+                None => Simulation::run_with_mmu(&cell.cfg, cell.hw),
+            }
+        });
+        let outcomes = cells
+            .iter()
+            .zip(raw)
+            .map(|(cell, job)| CellOutcome {
+                cell: *cell,
+                outcome: match job {
+                    Ok(Ok(result)) => Ok(result),
+                    Ok(Err(sim)) => Err(CellFailure::Sim(sim)),
+                    Err(panic) => Err(CellFailure::Panicked(panic.message)),
+                },
+            })
+            .collect();
+        GridReport { outcomes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Env, GuestPaging};
+    use mv_types::{PageSize, MIB};
+    use mv_workloads::WorkloadKind;
+
+    fn cell() -> GridCell {
+        GridCell::new(SimConfig {
+            workload: WorkloadKind::Gups,
+            footprint: 4 * MIB,
+            guest_paging: GuestPaging::Fixed(PageSize::Size4K),
+            env: Env::native(),
+            accesses: 2_000,
+            warmup: 500,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn trial_splitting_is_pure_and_distinct() {
+        let t3 = cell().trial(3);
+        let t4 = cell().trial(4);
+        assert_eq!(t3.cfg.seed, cell().trial(3).cfg.seed);
+        assert_ne!(t3.cfg.seed, t4.cfg.seed);
+        assert_ne!(t3.cfg.seed, 42, "trials never reuse the base seed");
+    }
+
+    #[test]
+    fn empty_grid_reports_empty() {
+        let report = Simulation::run_grid(&[], NonZeroUsize::new(4).unwrap());
+        assert!(report.is_empty());
+        assert_eq!(report.len(), 0);
+        assert!(report.merged().is_none());
+    }
+
+    #[test]
+    fn single_cell_matches_direct_run() {
+        let c = cell();
+        let report = Simulation::run_grid(&[c], NonZeroUsize::new(2).unwrap());
+        assert_eq!(report.len(), 1);
+        let grid = report.merged().expect("cell succeeded");
+        let direct = Simulation::run(&c.cfg).unwrap();
+        assert_eq!(grid.counters, direct.counters);
+        assert_eq!(grid.csv_row(), direct.csv_row());
+    }
+}

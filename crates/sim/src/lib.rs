@@ -35,11 +35,13 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod grid;
 mod native;
 mod result;
 mod run;
 
 pub use config::{Env, GuestPaging, SimConfig};
+pub use grid::{CellFailure, CellOutcome, GridCell, GridReport};
 pub use native::NativeOs;
 pub use result::RunResult;
 pub use run::{SimError, Simulation};
@@ -47,3 +49,7 @@ pub use run::{SimError, Simulation};
 // Telemetry vocabulary, re-exported so harness binaries can configure
 // observed runs without naming `mv-obs` directly.
 pub use mv_obs::{EpochSnapshot, Telemetry, TelemetryConfig};
+
+// Parallelism vocabulary, re-exported so harness binaries can drive
+// grids without naming `mv-par` directly.
+pub use mv_par::{default_jobs, Reporter};

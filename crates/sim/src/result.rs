@@ -78,6 +78,32 @@ impl RunResult {
         format!("{:.1}%", self.overhead * 100.0)
     }
 
+    /// Folds another run of the **same configuration** (e.g. another trial
+    /// of a parallel sweep) into this one: accesses, counters, cycle
+    /// totals, VM exits, and nested-L2 statistics add; the overhead metric
+    /// is recomputed from the summed cycle totals (so it is the
+    /// access-weighted aggregate, not a mean of ratios); telemetry merges
+    /// through [`Telemetry::merge`] when both runs carried it.
+    ///
+    /// Every component reduction is commutative and associative except
+    /// which label/workload is kept (the first operand's) — so folding in
+    /// a fixed cell order yields identical bytes for any worker count.
+    pub fn merge(&mut self, other: &RunResult) {
+        self.accesses += other.accesses;
+        self.counters.merge(&other.counters);
+        self.ideal_cycles += other.ideal_cycles;
+        self.translation_cycles += other.translation_cycles;
+        self.overhead = mv_metrics::overhead(self.translation_cycles, self.ideal_cycles);
+        self.vm_exits += other.vm_exits;
+        self.nested_l2.0 += other.nested_l2.0;
+        self.nested_l2.1 += other.nested_l2.1;
+        match (&mut self.telemetry, &other.telemetry) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.telemetry = Some(theirs.clone()),
+            (_, None) => {}
+        }
+    }
+
     /// Renders this run's telemetry as Prometheus text exposition, labeled
     /// with the run's workload and configuration. `None` when the run was
     /// not observed.

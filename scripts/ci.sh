@@ -13,4 +13,20 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> determinism smoke: run --quick --trials 6 at --jobs 1 vs --jobs 4"
+# The parallel runner's core contract: worker count must not change a
+# single output byte. Compare per-trial CSV rows and merged telemetry.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+run_bin=target/release/run
+"$run_bin" --quick --trials 6 --jobs 1 --quiet --csv \
+    --telemetry-out "$tmpdir/t1.jsonl" > "$tmpdir/out1.csv"
+"$run_bin" --quick --trials 6 --jobs 4 --quiet --csv \
+    --telemetry-out "$tmpdir/t4.jsonl" > "$tmpdir/out4.csv"
+diff -u "$tmpdir/out1.csv" "$tmpdir/out4.csv"
+diff -u "$tmpdir/t1.jsonl" "$tmpdir/t4.jsonl"
+
 echo "CI OK"

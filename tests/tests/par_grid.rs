@@ -1,0 +1,155 @@
+//! Determinism contract of the parallel experiment engine.
+//!
+//! `mv-par` promises that a grid's results — per-cell counters, merged
+//! telemetry, CSV rows, everything — are byte-identical for any worker
+//! count and any completion order. These tests run the same grid at
+//! jobs = 1, 2, and 8 and diff the outputs, plus the failure-containment
+//! and degenerate-grid edge cases.
+
+use std::num::NonZeroUsize;
+
+use mv_obs::TelemetryConfig;
+use mv_sim::{Env, GridCell, GuestPaging, SimConfig, Simulation};
+use mv_types::{PageSize, MIB};
+use mv_workloads::WorkloadKind;
+
+fn jobs(n: usize) -> NonZeroUsize {
+    NonZeroUsize::new(n).unwrap()
+}
+
+fn base_cfg(workload: WorkloadKind, env: Env) -> SimConfig {
+    SimConfig {
+        workload,
+        footprint: 24 * MIB,
+        guest_paging: GuestPaging::Fixed(PageSize::Size4K),
+        env,
+        accesses: 20_000,
+        warmup: 5_000,
+        seed: 42,
+    }
+}
+
+/// A small but heterogeneous grid: two workloads × two environments ×
+/// three trials, all observed, so the merge path (counters + histograms +
+/// epochs) is exercised end to end.
+fn grid() -> Vec<GridCell> {
+    let tcfg = TelemetryConfig {
+        epoch_len: 4_000,
+        flight_capacity: 0,
+    };
+    let mut cells = Vec::new();
+    for workload in [WorkloadKind::Gups, WorkloadKind::Graph500] {
+        for env in [Env::base_virtualized(PageSize::Size4K), Env::dual_direct()] {
+            for trial in 0..3 {
+                cells.push(GridCell::new(base_cfg(workload, env)).trial(trial).observed(tcfg));
+            }
+        }
+    }
+    cells
+}
+
+/// Renders everything observable about a grid run into one byte string:
+/// per-cell CSV rows in cell order, the merged reduction's CSV row, and
+/// the merged telemetry's full JSONL export.
+fn fingerprint(cells: &[GridCell], workers: usize) -> Vec<u8> {
+    let report = Simulation::run_grid(cells, jobs(workers));
+    assert_eq!(report.len(), cells.len());
+    assert_eq!(report.failures().count(), 0, "grid cells are all valid");
+
+    let mut out = Vec::new();
+    for r in report.results() {
+        out.extend_from_slice(r.csv_row().as_bytes());
+        out.push(b'\n');
+    }
+    let merged = report.merged().expect("non-empty grid");
+    out.extend_from_slice(merged.csv_row().as_bytes());
+    out.push(b'\n');
+    merged
+        .telemetry
+        .as_ref()
+        .expect("observed cells merge telemetry")
+        .write_jsonl(&mut out)
+        .expect("telemetry serializes");
+    out
+}
+
+#[test]
+fn grid_output_is_byte_identical_across_worker_counts() {
+    let cells = grid();
+    let serial = fingerprint(&cells, 1);
+    assert!(!serial.is_empty());
+    for workers in [2, 8] {
+        let parallel = fingerprint(&cells, workers);
+        assert_eq!(
+            serial, parallel,
+            "jobs=1 and jobs={workers} must emit identical rows and telemetry"
+        );
+    }
+}
+
+#[test]
+fn trials_are_distinct_but_reproducible() {
+    let cells = grid();
+    // Trials of the same configuration have split seeds: their rows differ.
+    let report = Simulation::run_grid(&cells[..3], jobs(2));
+    let rows: Vec<String> = report.results().map(|r| r.csv_row()).collect();
+    assert_eq!(rows.len(), 3);
+    assert_ne!(rows[0], rows[1]);
+    assert_ne!(rows[1], rows[2]);
+    // But each trial is a pure function of its coordinates: re-running
+    // the same cells reproduces the same rows.
+    let again = Simulation::run_grid(&cells[..3], jobs(3));
+    let rows2: Vec<String> = again.results().map(|r| r.csv_row()).collect();
+    assert_eq!(rows, rows2);
+}
+
+#[test]
+fn panic_in_one_job_does_not_abort_the_grid() {
+    // Silence the default panic-hook backtrace for the intentional panic;
+    // the pool's catch_unwind still captures the payload.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let items: Vec<u32> = (0..16).collect();
+    let results = mv_par::par_map(jobs(4), &items, |_, &x| {
+        if x == 7 {
+            panic!("cell {x} is poisoned");
+        }
+        x * 2
+    });
+    std::panic::set_hook(prev);
+
+    assert_eq!(results.len(), 16);
+    for (i, r) in results.iter().enumerate() {
+        if i == 7 {
+            let p = r.as_ref().expect_err("job 7 panicked");
+            assert_eq!(p.index, 7);
+            assert!(p.message.contains("poisoned"), "payload: {}", p.message);
+        } else {
+            assert_eq!(*r.as_ref().expect("other jobs unaffected"), i as u32 * 2);
+        }
+    }
+}
+
+#[test]
+fn empty_grid_is_a_clean_no_op() {
+    for workers in [1, 8] {
+        let report = Simulation::run_grid(&[], jobs(workers));
+        assert!(report.is_empty());
+        assert!(report.merged().is_none());
+        assert_eq!(report.outcomes().len(), 0);
+    }
+}
+
+#[test]
+fn single_cell_grid_matches_the_direct_api() {
+    let cfg = base_cfg(WorkloadKind::Gups, Env::vmm_direct());
+    let cell = GridCell::new(cfg);
+    for workers in [1, 8] {
+        let report = Simulation::run_grid(&[cell], jobs(workers));
+        assert_eq!(report.len(), 1);
+        let merged = report.merged().expect("cell succeeded");
+        let direct = Simulation::run(&cfg).unwrap();
+        assert_eq!(merged.counters, direct.counters);
+        assert_eq!(merged.csv_row(), direct.csv_row());
+    }
+}
