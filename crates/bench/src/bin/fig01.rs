@@ -3,24 +3,13 @@
 //! proposed Dual Direct / VMM Direct modes. Pass `--quick` for a fast run,
 //! `--jobs N` to size the worker pool, `--quiet` to suppress progress.
 
-use mv_bench::experiments::{overhead_table, parse_parallelism};
-use mv_sim::{Env, GuestPaging};
-use mv_types::PageSize;
+use mv_bench::experiments::{env_catalog, overhead_table, parse_parallelism};
 use mv_workloads::WorkloadKind;
 
 fn main() {
     let scale = mv_bench::parse_scale();
     let (jobs, reporter) = parse_parallelism();
-    use GuestPaging::Fixed;
-    use PageSize::*;
-    let configs: Vec<(GuestPaging, Env)> = vec![
-        (Fixed(Size4K), Env::native()),
-        (Fixed(Size4K), Env::base_virtualized(Size4K)),
-        (Fixed(Size4K), Env::base_virtualized(Size2M)),
-        (Fixed(Size4K), Env::base_virtualized(Size1G)),
-        (Fixed(Size4K), Env::dual_direct()),
-        (Fixed(Size4K), Env::vmm_direct()),
-    ];
+    let configs = env_catalog::FIG1_6_ENVS;
 
     let workloads = [
         WorkloadKind::Graph500,

@@ -7,7 +7,7 @@
 //! ((T_E − T_ideal) / T_ideal). Pass `--quick` for a fast smoke run,
 //! `--jobs N` to size the worker pool, `--quiet` to suppress progress.
 
-use mv_bench::experiments::{fig11_configs, overhead_table, parse_parallelism};
+use mv_bench::experiments::{env_catalog, overhead_table, parse_parallelism};
 use mv_workloads::WorkloadKind;
 
 fn main() {
@@ -15,7 +15,7 @@ fn main() {
     let (jobs, reporter) = parse_parallelism();
     let t = overhead_table(
         &WorkloadKind::BIG_MEMORY,
-        &fig11_configs(),
+        &env_catalog::FIG11_ENVS,
         &scale,
         jobs,
         &reporter,

@@ -3,7 +3,7 @@
 //! configurations. Pass `--quick` for a fast smoke run, `--jobs N` to size
 //! the worker pool, `--quiet` to suppress progress.
 
-use mv_bench::experiments::{fig12_configs, overhead_table, parse_parallelism};
+use mv_bench::experiments::{env_catalog, overhead_table, parse_parallelism};
 use mv_workloads::WorkloadKind;
 
 fn main() {
@@ -11,7 +11,7 @@ fn main() {
     let (jobs, reporter) = parse_parallelism();
     let t = overhead_table(
         &WorkloadKind::COMPUTE,
-        &fig12_configs(),
+        &env_catalog::FIG12_ENVS,
         &scale,
         jobs,
         &reporter,

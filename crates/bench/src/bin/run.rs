@@ -38,8 +38,9 @@
 
 use std::io::Write;
 
+use mv_bench::experiments::env_catalog;
 use mv_par::Reporter;
-use mv_sim::{Env, GridCell, GuestPaging, SimConfig, Simulation, TelemetryConfig};
+use mv_sim::{GridCell, GuestPaging, SimConfig, Simulation, TelemetryConfig};
 use mv_types::{PageSize, GIB, KIB, MIB};
 use mv_workloads::WorkloadKind;
 
@@ -69,23 +70,6 @@ fn parse_workload(s: &str) -> Option<WorkloadKind> {
         .find(|k| k.label().eq_ignore_ascii_case(s))
 }
 
-fn parse_env(s: &str) -> Option<Env> {
-    match s.to_ascii_lowercase().as_str() {
-        "native" => Some(Env::native()),
-        "ds" => Some(Env::native_direct()),
-        "vd" => Some(Env::vmm_direct()),
-        "gd" => Some(Env::guest_direct(PageSize::Size4K)),
-        "dd" => Some(Env::dual_direct()),
-        "shadow" => Some(Env::Shadow {
-            nested: PageSize::Size4K,
-        }),
-        pair => {
-            let (_, nested) = pair.split_once('+')?;
-            Some(Env::base_virtualized(parse_page(nested)?))
-        }
-    }
-}
-
 fn usage() -> ! {
     eprintln!(
         "usage: run [--workload NAME] [--env native|ds|shadow|vd|gd|dd|4k+4k|...]\n\
@@ -99,7 +83,7 @@ fn usage() -> ! {
 
 fn main() {
     let mut workload = WorkloadKind::Graph500;
-    let mut env = Env::base_virtualized(PageSize::Size4K);
+    let mut env = env_catalog::VIRT_4K_4K.1;
     let mut guest = GuestPaging::Fixed(PageSize::Size4K);
     let mut footprint: Option<u64> = None;
     let mut accesses: Option<u64> = None;
@@ -135,7 +119,7 @@ fn main() {
             }
             "--env" => {
                 let v = value("--env");
-                env = parse_env(v).unwrap_or_else(|| {
+                env = env_catalog::parse(v).unwrap_or_else(|| {
                     eprintln!("unknown env {v:?}");
                     usage()
                 });

@@ -3,15 +3,15 @@
 //! allocation-churny workloads (memcached, GemsFDTD, omnetpp, canneal)
 //! slow down while static workloads do fine. VMM Direct serves both.
 
-use mv_bench::experiments::{config, parse_scale, pct};
+use mv_bench::experiments::{config, env_catalog, parse_scale, pct};
 use mv_metrics::Table;
-use mv_sim::{Env, GuestPaging, Simulation};
-use mv_types::PageSize;
+use mv_sim::Simulation;
 use mv_workloads::WorkloadKind;
 
 fn main() {
     let scale = parse_scale();
-    let paging = GuestPaging::Fixed(PageSize::Size4K);
+    let [(native_paging, native_env), (shadow_paging, shadow_env), (vd_paging, vd_env)] =
+        env_catalog::SHADOW_STUDY_ENVS;
     let all = [
         // Paper's high-churn category:
         WorkloadKind::Memcached,
@@ -38,17 +38,9 @@ fn main() {
     ]);
     for w in all {
         eprintln!("running {}...", w.label());
-        let native = Simulation::run(&config(w, paging, Env::native(), &scale)).unwrap();
-        let shadow = Simulation::run(&config(
-            w,
-            paging,
-            Env::Shadow {
-                nested: PageSize::Size4K,
-            },
-            &scale,
-        ))
-        .unwrap();
-        let vd = Simulation::run(&config(w, paging, Env::vmm_direct(), &scale)).unwrap();
+        let native = Simulation::run(&config(w, native_paging, native_env, &scale)).unwrap();
+        let shadow = Simulation::run(&config(w, shadow_paging, shadow_env, &scale)).unwrap();
+        let vd = Simulation::run(&config(w, vd_paging, vd_env, &scale)).unwrap();
         // Slowdown vs native execution: extra translation+exit time over
         // the same ideal cycles.
         let slow = |r: &mv_sim::RunResult| {

@@ -7,7 +7,7 @@
 //! uniform with the simulation sweeps, and column assembly is in mode
 //! order so the table never depends on scheduling.
 
-use mv_bench::experiments::parse_parallelism;
+use mv_bench::experiments::{env_catalog, parse_parallelism};
 use mv_core::{Support, TranslationMode};
 use mv_metrics::Table;
 
@@ -52,7 +52,13 @@ fn cell(row: usize, m: TranslationMode) -> String {
 
 fn main() {
     let (jobs, _reporter) = parse_parallelism();
-    let modes = TranslationMode::VIRTUALIZED;
+    // One column per virtualized translation mode, drawn from the shared
+    // environment catalog so the table's columns track the same mode set
+    // the simulation sweeps run.
+    let modes: Vec<TranslationMode> = env_catalog::VIRT_MODE_ENVS
+        .iter()
+        .map(|&(_, env)| env_catalog::translation_mode(env))
+        .collect();
 
     // One column per mode, computed on the pool; assembled in mode order.
     let columns = mv_par::par_map(jobs, &modes, |_, &m| {

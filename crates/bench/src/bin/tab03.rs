@@ -6,8 +6,7 @@
 //! three recovery flows run on a worker pool (`--jobs N`, `--quiet`) and
 //! the table is assembled in scenario order regardless of scheduling.
 
-use mv_bench::experiments::parse_parallelism;
-use mv_core::TranslationMode;
+use mv_bench::experiments::{env_catalog, parse_parallelism};
 use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
 use mv_metrics::Table;
 use mv_types::rng::StdRng;
@@ -58,14 +57,17 @@ fn run_scenario(sc: &Scenario) -> [String; 5] {
         }
         Err(e) => panic!("unexpected: {e}"),
     };
-    let initial = TranslationMode::GuestDirect;
+    // The system comes up in Guest Direct and upgrades to Dual Direct once
+    // the VMM segment exists; both mode names come from the shared catalog.
+    let initial = env_catalog::translation_mode(env_catalog::GUEST_DIRECT.1);
+    let dual = env_catalog::translation_mode(env_catalog::DUAL_DIRECT.1);
     let _ = gseg;
 
     // Try the VMM segment; on fragmentation, run host compaction.
     let cover = AddrRange::new(Gpa::ZERO, Gpa::new(guest.mem().size_bytes()));
     let direct = vmm.create_vmm_segment(vm, cover, SegmentOptions::default());
     let (final_mode, moved) = match direct {
-        Ok(_) => (TranslationMode::DualDirect, 0),
+        Ok(_) => (dual, 0),
         Err(mv_vmm::VmmError::HostFragmented { .. }) => {
             mechanisms.push("host compaction");
             vmm.create_vmm_segment(
@@ -77,10 +79,7 @@ fn run_scenario(sc: &Scenario) -> [String; 5] {
                 },
             )
             .expect("compaction manufactures contiguity");
-            (
-                TranslationMode::DualDirect,
-                vmm.hmem().stats().pages_moved_by_compaction,
-            )
+            (dual, vmm.hmem().stats().pages_moved_by_compaction)
         }
         Err(e) => panic!("unexpected: {e}"),
     };

@@ -5,7 +5,7 @@ use std::num::NonZeroUsize;
 use mv_metrics::Table;
 use mv_par::{cli, Reporter};
 use mv_sim::{Env, GridCell, GuestPaging, RunResult, SimConfig, Simulation};
-use mv_types::{PageSize, GIB, MIB};
+use mv_types::{GIB, MIB};
 use mv_workloads::WorkloadKind;
 
 /// Run sizing. The paper's testbed runs 60–75 GB datasets to completion;
@@ -158,50 +158,221 @@ pub fn run_bar(w: WorkloadKind, paging: GuestPaging, env: Env, scale: &Scale) ->
     Simulation::run(&cfg).unwrap_or_else(|e| panic!("{} / {}: {e}", w.label(), cfg.label()))
 }
 
-/// The (paging, env) configuration set of Figure 11 for big-memory
-/// workloads: native page sizes, virtualized combinations, and the
-/// proposed modes.
-pub fn fig11_configs() -> Vec<(GuestPaging, Env)> {
-    use GuestPaging::Fixed;
-    use PageSize::*;
-    vec![
-        // Native baselines.
-        (Fixed(Size4K), Env::native()),
-        (Fixed(Size2M), Env::native()),
-        (Fixed(Size1G), Env::native()),
-        (Fixed(Size4K), Env::native_direct()),
-        // Base virtualized combinations (guest+VMM page sizes).
-        (Fixed(Size4K), Env::base_virtualized(Size4K)),
-        (Fixed(Size4K), Env::base_virtualized(Size2M)),
-        (Fixed(Size4K), Env::base_virtualized(Size1G)),
-        (Fixed(Size2M), Env::base_virtualized(Size2M)),
-        (Fixed(Size2M), Env::base_virtualized(Size1G)),
-        (Fixed(Size1G), Env::base_virtualized(Size1G)),
-        // Proposed modes.
-        (Fixed(Size4K), Env::dual_direct()),
-        (Fixed(Size4K), Env::vmm_direct()),
-        (Fixed(Size4K), Env::guest_direct(Size4K)),
-    ]
-}
-
-/// The Figure 12 configuration set for compute workloads (THP instead of
-/// explicit huge pages; VMM Direct is the applicable proposed mode).
-pub fn fig12_configs() -> Vec<(GuestPaging, Env)> {
-    use GuestPaging::{Fixed, Thp};
-    use PageSize::*;
-    vec![
-        (Fixed(Size4K), Env::native()),
-        (Thp, Env::native()),
-        (Fixed(Size4K), Env::base_virtualized(Size4K)),
-        (Fixed(Size4K), Env::base_virtualized(Size2M)),
-        (Fixed(Size4K), Env::base_virtualized(Size1G)),
-        (Thp, Env::base_virtualized(Size2M)),
-        (Fixed(Size4K), Env::vmm_direct()),
-        (Thp, Env::vmm_direct()),
-    ]
-}
-
 /// Formats an overhead as a percent cell.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
+}
+
+/// The shared environment catalog: every figure and table binary draws
+/// its environment list from these named constants instead of declaring
+/// its own, so the paper's `4K` / `DS` / `4K+2M` / `DD` / `4K+shadow`
+/// vocabulary is defined exactly once. Each entry is a
+/// `(guest paging, environment)` pair ready for [`config`] /
+/// [`overhead_table`].
+pub mod env_catalog {
+    use mv_core::TranslationMode;
+    use mv_sim::{Env, GuestPaging};
+    use mv_types::PageSize;
+
+    /// One catalog entry: the guest paging policy and the environment.
+    pub type NamedEnv = (GuestPaging, Env);
+
+    /// Native 4 KiB demand paging (`4K`).
+    pub const NATIVE_4K: NamedEnv = (
+        GuestPaging::Fixed(PageSize::Size4K),
+        Env::Native { direct_segment: false },
+    );
+    /// Native 2 MiB pages (`2M`).
+    pub const NATIVE_2M: NamedEnv = (
+        GuestPaging::Fixed(PageSize::Size2M),
+        Env::Native { direct_segment: false },
+    );
+    /// Native 1 GiB pages (`1G`).
+    pub const NATIVE_1G: NamedEnv = (
+        GuestPaging::Fixed(PageSize::Size1G),
+        Env::Native { direct_segment: false },
+    );
+    /// Native transparent huge pages (`THP`).
+    pub const NATIVE_THP: NamedEnv = (GuestPaging::Thp, Env::Native { direct_segment: false });
+    /// Native with an (unvirtualized) direct segment (`DS`, §III.D).
+    pub const NATIVE_DS: NamedEnv = (
+        GuestPaging::Fixed(PageSize::Size4K),
+        Env::Native { direct_segment: true },
+    );
+
+    /// Base-virtualized entry for a guest/VMM page-size pair.
+    const fn virt(guest: GuestPaging, nested: PageSize) -> NamedEnv {
+        (
+            guest,
+            Env::Virtualized {
+                nested,
+                mode: TranslationMode::BaseVirtualized,
+            },
+        )
+    }
+
+    /// Base virtualized, 4 KiB guest over 4 KiB nested (`4K+4K`).
+    pub const VIRT_4K_4K: NamedEnv = virt(GuestPaging::Fixed(PageSize::Size4K), PageSize::Size4K);
+    /// `4K+2M`.
+    pub const VIRT_4K_2M: NamedEnv = virt(GuestPaging::Fixed(PageSize::Size4K), PageSize::Size2M);
+    /// `4K+1G`.
+    pub const VIRT_4K_1G: NamedEnv = virt(GuestPaging::Fixed(PageSize::Size4K), PageSize::Size1G);
+    /// `2M+2M`.
+    pub const VIRT_2M_2M: NamedEnv = virt(GuestPaging::Fixed(PageSize::Size2M), PageSize::Size2M);
+    /// `2M+1G`.
+    pub const VIRT_2M_1G: NamedEnv = virt(GuestPaging::Fixed(PageSize::Size2M), PageSize::Size1G);
+    /// `1G+1G`.
+    pub const VIRT_1G_1G: NamedEnv = virt(GuestPaging::Fixed(PageSize::Size1G), PageSize::Size1G);
+    /// `THP+2M`.
+    pub const VIRT_THP_2M: NamedEnv = virt(GuestPaging::Thp, PageSize::Size2M);
+
+    /// VMM Direct (`4K+VD`, §III.B).
+    pub const VMM_DIRECT: NamedEnv = (
+        GuestPaging::Fixed(PageSize::Size4K),
+        Env::Virtualized {
+            nested: PageSize::Size4K,
+            mode: TranslationMode::VmmDirect,
+        },
+    );
+    /// VMM Direct under THP guest paging (`THP+VD`).
+    pub const VMM_DIRECT_THP: NamedEnv = (
+        GuestPaging::Thp,
+        Env::Virtualized {
+            nested: PageSize::Size4K,
+            mode: TranslationMode::VmmDirect,
+        },
+    );
+    /// Guest Direct (`4K+GD`, §III.C).
+    pub const GUEST_DIRECT: NamedEnv = (
+        GuestPaging::Fixed(PageSize::Size4K),
+        Env::Virtualized {
+            nested: PageSize::Size4K,
+            mode: TranslationMode::GuestDirect,
+        },
+    );
+    /// Dual Direct (`DD`, §III.A).
+    pub const DUAL_DIRECT: NamedEnv = (
+        GuestPaging::Fixed(PageSize::Size4K),
+        Env::Virtualized {
+            nested: PageSize::Size4K,
+            mode: TranslationMode::DualDirect,
+        },
+    );
+
+    /// Shadow paging with 4 KiB nested composition (`4K+shadow`, §IX.D).
+    pub const SHADOW_4K: NamedEnv = (
+        GuestPaging::Fixed(PageSize::Size4K),
+        Env::Shadow {
+            nested: PageSize::Size4K,
+        },
+    );
+    /// Shadow paging composing over 2 MiB nested backing.
+    pub const SHADOW_2M: NamedEnv = (
+        GuestPaging::Fixed(PageSize::Size4K),
+        Env::Shadow {
+            nested: PageSize::Size2M,
+        },
+    );
+
+    /// Figure 1's six-environment preview set.
+    pub const FIG1_6_ENVS: [NamedEnv; 6] = [
+        NATIVE_4K,
+        VIRT_4K_4K,
+        VIRT_4K_2M,
+        VIRT_4K_1G,
+        DUAL_DIRECT,
+        VMM_DIRECT,
+    ];
+
+    /// The ten-environment cross-section used by the machine-equivalence
+    /// fixtures and smoke checks: native ± direct segment, all four
+    /// virtualized translation modes (base paging at three page-size
+    /// combinations, plus VD / GD / DD), and shadow paging at both nested
+    /// page sizes.
+    pub const PAPER_10_ENVS: [NamedEnv; 10] = [
+        NATIVE_4K,
+        NATIVE_DS,
+        VIRT_4K_4K,
+        VIRT_4K_2M,
+        VIRT_2M_2M,
+        VMM_DIRECT,
+        GUEST_DIRECT,
+        DUAL_DIRECT,
+        SHADOW_4K,
+        SHADOW_2M,
+    ];
+
+    /// Figure 11's big-memory set: native page sizes, virtualized
+    /// page-size combinations, and the proposed direct-segment modes.
+    pub const FIG11_ENVS: [NamedEnv; 13] = [
+        NATIVE_4K,
+        NATIVE_2M,
+        NATIVE_1G,
+        NATIVE_DS,
+        VIRT_4K_4K,
+        VIRT_4K_2M,
+        VIRT_4K_1G,
+        VIRT_2M_2M,
+        VIRT_2M_1G,
+        VIRT_1G_1G,
+        DUAL_DIRECT,
+        VMM_DIRECT,
+        GUEST_DIRECT,
+    ];
+
+    /// Figure 12's compute set (THP instead of explicit huge pages; VMM
+    /// Direct is the applicable proposed mode).
+    pub const FIG12_ENVS: [NamedEnv; 8] = [
+        NATIVE_4K,
+        NATIVE_THP,
+        VIRT_4K_4K,
+        VIRT_4K_2M,
+        VIRT_4K_1G,
+        VIRT_THP_2M,
+        VMM_DIRECT,
+        VMM_DIRECT_THP,
+    ];
+
+    /// Section IX.D's comparison set: native baseline, shadow paging, and
+    /// VMM Direct.
+    pub const SHADOW_STUDY_ENVS: [NamedEnv; 3] = [NATIVE_4K, SHADOW_4K, VMM_DIRECT];
+
+    /// One environment per virtualized translation mode, in Table II's
+    /// column order: base, Dual Direct, VMM Direct, Guest Direct.
+    pub const VIRT_MODE_ENVS: [NamedEnv; 4] = [VIRT_4K_4K, DUAL_DIRECT, VMM_DIRECT, GUEST_DIRECT];
+
+    /// The translation mode an environment programs the MMU with.
+    pub fn translation_mode(env: Env) -> TranslationMode {
+        match env {
+            Env::Native { direct_segment: false } => TranslationMode::BaseNative,
+            Env::Native { direct_segment: true } => TranslationMode::NativeDirect,
+            Env::Virtualized { mode, .. } => mode,
+            // The hardware walks the VMM-maintained shadow table natively.
+            Env::Shadow { .. } => TranslationMode::BaseNative,
+        }
+    }
+
+    /// Parses an environment mnemonic (`native`, `ds`, `shadow`, `vd`,
+    /// `gd`, `dd`, or a `<guest>+<nested>` page-size pair like `4k+2m`) —
+    /// the `--env` vocabulary of the `run` binary.
+    pub fn parse(name: &str) -> Option<Env> {
+        let parse_page = |s: &str| match s {
+            "4k" => Some(PageSize::Size4K),
+            "2m" => Some(PageSize::Size2M),
+            "1g" => Some(PageSize::Size1G),
+            _ => None,
+        };
+        match name.to_ascii_lowercase().as_str() {
+            "native" => Some(NATIVE_4K.1),
+            "ds" => Some(NATIVE_DS.1),
+            "vd" => Some(VMM_DIRECT.1),
+            "gd" => Some(GUEST_DIRECT.1),
+            "dd" => Some(DUAL_DIRECT.1),
+            "shadow" => Some(SHADOW_4K.1),
+            pair => {
+                let (_, nested) = pair.split_once('+')?;
+                Some(Env::base_virtualized(parse_page(nested)?))
+            }
+        }
+    }
 }

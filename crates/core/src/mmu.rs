@@ -50,6 +50,29 @@ pub enum MemoryContext<'a> {
     },
 }
 
+impl<'a> MemoryContext<'a> {
+    /// Native context from the `(page table, memory)` pair that OS models
+    /// lend out (e.g. `NativeOs::pt_and_mem`).
+    pub fn native((pt, mem): (&'a PageTable<Gva, Hpa>, &'a PhysMem<Hpa>)) -> Self {
+        MemoryContext::Native { pt, mem }
+    }
+
+    /// Virtualized context from the guest's and the VMM's
+    /// `(page table, memory)` pairs (`GuestOs::pt_and_mem` and
+    /// `Vmm::npt_and_hmem`).
+    pub fn virtualized(
+        (gpt, gmem): (&'a PageTable<Gva, Gpa>, &'a PhysMem<Gpa>),
+        (npt, hmem): (&'a PageTable<Gpa, Hpa>, &'a PhysMem<Hpa>),
+    ) -> Self {
+        MemoryContext::Virtualized {
+            gpt,
+            gmem,
+            npt,
+            hmem,
+        }
+    }
+}
+
 /// Which path completed a translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HitPath {

@@ -472,6 +472,42 @@ impl GuestOs {
         (&self.processes[&pid].pt, &self.mem)
     }
 
+    /// Looks up the already-established mapping covering `va` and returns
+    /// it as the page-aligned [`FaultFix`] a shadow pager would apply.
+    /// `None` when the guest genuinely has no mapping (a real fault).
+    ///
+    /// This is the "hidden fault" probe of shadow paging (Section IX.D):
+    /// the hardware faulted on a stale shadow entry, and the VMM must
+    /// distinguish a guest-visible fault from a shadow-only resync.
+    pub fn lookup_fix(&self, pid: Pid, va: Gva) -> Option<FaultFix> {
+        let proc = self.processes.get(&pid)?;
+        let t = proc.pt.translate(&self.mem, va)?;
+        Some(FaultFix {
+            va_page: Gva::new(va.as_u64() & !t.size.offset_mask()),
+            gpa: t.page_base,
+            size: t.size,
+            prot: t.prot,
+        })
+    }
+
+    /// Every leaf mapping of the process's page table as [`FaultFix`]es,
+    /// in walk order — the bulk form a shadow pager syncs from at attach
+    /// time.
+    pub fn leaf_fixes(&self, pid: Pid) -> Vec<FaultFix> {
+        let mut fixes = Vec::new();
+        if let Some(proc) = self.processes.get(&pid) {
+            proc.pt.for_each_leaf(&self.mem, &mut |va, pte, size| {
+                fixes.push(FaultFix {
+                    va_page: va,
+                    gpa: pte.addr(),
+                    size,
+                    prot: pte.prot(),
+                });
+            });
+        }
+        fixes
+    }
+
     /// Hotplug-adds `bytes` from the offline region, returning the newly
     /// online contiguous range (the VMM's hot-add path, Section VI.C).
     ///

@@ -36,12 +36,16 @@
 
 mod config;
 mod grid;
+pub mod machine;
 mod native;
 mod result;
 mod run;
 
 pub use config::{Env, GuestPaging, SimConfig};
 pub use grid::{CellFailure, CellOutcome, GridCell, GridReport};
+pub use machine::{
+    ExitStats, FaultService, Machine, NativeMachine, ShadowMachine, VirtualizedMachine,
+};
 pub use native::NativeOs;
 pub use result::RunResult;
 pub use run::{SimError, Simulation};

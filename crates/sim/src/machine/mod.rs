@@ -1,0 +1,426 @@
+//! The unified machine layer: one generic access loop over pluggable
+//! execution environments.
+//!
+//! A [`Machine`] packages everything below the driver — the OS / VMM /
+//! shadow-pager software stack plus an [`Mmu`] programmed for the
+//! environment's translation mode — behind five operations: build the
+//! stack, lend the translation structures for one access, service a
+//! fault, take an allocation-churn event, and report VM-exit statistics.
+//! The driver (`drive`, reached through
+//! [`Simulation::run_instrumented`](crate::Simulation::run_instrumented))
+//! owns everything environment-independent: the warmup counter reset,
+//! instrument attachment, churn scheduling, the per-access fault-retry
+//! budget, and result assembly.
+//!
+//! The three shipped machines reproduce the paper's environments —
+//! [`NativeMachine`] (native ± direct segment), [`VirtualizedMachine`]
+//! (nested paging in all four translation modes), and [`ShadowMachine`]
+//! (shadow paging, §IX.D) — and a new translation scheme drops in as one
+//! more `impl Machine` without touching the driver. The
+//! `tests/machine_equiv.rs` golden fixture proves this loop reproduces
+//! the three pre-refactor copy-pasted drivers byte for byte.
+
+mod native;
+mod shadow;
+mod virtualized;
+
+pub use native::NativeMachine;
+pub use shadow::ShadowMachine;
+pub use virtualized::VirtualizedMachine;
+
+use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
+use mv_obs::{SharedTelemetry, Telemetry, TelemetryConfig};
+use mv_types::{Gva, MIB};
+
+use crate::config::SimConfig;
+use crate::result::RunResult;
+use crate::run::SimError;
+
+/// Size of the auxiliary region used to model allocation churn.
+pub(crate) const CHURN_REGION: u64 = 8 * MIB;
+
+/// Retry budget per access (a correct setup needs at most a handful).
+pub(crate) const MAX_FAULTS_PER_ACCESS: u32 = 64;
+
+/// What a machine did about a translation fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultService {
+    /// The fault was serviced (page demand-mapped, nested backing
+    /// installed, shadow entry resynced, …) — retry the access.
+    Serviced,
+    /// No layer of this machine services this fault kind — the driver
+    /// aborts with [`SimError::FaultLoop`] carrying the fault.
+    Unserviceable,
+}
+
+/// VM-exit statistics accumulated over the measured window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExitStats {
+    /// Cycles charged for VM exits within the window.
+    pub cycles: f64,
+    /// Number of VM exits within the window.
+    pub vm_exits: u64,
+}
+
+/// One execution environment: the software stack under the driver loop
+/// plus the MMU programmed for it.
+///
+/// Implementations must keep [`Machine::ctx`] side-effect free: the
+/// driver calls it once per access attempt, and all state changes happen
+/// in `build`, `service_fault`, and `churn_event`.
+pub trait Machine: Sized {
+    /// Builds the full stack for `cfg` — OS, hypervisor, segments, the
+    /// pre-populated steady-state mappings — plus the [`Mmu`] programmed
+    /// with the environment's translation mode and segment registers on
+    /// the `hw` parameters (whose `mode` field is overridden).
+    ///
+    /// # Errors
+    ///
+    /// Any construction failure (fragmented memory, exhausted physical
+    /// memory, …) surfaces as a [`SimError`].
+    fn build(cfg: &SimConfig, hw: MmuConfig) -> Result<(Self, Mmu), SimError>;
+
+    /// Base virtual address of the workload arena; the driver adds the
+    /// workload's offsets to it.
+    fn arena_base(&self) -> u64;
+
+    /// Address-space identifier accesses are tagged with.
+    fn asid(&self) -> u16;
+
+    /// Lends the translation structures the MMU walks for one access.
+    fn ctx(&mut self) -> MemoryContext<'_>;
+
+    /// Services `fault` through the owning layer (guest OS for guest
+    /// faults, VMM for nested faults, shadow pager for shadow misses).
+    ///
+    /// # Errors
+    ///
+    /// A servicing failure (e.g. out of memory) surfaces as a
+    /// [`SimError`]; an unknown fault kind is reported as
+    /// [`FaultService::Unserviceable`], not an error.
+    fn service_fault(&mut self, fault: TranslationFault) -> Result<FaultService, SimError>;
+
+    /// Takes one allocation-churn event (alternately unmapping and
+    /// re-faulting pages of the churn region, as a heap allocator would),
+    /// invalidating stale TLB entries through `mmu`. Machines that do not
+    /// model churn (native) implement this as a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fault-servicing failures.
+    fn churn_event(&mut self, mmu: &mut Mmu) -> Result<(), SimError>;
+
+    /// Called exactly once, at the warmup boundary, right after the MMU
+    /// counters reset: the machine snapshots its own cumulative counters
+    /// (VM exits, exit cycles) so [`Machine::exit_stats`] can report
+    /// window deltas.
+    fn window_open(&mut self);
+
+    /// Exit statistics accumulated since [`Machine::window_open`].
+    fn exit_stats(&self) -> ExitStats;
+}
+
+/// Instrumentation requested for a run. Both instruments attach at the
+/// warmup boundary so they cover exactly the measured window.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Instruments {
+    pub(crate) trace_capacity: Option<usize>,
+    pub(crate) telemetry: Option<TelemetryConfig>,
+}
+
+impl Instruments {
+    /// Attaches the requested instruments to the MMU (called at the warmup
+    /// boundary), returning the handle to collect telemetry from later.
+    fn attach(&self, mmu: &mut Mmu) -> Option<SharedTelemetry> {
+        if let Some(cap) = self.trace_capacity {
+            mmu.enable_miss_trace(cap);
+        }
+        self.telemetry.map(|tc| {
+            let shared = SharedTelemetry::new(tc);
+            mmu.set_observer(shared.observer());
+            shared
+        })
+    }
+}
+
+/// Detaches the observer and closes the telemetry window at `accesses`.
+fn collect_telemetry(
+    mmu: &mut Mmu,
+    shared: Option<SharedTelemetry>,
+    accesses: u64,
+) -> Option<Telemetry> {
+    drop(mmu.take_observer());
+    shared.map(|s| s.take(accesses))
+}
+
+/// Constructs an MMU on `hw` with the environment's translation `mode`.
+pub(crate) fn mmu_for(hw: MmuConfig, mode: TranslationMode) -> Mmu {
+    Mmu::new(MmuConfig { mode, ..hw })
+}
+
+/// Churn schedule: `events_per_million / 1e6` events per access.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChurnPlan {
+    interval: u64,
+}
+
+impl ChurnPlan {
+    pub(crate) fn new(per_million: u64) -> ChurnPlan {
+        ChurnPlan {
+            interval: 1_000_000u64
+                .checked_div(per_million)
+                .map_or(0, |i| i.max(1)),
+        }
+    }
+
+    /// Whether a churn event is due before access `i`.
+    ///
+    /// Invariant (identical for every machine, guarded by
+    /// `churn_never_fires_at_access_zero` below): `due(0)` is false, so a
+    /// churn event can never coincide with the boot-time population of
+    /// the arena — at `i == 0` the counters were just reset by the
+    /// machine build (and again by the warmup boundary when `warmup ==
+    /// 0`), and firing churn there would charge a boot event to the
+    /// measured window and double-count the reset edge. When the schedule
+    /// is due exactly at the warmup boundary (`i == warmup`), the driver
+    /// evaluates it *after* the counter reset, so the event is charged to
+    /// the measured window — again identically for every machine.
+    pub(crate) fn due(&self, i: u64) -> bool {
+        self.interval > 0 && i % self.interval == 0 && i > 0
+    }
+}
+
+/// The single driver loop: runs `cfg` on machine type `M`.
+///
+/// Owns everything environment-independent — warmup counter reset and
+/// instrument attachment, churn scheduling, the per-access retry budget,
+/// and result assembly — and delegates the rest to the [`Machine`].
+pub(crate) fn drive<M: Machine>(
+    cfg: &SimConfig,
+    hw: MmuConfig,
+    instr: &Instruments,
+) -> Result<(RunResult, Option<mv_core::MissTrace>), SimError> {
+    let (mut machine, mut mmu) = M::build(cfg, hw)?;
+    let mut workload = cfg.workload.build(cfg.footprint, cfg.seed);
+    let churn = ChurnPlan::new(workload.churn_per_million());
+    let base = machine.arena_base();
+    let asid = machine.asid();
+
+    let mut telemetry = None;
+    let total = cfg.warmup + cfg.accesses;
+    for i in 0..total {
+        if i == cfg.warmup {
+            // Warmup boundary: counters reset, the machine snapshots its
+            // exit counters, and instruments attach — in that order, so
+            // all three cover exactly the measured window.
+            mmu.reset_counters();
+            machine.window_open();
+            telemetry = instr.attach(&mut mmu);
+        }
+        // Churn is evaluated after the boundary block so a churn event due
+        // exactly at `i == warmup` lands inside the measured window (see
+        // `ChurnPlan::due` for the full invariant).
+        if churn.due(i) {
+            machine.churn_event(&mut mmu)?;
+        }
+        let acc = workload.next_access();
+        let va = Gva::new(base + acc.offset);
+        let mut tries = 0u32;
+        loop {
+            let fault = match mmu.access(&machine.ctx(), asid, va, acc.write) {
+                Ok(_) => break,
+                Err(fault) => fault,
+            };
+            if machine.service_fault(fault)? == FaultService::Unserviceable {
+                return Err(SimError::FaultLoop {
+                    va: va.as_u64(),
+                    last: fault,
+                });
+            }
+            tries += 1;
+            if tries > MAX_FAULTS_PER_ACCESS {
+                // Report the fault actually observed on the final
+                // iteration — not a synthesized placeholder — so a
+                // diverging retry loop names its real cause.
+                return Err(SimError::FaultLoop {
+                    va: va.as_u64(),
+                    last: fault,
+                });
+            }
+        }
+    }
+
+    let exits = machine.exit_stats();
+    let telemetry = collect_telemetry(&mut mmu, telemetry, cfg.accesses);
+    let trace = mmu.take_miss_trace();
+    Ok((
+        finish(
+            cfg,
+            &mmu,
+            workload.cycles_per_access(),
+            exits.cycles,
+            exits.vm_exits,
+            telemetry,
+        ),
+        trace,
+    ))
+}
+
+/// Assembles the [`RunResult`] from the MMU counters and window deltas.
+fn finish(
+    cfg: &SimConfig,
+    mmu: &Mmu,
+    cycles_per_access: f64,
+    exit_cycles: f64,
+    vm_exits: u64,
+    telemetry: Option<Telemetry>,
+) -> RunResult {
+    let counters = *mmu.counters();
+    let ideal = cfg.accesses as f64 * cycles_per_access;
+    let translation = counters.translation_cycles as f64 + exit_cycles;
+    RunResult {
+        label: cfg.label(),
+        workload: cfg.workload.label(),
+        accesses: cfg.accesses,
+        counters,
+        ideal_cycles: ideal,
+        translation_cycles: translation,
+        overhead: mv_metrics::overhead(translation, ideal),
+        vm_exits,
+        nested_l2: mmu.nested_l2_stats(),
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Env, GuestPaging};
+    use mv_phys::PhysMem;
+    use mv_pt::PageTable;
+    use mv_types::{Gpa, Hpa, PageSize, Prot, MIB};
+    use mv_workloads::WorkloadKind;
+
+    #[test]
+    fn churn_never_fires_at_access_zero() {
+        // The warmup-boundary invariant: even a schedule that is "due" at
+        // every access skips i == 0, where the boundary reset (warmup ==
+        // 0) would otherwise coincide with a churn event.
+        let every = ChurnPlan::new(1_000_000);
+        assert_eq!(every.interval, 1);
+        assert!(!every.due(0));
+        assert!(every.due(1));
+        assert!(every.due(2));
+    }
+
+    #[test]
+    fn churn_plan_schedules_by_interval() {
+        let plan = ChurnPlan::new(45_000); // memcached's slab churn
+        assert_eq!(plan.interval, 22);
+        assert!(!plan.due(0));
+        assert!(!plan.due(21));
+        assert!(plan.due(22));
+        assert!(plan.due(44));
+        // A churn-free workload never fires.
+        let none = ChurnPlan::new(0);
+        assert!(!none.due(0));
+        assert!(!none.due(1_000_000));
+    }
+
+    /// A deliberately mis-wired machine: guest faults are serviced, but
+    /// nested faults are acknowledged without ever mapping backing, so
+    /// every access retries until the budget runs out.
+    struct NestedBlackHole {
+        gpt: PageTable<Gva, Gpa>,
+        gmem: PhysMem<Gpa>,
+        npt: PageTable<Gpa, Hpa>,
+        hmem: PhysMem<Hpa>,
+    }
+
+    impl Machine for NestedBlackHole {
+        fn build(_cfg: &SimConfig, hw: MmuConfig) -> Result<(Self, Mmu), SimError> {
+            let mut gmem = PhysMem::new(32 * MIB);
+            let gpt = PageTable::new(&mut gmem).map_err(mv_guestos::OsError::from)?;
+            let mut hmem = PhysMem::new(32 * MIB);
+            let npt = PageTable::new(&mut hmem).map_err(mv_guestos::OsError::from)?;
+            let mmu = mmu_for(hw, TranslationMode::BaseVirtualized);
+            Ok((
+                NestedBlackHole {
+                    gpt,
+                    gmem,
+                    npt,
+                    hmem,
+                },
+                mmu,
+            ))
+        }
+
+        fn arena_base(&self) -> u64 {
+            0
+        }
+
+        fn asid(&self) -> u16 {
+            1
+        }
+
+        fn ctx(&mut self) -> MemoryContext<'_> {
+            MemoryContext::virtualized((&self.gpt, &self.gmem), (&self.npt, &self.hmem))
+        }
+
+        fn service_fault(&mut self, fault: TranslationFault) -> Result<FaultService, SimError> {
+            match fault {
+                TranslationFault::GuestNotMapped { gva } => {
+                    let page = Gva::new(gva.as_u64() & !0xfff);
+                    let frame = self.gmem.alloc(PageSize::Size4K).expect("guest memory");
+                    self.gpt
+                        .map(&mut self.gmem, page, frame, PageSize::Size4K, Prot::RW)
+                        .expect("guest mapping");
+                    Ok(FaultService::Serviced)
+                }
+                // The bug under test: claim the nested fault was serviced
+                // without installing any backing.
+                TranslationFault::NestedNotMapped { .. } => Ok(FaultService::Serviced),
+                _ => Ok(FaultService::Unserviceable),
+            }
+        }
+
+        fn churn_event(&mut self, _mmu: &mut Mmu) -> Result<(), SimError> {
+            Ok(())
+        }
+
+        fn window_open(&mut self) {}
+
+        fn exit_stats(&self) -> ExitStats {
+            ExitStats::default()
+        }
+    }
+
+    #[test]
+    fn fault_loop_reports_the_real_last_fault() {
+        // Regression test: the pre-refactor drivers synthesized
+        // `GuestNotMapped { gva: va }` on retry-budget exhaustion no
+        // matter what actually faulted. The unified driver must report
+        // the fault observed on the final iteration — here a nested
+        // fault, since the black-hole machine never maps nested backing.
+        let cfg = SimConfig {
+            workload: WorkloadKind::Gups,
+            footprint: MIB,
+            guest_paging: GuestPaging::Fixed(PageSize::Size4K),
+            env: Env::native(), // ignored by the mock machine
+            accesses: 1,
+            warmup: 0,
+            seed: 7,
+        };
+        let err = drive::<NestedBlackHole>(&cfg, MmuConfig::default(), &Instruments::default())
+            .expect_err("the nested black hole can never converge");
+        match err {
+            SimError::FaultLoop { last, .. } => {
+                assert!(
+                    matches!(last, TranslationFault::NestedNotMapped { .. }),
+                    "expected the real (nested) last fault, got {last:?}"
+                );
+            }
+            other => panic!("expected FaultLoop, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Native execution (± direct segment): the paper's `4K`/`2M`/`1G`/`THP`
+//! and `DS` bars.
+
+use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
+use mv_types::{Gva, PageSize, MIB};
+
+use crate::config::{Env, GuestPaging, SimConfig};
+use crate::machine::{mmu_for, ExitStats, FaultService, Machine};
+use crate::native::NativeOs;
+use crate::run::SimError;
+
+/// Native execution over one page table (and optionally one direct
+/// segment): a single translation dimension, no hypervisor.
+#[derive(Debug)]
+pub struct NativeMachine {
+    os: NativeOs,
+    base: u64,
+}
+
+impl Machine for NativeMachine {
+    fn build(cfg: &SimConfig, hw: MmuConfig) -> Result<(Self, Mmu), SimError> {
+        let Env::Native { direct_segment } = cfg.env else {
+            unreachable!("dispatched on env");
+        };
+        let phys = cfg.footprint + cfg.footprint / 2 + 64 * MIB;
+        let mut os = NativeOs::boot(phys, cfg.footprint, cfg.guest_paging)?;
+        let mut mmu = mmu_for(
+            hw,
+            if direct_segment {
+                TranslationMode::NativeDirect
+            } else {
+                TranslationMode::BaseNative
+            },
+        );
+        if direct_segment {
+            let seg = os.setup_direct_segment()?;
+            mmu.set_native_segment(seg);
+        }
+
+        let base = os.arena_base().as_u64();
+        // Big-memory applications initialize their dataset up front;
+        // measuring from a populated arena gives the steady state the
+        // paper reports.
+        if !direct_segment {
+            let step = match cfg.guest_paging {
+                GuestPaging::Fixed(s) => s.bytes(),
+                GuestPaging::Thp => PageSize::Size2M.bytes(),
+            };
+            let mut va = base;
+            while va < base + cfg.footprint {
+                os.handle_page_fault(Gva::new(va))?;
+                va += step;
+            }
+        }
+        Ok((NativeMachine { os, base }, mmu))
+    }
+
+    fn arena_base(&self) -> u64 {
+        self.base
+    }
+
+    fn asid(&self) -> u16 {
+        0
+    }
+
+    fn ctx(&mut self) -> MemoryContext<'_> {
+        MemoryContext::native(self.os.pt_and_mem())
+    }
+
+    fn service_fault(&mut self, fault: TranslationFault) -> Result<FaultService, SimError> {
+        match fault {
+            TranslationFault::GuestNotMapped { gva } => {
+                self.os.handle_page_fault(gva)?;
+                Ok(FaultService::Serviced)
+            }
+            _ => Ok(FaultService::Unserviceable),
+        }
+    }
+
+    /// Native runs do not model allocation churn: the paper's native bars
+    /// measure translation only, and churn is a property of the guest OS
+    /// models. The shared schedule still ticks (identically across
+    /// machines); this machine just has nothing to do on it.
+    fn churn_event(&mut self, _mmu: &mut Mmu) -> Result<(), SimError> {
+        Ok(())
+    }
+
+    fn window_open(&mut self) {}
+
+    fn exit_stats(&self) -> ExitStats {
+        ExitStats::default()
+    }
+}

@@ -1,0 +1,196 @@
+//! Shadow paging (§IX.D): the hardware walks a VMM-maintained gVA→hPA
+//! shadow table natively, and every guest page-table update takes a VM
+//! exit.
+
+use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
+use mv_guestos::GuestOs;
+use mv_types::{Gva, PageSize, Prot};
+use mv_vmm::{ShadowPaging, Vmm};
+
+use crate::config::{Env, SimConfig};
+use crate::machine::virtualized::build_guest;
+use crate::machine::{mmu_for, ExitStats, FaultService, Machine, CHURN_REGION};
+use crate::run::SimError;
+
+/// A guest OS whose page table is mirrored by a VMM shadow table; the MMU
+/// runs a native-style 1D configuration over the shadow.
+#[derive(Debug)]
+pub struct ShadowMachine {
+    vmm: Vmm,
+    guest: GuestOs,
+    shadow: ShadowPaging,
+    pid: u32,
+    base: u64,
+    churn_base: Gva,
+    churn_cursor: u64,
+    exits_at_reset: u64,
+    exit_cycles_at_reset: u64,
+}
+
+impl Machine for ShadowMachine {
+    fn build(cfg: &SimConfig, hw: MmuConfig) -> Result<(Self, Mmu), SimError> {
+        let Env::Shadow { nested } = cfg.env else {
+            unreachable!("dispatched on env");
+        };
+        let (mut vmm, vm, mut guest, pid, base) =
+            build_guest(cfg, nested, TranslationMode::BaseVirtualized)?;
+        let mut shadow = ShadowPaging::new(vm);
+        shadow.shadow_for(&mut vmm, pid)?;
+        // The hardware walks the shadow table: a native-style 1D
+        // configuration.
+        let mmu = mmu_for(hw, TranslationMode::BaseNative);
+
+        // Steady state: populate the guest table, then bulk-sync the
+        // shadow (boot-time churn; the measurement window starts after
+        // warmup).
+        guest.populate(pid, Gva::new(base), cfg.footprint)?;
+        for fix in &guest.leaf_fixes(pid) {
+            shadow.on_guest_update(&mut vmm, pid, fix)?;
+        }
+
+        let churn_base = guest.mmap(pid, CHURN_REGION, Prot::RW)?;
+        Ok((
+            ShadowMachine {
+                vmm,
+                guest,
+                shadow,
+                pid,
+                base,
+                churn_base,
+                churn_cursor: 0,
+                exits_at_reset: 0,
+                exit_cycles_at_reset: 0,
+            },
+            mmu,
+        ))
+    }
+
+    fn arena_base(&self) -> u64 {
+        self.base
+    }
+
+    fn asid(&self) -> u16 {
+        self.pid as u16
+    }
+
+    fn ctx(&mut self) -> MemoryContext<'_> {
+        MemoryContext::native((self.shadow.table(self.pid), self.vmm.hmem()))
+    }
+
+    fn service_fault(&mut self, fault: TranslationFault) -> Result<FaultService, SimError> {
+        match fault {
+            TranslationFault::GuestNotMapped { gva } => {
+                // Shadow miss: either the guest lacks the page (real
+                // fault) or only the shadow is stale (hidden fault, §IX.D
+                // — the guest already mapped the page and the VMM merely
+                // resyncs the shadow entry).
+                let fix = match self.guest.lookup_fix(self.pid, gva) {
+                    Some(fix) => fix,
+                    None => self.guest.handle_page_fault(self.pid, gva)?,
+                };
+                self.shadow.on_guest_update(&mut self.vmm, self.pid, &fix)?;
+                Ok(FaultService::Serviced)
+            }
+            _ => Ok(FaultService::Unserviceable),
+        }
+    }
+
+    /// Shadow-mode churn: every guest page-table change takes a VM exit.
+    fn churn_event(&mut self, mmu: &mut Mmu) -> Result<(), SimError> {
+        let va = Gva::new(self.churn_base.as_u64() + (self.churn_cursor % CHURN_REGION));
+        self.churn_cursor += PageSize::Size4K.bytes();
+        if let Some((va_page, size)) = self.guest.unmap_page(self.pid, va)? {
+            mmu.invalidate_page(self.pid as u16, va_page);
+            self.shadow
+                .on_guest_unmap(&mut self.vmm, self.pid, va_page, size)?;
+        } else {
+            let fix = self.guest.handle_page_fault(self.pid, va)?;
+            self.shadow.on_guest_update(&mut self.vmm, self.pid, &fix)?;
+        }
+        Ok(())
+    }
+
+    fn window_open(&mut self) {
+        self.exits_at_reset = self.shadow.vm_exits();
+        self.exit_cycles_at_reset = self.shadow.exit_cycles();
+    }
+
+    fn exit_stats(&self) -> ExitStats {
+        ExitStats {
+            cycles: (self.shadow.exit_cycles() - self.exit_cycles_at_reset) as f64,
+            vm_exits: self.shadow.vm_exits() - self.exits_at_reset,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GuestPaging;
+    use mv_core::MmuConfig;
+    use mv_types::MIB;
+    use mv_workloads::WorkloadKind;
+
+    fn shadow_cfg() -> SimConfig {
+        SimConfig {
+            workload: WorkloadKind::Gups,
+            footprint: 4 * MIB,
+            guest_paging: GuestPaging::Fixed(PageSize::Size4K),
+            env: Env::Shadow {
+                nested: PageSize::Size4K,
+            },
+            accesses: 100,
+            warmup: 0,
+            seed: 3,
+        }
+    }
+
+    /// The hidden-fault path (§IX.D): the guest has a valid mapping but
+    /// the shadow is stale, so the shadow miss must resync from the guest
+    /// table — NOT take a guest-visible page fault (which would allocate
+    /// a fresh frame and change the guest mapping).
+    #[test]
+    fn stale_shadow_with_mapped_guest_resyncs_without_a_guest_fault() {
+        let (mut m, mut mmu) = ShadowMachine::build(&shadow_cfg(), MmuConfig::default()).unwrap();
+
+        // Map a churn-region page in the guest behind the shadow's back:
+        // the guest now has a mapping the shadow has never seen.
+        let va = m.churn_base;
+        m.guest.handle_page_fault(m.pid, va).unwrap();
+        let (gpt, gmem) = m.guest.pt_and_mem(m.pid);
+        let guest_gpa = gpt.translate(gmem, va).expect("guest mapped it").page_base;
+        assert!(
+            m.shadow
+                .table(m.pid)
+                .translate(m.vmm.hmem(), va)
+                .is_none(),
+            "shadow must be stale for this test"
+        );
+
+        // The access faults on the stale shadow…
+        let asid = m.asid();
+        let fault = mmu
+            .access(&m.ctx(), asid, va, false)
+            .expect_err("stale shadow faults");
+        assert!(matches!(fault, TranslationFault::GuestNotMapped { .. }));
+        let exits_before = m.shadow.vm_exits();
+
+        // …and servicing it takes the hidden-fault path: one VM exit, the
+        // shadow resyncs, and the guest mapping is untouched.
+        assert_eq!(m.service_fault(fault).unwrap(), FaultService::Serviced);
+        assert_eq!(m.shadow.vm_exits(), exits_before + 1, "resync costs one exit");
+        assert!(
+            m.shadow.table(m.pid).translate(m.vmm.hmem(), va).is_some(),
+            "shadow now holds the entry"
+        );
+        let (gpt, gmem) = m.guest.pt_and_mem(m.pid);
+        assert_eq!(
+            gpt.translate(gmem, va).expect("still mapped").page_base,
+            guest_gpa,
+            "a hidden fault must not re-fault (and re-allocate) in the guest"
+        );
+
+        // The retried access now succeeds.
+        mmu.access(&m.ctx(), asid, va, false).expect("resynced");
+    }
+}

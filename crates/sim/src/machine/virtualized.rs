@@ -1,0 +1,165 @@
+//! Hardware nested paging in all four translation modes: the paper's
+//! `4K+4K` … `1G+1G` base bars and the proposed `VD`/`GD`/`DD` modes.
+
+use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
+use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
+use mv_types::{AddrRange, Gpa, Gva, PageSize, Prot, MIB};
+use mv_vmm::{SegmentOptions, VmConfig, Vmm, VM_EXIT_CYCLES};
+
+use crate::config::{Env, GuestPaging, SimConfig};
+use crate::machine::{mmu_for, ExitStats, FaultService, Machine, CHURN_REGION};
+use crate::run::SimError;
+
+/// A guest OS running over hardware nested paging, with the translation
+/// mode's segments programmed at build time.
+#[derive(Debug)]
+pub struct VirtualizedMachine {
+    vmm: Vmm,
+    vm: mv_vmm::VmId,
+    guest: GuestOs,
+    pid: u32,
+    base: u64,
+    churn_base: Gva,
+    churn_cursor: u64,
+    exits_at_reset: u64,
+}
+
+impl Machine for VirtualizedMachine {
+    fn build(cfg: &SimConfig, hw: MmuConfig) -> Result<(Self, Mmu), SimError> {
+        let Env::Virtualized { nested, mode } = cfg.env else {
+            unreachable!("dispatched on env");
+        };
+        let (mut vmm, vm, mut guest, pid, base) = build_guest(cfg, nested, mode)?;
+        let mut mmu = mmu_for(hw, mode);
+        if matches!(mode, TranslationMode::GuestDirect | TranslationMode::DualDirect) {
+            let seg = guest.setup_guest_segment(pid)?;
+            mmu.set_guest_segment(seg);
+        }
+        if matches!(mode, TranslationMode::VmmDirect | TranslationMode::DualDirect) {
+            let span = guest.mem().size_bytes();
+            let seg = vmm.create_vmm_segment(
+                vm,
+                AddrRange::new(Gpa::ZERO, Gpa::new(span)),
+                SegmentOptions::default(),
+            )?;
+            mmu.set_vmm_segment(seg);
+        }
+
+        // Steady state: populate the guest page table (unless the guest
+        // segment covers the arena) and the nested backing (unless the VMM
+        // segment does).
+        let guest_seg_covers = matches!(
+            mode,
+            TranslationMode::GuestDirect | TranslationMode::DualDirect
+        );
+        if !guest_seg_covers {
+            guest.populate(pid, Gva::new(base), cfg.footprint)?;
+        }
+        if !matches!(mode, TranslationMode::VmmDirect | TranslationMode::DualDirect) {
+            let span = guest.mem().size_bytes();
+            vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(span)))?;
+        }
+
+        let churn_base = guest.mmap(pid, CHURN_REGION, Prot::RW)?;
+        Ok((
+            VirtualizedMachine {
+                vmm,
+                vm,
+                guest,
+                pid,
+                base,
+                churn_base,
+                churn_cursor: 0,
+                exits_at_reset: 0,
+            },
+            mmu,
+        ))
+    }
+
+    fn arena_base(&self) -> u64 {
+        self.base
+    }
+
+    fn asid(&self) -> u16 {
+        self.pid as u16
+    }
+
+    fn ctx(&mut self) -> MemoryContext<'_> {
+        MemoryContext::virtualized(
+            self.guest.pt_and_mem(self.pid),
+            self.vmm.npt_and_hmem(self.vm),
+        )
+    }
+
+    fn service_fault(&mut self, fault: TranslationFault) -> Result<FaultService, SimError> {
+        match fault {
+            TranslationFault::GuestNotMapped { gva } => {
+                self.guest.handle_page_fault(self.pid, gva)?;
+                Ok(FaultService::Serviced)
+            }
+            TranslationFault::NestedNotMapped { gpa, .. } => {
+                self.vmm.handle_nested_fault(self.vm, gpa)?;
+                Ok(FaultService::Serviced)
+            }
+            _ => Ok(FaultService::Unserviceable),
+        }
+    }
+
+    /// One allocation-churn event: alternately map and unmap pages of the
+    /// churn region, as a heap allocator would.
+    fn churn_event(&mut self, mmu: &mut Mmu) -> Result<(), SimError> {
+        let va = Gva::new(self.churn_base.as_u64() + (self.churn_cursor % CHURN_REGION));
+        self.churn_cursor += PageSize::Size4K.bytes();
+        if let Some((va_page, _)) = self.guest.unmap_page(self.pid, va)? {
+            mmu.invalidate_page(self.pid as u16, va_page);
+        } else {
+            self.guest.handle_page_fault(self.pid, va)?;
+        }
+        Ok(())
+    }
+
+    fn window_open(&mut self) {
+        self.exits_at_reset = self.vmm.vm_exits(self.vm);
+    }
+
+    fn exit_stats(&self) -> ExitStats {
+        let vm_exits = self.vmm.vm_exits(self.vm) - self.exits_at_reset;
+        ExitStats {
+            cycles: vm_exits as f64 * VM_EXIT_CYCLES as f64,
+            vm_exits,
+        }
+    }
+}
+
+/// Builds the virtualized stack: host, VM, guest OS, and one process with
+/// the workload arena mapped (as a primary region when the mode uses a
+/// guest segment). Shared with [`super::ShadowMachine`].
+pub(crate) fn build_guest(
+    cfg: &SimConfig,
+    nested: PageSize,
+    mode: TranslationMode,
+) -> Result<(Vmm, mv_vmm::VmId, GuestOs, u32, u64), SimError> {
+    let installed = cfg.footprint + cfg.footprint / 2 + 96 * MIB;
+    // Nested backing is allocated at the VMM page granularity, so the host
+    // must hold the guest span rounded up to whole nested pages (plus the
+    // VMM-segment copy and table slack).
+    let rounded = installed.next_multiple_of(nested.bytes());
+    let host = 2 * rounded + 128 * MIB;
+    let mut vmm = Vmm::new(host);
+    let vm = vmm.create_vm(VmConfig::new(installed, nested));
+    let mut guest = GuestOs::boot(GuestConfig::small(installed));
+    let policy = match cfg.guest_paging {
+        GuestPaging::Fixed(s) => PageSizePolicy::Fixed(s),
+        GuestPaging::Thp => PageSizePolicy::Thp,
+    };
+    let pid = guest.create_process(policy);
+    let base = if matches!(
+        mode,
+        TranslationMode::GuestDirect | TranslationMode::DualDirect
+    ) {
+        guest.create_primary_region(pid, cfg.footprint)?
+    } else {
+        guest.mmap(pid, cfg.footprint, Prot::RW)?
+    };
+    Ok((vmm, vm, guest, pid, base.as_u64()))
+}

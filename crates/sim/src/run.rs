@@ -1,16 +1,16 @@
-//! The simulation engine: drives a workload's reference stream through the
-//! MMU, servicing faults through the OS/VMM models.
+//! The simulation entry points: one [`Simulation`] facade that dispatches
+//! every environment to the single generic driver loop in
+//! [`crate::machine`].
 
 use core::fmt;
 
-use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
-use mv_guestos::{GuestConfig, GuestOs, OsError, PageSizePolicy};
-use mv_obs::{SharedTelemetry, Telemetry, TelemetryConfig};
-use mv_types::{AddrRange, Gpa, Gva, PageSize, Prot, MIB};
-use mv_vmm::{SegmentOptions, ShadowPaging, VmConfig, Vmm, VmmError, VM_EXIT_CYCLES};
+use mv_core::{MmuConfig, TranslationFault};
+use mv_guestos::OsError;
+use mv_obs::TelemetryConfig;
+use mv_vmm::VmmError;
 
-use crate::config::{Env, GuestPaging, SimConfig};
-use crate::native::NativeOs;
+use crate::config::{Env, SimConfig};
+use crate::machine::{drive, Instruments, NativeMachine, ShadowMachine, VirtualizedMachine};
 use crate::result::RunResult;
 
 /// Errors surfaced while constructing or running a simulation.
@@ -67,11 +67,6 @@ impl From<VmmError> for SimError {
 /// Entry point: runs one configuration to completion.
 #[derive(Debug)]
 pub struct Simulation;
-
-/// Size of the auxiliary region used to model allocation churn.
-const CHURN_REGION: u64 = 8 * MIB;
-/// Retry budget per access (a correct setup needs at most a handful).
-const MAX_FAULTS_PER_ACCESS: u32 = 64;
 
 impl Simulation {
     /// Runs the configuration and reports its measurements.
@@ -130,7 +125,9 @@ impl Simulation {
     }
 
     /// The fully-instrumented entry point: optional miss trace plus
-    /// optional telemetry in one run.
+    /// optional telemetry in one run. Every environment goes through the
+    /// same generic driver loop; only the [`crate::machine::Machine`]
+    /// implementation differs.
     ///
     /// # Errors
     ///
@@ -146,453 +143,9 @@ impl Simulation {
             telemetry,
         };
         match cfg.env {
-            Env::Native { .. } => run_native(cfg, hw, &instr),
-            Env::Virtualized { .. } => run_virtualized(cfg, hw, &instr),
-            Env::Shadow { .. } => run_shadow(cfg, hw, &instr),
+            Env::Native { .. } => drive::<NativeMachine>(cfg, hw, &instr),
+            Env::Virtualized { .. } => drive::<VirtualizedMachine>(cfg, hw, &instr),
+            Env::Shadow { .. } => drive::<ShadowMachine>(cfg, hw, &instr),
         }
-    }
-}
-
-/// Instrumentation requested for a run. Both instruments attach at the
-/// warmup boundary so they cover exactly the measured window.
-#[derive(Debug, Clone, Copy, Default)]
-struct Instruments {
-    trace_capacity: Option<usize>,
-    telemetry: Option<TelemetryConfig>,
-}
-
-impl Instruments {
-    /// Attaches the requested instruments to the MMU (called at the warmup
-    /// boundary), returning the handle to collect telemetry from later.
-    fn attach(&self, mmu: &mut Mmu) -> Option<SharedTelemetry> {
-        if let Some(cap) = self.trace_capacity {
-            mmu.enable_miss_trace(cap);
-        }
-        self.telemetry.map(|tc| {
-            let shared = SharedTelemetry::new(tc);
-            mmu.set_observer(shared.observer());
-            shared
-        })
-    }
-}
-
-/// Detaches the observer and closes the telemetry window at `accesses`.
-fn collect_telemetry(
-    mmu: &mut Mmu,
-    shared: Option<SharedTelemetry>,
-    accesses: u64,
-) -> Option<Telemetry> {
-    drop(mmu.take_observer());
-    shared.map(|s| s.take(accesses))
-}
-
-fn mmu_for(hw: MmuConfig, mode: TranslationMode) -> Mmu {
-    Mmu::new(MmuConfig { mode, ..hw })
-}
-
-fn run_native(
-    cfg: &SimConfig,
-    hw: MmuConfig,
-    instr: &Instruments,
-) -> Result<(RunResult, Option<mv_core::MissTrace>), SimError> {
-    let Env::Native { direct_segment } = cfg.env else {
-        unreachable!("dispatched on env");
-    };
-    let phys = cfg.footprint + cfg.footprint / 2 + 64 * MIB;
-    let mut os = NativeOs::boot(phys, cfg.footprint, cfg.guest_paging)?;
-    let mut mmu = mmu_for(hw, if direct_segment {
-        TranslationMode::NativeDirect
-    } else {
-        TranslationMode::BaseNative
-    });
-    if direct_segment {
-        let seg = os.setup_direct_segment()?;
-        mmu.set_native_segment(seg);
-    }
-
-    let base = os.arena_base().as_u64();
-    // Big-memory applications initialize their dataset up front; measuring
-    // from a populated arena gives the steady state the paper reports.
-    if !direct_segment {
-        let step = match cfg.guest_paging {
-            GuestPaging::Fixed(s) => s.bytes(),
-            GuestPaging::Thp => PageSize::Size2M.bytes(),
-        };
-        let mut va = base;
-        while va < base + cfg.footprint {
-            os.handle_page_fault(Gva::new(va))?;
-            va += step;
-        }
-    }
-    let mut workload = cfg.workload.build(cfg.footprint, cfg.seed);
-    let mut telemetry = None;
-    let total = cfg.warmup + cfg.accesses;
-    for i in 0..total {
-        if i == cfg.warmup {
-            mmu.reset_counters();
-            telemetry = instr.attach(&mut mmu);
-        }
-        let acc = workload.next_access();
-        let va = Gva::new(base + acc.offset);
-        let mut tries = 0;
-        loop {
-            let outcome = {
-                let (pt, mem) = os.pt_and_mem();
-                let ctx = MemoryContext::Native { pt, mem };
-                mmu.access(&ctx, 0, va, acc.write)
-            };
-            match outcome {
-                Ok(_) => break,
-                Err(TranslationFault::GuestNotMapped { gva }) => os.handle_page_fault(gva)?,
-                Err(fault) => return Err(SimError::FaultLoop { va: va.as_u64(), last: fault }),
-            }
-            tries += 1;
-            if tries > MAX_FAULTS_PER_ACCESS {
-                return Err(SimError::FaultLoop {
-                    va: va.as_u64(),
-                    last: TranslationFault::GuestNotMapped { gva: va },
-                });
-            }
-        }
-    }
-
-    let telemetry = collect_telemetry(&mut mmu, telemetry, cfg.accesses);
-    let trace = mmu.take_miss_trace();
-    Ok((
-        finish(cfg, &mmu, workload.cycles_per_access(), 0.0, 0, telemetry),
-        trace,
-    ))
-}
-
-fn run_virtualized(
-    cfg: &SimConfig,
-    hw: MmuConfig,
-    instr: &Instruments,
-) -> Result<(RunResult, Option<mv_core::MissTrace>), SimError> {
-    let Env::Virtualized { nested, mode } = cfg.env else {
-        unreachable!("dispatched on env");
-    };
-    let (mut vmm, vm, mut guest, pid, base) = build_guest(cfg, nested, mode)?;
-    let mut mmu = mmu_for(hw, mode);
-    if matches!(mode, TranslationMode::GuestDirect | TranslationMode::DualDirect) {
-        let seg = guest.setup_guest_segment(pid)?;
-        mmu.set_guest_segment(seg);
-    }
-    if matches!(mode, TranslationMode::VmmDirect | TranslationMode::DualDirect) {
-        let span = guest.mem().size_bytes();
-        let seg = vmm.create_vmm_segment(
-            vm,
-            AddrRange::new(Gpa::ZERO, Gpa::new(span)),
-            SegmentOptions::default(),
-        )?;
-        mmu.set_vmm_segment(seg);
-    }
-
-    // Steady state: populate the guest page table (unless the guest
-    // segment covers the arena) and the nested backing (unless the VMM
-    // segment does).
-    let guest_seg_covers = matches!(
-        mode,
-        TranslationMode::GuestDirect | TranslationMode::DualDirect
-    );
-    if !guest_seg_covers {
-        guest.populate(pid, Gva::new(base), cfg.footprint)?;
-    }
-    if !matches!(mode, TranslationMode::VmmDirect | TranslationMode::DualDirect) {
-        let span = guest.mem().size_bytes();
-        vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(span)))?;
-    }
-
-    let mut workload = cfg.workload.build(cfg.footprint, cfg.seed);
-    let churn = churn_plan(cfg, workload.churn_per_million());
-    let churn_base = guest.mmap(pid, CHURN_REGION, Prot::RW)?;
-    let mut churn_cursor = 0u64;
-
-    let mut telemetry = None;
-    let mut exits_at_reset = 0u64;
-    let total = cfg.warmup + cfg.accesses;
-    for i in 0..total {
-        if i == cfg.warmup {
-            mmu.reset_counters();
-            exits_at_reset = vmm.vm(vm).counters().vm_exits;
-            telemetry = instr.attach(&mut mmu);
-        }
-        if churn.due(i) {
-            churn_event(&mut guest, pid, churn_base, &mut churn_cursor, &mut mmu)?;
-        }
-        let acc = workload.next_access();
-        let va = Gva::new(base + acc.offset);
-        let mut tries = 0;
-        loop {
-            let outcome = {
-                let (gpt, gmem) = guest.pt_and_mem(pid);
-                let (npt, hmem) = vmm.npt_and_hmem(vm);
-                let ctx = MemoryContext::Virtualized {
-                    gpt,
-                    gmem,
-                    npt,
-                    hmem,
-                };
-                mmu.access(&ctx, pid as u16, va, acc.write)
-            };
-            match outcome {
-                Ok(_) => break,
-                Err(TranslationFault::GuestNotMapped { gva }) => {
-                    guest.handle_page_fault(pid, gva)?;
-                }
-                Err(TranslationFault::NestedNotMapped { gpa, .. }) => {
-                    vmm.handle_nested_fault(vm, gpa)?;
-                }
-                Err(fault) => {
-                    return Err(SimError::FaultLoop { va: va.as_u64(), last: fault });
-                }
-            }
-            tries += 1;
-            if tries > MAX_FAULTS_PER_ACCESS {
-                return Err(SimError::FaultLoop {
-                    va: va.as_u64(),
-                    last: TranslationFault::GuestNotMapped { gva: va },
-                });
-            }
-        }
-    }
-
-    let exit_cycles =
-        (vmm.vm(vm).counters().vm_exits - exits_at_reset) as f64 * VM_EXIT_CYCLES as f64;
-    let vm_exits = vmm.vm(vm).counters().vm_exits - exits_at_reset;
-    let telemetry = collect_telemetry(&mut mmu, telemetry, cfg.accesses);
-    let trace = mmu.take_miss_trace();
-    Ok((
-        finish(cfg, &mmu, workload.cycles_per_access(), exit_cycles, vm_exits, telemetry),
-        trace,
-    ))
-}
-
-fn run_shadow(
-    cfg: &SimConfig,
-    hw: MmuConfig,
-    instr: &Instruments,
-) -> Result<(RunResult, Option<mv_core::MissTrace>), SimError> {
-    let Env::Shadow { nested } = cfg.env else {
-        unreachable!("dispatched on env");
-    };
-    let (mut vmm, vm, mut guest, pid, base) =
-        build_guest(cfg, nested, TranslationMode::BaseVirtualized)?;
-    let mut shadow = ShadowPaging::new(vm);
-    shadow.shadow_for(&mut vmm, pid)?;
-    // The hardware walks the shadow table: a native-style 1D configuration.
-    let mut mmu = mmu_for(hw, TranslationMode::BaseNative);
-
-    // Steady state: populate the guest table, then bulk-sync the shadow
-    // (boot-time churn; the measurement window starts after warmup).
-    guest.populate(pid, Gva::new(base), cfg.footprint)?;
-    let mut leaves = Vec::new();
-    {
-        let (gpt, gmem) = guest.pt_and_mem(pid);
-        gpt.for_each_leaf(gmem, &mut |va, pte, size| {
-            leaves.push(mv_guestos::FaultFix {
-                va_page: va,
-                gpa: pte.addr(),
-                size,
-                prot: pte.prot(),
-            });
-        });
-    }
-    for fix in &leaves {
-        shadow.on_guest_update(&mut vmm, pid, fix)?;
-    }
-
-    let mut workload = cfg.workload.build(cfg.footprint, cfg.seed);
-    let churn = churn_plan(cfg, workload.churn_per_million());
-    let churn_base = guest.mmap(pid, CHURN_REGION, Prot::RW)?;
-    let mut churn_cursor = 0u64;
-
-    let mut telemetry = None;
-    let mut exit_cycles_at_reset = 0u64;
-    let mut exits_at_reset = 0u64;
-    let total = cfg.warmup + cfg.accesses;
-    for i in 0..total {
-        if i == cfg.warmup {
-            mmu.reset_counters();
-            exit_cycles_at_reset = shadow.exit_cycles();
-            exits_at_reset = shadow.vm_exits();
-            telemetry = instr.attach(&mut mmu);
-        }
-        if churn.due(i) {
-            shadow_churn_event(
-                &mut guest,
-                &mut vmm,
-                &mut shadow,
-                pid,
-                churn_base,
-                &mut churn_cursor,
-                &mut mmu,
-            )?;
-        }
-        let acc = workload.next_access();
-        let va = Gva::new(base + acc.offset);
-        let mut tries = 0;
-        loop {
-            let outcome = {
-                let pt = shadow.table(pid);
-                let ctx = MemoryContext::Native { pt, mem: vmm.hmem() };
-                mmu.access(&ctx, pid as u16, va, acc.write)
-            };
-            match outcome {
-                Ok(_) => break,
-                Err(TranslationFault::GuestNotMapped { gva }) => {
-                    // Shadow miss: either the guest lacks the page (real
-                    // fault) or only the shadow is stale (hidden fault).
-                    let fix = match guest.process(pid).page_table().translate(guest.mem(), gva) {
-                        Some(t) => mv_guestos::FaultFix {
-                            va_page: Gva::new(gva.as_u64() & !t.size.offset_mask()),
-                            gpa: t.page_base,
-                            size: t.size,
-                            prot: t.prot,
-                        },
-                        None => guest.handle_page_fault(pid, gva)?,
-                    };
-                    shadow.on_guest_update(&mut vmm, pid, &fix)?;
-                }
-                Err(fault) => {
-                    return Err(SimError::FaultLoop { va: va.as_u64(), last: fault })
-                }
-            }
-            tries += 1;
-            if tries > MAX_FAULTS_PER_ACCESS {
-                return Err(SimError::FaultLoop {
-                    va: va.as_u64(),
-                    last: TranslationFault::GuestNotMapped { gva: va },
-                });
-            }
-        }
-    }
-
-    let exit_cycles = (shadow.exit_cycles() - exit_cycles_at_reset) as f64;
-    let vm_exits = shadow.vm_exits() - exits_at_reset;
-    let telemetry = collect_telemetry(&mut mmu, telemetry, cfg.accesses);
-    let trace = mmu.take_miss_trace();
-    Ok((
-        finish(cfg, &mmu, workload.cycles_per_access(), exit_cycles, vm_exits, telemetry),
-        trace,
-    ))
-}
-
-/// Builds the virtualized stack: host, VM, guest OS, and one process with
-/// the workload arena mapped (as a primary region when the mode uses a
-/// guest segment).
-fn build_guest(
-    cfg: &SimConfig,
-    nested: PageSize,
-    mode: TranslationMode,
-) -> Result<(Vmm, mv_vmm::VmId, GuestOs, u32, u64), SimError> {
-    let installed = cfg.footprint + cfg.footprint / 2 + 96 * MIB;
-    // Nested backing is allocated at the VMM page granularity, so the host
-    // must hold the guest span rounded up to whole nested pages (plus the
-    // VMM-segment copy and table slack).
-    let rounded = installed.next_multiple_of(nested.bytes());
-    let host = 2 * rounded + 128 * MIB;
-    let mut vmm = Vmm::new(host);
-    let vm = vmm.create_vm(VmConfig::new(installed, nested));
-    let mut guest = GuestOs::boot(GuestConfig::small(installed));
-    let policy = match cfg.guest_paging {
-        GuestPaging::Fixed(s) => PageSizePolicy::Fixed(s),
-        GuestPaging::Thp => PageSizePolicy::Thp,
-    };
-    let pid = guest.create_process(policy);
-    let base = if matches!(
-        mode,
-        TranslationMode::GuestDirect | TranslationMode::DualDirect
-    ) {
-        guest.create_primary_region(pid, cfg.footprint)?
-    } else {
-        guest.mmap(pid, cfg.footprint, Prot::RW)?
-    };
-    Ok((vmm, vm, guest, pid, base.as_u64()))
-}
-
-/// Churn schedule: `events_per_million / 1e6` events per access.
-#[derive(Debug, Clone, Copy)]
-struct ChurnPlan {
-    interval: u64,
-}
-
-impl ChurnPlan {
-    fn due(&self, i: u64) -> bool {
-        self.interval > 0 && i % self.interval == 0 && i > 0
-    }
-}
-
-fn churn_plan(_cfg: &SimConfig, per_million: u64) -> ChurnPlan {
-    ChurnPlan {
-        interval: 1_000_000u64
-            .checked_div(per_million)
-            .map_or(0, |i| i.max(1)),
-    }
-}
-
-/// One allocation-churn event: alternately map and unmap pages of the
-/// churn region, as a heap allocator would.
-fn churn_event(
-    guest: &mut GuestOs,
-    pid: u32,
-    base: Gva,
-    cursor: &mut u64,
-    mmu: &mut Mmu,
-) -> Result<(), SimError> {
-    let va = Gva::new(base.as_u64() + (*cursor % CHURN_REGION));
-    *cursor += PageSize::Size4K.bytes();
-    if let Some((va_page, _)) = guest.unmap_page(pid, va)? {
-        mmu.invalidate_page(pid as u16, va_page);
-    } else {
-        guest.handle_page_fault(pid, va)?;
-    }
-    Ok(())
-}
-
-/// Shadow-mode churn: every guest page-table change takes a VM exit.
-fn shadow_churn_event(
-    guest: &mut GuestOs,
-    vmm: &mut Vmm,
-    shadow: &mut ShadowPaging,
-    pid: u32,
-    base: Gva,
-    cursor: &mut u64,
-    mmu: &mut Mmu,
-) -> Result<(), SimError> {
-    let va = Gva::new(base.as_u64() + (*cursor % CHURN_REGION));
-    *cursor += PageSize::Size4K.bytes();
-    if let Some((va_page, size)) = guest.unmap_page(pid, va)? {
-        mmu.invalidate_page(pid as u16, va_page);
-        shadow.on_guest_unmap(vmm, pid, va_page, size)?;
-    } else {
-        let fix = guest.handle_page_fault(pid, va)?;
-        shadow.on_guest_update(vmm, pid, &fix)?;
-    }
-    Ok(())
-}
-
-fn finish(
-    cfg: &SimConfig,
-    mmu: &Mmu,
-    cycles_per_access: f64,
-    exit_cycles: f64,
-    vm_exits: u64,
-    telemetry: Option<Telemetry>,
-) -> RunResult {
-    let counters = *mmu.counters();
-    let ideal = cfg.accesses as f64 * cycles_per_access;
-    let translation = counters.translation_cycles as f64 + exit_cycles;
-    RunResult {
-        label: cfg.label(),
-        workload: cfg.workload.label(),
-        accesses: cfg.accesses,
-        counters,
-        ideal_cycles: ideal,
-        translation_cycles: translation,
-        overhead: mv_metrics::overhead(translation, ideal),
-        vm_exits,
-        nested_l2: mmu.nested_l2_stats(),
-        telemetry,
     }
 }

@@ -83,6 +83,16 @@ impl Vmm {
         (&self.vms[&id.0].npt, &self.hmem)
     }
 
+    /// Total VM exits this VM has taken — the counter drivers snapshot at
+    /// the warmup boundary to charge exits to the measured window.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown id (callers hold ids they created).
+    pub fn vm_exits(&self, id: VmId) -> u64 {
+        self.vm(id).counters().vm_exits
+    }
+
     /// Services a nested page fault: allocates host backing at the VM's
     /// nested page size and maps it. Spurious faults (already mapped) are
     /// no-ops. Each genuine fault costs a VM exit.

@@ -7,6 +7,10 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --release --all-targets"
+# Benches, examples, and every bin — the figure binaries must never rot.
+cargo build --release --all-targets
+
 echo "==> cargo test -q"
 cargo test -q
 
@@ -28,5 +32,22 @@ run_bin=target/release/run
     --telemetry-out "$tmpdir/t4.jsonl" > "$tmpdir/out4.csv"
 diff -u "$tmpdir/out1.csv" "$tmpdir/out4.csv"
 diff -u "$tmpdir/t1.jsonl" "$tmpdir/t4.jsonl"
+
+echo "==> machine-equivalence smoke: repeatability across envs and job counts"
+# The unified Machine driver must be stable run-to-run and across worker
+# counts for every environment family (native, nested, direct modes,
+# shadow). The full byte-identical proof against the pre-refactor fixture
+# lives in tests/tests/machine_equiv.rs; this smoke re-checks the live
+# binary end to end.
+for env in native ds 4k+2m vd dd shadow; do
+    "$run_bin" --quick --env "$env" --trials 2 --jobs 1 --quiet --csv \
+        > "$tmpdir/env1.csv"
+    "$run_bin" --quick --env "$env" --trials 2 --jobs 1 --quiet --csv \
+        > "$tmpdir/env1b.csv"
+    "$run_bin" --quick --env "$env" --trials 2 --jobs 4 --quiet --csv \
+        > "$tmpdir/env4.csv"
+    diff -u "$tmpdir/env1.csv" "$tmpdir/env1b.csv"
+    diff -u "$tmpdir/env1.csv" "$tmpdir/env4.csv"
+done
 
 echo "CI OK"

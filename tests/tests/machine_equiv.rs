@@ -1,0 +1,135 @@
+//! Golden-fixture equivalence proof for the unified `Machine` driver.
+//!
+//! The fixture at `tests/fixtures/machine_equiv.golden` was recorded from
+//! the pre-refactor simulator (the one with three copy-pasted drivers:
+//! `run_native` / `run_virtualized` / `run_shadow`) by running the full
+//! ten-environment catalog cross-section — native ± direct segment, all
+//! four virtualized translation modes, shadow paging at both nested page
+//! sizes — over two workloads (gups: churn-free; memcached: heavy
+//! allocation churn) × two split-seed trials, all telemetry-observed.
+//!
+//! The test replays exactly that grid through today's driver and asserts
+//! the output is **byte-identical**: every per-cell CSV row and every
+//! cell's full telemetry JSONL export, at `jobs = 1` and `jobs = 4`.
+//! Any behavioral drift in the access loop — fault servicing order,
+//! churn scheduling, warmup counter-reset placement, telemetry
+//! attachment — shows up as a diff here.
+//!
+//! To re-record after an *intentional* behavior change:
+//!
+//! ```text
+//! MV_RECORD_FIXTURE=1 cargo test -p mv-integration-tests --test machine_equiv
+//! ```
+
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+
+use mv_bench::experiments::env_catalog::PAPER_10_ENVS;
+use mv_obs::TelemetryConfig;
+use mv_sim::{GridCell, SimConfig, Simulation};
+use mv_types::MIB;
+use mv_workloads::WorkloadKind;
+
+/// Fixture sizing: small enough for the test suite, large enough that
+/// every environment takes TLB misses, faults, and (for memcached) a
+/// steady stream of churn events through the measured window.
+const FOOTPRINT: u64 = 24 * MIB;
+const ACCESSES: u64 = 10_000;
+const WARMUP: u64 = 2_500;
+const SEED: u64 = 42;
+const TRIALS: u64 = 2;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("machine_equiv.golden")
+}
+
+/// The full grid: every catalog env × {gups, memcached} × two trials,
+/// telemetry-observed so the fixture covers epochs and histograms too.
+fn cells() -> Vec<GridCell> {
+    let tcfg = TelemetryConfig {
+        epoch_len: 2_000,
+        flight_capacity: 0,
+    };
+    let mut cells = Vec::new();
+    for workload in [WorkloadKind::Gups, WorkloadKind::Memcached] {
+        for (paging, env) in PAPER_10_ENVS {
+            for trial in 0..TRIALS {
+                let cfg = SimConfig {
+                    workload,
+                    footprint: FOOTPRINT,
+                    guest_paging: paging,
+                    env,
+                    accesses: ACCESSES,
+                    warmup: WARMUP,
+                    seed: SEED,
+                };
+                cells.push(GridCell::new(cfg).trial(trial).observed(tcfg));
+            }
+        }
+    }
+    cells
+}
+
+/// Everything observable about the grid as one byte string: the CSV
+/// header, each cell's CSV row in cell order, and each cell's full
+/// telemetry JSONL export.
+fn fingerprint(cells: &[GridCell], jobs: usize) -> Vec<u8> {
+    let report = Simulation::run_grid(cells, NonZeroUsize::new(jobs).unwrap());
+    assert_eq!(report.len(), cells.len());
+    if let Some((i, failure)) = report.failures().next() {
+        panic!(
+            "cell {i} ({} / {}) failed: {failure}",
+            cells[i].cfg.workload.label(),
+            cells[i].cfg.label()
+        );
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(mv_sim::RunResult::csv_header().as_bytes());
+    out.push(b'\n');
+    for r in report.results() {
+        out.extend_from_slice(r.csv_row().as_bytes());
+        out.push(b'\n');
+        r.telemetry
+            .as_ref()
+            .expect("all cells are observed")
+            .write_jsonl(&mut out)
+            .expect("telemetry serializes");
+    }
+    out
+}
+
+#[test]
+fn driver_output_matches_the_pre_refactor_fixture() {
+    let cells = cells();
+    let serial = fingerprint(&cells, 1);
+
+    if std::env::var_os("MV_RECORD_FIXTURE").is_some() {
+        std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+        std::fs::write(fixture_path(), &serial).unwrap();
+        eprintln!(
+            "recorded {} bytes to {}",
+            serial.len(),
+            fixture_path().display()
+        );
+        return;
+    }
+
+    let golden = std::fs::read(fixture_path()).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); record it with \
+             MV_RECORD_FIXTURE=1 cargo test --test machine_equiv",
+            fixture_path().display()
+        )
+    });
+
+    // Byte-identical to the pre-refactor drivers…
+    assert_eq!(
+        serial, golden,
+        "driver output drifted from the recorded pre-refactor fixture"
+    );
+    // …and independent of the worker count.
+    let parallel = fingerprint(&cells, 4);
+    assert_eq!(serial, parallel, "jobs=1 and jobs=4 outputs must match");
+}
