@@ -1,0 +1,183 @@
+//! Degradation study: fault-injection rates × the environment catalog.
+//!
+//! For each environment the study runs one chaos-free baseline and a
+//! sweep of fault rates, all under the translation oracle, and reports:
+//!
+//! * **survival** — the run completed with zero oracle violations;
+//! * **degradation residency** — the fraction of accesses spent at each
+//!   level (Direct / escape-heavy / paging) of the degradation machine;
+//! * **oracle-checked slowdown** — total measured cycles relative to the
+//!   same environment's chaos-free baseline.
+//!
+//! ```text
+//! cargo run --release -p mv-bench --bin chaos_study -- --quick --jobs 4
+//! ```
+//!
+//! Flags: `--quick` (smoke scale), `--jobs N`, `--quiet`, and
+//! `--chaos-seed N` (fault-plan seed, default 0xc4a05). The grid runs on
+//! a worker pool; rows are assembled in sweep order, so stdout is
+//! byte-identical for any `--jobs` value and a fixed seed.
+
+use mv_bench::experiments::{env_catalog, parse_parallelism, parse_scale};
+use mv_chaos::{ChaosSpec, DegradeLevel};
+use mv_metrics::Table;
+use mv_par::cli;
+use mv_sim::{GridCell, SimConfig, Simulation};
+use mv_workloads::WorkloadKind;
+
+/// Injected faults per million accesses, from "off" (the baseline) to a
+/// rate where balloon denials keep the run degraded most of the window.
+const RATES: [u64; 4] = [0, 1_000, 10_000, 50_000];
+
+/// Representative cross-section of the catalog: every segment-bearing
+/// mode (each degrades a different dimension), plus a base-paging and a
+/// shadow environment that exercise injection and the oracle with no
+/// segment to lose.
+const ENVS: [(&str, env_catalog::NamedEnv); 6] = [
+    ("DS", env_catalog::NATIVE_DS),
+    ("4K+4K", env_catalog::VIRT_4K_4K),
+    ("VD", env_catalog::VMM_DIRECT),
+    ("GD", env_catalog::GUEST_DIRECT),
+    ("DD", env_catalog::DUAL_DIRECT),
+    ("shadow", env_catalog::SHADOW_4K),
+];
+
+fn main() {
+    let scale = parse_scale();
+    let (jobs, reporter) = parse_parallelism();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let chaos_seed = cli::parse_u64_opt(&args, "--chaos-seed")
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+        .unwrap_or(0xc4a05);
+
+    let workload = WorkloadKind::Gups;
+    let cells: Vec<GridCell> = ENVS
+        .iter()
+        .flat_map(|&(_, (paging, env))| {
+            RATES.iter().map(move |&rate| {
+                let cfg = SimConfig {
+                    workload,
+                    footprint: scale.footprint_for(workload),
+                    guest_paging: paging,
+                    env,
+                    accesses: scale.accesses,
+                    warmup: scale.warmup,
+                    seed: scale.seed,
+                };
+                let mut cell = GridCell::new(cfg);
+                if rate > 0 {
+                    cell = cell.with_chaos(ChaosSpec {
+                        seed: chaos_seed,
+                        fault_rate_per_million: rate,
+                    });
+                }
+                cell
+            })
+        })
+        .collect();
+
+    println!(
+        "\nDegradation study: fault injection under the translation oracle \
+         (chaos seed {chaos_seed:#x}, {} accesses)\n",
+        scale.accesses
+    );
+    let report = Simulation::run_grid_reported(&cells, jobs, &reporter);
+
+    let mut t = Table::new(&[
+        "env",
+        "faults/M",
+        "survived",
+        "injected",
+        "recoveries",
+        "direct%",
+        "escape%",
+        "paging%",
+        "oracle checks",
+        "violations",
+        "slowdown",
+    ]);
+    let results = report.outcomes();
+    for (e, &(label, _)) in ENVS.iter().enumerate() {
+        // The rate-0 cell is this environment's slowdown baseline.
+        let base_cycles = match &results[e * RATES.len()].outcome {
+            Ok(r) => r.ideal_cycles + r.translation_cycles,
+            Err(_) => 0.0,
+        };
+        for (j, &rate) in RATES.iter().enumerate() {
+            let row = match &results[e * RATES.len() + j].outcome {
+                Ok(r) => {
+                    let slowdown = if base_cycles > 0.0 {
+                        format!(
+                            "{:.3}x",
+                            (r.ideal_cycles + r.translation_cycles) / base_cycles
+                        )
+                    } else {
+                        "-".to_string()
+                    };
+                    match &r.chaos {
+                        Some(c) => {
+                            let total: u64 = c.residency.iter().sum::<u64>().max(1);
+                            let pct = |l: DegradeLevel| {
+                                format!(
+                                    "{:.1}",
+                                    100.0 * c.residency[l.index()] as f64 / total as f64
+                                )
+                            };
+                            [
+                                label.to_string(),
+                                rate.to_string(),
+                                if c.survived() { "yes" } else { "NO" }.to_string(),
+                                c.injected_total().to_string(),
+                                c.recoveries.to_string(),
+                                pct(DegradeLevel::Direct),
+                                pct(DegradeLevel::EscapeHeavy),
+                                pct(DegradeLevel::Paging),
+                                c.oracle_checks.to_string(),
+                                c.oracle_violations.to_string(),
+                                slowdown,
+                            ]
+                        }
+                        // The chaos-free baseline: no plan, no oracle.
+                        None => [
+                            label.to_string(),
+                            rate.to_string(),
+                            "yes".to_string(),
+                            "0".to_string(),
+                            "-".to_string(),
+                            "100.0".to_string(),
+                            "0.0".to_string(),
+                            "0.0".to_string(),
+                            "-".to_string(),
+                            "0".to_string(),
+                            "1.000x".to_string(),
+                        ],
+                    }
+                }
+                Err(failure) => {
+                    reporter.line(format!("{label} @ {rate}/M failed: {failure}"));
+                    [
+                        label.to_string(),
+                        rate.to_string(),
+                        "DIED".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                    ]
+                }
+            };
+            t.row(&row);
+        }
+    }
+    println!("{t}");
+    println!("(survival = completed with zero oracle violations; residency =");
+    println!(" share of accesses at each degradation level; slowdown vs. the");
+    println!(" same environment's chaos-free baseline)\n");
+}

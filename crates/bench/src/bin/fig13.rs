@@ -41,9 +41,9 @@ fn run_trial(
 
     let installed = footprint + footprint / 2 + 96 * MIB;
     let mut vmm = Vmm::new(2 * installed + 128 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(installed, nested));
-    let mut guest = GuestOs::boot(GuestConfig::small(installed));
-    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(installed, nested)).unwrap();
+    let mut guest = GuestOs::boot(GuestConfig::small(installed)).unwrap();
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let base = guest
         .create_primary_region(pid, footprint)
         .expect("fresh guest")

@@ -35,11 +35,17 @@
 //! * `--trace <N>` — keep the last N walk events in a flight recorder
 //!   (exported into the JSONL file; cleared by a `--trials` merge).
 //!   Default 0 (off).
+//! * `--fault-rate <N>` — enable chaos: inject N faults per million
+//!   accesses under the translation oracle and print the chaos report.
+//!   Default 0 (off — output stays byte-identical to earlier versions).
+//! * `--chaos-seed <N>` — fault-plan seed (default 0xc4a05); only
+//!   meaningful with a non-zero `--fault-rate`.
 
 use std::io::Write;
 
 use mv_bench::experiments::env_catalog;
-use mv_par::Reporter;
+use mv_chaos::ChaosSpec;
+use mv_par::{cli, Reporter};
 use mv_sim::{GridCell, GuestPaging, SimConfig, Simulation, TelemetryConfig};
 use mv_types::{PageSize, GIB, KIB, MIB};
 use mv_workloads::WorkloadKind;
@@ -76,7 +82,8 @@ fn usage() -> ! {
          \x20          [--guest 4k|2m|1g|thp] [--footprint N[K|M|G]]\n\
          \x20          [--accesses N] [--warmup N] [--seed N] [--csv]\n\
          \x20          [--trials N] [--jobs N] [--quick] [--quiet]\n\
-         \x20          [--telemetry-out PATH] [--epoch-len N] [--trace N]"
+         \x20          [--telemetry-out PATH] [--epoch-len N] [--trace N]\n\
+         \x20          [--fault-rate N] [--chaos-seed N]"
     );
     std::process::exit(2);
 }
@@ -99,6 +106,16 @@ fn main() {
     let mut flight = 0usize;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Chaos flags are parsed by the shared mv_par::cli helpers; both
+    // default to off/fixed so chaos-free output is unchanged.
+    let numeric_opt = |flag: &str| {
+        cli::parse_u64_opt(&args, flag).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage()
+        })
+    };
+    let fault_rate = numeric_opt("--fault-rate").unwrap_or(0);
+    let chaos_seed = numeric_opt("--chaos-seed").unwrap_or(0xc4a05);
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -163,6 +180,10 @@ fn main() {
             "--quick" => quick = true,
             "--quiet" => quiet = true,
             "--csv" => csv = true,
+            // Already parsed above; consume the value token here.
+            "--fault-rate" | "--chaos-seed" => {
+                value(flag);
+            }
             "--telemetry-out" => telemetry_out = Some(value("--telemetry-out").to_string()),
             "--epoch-len" => epoch_len = value("--epoch-len").parse().unwrap_or_else(|_| usage()),
             "--trace" => flight = value("--trace").parse().unwrap_or_else(|_| usage()),
@@ -214,6 +235,12 @@ fn main() {
             }
             if observe {
                 cell = cell.observed(tcfg);
+            }
+            if fault_rate > 0 {
+                cell = cell.with_chaos(ChaosSpec {
+                    seed: chaos_seed,
+                    fault_rate_per_million: fault_rate,
+                });
             }
             cell
         })
@@ -288,6 +315,26 @@ fn main() {
     println!("VM exits:             {}", r.vm_exits);
     let (nl, nh) = r.nested_l2;
     println!("nested L2 (lkup/hit): {nl} / {nh}");
+
+    if let Some(c) = &r.chaos {
+        println!(
+            "chaos:                {} injected, {} transitions, {} recoveries, {} denials",
+            c.injected_total(),
+            c.transitions,
+            c.recoveries,
+            c.denials
+        );
+        println!(
+            "  residency (d/e/p):  {} / {} / {} accesses",
+            c.residency[0], c.residency[1], c.residency[2]
+        );
+        println!(
+            "  oracle:             {} checks, {} violations{}",
+            c.oracle_checks,
+            c.oracle_violations,
+            if c.survived() { "" } else { "  ** VIOLATED **" }
+        );
+    }
 
     if let Some(t) = &r.telemetry {
         println!("walk latency:         {}", t.hist());

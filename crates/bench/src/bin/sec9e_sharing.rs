@@ -17,8 +17,8 @@ fn main() {
     for (i, &a) in big.iter().enumerate() {
         for &b in &big[i..] {
             let mut vmm = Vmm::new(4 * guest_mem);
-            let vm_a = vmm.create_vm(VmConfig::new(guest_mem, PageSize::Size4K));
-            let vm_b = vmm.create_vm(VmConfig::new(guest_mem, PageSize::Size4K));
+            let vm_a = vmm.create_vm(VmConfig::new(guest_mem, PageSize::Size4K)).unwrap();
+            let vm_b = vmm.create_vm(VmConfig::new(guest_mem, PageSize::Size4K)).unwrap();
             for vm in [vm_a, vm_b] {
                 vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(guest_mem)))
                     .expect("host sized for both VMs");

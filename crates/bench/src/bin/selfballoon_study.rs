@@ -22,13 +22,13 @@ use mv_vmm::{VmConfig, Vmm};
 fn run_level(occupancy: f64, want: u64, installed: u64) -> [String; 4] {
     // Guest side: self-ballooning.
     let mut vmm = Vmm::new(2 * installed + 256 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(installed + 128 * MIB, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(installed + 128 * MIB, PageSize::Size4K)).unwrap();
     let mut guest = GuestOs::boot(GuestConfig {
         installed_bytes: installed,
         hotplug_capacity: 128 * MIB,
         model_io_gap: false,
         boot_reservation: 0,
-    });
+    }).unwrap();
     let mut rng = StdRng::seed_from_u64(77);
     let _junk = guest.mem_mut().fragment(&mut rng, occupancy);
     let before = guest.mem().stats().largest_free_run_bytes;
@@ -99,17 +99,17 @@ fn main() {
     // Secondary benefit: huge pages come back after self-ballooning.
     println!("Huge-page availability before/after self-ballooning (40% occupancy)\n");
     let mut vmm = Vmm::new(2 * installed + 256 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(installed + 128 * MIB, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(installed + 128 * MIB, PageSize::Size4K)).unwrap();
     let mut guest = GuestOs::boot(GuestConfig {
         installed_bytes: installed,
         hotplug_capacity: 128 * MIB,
         model_io_gap: false,
         boot_reservation: 0,
-    });
+    }).unwrap();
     let mut rng = StdRng::seed_from_u64(9);
     let _junk = guest.mem_mut().fragment(&mut rng, 0.4);
 
-    let pid = guest.create_process(PageSizePolicy::Thp);
+    let pid = guest.create_process(PageSizePolicy::Thp).unwrap();
     let va = guest.mmap(pid, 16 * MIB, Prot::RW).unwrap();
     guest.populate(pid, va, 16 * MIB).unwrap();
     let before = guest.process(pid).thp_promotions();

@@ -25,14 +25,14 @@ fn run_scenario(sc: &Scenario) -> [String; 5] {
     let footprint = 64 * MIB;
     let installed = 160 * MIB;
     let mut vmm = Vmm::new(512 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(installed, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(installed, PageSize::Size4K)).unwrap();
     let mut guest = GuestOs::boot(GuestConfig {
         installed_bytes: installed,
         hotplug_capacity: 128 * MIB,
         model_io_gap: false,
         boot_reservation: 0,
-    });
-    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    }).unwrap();
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     guest.create_primary_region(pid, footprint).unwrap();
 
     let mut rng = StdRng::seed_from_u64(7);

@@ -1,0 +1,38 @@
+//! Deterministic chaos layer for the memory-virtualization simulator.
+//!
+//! Real direct-segment systems live or die on their failure story:
+//! contiguous allocation fails under fragmentation, balloon requests stall,
+//! DIMMs lose frames, and hypervisors take exits they did not ask for. This
+//! crate supplies the three pieces the simulator needs to exercise those
+//! paths without giving up reproducibility:
+//!
+//! * a [`FaultPlan`] that schedules injected faults as a pure function of
+//!   `(seed, access index)` — the same contract [`ChurnPlan`] follows, so a
+//!   chaos run is byte-identical at any worker count;
+//! * a [`TranslationOracle`] that cross-checks every completed translation
+//!   against an independently derived reference, turning silent corruption
+//!   into a typed [`OracleViolation`];
+//! * a [`ChaosReport`] aggregating injections, degradation residency, and
+//!   oracle outcomes, with a deterministic [`ChaosReport::merge`] for the
+//!   parallel grid runner.
+//!
+//! The degradation *mechanics* (what it means to fall from Direct mode to
+//! escape-heavy Direct to full paging) belong to the machine layer in
+//! `mv-sim`; this crate only provides the shared vocabulary
+//! ([`DegradeLevel`], [`Transition`]) and the scheduling/accounting around
+//! it.
+//!
+//! [`ChurnPlan`]: https://docs.rs/mv-sim
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+mod oracle;
+mod plan;
+mod report;
+
+pub use oracle::{OracleViolation, TranslationOracle};
+pub use plan::{ChaosFault, ChaosSpec, FaultPlan};
+pub use report::{ChaosReport, DegradeLevel, Transition};

@@ -1,0 +1,185 @@
+//! Deterministic fault scheduling.
+
+use mv_types::rng::split_seed;
+
+/// Salt mixed into the per-event draw stream so the *kind* of a fault and
+/// the *parameters* of that fault come from independent streams.
+const DRAW_SALT: u64 = 0xfa57_5a17_0dd5_ee0d;
+
+/// Configuration of a chaos run: which seed drives the fault stream and
+/// how often faults fire.
+///
+/// A rate of zero disables injection entirely — the driver takes the exact
+/// same path as a chaos-free run, which is what keeps the golden fixtures
+/// byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosSpec {
+    /// Seed for the fault stream (independent of the workload seed).
+    pub seed: u64,
+    /// Injected faults per million accesses (0 = off).
+    pub fault_rate_per_million: u64,
+}
+
+impl ChaosSpec {
+    /// A spec injecting `fault_rate_per_million` faults from `seed`.
+    pub fn new(seed: u64, fault_rate_per_million: u64) -> Self {
+        ChaosSpec {
+            seed,
+            fault_rate_per_million,
+        }
+    }
+
+    /// Whether this spec injects anything at all.
+    pub fn active(&self) -> bool {
+        self.fault_rate_per_million > 0
+    }
+}
+
+/// The kinds of fault the plan can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Permanent loss of physical frames (a DIMM going bad).
+    FrameLoss,
+    /// A fragmentation storm: other tenants carve scattered free frames.
+    FragStorm,
+    /// A segment-allocation failure: contiguity for the direct segment is
+    /// (reported) lost, forcing the degradation state machine down a level.
+    SegmentAllocFail,
+    /// A self-balloon request is denied or delayed, stalling recovery.
+    BalloonDenial,
+    /// A spurious VM exit (interrupt storm, host preemption).
+    SpuriousVmExit,
+}
+
+impl ChaosFault {
+    /// Every kind, in injection-index order.
+    pub const ALL: [ChaosFault; 5] = [
+        ChaosFault::FrameLoss,
+        ChaosFault::FragStorm,
+        ChaosFault::SegmentAllocFail,
+        ChaosFault::BalloonDenial,
+        ChaosFault::SpuriousVmExit,
+    ];
+
+    /// Stable index into per-kind count arrays.
+    pub fn index(self) -> usize {
+        match self {
+            ChaosFault::FrameLoss => 0,
+            ChaosFault::FragStorm => 1,
+            ChaosFault::SegmentAllocFail => 2,
+            ChaosFault::BalloonDenial => 3,
+            ChaosFault::SpuriousVmExit => 4,
+        }
+    }
+
+    /// Short human-readable label (used in reports and exports).
+    pub fn label(self) -> &'static str {
+        match self {
+            ChaosFault::FrameLoss => "frame_loss",
+            ChaosFault::FragStorm => "frag_storm",
+            ChaosFault::SegmentAllocFail => "segment_alloc_fail",
+            ChaosFault::BalloonDenial => "balloon_denial",
+            ChaosFault::SpuriousVmExit => "spurious_vm_exit",
+        }
+    }
+}
+
+/// Schedules injected faults deterministically over the access stream.
+///
+/// Mirrors the churn plan's contract: whether access `i` carries a fault —
+/// and which kind — is a pure function of `(spec.seed, i)`, independent of
+/// anything that happened on earlier accesses. That keeps chaos runs
+/// byte-identical across worker counts and lets a run be replayed from its
+/// seed alone.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    spec: ChaosSpec,
+    /// Inject every `interval` accesses; 0 = never.
+    interval: u64,
+}
+
+impl FaultPlan {
+    /// Builds the plan for a spec.
+    pub fn new(spec: ChaosSpec) -> Self {
+        let interval = 1_000_000u64
+            .checked_div(spec.fault_rate_per_million)
+            .map_or(0, |i| i.max(1));
+        FaultPlan { spec, interval }
+    }
+
+    /// The spec this plan was built from.
+    pub fn spec(&self) -> ChaosSpec {
+        self.spec
+    }
+
+    /// The fault (if any) scheduled at access `i`. Access zero never
+    /// faults, so the first access of a run is always clean.
+    pub fn due(&self, i: u64) -> Option<ChaosFault> {
+        if self.interval == 0 || i == 0 || i % self.interval != 0 {
+            return None;
+        }
+        let kind = split_seed(self.spec.seed, i) % ChaosFault::ALL.len() as u64;
+        Some(ChaosFault::ALL[kind as usize])
+    }
+
+    /// A deterministic parameter word for the fault at access `i` (how many
+    /// frames to lose, how hard to fragment, …), drawn from a stream
+    /// independent of the kind selection.
+    pub fn draw(&self, i: u64) -> u64 {
+        split_seed(self.spec.seed ^ DRAW_SALT, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_zero_never_fires() {
+        let plan = FaultPlan::new(ChaosSpec::new(7, 0));
+        assert!((0..10_000).all(|i| plan.due(i).is_none()));
+    }
+
+    #[test]
+    fn access_zero_is_always_clean() {
+        let plan = FaultPlan::new(ChaosSpec::new(7, 1_000_000));
+        assert!(plan.due(0).is_none());
+        assert!(plan.due(1).is_some(), "rate 1e6/M fires every access");
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_and_index() {
+        let a = FaultPlan::new(ChaosSpec::new(42, 10_000));
+        let b = FaultPlan::new(ChaosSpec::new(42, 10_000));
+        for i in 0..5_000 {
+            assert_eq!(a.due(i), b.due(i));
+            assert_eq!(a.draw(i), b.draw(i));
+        }
+        let c = FaultPlan::new(ChaosSpec::new(43, 10_000));
+        assert!(
+            (0..100_000).any(|i| a.due(i) != c.due(i)),
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn interval_matches_rate() {
+        // 10_000 per million = every 100 accesses.
+        let plan = FaultPlan::new(ChaosSpec::new(1, 10_000));
+        for i in 1..1_000u64 {
+            assert_eq!(plan.due(i).is_some(), i % 100 == 0, "at access {i}");
+        }
+    }
+
+    #[test]
+    fn all_kinds_eventually_fire() {
+        let plan = FaultPlan::new(ChaosSpec::new(3, 1_000_000));
+        let mut seen = [false; 5];
+        for i in 1..1_000 {
+            if let Some(k) = plan.due(i) {
+                seen[k.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "kinds seen: {seen:?}");
+    }
+}

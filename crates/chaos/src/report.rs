@@ -1,0 +1,178 @@
+//! Degradation vocabulary and the per-run chaos report.
+
+use core::fmt;
+
+use crate::plan::ChaosFault;
+
+/// The degradation levels of a direct-segment environment.
+///
+/// The machine layer owns the mechanics of each level; this enum is the
+/// shared vocabulary between the driver, the report, and telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeLevel {
+    /// Full direct-segment operation.
+    Direct,
+    /// Direct with a populated escape filter: segment still programmed, but
+    /// a meaningful fraction of pages escape to the walk path.
+    EscapeHeavy,
+    /// Segment disabled; every translation pages.
+    Paging,
+}
+
+impl DegradeLevel {
+    /// Every level, best to worst.
+    pub const ALL: [DegradeLevel; 3] = [
+        DegradeLevel::Direct,
+        DegradeLevel::EscapeHeavy,
+        DegradeLevel::Paging,
+    ];
+
+    /// Stable index into residency arrays.
+    pub fn index(self) -> usize {
+        match self {
+            DegradeLevel::Direct => 0,
+            DegradeLevel::EscapeHeavy => 1,
+            DegradeLevel::Paging => 2,
+        }
+    }
+
+    /// Short label used in reports and telemetry exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradeLevel::Direct => "direct",
+            DegradeLevel::EscapeHeavy => "escape_heavy",
+            DegradeLevel::Paging => "paging",
+        }
+    }
+}
+
+impl fmt::Display for DegradeLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One degradation-state transition, recorded at the access where it fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Access index at which the transition happened.
+    pub access: u64,
+    /// Level before.
+    pub from: DegradeLevel,
+    /// Level after.
+    pub to: DegradeLevel,
+    /// What caused it (fault label or `"recovery"`).
+    pub cause: &'static str,
+}
+
+/// Aggregated chaos outcome of one run (or a deterministic merge of several
+/// trials).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosReport {
+    /// Faults injected, indexed by [`ChaosFault::index`].
+    pub injected: [u64; 5],
+    /// Balloon/compaction attempts denied by an injected stall.
+    pub denials: u64,
+    /// Successful recoveries back to Direct.
+    pub recoveries: u64,
+    /// Recovery attempts that failed (denied or still fragmented) and
+    /// re-armed the exponential backoff.
+    pub failed_recoveries: u64,
+    /// Total degradation-state transitions.
+    pub transitions: u64,
+    /// Accesses spent at each level, indexed by [`DegradeLevel::index`].
+    pub residency: [u64; 3],
+    /// Translations cross-checked by the oracle.
+    pub oracle_checks: u64,
+    /// Oracle divergences (zero on a healthy run).
+    pub oracle_violations: u64,
+}
+
+impl ChaosReport {
+    /// Faults injected of one kind.
+    pub fn injected_of(&self, kind: ChaosFault) -> u64 {
+        self.injected[kind.index()]
+    }
+
+    /// Total faults injected across all kinds.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Fraction of accesses spent outside full Direct operation (0 when
+    /// the run recorded no residency, e.g. a paging-only environment).
+    pub fn degraded_fraction(&self) -> f64 {
+        let total: u64 = self.residency.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        (total - self.residency[DegradeLevel::Direct.index()]) as f64 / total as f64
+    }
+
+    /// Whether the run survived: it completed with a clean oracle. (A run
+    /// that aborts never produces a report at all, so any report in hand
+    /// already implies completion.)
+    pub fn survived(&self) -> bool {
+        self.oracle_violations == 0
+    }
+
+    /// Folds another report in (summing every counter). The grid runner
+    /// folds trial reports in cell order, so the merge is deterministic.
+    pub fn merge(&mut self, other: &ChaosReport) {
+        for (a, b) in self.injected.iter_mut().zip(other.injected) {
+            *a += b;
+        }
+        self.denials += other.denials;
+        self.recoveries += other.recoveries;
+        self.failed_recoveries += other.failed_recoveries;
+        self.transitions += other.transitions;
+        for (a, b) in self.residency.iter_mut().zip(other.residency) {
+            *a += b;
+        }
+        self.oracle_checks += other.oracle_checks;
+        self.oracle_violations += other.oracle_violations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = ChaosReport {
+            injected: [1, 2, 3, 4, 5],
+            denials: 1,
+            recoveries: 2,
+            failed_recoveries: 3,
+            transitions: 4,
+            residency: [10, 20, 30],
+            oracle_checks: 100,
+            oracle_violations: 0,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.injected, [2, 4, 6, 8, 10]);
+        assert_eq!(a.residency, [20, 40, 60]);
+        assert_eq!(a.oracle_checks, 200);
+        assert_eq!(a.injected_total(), 30);
+        assert!(a.survived());
+    }
+
+    #[test]
+    fn degraded_fraction_ignores_empty_runs() {
+        assert_eq!(ChaosReport::default().degraded_fraction(), 0.0);
+        let r = ChaosReport {
+            residency: [75, 15, 10],
+            ..Default::default()
+        };
+        assert!((r.degraded_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_labels_are_stable() {
+        assert_eq!(DegradeLevel::Direct.to_string(), "direct");
+        assert_eq!(DegradeLevel::EscapeHeavy.label(), "escape_heavy");
+        assert_eq!(DegradeLevel::Paging.index(), 2);
+    }
+}

@@ -48,14 +48,17 @@ impl BalloonDriver {
                 Ok(f) => got.push(f),
                 Err(e) => {
                     for f in got {
-                        mem.free(f, PageSize::Size4K).expect("just allocated");
+                        // Rollback of a just-made allocation; a failure here
+                        // means the allocator is inconsistent — leak the
+                        // frame rather than abort.
+                        let _ = mem.free(f, PageSize::Size4K);
                     }
                     return Err(OsError::Phys(e));
                 }
             }
         }
         for &f in &got {
-            mem.set_pinned(f, true).expect("just allocated");
+            mem.set_pinned(f, true).map_err(OsError::Phys)?;
         }
         self.held.extend(got.iter().copied());
         Ok(got)

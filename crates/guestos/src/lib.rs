@@ -18,8 +18,8 @@
 //! use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
 //! use mv_types::{PageSize, Prot, MIB};
 //!
-//! let mut os = GuestOs::boot(GuestConfig::small(256 * MIB));
-//! let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+//! let mut os = GuestOs::boot(GuestConfig::small(256 * MIB))?;
+//! let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K))?;
 //! let va = os.mmap(pid, 4 * MIB, Prot::RW)?;
 //! os.handle_page_fault(pid, va)?; // demand paging maps the first page
 //! # Ok::<(), mv_guestos::OsError>(())
@@ -28,6 +28,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Fault-reachable library code must degrade via typed errors, never abort
+// (tests may still unwrap freely).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod balloon;
 mod error;

@@ -90,12 +90,18 @@ impl GuestOs {
     /// 3 GiB below the gap and the remainder starting at 4 GiB. The
     /// hotplug-capacity region sits above installed high memory, offline.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `installed_bytes` is 0 or the boot reservation cannot be
-    /// satisfied (a configuration error).
-    pub fn boot(config: GuestConfig) -> Self {
-        assert!(config.installed_bytes > 0, "guest needs memory");
+    /// Returns [`OsError::Hotplug`] if `installed_bytes` is 0, and
+    /// propagates the typed allocation error if the boot-time carves or the
+    /// contiguous boot reservation cannot be satisfied (a configuration
+    /// error, or an injected fault during chaos runs).
+    pub fn boot(config: GuestConfig) -> Result<Self, OsError> {
+        if config.installed_bytes == 0 {
+            return Err(OsError::Hotplug {
+                what: "guest booted with zero installed memory",
+            });
+        }
         let low = if config.model_io_gap {
             config.installed_bytes.min(IO_GAP_START.as_u64())
         } else {
@@ -115,11 +121,9 @@ impl GuestOs {
             // Uninstalled space below the gap, the gap itself, and the
             // offline hotplug area.
             if low < IO_GAP_START.as_u64() {
-                mem.carve_range(&AddrRange::new(Gpa::new(low), IO_GAP_START))
-                    .expect("fresh memory");
+                mem.carve_range(&AddrRange::new(Gpa::new(low), IO_GAP_START))?;
             }
-            mem.carve_range(&AddrRange::new(IO_GAP_START, IO_GAP_END))
-                .expect("fresh memory");
+            mem.carve_range(&AddrRange::new(IO_GAP_START, IO_GAP_END))?;
         }
         let offline = if config.hotplug_capacity > 0 {
             let start = if needs_high {
@@ -128,22 +132,19 @@ impl GuestOs {
                 low
             };
             let r = AddrRange::from_start_len(Gpa::new(start), config.hotplug_capacity);
-            mem.carve_range(&r).expect("fresh memory");
+            mem.carve_range(&r)?;
             Some(r)
         } else {
             None
         };
 
         let reservation = if config.boot_reservation > 0 {
-            Some(
-                mem.reserve_contiguous(config.boot_reservation, PageSize::Size2M)
-                    .expect("boot reservation must fit in fresh memory"),
-            )
+            Some(mem.reserve_contiguous(config.boot_reservation, PageSize::Size2M)?)
         } else {
             None
         };
 
-        GuestOs {
+        Ok(GuestOs {
             mem,
             processes: HashMap::new(),
             next_pid: 1,
@@ -152,7 +153,7 @@ impl GuestOs {
             reservation,
             balloon: BalloonDriver::new(),
             config,
-        }
+        })
     }
 
     /// The guest-physical memory.
@@ -178,12 +179,17 @@ impl GuestOs {
 
     /// Creates a process with the given page-size policy, returning its
     /// pid (used as the TLB ASID).
-    pub fn create_process(&mut self, policy: PageSizePolicy) -> Pid {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::PageTable`] if guest memory cannot hold a fresh
+    /// root table.
+    pub fn create_process(&mut self, policy: PageSizePolicy) -> Result<Pid, OsError> {
         let pid = self.next_pid;
         self.next_pid += 1;
-        let pt = PageTable::new(&mut self.mem).expect("guest memory for a root table");
+        let pt = PageTable::new(&mut self.mem)?;
         self.processes.insert(pid, Process::new(pid, policy, pt));
-        pid
+        Ok(pid)
     }
 
     /// The process with this pid.
@@ -451,14 +457,11 @@ impl GuestOs {
         };
         let mut cursor = va.as_u64() & !(step - 1);
         while cursor < va.as_u64() + len {
-            if self
+            let proc = self
                 .processes
                 .get(&pid)
-                .expect("checked above")
-                .pt
-                .translate(&self.mem, Gva::new(cursor))
-                .is_none()
-            {
+                .ok_or(OsError::NoSuchProcess { pid })?;
+            if proc.pt.translate(&self.mem, Gva::new(cursor)).is_none() {
                 self.handle_page_fault(pid, Gva::new(cursor))?;
             }
             cursor += step;

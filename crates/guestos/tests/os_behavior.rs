@@ -9,8 +9,8 @@ use mv_types::{
 
 #[test]
 fn demand_paging_maps_on_fault() {
-    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
-    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB)).unwrap();
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let va = os.mmap(pid, MIB, Prot::RW).unwrap();
     let (pt, mem) = os.pt_and_mem(pid);
     assert!(pt.translate(mem, va).is_none(), "nothing mapped before fault");
@@ -26,16 +26,16 @@ fn demand_paging_maps_on_fault() {
 
 #[test]
 fn fault_outside_vma_is_a_segfault() {
-    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
-    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB)).unwrap();
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let err = os.handle_page_fault(pid, Gva::new(0xdead_0000)).unwrap_err();
     assert_eq!(err, OsError::SegmentationFault { va: 0xdead_0000 });
 }
 
 #[test]
 fn fixed_2m_policy_maps_huge_pages() {
-    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
-    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size2M));
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB)).unwrap();
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size2M)).unwrap();
     let va = os.mmap(pid, 8 * MIB, Prot::RW).unwrap();
     assert!(va.is_aligned(PageSize::Size2M), "mmap aligns to policy size");
     let fix = os.handle_page_fault(pid, va).unwrap();
@@ -44,8 +44,8 @@ fn fixed_2m_policy_maps_huge_pages() {
 
 #[test]
 fn thp_maps_whole_regions_as_2m_when_possible() {
-    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
-    let pid = os.create_process(PageSizePolicy::Thp);
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB)).unwrap();
+    let pid = os.create_process(PageSizePolicy::Thp).unwrap();
     let va = os.mmap(pid, 4 * MIB, Prot::RW).unwrap();
     let fix = os.handle_page_fault(pid, Gva::new(va.as_u64() + 0x5000)).unwrap();
     assert_eq!(fix.size, PageSize::Size2M, "THP promoted the fault");
@@ -54,8 +54,8 @@ fn thp_maps_whole_regions_as_2m_when_possible() {
 
 #[test]
 fn thp_falls_back_to_4k_for_partial_regions() {
-    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
-    let pid = os.create_process(PageSizePolicy::Thp);
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB)).unwrap();
+    let pid = os.create_process(PageSizePolicy::Thp).unwrap();
     // A VMA smaller than 2 MiB can never hold a huge page.
     let va = os.mmap(pid, 64 * 1024, Prot::RW).unwrap();
     let fix = os.handle_page_fault(pid, va).unwrap();
@@ -65,8 +65,8 @@ fn thp_falls_back_to_4k_for_partial_regions() {
 
 #[test]
 fn populate_prefaults_a_range() {
-    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
-    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB)).unwrap();
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let va = os.mmap(pid, MIB, Prot::RW).unwrap();
     os.populate(pid, va, MIB).unwrap();
     assert_eq!(os.process(pid).fault_count(), 256);
@@ -78,8 +78,8 @@ fn populate_prefaults_a_range() {
 
 #[test]
 fn guest_segment_requires_primary_region() {
-    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
-    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB)).unwrap();
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     assert_eq!(
         os.setup_guest_segment(pid).unwrap_err(),
         OsError::NoPrimaryRegion { pid }
@@ -88,8 +88,8 @@ fn guest_segment_requires_primary_region() {
 
 #[test]
 fn guest_segment_maps_primary_region_contiguously() {
-    let mut os = GuestOs::boot(GuestConfig::small(128 * MIB));
-    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let mut os = GuestOs::boot(GuestConfig::small(128 * MIB)).unwrap();
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let base = os.create_primary_region(pid, 32 * MIB).unwrap();
     let seg = os.setup_guest_segment(pid).unwrap();
     assert!(seg.contains(base));
@@ -106,9 +106,9 @@ fn boot_reservation_feeds_segments_first() {
     let mut os = GuestOs::boot(GuestConfig {
         boot_reservation: 32 * MIB,
         ..GuestConfig::small(128 * MIB)
-    });
+    }).unwrap();
     let reserved = os.reservation().unwrap();
-    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     os.create_primary_region(pid, 16 * MIB).unwrap();
     let seg = os.setup_guest_segment(pid).unwrap();
     let backing = os.process(pid).segment_backing().unwrap();
@@ -121,10 +121,10 @@ fn boot_reservation_feeds_segments_first() {
 fn fragmented_guest_memory_blocks_segment_creation() {
     use mv_types::rng::StdRng;
 
-    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB)).unwrap();
     let mut rng = StdRng::seed_from_u64(5);
     let _held = os.mem_mut().fragment(&mut rng, 0.4);
-    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     os.create_primary_region(pid, 32 * MIB).unwrap();
     let err = os.setup_guest_segment(pid).unwrap_err();
     assert!(
@@ -135,8 +135,8 @@ fn fragmented_guest_memory_blocks_segment_creation() {
 
 #[test]
 fn escaped_segment_page_faults_map_segment_computed_frame() {
-    let mut os = GuestOs::boot(GuestConfig::small(128 * MIB));
-    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let mut os = GuestOs::boot(GuestConfig::small(128 * MIB)).unwrap();
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let base = os.create_primary_region(pid, 16 * MIB).unwrap();
     let seg = os.setup_guest_segment(pid).unwrap();
     let va = Gva::new(base.as_u64() + 0x3000);
@@ -147,7 +147,7 @@ fn escaped_segment_page_faults_map_segment_computed_frame() {
 #[test]
 fn io_gap_layout_splits_memory() {
     // 5 GiB installed with the gap: [0,3G) low + [4G,6G) high.
-    let os = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, 0));
+    let os = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, 0)).unwrap();
     let stats = os.mem().stats();
     assert_eq!(stats.size_bytes, 6 * GIB);
     assert_eq!(stats.free_bytes, 5 * GIB, "1 GiB gap is not allocatable");
@@ -159,7 +159,7 @@ fn io_gap_layout_splits_memory() {
 fn io_gap_reclaim_unplugs_low_and_hotplugs_high() {
     // The Section VI.C flow: keep 256 MiB low, move the rest above 4 GiB.
     let keep = 256 * MIB;
-    let mut os = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, 3 * GIB));
+    let mut os = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, 3 * GIB)).unwrap();
     let removed = os.unplug_low_memory(keep).unwrap();
     assert_eq!(removed, 3 * GIB - keep);
     let added = os.hotplug_add(removed).unwrap();
@@ -179,7 +179,7 @@ fn io_gap_reclaim_unplugs_low_and_hotplugs_high() {
 
 #[test]
 fn hotplug_capacity_is_bounded() {
-    let mut os = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, GIB));
+    let mut os = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, GIB)).unwrap();
     assert_eq!(os.offline_capacity(), GIB);
     os.hotplug_add(GIB).unwrap();
     assert_eq!(os.offline_capacity(), 0);
@@ -191,9 +191,9 @@ fn hotplug_capacity_is_bounded() {
 
 #[test]
 fn unplug_of_busy_low_memory_fails() {
-    let mut os = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, 0));
+    let mut os = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, 0)).unwrap();
     // Occupy some low memory.
-    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let va = os.mmap(pid, MIB, Prot::RW).unwrap();
     os.populate(pid, va, MIB).unwrap();
     let err = os.unplug_low_memory(0).unwrap_err();
@@ -202,9 +202,9 @@ fn unplug_of_busy_low_memory_fails() {
 
 #[test]
 fn processes_have_distinct_page_tables() {
-    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
-    let a = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
-    let b = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB)).unwrap();
+    let a = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
+    let b = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let va_a = os.mmap(a, MIB, Prot::RW).unwrap();
     os.handle_page_fault(a, va_a).unwrap();
     let (pt_b, mem) = os.pt_and_mem(b);

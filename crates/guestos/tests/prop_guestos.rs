@@ -35,8 +35,8 @@ fn guest_os_conserves_frames() {
         let mut rng = StdRng::seed_from_u64(0x50e5_7000u64 + case);
         let n_ops = rng.gen_range(1usize..120);
         let installed = 32 * MIB;
-        let mut os = GuestOs::boot(GuestConfig::small(installed));
-        let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+        let mut os = GuestOs::boot(GuestConfig::small(installed)).unwrap();
+        let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
         let base = os.mmap(pid, 2 * MIB, Prot::RW).unwrap().as_u64();
         let mut model = std::collections::HashSet::new();
 
@@ -101,8 +101,8 @@ fn mapped_frames_never_alias() {
         while pages.len() < n {
             pages.insert(rng.gen_range(0u64..512));
         }
-        let mut os = GuestOs::boot(GuestConfig::small(32 * MIB));
-        let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+        let mut os = GuestOs::boot(GuestConfig::small(32 * MIB)).unwrap();
+        let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
         let base = os.mmap(pid, 4 * MIB, Prot::RW).unwrap().as_u64();
         let mut frames = std::collections::HashSet::new();
         for &page in &pages {

@@ -84,8 +84,9 @@ pub fn epoch_jsonl(s: &EpochSnapshot) -> String {
 
 impl Telemetry {
     /// Writes the full telemetry as JSONL: a `meta` line, one `epoch` line
-    /// per snapshot, one `event` line per flight-recorder entry, and a
-    /// final `summary` line.
+    /// per snapshot, one `transition` line per recorded degradation
+    /// transition (chaos runs only), one `event` line per flight-recorder
+    /// entry, and a final `summary` line.
     ///
     /// # Errors
     ///
@@ -99,6 +100,19 @@ impl Telemetry {
         )?;
         for s in self.epochs() {
             writeln!(w, "{}", epoch_jsonl(s))?;
+        }
+        // Transition lines only appear on chaos runs; chaos-free exports are
+        // byte-identical to pre-chaos output.
+        for t in self.transitions() {
+            writeln!(
+                w,
+                "{{\"type\":\"transition\",\"access\":{},\"from\":\"{}\",\
+                 \"to\":\"{}\",\"cause\":\"{}\"}}",
+                t.access,
+                json_escape(t.from),
+                json_escape(t.to),
+                json_escape(t.cause),
+            )?;
         }
         for e in self.flight().events() {
             writeln!(w, "{}", event_jsonl(e))?;
@@ -296,6 +310,29 @@ mod tests {
         assert!(lines[0].contains("\"epoch_len\":10"));
         assert!(lines[1].contains("\"type\":\"epoch\""));
         assert!(text.contains("\"type\":\"summary\""));
+    }
+
+    #[test]
+    fn transition_lines_ride_between_epochs_and_events() {
+        let mut t = sample_telemetry();
+        t.record_transitions(&[crate::TransitionRecord {
+            access: 120,
+            from: "direct",
+            to: "paging",
+            cause: "segment_alloc_fail",
+        }]);
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 3 + 1 + 2 + 1);
+        assert_eq!(
+            lines[4],
+            "{\"type\":\"transition\",\"access\":120,\"from\":\"direct\",\
+             \"to\":\"paging\",\"cause\":\"segment_alloc_fail\"}"
+        );
+        assert!(lines[3].contains("\"type\":\"epoch\""));
+        assert!(lines[5].contains("\"type\":\"event\""));
     }
 
     #[test]

@@ -55,6 +55,7 @@ mod export;
 mod flight;
 mod hist;
 mod telemetry;
+mod transition;
 
 pub use epoch::EpochSnapshot;
 pub use event::{EscapeOutcome, FaultKind, WalkClass, WalkEvent, WalkObserver};
@@ -62,3 +63,4 @@ pub use export::{epoch_jsonl, event_jsonl};
 pub use flight::FlightRecorder;
 pub use hist::{LatencyHistogram, BUCKETS};
 pub use telemetry::{SharedTelemetry, Telemetry, TelemetryConfig};
+pub use transition::TransitionRecord;

@@ -8,6 +8,7 @@ use crate::epoch::EpochSnapshot;
 use crate::event::{EscapeOutcome, FaultKind, WalkClass, WalkEvent, WalkObserver};
 use crate::flight::FlightRecorder;
 use crate::hist::LatencyHistogram;
+use crate::transition::TransitionRecord;
 
 /// Configuration for a [`Telemetry`] collector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +49,9 @@ pub struct Telemetry {
     cur: Option<EpochAccum>,
     flight: FlightRecorder,
     finished: bool,
+    /// Degradation-state transitions recorded by the driver (empty on
+    /// chaos-free runs, so existing exports are byte-identical).
+    transitions: Vec<TransitionRecord>,
 }
 
 /// In-progress epoch.
@@ -138,6 +142,18 @@ impl Telemetry {
         &self.flight
     }
 
+    /// Degradation-state transitions recorded by the driver (empty unless a
+    /// chaos run attached them via [`Telemetry::record_transitions`]).
+    pub fn transitions(&self) -> &[TransitionRecord] {
+        &self.transitions
+    }
+
+    /// Appends degradation-state transitions from the driver. Called once
+    /// per run, after the access loop.
+    pub fn record_transitions(&mut self, transitions: &[TransitionRecord]) {
+        self.transitions.extend_from_slice(transitions);
+    }
+
     /// Folds another (finished) collector into this one: histograms and
     /// per-class/fault/escape counters add, and epoch snapshots with the
     /// same index merge pairwise (parallel trials each observe the same
@@ -192,6 +208,10 @@ impl Telemetry {
             }
         }
         self.epochs = merged;
+
+        // Transition lists concatenate; the grid runner folds trials in cell
+        // order, so the merged order is deterministic for any worker count.
+        self.transitions.extend_from_slice(&other.transitions);
 
         self.flight = FlightRecorder::new(self.cfg.flight_capacity);
     }

@@ -38,6 +38,35 @@ pub fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// Extracts an optional `--flag N` numeric option from an argument list,
+/// returning `Ok(None)` when the flag is absent (so binaries can default
+/// a feature to off — e.g. `run --fault-rate`).
+///
+/// # Errors
+///
+/// Returns a printable message when the value is missing or not a
+/// non-negative integer.
+///
+/// # Example
+///
+/// ```
+/// let args: Vec<String> = vec!["--fault-rate".into(), "1000".into()];
+/// assert_eq!(mv_par::cli::parse_u64_opt(&args, "--fault-rate").unwrap(), Some(1000));
+/// assert_eq!(mv_par::cli::parse_u64_opt(&args, "--chaos-seed").unwrap(), None);
+/// ```
+pub fn parse_u64_opt(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let value = args
+        .get(i + 1)
+        .ok_or_else(|| format!("{flag} needs a value"))?;
+    value
+        .parse::<u64>()
+        .map(Some)
+        .map_err(|_| format!("{flag} needs a non-negative integer, got {value:?}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +96,16 @@ mod tests {
     fn flags_detected() {
         assert!(has_flag(&args(&["--quiet"]), "--quiet"));
         assert!(!has_flag(&args(&["--quick"]), "--quiet"));
+    }
+
+    #[test]
+    fn numeric_options_are_optional() {
+        assert_eq!(
+            parse_u64_opt(&args(&["--chaos-seed", "9"]), "--chaos-seed").unwrap(),
+            Some(9)
+        );
+        assert_eq!(parse_u64_opt(&args(&["--quick"]), "--chaos-seed").unwrap(), None);
+        assert!(parse_u64_opt(&args(&["--chaos-seed"]), "--chaos-seed").is_err());
+        assert!(parse_u64_opt(&args(&["--chaos-seed", "x"]), "--chaos-seed").is_err());
     }
 }

@@ -110,7 +110,14 @@ impl BuddyAllocator {
     /// Returns [`PhysError::OutOfMemory`] if no block of sufficient order is
     /// free.
     pub fn alloc(&mut self, order: u8) -> Result<u64, PhysError> {
-        assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+        if order > MAX_ORDER {
+            // No block of this order can ever exist; surface it as the
+            // allocation failure it is rather than aborting the process.
+            return Err(PhysError::OutOfMemory {
+                requested: (1u64 << order) * 4096,
+                free: self.free_frames * 4096,
+            });
+        }
         let mut found = None;
         for o in order..=MAX_ORDER {
             if let Some(&start) = self.free_lists[o as usize].iter().next() {
@@ -212,14 +219,17 @@ impl BuddyAllocator {
     ///
     /// Returns [`PhysError::BadState`] if no allocated block contains `idx`.
     pub fn set_pinned(&mut self, idx: u64, pinned: bool) -> Result<(), PhysError> {
-        let (start, _, _) = self.block_containing(idx).ok_or(PhysError::BadState {
+        let not_allocated = PhysError::BadState {
             addr: idx * 4096,
             what: "pin of unallocated frame",
-        })?;
-        self.allocated
-            .get_mut(&start)
-            .expect("block_containing returned a live block")
-            .pinned = pinned;
+        };
+        let Some((&start, block)) = self.allocated.range_mut(..=idx).next_back() else {
+            return Err(not_allocated);
+        };
+        if idx >= start + (1u64 << block.order) {
+            return Err(not_allocated);
+        }
+        block.pinned = pinned;
         Ok(())
     }
 
@@ -249,7 +259,7 @@ impl BuddyAllocator {
             }
         }
         for (bstart, border) in Self::aligned_blocks(start, len) {
-            self.remove_free_block(bstart, border);
+            self.remove_free_block(bstart, border)?;
             self.free_frames -= 1 << border;
             self.allocated.insert(
                 bstart,
@@ -286,7 +296,7 @@ impl BuddyAllocator {
             Some((bs, bo, _)) if bo > order => {
                 // Split the containing block until an exact match exists.
                 debug_assert!(bs <= start);
-                self.split_allocated(bs, bo, start, order);
+                self.split_allocated(bs, bo, start, order)?;
                 self.free(start, order)
             }
             _ => {
@@ -306,11 +316,17 @@ impl BuddyAllocator {
 
     /// Splits the allocated block `(bs, bo)` into halves (inheriting the
     /// pinned flag) until a block exactly `(target, target_order)` exists.
-    fn split_allocated(&mut self, bs: u64, bo: u8, target: u64, target_order: u8) {
-        let block = self
-            .allocated
-            .remove(&bs)
-            .expect("split_allocated of unallocated block");
+    fn split_allocated(
+        &mut self,
+        bs: u64,
+        bo: u8,
+        target: u64,
+        target_order: u8,
+    ) -> Result<(), PhysError> {
+        let block = self.allocated.remove(&bs).ok_or(PhysError::BadState {
+            addr: bs * 4096,
+            what: "split of unallocated block",
+        })?;
         debug_assert_eq!(block.order, bo);
         let mut cur = bs;
         let mut cur_order = bo;
@@ -339,6 +355,7 @@ impl BuddyAllocator {
                 pinned: block.pinned,
             },
         );
+        Ok(())
     }
 
     /// Decomposes `[start, start+len)` into maximal aligned power-of-two
@@ -379,12 +396,14 @@ impl BuddyAllocator {
     /// Removes the exact free block `[start, start+2^order)`, splitting a
     /// containing larger free block if necessary.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the block is not free (callers must check first).
-    fn remove_free_block(&mut self, start: u64, order: u8) {
+    /// Returns [`PhysError::BadState`] if the block is not free (callers
+    /// normally validate first, so this indicates an allocator bug — but it
+    /// surfaces as a typed error rather than aborting the process).
+    fn remove_free_block(&mut self, start: u64, order: u8) -> Result<(), PhysError> {
         if self.free_lists[order as usize].remove(&start) {
-            return;
+            return Ok(());
         }
         // Find the containing free block and split.
         for o in (order + 1)..=MAX_ORDER {
@@ -406,10 +425,13 @@ impl BuddyAllocator {
                     }
                 }
                 debug_assert_eq!(cur, start);
-                return;
+                return Ok(());
             }
         }
-        panic!("remove_free_block: block {start:#x} order {order} not free");
+        Err(PhysError::BadState {
+            addr: start * 4096,
+            what: "remove of non-free block",
+        })
     }
 
     /// Iterates over all free blocks as `(start, order)` pairs, in address

@@ -36,6 +36,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Fault-reachable library code must degrade via typed errors, never abort
+// (tests may still unwrap freely).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod badframes;
 pub mod buddy;

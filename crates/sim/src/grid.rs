@@ -16,6 +16,7 @@
 use std::fmt;
 use std::num::NonZeroUsize;
 
+use mv_chaos::ChaosSpec;
 use mv_core::MmuConfig;
 use mv_obs::TelemetryConfig;
 use mv_par::Reporter;
@@ -35,6 +36,8 @@ pub struct GridCell {
     pub hw: MmuConfig,
     /// Walk-event telemetry to collect over the measured window, if any.
     pub telemetry: Option<TelemetryConfig>,
+    /// Fault injection + translation oracle for the cell, if any.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl GridCell {
@@ -44,6 +47,7 @@ impl GridCell {
             cfg,
             hw: MmuConfig::default(),
             telemetry: None,
+            chaos: None,
         }
     }
 
@@ -58,6 +62,16 @@ impl GridCell {
     #[must_use]
     pub fn observed(mut self, telemetry: TelemetryConfig) -> GridCell {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Attaches deterministic fault injection (and the translation oracle)
+    /// to the cell. The chaos seed is independent of the workload seed and
+    /// is *not* split per trial — the plan is a pure function of the access
+    /// index, so trials of one cell see the same fault schedule.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosSpec) -> GridCell {
+        self.chaos = Some(chaos);
         self
     }
 
@@ -195,9 +209,10 @@ impl Simulation {
                 cell.cfg.label(),
                 cell.cfg.seed
             ));
-            match cell.telemetry {
-                Some(tc) => Simulation::run_observed(&cell.cfg, cell.hw, tc),
-                None => Simulation::run_with_mmu(&cell.cfg, cell.hw),
+            match (cell.chaos, cell.telemetry) {
+                (Some(spec), tc) => Simulation::run_chaos(&cell.cfg, cell.hw, tc, spec),
+                (None, Some(tc)) => Simulation::run_observed(&cell.cfg, cell.hw, tc),
+                (None, None) => Simulation::run_with_mmu(&cell.cfg, cell.hw),
             }
         });
         let outcomes = cells

@@ -1,0 +1,227 @@
+//! The chaos driver: deterministic fault injection, the degradation state
+//! machine, and oracle accounting, threaded through the generic access
+//! loop.
+//!
+//! The driver owns everything machine-independent: *when* faults fire
+//! ([`FaultPlan`]), *which* degradation level the run sits at, the
+//! exponential-backoff retry clock for recovery (measured in simulated
+//! accesses), and the translation oracle that cross-checks every completed
+//! access. The machines own the mechanics — how a level is entered on
+//! *their* MMU programming, and how the reference translation is derived
+//! from their authoritative software structures.
+//!
+//! Degradation is MMU-side only: the authoritative segments stay intact in
+//! the OS/VMM models, and a level change only re-programs (or nullifies)
+//! the MMU's copy. Frames demand-mapped while degraded are therefore the
+//! segment-computed frames, so recovery — re-programming the stored
+//! segment — can never diverge from the page tables built meanwhile.
+
+use mv_chaos::{
+    ChaosFault, ChaosReport, ChaosSpec, DegradeLevel, FaultPlan, Transition, TranslationOracle,
+};
+use mv_core::Mmu;
+use mv_obs::TransitionRecord;
+use mv_types::Gva;
+
+use crate::machine::Machine;
+
+/// Initial recovery backoff, in simulated accesses.
+const BACKOFF_BASE: u64 = 64;
+
+/// Backoff cap (the run keeps retrying, just not pathologically often).
+const BACKOFF_CAP: u64 = 1 << 20;
+
+/// Pages inserted into the escape filter when entering escape-heavy
+/// operation.
+const ESCAPE_PAGES: u64 = 32;
+
+/// Deterministic selection of escaped 4 KiB pages over a segment span:
+/// a golden-ratio stride keyed on the fault's draw word. Duplicates are
+/// harmless (Bloom filter).
+pub(crate) fn escape_pages(start: u64, len: u64, draw: u64) -> impl Iterator<Item = u64> {
+    const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+    let pages = (len >> 12).max(1);
+    (0..ESCAPE_PAGES).map(move |j| {
+        let off = draw.wrapping_add(j.wrapping_mul(GOLDEN)) % pages;
+        start + (off << 12)
+    })
+}
+
+/// Per-run chaos state: plan, oracle, and the degradation state machine.
+pub(crate) struct ChaosDriver {
+    plan: FaultPlan,
+    oracle: TranslationOracle,
+    level: DegradeLevel,
+    backoff: u64,
+    next_retry: Option<u64>,
+    pending_denial: bool,
+    injected: [u64; 5],
+    denials: u64,
+    recoveries: u64,
+    failed_recoveries: u64,
+    residency: [u64; 3],
+    transitions: Vec<Transition>,
+}
+
+impl ChaosDriver {
+    pub(crate) fn new(spec: ChaosSpec) -> Self {
+        ChaosDriver {
+            plan: FaultPlan::new(spec),
+            oracle: TranslationOracle::new(),
+            level: DegradeLevel::Direct,
+            backoff: BACKOFF_BASE,
+            next_retry: None,
+            pending_denial: false,
+            injected: [0; 5],
+            denials: 0,
+            recoveries: 0,
+            failed_recoveries: 0,
+            residency: [0; 3],
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Runs before access `i`: counts residency, injects any scheduled
+    /// fault, and drives the recovery retry clock.
+    pub(crate) fn pre_access<M: Machine>(&mut self, machine: &mut M, mmu: &mut Mmu, i: u64) {
+        self.residency[self.level.index()] += 1;
+
+        if let Some(kind) = self.plan.due(i) {
+            self.injected[kind.index()] += 1;
+            let draw = self.plan.draw(i);
+            match kind {
+                ChaosFault::FrameLoss => {
+                    machine.chaos_frame_loss(draw);
+                }
+                ChaosFault::FragStorm => {
+                    machine.chaos_frag_storm(draw);
+                }
+                ChaosFault::SpuriousVmExit => machine.chaos_spurious_exit(),
+                ChaosFault::BalloonDenial => {
+                    // The next recovery attempt finds its balloon/compaction
+                    // request denied and re-arms the backoff.
+                    self.pending_denial = true;
+                }
+                ChaosFault::SegmentAllocFail => {
+                    let target = match self.level {
+                        DegradeLevel::Direct => Some(DegradeLevel::EscapeHeavy),
+                        DegradeLevel::EscapeHeavy => Some(DegradeLevel::Paging),
+                        DegradeLevel::Paging => None,
+                    };
+                    if let Some(to) = target {
+                        if machine.degrade_to(mmu, to, draw) {
+                            self.transitions.push(Transition {
+                                access: i,
+                                from: self.level,
+                                to,
+                                cause: kind.label(),
+                            });
+                            self.level = to;
+                            self.backoff = BACKOFF_BASE;
+                            self.next_retry = Some(i + self.backoff);
+                        }
+                    }
+                    // Never attempt recovery on the access that degraded.
+                    return;
+                }
+            }
+        }
+
+        if self.level != DegradeLevel::Direct {
+            if let Some(at) = self.next_retry {
+                if i >= at {
+                    self.attempt_recovery(machine, mmu, i);
+                }
+            }
+        }
+    }
+
+    /// One recovery attempt: denied (injected stall), successful, or
+    /// failed — the latter two re-arm or clear the retry clock.
+    fn attempt_recovery<M: Machine>(&mut self, machine: &mut M, mmu: &mut Mmu, i: u64) {
+        if self.pending_denial {
+            // An injected self-balloon denial stalls this attempt. It is an
+            // external delay, not evidence recovery cannot work, so retry at
+            // the same cadence — doubling here would make the denial window
+            // grow with the backoff and lock the run degraded forever.
+            self.pending_denial = false;
+            self.denials += 1;
+            self.next_retry = Some(i + self.backoff);
+            return;
+        }
+        if machine.try_recover(mmu) {
+            self.transitions.push(Transition {
+                access: i,
+                from: self.level,
+                to: DegradeLevel::Direct,
+                cause: "recovery",
+            });
+            self.level = DegradeLevel::Direct;
+            self.recoveries += 1;
+            self.backoff = BACKOFF_BASE;
+            self.next_retry = None;
+        } else {
+            self.failed_recoveries += 1;
+            self.rearm(i);
+        }
+    }
+
+    fn rearm(&mut self, i: u64) {
+        self.backoff = (self.backoff * 2).min(BACKOFF_CAP);
+        self.next_retry = Some(i + self.backoff);
+    }
+
+    /// Runs after access `i` completed: cross-checks the MMU's answer
+    /// against the machine's reference translation.
+    pub(crate) fn post_access<M: Machine>(&mut self, machine: &M, i: u64, va: Gva, actual: u64) {
+        let expected = machine.reference_translate(va);
+        self.oracle.check(i, va.as_u64(), expected, actual);
+    }
+
+    /// Closes the driver into its report and the telemetry-facing
+    /// transition records.
+    pub(crate) fn finish(self) -> (ChaosReport, Vec<TransitionRecord>) {
+        let records = self
+            .transitions
+            .iter()
+            .map(|t| TransitionRecord {
+                access: t.access,
+                from: t.from.label(),
+                to: t.to.label(),
+                cause: t.cause,
+            })
+            .collect();
+        (
+            ChaosReport {
+                injected: self.injected,
+                denials: self.denials,
+                recoveries: self.recoveries,
+                failed_recoveries: self.failed_recoveries,
+                transitions: self.transitions.len() as u64,
+                residency: self.residency,
+                oracle_checks: self.oracle.checks(),
+                oracle_violations: self.oracle.violation_count(),
+            },
+            records,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_pages_are_deterministic_and_in_range() {
+        let a: Vec<u64> = escape_pages(0x1000_0000, 8 << 20, 99).collect();
+        let b: Vec<u64> = escape_pages(0x1000_0000, 8 << 20, 99).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), ESCAPE_PAGES as usize);
+        for p in &a {
+            assert_eq!(p & 0xfff, 0, "page-aligned");
+            assert!((0x1000_0000..0x1000_0000 + (8 << 20)).contains(p));
+        }
+        let c: Vec<u64> = escape_pages(0x1000_0000, 8 << 20, 100).collect();
+        assert_ne!(a, c, "different draws pick different pages");
+    }
+}

@@ -20,6 +20,7 @@
 //! `tests/machine_equiv.rs` golden fixture proves this loop reproduces
 //! the three pre-refactor copy-pasted drivers byte for byte.
 
+mod degrade;
 mod native;
 mod shadow;
 mod virtualized;
@@ -28,9 +29,12 @@ pub use native::NativeMachine;
 pub use shadow::ShadowMachine;
 pub use virtualized::VirtualizedMachine;
 
+use mv_chaos::{ChaosReport, ChaosSpec, DegradeLevel};
 use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
 use mv_obs::{SharedTelemetry, Telemetry, TelemetryConfig};
 use mv_types::{Gva, MIB};
+
+use crate::machine::degrade::ChaosDriver;
 
 use crate::config::SimConfig;
 use crate::result::RunResult;
@@ -118,6 +122,50 @@ pub trait Machine: Sized {
 
     /// Exit statistics accumulated since [`Machine::window_open`].
     fn exit_stats(&self) -> ExitStats;
+
+    /// Chaos hook: permanently lose physical frames (a DIMM going bad),
+    /// returning how many were marked. Only *free* frames are lost; a
+    /// machine that cannot inject (or has nothing left to lose) returns 0
+    /// — injected chaos failing to land is a no-op, never an abort.
+    fn chaos_frame_loss(&mut self, _draw: u64) -> u64 {
+        0
+    }
+
+    /// Chaos hook: a fragmentation storm — another tenant grabs scattered
+    /// free frames that are never returned. Returns frames taken.
+    fn chaos_frag_storm(&mut self, _draw: u64) -> u64 {
+        0
+    }
+
+    /// Chaos hook: a spurious VM exit (interrupt storm, host preemption)
+    /// charged to the run without any mapping work. No-op for machines
+    /// with no hypervisor.
+    fn chaos_spurious_exit(&mut self) {}
+
+    /// Re-programs the MMU for degraded operation at `level`, returning
+    /// whether anything changed. The authoritative segments stay intact in
+    /// the software models — only the MMU's copy is nullified or guarded
+    /// by an escape filter — so frames demand-mapped while degraded remain
+    /// segment-consistent and recovery cannot diverge. Machines without a
+    /// segment (base paging, shadow) return `false`.
+    fn degrade_to(&mut self, _mmu: &mut Mmu, _level: DegradeLevel, _draw: u64) -> bool {
+        false
+    }
+
+    /// Attempts recovery back to full Direct operation by re-programming
+    /// the stored segments, returning whether the MMU was restored.
+    fn try_recover(&mut self, _mmu: &mut Mmu) -> bool {
+        false
+    }
+
+    /// Independently derives the reference translation for `va` from the
+    /// authoritative software structures (page tables first, segment
+    /// arithmetic as fallback), for the chaos oracle. `None` means the
+    /// reference has no mapping — which the oracle counts as a divergence
+    /// for any completed access.
+    fn reference_translate(&self, _va: Gva) -> Option<u64> {
+        None
+    }
 }
 
 /// Instrumentation requested for a run. Both instruments attach at the
@@ -126,6 +174,10 @@ pub trait Machine: Sized {
 pub(crate) struct Instruments {
     pub(crate) trace_capacity: Option<usize>,
     pub(crate) telemetry: Option<TelemetryConfig>,
+    /// Fault injection + oracle for the run; `None` (or an inactive spec)
+    /// takes the exact chaos-free path, keeping golden replays
+    /// byte-identical.
+    pub(crate) chaos: Option<ChaosSpec>,
 }
 
 impl Instruments {
@@ -206,6 +258,10 @@ pub(crate) fn drive<M: Machine>(
     let base = machine.arena_base();
     let asid = machine.asid();
 
+    let mut chaos = instr
+        .chaos
+        .filter(ChaosSpec::active)
+        .map(ChaosDriver::new);
     let mut telemetry = None;
     let total = cfg.warmup + cfg.accesses;
     for i in 0..total {
@@ -223,12 +279,15 @@ pub(crate) fn drive<M: Machine>(
         if churn.due(i) {
             machine.churn_event(&mut mmu)?;
         }
+        if let Some(c) = chaos.as_mut() {
+            c.pre_access(&mut machine, &mut mmu, i);
+        }
         let acc = workload.next_access();
         let va = Gva::new(base + acc.offset);
         let mut tries = 0u32;
-        loop {
+        let outcome = loop {
             let fault = match mmu.access(&machine.ctx(), asid, va, acc.write) {
-                Ok(_) => break,
+                Ok(outcome) => break outcome,
                 Err(fault) => fault,
             };
             if machine.service_fault(fault)? == FaultService::Unserviceable {
@@ -247,11 +306,18 @@ pub(crate) fn drive<M: Machine>(
                     last: fault,
                 });
             }
+        };
+        if let Some(c) = chaos.as_mut() {
+            c.post_access(&machine, i, va, outcome.hpa.as_u64());
         }
     }
 
     let exits = machine.exit_stats();
-    let telemetry = collect_telemetry(&mut mmu, telemetry, cfg.accesses);
+    let chaos_outcome = chaos.map(ChaosDriver::finish);
+    let mut telemetry = collect_telemetry(&mut mmu, telemetry, cfg.accesses);
+    if let (Some(t), Some((_, records))) = (telemetry.as_mut(), chaos_outcome.as_ref()) {
+        t.record_transitions(records);
+    }
     let trace = mmu.take_miss_trace();
     Ok((
         finish(
@@ -261,6 +327,7 @@ pub(crate) fn drive<M: Machine>(
             exits.cycles,
             exits.vm_exits,
             telemetry,
+            chaos_outcome.map(|(report, _)| report),
         ),
         trace,
     ))
@@ -274,6 +341,7 @@ fn finish(
     exit_cycles: f64,
     vm_exits: u64,
     telemetry: Option<Telemetry>,
+    chaos: Option<ChaosReport>,
 ) -> RunResult {
     let counters = *mmu.counters();
     let ideal = cfg.accesses as f64 * cycles_per_access;
@@ -289,6 +357,7 @@ fn finish(
         vm_exits,
         nested_l2: mmu.nested_l2_stats(),
         telemetry,
+        chaos,
     }
 }
 

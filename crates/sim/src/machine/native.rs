@@ -1,10 +1,13 @@
 //! Native execution (± direct segment): the paper's `4K`/`2M`/`1G`/`THP`
 //! and `DS` bars.
 
-use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
-use mv_types::{Gva, PageSize, MIB};
+use mv_chaos::DegradeLevel;
+use mv_core::{EscapeFilter, MemoryContext, Mmu, MmuConfig, Segment, TranslationFault, TranslationMode};
+use mv_types::rng::StdRng;
+use mv_types::{AddrRange, Gva, Hpa, PageSize, MIB};
 
 use crate::config::{Env, GuestPaging, SimConfig};
+use crate::machine::degrade::escape_pages;
 use crate::machine::{mmu_for, ExitStats, FaultService, Machine};
 use crate::native::NativeOs;
 use crate::run::SimError;
@@ -89,5 +92,74 @@ impl Machine for NativeMachine {
 
     fn exit_stats(&self) -> ExitStats {
         ExitStats::default()
+    }
+
+    fn chaos_frame_loss(&mut self, draw: u64) -> u64 {
+        let range = AddrRange::new(Hpa::ZERO, Hpa::new(self.os.mem().size_bytes()));
+        let n = 1 + (draw % 4) as usize;
+        let mut rng = StdRng::seed_from_u64(draw);
+        self.os
+            .mem_mut()
+            .inject_bad_frames(&mut rng, &range, n)
+            .map_or(0, |lost| lost.len() as u64)
+    }
+
+    fn chaos_frag_storm(&mut self, draw: u64) -> u64 {
+        // Another tenant grabs scattered frames and never returns them.
+        let n = 2 + draw % 6;
+        let mut taken = 0;
+        for _ in 0..n {
+            if self.os.mem_mut().alloc(PageSize::Size4K).is_err() {
+                break;
+            }
+            taken += 1;
+        }
+        taken
+    }
+
+    fn degrade_to(&mut self, mmu: &mut Mmu, level: DegradeLevel, draw: u64) -> bool {
+        let Some(seg) = self.os.segment() else {
+            return false;
+        };
+        match level {
+            DegradeLevel::EscapeHeavy => {
+                let mut filter = EscapeFilter::new(draw);
+                let range = seg.range();
+                for page in escape_pages(range.start().as_u64(), range.len(), draw) {
+                    filter.insert(page);
+                }
+                mmu.set_guest_escape_filter(Some(filter));
+                true
+            }
+            DegradeLevel::Paging => {
+                mmu.set_guest_escape_filter(None);
+                mmu.set_native_segment(Segment::nullified());
+                true
+            }
+            DegradeLevel::Direct => false,
+        }
+    }
+
+    fn try_recover(&mut self, mmu: &mut Mmu) -> bool {
+        let Some(seg) = self.os.segment() else {
+            return false;
+        };
+        mmu.set_guest_escape_filter(None);
+        mmu.set_native_segment(seg);
+        true
+    }
+
+    fn reference_translate(&self, va: Gva) -> Option<u64> {
+        // Page table first: escaped and pre-populated pages live there (at
+        // their segment-computed frames when a segment exists), so the
+        // table is authoritative wherever it has an entry.
+        let (pt, mem) = self.os.pt_and_mem();
+        if let Some(t) = pt.translate(mem, va) {
+            return Some(t.pa.as_u64());
+        }
+        self.os
+            .segment()
+            .and_then(|s| s.translate(va))
+            .map(|pa| pa.as_u64())
     }
 }

@@ -4,7 +4,8 @@
 
 use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
 use mv_guestos::GuestOs;
-use mv_types::{Gva, PageSize, Prot};
+use mv_types::rng::StdRng;
+use mv_types::{AddrRange, Gva, Hpa, PageSize, Prot};
 use mv_vmm::{ShadowPaging, Vmm};
 
 use crate::config::{Env, SimConfig};
@@ -120,6 +121,43 @@ impl Machine for ShadowMachine {
             cycles: (self.shadow.exit_cycles() - self.exit_cycles_at_reset) as f64,
             vm_exits: self.shadow.vm_exits() - self.exits_at_reset,
         }
+    }
+
+    fn chaos_frame_loss(&mut self, draw: u64) -> u64 {
+        let range = AddrRange::new(Hpa::ZERO, Hpa::new(self.vmm.hmem().size_bytes()));
+        let n = 1 + (draw % 4) as usize;
+        let mut rng = StdRng::seed_from_u64(draw);
+        self.vmm
+            .hmem_mut()
+            .inject_bad_frames(&mut rng, &range, n)
+            .map_or(0, |lost| lost.len() as u64)
+    }
+
+    fn chaos_frag_storm(&mut self, draw: u64) -> u64 {
+        let n = 2 + draw % 6;
+        let mut taken = 0;
+        for _ in 0..n {
+            if self.vmm.hmem_mut().alloc(PageSize::Size4K).is_err() {
+                break;
+            }
+            taken += 1;
+        }
+        taken
+    }
+
+    fn chaos_spurious_exit(&mut self) {
+        self.shadow.record_spurious_exit();
+    }
+
+    // Shadow paging has no segment, so there is nothing to degrade:
+    // `degrade_to`/`try_recover` keep their `false` defaults and the run
+    // stays at the Direct residency level throughout.
+
+    fn reference_translate(&self, va: Gva) -> Option<u64> {
+        self.shadow
+            .table(self.pid)
+            .translate(self.vmm.hmem(), va)
+            .map(|t| t.pa.as_u64())
     }
 }
 

@@ -1,12 +1,15 @@
 //! Hardware nested paging in all four translation modes: the paper's
 //! `4K+4K` … `1G+1G` base bars and the proposed `VD`/`GD`/`DD` modes.
 
-use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
+use mv_chaos::DegradeLevel;
+use mv_core::{EscapeFilter, MemoryContext, Mmu, MmuConfig, Segment, TranslationFault, TranslationMode};
 use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
-use mv_types::{AddrRange, Gpa, Gva, PageSize, Prot, MIB};
+use mv_types::rng::StdRng;
+use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize, Prot, MIB};
 use mv_vmm::{SegmentOptions, VmConfig, Vmm, VM_EXIT_CYCLES};
 
 use crate::config::{Env, GuestPaging, SimConfig};
+use crate::machine::degrade::escape_pages;
 use crate::machine::{mmu_for, ExitStats, FaultService, Machine, CHURN_REGION};
 use crate::run::SimError;
 
@@ -129,6 +132,145 @@ impl Machine for VirtualizedMachine {
             vm_exits,
         }
     }
+
+    fn chaos_frame_loss(&mut self, draw: u64) -> u64 {
+        let range = AddrRange::new(Hpa::ZERO, Hpa::new(self.vmm.hmem().size_bytes()));
+        let n = 1 + (draw % 4) as usize;
+        let mut rng = StdRng::seed_from_u64(draw);
+        self.vmm
+            .hmem_mut()
+            .inject_bad_frames(&mut rng, &range, n)
+            .map_or(0, |lost| lost.len() as u64)
+    }
+
+    fn chaos_frag_storm(&mut self, draw: u64) -> u64 {
+        let n = 2 + draw % 6;
+        let mut taken = 0;
+        for _ in 0..n {
+            if self.vmm.hmem_mut().alloc(PageSize::Size4K).is_err() {
+                break;
+            }
+            taken += 1;
+        }
+        taken
+    }
+
+    fn chaos_spurious_exit(&mut self) {
+        let _ = self.vmm.record_spurious_exit(self.vm);
+    }
+
+    fn degrade_to(&mut self, mmu: &mut Mmu, level: DegradeLevel, draw: u64) -> bool {
+        let mode = mmu.mode();
+        let guest_seg = matches!(
+            mode,
+            TranslationMode::GuestDirect | TranslationMode::DualDirect
+        )
+        .then(|| self.guest.process(self.pid).segment())
+        .flatten();
+        let vmm_seg = matches!(
+            mode,
+            TranslationMode::VmmDirect | TranslationMode::DualDirect
+        )
+        .then(|| self.vmm.vm(self.vm).segment())
+        .flatten();
+        if guest_seg.is_none() && vmm_seg.is_none() {
+            return false;
+        }
+        match level {
+            DegradeLevel::EscapeHeavy => {
+                // Guard the (outermost available) segment with a populated
+                // escape filter: the segment stays programmed, but a
+                // meaningful fraction of pages now escape to the walk path.
+                if let Some(seg) = guest_seg {
+                    let mut filter = EscapeFilter::new(draw);
+                    let range = seg.range();
+                    for page in escape_pages(range.start().as_u64(), range.len(), draw) {
+                        filter.insert(page);
+                    }
+                    mmu.set_guest_escape_filter(Some(filter));
+                } else if let Some(seg) = vmm_seg {
+                    // Extend the VM's own filter (bad frames must keep
+                    // escaping) when one exists; its seed is kept.
+                    let mut filter = self
+                        .vmm
+                        .vm(self.vm)
+                        .escape_filter()
+                        .cloned()
+                        .unwrap_or_else(|| EscapeFilter::new(draw));
+                    let range = seg.range();
+                    for page in escape_pages(range.start().as_u64(), range.len(), draw) {
+                        filter.insert(page);
+                    }
+                    mmu.set_vmm_escape_filter(Some(filter));
+                }
+                true
+            }
+            DegradeLevel::Paging => {
+                if guest_seg.is_some() {
+                    mmu.set_guest_escape_filter(None);
+                    mmu.set_guest_segment(Segment::nullified());
+                }
+                if vmm_seg.is_some() {
+                    mmu.set_vmm_escape_filter(None);
+                    mmu.set_vmm_segment(Segment::nullified());
+                }
+                true
+            }
+            DegradeLevel::Direct => false,
+        }
+    }
+
+    fn try_recover(&mut self, mmu: &mut Mmu) -> bool {
+        let mode = mmu.mode();
+        let mut restored = false;
+        if matches!(
+            mode,
+            TranslationMode::GuestDirect | TranslationMode::DualDirect
+        ) {
+            if let Some(seg) = self.guest.process(self.pid).segment() {
+                mmu.set_guest_escape_filter(None);
+                mmu.set_guest_segment(seg);
+                restored = true;
+            }
+        }
+        if matches!(
+            mode,
+            TranslationMode::VmmDirect | TranslationMode::DualDirect
+        ) {
+            if let Some(seg) = self.vmm.vm(self.vm).segment() {
+                // Restore the VM's authoritative escape filter, not a blank
+                // one — bad frames must keep escaping after recovery.
+                mmu.set_vmm_escape_filter(self.vmm.vm(self.vm).escape_filter().cloned());
+                mmu.set_vmm_segment(seg);
+                restored = true;
+            }
+        }
+        restored
+    }
+
+    fn reference_translate(&self, va: Gva) -> Option<u64> {
+        // Guest dimension: guest page table first (escaped pages map their
+        // segment-computed gpa there), then guest-segment arithmetic.
+        let (gpt, gmem) = self.guest.pt_and_mem(self.pid);
+        let gpa = gpt.translate(gmem, va).map(|t| t.pa).or_else(|| {
+            self.guest
+                .process(self.pid)
+                .segment()
+                .and_then(|s| s.translate(va))
+        })?;
+        // Nested dimension: nested page table first, then VMM-segment
+        // arithmetic.
+        let (npt, hmem) = self.vmm.npt_and_hmem(self.vm);
+        npt.translate(hmem, gpa)
+            .map(|t| t.pa.as_u64())
+            .or_else(|| {
+                self.vmm
+                    .vm(self.vm)
+                    .segment()
+                    .and_then(|s| s.translate(gpa))
+                    .map(|h| h.as_u64())
+            })
+    }
 }
 
 /// Builds the virtualized stack: host, VM, guest OS, and one process with
@@ -146,13 +288,13 @@ pub(crate) fn build_guest(
     let rounded = installed.next_multiple_of(nested.bytes());
     let host = 2 * rounded + 128 * MIB;
     let mut vmm = Vmm::new(host);
-    let vm = vmm.create_vm(VmConfig::new(installed, nested));
-    let mut guest = GuestOs::boot(GuestConfig::small(installed));
+    let vm = vmm.create_vm(VmConfig::new(installed, nested))?;
+    let mut guest = GuestOs::boot(GuestConfig::small(installed))?;
     let policy = match cfg.guest_paging {
         GuestPaging::Fixed(s) => PageSizePolicy::Fixed(s),
         GuestPaging::Thp => PageSizePolicy::Thp,
     };
-    let pid = guest.create_process(policy);
+    let pid = guest.create_process(policy)?;
     let base = if matches!(
         mode,
         TranslationMode::GuestDirect | TranslationMode::DualDirect

@@ -133,6 +133,16 @@ impl NativeOs {
         (&self.pt, &self.mem)
     }
 
+    /// Physical memory (read-only).
+    pub fn mem(&self) -> &PhysMem<Hpa> {
+        &self.mem
+    }
+
+    /// Physical memory, mutably (fault injection, hotplug experiments).
+    pub fn mem_mut(&mut self) -> &mut PhysMem<Hpa> {
+        &mut self.mem
+    }
+
     /// The direct segment, if established.
     pub fn segment(&self) -> Option<Segment<Gva, Hpa>> {
         self.segment

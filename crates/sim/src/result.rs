@@ -1,5 +1,6 @@
 //! Results of a simulation run.
 
+use mv_chaos::ChaosReport;
 use mv_core::MmuCounters;
 use mv_obs::Telemetry;
 
@@ -28,6 +29,10 @@ pub struct RunResult {
     /// Walk-event telemetry over the measured window, when the run was
     /// started through [`crate::Simulation::run_observed`].
     pub telemetry: Option<Telemetry>,
+    /// Fault-injection outcome (survival, degradation residency, oracle
+    /// checks), when the run was started through
+    /// [`crate::Simulation::run_chaos`].
+    pub chaos: Option<ChaosReport>,
 }
 
 impl RunResult {
@@ -102,6 +107,11 @@ impl RunResult {
             (None, Some(theirs)) => self.telemetry = Some(theirs.clone()),
             (_, None) => {}
         }
+        match (&mut self.chaos, &other.chaos) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.chaos = Some(*theirs),
+            (_, None) => {}
+        }
     }
 
     /// Renders this run's telemetry as Prometheus text exposition, labeled
@@ -166,6 +176,7 @@ mod tests {
             vm_exits: 0,
             nested_l2: (0, 0),
             telemetry: None,
+            chaos: None,
         };
         let cols = RunResult::csv_header().split(',').count();
         assert_eq!(r.csv_row().split(',').count(), cols);
@@ -190,6 +201,7 @@ mod tests {
             vm_exits: 0,
             nested_l2: (0, 0),
             telemetry: None,
+            chaos: None,
         };
         assert!((r.mpka() - 100.0).abs() < 1e-12);
         assert!((r.cycles_per_miss() - 50.0).abs() < 1e-12);

@@ -4,6 +4,7 @@
 
 use core::fmt;
 
+use mv_chaos::ChaosSpec;
 use mv_core::{MmuConfig, TranslationFault};
 use mv_guestos::OsError;
 use mv_obs::TelemetryConfig;
@@ -141,11 +142,46 @@ impl Simulation {
         let instr = Instruments {
             trace_capacity,
             telemetry,
+            chaos: None,
         };
+        Self::dispatch(cfg, hw, &instr)
+    }
+
+    /// Like [`Simulation::run_with_mmu`], with deterministic fault
+    /// injection and the translation oracle active for the whole run
+    /// (optionally alongside telemetry, whose export then carries the
+    /// degradation transitions). The returned result carries the
+    /// [`mv_chaos::ChaosReport`] in [`RunResult::chaos`]. An inactive spec
+    /// (rate 0) takes the exact chaos-free path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run`]; injected faults degrade the
+    /// run rather than failing it.
+    pub fn run_chaos(
+        cfg: &SimConfig,
+        hw: MmuConfig,
+        telemetry: Option<TelemetryConfig>,
+        chaos: ChaosSpec,
+    ) -> Result<RunResult, SimError> {
+        let instr = Instruments {
+            trace_capacity: None,
+            telemetry,
+            chaos: Some(chaos),
+        };
+        Ok(Self::dispatch(cfg, hw, &instr)?.0)
+    }
+
+    /// Dispatches to the generic driver loop on the configured environment.
+    fn dispatch(
+        cfg: &SimConfig,
+        hw: MmuConfig,
+        instr: &Instruments,
+    ) -> Result<(RunResult, Option<mv_core::MissTrace>), SimError> {
         match cfg.env {
-            Env::Native { .. } => drive::<NativeMachine>(cfg, hw, &instr),
-            Env::Virtualized { .. } => drive::<VirtualizedMachine>(cfg, hw, &instr),
-            Env::Shadow { .. } => drive::<ShadowMachine>(cfg, hw, &instr),
+            Env::Native { .. } => drive::<NativeMachine>(cfg, hw, instr),
+            Env::Virtualized { .. } => drive::<VirtualizedMachine>(cfg, hw, instr),
+            Env::Shadow { .. } => drive::<ShadowMachine>(cfg, hw, instr),
         }
     }
 }

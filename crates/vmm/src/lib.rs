@@ -18,7 +18,7 @@
 //! use mv_types::{Gpa, PageSize, MIB};
 //!
 //! let mut vmm = Vmm::new(256 * MIB);
-//! let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size2M));
+//! let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size2M))?;
 //! vmm.handle_nested_fault(vm, Gpa::new(0x123_4000))?; // demand backing
 //! let (npt, hmem) = vmm.npt_and_hmem(vm);
 //! assert!(npt.translate(hmem, Gpa::new(0x123_4000)).is_some());
@@ -28,6 +28,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Fault-reachable library code must degrade via typed errors, never abort
+// (tests may still unwrap freely).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
 mod migrate;

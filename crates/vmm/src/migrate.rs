@@ -111,7 +111,7 @@ impl Vmm {
         gpa: Gpa,
     ) -> Result<(), VmmError> {
         let gfn = gpa.as_u64() >> 12;
-        let vm = self.vms.get_mut(&m.vm.0).expect("migration holds a live vm");
+        let vm = self.vms.get_mut(&m.vm.0).ok_or(VmmError::NoSuchVm { id: m.vm.0 })?;
         vm.counters.vm_exits += 1;
         m.stats.tracking_faults += 1;
         vm.npt.protect(
@@ -132,7 +132,7 @@ impl Vmm {
     ///
     /// Fails on nested-table corruption only.
     pub fn migration_round(&mut self, m: &mut Migration) -> Result<u64, VmmError> {
-        let vm = self.vms.get_mut(&m.vm.0).expect("migration holds a live vm");
+        let vm = self.vms.get_mut(&m.vm.0).ok_or(VmmError::NoSuchVm { id: m.vm.0 })?;
         let sending: Vec<u64> = m.dirty.iter().copied().collect();
         m.dirty.clear();
         for gfn in &sending {
@@ -159,7 +159,7 @@ impl Vmm {
     /// Fails on nested-table corruption only.
     pub fn complete_migration(&mut self, mut m: Migration) -> Result<MigrationStats, VmmError> {
         m.stats.downtime_pages = m.dirty.len() as u64;
-        let vm = self.vms.get_mut(&m.vm.0).expect("migration holds a live vm");
+        let vm = self.vms.get_mut(&m.vm.0).ok_or(VmmError::NoSuchVm { id: m.vm.0 })?;
         let backed: Vec<u64> = vm.backing.keys().copied().collect();
         for gfn in backed {
             vm.npt.protect(
@@ -182,7 +182,7 @@ mod tests {
 
     fn backed_vmm() -> (Vmm, VmId) {
         let mut vmm = Vmm::new(128 * MIB);
-        let vm = vmm.create_vm(VmConfig::new(16 * MIB, PageSize::Size4K));
+        let vm = vmm.create_vm(VmConfig::new(16 * MIB, PageSize::Size4K)).unwrap();
         vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(4 * MIB)))
             .unwrap();
         (vmm, vm)
@@ -251,7 +251,7 @@ mod tests {
     #[test]
     fn huge_nested_pages_preclude_migration() {
         let mut vmm = Vmm::new(128 * MIB);
-        let vm = vmm.create_vm(VmConfig::new(16 * MIB, PageSize::Size2M));
+        let vm = vmm.create_vm(VmConfig::new(16 * MIB, PageSize::Size2M)).unwrap();
         let err = vmm.start_migration(vm).unwrap_err();
         assert!(matches!(err, VmmError::MigrationPrecluded { .. }));
     }

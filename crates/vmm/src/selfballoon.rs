@@ -64,7 +64,11 @@ impl Vmm {
             }));
         }
         // Reclaim host backing of the unplugged range, if any was mapped.
-        let unplugged = *guest.unplugged().last().expect("just unplugged");
+        let Some(&unplugged) = guest.unplugged().last() else {
+            return Err(VmmError::Guest(mv_guestos::OsError::Hotplug {
+                what: "unplug reported progress but recorded no region",
+            }));
+        };
         let gpas: Vec<Gpa> = unplugged.pages(mv_types::PageSize::Size4K).collect();
         self.balloon_reclaim(id, &gpas)?;
         let added = guest.hotplug_add(removed)?;

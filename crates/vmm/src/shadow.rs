@@ -46,6 +46,13 @@ impl ShadowPaging {
         self.exit_cycles
     }
 
+    /// Records a VM exit that did no shadow work (interrupt storm, host
+    /// preemption): charges one exit at the standard cost.
+    pub fn record_spurious_exit(&mut self) {
+        self.vm_exits += 1;
+        self.exit_cycles += VM_EXIT_CYCLES;
+    }
+
     /// The shadow table for guest process `pid`, creating it on first use.
     ///
     /// # Errors
@@ -78,10 +85,12 @@ impl ShadowPaging {
         self.vm_exits += 1;
         self.exit_cycles += VM_EXIT_CYCLES;
         let vm_id = self.vm;
-        if let std::collections::hash_map::Entry::Vacant(e) = self.tables.entry(pid) {
-            e.insert(PageTable::new(vmm.hmem_mut())?);
-        }
-        let shadow = self.tables.get_mut(&pid).expect("just inserted");
+        let shadow = match self.tables.entry(pid) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(PageTable::new(vmm.hmem_mut())?)
+            }
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        };
 
         // Compose each 4 KiB (or larger, when both levels align) piece.
         let nested_size = vmm.vm(vm_id).config().nested_page_size;
@@ -91,9 +100,13 @@ impl ShadowPaging {
             let gpa = Gpa::new(fix.gpa.as_u64() + off);
             vmm.handle_nested_fault(vm_id, gpa)?;
             let (npt, hmem_ref) = vmm.npt_and_hmem(vm_id);
+            // The nested fault above just backed this gpa; a miss here means
+            // the nested table is corrupt.
             let hpa = npt
                 .translate(hmem_ref, gpa)
-                .expect("just backed")
+                .ok_or(VmmError::PageTable(mv_pt::PtError::NotMapped {
+                    va: gpa.as_u64(),
+                }))?
                 .pa;
             let hpa_page = Hpa::new(hpa.as_u64() & !piece.offset_mask());
             let va = Gva::new(fix.va_page.as_u64() + off);

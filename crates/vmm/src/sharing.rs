@@ -70,7 +70,7 @@ impl Vmm {
                     // Retarget this page at the canonical frame,
                     // write-protect both sharers, free the duplicate.
                     {
-                        let vm = self.vms.get_mut(&id.0).expect("live id");
+                        let vm = self.vms.get_mut(&id.0).ok_or(VmmError::NoSuchVm { id: id.0 })?;
                         vm.npt
                             .remap(&mut self.hmem, gpa_page, PageSize::Size4K, keep_frame)?;
                     }
@@ -79,7 +79,7 @@ impl Vmm {
                     // Free the duplicate frame.
                     self.owners.remove(&(frame.as_u64() >> 12));
                     self.hmem.free(frame, PageSize::Size4K)?;
-                    let vm = self.vms.get_mut(&id.0).expect("live id");
+                    let vm = self.vms.get_mut(&id.0).ok_or(VmmError::NoSuchVm { id: id.0 })?;
                     vm.backing.remove(&gfn);
                     vm.counters.backed_pages -= 1;
                     out.deduplicated_pages += 1;
@@ -97,7 +97,7 @@ impl Vmm {
         frame: Hpa,
     ) -> Result<(), VmmError> {
         let gfn = gpa_page.as_u64() >> 12;
-        let vm = self.vms.get_mut(&id.0).expect("live id");
+        let vm = self.vms.get_mut(&id.0).ok_or(VmmError::NoSuchVm { id: id.0 })?;
         if vm.cow.insert(gfn, frame).is_none() {
             vm.npt
                 .protect(&mut self.hmem, gpa_page, PageSize::Size4K, Prot::READ)?;
@@ -125,7 +125,7 @@ impl Vmm {
             return Ok(());
         }
         let private = self.hmem.alloc(PageSize::Size4K)?;
-        let vm = self.vms.get_mut(&id.0).expect("live id");
+        let vm = self.vms.get_mut(&id.0).ok_or(VmmError::NoSuchVm { id: id.0 })?;
         vm.npt
             .remap(&mut self.hmem, gpa_page, PageSize::Size4K, private)?;
         vm.npt

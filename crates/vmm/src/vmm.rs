@@ -61,12 +61,17 @@ impl Vmm {
     }
 
     /// Creates a VM with an empty nested page table.
-    pub fn create_vm(&mut self, cfg: VmConfig) -> VmId {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::PageTable`] if host memory cannot hold the
+    /// nested root table.
+    pub fn create_vm(&mut self, cfg: VmConfig) -> Result<VmId, VmmError> {
         let id = VmId(self.next_id);
         self.next_id += 1;
-        let npt = PageTable::new(&mut self.hmem).expect("host memory for the nested root");
+        let npt = PageTable::new(&mut self.hmem)?;
         self.vms.insert(id.0, Vm::new(id, cfg, npt));
-        id
+        Ok(id)
     }
 
     /// The VM with this id.
@@ -109,6 +114,21 @@ impl Vmm {
         if vm.npt.translate(&self.hmem, gpa).is_some() {
             return Ok(());
         }
+        // Segment-covered gpas map their segment-computed frame — never a
+        // fresh allocation — so nested translations stay consistent with
+        // the segment arithmetic even when the hardware bypass is off
+        // (escaped pages, degraded operation). The backing was reserved at
+        // segment creation, so no allocator state changes here.
+        if let Some(seg) = vm.segment.filter(|s| !s.is_nullified()) {
+            let gpa_page = Gpa::new(gpa.as_u64() & !0xfff);
+            if let Some(hpa) = seg.translate(gpa_page) {
+                vm.npt
+                    .map(&mut self.hmem, gpa_page, hpa, PageSize::Size4K, Prot::RW)?;
+                vm.counters.nested_faults += 1;
+                vm.counters.vm_exits += 1;
+                return Ok(());
+            }
+        }
         let size = vm.cfg.nested_page_size;
         let gpa_page = Gpa::new(gpa.as_u64() & !size.offset_mask());
         let frame = self.hmem.alloc(size)?;
@@ -124,6 +144,18 @@ impl Vmm {
         vm.counters.nested_faults += 1;
         vm.counters.vm_exits += 1;
         vm.counters.backed_pages += size.covered_4k_pages();
+        Ok(())
+    }
+
+    /// Records a VM exit that did no mapping work (interrupt storm, host
+    /// preemption): charges the exit to the VM without touching state.
+    ///
+    /// # Errors
+    ///
+    /// [`VmmError::NoSuchVm`] for an unknown id.
+    pub fn record_spurious_exit(&mut self, id: VmId) -> Result<(), VmmError> {
+        let vm = self.vms.get_mut(&id.0).ok_or(VmmError::NoSuchVm { id: id.0 })?;
+        vm.counters.vm_exits += 1;
         Ok(())
     }
 
@@ -201,10 +233,12 @@ impl Vmm {
                 let Some((vm_id, gpa_page)) = self.owners.remove(&(old.as_u64() >> 12)) else {
                     continue;
                 };
-                let vm = self.vms.get_mut(&vm_id.0).expect("owner VM exists");
+                let vm = self
+                    .vms
+                    .get_mut(&vm_id.0)
+                    .ok_or(VmmError::NoSuchVm { id: vm_id.0 })?;
                 vm.npt
-                    .remap(&mut self.hmem, gpa_page, PageSize::Size4K, new)
-                    .expect("remap of moved backing");
+                    .remap(&mut self.hmem, gpa_page, PageSize::Size4K, new)?;
                 vm.backing.insert(vm.gfn(gpa_page), new);
                 self.owners.insert(new.as_u64() >> 12, (vm_id, gpa_page));
             }
@@ -229,7 +263,10 @@ impl Vmm {
             .collect();
 
         // 3. Migrate existing scattered backing into the segment.
-        let vm = self.vms.get_mut(&id.0).expect("checked above");
+        let vm = self
+            .vms
+            .get_mut(&id.0)
+            .ok_or(VmmError::NoSuchVm { id: id.0 })?;
         let in_range: Vec<(u64, Hpa)> = vm
             .backing
             .iter()
@@ -288,10 +325,11 @@ impl Vmm {
                     )?;
                 }
             }
-            filter
-                .as_mut()
-                .expect("filter exists when bad frames exist")
-                .insert(gpa_b.as_u64());
+            // The filter was created above iff any bad frames exist, so it
+            // is always present on this path.
+            if let Some(f) = filter.as_mut() {
+                f.insert(gpa_b.as_u64());
+            }
         }
 
         // 5. Pre-map filter false positives: any page the filter claims is

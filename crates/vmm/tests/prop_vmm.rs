@@ -43,8 +43,8 @@ fn vmm_preserves_mapping_invariants() {
         let n_ops = rng.gen_range(1usize..100);
         let mut vmm = Vmm::new(64 * MIB);
         let vms = [
-            vmm.create_vm(VmConfig::new(8 * MIB, PageSize::Size4K)),
-            vmm.create_vm(VmConfig::new(8 * MIB, PageSize::Size4K)),
+            vmm.create_vm(VmConfig::new(8 * MIB, PageSize::Size4K)).unwrap(),
+            vmm.create_vm(VmConfig::new(8 * MIB, PageSize::Size4K)).unwrap(),
         ];
         let vm_of = |i: u8| -> VmId { vms[i as usize] };
 

@@ -14,7 +14,7 @@ fn seg_opts() -> mv_vmm::SegmentOptions {
 #[test]
 fn nested_faults_back_memory_at_configured_size() {
     let mut vmm = Vmm::new(256 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size2M));
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size2M)).unwrap();
     vmm.handle_nested_fault(vm, Gpa::new(0x123_4567)).unwrap();
     let (npt, hmem) = vmm.npt_and_hmem(vm);
     let t = npt.translate(hmem, Gpa::new(0x123_4567)).unwrap();
@@ -29,7 +29,7 @@ fn nested_faults_back_memory_at_configured_size() {
 #[test]
 fn faults_outside_the_span_are_rejected() {
     let mut vmm = Vmm::new(64 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(16 * MIB, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(16 * MIB, PageSize::Size4K)).unwrap();
     let err = vmm.handle_nested_fault(vm, Gpa::new(16 * MIB)).unwrap_err();
     assert!(matches!(err, VmmError::OutsideSlots { .. }));
 }
@@ -37,7 +37,7 @@ fn faults_outside_the_span_are_rejected() {
 #[test]
 fn vmm_segment_on_fresh_host_translates_by_addition() {
     let mut vmm = Vmm::new(256 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K)).unwrap();
     let cover = AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB));
     let seg = vmm.create_vmm_segment(vm, cover, seg_opts()).unwrap();
     assert!(seg.contains(Gpa::new(64 * MIB - 1)));
@@ -52,7 +52,7 @@ fn vmm_segment_on_fresh_host_translates_by_addition() {
 #[test]
 fn segment_creation_migrates_existing_backing() {
     let mut vmm = Vmm::new(256 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K)).unwrap();
     // Pre-back a couple of pages (scattered).
     vmm.handle_nested_fault(vm, Gpa::new(0x5000)).unwrap();
     vmm.handle_nested_fault(vm, Gpa::new(0x9000)).unwrap();
@@ -75,7 +75,7 @@ fn segment_creation_migrates_existing_backing() {
 #[test]
 fn fragmented_host_blocks_segment_without_compaction() {
     let mut vmm = Vmm::new(128 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K)).unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     let _held = vmm.hmem_mut().fragment(&mut rng, 0.3);
     let cover = AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB));
@@ -86,7 +86,7 @@ fn fragmented_host_blocks_segment_without_compaction() {
 #[test]
 fn compaction_rescues_a_fragmented_host() {
     let mut vmm = Vmm::new(256 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K)).unwrap();
     // Give the VM real backing first, then fragment the rest of the host.
     vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(8 * MIB)))
         .unwrap();
@@ -117,7 +117,7 @@ fn compaction_rescues_a_fragmented_host() {
 #[test]
 fn bad_host_frames_get_escaped_and_remapped() {
     let mut vmm = Vmm::new(256 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K)).unwrap();
     // Damage a frame near the middle of the host.
     let bad = Hpa::new(64 * MIB);
     vmm.hmem_mut().mark_bad(bad).unwrap();
@@ -155,7 +155,7 @@ fn bad_host_frames_get_escaped_and_remapped() {
 #[test]
 fn escape_filter_false_positives_are_premapped() {
     let mut vmm = Vmm::new(512 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(256 * MIB, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(256 * MIB, PageSize::Size4K)).unwrap();
     // Damage a frame inside what will be the segment backing so a filter
     // exists.
     vmm.hmem_mut().mark_bad(Hpa::new(128 * MIB)).unwrap();
@@ -189,13 +189,13 @@ fn escape_filter_false_positives_are_premapped() {
 #[test]
 fn self_ballooning_creates_contiguous_guest_memory() {
     let mut vmm = Vmm::new(GIB);
-    let vm = vmm.create_vm(VmConfig::new(512 * MIB, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(512 * MIB, PageSize::Size4K)).unwrap();
     let mut guest = GuestOs::boot(GuestConfig {
         installed_bytes: 128 * MIB,
         hotplug_capacity: 64 * MIB,
         model_io_gap: false,
         boot_reservation: 0,
-    });
+    }).unwrap();
     // Fragment free guest memory badly.
     let mut rng = StdRng::seed_from_u64(11);
     let _held = guest.mem_mut().fragment(&mut rng, 0.5);
@@ -209,7 +209,7 @@ fn self_ballooning_creates_contiguous_guest_memory() {
     assert_eq!(added.len(), want);
     // The added range is contiguous free guest-physical memory: a guest
     // segment can now be created.
-    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     guest.create_primary_region(pid, want).unwrap();
     let seg = guest.setup_guest_segment(pid).unwrap();
     let backing = guest.process(pid).segment_backing().unwrap();
@@ -223,8 +223,8 @@ fn self_ballooning_creates_contiguous_guest_memory() {
 #[test]
 fn io_gap_reclaim_flow_yields_big_contiguous_region() {
     let mut vmm = Vmm::new(8 * GIB);
-    let vm = vmm.create_vm(VmConfig::new(8 * GIB, PageSize::Size4K));
-    let mut guest = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, 3 * GIB));
+    let vm = vmm.create_vm(VmConfig::new(8 * GIB, PageSize::Size4K)).unwrap();
+    let mut guest = GuestOs::boot(GuestConfig::with_io_gap(5 * GIB, 3 * GIB)).unwrap();
     let added = vmm.reclaim_io_gap(vm, &mut guest, 256 * MIB).unwrap();
     assert_eq!(added.len(), 3 * GIB - 256 * MIB);
     // Guest high memory is now one long run: [4G, 4G+2G installed) plus the
@@ -235,9 +235,9 @@ fn io_gap_reclaim_flow_yields_big_contiguous_region() {
 #[test]
 fn shadow_paging_composes_and_counts_exits() {
     let mut vmm = Vmm::new(256 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
-    let mut guest = GuestOs::boot(GuestConfig::small(64 * MIB));
-    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K)).unwrap();
+    let mut guest = GuestOs::boot(GuestConfig::small(64 * MIB)).unwrap();
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let va = guest.mmap(pid, MIB, Prot::RW).unwrap();
 
     let mut shadow = ShadowPaging::new(vm);
@@ -263,8 +263,8 @@ fn shadow_paging_composes_and_counts_exits() {
 #[test]
 fn page_sharing_deduplicates_identical_content() {
     let mut vmm = Vmm::new(256 * MIB);
-    let a = vmm.create_vm(VmConfig::new(32 * MIB, PageSize::Size4K));
-    let b = vmm.create_vm(VmConfig::new(32 * MIB, PageSize::Size4K));
+    let a = vmm.create_vm(VmConfig::new(32 * MIB, PageSize::Size4K)).unwrap();
+    let b = vmm.create_vm(VmConfig::new(32 * MIB, PageSize::Size4K)).unwrap();
     for vm in [a, b] {
         vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(MIB)))
             .unwrap();
@@ -312,7 +312,7 @@ fn page_sharing_deduplicates_identical_content() {
 #[test]
 fn sharing_skips_segment_covered_memory() {
     let mut vmm = Vmm::new(256 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(32 * MIB, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(32 * MIB, PageSize::Size4K)).unwrap();
     vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(MIB)))
         .unwrap();
     vmm.create_vmm_segment(vm, AddrRange::new(Gpa::ZERO, Gpa::new(32 * MIB)), seg_opts())

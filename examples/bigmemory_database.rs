@@ -65,15 +65,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sized to hold both the demand-paged dataset and the boot reservation.
     let installed = 2 * FOOTPRINT + FOOTPRINT / 2 + 96 * MIB;
     let mut vmm = Vmm::new(2 * installed + 128 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(installed, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(installed, PageSize::Size4K)).unwrap();
     // Long-lived big-memory VMs reserve contiguous guest-physical memory
     // at startup (Section VI.A), so the segment can be created later even
     // though the dataset is demand-paged first.
     let mut guest = GuestOs::boot(GuestConfig {
         boot_reservation: FOOTPRINT,
         ..GuestConfig::small(installed)
-    });
-    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    }).unwrap();
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
 
     // The database declares its in-memory store as a primary region — a
     // uniformly-protected, contiguous chunk of address space.

@@ -18,9 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let footprint = 128 * MIB;
     let installed = footprint + footprint / 2 + 96 * MIB;
     let mut vmm = Vmm::new(2 * installed + 128 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(installed, PageSize::Size4K));
-    let mut guest = GuestOs::boot(GuestConfig::small(installed));
-    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(installed, PageSize::Size4K)).unwrap();
+    let mut guest = GuestOs::boot(GuestConfig::small(installed)).unwrap();
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let base = guest.create_primary_region(pid, footprint)?.as_u64();
 
     // The flaky DIMM: 12 dead frames spread across the whole module, so

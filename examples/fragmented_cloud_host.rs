@@ -17,14 +17,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let installed = 160 * MIB;
 
     let mut vmm = Vmm::new(512 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(installed + 128 * MIB, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(installed + 128 * MIB, PageSize::Size4K)).unwrap();
     let mut guest = GuestOs::boot(GuestConfig {
         installed_bytes: installed,
         hotplug_capacity: 128 * MIB, // pre-provisioned for self-ballooning
         model_io_gap: false,
         boot_reservation: 0,
-    });
-    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    }).unwrap();
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     guest.create_primary_region(pid, footprint)?;
 
     // Months of uptime: other tenants fragmented the host, and the guest's

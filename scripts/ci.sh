@@ -50,4 +50,21 @@ for env in native ds 4k+2m vd dd shadow; do
     diff -u "$tmpdir/env1.csv" "$tmpdir/env4.csv"
 done
 
+echo "==> chaos smoke: two seeds x --quick, diffed across --jobs 1/4"
+# The fault plan is a pure function of (chaos seed, access index), so the
+# degradation study must be byte-identical at any worker count — and
+# different seeds must actually change the injection stream.
+chaos_bin=target/release/chaos_study
+for seed in 11 42; do
+    "$chaos_bin" --quick --quiet --chaos-seed "$seed" --jobs 1 \
+        > "$tmpdir/chaos_${seed}_j1.txt"
+    "$chaos_bin" --quick --quiet --chaos-seed "$seed" --jobs 4 \
+        > "$tmpdir/chaos_${seed}_j4.txt"
+    diff -u "$tmpdir/chaos_${seed}_j1.txt" "$tmpdir/chaos_${seed}_j4.txt"
+done
+if cmp -s "$tmpdir/chaos_11_j1.txt" "$tmpdir/chaos_42_j1.txt"; then
+    echo "chaos seeds 11 and 42 produced identical output" >&2
+    exit 1
+fi
+
 echo "CI OK"

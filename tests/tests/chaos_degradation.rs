@@ -1,0 +1,130 @@
+//! Regression: a Direct-segment run survives injected segment-allocation
+//! failures by degrading to paging and recovering, with the translation
+//! oracle cross-checking every completed access along the way.
+//!
+//! This is the end-to-end acceptance test for the chaos layer: fault
+//! injection must *degrade* the run (never fail it), every transition must
+//! land in the telemetry export, and the oracle must stay silent — the
+//! MMU's answers remain correct through nullified segments, escape-heavy
+//! filters, and recovery.
+
+use mv_chaos::{ChaosSpec, DegradeLevel};
+use mv_core::MmuConfig;
+use mv_obs::TelemetryConfig;
+use mv_sim::{Env, GuestPaging, SimConfig, Simulation};
+use mv_types::{PageSize, MIB};
+use mv_workloads::WorkloadKind;
+
+/// High enough that segment-allocation failures land several times inside
+/// the window (rate/5 kinds) and occasionally twice within one backoff
+/// window (escalating all the way to paging), low enough that balloon
+/// denials leave recovery windows open — under denial saturation the run
+/// (correctly) never recovers.
+const FAULT_RATE: u64 = 50_000;
+
+fn cfg(env: Env) -> SimConfig {
+    SimConfig {
+        workload: WorkloadKind::Gups,
+        footprint: 16 * MIB,
+        guest_paging: GuestPaging::Fixed(PageSize::Size4K),
+        env,
+        accesses: 10_000,
+        warmup: 1_000,
+        seed: 7,
+    }
+}
+
+fn chaos() -> ChaosSpec {
+    ChaosSpec {
+        seed: 0xc4a05,
+        fault_rate_per_million: FAULT_RATE,
+    }
+}
+
+#[test]
+fn native_direct_survives_segment_loss_oracle_clean() {
+    let tcfg = TelemetryConfig {
+        epoch_len: 2_000,
+        flight_capacity: 0,
+    };
+    let result = Simulation::run_chaos(
+        &cfg(Env::native_direct()),
+        MmuConfig::default(),
+        Some(tcfg),
+        chaos(),
+    )
+    .expect("chaos must degrade the run, not fail it");
+
+    let report = result.chaos.expect("chaos report is populated");
+    assert!(report.survived(), "zero oracle violations expected");
+    assert_eq!(report.oracle_violations, 0);
+    assert!(
+        report.oracle_checks > 0,
+        "the oracle must check completed accesses"
+    );
+    assert!(
+        report.injected_total() > 0,
+        "the fault plan must actually fire at this rate"
+    );
+
+    // The run degraded off Direct at least once and came back.
+    assert!(
+        report.residency[DegradeLevel::Paging.index()] > 0
+            || report.residency[DegradeLevel::EscapeHeavy.index()] > 0,
+        "segment-alloc failures must push the run off Direct"
+    );
+    assert!(report.recoveries > 0, "backoff retry must restore Direct");
+    assert!(report.residency[DegradeLevel::Direct.index()] > 0);
+
+    // Transitions reach the telemetry export as dedicated records.
+    let telemetry = result.telemetry.expect("telemetry attached");
+    let transitions = telemetry.transitions();
+    assert_eq!(report.transitions, transitions.len() as u64);
+    assert!(
+        transitions.iter().any(|t| t.to == "paging"),
+        "a Direct→paging degradation must be recorded"
+    );
+    assert!(
+        transitions
+            .iter()
+            .any(|t| t.to == "direct" && t.cause == "recovery"),
+        "a recovery back to Direct must be recorded"
+    );
+    let mut jsonl = Vec::new();
+    telemetry.write_jsonl(&mut jsonl).unwrap();
+    let jsonl = String::from_utf8(jsonl).unwrap();
+    assert!(
+        jsonl.contains("\"type\":\"transition\""),
+        "transition lines must ride in the JSONL export"
+    );
+}
+
+/// The same chaos plan over every segment-bearing virtualized mode: the
+/// stack must stay oracle-clean while degrading whichever dimension the
+/// mode runs direct.
+#[test]
+fn virtualized_direct_modes_stay_oracle_clean_under_chaos() {
+    for env in [
+        Env::vmm_direct(),
+        Env::guest_direct(PageSize::Size4K),
+        Env::dual_direct(),
+    ] {
+        let result = Simulation::run_chaos(&cfg(env), MmuConfig::default(), None, chaos())
+            .unwrap_or_else(|e| panic!("{env:?} must survive chaos: {e}"));
+        let report = result.chaos.expect("chaos report is populated");
+        assert!(report.survived(), "{env:?}: oracle violations");
+        assert!(report.oracle_checks > 0, "{env:?}");
+        assert!(report.injected_total() > 0, "{env:?}");
+    }
+}
+
+/// Chaos with the same seed is deterministic: two runs of the same cell
+/// produce identical reports and identical transition streams.
+#[test]
+fn chaos_runs_are_deterministic() {
+    let c = cfg(Env::native_direct());
+    let a = Simulation::run_chaos(&c, MmuConfig::default(), None, chaos()).unwrap();
+    let b = Simulation::run_chaos(&c, MmuConfig::default(), None, chaos()).unwrap();
+    assert_eq!(a.chaos, b.chaos);
+    assert_eq!(a.csv_row(), b.csv_row());
+}

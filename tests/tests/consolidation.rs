@@ -21,9 +21,9 @@ struct Tenant {
 
 fn boot_tenant(vmm: &mut Vmm, footprint: u64) -> Tenant {
     let installed = footprint + footprint / 2 + 96 * MIB;
-    let vm = vmm.create_vm(VmConfig::new(installed, PageSize::Size4K));
-    let mut guest = GuestOs::boot(GuestConfig::small(installed));
-    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(installed, PageSize::Size4K)).unwrap();
+    let mut guest = GuestOs::boot(GuestConfig::small(installed)).unwrap();
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let base = guest.create_primary_region(pid, footprint).unwrap().as_u64();
     let gseg = guest.setup_guest_segment(pid).unwrap();
     let vseg = vmm

@@ -17,9 +17,9 @@ fn guard_pages_fault_while_neighbors_stay_fast() {
     let footprint = 32 * MIB;
     let installed = footprint + footprint / 2 + 96 * MIB;
     let mut vmm = Vmm::new(2 * installed + 128 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(installed, PageSize::Size4K));
-    let mut guest = GuestOs::boot(GuestConfig::small(installed));
-    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(installed, PageSize::Size4K)).unwrap();
+    let mut guest = GuestOs::boot(GuestConfig::small(installed)).unwrap();
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let base = guest.create_primary_region(pid, footprint).unwrap();
 
     // Dual Direct with both segments.
@@ -121,8 +121,8 @@ fn guard_pages_fault_while_neighbors_stay_fast() {
 
 #[test]
 fn guard_pages_require_a_segment() {
-    let mut guest = GuestOs::boot(GuestConfig::small(64 * MIB));
-    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let mut guest = GuestOs::boot(GuestConfig::small(64 * MIB)).unwrap();
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     guest.create_primary_region(pid, 8 * MIB).unwrap();
     let err = guest
         .protect_guard_pages(pid, &[Gva::new(0x100_0000_0000)])

@@ -39,10 +39,10 @@ fn access(
 #[test]
 fn same_va_in_two_processes_translates_differently() {
     let mut vmm = Vmm::new(512 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(192 * MIB, PageSize::Size4K));
-    let mut guest = GuestOs::boot(GuestConfig::small(192 * MIB));
-    let a = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
-    let b = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(192 * MIB, PageSize::Size4K)).unwrap();
+    let mut guest = GuestOs::boot(GuestConfig::small(192 * MIB)).unwrap();
+    let a = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
+    let b = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let va_a = guest.mmap(a, MIB, Prot::RW).unwrap();
     let va_b = guest.mmap(b, MIB, Prot::RW).unwrap();
     assert_eq!(va_a, va_b, "identical layouts on purpose");
@@ -62,12 +62,12 @@ fn same_va_in_two_processes_translates_differently() {
 fn per_process_guest_segments_swap_on_context_switch() {
     let mut vmm = Vmm::new(GIB_HALF);
     const GIB_HALF: u64 = 512 * MIB;
-    let vm = vmm.create_vm(VmConfig::new(256 * MIB, PageSize::Size4K));
-    let mut guest = GuestOs::boot(GuestConfig::small(256 * MIB));
+    let vm = vmm.create_vm(VmConfig::new(256 * MIB, PageSize::Size4K)).unwrap();
+    let mut guest = GuestOs::boot(GuestConfig::small(256 * MIB)).unwrap();
 
     // Two big-memory processes, each with its own primary region/segment.
-    let a = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
-    let b = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let a = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
+    let b = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     guest.create_primary_region(a, 32 * MIB).unwrap();
     guest.create_primary_region(b, 32 * MIB).unwrap();
     let seg_a = guest.setup_guest_segment(a).unwrap();
@@ -106,10 +106,10 @@ fn compute_process_coexists_with_big_memory_process() {
     // plain paging, the big-memory one adds a guest segment (its own mode
     // per address space — Section III: "each guest process uses one mode").
     let mut vmm = Vmm::new(512 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(224 * MIB, PageSize::Size4K));
-    let mut guest = GuestOs::boot(GuestConfig::small(224 * MIB));
-    let compute = guest.create_process(PageSizePolicy::Thp);
-    let bigmem = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(224 * MIB, PageSize::Size4K)).unwrap();
+    let mut guest = GuestOs::boot(GuestConfig::small(224 * MIB)).unwrap();
+    let compute = guest.create_process(PageSizePolicy::Thp).unwrap();
+    let bigmem = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let cva = guest.mmap(compute, 8 * MIB, Prot::RW).unwrap();
     guest.create_primary_region(bigmem, 32 * MIB).unwrap();
     let seg = guest.setup_guest_segment(bigmem).unwrap();

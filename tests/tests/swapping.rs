@@ -9,8 +9,8 @@ use mv_vmm::{SegmentOptions, VmConfig, Vmm, VmmError};
 
 #[test]
 fn guest_swapping_round_trips_outside_segments() {
-    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB));
-    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let mut os = GuestOs::boot(GuestConfig::small(64 * MIB)).unwrap();
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let va = os.mmap(pid, MIB, Prot::RW).unwrap();
     os.populate(pid, va, MIB).unwrap();
     let free_before = os.mem().free_bytes();
@@ -33,8 +33,8 @@ fn guest_swapping_round_trips_outside_segments() {
 
 #[test]
 fn guest_swapping_is_precluded_inside_the_guest_segment() {
-    let mut os = GuestOs::boot(GuestConfig::small(128 * MIB));
-    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let mut os = GuestOs::boot(GuestConfig::small(128 * MIB)).unwrap();
+    let pid = os.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let base = os.create_primary_region(pid, 16 * MIB).unwrap();
     os.setup_guest_segment(pid).unwrap();
     let err = os.swap_out(pid, base).unwrap_err();
@@ -50,9 +50,9 @@ fn guest_swapping_is_precluded_inside_the_guest_segment() {
 #[test]
 fn vmm_swapping_round_trips_through_nested_faults() {
     let mut vmm = Vmm::new(256 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
-    let mut guest = GuestOs::boot(GuestConfig::small(64 * MIB));
-    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K)).unwrap();
+    let mut guest = GuestOs::boot(GuestConfig::small(64 * MIB)).unwrap();
+    let pid = guest.create_process(PageSizePolicy::Fixed(PageSize::Size4K)).unwrap();
     let va = guest.mmap(pid, MIB, Prot::RW).unwrap();
     guest.populate(pid, va, MIB).unwrap();
     let gpa = {
@@ -94,7 +94,7 @@ fn vmm_swapping_round_trips_through_nested_faults() {
 #[test]
 fn vmm_swapping_is_precluded_inside_the_vmm_segment() {
     let mut vmm = Vmm::new(512 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K)).unwrap();
     vmm.create_vmm_segment(
         vm,
         AddrRange::new(Gpa::ZERO, Gpa::new(64 * MIB)),
@@ -112,7 +112,7 @@ fn modes_without_segments_swap_unrestricted() {
     // segment: any page can be VMM-swapped — the Table II "unrestricted"
     // cells.
     let mut vmm = Vmm::new(256 * MIB);
-    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K));
+    let vm = vmm.create_vm(VmConfig::new(64 * MIB, PageSize::Size4K)).unwrap();
     vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(4 * MIB)))
         .unwrap();
     for page in (0..4 * MIB).step_by(4096 * 64) {
