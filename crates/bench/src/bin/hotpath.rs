@@ -1,0 +1,253 @@
+//! The translation hot-path throughput benchmark (`mv-fast`).
+//!
+//! Measures end-to-end simulated-access throughput — accesses per second
+//! of wall time — for every environment of the `PAPER_10_ENVS` catalog,
+//! plus the wall-clock of the full quick grids, and writes the perf
+//! trajectory point as JSON (`BENCH_5.json`).
+//!
+//! Output discipline: **stdout carries only deterministic bytes** (the
+//! per-environment counter digests), so CI can diff two invocations —
+//! including across `--jobs 1` and `--jobs 4` — while timings go to
+//! stderr and to the `--out` JSON. This is the same stdout/stderr split
+//! the other experiment binaries use for their determinism smoke checks.
+//!
+//! ```text
+//! hotpath [--quick|--smoke] [--jobs N] [--quiet] [--out FILE] [--baseline FILE]
+//! ```
+//!
+//! * `--quick`     quick scale (the BENCH_5.json configuration)
+//! * `--smoke`     tiny scale for CI; digests only, finishes in seconds
+//! * `--out F`     write the JSON report to `F`
+//! * `--baseline F` read a previous report and embed the speedup ratio
+
+use std::time::Instant;
+
+use mv_bench::experiments::env_catalog::PAPER_10_ENVS;
+use mv_bench::experiments::{config, Scale};
+use mv_par::cli;
+use mv_sim::{GridCell, RunResult, Simulation};
+use mv_types::MIB;
+use mv_workloads::WorkloadKind;
+
+/// One measured environment: its deterministic digest and its timing.
+struct EnvPoint {
+    env: String,
+    driven_accesses: u64,
+    wall_s: f64,
+    accesses_per_sec: f64,
+}
+
+/// Smoke scale: the machine-equivalence fixture sizing, small enough for
+/// a CI gate yet large enough that every environment walks and churns.
+fn smoke_scale() -> Scale {
+    Scale {
+        big_footprint: 24 * MIB,
+        compute_footprint: 24 * MIB,
+        accesses: 10_000,
+        warmup: 2_500,
+        seed: 42,
+    }
+}
+
+/// The deterministic per-environment digest printed to stdout. Timing
+/// never appears here: two runs of the same build must emit identical
+/// bytes regardless of load, jobs, or clock.
+fn digest(env_label: &str, r: &RunResult) -> String {
+    let c = &r.counters;
+    format!(
+        "{env_label:<10} accesses={} l1_misses={} l2_misses={} walks={} \
+         guest_refs={} nested_refs={} bound_checks={} cycles={} overhead={:.6}",
+        c.accesses,
+        c.l1_misses,
+        c.l2_misses,
+        c.walks(),
+        c.guest_walk_refs,
+        c.nested_walk_refs,
+        c.bound_checks,
+        c.translation_cycles,
+        r.overhead,
+    )
+}
+
+/// Extracts `"key":<number>` from a hand-written JSON report. The
+/// workspace is dependency-free, and the reports are machine-written by
+/// this binary, so a string scan is sufficient (and fails soft).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = &text[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = cli::has_flag(&args, "--smoke");
+    let quick = cli::has_flag(&args, "--quick");
+    let quiet = cli::has_flag(&args, "--quiet");
+    let jobs = cli::parse_jobs(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let out = arg_value(&args, "--out");
+    let baseline = arg_value(&args, "--baseline");
+    let repeats = cli::parse_u64_opt(&args, "--repeats")
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+        .unwrap_or(if smoke { 1 } else { 3 })
+        .max(1);
+
+    let (scale, scale_name) = if smoke {
+        (smoke_scale(), "smoke")
+    } else if quick {
+        (Scale::quick(), "quick")
+    } else {
+        (Scale::full(), "full")
+    };
+
+    // Stage 1 — per-environment throughput, measured serially so each
+    // number is a single-core accesses/sec figure, untainted by pool
+    // scheduling. The digest of every run goes to stdout.
+    let workload = WorkloadKind::Gups;
+    let mut points = Vec::new();
+    let mut total_driven = 0u64;
+    let mut total_wall = 0.0f64;
+    println!("# hotpath digests ({scale_name} scale, {} envs)", PAPER_10_ENVS.len());
+    for (paging, env) in PAPER_10_ENVS {
+        let cfg = config(workload, paging, env, &scale);
+        let label = cfg.label();
+        let driven = cfg.warmup + cfg.accesses;
+        // Repeat and keep the fastest wall time: simulated work is
+        // identical per repeat, so the minimum is the least-noisy
+        // estimate of what the code costs.
+        let mut wall = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..repeats {
+            let t = Instant::now();
+            let r = Simulation::run(&cfg)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            wall = wall.min(t.elapsed().as_secs_f64());
+            result = Some(r);
+        }
+        let r = result.expect("at least one repeat ran");
+        println!("{}", digest(&label, &r));
+        if !quiet {
+            eprintln!(
+                "  {label:<10} {driven:>9} accesses in {wall:>7.3}s  ({:>12.0} acc/s)",
+                driven as f64 / wall
+            );
+        }
+        total_driven += driven;
+        total_wall += wall;
+        points.push(EnvPoint {
+            env: label,
+            driven_accesses: driven,
+            wall_s: wall,
+            accesses_per_sec: driven as f64 / wall,
+        });
+    }
+    let total_aps = total_driven as f64 / total_wall;
+    if !quiet {
+        eprintln!(
+            "  sweep: {total_driven} accesses in {total_wall:.3}s  ({total_aps:.0} acc/s aggregate)"
+        );
+    }
+
+    // Stage 2 — wall-clock of the full quick grid (both fixture
+    // workloads, all ten environments) on the requested worker count.
+    let cells: Vec<GridCell> = [WorkloadKind::Gups, WorkloadKind::Memcached]
+        .into_iter()
+        .flat_map(|w| {
+            PAPER_10_ENVS
+                .into_iter()
+                .map(move |(paging, env)| GridCell::new(config(w, paging, env, &scale)))
+        })
+        .collect();
+    let t = Instant::now();
+    let report = Simulation::run_grid(&cells, jobs);
+    let grid_wall = t.elapsed().as_secs_f64();
+    if let Some((i, failure)) = report.failures().next() {
+        panic!("grid cell {i} failed: {failure}");
+    }
+    println!("# grid digest ({} cells)", cells.len());
+    for (cell, r) in cells.iter().zip(report.results()) {
+        println!("{}/{}", cell.cfg.workload.label(), digest(&cell.cfg.label(), r));
+    }
+    if !quiet {
+        eprintln!("  grid: {} cells in {grid_wall:.3}s at --jobs {jobs}", cells.len());
+    }
+
+    // Stage 3 — the JSON trajectory point (timings live here, not stdout).
+    if let Some(path) = out {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"bench\": \"hotpath\",\n");
+        json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+        json.push_str(&format!("  \"workload\": \"{}\",\n", workload.label()));
+        json.push_str("  \"envs\": [\n");
+        for (i, p) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"env\": \"{}\", \"driven_accesses\": {}, \"wall_s\": {:.6}, \
+                 \"accesses_per_sec\": {:.0}}}{}\n",
+                p.env,
+                p.driven_accesses,
+                p.wall_s,
+                p.accesses_per_sec,
+                if i + 1 < points.len() { "," } else { "" },
+            ));
+        }
+        json.push_str("  ],\n");
+        json.push_str(&format!(
+            "  \"total_driven_accesses\": {total_driven},\n  \"total_wall_s\": {total_wall:.6},\n  \
+             \"total_accesses_per_sec\":{total_aps:.0},\n"
+        ));
+        json.push_str(&format!(
+            "  \"grid\": {{\"cells\": {}, \"jobs\": {}, \"wall_s\": {:.6}}}",
+            cells.len(),
+            jobs,
+            grid_wall
+        ));
+        if let Some(base_path) = baseline {
+            match std::fs::read_to_string(&base_path) {
+                Ok(text) => {
+                    let base = json_number(&text, "total_accesses_per_sec");
+                    if let Some(base_aps) = base {
+                        let speedup = total_aps / base_aps;
+                        json.push_str(&format!(
+                            ",\n  \"baseline\": {{\"path\": \"{base_path}\", \
+                             \"total_accesses_per_sec\":{base_aps:.0}, \
+                             \"speedup\": {speedup:.3}}}"
+                        ));
+                        if !quiet {
+                            eprintln!("  speedup vs {base_path}: {speedup:.2}x");
+                        }
+                    } else {
+                        eprintln!("warning: no total_accesses_per_sec in {base_path}");
+                    }
+                }
+                Err(e) => eprintln!("warning: cannot read baseline {base_path}: {e}"),
+            }
+        }
+        json.push_str("\n}\n");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        if !quiet {
+            eprintln!("  wrote {path}");
+        }
+    }
+}
+
+/// Extracts `--flag VALUE` from the argument list.
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(v) => Some(v.clone()),
+        None => {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        }
+    }
+}

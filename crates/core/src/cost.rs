@@ -73,6 +73,25 @@ pub struct PteCache {
     lines: AssocCache<u64, ()>,
 }
 
+/// Hashes a 64-byte line address to a set index, as real last-level
+/// caches hash physical addresses, so regular page-table-page strides
+/// cannot alias pathologically.
+///
+/// The full 64-bit product's *upper* half is kept before the cache
+/// reduces it to `[0, nsets)` — masked for power-of-two set counts,
+/// modulo otherwise. Both reductions stay uniform because a golden-ratio
+/// multiply diffuses every input bit into the kept half: low bits of the
+/// hash (the masked ones) depend on all bits of `line`, and the 32-bit
+/// range is so much larger than any set count that modulo bias is
+/// negligible. A truncating variant that kept the *low* product half
+/// would alias sequential lines of one page-table page onto a handful of
+/// sets; `set_hash_spreads_structured_strides` pins the distribution for
+/// both power-of-two and non-power-of-two geometries.
+#[inline]
+fn set_hash(line: u64) -> usize {
+    (line.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize
+}
+
 impl PteCache {
     /// Creates a residency model of `lines` cache lines with `ways`
     /// associativity. The default simulator configuration uses 4096 lines
@@ -91,15 +110,16 @@ impl PteCache {
 
     /// Charges one walk memory reference at physical address `pa`,
     /// returning its cycle cost and updating residency.
+    #[inline]
     pub fn access(&mut self, pa: u64, costs: &CostParams) -> u64 {
         let line = pa >> 6;
-        // Hash the set index (as real last-level caches do) so regular
-        // page-table-page strides cannot alias pathologically.
-        let set = (line.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize;
-        if self.lines.lookup(set, &line).is_some() {
+        let set = set_hash(line);
+        // Fused lookup+fill: no other cache operation can interleave
+        // between the residency check and the fill, so the single-scan
+        // variant is state-identical to lookup-then-insert.
+        if self.lines.touch_or_fill(set, line, ()) {
             costs.cache_hit
         } else {
-            self.lines.insert(set, line, ());
             costs.dram
         }
     }
@@ -107,6 +127,12 @@ impl PteCache {
     /// Drops all residency state.
     pub fn flush(&mut self) {
         self.lines.flush();
+    }
+
+    /// Number of sets the residency model indexes into (for tests).
+    #[cfg(test)]
+    fn nsets(&self) -> usize {
+        self.lines.nsets()
     }
 
     /// `(lookups, hits)` over the model's lifetime.
@@ -146,6 +172,50 @@ mod tests {
         }
         // The first line must have been evicted by the stream.
         assert_eq!(pc.access(0, &costs), costs.dram);
+    }
+
+    /// Applies the same reduction [`AssocCache`] applies to a caller
+    /// set index: mask for power-of-two set counts, modulo otherwise.
+    fn reduce(set: usize, nsets: usize) -> usize {
+        if nsets.is_power_of_two() {
+            set & (nsets - 1)
+        } else {
+            set % nsets
+        }
+    }
+
+    #[test]
+    fn set_hash_spreads_structured_strides() {
+        // The aliasing audit for the satellite bugfix: walk references
+        // arrive in highly structured strides — sequential PTE lines
+        // within one page-table page (64 B apart), page-table pages 4 KiB
+        // apart (64 lines), and upper-level tables whole regions apart.
+        // For every stride and both power-of-two (the default 512) and
+        // non-power-of-two set counts, the hashed-and-reduced set index
+        // must use every set and stay near-uniform: no set may see more
+        // than 2x its fair share.
+        let default_sets = PteCache::default_geometry().nsets();
+        assert_eq!(default_sets, 512, "default geometry pins 512 sets");
+        for nsets in [default_sets, 12, 96] {
+            for stride in [1u64, 64, 512, 4096] {
+                let n = nsets * 64;
+                let mut counts = vec![0u32; nsets];
+                for i in 0..n as u64 {
+                    counts[reduce(set_hash(i * stride), nsets)] += 1;
+                }
+                let mean = (n / nsets) as u32;
+                let max = *counts.iter().max().unwrap();
+                let used = counts.iter().filter(|&&c| c > 0).count();
+                assert_eq!(
+                    used, nsets,
+                    "stride {stride} must reach all {nsets} sets"
+                );
+                assert!(
+                    max <= 2 * mean,
+                    "stride {stride} over {nsets} sets: max load {max} > 2x mean {mean}"
+                );
+            }
+        }
     }
 
     #[test]

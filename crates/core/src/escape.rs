@@ -115,8 +115,21 @@ impl EscapeFilter {
 
     /// Whether the page containing `page_addr` may be escaped. False
     /// positives are possible; false negatives are not.
+    ///
+    /// A filter holding nothing escapes nothing. The explicit guards make
+    /// that structurally true: the `inserted == 0` fast path skips the
+    /// hash work entirely on the (common) pristine filter, and the
+    /// `rows.is_empty()` check closes the vacuous-truth hole — `all()`
+    /// over zero hash rows would return `true` for *every* address,
+    /// turning a degenerate zero-hash filter into one that escapes the
+    /// whole address space. Construction rejects that geometry (see
+    /// `zero_hash_geometry_panics`), and this guard keeps the answer safe
+    /// even for a filter obtained some other way.
     #[inline]
     pub fn maybe_contains(&self, page_addr: u64) -> bool {
+        if self.inserted == 0 || self.rows.is_empty() {
+            return false;
+        }
         let key = page_addr >> 12;
         (0..self.rows.len()).all(|h| {
             let idx = self.h3(h, key);
@@ -271,5 +284,33 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_geometry_panics() {
         let _ = EscapeFilter::with_geometry(0, 100, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash function")]
+    fn zero_hash_geometry_panics() {
+        // A zero-hash filter would make `maybe_contains`'s `all()` over
+        // the hash rows vacuously true — every page would escape. The
+        // constructor must reject the geometry outright.
+        let _ = EscapeFilter::with_geometry(0, 256, 0);
+    }
+
+    #[test]
+    fn pristine_filter_never_escapes_even_without_hash_rows() {
+        // Defense in depth for the vacuous-truth hole: even if a filter
+        // with zero hash rows existed (bypassing the constructor assert),
+        // `maybe_contains` must answer false, not escape every address.
+        let mut f = EscapeFilter::new(8);
+        f.rows.clear(); // simulate the degenerate geometry directly
+        assert_eq!(f.num_hashes(), 0);
+        for addr in [0u64, 0x1000, 0xdead_b000, !0xfffu64] {
+            assert!(
+                !f.maybe_contains(addr),
+                "zero-hash filter must escape nothing, not everything"
+            );
+        }
+        // The guard holds even once an insertion bumps the counter.
+        f.inserted = 1;
+        assert!(!f.maybe_contains(0x1000));
     }
 }

@@ -564,9 +564,12 @@ impl Mmu {
             mode: self.mode.label(),
             class,
             write,
+            // Deltas of u64 counters, passed through losslessly — these
+            // were once narrowed `as u32`, which silently truncated long
+            // multi-walk deltas (see `emit_event_ref_counts_are_lossless`).
             cycles: c.translation_cycles - pre.translation_cycles,
-            guest_refs: (c.guest_walk_refs - pre.guest_walk_refs) as u32,
-            nested_refs: (c.nested_walk_refs - pre.nested_walk_refs) as u32,
+            guest_refs: c.guest_walk_refs - pre.guest_walk_refs,
+            nested_refs: c.nested_walk_refs - pre.nested_walk_refs,
             escape,
             fault,
         });
@@ -920,5 +923,54 @@ fn leaf_size(level: u8) -> PageSize {
         2 => PageSize::Size2M,
         3 => PageSize::Size1G,
         _ => unreachable!("no leaves above level 3"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Observer that records every delivered event verbatim.
+    #[derive(Debug, Default)]
+    struct Capture(Rc<RefCell<Vec<WalkEvent>>>);
+
+    impl WalkObserver for Capture {
+        fn on_walk(&mut self, event: &WalkEvent) {
+            self.0.borrow_mut().push(*event);
+        }
+    }
+
+    #[test]
+    fn emit_event_ref_counts_are_lossless() {
+        // Regression test for the `as u32` truncation: `emit_event`
+        // reports per-access deltas of the u64 walk-ref and cycle
+        // counters, and a delta above u32::MAX (a long multi-walk
+        // retry chain) must arrive unclipped at the observer.
+        let mut mmu = Mmu::new(MmuConfig::default());
+        let events = Rc::new(RefCell::new(Vec::new()));
+        mmu.set_observer(Box::new(Capture(events.clone())));
+
+        let pre = mmu.counters;
+        let huge = u64::from(u32::MAX) + 77;
+        mmu.counters.guest_walk_refs = huge;
+        mmu.counters.nested_walk_refs = 2 * huge;
+        mmu.counters.translation_cycles = 3 * huge;
+        let result = Ok(AccessOutcome {
+            hpa: Hpa::new(0x1000),
+            path: HitPath::PageWalk,
+            cycles: 0,
+        });
+        mmu.emit_event(Gva::new(0x4000), false, &pre, &result);
+
+        let got = events.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(
+            got[0].guest_refs, huge,
+            "guest-ref delta was truncated (historically cast `as u32`)"
+        );
+        assert_eq!(got[0].nested_refs, 2 * huge);
+        assert_eq!(got[0].cycles, 3 * huge, "cycle delta must stay u64");
     }
 }

@@ -135,10 +135,15 @@ pub struct WalkEvent {
     pub write: bool,
     /// Translation cycles charged to this access.
     pub cycles: u64,
-    /// Guest-dimension page-table references performed.
-    pub guest_refs: u32,
-    /// Nested-dimension page-table references performed.
-    pub nested_refs: u32,
+    /// Guest-dimension page-table references performed. Carried at the
+    /// counters' full width: the value is a delta of two `u64` MMU
+    /// counters, and one serviced access can legitimately accumulate a
+    /// large delta (a long fault-retry chain re-walks both dimensions on
+    /// every attempt), so narrowing here would silently truncate.
+    pub guest_refs: u64,
+    /// Nested-dimension page-table references performed (same width
+    /// rationale as `guest_refs`).
+    pub nested_refs: u64,
     /// Escape-filter outcome.
     pub escape: EscapeOutcome,
     /// Fault observed, if any.

@@ -356,6 +356,31 @@ mod tests {
     }
 
     #[test]
+    fn event_json_ref_counts_above_u32_are_lossless() {
+        // Companion to the MMU-side truncation regression test: the event
+        // fields are u64 end to end, so a delta above u32::MAX must
+        // round-trip through the JSONL rendering unclipped.
+        let huge = u64::from(u32::MAX) + 77;
+        let e = WalkEvent {
+            seq: 1,
+            gva: 0x1000,
+            gpa: None,
+            mode: "4K+4K",
+            class: WalkClass::Walk2d,
+            write: false,
+            cycles: 3 * huge,
+            guest_refs: huge,
+            nested_refs: 2 * huge,
+            escape: EscapeOutcome::NotChecked,
+            fault: FaultKind::None,
+        };
+        let s = event_jsonl(&e);
+        assert!(s.contains(&format!("\"guest_refs\":{huge}")), "line: {s}");
+        assert!(s.contains(&format!("\"nested_refs\":{}", 2 * huge)));
+        assert!(s.contains(&format!("\"cycles\":{}", 3 * huge)));
+    }
+
+    #[test]
     fn prometheus_exposition_shape() {
         let t = sample_telemetry();
         let text = t.prometheus(&[("workload", "gups"), ("config", "4K+4K")]);

@@ -5,14 +5,22 @@
 //! and page walks read those entries through this store. Only frames that
 //! have ever been written are materialized, so multi-GiB physical spaces stay
 //! cheap to model.
-
-use std::collections::HashMap;
+//!
+//! Physical spaces are dense — frames number `0..size/4K` with no holes —
+//! so the store is a directly-indexed page directory (`Vec` of lazily
+//! boxed frames) rather than a hash map. Page walks read several entries
+//! per access; indexing by frame number keeps each read to a bounds check
+//! and two loads, where hashing the frame number would cost more than the
+//! walk step it models. The directory grows on first write to a frame, so
+//! an empty store stays empty-sized and untouched tails of large spaces
+//! cost one pointer-sized slot each only once something above them is
+//! written.
 
 use mv_types::{Address, PAGE_SHIFT_4K};
 
 use crate::ENTRIES_PER_FRAME;
 
-/// Sparse map from frame index to 512-entry frame contents.
+/// Directly-indexed map from frame index to 512-entry frame contents.
 ///
 /// # Example
 ///
@@ -26,7 +34,7 @@ use crate::ENTRIES_PER_FRAME;
 /// assert_eq!(store.read_u64(Hpa::new(0x2000)), 0); // untouched memory reads zero
 /// ```
 pub struct FrameStore<A> {
-    frames: HashMap<u64, Box<[u64; ENTRIES_PER_FRAME]>>,
+    frames: Vec<Option<Box<[u64; ENTRIES_PER_FRAME]>>>,
     _space: core::marker::PhantomData<fn() -> A>,
 }
 
@@ -34,19 +42,23 @@ impl<A: Address> FrameStore<A> {
     /// Creates an empty store.
     pub fn new() -> Self {
         Self {
-            frames: HashMap::new(),
+            frames: Vec::new(),
             _space: core::marker::PhantomData,
         }
     }
 
     /// Reads the naturally-aligned 64-bit word at `addr`. Untouched memory
     /// reads as zero, matching freshly-zeroed frames.
+    #[inline]
     pub fn read_u64(&self, addr: A) -> u64 {
         let raw = addr.as_u64();
         debug_assert_eq!(raw % 8, 0, "unaligned 64-bit read at {raw:#x}");
-        let frame = raw >> PAGE_SHIFT_4K;
-        let idx = ((raw & 0xfff) / 8) as usize;
-        self.frames.get(&frame).map_or(0, |f| f[idx])
+        let frame = (raw >> PAGE_SHIFT_4K) as usize;
+        let idx = ((raw & 0xfff) >> 3) as usize;
+        match self.frames.get(frame) {
+            Some(Some(f)) => f[idx],
+            _ => 0,
+        }
     }
 
     /// Writes the naturally-aligned 64-bit word at `addr`, materializing the
@@ -54,36 +66,45 @@ impl<A: Address> FrameStore<A> {
     pub fn write_u64(&mut self, addr: A, value: u64) {
         let raw = addr.as_u64();
         debug_assert_eq!(raw % 8, 0, "unaligned 64-bit write at {raw:#x}");
-        let frame = raw >> PAGE_SHIFT_4K;
-        let idx = ((raw & 0xfff) / 8) as usize;
-        self.frames
-            .entry(frame)
-            .or_insert_with(|| Box::new([0; ENTRIES_PER_FRAME]))[idx] = value;
+        let frame = (raw >> PAGE_SHIFT_4K) as usize;
+        let idx = ((raw & 0xfff) >> 3) as usize;
+        if frame >= self.frames.len() {
+            self.frames.resize_with(frame + 1, || None);
+        }
+        self.frames[frame].get_or_insert_with(|| Box::new([0; ENTRIES_PER_FRAME]))[idx] = value;
     }
 
     /// Moves the contents of frame `from` to frame `to` (frame indices, not
     /// byte addresses). Used by memory compaction. A source frame that was
     /// never written moves as all-zeroes (i.e., clears the destination).
     pub fn relocate_frame(&mut self, from: u64, to: u64) {
-        match self.frames.remove(&from) {
+        let contents = self
+            .frames
+            .get_mut(from as usize)
+            .and_then(|slot| slot.take());
+        match contents {
             Some(contents) => {
-                self.frames.insert(to, contents);
+                let to = to as usize;
+                if to >= self.frames.len() {
+                    self.frames.resize_with(to + 1, || None);
+                }
+                self.frames[to] = Some(contents);
             }
-            None => {
-                self.frames.remove(&to);
-            }
+            None => self.clear_frame(to),
         }
     }
 
     /// Discards the contents of frame `frame_idx` (frees the backing
     /// storage).
     pub fn clear_frame(&mut self, frame_idx: u64) {
-        self.frames.remove(&frame_idx);
+        if let Some(slot) = self.frames.get_mut(frame_idx as usize) {
+            *slot = None;
+        }
     }
 
     /// Number of materialized frames.
     pub fn materialized_frames(&self) -> usize {
-        self.frames.len()
+        self.frames.iter().filter(|f| f.is_some()).count()
     }
 }
 
@@ -97,7 +118,7 @@ impl<A: Address> std::fmt::Debug for FrameStore<A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FrameStore")
             .field("space", &A::SPACE)
-            .field("materialized_frames", &self.frames.len())
+            .field("materialized_frames", &self.materialized_frames())
             .finish()
     }
 }
@@ -140,6 +161,16 @@ mod tests {
         s.write_u64(Hpa::new(0x5000), 42);
         s.relocate_frame(1, 5); // frame 1 never written
         assert_eq!(s.read_u64(Hpa::new(0x5000)), 0);
+    }
+
+    #[test]
+    fn relocate_from_beyond_the_directory_clears_destination() {
+        let mut s: FrameStore<Hpa> = FrameStore::new();
+        s.write_u64(Hpa::new(0x2000), 9);
+        // Source frame far above anything ever written: moves as zeroes.
+        s.relocate_frame(1 << 30, 2);
+        assert_eq!(s.read_u64(Hpa::new(0x2000)), 0);
+        assert_eq!(s.materialized_frames(), 0);
     }
 
     #[test]

@@ -178,6 +178,11 @@ pub(crate) struct Instruments {
     /// takes the exact chaos-free path, keeping golden replays
     /// byte-identical.
     pub(crate) chaos: Option<ChaosSpec>,
+    /// Forces single-access batches in the driver loop. Exists solely so
+    /// equivalence tests can run the reference access-at-a-time pacing
+    /// against the batched default and assert byte-identical results; it
+    /// changes scheduling granularity, never behavior.
+    pub(crate) reference_pacing: bool,
 }
 
 impl Instruments {
@@ -240,6 +245,36 @@ impl ChurnPlan {
     pub(crate) fn due(&self, i: u64) -> bool {
         self.interval > 0 && i % self.interval == 0 && i > 0
     }
+
+    /// The first index strictly after `i` at which a churn event is due —
+    /// `u64::MAX` for a churn-free schedule. Together with `due` this is
+    /// the batching contract: `due(j)` is false for every `j` in
+    /// `(i, next_due(i))`, and true at `next_due(i)` itself, so the
+    /// driver may run that whole span without re-checking the schedule.
+    pub(crate) fn next_due(&self, i: u64) -> u64 {
+        i.checked_div(self.interval)
+            .map_or(u64::MAX, |q| (q + 1) * self.interval)
+    }
+}
+
+/// The end (exclusive) of the batch starting at access `i`: the driver
+/// services accesses `[i, end)` back to back, re-checking per-access
+/// schedules only at `end`. The boundary is the earliest of the run end,
+/// the warmup boundary (counter reset + instrument attach), and the next
+/// due churn event — so every scheduled event still fires at exactly the
+/// index it would under access-at-a-time pacing. `per_access` (chaos
+/// active, or the reference pacing used by equivalence tests) degenerates
+/// the batch to a single access, since fault injection and the oracle
+/// hook in before and after every access.
+fn batch_end(i: u64, total: u64, warmup: u64, churn: &ChurnPlan, per_access: bool) -> u64 {
+    if per_access {
+        return i + 1;
+    }
+    let mut end = total;
+    if i < warmup {
+        end = end.min(warmup);
+    }
+    end.min(churn.next_due(i))
 }
 
 /// The single driver loop: runs `cfg` on machine type `M`.
@@ -264,7 +299,13 @@ pub(crate) fn drive<M: Machine>(
         .map(ChaosDriver::new);
     let mut telemetry = None;
     let total = cfg.warmup + cfg.accesses;
-    for i in 0..total {
+    // Chaos hooks in before and after *every* access (residency counting,
+    // scheduled injection, the oracle cross-check), so an active chaos
+    // driver pins the batch size to one; the chaos-free hot path amortizes
+    // the warmup and churn schedule checks across whole batches.
+    let per_access = chaos.is_some() || instr.reference_pacing;
+    let mut i = 0u64;
+    while i < total {
         if i == cfg.warmup {
             // Warmup boundary: counters reset, the machine snapshots its
             // exit counters, and instruments attach — in that order, so
@@ -279,36 +320,98 @@ pub(crate) fn drive<M: Machine>(
         if churn.due(i) {
             machine.churn_event(&mut mmu)?;
         }
-        if let Some(c) = chaos.as_mut() {
-            c.pre_access(&mut machine, &mut mmu, i);
-        }
-        let acc = workload.next_access();
-        let va = Gva::new(base + acc.offset);
-        let mut tries = 0u32;
-        let outcome = loop {
-            let fault = match mmu.access(&machine.ctx(), asid, va, acc.write) {
-                Ok(outcome) => break outcome,
-                Err(fault) => fault,
+        // Everything scheduled by access index fires at the head of a
+        // batch: `batch_end` is the earliest index after `i` at which the
+        // warmup boundary or a churn event could be due, so the checks
+        // above need not run again inside the batch.
+        let end = batch_end(i, total, cfg.warmup, &churn, per_access);
+        debug_assert!(end > i, "a batch always advances");
+        if per_access {
+            // Chaos (or reference pacing) owns this path: batch_end pinned
+            // the batch to a single access, and the hooks need the machine
+            // mutably around it.
+            if let Some(c) = chaos.as_mut() {
+                c.pre_access(&mut machine, &mut mmu, i);
+            }
+            let acc = workload.next_access();
+            let va = Gva::new(base + acc.offset);
+            let mut tries = 0u32;
+            let outcome = loop {
+                let fault = match mmu.access(&machine.ctx(), asid, va, acc.write) {
+                    Ok(outcome) => break outcome,
+                    Err(fault) => fault,
+                };
+                if machine.service_fault(fault)? == FaultService::Unserviceable {
+                    return Err(SimError::FaultLoop {
+                        va: va.as_u64(),
+                        last: fault,
+                    });
+                }
+                tries += 1;
+                if tries > MAX_FAULTS_PER_ACCESS {
+                    // Report the fault actually observed on the final
+                    // iteration — not a synthesized placeholder — so a
+                    // diverging retry loop names its real cause.
+                    return Err(SimError::FaultLoop {
+                        va: va.as_u64(),
+                        last: fault,
+                    });
+                }
             };
-            if machine.service_fault(fault)? == FaultService::Unserviceable {
-                return Err(SimError::FaultLoop {
-                    va: va.as_u64(),
-                    last: fault,
-                });
+            if let Some(c) = chaos.as_mut() {
+                c.post_access(&machine, i, va, outcome.hpa.as_u64());
             }
-            tries += 1;
-            if tries > MAX_FAULTS_PER_ACCESS {
-                // Report the fault actually observed on the final
-                // iteration — not a synthesized placeholder — so a
-                // diverging retry loop names its real cause.
-                return Err(SimError::FaultLoop {
-                    va: va.as_u64(),
-                    last: fault,
-                });
+            i += 1;
+            continue;
+        }
+        // The amortized hot path: the memory context is a pure borrow of
+        // the machine's tables and spaces (building it costs hash-map
+        // lookups), so one context serves the whole batch. A fault ends
+        // the borrow — servicing needs the machine mutably — after which
+        // the batch resumes with a fresh one. The sequence of
+        // `mmu.access` and `service_fault` calls is identical to
+        // per-access pacing; only the borrow's lifetime changes.
+        while i < end {
+            let ctx = machine.ctx();
+            let mut faulted = None;
+            while i < end {
+                let acc = workload.next_access();
+                let va = Gva::new(base + acc.offset);
+                match mmu.access(&ctx, asid, va, acc.write) {
+                    Ok(_) => i += 1,
+                    Err(fault) => {
+                        faulted = Some((va, acc.write, fault));
+                        break;
+                    }
+                }
             }
-        };
-        if let Some(c) = chaos.as_mut() {
-            c.post_access(&machine, i, va, outcome.hpa.as_u64());
+            let Some((va, write, mut fault)) = faulted else {
+                continue;
+            };
+            let mut tries = 0u32;
+            loop {
+                if machine.service_fault(fault)? == FaultService::Unserviceable {
+                    return Err(SimError::FaultLoop {
+                        va: va.as_u64(),
+                        last: fault,
+                    });
+                }
+                tries += 1;
+                if tries > MAX_FAULTS_PER_ACCESS {
+                    // Report the fault actually observed on the final
+                    // iteration — not a synthesized placeholder — so a
+                    // diverging retry loop names its real cause.
+                    return Err(SimError::FaultLoop {
+                        va: va.as_u64(),
+                        last: fault,
+                    });
+                }
+                match mmu.access(&machine.ctx(), asid, va, write) {
+                    Ok(_) => break,
+                    Err(f) => fault = f,
+                }
+            }
+            i += 1;
         }
     }
 
@@ -380,6 +483,76 @@ mod tests {
         assert!(!every.due(0));
         assert!(every.due(1));
         assert!(every.due(2));
+    }
+
+    #[test]
+    fn next_due_is_the_first_due_index_after_i() {
+        for per_million in [0u64, 45_000, 500_000, 1_000_000] {
+            let plan = ChurnPlan::new(per_million);
+            for i in 0..200u64 {
+                let next = plan.next_due(i);
+                for j in i + 1..next.min(200) {
+                    assert!(!plan.due(j), "due({j}) inside ({i}, {next})");
+                }
+                if next < u64::MAX {
+                    assert!(plan.due(next), "next_due({i}) = {next} must be due");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_iteration_fires_events_at_identical_indices() {
+        // The boundary invariant, exhaustively: walking a run batch by
+        // batch must visit the warmup boundary and every churn index at
+        // exactly the indices the per-access reference loop visits them,
+        // for runs where events land mid-batch, on batch boundaries, and
+        // at the warmup boundary itself (churn interval dividing warmup).
+        for (warmup, accesses, per_million) in [
+            (0u64, 50u64, 0u64),
+            (10, 50, 0),
+            (10, 50, 45_000),     // interval 22: mid-batch events
+            (20, 40, 100_000),    // interval 10: churn due exactly at warmup
+            (7, 30, 1_000_000),   // interval 1: every index is a boundary
+            (30, 0, 500_000),     // warmup only
+        ] {
+            let total = warmup + accesses;
+            let churn = ChurnPlan::new(per_million);
+            let mut reference = Vec::new();
+            for i in 0..total {
+                if i == warmup {
+                    reference.push((i, "warmup"));
+                }
+                if churn.due(i) {
+                    reference.push((i, "churn"));
+                }
+            }
+            let mut batched = Vec::new();
+            let mut i = 0u64;
+            while i < total {
+                if i == warmup {
+                    batched.push((i, "warmup"));
+                }
+                if churn.due(i) {
+                    batched.push((i, "churn"));
+                }
+                let end = batch_end(i, total, warmup, &churn, false);
+                assert!(end > i, "batches advance");
+                assert!(end <= total, "batches never overrun the run");
+                i = end;
+            }
+            assert_eq!(
+                batched, reference,
+                "warmup={warmup} accesses={accesses} churn/M={per_million}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_access_pacing_degenerates_to_single_access_batches() {
+        let churn = ChurnPlan::new(0);
+        assert_eq!(batch_end(5, 100, 0, &churn, true), 6);
+        assert_eq!(batch_end(5, 100, 0, &churn, false), 100);
     }
 
     #[test]

@@ -142,9 +142,35 @@ impl Simulation {
         let instr = Instruments {
             trace_capacity,
             telemetry,
-            chaos: None,
+            ..Instruments::default()
         };
         Self::dispatch(cfg, hw, &instr)
+    }
+
+    /// Runs with the driver's batching disabled: every access is paced
+    /// one at a time, re-checking the warmup boundary and churn schedule
+    /// before each, exactly as the pre-batching driver did. Scheduling
+    /// granularity is the *only* difference from the batched path, so the
+    /// results must be byte-identical — the batch-boundary equivalence
+    /// tests assert exactly that. Not part of the supported API.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run`].
+    #[doc(hidden)]
+    pub fn run_reference_paced(
+        cfg: &SimConfig,
+        hw: MmuConfig,
+        telemetry: Option<TelemetryConfig>,
+        chaos: Option<ChaosSpec>,
+    ) -> Result<RunResult, SimError> {
+        let instr = Instruments {
+            telemetry,
+            chaos,
+            reference_pacing: true,
+            ..Instruments::default()
+        };
+        Ok(Self::dispatch(cfg, hw, &instr)?.0)
     }
 
     /// Like [`Simulation::run_with_mmu`], with deterministic fault
@@ -165,9 +191,9 @@ impl Simulation {
         chaos: ChaosSpec,
     ) -> Result<RunResult, SimError> {
         let instr = Instruments {
-            trace_capacity: None,
             telemetry,
             chaos: Some(chaos),
+            ..Instruments::default()
         };
         Ok(Self::dispatch(cfg, hw, &instr)?.0)
     }

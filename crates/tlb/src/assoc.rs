@@ -1,7 +1,25 @@
-//! Generic set-associative cache with true-LRU replacement.
+//! Generic set-associative cache with true-LRU replacement, backed by
+//! fixed-geometry struct-of-arrays storage.
+//!
+//! The geometry (`nsets × ways`) is fixed at construction, so the cache
+//! is three dense parallel arrays — keys, values, LRU stamps — each of
+//! exactly `nsets × ways` slots, plus a per-set occupancy count. Set `s`
+//! owns the contiguous slot range `[s·ways, (s+1)·ways)`; a lookup is a
+//! masked index plus a linear scan of at most `ways` adjacent slots, and
+//! never touches a hash function or chases a per-set allocation. When
+//! `nsets` is a power of two (every shipped geometry) the set index is
+//! `set & (nsets − 1)`; otherwise it falls back to `set % nsets` — the
+//! mask would alias high sets onto low ones and leave slots unreachable,
+//! see `non_pow2_set_counts_use_every_set` below.
+//!
+//! Replacement is true LRU via a per-cache monotonic stamp. Slot motion
+//! on eviction deliberately mirrors the historical `Vec::swap_remove` +
+//! `push` sequence (the last way moves into the victim's slot, the new
+//! entry lands in the last slot) so that scan order, eviction choices,
+//! and every derived counter are byte-identical to the pre-SoA
+//! implementation — the `machine_equiv` golden fixture pins this.
 
 use core::fmt;
-use core::hash::Hash;
 
 /// Hit/miss counters for a cache structure.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,11 +51,24 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Way<K, V> {
-    key: K,
-    value: V,
-    stamp: u64,
+/// The dense backing arrays. Allocated lazily on the first insert: the
+/// slots beyond a set's occupancy count are never read, but they must
+/// hold *some* `K`/`V`, and the first inserted entry supplies the filler
+/// without imposing a `Default` bound on callers.
+struct Slots<K, V> {
+    keys: Vec<K>,
+    values: Vec<V>,
+    stamps: Vec<u64>,
+}
+
+impl<K: Copy, V: Copy> Slots<K, V> {
+    fn filled(total: usize, key: K, value: V) -> Self {
+        Slots {
+            keys: vec![key; total],
+            values: vec![value; total],
+            stamps: vec![0; total],
+        }
+    }
 }
 
 /// A set-associative cache mapping keys to values, with per-set true-LRU
@@ -57,13 +88,22 @@ struct Way<K, V> {
 /// assert_eq!(c.stats().hits, 1);
 /// ```
 pub struct AssocCache<K, V> {
-    sets: Vec<Vec<Way<K, V>>>,
+    slots: Option<Slots<K, V>>,
+    /// Occupied ways per set; only slots below the count are live.
+    lens: Vec<u32>,
+    nsets: usize,
     ways: usize,
+    /// `nsets − 1` when `nsets` is a power of two; the modulo fallback
+    /// is flagged by `usize::MAX` (no valid mask, since `ways > 0`).
+    set_mask: usize,
     stamp: u64,
     stats: CacheStats,
 }
 
-impl<K: Eq + Hash + Copy, V> AssocCache<K, V> {
+/// Sentinel for "no power-of-two mask, reduce by modulo".
+const NO_MASK: usize = usize::MAX;
+
+impl<K: Eq + Copy, V: Copy> AssocCache<K, V> {
     /// Creates a cache with `nsets` sets of `ways` ways.
     ///
     /// # Panics
@@ -72,8 +112,15 @@ impl<K: Eq + Hash + Copy, V> AssocCache<K, V> {
     pub fn new(nsets: usize, ways: usize) -> Self {
         assert!(nsets > 0 && ways > 0, "cache must have sets and ways");
         Self {
-            sets: (0..nsets).map(|_| Vec::with_capacity(ways)).collect(),
+            slots: None,
+            lens: vec![0; nsets],
+            nsets,
             ways,
+            set_mask: if nsets.is_power_of_two() {
+                nsets - 1
+            } else {
+                NO_MASK
+            },
             stamp: 0,
             stats: CacheStats::default(),
         }
@@ -82,13 +129,13 @@ impl<K: Eq + Hash + Copy, V> AssocCache<K, V> {
     /// Number of sets.
     #[inline]
     pub fn nsets(&self) -> usize {
-        self.sets.len()
+        self.nsets
     }
 
     /// Total capacity in entries.
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.nsets * self.ways
     }
 
     /// Counter snapshot.
@@ -102,94 +149,210 @@ impl<K: Eq + Hash + Copy, V> AssocCache<K, V> {
         self.stats = CacheStats::default();
     }
 
+    /// Reduces a caller-supplied set index to `[0, nsets)`. Power-of-two
+    /// geometries take the mask path (no integer division on the hot
+    /// path); others must divide — masking a non-power-of-two count
+    /// would alias onto a subset of the sets.
+    #[inline(always)]
+    fn set_of(&self, set: usize) -> usize {
+        if self.set_mask != NO_MASK {
+            set & self.set_mask
+        } else {
+            set % self.nsets
+        }
+    }
+
     /// Looks up `key` in set `set`, updating LRU state and counters.
+    #[inline]
     pub fn lookup(&mut self, set: usize, key: &K) -> Option<&V> {
         self.stats.lookups += 1;
         self.stamp += 1;
-        let idx = set % self.sets.len();
-        let set = &mut self.sets[idx];
-        for way in set.iter_mut() {
-            if way.key == *key {
-                way.stamp = self.stamp;
+        let si = self.set_of(set);
+        let len = self.lens[si] as usize;
+        let slots = match &mut self.slots {
+            Some(slots) if len > 0 => slots,
+            _ => return None,
+        };
+        let base = si * self.ways;
+        let keys = &slots.keys[base..base + len];
+        for (i, k) in keys.iter().enumerate() {
+            if *k == *key {
+                slots.stamps[base + i] = self.stamp;
                 self.stats.hits += 1;
-                return Some(&way.value);
+                return Some(&slots.values[base + i]);
             }
         }
         None
     }
 
+    /// Fused lookup-then-fill for residency models: behaves exactly like
+    /// `lookup(set, &key)` followed, on miss, by `insert(set, key, value)`
+    /// — the counter, stamp, and slot evolution is bit-identical — but
+    /// scans the set's keys once instead of twice (the insert's
+    /// replace-in-place scan is provably redundant right after a missed
+    /// lookup of the same key). Returns whether the key was already
+    /// present.
+    ///
+    /// Only valid as a *fusion*: callers that do other operations on this
+    /// cache between the lookup and the fill must use the separate calls.
+    #[inline]
+    pub fn touch_or_fill(&mut self, set: usize, key: K, value: V) -> bool {
+        self.stats.lookups += 1;
+        self.stamp += 1;
+        let si = self.set_of(set);
+        let ways = self.ways;
+        let base = si * ways;
+        let len = self.lens[si] as usize;
+        if let Some(slots) = &mut self.slots {
+            let keys = &slots.keys[base..base + len];
+            for (i, k) in keys.iter().enumerate() {
+                if *k == key {
+                    slots.stamps[base + i] = self.stamp;
+                    self.stats.hits += 1;
+                    return true;
+                }
+            }
+        }
+        // Missed: the fill half, minus the redundant replace-in-place scan.
+        self.stamp += 1;
+        self.stats.fills += 1;
+        let stamp = self.stamp;
+        let total = self.nsets * ways;
+        let slots = self
+            .slots
+            .get_or_insert_with(|| Slots::filled(total, key, value));
+        let at = if len == ways {
+            let mut lru = base;
+            for i in base + 1..base + ways {
+                if slots.stamps[i] < slots.stamps[lru] {
+                    lru = i;
+                }
+            }
+            let last = base + ways - 1;
+            slots.keys[lru] = slots.keys[last];
+            slots.values[lru] = slots.values[last];
+            slots.stamps[lru] = slots.stamps[last];
+            self.stats.evictions += 1;
+            last
+        } else {
+            self.lens[si] += 1;
+            base + len
+        };
+        slots.keys[at] = key;
+        slots.values[at] = value;
+        slots.stamps[at] = stamp;
+        false
+    }
+
     /// Checks for `key` without updating LRU or counters.
     pub fn peek(&self, set: usize, key: &K) -> Option<&V> {
-        self.sets[set % self.sets.len()]
-            .iter()
-            .find(|w| w.key == *key)
-            .map(|w| &w.value)
+        let si = self.set_of(set);
+        let len = self.lens[si] as usize;
+        let slots = self.slots.as_ref()?;
+        let base = si * self.ways;
+        (base..base + len)
+            .find(|&i| slots.keys[i] == *key)
+            .map(|i| &slots.values[i])
     }
 
     /// Inserts `key → value` into set `set`, evicting the LRU way if the
     /// set is full. An existing entry for `key` is replaced in place.
+    #[inline]
     pub fn insert(&mut self, set: usize, key: K, value: V) {
         self.stamp += 1;
         self.stats.fills += 1;
         let stamp = self.stamp;
-        let nsets = self.sets.len();
-        let set = &mut self.sets[set % nsets];
-        if let Some(way) = set.iter_mut().find(|w| w.key == key) {
-            way.value = value;
-            way.stamp = stamp;
-            return;
+        let si = self.set_of(set);
+        let ways = self.ways;
+        let total = self.nsets * ways;
+        let slots = self
+            .slots
+            .get_or_insert_with(|| Slots::filled(total, key, value));
+        let base = si * ways;
+        let len = self.lens[si] as usize;
+        for i in base..base + len {
+            if slots.keys[i] == key {
+                slots.values[i] = value;
+                slots.stamps[i] = stamp;
+                return;
+            }
         }
-        if set.len() == self.ways {
-            let lru = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.stamp)
-                .map(|(i, _)| i)
-                .expect("full set is non-empty");
-            set.swap_remove(lru);
+        let at = if len == ways {
+            // Evict the LRU way, preserving the historical slot motion:
+            // the last way moves down into the victim's slot and the new
+            // entry takes the last slot (`swap_remove` + `push`).
+            let mut lru = base;
+            for i in base + 1..base + ways {
+                if slots.stamps[i] < slots.stamps[lru] {
+                    lru = i;
+                }
+            }
+            let last = base + ways - 1;
+            slots.keys[lru] = slots.keys[last];
+            slots.values[lru] = slots.values[last];
+            slots.stamps[lru] = slots.stamps[last];
             self.stats.evictions += 1;
-        }
-        set.push(Way { key, value, stamp });
+            last
+        } else {
+            self.lens[si] += 1;
+            base + len
+        };
+        slots.keys[at] = key;
+        slots.values[at] = value;
+        slots.stamps[at] = stamp;
     }
 
-    /// Removes entries matching the predicate. Returns how many were
-    /// removed.
+    /// Removes entries matching the predicate, compacting each set in
+    /// place (relative order preserved, as `Vec::retain` did). Returns
+    /// how many were removed.
     pub fn invalidate_if(&mut self, mut pred: impl FnMut(&K, &V) -> bool) -> usize {
+        let Some(slots) = &mut self.slots else {
+            return 0;
+        };
         let mut removed = 0;
-        for set in &mut self.sets {
-            set.retain(|w| {
-                let kill = pred(&w.key, &w.value);
-                removed += usize::from(kill);
-                !kill
-            });
+        for si in 0..self.nsets {
+            let base = si * self.ways;
+            let len = self.lens[si] as usize;
+            let mut write = 0;
+            for read in 0..len {
+                if pred(&slots.keys[base + read], &slots.values[base + read]) {
+                    removed += 1;
+                } else {
+                    if write != read {
+                        slots.keys[base + write] = slots.keys[base + read];
+                        slots.values[base + write] = slots.values[base + read];
+                        slots.stamps[base + write] = slots.stamps[base + read];
+                    }
+                    write += 1;
+                }
+            }
+            self.lens[si] = write as u32;
         }
         removed
     }
 
     /// Removes every entry.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.lens.fill(0);
     }
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.lens.iter().all(|&l| l == 0)
     }
 }
 
 impl<K, V> fmt::Debug for AssocCache<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AssocCache")
-            .field("nsets", &self.sets.len())
+            .field("nsets", &self.nsets)
             .field("ways", &self.ways)
-            .field("live", &self.sets.iter().map(Vec::len).sum::<usize>())
+            .field("live", &self.lens.iter().map(|&l| l as u64).sum::<u64>())
             .field("stats", &self.stats)
             .finish()
     }
@@ -276,5 +439,121 @@ mod tests {
         c.insert(0, 1, 10);
         let _ = c.peek(0, &1);
         assert_eq!(c.stats().lookups, 0);
+    }
+
+    #[test]
+    fn eviction_slot_motion_matches_swap_remove_push() {
+        // The SoA rewrite must preserve the pre-SoA scan order exactly:
+        // evicting slot `lru` moves the *last* way into it and the new
+        // entry lands last. With 3 ways, fill {1,2,3}, evict LRU 1 →
+        // slot order must become [3, 2, 4], observable through which
+        // entry a subsequent scan replaces first... order itself is not
+        // observable through the API, but eviction *choice* is: make 2
+        // the LRU of {3, 2, 4} and check 2 goes next, not 3.
+        let mut c: AssocCache<u64, u64> = AssocCache::new(1, 3);
+        c.insert(0, 1, 10);
+        c.insert(0, 2, 20);
+        c.insert(0, 3, 30);
+        assert!(c.lookup(0, &2).is_some());
+        assert!(c.lookup(0, &3).is_some());
+        c.insert(0, 4, 40); // evicts 1; 3 moves into its slot
+        assert!(c.peek(0, &1).is_none());
+        c.insert(0, 5, 50); // LRU of {3, 2, 4} is 2
+        assert!(c.peek(0, &2).is_none());
+        assert!(c.peek(0, &3).is_some());
+        assert!(c.peek(0, &4).is_some());
+        assert!(c.peek(0, &5).is_some());
+    }
+
+    #[test]
+    fn lazy_backing_lookup_before_any_insert() {
+        let mut c: AssocCache<u64, u64> = AssocCache::new(4, 2);
+        assert_eq!(c.lookup(3, &7), None);
+        assert_eq!(c.peek(3, &7), None);
+        assert_eq!(c.invalidate_if(|_, _| true), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().lookups, 1);
+    }
+
+    #[test]
+    fn non_pow2_set_counts_use_every_set() {
+        // A mask of (nsets − 1) over a non-power-of-two count would
+        // alias sets {12..=15} onto {12 & 11, ...} — i.e. out of range —
+        // or, masked harder, leave high sets permanently empty. The
+        // modulo fallback must reach all 12 sets.
+        let nsets = 12;
+        let mut c: AssocCache<u64, u64> = AssocCache::new(nsets, 1);
+        for s in 0..nsets as u64 {
+            c.insert(s as usize, s, s);
+        }
+        assert_eq!(c.len(), nsets, "every set holds its own entry");
+        for s in 0..nsets as u64 {
+            assert_eq!(c.peek(s as usize, &s), Some(&s));
+        }
+        // Indices ≥ nsets wrap by modulo, exactly as before the rewrite.
+        assert_eq!(c.peek(nsets + 2, &2), Some(&2));
+        let mut d: AssocCache<u64, u64> = AssocCache::new(12, 2);
+        d.insert(13, 99, 990);
+        assert_eq!(d.peek(1, &99), Some(&990), "13 % 12 == 1");
+    }
+
+    #[test]
+    fn flush_then_refill_reuses_slots() {
+        let mut c: AssocCache<u64, u64> = AssocCache::new(2, 2);
+        for k in 0..4u64 {
+            c.insert(k as usize, k, k);
+        }
+        c.flush();
+        assert!(c.is_empty());
+        assert_eq!(c.peek(0, &0), None, "flushed entries are dead");
+        c.insert(0, 40, 400);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(0, &40), Some(&400));
+        assert_eq!(c.peek(0, &2), None, "stale pre-flush keys stay dead");
+    }
+
+    /// The fused `touch_or_fill` must evolve counters, stamps, and slot
+    /// contents exactly as the unfused lookup-then-insert-on-miss pair:
+    /// drive both caches with the same adversarial access stream
+    /// (conflicting sets, repeats, evictions) and compare every
+    /// observable after every step.
+    #[test]
+    fn touch_or_fill_is_bit_identical_to_lookup_then_insert() {
+        let mut fused: AssocCache<u64, u64> = AssocCache::new(2, 2);
+        let mut plain: AssocCache<u64, u64> = AssocCache::new(2, 2);
+        // Keys chosen to exercise: cold fill, repeat hit, set conflict
+        // with eviction, re-touch of a survivor, refill of a victim.
+        let stream = [0u64, 1, 0, 2, 4, 6, 0, 2, 4, 1, 3, 5, 7, 1, 0];
+        for &k in &stream {
+            let set = k as usize; // reduced by the cache itself
+            let was_hit = fused.touch_or_fill(set, k, k * 10);
+            let plain_hit = plain.lookup(set, &k).is_some();
+            if !plain_hit {
+                plain.insert(set, k, k * 10);
+            }
+            assert_eq!(was_hit, plain_hit, "hit/miss diverged on key {k}");
+            assert_eq!(fused.stats(), plain.stats(), "counters diverged on key {k}");
+            assert_eq!(fused.len(), plain.len());
+            // Contents and LRU order must match: every key present in one
+            // is present in the other, and the next eviction victim (the
+            // observable consequence of stamp order) is the same.
+            for probe in 0..8u64 {
+                assert_eq!(
+                    fused.peek(probe as usize, &probe).is_some(),
+                    plain.peek(probe as usize, &probe).is_some(),
+                    "residency of {probe} diverged after key {k}"
+                );
+            }
+        }
+        // Force one more eviction in each and compare the survivor set.
+        fused.touch_or_fill(0, 100, 1);
+        plain.insert(0, 100, 1);
+        for probe in [0u64, 2, 4, 6, 100] {
+            assert_eq!(
+                fused.peek(probe as usize, &probe).is_some(),
+                plain.peek(probe as usize, &probe).is_some(),
+                "post-eviction residency of {probe} diverged"
+            );
+        }
     }
 }

@@ -48,6 +48,7 @@ impl L1Tlb {
     }
 
     /// Looks up `va` for address-space `asid` in all three arrays.
+    #[inline]
     pub fn lookup(&mut self, asid: u16, va: u64) -> Option<TlbEntry> {
         self.lookups += 1;
         let hit = self
@@ -60,6 +61,7 @@ impl L1Tlb {
         hit
     }
 
+    #[inline]
     fn probe(&mut self, asid: u16, va: u64, size: PageSize) -> Option<TlbEntry> {
         let vpn = va >> size.shift();
         let key = (asid, vpn);
@@ -70,12 +72,14 @@ impl L1Tlb {
 
     /// Inserts a completed translation for `va`. The array is chosen by the
     /// entry's page size.
+    #[inline]
     pub fn insert(&mut self, asid: u16, va: u64, entry: TlbEntry) {
         let vpn = va >> entry.size.shift();
         let key = (asid, vpn);
         self.array_mut(entry.size).insert(vpn as usize, key, entry);
     }
 
+    #[inline]
     fn array_mut(&mut self, size: PageSize) -> &mut AssocCache<Key, TlbEntry> {
         match size {
             PageSize::Size4K => &mut self.t4k,

@@ -33,6 +33,7 @@ pub enum L2Key {
 }
 
 impl L2Key {
+    #[inline]
     fn set_index(self) -> usize {
         match self {
             L2Key::Guest { vpn, .. } => vpn as usize,
@@ -80,6 +81,7 @@ impl L2Tlb {
     }
 
     /// Looks up an entry, counting per-kind hits.
+    #[inline]
     pub fn lookup(&mut self, key: L2Key) -> Option<TlbEntry> {
         let hit = self.cache.lookup(key.set_index(), &key).copied();
         match key {

@@ -50,12 +50,14 @@ impl PwCache {
     }
 
     /// Looks up the table base for a walk prefix.
+    #[inline]
     pub fn lookup(&mut self, key: PwcKey) -> Option<u64> {
         let set = (key.va_prefix ^ u64::from(key.points_to_level)) as usize;
         self.cache.lookup(set, &key).copied()
     }
 
     /// Caches the table base for a walk prefix.
+    #[inline]
     pub fn insert(&mut self, key: PwcKey, table_base: u64) {
         let set = (key.va_prefix ^ u64::from(key.points_to_level)) as usize;
         self.cache.insert(set, key, table_base);

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerates results/BENCH_5.json — the hot-path throughput benchmark.
+#
+# Runs the PAPER_10_ENVS sweep plus the workload x environment grid at
+# --quick scale on a single worker, keeping the minimum wall time across
+# repeats, and embeds the speedup against the pre-mv-fast baseline
+# (results/bench5_baseline.json, recorded on the same machine).
+#
+# Throughput numbers are machine-dependent; run on an otherwise idle box
+# (check `uptime` first) or the min-wall repeats will still be inflated.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPEATS="${REPEATS:-10}"
+OUT="${OUT:-results/BENCH_5.json}"
+
+echo "==> cargo build --release -p mv-bench --bin hotpath"
+cargo build --release -p mv-bench --bin hotpath
+
+echo "==> hotpath --quick --jobs 1 --repeats $REPEATS -> $OUT"
+target/release/hotpath --quick --jobs 1 --repeats "$REPEATS" \
+    --baseline results/bench5_baseline.json \
+    --out "$OUT"
+
+echo "BENCH OK: $OUT"

@@ -50,6 +50,15 @@ for env in native ds 4k+2m vd dd shadow; do
     diff -u "$tmpdir/env1.csv" "$tmpdir/env4.csv"
 done
 
+echo "==> hotpath smoke: digests diffed across --jobs 1/4"
+# The perf harness must report the same counter digests no matter how the
+# grid stage is parallelized; --quiet suppresses all wall-clock lines so
+# the outputs are byte-comparable.
+hotpath_bin=target/release/hotpath
+"$hotpath_bin" --smoke --jobs 1 --quiet > "$tmpdir/hot1.txt"
+"$hotpath_bin" --smoke --jobs 4 --quiet > "$tmpdir/hot4.txt"
+diff -u "$tmpdir/hot1.txt" "$tmpdir/hot4.txt"
+
 echo "==> chaos smoke: two seeds x --quick, diffed across --jobs 1/4"
 # The fault plan is a pure function of (chaos seed, access index), so the
 # degradation study must be byte-identical at any worker count — and
