@@ -13,19 +13,33 @@
 //!
 //! ```text
 //! hotpath [--quick|--smoke] [--jobs N] [--quiet] [--out FILE] [--baseline FILE]
+//!         [--profile-overhead] [--history FILE] [--gate] [--gate-tol-pct N]
 //! ```
 //!
 //! * `--quick`     quick scale (the BENCH_5.json configuration)
 //! * `--smoke`     tiny scale for CI; digests only, finishes in seconds
 //! * `--out F`     write the JSON report to `F`
 //! * `--baseline F` read a previous report and embed the speedup ratio
+//! * `--profile-overhead` re-measure the sweep with the attribution
+//!   profiler attached and report the attached/detached throughput ratio
+//!   (stderr + JSON). Also asserts the attached digests match the
+//!   detached ones — the profiler must never perturb the simulation.
+//! * `--history F` append this run's throughput as one JSONL line to `F`
+//!   (the perf trajectory, e.g. `results/bench_history.jsonl`)
+//! * `--gate`      compare against the last same-scale history entry and
+//!   exit 1 on a hot-path regression beyond the tolerance. The failing
+//!   run is *not* appended, so one bad build cannot lower the bar;
+//!   `BENCH_ALLOW_REGRESSION=1` overrides (warns, appends, exits 0).
+//! * `--gate-tol-pct N` allowed throughput drop in percent (default 30 —
+//!   wall-clock gates on shared CI hardware need generous slack)
 
 use std::time::Instant;
 
 use mv_bench::experiments::env_catalog::PAPER_10_ENVS;
 use mv_bench::experiments::{config, Scale};
+use mv_core::MmuConfig;
 use mv_par::cli;
-use mv_sim::{GridCell, RunResult, Simulation};
+use mv_sim::{GridCell, ProfileConfig, RunResult, Simulation};
 use mv_types::MIB;
 use mv_workloads::WorkloadKind;
 
@@ -93,6 +107,15 @@ fn main() {
     });
     let out = arg_value(&args, "--out");
     let baseline = arg_value(&args, "--baseline");
+    let profile_overhead = cli::has_flag(&args, "--profile-overhead");
+    let history = arg_value(&args, "--history");
+    let gate = cli::has_flag(&args, "--gate");
+    let gate_tol_pct = cli::parse_u64_opt(&args, "--gate-tol-pct")
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+        .unwrap_or(30) as f64;
     let repeats = cli::parse_u64_opt(&args, "--repeats")
         .unwrap_or_else(|e| {
             eprintln!("{e}");
@@ -114,6 +137,7 @@ fn main() {
     // scheduling. The digest of every run goes to stdout.
     let workload = WorkloadKind::Gups;
     let mut points = Vec::new();
+    let mut digests = Vec::new();
     let mut total_driven = 0u64;
     let mut total_wall = 0.0f64;
     println!("# hotpath digests ({scale_name} scale, {} envs)", PAPER_10_ENVS.len());
@@ -134,7 +158,8 @@ fn main() {
             result = Some(r);
         }
         let r = result.expect("at least one repeat ran");
-        println!("{}", digest(&label, &r));
+        digests.push(digest(&label, &r));
+        println!("{}", digests.last().expect("just pushed"));
         if !quiet {
             eprintln!(
                 "  {label:<10} {driven:>9} accesses in {wall:>7.3}s  ({:>12.0} acc/s)",
@@ -155,6 +180,54 @@ fn main() {
         eprintln!(
             "  sweep: {total_driven} accesses in {total_wall:.3}s  ({total_aps:.0} acc/s aggregate)"
         );
+    }
+
+    // Stage 1b — the same sweep with the attribution profiler attached.
+    // Nothing here touches stdout: the detached digests above are the
+    // deterministic record, and this stage *asserts* the attached run
+    // reproduces them byte-for-byte (attribution must never perturb the
+    // simulation — only cost wall time, which is what we measure).
+    let mut attached = None;
+    if profile_overhead {
+        let mut attached_wall = 0.0f64;
+        for (i, (paging, env)) in PAPER_10_ENVS.into_iter().enumerate() {
+            let cfg = config(workload, paging, env, &scale);
+            let label = cfg.label();
+            let mut wall = f64::INFINITY;
+            let mut result = None;
+            for _ in 0..repeats {
+                let t = Instant::now();
+                let r = Simulation::run_profiled(
+                    &cfg,
+                    MmuConfig::default(),
+                    None,
+                    ProfileConfig::default(),
+                )
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+                wall = wall.min(t.elapsed().as_secs_f64());
+                result = Some(r);
+            }
+            let r = result.expect("at least one repeat ran");
+            assert_eq!(
+                digest(&label, &r),
+                digests[i],
+                "{label}: attaching the profiler changed the simulation"
+            );
+            assert!(
+                r.profile.is_some(),
+                "{label}: profiled run carries a profile"
+            );
+            attached_wall += wall;
+        }
+        let attached_aps = total_driven as f64 / attached_wall;
+        let ratio = attached_wall / total_wall;
+        if !quiet {
+            eprintln!(
+                "  profiler attached: {total_driven} accesses in {attached_wall:.3}s  \
+                 ({attached_aps:.0} acc/s, {ratio:.3}x detached wall)"
+            );
+        }
+        attached = Some((attached_wall, attached_aps, ratio));
     }
 
     // Stage 2 — wall-clock of the full quick grid (both fixture
@@ -211,6 +284,12 @@ fn main() {
             jobs,
             grid_wall
         ));
+        if let Some((wall, aps, ratio)) = attached {
+            json.push_str(&format!(
+                ",\n  \"profile_overhead\": {{\"attached_wall_s\": {wall:.6}, \
+                 \"attached_accesses_per_sec\": {aps:.0}, \"wall_ratio\": {ratio:.4}}}"
+            ));
+        }
         if let Some(base_path) = baseline {
             match std::fs::read_to_string(&base_path) {
                 Ok(text) => {
@@ -238,6 +317,84 @@ fn main() {
             eprintln!("  wrote {path}");
         }
     }
+
+    // Stage 4 — the regression gate, then the perf trajectory. Order
+    // matters: gate against the *last accepted* same-scale entry first,
+    // append only on pass, so a regressed build can never lower the bar
+    // for the next one.
+    if gate {
+        let last = history.as_ref().and_then(|path| {
+            last_matching_aps(path, scale_name)
+        });
+        match last {
+            None => eprintln!(
+                "gate: no previous {scale_name}-scale entry in {}; measuring only",
+                history.as_deref().unwrap_or("(no --history file)")
+            ),
+            Some(base_aps) => {
+                let floor = base_aps * (1.0 - gate_tol_pct / 100.0);
+                if total_aps < floor {
+                    let drop = 100.0 * (1.0 - total_aps / base_aps);
+                    eprintln!(
+                        "gate: hot-path REGRESSION: {total_aps:.0} acc/s vs last accepted \
+                         {base_aps:.0} acc/s ({drop:.1}% drop, tolerance {gate_tol_pct:.0}%)"
+                    );
+                    if std::env::var("BENCH_ALLOW_REGRESSION").as_deref() == Ok("1") {
+                        eprintln!("gate: BENCH_ALLOW_REGRESSION=1 set; accepting anyway");
+                    } else {
+                        eprintln!("gate: failing (set BENCH_ALLOW_REGRESSION=1 to accept)");
+                        std::process::exit(1);
+                    }
+                } else if !quiet {
+                    eprintln!(
+                        "gate: ok — {total_aps:.0} acc/s vs last accepted {base_aps:.0} acc/s \
+                         (floor {floor:.0}, tolerance {gate_tol_pct:.0}%)"
+                    );
+                }
+            }
+        }
+    }
+    if let Some(path) = history {
+        let stamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut line = format!(
+            "{{\"bench\":\"hotpath\",\"scale\":\"{scale_name}\",\"unix_time\":{stamp},\
+             \"jobs\":{jobs},\"repeats\":{repeats},\"total_driven_accesses\":{total_driven},\
+             \"total_wall_s\":{total_wall:.6},\"total_accesses_per_sec\":{total_aps:.0},\
+             \"grid_cells\":{},\"grid_wall_s\":{grid_wall:.6}",
+            cells.len()
+        );
+        if let Some((_, _, ratio)) = attached {
+            line.push_str(&format!(",\"profile_wall_ratio\":{ratio:.4}"));
+        }
+        line.push_str("}\n");
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("opening {path}: {e}"));
+        f.write_all(line.as_bytes())
+            .unwrap_or_else(|e| panic!("appending to {path}: {e}"));
+        if !quiet {
+            eprintln!("  appended {scale_name}-scale trajectory point to {path}");
+        }
+    }
+}
+
+/// Scans a `bench_history.jsonl` file for the most recent entry at
+/// `scale` and returns its `total_accesses_per_sec`. Missing file, no
+/// matching entry, or an unparsable number all yield `None` — the gate
+/// then measures without judging.
+fn last_matching_aps(path: &str, scale: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let tag = format!("\"scale\":\"{scale}\"");
+    text.lines()
+        .rev()
+        .find(|l| l.contains(&tag))
+        .and_then(|l| json_number(l, "total_accesses_per_sec"))
 }
 
 /// Extracts `--flag VALUE` from the argument list.

@@ -31,7 +31,18 @@
 //!   events) as JSONL to `PATH`, and print a Prometheus-style counter
 //!   dump to stdout after the report. With `--trials`, the written
 //!   telemetry is the deterministic merge over all trials.
-//! * `--epoch-len <N>` — accesses per telemetry epoch (default 10000).
+//! * `--profile` — attach the walk-cost attribution profiler: per-epoch
+//!   and run-total matrices of modeled cycles per (guest level × nested
+//!   level) cell plus TLB/PWC hit tiers and VM-exit costs. The profile
+//!   lines are appended to the `--telemetry-out` JSONL (readers dispatch
+//!   on `"type"`), and a cost-split summary joins the report. With
+//!   `--trials`, profiles merge associatively, so the output is
+//!   byte-identical for any `--jobs` value.
+//! * `--folded-out <PATH>` — write the profile as folded stacks
+//!   (`gva;gL4;ref 160` lines) for flamegraph tooling. Implies nothing
+//!   else; requires `--profile`.
+//! * `--epoch-len <N>` — accesses per telemetry/profile epoch
+//!   (default 10000).
 //! * `--trace <N>` — keep the last N walk events in a flight recorder
 //!   (exported into the JSONL file; cleared by a `--trials` merge).
 //!   Default 0 (off).
@@ -46,7 +57,8 @@ use std::io::Write;
 use mv_bench::experiments::env_catalog;
 use mv_chaos::ChaosSpec;
 use mv_par::{cli, Reporter};
-use mv_sim::{GridCell, GuestPaging, SimConfig, Simulation, TelemetryConfig};
+use mv_prof::fold_profile;
+use mv_sim::{GridCell, GuestPaging, ProfileConfig, SimConfig, Simulation, TelemetryConfig};
 use mv_types::{PageSize, GIB, KIB, MIB};
 use mv_workloads::WorkloadKind;
 
@@ -83,6 +95,7 @@ fn usage() -> ! {
          \x20          [--accesses N] [--warmup N] [--seed N] [--csv]\n\
          \x20          [--trials N] [--jobs N] [--quick] [--quiet]\n\
          \x20          [--telemetry-out PATH] [--epoch-len N] [--trace N]\n\
+         \x20          [--profile] [--folded-out PATH]\n\
          \x20          [--fault-rate N] [--chaos-seed N]"
     );
     std::process::exit(2);
@@ -104,6 +117,8 @@ fn main() {
     let mut telemetry_out: Option<String> = None;
     let mut epoch_len = 10_000u64;
     let mut flight = 0usize;
+    let mut profile = false;
+    let mut folded_out: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Chaos flags are parsed by the shared mv_par::cli helpers; both
@@ -187,12 +202,19 @@ fn main() {
             "--telemetry-out" => telemetry_out = Some(value("--telemetry-out").to_string()),
             "--epoch-len" => epoch_len = value("--epoch-len").parse().unwrap_or_else(|_| usage()),
             "--trace" => flight = value("--trace").parse().unwrap_or_else(|_| usage()),
+            "--profile" => profile = true,
+            "--folded-out" => folded_out = Some(value("--folded-out").to_string()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
                 usage();
             }
         }
+    }
+
+    if folded_out.is_some() && !profile {
+        eprintln!("--folded-out needs --profile (there is no profile to fold)");
+        usage();
     }
 
     let footprint = footprint.unwrap_or(if quick { 64 * MIB } else { 512 * MIB });
@@ -236,6 +258,9 @@ fn main() {
             if observe {
                 cell = cell.observed(tcfg);
             }
+            if profile {
+                cell = cell.profiled(ProfileConfig { epoch_len });
+            }
             if fault_rate > 0 {
                 cell = cell.with_chaos(ChaosSpec {
                     seed: chaos_seed,
@@ -263,12 +288,26 @@ fn main() {
             std::process::exit(1);
         });
         t.write_jsonl(&mut f).expect("telemetry write");
+        // Profile lines ride the same JSONL file: every reader in the
+        // workspace dispatches on the "type" field, so the streams coexist.
+        if let Some(p) = &r.profile {
+            p.write_jsonl(&mut f).expect("profile write");
+        }
         f.flush().expect("telemetry flush");
         reporter.line(format!(
-            "wrote {} epoch snapshots and {} flight events to {path}",
+            "wrote {} epoch snapshots, {} flight events, and {} profile epochs to {path}",
             t.epochs().len(),
-            t.flight().len()
+            t.flight().len(),
+            r.profile.as_ref().map_or(0, |p| p.epochs().len()),
         ));
+    }
+
+    if let (Some(path), Some(p)) = (&folded_out, &r.profile) {
+        std::fs::write(path, fold_profile(p)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        reporter.line(format!("wrote folded stacks to {path}"));
     }
 
     if csv {
@@ -316,6 +355,46 @@ fn main() {
     let (nl, nh) = r.nested_l2;
     println!("nested L2 (lkup/hit): {nl} / {nh}");
 
+    if let Some(p) = &r.profile {
+        let m = p.total();
+        let pct = |part: u64| {
+            if m.total_cycles == 0 {
+                0.0
+            } else {
+                100.0 * part as f64 / m.total_cycles as f64
+            }
+        };
+        println!(
+            "profile:              {} walk events over {} epochs",
+            m.events,
+            p.epochs().len()
+        );
+        println!(
+            "  attributed:         {} / {} walk cycles ({:.1}%)",
+            m.attributed_cycles(),
+            m.total_cycles,
+            pct(m.attributed_cycles())
+        );
+        println!(
+            "  dimension split:    guest {} ({:.1}%) / nested {} ({:.1}%) cycles",
+            m.guest_dimension_cycles(),
+            pct(m.guest_dimension_cycles()),
+            m.nested_dimension_cycles(),
+            pct(m.nested_dimension_cycles())
+        );
+        println!(
+            "  hit tiers:          l2_hit={} nested_tlb={} pwc={} bound={}",
+            m.l2_hit_cycles, m.nested_tlb_cycles, m.pwc_cycles, m.bound_check_cycles
+        );
+        println!(
+            "  faults:             {} events costing {} cycles; VM exits {} ({} cycles)",
+            m.fault_events(),
+            m.fault_cycles,
+            p.vm_exits(),
+            p.exit_cycles()
+        );
+    }
+
     if let Some(c) = &r.chaos {
         println!(
             "chaos:                {} injected, {} transitions, {} recoveries, {} denials",
@@ -338,9 +417,12 @@ fn main() {
 
     if let Some(t) = &r.telemetry {
         println!("walk latency:         {}", t.hist());
-        if let Some(prom) = r.prometheus() {
-            println!("\n--- telemetry (Prometheus text exposition) ---");
-            print!("{prom}");
-        }
+    }
+    // Telemetry and chaos runs both expose Prometheus counters (the
+    // chaos family covers degradation level, oracle checks, and
+    // per-kind injections); either instrument alone is enough.
+    if let Some(prom) = r.prometheus() {
+        println!("\n--- telemetry (Prometheus text exposition) ---");
+        print!("{prom}");
     }
 }

@@ -6,15 +6,33 @@
 //! working set is near the L2 TLB's reach — a saturated TLB cannot miss
 //! more. This binary therefore sweeps footprints around the TLB reach to
 //! expose the crossover, then reports cycles-per-miss growth at full scale.
+//!
+//! Part 3 rides the live attribution profiler instead of derived
+//! counters: each virtualized run re-executes with a [`mv_prof::Profile`]
+//! attached, and the printed breakdown — guest dimension vs nested
+//! dimension vs hit tiers — is read straight off the (guest level ×
+//! nested level) walk matrix. `--profile-out DIR` writes each
+//! environment's profile as JSONL, so
+//! `mv-prof diff DIR/4K+4K.jsonl DIR/4K+2M.jsonl` reproduces the deltas
+//! between any two columns of the table.
 
 use mv_bench::experiments::{config, parse_scale};
+use mv_core::MmuConfig;
 use mv_metrics::Table;
-use mv_sim::{Env, GuestPaging, SimConfig, Simulation};
+use mv_sim::{Env, GuestPaging, ProfileConfig, SimConfig, Simulation};
 use mv_types::{PageSize, MIB};
 use mv_workloads::WorkloadKind;
 
 fn main() {
     let scale = parse_scale();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile_out = args
+        .iter()
+        .position(|a| a == "--profile-out")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--profile-out needs a directory");
+            std::process::exit(2);
+        }));
     let paging = GuestPaging::Fixed(PageSize::Size4K);
 
     // Part 1 — walk-count inflation near TLB reach. The 512-entry L2
@@ -74,4 +92,56 @@ fn main() {
         "geomean cycles-per-miss growth at 4K+4K: {:.2}x (paper: 2.4x)",
         mv_metrics::geomean(&growths)
     );
+
+    // Part 3 — where the 2D walk actually spends its cycles, read off the
+    // live attribution profiler rather than derived counters. The nested
+    // dimension (nLx columns plus guest-PTE refs) is the virtualization
+    // tax the paper's direct segments remove.
+    println!("\nSection VIII (obs. 3) — walk-cycle attribution by matrix dimension (gups)\n");
+    let mut t = Table::new(&[
+        "env",
+        "walk cycles",
+        "guest dim",
+        "nested dim",
+        "hit tiers",
+        "nested share",
+    ]);
+    let envs: [(&str, Env); 4] = [
+        ("4K", Env::native()),
+        ("4K+4K", Env::base_virtualized(PageSize::Size4K)),
+        ("4K+2M", Env::base_virtualized(PageSize::Size2M)),
+        ("4K+1G", Env::base_virtualized(PageSize::Size1G)),
+    ];
+    for (label, env) in envs {
+        let cfg = config(WorkloadKind::Gups, paging, env, &scale);
+        let r = Simulation::run_profiled(&cfg, MmuConfig::default(), None, ProfileConfig::default())
+            .expect("profiled run");
+        let p = r.profile.as_ref().expect("profiled run carries a profile");
+        let m = p.total();
+        let nested = m.nested_dimension_cycles();
+        let share = if m.total_cycles == 0 {
+            0.0
+        } else {
+            100.0 * nested as f64 / m.total_cycles as f64
+        };
+        t.row(&[
+            label.to_string(),
+            m.total_cycles.to_string(),
+            m.guest_dimension_cycles().to_string(),
+            nested.to_string(),
+            m.tier_cycles().to_string(),
+            format!("{share:.1}%"),
+        ]);
+        if let Some(dir) = &profile_out {
+            std::fs::create_dir_all(dir).expect("profile-out dir");
+            let path = format!("{dir}/{label}.jsonl");
+            let mut f = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("creating {path}: {e}"));
+            p.write_jsonl(&mut f)
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
+    println!("{t}");
+    println!("(diff any two columns: mv-prof diff DIR/4K+4K.jsonl DIR/4K+2M.jsonl)");
 }

@@ -8,9 +8,10 @@ use crate::plan::ChaosFault;
 ///
 /// The machine layer owns the mechanics of each level; this enum is the
 /// shared vocabulary between the driver, the report, and telemetry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub enum DegradeLevel {
     /// Full direct-segment operation.
+    #[default]
     Direct,
     /// Direct with a populated escape filter: segment still programmed, but
     /// a meaningful fraction of pages escape to the walk path.
@@ -86,6 +87,9 @@ pub struct ChaosReport {
     pub oracle_checks: u64,
     /// Oracle divergences (zero on a healthy run).
     pub oracle_violations: u64,
+    /// Level the run ended at. A merge keeps the *worst* final level across
+    /// trials — the pessimistic answer to "did every trial recover?"
+    pub final_level: DegradeLevel,
 }
 
 impl ChaosReport {
@@ -131,7 +135,117 @@ impl ChaosReport {
         }
         self.oracle_checks += other.oracle_checks;
         self.oracle_violations += other.oracle_violations;
+        self.final_level = self.final_level.max(other.final_level);
     }
+
+    /// Renders the chaos counters in the Prometheus text exposition format,
+    /// matching the `Telemetry::prometheus` conventions (`# HELP`/`# TYPE`
+    /// comments, `labels` attached to every sample). Emitted metrics:
+    /// `mv_degrade_level` (final level as its [`DegradeLevel::index`]),
+    /// `mv_oracle_checks_total` / `mv_oracle_violations_total`, one
+    /// `mv_chaos_injected_total{kind=...}` series per [`ChaosFault`], the
+    /// recovery counters, and per-level `mv_chaos_residency_accesses`.
+    pub fn prometheus(&self, labels: &[(&str, &str)]) -> String {
+        let mut out = String::new();
+        let with = |extra: &[(&str, &str)]| -> String {
+            let parts: Vec<String> = labels
+                .iter()
+                .chain(extra.iter())
+                .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+                .collect();
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        };
+        let mut metric = |name: &str, kind: &str, help: &str, samples: &[(&[(&str, &str)], u64)]| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+            for (extra, value) in samples {
+                out.push_str(&format!("{name}{} {value}\n", with(extra)));
+            }
+        };
+        metric(
+            "mv_degrade_level",
+            "gauge",
+            "Final degradation level (0=direct, 1=escape_heavy, 2=paging); \
+             merged grids report the worst trial.",
+            &[(
+                &[("level", self.final_level.label())],
+                self.final_level.index() as u64,
+            )],
+        );
+        metric(
+            "mv_oracle_checks_total",
+            "counter",
+            "Translations cross-checked against the reference oracle.",
+            &[(&[], self.oracle_checks)],
+        );
+        metric(
+            "mv_oracle_violations_total",
+            "counter",
+            "Oracle divergences; nonzero means translation corruption.",
+            &[(&[], self.oracle_violations)],
+        );
+        let injected: Vec<([(&str, &str); 1], u64)> = ChaosFault::ALL
+            .iter()
+            .map(|k| ([("kind", k.label())], self.injected_of(*k)))
+            .collect();
+        let injected_refs: Vec<(&[(&str, &str)], u64)> = injected
+            .iter()
+            .map(|(l, v)| (l.as_slice(), *v))
+            .collect();
+        metric(
+            "mv_chaos_injected_total",
+            "counter",
+            "Faults injected, by kind.",
+            &injected_refs,
+        );
+        metric(
+            "mv_chaos_denials_total",
+            "counter",
+            "Recovery attempts stalled by an injected balloon denial.",
+            &[(&[], self.denials)],
+        );
+        metric(
+            "mv_chaos_recoveries_total",
+            "counter",
+            "Successful recoveries back to direct operation.",
+            &[(&[], self.recoveries)],
+        );
+        metric(
+            "mv_chaos_failed_recoveries_total",
+            "counter",
+            "Recovery attempts that failed and re-armed the backoff.",
+            &[(&[], self.failed_recoveries)],
+        );
+        metric(
+            "mv_chaos_transitions_total",
+            "counter",
+            "Degradation-state transitions.",
+            &[(&[], self.transitions)],
+        );
+        let residency: Vec<([(&str, &str); 1], u64)> = DegradeLevel::ALL
+            .iter()
+            .map(|l| ([("level", l.label())], self.residency[l.index()]))
+            .collect();
+        let residency_refs: Vec<(&[(&str, &str)], u64)> = residency
+            .iter()
+            .map(|(l, v)| (l.as_slice(), *v))
+            .collect();
+        metric(
+            "mv_chaos_residency_accesses",
+            "counter",
+            "Accesses spent at each degradation level.",
+            &residency_refs,
+        );
+        out
+    }
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -149,14 +263,64 @@ mod tests {
             residency: [10, 20, 30],
             oracle_checks: 100,
             oracle_violations: 0,
+            final_level: DegradeLevel::Direct,
         };
-        let b = a;
+        let mut b = a;
+        b.final_level = DegradeLevel::EscapeHeavy;
         a.merge(&b);
         assert_eq!(a.injected, [2, 4, 6, 8, 10]);
         assert_eq!(a.residency, [20, 40, 60]);
         assert_eq!(a.oracle_checks, 200);
         assert_eq!(a.injected_total(), 30);
+        assert_eq!(
+            a.final_level,
+            DegradeLevel::EscapeHeavy,
+            "merge keeps the worst final level"
+        );
         assert!(a.survived());
+    }
+
+    #[test]
+    fn prometheus_exposes_degradation_and_fault_kinds() {
+        let r = ChaosReport {
+            injected: [1, 0, 2, 0, 3],
+            denials: 4,
+            recoveries: 5,
+            failed_recoveries: 6,
+            transitions: 7,
+            residency: [80, 15, 5],
+            oracle_checks: 100,
+            oracle_violations: 1,
+            final_level: DegradeLevel::Paging,
+        };
+        let text = r.prometheus(&[("workload", "gups")]);
+        assert!(text.contains("# TYPE mv_degrade_level gauge\n"));
+        assert!(text.contains("mv_degrade_level{workload=\"gups\",level=\"paging\"} 2\n"));
+        assert!(text.contains("mv_oracle_violations_total{workload=\"gups\"} 1\n"));
+        assert!(text.contains("mv_oracle_checks_total{workload=\"gups\"} 100\n"));
+        assert!(
+            text.contains("mv_chaos_injected_total{workload=\"gups\",kind=\"frame_loss\"} 1\n")
+        );
+        assert!(text.contains(
+            "mv_chaos_injected_total{workload=\"gups\",kind=\"spurious_vm_exit\"} 3\n"
+        ));
+        assert!(text.contains(
+            "mv_chaos_residency_accesses{workload=\"gups\",level=\"escape_heavy\"} 15\n"
+        ));
+        assert!(text.contains("mv_chaos_recoveries_total{workload=\"gups\"} 5\n"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("mv_"),
+                "stray line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_without_labels_has_no_brace_clutter() {
+        let text = ChaosReport::default().prometheus(&[]);
+        assert!(text.contains("mv_oracle_checks_total 0\n"));
+        assert!(text.contains("mv_degrade_level{level=\"direct\"} 0\n"));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! memories it walks are borrowed per access through [`MemoryContext`],
 //! since they belong to the guest OS and VMM models.
 
-use mv_obs::{EscapeOutcome, FaultKind, WalkClass, WalkEvent, WalkObserver};
+use mv_obs::{EscapeOutcome, FaultKind, WalkAttr, WalkClass, WalkEvent, WalkObserver, REF_COL};
 use mv_phys::PhysMem;
 use mv_pt::{entry_addr, PageTable, Pte};
 use mv_tlb::{L1Tlb, L2Key, L2Tlb, PwCache, PwcKey, TlbConfig, TlbEntry};
@@ -194,6 +194,19 @@ pub struct Mmu {
     /// Final first-dimension gPA of the walk in flight, captured for the
     /// observer (meaningful only while an observer is attached).
     pending_gpa: Option<u64>,
+    /// Per-cell cycle attribution of the walk in flight. Populated only
+    /// when `attr_on`; otherwise it stays all-zero and events export
+    /// byte-identically to pre-attribution output.
+    attr: WalkAttr,
+    /// Whether the attached observer asked for attribution
+    /// ([`WalkObserver::wants_attribution`], sampled at attachment). Every
+    /// recording site branches on this, so a telemetry-only or unobserved
+    /// run pays no attribution bookkeeping.
+    attr_on: bool,
+    /// Guest-dimension row (gL4..gL1 = 0..3, data = 4) the nested
+    /// dimension is currently resolving for, meaningful only while
+    /// `attr_on`.
+    attr_row: usize,
     counters: MmuCounters,
 }
 
@@ -217,6 +230,9 @@ impl Mmu {
             miss_trace: None,
             observer: None,
             pending_gpa: None,
+            attr: WalkAttr::default(),
+            attr_on: false,
+            attr_row: 0,
             counters: MmuCounters::default(),
         }
     }
@@ -238,11 +254,13 @@ impl Mmu {
     /// observed run measures identically to an unobserved one — and costs
     /// the unobserved miss path a single branch.
     pub fn set_observer(&mut self, observer: Box<dyn WalkObserver>) {
+        self.attr_on = observer.wants_attribution();
         self.observer = Some(observer);
     }
 
     /// Detaches and returns the observer, if one was attached.
     pub fn take_observer(&mut self) -> Option<Box<dyn WalkObserver>> {
+        self.attr_on = false;
         self.observer.take()
     }
 
@@ -415,6 +433,9 @@ impl Mmu {
         }
         let pre = self.counters;
         self.pending_gpa = None;
+        if self.attr_on {
+            self.attr = WalkAttr::default();
+        }
         let result = self.miss_path(ctx, asid, va, write);
         self.emit_event(va, write, &pre, &result);
         result
@@ -457,6 +478,9 @@ impl Mmu {
         };
         if let Some(e) = self.l2.lookup(l2key) {
             cycles += self.costs.l2_tlb_hit;
+            if self.attr_on {
+                self.attr.add_l2_hit(self.costs.l2_tlb_hit);
+            }
             self.counters.translation_cycles += cycles;
             if write && !e.prot.contains(Prot::WRITE) {
                 self.counters.prot_faults += 1;
@@ -572,6 +596,8 @@ impl Mmu {
             nested_refs: c.nested_walk_refs - pre.nested_walk_refs,
             escape,
             fault,
+            // All-zero unless the observer asked for attribution.
+            attr: self.attr,
         });
         self.observer = Some(observer);
     }
@@ -643,7 +669,11 @@ impl Mmu {
         let (mut level, mut table) = self.pwc_probe(false, asid, raw, pt.root().as_u64(), cycles);
         loop {
             let eaddr = entry_addr(Hpa::new(table), raw, level);
-            *cycles += self.pte_cache.access(eaddr.as_u64(), &self.costs);
+            let step = self.pte_cache.access(eaddr.as_u64(), &self.costs);
+            *cycles += step;
+            if self.attr_on {
+                self.attr.record(4 - level as usize, REF_COL, step);
+            }
             self.counters.guest_walk_refs += 1;
             let pte = Pte::from_bits(mem.read_u64(eaddr));
             if !pte.is_present() {
@@ -688,6 +718,9 @@ impl Mmu {
         let (gpa_page, size, prot) = if guest_seg_active {
             self.counters.bound_checks += 1;
             *cycles += self.costs.bound_check;
+            if self.attr_on {
+                self.attr.add_bound_check(self.costs.bound_check);
+            }
             match self.guest_seg.translate(va) {
                 Some(gpa) if !self.guest_escaped(raw) => {
                     used_guest_seg = true;
@@ -706,6 +739,11 @@ impl Mmu {
         // Second dimension for the final guest-physical address.
         let gpa_of_access = Gpa::new(gpa_page.as_u64() + (raw & size.offset_mask()));
         self.pending_gpa = Some(gpa_of_access.as_u64());
+        if self.attr_on {
+            // The final data reference resolves through the nested
+            // dimension on the matrix's last row.
+            self.attr_row = 4;
+        }
         if let Some(trace) = &mut self.miss_trace {
             trace.record(MissRecord {
                 gva: va,
@@ -765,10 +803,17 @@ impl Mmu {
             self.pwc_probe(false, asid, raw, gpt.root().as_u64(), cycles);
         loop {
             let entry_gpa = entry_addr(Gpa::new(table_gpa), raw, level);
+            if self.attr_on {
+                self.attr_row = 4 - level as usize;
+            }
             // The guest entry lives in guest-physical memory, which the
             // hardware reaches through the second dimension.
             let (entry_hpa, _, _) = self.nested_translate(npt, hmem, va, entry_gpa, cycles)?;
-            *cycles += self.pte_cache.access(entry_hpa.as_u64(), &self.costs);
+            let step = self.pte_cache.access(entry_hpa.as_u64(), &self.costs);
+            *cycles += step;
+            if self.attr_on {
+                self.attr.record(4 - level as usize, REF_COL, step);
+            }
             self.counters.guest_walk_refs += 1;
             let pte = Pte::from_bits(gmem.read_u64(entry_gpa));
             if !pte.is_present() {
@@ -804,6 +849,9 @@ impl Mmu {
         {
             self.counters.bound_checks += 1;
             *cycles += self.costs.bound_check;
+            if self.attr_on {
+                self.attr.add_bound_check(self.costs.bound_check);
+            }
             if let Some(hpa) = self.vmm_seg.translate(gpa) {
                 if !self.vmm_escaped(gpa.as_u64()) {
                     return Ok((hpa, true, None));
@@ -816,6 +864,9 @@ impl Mmu {
         if self.walk_caching {
             if let Some(e) = self.l2.lookup(L2Key::Nested { gfn }) {
                 *cycles += self.costs.nested_tlb_hit;
+                if self.attr_on {
+                    self.attr.add_nested_tlb(self.costs.nested_tlb_hit);
+                }
                 return Ok((
                     Hpa::new(e.translate(gpa.as_u64())),
                     false,
@@ -830,7 +881,11 @@ impl Mmu {
             self.pwc_probe(true, 0, raw, npt.root().as_u64(), cycles);
         loop {
             let eaddr = entry_addr(Hpa::new(table), raw, level);
-            *cycles += self.pte_cache.access(eaddr.as_u64(), &self.costs);
+            let step = self.pte_cache.access(eaddr.as_u64(), &self.costs);
+            *cycles += step;
+            if self.attr_on {
+                self.attr.record(self.attr_row, 4 - level as usize, step);
+            }
             self.counters.nested_walk_refs += 1;
             let pte = Pte::from_bits(hmem.read_u64(eaddr));
             if !pte.is_present() {
@@ -891,6 +946,9 @@ impl Mmu {
             };
             if let Some(table) = pwc.lookup(key) {
                 *cycles += self.costs.pwc_hit;
+                if self.attr_on {
+                    self.attr.add_pwc(self.costs.pwc_hit);
+                }
                 return (points_to, table);
             }
         }
@@ -929,6 +987,9 @@ fn leaf_size(level: u8) -> PageSize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mv_phys::PhysMem;
+    use mv_pt::PageTable;
+    use mv_types::MIB;
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -939,6 +1000,133 @@ mod tests {
     impl WalkObserver for Capture {
         fn on_walk(&mut self, event: &WalkEvent) {
             self.0.borrow_mut().push(*event);
+        }
+    }
+
+    /// Like [`Capture`], but asks the MMU for per-cell attribution.
+    #[derive(Debug, Default)]
+    struct AttrCapture(Rc<RefCell<Vec<WalkEvent>>>);
+
+    impl WalkObserver for AttrCapture {
+        fn on_walk(&mut self, event: &WalkEvent) {
+            self.0.borrow_mut().push(*event);
+        }
+
+        fn wants_attribution(&self) -> bool {
+            true
+        }
+    }
+
+    /// A minimal virtualized context: a handful of mapped guest pages over
+    /// an identity-mapped nested dimension.
+    struct VirtSetup {
+        gpt: PageTable<Gva, Gpa>,
+        gmem: PhysMem<Gpa>,
+        npt: PageTable<Gpa, Hpa>,
+        hmem: PhysMem<Hpa>,
+        pages: Vec<Gva>,
+    }
+
+    fn virt_setup() -> VirtSetup {
+        let mut gmem: PhysMem<Gpa> = PhysMem::new(32 * MIB);
+        let mut hmem: PhysMem<Hpa> = PhysMem::new(64 * MIB);
+        let mut gpt: PageTable<Gva, Gpa> = PageTable::new(&mut gmem).unwrap();
+        let mut npt: PageTable<Gpa, Hpa> = PageTable::new(&mut hmem).unwrap();
+        let mut pages = Vec::new();
+        for i in 0..16u64 {
+            // Spread VAs across L2/L3 table boundaries so walks differ.
+            let va = Gva::new(0x4000_0000 * (i % 4) + 0x20_0000 * i + 0x1000 * i);
+            let frame = gmem.alloc(PageSize::Size4K).unwrap();
+            gpt.map(&mut gmem, va, frame, PageSize::Size4K, Prot::RW)
+                .unwrap();
+            pages.push(va);
+        }
+        for off in (0..(32 * MIB)).step_by(2 << 20) {
+            let h = hmem.alloc(PageSize::Size2M).unwrap();
+            npt.map(&mut hmem, Gpa::new(off), h, PageSize::Size2M, Prot::RW)
+                .unwrap();
+        }
+        VirtSetup {
+            gpt,
+            gmem,
+            npt,
+            hmem,
+            pages,
+        }
+    }
+
+    #[test]
+    fn attribution_conserves_cycles_and_refs() {
+        // The conservation invariant behind mv-prof: every cycle the walker
+        // charges lands in exactly one attribution bucket (a grid cell or a
+        // tier), and the ref grid partitions the guest/nested ref counters.
+        let s = virt_setup();
+        let ctx = MemoryContext::Virtualized {
+            gpt: &s.gpt,
+            gmem: &s.gmem,
+            npt: &s.npt,
+            hmem: &s.hmem,
+        };
+        let mut mmu = Mmu::new(MmuConfig::default());
+        let events = Rc::new(RefCell::new(Vec::new()));
+        mmu.set_observer(Box::new(AttrCapture(events.clone())));
+
+        // Two rounds: the second exercises the PWC/nested-TLB/L2 tiers.
+        for round in 0..2 {
+            for &va in &s.pages {
+                mmu.access(&ctx, 1, va, round == 1).unwrap();
+            }
+            mmu.l1.flush_all();
+        }
+
+        let got = events.borrow();
+        assert!(!got.is_empty());
+        let mut saw_cells = false;
+        let mut saw_l2_tier = false;
+        for e in got.iter() {
+            assert_eq!(
+                e.attr.total_cycles(),
+                e.cycles,
+                "attribution must conserve the event's charged cycles: {e:?}"
+            );
+            let ref_col: u64 = (0..mv_obs::GUEST_ROWS)
+                .map(|r| u64::from(e.attr.refs[r][REF_COL]))
+                .sum();
+            let nested_cells: u64 = (0..mv_obs::GUEST_ROWS)
+                .flat_map(|r| (0..REF_COL).map(move |c| (r, c)))
+                .map(|(r, c)| u64::from(e.attr.refs[r][c]))
+                .sum();
+            assert_eq!(ref_col, e.guest_refs, "ref column counts guest refs");
+            assert_eq!(nested_cells, e.nested_refs, "cells count nested refs");
+            saw_cells |= e.attr.total_refs() > 0;
+            saw_l2_tier |= e.attr.l2_hit_cycles > 0;
+        }
+        assert!(saw_cells, "some events walked");
+        assert!(saw_l2_tier, "round two hit the L2 TLB");
+    }
+
+    #[test]
+    fn plain_observer_gets_empty_attribution() {
+        // A telemetry-style observer (wants_attribution = false) must see
+        // all-zero WalkAttr on every event — that emptiness is what keeps
+        // JSONL exports byte-identical across the profiler's introduction.
+        let s = virt_setup();
+        let ctx = MemoryContext::Virtualized {
+            gpt: &s.gpt,
+            gmem: &s.gmem,
+            npt: &s.npt,
+            hmem: &s.hmem,
+        };
+        let mut mmu = Mmu::new(MmuConfig::default());
+        let events = Rc::new(RefCell::new(Vec::new()));
+        mmu.set_observer(Box::new(Capture(events.clone())));
+        for &va in &s.pages {
+            mmu.access(&ctx, 1, va, false).unwrap();
+        }
+        let got = events.borrow();
+        assert!(!got.is_empty());
+        for e in got.iter() {
+            assert!(e.attr.is_empty(), "unattributed event carries attr: {e:?}");
         }
     }
 

@@ -1,0 +1,177 @@
+//! Per-access attribution of walk cycles to the 2D grid of Figure 2.
+//!
+//! A 2D nested walk touches up to 24 memory references: each of the four
+//! guest levels resolves its table pointer through the nested dimension
+//! (up to four nested references) and then reads the guest entry itself
+//! (one more), and the final data gPA goes through the nested dimension
+//! once again. [`WalkAttr`] records, for the single L1 miss it describes,
+//! how many references landed in each (guest step × nested level) cell and
+//! how many modeled cycles each cell cost — plus the scalar "tiers" that
+//! short-circuit or decorate a walk (L2 TLB hit, nested TLB hits, PWC
+//! hits, segment bound checks).
+//!
+//! The struct is `Copy` and rides inside every [`crate::WalkEvent`], but it
+//! is only *populated* when the attached observer asks for attribution
+//! ([`crate::WalkObserver::wants_attribution`]); telemetry-only runs carry
+//! the all-zero default and export byte-identically to pre-attribution
+//! output.
+
+/// Guest-dimension steps: the four guest table levels plus the final data
+/// reference (`gL4`, `gL3`, `gL2`, `gL1`, `data`).
+pub const GUEST_ROWS: usize = 5;
+
+/// Nested-dimension slots per guest step: the four nested table levels
+/// plus the guest-dimension reference itself (`nL4`..`nL1`, `ref`).
+pub const NESTED_COLS: usize = 5;
+
+/// Column index of the guest-dimension (or native) reference itself.
+pub const REF_COL: usize = 4;
+
+/// Row labels, indexed by guest step (level 4 first, data last).
+pub const ROW_LABELS: [&str; GUEST_ROWS] = ["gL4", "gL3", "gL2", "gL1", "data"];
+
+/// Column labels, indexed by nested slot (level 4 first, `ref` last).
+pub const COL_LABELS: [&str; NESTED_COLS] = ["nL4", "nL3", "nL2", "nL1", "ref"];
+
+/// Cycle-and-reference attribution for one L1 miss.
+///
+/// Cells are `u32`: a single access's walk touches at most a few dozen
+/// references and a few thousand cycles even on a long fault-retry chain,
+/// and every add saturates, matching the histogram overflow discipline.
+///
+/// Conservation invariant (checked by `mv-core`'s unit tests): when the
+/// MMU populates an attribution, the sum of all cell cycles plus all tier
+/// cycles equals the event's `cycles` field exactly — including faulted
+/// partial walks, since every charging site in the walker is attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalkAttr {
+    /// Memory references per (guest step × nested slot) cell.
+    pub refs: [[u32; NESTED_COLS]; GUEST_ROWS],
+    /// Modeled cycles per (guest step × nested slot) cell.
+    pub cycles: [[u32; NESTED_COLS]; GUEST_ROWS],
+    /// Cycles spent on the L2 TLB hit path (no walk performed).
+    pub l2_hit_cycles: u32,
+    /// Cycles spent on nested-TLB hits inside the walk.
+    pub nested_tlb_cycles: u32,
+    /// Cycles spent on page-walk-cache hits (both dimensions' caches).
+    pub pwc_cycles: u32,
+    /// Cycles spent on segment bound checks (guest and VMM).
+    pub bound_check_cycles: u32,
+}
+
+impl WalkAttr {
+    /// Whether nothing has been recorded — the state of every event from
+    /// an MMU whose observer did not request attribution.
+    pub fn is_empty(&self) -> bool {
+        *self == WalkAttr::default()
+    }
+
+    /// Records one memory reference in cell `(row, col)` costing `cycles`.
+    #[inline]
+    pub fn record(&mut self, row: usize, col: usize, cycles: u64) {
+        self.refs[row][col] = self.refs[row][col].saturating_add(1);
+        self.cycles[row][col] = self.cycles[row][col].saturating_add(clamp32(cycles));
+    }
+
+    /// Adds `cycles` to the L2-hit tier.
+    #[inline]
+    pub fn add_l2_hit(&mut self, cycles: u64) {
+        self.l2_hit_cycles = self.l2_hit_cycles.saturating_add(clamp32(cycles));
+    }
+
+    /// Adds `cycles` to the nested-TLB-hit tier.
+    #[inline]
+    pub fn add_nested_tlb(&mut self, cycles: u64) {
+        self.nested_tlb_cycles = self.nested_tlb_cycles.saturating_add(clamp32(cycles));
+    }
+
+    /// Adds `cycles` to the page-walk-cache tier.
+    #[inline]
+    pub fn add_pwc(&mut self, cycles: u64) {
+        self.pwc_cycles = self.pwc_cycles.saturating_add(clamp32(cycles));
+    }
+
+    /// Adds `cycles` to the bound-check tier.
+    #[inline]
+    pub fn add_bound_check(&mut self, cycles: u64) {
+        self.bound_check_cycles = self.bound_check_cycles.saturating_add(clamp32(cycles));
+    }
+
+    /// Total references recorded across all cells.
+    pub fn total_refs(&self) -> u64 {
+        self.refs
+            .iter()
+            .flatten()
+            .map(|&r| u64::from(r))
+            .sum()
+    }
+
+    /// Total cycles recorded: all cells plus all tiers.
+    pub fn total_cycles(&self) -> u64 {
+        let cells: u64 = self
+            .cycles
+            .iter()
+            .flatten()
+            .map(|&c| u64::from(c))
+            .sum();
+        cells
+            + u64::from(self.l2_hit_cycles)
+            + u64::from(self.nested_tlb_cycles)
+            + u64::from(self.pwc_cycles)
+            + u64::from(self.bound_check_cycles)
+    }
+}
+
+#[inline]
+fn clamp32(v: u64) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty_and_totals_zero() {
+        let a = WalkAttr::default();
+        assert!(a.is_empty());
+        assert_eq!(a.total_refs(), 0);
+        assert_eq!(a.total_cycles(), 0);
+    }
+
+    #[test]
+    fn record_accumulates_and_breaks_emptiness() {
+        let mut a = WalkAttr::default();
+        a.record(0, 2, 18); // gL4 × nL2
+        a.record(0, REF_COL, 160); // gL4's own entry read
+        a.record(4, 3, 1); // data × nL1
+        a.add_l2_hit(7);
+        a.add_pwc(2);
+        assert!(!a.is_empty());
+        assert_eq!(a.refs[0][2], 1);
+        assert_eq!(a.cycles[0][REF_COL], 160);
+        assert_eq!(a.total_refs(), 3);
+        assert_eq!(a.total_cycles(), 18 + 160 + 1 + 7 + 2);
+    }
+
+    #[test]
+    fn adds_saturate_instead_of_wrapping() {
+        let mut a = WalkAttr::default();
+        a.record(1, 1, u64::from(u32::MAX) + 500);
+        assert_eq!(a.cycles[1][1], u32::MAX);
+        a.record(1, 1, 10);
+        assert_eq!(a.cycles[1][1], u32::MAX, "cell cycles saturate");
+        assert_eq!(a.refs[1][1], 2, "refs still count");
+        a.add_bound_check(u64::MAX);
+        a.add_bound_check(1);
+        assert_eq!(a.bound_check_cycles, u32::MAX);
+    }
+
+    #[test]
+    fn labels_cover_the_grid() {
+        assert_eq!(ROW_LABELS.len(), GUEST_ROWS);
+        assert_eq!(COL_LABELS.len(), NESTED_COLS);
+        assert_eq!(COL_LABELS[REF_COL], "ref");
+        assert_eq!(ROW_LABELS[GUEST_ROWS - 1], "data");
+    }
+}

@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use crate::attr::WalkAttr;
+
 /// How a TLB-missing access was ultimately served — the dimensionality
 /// vocabulary of the paper (0D bypass, 1D single-dimension walks, the full
 /// 2D nested walk) plus the cache paths that short-circuit a walk.
@@ -148,6 +150,10 @@ pub struct WalkEvent {
     pub escape: EscapeOutcome,
     /// Fault observed, if any.
     pub fault: FaultKind,
+    /// Per-cell cycle attribution of the walk. All-zero (and absent from
+    /// exports) unless the attached observer asked for attribution via
+    /// [`WalkObserver::wants_attribution`].
+    pub attr: WalkAttr,
 }
 
 /// Receiver for [`WalkEvent`]s, attached to an MMU.
@@ -158,6 +164,16 @@ pub struct WalkEvent {
 pub trait WalkObserver: fmt::Debug {
     /// Called after each L1 miss has been fully serviced (or faulted).
     fn on_walk(&mut self, event: &WalkEvent);
+
+    /// Whether this observer wants per-cell cycle attribution
+    /// ([`WalkEvent::attr`]) populated. The MMU samples this once at
+    /// attachment; when `false` (the default) the walker skips all
+    /// attribution bookkeeping and every event carries the all-zero
+    /// [`WalkAttr`], keeping telemetry-only exports byte-identical to
+    /// pre-attribution output.
+    fn wants_attribution(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

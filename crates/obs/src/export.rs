@@ -30,15 +30,19 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Renders one walk event as a JSONL line (no trailing newline).
+///
+/// Attribution fields are appended only when the event carries a non-empty
+/// [`crate::WalkAttr`] — events from telemetry-only runs render
+/// byte-identically to pre-attribution output.
 pub fn event_jsonl(e: &WalkEvent) -> String {
     let gpa = match e.gpa {
         Some(g) => format!("\"{g:#x}\""),
         None => "null".to_string(),
     };
-    format!(
+    let mut line = format!(
         "{{\"type\":\"event\",\"seq\":{},\"gva\":\"{:#x}\",\"gpa\":{},\
          \"mode\":\"{}\",\"class\":\"{}\",\"write\":{},\"cycles\":{},\
-         \"guest_refs\":{},\"nested_refs\":{},\"escape\":\"{}\",\"fault\":\"{}\"}}",
+         \"guest_refs\":{},\"nested_refs\":{},\"escape\":\"{}\",\"fault\":\"{}\"",
         e.seq,
         e.gva,
         gpa,
@@ -50,6 +54,35 @@ pub fn event_jsonl(e: &WalkEvent) -> String {
         e.nested_refs,
         e.escape.label(),
         e.fault.label(),
+    );
+    if !e.attr.is_empty() {
+        line.push_str(&format!(",\"attr\":{}", attr_json(&e.attr)));
+    }
+    line.push('}');
+    line
+}
+
+/// Renders one [`crate::WalkAttr`] as a JSON object (cells and tiers).
+pub fn attr_json(a: &crate::WalkAttr) -> String {
+    let grid = |m: &[[u32; crate::NESTED_COLS]; crate::GUEST_ROWS]| -> String {
+        let rows: Vec<String> = m
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    };
+    format!(
+        "{{\"refs\":{},\"cycles\":{},\"tiers\":{{\"l2_hit\":{},\
+         \"nested_tlb\":{},\"pwc\":{},\"bound_check\":{}}}}}",
+        grid(&a.refs),
+        grid(&a.cycles),
+        a.l2_hit_cycles,
+        a.nested_tlb_cycles,
+        a.pwc_cycles,
+        a.bound_check_cycles,
     )
 }
 
@@ -283,6 +316,7 @@ mod tests {
                 nested_refs: 20,
                 escape: EscapeOutcome::NotChecked,
                 fault: FaultKind::None,
+                attr: Default::default(),
             });
         }
         t.finish(25);
@@ -349,10 +383,66 @@ mod tests {
             nested_refs: 0,
             escape: EscapeOutcome::NotChecked,
             fault: FaultKind::None,
+            attr: Default::default(),
         };
         let s = event_jsonl(&e);
         assert!(s.contains("\"gpa\":null"));
         assert!(s.contains("\"gva\":\"0x1000\""));
+    }
+
+    #[test]
+    fn empty_attr_renders_the_exact_pre_attribution_line() {
+        // Byte-identity pin: an event whose WalkAttr is all-zero must render
+        // exactly as it did before attribution existed — this is what keeps
+        // the machine_equiv golden fixture (and every telemetry-only JSONL
+        // export) stable across the profiler's introduction.
+        let e = WalkEvent {
+            seq: 7,
+            gva: 0x7000,
+            gpa: Some(0x2000),
+            mode: "4K+4K",
+            write: true,
+            class: WalkClass::Walk2d,
+            cycles: 44,
+            guest_refs: 4,
+            nested_refs: 20,
+            escape: EscapeOutcome::Passed,
+            fault: FaultKind::None,
+            attr: Default::default(),
+        };
+        assert_eq!(
+            event_jsonl(&e),
+            "{\"type\":\"event\",\"seq\":7,\"gva\":\"0x7000\",\"gpa\":\"0x2000\",\
+             \"mode\":\"4K+4K\",\"class\":\"walk_2d\",\"write\":true,\"cycles\":44,\
+             \"guest_refs\":4,\"nested_refs\":20,\"escape\":\"passed\",\"fault\":\"none\"}"
+        );
+    }
+
+    #[test]
+    fn populated_attr_appends_an_attr_object() {
+        let mut attr = crate::WalkAttr::default();
+        attr.record(0, 1, 18); // gL4 × nL3
+        attr.record(4, crate::REF_COL, 160);
+        attr.add_pwc(2);
+        let e = WalkEvent {
+            seq: 1,
+            gva: 0x1000,
+            gpa: None,
+            mode: "4K+4K",
+            class: WalkClass::Walk2d,
+            write: false,
+            cycles: 180,
+            guest_refs: 1,
+            nested_refs: 1,
+            escape: EscapeOutcome::NotChecked,
+            fault: FaultKind::None,
+            attr,
+        };
+        let s = event_jsonl(&e);
+        assert!(s.contains("\"attr\":{\"refs\":[[0,1,0,0,0]"), "line: {s}");
+        assert!(s.contains("\"tiers\":{\"l2_hit\":0,\"nested_tlb\":0,\"pwc\":2,\"bound_check\":0}"));
+        assert!(s.ends_with("}}}"), "attr object closes the line: {s}");
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
     }
 
     #[test]
@@ -373,6 +463,7 @@ mod tests {
             nested_refs: 2 * huge,
             escape: EscapeOutcome::NotChecked,
             fault: FaultKind::None,
+            attr: Default::default(),
         };
         let s = event_jsonl(&e);
         assert!(s.contains(&format!("\"guest_refs\":{huge}")), "line: {s}");

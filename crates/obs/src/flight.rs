@@ -21,6 +21,7 @@ use crate::event::WalkEvent;
 ///         class: WalkClass::Walk2d, write: false, cycles: 40,
 ///         guest_refs: 4, nested_refs: 20,
 ///         escape: EscapeOutcome::NotChecked, fault: FaultKind::None,
+///         attr: Default::default(),
 ///     });
 /// }
 /// let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
@@ -124,6 +125,7 @@ mod tests {
             nested_refs: 0,
             escape: EscapeOutcome::NotChecked,
             fault: FaultKind::None,
+            attr: Default::default(),
         }
     }
 

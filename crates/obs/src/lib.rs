@@ -38,6 +38,7 @@
 //!     class: WalkClass::Walk2d, write: false, cycles: 44,
 //!     guest_refs: 4, nested_refs: 20,
 //!     escape: EscapeOutcome::NotChecked, fault: FaultKind::None,
+//!     attr: Default::default(),
 //! });
 //! drop(observer);
 //! let telemetry = shared.take(1);
@@ -49,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod attr;
 mod epoch;
 mod event;
 mod export;
@@ -57,6 +59,7 @@ mod hist;
 mod telemetry;
 mod transition;
 
+pub use attr::{WalkAttr, COL_LABELS, GUEST_ROWS, NESTED_COLS, REF_COL, ROW_LABELS};
 pub use epoch::EpochSnapshot;
 pub use event::{EscapeOutcome, FaultKind, WalkClass, WalkEvent, WalkObserver};
 pub use export::{epoch_jsonl, event_jsonl};

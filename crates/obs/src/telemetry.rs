@@ -334,6 +334,7 @@ mod tests {
             nested_refs: 20,
             escape: EscapeOutcome::NotChecked,
             fault: FaultKind::None,
+            attr: Default::default(),
         }
     }
 

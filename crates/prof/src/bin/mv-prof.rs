@@ -1,0 +1,150 @@
+//! `mv-prof` — inspect, fold, and diff profile exports.
+//!
+//! ```text
+//! mv-prof show a.jsonl                  # human-readable matrix table
+//! mv-prof fold a.jsonl                  # folded stacks for flamegraph.pl
+//! mv-prof diff a.jsonl b.jsonl          # per-cell / per-counter deltas
+//!          [--abs-tol N] [--rel-tol-pct P] [--fail-on-diff]
+//! ```
+
+use std::process::ExitCode;
+
+use mv_obs::{COL_LABELS, GUEST_ROWS, NESTED_COLS, ROW_LABELS};
+use mv_prof::{diff_docs, parse_jsonl, render_diff, DiffOptions, ProfileDoc, WalkMatrix};
+
+const USAGE: &str = "usage: mv-prof <show|fold|diff> <a.jsonl> [b.jsonl] \
+                     [--abs-tol N] [--rel-tol-pct P] [--fail-on-diff]";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("mv-prof: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut files = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut fail_on_diff = false;
+    let mut cmd = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--abs-tol" => {
+                opts.abs_tol = num_arg(&mut it, "--abs-tol")?;
+            }
+            "--rel-tol-pct" => {
+                opts.rel_tol = num_arg(&mut it, "--rel-tol-pct")? / 100.0;
+            }
+            "--fail-on-diff" => fail_on_diff = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            _ if arg.starts_with("--") => return Err(format!("unknown flag {arg}\n{USAGE}")),
+            _ if cmd.is_none() => cmd = Some(arg),
+            _ => files.push(arg),
+        }
+    }
+
+    match (cmd.as_deref(), files.as_slice()) {
+        (Some("show"), [a]) => {
+            let doc = load(a)?;
+            print!("{}", show(&doc));
+            Ok(ExitCode::SUCCESS)
+        }
+        (Some("fold"), [a]) => {
+            let doc = load(a)?;
+            print!("{}", fold(&doc));
+            Ok(ExitCode::SUCCESS)
+        }
+        (Some("diff"), [a, b]) => {
+            let (da, db) = (load(a)?, load(b)?);
+            let deltas = diff_docs(&da, &db, opts);
+            print!("{}", render_diff(&deltas, opts));
+            if fail_on_diff && !deltas.is_empty() {
+                Ok(ExitCode::FAILURE)
+            } else {
+                Ok(ExitCode::SUCCESS)
+            }
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn num_arg(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<f64, String> {
+    let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse()
+        .map_err(|_| format!("{flag}: not a number: {raw}"))
+}
+
+fn load(path: &str) -> Result<ProfileDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Replicates `fold_profile` from a parsed doc (which has no `Profile`).
+fn fold(doc: &ProfileDoc) -> String {
+    let mut out = String::new();
+    mv_prof::fold_matrix(&doc.run, &mut out);
+    if doc.exit_cycles > 0 {
+        out.push_str(&format!("gva;vm_exit {}\n", doc.exit_cycles));
+    }
+    out
+}
+
+fn show(doc: &ProfileDoc) -> String {
+    let m = &doc.run;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "run matrix: {} events, {} cycles ({} attributed), {} epochs\n\n",
+        m.events,
+        m.total_cycles,
+        m.attributed_cycles(),
+        doc.epochs.len()
+    ));
+    out.push_str(&table(m));
+    out.push_str(&format!(
+        "\ntiers:  l2_hit {}  nested_tlb {}  pwc {}  bound_check {}\n",
+        m.l2_hit_cycles, m.nested_tlb_cycles, m.pwc_cycles, m.bound_check_cycles
+    ));
+    out.push_str(&format!(
+        "dims:   guest {}  nested {}\n",
+        m.guest_dimension_cycles(),
+        m.nested_dimension_cycles()
+    ));
+    out.push_str(&format!(
+        "run:    escapes {}  faults {} ({} cycles)  vm_exits {} ({} cycles)\n",
+        m.escapes,
+        m.fault_events(),
+        m.fault_cycles,
+        doc.vm_exits,
+        doc.exit_cycles
+    ));
+    out
+}
+
+/// Renders the cycles grid with a refs grid alongside, labeled by the
+/// shared row/column names.
+fn table(m: &WalkMatrix) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:>6}", "cycles"));
+    for c in COL_LABELS {
+        out.push_str(&format!("{c:>12}"));
+    }
+    out.push_str(&format!("{:>14}", "refs/row"));
+    out.push('\n');
+    for (r, row) in ROW_LABELS.iter().enumerate().take(GUEST_ROWS) {
+        out.push_str(&format!("{row:>6}"));
+        for c in 0..NESTED_COLS {
+            out.push_str(&format!("{:>12}", m.cycles[r][c]));
+        }
+        let row_refs: u64 = m.refs[r].iter().sum();
+        out.push_str(&format!("{row_refs:>14}"));
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,253 @@
+//! Differential telemetry: compare two profile exports cell by cell and
+//! counter by counter, suppressing deltas inside a noise threshold.
+
+use mv_obs::{COL_LABELS, GUEST_ROWS, NESTED_COLS, ROW_LABELS};
+
+use crate::export::ProfileDoc;
+
+/// Noise thresholds for [`diff_docs`]. A delta is reported only when it
+/// clears **both** gates: `|b - a| > abs_tol` and `|b - a| / max(|a|, 1) >
+/// rel_tol`. The defaults report every nonzero delta.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffOptions {
+    /// Absolute threshold, in the counter's own unit.
+    pub abs_tol: f64,
+    /// Relative threshold as a fraction (`0.05` = suppress changes under
+    /// 5 %).
+    pub rel_tol: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            abs_tol: 0.0,
+            rel_tol: 0.0,
+        }
+    }
+}
+
+/// One counter that moved between the two profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Counter name, e.g. `cell.gL1xnL2.cycles` or `tier.l2_hit` or
+    /// `summary.p99`.
+    pub name: String,
+    /// Value in the first (baseline) profile.
+    pub a: f64,
+    /// Value in the second (candidate) profile.
+    pub b: f64,
+}
+
+impl Delta {
+    /// Signed change, `b - a`.
+    pub fn change(&self) -> f64 {
+        self.b - self.a
+    }
+
+    /// Relative change against the baseline (baseline 0 compares against
+    /// 1, so a counter appearing from nothing still gets a finite ratio).
+    pub fn rel_change(&self) -> f64 {
+        self.change() / self.a.abs().max(1.0)
+    }
+
+    /// Renders the delta as one aligned report line.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<28} {:>14} -> {:>14}  ({:+},  {:+.1}%)",
+            self.name,
+            trim_num(self.a),
+            trim_num(self.b),
+            trim_num(self.change()),
+            self.rel_change() * 100.0,
+        )
+    }
+}
+
+fn trim_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Diffs two parsed profile exports. Returns the deltas that clear the
+/// noise thresholds, ordered by descending absolute cycle change within
+/// each section (cells, tiers, scalars, summary counters).
+pub fn diff_docs(a: &ProfileDoc, b: &ProfileDoc, opts: DiffOptions) -> Vec<Delta> {
+    let mut out = Vec::new();
+    let mut push = |deltas: &mut Vec<Delta>| {
+        deltas.sort_by(|x, y| {
+            y.change()
+                .abs()
+                .partial_cmp(&x.change().abs())
+                .expect("finite deltas")
+        });
+        out.append(deltas);
+    };
+
+    let keep = |d: &Delta| -> bool {
+        let change = d.change().abs();
+        change > opts.abs_tol && change / d.a.abs().max(1.0) > opts.rel_tol
+    };
+    let mk = |name: String, x: f64, y: f64| -> Option<Delta> {
+        let d = Delta { name, a: x, b: y };
+        keep(&d).then_some(d)
+    };
+
+    let mut cells = Vec::new();
+    for (r, row) in ROW_LABELS.iter().enumerate().take(GUEST_ROWS) {
+        for (c, col) in COL_LABELS.iter().enumerate().take(NESTED_COLS) {
+            cells.extend(mk(
+                format!("cell.{row}x{col}.cycles"),
+                a.run.cycles[r][c] as f64,
+                b.run.cycles[r][c] as f64,
+            ));
+            cells.extend(mk(
+                format!("cell.{row}x{col}.refs"),
+                a.run.refs[r][c] as f64,
+                b.run.refs[r][c] as f64,
+            ));
+        }
+    }
+    push(&mut cells);
+
+    let mut tiers = Vec::new();
+    for (name, x, y) in [
+        ("tier.l2_hit", a.run.l2_hit_cycles, b.run.l2_hit_cycles),
+        (
+            "tier.nested_tlb",
+            a.run.nested_tlb_cycles,
+            b.run.nested_tlb_cycles,
+        ),
+        ("tier.pwc", a.run.pwc_cycles, b.run.pwc_cycles),
+        (
+            "tier.bound_check",
+            a.run.bound_check_cycles,
+            b.run.bound_check_cycles,
+        ),
+    ] {
+        tiers.extend(mk(name.to_string(), x as f64, y as f64));
+    }
+    push(&mut tiers);
+
+    let mut scalars = Vec::new();
+    for (name, x, y) in [
+        ("events", a.run.events, b.run.events),
+        ("total_cycles", a.run.total_cycles, b.run.total_cycles),
+        (
+            "guest_dim_cycles",
+            a.run.guest_dimension_cycles(),
+            b.run.guest_dimension_cycles(),
+        ),
+        (
+            "nested_dim_cycles",
+            a.run.nested_dimension_cycles(),
+            b.run.nested_dimension_cycles(),
+        ),
+        ("escapes", a.run.escapes, b.run.escapes),
+        ("fault_events", a.run.fault_events(), b.run.fault_events()),
+        ("fault_cycles", a.run.fault_cycles, b.run.fault_cycles),
+        ("vm_exits", a.vm_exits, b.vm_exits),
+        ("exit_cycles", a.exit_cycles, b.exit_cycles),
+    ] {
+        scalars.extend(mk(name.to_string(), x as f64, y as f64));
+    }
+    push(&mut scalars);
+
+    // Telemetry summary counters, when both files carried a summary line.
+    let mut counters = Vec::new();
+    for (name, x) in &a.summary {
+        if let Some((_, y)) = b.summary.iter().find(|(n, _)| n == name) {
+            counters.extend(mk(format!("summary.{name}"), *x, *y));
+        }
+    }
+    push(&mut counters);
+
+    out
+}
+
+/// Renders a diff as a text report: one [`Delta::render`] line each, or a
+/// "no deltas" note when everything was inside tolerance.
+pub fn render_diff(deltas: &[Delta], opts: DiffOptions) -> String {
+    if deltas.is_empty() {
+        return format!(
+            "no deltas above tolerance (abs > {}, rel > {:.1}%)\n",
+            opts.abs_tol,
+            opts.rel_tol * 100.0
+        );
+    }
+    let mut out = String::new();
+    for d in deltas {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::WalkMatrix;
+
+    fn doc(cycles_00: u64, l2: u64, events: u64) -> ProfileDoc {
+        let mut run = WalkMatrix::default();
+        run.cycles[0][0] = cycles_00;
+        run.refs[0][0] = cycles_00 / 18;
+        run.l2_hit_cycles = l2;
+        run.events = events;
+        run.total_cycles = cycles_00 + l2;
+        ProfileDoc {
+            run,
+            summary: vec![("p99".into(), events as f64)],
+            ..ProfileDoc::default()
+        }
+    }
+
+    #[test]
+    fn reports_every_nonzero_delta_by_default() {
+        let a = doc(1800, 70, 100);
+        let b = doc(3600, 70, 120);
+        let deltas = diff_docs(&a, &b, DiffOptions::default());
+        let names: Vec<&str> = deltas.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "cell.gL4xnL4.cycles",
+                "cell.gL4xnL4.refs",
+                "total_cycles",
+                "nested_dim_cycles",
+                "events",
+                "summary.p99",
+            ]
+        );
+        assert_eq!(deltas[0].change(), 1800.0);
+        assert!((deltas[0].rel_change() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerances_suppress_noise() {
+        let a = doc(1800, 70, 100);
+        let b = doc(1818, 70, 101); // +1% cell cycles, +1 event
+        let strict = diff_docs(&a, &b, DiffOptions::default());
+        assert_eq!(strict.len(), 6);
+        let loose = diff_docs(
+            &a,
+            &b,
+            DiffOptions {
+                abs_tol: 2.0,
+                rel_tol: 0.05,
+            },
+        );
+        assert!(loose.is_empty(), "got: {loose:?}");
+    }
+
+    #[test]
+    fn identical_docs_render_the_quiet_note() {
+        let a = doc(1800, 70, 100);
+        let deltas = diff_docs(&a, &a.clone(), DiffOptions::default());
+        assert!(deltas.is_empty());
+        let report = render_diff(&deltas, DiffOptions::default());
+        assert!(report.starts_with("no deltas above tolerance"));
+    }
+}

@@ -1,0 +1,315 @@
+//! JSONL export for profiles, and the reader that parses an export back
+//! into matrices (used by `mv-prof diff`/`fold`/`show`).
+//!
+//! A profile export is line-oriented and self-describing:
+//!
+//! ```text
+//! {"type":"profile_meta","epoch_len":10000,"rows":[...],"cols":[...]}
+//! {"type":"walk_matrix","scope":"epoch","index":0, ...matrix fields...}
+//! {"type":"walk_matrix","scope":"run", ...matrix fields...,"vm_exits":N,"exit_cycles":N}
+//! ```
+//!
+//! The lines coexist with telemetry JSONL in the same file — every reader
+//! in the workspace dispatches on `"type"`, so `run --profile
+//! --telemetry-out` appends profile lines to the telemetry export and both
+//! stay parseable.
+
+use std::io::{self, Write};
+
+use mv_obs::{COL_LABELS, GUEST_ROWS, NESTED_COLS, ROW_LABELS};
+
+use crate::json::{self, Value};
+use crate::matrix::WalkMatrix;
+use crate::profile::Profile;
+
+/// Renders the body of a matrix as JSON object members (no braces), shared
+/// by the epoch and run scopes.
+fn matrix_members(m: &WalkMatrix) -> String {
+    let grid = |g: &[[u64; NESTED_COLS]; GUEST_ROWS]| -> String {
+        let rows: Vec<String> = g
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(u64::to_string).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    };
+    format!(
+        "\"events\":{},\"refs\":{},\"cycles\":{},\
+         \"tiers\":{{\"l2_hit\":{},\"nested_tlb\":{},\"pwc\":{},\"bound_check\":{}}},\
+         \"total_cycles\":{},\"attributed_cycles\":{},\"escapes\":{},\
+         \"faults\":{{\"guest_not_mapped\":{},\"nested_not_mapped\":{},\"write_protected\":{}}},\
+         \"fault_cycles\":{}",
+        m.events,
+        grid(&m.refs),
+        grid(&m.cycles),
+        m.l2_hit_cycles,
+        m.nested_tlb_cycles,
+        m.pwc_cycles,
+        m.bound_check_cycles,
+        m.total_cycles,
+        m.attributed_cycles(),
+        m.escapes,
+        m.faults[0],
+        m.faults[1],
+        m.faults[2],
+        m.fault_cycles,
+    )
+}
+
+/// Renders one matrix as a standalone `walk_matrix` JSONL line (no trailing
+/// newline). `scope` is `"epoch"` (with `Some(index)`) or `"run"`.
+pub fn matrix_jsonl(m: &WalkMatrix, scope: &str, index: Option<u64>) -> String {
+    let idx = index.map_or(String::new(), |i| format!("\"index\":{i},"));
+    format!(
+        "{{\"type\":\"walk_matrix\",\"scope\":\"{scope}\",{idx}{}}}",
+        matrix_members(m)
+    )
+}
+
+impl Profile {
+    /// Writes the profile as JSONL: a `profile_meta` line, one epoch-scope
+    /// `walk_matrix` line per epoch, and a final run-scope `walk_matrix`
+    /// line carrying the VM-exit totals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let labels = |ls: &[&str]| -> String {
+            let quoted: Vec<String> = ls.iter().map(|l| format!("\"{l}\"")).collect();
+            format!("[{}]", quoted.join(","))
+        };
+        writeln!(
+            w,
+            "{{\"type\":\"profile_meta\",\"epoch_len\":{},\"rows\":{},\"cols\":{}}}",
+            self.config().epoch_len,
+            labels(&ROW_LABELS),
+            labels(&COL_LABELS),
+        )?;
+        for e in self.epochs() {
+            writeln!(w, "{}", matrix_jsonl(&e.matrix, "epoch", Some(e.index)))?;
+        }
+        let mut run = matrix_jsonl(self.total(), "run", None);
+        run.pop(); // re-open the object to append the run-only members
+        run.push_str(&format!(
+            ",\"vm_exits\":{},\"exit_cycles\":{}}}",
+            self.vm_exits(),
+            self.exit_cycles()
+        ));
+        writeln!(w, "{run}")
+    }
+}
+
+/// A profile export parsed back from JSONL, plus whatever telemetry
+/// `summary` counters shared the file.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileDoc {
+    /// The run-scope matrix.
+    pub run: WalkMatrix,
+    /// Epoch-scope matrices as `(index, matrix)`, in file order.
+    pub epochs: Vec<(u64, WalkMatrix)>,
+    /// Run-scope VM exits.
+    pub vm_exits: u64,
+    /// Run-scope VM-exit cycles.
+    pub exit_cycles: u64,
+    /// Counters lifted from a telemetry `summary` line, if the file had
+    /// one: `(name, value)` pairs sorted by name.
+    pub summary: Vec<(String, f64)>,
+}
+
+/// Parses a JSONL export (profile lines, optionally interleaved with
+/// telemetry lines) into a [`ProfileDoc`]. Unknown line types are skipped;
+/// a malformed line is an error with its 1-based line number.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on parse failure, or if no
+/// run-scope `walk_matrix` line is present.
+pub fn parse_jsonl(text: &str) -> Result<ProfileDoc, String> {
+    let mut doc = ProfileDoc::default();
+    let mut saw_run = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        match v.get("type").and_then(Value::as_str) {
+            Some("walk_matrix") => {
+                let m = matrix_from_value(&v)
+                    .ok_or_else(|| format!("line {}: malformed walk_matrix", lineno + 1))?;
+                match v.get("scope").and_then(Value::as_str) {
+                    Some("run") => {
+                        doc.run = m;
+                        doc.vm_exits = u64_field(&v, "vm_exits").unwrap_or(0);
+                        doc.exit_cycles = u64_field(&v, "exit_cycles").unwrap_or(0);
+                        saw_run = true;
+                    }
+                    Some("epoch") => {
+                        let idx = u64_field(&v, "index")
+                            .ok_or_else(|| format!("line {}: epoch without index", lineno + 1))?;
+                        doc.epochs.push((idx, m));
+                    }
+                    _ => return Err(format!("line {}: unknown walk_matrix scope", lineno + 1)),
+                }
+            }
+            Some("summary") => {
+                if let Value::Obj(map) = &v {
+                    for (k, val) in map {
+                        if k == "type" {
+                            continue;
+                        }
+                        if let Some(n) = val.as_f64() {
+                            doc.summary.push((k.clone(), n));
+                        }
+                    }
+                }
+            }
+            _ => {} // meta, epoch, event, transition, profile_meta: not diffed here
+        }
+    }
+    if !saw_run {
+        return Err("no run-scope walk_matrix line found".into());
+    }
+    Ok(doc)
+}
+
+fn u64_field(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(Value::as_u64)
+}
+
+/// Rebuilds a [`WalkMatrix`] from a parsed `walk_matrix` object.
+pub fn matrix_from_value(v: &Value) -> Option<WalkMatrix> {
+    let mut m = WalkMatrix {
+        events: u64_field(v, "events")?,
+        total_cycles: u64_field(v, "total_cycles")?,
+        escapes: u64_field(v, "escapes")?,
+        fault_cycles: u64_field(v, "fault_cycles")?,
+        ..WalkMatrix::default()
+    };
+    let grid = |key: &str, dst: &mut [[u64; NESTED_COLS]; GUEST_ROWS]| -> Option<()> {
+        let rows = v.get(key)?.as_arr()?;
+        if rows.len() != GUEST_ROWS {
+            return None;
+        }
+        for (r, row) in rows.iter().enumerate() {
+            let cells = row.as_arr()?;
+            if cells.len() != NESTED_COLS {
+                return None;
+            }
+            for (c, cell) in cells.iter().enumerate() {
+                dst[r][c] = cell.as_u64()?;
+            }
+        }
+        Some(())
+    };
+    grid("refs", &mut m.refs)?;
+    grid("cycles", &mut m.cycles)?;
+    let tiers = v.get("tiers")?;
+    m.l2_hit_cycles = u64_field(tiers, "l2_hit")?;
+    m.nested_tlb_cycles = u64_field(tiers, "nested_tlb")?;
+    m.pwc_cycles = u64_field(tiers, "pwc")?;
+    m.bound_check_cycles = u64_field(tiers, "bound_check")?;
+    let faults = v.get("faults")?;
+    m.faults = [
+        u64_field(faults, "guest_not_mapped")?,
+        u64_field(faults, "nested_not_mapped")?,
+        u64_field(faults, "write_protected")?,
+    ];
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileConfig;
+    use mv_obs::{EscapeOutcome, FaultKind, WalkAttr, WalkClass, WalkEvent, WalkObserver, REF_COL};
+
+    fn ev(seq: u64) -> WalkEvent {
+        let mut attr = WalkAttr::default();
+        attr.record(1, REF_COL, 160);
+        attr.record(1, 2, 18);
+        attr.add_l2_hit(7);
+        WalkEvent {
+            seq,
+            gva: seq * 0x1000,
+            gpa: Some(seq * 0x2000),
+            mode: "4K+4K",
+            class: WalkClass::Walk2d,
+            write: seq % 2 == 0,
+            cycles: attr.total_cycles(),
+            guest_refs: 1,
+            nested_refs: 1,
+            escape: EscapeOutcome::Escaped,
+            fault: if seq == 3 {
+                FaultKind::GuestNotMapped
+            } else {
+                FaultKind::None
+            },
+            attr,
+        }
+    }
+
+    fn sample_profile() -> Profile {
+        let mut p = Profile::new(ProfileConfig { epoch_len: 2 });
+        for s in 1..=5 {
+            p.on_walk(&ev(s));
+        }
+        p.record_exits(7, 5600);
+        p.finish();
+        p
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_parser() {
+        let p = sample_profile();
+        let mut buf = Vec::new();
+        p.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"type\":\"profile_meta\",\"epoch_len\":2,"));
+
+        let doc = parse_jsonl(&text).unwrap();
+        assert_eq!(doc.run, *p.total());
+        assert_eq!(doc.vm_exits, 7);
+        assert_eq!(doc.exit_cycles, 5600);
+        assert_eq!(doc.epochs.len(), p.epochs().len());
+        for ((idx, m), e) in doc.epochs.iter().zip(p.epochs()) {
+            assert_eq!(*idx, e.index);
+            assert_eq!(*m, e.matrix);
+        }
+    }
+
+    #[test]
+    fn parser_skips_telemetry_lines_but_lifts_summary_counters() {
+        let p = sample_profile();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(
+            b"{\"type\":\"meta\",\"epoch_len\":2,\"flight_capacity\":4}\n\
+              {\"type\":\"summary\",\"events\":5,\"cycles_sum\":925,\"p99\":185}\n",
+        );
+        p.write_jsonl(&mut buf).unwrap();
+        let doc = parse_jsonl(&String::from_utf8(buf).unwrap()).unwrap();
+        assert_eq!(doc.run.events, 5);
+        assert_eq!(
+            doc.summary,
+            vec![
+                ("cycles_sum".to_string(), 925.0),
+                ("events".to_string(), 5.0),
+                ("p99".to_string(), 185.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn missing_run_scope_is_an_error() {
+        let err = parse_jsonl("{\"type\":\"summary\",\"events\":1}\n").unwrap_err();
+        assert!(err.contains("no run-scope"), "got: {err}");
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_its_number() {
+        let err = parse_jsonl("{\"type\":\"profile_meta\"}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "got: {err}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Folded-stack export: one `frame;frame;frame cycles` line per nonzero
+//! attribution bucket, the input format of `flamegraph.pl` and compatible
+//! renderers (inferno, speedscope). The "stack" for a walk cost is the
+//! path the hardware took to incur it: `gva;<guest step>;<nested slot>`.
+
+use mv_obs::{COL_LABELS, GUEST_ROWS, NESTED_COLS, ROW_LABELS};
+
+use crate::matrix::WalkMatrix;
+use crate::profile::Profile;
+
+/// Root frame for every stack — the cost of translating a guest virtual
+/// address.
+pub const ROOT_FRAME: &str = "gva";
+
+/// Appends the folded-stack lines for one matrix to `out`, in a fixed
+/// deterministic order: hit tiers first, then cells row-major, then the
+/// unattributed remainder (nonzero only when events were recorded without
+/// per-cell attribution). Zero buckets are skipped — flamegraph input has
+/// no use for empty frames.
+pub fn fold_matrix(m: &WalkMatrix, out: &mut String) {
+    use std::fmt::Write;
+    let mut line = |stack: &str, cycles: u64| {
+        if cycles > 0 {
+            writeln!(out, "{ROOT_FRAME};{stack} {cycles}").expect("String write");
+        }
+    };
+    line("l2_hit", m.l2_hit_cycles);
+    line("nested_tlb", m.nested_tlb_cycles);
+    line("pwc", m.pwc_cycles);
+    line("bound_check", m.bound_check_cycles);
+    for (r, row) in ROW_LABELS.iter().enumerate().take(GUEST_ROWS) {
+        for (c, col) in COL_LABELS.iter().enumerate().take(NESTED_COLS) {
+            line(&format!("{row};{col}"), m.cycles[r][c]);
+        }
+    }
+    line(
+        "unattributed",
+        m.total_cycles.saturating_sub(m.attributed_cycles()),
+    );
+}
+
+/// Renders a whole profile as folded stacks: the run-total matrix plus a
+/// `gva;vm_exit` frame for the VM-exit cycles the machine layer charges
+/// outside the walker.
+pub fn fold_profile(p: &Profile) -> String {
+    let mut out = String::new();
+    fold_matrix(p.total(), &mut out);
+    if p.exit_cycles() > 0 {
+        out.push_str(&format!("{ROOT_FRAME};vm_exit {}\n", p.exit_cycles()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_obs::{EscapeOutcome, FaultKind, WalkAttr, WalkClass, WalkEvent, WalkObserver, REF_COL};
+
+    use crate::profile::ProfileConfig;
+
+    fn event() -> WalkEvent {
+        let mut attr = WalkAttr::default();
+        attr.record(0, REF_COL, 160);
+        attr.record(4, 3, 18);
+        attr.add_pwc(2);
+        WalkEvent {
+            seq: 1,
+            gva: 0x1000,
+            gpa: Some(0x2000),
+            mode: "4K+4K",
+            class: WalkClass::Walk2d,
+            write: false,
+            cycles: attr.total_cycles(),
+            guest_refs: 1,
+            nested_refs: 1,
+            escape: EscapeOutcome::NotChecked,
+            fault: FaultKind::None,
+            attr,
+        }
+    }
+
+    #[test]
+    fn folds_nonzero_buckets_in_deterministic_order() {
+        let mut m = WalkMatrix::default();
+        m.record(&event());
+        let mut out = String::new();
+        fold_matrix(&m, &mut out);
+        assert_eq!(out, "gva;pwc 2\ngva;gL4;ref 160\ngva;data;nL1 18\n");
+    }
+
+    #[test]
+    fn unattributed_remainder_shows_up_as_its_own_frame() {
+        let mut e = event();
+        e.attr = WalkAttr::default(); // telemetry-style event, no attribution
+        let mut m = WalkMatrix::default();
+        m.record(&e);
+        let mut out = String::new();
+        fold_matrix(&m, &mut out);
+        assert_eq!(out, format!("gva;unattributed {}\n", e.cycles));
+    }
+
+    #[test]
+    fn profile_fold_appends_vm_exit_cycles() {
+        let mut p = Profile::new(ProfileConfig { epoch_len: 0 });
+        p.on_walk(&event());
+        p.record_exits(4, 3200);
+        p.finish();
+        let out = fold_profile(&p);
+        assert!(out.ends_with("gva;vm_exit 3200\n"), "got: {out}");
+        assert!(out.contains("gva;gL4;ref 160\n"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # mv-prof — walk-cost attribution profiler
+//!
+//! Where `mv-obs` answers *"how expensive were the walks?"*, this crate
+//! answers *"where did the cycles go?"* Every observed walk event carries a
+//! per-access [`WalkAttr`](mv_obs::WalkAttr) — a (guest level × nested
+//! level) matrix of modeled cycles, populated by the MMU only when the
+//! attached observer asks for attribution. This crate aggregates those
+//! matrices:
+//!
+//! - [`WalkMatrix`] — the aggregate over many events, saturating and
+//!   associatively mergeable so parallel sweeps stay byte-identical.
+//! - [`Profile`] / [`SharedProfile`] — the [`WalkObserver`](mv_obs::WalkObserver)
+//!   collector: a run-total matrix, per-epoch matrices keyed like
+//!   telemetry epochs, and run-scope VM-exit costs.
+//! - [`fold_profile`] / [`fold_matrix`] — folded-stack export
+//!   (`gva;gL1;nL2 cycles` lines) for flamegraph tooling.
+//! - [`Profile::write_jsonl`] / [`parse_jsonl`] — line-oriented export and
+//!   its reader.
+//! - [`diff_docs`] — differential telemetry between two exports, with
+//!   noise thresholds (the `mv-prof diff` command).
+//!
+//! The row/column geometry comes from the paper's 2D walk: rows are the
+//! guest translation steps (`gL4..gL1` plus the final `data` reference),
+//! columns are the nested levels resolving each step's address (`nL4..nL1`)
+//! plus `ref`, the access to the guest/native PTE itself. Cell
+//! (`data`, `nL2`) holding most of the cycles reads as: "the nested L2
+//! lookups for final data addresses dominate" — exactly the quantity the
+//! paper's dimensionality-reduction techniques attack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diff;
+mod export;
+mod folded;
+pub mod json;
+mod matrix;
+mod profile;
+
+pub use diff::{diff_docs, render_diff, Delta, DiffOptions};
+pub use export::{matrix_from_value, matrix_jsonl, parse_jsonl, ProfileDoc};
+pub use folded::{fold_matrix, fold_profile, ROOT_FRAME};
+pub use matrix::WalkMatrix;
+pub use profile::{EpochMatrix, Profile, ProfileConfig, SharedProfile};

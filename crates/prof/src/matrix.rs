@@ -1,0 +1,238 @@
+//! The aggregate walk matrix: per-cell cycle and reference totals over many
+//! events, with the same associative-merge discipline as `Telemetry`.
+
+use mv_obs::{EscapeOutcome, FaultKind, WalkAttr, WalkEvent, GUEST_ROWS, NESTED_COLS};
+
+/// Aggregated attribution over a set of walk events — one epoch's worth or
+/// a whole run's.
+///
+/// Every field is a saturating sum, and [`WalkMatrix::merge`] is
+/// commutative and associative (saturating addition of non-negative
+/// totals), so folding trial matrices in cell order yields byte-identical
+/// exports for any worker count — the same discipline as
+/// `Telemetry::merge`, property-tested in `tests/prop_matrix.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalkMatrix {
+    /// Events folded into this matrix.
+    pub events: u64,
+    /// Memory references per (guest step × nested slot) cell.
+    pub refs: [[u64; NESTED_COLS]; GUEST_ROWS],
+    /// Modeled cycles per (guest step × nested slot) cell.
+    pub cycles: [[u64; NESTED_COLS]; GUEST_ROWS],
+    /// Cycles on the L2 TLB hit tier.
+    pub l2_hit_cycles: u64,
+    /// Cycles on nested-TLB hits inside walks.
+    pub nested_tlb_cycles: u64,
+    /// Cycles on page-walk-cache hits.
+    pub pwc_cycles: u64,
+    /// Cycles on segment bound checks.
+    pub bound_check_cycles: u64,
+    /// Total cycles across the folded events (attributed or not).
+    pub total_cycles: u64,
+    /// Events whose escape filter flagged the address back to paging.
+    pub escapes: u64,
+    /// Events that faulted before completing, by [`FaultKind`] minus
+    /// `None`: `[guest_not_mapped, nested_not_mapped, write_protected]`.
+    pub faults: [u64; 3],
+    /// Cycles charged to faulted events (their partial walks).
+    pub fault_cycles: u64,
+}
+
+impl WalkMatrix {
+    /// Folds one event's attribution in.
+    pub fn record(&mut self, e: &WalkEvent) {
+        self.events = self.events.saturating_add(1);
+        self.add_attr(&e.attr);
+        self.total_cycles = self.total_cycles.saturating_add(e.cycles);
+        if e.escape == EscapeOutcome::Escaped {
+            self.escapes = self.escapes.saturating_add(1);
+        }
+        if e.fault != FaultKind::None {
+            self.faults[e.fault as usize - 1] = self.faults[e.fault as usize - 1].saturating_add(1);
+            self.fault_cycles = self.fault_cycles.saturating_add(e.cycles);
+        }
+    }
+
+    fn add_attr(&mut self, a: &WalkAttr) {
+        for r in 0..GUEST_ROWS {
+            for c in 0..NESTED_COLS {
+                self.refs[r][c] = self.refs[r][c].saturating_add(u64::from(a.refs[r][c]));
+                self.cycles[r][c] = self.cycles[r][c].saturating_add(u64::from(a.cycles[r][c]));
+            }
+        }
+        self.l2_hit_cycles = self.l2_hit_cycles.saturating_add(u64::from(a.l2_hit_cycles));
+        self.nested_tlb_cycles = self
+            .nested_tlb_cycles
+            .saturating_add(u64::from(a.nested_tlb_cycles));
+        self.pwc_cycles = self.pwc_cycles.saturating_add(u64::from(a.pwc_cycles));
+        self.bound_check_cycles = self
+            .bound_check_cycles
+            .saturating_add(u64::from(a.bound_check_cycles));
+    }
+
+    /// Folds another matrix in. Commutative and associative: every field
+    /// is a saturating sum.
+    pub fn merge(&mut self, other: &WalkMatrix) {
+        self.events = self.events.saturating_add(other.events);
+        for r in 0..GUEST_ROWS {
+            for c in 0..NESTED_COLS {
+                self.refs[r][c] = self.refs[r][c].saturating_add(other.refs[r][c]);
+                self.cycles[r][c] = self.cycles[r][c].saturating_add(other.cycles[r][c]);
+            }
+        }
+        self.l2_hit_cycles = self.l2_hit_cycles.saturating_add(other.l2_hit_cycles);
+        self.nested_tlb_cycles = self.nested_tlb_cycles.saturating_add(other.nested_tlb_cycles);
+        self.pwc_cycles = self.pwc_cycles.saturating_add(other.pwc_cycles);
+        self.bound_check_cycles = self
+            .bound_check_cycles
+            .saturating_add(other.bound_check_cycles);
+        self.total_cycles = self.total_cycles.saturating_add(other.total_cycles);
+        self.escapes = self.escapes.saturating_add(other.escapes);
+        for (a, b) in self.faults.iter_mut().zip(other.faults) {
+            *a = a.saturating_add(b);
+        }
+        self.fault_cycles = self.fault_cycles.saturating_add(other.fault_cycles);
+    }
+
+    /// Sum of all cell cycles (excluding tiers).
+    pub fn cell_cycles(&self) -> u64 {
+        self.cycles.iter().flatten().fold(0u64, |s, &c| s.saturating_add(c))
+    }
+
+    /// Sum of all cell references.
+    pub fn cell_refs(&self) -> u64 {
+        self.refs.iter().flatten().fold(0u64, |s, &r| s.saturating_add(r))
+    }
+
+    /// Sum of the scalar tiers.
+    pub fn tier_cycles(&self) -> u64 {
+        self.l2_hit_cycles
+            .saturating_add(self.nested_tlb_cycles)
+            .saturating_add(self.pwc_cycles)
+            .saturating_add(self.bound_check_cycles)
+    }
+
+    /// Cycles attributed to cells or tiers — equals [`Self::total_cycles`]
+    /// whenever the events came from an attributing MMU (the conservation
+    /// invariant checked in `mv-core`).
+    pub fn attributed_cycles(&self) -> u64 {
+        self.cell_cycles().saturating_add(self.tier_cycles())
+    }
+
+    /// Cycles spent in the guest dimension (the `ref` column): reading
+    /// guest (or native) page-table entries themselves.
+    pub fn guest_dimension_cycles(&self) -> u64 {
+        self.cycles
+            .iter()
+            .fold(0u64, |s, row| s.saturating_add(row[mv_obs::REF_COL]))
+    }
+
+    /// Cycles spent in the nested dimension (all non-`ref` columns).
+    pub fn nested_dimension_cycles(&self) -> u64 {
+        self.cell_cycles()
+            .saturating_sub(self.guest_dimension_cycles())
+    }
+
+    /// Total faulted events across all kinds.
+    pub fn fault_events(&self) -> u64 {
+        self.faults.iter().sum()
+    }
+
+    /// Whether nothing was folded in.
+    pub fn is_empty(&self) -> bool {
+        *self == WalkMatrix::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_obs::{WalkClass, REF_COL};
+
+    fn event(seq: u64) -> WalkEvent {
+        let mut attr = WalkAttr::default();
+        attr.record(0, 1, 18);
+        attr.record(0, REF_COL, 160);
+        attr.record(4, 0, 18);
+        attr.add_pwc(1);
+        attr.add_l2_hit(0);
+        WalkEvent {
+            seq,
+            gva: seq * 0x1000,
+            gpa: Some(seq * 0x2000),
+            mode: "4K+4K",
+            class: WalkClass::Walk2d,
+            write: false,
+            cycles: attr.total_cycles(),
+            guest_refs: 1,
+            nested_refs: 2,
+            escape: EscapeOutcome::NotChecked,
+            fault: FaultKind::None,
+            attr,
+        }
+    }
+
+    #[test]
+    fn record_accumulates_cells_tiers_and_totals() {
+        let mut m = WalkMatrix::default();
+        m.record(&event(1));
+        m.record(&event(2));
+        assert_eq!(m.events, 2);
+        assert_eq!(m.refs[0][1], 2);
+        assert_eq!(m.cycles[0][REF_COL], 320);
+        assert_eq!(m.pwc_cycles, 2);
+        assert_eq!(m.attributed_cycles(), m.total_cycles);
+        assert_eq!(m.guest_dimension_cycles(), 320);
+        assert_eq!(m.nested_dimension_cycles(), 2 * 36);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn faulted_events_split_out() {
+        let mut e = event(1);
+        e.fault = FaultKind::NestedNotMapped;
+        let mut m = WalkMatrix::default();
+        m.record(&e);
+        assert_eq!(m.faults, [0, 1, 0]);
+        assert_eq!(m.fault_events(), 1);
+        assert_eq!(m.fault_cycles, e.cycles);
+    }
+
+    #[test]
+    fn merge_matches_sequential_record() {
+        let mut all = WalkMatrix::default();
+        let mut a = WalkMatrix::default();
+        let mut b = WalkMatrix::default();
+        for s in 1..=10 {
+            all.record(&event(s));
+            if s % 2 == 0 {
+                a.record(&event(s));
+            } else {
+                b.record(&event(s));
+            }
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, all);
+        assert_eq!(ba, all, "merge is commutative");
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = WalkMatrix {
+            total_cycles: u64::MAX - 5,
+            l2_hit_cycles: u64::MAX,
+            ..WalkMatrix::default()
+        };
+        let b = WalkMatrix {
+            total_cycles: 100,
+            l2_hit_cycles: 1,
+            ..WalkMatrix::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total_cycles, u64::MAX);
+        assert_eq!(a.l2_hit_cycles, u64::MAX);
+    }
+}

@@ -1,0 +1,340 @@
+//! The profile collector: a run-total [`WalkMatrix`] plus per-epoch
+//! matrices, collected through the [`WalkObserver`] hook.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mv_obs::{WalkEvent, WalkObserver};
+
+use crate::matrix::WalkMatrix;
+
+/// Configuration for a [`Profile`] collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileConfig {
+    /// Accesses per epoch matrix; 0 disables epoch collection (only the
+    /// run-total matrix is kept). Matches `TelemetryConfig::epoch_len`
+    /// semantics so `--profile` epochs line up with telemetry epochs.
+    pub epoch_len: u64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig { epoch_len: 10_000 }
+    }
+}
+
+/// One epoch's attribution matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochMatrix {
+    /// Epoch index (access `seq / epoch_len`).
+    pub index: u64,
+    /// The matrix of events observed in this epoch.
+    pub matrix: WalkMatrix,
+}
+
+impl EpochMatrix {
+    /// Folds another snapshot of the **same epoch** in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices differ — merging different epochs is a grid
+    /// wiring bug (same contract as `EpochSnapshot::merge`).
+    pub fn merge(&mut self, other: &EpochMatrix) {
+        assert_eq!(
+            self.index, other.index,
+            "merged epoch matrices must cover the same epoch"
+        );
+        self.matrix.merge(&other.matrix);
+    }
+}
+
+/// Run-level walk-cost attribution: a cumulative [`WalkMatrix`] plus
+/// periodic per-epoch matrices, and the run-scope VM-exit/fault-servicing
+/// costs the driver records after the access loop.
+///
+/// Implements [`WalkObserver`] (with
+/// [`wants_attribution`](WalkObserver::wants_attribution) = `true`); use
+/// [`SharedProfile`] to keep a handle across the MMU attachment.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    cfg: ProfileConfig,
+    total: WalkMatrix,
+    epochs: Vec<EpochMatrix>,
+    cur: Option<EpochMatrix>,
+    finished: bool,
+    vm_exits: u64,
+    exit_cycles: u64,
+}
+
+impl Profile {
+    /// Creates an empty collector.
+    pub fn new(cfg: ProfileConfig) -> Self {
+        Profile {
+            cfg,
+            ..Profile::default()
+        }
+    }
+
+    /// The configuration the collector was built with.
+    pub fn config(&self) -> ProfileConfig {
+        self.cfg
+    }
+
+    /// The run-total matrix.
+    pub fn total(&self) -> &WalkMatrix {
+        &self.total
+    }
+
+    /// Completed epoch matrices (includes the trailing partial epoch once
+    /// [`Profile::finish`] has run).
+    pub fn epochs(&self) -> &[EpochMatrix] {
+        &self.epochs
+    }
+
+    /// VM exits recorded at run scope (see [`Profile::record_exits`]).
+    pub fn vm_exits(&self) -> u64 {
+        self.vm_exits
+    }
+
+    /// VM-exit cycles recorded at run scope.
+    pub fn exit_cycles(&self) -> u64 {
+        self.exit_cycles
+    }
+
+    /// Records the run's VM-exit statistics — the machine layer charges
+    /// exits outside the walker, so they arrive once, after the access
+    /// loop, rather than per event.
+    pub fn record_exits(&mut self, vm_exits: u64, exit_cycles: u64) {
+        self.vm_exits = self.vm_exits.saturating_add(vm_exits);
+        self.exit_cycles = self.exit_cycles.saturating_add(exit_cycles);
+    }
+
+    /// Folds another (finished) collector in: the run totals merge, and
+    /// epoch matrices with the same index merge pairwise (merge-join on
+    /// the sorted index lists — the discipline of `Telemetry::merge`), so
+    /// a parallel sweep's merged profile is byte-identical for any worker
+    /// count.
+    pub fn merge(&mut self, other: &Profile) {
+        self.total.merge(&other.total);
+        self.vm_exits = self.vm_exits.saturating_add(other.vm_exits);
+        self.exit_cycles = self.exit_cycles.saturating_add(other.exit_cycles);
+
+        let mut merged = Vec::with_capacity(self.epochs.len().max(other.epochs.len()));
+        let mut mine = std::mem::take(&mut self.epochs).into_iter().peekable();
+        let mut theirs = other.epochs.iter().peekable();
+        loop {
+            match (mine.peek(), theirs.peek()) {
+                (Some(a), Some(b)) if a.index == b.index => {
+                    let mut a = mine.next().expect("peeked");
+                    a.merge(theirs.next().expect("peeked"));
+                    merged.push(a);
+                }
+                (Some(a), Some(b)) if a.index < b.index => {
+                    merged.push(mine.next().expect("peeked"));
+                    let _ = b;
+                }
+                (Some(_), Some(_)) | (None, Some(_)) => {
+                    merged.push(*theirs.next().expect("peeked"));
+                }
+                (Some(_), None) => merged.push(mine.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        self.epochs = merged;
+    }
+
+    /// Closes the collector, flushing the trailing partial epoch.
+    /// Idempotent.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if let Some(cur) = self.cur.take() {
+            self.epochs.push(cur);
+        }
+    }
+}
+
+impl WalkObserver for Profile {
+    fn on_walk(&mut self, e: &WalkEvent) {
+        self.total.record(e);
+        if let Some(epoch) = e.seq.saturating_sub(1).checked_div(self.cfg.epoch_len) {
+            match &self.cur {
+                Some(cur) if cur.index != epoch => {
+                    let cur = self.cur.take().expect("matched Some");
+                    self.epochs.push(cur);
+                    self.cur = Some(EpochMatrix {
+                        index: epoch,
+                        matrix: WalkMatrix::default(),
+                    });
+                }
+                None => {
+                    self.cur = Some(EpochMatrix {
+                        index: epoch,
+                        matrix: WalkMatrix::default(),
+                    });
+                }
+                Some(_) => {}
+            }
+            self.cur.as_mut().expect("just ensured").matrix.record(e);
+        }
+    }
+
+    fn wants_attribution(&self) -> bool {
+        true
+    }
+}
+
+/// A clonable handle to a [`Profile`] collector — the attachment side
+/// hands a boxed clone to the MMU while keeping its own handle, exactly
+/// like `SharedTelemetry`.
+#[derive(Debug, Clone, Default)]
+pub struct SharedProfile(Rc<RefCell<Profile>>);
+
+impl SharedProfile {
+    /// Creates a fresh collector behind a shared handle.
+    pub fn new(cfg: ProfileConfig) -> Self {
+        SharedProfile(Rc::new(RefCell::new(Profile::new(cfg))))
+    }
+
+    /// A boxed observer feeding this handle's collector. The observer
+    /// reports `wants_attribution`, so the MMU populates per-cell
+    /// attribution while it is attached.
+    pub fn observer(&self) -> Box<dyn WalkObserver> {
+        Box::new(self.clone())
+    }
+
+    /// Finishes the collector and returns it. Clones the inner data only
+    /// if another handle is still alive.
+    pub fn take(self) -> Profile {
+        self.0.borrow_mut().finish();
+        match Rc::try_unwrap(self.0) {
+            Ok(cell) => cell.into_inner(),
+            Err(rc) => rc.borrow().clone(),
+        }
+    }
+}
+
+impl WalkObserver for SharedProfile {
+    fn on_walk(&mut self, event: &WalkEvent) {
+        self.0.borrow_mut().on_walk(event);
+    }
+
+    fn wants_attribution(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_obs::{EscapeOutcome, FaultKind, WalkAttr, WalkClass};
+
+    fn ev(seq: u64, cycles: u64) -> WalkEvent {
+        let mut attr = WalkAttr::default();
+        attr.record(0, mv_obs::REF_COL, cycles);
+        WalkEvent {
+            seq,
+            gva: seq * 0x1000,
+            gpa: None,
+            mode: "test",
+            class: WalkClass::Walk2d,
+            write: false,
+            cycles,
+            guest_refs: 1,
+            nested_refs: 0,
+            escape: EscapeOutcome::NotChecked,
+            fault: FaultKind::None,
+            attr,
+        }
+    }
+
+    #[test]
+    fn epochs_key_on_seq_and_tile_the_run() {
+        let mut p = Profile::new(ProfileConfig { epoch_len: 100 });
+        p.on_walk(&ev(5, 10));
+        p.on_walk(&ev(99, 20));
+        p.on_walk(&ev(150, 30));
+        p.on_walk(&ev(350, 40));
+        p.finish();
+        let epochs = p.epochs();
+        assert_eq!(epochs.len(), 3);
+        assert_eq!(epochs[0].index, 0);
+        assert_eq!(epochs[0].matrix.events, 2);
+        assert_eq!(epochs[2].index, 3);
+        let epoch_events: u64 = epochs.iter().map(|e| e.matrix.events).sum();
+        assert_eq!(epoch_events, p.total().events);
+        let epoch_cycles: u64 = epochs.iter().map(|e| e.matrix.total_cycles).sum();
+        assert_eq!(epoch_cycles, p.total().total_cycles);
+    }
+
+    #[test]
+    fn zero_epoch_len_keeps_only_the_total() {
+        let mut p = Profile::new(ProfileConfig { epoch_len: 0 });
+        for s in 1..=20 {
+            p.on_walk(&ev(s, 5));
+        }
+        p.finish();
+        assert!(p.epochs().is_empty());
+        assert_eq!(p.total().events, 20);
+    }
+
+    #[test]
+    fn merge_joins_epochs_and_is_associative() {
+        let collect = |seqs: &[u64]| {
+            let mut p = Profile::new(ProfileConfig { epoch_len: 100 });
+            for &s in seqs {
+                p.on_walk(&ev(s, s));
+            }
+            p.finish();
+            p
+        };
+        let (a, b, c) = (collect(&[5, 150]), collect(&[160, 350]), collect(&[20]));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        assert_eq!(left.total(), right.total());
+        assert_eq!(left.epochs(), right.epochs());
+        let indices: Vec<u64> = left.epochs().iter().map(|e| e.index).collect();
+        assert_eq!(indices, vec![0, 1, 3], "union of epoch indices, sorted");
+        assert_eq!(left.epochs()[1].matrix.events, 2, "same-index epochs fold");
+    }
+
+    #[test]
+    #[should_panic(expected = "same epoch")]
+    fn epoch_merge_rejects_mismatched_indices() {
+        let mut a = EpochMatrix {
+            index: 1,
+            matrix: WalkMatrix::default(),
+        };
+        let b = EpochMatrix {
+            index: 2,
+            matrix: WalkMatrix::default(),
+        };
+        a.merge(&b);
+    }
+
+    #[test]
+    fn shared_handle_round_trips_and_wants_attribution() {
+        let shared = SharedProfile::new(ProfileConfig { epoch_len: 10 });
+        let mut obs = shared.observer();
+        assert!(obs.wants_attribution());
+        for s in 1..=25 {
+            obs.on_walk(&ev(s, 44));
+        }
+        drop(obs);
+        let mut p = shared.take();
+        p.record_exits(3, 900);
+        assert_eq!(p.total().events, 25);
+        assert_eq!(p.epochs().len(), 3);
+        assert_eq!(p.vm_exits(), 3);
+        assert_eq!(p.exit_cycles(), 900);
+    }
+}

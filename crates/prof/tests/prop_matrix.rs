@@ -1,0 +1,192 @@
+//! Property tests for the attribution-matrix merge discipline: random
+//! event streams, random partitions, and the three properties that make
+//! `--jobs N` byte-identical — associativity, commutativity of the fold
+//! order across grid cells, and saturation instead of wraparound.
+
+use mv_obs::{
+    EscapeOutcome, FaultKind, WalkAttr, WalkClass, WalkEvent, WalkObserver, GUEST_ROWS,
+    NESTED_COLS,
+};
+use mv_prof::{Profile, ProfileConfig, WalkMatrix};
+use mv_types::rng::{split_seed, Rng, StdRng};
+
+const TRIALS: u64 = 64;
+const EVENTS_PER_TRIAL: usize = 200;
+
+fn random_event(rng: &mut StdRng, seq: u64) -> WalkEvent {
+    let mut attr = WalkAttr::default();
+    // A handful of random cell and tier charges per event.
+    for _ in 0..rng.gen_range(1..8u64) {
+        let r = rng.gen_range(0..GUEST_ROWS as u64) as usize;
+        let c = rng.gen_range(0..NESTED_COLS as u64) as usize;
+        attr.record(r, c, rng.gen_range(1..200u64));
+    }
+    if rng.gen_bool(0.3) {
+        attr.add_l2_hit(7);
+    }
+    if rng.gen_bool(0.3) {
+        attr.add_nested_tlb(rng.gen_range(1..30u64));
+    }
+    if rng.gen_bool(0.2) {
+        attr.add_pwc(1);
+    }
+    if rng.gen_bool(0.2) {
+        attr.add_bound_check(2);
+    }
+    let fault = match rng.gen_range(0..20u64) {
+        0 => FaultKind::GuestNotMapped,
+        1 => FaultKind::NestedNotMapped,
+        2 => FaultKind::WriteProtected,
+        _ => FaultKind::None,
+    };
+    WalkEvent {
+        seq,
+        gva: rng.next_u64() & 0x0000_7fff_ffff_f000,
+        gpa: (fault == FaultKind::None).then(|| rng.next_u64() & 0xffff_f000),
+        mode: "4K+4K",
+        class: WalkClass::Walk2d,
+        write: rng.gen_bool(0.5),
+        cycles: attr.total_cycles(),
+        guest_refs: 4,
+        nested_refs: 20,
+        escape: if rng.gen_bool(0.1) {
+            EscapeOutcome::Escaped
+        } else {
+            EscapeOutcome::NotChecked
+        },
+        fault,
+        attr,
+    }
+}
+
+fn stream(seed: u64) -> Vec<WalkEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (1..=EVENTS_PER_TRIAL as u64)
+        .map(|seq| random_event(&mut rng, seq))
+        .collect()
+}
+
+fn fold(events: &[WalkEvent]) -> WalkMatrix {
+    let mut m = WalkMatrix::default();
+    for e in events {
+        m.record(e);
+    }
+    m
+}
+
+#[test]
+fn merge_is_associative_over_random_partitions() {
+    for trial in 0..TRIALS {
+        let seed = split_seed(0xA11C, trial);
+        let events = stream(seed);
+        // Partition into three shards by a random per-event draw, the way a
+        // parallel sweep splits trials across workers.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut shards: [Vec<WalkEvent>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for e in &events {
+            shards[rng.gen_range(0..3u64) as usize].push(*e);
+        }
+        let [a, b, c] = shards.map(|s| fold(&s));
+
+        // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c) == sequential fold of everything.
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        let sequential = fold(&events);
+
+        assert_eq!(left, right, "associativity failed for seed {seed:#x}");
+        assert_eq!(left, sequential, "merge != sequential for seed {seed:#x}");
+    }
+}
+
+#[test]
+fn merge_is_commutative_across_grid_cell_fold_order() {
+    for trial in 0..TRIALS {
+        let seed = split_seed(0xC0DE, trial);
+        let events = stream(seed);
+        // Split per-event round-robin into a grid-cell-like shard list,
+        // then fold the shards forward and reverse.
+        let shards: Vec<WalkMatrix> = events.chunks(17).map(fold).collect();
+        let mut forward = WalkMatrix::default();
+        for s in &shards {
+            forward.merge(s);
+        }
+        let mut reverse = WalkMatrix::default();
+        for s in shards.iter().rev() {
+            reverse.merge(s);
+        }
+        assert_eq!(forward, reverse, "commutativity failed for seed {seed:#x}");
+        assert_eq!(forward, fold(&events));
+    }
+}
+
+#[test]
+fn merge_saturates_every_field_instead_of_wrapping() {
+    // A matrix already at the ceiling must absorb any other matrix without
+    // wrapping — the same policy as the LatencyHistogram overflow fix.
+    let mut hot = WalkMatrix::default();
+    hot.record(&{
+        let mut rng = StdRng::seed_from_u64(7);
+        random_event(&mut rng, 1)
+    });
+    let ceiling = WalkMatrix {
+        events: u64::MAX,
+        refs: [[u64::MAX; NESTED_COLS]; GUEST_ROWS],
+        cycles: [[u64::MAX; NESTED_COLS]; GUEST_ROWS],
+        l2_hit_cycles: u64::MAX,
+        nested_tlb_cycles: u64::MAX,
+        pwc_cycles: u64::MAX,
+        bound_check_cycles: u64::MAX,
+        total_cycles: u64::MAX,
+        escapes: u64::MAX,
+        faults: [u64::MAX; 3],
+        fault_cycles: u64::MAX,
+    };
+    let mut merged = ceiling;
+    merged.merge(&hot);
+    assert_eq!(merged, ceiling, "saturated fields must stay at MAX");
+    // And the symmetric direction.
+    let mut other = hot;
+    other.merge(&ceiling);
+    assert_eq!(other, ceiling);
+}
+
+#[test]
+fn profile_merge_matches_single_collector_for_any_partition() {
+    // The end-to-end property behind `--jobs N` byte-identity: feeding the
+    // whole stream to one collector equals splitting it across collectors
+    // (epoch boundaries preserved) and merging.
+    for trial in 0..8 {
+        let seed = split_seed(0xBEEF, trial);
+        let events = stream(seed);
+        let cfg = ProfileConfig { epoch_len: 32 };
+
+        let mut solo = Profile::new(cfg);
+        for e in &events {
+            solo.on_walk(e);
+        }
+        solo.record_exits(11, 8800);
+        solo.finish();
+
+        let mut workers: Vec<Profile> = (0..4).map(|_| Profile::new(cfg)).collect();
+        for (i, e) in events.iter().enumerate() {
+            workers[i % 4].on_walk(e);
+        }
+        workers[2].record_exits(11, 8800);
+        let mut merged = Profile::new(cfg);
+        for mut w in workers {
+            w.finish();
+            merged.merge(&w);
+        }
+        merged.finish();
+
+        assert_eq!(merged.total(), solo.total());
+        assert_eq!(merged.epochs(), solo.epochs());
+        assert_eq!(merged.vm_exits(), solo.vm_exits());
+        assert_eq!(merged.exit_cycles(), solo.exit_cycles());
+    }
+}

@@ -20,9 +20,11 @@ use mv_chaos::ChaosSpec;
 use mv_core::MmuConfig;
 use mv_obs::TelemetryConfig;
 use mv_par::Reporter;
+use mv_prof::ProfileConfig;
 use mv_types::rng::split_seed;
 
 use crate::config::SimConfig;
+use crate::machine::Instruments;
 use crate::result::RunResult;
 use crate::run::{SimError, Simulation};
 
@@ -36,6 +38,8 @@ pub struct GridCell {
     pub hw: MmuConfig,
     /// Walk-event telemetry to collect over the measured window, if any.
     pub telemetry: Option<TelemetryConfig>,
+    /// Walk-cost attribution profiling over the measured window, if any.
+    pub profile: Option<ProfileConfig>,
     /// Fault injection + translation oracle for the cell, if any.
     pub chaos: Option<ChaosSpec>,
 }
@@ -47,6 +51,7 @@ impl GridCell {
             cfg,
             hw: MmuConfig::default(),
             telemetry: None,
+            profile: None,
             chaos: None,
         }
     }
@@ -62,6 +67,16 @@ impl GridCell {
     #[must_use]
     pub fn observed(mut self, telemetry: TelemetryConfig) -> GridCell {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Attaches walk-cost attribution profiling to the cell. Profiles from
+    /// all trials of a cell merge associatively (same discipline as
+    /// telemetry), so [`GridReport::merged`] is byte-identical for any
+    /// worker count.
+    #[must_use]
+    pub fn profiled(mut self, profile: ProfileConfig) -> GridCell {
+        self.profile = Some(profile);
         self
     }
 
@@ -209,11 +224,13 @@ impl Simulation {
                 cell.cfg.label(),
                 cell.cfg.seed
             ));
-            match (cell.chaos, cell.telemetry) {
-                (Some(spec), tc) => Simulation::run_chaos(&cell.cfg, cell.hw, tc, spec),
-                (None, Some(tc)) => Simulation::run_observed(&cell.cfg, cell.hw, tc),
-                (None, None) => Simulation::run_with_mmu(&cell.cfg, cell.hw),
-            }
+            let instr = Instruments {
+                telemetry: cell.telemetry,
+                profile: cell.profile,
+                chaos: cell.chaos,
+                ..Instruments::default()
+            };
+            Simulation::dispatch(&cell.cfg, cell.hw, &instr).map(|(result, _)| result)
         });
         let outcomes = cells
             .iter()

@@ -54,6 +54,10 @@ pub use run::{SimError, Simulation};
 // observed runs without naming `mv-obs` directly.
 pub use mv_obs::{EpochSnapshot, Telemetry, TelemetryConfig};
 
+// Profiler vocabulary, re-exported so harness binaries can configure
+// profiled runs without naming `mv-prof` directly.
+pub use mv_prof::{Profile, ProfileConfig, WalkMatrix};
+
 // Parallelism vocabulary, re-exported so harness binaries can drive
 // grids without naming `mv-par` directly.
 pub use mv_par::{default_jobs, Reporter};

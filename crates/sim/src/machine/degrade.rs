@@ -201,6 +201,7 @@ impl ChaosDriver {
                 residency: self.residency,
                 oracle_checks: self.oracle.checks(),
                 oracle_violations: self.oracle.violation_count(),
+                final_level: self.level,
             },
             records,
         )

@@ -31,7 +31,8 @@ pub use virtualized::VirtualizedMachine;
 
 use mv_chaos::{ChaosReport, ChaosSpec, DegradeLevel};
 use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
-use mv_obs::{SharedTelemetry, Telemetry, TelemetryConfig};
+use mv_obs::{SharedTelemetry, Telemetry, TelemetryConfig, WalkEvent, WalkObserver};
+use mv_prof::{Profile, ProfileConfig, SharedProfile};
 use mv_types::{Gva, MIB};
 
 use crate::machine::degrade::ChaosDriver;
@@ -174,6 +175,10 @@ pub trait Machine: Sized {
 pub(crate) struct Instruments {
     pub(crate) trace_capacity: Option<usize>,
     pub(crate) telemetry: Option<TelemetryConfig>,
+    /// Walk-cost attribution profiling for the run. Only a profiling
+    /// observer reports `wants_attribution`, so telemetry-only and
+    /// uninstrumented runs take the exact pre-profiler MMU path.
+    pub(crate) profile: Option<ProfileConfig>,
     /// Fault injection + oracle for the run; `None` (or an inactive spec)
     /// takes the exact chaos-free path, keeping golden replays
     /// byte-identical.
@@ -185,18 +190,42 @@ pub(crate) struct Instruments {
     pub(crate) reference_pacing: bool,
 }
 
+/// Fans one walk event out to both the telemetry and profile observers.
+/// `wants_attribution` ORs, so the MMU attributes whenever either side
+/// asks (in practice: whenever the profiler is attached).
+#[derive(Debug)]
+struct TeeObserver(Box<dyn WalkObserver>, Box<dyn WalkObserver>);
+
+impl WalkObserver for TeeObserver {
+    fn on_walk(&mut self, event: &WalkEvent) {
+        self.0.on_walk(event);
+        self.1.on_walk(event);
+    }
+
+    fn wants_attribution(&self) -> bool {
+        self.0.wants_attribution() || self.1.wants_attribution()
+    }
+}
+
 impl Instruments {
     /// Attaches the requested instruments to the MMU (called at the warmup
-    /// boundary), returning the handle to collect telemetry from later.
-    fn attach(&self, mmu: &mut Mmu) -> Option<SharedTelemetry> {
+    /// boundary), returning the handles to collect telemetry and the
+    /// profile from later.
+    fn attach(&self, mmu: &mut Mmu) -> (Option<SharedTelemetry>, Option<SharedProfile>) {
         if let Some(cap) = self.trace_capacity {
             mmu.enable_miss_trace(cap);
         }
-        self.telemetry.map(|tc| {
-            let shared = SharedTelemetry::new(tc);
-            mmu.set_observer(shared.observer());
-            shared
-        })
+        let telemetry = self.telemetry.map(SharedTelemetry::new);
+        let profile = self.profile.map(SharedProfile::new);
+        match (&telemetry, &profile) {
+            (Some(t), Some(p)) => {
+                mmu.set_observer(Box::new(TeeObserver(t.observer(), p.observer())));
+            }
+            (Some(t), None) => mmu.set_observer(t.observer()),
+            (None, Some(p)) => mmu.set_observer(p.observer()),
+            (None, None) => {}
+        }
+        (telemetry, profile)
     }
 }
 
@@ -298,6 +327,7 @@ pub(crate) fn drive<M: Machine>(
         .filter(ChaosSpec::active)
         .map(ChaosDriver::new);
     let mut telemetry = None;
+    let mut profile = None;
     let total = cfg.warmup + cfg.accesses;
     // Chaos hooks in before and after *every* access (residency counting,
     // scheduled injection, the oracle cross-check), so an active chaos
@@ -312,7 +342,7 @@ pub(crate) fn drive<M: Machine>(
             // all three cover exactly the measured window.
             mmu.reset_counters();
             machine.window_open();
-            telemetry = instr.attach(&mut mmu);
+            (telemetry, profile) = instr.attach(&mut mmu);
         }
         // Churn is evaluated after the boundary block so a churn event due
         // exactly at `i == warmup` lands inside the measured window (see
@@ -417,10 +447,19 @@ pub(crate) fn drive<M: Machine>(
 
     let exits = machine.exit_stats();
     let chaos_outcome = chaos.map(ChaosDriver::finish);
+    // `collect_telemetry` detaches the shared observer (the tee, when both
+    // instruments ran), so the profile handle below is the last one alive.
     let mut telemetry = collect_telemetry(&mut mmu, telemetry, cfg.accesses);
     if let (Some(t), Some((_, records))) = (telemetry.as_mut(), chaos_outcome.as_ref()) {
         t.record_transitions(records);
     }
+    let profile = profile.map(|p| {
+        let mut p = p.take();
+        // VM exits are charged by the machine layer outside the walker, so
+        // the profiler learns about them here, at run scope.
+        p.record_exits(exits.vm_exits, exits.cycles as u64);
+        p
+    });
     let trace = mmu.take_miss_trace();
     Ok((
         finish(
@@ -430,6 +469,7 @@ pub(crate) fn drive<M: Machine>(
             exits.cycles,
             exits.vm_exits,
             telemetry,
+            profile,
             chaos_outcome.map(|(report, _)| report),
         ),
         trace,
@@ -437,6 +477,7 @@ pub(crate) fn drive<M: Machine>(
 }
 
 /// Assembles the [`RunResult`] from the MMU counters and window deltas.
+#[allow(clippy::too_many_arguments)]
 fn finish(
     cfg: &SimConfig,
     mmu: &Mmu,
@@ -444,6 +485,7 @@ fn finish(
     exit_cycles: f64,
     vm_exits: u64,
     telemetry: Option<Telemetry>,
+    profile: Option<Profile>,
     chaos: Option<ChaosReport>,
 ) -> RunResult {
     let counters = *mmu.counters();
@@ -460,6 +502,7 @@ fn finish(
         vm_exits,
         nested_l2: mmu.nested_l2_stats(),
         telemetry,
+        profile,
         chaos,
     }
 }

@@ -3,6 +3,7 @@
 use mv_chaos::ChaosReport;
 use mv_core::MmuCounters;
 use mv_obs::Telemetry;
+use mv_prof::Profile;
 
 /// Measurements from one configuration run — one bar of a paper figure.
 #[derive(Debug, Clone)]
@@ -29,6 +30,9 @@ pub struct RunResult {
     /// Walk-event telemetry over the measured window, when the run was
     /// started through [`crate::Simulation::run_observed`].
     pub telemetry: Option<Telemetry>,
+    /// Walk-cost attribution profile over the measured window, when the
+    /// run was started through [`crate::Simulation::run_profiled`].
+    pub profile: Option<Profile>,
     /// Fault-injection outcome (survival, degradation residency, oracle
     /// checks), when the run was started through
     /// [`crate::Simulation::run_chaos`].
@@ -107,6 +111,11 @@ impl RunResult {
             (None, Some(theirs)) => self.telemetry = Some(theirs.clone()),
             (_, None) => {}
         }
+        match (&mut self.profile, &other.profile) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.profile = Some(theirs.clone()),
+            (_, None) => {}
+        }
         match (&mut self.chaos, &other.chaos) {
             (Some(mine), Some(theirs)) => mine.merge(theirs),
             (None, Some(theirs)) => self.chaos = Some(*theirs),
@@ -114,13 +123,18 @@ impl RunResult {
         }
     }
 
-    /// Renders this run's telemetry as Prometheus text exposition, labeled
-    /// with the run's workload and configuration. `None` when the run was
-    /// not observed.
+    /// Renders this run's telemetry — and, on chaos runs, the degradation
+    /// and oracle counters — as Prometheus text exposition, labeled with
+    /// the run's workload and configuration. `None` when the run carried
+    /// neither instrument.
     pub fn prometheus(&self) -> Option<String> {
-        self.telemetry
-            .as_ref()
-            .map(|t| t.prometheus(&[("workload", self.workload), ("config", &self.label)]))
+        let labels = [("workload", self.workload), ("config", self.label.as_str())];
+        let telemetry = self.telemetry.as_ref().map(|t| t.prometheus(&labels));
+        let chaos = self.chaos.as_ref().map(|c| c.prometheus(&labels));
+        match (telemetry, chaos) {
+            (None, None) => None,
+            (t, c) => Some(t.unwrap_or_default() + c.as_deref().unwrap_or_default()),
+        }
     }
 
     /// CSV header matching [`RunResult::csv_row`], for scripting around
@@ -176,10 +190,42 @@ mod tests {
             vm_exits: 0,
             nested_l2: (0, 0),
             telemetry: None,
+            profile: None,
             chaos: None,
         };
         let cols = RunResult::csv_header().split(',').count();
         assert_eq!(r.csv_row().split(',').count(), cols);
+    }
+
+    #[test]
+    fn prometheus_appends_chaos_counters_when_present() {
+        let mut r = RunResult {
+            label: "DD".into(),
+            workload: "gups",
+            accesses: 10,
+            counters: MmuCounters::default(),
+            ideal_cycles: 1.0,
+            translation_cycles: 0.0,
+            overhead: 0.0,
+            vm_exits: 0,
+            nested_l2: (0, 0),
+            telemetry: None,
+            profile: None,
+            chaos: None,
+        };
+        assert!(r.prometheus().is_none(), "no instruments, no exposition");
+        r.chaos = Some(ChaosReport {
+            oracle_checks: 10,
+            residency: [8, 2, 0],
+            final_level: mv_chaos::DegradeLevel::EscapeHeavy,
+            ..ChaosReport::default()
+        });
+        let text = r.prometheus().expect("chaos alone produces exposition");
+        assert!(
+            text.contains("mv_degrade_level{workload=\"gups\",config=\"DD\",level=\"escape_heavy\"} 1\n"),
+            "got: {text}"
+        );
+        assert!(text.contains("mv_oracle_checks_total{workload=\"gups\",config=\"DD\"} 10\n"));
     }
 
     #[test]
@@ -201,6 +247,7 @@ mod tests {
             vm_exits: 0,
             nested_l2: (0, 0),
             telemetry: None,
+            profile: None,
             chaos: None,
         };
         assert!((r.mpka() - 100.0).abs() < 1e-12);

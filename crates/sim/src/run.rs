@@ -8,6 +8,7 @@ use mv_chaos::ChaosSpec;
 use mv_core::{MmuConfig, TranslationFault};
 use mv_guestos::OsError;
 use mv_obs::TelemetryConfig;
+use mv_prof::ProfileConfig;
 use mv_vmm::VmmError;
 
 use crate::config::{Env, SimConfig};
@@ -147,6 +148,34 @@ impl Simulation {
         Self::dispatch(cfg, hw, &instr)
     }
 
+    /// Like [`Simulation::run_with_mmu`], attaching the walk-cost
+    /// attribution profiler (optionally alongside telemetry — the two
+    /// share the observer hook through a tee). The returned result carries
+    /// the collected [`mv_prof::Profile`] in [`RunResult::profile`]: a
+    /// per-epoch and run-total matrix of modeled cycles per (guest level ×
+    /// nested level) cell, plus TLB/PWC hit tiers and VM-exit costs.
+    ///
+    /// Attribution never perturbs the simulation: the MMU records per-cell
+    /// costs only while a profiling observer is attached, and the costs
+    /// are the same charges already summed into the counters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run`].
+    pub fn run_profiled(
+        cfg: &SimConfig,
+        hw: MmuConfig,
+        telemetry: Option<TelemetryConfig>,
+        profile: ProfileConfig,
+    ) -> Result<RunResult, SimError> {
+        let instr = Instruments {
+            telemetry,
+            profile: Some(profile),
+            ..Instruments::default()
+        };
+        Ok(Self::dispatch(cfg, hw, &instr)?.0)
+    }
+
     /// Runs with the driver's batching disabled: every access is paced
     /// one at a time, re-checking the warmup boundary and churn schedule
     /// before each, exactly as the pre-batching driver did. Scheduling
@@ -199,7 +228,7 @@ impl Simulation {
     }
 
     /// Dispatches to the generic driver loop on the configured environment.
-    fn dispatch(
+    pub(crate) fn dispatch(
         cfg: &SimConfig,
         hw: MmuConfig,
         instr: &Instruments,

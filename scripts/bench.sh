@@ -1,25 +1,54 @@
 #!/usr/bin/env bash
-# Regenerates results/BENCH_5.json — the hot-path throughput benchmark.
+# Regenerates a hot-path throughput record (results/BENCH_<id>.json) and
+# appends the run to the perf trajectory (results/bench_history.jsonl).
 #
-# Runs the PAPER_10_ENVS sweep plus the workload x environment grid at
-# --quick scale on a single worker, keeping the minimum wall time across
-# repeats, and embeds the speedup against the pre-mv-fast baseline
-# (results/bench5_baseline.json, recorded on the same machine).
+# Runs the PAPER_10_ENVS sweep plus the workload x environment grid on a
+# single worker, keeping the minimum wall time across repeats. The classic
+# invocation (no variables set) reproduces the historical BENCH_5.json
+# configuration; BENCH_6.json is the profiler-overhead record:
+#
+#   BENCH_ID=6 PROFILE_OVERHEAD=1 scripts/bench.sh
+#
+# Parameters (environment variables):
+#
+#   BENCH_ID          id of the record to write       (default: 5)
+#   OUT               output JSON path                (default: results/BENCH_${BENCH_ID}.json)
+#   BASELINE          JSON to embed a speedup against (default: results/bench5_baseline.json;
+#                                                      skipped when the file is missing)
+#   HISTORY           trajectory JSONL to append to   (default: results/bench_history.jsonl;
+#                                                      set empty to skip)
+#   REPEATS           min-wall repeats per point      (default: 10)
+#   SCALE             smoke | quick | full            (default: quick)
+#   PROFILE_OVERHEAD  1 = also measure the sweep with the attribution
+#                     profiler attached and record the wall ratio
 #
 # Throughput numbers are machine-dependent; run on an otherwise idle box
 # (check `uptime` first) or the min-wall repeats will still be inflated.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+BENCH_ID="${BENCH_ID:-5}"
+OUT="${OUT:-results/BENCH_${BENCH_ID}.json}"
+BASELINE="${BASELINE:-results/bench5_baseline.json}"
+HISTORY="${HISTORY:-results/bench_history.jsonl}"
 REPEATS="${REPEATS:-10}"
-OUT="${OUT:-results/BENCH_5.json}"
+SCALE="${SCALE:-quick}"
+
+flags=(--jobs 1 --repeats "$REPEATS" --out "$OUT")
+case "$SCALE" in
+    smoke) flags+=(--smoke) ;;
+    quick) flags+=(--quick) ;;
+    full) ;;
+    *) echo "unknown SCALE '$SCALE' (want smoke|quick|full)" >&2; exit 2 ;;
+esac
+[[ -f "$BASELINE" ]] && flags+=(--baseline "$BASELINE")
+[[ -n "$HISTORY" ]] && flags+=(--history "$HISTORY")
+[[ "${PROFILE_OVERHEAD:-0}" == "1" ]] && flags+=(--profile-overhead)
 
 echo "==> cargo build --release -p mv-bench --bin hotpath"
 cargo build --release -p mv-bench --bin hotpath
 
-echo "==> hotpath --quick --jobs 1 --repeats $REPEATS -> $OUT"
-target/release/hotpath --quick --jobs 1 --repeats "$REPEATS" \
-    --baseline results/bench5_baseline.json \
-    --out "$OUT"
+echo "==> hotpath ${flags[*]}"
+target/release/hotpath "${flags[@]}"
 
 echo "BENCH OK: $OUT"

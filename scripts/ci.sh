@@ -59,6 +59,42 @@ hotpath_bin=target/release/hotpath
 "$hotpath_bin" --smoke --jobs 4 --quiet > "$tmpdir/hot4.txt"
 diff -u "$tmpdir/hot1.txt" "$tmpdir/hot4.txt"
 
+echo "==> profiler smoke: run --quick --profile, two seeds, diffed across --jobs 1/4"
+# Attribution profiles merge associatively, so worker count must not
+# change a byte of the profile JSONL — and attaching the profiler must
+# not perturb the simulation (profiled CSV rows must match unprofiled).
+prof_bin=target/release/mv-prof
+for seed in 7 42; do
+    "$run_bin" --quick --seed "$seed" --trials 3 --jobs 1 --quiet --csv \
+        --profile --telemetry-out "$tmpdir/p_${seed}_j1.jsonl" \
+        > "$tmpdir/p_${seed}_j1.csv"
+    "$run_bin" --quick --seed "$seed" --trials 3 --jobs 4 --quiet --csv \
+        --profile --telemetry-out "$tmpdir/p_${seed}_j4.jsonl" \
+        > "$tmpdir/p_${seed}_j4.csv"
+    diff -u "$tmpdir/p_${seed}_j1.jsonl" "$tmpdir/p_${seed}_j4.jsonl"
+    diff -u "$tmpdir/p_${seed}_j1.csv" "$tmpdir/p_${seed}_j4.csv"
+    "$run_bin" --quick --seed "$seed" --trials 3 --jobs 4 --quiet --csv \
+        > "$tmpdir/p_${seed}_plain.csv"
+    diff -u "$tmpdir/p_${seed}_plain.csv" "$tmpdir/p_${seed}_j1.csv"
+done
+if cmp -s "$tmpdir/p_7_j1.jsonl" "$tmpdir/p_42_j1.jsonl"; then
+    echo "profiles for seeds 7 and 42 are identical" >&2
+    exit 1
+fi
+# mv-prof must round-trip its own exports.
+"$prof_bin" show "$tmpdir/p_7_j1.jsonl" > /dev/null
+"$prof_bin" fold "$tmpdir/p_7_j1.jsonl" > /dev/null
+"$prof_bin" diff "$tmpdir/p_7_j1.jsonl" "$tmpdir/p_42_j1.jsonl" > /dev/null
+
+echo "==> bench regression gate: hotpath --smoke --gate vs results/bench_history.jsonl"
+# Tolerance-gated wall-clock check against the last accepted smoke-scale
+# trajectory entry. The default bar is generous (CI machines vary);
+# tighten or loosen with BENCH_TOL_PCT, or accept a known regression with
+# BENCH_ALLOW_REGRESSION=1. A passing run appends its own entry.
+"$hotpath_bin" --smoke --repeats 3 --quiet \
+    --gate --gate-tol-pct "${BENCH_TOL_PCT:-30}" \
+    --history results/bench_history.jsonl > /dev/null
+
 echo "==> chaos smoke: two seeds x --quick, diffed across --jobs 1/4"
 # The fault plan is a pure function of (chaos seed, access index), so the
 # degradation study must be byte-identical at any worker count — and

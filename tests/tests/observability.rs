@@ -4,11 +4,17 @@
 //! is *measurement*, not *intervention*: an observed run must produce
 //! byte-for-byte the same counters, overhead, and derived metrics as the
 //! identical unobserved run, and the telemetry it yields must agree with
-//! those counters.
+//! those counters. The attribution profiler (`mv-prof`) rides the same
+//! hook and inherits the same contract, plus a stronger one: every cycle
+//! the walker charges must land in exactly one matrix cell.
+
+use std::num::NonZeroUsize;
 
 use mv_core::MmuConfig;
 use mv_obs::{EscapeOutcome, WalkClass};
-use mv_sim::{Env, GuestPaging, SimConfig, Simulation, TelemetryConfig};
+use mv_sim::{
+    Env, GridCell, GuestPaging, ProfileConfig, SimConfig, Simulation, TelemetryConfig,
+};
 use mv_types::{PageSize, MIB};
 use mv_workloads::WorkloadKind;
 
@@ -121,6 +127,141 @@ fn telemetry_agrees_with_the_counters() {
     // The flight recorder kept the most recent events, bounded.
     assert!(t.flight().len() <= 16);
     assert_eq!(t.flight().total(), t.events());
+}
+
+#[test]
+fn profiler_does_not_perturb_the_simulation() {
+    for (name, env) in ENVS {
+        let c = cfg(WorkloadKind::Gups, env());
+        let plain = Simulation::run(&c).unwrap();
+        let profiled = Simulation::run_profiled(
+            &c,
+            MmuConfig::default(),
+            None,
+            ProfileConfig { epoch_len: 10_000 },
+        )
+        .unwrap();
+
+        // Attribution turns on per-cell bookkeeping inside the MMU; the
+        // contract is that it only *reads* the charges the walker already
+        // makes. Any drift in any counter fails here.
+        assert_eq!(
+            plain.counters, profiled.counters,
+            "{name}: profiling changed the MMU counters"
+        );
+        assert_eq!(
+            plain.translation_cycles, profiled.translation_cycles,
+            "{name}: profiling changed charged cycles"
+        );
+        assert_eq!(
+            plain.overhead, profiled.overhead,
+            "{name}: profiling changed the overhead metric"
+        );
+        assert_eq!(plain.vm_exits, profiled.vm_exits, "{name}: VM exits drifted");
+        assert!(plain.profile.is_none());
+        assert!(profiled.profile.is_some(), "{name}: profile missing");
+    }
+}
+
+#[test]
+fn profile_conserves_the_counter_cycles() {
+    for (name, env) in ENVS {
+        let c = cfg(WorkloadKind::Graph500, env());
+        let r = Simulation::run_profiled(
+            &c,
+            MmuConfig::default(),
+            None,
+            ProfileConfig { epoch_len: 5_000 },
+        )
+        .unwrap();
+        let p = r.profile.as_ref().unwrap();
+        let m = p.total();
+
+        // One walk event per L1 miss, and the matrix total is exactly the
+        // cycle counter the simulator charges translation time from.
+        assert_eq!(m.events, r.counters.l1_misses, "{name}: event count");
+        assert_eq!(
+            m.total_cycles, r.counters.translation_cycles,
+            "{name}: matrix total must equal the charged translation cycles"
+        );
+        // Conservation: every charged cycle is attributed to a cell, a
+        // hit tier, or fault servicing — nothing leaks, nothing doubles.
+        assert_eq!(
+            m.attributed_cycles(),
+            m.total_cycles,
+            "{name}: unattributed walk cycles"
+        );
+        // VM exits recorded at run scope agree with the measurement.
+        assert_eq!(p.vm_exits(), r.vm_exits, "{name}: VM exits");
+
+        // Epoch matrices tile the run total (their merge is how parallel
+        // trials reduce, so the partition must be exact).
+        let epoch_events: u64 = p.epochs().iter().map(|e| e.matrix.events).sum();
+        let epoch_cycles: u64 = p.epochs().iter().map(|e| e.matrix.total_cycles).sum();
+        assert_eq!(epoch_events, m.events, "{name}: epoch events");
+        assert_eq!(epoch_cycles, m.total_cycles, "{name}: epoch cycles");
+    }
+}
+
+#[test]
+fn profile_rides_the_telemetry_observer_without_interference() {
+    let c = cfg(WorkloadKind::Gups, Env::base_virtualized(PageSize::Size4K));
+    let plain = Simulation::run(&c).unwrap();
+    let both = Simulation::run_profiled(
+        &c,
+        MmuConfig::default(),
+        Some(TelemetryConfig {
+            epoch_len: 10_000,
+            flight_capacity: 8,
+        }),
+        ProfileConfig { epoch_len: 10_000 },
+    )
+    .unwrap();
+
+    // The tee fans one event stream to both observers: counters stay
+    // untouched and the two instruments agree with each other.
+    assert_eq!(plain.counters, both.counters);
+    let t = both.telemetry.as_ref().unwrap();
+    let p = both.profile.as_ref().unwrap();
+    assert_eq!(t.events(), p.total().events);
+    assert_eq!(t.hist().sum(), p.total().total_cycles);
+}
+
+#[test]
+fn profile_jsonl_is_byte_identical_across_worker_counts() {
+    let c = cfg(WorkloadKind::Gups, Env::base_virtualized(PageSize::Size4K));
+    let run = |jobs: usize| {
+        let cells: Vec<GridCell> = (0..4)
+            .map(|t| {
+                GridCell::new(c)
+                    .trial(t)
+                    .profiled(ProfileConfig { epoch_len: 5_000 })
+            })
+            .collect();
+        let report = Simulation::run_grid(&cells, NonZeroUsize::new(jobs).unwrap());
+        let merged = report.merged().expect("all trials succeed");
+        let mut out = Vec::new();
+        merged
+            .profile
+            .as_ref()
+            .expect("merged run keeps the profile")
+            .write_jsonl(&mut out)
+            .unwrap();
+        String::from_utf8(out).unwrap()
+    };
+    let solo = run(1);
+    let pooled = run(4);
+    assert_eq!(solo, pooled, "worker count changed profile bytes");
+
+    // And the export round-trips through the mv-prof reader: the parsed
+    // run matrix carries the same totals the simulation measured.
+    let doc = mv_prof::parse_jsonl(&solo).expect("own export parses");
+    assert!(doc.run.events > 0);
+    assert_eq!(
+        doc.run.total_cycles,
+        doc.run.attributed_cycles(),
+        "parsed matrix keeps conservation"
+    );
 }
 
 #[test]
