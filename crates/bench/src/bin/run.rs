@@ -51,6 +51,19 @@
 //!   Default 0 (off — output stays byte-identical to earlier versions).
 //! * `--chaos-seed <N>` — fault-plan seed (default 0xc4a05); only
 //!   meaningful with a non-zero `--fault-rate`.
+//! * `--record-trace <PATH>` — tee every workload access (warmup and
+//!   measured) into a compact binary trace at `PATH` (format:
+//!   `docs/TRACE_FORMAT.md`). Recording rides outside the measured
+//!   path, so the printed measurement is unchanged. Requires
+//!   `--trials 1`: parallel trials would interleave their streams
+//!   into one file.
+//! * `--replay-trace <PATH>` — drive the run from a recorded trace
+//!   instead of a live generator. The trace header supplies the
+//!   workload, footprint, seed, and suggested warmup/measured window
+//!   as defaults; explicit flags still override the window (the
+//!   stream loops if the run asks for more accesses than the trace
+//!   holds), but the footprint must match the trace's. Mutually
+//!   exclusive with `--record-trace`.
 
 use std::io::Write;
 
@@ -58,7 +71,10 @@ use mv_bench::experiments::env_catalog;
 use mv_chaos::ChaosSpec;
 use mv_par::{cli, Reporter};
 use mv_prof::fold_profile;
-use mv_sim::{GridCell, GuestPaging, ProfileConfig, SimConfig, Simulation, TelemetryConfig};
+use mv_sim::{
+    GridCell, GuestPaging, ProfileConfig, ReplaySource, SharedTraceWriter, SimConfig, Simulation,
+    TelemetryConfig, TraceHeader,
+};
 use mv_types::{PageSize, GIB, KIB, MIB};
 use mv_workloads::WorkloadKind;
 
@@ -96,19 +112,20 @@ fn usage() -> ! {
          \x20          [--trials N] [--jobs N] [--quick] [--quiet]\n\
          \x20          [--telemetry-out PATH] [--epoch-len N] [--trace N]\n\
          \x20          [--profile] [--folded-out PATH]\n\
-         \x20          [--fault-rate N] [--chaos-seed N]"
+         \x20          [--fault-rate N] [--chaos-seed N]\n\
+         \x20          [--record-trace PATH] [--replay-trace PATH]"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let mut workload = WorkloadKind::Graph500;
+    let mut workload: Option<WorkloadKind> = None;
     let mut env = env_catalog::VIRT_4K_4K.1;
     let mut guest = GuestPaging::Fixed(PageSize::Size4K);
     let mut footprint: Option<u64> = None;
     let mut accesses: Option<u64> = None;
     let mut warmup: Option<u64> = None;
-    let mut seed = 42u64;
+    let mut seed: Option<u64> = None;
     let mut csv = false;
     let mut quick = false;
     let mut quiet = false;
@@ -119,6 +136,8 @@ fn main() {
     let mut flight = 0usize;
     let mut profile = false;
     let mut folded_out: Option<String> = None;
+    let mut record_trace: Option<String> = None;
+    let mut replay_trace: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Chaos flags are parsed by the shared mv_par::cli helpers; both
@@ -144,10 +163,10 @@ fn main() {
         match flag.as_str() {
             "--workload" => {
                 let v = value("--workload");
-                workload = parse_workload(v).unwrap_or_else(|| {
+                workload = Some(parse_workload(v).unwrap_or_else(|| {
                     eprintln!("unknown workload {v:?}");
                     usage()
-                });
+                }));
             }
             "--env" => {
                 let v = value("--env");
@@ -178,7 +197,7 @@ fn main() {
                 accesses = Some(value("--accesses").parse().unwrap_or_else(|_| usage()))
             }
             "--warmup" => warmup = Some(value("--warmup").parse().unwrap_or_else(|_| usage())),
-            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = Some(value("--seed").parse().unwrap_or_else(|_| usage())),
             "--trials" => {
                 trials = value("--trials").parse().unwrap_or_else(|_| usage());
                 if trials == 0 {
@@ -204,6 +223,8 @@ fn main() {
             "--trace" => flight = value("--trace").parse().unwrap_or_else(|_| usage()),
             "--profile" => profile = true,
             "--folded-out" => folded_out = Some(value("--folded-out").to_string()),
+            "--record-trace" => record_trace = Some(value("--record-trace").to_string()),
+            "--replay-trace" => replay_trace = Some(value("--replay-trace").to_string()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -216,10 +237,41 @@ fn main() {
         eprintln!("--folded-out needs --profile (there is no profile to fold)");
         usage();
     }
+    if record_trace.is_some() && replay_trace.is_some() {
+        eprintln!("--record-trace and --replay-trace are mutually exclusive");
+        usage();
+    }
+    if record_trace.is_some() && trials > 1 {
+        eprintln!("--record-trace needs --trials 1 (parallel trials would interleave one file)");
+        usage();
+    }
 
-    let footprint = footprint.unwrap_or(if quick { 64 * MIB } else { 512 * MIB });
-    let accesses = accesses.unwrap_or(if quick { 100_000 } else { 1_000_000 });
-    let warmup = warmup.unwrap_or(if quick { 25_000 } else { 250_000 });
+    // Replaying: the trace header supplies the workload identity and the
+    // suggested run window as *defaults* — explicit flags still win.
+    let replay_src = replay_trace.as_ref().map(ReplaySource::path);
+    let replay_header = replay_src.as_ref().map(|src| {
+        src.header().unwrap_or_else(|e| {
+            eprintln!("cannot read trace {}: {e}", src.describe());
+            std::process::exit(1);
+        })
+    });
+    let header_window = replay_header.as_ref().filter(|h| h.accesses > 0);
+
+    let workload = workload
+        .or_else(|| replay_header.as_ref().and_then(TraceHeader::workload_kind))
+        .unwrap_or(WorkloadKind::Graph500);
+    let seed = seed
+        .or(replay_header.as_ref().map(|h| h.seed))
+        .unwrap_or(42);
+    let footprint = footprint
+        .or(replay_header.as_ref().map(|h| h.footprint))
+        .unwrap_or(if quick { 64 * MIB } else { 512 * MIB });
+    let accesses = accesses
+        .or(header_window.map(|h| h.accesses))
+        .unwrap_or(if quick { 100_000 } else { 1_000_000 });
+    let warmup = warmup
+        .or(header_window.map(|h| h.warmup))
+        .unwrap_or(if quick { 25_000 } else { 250_000 });
 
     let cfg = SimConfig {
         workload,
@@ -239,6 +291,29 @@ fn main() {
         accesses,
         warmup
     ));
+    if let (Some(src), Some(h)) = (&replay_src, &replay_header) {
+        reporter.line(format!(
+            "replaying trace {} (recorded from {:?}, footprint {} MiB)",
+            src.describe(),
+            h.name,
+            h.footprint / MIB
+        ));
+    }
+    // Recording: the header carries the generator's replay metadata
+    // (ideal cycles, churn, duplicate fraction) so a later replay of the
+    // file reproduces this run byte for byte.
+    let recorder = record_trace.as_ref().map(|path| {
+        let header = TraceHeader::for_workload(workload, footprint, seed, warmup, accesses);
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        SharedTraceWriter::create(Box::new(std::io::BufWriter::new(file)), &header)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot start trace {path}: {e}");
+                std::process::exit(1);
+            })
+    });
     let observe = telemetry_out.is_some() || flight > 0;
     let tcfg = TelemetryConfig {
         epoch_len,
@@ -267,6 +342,12 @@ fn main() {
                     fault_rate_per_million: fault_rate,
                 });
             }
+            if let Some(src) = &replay_src {
+                cell = cell.replayed(src.clone());
+            }
+            if let Some(rec) = &recorder {
+                cell = cell.recorded(rec.clone());
+            }
             cell
         })
         .collect();
@@ -281,6 +362,19 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    // Seal the recorded trace before any other output: a deferred write
+    // error must fail the run rather than leave a truncated file behind
+    // silently.
+    if let (Some(path), Some(rec)) = (&record_trace, &recorder) {
+        match rec.finish() {
+            Ok(n) => reporter.line(format!("recorded {n} accesses to {path}")),
+            Err(e) => {
+                eprintln!("recording to {path} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if let (Some(path), Some(t)) = (&telemetry_out, &r.telemetry) {
         let mut f = std::fs::File::create(path).unwrap_or_else(|e| {

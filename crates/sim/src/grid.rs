@@ -21,6 +21,7 @@ use mv_core::MmuConfig;
 use mv_obs::TelemetryConfig;
 use mv_par::Reporter;
 use mv_prof::ProfileConfig;
+use mv_trace::{ReplaySource, SharedTraceWriter};
 use mv_types::rng::split_seed;
 
 use crate::config::SimConfig;
@@ -30,7 +31,7 @@ use crate::run::{SimError, Simulation};
 
 /// One cell of an experiment grid: a configuration plus the hardware
 /// parameters and instrumentation it should run with.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct GridCell {
     /// The experiment configuration (workload, environment, sizing, seed).
     pub cfg: SimConfig,
@@ -42,6 +43,12 @@ pub struct GridCell {
     pub profile: Option<ProfileConfig>,
     /// Fault injection + translation oracle for the cell, if any.
     pub chaos: Option<ChaosSpec>,
+    /// Trace to replay instead of the configured generator, if any. The
+    /// source is shared by reference, so one trace fans out to every
+    /// trial cell without copying the bytes.
+    pub replay: Option<ReplaySource>,
+    /// Recorder every workload access is teed into, if any.
+    pub record: Option<SharedTraceWriter>,
 }
 
 impl GridCell {
@@ -53,6 +60,8 @@ impl GridCell {
             telemetry: None,
             profile: None,
             chaos: None,
+            replay: None,
+            record: None,
         }
     }
 
@@ -87,6 +96,27 @@ impl GridCell {
     #[must_use]
     pub fn with_chaos(mut self, chaos: ChaosSpec) -> GridCell {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Replays the cell's access stream from `trace` instead of building
+    /// the configured generator. Replay is deterministic for any worker
+    /// count — the stream is a pure function of the trace bytes — so
+    /// trials of a replayed cell differ only in machine-side randomness
+    /// (of which there is none today: replayed trials are identical, and
+    /// their merge is byte-identical at any `--jobs`).
+    #[must_use]
+    pub fn replayed(mut self, trace: ReplaySource) -> GridCell {
+        self.replay = Some(trace);
+        self
+    }
+
+    /// Tees every workload access of this cell into `recorder`. Meant
+    /// for a single-cell grid: multiple recording cells would interleave
+    /// their streams into one trace in completion order.
+    #[must_use]
+    pub fn recorded(mut self, recorder: SharedTraceWriter) -> GridCell {
+        self.record = Some(recorder);
         self
     }
 
@@ -228,6 +258,8 @@ impl Simulation {
                 telemetry: cell.telemetry,
                 profile: cell.profile,
                 chaos: cell.chaos,
+                replay: cell.replay.clone(),
+                record: cell.record.clone(),
                 ..Instruments::default()
             };
             Simulation::dispatch(&cell.cfg, cell.hw, &instr).map(|(result, _)| result)
@@ -236,7 +268,7 @@ impl Simulation {
             .iter()
             .zip(raw)
             .map(|(cell, job)| CellOutcome {
-                cell: *cell,
+                cell: cell.clone(),
                 outcome: match job {
                     Ok(Ok(result)) => Ok(result),
                     Ok(Err(sim)) => Err(CellFailure::Sim(sim)),
@@ -287,7 +319,7 @@ mod tests {
     #[test]
     fn single_cell_matches_direct_run() {
         let c = cell();
-        let report = Simulation::run_grid(&[c], NonZeroUsize::new(2).unwrap());
+        let report = Simulation::run_grid(std::slice::from_ref(&c), NonZeroUsize::new(2).unwrap());
         assert_eq!(report.len(), 1);
         let grid = report.merged().expect("cell succeeded");
         let direct = Simulation::run(&c.cfg).unwrap();

@@ -61,3 +61,9 @@ pub use mv_prof::{Profile, ProfileConfig, WalkMatrix};
 // Parallelism vocabulary, re-exported so harness binaries can drive
 // grids without naming `mv-par` directly.
 pub use mv_par::{default_jobs, Reporter};
+
+// Trace vocabulary, re-exported so harness binaries can record and
+// replay access streams without naming `mv-trace` directly.
+pub use mv_trace::{
+    MemSink, ReplaySource, SharedTraceWriter, TraceError, TraceHeader, TraceWorkload, TraceWriter,
+};

@@ -33,7 +33,9 @@ use mv_chaos::{ChaosReport, ChaosSpec, DegradeLevel};
 use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
 use mv_obs::{SharedTelemetry, Telemetry, TelemetryConfig, WalkEvent, WalkObserver};
 use mv_prof::{Profile, ProfileConfig, SharedProfile};
+use mv_trace::{RecordingWorkload, ReplaySource, SharedTraceWriter, TraceError};
 use mv_types::{Gva, MIB};
+use mv_workloads::Workload;
 
 use crate::machine::degrade::ChaosDriver;
 
@@ -171,7 +173,7 @@ pub trait Machine: Sized {
 
 /// Instrumentation requested for a run. Both instruments attach at the
 /// warmup boundary so they cover exactly the measured window.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct Instruments {
     pub(crate) trace_capacity: Option<usize>,
     pub(crate) telemetry: Option<TelemetryConfig>,
@@ -183,6 +185,14 @@ pub(crate) struct Instruments {
     /// takes the exact chaos-free path, keeping golden replays
     /// byte-identical.
     pub(crate) chaos: Option<ChaosSpec>,
+    /// Replay the access stream from this trace instead of building the
+    /// configured generator. The trace is fully validated (and its
+    /// footprint checked against the run's) before any machine is built.
+    pub(crate) replay: Option<ReplaySource>,
+    /// Tee every workload access into this recorder as the run plays.
+    /// The stream itself is forwarded unchanged, so recording never
+    /// perturbs the measured results.
+    pub(crate) record: Option<SharedTraceWriter>,
     /// Forces single-access batches in the driver loop. Exists solely so
     /// equivalence tests can run the reference access-at-a-time pacing
     /// against the batched default and assert byte-identical results; it
@@ -317,7 +327,25 @@ pub(crate) fn drive<M: Machine>(
     instr: &Instruments,
 ) -> Result<(RunResult, Option<mv_core::MissTrace>), SimError> {
     let (mut machine, mut mmu) = M::build(cfg, hw)?;
-    let mut workload = cfg.workload.build(cfg.footprint, cfg.seed);
+    let mut workload: Box<dyn Workload> = match &instr.replay {
+        Some(src) => {
+            // Fully validated up front (header, every chunk and record,
+            // trailer), so a malformed trace is a typed error here — not
+            // a panic or a fault storm mid-run.
+            let replayed = src.open_workload()?;
+            if replayed.footprint() != cfg.footprint {
+                return Err(SimError::Trace(TraceError::FootprintMismatch {
+                    trace: replayed.footprint(),
+                    run: cfg.footprint,
+                }));
+            }
+            Box::new(replayed)
+        }
+        None => cfg.workload.build(cfg.footprint, cfg.seed),
+    };
+    if let Some(recorder) = &instr.record {
+        workload = Box::new(RecordingWorkload::new(workload, recorder.clone()));
+    }
     let churn = ChurnPlan::new(workload.churn_per_million());
     let base = machine.arena_base();
     let asid = machine.asid();
@@ -465,6 +493,7 @@ pub(crate) fn drive<M: Machine>(
         finish(
             cfg,
             &mmu,
+            workload.name(),
             workload.cycles_per_access(),
             exits.cycles,
             exits.vm_exits,
@@ -481,6 +510,7 @@ pub(crate) fn drive<M: Machine>(
 fn finish(
     cfg: &SimConfig,
     mmu: &Mmu,
+    workload: &'static str,
     cycles_per_access: f64,
     exit_cycles: f64,
     vm_exits: u64,
@@ -493,7 +523,11 @@ fn finish(
     let translation = counters.translation_cycles as f64 + exit_cycles;
     RunResult {
         label: cfg.label(),
-        workload: cfg.workload.label(),
+        // The workload's own name, not the configured kind's label: for
+        // generator runs the two are identical strings, and for trace
+        // replays this reports the trace's workload instead of the
+        // placeholder kind the config carries.
+        workload,
         accesses: cfg.accesses,
         counters,
         ideal_cycles: ideal,

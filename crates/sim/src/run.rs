@@ -9,6 +9,7 @@ use mv_core::{MmuConfig, TranslationFault};
 use mv_guestos::OsError;
 use mv_obs::TelemetryConfig;
 use mv_prof::ProfileConfig;
+use mv_trace::{ReplaySource, SharedTraceWriter, TraceError};
 use mv_vmm::VmmError;
 
 use crate::config::{Env, SimConfig};
@@ -30,6 +31,9 @@ pub enum SimError {
         /// The last fault observed.
         last: TranslationFault,
     },
+    /// A replayed or recorded trace failed (malformed bytes, I/O, or a
+    /// footprint mismatch against the run configuration).
+    Trace(TraceError),
 }
 
 impl fmt::Display for SimError {
@@ -40,6 +44,7 @@ impl fmt::Display for SimError {
             SimError::FaultLoop { va, last } => {
                 write!(f, "access at {va:#x} kept faulting: {last}")
             }
+            SimError::Trace(e) => write!(f, "trace error: {e}"),
         }
     }
 }
@@ -50,6 +55,7 @@ impl std::error::Error for SimError {
             SimError::Os(e) => Some(e),
             SimError::Vmm(e) => Some(e),
             SimError::FaultLoop { .. } => None,
+            SimError::Trace(e) => Some(e),
         }
     }
 }
@@ -63,6 +69,12 @@ impl From<OsError> for SimError {
 impl From<VmmError> for SimError {
     fn from(e: VmmError) -> Self {
         SimError::Vmm(e)
+    }
+}
+
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> Self {
+        SimError::Trace(e)
     }
 }
 
@@ -222,6 +234,56 @@ impl Simulation {
         let instr = Instruments {
             telemetry,
             chaos: Some(chaos),
+            ..Instruments::default()
+        };
+        Ok(Self::dispatch(cfg, hw, &instr)?.0)
+    }
+
+    /// Like [`Simulation::run_with_mmu`], but the access stream comes
+    /// from a recorded trace instead of the configured generator
+    /// (optionally with telemetry attached). The trace is fully
+    /// validated before any machine is built, and its footprint must
+    /// equal `cfg.footprint` — the header's churn rate and ideal
+    /// cycles-per-access drive the run, so replaying a recording of the
+    /// same configuration reproduces the live run byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Trace`] for malformed, unreadable, or mismatched
+    /// traces; otherwise the same conditions as [`Simulation::run`].
+    pub fn run_replayed(
+        cfg: &SimConfig,
+        hw: MmuConfig,
+        telemetry: Option<TelemetryConfig>,
+        trace: ReplaySource,
+    ) -> Result<RunResult, SimError> {
+        let instr = Instruments {
+            telemetry,
+            replay: Some(trace),
+            ..Instruments::default()
+        };
+        Ok(Self::dispatch(cfg, hw, &instr)?.0)
+    }
+
+    /// Like [`Simulation::run_with_mmu`], additionally teeing every
+    /// workload access into `recorder` as the run plays. Recording rides
+    /// outside the measured path (the generator's stream is forwarded
+    /// unchanged), so the run's results are identical with or without
+    /// it. Call [`SharedTraceWriter::finish`] afterwards to seal the
+    /// trace and surface any deferred write error.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run`].
+    pub fn run_recorded(
+        cfg: &SimConfig,
+        hw: MmuConfig,
+        telemetry: Option<TelemetryConfig>,
+        recorder: SharedTraceWriter,
+    ) -> Result<RunResult, SimError> {
+        let instr = Instruments {
+            telemetry,
+            record: Some(recorder),
             ..Instruments::default()
         };
         Ok(Self::dispatch(cfg, hw, &instr)?.0)

@@ -1,0 +1,187 @@
+//! `mv-trace` — inspect, validate, and synthesize access traces.
+//!
+//! ```text
+//! mv-trace info <trace.mvtr>              # header + validated summary
+//! mv-trace dump <trace.mvtr> [--limit N]  # one record per line
+//! mv-trace synth-gc <out.mvtr> [--footprint B] [--records N] [--seed S]
+//!          [--locality F]
+//! mv-trace synth-serving <out.mvtr> [--footprint B] [--records N] [--seed S]
+//!          [--zipf S] [--write-fraction F] [--period N]
+//! ```
+//!
+//! `info` fully validates the trace (every chunk, record, and the
+//! trailer), so a zero exit status doubles as a format check.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+use mv_trace::{GcChaseParams, ReplaySource, ServingParams};
+
+const USAGE: &str = "usage: mv-trace <info|dump|synth-gc|synth-serving> <file> \
+                     [--limit N] [--footprint B] [--records N] [--seed S] \
+                     [--locality F] [--zipf S] [--write-fraction F] [--period N]";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("mv-trace: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Opts {
+    limit: u64,
+    footprint: u64,
+    records: u64,
+    seed: u64,
+    locality: f64,
+    zipf: f64,
+    write_fraction: f64,
+    period: Option<u64>,
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut cmd = None;
+    let mut file = None;
+    let mut opts = Opts {
+        limit: u64::MAX,
+        footprint: 64 << 20,
+        records: 1_000_000,
+        seed: 42,
+        locality: 0.7,
+        zipf: 0.99,
+        write_fraction: 0.1,
+        period: None,
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--limit" => opts.limit = num_arg(&mut it, "--limit")?,
+            "--footprint" => opts.footprint = size_arg(&mut it, "--footprint")?,
+            "--records" => opts.records = num_arg(&mut it, "--records")?,
+            "--seed" => opts.seed = num_arg(&mut it, "--seed")?,
+            "--locality" => opts.locality = float_arg(&mut it, "--locality")?,
+            "--zipf" => opts.zipf = float_arg(&mut it, "--zipf")?,
+            "--write-fraction" => opts.write_fraction = float_arg(&mut it, "--write-fraction")?,
+            "--period" => opts.period = Some(num_arg(&mut it, "--period")?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            _ if arg.starts_with("--") => return Err(format!("unknown flag {arg}\n{USAGE}")),
+            _ if cmd.is_none() => cmd = Some(arg),
+            _ if file.is_none() => file = Some(arg),
+            _ => return Err(format!("unexpected argument {arg}\n{USAGE}")),
+        }
+    }
+    let (Some(cmd), Some(file)) = (cmd, file) else {
+        return Err(USAGE.to_string());
+    };
+    match cmd.as_str() {
+        "info" => info(&file),
+        "dump" => dump(&file, opts.limit),
+        "synth-gc" => synth_gc(&file, &opts),
+        "synth-serving" => synth_serving(&file, &opts),
+        other => Err(format!("unknown command {other}\n{USAGE}")),
+    }
+}
+
+fn info(path: &str) -> Result<ExitCode, String> {
+    let src = ReplaySource::path(path);
+    let header = src.header().map_err(|e| format!("{path}: {e}"))?;
+    let stats = src.stats().map_err(|e| format!("{path}: {e}"))?;
+    println!("trace:     {path}");
+    println!("workload:  {}", header.name);
+    println!("footprint: {} bytes", header.footprint);
+    println!("cycles/access: {}", header.cycles_per_access);
+    println!("churn/M:   {}", header.churn_per_million);
+    println!("dup frac:  {}", header.duplicate_fraction);
+    println!("seed:      {}", header.seed);
+    println!(
+        "suggested window: warmup {} + accesses {}",
+        header.warmup, header.accesses
+    );
+    println!(
+        "records:   {} ({} writes) in {} chunks, max offset {:#x}",
+        stats.records, stats.writes, stats.chunks, stats.max_offset
+    );
+    println!("valid:     ok");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn dump(path: &str, limit: u64) -> Result<ExitCode, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut reader = mv_trace::TraceReader::new(bytes.as_slice()).map_err(|e| format!("{path}: {e}"))?;
+    let mut n = 0u64;
+    while n < limit {
+        match reader.next_record().map_err(|e| format!("{path}: {e}"))? {
+            Some(rec) => {
+                println!("{} {:#x}", if rec.write { "W" } else { "R" }, rec.offset);
+                n += 1;
+            }
+            None => break,
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn synth_gc(path: &str, opts: &Opts) -> Result<ExitCode, String> {
+    let params = GcChaseParams {
+        footprint: opts.footprint,
+        records: opts.records,
+        seed: opts.seed,
+        locality: opts.locality,
+    };
+    let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let n = mv_trace::write_gc_chase(BufWriter::new(file), &params)
+        .map_err(|e| format!("{path}: {e}"))?;
+    println!("wrote {n} gc_chase records to {path}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn synth_serving(path: &str, opts: &Opts) -> Result<ExitCode, String> {
+    let mut params = ServingParams::new(opts.footprint, opts.records, opts.seed);
+    params.zipf_exponent = opts.zipf;
+    params.write_fraction = opts.write_fraction;
+    if let Some(p) = opts.period {
+        params.diurnal_period = p;
+    }
+    let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let n = mv_trace::write_serving(BufWriter::new(file), &params)
+        .map_err(|e| format!("{path}: {e}"))?;
+    println!("wrote {n} serving records to {path}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn num_arg(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+    let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse()
+        .map_err(|_| format!("{flag}: not a number: {raw}"))
+}
+
+/// Parses a byte size with an optional `K`/`M`/`G` suffix (the same
+/// convention as the `run` binary's `--footprint`).
+fn size_arg(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+    let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    let (digits, mult) = match raw.chars().last() {
+        Some('k') | Some('K') => (&raw[..raw.len() - 1], 1u64 << 10),
+        Some('m') | Some('M') => (&raw[..raw.len() - 1], 1 << 20),
+        Some('g') | Some('G') => (&raw[..raw.len() - 1], 1 << 30),
+        _ => (raw.as_str(), 1),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .ok_or_else(|| format!("{flag}: not a size: {raw}"))
+}
+
+fn float_arg(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<f64, String> {
+    let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse()
+        .map_err(|_| format!("{flag}: not a number: {raw}"))
+}

@@ -1,0 +1,522 @@
+//! On-disk format primitives: header layout, record encoding, and the
+//! typed error vocabulary.
+//!
+//! The authoritative byte-level specification lives in
+//! `docs/TRACE_FORMAT.md`; this module is its implementation. Every value
+//! is little-endian. A trace is
+//!
+//! ```text
+//! header · chunk* · terminator · trailer
+//! ```
+//!
+//! where each data chunk frames a batch of varint-delta-encoded access
+//! records, so both the writer and the reader hold at most one chunk in
+//! memory at a time.
+
+use core::fmt;
+use std::io::Read;
+
+/// The four magic bytes every trace starts with: `"MVTR"`.
+pub const MAGIC: [u8; 4] = *b"MVTR";
+
+/// The format version this crate writes (and the only one it reads).
+pub const VERSION: u16 = 1;
+
+/// Longest workload name the writer accepts. The on-disk field is a
+/// single length byte, so readers tolerate up to 255; writers stay well
+/// below it.
+pub const MAX_NAME_LEN: usize = 64;
+
+/// Upper bound on a single chunk's payload that readers enforce, so a
+/// corrupt length field cannot force a huge allocation.
+pub const MAX_CHUNK_PAYLOAD: usize = 1 << 20;
+
+/// Fixed-size portion of the header, before the variable-length name.
+pub(crate) const HEADER_FIXED_LEN: usize = 65;
+
+/// Everything that can go wrong reading or writing a trace.
+///
+/// Malformed input is always reported through one of these variants —
+/// never a panic — so a truncated download or a corrupted fixture
+/// degrades into an error message, not an abort.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The input does not start with [`MAGIC`] (not a trace at all).
+    BadMagic([u8; 4]),
+    /// The trace was written by a newer (or unknown) format version.
+    UnsupportedVersion(u16),
+    /// The header carries flag bits this version does not define.
+    UnsupportedFlags(u16),
+    /// A header field is out of range or inconsistent.
+    BadHeader(&'static str),
+    /// The input ended in the middle of the named structure.
+    Truncated(&'static str),
+    /// A chunk frame violates the format (oversized, inconsistent
+    /// length/count, trailing bytes inside the payload).
+    BadChunk(&'static str),
+    /// Record `index` (0-based across the whole trace) failed to decode.
+    BadRecord {
+        /// 0-based index of the offending record.
+        index: u64,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// The trailer's total disagrees with the records actually framed.
+    CountMismatch {
+        /// Total the trailer claims.
+        expected: u64,
+        /// Records the chunks actually held.
+        actual: u64,
+    },
+    /// Bytes follow the trailer — the trace has a well-formed end, so
+    /// anything after it is garbage (or a concatenation mistake).
+    TrailingData,
+    /// The trace holds zero records; replay has nothing to drive.
+    Empty,
+    /// A replayed trace's arena does not match the run's footprint, so
+    /// its offsets would address a differently-sized arena.
+    FootprintMismatch {
+        /// Footprint recorded in the trace header.
+        trace: u64,
+        /// Footprint the run was configured with.
+        run: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic(m) => write!(f, "not a trace file (magic {m:02x?})"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::UnsupportedFlags(x) => write!(f, "unsupported trace flags {x:#06x}"),
+            TraceError::BadHeader(why) => write!(f, "bad trace header: {why}"),
+            TraceError::Truncated(what) => write!(f, "trace truncated while reading {what}"),
+            TraceError::BadChunk(why) => write!(f, "bad trace chunk: {why}"),
+            TraceError::BadRecord { index, reason } => {
+                write!(f, "bad trace record {index}: {reason}")
+            }
+            TraceError::CountMismatch { expected, actual } => write!(
+                f,
+                "trace trailer claims {expected} records but chunks held {actual}"
+            ),
+            TraceError::TrailingData => write!(f, "trailing bytes after the trace terminator"),
+            TraceError::Empty => write!(f, "trace holds no records"),
+            TraceError::FootprintMismatch { trace, run } => write!(
+                f,
+                "trace footprint {trace} does not match run footprint {run}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// One decoded access record: a byte offset within the workload arena
+/// plus whether the reference writes. The wire form is a single varint
+/// delta against the previous record (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Byte offset within the arena, always `< header.footprint`.
+    pub offset: u64,
+    /// Whether the reference writes.
+    pub write: bool,
+}
+
+impl From<TraceRecord> for mv_workloads::Access {
+    fn from(r: TraceRecord) -> Self {
+        mv_workloads::Access {
+            offset: r.offset,
+            write: r.write,
+        }
+    }
+}
+
+/// The trace header: identity and replay metadata for the access stream.
+///
+/// `footprint` sizes the arena the offsets address. The remaining fields
+/// carry the [`mv_workloads::Workload`] metadata a replayed run needs to
+/// reproduce a live-generated one exactly: the ideal cycles per access
+/// (stored as raw f64 bits, so replay is bit-exact), the churn schedule,
+/// and the duplicate fraction. `warmup`/`accesses` are the *suggested*
+/// replay window — the records framed in the chunks are authoritative,
+/// and replay loops over them if a run asks for more.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHeader {
+    /// Workload name (UTF-8, 1..=[`MAX_NAME_LEN`] bytes when writing).
+    pub name: String,
+    /// Arena size in bytes; every record offset is strictly below it.
+    pub footprint: u64,
+    /// Ideal (translation-free) cycles per access of the traced workload.
+    pub cycles_per_access: f64,
+    /// Map/unmap churn events per million accesses.
+    pub churn_per_million: u64,
+    /// Fraction of pages duplicating some other page (page sharing).
+    pub duplicate_fraction: f64,
+    /// Seed the trace was recorded or synthesized with (provenance).
+    pub seed: u64,
+    /// Suggested warmup accesses for replay.
+    pub warmup: u64,
+    /// Suggested measured accesses for replay.
+    pub accesses: u64,
+}
+
+impl TraceHeader {
+    /// Builds the header a recording of `kind` should carry, copying the
+    /// generator's replay metadata (cycles per access, churn, duplicate
+    /// fraction) so a later replay reproduces the live run.
+    pub fn for_workload(
+        kind: mv_workloads::WorkloadKind,
+        footprint: u64,
+        seed: u64,
+        warmup: u64,
+        accesses: u64,
+    ) -> TraceHeader {
+        let w = kind.build(footprint, seed);
+        TraceHeader {
+            name: w.name().to_string(),
+            footprint,
+            cycles_per_access: w.cycles_per_access(),
+            churn_per_million: w.churn_per_million(),
+            duplicate_fraction: w.duplicate_fraction(),
+            seed,
+            warmup,
+            accesses,
+        }
+    }
+
+    /// The [`mv_workloads::WorkloadKind`] this trace was recorded from,
+    /// if the name matches one of the ten paper workloads.
+    pub fn workload_kind(&self) -> Option<mv_workloads::WorkloadKind> {
+        mv_workloads::WorkloadKind::ALL
+            .into_iter()
+            .find(|k| k.label() == self.name)
+    }
+
+    /// The header name as a `&'static str` for [`mv_workloads::Workload::name`]:
+    /// the matching paper-workload label, a known synthesizer name, or
+    /// the generic `"trace"`.
+    pub fn static_name(&self) -> &'static str {
+        if let Some(kind) = self.workload_kind() {
+            return kind.label();
+        }
+        match self.name.as_str() {
+            crate::synth::GC_CHASE_NAME => crate::synth::GC_CHASE_NAME,
+            crate::synth::SERVING_NAME => crate::synth::SERVING_NAME,
+            _ => "trace",
+        }
+    }
+
+    /// Serializes the header to its on-disk bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadHeader`] if the name is empty, longer than
+    /// [`MAX_NAME_LEN`], or the footprint is zero.
+    pub fn encode(&self) -> Result<Vec<u8>, TraceError> {
+        if self.name.is_empty() {
+            return Err(TraceError::BadHeader("empty workload name"));
+        }
+        if self.name.len() > MAX_NAME_LEN {
+            return Err(TraceError::BadHeader("workload name longer than 64 bytes"));
+        }
+        if self.footprint == 0 {
+            return Err(TraceError::BadHeader("zero footprint"));
+        }
+        let mut out = Vec::with_capacity(HEADER_FIXED_LEN + self.name.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // flags
+        out.extend_from_slice(&self.footprint.to_le_bytes());
+        out.extend_from_slice(&self.cycles_per_access.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.churn_per_million.to_le_bytes());
+        out.extend_from_slice(&self.duplicate_fraction.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&self.warmup.to_le_bytes());
+        out.extend_from_slice(&self.accesses.to_le_bytes());
+        out.push(self.name.len() as u8);
+        out.extend_from_slice(self.name.as_bytes());
+        Ok(out)
+    }
+
+    /// Parses a header from the start of `src`.
+    ///
+    /// # Errors
+    ///
+    /// Any of the header-shaped [`TraceError`] variants: bad magic,
+    /// unsupported version or flags, truncation, or invalid fields.
+    pub fn decode<R: Read>(src: &mut R) -> Result<TraceHeader, TraceError> {
+        let mut fixed = [0u8; HEADER_FIXED_LEN];
+        read_exact(src, &mut fixed, "header")?;
+        if fixed[0..4] != MAGIC {
+            let mut m = [0u8; 4];
+            m.copy_from_slice(&fixed[0..4]);
+            return Err(TraceError::BadMagic(m));
+        }
+        let version = u16::from_le_bytes([fixed[4], fixed[5]]);
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let flags = u16::from_le_bytes([fixed[6], fixed[7]]);
+        if flags != 0 {
+            return Err(TraceError::UnsupportedFlags(flags));
+        }
+        let u64_at = |i: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&fixed[i..i + 8]);
+            u64::from_le_bytes(b)
+        };
+        let footprint = u64_at(8);
+        if footprint == 0 {
+            return Err(TraceError::BadHeader("zero footprint"));
+        }
+        let name_len = usize::from(fixed[64]);
+        if name_len == 0 {
+            return Err(TraceError::BadHeader("empty workload name"));
+        }
+        let mut name = vec![0u8; name_len];
+        read_exact(src, &mut name, "header name")?;
+        let name =
+            String::from_utf8(name).map_err(|_| TraceError::BadHeader("name is not UTF-8"))?;
+        Ok(TraceHeader {
+            name,
+            footprint,
+            cycles_per_access: f64::from_bits(u64_at(16)),
+            churn_per_million: u64_at(24),
+            duplicate_fraction: f64::from_bits(u64_at(32)),
+            seed: u64_at(40),
+            warmup: u64_at(48),
+            accesses: u64_at(56),
+        })
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, mapping a clean EOF to
+/// [`TraceError::Truncated`] naming `what`.
+pub(crate) fn read_exact<R: Read>(
+    src: &mut R,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), TraceError> {
+    match src.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(TraceError::Truncated(what)),
+        Err(e) => Err(TraceError::Io(e)),
+    }
+}
+
+/// Appends `v` to `buf` as an LEB128 varint (7 data bits per byte,
+/// continuation in the high bit; at most 10 bytes for a u64).
+pub(crate) fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+/// Decodes one LEB128 varint from `buf` at `*pos`, advancing `*pos`.
+pub(crate) fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, &'static str> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&b) = buf.get(*pos) else {
+            return Err("varint runs past the chunk payload");
+        };
+        *pos += 1;
+        if shift == 63 && b & 0x7f > 1 {
+            return Err("varint overflows 64 bits");
+        }
+        if shift > 63 {
+            return Err("varint longer than 10 bytes");
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// ZigZag-encodes a signed delta into the unsigned varint domain, so
+/// small negative strides stay one byte.
+pub(crate) fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> TraceHeader {
+        TraceHeader {
+            name: "gups".to_string(),
+            footprint: 1 << 20,
+            cycles_per_access: 104.0,
+            churn_per_million: 0,
+            duplicate_fraction: 0.005,
+            seed: 42,
+            warmup: 100,
+            accesses: 900,
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = header();
+        let bytes = h.encode().unwrap();
+        assert_eq!(bytes.len(), HEADER_FIXED_LEN + 4);
+        let back = TraceHeader::decode(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn header_rejects_bad_inputs() {
+        let mut h = header();
+        h.name.clear();
+        assert!(matches!(h.encode(), Err(TraceError::BadHeader(_))));
+        let mut h = header();
+        h.name = "x".repeat(MAX_NAME_LEN + 1);
+        assert!(matches!(h.encode(), Err(TraceError::BadHeader(_))));
+        let mut h = header();
+        h.footprint = 0;
+        assert!(matches!(h.encode(), Err(TraceError::BadHeader(_))));
+    }
+
+    #[test]
+    fn header_decode_rejects_corruption() {
+        let good = header().encode().unwrap();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            TraceHeader::decode(&mut bad.as_slice()),
+            Err(TraceError::BadMagic(_))
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            TraceHeader::decode(&mut bad.as_slice()),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+
+        let mut bad = good.clone();
+        bad[6] = 0x01;
+        assert!(matches!(
+            TraceHeader::decode(&mut bad.as_slice()),
+            Err(TraceError::UnsupportedFlags(1))
+        ));
+
+        // Non-UTF-8 name.
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 1] = 0xff;
+        assert!(matches!(
+            TraceHeader::decode(&mut bad.as_slice()),
+            Err(TraceError::BadHeader(_))
+        ));
+
+        // Every truncation point fails cleanly.
+        for cut in 0..good.len() {
+            let err = TraceHeader::decode(&mut &good[..cut]).unwrap_err();
+            assert!(
+                matches!(err, TraceError::Truncated(_)),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            (1 << 32) - 1,
+            1 << 32,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert!(buf.len() <= 10);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Ok(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overflow_and_truncation() {
+        // 11 continuation bytes: longer than any u64 varint.
+        let long = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(get_varint(&long, &mut pos).is_err());
+
+        // 10 bytes whose last carries more than the 1 remaining bit.
+        let mut over = vec![0x80u8; 9];
+        over.push(0x02);
+        let mut pos = 0;
+        assert!(get_varint(&over, &mut pos).is_err());
+
+        // Truncated mid-varint.
+        let cut = [0x80u8, 0x80];
+        let mut pos = 0;
+        assert!(get_varint(&cut, &mut pos).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for d in [0i64, 1, -1, 63, -64, 4096, -4096, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+        // Small magnitudes map to small codes (the compression property).
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-8), 15);
+    }
+
+    #[test]
+    fn wrapping_delta_survives_any_offset_pair() {
+        // The writer encodes offset deltas with wrapping arithmetic, so
+        // even pathological u64 jumps round-trip.
+        for (prev, next) in [(0u64, u64::MAX), (u64::MAX, 0), (5, 3), (3, 5)] {
+            let delta = next.wrapping_sub(prev) as i64;
+            assert_eq!(prev.wrapping_add(zigzag_round(delta) as u64), next);
+        }
+    }
+
+    fn zigzag_round(d: i64) -> i64 {
+        unzigzag(zigzag(d))
+    }
+}

@@ -1,0 +1,71 @@
+//! mv-trace: a compact streaming binary format for memory-access traces,
+//! plus everything needed to record, validate, synthesize, and replay
+//! them through the simulator.
+//!
+//! A trace captures exactly what the driver loop consumes from a
+//! [`mv_workloads::Workload`] — the ordered `(offset, read/write)` stream
+//! plus the replay metadata (footprint, ideal cycles per access, churn
+//! rate, duplicate fraction) — so replaying a recording reproduces the
+//! live-generated run bit for bit. The on-disk form is little-endian:
+//! a magic + versioned header, then varint-delta-encoded records framed
+//! into chunks, so neither writer nor reader ever buffers a whole file.
+//! `docs/TRACE_FORMAT.md` specifies every byte.
+//!
+//! The pieces:
+//!
+//! * [`TraceWriter`] / [`SharedTraceWriter`] / [`RecordingWorkload`] —
+//!   record a stream (from any live generator, or synthesized).
+//! * [`TraceReader`] / [`scan`] — stream records back out, with typed
+//!   [`TraceError`]s for every way the bytes can be malformed.
+//! * [`ReplaySource`] / [`TraceWorkload`] — drive any simulator machine
+//!   from a trace, via the ordinary [`mv_workloads::Workload`] trait.
+//! * [`write_gc_chase`] / [`write_serving`] — synthesize access-pattern
+//!   families the live generators cannot express.
+//!
+//! # Example
+//!
+//! ```
+//! use mv_trace::{decode_all, ReplaySource, TraceHeader, TraceWriter};
+//! use mv_workloads::Workload;
+//!
+//! let header = TraceHeader {
+//!     name: "gups".into(),
+//!     footprint: 1 << 20,
+//!     cycles_per_access: 104.0,
+//!     churn_per_million: 0,
+//!     duplicate_fraction: 0.005,
+//!     seed: 42,
+//!     warmup: 1,
+//!     accesses: 1,
+//! };
+//! let mut w = TraceWriter::new(Vec::new(), &header)?;
+//! w.push(4096, false)?;
+//! w.push(8192, true)?;
+//! let bytes = w.finish()?;
+//!
+//! let (h, records) = decode_all(&bytes)?;
+//! assert_eq!(h, header);
+//! assert_eq!(records.len(), 2);
+//!
+//! let mut replay = ReplaySource::bytes(bytes).open_workload()?;
+//! assert_eq!(replay.next_access().offset, 4096);
+//! # Ok::<(), mv_trace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod format;
+mod reader;
+mod replay;
+mod synth;
+mod writer;
+
+pub use format::{TraceError, TraceHeader, TraceRecord, MAGIC, MAX_CHUNK_PAYLOAD, MAX_NAME_LEN, VERSION};
+pub use reader::{decode_all, scan, TraceReader, TraceStats};
+pub use replay::{ReplaySource, TraceWorkload};
+pub use synth::{
+    write_gc_chase, write_serving, GcChaseParams, ServingParams, GC_CHASE_NAME, SERVING_NAME,
+};
+pub use writer::{MemSink, RecordingWorkload, SharedTraceWriter, TraceWriter};

@@ -1,0 +1,416 @@
+//! Reading side: the streaming [`TraceReader`] and the full-file
+//! validation [`scan`].
+//!
+//! The reader holds exactly one chunk payload in memory (reused across
+//! chunks) and decodes records from it in place — no per-record
+//! allocation, no whole-file buffering — so replay memory is flat in the
+//! trace size.
+
+use std::io::Read;
+
+use crate::format::{
+    get_varint, read_exact, unzigzag, TraceError, TraceHeader, TraceRecord, MAX_CHUNK_PAYLOAD,
+};
+
+/// Streaming decoder over any byte source.
+///
+/// Construction parses the header; [`TraceReader::next_record`] then
+/// yields records until the terminator, validating the chunk framing and
+/// the trailer as it goes. Every malformed input is a typed
+/// [`TraceError`] — the reader never panics on bad bytes.
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    src: R,
+    header: TraceHeader,
+    /// Current chunk payload; reused between chunks.
+    buf: Vec<u8>,
+    /// Decode position within `buf`.
+    pos: usize,
+    /// Records remaining in the current chunk.
+    chunk_left: u32,
+    prev_offset: u64,
+    prev_delta: Option<i64>,
+    records_read: u64,
+    chunks_read: u64,
+    finished: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace, parsing and validating its header.
+    ///
+    /// # Errors
+    ///
+    /// Header-level [`TraceError`] variants (bad magic, unsupported
+    /// version/flags, truncation, invalid fields).
+    pub fn new(mut src: R) -> Result<TraceReader<R>, TraceError> {
+        let header = TraceHeader::decode(&mut src)?;
+        Ok(TraceReader {
+            src,
+            header,
+            buf: Vec::new(),
+            pos: 0,
+            chunk_left: 0,
+            prev_offset: 0,
+            prev_delta: None,
+            records_read: 0,
+            chunks_read: 0,
+            finished: false,
+        })
+    }
+
+    /// The trace header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Records decoded so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Data chunks consumed so far.
+    pub fn chunks_read(&self) -> u64 {
+        self.chunks_read
+    }
+
+    /// Decodes the next record, or `None` once the terminator and trailer
+    /// have been consumed and verified.
+    ///
+    /// # Errors
+    ///
+    /// Any framing or record-level [`TraceError`]; after an error the
+    /// reader should be discarded.
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        if self.finished {
+            return Ok(None);
+        }
+        if self.chunk_left == 0 && !self.load_chunk()? {
+            return Ok(None);
+        }
+        let v = get_varint(&self.buf, &mut self.pos).map_err(|reason| TraceError::BadRecord {
+            index: self.records_read,
+            reason,
+        })?;
+        let write = v & 1 != 0;
+        let delta = if v & 0b10 != 0 {
+            // Stride repeat: the payload bits must be zero and a previous
+            // record must exist to repeat from.
+            if v >> 2 != 0 {
+                return Err(TraceError::BadRecord {
+                    index: self.records_read,
+                    reason: "stride repeat carries a nonzero delta",
+                });
+            }
+            self.prev_delta.ok_or(TraceError::BadRecord {
+                index: self.records_read,
+                reason: "stride repeat without a previous record",
+            })?
+        } else {
+            unzigzag(v >> 2)
+        };
+        let offset = self.prev_offset.wrapping_add(delta as u64);
+        if offset >= self.header.footprint {
+            return Err(TraceError::BadRecord {
+                index: self.records_read,
+                reason: "offset beyond the arena footprint",
+            });
+        }
+        self.prev_offset = offset;
+        self.prev_delta = Some(delta);
+        self.chunk_left -= 1;
+        if self.chunk_left == 0 && self.pos != self.buf.len() {
+            return Err(TraceError::BadChunk(
+                "payload bytes left over after the last record",
+            ));
+        }
+        self.records_read += 1;
+        Ok(Some(TraceRecord { offset, write }))
+    }
+
+    /// Reads the next chunk frame. Returns `false` (and marks the reader
+    /// finished) on the terminator, after verifying the trailer and that
+    /// nothing follows it.
+    fn load_chunk(&mut self) -> Result<bool, TraceError> {
+        let mut frame = [0u8; 8];
+        read_exact(&mut self.src, &mut frame, "chunk frame")?;
+        let payload_len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+        let count = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        if payload_len == 0 && count == 0 {
+            // Terminator: the trailer's total must match what we decoded,
+            // and the trace must end right after it.
+            let mut trailer = [0u8; 8];
+            read_exact(&mut self.src, &mut trailer, "trailer")?;
+            let expected = u64::from_le_bytes(trailer);
+            if expected != self.records_read {
+                return Err(TraceError::CountMismatch {
+                    expected,
+                    actual: self.records_read,
+                });
+            }
+            let mut probe = [0u8; 1];
+            match self.src.read(&mut probe) {
+                Ok(0) => {}
+                Ok(_) => return Err(TraceError::TrailingData),
+                Err(e) => return Err(TraceError::Io(e)),
+            }
+            self.finished = true;
+            return Ok(false);
+        }
+        if payload_len == 0 || count == 0 {
+            return Err(TraceError::BadChunk(
+                "chunk with records but no payload (or payload but no records)",
+            ));
+        }
+        if payload_len > MAX_CHUNK_PAYLOAD {
+            return Err(TraceError::BadChunk("chunk payload exceeds the 1 MiB limit"));
+        }
+        if (payload_len as u64) < u64::from(count) {
+            return Err(TraceError::BadChunk(
+                "chunk claims more records than payload bytes",
+            ));
+        }
+        self.buf.resize(payload_len, 0);
+        read_exact(&mut self.src, &mut self.buf, "chunk payload")?;
+        self.pos = 0;
+        self.chunk_left = count;
+        self.chunks_read += 1;
+        Ok(true)
+    }
+}
+
+/// Summary of a validated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total records framed in the trace.
+    pub records: u64,
+    /// Of which writes.
+    pub writes: u64,
+    /// Data chunks.
+    pub chunks: u64,
+    /// Highest offset referenced (0 for an empty trace).
+    pub max_offset: u64,
+}
+
+/// Fully validates a trace — header, every chunk frame, every record,
+/// terminator, trailer — and summarizes it. This is the scan replay runs
+/// before touching a machine, so malformed traces fail up front with a
+/// typed error instead of mid-simulation.
+///
+/// # Errors
+///
+/// Any [`TraceError`] the stream exhibits.
+pub fn scan<R: Read>(src: R) -> Result<TraceStats, TraceError> {
+    let mut reader = TraceReader::new(src)?;
+    let mut stats = TraceStats {
+        records: 0,
+        writes: 0,
+        chunks: 0,
+        max_offset: 0,
+    };
+    while let Some(rec) = reader.next_record()? {
+        stats.records += 1;
+        stats.writes += u64::from(rec.write);
+        stats.max_offset = stats.max_offset.max(rec.offset);
+    }
+    stats.chunks = reader.chunks_read();
+    Ok(stats)
+}
+
+/// Decodes a whole in-memory trace into its header and records —
+/// convenience for tests and the `mv-trace dump` CLI, not the replay
+/// path (which streams).
+///
+/// # Errors
+///
+/// Any [`TraceError`] the bytes exhibit.
+pub fn decode_all(bytes: &[u8]) -> Result<(TraceHeader, Vec<TraceRecord>), TraceError> {
+    let mut reader = TraceReader::new(bytes)?;
+    let mut records = Vec::new();
+    while let Some(rec) = reader.next_record()? {
+        records.push(rec);
+    }
+    let header = reader.header().clone();
+    Ok((header, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+
+    fn header() -> TraceHeader {
+        TraceHeader {
+            name: "gups".to_string(),
+            footprint: 1 << 20,
+            cycles_per_access: 104.0,
+            churn_per_million: 0,
+            duplicate_fraction: 0.005,
+            seed: 7,
+            warmup: 2,
+            accesses: 6,
+        }
+    }
+
+    fn sample_trace(records: &[(u64, bool)]) -> Vec<u8> {
+        let mut w = TraceWriter::new(Vec::new(), &header()).unwrap();
+        for &(off, wr) in records {
+            w.push(off, wr).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_record() {
+        let records: Vec<(u64, bool)> = (0..10_000u64)
+            .map(|i| {
+                // A deliberately nasty mix: strides, jumps backwards,
+                // repeats, alternating writes.
+                let off = match i % 4 {
+                    0 => i * 64 % (1 << 20),
+                    1 => (1 << 20) - 8 - (i % 1000) * 8,
+                    2 => (i * 4096 + 16) % (1 << 20),
+                    _ => (i * 4096 + 16) % (1 << 20), // repeat of the stride
+                };
+                (off, i % 3 == 0)
+            })
+            .collect();
+        let bytes = sample_trace(&records);
+        let (h, decoded) = decode_all(&bytes).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(decoded.len(), records.len());
+        for (rec, &(off, wr)) in decoded.iter().zip(&records) {
+            assert_eq!((rec.offset, rec.write), (off, wr));
+        }
+        let stats = scan(bytes.as_slice()).unwrap();
+        assert_eq!(stats.records, 10_000);
+        assert!(stats.chunks >= 2, "10k records span multiple chunks");
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_typed_error() {
+        let bytes = sample_trace(&[(4096, false), (8192, false), (8184, true)]);
+        for cut in 0..bytes.len() {
+            match scan(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(_) => panic!("scan of {cut}/{} bytes unexpectedly succeeded", bytes.len()),
+            }
+        }
+        assert!(scan(bytes.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample_trace(&[(64, false)]);
+        bytes.push(0xaa);
+        assert!(matches!(
+            scan(bytes.as_slice()),
+            Err(TraceError::TrailingData)
+        ));
+    }
+
+    #[test]
+    fn corrupted_trailer_count_is_rejected() {
+        let mut bytes = sample_trace(&[(64, false), (128, true)]);
+        let n = bytes.len();
+        bytes[n - 8] = 99;
+        assert!(matches!(
+            scan(bytes.as_slice()),
+            Err(TraceError::CountMismatch {
+                expected: 99,
+                actual: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_chunk_length_is_rejected_without_allocating() {
+        let header_bytes = header().encode().unwrap();
+        let mut bytes = header_bytes;
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd payload_len
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            scan(bytes.as_slice()),
+            Err(TraceError::BadChunk(_))
+        ));
+    }
+
+    #[test]
+    fn inconsistent_chunk_frames_are_rejected() {
+        let header_bytes = header().encode().unwrap();
+
+        // Records claimed, no payload.
+        let mut bytes = header_bytes.clone();
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(
+            scan(bytes.as_slice()),
+            Err(TraceError::BadChunk(_))
+        ));
+
+        // More records than payload bytes can possibly hold.
+        let mut bytes = header_bytes;
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        bytes.push(0x00);
+        assert!(matches!(
+            scan(bytes.as_slice()),
+            Err(TraceError::BadChunk(_))
+        ));
+    }
+
+    #[test]
+    fn offsets_beyond_the_footprint_are_rejected() {
+        // Handcraft a record jumping past the arena: header says 1 MiB,
+        // delta encodes 2 MiB.
+        let mut bytes = header().encode().unwrap();
+        let mut payload = Vec::new();
+        crate::format::put_varint(&mut payload, crate::format::zigzag(2 << 20) << 2);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let err = scan(bytes.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, TraceError::BadRecord { index: 0, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn stride_repeat_as_first_record_is_rejected() {
+        let mut bytes = header().encode().unwrap();
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(0b10); // repeat flag, no previous record
+        let err = scan(bytes.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, TraceError::BadRecord { index: 0, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn leftover_payload_bytes_are_rejected() {
+        let mut bytes = header().encode().unwrap();
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // 2 payload bytes
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // but only 1 record
+        bytes.extend_from_slice(&[0x00, 0x00]);
+        assert!(matches!(
+            scan(bytes.as_slice()),
+            Err(TraceError::BadChunk(_))
+        ));
+    }
+
+    #[test]
+    fn random_corruption_never_panics() {
+        // Fuzz-ish: flip each byte of a valid trace through a few values;
+        // every outcome must be Ok or a typed error, never a panic.
+        let good = sample_trace(&[(0, false), (4096, true), (8192, false), (8192, true)]);
+        for i in 0..good.len() {
+            for x in [0x00u8, 0x01, 0x7f, 0x80, 0xff] {
+                let mut bad = good.clone();
+                bad[i] ^= x;
+                let _ = scan(bad.as_slice());
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Replay side: a [`ReplaySource`] naming where the trace bytes live and
+//! the [`TraceWorkload`] that plays them back through the simulator's
+//! generic driver loop as if they came from a live generator.
+
+use std::fs::File;
+use std::io::{BufReader, Cursor, Read};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mv_workloads::{Access, Workload};
+
+use crate::format::{TraceError, TraceHeader};
+use crate::reader::{scan, TraceReader, TraceStats};
+
+/// Where a trace's bytes come from. Cheap to clone (shared by reference),
+/// so one source can fan out to every cell of a parallel grid.
+#[derive(Debug, Clone)]
+pub enum ReplaySource {
+    /// A trace file on disk, streamed through a buffered reader.
+    Path(Arc<PathBuf>),
+    /// An in-memory trace (tests, just-recorded runs).
+    Bytes(Arc<[u8]>),
+}
+
+/// The byte source a replay streams from.
+#[derive(Debug)]
+enum SourceRead {
+    File(BufReader<File>),
+    Bytes(Cursor<Arc<[u8]>>),
+}
+
+impl Read for SourceRead {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            SourceRead::File(f) => f.read(buf),
+            SourceRead::Bytes(b) => b.read(buf),
+        }
+    }
+}
+
+impl ReplaySource {
+    /// A trace file on disk.
+    pub fn path(p: impl Into<PathBuf>) -> ReplaySource {
+        ReplaySource::Path(Arc::new(p.into()))
+    }
+
+    /// An in-memory trace.
+    pub fn bytes(b: impl Into<Arc<[u8]>>) -> ReplaySource {
+        ReplaySource::Bytes(b.into())
+    }
+
+    /// Human-readable name of the source (the path, or `<memory>`).
+    pub fn describe(&self) -> String {
+        match self {
+            ReplaySource::Path(p) => p.display().to_string(),
+            ReplaySource::Bytes(_) => "<memory>".to_string(),
+        }
+    }
+
+    fn open(&self) -> Result<TraceReader<SourceRead>, TraceError> {
+        let src = match self {
+            ReplaySource::Path(p) => SourceRead::File(BufReader::new(File::open(p.as_path())?)),
+            ReplaySource::Bytes(b) => SourceRead::Bytes(Cursor::new(Arc::clone(b))),
+        };
+        TraceReader::new(src)
+    }
+
+    /// Parses just the trace header.
+    ///
+    /// # Errors
+    ///
+    /// I/O or header-level [`TraceError`] variants.
+    pub fn header(&self) -> Result<TraceHeader, TraceError> {
+        Ok(self.open()?.header().clone())
+    }
+
+    /// Fully validates the trace (see [`scan`]) and summarizes it.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] the trace exhibits.
+    pub fn stats(&self) -> Result<TraceStats, TraceError> {
+        let src = match self {
+            ReplaySource::Path(p) => SourceRead::File(BufReader::new(File::open(p.as_path())?)),
+            ReplaySource::Bytes(b) => SourceRead::Bytes(Cursor::new(Arc::clone(b))),
+        };
+        scan(src)
+    }
+
+    /// Opens the trace as a [`Workload`], validating the *entire* trace
+    /// first — header, framing, every record, trailer — so every way the
+    /// bytes can be malformed surfaces here as a typed error, before any
+    /// machine is built.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] the trace exhibits, including
+    /// [`TraceError::Empty`] for a well-formed trace with no records.
+    pub fn open_workload(&self) -> Result<TraceWorkload, TraceError> {
+        let stats = self.stats()?;
+        if stats.records == 0 {
+            return Err(TraceError::Empty);
+        }
+        let reader = self.open()?;
+        let name = reader.header().static_name();
+        Ok(TraceWorkload {
+            source: self.clone(),
+            header: reader.header().clone(),
+            reader,
+            name,
+            total_records: stats.records,
+            loops: 0,
+        })
+    }
+}
+
+/// A [`Workload`] that replays a recorded access stream.
+///
+/// The replay metadata (footprint, ideal cycles per access, churn rate,
+/// duplicate fraction) comes from the trace header, so a replayed run
+/// reproduces the live-generated run's churn schedule and overhead
+/// arithmetic exactly. If the driver asks for more accesses than the
+/// trace holds, the stream loops back to the first record (deterministic
+/// for any consumer, and documented in `docs/TRACE_FORMAT.md`).
+///
+/// # Panics
+///
+/// [`Workload::next_access`] cannot return an error, and the whole trace
+/// was validated by [`ReplaySource::open_workload`] before the run
+/// started — so a decode failure mid-replay means the underlying file
+/// changed or vanished *during* the run. That environmental race is
+/// reported as a panic (caught by the grid runner's per-cell isolation),
+/// never as silently corrupted data. In-memory sources cannot hit it.
+#[derive(Debug)]
+pub struct TraceWorkload {
+    source: ReplaySource,
+    header: TraceHeader,
+    reader: TraceReader<SourceRead>,
+    name: &'static str,
+    total_records: u64,
+    loops: u64,
+}
+
+impl TraceWorkload {
+    /// The trace header driving this replay.
+    pub fn trace_header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Records in one pass of the trace.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// How many times the stream has wrapped back to the first record.
+    pub fn loops(&self) -> u64 {
+        self.loops
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn footprint(&self) -> u64 {
+        self.header.footprint
+    }
+
+    fn next_access(&mut self) -> Access {
+        // Two attempts: the current pass, and — if it just ended — one
+        // rewind. The trace was validated non-empty at open, so a fresh
+        // pass always yields a record unless the source changed under us.
+        for _ in 0..2 {
+            match self.reader.next_record() {
+                Ok(Some(rec)) => return rec.into(),
+                Ok(None) => {
+                    self.loops += 1;
+                    match self.source.open() {
+                        Ok(r) => self.reader = r,
+                        Err(e) => panic!(
+                            "trace {} became unreadable mid-replay: {e}",
+                            self.source.describe()
+                        ),
+                    }
+                }
+                Err(e) => panic!(
+                    "trace {} became invalid mid-replay (it validated at open): {e}",
+                    self.source.describe()
+                ),
+            }
+        }
+        panic!(
+            "trace {} became empty mid-replay (it validated non-empty at open)",
+            self.source.describe()
+        );
+    }
+
+    fn cycles_per_access(&self) -> f64 {
+        self.header.cycles_per_access
+    }
+
+    fn churn_per_million(&self) -> u64 {
+        self.header.churn_per_million
+    }
+
+    fn duplicate_fraction(&self) -> f64 {
+        self.header.duplicate_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+
+    fn trace_bytes(name: &str, records: &[(u64, bool)]) -> Vec<u8> {
+        let header = TraceHeader {
+            name: name.to_string(),
+            footprint: 1 << 20,
+            cycles_per_access: 104.0,
+            churn_per_million: 45_000,
+            duplicate_fraction: 0.02,
+            seed: 3,
+            warmup: 1,
+            accesses: records.len() as u64 - 1,
+        };
+        let mut w = TraceWriter::new(Vec::new(), &header).unwrap();
+        for &(off, wr) in records {
+            w.push(off, wr).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn replay_yields_the_recorded_stream_and_loops() {
+        let recs = [(64u64, false), (4096, true), (128, false)];
+        let bytes = trace_bytes("gups", &recs);
+        let src = ReplaySource::bytes(bytes);
+        let mut w = src.open_workload().unwrap();
+        assert_eq!(w.name(), "gups");
+        assert_eq!(w.footprint(), 1 << 20);
+        assert_eq!(w.churn_per_million(), 45_000);
+        assert_eq!(w.total_records(), 3);
+        // Two full passes: the stream wraps deterministically.
+        for pass in 0..2 {
+            for &(off, wr) in &recs {
+                let a = w.next_access();
+                assert_eq!((a.offset, a.write), (off, wr), "pass {pass}");
+            }
+        }
+        assert_eq!(w.loops(), 1);
+    }
+
+    #[test]
+    fn unknown_names_replay_under_the_generic_label() {
+        let bytes = trace_bytes("my-custom-app", &[(0, false)]);
+        let w = ReplaySource::bytes(bytes).open_workload().unwrap();
+        assert_eq!(w.name(), "trace");
+        assert_eq!(w.trace_header().name, "my-custom-app");
+    }
+
+    #[test]
+    fn empty_trace_is_rejected_at_open() {
+        let header = TraceHeader {
+            name: "gups".to_string(),
+            footprint: 1 << 20,
+            cycles_per_access: 104.0,
+            churn_per_million: 0,
+            duplicate_fraction: 0.0,
+            seed: 0,
+            warmup: 0,
+            accesses: 0,
+        };
+        let bytes = TraceWriter::new(Vec::new(), &header)
+            .unwrap()
+            .finish()
+            .unwrap();
+        assert!(matches!(
+            ReplaySource::bytes(bytes).open_workload(),
+            Err(TraceError::Empty)
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_error() {
+        let src = ReplaySource::path("/nonexistent/trace.mvtr");
+        assert!(matches!(src.open_workload(), Err(TraceError::Io(_))));
+        assert!(matches!(src.header(), Err(TraceError::Io(_))));
+    }
+}

@@ -1,0 +1,432 @@
+//! Trace synthesizers: access-pattern families the live generators
+//! cannot express, emitted straight into the on-disk format.
+//!
+//! Two shapes ship, both fully deterministic in their seed:
+//!
+//! * [`write_gc_chase`] — a GC-style transitive-closure pointer chase
+//!   over a synthetic heap with tunable locality, modeled on tracing
+//!   collectors walking heap dumps (mark-stack discipline: header read,
+//!   mark write, then field reads that push unmarked children).
+//! * [`write_serving`] — production-style key-value serving traffic:
+//!   Zipfian key popularity over a hash-bucket + value-slab layout, a
+//!   diurnal load envelope that trades request traffic against
+//!   sequential maintenance sweeps, and a tunable SET fraction.
+
+use std::io::Write;
+
+use mv_types::rng::{split_seed, Rng, StdRng};
+
+use crate::format::{TraceError, TraceHeader};
+use crate::writer::TraceWriter;
+
+/// Header name [`write_gc_chase`] stamps its traces with.
+pub const GC_CHASE_NAME: &str = "gc_chase";
+
+/// Header name [`write_serving`] stamps its traces with.
+pub const SERVING_NAME: &str = "serving";
+
+/// Synthetic heap object size for the GC chase (one cache-line-ish cell:
+/// header word, mark word, fields).
+const OBJ_SIZE: u64 = 64;
+
+/// Parameters of the GC transitive-closure chase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcChaseParams {
+    /// Heap (arena) size in bytes. At least 4 KiB.
+    pub footprint: u64,
+    /// Exact number of records to emit.
+    pub records: u64,
+    /// Seed; the trace is a pure function of the parameters.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that an object's child lives near it (the
+    /// tunable heap locality: 0 is a uniform pointer chase, 1 keeps the
+    /// closure walking one neighborhood).
+    pub locality: f64,
+}
+
+impl GcChaseParams {
+    /// Defaults: moderately clustered heap (`locality = 0.7`).
+    pub fn new(footprint: u64, records: u64, seed: u64) -> GcChaseParams {
+        GcChaseParams {
+            footprint,
+            records,
+            seed,
+            locality: 0.7,
+        }
+    }
+}
+
+fn test_and_set(bits: &mut [u64], i: u64) -> bool {
+    let w = (i / 64) as usize;
+    let m = 1u64 << (i % 64);
+    let was = bits[w] & m != 0;
+    bits[w] |= m;
+    was
+}
+
+/// Synthesizes a GC-style pointer-chase trace into `sink`, returning the
+/// records written (exactly `params.records`).
+///
+/// Each object visit reads the object header, writes its mark word, then
+/// reads up to three child headers; unmarked children are pushed on the
+/// mark stack. When the closure drains (or the roots were all marked), a
+/// new collection cycle starts with fresh roots and cleared marks, until
+/// the record budget is spent.
+///
+/// # Errors
+///
+/// [`TraceError::BadHeader`] for out-of-range parameters; sink I/O errors.
+pub fn write_gc_chase<W: Write>(sink: W, params: &GcChaseParams) -> Result<u64, TraceError> {
+    if params.footprint < 64 * OBJ_SIZE {
+        return Err(TraceError::BadHeader("gc_chase footprint below 4 KiB"));
+    }
+    if params.records == 0 {
+        return Err(TraceError::BadHeader("gc_chase with zero records"));
+    }
+    if !(0.0..=1.0).contains(&params.locality) {
+        return Err(TraceError::BadHeader("gc_chase locality outside [0, 1]"));
+    }
+    let objects = params.footprint / OBJ_SIZE;
+    let warmup = params.records / 10;
+    let header = TraceHeader {
+        name: GC_CHASE_NAME.to_string(),
+        footprint: params.footprint,
+        // Pointer-chasing collectors spend real work per object touched;
+        // modeled between gups (104) and memcached (233).
+        cycles_per_access: 150.0,
+        // Collection cycles free and re-fault heap pages.
+        churn_per_million: 20_000,
+        duplicate_fraction: 0.01,
+        seed: params.seed,
+        warmup,
+        accesses: params.records - warmup,
+    };
+    let mut w = TraceWriter::new(sink, &header)?;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut marked = vec![0u64; objects.div_ceil(64) as usize];
+    let mut stack: Vec<u64> = Vec::new();
+    let roots = 16u64.min(objects);
+    'budget: loop {
+        // New collection cycle: clear marks, draw fresh roots.
+        marked.iter_mut().for_each(|m| *m = 0);
+        stack.clear();
+        for _ in 0..roots {
+            let r = rng.gen_range(0..objects);
+            if !test_and_set(&mut marked, r) {
+                stack.push(r);
+            }
+        }
+        if stack.is_empty() {
+            stack.push(0); // colliding roots: still make progress
+        }
+        while let Some(obj) = stack.pop() {
+            // Header read, then the mark write.
+            for (off, wr) in [(obj * OBJ_SIZE, false), (obj * OBJ_SIZE + 8, true)] {
+                w.push(off, wr)?;
+                if w.records_written() == params.records {
+                    break 'budget;
+                }
+            }
+            for _ in 0..rng.gen_range(0u32..4) {
+                let child = if rng.gen_bool(params.locality) {
+                    // Clustered: the child lives within ±64 objects.
+                    let lo = obj.saturating_sub(64);
+                    let hi = (obj + 65).min(objects);
+                    rng.gen_range(lo..hi)
+                } else {
+                    rng.gen_range(0..objects)
+                };
+                // Examine the child's header (mark test).
+                w.push(child * OBJ_SIZE, false)?;
+                if w.records_written() == params.records {
+                    break 'budget;
+                }
+                if !test_and_set(&mut marked, child) {
+                    stack.push(child);
+                }
+            }
+        }
+    }
+    w.finish()?;
+    Ok(params.records)
+}
+
+/// Parameters of the serving-style trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingParams {
+    /// Arena size in bytes. At least 32 KiB (hash buckets + value slabs).
+    pub footprint: u64,
+    /// Exact number of records to emit.
+    pub records: u64,
+    /// Seed; the trace is a pure function of the parameters.
+    pub seed: u64,
+    /// Zipf popularity exponent (`s`); 0.99 matches the classic
+    /// memcached/YCSB skew, 0 degenerates to uniform keys.
+    pub zipf_exponent: f64,
+    /// Fraction of requests that are SETs (writes) in `[0, 1]`.
+    pub write_fraction: f64,
+    /// Records per simulated day: the load envelope runs one full
+    /// diurnal cosine cycle over this many records.
+    pub diurnal_period: u64,
+}
+
+impl ServingParams {
+    /// Defaults: Zipf 0.99, 10% SETs, four diurnal cycles over the trace.
+    pub fn new(footprint: u64, records: u64, seed: u64) -> ServingParams {
+        ServingParams {
+            footprint,
+            records,
+            seed,
+            zipf_exponent: 0.99,
+            write_fraction: 0.1,
+            diurnal_period: (records / 4).max(1),
+        }
+    }
+}
+
+/// Synthesizes a serving-style trace into `sink`, returning the records
+/// written (exactly `params.records`).
+///
+/// The arena is laid out as a hash-bucket region (first 1/16th) plus
+/// value slabs (the rest, 1 KiB slots). A request reads the key's bucket
+/// then bursts over its value slot in 256-byte strides — reads for a
+/// GET, writes for a SET. Between requests, a diurnal load envelope
+/// `0.5·(1 − cos(2πt))` decides whether the next record is request
+/// traffic or one step of the sequential maintenance sweep (LRU crawler
+/// / slab rebalancer) that dominates the quiet hours.
+///
+/// # Errors
+///
+/// [`TraceError::BadHeader`] for out-of-range parameters; sink I/O errors.
+pub fn write_serving<W: Write>(sink: W, params: &ServingParams) -> Result<u64, TraceError> {
+    if params.footprint < 32 * 1024 {
+        return Err(TraceError::BadHeader("serving footprint below 32 KiB"));
+    }
+    if params.records == 0 {
+        return Err(TraceError::BadHeader("serving with zero records"));
+    }
+    if !(0.0..=8.0).contains(&params.zipf_exponent) {
+        return Err(TraceError::BadHeader("serving zipf exponent outside [0, 8]"));
+    }
+    if !(0.0..=1.0).contains(&params.write_fraction) {
+        return Err(TraceError::BadHeader("serving write fraction outside [0, 1]"));
+    }
+    if params.diurnal_period == 0 {
+        return Err(TraceError::BadHeader("serving diurnal period of zero"));
+    }
+    let warmup = params.records / 10;
+    let header = TraceHeader {
+        name: SERVING_NAME.to_string(),
+        footprint: params.footprint,
+        // Memcached-like request servicing cost (Table V).
+        cycles_per_access: 233.0,
+        churn_per_million: 45_000,
+        duplicate_fraction: 0.02,
+        seed: params.seed,
+        warmup,
+        accesses: params.records - warmup,
+    };
+    let bucket_bytes = (params.footprint / 16) & !63;
+    let value_base = bucket_bytes;
+    let value_slots = (params.footprint - value_base) / 1024;
+    let buckets = bucket_bytes / 64;
+    // Popularity CDF over the key space: weight 1/rank^s, sampled by
+    // binary search. The key space is sized to the arena so the hot set
+    // scales with the footprint.
+    let keys = (params.footprint / 1024).clamp(16, 1 << 20);
+    let mut cdf = Vec::with_capacity(keys as usize);
+    let mut acc = 0.0f64;
+    for rank in 1..=keys {
+        acc += (rank as f64).powf(-params.zipf_exponent);
+        cdf.push(acc);
+    }
+    let norm = acc;
+    cdf.iter_mut().for_each(|c| *c /= norm);
+
+    let mut w = TraceWriter::new(sink, &header)?;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut sweep = 0u64; // maintenance cursor, 4 KiB pages
+    let value_hash_salt = params.seed ^ 0x5e21_11a9_b0c4_d5e6;
+    'budget: loop {
+        // Diurnal position of this instant, in [0, 1) of a day.
+        let t = (w.records_written() % params.diurnal_period) as f64
+            / params.diurnal_period as f64;
+        let load = 0.5 * (1.0 - (2.0 * std::f64::consts::PI * t).cos());
+        if rng.gen_f64() < 0.15 + 0.85 * load {
+            // A request: Zipf-popular key → bucket probe → value burst.
+            let x = rng.gen_f64();
+            let key = (cdf.partition_point(|&c| c < x) as u64).min(keys - 1);
+            let bucket = split_seed(params.seed, key) % buckets;
+            let value = split_seed(value_hash_salt, key) % value_slots;
+            let set = rng.gen_bool(params.write_fraction);
+            w.push(bucket * 64, set)?;
+            if w.records_written() == params.records {
+                break 'budget;
+            }
+            let slot = value_base + value * 1024;
+            for step in 0..4u64 {
+                w.push(slot + step * 256, set)?;
+                if w.records_written() == params.records {
+                    break 'budget;
+                }
+            }
+        } else {
+            // Quiet-hours maintenance: sequential sweep, one page a step.
+            let off = (sweep * 4096) % params.footprint;
+            sweep += 1;
+            w.push(off & !7, false)?;
+            if w.records_written() == params.records {
+                break 'budget;
+            }
+        }
+    }
+    w.finish()?;
+    Ok(params.records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::{decode_all, scan};
+
+    #[test]
+    fn gc_chase_is_deterministic_and_exact() {
+        let p = GcChaseParams::new(1 << 20, 5_000, 11);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        assert_eq!(write_gc_chase(&mut a, &p).unwrap(), 5_000);
+        assert_eq!(write_gc_chase(&mut b, &p).unwrap(), 5_000);
+        assert_eq!(a, b, "same params, same bytes");
+        let stats = scan(a.as_slice()).unwrap();
+        assert_eq!(stats.records, 5_000);
+        assert!(stats.writes > 0, "mark writes present");
+        assert!(stats.max_offset < 1 << 20);
+
+        let mut c = Vec::new();
+        write_gc_chase(&mut c, &GcChaseParams::new(1 << 20, 5_000, 12)).unwrap();
+        assert_ne!(a, c, "seed changes the trace");
+    }
+
+    #[test]
+    fn gc_chase_locality_is_tunable() {
+        // Higher locality → smaller average jump between consecutive
+        // reads of the closure.
+        let jump = |locality: f64| -> f64 {
+            let p = GcChaseParams {
+                locality,
+                ..GcChaseParams::new(16 << 20, 20_000, 5)
+            };
+            let mut bytes = Vec::new();
+            write_gc_chase(&mut bytes, &p).unwrap();
+            let (_, recs) = decode_all(&bytes).unwrap();
+            let total: u64 = recs
+                .windows(2)
+                .map(|w| w[1].offset.abs_diff(w[0].offset))
+                .sum();
+            total as f64 / (recs.len() - 1) as f64
+        };
+        let clustered = jump(0.95);
+        let uniform = jump(0.0);
+        assert!(
+            clustered * 4.0 < uniform,
+            "clustered avg jump {clustered} vs uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn serving_is_deterministic_and_diurnal() {
+        let p = ServingParams::new(4 << 20, 30_000, 9);
+        let mut a = Vec::new();
+        assert_eq!(write_serving(&mut a, &p).unwrap(), 30_000);
+        let mut b = Vec::new();
+        write_serving(&mut b, &p).unwrap();
+        assert_eq!(a, b);
+        let (h, recs) = decode_all(&a).unwrap();
+        assert_eq!(h.name, SERVING_NAME);
+        assert_eq!(h.churn_per_million, 45_000);
+
+        // Writes exist (SET traffic) but stay a minority at 10%.
+        let writes = recs.iter().filter(|r| r.write).count();
+        assert!(writes > 0);
+        assert!(writes * 3 < recs.len());
+
+        // Diurnal envelope: the first 10% of a period (trough) holds far
+        // more sequential maintenance steps (4 KiB-stride deltas) than
+        // the slice around the peak.
+        let period = p.diurnal_period as usize;
+        let seq = |r: &[crate::format::TraceRecord]| {
+            r.windows(2)
+                .filter(|w| w[1].offset.wrapping_sub(w[0].offset) == 4096)
+                .count()
+        };
+        let trough = seq(&recs[..period / 10]);
+        let peak = seq(&recs[(period * 45 / 100)..(period * 55 / 100)]);
+        assert!(
+            trough > peak * 2,
+            "trough {trough} should be maintenance-heavy vs peak {peak}"
+        );
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_hot_buckets() {
+        let p = ServingParams::new(4 << 20, 40_000, 21);
+        let mut bytes = Vec::new();
+        write_serving(&mut bytes, &p).unwrap();
+        let (h, recs) = decode_all(&bytes).unwrap();
+        let bucket_bytes = (h.footprint / 16) & !63;
+        // Count bucket-region reads per bucket; the top-16 must hold a
+        // disproportionate share under Zipf 0.99.
+        let mut counts = std::collections::HashMap::new();
+        let mut total = 0u64;
+        for r in &recs {
+            if r.offset < bucket_bytes {
+                *counts.entry(r.offset).or_insert(0u64) += 1;
+                total += 1;
+            }
+        }
+        let mut by_count: Vec<u64> = counts.into_values().collect();
+        by_count.sort_unstable_by(|a, b| b.cmp(a));
+        // Zipf 0.99 over ~4096 keys puts ~half the mass on the top 64
+        // (1.5% of the key space); uniform keys would put ~1.5% there.
+        let top64: u64 = by_count.iter().take(64).sum();
+        assert!(
+            top64 * 100 > total * 40,
+            "top-64 buckets hold {top64} of {total} probes"
+        );
+    }
+
+    #[test]
+    fn synthesizers_reject_bad_parameters() {
+        let mut sink = Vec::new();
+        for p in [
+            GcChaseParams::new(1024, 100, 0),                // tiny footprint
+            GcChaseParams::new(1 << 20, 0, 0),               // zero records
+            GcChaseParams {
+                locality: 1.5,
+                ..GcChaseParams::new(1 << 20, 100, 0)
+            },
+        ] {
+            assert!(matches!(
+                write_gc_chase(&mut sink, &p),
+                Err(TraceError::BadHeader(_))
+            ));
+        }
+        for p in [
+            ServingParams::new(1024, 100, 0), // tiny footprint
+            ServingParams::new(1 << 20, 0, 0),
+            ServingParams {
+                write_fraction: 2.0,
+                ..ServingParams::new(1 << 20, 100, 0)
+            },
+            ServingParams {
+                diurnal_period: 0,
+                ..ServingParams::new(1 << 20, 100, 0)
+            },
+        ] {
+            assert!(matches!(
+                write_serving(&mut sink, &p),
+                Err(TraceError::BadHeader(_))
+            ));
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Recording side: the streaming [`TraceWriter`], a shareable handle for
+//! hooking it into a running simulation, and the [`RecordingWorkload`]
+//! tee that captures any live generator's stream as it plays.
+
+use core::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use mv_workloads::{Access, Workload};
+
+use crate::format::{put_varint, zigzag, TraceError, TraceHeader};
+
+/// Records flushed per chunk. Small enough that the writer's buffer stays
+/// a few KiB; large enough that framing overhead (8 bytes per chunk) is
+/// noise.
+const RECORDS_PER_CHUNK: u32 = 4096;
+
+/// Streaming trace encoder: writes the header eagerly, buffers one chunk
+/// of varint-encoded records at a time, and seals the trace with the
+/// terminator + trailer on [`TraceWriter::finish`].
+///
+/// Dropping a writer without calling `finish` leaves a truncated trace
+/// that readers reject with [`TraceError::Truncated`] — a crashed
+/// recording can never be mistaken for a complete one.
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    buf: Vec<u8>,
+    count: u32,
+    prev_offset: u64,
+    prev_delta: Option<i64>,
+    total: u64,
+}
+
+impl<W: Write> fmt::Debug for TraceWriter<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("total", &self.total)
+            .field("buffered", &self.count)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace on `sink`, writing `header` immediately.
+    ///
+    /// # Errors
+    ///
+    /// Header validation failures ([`TraceError::BadHeader`]) or sink I/O
+    /// errors.
+    pub fn new(mut sink: W, header: &TraceHeader) -> Result<TraceWriter<W>, TraceError> {
+        sink.write_all(&header.encode()?)?;
+        Ok(TraceWriter {
+            sink,
+            buf: Vec::with_capacity(8 * RECORDS_PER_CHUNK as usize),
+            count: 0,
+            prev_offset: 0,
+            prev_delta: None,
+            total: 0,
+        })
+    }
+
+    /// Appends one record. Offsets are delta-encoded against the previous
+    /// record with wrapping arithmetic, so any `u64` sequence encodes.
+    ///
+    /// # Errors
+    ///
+    /// Sink I/O errors (surfaced when a full chunk flushes).
+    pub fn push(&mut self, offset: u64, write: bool) -> Result<(), TraceError> {
+        let delta = offset.wrapping_sub(self.prev_offset) as i64;
+        let v = if self.prev_delta == Some(delta) {
+            // Stride hint: same delta as the previous record collapses to
+            // bit 1, making constant-stride scans one byte per record.
+            0b10 | u64::from(write)
+        } else {
+            (zigzag(delta) << 2) | u64::from(write)
+        };
+        put_varint(&mut self.buf, v);
+        self.prev_offset = offset;
+        self.prev_delta = Some(delta);
+        self.count += 1;
+        self.total += 1;
+        if self.count >= RECORDS_PER_CHUNK {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// [`TraceWriter::push`] for an [`Access`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraceWriter::push`].
+    pub fn push_access(&mut self, acc: Access) -> Result<(), TraceError> {
+        self.push(acc.offset, acc.write)
+    }
+
+    /// Records appended so far.
+    pub fn records_written(&self) -> u64 {
+        self.total
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), TraceError> {
+        if self.count == 0 {
+            return Ok(());
+        }
+        self.sink.write_all(&(self.buf.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&self.count.to_le_bytes())?;
+        self.sink.write_all(&self.buf)?;
+        self.buf.clear();
+        self.count = 0;
+        Ok(())
+    }
+
+    /// Seals the trace — flushes the last partial chunk, writes the
+    /// terminator chunk and the record-count trailer, flushes the sink —
+    /// and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Sink I/O errors.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        self.flush_chunk()?;
+        self.sink.write_all(&[0u8; 8])?; // terminator: len = 0, count = 0
+        self.sink.write_all(&self.total.to_le_bytes())?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+struct SharedInner {
+    writer: Option<TraceWriter<Box<dyn Write + Send>>>,
+    error: Option<TraceError>,
+    total: u64,
+}
+
+/// A cloneable, thread-safe handle to one [`TraceWriter`], so a recorder
+/// can be threaded into a simulation (whose workload lives in a grid
+/// cell) and finalized from the outside afterwards.
+///
+/// Write errors during recording are *sticky*: the first one is kept and
+/// reported by [`SharedTraceWriter::finish`], and recording stops, so the
+/// hot path never has to unwind through the driver loop.
+#[derive(Clone)]
+pub struct SharedTraceWriter {
+    inner: Arc<Mutex<SharedInner>>,
+}
+
+impl fmt::Debug for SharedTraceWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.lock();
+        f.debug_struct("SharedTraceWriter")
+            .field("active", &g.writer.is_some())
+            .field("failed", &g.error.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SharedTraceWriter {
+    /// Wraps an already-started writer.
+    pub fn new(writer: TraceWriter<Box<dyn Write + Send>>) -> SharedTraceWriter {
+        SharedTraceWriter {
+            inner: Arc::new(Mutex::new(SharedInner {
+                writer: Some(writer),
+                error: None,
+                total: 0,
+            })),
+        }
+    }
+
+    /// Starts a trace with `header` on a boxed sink.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraceWriter::new`].
+    pub fn create(
+        sink: Box<dyn Write + Send>,
+        header: &TraceHeader,
+    ) -> Result<SharedTraceWriter, TraceError> {
+        Ok(Self::new(TraceWriter::new(sink, header)?))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SharedInner> {
+        // A panicked recorder thread leaves consistent (if incomplete)
+        // state; recover the guard rather than cascading the panic.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Appends one record; on failure the error is stored and recording
+    /// stops (reported later by [`SharedTraceWriter::finish`]).
+    pub fn record(&self, offset: u64, write: bool) {
+        let mut g = self.lock();
+        if let Some(w) = g.writer.as_mut() {
+            if let Err(e) = w.push(offset, write) {
+                g.writer = None;
+                g.error = Some(e);
+            }
+        }
+    }
+
+    /// Seals the trace and returns the total records written.
+    ///
+    /// Idempotent: a second call returns the same total.
+    ///
+    /// # Errors
+    ///
+    /// The first sticky recording error, or a failure sealing the trace.
+    pub fn finish(&self) -> Result<u64, TraceError> {
+        let mut g = self.lock();
+        if let Some(e) = g.error.take() {
+            return Err(e);
+        }
+        if let Some(w) = g.writer.take() {
+            g.total = w.records_written();
+            w.finish()?;
+        }
+        Ok(g.total)
+    }
+}
+
+/// Tees a live workload's access stream into a recorder while forwarding
+/// it unchanged to the driver — recording perturbs nothing the simulation
+/// can observe.
+#[derive(Debug)]
+pub struct RecordingWorkload {
+    inner: Box<dyn Workload>,
+    recorder: SharedTraceWriter,
+}
+
+impl RecordingWorkload {
+    /// Wraps `inner`, teeing every access into `recorder`.
+    pub fn new(inner: Box<dyn Workload>, recorder: SharedTraceWriter) -> RecordingWorkload {
+        RecordingWorkload { inner, recorder }
+    }
+}
+
+impl Workload for RecordingWorkload {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn footprint(&self) -> u64 {
+        self.inner.footprint()
+    }
+
+    fn next_access(&mut self) -> Access {
+        let acc = self.inner.next_access();
+        self.recorder.record(acc.offset, acc.write);
+        acc
+    }
+
+    fn cycles_per_access(&self) -> f64 {
+        self.inner.cycles_per_access()
+    }
+
+    fn churn_per_million(&self) -> u64 {
+        self.inner.churn_per_million()
+    }
+
+    fn duplicate_fraction(&self) -> f64 {
+        self.inner.duplicate_fraction()
+    }
+
+    fn page_fingerprint_instanced(&self, page_index: u64, instance: u64) -> u64 {
+        self.inner.page_fingerprint_instanced(page_index, instance)
+    }
+}
+
+/// An in-memory `Write` sink shared by handle, for recording traces
+/// without touching the filesystem (tests, round-trip checks).
+#[derive(Debug, Clone, Default)]
+pub struct MemSink {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemSink {
+    /// An empty sink.
+    pub fn new() -> MemSink {
+        MemSink::default()
+    }
+
+    /// A copy of everything written so far.
+    pub fn bytes(&self) -> Vec<u8> {
+        match self.bytes.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        }
+    }
+}
+
+impl Write for MemSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self.bytes.lock() {
+            Ok(mut g) => g.extend_from_slice(buf),
+            Err(p) => p.into_inner().extend_from_slice(buf),
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> TraceHeader {
+        TraceHeader {
+            name: "gups".to_string(),
+            footprint: 1 << 20,
+            cycles_per_access: 104.0,
+            churn_per_million: 0,
+            duplicate_fraction: 0.005,
+            seed: 7,
+            warmup: 0,
+            accesses: 4,
+        }
+    }
+
+    #[test]
+    fn strided_scan_compresses_to_one_byte_per_record() {
+        let mut w = TraceWriter::new(Vec::new(), &header()).unwrap();
+        for i in 0..1000u64 {
+            w.push(i * 64, false).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let header_len = header().encode().unwrap().len();
+        // header + one chunk frame (8) + first record (2 bytes: zigzag
+        // delta 64 → 128 → <<2 needs 2 varint bytes) + 999 repeats (1
+        // byte each) + terminator (8) + trailer (8).
+        assert_eq!(bytes.len(), header_len + 8 + 2 + 999 + 8 + 8);
+    }
+
+    #[test]
+    fn unfinished_writer_leaves_a_truncated_trace() {
+        let sink = MemSink::new();
+        {
+            let mut w = TraceWriter::new(sink.clone(), &header()).unwrap();
+            w.push(64, false).unwrap();
+            // dropped without finish()
+        }
+        let bytes = sink.bytes();
+        let err = crate::reader::scan(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceError::Truncated(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn shared_writer_finish_is_idempotent() {
+        let sink = MemSink::new();
+        let shared = SharedTraceWriter::create(Box::new(sink.clone()), &header()).unwrap();
+        shared.record(8, false);
+        shared.record(16, true);
+        assert_eq!(shared.finish().unwrap(), 2);
+        assert_eq!(shared.finish().unwrap(), 2);
+        let stats = crate::reader::scan(&mut sink.bytes().as_slice()).unwrap();
+        assert_eq!(stats.records, 2);
+    }
+
+    /// A sink that fails after a few bytes, to prove write errors are
+    /// sticky and surfaced at finish, not panicked.
+    struct FailingSink {
+        budget: usize,
+    }
+
+    impl Write for FailingSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if buf.len() > self.budget {
+                return Err(std::io::Error::other("disk full"));
+            }
+            self.budget -= buf.len();
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn recording_errors_are_sticky_and_reported_at_finish() {
+        let header_len = header().encode().unwrap().len();
+        let sink = FailingSink {
+            // Exactly the header fits; the first chunk flush fails.
+            budget: header_len,
+        };
+        let shared = SharedTraceWriter::create(Box::new(sink), &header()).unwrap();
+        for i in 0..10_000u64 {
+            shared.record(i * 8, false); // must not panic
+        }
+        let err = shared.finish().unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)), "got {err:?}");
+    }
+}

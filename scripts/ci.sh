@@ -112,4 +112,59 @@ if cmp -s "$tmpdir/chaos_11_j1.txt" "$tmpdir/chaos_42_j1.txt"; then
     exit 1
 fi
 
+echo "==> trace smoke: record --quick, replay, diff output vs the live run"
+# Record/replay fidelity end to end through the real binaries: a replay
+# of a recording must reproduce the live run byte for byte (CSV and
+# telemetry), at any worker count. The format itself is pinned by the
+# golden fixture in tests/fixtures/trace_small.mvtr.
+trace_bin=target/release/mv-trace
+"$run_bin" --quick --workload gups --env 4k+4k --quiet --csv \
+    --record-trace "$tmpdir/gups.mvtr" \
+    --telemetry-out "$tmpdir/tr_live.jsonl" > "$tmpdir/tr_live.csv"
+"$run_bin" --quick --env 4k+4k --quiet --csv \
+    --replay-trace "$tmpdir/gups.mvtr" \
+    --telemetry-out "$tmpdir/tr_replay.jsonl" > "$tmpdir/tr_replay.csv"
+diff -u "$tmpdir/tr_live.csv" "$tmpdir/tr_replay.csv"
+diff -u "$tmpdir/tr_live.jsonl" "$tmpdir/tr_replay.jsonl"
+# Replayed grids keep the --jobs contract.
+"$run_bin" --quick --env dd --quiet --csv --trials 3 --jobs 1 \
+    --replay-trace "$tmpdir/gups.mvtr" > "$tmpdir/tr_j1.csv"
+"$run_bin" --quick --env dd --quiet --csv --trials 3 --jobs 4 \
+    --replay-trace "$tmpdir/gups.mvtr" > "$tmpdir/tr_j4.csv"
+diff -u "$tmpdir/tr_j1.csv" "$tmpdir/tr_j4.csv"
+# The trace tool validates recordings, the pinned fixture, and its own
+# synthesizers.
+"$trace_bin" info "$tmpdir/gups.mvtr" > /dev/null
+"$trace_bin" info tests/fixtures/trace_small.mvtr > /dev/null
+"$trace_bin" dump tests/fixtures/trace_small.mvtr --limit 3 > /dev/null
+"$trace_bin" synth-gc "$tmpdir/gc.mvtr" --footprint 16M --records 50000 > /dev/null
+"$trace_bin" synth-serving "$tmpdir/sv.mvtr" --footprint 16M --records 50000 > /dev/null
+"$run_bin" --quiet --env 4k+4k --replay-trace "$tmpdir/gc.mvtr" --csv > /dev/null
+"$run_bin" --quiet --env 4k+4k --replay-trace "$tmpdir/sv.mvtr" --csv > /dev/null
+
+echo "==> markdown link check over docs"
+# Every relative link in the markdown docs must resolve to a real file;
+# the docs index can't rot. Offline, no tooling beyond grep/sed.
+for doc in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md; do
+    dir="$(dirname "$doc")"
+    # Extract ](target) link destinations; keep only relative paths.
+    # (|| true: a doc with no links at all is fine.)
+    { grep -o '](\([^)]*\))' "$doc" || true; } | sed 's/^](//; s/)$//' | \
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "broken link in $doc: $target" >&2
+            echo broken >> "$tmpdir/link_failures"
+        fi
+    done
+done
+if [ -s "$tmpdir/link_failures" ]; then
+    echo "markdown link check failed" >&2
+    exit 1
+fi
+
 echo "CI OK"

@@ -145,7 +145,7 @@ fn single_cell_grid_matches_the_direct_api() {
     let cfg = base_cfg(WorkloadKind::Gups, Env::vmm_direct());
     let cell = GridCell::new(cfg);
     for workers in [1, 8] {
-        let report = Simulation::run_grid(&[cell], jobs(workers));
+        let report = Simulation::run_grid(std::slice::from_ref(&cell), jobs(workers));
         assert_eq!(report.len(), 1);
         let merged = report.merged().expect("cell succeeded");
         let direct = Simulation::run(&cfg).unwrap();

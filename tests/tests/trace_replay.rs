@@ -1,0 +1,324 @@
+//! Record/replay equivalence and trace-format pinning.
+//!
+//! Three layers of guarantee, each pinned by a test here:
+//!
+//! 1. **Replay fidelity** — recording a live run's access stream and
+//!    replaying it through [`Simulation::run_replayed`] reproduces the
+//!    live run *byte for byte*: the CSV row, every counter, and the full
+//!    telemetry JSONL export. The stream a workload generates depends
+//!    only on (footprint, seed), never on the environment, so one
+//!    recording replays identically across native, virtualized, and
+//!    shadow machines.
+//!
+//! 2. **Grid determinism** — replayed cells obey the same discipline as
+//!    generated ones: a replay grid's merged output is byte-identical at
+//!    `--jobs 1`, `4`, and `8`.
+//!
+//! 3. **On-disk stability** — the golden fixture at
+//!    `tests/fixtures/trace_small.mvtr` pins the exact bytes of the
+//!    format (the same bytes walked through in `docs/TRACE_FORMAT.md`).
+//!    Any encoder change that moves a byte fails here before it can
+//!    orphan traces recorded by older builds.
+//!
+//! To re-record the fixture after an *intentional* format change (which
+//! must also bump `mv_trace::VERSION` and rewrite the docs walkthrough):
+//!
+//! ```text
+//! MV_RECORD_FIXTURE=1 cargo test -p mv-integration-tests --test trace_replay
+//! ```
+
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+
+use mv_core::MmuConfig;
+use mv_sim::{
+    Env, GridCell, GuestPaging, MemSink, ReplaySource, SharedTraceWriter, SimConfig, Simulation,
+    TelemetryConfig,
+};
+use mv_trace::{decode_all, write_gc_chase, write_serving, GcChaseParams, ServingParams, TraceHeader, TraceWriter};
+use mv_types::{PageSize, MIB};
+use mv_workloads::WorkloadKind;
+
+const FOOTPRINT: u64 = 16 * MIB;
+const ACCESSES: u64 = 8_000;
+const WARMUP: u64 = 2_000;
+const SEED: u64 = 42;
+
+fn cfg(workload: WorkloadKind, env: Env) -> SimConfig {
+    SimConfig {
+        workload,
+        footprint: FOOTPRINT,
+        guest_paging: GuestPaging::Fixed(PageSize::Size4K),
+        env,
+        accesses: ACCESSES,
+        warmup: WARMUP,
+        seed: SEED,
+    }
+}
+
+fn tcfg() -> TelemetryConfig {
+    TelemetryConfig {
+        epoch_len: 2_000,
+        flight_capacity: 0,
+    }
+}
+
+/// Records one live run of `workload` (under the native machine — the
+/// stream is env-independent) and returns the sealed trace bytes.
+fn record(workload: WorkloadKind) -> Vec<u8> {
+    let c = cfg(workload, Env::native());
+    let header = TraceHeader::for_workload(workload, FOOTPRINT, SEED, WARMUP, ACCESSES);
+    let sink = MemSink::new();
+    let recorder =
+        SharedTraceWriter::create(Box::new(sink.clone()), &header).expect("start recording");
+    let live = Simulation::run_recorded(&c, MmuConfig::default(), None, recorder.clone())
+        .expect("recorded run");
+    let total = recorder.finish().expect("seal trace");
+    assert_eq!(
+        total,
+        WARMUP + ACCESSES,
+        "the driver consumes exactly warmup + accesses stream items"
+    );
+    // Recording must not perturb the run it rides on.
+    let bare = Simulation::run(&c).expect("bare run");
+    assert_eq!(live.csv_row(), bare.csv_row(), "recording perturbed the run");
+    sink.bytes()
+}
+
+fn telemetry_jsonl(r: &mv_sim::RunResult) -> Vec<u8> {
+    let mut out = Vec::new();
+    r.telemetry
+        .as_ref()
+        .expect("telemetry attached")
+        .write_jsonl(&mut out)
+        .expect("jsonl export");
+    out
+}
+
+#[test]
+fn replay_reproduces_live_runs_on_all_three_machines() {
+    // One recording per workload; gups is churn-free, memcached exercises
+    // the churn scheduler and duplicate-fraction path during replay.
+    for workload in [WorkloadKind::Gups, WorkloadKind::Memcached] {
+        let trace = ReplaySource::bytes(record(workload));
+        for env in [
+            Env::native(),
+            Env::base_virtualized(PageSize::Size4K),
+            Env::Shadow {
+                nested: PageSize::Size4K,
+            },
+        ] {
+            let c = cfg(workload, env);
+            let live = Simulation::run_observed(&c, MmuConfig::default(), tcfg())
+                .expect("live observed run");
+            let replayed =
+                Simulation::run_replayed(&c, MmuConfig::default(), Some(tcfg()), trace.clone())
+                    .expect("replayed run");
+            assert_eq!(
+                live.csv_row(),
+                replayed.csv_row(),
+                "{workload:?} under {} drifted on replay",
+                c.label()
+            );
+            assert_eq!(live.counters, replayed.counters);
+            assert_eq!(live.vm_exits, replayed.vm_exits);
+            assert_eq!(
+                telemetry_jsonl(&live),
+                telemetry_jsonl(&replayed),
+                "telemetry diverged on replay of {workload:?} under {}",
+                c.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn replay_grid_is_deterministic_across_worker_counts() {
+    let trace = ReplaySource::bytes(record(WorkloadKind::Gups));
+    let envs = [
+        Env::native(),
+        Env::base_virtualized(PageSize::Size4K),
+        Env::base_virtualized(PageSize::Size2M),
+        Env::Shadow {
+            nested: PageSize::Size4K,
+        },
+    ];
+    let cells: Vec<GridCell> = envs
+        .iter()
+        .map(|&env| {
+            GridCell::new(cfg(WorkloadKind::Gups, env))
+                .observed(tcfg())
+                .replayed(trace.clone())
+        })
+        .collect();
+
+    let fingerprint = |jobs: usize| -> Vec<u8> {
+        let report =
+            Simulation::run_grid(&cells, NonZeroUsize::new(jobs).expect("positive jobs"));
+        assert_eq!(report.failures().count(), 0, "replay cell failed");
+        let mut out = Vec::new();
+        for r in report.results() {
+            out.extend_from_slice(r.csv_row().as_bytes());
+            out.push(b'\n');
+            out.extend_from_slice(&telemetry_jsonl(r));
+        }
+        out.extend_from_slice(
+            report
+                .merged()
+                .expect("non-empty grid")
+                .csv_row()
+                .as_bytes(),
+        );
+        out
+    };
+
+    let j1 = fingerprint(1);
+    assert_eq!(j1, fingerprint(4), "jobs=1 vs jobs=4 diverged");
+    assert_eq!(j1, fingerprint(8), "jobs=1 vs jobs=8 diverged");
+}
+
+#[test]
+fn short_traces_loop_deterministically() {
+    // Record a small window, then replay it into a run that demands 4x
+    // the records: the stream wraps, and doing it twice is identical.
+    let trace = ReplaySource::bytes(record(WorkloadKind::Gups));
+    let mut big = cfg(WorkloadKind::Gups, Env::base_virtualized(PageSize::Size4K));
+    big.accesses = 4 * ACCESSES;
+    big.warmup = 4 * WARMUP;
+    let a = Simulation::run_replayed(&big, MmuConfig::default(), None, trace.clone())
+        .expect("looped replay");
+    let b = Simulation::run_replayed(&big, MmuConfig::default(), None, trace)
+        .expect("looped replay again");
+    assert_eq!(a.csv_row(), b.csv_row());
+    assert!(a.counters.accesses > 0);
+}
+
+#[test]
+fn footprint_mismatch_is_a_typed_sim_error() {
+    let trace = ReplaySource::bytes(record(WorkloadKind::Gups));
+    let mut wrong = cfg(WorkloadKind::Gups, Env::native());
+    wrong.footprint = 2 * FOOTPRINT;
+    let err = Simulation::run_replayed(&wrong, MmuConfig::default(), None, trace)
+        .expect_err("mismatched footprint must not run");
+    assert!(
+        matches!(err, mv_sim::SimError::Trace(_)),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn synthesized_traces_drive_every_machine() {
+    // Both synthesizers emit streams a machine can execute end to end.
+    let mut gc = Vec::new();
+    write_gc_chase(&mut gc, &GcChaseParams::new(FOOTPRINT, 12_000, 7)).expect("gc synth");
+    let mut serving = Vec::new();
+    write_serving(&mut serving, &ServingParams::new(FOOTPRINT, 12_000, 7)).expect("serving synth");
+
+    for (name, bytes) in [("gc_chase", gc), ("serving", serving)] {
+        let src = ReplaySource::bytes(bytes);
+        let h = src.header().expect("synth header");
+        assert_eq!(h.name, name);
+        for env in [
+            Env::native(),
+            Env::base_virtualized(PageSize::Size4K),
+            Env::Shadow {
+                nested: PageSize::Size4K,
+            },
+        ] {
+            let mut c = cfg(WorkloadKind::Gups, env);
+            c.warmup = h.warmup;
+            c.accesses = h.accesses;
+            let r = Simulation::run_replayed(&c, MmuConfig::default(), None, src.clone())
+                .unwrap_or_else(|e| panic!("{name} replay under {} failed: {e}", c.label()));
+            assert_eq!(r.workload, name, "result must carry the trace's name");
+            assert!(r.counters.accesses > 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden fixture: the exact bytes documented in docs/TRACE_FORMAT.md.
+// ---------------------------------------------------------------------
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("trace_small.mvtr")
+}
+
+/// The worked example from `docs/TRACE_FORMAT.md`: a 3-record gups trace
+/// whose every byte the spec explains.
+fn fixture_trace() -> Vec<u8> {
+    let header = TraceHeader {
+        name: "gups".to_string(),
+        footprint: 0x10000,
+        cycles_per_access: 104.0,
+        churn_per_million: 0,
+        duplicate_fraction: 0.005,
+        seed: 42,
+        warmup: 1,
+        accesses: 2,
+    };
+    let mut w = TraceWriter::new(Vec::new(), &header).expect("fixture header");
+    w.push(0x1000, false).expect("record 1"); // delta +0x1000
+    w.push(0x2000, false).expect("record 2"); // stride repeat
+    w.push(0x1ff8, true).expect("record 3"); // delta -8, write
+    w.finish().expect("seal fixture")
+}
+
+#[test]
+fn golden_fixture_pins_the_on_disk_bytes() {
+    let bytes = fixture_trace();
+
+    if std::env::var_os("MV_RECORD_FIXTURE").is_some() {
+        std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+        std::fs::write(fixture_path(), &bytes).unwrap();
+        eprintln!("recorded fixture to {}", fixture_path().display());
+        return;
+    }
+
+    let golden = std::fs::read(fixture_path()).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); record it with \
+             MV_RECORD_FIXTURE=1 cargo test --test trace_replay",
+            fixture_path().display()
+        )
+    });
+    assert_eq!(
+        bytes, golden,
+        "trace encoder drifted from the pinned on-disk format; if the \
+         change is intentional, bump mv_trace::VERSION, re-record the \
+         fixture, and rewrite the docs/TRACE_FORMAT.md walkthrough"
+    );
+
+    // The spec's worked example, byte for byte. TRACE_FORMAT.md walks
+    // through exactly these offsets; keep the two in lockstep.
+    assert_eq!(golden.len(), 98, "fixture length");
+    assert_eq!(&golden[0..4], b"MVTR", "magic");
+    assert_eq!(&golden[4..6], &[1, 0], "version 1 LE");
+    assert_eq!(&golden[6..8], &[0, 0], "flags");
+    assert_eq!(&golden[8..16], &0x10000u64.to_le_bytes(), "footprint");
+    assert_eq!(&golden[16..24], &104.0f64.to_le_bytes(), "cycles/access");
+    assert_eq!(&golden[24..32], &0u64.to_le_bytes(), "churn");
+    assert_eq!(&golden[32..40], &0.005f64.to_le_bytes(), "dup fraction");
+    assert_eq!(&golden[40..48], &42u64.to_le_bytes(), "seed");
+    assert_eq!(&golden[48..56], &1u64.to_le_bytes(), "warmup");
+    assert_eq!(&golden[56..64], &2u64.to_le_bytes(), "accesses");
+    assert_eq!(golden[64], 4, "name length");
+    assert_eq!(&golden[65..69], b"gups", "name");
+    assert_eq!(&golden[69..73], &5u32.to_le_bytes(), "chunk payload len");
+    assert_eq!(&golden[73..77], &3u32.to_le_bytes(), "chunk record count");
+    assert_eq!(
+        &golden[77..82],
+        &[0x80, 0x80, 0x02, 0x02, 0x3d],
+        "varint-encoded records"
+    );
+    assert_eq!(&golden[82..90], &[0u8; 8], "terminator chunk");
+    assert_eq!(&golden[90..98], &3u64.to_le_bytes(), "record-count trailer");
+
+    // And the fixture replays to the records the spec claims.
+    let (h, records) = decode_all(&golden).expect("fixture decodes");
+    assert_eq!(h.name, "gups");
+    let recs: Vec<(u64, bool)> = records.iter().map(|r| (r.offset, r.write)).collect();
+    assert_eq!(recs, vec![(0x1000, false), (0x2000, false), (0x1ff8, true)]);
+}
