@@ -274,6 +274,70 @@ pub mod env_catalog {
         },
     );
 
+    /// Nested-nested (L2) entry with a direct segment per flagged layer.
+    const fn l2(guest_ds: bool, mid_ds: bool, host_ds: bool) -> NamedEnv {
+        (
+            GuestPaging::Fixed(PageSize::Size4K),
+            Env::L2 {
+                mid: PageSize::Size4K,
+                nested: PageSize::Size4K,
+                mode: TranslationMode::L2Nested {
+                    guest_ds,
+                    mid_ds,
+                    host_ds,
+                },
+                strategy: mv_sim::L2Strategy::NestedNested,
+            },
+        )
+    }
+
+    /// Fully paged nested-nested L2 (`4K+L2`): 3D walks, up to 124
+    /// references.
+    pub const L2_BASE: NamedEnv = l2(false, false, false);
+    /// L2 with a guest direct segment (`4K+L2+GD`).
+    pub const L2_GUEST_DIRECT: NamedEnv = l2(true, false, false);
+    /// L2 with a mid direct segment (`4K+L2+MD`).
+    pub const L2_MID_DIRECT: NamedEnv = l2(false, true, false);
+    /// L2 with a host direct segment (`4K+L2+HD`).
+    pub const L2_HOST_DIRECT: NamedEnv = l2(false, false, true);
+    /// L2 with guest and mid segments (`4K+L2+GMD`).
+    pub const L2_GUEST_MID: NamedEnv = l2(true, true, false);
+    /// L2 with guest and host segments (`4K+L2+GHD`).
+    pub const L2_GUEST_HOST: NamedEnv = l2(true, false, true);
+    /// L2 with mid and host segments (`4K+L2+MHD`).
+    pub const L2_MID_HOST: NamedEnv = l2(false, true, true);
+    /// L2 Triple Direct (`4K+L2+TD`): all three dimensions bypassed.
+    pub const L2_TRIPLE_DIRECT: NamedEnv = l2(true, true, true);
+    /// Shadow-on-nested L2 (`4K+L2shadow`): the L1 hypervisor collapses
+    /// the top two layers, so the hardware walks 2D.
+    pub const L2_SHADOW: NamedEnv = (
+        GuestPaging::Fixed(PageSize::Size4K),
+        Env::L2 {
+            mid: PageSize::Size4K,
+            nested: PageSize::Size4K,
+            mode: TranslationMode::L2Nested {
+                guest_ds: false,
+                mid_ds: false,
+                host_ds: false,
+            },
+            strategy: mv_sim::L2Strategy::ShadowOnNested,
+        },
+    );
+
+    /// The full L2 direct-segment placement sweep (`sec_l2`): every
+    /// per-layer placement of the 3-deep stack, plus shadow-on-nested.
+    pub const L2_SWEEP_ENVS: [NamedEnv; 9] = [
+        L2_BASE,
+        L2_GUEST_DIRECT,
+        L2_MID_DIRECT,
+        L2_HOST_DIRECT,
+        L2_GUEST_MID,
+        L2_GUEST_HOST,
+        L2_MID_HOST,
+        L2_TRIPLE_DIRECT,
+        L2_SHADOW,
+    ];
+
     /// Figure 1's six-environment preview set.
     pub const FIG1_6_ENVS: [NamedEnv; 6] = [
         NATIVE_4K,
@@ -349,6 +413,12 @@ pub mod env_catalog {
             Env::Virtualized { mode, .. } => mode,
             // The hardware walks the VMM-maintained shadow table natively.
             Env::Shadow { .. } => TranslationMode::BaseNative,
+            // Nested-on-nested programs the 3-layer mode; shadow-on-nested
+            // collapses the top two layers into a 2D walk.
+            Env::L2 { mode, strategy, .. } => match strategy {
+                mv_sim::L2Strategy::NestedNested => mode,
+                mv_sim::L2Strategy::ShadowOnNested => TranslationMode::BaseVirtualized,
+            },
         }
     }
 
@@ -369,6 +439,12 @@ pub mod env_catalog {
             "gd" => Some(GUEST_DIRECT.1),
             "dd" => Some(DUAL_DIRECT.1),
             "shadow" => Some(SHADOW_4K.1),
+            "l2" => Some(L2_BASE.1),
+            "l2-gd" => Some(L2_GUEST_DIRECT.1),
+            "l2-md" => Some(L2_MID_DIRECT.1),
+            "l2-hd" => Some(L2_HOST_DIRECT.1),
+            "l2-td" => Some(L2_TRIPLE_DIRECT.1),
+            "l2shadow" => Some(L2_SHADOW.1),
             pair => {
                 let (_, nested) = pair.split_once('+')?;
                 Some(Env::base_virtualized(parse_page(nested)?))

@@ -29,6 +29,9 @@ pub struct MmuCounters {
     pub guest_walk_refs: u64,
     /// Nested-dimension page-table memory references performed.
     pub nested_walk_refs: u64,
+    /// Mid-dimension page-table memory references performed (the L1
+    /// hypervisor's table on 3-level walks; always zero on 1D/2D modes).
+    pub mid_walk_refs: u64,
     /// Base-bound checks performed.
     pub bound_checks: u64,
     /// Cycles charged to address translation beyond L1 hits.
@@ -42,6 +45,9 @@ pub struct MmuCounters {
     pub nested_faults: u64,
     /// Write-protection faults surfaced (copy-on-write breaks etc.).
     pub prot_faults: u64,
+    /// Mid-dimension page faults surfaced (L1 hypervisor table unmapped,
+    /// 3-level walks only).
+    pub mid_faults: u64,
 }
 
 impl MmuCounters {
@@ -68,10 +74,10 @@ impl MmuCounters {
         }
     }
 
-    /// Total page-walk memory references (both dimensions).
+    /// Total page-walk memory references (all dimensions).
     #[inline]
     pub fn walk_refs(&self) -> u64 {
-        self.guest_walk_refs + self.nested_walk_refs
+        self.guest_walk_refs + self.nested_walk_refs + self.mid_walk_refs
     }
 
     /// Adds another counter set into this one.
@@ -87,12 +93,14 @@ impl MmuCounters {
         self.ds_hits += other.ds_hits;
         self.guest_walk_refs += other.guest_walk_refs;
         self.nested_walk_refs += other.nested_walk_refs;
+        self.mid_walk_refs += other.mid_walk_refs;
         self.bound_checks += other.bound_checks;
         self.translation_cycles += other.translation_cycles;
         self.escape_hits += other.escape_hits;
         self.guest_faults += other.guest_faults;
         self.nested_faults += other.nested_faults;
         self.prot_faults += other.prot_faults;
+        self.mid_faults += other.mid_faults;
     }
 }
 

@@ -30,6 +30,15 @@ pub enum TranslationFault {
         /// Faulting guest virtual address.
         gva: Gva,
     },
+    /// The middle dimension (L1-hypervisor table on 3-level walks) has no
+    /// mapping for `gpa` — an L1-guest physical address, which may be a
+    /// page-table pointer of the first dimension.
+    MidNotMapped {
+        /// Faulting guest virtual address (the original access).
+        gva: Gva,
+        /// L1-guest physical address with no mid mapping.
+        gpa: Gpa,
+    },
 }
 
 impl fmt::Display for TranslationFault {
@@ -43,6 +52,9 @@ impl fmt::Display for TranslationFault {
             }
             TranslationFault::WriteProtected { gva } => {
                 write!(f, "write-protection fault at {gva}")
+            }
+            TranslationFault::MidNotMapped { gva, gpa } => {
+                write!(f, "mid page fault at {gpa} (gVA {gva})")
             }
         }
     }

@@ -1,0 +1,412 @@
+//! The composable translation-layer stack.
+//!
+//! The paper studies exactly two stack depths — native (1 level) and
+//! virtualized (2 levels, Figure 1) — and hand-derives the cost of every
+//! mode from the 2D walk picture. This module generalizes that derivation:
+//! a translation pipeline is a stack of 1..=3 [`TranslationLayer`]s, each
+//! independently mapped by paging or by a direct segment, and every
+//! Table II quantity (walk dimensionality, common-case walk references,
+//! base-bound checks) falls out of the stack shape instead of a
+//! hand-maintained per-mode table.
+//!
+//! The key recurrence (Section II generalized): let `T(d)` be the memory
+//! references of a TLB miss under `d` stacked paging layers. A radix-4
+//! walk reads 4 table entries, and under further virtualization each
+//! entry pointer — plus the final output address — must itself be
+//! translated by the stack below:
+//!
+//! ```text
+//! T(0) = 0                      (direct segment / physical addresses)
+//! T(d) = 4 × (T(d−1) + 1) + T(d−1)
+//! T(1) = 4, T(2) = 24, T(3) = 124
+//! ```
+//!
+//! `T(2) = 24` is the paper's 2D nested walk; `T(3) = 124` is the 3D
+//! nested-nested walk that motivates the L2 study.
+//!
+//! # Example
+//!
+//! ```
+//! use mv_core::{LayerMode, LayerStack};
+//!
+//! // The paper's base virtualized stack: guest paging over host paging.
+//! let virt = LayerStack::virtualized(LayerMode::Base4K, LayerMode::Base4K);
+//! assert_eq!(virt.common_walk_refs(), 24);
+//!
+//! // Nested-nested virtualization, all layers paged: the 3D wall.
+//! let l2 = LayerStack::l2(LayerMode::Base4K, LayerMode::Base4K, LayerMode::Base4K);
+//! assert_eq!(l2.common_walk_refs(), 124);
+//!
+//! // A direct segment on the host layer collapses the stack back to 2D cost.
+//! let l2_ds = LayerStack::l2(LayerMode::Base4K, LayerMode::Base4K, LayerMode::DirectSegment);
+//! assert_eq!(l2_ds.common_walk_refs(), 24);
+//! ```
+
+use core::fmt;
+
+/// How one layer of the stack maps its addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerMode {
+    /// Conventional 4-level radix paging with 4 KiB leaves.
+    Base4K,
+    /// 4-level radix paging with 2 MiB leaves (one fewer level walked on
+    /// leaf hits, but the same 4-entry common-case walk shape — large
+    /// pages shrink *reach* pressure, not walk dimensionality).
+    Base2M,
+    /// A direct segment: BASE/LIMIT/OFFSET registers translate the layer
+    /// by addition, contributing zero walk references (Section III).
+    DirectSegment,
+}
+
+impl LayerMode {
+    /// Whether the layer walks a page table on misses.
+    #[inline]
+    pub fn is_paging(self) -> bool {
+        !matches!(self, LayerMode::DirectSegment)
+    }
+
+    /// Stable lowercase identifier used in labels and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LayerMode::Base4K => "4K",
+            LayerMode::Base2M => "2M",
+            LayerMode::DirectSegment => "ds",
+        }
+    }
+}
+
+impl fmt::Display for LayerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One level of the translation pipeline: a mapping mechanism plus the
+/// hardware structures that participate at this level.
+///
+/// Participation is derived from the mode: paging layers cache leaves in
+/// the TLB hierarchy and intermediate entries in the page-walk caches,
+/// while direct-segment layers bypass both and instead carry the escape
+/// filter that lets faulty pages fall back to paging (Section V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TranslationLayer {
+    /// How this layer maps addresses.
+    pub mode: LayerMode,
+}
+
+impl TranslationLayer {
+    /// A layer in the given mode.
+    #[inline]
+    pub const fn new(mode: LayerMode) -> Self {
+        TranslationLayer { mode }
+    }
+
+    /// Whether this layer's leaf translations are cached by the TLB
+    /// hierarchy (segments translate by addition; caching would only
+    /// waste TLB entries).
+    #[inline]
+    pub fn caches_in_tlb(&self) -> bool {
+        self.mode.is_paging()
+    }
+
+    /// Whether this layer's intermediate entries are cached by the
+    /// page-walk caches.
+    #[inline]
+    pub fn caches_in_pwc(&self) -> bool {
+        self.mode.is_paging()
+    }
+
+    /// Whether this layer needs escape handling: a direct-segment layer
+    /// must route addresses flagged by the escape filter back to paging.
+    #[inline]
+    pub fn needs_escape_handling(&self) -> bool {
+        !self.mode.is_paging()
+    }
+}
+
+/// A stack of 1..=3 translation layers, ordered from the layer that
+/// translates the application's virtual address (index 0) down to the
+/// layer that produces a host-physical address (last index).
+///
+/// * Depth 1 — native execution.
+/// * Depth 2 — classic virtualization (the paper's subject).
+/// * Depth 3 — nested-nested (L2) virtualization: an L2 guest above an L1
+///   hypervisor that itself runs as a guest of the L0 host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerStack {
+    layers: [TranslationLayer; Self::MAX_DEPTH],
+    depth: u8,
+}
+
+impl LayerStack {
+    /// Deepest supported stack: L2 nested-nested virtualization.
+    pub const MAX_DEPTH: usize = 3;
+
+    /// A native (single-layer) stack.
+    pub const fn native(mode: LayerMode) -> Self {
+        LayerStack {
+            layers: [
+                TranslationLayer::new(mode),
+                TranslationLayer::new(mode),
+                TranslationLayer::new(mode),
+            ],
+            depth: 1,
+        }
+    }
+
+    /// A classic 2-level virtualized stack: `guest` over `host`.
+    pub const fn virtualized(guest: LayerMode, host: LayerMode) -> Self {
+        LayerStack {
+            layers: [
+                TranslationLayer::new(guest),
+                TranslationLayer::new(host),
+                TranslationLayer::new(host),
+            ],
+            depth: 2,
+        }
+    }
+
+    /// A 3-level nested-nested stack: the L2 `guest` over the L1
+    /// hypervisor's `mid` layer over the L0 `host` layer.
+    pub const fn l2(guest: LayerMode, mid: LayerMode, host: LayerMode) -> Self {
+        LayerStack {
+            layers: [
+                TranslationLayer::new(guest),
+                TranslationLayer::new(mid),
+                TranslationLayer::new(host),
+            ],
+            depth: 3,
+        }
+    }
+
+    /// Builds a stack from a top-down mode slice; `None` unless the slice
+    /// holds 1..=3 modes.
+    pub fn from_modes(modes: &[LayerMode]) -> Option<Self> {
+        match *modes {
+            [g] => Some(Self::native(g)),
+            [g, h] => Some(Self::virtualized(g, h)),
+            [g, m, h] => Some(Self::l2(g, m, h)),
+            _ => None,
+        }
+    }
+
+    /// Number of layers in the stack.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth as usize
+    }
+
+    /// The layers, application side first.
+    #[inline]
+    pub fn layers(&self) -> &[TranslationLayer] {
+        &self.layers[..self.depth as usize]
+    }
+
+    /// Whether the stack runs under at least one hypervisor.
+    #[inline]
+    pub fn is_virtualized(&self) -> bool {
+        self.depth > 1
+    }
+
+    /// Role name of layer `i` for reports: `"host"` for the last layer,
+    /// `"guest"` for the first of a multi-layer stack (or `"native"` at
+    /// depth 1), `"mid"` for the L1 hypervisor layer in between.
+    pub fn role(&self, i: usize) -> &'static str {
+        if self.depth == 1 {
+            "native"
+        } else if i == 0 {
+            "guest"
+        } else if i + 1 == self.depth as usize {
+            "host"
+        } else {
+            "mid"
+        }
+    }
+
+    /// Page-walk dimensionality for addresses on the stack's fast path
+    /// (Table II row 1, generalized): the number of layers still walking
+    /// page tables. The single exception is the depth-1 all-segment stack
+    /// — the paper's native Direct Segment mode — which Table II lists as
+    /// 1D because its conventional 1D walker stays architected (heap
+    /// outside the segment, escapes) rather than becoming a 0D pipeline.
+    pub fn walk_dimensions(&self) -> u8 {
+        let paging = self
+            .layers()
+            .iter()
+            .filter(|l| l.mode.is_paging())
+            .count() as u8;
+        if paging == 0 && self.depth == 1 {
+            1
+        } else {
+            paging
+        }
+    }
+
+    /// Memory accesses for most page walks (Table II row 2, generalized
+    /// by the `T(d) = 4 × (T(d−1) + 1) + T(d−1)` recurrence). Evaluated
+    /// bottom-up: a paging layer multiplies the cost of the stack below;
+    /// a direct-segment layer passes it through unchanged.
+    pub fn common_walk_refs(&self) -> u32 {
+        let mut t = 0u32;
+        for layer in self.layers().iter().rev() {
+            if layer.mode.is_paging() {
+                // 4 entry reads, each pointer (plus the final output
+                // address) translated by the layers below.
+                t = 4 * (t + 1) + t;
+            }
+        }
+        t
+    }
+
+    /// Base-bound checks per common-case walk (Table II row 3,
+    /// generalized). A contiguous run of direct-segment layers fuses into
+    /// one check per address entering the run (Dual Direct's two segments
+    /// cost a single combined check — Section III.A), and each paging
+    /// layer above multiplies the addresses flowing downward by 5 (its 4
+    /// table pointers plus the final output — VMM Direct's 5 checks,
+    /// Section III.B).
+    pub fn bound_checks(&self) -> u32 {
+        let mut checks = 0u32;
+        let mut addrs = 1u32;
+        let mut in_segment_run = false;
+        for layer in self.layers() {
+            if layer.mode.is_paging() {
+                addrs *= 5;
+                in_segment_run = false;
+            } else {
+                if !in_segment_run {
+                    checks += addrs;
+                }
+                in_segment_run = true;
+            }
+        }
+        checks
+    }
+}
+
+impl fmt::Display for LayerStack {
+    /// Top-down mode labels joined by `/`, e.g. `"4K/ds/4K"`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, layer) in self.layers().iter().enumerate() {
+            if i > 0 {
+                f.write_str("/")?;
+            }
+            f.write_str(layer.mode.label())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LayerMode::*;
+
+    #[test]
+    fn recurrence_matches_the_paper_at_every_depth() {
+        assert_eq!(LayerStack::native(Base4K).common_walk_refs(), 4);
+        assert_eq!(
+            LayerStack::virtualized(Base4K, Base4K).common_walk_refs(),
+            24
+        );
+        assert_eq!(LayerStack::l2(Base4K, Base4K, Base4K).common_walk_refs(), 124);
+    }
+
+    #[test]
+    fn direct_segment_layers_pass_walk_cost_through() {
+        // Collapsing any one dimension of the 3D walk returns it to 2D
+        // cost; collapsing two returns it to 1D; all three to 0.
+        for (stack, refs) in [
+            (LayerStack::l2(DirectSegment, Base4K, Base4K), 24),
+            (LayerStack::l2(Base4K, DirectSegment, Base4K), 24),
+            (LayerStack::l2(Base4K, Base4K, DirectSegment), 24),
+            (LayerStack::l2(Base4K, DirectSegment, DirectSegment), 4),
+            (LayerStack::l2(DirectSegment, DirectSegment, Base4K), 4),
+            (
+                LayerStack::l2(DirectSegment, DirectSegment, DirectSegment),
+                0,
+            ),
+        ] {
+            assert_eq!(stack.common_walk_refs(), refs, "stack {stack}");
+        }
+    }
+
+    #[test]
+    fn dimensionality_counts_paging_layers() {
+        assert_eq!(LayerStack::l2(Base4K, Base4K, Base4K).walk_dimensions(), 3);
+        assert_eq!(
+            LayerStack::l2(Base4K, DirectSegment, Base4K).walk_dimensions(),
+            2
+        );
+        assert_eq!(
+            LayerStack::virtualized(DirectSegment, DirectSegment).walk_dimensions(),
+            0
+        );
+        // Table II's native Direct Segment exception: the 1D walker stays.
+        assert_eq!(LayerStack::native(DirectSegment).walk_dimensions(), 1);
+    }
+
+    #[test]
+    fn bound_checks_fuse_contiguous_segment_runs() {
+        // One fused check for Dual Direct's adjacent segments…
+        assert_eq!(
+            LayerStack::virtualized(DirectSegment, DirectSegment).bound_checks(),
+            1
+        );
+        // …five for a host segment below guest paging (VMM Direct)…
+        assert_eq!(
+            LayerStack::virtualized(Base4K, DirectSegment).bound_checks(),
+            5
+        );
+        // …and a paging layer *between* segments splits the run: the L2
+        // guest segment costs 1 check, the host segment below the mid
+        // paging layer costs 5 more.
+        assert_eq!(
+            LayerStack::l2(DirectSegment, Base4K, DirectSegment).bound_checks(),
+            6
+        );
+        // 25 for a host segment under two stacked paging layers.
+        assert_eq!(
+            LayerStack::l2(Base4K, Base4K, DirectSegment).bound_checks(),
+            25
+        );
+    }
+
+    #[test]
+    fn large_pages_change_reach_not_shape() {
+        assert_eq!(
+            LayerStack::virtualized(Base2M, Base4K).common_walk_refs(),
+            LayerStack::virtualized(Base4K, Base4K).common_walk_refs()
+        );
+    }
+
+    #[test]
+    fn construction_roles_and_display() {
+        let stack = LayerStack::l2(Base4K, DirectSegment, Base4K);
+        assert_eq!(stack.depth(), 3);
+        assert_eq!(stack.role(0), "guest");
+        assert_eq!(stack.role(1), "mid");
+        assert_eq!(stack.role(2), "host");
+        assert_eq!(stack.to_string(), "4K/ds/4K");
+        assert_eq!(LayerStack::native(Base4K).role(0), "native");
+        assert!(!LayerStack::native(Base4K).is_virtualized());
+        assert!(stack.is_virtualized());
+
+        assert_eq!(
+            LayerStack::from_modes(&[Base4K, DirectSegment]),
+            Some(LayerStack::virtualized(Base4K, DirectSegment))
+        );
+        assert_eq!(LayerStack::from_modes(&[]), None);
+        assert_eq!(LayerStack::from_modes(&[Base4K; 4]), None);
+    }
+
+    #[test]
+    fn participation_follows_mode() {
+        let paged = TranslationLayer::new(Base4K);
+        assert!(paged.caches_in_tlb() && paged.caches_in_pwc());
+        assert!(!paged.needs_escape_handling());
+        let seg = TranslationLayer::new(DirectSegment);
+        assert!(!seg.caches_in_tlb() && !seg.caches_in_pwc());
+        assert!(seg.needs_escape_handling());
+    }
+}

@@ -37,11 +37,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The translation hot path and the machine layer must degrade via typed
+// errors, never abort (tests may still unwrap freely) — the same
+// discipline as mv-vmm/mv-guestos, extended here with the layer-stack
+// refactor.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod cost;
 mod counters;
 mod escape;
 mod fault;
+mod layer;
 mod mmu;
 mod mode;
 mod segment;
@@ -51,6 +57,7 @@ pub use cost::{CostParams, PteCache};
 pub use counters::MmuCounters;
 pub use escape::{EscapeFilter, FILTER_BITS, NUM_HASHES};
 pub use fault::TranslationFault;
+pub use layer::{LayerMode, LayerStack, TranslationLayer};
 pub use mmu::{AccessOutcome, HitPath, MemoryContext, Mmu, MmuConfig};
 pub use mode::{SegmentCategory, Support, TranslationMode};
 pub use segment::Segment;

@@ -48,6 +48,24 @@ pub enum MemoryContext<'a> {
         /// Host-physical memory.
         hmem: &'a PhysMem<Hpa>,
     },
+    /// Nested-nested (L2) execution: three stacked tables. The L2 guest's
+    /// physical space is "space A" (mapped by the L1 hypervisor's mid
+    /// table onto its own "space B"), and space B is the L0 host's
+    /// guest-physical space.
+    L2 {
+        /// L2-guest page table (gVA→A), stored in space-A frames.
+        gpt: &'a PageTable<Gva, Gpa>,
+        /// Space A: the L2 guest's physical memory.
+        amem: &'a PhysMem<Gpa>,
+        /// Mid page table (A→B), stored in space-B frames.
+        mpt: &'a PageTable<Gpa, Gpa>,
+        /// Space B: the L1 hypervisor's physical memory.
+        bmem: &'a PhysMem<Gpa>,
+        /// Nested page table (B→hPA), stored in host-physical frames.
+        npt: &'a PageTable<Gpa, Hpa>,
+        /// Host-physical memory.
+        hmem: &'a PhysMem<Hpa>,
+    },
 }
 
 impl<'a> MemoryContext<'a> {
@@ -71,6 +89,46 @@ impl<'a> MemoryContext<'a> {
             hmem,
         }
     }
+
+    /// L2 context from the three layers' `(page table, memory)` pairs:
+    /// the L2 guest's, the L1 hypervisor's (`L1Hypervisor::mpt_and_mem`),
+    /// and the L0 host's (`Vmm::npt_and_hmem`).
+    pub fn l2(
+        (gpt, amem): (&'a PageTable<Gva, Gpa>, &'a PhysMem<Gpa>),
+        (mpt, bmem): (&'a PageTable<Gpa, Gpa>, &'a PhysMem<Gpa>),
+        (npt, hmem): (&'a PageTable<Gpa, Hpa>, &'a PhysMem<Hpa>),
+    ) -> Self {
+        MemoryContext::L2 {
+            gpt,
+            amem,
+            mpt,
+            bmem,
+            npt,
+            hmem,
+        }
+    }
+}
+
+/// The three L2 layers bundled for the 3D walk helpers.
+#[derive(Debug, Clone, Copy)]
+struct L2Layers<'a> {
+    gpt: &'a PageTable<Gva, Gpa>,
+    amem: &'a PhysMem<Gpa>,
+    mpt: &'a PageTable<Gpa, Gpa>,
+    bmem: &'a PhysMem<Gpa>,
+    npt: &'a PageTable<Gpa, Hpa>,
+    hmem: &'a PhysMem<Hpa>,
+}
+
+/// Which dimension's page-walk cache a probe targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WalkDim {
+    /// The top (guest page table) dimension.
+    Guest,
+    /// The middle (L1-hypervisor table) dimension of 3-level walks.
+    Mid,
+    /// The bottom (nested page table) dimension.
+    Nested,
 }
 
 /// Which path completed a translation.
@@ -174,11 +232,21 @@ pub struct Mmu {
     l2: L2Tlb,
     guest_pwc: PwCache,
     nested_pwc: PwCache,
+    /// Walk cache of the mid (L1-hypervisor) dimension; only 3-level
+    /// stacks populate it.
+    mid_pwc: PwCache,
+    /// TLB caching complete mid translations (space A → hPA) at 4 KiB
+    /// granularity. A separate instance rather than more `L2Tlb` traffic,
+    /// so 2-level machines' cache state is untouched by the L2 study.
+    mid_tlb: L2Tlb,
     pte_cache: PteCache,
     /// Guest segment: gVA→gPA (Dual/Guest Direct).
     guest_seg: Segment<Gva, Gpa>,
     /// VMM segment: gPA→hPA (Dual/VMM Direct).
     vmm_seg: Segment<Gpa, Hpa>,
+    /// Mid segment: space A → space B by addition (L2 modes with a
+    /// direct-segment middle layer).
+    mid_seg: Segment<Gpa, Gpa>,
     /// Native direct segment: VA→PA (Section III.D mode, reusing the guest
     /// segment registers in hardware).
     native_seg: Segment<Gva, Hpa>,
@@ -186,6 +254,8 @@ pub struct Mmu {
     vmm_escape: Option<EscapeFilter>,
     /// Escape filter checked against the guest segment.
     guest_escape: Option<EscapeFilter>,
+    /// Escape filter checked against the mid segment.
+    mid_escape: Option<EscapeFilter>,
     /// Optional DTLB-miss trace (the simulator's BadgerTrap, Section VII).
     miss_trace: Option<MissTrace>,
     /// Optional structured-event observer, invoked once per L1 miss. When
@@ -221,12 +291,16 @@ impl Mmu {
             l2: L2Tlb::new(&cfg.tlb),
             guest_pwc: PwCache::new(&cfg.tlb),
             nested_pwc: PwCache::new(&cfg.tlb),
+            mid_pwc: PwCache::new(&cfg.tlb),
+            mid_tlb: L2Tlb::new(&cfg.tlb),
             pte_cache: PteCache::new(cfg.pte_cache_lines, cfg.pte_cache_ways),
             guest_seg: Segment::nullified(),
             vmm_seg: Segment::nullified(),
+            mid_seg: Segment::nullified(),
             native_seg: Segment::nullified(),
             vmm_escape: None,
             guest_escape: None,
+            mid_escape: None,
             miss_trace: None,
             observer: None,
             pending_gpa: None,
@@ -297,6 +371,14 @@ impl Mmu {
         self.flush_all();
     }
 
+    /// Programs the mid segment registers (the L1 hypervisor's space A →
+    /// space B mapping). Saved/restored by L0 when it world-switches the
+    /// L1 hypervisor.
+    pub fn set_mid_segment(&mut self, seg: Segment<Gpa, Gpa>) {
+        self.mid_seg = seg;
+        self.flush_all();
+    }
+
     /// Programs the native direct segment (Section III.D mode).
     pub fn set_native_segment(&mut self, seg: Segment<Gva, Hpa>) {
         self.native_seg = seg;
@@ -313,6 +395,11 @@ impl Mmu {
         self.vmm_seg
     }
 
+    /// Current mid segment registers.
+    pub fn mid_segment(&self) -> Segment<Gpa, Gpa> {
+        self.mid_seg
+    }
+
     /// Installs (or clears) the escape filter checked against the VMM /
     /// native segment.
     pub fn set_vmm_escape_filter(&mut self, filter: Option<EscapeFilter>) {
@@ -324,6 +411,13 @@ impl Mmu {
     /// segment.
     pub fn set_guest_escape_filter(&mut self, filter: Option<EscapeFilter>) {
         self.guest_escape = filter;
+        self.flush_all();
+    }
+
+    /// Installs (or clears) the escape filter checked against the mid
+    /// segment.
+    pub fn set_mid_escape_filter(&mut self, filter: Option<EscapeFilter>) {
+        self.mid_escape = filter;
         self.flush_all();
     }
 
@@ -340,6 +434,8 @@ impl Mmu {
         self.l2.reset_stats();
         self.guest_pwc.reset_stats();
         self.nested_pwc.reset_stats();
+        self.mid_pwc.reset_stats();
+        self.mid_tlb.reset_stats();
     }
 
     /// `(lookups, hits)` of nested-kind entries in the shared L2 TLB —
@@ -354,6 +450,8 @@ impl Mmu {
         self.l2.flush_all();
         self.guest_pwc.flush_all();
         self.nested_pwc.flush_all();
+        self.mid_pwc.flush_all();
+        self.mid_tlb.flush_all();
         self.pte_cache.flush();
     }
 
@@ -377,7 +475,17 @@ impl Mmu {
     pub fn invalidate_nested(&mut self, gpa: Gpa) {
         self.l2.invalidate_nested(gpa.as_u64() >> 12);
         // Conservatively drop complete translations: any L1/L2 guest entry
-        // may embed the old hPA.
+        // may embed the old hPA — as may any cached mid translation.
+        self.l1.flush_all();
+        self.l2.flush_all();
+        self.mid_tlb.flush_all();
+    }
+
+    /// Invalidates the cached mid translation for a space-A frame (the L1
+    /// hypervisor changed its table). Complete translations above it may
+    /// embed the old addresses, so they flush conservatively too.
+    pub fn invalidate_mid(&mut self, apa: Gpa) {
+        self.mid_tlb.invalidate_nested(apa.as_u64() >> 12);
         self.l1.flush_all();
         self.l2.flush_all();
     }
@@ -401,13 +509,19 @@ impl Mmu {
         va: Gva,
         write: bool,
     ) -> Result<AccessOutcome, TranslationFault> {
-        match (ctx, self.mode.is_virtualized()) {
-            (MemoryContext::Native { .. }, false) | (MemoryContext::Virtualized { .. }, true) => {}
-            _ => panic!(
-                "context kind does not match mode {:?} (native context ↔ native mode)",
-                self.mode
-            ),
-        }
+        let ctx_matches = match ctx {
+            MemoryContext::Native { .. } => !self.mode.is_virtualized(),
+            MemoryContext::Virtualized { .. } => {
+                self.mode.is_virtualized()
+                    && !matches!(self.mode, TranslationMode::L2Nested { .. })
+            }
+            MemoryContext::L2 { .. } => matches!(self.mode, TranslationMode::L2Nested { .. }),
+        };
+        assert!(
+            ctx_matches,
+            "context kind does not match mode {:?} (layer depth must agree)",
+            self.mode
+        );
         self.counters.accesses += 1;
         if write {
             self.counters.writes += 1;
@@ -505,6 +619,27 @@ impl Mmu {
                 npt,
                 hmem,
             } => self.nested_walk_2d(gpt, gmem, npt, hmem, asid, va, write, &mut cycles),
+            MemoryContext::L2 {
+                gpt,
+                amem,
+                mpt,
+                bmem,
+                npt,
+                hmem,
+            } => self.nested_walk_3d(
+                &L2Layers {
+                    gpt,
+                    amem,
+                    mpt,
+                    bmem,
+                    npt,
+                    hmem,
+                },
+                asid,
+                va,
+                write,
+                &mut cycles,
+            ),
         };
         self.counters.translation_cycles += cycles;
         let (hpa_page, size, prot) = walk?;
@@ -559,6 +694,8 @@ impl Mmu {
                         WalkClass::GuestSeg1d
                     } else if c.cat_vmm_only > pre.cat_vmm_only {
                         WalkClass::VmmSeg1d
+                    } else if matches!(self.mode, TranslationMode::L2Nested { .. }) {
+                        WalkClass::Walk3d
                     } else if self.mode.is_virtualized() {
                         WalkClass::Walk2d
                     } else {
@@ -573,6 +710,7 @@ impl Mmu {
             Err(TranslationFault::GuestNotMapped { .. }) => FaultKind::GuestNotMapped,
             Err(TranslationFault::NestedNotMapped { .. }) => FaultKind::NestedNotMapped,
             Err(TranslationFault::WriteProtected { .. }) => FaultKind::WriteProtected,
+            Err(TranslationFault::MidNotMapped { .. }) => FaultKind::MidNotMapped,
         };
         let escape = if c.escape_hits > pre.escape_hits {
             EscapeOutcome::Escaped
@@ -631,6 +769,29 @@ impl Mmu {
                 self.counters.ds_hits += 1;
                 Some(pa)
             }
+            // Triple Direct: all three L2 layers by addition — the fused
+            // run covers the whole stack with one bound check.
+            TranslationMode::L2Nested {
+                guest_ds: true,
+                mid_ds: true,
+                host_ds: true,
+            } => {
+                self.counters.bound_checks += 1;
+                let apa = self.guest_seg.translate(va)?;
+                if self.guest_escaped(va.as_u64()) {
+                    return None;
+                }
+                let bpa = self.mid_seg.translate(apa)?;
+                if self.mid_escaped(apa.as_u64()) {
+                    return None;
+                }
+                let hpa = self.vmm_seg.translate(bpa)?;
+                if self.vmm_escaped(bpa.as_u64()) {
+                    return None;
+                }
+                self.counters.cat_both += 1;
+                Some(hpa)
+            }
             _ => None,
         }
     }
@@ -655,6 +816,16 @@ impl Mmu {
         }
     }
 
+    fn mid_escaped(&mut self, raw: u64) -> bool {
+        match &self.mid_escape {
+            Some(f) if f.maybe_contains(raw) => {
+                self.counters.escape_hits += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Native 1D walk with page-walk-cache skipping.
     fn native_walk(
         &mut self,
@@ -666,7 +837,8 @@ impl Mmu {
     ) -> Result<(Hpa, PageSize, Prot), TranslationFault> {
         self.counters.cat_neither += 1;
         let raw = va.as_u64();
-        let (mut level, mut table) = self.pwc_probe(false, asid, raw, pt.root().as_u64(), cycles);
+        let (mut level, mut table) =
+            self.pwc_probe(WalkDim::Guest, asid, raw, pt.root().as_u64(), cycles);
         loop {
             let eaddr = entry_addr(Hpa::new(table), raw, level);
             let step = self.pte_cache.access(eaddr.as_u64(), &self.costs);
@@ -685,7 +857,7 @@ impl Mmu {
                 return Ok((pte.addr(), size, pte.prot()));
             }
             table = pte.addr::<Hpa>().as_u64();
-            self.pwc_insert(false, asid, raw, level - 1, table);
+            self.pwc_insert(WalkDim::Guest, asid, raw, level - 1, table);
             level -= 1;
         }
     }
@@ -708,10 +880,7 @@ impl Mmu {
         cycles: &mut u64,
     ) -> Result<(Hpa, PageSize, Prot), TranslationFault> {
         let raw = va.as_u64();
-        let guest_seg_active = matches!(
-            self.mode,
-            TranslationMode::GuestDirect | TranslationMode::DualDirect
-        ) && !self.guest_seg.is_nullified();
+        let guest_seg_active = self.mode.uses_guest_segment() && !self.guest_seg.is_nullified();
 
         // First dimension: gVA → gPA.
         let mut used_guest_seg = false;
@@ -800,7 +969,7 @@ impl Mmu {
     ) -> Result<(Gpa, PageSize, Prot), TranslationFault> {
         let raw = va.as_u64();
         let (mut level, mut table_gpa) =
-            self.pwc_probe(false, asid, raw, gpt.root().as_u64(), cycles);
+            self.pwc_probe(WalkDim::Guest, asid, raw, gpt.root().as_u64(), cycles);
         loop {
             let entry_gpa = entry_addr(Gpa::new(table_gpa), raw, level);
             if self.attr_on {
@@ -824,7 +993,7 @@ impl Mmu {
                 return Ok((pte.addr(), leaf_size(level), pte.prot()));
             }
             table_gpa = pte.addr::<Gpa>().as_u64();
-            self.pwc_insert(false, asid, raw, level - 1, table_gpa);
+            self.pwc_insert(WalkDim::Guest, asid, raw, level - 1, table_gpa);
             level -= 1;
         }
     }
@@ -842,11 +1011,7 @@ impl Mmu {
         gpa: Gpa,
         cycles: &mut u64,
     ) -> Result<(Hpa, bool, NestedLeaf), TranslationFault> {
-        if matches!(
-            self.mode,
-            TranslationMode::VmmDirect | TranslationMode::DualDirect
-        ) && !self.vmm_seg.is_nullified()
-        {
+        if self.mode.uses_vmm_segment() && !self.vmm_seg.is_nullified() {
             self.counters.bound_checks += 1;
             *cycles += self.costs.bound_check;
             if self.attr_on {
@@ -878,7 +1043,7 @@ impl Mmu {
         // Nested page walk with its own walk cache.
         let raw = gpa.as_u64();
         let (mut level, mut table) =
-            self.pwc_probe(true, 0, raw, npt.root().as_u64(), cycles);
+            self.pwc_probe(WalkDim::Nested, 0, raw, npt.root().as_u64(), cycles);
         loop {
             let eaddr = entry_addr(Hpa::new(table), raw, level);
             let step = self.pte_cache.access(eaddr.as_u64(), &self.costs);
@@ -914,17 +1079,232 @@ impl Mmu {
                 ));
             }
             table = pte.addr::<Hpa>().as_u64();
-            self.pwc_insert(true, 0, raw, level - 1, table);
+            self.pwc_insert(WalkDim::Nested, 0, raw, level - 1, table);
+            level -= 1;
+        }
+    }
+
+    /// The 3D walk of an L2 stack: the 2D structure of
+    /// [`Self::nested_walk_2d`] with every space-A physical address —
+    /// guest table pointers and the final data address — resolved through
+    /// [`Self::mid_translate`] instead of going straight to the nested
+    /// dimension. With walk caching off this costs the recurrence's
+    /// T(3) = 124 references (4 guest + 20 mid + 100 host).
+    fn nested_walk_3d(
+        &mut self,
+        l: &L2Layers<'_>,
+        asid: u16,
+        va: Gva,
+        write: bool,
+        cycles: &mut u64,
+    ) -> Result<(Hpa, PageSize, Prot), TranslationFault> {
+        let raw = va.as_u64();
+        let guest_seg_active = self.mode.uses_guest_segment() && !self.guest_seg.is_nullified();
+
+        // Top dimension: gVA → space A.
+        let mut used_guest_seg = false;
+        let (apa_page, size, prot) = if guest_seg_active {
+            self.counters.bound_checks += 1;
+            *cycles += self.costs.bound_check;
+            if self.attr_on {
+                self.attr.add_bound_check(self.costs.bound_check);
+            }
+            match self.guest_seg.translate(va) {
+                Some(apa) if !self.guest_escaped(raw) => {
+                    used_guest_seg = true;
+                    (
+                        Gpa::new(apa.as_u64() & !0xfff),
+                        PageSize::Size4K,
+                        Prot::RW,
+                    )
+                }
+                _ => self.guest_dimension_walk_3d(l, asid, va, cycles)?,
+            }
+        } else {
+            self.guest_dimension_walk_3d(l, asid, va, cycles)?
+        };
+
+        // Lower dimensions for the final space-A address of the access.
+        let apa_of_access = Gpa::new(apa_page.as_u64() + (raw & size.offset_mask()));
+        self.pending_gpa = Some(apa_of_access.as_u64());
+        if self.attr_on {
+            self.attr_row = 4;
+        }
+        if let Some(trace) = &mut self.miss_trace {
+            trace.record(MissRecord {
+                gva: va,
+                gpa: apa_of_access,
+                write,
+            });
+        }
+        let (hpa, used_lower_seg, lower_leaf) =
+            self.mid_translate(l, va, apa_of_access, cycles)?;
+        let prot = match lower_leaf {
+            Some((_, lprot)) => prot & lprot,
+            None => prot,
+        };
+
+        // Category bookkeeping mirrors Table I, with "VMM" meaning any
+        // lower (mid or host) segment.
+        match (used_guest_seg, used_lower_seg) {
+            (true, _) => self.counters.cat_guest_only += 1,
+            (false, true) => self.counters.cat_vmm_only += 1,
+            (false, false) => self.counters.cat_neither += 1,
+        }
+
+        let eff = if used_guest_seg {
+            PageSize::Size4K
+        } else {
+            match lower_leaf {
+                Some((n, _)) => size.min(n),
+                None => size,
+            }
+        };
+        let page_base = hpa.as_u64() - (raw & eff.offset_mask());
+        Ok((Hpa::new(page_base), eff, prot))
+    }
+
+    /// Walks the L2 guest's page table; each table pointer is a space-A
+    /// address that resolves through the mid and host dimensions.
+    fn guest_dimension_walk_3d(
+        &mut self,
+        l: &L2Layers<'_>,
+        asid: u16,
+        va: Gva,
+        cycles: &mut u64,
+    ) -> Result<(Gpa, PageSize, Prot), TranslationFault> {
+        let raw = va.as_u64();
+        let (mut level, mut table_apa) =
+            self.pwc_probe(WalkDim::Guest, asid, raw, l.gpt.root().as_u64(), cycles);
+        loop {
+            let entry_apa = entry_addr(Gpa::new(table_apa), raw, level);
+            if self.attr_on {
+                self.attr_row = 4 - level as usize;
+            }
+            let (entry_hpa, _, _) = self.mid_translate(l, va, entry_apa, cycles)?;
+            let step = self.pte_cache.access(entry_hpa.as_u64(), &self.costs);
+            *cycles += step;
+            if self.attr_on {
+                self.attr.record(4 - level as usize, REF_COL, step);
+            }
+            self.counters.guest_walk_refs += 1;
+            let pte = Pte::from_bits(l.amem.read_u64(entry_apa));
+            if !pte.is_present() {
+                self.counters.guest_faults += 1;
+                return Err(TranslationFault::GuestNotMapped { gva: va });
+            }
+            if level == 1 || pte.is_huge() {
+                return Ok((pte.addr(), leaf_size(level), pte.prot()));
+            }
+            table_apa = pte.addr::<Gpa>().as_u64();
+            self.pwc_insert(WalkDim::Guest, asid, raw, level - 1, table_apa);
+            level -= 1;
+        }
+    }
+
+    /// Resolves one space-A physical address through the mid (A→B) and
+    /// host (B→hPA) dimensions: mid-segment check, then the mid TLB, then
+    /// a mid walk whose own entries resolve through
+    /// [`Self::nested_translate`]. Returns the hPA for exactly `apa`,
+    /// whether any lower segment served it, and the effective lower leaf
+    /// (`None` when segments served both lower dimensions).
+    fn mid_translate(
+        &mut self,
+        l: &L2Layers<'_>,
+        gva: Gva,
+        apa: Gpa,
+        cycles: &mut u64,
+    ) -> Result<(Hpa, bool, NestedLeaf), TranslationFault> {
+        if self.mode.uses_mid_segment() && !self.mid_seg.is_nullified() {
+            self.counters.bound_checks += 1;
+            *cycles += self.costs.bound_check;
+            if self.attr_on {
+                self.attr.add_bound_check(self.costs.bound_check);
+            }
+            if let Some(bpa) = self.mid_seg.translate(apa) {
+                if !self.mid_escaped(apa.as_u64()) {
+                    // Mid contiguity is unbounded: the host leaf governs
+                    // (and is itself `None` when the VMM segment served).
+                    let (hpa, _, host_leaf) =
+                        self.nested_translate(l.npt, l.hmem, gva, bpa, cycles)?;
+                    return Ok((hpa, true, host_leaf));
+                }
+            }
+        }
+
+        // Mid TLB: caches complete space A → hPA translations at 4 KiB.
+        let afn = apa.as_u64() >> 12;
+        if self.walk_caching {
+            if let Some(e) = self.mid_tlb.lookup(L2Key::Nested { gfn: afn }) {
+                *cycles += self.costs.nested_tlb_hit;
+                if self.attr_on {
+                    self.attr.add_nested_tlb(self.costs.nested_tlb_hit);
+                }
+                return Ok((
+                    Hpa::new(e.translate(apa.as_u64())),
+                    false,
+                    Some((PageSize::Size4K, e.prot)),
+                ));
+            }
+        }
+
+        // Mid page walk: each entry lives in space B, which the hardware
+        // reaches through the host dimension.
+        let raw = apa.as_u64();
+        let (mut level, mut table_bpa) =
+            self.pwc_probe(WalkDim::Mid, 0, raw, l.mpt.root().as_u64(), cycles);
+        loop {
+            let entry_bpa = entry_addr(Gpa::new(table_bpa), raw, level);
+            let (entry_hpa, _, _) =
+                self.nested_translate(l.npt, l.hmem, gva, entry_bpa, cycles)?;
+            let step = self.pte_cache.access(entry_hpa.as_u64(), &self.costs);
+            *cycles += step;
+            if self.attr_on {
+                self.attr.record_mid(self.attr_row, 4 - level as usize, step);
+            }
+            self.counters.mid_walk_refs += 1;
+            let pte = Pte::from_bits(l.bmem.read_u64(entry_bpa));
+            if !pte.is_present() {
+                self.counters.mid_faults += 1;
+                return Err(TranslationFault::MidNotMapped { gva, gpa: apa });
+            }
+            if level == 1 || pte.is_huge() {
+                let size = leaf_size(level);
+                let bpa_4k_page =
+                    pte.addr::<Gpa>().as_u64() + ((raw & size.offset_mask()) & !0xfff);
+                let bpa = Gpa::new(bpa_4k_page + (raw & 0xfff));
+                // Host dimension for the address itself.
+                let (hpa, used_vmm, host_leaf) =
+                    self.nested_translate(l.npt, l.hmem, gva, bpa, cycles)?;
+                // Effective lower leaf: intersection of mid and host.
+                let eff = match host_leaf {
+                    Some((hsize, hprot)) => (size.min(hsize), pte.prot() & hprot),
+                    None => (size, pte.prot()),
+                };
+                if self.walk_caching {
+                    self.mid_tlb.insert(
+                        L2Key::Nested { gfn: afn },
+                        TlbEntry {
+                            page_base: hpa.as_u64() & !0xfff,
+                            size: PageSize::Size4K,
+                            prot: eff.1,
+                        },
+                    );
+                }
+                return Ok((hpa, used_vmm, Some(eff)));
+            }
+            table_bpa = pte.addr::<Gpa>().as_u64();
+            self.pwc_insert(WalkDim::Mid, 0, raw, level - 1, table_bpa);
             level -= 1;
         }
     }
 
     /// Finds the deepest page-walk-cache hit for `raw`, returning the level
-    /// to start reading at and that level's table base. `nested` selects
-    /// the nested-dimension cache.
+    /// to start reading at and that level's table base. `dim` selects
+    /// which dimension's cache to probe.
     fn pwc_probe(
         &mut self,
-        nested: bool,
+        dim: WalkDim,
         asid: u16,
         raw: u64,
         root: u64,
@@ -933,10 +1313,10 @@ impl Mmu {
         if !self.walk_caching {
             return (4, root);
         }
-        let pwc = if nested {
-            &mut self.nested_pwc
-        } else {
-            &mut self.guest_pwc
+        let pwc = match dim {
+            WalkDim::Guest => &mut self.guest_pwc,
+            WalkDim::Mid => &mut self.mid_pwc,
+            WalkDim::Nested => &mut self.nested_pwc,
         };
         for points_to in 1..=3u8 {
             let key = PwcKey {
@@ -955,14 +1335,14 @@ impl Mmu {
         (4, root)
     }
 
-    fn pwc_insert(&mut self, nested: bool, asid: u16, raw: u64, points_to: u8, table: u64) {
+    fn pwc_insert(&mut self, dim: WalkDim, asid: u16, raw: u64, points_to: u8, table: u64) {
         if !self.walk_caching {
             return;
         }
-        let pwc = if nested {
-            &mut self.nested_pwc
-        } else {
-            &mut self.guest_pwc
+        let pwc = match dim {
+            WalkDim::Guest => &mut self.guest_pwc,
+            WalkDim::Mid => &mut self.mid_pwc,
+            WalkDim::Nested => &mut self.nested_pwc,
         };
         pwc.insert(
             PwcKey {
@@ -989,7 +1369,7 @@ mod tests {
     use super::*;
     use mv_phys::PhysMem;
     use mv_pt::PageTable;
-    use mv_types::MIB;
+    use mv_types::{AddrRange, MIB};
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -1128,6 +1508,223 @@ mod tests {
         for e in got.iter() {
             assert!(e.attr.is_empty(), "unattributed event carries attr: {e:?}");
         }
+    }
+
+    /// A minimal L2 context: guest pages in space A, space A mapped onto
+    /// space B by the mid table, space B mapped onto the host.
+    struct L2Setup {
+        gpt: PageTable<Gva, Gpa>,
+        amem: PhysMem<Gpa>,
+        mpt: PageTable<Gpa, Gpa>,
+        bmem: PhysMem<Gpa>,
+        npt: PageTable<Gpa, Hpa>,
+        hmem: PhysMem<Hpa>,
+        pages: Vec<Gva>,
+    }
+
+    impl L2Setup {
+        fn ctx(&self) -> MemoryContext<'_> {
+            MemoryContext::l2(
+                (&self.gpt, &self.amem),
+                (&self.mpt, &self.bmem),
+                (&self.npt, &self.hmem),
+            )
+        }
+    }
+
+    fn l2_setup() -> L2Setup {
+        let mut amem: PhysMem<Gpa> = PhysMem::new(16 * MIB);
+        let mut bmem: PhysMem<Gpa> = PhysMem::new(32 * MIB);
+        let mut hmem: PhysMem<Hpa> = PhysMem::new(64 * MIB);
+        let mut gpt: PageTable<Gva, Gpa> = PageTable::new(&mut amem).unwrap();
+        let mut mpt: PageTable<Gpa, Gpa> = PageTable::new(&mut bmem).unwrap();
+        let mut npt: PageTable<Gpa, Hpa> = PageTable::new(&mut hmem).unwrap();
+        let mut pages = Vec::new();
+        for i in 0..8u64 {
+            let va = Gva::new(0x4000_0000 * (i % 4) + 0x20_0000 * i + 0x1000 * i);
+            let frame = amem.alloc(PageSize::Size4K).unwrap();
+            gpt.map(&mut amem, va, frame, PageSize::Size4K, Prot::RW)
+                .unwrap();
+            pages.push(va);
+        }
+        // Cover all of space A with mid mappings and all of space B with
+        // nested ones, at 4 KiB so every dimension walks all four levels
+        // (the recurrence's worst case).
+        for off in (0..(16 * MIB)).step_by(4 << 10) {
+            let b = bmem.alloc(PageSize::Size4K).unwrap();
+            mpt.map(&mut bmem, Gpa::new(off), b, PageSize::Size4K, Prot::RW)
+                .unwrap();
+        }
+        for off in (0..(32 * MIB)).step_by(4 << 10) {
+            let h = hmem.alloc(PageSize::Size4K).unwrap();
+            npt.map(&mut hmem, Gpa::new(off), h, PageSize::Size4K, Prot::RW)
+                .unwrap();
+        }
+        L2Setup {
+            gpt,
+            amem,
+            mpt,
+            bmem,
+            npt,
+            hmem,
+            pages,
+        }
+    }
+
+    fn l2_mode(guest_ds: bool, mid_ds: bool, host_ds: bool) -> TranslationMode {
+        TranslationMode::L2Nested {
+            guest_ds,
+            mid_ds,
+            host_ds,
+        }
+    }
+
+    #[test]
+    fn uncached_3d_walk_pays_the_124_reference_budget() {
+        // T(3) = 124 with walk caching off: 4 guest entry reads, 4 mid
+        // reads for each of the 5 space-A addresses (4 entries + data),
+        // and 20 host reads under each of those 5 mid walks.
+        let s = l2_setup();
+        let mut mmu = Mmu::new(MmuConfig {
+            mode: l2_mode(false, false, false),
+            walk_caching: false,
+            ..MmuConfig::default()
+        });
+        mmu.access(&s.ctx(), 1, s.pages[0], false).unwrap();
+        let c = mmu.counters();
+        assert_eq!(c.guest_walk_refs, 4);
+        assert_eq!(c.mid_walk_refs, 20);
+        assert_eq!(c.nested_walk_refs, 100);
+        assert_eq!(c.walk_refs(), 124);
+        assert_eq!(
+            c.walk_refs() as u32,
+            l2_mode(false, false, false).common_walk_refs(),
+            "the walker must realize the stack-derived recurrence"
+        );
+    }
+
+    #[test]
+    fn attribution_conserves_cycles_on_3d_walks() {
+        let s = l2_setup();
+        let mut mmu = Mmu::new(MmuConfig {
+            mode: l2_mode(false, false, false),
+            ..MmuConfig::default()
+        });
+        let events = Rc::new(RefCell::new(Vec::new()));
+        mmu.set_observer(Box::new(AttrCapture(events.clone())));
+        for round in 0..2 {
+            for &va in &s.pages {
+                mmu.access(&s.ctx(), 1, va, round == 1).unwrap();
+            }
+            mmu.l1.flush_all();
+        }
+        let got = events.borrow();
+        assert!(!got.is_empty());
+        let mut saw_mid = false;
+        for e in got.iter() {
+            assert_eq!(
+                e.attr.total_cycles(),
+                e.cycles,
+                "3D attribution must conserve the event's charged cycles: {e:?}"
+            );
+            let mid_cells: u64 = e
+                .attr
+                .mid_refs
+                .iter()
+                .flatten()
+                .map(|&r| u64::from(r))
+                .sum();
+            saw_mid |= mid_cells > 0;
+            if matches!(e.class, WalkClass::Walk3d) {
+                assert!(e.attr.has_mid() || e.cycles == 0);
+            }
+        }
+        assert!(saw_mid, "3-level walks populate the mid grid");
+    }
+
+    #[test]
+    fn triple_direct_bypasses_all_three_dimensions() {
+        let s = l2_setup();
+        let mut mmu = Mmu::new(MmuConfig {
+            mode: l2_mode(true, true, true),
+            ..MmuConfig::default()
+        });
+        // Segments: VA window → space A at +0, A → B at +2M, B → host at
+        // +4M (all inside the identity-style mapped spans).
+        let win = AddrRange::new(Gva::new(0), Gva::new(4 * MIB));
+        mmu.set_guest_segment(Segment::map(win, Gpa::new(0)));
+        mmu.set_mid_segment(Segment::map(
+            AddrRange::new(Gpa::new(0), Gpa::new(4 * MIB)),
+            Gpa::new(2 * MIB),
+        ));
+        mmu.set_vmm_segment(Segment::map(
+            AddrRange::new(Gpa::new(0), Gpa::new(16 * MIB)),
+            Hpa::new(4 * MIB),
+        ));
+        let va = Gva::new(0x12_3456);
+        let out = mmu.access(&s.ctx(), 1, va, false).unwrap();
+        assert_eq!(out.path, HitPath::SegmentBypass);
+        assert_eq!(
+            out.hpa.as_u64(),
+            0x12_3456 + 2 * MIB + 4 * MIB,
+            "three additions compose"
+        );
+        let c = mmu.counters();
+        assert_eq!(c.bound_checks, 1, "the fused run costs one check");
+        assert_eq!(c.walk_refs(), 0);
+        assert_eq!(c.cat_both, 1);
+    }
+
+    #[test]
+    fn mid_fault_reports_the_space_a_address() {
+        let mut amem: PhysMem<Gpa> = PhysMem::new(16 * MIB);
+        let mut bmem: PhysMem<Gpa> = PhysMem::new(32 * MIB);
+        let mut hmem: PhysMem<Hpa> = PhysMem::new(64 * MIB);
+        let mut gpt: PageTable<Gva, Gpa> = PageTable::new(&mut amem).unwrap();
+        let mpt: PageTable<Gpa, Gpa> = PageTable::new(&mut bmem).unwrap();
+        let mut npt: PageTable<Gpa, Hpa> = PageTable::new(&mut hmem).unwrap();
+        let va = Gva::new(0x7000);
+        let frame = amem.alloc(PageSize::Size4K).unwrap();
+        gpt.map(&mut amem, va, frame, PageSize::Size4K, Prot::RW)
+            .unwrap();
+        for off in (0..(32 * MIB)).step_by(2 << 20) {
+            let h = hmem.alloc(PageSize::Size2M).unwrap();
+            npt.map(&mut hmem, Gpa::new(off), h, PageSize::Size2M, Prot::RW)
+                .unwrap();
+        }
+        let mut mmu = Mmu::new(MmuConfig {
+            mode: l2_mode(false, false, false),
+            ..MmuConfig::default()
+        });
+        let ctx = MemoryContext::l2((&gpt, &amem), (&mpt, &bmem), (&npt, &hmem));
+        // The empty mid table faults on the guest root pointer itself.
+        let err = mmu.access(&ctx, 1, va, false).unwrap_err();
+        assert!(matches!(err, TranslationFault::MidNotMapped { .. }));
+        assert_eq!(mmu.counters().mid_faults, 1);
+    }
+
+    #[test]
+    fn mid_tlb_collapses_repeat_mid_walks() {
+        let s = l2_setup();
+        let mut mmu = Mmu::new(MmuConfig {
+            mode: l2_mode(false, false, false),
+            ..MmuConfig::default()
+        });
+        let va = s.pages[0];
+        mmu.access(&s.ctx(), 1, va, false).unwrap();
+        let after_first = mmu.counters().mid_walk_refs;
+        assert!(after_first > 0);
+        // Same page again after an L1/L2 flush: the mid TLB still holds
+        // every space-A translation the first walk resolved.
+        mmu.l1.flush_all();
+        mmu.l2.flush_all();
+        mmu.guest_pwc.flush_all();
+        mmu.access(&s.ctx(), 1, va, false).unwrap();
+        assert_eq!(
+            mmu.counters().mid_walk_refs,
+            after_first,
+            "repeat walk is served by the mid TLB"
+        );
     }
 
     #[test]

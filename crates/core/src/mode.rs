@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use crate::layer::{LayerMode, LayerStack};
+
 /// How freely a virtualization feature can be used under a mode (Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Support {
@@ -57,6 +59,19 @@ pub enum TranslationMode {
     /// nested paging (preserving sharing/migration). A 1D walk with 4
     /// references plus 1 check (Section III.C).
     GuestDirect,
+    /// Nested-nested (L2) virtualization: an L2 guest runs on an L1
+    /// hypervisor that itself runs on the L0 host, so translation stacks
+    /// three layers (L2 gVA → L1 gPA → L0 gPA → hPA). Each flag maps the
+    /// corresponding layer with a direct segment instead of paging —
+    /// the study extending Table II's dimensionality argument to 3D walks.
+    L2Nested {
+        /// The top (L2-guest gVA→gPA) layer uses a direct segment.
+        guest_ds: bool,
+        /// The middle (L1-hypervisor gPA→gPA) layer uses a direct segment.
+        mid_ds: bool,
+        /// The bottom (L0-host gPA→hPA) layer uses a direct segment.
+        host_ds: bool,
+    },
 }
 
 impl TranslationMode {
@@ -80,59 +95,105 @@ impl TranslationMode {
 
     /// Whether the mode runs under a VMM.
     pub fn is_virtualized(self) -> bool {
-        !matches!(
-            self,
-            TranslationMode::BaseNative | TranslationMode::NativeDirect
-        )
+        self.stack().is_virtualized()
+    }
+
+    /// The mode's canonical [`LayerStack`]: which stacked translation
+    /// layers it pages and which it maps with a direct segment. All
+    /// Table II cost rows derive from this shape.
+    pub fn stack(self) -> LayerStack {
+        use LayerMode::{Base4K, DirectSegment};
+        match self {
+            TranslationMode::BaseNative => LayerStack::native(Base4K),
+            TranslationMode::NativeDirect => LayerStack::native(DirectSegment),
+            TranslationMode::BaseVirtualized => LayerStack::virtualized(Base4K, Base4K),
+            TranslationMode::DualDirect => {
+                LayerStack::virtualized(DirectSegment, DirectSegment)
+            }
+            TranslationMode::VmmDirect => LayerStack::virtualized(Base4K, DirectSegment),
+            TranslationMode::GuestDirect => LayerStack::virtualized(DirectSegment, Base4K),
+            TranslationMode::L2Nested {
+                guest_ds,
+                mid_ds,
+                host_ds,
+            } => {
+                let layer = |ds: bool| if ds { DirectSegment } else { Base4K };
+                LayerStack::l2(layer(guest_ds), layer(mid_ds), layer(host_ds))
+            }
+        }
     }
 
     /// Page-walk dimensionality for addresses on the mode's fast path
-    /// (Table II row 1).
+    /// (Table II row 1), derived from the layer stack.
     pub fn walk_dimensions(self) -> u8 {
-        match self {
-            TranslationMode::BaseNative | TranslationMode::NativeDirect => 1,
-            TranslationMode::BaseVirtualized => 2,
-            TranslationMode::DualDirect => 0,
-            TranslationMode::VmmDirect | TranslationMode::GuestDirect => 1,
-        }
+        self.stack().walk_dimensions()
     }
 
-    /// Memory accesses for most page walks (Table II row 2). `NativeDirect`
-    /// is 0 inside the segment (pure calculation).
+    /// Memory accesses for most page walks (Table II row 2), derived from
+    /// the layer stack's walk recurrence. `NativeDirect` is 0 inside the
+    /// segment (pure calculation).
     pub fn common_walk_refs(self) -> u32 {
-        match self {
-            TranslationMode::BaseNative => 4,
-            TranslationMode::NativeDirect => 0,
-            TranslationMode::BaseVirtualized => 24,
-            TranslationMode::DualDirect => 0,
-            TranslationMode::VmmDirect | TranslationMode::GuestDirect => 4,
-        }
+        self.stack().common_walk_refs()
     }
 
-    /// Base-bound checks per walk (Table II row 3). VMM Direct checks each
-    /// of the four guest page-table pointers plus the final gPA.
+    /// Base-bound checks per walk (Table II row 3), derived from the
+    /// layer stack's fused-segment-run rule. VMM Direct checks each of
+    /// the four guest page-table pointers plus the final gPA.
     pub fn bound_checks(self) -> u32 {
-        match self {
-            TranslationMode::BaseNative => 0,
-            TranslationMode::NativeDirect => 1,
-            TranslationMode::BaseVirtualized => 0,
-            TranslationMode::DualDirect => 1,
-            TranslationMode::VmmDirect => 5,
-            TranslationMode::GuestDirect => 1,
-        }
+        self.stack().bound_checks()
     }
 
-    /// Whether the guest OS must be modified (Table II row 4).
-    pub fn requires_guest_os_changes(self) -> bool {
+    /// Whether the MMU consults a guest segment (gVA→gPA by addition) on
+    /// this mode's walk path.
+    pub fn uses_guest_segment(self) -> bool {
         matches!(
             self,
-            TranslationMode::NativeDirect | TranslationMode::DualDirect | TranslationMode::GuestDirect
+            TranslationMode::GuestDirect
+                | TranslationMode::DualDirect
+                | TranslationMode::L2Nested { guest_ds: true, .. }
         )
     }
 
-    /// Whether the VMM must be modified (Table II row 5).
+    /// Whether the MMU consults the mid segment (the L1 hypervisor's
+    /// gPA→gPA mapping by addition); only L2 stacks have a mid layer.
+    pub fn uses_mid_segment(self) -> bool {
+        matches!(self, TranslationMode::L2Nested { mid_ds: true, .. })
+    }
+
+    /// Whether the MMU consults the VMM segment (the bottom gPA→hPA
+    /// mapping by addition) on this mode's walk path.
+    pub fn uses_vmm_segment(self) -> bool {
+        matches!(
+            self,
+            TranslationMode::VmmDirect
+                | TranslationMode::DualDirect
+                | TranslationMode::L2Nested { host_ds: true, .. }
+        )
+    }
+
+    /// Whether the guest OS must be modified (Table II row 4). For L2
+    /// modes this is the *L2 guest's* OS, which must manage a primary
+    /// region when its layer is a direct segment.
+    pub fn requires_guest_os_changes(self) -> bool {
+        matches!(
+            self,
+            TranslationMode::NativeDirect
+                | TranslationMode::DualDirect
+                | TranslationMode::GuestDirect
+                | TranslationMode::L2Nested { guest_ds: true, .. }
+        )
+    }
+
+    /// Whether the VMM must be modified (Table II row 5). For L2 modes,
+    /// either hypervisor (L1 for the mid segment, L0 for the host one).
     pub fn requires_vmm_changes(self) -> bool {
-        matches!(self, TranslationMode::DualDirect | TranslationMode::VmmDirect)
+        matches!(
+            self,
+            TranslationMode::DualDirect
+                | TranslationMode::VmmDirect
+                | TranslationMode::L2Nested { mid_ds: true, .. }
+                | TranslationMode::L2Nested { host_ds: true, .. }
+        )
     }
 
     /// Whether the mode suits arbitrary applications or only big-memory
@@ -140,7 +201,14 @@ impl TranslationMode {
     pub fn suits_any_application(self) -> bool {
         matches!(
             self,
-            TranslationMode::BaseNative | TranslationMode::BaseVirtualized | TranslationMode::VmmDirect
+            TranslationMode::BaseNative
+                | TranslationMode::BaseVirtualized
+                | TranslationMode::VmmDirect
+                | TranslationMode::L2Nested {
+                    guest_ds: false,
+                    mid_ds: false,
+                    host_ds: false,
+                }
         )
     }
 
@@ -177,6 +245,20 @@ impl TranslationMode {
             TranslationMode::DualDirect => Some(dual),
             TranslationMode::VmmDirect => Some(vmm),
             TranslationMode::GuestDirect => Some(guest),
+            // L2 features route through the L0 host layer: any direct
+            // segment in the stack limits them to memory outside it, a
+            // fully paged stack leaves them unrestricted.
+            TranslationMode::L2Nested {
+                guest_ds,
+                mid_ds,
+                host_ds,
+            } => {
+                if guest_ds || mid_ds || host_ds {
+                    Some(Support::Limited)
+                } else {
+                    Some(Support::Unrestricted)
+                }
+            }
             _ => None,
         }
     }
@@ -191,6 +273,20 @@ impl TranslationMode {
             TranslationMode::DualDirect => "DD",
             TranslationMode::VmmDirect => "VD",
             TranslationMode::GuestDirect => "GD",
+            TranslationMode::L2Nested {
+                guest_ds,
+                mid_ds,
+                host_ds,
+            } => match (guest_ds, mid_ds, host_ds) {
+                (false, false, false) => "L2",
+                (true, false, false) => "L2+GD",
+                (false, true, false) => "L2+MD",
+                (false, false, true) => "L2+HD",
+                (true, true, false) => "L2+GMD",
+                (true, false, true) => "L2+GHD",
+                (false, true, true) => "L2+MHD",
+                (true, true, true) => "L2+TD",
+            },
         }
     }
 }
@@ -204,6 +300,20 @@ impl fmt::Display for TranslationMode {
             TranslationMode::DualDirect => "Dual Direct",
             TranslationMode::VmmDirect => "VMM Direct",
             TranslationMode::GuestDirect => "Guest Direct",
+            TranslationMode::L2Nested {
+                guest_ds,
+                mid_ds,
+                host_ds,
+            } => match (guest_ds, mid_ds, host_ds) {
+                (false, false, false) => "L2 Nested",
+                (true, false, false) => "L2 Guest Direct",
+                (false, true, false) => "L2 Mid Direct",
+                (false, false, true) => "L2 Host Direct",
+                (true, true, false) => "L2 Guest+Mid Direct",
+                (true, false, true) => "L2 Guest+Host Direct",
+                (false, true, true) => "L2 Mid+Host Direct",
+                (true, true, true) => "L2 Triple Direct",
+            },
         })
     }
 }
@@ -311,5 +421,106 @@ mod tests {
         assert_eq!(TranslationMode::DualDirect.label(), "DD");
         assert_eq!(TranslationMode::DualDirect.to_string(), "Dual Direct");
         assert_eq!(TranslationMode::VmmDirect.label(), "VD");
+    }
+
+    /// Every L2 flag combination, with the costs its 3-deep stack derives.
+    fn l2_modes() -> impl Iterator<Item = TranslationMode> {
+        [false, true].into_iter().flat_map(|guest_ds| {
+            [false, true].into_iter().flat_map(move |mid_ds| {
+                [false, true].into_iter().map(move |host_ds| {
+                    TranslationMode::L2Nested {
+                        guest_ds,
+                        mid_ds,
+                        host_ds,
+                    }
+                })
+            })
+        })
+    }
+
+    #[test]
+    fn l2_costs_extend_table_ii_to_three_dimensions() {
+        use TranslationMode::L2Nested;
+        let all_paged = L2Nested {
+            guest_ds: false,
+            mid_ds: false,
+            host_ds: false,
+        };
+        assert_eq!(all_paged.walk_dimensions(), 3);
+        assert_eq!(all_paged.common_walk_refs(), 124);
+        assert_eq!(all_paged.bound_checks(), 0);
+        let triple = L2Nested {
+            guest_ds: true,
+            mid_ds: true,
+            host_ds: true,
+        };
+        assert_eq!(triple.walk_dimensions(), 0);
+        assert_eq!(triple.common_walk_refs(), 0);
+        assert_eq!(triple.bound_checks(), 1);
+        // One segment in the middle collapses a dimension but leaves the
+        // guest and host walks: ds on mid only → 2D at 24 refs.
+        let mid_only = L2Nested {
+            guest_ds: false,
+            mid_ds: true,
+            host_ds: false,
+        };
+        assert_eq!(mid_only.walk_dimensions(), 2);
+        assert_eq!(mid_only.common_walk_refs(), 24);
+        for m in l2_modes() {
+            assert!(m.is_virtualized());
+            assert_eq!(m.stack().depth(), 3);
+        }
+    }
+
+    #[test]
+    fn l2_segment_participation_follows_the_flags() {
+        for m in l2_modes() {
+            let TranslationMode::L2Nested {
+                guest_ds,
+                mid_ds,
+                host_ds,
+            } = m
+            else {
+                unreachable!()
+            };
+            assert_eq!(m.uses_guest_segment(), guest_ds);
+            assert_eq!(m.uses_mid_segment(), mid_ds);
+            assert_eq!(m.uses_vmm_segment(), host_ds);
+            assert_eq!(m.requires_guest_os_changes(), guest_ds);
+            assert_eq!(m.requires_vmm_changes(), mid_ds || host_ds);
+            assert_eq!(m.suits_any_application(), !(guest_ds || mid_ds || host_ds));
+            let expected = if guest_ds || mid_ds || host_ds {
+                Support::Limited
+            } else {
+                Support::Unrestricted
+            };
+            assert_eq!(m.page_sharing(), Some(expected));
+        }
+    }
+
+    #[test]
+    fn l2_labels_name_the_segment_placement() {
+        let label = |g, m, h| {
+            TranslationMode::L2Nested {
+                guest_ds: g,
+                mid_ds: m,
+                host_ds: h,
+            }
+            .label()
+        };
+        assert_eq!(label(false, false, false), "L2");
+        assert_eq!(label(true, false, false), "L2+GD");
+        assert_eq!(label(false, true, false), "L2+MD");
+        assert_eq!(label(false, false, true), "L2+HD");
+        assert_eq!(label(true, true, true), "L2+TD");
+        assert_eq!(
+            TranslationMode::L2Nested {
+                guest_ds: false,
+                mid_ds: true,
+                host_ds: true,
+            }
+            .to_string(),
+            "L2 Mid+Host Direct"
+        );
     }
 }

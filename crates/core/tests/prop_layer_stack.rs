@@ -1,0 +1,137 @@
+//! The layer stack is now the single source of truth for Table II: the
+//! hand-written per-mode cost tables were deleted in favor of deriving
+//! every quantity from [`TranslationMode::stack`]. These tests pin the
+//! derivation to the exact values the deleted tables held, so a stack
+//! regression can never silently reprice a mode, and cross-check the
+//! stack combinatorics against independent models.
+
+use mv_core::{LayerMode, LayerStack, TranslationMode};
+
+/// The deleted hand-written tables, verbatim: (mode, dimensions, common
+/// walk refs, bound checks) for Figure 3's six modes.
+const TABLE_II: [(TranslationMode, u8, u32, u32); 6] = [
+    (TranslationMode::BaseNative, 1, 4, 0),
+    (TranslationMode::NativeDirect, 1, 0, 1),
+    (TranslationMode::BaseVirtualized, 2, 24, 0),
+    (TranslationMode::DualDirect, 0, 0, 1),
+    (TranslationMode::VmmDirect, 1, 4, 5),
+    (TranslationMode::GuestDirect, 1, 4, 1),
+];
+
+#[test]
+fn stack_derivation_reproduces_the_deleted_hand_tables() {
+    for (mode, dims, refs, checks) in TABLE_II {
+        let stack = mode.stack();
+        assert_eq!(stack.walk_dimensions(), dims, "{mode} dimensionality");
+        assert_eq!(stack.common_walk_refs(), refs, "{mode} walk refs");
+        assert_eq!(stack.bound_checks(), checks, "{mode} bound checks");
+        // And the mode-level accessors are pure delegation.
+        assert_eq!(mode.walk_dimensions(), dims);
+        assert_eq!(mode.common_walk_refs(), refs);
+        assert_eq!(mode.bound_checks(), checks);
+        assert_eq!(mode.is_virtualized(), stack.is_virtualized());
+    }
+}
+
+/// Every stack of every depth, by cartesian product of the three modes.
+fn all_stacks() -> Vec<LayerStack> {
+    const MODES: [LayerMode; 3] = [
+        LayerMode::Base4K,
+        LayerMode::Base2M,
+        LayerMode::DirectSegment,
+    ];
+    let mut stacks = Vec::new();
+    for g in MODES {
+        stacks.push(LayerStack::native(g));
+        for h in MODES {
+            stacks.push(LayerStack::virtualized(g, h));
+            for m in MODES {
+                stacks.push(LayerStack::l2(g, m, h));
+            }
+        }
+    }
+    stacks
+}
+
+#[test]
+fn walk_refs_match_a_direct_evaluation_of_the_recurrence() {
+    // Independent model: T(d) for d stacked *paging* layers, ignoring
+    // where the segment layers sit (they are pass-through).
+    fn t(d: usize) -> u32 {
+        (0..d).fold(0, |t, _| 4 * (t + 1) + t)
+    }
+    assert_eq!([t(0), t(1), t(2), t(3)], [0, 4, 24, 124]);
+    for stack in all_stacks() {
+        let paging = stack
+            .layers()
+            .iter()
+            .filter(|l| l.mode.is_paging())
+            .count();
+        assert_eq!(
+            stack.common_walk_refs(),
+            t(paging),
+            "stack {stack}: refs depend only on the paging-layer count"
+        );
+    }
+}
+
+#[test]
+fn dimensionality_is_bounded_by_depth_and_counts_paging_layers() {
+    for stack in all_stacks() {
+        let paging = stack
+            .layers()
+            .iter()
+            .filter(|l| l.mode.is_paging())
+            .count() as u8;
+        let dims = stack.walk_dimensions();
+        assert!(dims as usize <= stack.depth(), "stack {stack}");
+        if paging == 0 && stack.depth() == 1 {
+            // Table II's native Direct Segment exception keeps its 1D walker.
+            assert_eq!(dims, 1, "stack {stack}");
+        } else {
+            assert_eq!(dims, paging, "stack {stack}");
+        }
+    }
+}
+
+#[test]
+fn bound_checks_match_an_independent_run_fusion_model() {
+    // Independent model: simulate the address fan-out top-down. `addrs`
+    // addresses enter each layer; a paging layer forwards 5 per incoming
+    // address (4 table pointers + the output), a segment layer charges one
+    // check per incoming address only at the start of a contiguous run.
+    for stack in all_stacks() {
+        let mut addrs = 1u32;
+        let mut checks = 0u32;
+        let mut prev_was_segment = false;
+        for layer in stack.layers() {
+            if layer.mode.is_paging() {
+                addrs *= 5;
+                prev_was_segment = false;
+            } else {
+                if !prev_was_segment {
+                    checks += addrs;
+                }
+                prev_was_segment = true;
+            }
+        }
+        assert_eq!(stack.bound_checks(), checks, "stack {stack}");
+    }
+}
+
+#[test]
+fn three_level_stacks_price_the_l2_study() {
+    use LayerMode::{Base4K, DirectSegment};
+    // The 3D wall and what each direct-segment placement buys back.
+    let all_paging = LayerStack::l2(Base4K, Base4K, Base4K);
+    assert_eq!(all_paging.walk_dimensions(), 3);
+    assert_eq!(all_paging.common_walk_refs(), 124);
+    for (stack, refs) in [
+        (LayerStack::l2(DirectSegment, Base4K, Base4K), 24),
+        (LayerStack::l2(Base4K, DirectSegment, Base4K), 24),
+        (LayerStack::l2(Base4K, Base4K, DirectSegment), 24),
+    ] {
+        assert_eq!(stack.walk_dimensions(), 2, "stack {stack}");
+        assert_eq!(stack.common_walk_refs(), refs, "stack {stack}");
+    }
+}

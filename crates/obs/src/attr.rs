@@ -33,6 +33,15 @@ pub const ROW_LABELS: [&str; GUEST_ROWS] = ["gL4", "gL3", "gL2", "gL1", "data"];
 /// Column labels, indexed by nested slot (level 4 first, `ref` last).
 pub const COL_LABELS: [&str; NESTED_COLS] = ["nL4", "nL3", "nL2", "nL1", "ref"];
 
+/// Middle-dimension slots per guest step for 3-level (L2) translation:
+/// the four mid-layer (L1-hypervisor) table levels. The mid dimension has
+/// no `ref` column of its own — a mid table entry read is itself resolved
+/// through the host dimension and lands in the 5×5 grid's `ref` column.
+pub const MID_COLS: usize = 4;
+
+/// Mid-dimension column labels (level 4 first).
+pub const MID_LABELS: [&str; MID_COLS] = ["mL4", "mL3", "mL2", "mL1"];
+
 /// Cycle-and-reference attribution for one L1 miss.
 ///
 /// Cells are `u32`: a single access's walk touches at most a few dozen
@@ -49,6 +58,12 @@ pub struct WalkAttr {
     pub refs: [[u32; NESTED_COLS]; GUEST_ROWS],
     /// Modeled cycles per (guest step × nested slot) cell.
     pub cycles: [[u32; NESTED_COLS]; GUEST_ROWS],
+    /// Mid-dimension (L1-hypervisor table) references per (guest step ×
+    /// mid level) cell. All-zero except on 3-level (L2) walks, so 2-level
+    /// exports and fixtures are untouched.
+    pub mid_refs: [[u32; MID_COLS]; GUEST_ROWS],
+    /// Mid-dimension cycles per (guest step × mid level) cell.
+    pub mid_cycles: [[u32; MID_COLS]; GUEST_ROWS],
     /// Cycles spent on the L2 TLB hit path (no walk performed).
     pub l2_hit_cycles: u32,
     /// Cycles spent on nested-TLB hits inside the walk.
@@ -71,6 +86,20 @@ impl WalkAttr {
     pub fn record(&mut self, row: usize, col: usize, cycles: u64) {
         self.refs[row][col] = self.refs[row][col].saturating_add(1);
         self.cycles[row][col] = self.cycles[row][col].saturating_add(clamp32(cycles));
+    }
+
+    /// Records one mid-dimension (L1-hypervisor table) entry read in cell
+    /// `(row, mid level)` costing `cycles`. Only 3-level walks call this.
+    #[inline]
+    pub fn record_mid(&mut self, row: usize, col: usize, cycles: u64) {
+        self.mid_refs[row][col] = self.mid_refs[row][col].saturating_add(1);
+        self.mid_cycles[row][col] = self.mid_cycles[row][col].saturating_add(clamp32(cycles));
+    }
+
+    /// Whether any mid-dimension cell is populated (3-level walks only).
+    pub fn has_mid(&self) -> bool {
+        self.mid_refs.iter().flatten().any(|&r| r != 0)
+            || self.mid_cycles.iter().flatten().any(|&c| c != 0)
     }
 
     /// Adds `cycles` to the L2-hit tier.
@@ -97,21 +126,23 @@ impl WalkAttr {
         self.bound_check_cycles = self.bound_check_cycles.saturating_add(clamp32(cycles));
     }
 
-    /// Total references recorded across all cells.
+    /// Total references recorded across all cells (mid cells included).
     pub fn total_refs(&self) -> u64 {
         self.refs
             .iter()
             .flatten()
+            .chain(self.mid_refs.iter().flatten())
             .map(|&r| u64::from(r))
             .sum()
     }
 
-    /// Total cycles recorded: all cells plus all tiers.
+    /// Total cycles recorded: all cells (mid included) plus all tiers.
     pub fn total_cycles(&self) -> u64 {
         let cells: u64 = self
             .cycles
             .iter()
             .flatten()
+            .chain(self.mid_cycles.iter().flatten())
             .map(|&c| u64::from(c))
             .sum();
         cells
@@ -173,5 +204,21 @@ mod tests {
         assert_eq!(COL_LABELS.len(), NESTED_COLS);
         assert_eq!(COL_LABELS[REF_COL], "ref");
         assert_eq!(ROW_LABELS[GUEST_ROWS - 1], "data");
+        assert_eq!(MID_LABELS.len(), MID_COLS);
+    }
+
+    #[test]
+    fn mid_cells_join_totals_and_emptiness() {
+        let mut a = WalkAttr::default();
+        assert!(!a.has_mid());
+        a.record_mid(0, 3, 160); // gL4 × mL1
+        a.record_mid(4, 0, 160); // data × mL4
+        assert!(a.has_mid());
+        assert!(!a.is_empty());
+        assert_eq!(a.total_refs(), 2);
+        assert_eq!(a.total_cycles(), 320);
+        a.record(0, REF_COL, 10);
+        assert_eq!(a.total_refs(), 3);
+        assert_eq!(a.total_cycles(), 330);
     }
 }

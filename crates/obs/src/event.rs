@@ -21,6 +21,9 @@ pub enum WalkClass {
     VmmSeg1d,
     /// Full 2D nested walk — both dimensions paged.
     Walk2d,
+    /// Full 3D nested-nested walk — all three layers paged (L2
+    /// virtualization with no direct segment collapsing a dimension).
+    Walk3d,
     /// Native 1D walk (unvirtualized paging, shadow paging).
     Walk1d,
     /// The access faulted before a translation completed.
@@ -29,13 +32,14 @@ pub enum WalkClass {
 
 impl WalkClass {
     /// All classes, in rendering order.
-    pub const ALL: [WalkClass; 8] = [
+    pub const ALL: [WalkClass; 9] = [
         WalkClass::L2Hit,
         WalkClass::Bypass0d,
         WalkClass::DirectSegment,
         WalkClass::GuestSeg1d,
         WalkClass::VmmSeg1d,
         WalkClass::Walk2d,
+        WalkClass::Walk3d,
         WalkClass::Walk1d,
         WalkClass::Faulted,
     ];
@@ -49,6 +53,7 @@ impl WalkClass {
             WalkClass::GuestSeg1d => "guest_seg_1d",
             WalkClass::VmmSeg1d => "vmm_seg_1d",
             WalkClass::Walk2d => "walk_2d",
+            WalkClass::Walk3d => "walk_3d",
             WalkClass::Walk1d => "walk_1d",
             WalkClass::Faulted => "faulted",
         }
@@ -79,6 +84,9 @@ pub enum FaultKind {
     NestedNotMapped,
     /// Write hit a read-only leaf.
     WriteProtected,
+    /// Middle dimension unmapped (the L1 hypervisor's table, on 3-level
+    /// walks only). Last so existing per-kind indices stay stable.
+    MidNotMapped,
 }
 
 impl FaultKind {
@@ -89,6 +97,7 @@ impl FaultKind {
             FaultKind::GuestNotMapped => "guest_not_mapped",
             FaultKind::NestedNotMapped => "nested_not_mapped",
             FaultKind::WriteProtected => "write_protected",
+            FaultKind::MidNotMapped => "mid_not_mapped",
         }
     }
 }

@@ -63,8 +63,10 @@ pub fn event_jsonl(e: &WalkEvent) -> String {
 }
 
 /// Renders one [`crate::WalkAttr`] as a JSON object (cells and tiers).
+/// The mid-dimension grids (3-level walks) are appended only when
+/// populated, so 2-level exports render byte-identically to pre-L2 output.
 pub fn attr_json(a: &crate::WalkAttr) -> String {
-    let grid = |m: &[[u32; crate::NESTED_COLS]; crate::GUEST_ROWS]| -> String {
+    fn rows_json<const N: usize>(m: &[[u32; N]; crate::GUEST_ROWS]) -> String {
         let rows: Vec<String> = m
             .iter()
             .map(|row| {
@@ -73,12 +75,21 @@ pub fn attr_json(a: &crate::WalkAttr) -> String {
             })
             .collect();
         format!("[{}]", rows.join(","))
+    }
+    let mid = if a.has_mid() {
+        format!(
+            ",\"mid_refs\":{},\"mid_cycles\":{}",
+            rows_json(&a.mid_refs),
+            rows_json(&a.mid_cycles)
+        )
+    } else {
+        String::new()
     };
     format!(
-        "{{\"refs\":{},\"cycles\":{},\"tiers\":{{\"l2_hit\":{},\
+        "{{\"refs\":{},\"cycles\":{}{mid},\"tiers\":{{\"l2_hit\":{},\
          \"nested_tlb\":{},\"pwc\":{},\"bound_check\":{}}}}}",
-        grid(&a.refs),
-        grid(&a.cycles),
+        rows_json(&a.refs),
+        rows_json(&a.cycles),
         a.l2_hit_cycles,
         a.nested_tlb_cycles,
         a.pwc_cycles,
@@ -216,6 +227,7 @@ impl Telemetry {
             (crate::FaultKind::GuestNotMapped, "guest_not_mapped"),
             (crate::FaultKind::NestedNotMapped, "nested_not_mapped"),
             (crate::FaultKind::WriteProtected, "write_protected"),
+            (crate::FaultKind::MidNotMapped, "mid_not_mapped"),
         ] {
             out.push_str(&format!(
                 "mv_walk_faults_total{} {}\n",

@@ -59,7 +59,9 @@ mod hist;
 mod telemetry;
 mod transition;
 
-pub use attr::{WalkAttr, COL_LABELS, GUEST_ROWS, NESTED_COLS, REF_COL, ROW_LABELS};
+pub use attr::{
+    WalkAttr, COL_LABELS, GUEST_ROWS, MID_COLS, MID_LABELS, NESTED_COLS, REF_COL, ROW_LABELS,
+};
 pub use epoch::EpochSnapshot;
 pub use event::{EscapeOutcome, FaultKind, WalkClass, WalkEvent, WalkObserver};
 pub use export::{epoch_jsonl, event_jsonl};

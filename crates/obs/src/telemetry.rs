@@ -41,7 +41,7 @@ pub struct Telemetry {
     cfg: TelemetryConfig,
     hist: LatencyHistogram,
     class_counts: [u64; WalkClass::ALL.len()],
-    fault_counts: [u64; 4],
+    fault_counts: [u64; 5],
     escape_counts: [u64; 3],
     events: u64,
     last_seq: u64,

@@ -16,7 +16,7 @@
 
 use std::io::{self, Write};
 
-use mv_obs::{COL_LABELS, GUEST_ROWS, NESTED_COLS, ROW_LABELS};
+use mv_obs::{COL_LABELS, GUEST_ROWS, MID_COLS, NESTED_COLS, ROW_LABELS};
 
 use crate::json::{self, Value};
 use crate::matrix::WalkMatrix;
@@ -25,21 +25,41 @@ use crate::profile::Profile;
 /// Renders the body of a matrix as JSON object members (no braces), shared
 /// by the epoch and run scopes.
 fn matrix_members(m: &WalkMatrix) -> String {
-    let grid = |g: &[[u64; NESTED_COLS]; GUEST_ROWS]| -> String {
-        let rows: Vec<String> = g
-            .iter()
-            .map(|row| {
-                let cells: Vec<String> = row.iter().map(u64::to_string).collect();
-                format!("[{}]", cells.join(","))
-            })
-            .collect();
+    fn rows_json(rows: Vec<String>) -> String {
         format!("[{}]", rows.join(","))
+    }
+    fn row_json(row: &[u64]) -> String {
+        let cells: Vec<String> = row.iter().map(u64::to_string).collect();
+        format!("[{}]", cells.join(","))
+    }
+    let grid = |g: &[[u64; NESTED_COLS]; GUEST_ROWS]| -> String {
+        rows_json(g.iter().map(|row| row_json(row)).collect())
+    };
+    // Mid-dimension grids (3-level walks) and fault counts are emitted
+    // only when nonzero, so 2-level exports are byte-identical to the
+    // pre-L2 format (and its golden fixtures).
+    let mid = if m.has_mid() {
+        let mid_grid = |g: &[[u64; MID_COLS]; GUEST_ROWS]| -> String {
+            rows_json(g.iter().map(|row| row_json(row)).collect())
+        };
+        format!(
+            ",\"mid_refs\":{},\"mid_cycles\":{}",
+            mid_grid(&m.mid_refs),
+            mid_grid(&m.mid_cycles)
+        )
+    } else {
+        String::new()
+    };
+    let mid_faults = if m.faults[3] != 0 {
+        format!(",\"mid_not_mapped\":{}", m.faults[3])
+    } else {
+        String::new()
     };
     format!(
-        "\"events\":{},\"refs\":{},\"cycles\":{},\
+        "\"events\":{},\"refs\":{},\"cycles\":{}{mid},\
          \"tiers\":{{\"l2_hit\":{},\"nested_tlb\":{},\"pwc\":{},\"bound_check\":{}}},\
          \"total_cycles\":{},\"attributed_cycles\":{},\"escapes\":{},\
-         \"faults\":{{\"guest_not_mapped\":{},\"nested_not_mapped\":{},\"write_protected\":{}}},\
+         \"faults\":{{\"guest_not_mapped\":{},\"nested_not_mapped\":{},\"write_protected\":{}{mid_faults}}},\
          \"fault_cycles\":{}",
         m.events,
         grid(&m.refs),
@@ -206,6 +226,28 @@ pub fn matrix_from_value(v: &Value) -> Option<WalkMatrix> {
     };
     grid("refs", &mut m.refs)?;
     grid("cycles", &mut m.cycles)?;
+    // Mid grids are optional: pre-L2 exports (and every 2-level export
+    // since) simply omit them.
+    let mid_grid = |key: &str, dst: &mut [[u64; MID_COLS]; GUEST_ROWS]| -> Option<()> {
+        let Some(rows) = v.get(key).and_then(Value::as_arr) else {
+            return Some(());
+        };
+        if rows.len() != GUEST_ROWS {
+            return None;
+        }
+        for (r, row) in rows.iter().enumerate() {
+            let cells = row.as_arr()?;
+            if cells.len() != MID_COLS {
+                return None;
+            }
+            for (c, cell) in cells.iter().enumerate() {
+                dst[r][c] = cell.as_u64()?;
+            }
+        }
+        Some(())
+    };
+    mid_grid("mid_refs", &mut m.mid_refs)?;
+    mid_grid("mid_cycles", &mut m.mid_cycles)?;
     let tiers = v.get("tiers")?;
     m.l2_hit_cycles = u64_field(tiers, "l2_hit")?;
     m.nested_tlb_cycles = u64_field(tiers, "nested_tlb")?;
@@ -216,6 +258,7 @@ pub fn matrix_from_value(v: &Value) -> Option<WalkMatrix> {
         u64_field(faults, "guest_not_mapped")?,
         u64_field(faults, "nested_not_mapped")?,
         u64_field(faults, "write_protected")?,
+        u64_field(faults, "mid_not_mapped").unwrap_or(0),
     ];
     Some(m)
 }
@@ -278,6 +321,30 @@ mod tests {
             assert_eq!(*idx, e.index);
             assert_eq!(*m, e.matrix);
         }
+    }
+
+    #[test]
+    fn mid_grids_round_trip_and_stay_absent_on_two_level_exports() {
+        // A 2-level matrix must not mention the mid grids at all.
+        let p = sample_profile();
+        let mut buf = Vec::new();
+        p.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.contains("mid_refs"), "2-level exports carry no mid grid");
+        assert!(!text.contains("mid_not_mapped"));
+
+        // A 3-level matrix round-trips its mid cells exactly.
+        let mut e = ev(7);
+        e.attr.record_mid(2, 1, 60);
+        e.fault = FaultKind::MidNotMapped;
+        e.cycles = e.attr.total_cycles();
+        let mut m = WalkMatrix::default();
+        m.record(&e);
+        let line = matrix_jsonl(&m, "run", None);
+        assert!(line.contains("\"mid_refs\""));
+        assert!(line.contains("\"mid_not_mapped\":1"));
+        let parsed = matrix_from_value(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, m);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! renderers (inferno, speedscope). The "stack" for a walk cost is the
 //! path the hardware took to incur it: `gva;<guest step>;<nested slot>`.
 
-use mv_obs::{COL_LABELS, GUEST_ROWS, NESTED_COLS, ROW_LABELS};
+use mv_obs::{COL_LABELS, GUEST_ROWS, MID_COLS, MID_LABELS, NESTED_COLS, ROW_LABELS};
 
 use crate::matrix::WalkMatrix;
 use crate::profile::Profile;
@@ -31,6 +31,13 @@ pub fn fold_matrix(m: &WalkMatrix, out: &mut String) {
     for (r, row) in ROW_LABELS.iter().enumerate().take(GUEST_ROWS) {
         for (c, col) in COL_LABELS.iter().enumerate().take(NESTED_COLS) {
             line(&format!("{row};{col}"), m.cycles[r][c]);
+        }
+    }
+    // Mid-dimension cells (3-level walks only): all-zero on 2-level
+    // profiles, so the nonzero filter keeps legacy output byte-identical.
+    for (r, row) in ROW_LABELS.iter().enumerate().take(GUEST_ROWS) {
+        for (c, col) in MID_LABELS.iter().enumerate().take(MID_COLS) {
+            line(&format!("{row};{col}"), m.mid_cycles[r][c]);
         }
     }
     line(

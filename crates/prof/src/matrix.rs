@@ -1,7 +1,7 @@
 //! The aggregate walk matrix: per-cell cycle and reference totals over many
 //! events, with the same associative-merge discipline as `Telemetry`.
 
-use mv_obs::{EscapeOutcome, FaultKind, WalkAttr, WalkEvent, GUEST_ROWS, NESTED_COLS};
+use mv_obs::{EscapeOutcome, FaultKind, WalkAttr, WalkEvent, GUEST_ROWS, MID_COLS, NESTED_COLS};
 
 /// Aggregated attribution over a set of walk events — one epoch's worth or
 /// a whole run's.
@@ -19,6 +19,11 @@ pub struct WalkMatrix {
     pub refs: [[u64; NESTED_COLS]; GUEST_ROWS],
     /// Modeled cycles per (guest step × nested slot) cell.
     pub cycles: [[u64; NESTED_COLS]; GUEST_ROWS],
+    /// Mid-dimension references per (guest step × mid level) cell —
+    /// populated only by 3-level (L2 nested-nested) walks.
+    pub mid_refs: [[u64; MID_COLS]; GUEST_ROWS],
+    /// Mid-dimension cycles per (guest step × mid level) cell.
+    pub mid_cycles: [[u64; MID_COLS]; GUEST_ROWS],
     /// Cycles on the L2 TLB hit tier.
     pub l2_hit_cycles: u64,
     /// Cycles on nested-TLB hits inside walks.
@@ -32,8 +37,9 @@ pub struct WalkMatrix {
     /// Events whose escape filter flagged the address back to paging.
     pub escapes: u64,
     /// Events that faulted before completing, by [`FaultKind`] minus
-    /// `None`: `[guest_not_mapped, nested_not_mapped, write_protected]`.
-    pub faults: [u64; 3],
+    /// `None`: `[guest_not_mapped, nested_not_mapped, write_protected,
+    /// mid_not_mapped]`.
+    pub faults: [u64; 4],
     /// Cycles charged to faulted events (their partial walks).
     pub fault_cycles: u64,
 }
@@ -59,6 +65,12 @@ impl WalkMatrix {
                 self.refs[r][c] = self.refs[r][c].saturating_add(u64::from(a.refs[r][c]));
                 self.cycles[r][c] = self.cycles[r][c].saturating_add(u64::from(a.cycles[r][c]));
             }
+            for c in 0..MID_COLS {
+                self.mid_refs[r][c] =
+                    self.mid_refs[r][c].saturating_add(u64::from(a.mid_refs[r][c]));
+                self.mid_cycles[r][c] =
+                    self.mid_cycles[r][c].saturating_add(u64::from(a.mid_cycles[r][c]));
+            }
         }
         self.l2_hit_cycles = self.l2_hit_cycles.saturating_add(u64::from(a.l2_hit_cycles));
         self.nested_tlb_cycles = self
@@ -79,6 +91,11 @@ impl WalkMatrix {
                 self.refs[r][c] = self.refs[r][c].saturating_add(other.refs[r][c]);
                 self.cycles[r][c] = self.cycles[r][c].saturating_add(other.cycles[r][c]);
             }
+            for c in 0..MID_COLS {
+                self.mid_refs[r][c] = self.mid_refs[r][c].saturating_add(other.mid_refs[r][c]);
+                self.mid_cycles[r][c] =
+                    self.mid_cycles[r][c].saturating_add(other.mid_cycles[r][c]);
+            }
         }
         self.l2_hit_cycles = self.l2_hit_cycles.saturating_add(other.l2_hit_cycles);
         self.nested_tlb_cycles = self.nested_tlb_cycles.saturating_add(other.nested_tlb_cycles);
@@ -94,14 +111,28 @@ impl WalkMatrix {
         self.fault_cycles = self.fault_cycles.saturating_add(other.fault_cycles);
     }
 
-    /// Sum of all cell cycles (excluding tiers).
+    /// Sum of all cell cycles (excluding tiers), mid cells included.
     pub fn cell_cycles(&self) -> u64 {
-        self.cycles.iter().flatten().fold(0u64, |s, &c| s.saturating_add(c))
+        self.cycles
+            .iter()
+            .flatten()
+            .chain(self.mid_cycles.iter().flatten())
+            .fold(0u64, |s, &c| s.saturating_add(c))
     }
 
-    /// Sum of all cell references.
+    /// Sum of all cell references, mid cells included.
     pub fn cell_refs(&self) -> u64 {
-        self.refs.iter().flatten().fold(0u64, |s, &r| s.saturating_add(r))
+        self.refs
+            .iter()
+            .flatten()
+            .chain(self.mid_refs.iter().flatten())
+            .fold(0u64, |s, &r| s.saturating_add(r))
+    }
+
+    /// Whether any mid-dimension cell is populated (3-level walks only).
+    pub fn has_mid(&self) -> bool {
+        self.mid_refs.iter().flatten().any(|&r| r != 0)
+            || self.mid_cycles.iter().flatten().any(|&c| c != 0)
     }
 
     /// Sum of the scalar tiers.
@@ -127,10 +158,21 @@ impl WalkMatrix {
             .fold(0u64, |s, row| s.saturating_add(row[mv_obs::REF_COL]))
     }
 
-    /// Cycles spent in the nested dimension (all non-`ref` columns).
+    /// Cycles spent in the mid dimension (L1-hypervisor table entry
+    /// reads; nonzero only on 3-level walks).
+    pub fn mid_dimension_cycles(&self) -> u64 {
+        self.mid_cycles
+            .iter()
+            .flatten()
+            .fold(0u64, |s, &c| s.saturating_add(c))
+    }
+
+    /// Cycles spent in the nested (host) dimension: all non-`ref` columns
+    /// of the main grid.
     pub fn nested_dimension_cycles(&self) -> u64 {
         self.cell_cycles()
             .saturating_sub(self.guest_dimension_cycles())
+            .saturating_sub(self.mid_dimension_cycles())
     }
 
     /// Total faulted events across all kinds.
@@ -193,9 +235,32 @@ mod tests {
         e.fault = FaultKind::NestedNotMapped;
         let mut m = WalkMatrix::default();
         m.record(&e);
-        assert_eq!(m.faults, [0, 1, 0]);
+        assert_eq!(m.faults, [0, 1, 0, 0]);
         assert_eq!(m.fault_events(), 1);
         assert_eq!(m.fault_cycles, e.cycles);
+    }
+
+    #[test]
+    fn mid_cells_fold_merge_and_split_out() {
+        let mut e = event(1);
+        e.attr.record_mid(0, 3, 160);
+        e.attr.record_mid(4, 0, 18);
+        e.cycles = e.attr.total_cycles();
+        let mut m = WalkMatrix::default();
+        m.record(&e);
+        assert!(m.has_mid());
+        assert_eq!(m.mid_refs[0][3], 1);
+        assert_eq!(m.mid_cycles[4][0], 18);
+        assert_eq!(m.mid_dimension_cycles(), 178);
+        assert_eq!(m.attributed_cycles(), m.total_cycles, "conservation");
+        // The host split excludes mid cycles.
+        assert_eq!(
+            m.guest_dimension_cycles() + m.mid_dimension_cycles() + m.nested_dimension_cycles(),
+            m.cell_cycles()
+        );
+        let mut merged = WalkMatrix::default();
+        merged.merge(&m);
+        assert_eq!(merged, m);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! order across grid cells, and saturation instead of wraparound.
 
 use mv_obs::{
-    EscapeOutcome, FaultKind, WalkAttr, WalkClass, WalkEvent, WalkObserver, GUEST_ROWS,
+    EscapeOutcome, FaultKind, WalkAttr, WalkClass, WalkEvent, WalkObserver, GUEST_ROWS, MID_COLS,
     NESTED_COLS,
 };
 use mv_prof::{Profile, ProfileConfig, WalkMatrix};
@@ -137,13 +137,15 @@ fn merge_saturates_every_field_instead_of_wrapping() {
         events: u64::MAX,
         refs: [[u64::MAX; NESTED_COLS]; GUEST_ROWS],
         cycles: [[u64::MAX; NESTED_COLS]; GUEST_ROWS],
+        mid_refs: [[u64::MAX; MID_COLS]; GUEST_ROWS],
+        mid_cycles: [[u64::MAX; MID_COLS]; GUEST_ROWS],
         l2_hit_cycles: u64::MAX,
         nested_tlb_cycles: u64::MAX,
         pwc_cycles: u64::MAX,
         bound_check_cycles: u64::MAX,
         total_cycles: u64::MAX,
         escapes: u64::MAX,
-        faults: [u64::MAX; 3],
+        faults: [u64::MAX; 4],
         fault_cycles: u64::MAX,
     };
     let mut merged = ceiling;

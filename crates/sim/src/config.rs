@@ -47,6 +47,32 @@ pub enum Env {
         /// VMM page size used when composing shadow leaves.
         nested: PageSize,
     },
+    /// Nested-nested (L2) virtualization: an L2 guest on an L1 hypervisor
+    /// on the L0 host — a 3-deep translation-layer stack extending the
+    /// paper's dimensionality study.
+    L2 {
+        /// L1 hypervisor page size for mid (A→B) mappings.
+        mid: PageSize,
+        /// L0 VMM page size for nested (B→hPA) mappings.
+        nested: PageSize,
+        /// The L2 translation mode; must be
+        /// [`TranslationMode::L2Nested`], whose flags place a direct
+        /// segment per layer.
+        mode: TranslationMode,
+        /// How the L1 hypervisor virtualizes the L2 guest's translation.
+        strategy: L2Strategy,
+    },
+}
+
+/// How an [`Env::L2`] stack translates the L2 guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2Strategy {
+    /// Hardware walks all three layers: 3D nested-nested walks.
+    NestedNested,
+    /// The L1 hypervisor shadow-collapses the top two layers into one
+    /// gVA→B table; hardware does ordinary 2D walks (shadow × host), and
+    /// every shadow resync costs an L0-emulated L1 exit.
+    ShadowOnNested,
 }
 
 impl Env {
@@ -95,6 +121,36 @@ impl Env {
             mode: TranslationMode::DualDirect,
         }
     }
+
+    /// Nested-nested L2 virtualization with per-layer direct-segment
+    /// placement (all `false` = fully paged 3D walks).
+    pub fn l2(guest_ds: bool, mid_ds: bool, host_ds: bool) -> Env {
+        Env::L2 {
+            mid: PageSize::Size4K,
+            nested: PageSize::Size4K,
+            mode: TranslationMode::L2Nested {
+                guest_ds,
+                mid_ds,
+                host_ds,
+            },
+            strategy: L2Strategy::NestedNested,
+        }
+    }
+
+    /// L2 virtualization where the L1 hypervisor shadow-collapses the top
+    /// two layers (no direct segments; the hardware walks 2D).
+    pub fn l2_shadow() -> Env {
+        Env::L2 {
+            mid: PageSize::Size4K,
+            nested: PageSize::Size4K,
+            mode: TranslationMode::L2Nested {
+                guest_ds: false,
+                mid_ds: false,
+                host_ds: false,
+            },
+            strategy: L2Strategy::ShadowOnNested,
+        }
+    }
 }
 
 /// One experiment configuration: workload × environment × sizing.
@@ -138,6 +194,14 @@ impl SimConfig {
                 m => format!("{}+{}", self.guest_paging.label(), m.label()),
             },
             Env::Shadow { .. } => format!("{}+shadow", self.guest_paging.label()),
+            Env::L2 { mode, strategy, .. } => match strategy {
+                L2Strategy::NestedNested => {
+                    format!("{}+{}", self.guest_paging.label(), mode.label())
+                }
+                L2Strategy::ShadowOnNested => {
+                    format!("{}+L2shadow", self.guest_paging.label())
+                }
+            },
         }
     }
 }
@@ -180,5 +244,15 @@ mod tests {
             cfg(Fixed(Size4K), Env::Shadow { nested: Size4K }).label(),
             "4K+shadow"
         );
+        assert_eq!(cfg(Fixed(Size4K), Env::l2(false, false, false)).label(), "4K+L2");
+        assert_eq!(
+            cfg(Fixed(Size4K), Env::l2(true, true, true)).label(),
+            "4K+L2+TD"
+        );
+        assert_eq!(
+            cfg(Fixed(Size4K), Env::l2(false, true, false)).label(),
+            "4K+L2+MD"
+        );
+        assert_eq!(cfg(Fixed(Size4K), Env::l2_shadow()).label(), "4K+L2shadow");
     }
 }

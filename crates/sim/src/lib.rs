@@ -33,6 +33,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The translation hot path and the machine layer must degrade via typed
+// errors, never abort (tests may still unwrap freely) — the same
+// discipline as mv-vmm/mv-guestos, extended here with the layer-stack
+// refactor.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod config;
 mod grid;
@@ -41,7 +46,7 @@ mod native;
 mod result;
 mod run;
 
-pub use config::{Env, GuestPaging, SimConfig};
+pub use config::{Env, GuestPaging, L2Strategy, SimConfig};
 pub use grid::{CellFailure, CellOutcome, GridCell, GridReport};
 pub use machine::{
     ExitStats, FaultService, Machine, NativeMachine, ShadowMachine, VirtualizedMachine,

@@ -1,0 +1,589 @@
+//! Nested-nested (L2) virtualization: an L2 guest on an L1 hypervisor on
+//! the L0 host — the 3-deep layer stack that extends the paper's
+//! dimensionality study one level down.
+//!
+//! Two strategies ship. **Nested-on-nested** lets the hardware walk all
+//! three layers (3D walks, up to 124 references), with a direct segment
+//! optionally placed per layer by the [`TranslationMode::L2Nested`]
+//! flags. **Shadow-on-nested** has the L1 hypervisor collapse the top two
+//! layers into one gVA→B shadow table, so the hardware does ordinary 2D
+//! walks — but every shadow resync costs an L1 exit that L0 must emulate
+//! ([`mv_vmm::L2_EXIT_MULTIPLIER`]× a plain exit).
+
+use mv_chaos::DegradeLevel;
+use mv_core::{
+    EscapeFilter, LayerStack, MemoryContext, Mmu, MmuConfig, Segment, TranslationFault,
+    TranslationMode,
+};
+use mv_guestos::{FaultFix, GuestConfig, GuestOs, PageSizePolicy};
+use mv_pt::PageTable;
+use mv_types::rng::StdRng;
+use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize, Prot, MIB};
+use mv_vmm::{L1Hypervisor, SegmentOptions, VmConfig, Vmm, VmmError, VM_EXIT_CYCLES};
+
+use crate::config::{Env, GuestPaging, L2Strategy, SimConfig};
+use crate::machine::degrade::escape_pages;
+use crate::machine::{mmu_for, ExitStats, FaultService, Machine, CHURN_REGION};
+use crate::run::SimError;
+
+/// An L2 guest process over an L1 hypervisor over the L0 host: three
+/// address spaces (gVA → A → B → hPA) and, under nested-on-nested, the
+/// 3D walker behind [`MemoryContext::l2`].
+#[derive(Debug)]
+pub struct L2Machine {
+    vmm: Vmm,
+    vm: mv_vmm::VmId,
+    l1: L1Hypervisor,
+    guest: GuestOs,
+    /// Shadow-on-nested only: the L1-maintained gVA→B table collapsing
+    /// the guest and mid layers (stored in space B like the mid table).
+    shadow: Option<PageTable<Gva, Gpa>>,
+    pid: u32,
+    base: u64,
+    churn_base: Gva,
+    churn_cursor: u64,
+    l0_exits_at_reset: u64,
+    l1_exits_at_reset: u64,
+    l1_exit_cycles_at_reset: u64,
+    stack: LayerStack,
+}
+
+impl Machine for L2Machine {
+    fn build(cfg: &SimConfig, hw: MmuConfig) -> Result<(Self, Mmu), SimError> {
+        let Env::L2 {
+            mid,
+            nested,
+            mode,
+            strategy,
+        } = cfg.env
+        else {
+            unreachable!("dispatched on env");
+        };
+        // Space A sizing follows the 2-level guest; space B must hold the
+        // mid mappings (rounded to mid pages), a possible mid-segment
+        // copy, and the mid/shadow tables; the host likewise for space B.
+        let installed = cfg.footprint + cfg.footprint / 2 + 96 * MIB;
+        let b_span = 2 * installed.next_multiple_of(mid.bytes()) + 128 * MIB;
+        let host = 2 * b_span.next_multiple_of(nested.bytes()) + 128 * MIB;
+        let mut vmm = Vmm::new(host);
+        // The L0 VM spans all of space B: in a 3D walk the mid-table
+        // frames themselves are read through the nested dimension.
+        let vm = vmm.create_vm(VmConfig::new(b_span, nested))?;
+        let mut l1 = L1Hypervisor::boot(b_span, installed, mid)?;
+        let mut guest = GuestOs::boot(GuestConfig::small(installed))?;
+        let policy = match cfg.guest_paging {
+            GuestPaging::Fixed(s) => PageSizePolicy::Fixed(s),
+            GuestPaging::Thp => PageSizePolicy::Thp,
+        };
+        let pid = guest.create_process(policy)?;
+
+        let (stack, mmu_mode) = match strategy {
+            L2Strategy::NestedNested => (mode.stack(), mode),
+            // The hardware walks shadow × nested: a 2-layer stack.
+            L2Strategy::ShadowOnNested => (
+                TranslationMode::BaseVirtualized.stack(),
+                TranslationMode::BaseVirtualized,
+            ),
+        };
+        let layers = l2_layers(mode.stack());
+        let base = if layers[0].needs_escape_handling() {
+            guest.create_primary_region(pid, cfg.footprint)?
+        } else {
+            guest.mmap(pid, cfg.footprint, Prot::RW)?
+        }
+        .as_u64();
+        let mut mmu = mmu_for(hw, mmu_mode);
+
+        // Each direct-segment layer gets its registers programmed…
+        if matches!(strategy, L2Strategy::NestedNested) {
+            if layers[0].needs_escape_handling() {
+                let seg = guest.setup_guest_segment(pid)?;
+                mmu.set_guest_segment(seg);
+            }
+            if layers[1].needs_escape_handling() {
+                let span = guest.mem().size_bytes();
+                let seg = l1.create_mid_segment(AddrRange::new(Gpa::ZERO, Gpa::new(span)))?;
+                mmu.set_mid_segment(seg);
+            }
+            if layers[2].needs_escape_handling() {
+                let span = l1.mem().size_bytes();
+                let seg = vmm.create_vmm_segment(
+                    vm,
+                    AddrRange::new(Gpa::ZERO, Gpa::new(span)),
+                    SegmentOptions::default(),
+                )?;
+                mmu.set_vmm_segment(seg);
+            }
+        }
+        // …and each paging layer gets its table pre-populated to steady
+        // state (the shadow strategy always needs the guest table — it is
+        // what the shadow mirrors).
+        if layers[0].mode.is_paging() {
+            guest.populate(pid, Gva::new(base), cfg.footprint)?;
+        }
+        if layers[1].mode.is_paging() {
+            let span = guest.mem().size_bytes();
+            l1.map_range(AddrRange::new(Gpa::ZERO, Gpa::new(span)))?;
+        }
+        if layers[2].mode.is_paging() {
+            let span = l1.mem().size_bytes();
+            vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(span)))?;
+        }
+
+        let shadow = match strategy {
+            L2Strategy::NestedNested => None,
+            L2Strategy::ShadowOnNested => {
+                let mut spt = PageTable::new(l1.mem_mut()).map_err(VmmError::from)?;
+                for fix in &guest.leaf_fixes(pid) {
+                    sync_shadow(&mut spt, &mut l1, fix)?;
+                }
+                Some(spt)
+            }
+        };
+
+        let churn_base = guest.mmap(pid, CHURN_REGION, Prot::RW)?;
+        Ok((
+            L2Machine {
+                vmm,
+                vm,
+                l1,
+                guest,
+                shadow,
+                pid,
+                base,
+                churn_base,
+                churn_cursor: 0,
+                l0_exits_at_reset: 0,
+                l1_exits_at_reset: 0,
+                l1_exit_cycles_at_reset: 0,
+                stack,
+            },
+            mmu,
+        ))
+    }
+
+    /// Nested-on-nested reports the mode's 3-layer stack;
+    /// shadow-on-nested reports the 2-layer stack the hardware actually
+    /// walks (the collapse is the point of that strategy).
+    fn layer_stack(&self) -> LayerStack {
+        self.stack
+    }
+
+    fn arena_base(&self) -> u64 {
+        self.base
+    }
+
+    fn asid(&self) -> u16 {
+        self.pid as u16
+    }
+
+    fn ctx(&mut self) -> MemoryContext<'_> {
+        match &self.shadow {
+            Some(spt) => MemoryContext::virtualized(
+                (spt, self.l1.mem()),
+                self.vmm.npt_and_hmem(self.vm),
+            ),
+            None => MemoryContext::l2(
+                self.guest.pt_and_mem(self.pid),
+                self.l1.mpt_and_mem(),
+                self.vmm.npt_and_hmem(self.vm),
+            ),
+        }
+    }
+
+    fn service_fault(&mut self, fault: TranslationFault) -> Result<FaultService, SimError> {
+        match fault {
+            TranslationFault::GuestNotMapped { gva } => {
+                if self.shadow.is_some() {
+                    // Shadow miss: a real guest fault or a hidden one
+                    // (guest mapped it; only the shadow is stale).
+                    let fix = match self.guest.lookup_fix(self.pid, gva) {
+                        Some(fix) => fix,
+                        None => self.guest.handle_page_fault(self.pid, gva)?,
+                    };
+                    if let Some(spt) = &mut self.shadow {
+                        sync_shadow(spt, &mut self.l1, &fix)?;
+                    }
+                } else {
+                    self.guest.handle_page_fault(self.pid, gva)?;
+                }
+                Ok(FaultService::Serviced)
+            }
+            TranslationFault::MidNotMapped { gpa, .. } => {
+                self.l1.handle_mid_fault(gpa)?;
+                Ok(FaultService::Serviced)
+            }
+            TranslationFault::NestedNotMapped { gpa, .. } => {
+                self.vmm.handle_nested_fault(self.vm, gpa)?;
+                Ok(FaultService::Serviced)
+            }
+            _ => Ok(FaultService::Unserviceable),
+        }
+    }
+
+    /// Allocation churn in the L2 guest. Under shadow-on-nested every
+    /// guest page-table change additionally traps to L1 (L0-emulated) to
+    /// resync the shadow.
+    fn churn_event(&mut self, mmu: &mut Mmu) -> Result<(), SimError> {
+        let va = Gva::new(self.churn_base.as_u64() + (self.churn_cursor % CHURN_REGION));
+        self.churn_cursor += PageSize::Size4K.bytes();
+        if let Some((va_page, size)) = self.guest.unmap_page(self.pid, va)? {
+            mmu.invalidate_page(self.pid as u16, va_page);
+            if let Some(spt) = &mut self.shadow {
+                // The PT write traps to L1; stale shadow leaves go. The
+                // shadow maps at 4 KiB, so larger guest leaves drop one
+                // entry per covered small page (absent entries are fine).
+                self.l1.record_spurious_exit();
+                for off in (0..size.bytes()).step_by(PageSize::Size4K.bytes() as usize) {
+                    let _ = spt.unmap(
+                        self.l1.mem_mut(),
+                        Gva::new(va_page.as_u64() + off),
+                        PageSize::Size4K,
+                    );
+                }
+            }
+        } else {
+            let fix = self.guest.handle_page_fault(self.pid, va)?;
+            if let Some(spt) = &mut self.shadow {
+                sync_shadow(spt, &mut self.l1, &fix)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn window_open(&mut self) {
+        self.l0_exits_at_reset = self.vmm.vm_exits(self.vm);
+        self.l1_exits_at_reset = self.l1.counters().l1_exits;
+        self.l1_exit_cycles_at_reset = self.l1.exit_cycles();
+    }
+
+    fn exit_stats(&self) -> ExitStats {
+        let l0 = self.vmm.vm_exits(self.vm) - self.l0_exits_at_reset;
+        let l1 = self.l1.counters().l1_exits - self.l1_exits_at_reset;
+        let l1_cycles = self.l1.exit_cycles() - self.l1_exit_cycles_at_reset;
+        ExitStats {
+            cycles: l0 as f64 * VM_EXIT_CYCLES as f64 + l1_cycles as f64,
+            vm_exits: l0 + l1,
+        }
+    }
+
+    fn chaos_frame_loss(&mut self, draw: u64) -> u64 {
+        let range = AddrRange::new(Hpa::ZERO, Hpa::new(self.vmm.hmem().size_bytes()));
+        let n = 1 + (draw % 4) as usize;
+        let mut rng = StdRng::seed_from_u64(draw);
+        self.vmm
+            .hmem_mut()
+            .inject_bad_frames(&mut rng, &range, n)
+            .map_or(0, |lost| lost.len() as u64)
+    }
+
+    fn chaos_frag_storm(&mut self, draw: u64) -> u64 {
+        let n = 2 + draw % 6;
+        let mut taken = 0;
+        for _ in 0..n {
+            if self.vmm.hmem_mut().alloc(PageSize::Size4K).is_err() {
+                break;
+            }
+            taken += 1;
+        }
+        taken
+    }
+
+    fn chaos_spurious_exit(&mut self) {
+        // An L1 interrupt amplified through L0 emulation.
+        self.l1.record_spurious_exit();
+    }
+
+    fn degrade_to(&mut self, mmu: &mut Mmu, level: DegradeLevel, draw: u64) -> bool {
+        if self.shadow.is_some() {
+            return false; // no segments to degrade
+        }
+        let layers = l2_layers(self.stack);
+        let guest_seg = layers[0]
+            .needs_escape_handling()
+            .then(|| self.guest.process(self.pid).segment())
+            .flatten();
+        let mid_seg = layers[1]
+            .needs_escape_handling()
+            .then(|| self.l1.segment())
+            .flatten();
+        let vmm_seg = layers[2]
+            .needs_escape_handling()
+            .then(|| self.vmm.vm(self.vm).segment())
+            .flatten();
+        if guest_seg.is_none() && mid_seg.is_none() && vmm_seg.is_none() {
+            return false;
+        }
+        match level {
+            DegradeLevel::EscapeHeavy => {
+                // Guard the outermost available segment with a populated
+                // escape filter (same policy as the 2-level machines).
+                if let Some(seg) = guest_seg {
+                    let mut filter = EscapeFilter::new(draw);
+                    let range = seg.range();
+                    for page in escape_pages(range.start().as_u64(), range.len(), draw) {
+                        filter.insert(page);
+                    }
+                    mmu.set_guest_escape_filter(Some(filter));
+                } else if let Some(seg) = mid_seg {
+                    let mut filter = EscapeFilter::new(draw);
+                    let range = seg.range();
+                    for page in escape_pages(range.start().as_u64(), range.len(), draw) {
+                        filter.insert(page);
+                    }
+                    mmu.set_mid_escape_filter(Some(filter));
+                } else if let Some(seg) = vmm_seg {
+                    // Extend the VM's own filter (bad frames must keep
+                    // escaping) when one exists; its seed is kept.
+                    let mut filter = self
+                        .vmm
+                        .vm(self.vm)
+                        .escape_filter()
+                        .cloned()
+                        .unwrap_or_else(|| EscapeFilter::new(draw));
+                    let range = seg.range();
+                    for page in escape_pages(range.start().as_u64(), range.len(), draw) {
+                        filter.insert(page);
+                    }
+                    mmu.set_vmm_escape_filter(Some(filter));
+                }
+                true
+            }
+            DegradeLevel::Paging => {
+                if guest_seg.is_some() {
+                    mmu.set_guest_escape_filter(None);
+                    mmu.set_guest_segment(Segment::nullified());
+                }
+                if mid_seg.is_some() {
+                    mmu.set_mid_escape_filter(None);
+                    mmu.set_mid_segment(Segment::nullified());
+                }
+                if vmm_seg.is_some() {
+                    mmu.set_vmm_escape_filter(None);
+                    mmu.set_vmm_segment(Segment::nullified());
+                }
+                true
+            }
+            DegradeLevel::Direct => false,
+        }
+    }
+
+    fn try_recover(&mut self, mmu: &mut Mmu) -> bool {
+        if self.shadow.is_some() {
+            return false;
+        }
+        let layers = l2_layers(self.stack);
+        let mut restored = false;
+        if layers[0].needs_escape_handling() {
+            if let Some(seg) = self.guest.process(self.pid).segment() {
+                mmu.set_guest_escape_filter(None);
+                mmu.set_guest_segment(seg);
+                restored = true;
+            }
+        }
+        if layers[1].needs_escape_handling() {
+            if let Some(seg) = self.l1.segment() {
+                mmu.set_mid_escape_filter(None);
+                mmu.set_mid_segment(seg);
+                restored = true;
+            }
+        }
+        if layers[2].needs_escape_handling() {
+            if let Some(seg) = self.vmm.vm(self.vm).segment() {
+                // Restore the VM's authoritative escape filter, not a
+                // blank one — bad frames must keep escaping.
+                mmu.set_vmm_escape_filter(self.vmm.vm(self.vm).escape_filter().cloned());
+                mmu.set_vmm_segment(seg);
+                restored = true;
+            }
+        }
+        restored
+    }
+
+    fn reference_translate(&self, va: Gva) -> Option<u64> {
+        // Chain the three authoritative software layers (the shadow, when
+        // present, mirrors guest∘mid and lands on the same host address).
+        // Each dimension tries its table first — escaped pages map their
+        // segment-computed targets there — then segment arithmetic.
+        let (gpt, amem) = self.guest.pt_and_mem(self.pid);
+        let apa = gpt.translate(amem, va).map(|t| t.pa).or_else(|| {
+            self.guest
+                .process(self.pid)
+                .segment()
+                .and_then(|s| s.translate(va))
+        })?;
+        let (mpt, bmem) = self.l1.mpt_and_mem();
+        let bpa = mpt
+            .translate(bmem, apa)
+            .map(|t| t.pa)
+            .or_else(|| self.l1.segment().and_then(|s| s.translate(apa)))?;
+        let (npt, hmem) = self.vmm.npt_and_hmem(self.vm);
+        npt.translate(hmem, bpa)
+            .map(|t| t.pa.as_u64())
+            .or_else(|| {
+                self.vmm
+                    .vm(self.vm)
+                    .segment()
+                    .and_then(|s| s.translate(bpa))
+                    .map(|h| h.as_u64())
+            })
+    }
+}
+
+/// Splits an L2 mode's 3-deep layer stack into guest, mid, and host
+/// layers.
+fn l2_layers(stack: LayerStack) -> [mv_core::TranslationLayer; 3] {
+    match *stack.layers() {
+        [g, m, h] => [g, m, h],
+        _ => unreachable!("L2 modes build 3-layer stacks"),
+    }
+}
+
+/// Resyncs the gVA→B shadow for one guest leaf: the trapped PT write is
+/// an L1 exit, the covered space-A pages get mid mappings on demand, and
+/// each 4 KiB sub-page is shadow-mapped to its composed space-B address.
+fn sync_shadow(
+    spt: &mut PageTable<Gva, Gpa>,
+    l1: &mut L1Hypervisor,
+    fix: &FaultFix,
+) -> Result<(), SimError> {
+    l1.record_spurious_exit();
+    for off in (0..fix.size.bytes()).step_by(PageSize::Size4K.bytes() as usize) {
+        let apa = fix.gpa.add(off);
+        l1.handle_mid_fault(apa)?;
+        let bpa = {
+            let (mpt, bmem) = l1.mpt_and_mem();
+            // Just demand-mapped above, so the translation must exist.
+            match mpt.translate(bmem, apa) {
+                Some(t) => Gpa::new(t.pa.as_u64() & !PageSize::Size4K.offset_mask()),
+                None => return Err(SimError::Vmm(VmmError::OutsideSlots { gpa: apa.as_u64() })),
+            }
+        };
+        let va = Gva::new(fix.va_page.as_u64() + off);
+        match spt.translate(l1.mem(), va) {
+            Some(t) if t.page_base == bpa => {}
+            Some(_) => {
+                // Stale entry (guest remapped the page): replace it.
+                spt.unmap(l1.mem_mut(), va, PageSize::Size4K)
+                    .map_err(VmmError::from)?;
+                spt.map(l1.mem_mut(), va, bpa, PageSize::Size4K, fix.prot)
+                    .map_err(VmmError::from)?;
+            }
+            None => {
+                spt.map(l1.mem_mut(), va, bpa, PageSize::Size4K, fix.prot)
+                    .map_err(VmmError::from)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_workloads::WorkloadKind;
+
+    fn l2_cfg(env: Env) -> SimConfig {
+        SimConfig {
+            workload: WorkloadKind::Gups,
+            footprint: 4 * MIB,
+            guest_paging: GuestPaging::Fixed(PageSize::Size4K),
+            env,
+            accesses: 200,
+            warmup: 0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn nested_nested_translates_through_three_layers() {
+        // Walk caching off so the cold walk pays the full T(3) budget.
+        let hw = MmuConfig {
+            walk_caching: false,
+            ..MmuConfig::default()
+        };
+        let (mut m, mut mmu) =
+            L2Machine::build(&l2_cfg(Env::l2(false, false, false)), hw).unwrap();
+        let asid = m.asid();
+        let va = Gva::new(m.arena_base());
+        let hpa = mmu.access(&m.ctx(), asid, va, false).expect("steady state");
+        assert_eq!(
+            m.reference_translate(va),
+            Some(hpa.hpa.as_u64()),
+            "hardware walk and software chain must agree"
+        );
+        // A fully-paged cold 3D walk costs the 124-reference budget.
+        let c = mmu.counters();
+        assert_eq!(
+            c.guest_walk_refs + c.mid_walk_refs + c.nested_walk_refs,
+            124
+        );
+    }
+
+    #[test]
+    fn triple_direct_composes_three_segments() {
+        let (mut m, mut mmu) =
+            L2Machine::build(&l2_cfg(Env::l2(true, true, true)), MmuConfig::default()).unwrap();
+        let asid = m.asid();
+        let va = Gva::new(m.arena_base());
+        let hpa = mmu.access(&m.ctx(), asid, va, false).expect("bypass");
+        assert_eq!(m.reference_translate(va), Some(hpa.hpa.as_u64()));
+        let c = mmu.counters();
+        assert_eq!(
+            c.guest_walk_refs + c.mid_walk_refs + c.nested_walk_refs,
+            0,
+            "triple direct walks nothing"
+        );
+    }
+
+    #[test]
+    fn shadow_on_nested_walks_two_dimensions_and_prices_l1_exits() {
+        let (mut m, mut mmu) =
+            L2Machine::build(&l2_cfg(Env::l2_shadow()), MmuConfig::default()).unwrap();
+        assert_eq!(m.layer_stack().depth(), 2, "shadow collapses to 2D");
+        let asid = m.asid();
+        let va = Gva::new(m.arena_base());
+        let hpa = mmu.access(&m.ctx(), asid, va, false).expect("shadowed");
+        assert_eq!(
+            m.reference_translate(va),
+            Some(hpa.hpa.as_u64()),
+            "collapsed shadow must land on the composed host address"
+        );
+        assert_eq!(mmu.counters().mid_walk_refs, 0, "no mid dimension in 2D");
+
+        // A churn remap takes amplified L1 exits through the L0 emulation.
+        m.window_open();
+        m.churn_event(&mut mmu).unwrap();
+        let stats = m.exit_stats();
+        assert!(stats.vm_exits >= 1, "shadow churn exits");
+        assert!(
+            stats.cycles >= (mv_vmm::L2_EXIT_MULTIPLIER * VM_EXIT_CYCLES) as f64,
+            "L1 exits are L0-emulated, so they cost the multiplier"
+        );
+    }
+
+    #[test]
+    fn mid_faults_are_serviced_by_the_l1_hypervisor() {
+        let (mut m, mut mmu) =
+            L2Machine::build(&l2_cfg(Env::l2(false, false, false)), MmuConfig::default()).unwrap();
+        let asid = m.asid();
+        // Map a fresh guest page whose space-A frame has no mid mapping
+        // yet? The prefill covered all of space A, so instead drive the
+        // churn path: unmap + refault exercises the full fault chain.
+        for _ in 0..8 {
+            m.churn_event(&mut mmu).unwrap();
+        }
+        let va = Gva::new(m.churn_base.as_u64());
+        let mut guard = 0;
+        loop {
+            match mmu.access(&m.ctx(), asid, va, true) {
+                Ok(_) => break,
+                Err(fault) => {
+                    assert_eq!(m.service_fault(fault).unwrap(), FaultService::Serviced);
+                    guard += 1;
+                    assert!(guard < 8, "fault chain must converge");
+                }
+            }
+        }
+    }
+}

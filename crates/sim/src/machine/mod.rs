@@ -12,25 +12,29 @@
 //! instrument attachment, churn scheduling, the per-access fault-retry
 //! budget, and result assembly.
 //!
-//! The three shipped machines reproduce the paper's environments —
-//! [`NativeMachine`] (native ± direct segment), [`VirtualizedMachine`]
-//! (nested paging in all four translation modes), and [`ShadowMachine`]
-//! (shadow paging, §IX.D) — and a new translation scheme drops in as one
-//! more `impl Machine` without touching the driver. The
+//! The machines reproduce the paper's environments — [`NativeMachine`]
+//! (native ± direct segment), [`VirtualizedMachine`] (nested paging in
+//! all four translation modes), and [`ShadowMachine`] (shadow paging,
+//! §IX.D) — plus [`L2Machine`], which extends the study one layer down
+//! (nested-nested and shadow-on-nested L2 virtualization). A new
+//! translation scheme drops in as one more `impl Machine` without
+//! touching the driver. The
 //! `tests/machine_equiv.rs` golden fixture proves this loop reproduces
 //! the three pre-refactor copy-pasted drivers byte for byte.
 
 mod degrade;
+mod l2;
 mod native;
 mod shadow;
 mod virtualized;
 
+pub use l2::L2Machine;
 pub use native::NativeMachine;
 pub use shadow::ShadowMachine;
 pub use virtualized::VirtualizedMachine;
 
 use mv_chaos::{ChaosReport, ChaosSpec, DegradeLevel};
-use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
+use mv_core::{LayerStack, MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
 use mv_obs::{SharedTelemetry, Telemetry, TelemetryConfig, WalkEvent, WalkObserver};
 use mv_prof::{Profile, ProfileConfig, SharedProfile};
 use mv_trace::{RecordingWorkload, ReplaySource, SharedTraceWriter, TraceError};
@@ -86,6 +90,12 @@ pub trait Machine: Sized {
     /// Any construction failure (fragmented memory, exhausted physical
     /// memory, …) surfaces as a [`SimError`].
     fn build(cfg: &SimConfig, hw: MmuConfig) -> Result<(Self, Mmu), SimError>;
+
+    /// The translation-layer stack this machine's MMU walks: 1 layer
+    /// native, 2 virtualized, 3 nested-nested. Shadow paging returns the
+    /// *walked* stack (one layer), not the software stack it collapses —
+    /// the stack is the ground truth for per-mode walk pricing.
+    fn layer_stack(&self) -> LayerStack;
 
     /// Base virtual address of the workload arena; the driver adds the
     /// workload's offsets to it.
@@ -672,6 +682,10 @@ mod tests {
                 },
                 mmu,
             ))
+        }
+
+        fn layer_stack(&self) -> LayerStack {
+            TranslationMode::BaseVirtualized.stack()
         }
 
         fn arena_base(&self) -> u64 {

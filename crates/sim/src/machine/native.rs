@@ -2,7 +2,10 @@
 //! and `DS` bars.
 
 use mv_chaos::DegradeLevel;
-use mv_core::{EscapeFilter, MemoryContext, Mmu, MmuConfig, Segment, TranslationFault, TranslationMode};
+use mv_core::{
+    EscapeFilter, LayerStack, MemoryContext, Mmu, MmuConfig, Segment, TranslationFault,
+    TranslationMode,
+};
 use mv_types::rng::StdRng;
 use mv_types::{AddrRange, Gva, Hpa, PageSize, MIB};
 
@@ -18,6 +21,7 @@ use crate::run::SimError;
 pub struct NativeMachine {
     os: NativeOs,
     base: u64,
+    stack: LayerStack,
 }
 
 impl Machine for NativeMachine {
@@ -27,15 +31,18 @@ impl Machine for NativeMachine {
         };
         let phys = cfg.footprint + cfg.footprint / 2 + 64 * MIB;
         let mut os = NativeOs::boot(phys, cfg.footprint, cfg.guest_paging)?;
-        let mut mmu = mmu_for(
-            hw,
-            if direct_segment {
-                TranslationMode::NativeDirect
-            } else {
-                TranslationMode::BaseNative
-            },
-        );
-        if direct_segment {
+        let mode = if direct_segment {
+            TranslationMode::NativeDirect
+        } else {
+            TranslationMode::BaseNative
+        };
+        // The single layer of the native stack drives the build: a
+        // direct-segment layer programs its registers, a paging layer gets
+        // its table pre-populated.
+        let stack = mode.stack();
+        let layer = stack.layers()[0];
+        let mut mmu = mmu_for(hw, mode);
+        if layer.needs_escape_handling() {
             let seg = os.setup_direct_segment()?;
             mmu.set_native_segment(seg);
         }
@@ -44,7 +51,7 @@ impl Machine for NativeMachine {
         // Big-memory applications initialize their dataset up front;
         // measuring from a populated arena gives the steady state the
         // paper reports.
-        if !direct_segment {
+        if layer.mode.is_paging() {
             let step = match cfg.guest_paging {
                 GuestPaging::Fixed(s) => s.bytes(),
                 GuestPaging::Thp => PageSize::Size2M.bytes(),
@@ -55,7 +62,11 @@ impl Machine for NativeMachine {
                 va += step;
             }
         }
-        Ok((NativeMachine { os, base }, mmu))
+        Ok((NativeMachine { os, base, stack }, mmu))
+    }
+
+    fn layer_stack(&self) -> LayerStack {
+        self.stack
     }
 
     fn arena_base(&self) -> u64 {

@@ -2,7 +2,7 @@
 //! shadow table natively, and every guest page-table update takes a VM
 //! exit.
 
-use mv_core::{MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
+use mv_core::{LayerStack, MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
 use mv_guestos::GuestOs;
 use mv_types::rng::StdRng;
 use mv_types::{AddrRange, Gva, Hpa, PageSize, Prot};
@@ -64,6 +64,12 @@ impl Machine for ShadowMachine {
             },
             mmu,
         ))
+    }
+
+    /// Shadowing collapses the 2-layer software stack into the single
+    /// layer the hardware walks.
+    fn layer_stack(&self) -> LayerStack {
+        TranslationMode::BaseNative.stack()
     }
 
     fn arena_base(&self) -> u64 {

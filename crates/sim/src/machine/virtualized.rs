@@ -2,7 +2,10 @@
 //! `4K+4K` … `1G+1G` base bars and the proposed `VD`/`GD`/`DD` modes.
 
 use mv_chaos::DegradeLevel;
-use mv_core::{EscapeFilter, MemoryContext, Mmu, MmuConfig, Segment, TranslationFault, TranslationMode};
+use mv_core::{
+    EscapeFilter, LayerStack, MemoryContext, Mmu, MmuConfig, Segment, TranslationFault,
+    TranslationMode,
+};
 use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
 use mv_types::rng::StdRng;
 use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize, Prot, MIB};
@@ -25,6 +28,7 @@ pub struct VirtualizedMachine {
     churn_base: Gva,
     churn_cursor: u64,
     exits_at_reset: u64,
+    stack: LayerStack,
 }
 
 impl Machine for VirtualizedMachine {
@@ -34,11 +38,15 @@ impl Machine for VirtualizedMachine {
         };
         let (mut vmm, vm, mut guest, pid, base) = build_guest(cfg, nested, mode)?;
         let mut mmu = mmu_for(hw, mode);
-        if matches!(mode, TranslationMode::GuestDirect | TranslationMode::DualDirect) {
+        // The mode's layer stack dictates the build: each direct-segment
+        // layer gets its registers programmed, and each paging layer gets
+        // its table pre-populated to steady state.
+        let [guest_layer, host_layer] = stack_layers(mode.stack());
+        if guest_layer.needs_escape_handling() {
             let seg = guest.setup_guest_segment(pid)?;
             mmu.set_guest_segment(seg);
         }
-        if matches!(mode, TranslationMode::VmmDirect | TranslationMode::DualDirect) {
+        if host_layer.needs_escape_handling() {
             let span = guest.mem().size_bytes();
             let seg = vmm.create_vmm_segment(
                 vm,
@@ -47,18 +55,10 @@ impl Machine for VirtualizedMachine {
             )?;
             mmu.set_vmm_segment(seg);
         }
-
-        // Steady state: populate the guest page table (unless the guest
-        // segment covers the arena) and the nested backing (unless the VMM
-        // segment does).
-        let guest_seg_covers = matches!(
-            mode,
-            TranslationMode::GuestDirect | TranslationMode::DualDirect
-        );
-        if !guest_seg_covers {
+        if guest_layer.mode.is_paging() {
             guest.populate(pid, Gva::new(base), cfg.footprint)?;
         }
-        if !matches!(mode, TranslationMode::VmmDirect | TranslationMode::DualDirect) {
+        if host_layer.mode.is_paging() {
             let span = guest.mem().size_bytes();
             vmm.map_guest_range(vm, AddrRange::new(Gpa::ZERO, Gpa::new(span)))?;
         }
@@ -74,9 +74,14 @@ impl Machine for VirtualizedMachine {
                 churn_base,
                 churn_cursor: 0,
                 exits_at_reset: 0,
+                stack: mode.stack(),
             },
             mmu,
         ))
+    }
+
+    fn layer_stack(&self) -> LayerStack {
+        self.stack
     }
 
     fn arena_base(&self) -> u64 {
@@ -160,19 +165,15 @@ impl Machine for VirtualizedMachine {
     }
 
     fn degrade_to(&mut self, mmu: &mut Mmu, level: DegradeLevel, draw: u64) -> bool {
-        let mode = mmu.mode();
-        let guest_seg = matches!(
-            mode,
-            TranslationMode::GuestDirect | TranslationMode::DualDirect
-        )
-        .then(|| self.guest.process(self.pid).segment())
-        .flatten();
-        let vmm_seg = matches!(
-            mode,
-            TranslationMode::VmmDirect | TranslationMode::DualDirect
-        )
-        .then(|| self.vmm.vm(self.vm).segment())
-        .flatten();
+        let [guest_layer, host_layer] = stack_layers(mmu.mode().stack());
+        let guest_seg = guest_layer
+            .needs_escape_handling()
+            .then(|| self.guest.process(self.pid).segment())
+            .flatten();
+        let vmm_seg = host_layer
+            .needs_escape_handling()
+            .then(|| self.vmm.vm(self.vm).segment())
+            .flatten();
         if guest_seg.is_none() && vmm_seg.is_none() {
             return false;
         }
@@ -221,22 +222,16 @@ impl Machine for VirtualizedMachine {
     }
 
     fn try_recover(&mut self, mmu: &mut Mmu) -> bool {
-        let mode = mmu.mode();
+        let [guest_layer, host_layer] = stack_layers(mmu.mode().stack());
         let mut restored = false;
-        if matches!(
-            mode,
-            TranslationMode::GuestDirect | TranslationMode::DualDirect
-        ) {
+        if guest_layer.needs_escape_handling() {
             if let Some(seg) = self.guest.process(self.pid).segment() {
                 mmu.set_guest_escape_filter(None);
                 mmu.set_guest_segment(seg);
                 restored = true;
             }
         }
-        if matches!(
-            mode,
-            TranslationMode::VmmDirect | TranslationMode::DualDirect
-        ) {
+        if host_layer.needs_escape_handling() {
             if let Some(seg) = self.vmm.vm(self.vm).segment() {
                 // Restore the VM's authoritative escape filter, not a blank
                 // one — bad frames must keep escaping after recovery.
@@ -273,6 +268,15 @@ impl Machine for VirtualizedMachine {
     }
 }
 
+/// Splits a virtualized mode's 2-deep layer stack into its guest and host
+/// layers.
+fn stack_layers(stack: LayerStack) -> [mv_core::TranslationLayer; 2] {
+    match *stack.layers() {
+        [g, h] => [g, h],
+        _ => unreachable!("virtualized modes build 2-layer stacks"),
+    }
+}
+
 /// Builds the virtualized stack: host, VM, guest OS, and one process with
 /// the workload arena mapped (as a primary region when the mode uses a
 /// guest segment). Shared with [`super::ShadowMachine`].
@@ -295,10 +299,9 @@ pub(crate) fn build_guest(
         GuestPaging::Thp => PageSizePolicy::Thp,
     };
     let pid = guest.create_process(policy)?;
-    let base = if matches!(
-        mode,
-        TranslationMode::GuestDirect | TranslationMode::DualDirect
-    ) {
+    // A direct-segment guest layer needs the arena as a primary region so
+    // the segment registers can cover it contiguously.
+    let base = if stack_layers(mode.stack())[0].needs_escape_handling() {
         guest.create_primary_region(pid, cfg.footprint)?
     } else {
         guest.mmap(pid, cfg.footprint, Prot::RW)?

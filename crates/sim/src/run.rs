@@ -13,7 +13,7 @@ use mv_trace::{ReplaySource, SharedTraceWriter, TraceError};
 use mv_vmm::VmmError;
 
 use crate::config::{Env, SimConfig};
-use crate::machine::{drive, Instruments, NativeMachine, ShadowMachine, VirtualizedMachine};
+use crate::machine::{drive, Instruments, L2Machine, NativeMachine, ShadowMachine, VirtualizedMachine};
 use crate::result::RunResult;
 
 /// Errors surfaced while constructing or running a simulation.
@@ -299,6 +299,7 @@ impl Simulation {
             Env::Native { .. } => drive::<NativeMachine>(cfg, hw, instr),
             Env::Virtualized { .. } => drive::<VirtualizedMachine>(cfg, hw, instr),
             Env::Shadow { .. } => drive::<ShadowMachine>(cfg, hw, instr),
+            Env::L2 { .. } => drive::<L2Machine>(cfg, hw, instr),
         }
     }
 }

@@ -1,0 +1,256 @@
+//! The L1 hypervisor of a nested-nested (L2) virtualization stack.
+//!
+//! Under L2 virtualization the paper's two-level picture grows a middle
+//! layer: an L2 guest's physical space (space A) is mapped by an L1
+//! hypervisor onto *its* physical space (space B), which the L0 host maps
+//! onto host-physical memory. [`L1Hypervisor`] models that middle layer:
+//! a mid page table (A→B) with demand backing, an optional mid direct
+//! segment, and exit accounting — every L1 exit is emulated by L0, so it
+//! costs a multiple of a plain VM exit.
+
+use mv_core::Segment;
+use mv_phys::PhysMem;
+use mv_pt::PageTable;
+use mv_types::{AddrRange, Gpa, PageSize, Prot};
+
+use crate::{VmmError, VM_EXIT_CYCLES};
+
+/// Cycle multiplier for L1-hypervisor exits: each exit of the L1
+/// hypervisor traps to L0, which decodes and emulates it — roughly a
+/// three-way round trip (L2→L0→L1→L0→L2) instead of a single one.
+pub const L2_EXIT_MULTIPLIER: u64 = 3;
+
+/// Exit and fault counters of an [`L1Hypervisor`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L1Counters {
+    /// Exits the L1 hypervisor has taken (each emulated by L0).
+    pub l1_exits: u64,
+    /// Mid page faults serviced (A→B demand mappings installed).
+    pub mid_faults: u64,
+}
+
+/// The middle layer of an L2 stack: owns space B and the mid page table
+/// mapping the L2 guest's physical space (A) onto it.
+///
+/// Space B is itself guest-physical memory of the L0 host — the caller
+/// wires it up as an ordinary [`crate::Vmm`] VM spanning this
+/// hypervisor's memory.
+#[derive(Debug)]
+pub struct L1Hypervisor {
+    mem: PhysMem<Gpa>,
+    mpt: PageTable<Gpa, Gpa>,
+    span: u64,
+    mid_page_size: PageSize,
+    segment: Option<Segment<Gpa, Gpa>>,
+    counters: L1Counters,
+}
+
+impl L1Hypervisor {
+    /// Boots an L1 hypervisor owning `mem_bytes` of space B, willing to
+    /// map up to `l2_span` bytes of space A at `mid_page_size`
+    /// granularity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::PageTable`] if space B cannot hold the mid
+    /// root table.
+    pub fn boot(mem_bytes: u64, l2_span: u64, mid_page_size: PageSize) -> Result<Self, VmmError> {
+        let mut mem = PhysMem::new(mem_bytes);
+        let mpt = PageTable::new(&mut mem)?;
+        Ok(L1Hypervisor {
+            mem,
+            mpt,
+            span: l2_span,
+            mid_page_size,
+            segment: None,
+            counters: L1Counters::default(),
+        })
+    }
+
+    /// Space B (shared).
+    pub fn mem(&self) -> &PhysMem<Gpa> {
+        &self.mem
+    }
+
+    /// Space B (mutable — chaos experiments fragment or damage it).
+    pub fn mem_mut(&mut self) -> &mut PhysMem<Gpa> {
+        &mut self.mem
+    }
+
+    /// Borrows the mid page table and space B for an MMU context.
+    pub fn mpt_and_mem(&self) -> (&PageTable<Gpa, Gpa>, &PhysMem<Gpa>) {
+        (&self.mpt, &self.mem)
+    }
+
+    /// The mid direct segment, if one was created.
+    pub fn segment(&self) -> Option<Segment<Gpa, Gpa>> {
+        self.segment
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> L1Counters {
+        self.counters
+    }
+
+    /// Cycles the L1 hypervisor's exits have cost so far — each exit is
+    /// L0-emulated, hence the [`L2_EXIT_MULTIPLIER`].
+    pub fn exit_cycles(&self) -> u64 {
+        self.counters.l1_exits * L2_EXIT_MULTIPLIER * VM_EXIT_CYCLES
+    }
+
+    /// Records an exit that did no mapping work (interrupt storm, host
+    /// preemption amplified through L0).
+    pub fn record_spurious_exit(&mut self) {
+        self.counters.l1_exits += 1;
+    }
+
+    /// Services a mid page fault at space-A address `apa`: installs an
+    /// A→B demand mapping. Spurious faults (already mapped) are no-ops.
+    /// Each genuine fault costs one L1 exit.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmmError::OutsideSlots`] — `apa` beyond the L2 span.
+    /// * [`VmmError::Phys`] — space B exhausted.
+    pub fn handle_mid_fault(&mut self, apa: Gpa) -> Result<(), VmmError> {
+        if apa.as_u64() >= self.span {
+            return Err(VmmError::OutsideSlots { gpa: apa.as_u64() });
+        }
+        if self.mpt.translate(&self.mem, apa).is_some() {
+            return Ok(());
+        }
+        // Segment-covered space-A pages map their segment-computed frame —
+        // never a fresh allocation — so mid translations stay consistent
+        // with the segment arithmetic for escaped pages and degraded modes.
+        if let Some(seg) = self.segment.filter(|s| !s.is_nullified()) {
+            let apa_page = Gpa::new(apa.as_u64() & !0xfff);
+            if let Some(bpa) = seg.translate(apa_page) {
+                self.mpt
+                    .map(&mut self.mem, apa_page, bpa, PageSize::Size4K, Prot::RW)?;
+                self.counters.mid_faults += 1;
+                self.counters.l1_exits += 1;
+                return Ok(());
+            }
+        }
+        let size = self.mid_page_size;
+        let apa_page = Gpa::new(apa.as_u64() & !size.offset_mask());
+        let frame = self.mem.alloc(size)?;
+        self.mpt
+            .map(&mut self.mem, apa_page, frame, size, Prot::RW)?;
+        self.counters.mid_faults += 1;
+        self.counters.l1_exits += 1;
+        Ok(())
+    }
+
+    /// Eagerly maps an entire space-A range (steady-state prefill, so
+    /// measurements see no mid faults).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first mapping failure.
+    pub fn map_range(&mut self, range: AddrRange<Gpa>) -> Result<(), VmmError> {
+        let step = self.mid_page_size.bytes();
+        let mut apa = range.start().as_u64() & !(step - 1);
+        while apa < range.end().as_u64() {
+            self.handle_mid_fault(Gpa::new(apa))?;
+            apa += step;
+        }
+        Ok(())
+    }
+
+    /// Creates the mid direct segment covering space-A range `cover`:
+    /// reserves contiguous space-B backing and migrates existing scattered
+    /// mid mappings into it, so translations are identical whether the
+    /// hardware uses the segment registers or walks the mid table.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmmError::HostFragmented`] — space B has no contiguous run.
+    pub fn create_mid_segment(
+        &mut self,
+        cover: AddrRange<Gpa>,
+    ) -> Result<Segment<Gpa, Gpa>, VmmError> {
+        let backing = self.mem.reserve_contiguous(cover.len(), PageSize::Size2M)?;
+        let seg = Segment::map(cover, backing.start());
+        let offset = backing
+            .start()
+            .as_u64()
+            .wrapping_sub(cover.start().as_u64());
+        // Re-point existing mid mappings into the segment backing so the
+        // table and the registers agree (the same discipline as
+        // `Vmm::create_vmm_segment`): walk covered pages, remap any that
+        // already translate, and move their contents.
+        let step = self.mid_page_size;
+        let mut apa = cover.start().as_u64() & !step.offset_mask();
+        while apa < cover.end().as_u64() {
+            let apa_page = Gpa::new(apa);
+            if let Some(t) = self.mpt.translate(&self.mem, apa_page) {
+                let target = Gpa::new(apa.wrapping_add(offset));
+                if t.page_base != target {
+                    for off in (0..t.size.bytes()).step_by(PageSize::Size4K.bytes() as usize) {
+                        self.mem
+                            .relocate_contents(t.page_base.add(off), target.add(off));
+                    }
+                    self.mpt.remap(&mut self.mem, apa_page, t.size, target)?;
+                    self.mem.free(t.page_base, t.size)?;
+                }
+            }
+            apa += step.bytes();
+        }
+        self.segment = Some(seg);
+        self.counters.l1_exits += 1;
+        Ok(seg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_types::MIB;
+
+    #[test]
+    fn demand_maps_and_prices_exits_with_the_multiplier() {
+        let mut l1 = L1Hypervisor::boot(64 * MIB, 32 * MIB, PageSize::Size4K).unwrap();
+        l1.handle_mid_fault(Gpa::new(0x5000)).unwrap();
+        let (mpt, mem) = l1.mpt_and_mem();
+        assert!(mpt.translate(mem, Gpa::new(0x5123)).is_some());
+        assert_eq!(l1.counters().l1_exits, 1);
+        assert_eq!(l1.exit_cycles(), L2_EXIT_MULTIPLIER * VM_EXIT_CYCLES);
+        // Spurious re-fault is free.
+        l1.handle_mid_fault(Gpa::new(0x5000)).unwrap();
+        assert_eq!(l1.counters().l1_exits, 1);
+    }
+
+    #[test]
+    fn out_of_span_faults_are_rejected() {
+        let mut l1 = L1Hypervisor::boot(64 * MIB, 8 * MIB, PageSize::Size4K).unwrap();
+        assert!(matches!(
+            l1.handle_mid_fault(Gpa::new(9 * MIB)),
+            Err(VmmError::OutsideSlots { .. })
+        ));
+    }
+
+    #[test]
+    fn mid_segment_agrees_with_the_mid_table() {
+        let mut l1 = L1Hypervisor::boot(128 * MIB, 64 * MIB, PageSize::Size4K).unwrap();
+        // Scatter some pre-existing mappings, then create the segment.
+        for apa in [0x1000u64, 0x20_3000, 0x40_5000] {
+            l1.handle_mid_fault(Gpa::new(apa)).unwrap();
+        }
+        let cover = AddrRange::new(Gpa::ZERO, Gpa::new(8 * MIB));
+        let seg = l1.create_mid_segment(cover).unwrap();
+        for apa in [0x1000u64, 0x20_3000, 0x40_5000] {
+            let (mpt, mem) = l1.mpt_and_mem();
+            let walked = mpt.translate(mem, Gpa::new(apa)).unwrap().page_base;
+            let seg_bpa = seg.translate(Gpa::new(apa & !0xfff)).unwrap();
+            assert_eq!(walked, seg_bpa, "table and registers must agree");
+        }
+        // New faults inside the cover also land on segment-computed frames.
+        l1.handle_mid_fault(Gpa::new(0x66_7000)).unwrap();
+        let (mpt, mem) = l1.mpt_and_mem();
+        assert_eq!(
+            mpt.translate(mem, Gpa::new(0x66_7000)).unwrap().page_base,
+            seg.translate(Gpa::new(0x66_7000)).unwrap()
+        );
+    }
+}

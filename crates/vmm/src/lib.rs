@@ -33,6 +33,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
+mod l2;
 mod migrate;
 mod selfballoon;
 mod shadow;
@@ -41,6 +42,7 @@ mod vm;
 mod vmm;
 
 pub use error::VmmError;
+pub use l2::{L1Counters, L1Hypervisor, L2_EXIT_MULTIPLIER};
 pub use migrate::{Migration, MigrationStats};
 pub use shadow::ShadowPaging;
 pub use sharing::ShareOutcome;

@@ -11,7 +11,8 @@
 #
 # Parameters (environment variables):
 #
-#   BENCH_ID          id of the record to write       (default: 5)
+#   BENCH_ID          id of the record to write       (default: 7; 5 and 6
+#                                                      are historical records)
 #   OUT               output JSON path                (default: results/BENCH_${BENCH_ID}.json)
 #   BASELINE          JSON to embed a speedup against (default: results/bench5_baseline.json;
 #                                                      skipped when the file is missing)
@@ -27,8 +28,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_ID="${BENCH_ID:-5}"
+BENCH_ID="${BENCH_ID:-7}"
 OUT="${OUT:-results/BENCH_${BENCH_ID}.json}"
+
+# Bench records are append-only history: refuse to clobber one (the
+# BENCH_6.json numbering drift happened exactly this way). Pick a fresh
+# BENCH_ID, or point OUT somewhere else explicitly.
+if [[ -e "$OUT" ]]; then
+    echo "refusing to overwrite existing bench record: $OUT" >&2
+    echo "(choose a new BENCH_ID or set OUT to a fresh path)" >&2
+    exit 2
+fi
 BASELINE="${BASELINE:-results/bench5_baseline.json}"
 HISTORY="${HISTORY:-results/bench_history.jsonl}"
 REPEATS="${REPEATS:-10}"

@@ -50,6 +50,20 @@ for env in native ds 4k+2m vd dd shadow; do
     diff -u "$tmpdir/env1.csv" "$tmpdir/env4.csv"
 done
 
+echo "==> L2 smoke: 3-level stack determinism, gups --quick at --jobs 1/4"
+# The nested-nested machine walks a 3-deep layer stack; the 3D walker
+# must be exactly as deterministic as the 2-level machines it grew from.
+for env in l2; do
+    "$run_bin" --quick --env "$env" --workload gups --trials 2 --jobs 1 \
+        --quiet --csv > "$tmpdir/env1.csv"
+    "$run_bin" --quick --env "$env" --workload gups --trials 2 --jobs 1 \
+        --quiet --csv > "$tmpdir/env1b.csv"
+    "$run_bin" --quick --env "$env" --workload gups --trials 2 --jobs 4 \
+        --quiet --csv > "$tmpdir/env4.csv"
+    diff -u "$tmpdir/env1.csv" "$tmpdir/env1b.csv"
+    diff -u "$tmpdir/env1.csv" "$tmpdir/env4.csv"
+done
+
 echo "==> hotpath smoke: digests diffed across --jobs 1/4"
 # The perf harness must report the same counter digests no matter how the
 # grid stage is parallelized; --quiet suppresses all wall-clock lines so

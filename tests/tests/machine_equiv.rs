@@ -26,6 +26,7 @@ use std::path::PathBuf;
 
 use mv_bench::experiments::env_catalog::PAPER_10_ENVS;
 use mv_obs::TelemetryConfig;
+use mv_prof::ProfileConfig;
 use mv_sim::{GridCell, SimConfig, Simulation};
 use mv_types::MIB;
 use mv_workloads::WorkloadKind;
@@ -46,12 +47,14 @@ fn fixture_path() -> PathBuf {
 }
 
 /// The full grid: every catalog env × {gups, memcached} × two trials,
-/// telemetry-observed so the fixture covers epochs and histograms too.
+/// telemetry-observed and attribution-profiled so the fixture covers
+/// epochs, histograms, and the full walk-cost matrices too.
 fn cells() -> Vec<GridCell> {
     let tcfg = TelemetryConfig {
         epoch_len: 2_000,
         flight_capacity: 0,
     };
+    let pcfg = ProfileConfig { epoch_len: 2_000 };
     let mut cells = Vec::new();
     for workload in [WorkloadKind::Gups, WorkloadKind::Memcached] {
         for (paging, env) in PAPER_10_ENVS {
@@ -65,7 +68,7 @@ fn cells() -> Vec<GridCell> {
                     warmup: WARMUP,
                     seed: SEED,
                 };
-                cells.push(GridCell::new(cfg).trial(trial).observed(tcfg));
+                cells.push(GridCell::new(cfg).trial(trial).observed(tcfg).profiled(pcfg));
             }
         }
     }
@@ -73,8 +76,8 @@ fn cells() -> Vec<GridCell> {
 }
 
 /// Everything observable about the grid as one byte string: the CSV
-/// header, each cell's CSV row in cell order, and each cell's full
-/// telemetry JSONL export.
+/// header, each cell's CSV row in cell order, each cell's full telemetry
+/// JSONL export, and each cell's full profile JSONL export.
 fn fingerprint(cells: &[GridCell], jobs: usize) -> Vec<u8> {
     let report = Simulation::run_grid(cells, NonZeroUsize::new(jobs).unwrap());
     assert_eq!(report.len(), cells.len());
@@ -96,6 +99,11 @@ fn fingerprint(cells: &[GridCell], jobs: usize) -> Vec<u8> {
             .expect("all cells are observed")
             .write_jsonl(&mut out)
             .expect("telemetry serializes");
+        r.profile
+            .as_ref()
+            .expect("all cells are profiled")
+            .write_jsonl(&mut out)
+            .expect("profile serializes");
     }
     out
 }

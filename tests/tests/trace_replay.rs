@@ -132,6 +132,54 @@ fn replay_reproduces_live_runs_on_all_three_machines() {
     }
 }
 
+/// A trace recorded on the 2-level `VirtualizedMachine` replays
+/// byte-identically on the 3-level `L2Machine`: the stream depends only
+/// on (footprint, seed), so adding a translation layer underneath it
+/// must not move a byte of the replayed run's output versus a live one.
+#[test]
+fn traces_recorded_on_virtualized_replay_identically_on_l2() {
+    // Record on the virtualized (2-level) machine specifically.
+    let workload = WorkloadKind::Gups;
+    let c2 = cfg(workload, Env::base_virtualized(PageSize::Size4K));
+    let header = TraceHeader::for_workload(workload, FOOTPRINT, SEED, WARMUP, ACCESSES);
+    let sink = MemSink::new();
+    let recorder =
+        SharedTraceWriter::create(Box::new(sink.clone()), &header).expect("start recording");
+    Simulation::run_recorded(&c2, MmuConfig::default(), None, recorder.clone())
+        .expect("recorded virtualized run");
+    recorder.finish().expect("seal trace");
+    let trace = ReplaySource::bytes(sink.bytes());
+
+    // Replay one layer deeper: nested-on-nested (fully paged and triple
+    // direct) and shadow-on-nested.
+    for env in [
+        Env::l2(false, false, false),
+        Env::l2(true, true, true),
+        Env::l2_shadow(),
+    ] {
+        let c3 = cfg(workload, env);
+        let live = Simulation::run_observed(&c3, MmuConfig::default(), tcfg())
+            .expect("live L2 run");
+        let replayed =
+            Simulation::run_replayed(&c3, MmuConfig::default(), Some(tcfg()), trace.clone())
+                .expect("replayed L2 run");
+        assert_eq!(
+            live.csv_row(),
+            replayed.csv_row(),
+            "L2 replay drifted under {}",
+            c3.label()
+        );
+        assert_eq!(live.counters, replayed.counters);
+        assert_eq!(live.vm_exits, replayed.vm_exits);
+        assert_eq!(
+            telemetry_jsonl(&live),
+            telemetry_jsonl(&replayed),
+            "telemetry diverged on L2 replay under {}",
+            c3.label()
+        );
+    }
+}
+
 #[test]
 fn replay_grid_is_deterministic_across_worker_counts() {
     let trace = ReplaySource::bytes(record(WorkloadKind::Gups));
