@@ -1,0 +1,501 @@
+//! The hysteresis-gated mode controller and its accounting.
+
+use crate::plan::{ModePlan, MAX_LAYERS};
+use mv_chaos::DegradeLevel;
+use mv_obs::{EpochSnapshot, TransitionRecord};
+
+/// Tuning knobs for the [`ModeController`]'s hysteresis.
+///
+/// The defaults are deliberately conservative: with 10k-access epochs they
+/// let a healthy run re-promote within a handful of epochs while keeping a
+/// fault storm from inducing more than a few transitions per window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControllerConfig {
+    /// Epochs a freshly applied plan must age before the controller will
+    /// consider promoting again (dwell-time minimum).
+    pub min_dwell_epochs: u64,
+    /// Consecutive quiet epochs (no injected faults, escape rate under
+    /// [`ControllerConfig::promote_escape_per_kilo`]) required before a
+    /// promotion.
+    pub quiet_epochs: u64,
+    /// An epoch only counts as quiet if it saw at most this many
+    /// escape-filter escapes per thousand accesses.
+    pub promote_escape_per_kilo: u64,
+    /// Backoff armed after the first failed (rolled-back) promotion, in
+    /// epochs.
+    pub backoff_base_epochs: u64,
+    /// Ceiling for the doubling backoff, in epochs.
+    pub backoff_cap_epochs: u64,
+    /// Length of the sliding transition-budget window, in epochs.
+    pub window_epochs: u64,
+    /// At most this many promotion *attempts* (committed or rolled back)
+    /// per window — the hard anti-thrash bound.
+    pub max_promotions_per_window: u64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            min_dwell_epochs: 2,
+            quiet_epochs: 2,
+            promote_escape_per_kilo: 50,
+            backoff_base_epochs: 2,
+            backoff_cap_epochs: 64,
+            window_epochs: 16,
+            max_promotions_per_window: 4,
+        }
+    }
+}
+
+/// Everything an adaptive run needs to build its controller: the decision
+/// epoch length (in window accesses), a seed for switch-time draws, and
+/// the hysteresis tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptSpec {
+    /// Decision epoch length in measured accesses. Must match the
+    /// telemetry epoch length when telemetry is attached (the driver keeps
+    /// them in lockstep).
+    pub epoch_len: u64,
+    /// Seed for the deterministic per-switch draws (escape-page placement
+    /// during probation).
+    pub seed: u64,
+    /// Hysteresis tuning.
+    pub config: ControllerConfig,
+}
+
+impl AdaptSpec {
+    /// A spec with the default epoch length (10k accesses, matching
+    /// mv-obs' default telemetry epoch) and default hysteresis.
+    pub fn new(seed: u64) -> Self {
+        AdaptSpec {
+            epoch_len: 10_000,
+            seed,
+            config: ControllerConfig::default(),
+        }
+    }
+}
+
+/// Per-epoch fault-side signals the chaos layer feeds the controller,
+/// complementing the walk-side [`EpochSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochSignals {
+    /// Injected faults of any kind observed during the epoch.
+    pub faults: u64,
+    /// Segment-allocation failures (forced demotions) during the epoch.
+    pub segment_losses: u64,
+    /// Balloon denials consumed during the epoch.
+    pub denials: u64,
+}
+
+/// One committed (or rolled-back) plan change, with full per-layer plans
+/// on both sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanTransition {
+    /// Access index (within the whole run) at which the switch applied.
+    pub access: u64,
+    /// Plan in force before the switch.
+    pub from: ModePlan,
+    /// Plan in force after the switch.
+    pub to: ModePlan,
+    /// Why: `"segment_alloc_fail"`, `"promotion"`, or `"rollback"`.
+    pub cause: &'static str,
+}
+
+impl PlanTransition {
+    /// Converts to the mv-obs JSONL transition record, labelling each side
+    /// with its per-layer plan (e.g. `"escape_heavy/direct"`).
+    pub fn record(&self) -> TransitionRecord {
+        TransitionRecord {
+            access: self.access,
+            from: self.from.label(),
+            to: self.to.label(),
+            cause: self.cause.into(),
+        }
+    }
+}
+
+/// Aggregated controller outcome for one run, mergeable across grid cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptReport {
+    /// Decision epochs observed.
+    pub epochs: u64,
+    /// Promotion attempts the hysteresis let through.
+    pub decisions: u64,
+    /// Promotions that committed.
+    pub promotions: u64,
+    /// Demotions forced by segment-allocation failures.
+    pub forced_demotions: u64,
+    /// Promotions that failed mid-flight and were rolled back.
+    pub rollbacks: u64,
+    /// Transition records emitted (rollbacks emit two).
+    pub transitions: u64,
+    /// Largest backoff the controller ever armed, in epochs.
+    pub max_backoff_epochs: u64,
+    /// Ladder level in force when the run ended (worst across merged
+    /// cells).
+    pub final_level: DegradeLevel,
+}
+
+impl AdaptReport {
+    /// Deterministically folds another report in (sums counters, keeps the
+    /// worst final level and largest backoff). Commutative and
+    /// associative, like every other grid-merged report.
+    pub fn merge(&mut self, other: &AdaptReport) {
+        self.epochs += other.epochs;
+        self.decisions += other.decisions;
+        self.promotions += other.promotions;
+        self.forced_demotions += other.forced_demotions;
+        self.rollbacks += other.rollbacks;
+        self.transitions += other.transitions;
+        self.max_backoff_epochs = self.max_backoff_epochs.max(other.max_backoff_epochs);
+        self.final_level = self.final_level.max(other.final_level);
+    }
+}
+
+/// The online controller: one per running machine.
+///
+/// The driver calls [`ModeController::observe_epoch`] at every epoch
+/// boundary with the closed telemetry snapshot and the chaos signals; a
+/// returned [`ModePlan`] is a promotion *request* the driver tries to
+/// apply, reporting back with [`ModeController::commit`] or (when the
+/// switch failed mid-flight and was rolled back)
+/// [`ModeController::reject`]. Forced demotions bypass the epoch cadence
+/// entirely via [`ModeController::force_demote`].
+///
+/// Every decision is a pure function of the call sequence — the
+/// controller holds no clocks and draws no randomness.
+#[derive(Debug, Clone)]
+pub struct ModeController {
+    cfg: ControllerConfig,
+    seg_layers: [bool; MAX_LAYERS],
+    depth: usize,
+    level: DegradeLevel,
+    plan: ModePlan,
+    /// Epochs since the last committed switch.
+    dwell: u64,
+    /// Consecutive quiet epochs observed.
+    quiet_run: u64,
+    /// Epochs observed so far.
+    epoch: u64,
+    /// Current armed backoff length (0 = none armed yet).
+    backoff: u64,
+    /// First epoch index at which promotion is allowed again.
+    backoff_until: u64,
+    window_start: u64,
+    window_promotions: u64,
+    transitions: Vec<PlanTransition>,
+    report: AdaptReport,
+}
+
+impl ModeController {
+    /// Builds a controller for a machine whose segment-owning layers and
+    /// stack depth are given; starts at the healthy baseline plan.
+    pub fn new(cfg: ControllerConfig, seg_layers: [bool; MAX_LAYERS], depth: usize) -> Self {
+        let depth = depth.clamp(1, MAX_LAYERS);
+        ModeController {
+            cfg,
+            seg_layers,
+            depth,
+            level: DegradeLevel::Direct,
+            plan: ModePlan::baseline(seg_layers, depth),
+            dwell: 0,
+            quiet_run: 0,
+            epoch: 0,
+            backoff: 0,
+            backoff_until: 0,
+            window_start: 0,
+            window_promotions: 0,
+            transitions: Vec::new(),
+            report: AdaptReport::default(),
+        }
+    }
+
+    /// The plan currently in force.
+    pub fn plan(&self) -> ModePlan {
+        self.plan
+    }
+
+    /// The ladder rung currently in force.
+    pub fn level(&self) -> DegradeLevel {
+        self.level
+    }
+
+    /// The transition log so far.
+    pub fn transitions(&self) -> &[PlanTransition] {
+        &self.transitions
+    }
+
+    /// Whether the machine has any segment to adapt (a pure-paging machine
+    /// never leaves its baseline).
+    pub fn has_segments(&self) -> bool {
+        (0..self.depth).any(|k| self.seg_layers[k])
+    }
+
+    /// Feeds one closed epoch (walk-side snapshot, fault-side signals) and
+    /// returns the plan to promote to, if the hysteresis allows one.
+    pub fn observe_epoch(
+        &mut self,
+        snap: Option<&EpochSnapshot>,
+        sig: EpochSignals,
+    ) -> Option<ModePlan> {
+        self.epoch += 1;
+        self.report.epochs += 1;
+        self.dwell += 1;
+        if self.epoch.saturating_sub(self.window_start) >= self.cfg.window_epochs {
+            self.window_start = self.epoch;
+            self.window_promotions = 0;
+        }
+        let escapes_per_kilo = snap.map_or(0, |s| {
+            s.escapes.saturating_mul(1000) / s.span().max(1)
+        });
+        let quiet = sig.faults == 0 && escapes_per_kilo <= self.cfg.promote_escape_per_kilo;
+        if quiet {
+            self.quiet_run += 1;
+        } else {
+            self.quiet_run = 0;
+        }
+        if self.level == DegradeLevel::Direct || !self.has_segments() {
+            return None;
+        }
+        if self.dwell < self.cfg.min_dwell_epochs
+            || self.quiet_run < self.cfg.quiet_epochs
+            || self.epoch < self.backoff_until
+            || self.window_promotions >= self.cfg.max_promotions_per_window
+        {
+            return None;
+        }
+        self.window_promotions += 1;
+        self.report.decisions += 1;
+        let target = DegradeLevel::ALL[self.level.index() - 1];
+        Some(ModePlan::ladder(self.seg_layers, self.depth, target))
+    }
+
+    /// A segment allocation just failed: returns the one-rung-down plan to
+    /// apply immediately, or `None` when already fully degraded (or there
+    /// is nothing to degrade).
+    pub fn force_demote(&mut self) -> Option<ModePlan> {
+        if !self.has_segments() || self.level == DegradeLevel::Paging {
+            return None;
+        }
+        let target = DegradeLevel::ALL[self.level.index() + 1];
+        Some(ModePlan::ladder(self.seg_layers, self.depth, target))
+    }
+
+    /// The driver applied `to` successfully at `access`; record it and
+    /// reset the dwell/quiet clocks. A committed promotion also disarms
+    /// the backoff.
+    pub fn commit(&mut self, access: u64, to: ModePlan, cause: &'static str) {
+        let to_level = to.ladder_level(self.seg_layers);
+        self.transitions.push(PlanTransition {
+            access,
+            from: self.plan,
+            to,
+            cause,
+        });
+        self.report.transitions += 1;
+        if to_level > self.level {
+            self.report.forced_demotions += 1;
+        } else {
+            self.report.promotions += 1;
+            self.backoff = 0;
+            self.backoff_until = 0;
+        }
+        self.level = to_level;
+        self.plan = to;
+        self.dwell = 0;
+        self.quiet_run = 0;
+    }
+
+    /// The switch to `to` failed mid-flight at `access` and was rolled
+    /// back: record both legs (the attempted switch and the rollback),
+    /// arm/double the backoff, and reset the quiet run.
+    pub fn reject(&mut self, access: u64, to: ModePlan, cause: &'static str) {
+        self.transitions.push(PlanTransition {
+            access,
+            from: self.plan,
+            to,
+            cause: "promotion",
+        });
+        self.transitions.push(PlanTransition {
+            access,
+            from: to,
+            to: self.plan,
+            cause,
+        });
+        self.report.transitions += 2;
+        self.report.rollbacks += 1;
+        self.backoff = if self.backoff == 0 {
+            self.cfg.backoff_base_epochs.max(1)
+        } else {
+            (self.backoff * 2).min(self.cfg.backoff_cap_epochs)
+        };
+        self.report.max_backoff_epochs = self.report.max_backoff_epochs.max(self.backoff);
+        self.backoff_until = self.epoch + self.backoff;
+        self.quiet_run = 0;
+    }
+
+    /// The currently armed backoff, in epochs (0 when disarmed).
+    pub fn backoff_epochs(&self) -> u64 {
+        self.backoff
+    }
+
+    /// Finalizes the run: the report (with the final ladder level) and the
+    /// full transition log.
+    pub fn finish(mut self) -> (AdaptReport, Vec<PlanTransition>) {
+        self.report.final_level = self.level;
+        (self.report, self.transitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEG: [bool; MAX_LAYERS] = [true, true, false];
+
+    fn quiet() -> EpochSignals {
+        EpochSignals::default()
+    }
+
+    fn noisy() -> EpochSignals {
+        EpochSignals {
+            faults: 3,
+            ..EpochSignals::default()
+        }
+    }
+
+    fn demote(c: &mut ModeController, access: u64) {
+        let to = c.force_demote().expect("not already at paging");
+        c.commit(access, to, "segment_alloc_fail");
+    }
+
+    #[test]
+    fn promotion_requires_dwell_and_quiet_run() {
+        let mut c = ModeController::new(ControllerConfig::default(), SEG, 2);
+        demote(&mut c, 10);
+        demote(&mut c, 20);
+        assert_eq!(c.level(), DegradeLevel::Paging);
+        // Epoch 1: dwell too short, quiet run too short.
+        assert!(c.observe_epoch(None, quiet()).is_none());
+        // Epoch 2: both thresholds met (defaults are 2/2).
+        let to = c.observe_epoch(None, quiet()).expect("promotion due");
+        assert_eq!(to.ladder_level(SEG), DegradeLevel::EscapeHeavy);
+        c.commit(25, to, "promotion");
+        // Climb continues through probation back to Direct.
+        assert!(c.observe_epoch(None, quiet()).is_none());
+        let to = c.observe_epoch(None, quiet()).expect("second promotion");
+        assert_eq!(to.ladder_level(SEG), DegradeLevel::Direct);
+        c.commit(45, to, "promotion");
+        assert_eq!(c.level(), DegradeLevel::Direct);
+        // At baseline there is nothing left to promote.
+        assert!(c.observe_epoch(None, quiet()).is_none());
+    }
+
+    #[test]
+    fn noisy_epochs_reset_the_quiet_run() {
+        let mut c = ModeController::new(ControllerConfig::default(), SEG, 2);
+        demote(&mut c, 10);
+        for _ in 0..10 {
+            assert!(c.observe_epoch(None, noisy()).is_none());
+        }
+        // One quiet epoch is not enough...
+        assert!(c.observe_epoch(None, quiet()).is_none());
+        // ...two are.
+        assert!(c.observe_epoch(None, quiet()).is_some());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps_after_rejected_switches() {
+        let cfg = ControllerConfig {
+            backoff_base_epochs: 2,
+            backoff_cap_epochs: 8,
+            window_epochs: 1000,
+            max_promotions_per_window: 1000,
+            ..ControllerConfig::default()
+        };
+        let mut c = ModeController::new(cfg, SEG, 2);
+        demote(&mut c, 10);
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            // Drive quiet epochs until a promotion is offered, then fail it.
+            let to = loop {
+                if let Some(to) = c.observe_epoch(None, quiet()) {
+                    break to;
+                }
+            };
+            c.reject(99, to, "rollback");
+            seen.push(c.backoff_epochs());
+        }
+        assert_eq!(seen, vec![2, 4, 8, 8, 8, 8]);
+        let (report, log) = c.finish();
+        assert_eq!(report.rollbacks, 6);
+        assert_eq!(report.max_backoff_epochs, 8);
+        // Every rollback emits two legs.
+        assert_eq!(log.len(), 1 + 12);
+    }
+
+    #[test]
+    fn transition_budget_bounds_attempts_per_window() {
+        // Pathologically permissive dwell/quiet/backoff so only the window
+        // budget is binding.
+        let cfg = ControllerConfig {
+            min_dwell_epochs: 0,
+            quiet_epochs: 0,
+            backoff_base_epochs: 1,
+            backoff_cap_epochs: 1,
+            window_epochs: 1000,
+            max_promotions_per_window: 3,
+            ..ControllerConfig::default()
+        };
+        let mut c = ModeController::new(cfg, SEG, 2);
+        demote(&mut c, 0);
+        demote(&mut c, 0);
+        let mut attempts = 0;
+        for _ in 0..50 {
+            if let Some(to) = c.observe_epoch(None, quiet()) {
+                c.reject(0, to, "rollback");
+                attempts += 1;
+            }
+        }
+        assert_eq!(attempts, 3, "window budget must bound attempts");
+    }
+
+    #[test]
+    fn decisions_are_a_pure_function_of_the_input_sequence() {
+        let run = || {
+            let mut c = ModeController::new(ControllerConfig::default(), SEG, 2);
+            let mut log = Vec::new();
+            for i in 0..64u64 {
+                if i % 17 == 3 {
+                    if let Some(to) = c.force_demote() {
+                        c.commit(i * 100, to, "segment_alloc_fail");
+                    }
+                }
+                let sig = if i % 5 == 0 { noisy() } else { quiet() };
+                if let Some(to) = c.observe_epoch(None, sig) {
+                    if i % 7 == 0 {
+                        c.reject(i * 100 + 50, to, "rollback");
+                    } else {
+                        c.commit(i * 100 + 50, to, "promotion");
+                    }
+                }
+                log.push((c.level(), c.backoff_epochs()));
+            }
+            let (report, transitions) = c.finish();
+            (log, report, transitions)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn segmentless_controller_never_moves() {
+        let mut c = ModeController::new(ControllerConfig::default(), [false; 3], 2);
+        assert!(c.force_demote().is_none());
+        for _ in 0..8 {
+            assert!(c.observe_epoch(None, quiet()).is_none());
+        }
+        let (report, log) = c.finish();
+        assert_eq!(report.transitions, 0);
+        assert!(log.is_empty());
+    }
+}

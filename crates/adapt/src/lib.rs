@@ -1,0 +1,54 @@
+//! Online adaptive mode controller for the memory-virtualization simulator.
+//!
+//! The paper treats translation mode (direct segments vs. 4K/2M paging,
+//! per layer of the stack) as a build-time choice. This crate makes it a
+//! *runtime policy*: a [`ModeController`] watches mv-obs
+//! [`EpochSnapshot`]s and mv-chaos fault signals and decides, per layer of
+//! the translation stack, whether each dimension should run fully direct,
+//! escape-heavy direct (segment guarded by a populated escape filter), or
+//! fall back to paging — switching live between epochs.
+//!
+//! The controller is built to survive an adversary. Chaos fault storms
+//! produce exactly the noisy, bursty signal that makes naive controllers
+//! thrash, so every decision passes through **hysteresis**:
+//!
+//! * **asymmetric thresholds** — demotions (forced by a failed segment
+//!   allocation) apply immediately, mid-epoch; promotions only happen at
+//!   epoch boundaries, and only after the signal has been quiet;
+//! * **dwell-time minimums** — a freshly switched plan must age
+//!   [`ControllerConfig::min_dwell_epochs`] before the next promotion;
+//! * **quiet-run gating** — [`ControllerConfig::quiet_epochs`] consecutive
+//!   fault-free, low-escape epochs are required before stepping up;
+//! * **exponential backoff** — a promotion that fails mid-flight (balloon
+//!   denial while re-establishing the segment) is rolled back and the next
+//!   attempt is pushed out by a doubling epoch count, capped at
+//!   [`ControllerConfig::backoff_cap_epochs`];
+//! * **a transition budget** — at most
+//!   [`ControllerConfig::max_promotions_per_window`] promotion attempts per
+//!   [`ControllerConfig::window_epochs`], bounding transitions per window
+//!   no matter how pathological the signal.
+//!
+//! Decisions are pure functions of the observed epoch sequence: feeding
+//! the same snapshots and signals in the same order reproduces the same
+//! transition log bit for bit, which is what keeps adaptive grid runs
+//! byte-identical at any `--jobs` count.
+//!
+//! The *mechanics* of a switch (which MMU segment registers and escape
+//! filters to program, and the single batched flush) live in the machine
+//! layer in `mv-sim`; this crate owns the policy and the shared
+//! vocabulary ([`ModePlan`], [`PlanTransition`], [`AdaptReport`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+mod controller;
+mod plan;
+
+pub use controller::{
+    AdaptReport, AdaptSpec, ControllerConfig, EpochSignals, ModeController, PlanTransition,
+};
+pub use mv_chaos::DegradeLevel;
+pub use mv_obs::EpochSnapshot;
+pub use plan::ModePlan;

@@ -1,0 +1,165 @@
+//! Per-layer mode plans.
+
+use mv_chaos::DegradeLevel;
+
+/// The maximum translation-stack depth a plan can describe (the 3-deep
+/// nested-nested stack is the deepest the simulator builds).
+pub const MAX_LAYERS: usize = 3;
+
+/// A per-layer translation-mode assignment for one machine.
+///
+/// Layer `0` is the outermost (guest) dimension; deeper layers follow the
+/// machine's [`LayerStack`] order (mid, then host for a 3-deep stack; host
+/// at index `1` for the 2-deep stacks). Each layer carries a
+/// [`DegradeLevel`]:
+///
+/// * [`DegradeLevel::Direct`] — the layer's direct segment is programmed
+///   and unguarded (only meaningful on layers that own a segment);
+/// * [`DegradeLevel::EscapeHeavy`] — the segment stays programmed but is
+///   guarded by a populated escape filter;
+/// * [`DegradeLevel::Paging`] — the layer translates purely through its
+///   page table (segment nullified, or a layer that never had one).
+///
+/// Plans are plain values: comparing two plans tells a machine exactly
+/// which layers changed, and applying the diff inside one batched
+/// mode-switch flush is what makes a live transition safe.
+///
+/// [`LayerStack`]: https://docs.rs/mv-core
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModePlan {
+    levels: [DegradeLevel; MAX_LAYERS],
+    depth: u8,
+}
+
+impl ModePlan {
+    /// The healthy baseline for a machine: every segment-owning layer
+    /// fully direct, every paging-only layer at [`DegradeLevel::Paging`].
+    ///
+    /// `seg_layers[k]` says whether layer `k` owns a direct segment;
+    /// `depth` is the machine's translation-stack depth (1..=3).
+    pub fn baseline(seg_layers: [bool; MAX_LAYERS], depth: usize) -> Self {
+        Self::ladder(seg_layers, depth, DegradeLevel::Direct)
+    }
+
+    /// The plan the classic degradation ladder associates with `level`:
+    ///
+    /// * `Direct` — the baseline (all segments direct);
+    /// * `EscapeHeavy` — the *outermost* segment-owning layer guarded by a
+    ///   populated escape filter, the rest still direct;
+    /// * `Paging` — every layer at paging (all segments nullified).
+    pub fn ladder(seg_layers: [bool; MAX_LAYERS], depth: usize, level: DegradeLevel) -> Self {
+        let depth = depth.clamp(1, MAX_LAYERS);
+        let mut levels = [DegradeLevel::Paging; MAX_LAYERS];
+        match level {
+            DegradeLevel::Direct | DegradeLevel::EscapeHeavy => {
+                for (k, lv) in levels.iter_mut().enumerate().take(depth) {
+                    if seg_layers[k] {
+                        *lv = DegradeLevel::Direct;
+                    }
+                }
+                if level == DegradeLevel::EscapeHeavy {
+                    if let Some(k) = (0..depth).find(|&k| seg_layers[k]) {
+                        levels[k] = DegradeLevel::EscapeHeavy;
+                    }
+                }
+            }
+            DegradeLevel::Paging => {}
+        }
+        ModePlan {
+            levels,
+            depth: depth as u8,
+        }
+    }
+
+    /// Stack depth the plan covers.
+    pub fn depth(&self) -> usize {
+        self.depth as usize
+    }
+
+    /// The level assigned to layer `k` (layers at or beyond
+    /// [`ModePlan::depth`] read as [`DegradeLevel::Paging`]).
+    pub fn level(&self, k: usize) -> DegradeLevel {
+        if k < self.depth() {
+            self.levels[k]
+        } else {
+            DegradeLevel::Paging
+        }
+    }
+
+    /// Returns a copy with layer `k`'s level replaced.
+    pub fn with_level(mut self, k: usize, level: DegradeLevel) -> Self {
+        if k < self.depth() {
+            self.levels[k] = level;
+        }
+        self
+    }
+
+    /// The ladder rung this plan corresponds to, judged over the
+    /// segment-owning layers: the worst (most degraded) level any of them
+    /// is at, or [`DegradeLevel::Direct`] when no layer owns a segment.
+    pub fn ladder_level(&self, seg_layers: [bool; MAX_LAYERS]) -> DegradeLevel {
+        (0..self.depth())
+            .filter(|&k| seg_layers[k])
+            .map(|k| self.levels[k])
+            .max()
+            .unwrap_or(DegradeLevel::Direct)
+    }
+
+    /// Human-readable per-layer label, outermost first, e.g.
+    /// `"escape_heavy/direct"` or `"paging/paging/paging"`.
+    pub fn label(&self) -> String {
+        let parts: Vec<&str> = (0..self.depth()).map(|k| self.levels[k].label()).collect();
+        parts.join("/")
+    }
+}
+
+impl core::fmt::Display for ModePlan {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_plans_match_the_classic_state_machine() {
+        // DD-style: both layers own segments.
+        let seg = [true, true, false];
+        let base = ModePlan::baseline(seg, 2);
+        assert_eq!(base.label(), "direct/direct");
+        let eh = ModePlan::ladder(seg, 2, DegradeLevel::EscapeHeavy);
+        assert_eq!(eh.label(), "escape_heavy/direct");
+        let pg = ModePlan::ladder(seg, 2, DegradeLevel::Paging);
+        assert_eq!(pg.label(), "paging/paging");
+        assert_eq!(base.ladder_level(seg), DegradeLevel::Direct);
+        assert_eq!(eh.ladder_level(seg), DegradeLevel::EscapeHeavy);
+        assert_eq!(pg.ladder_level(seg), DegradeLevel::Paging);
+    }
+
+    #[test]
+    fn escape_heavy_guards_the_outermost_available_segment() {
+        // VD-style: only the host layer owns a segment.
+        let seg = [false, true, false];
+        let eh = ModePlan::ladder(seg, 2, DegradeLevel::EscapeHeavy);
+        assert_eq!(eh.label(), "paging/escape_heavy");
+        assert_eq!(eh.level(0), DegradeLevel::Paging);
+        assert_eq!(eh.level(1), DegradeLevel::EscapeHeavy);
+    }
+
+    #[test]
+    fn segmentless_machines_are_already_at_baseline_paging() {
+        let seg = [false; 3];
+        let base = ModePlan::baseline(seg, 2);
+        assert_eq!(base.label(), "paging/paging");
+        assert_eq!(base.ladder_level(seg), DegradeLevel::Direct);
+    }
+
+    #[test]
+    fn out_of_range_layers_read_as_paging() {
+        let plan = ModePlan::baseline([true, true, true], 3);
+        assert_eq!(plan.level(7), DegradeLevel::Paging);
+        assert_eq!(plan.depth(), 3);
+    }
+}

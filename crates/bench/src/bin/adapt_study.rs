@@ -1,0 +1,433 @@
+//! Adaptive-vs-static study: the telemetry-driven mode controller against
+//! every static environment on a phase-shifting serving workload, with
+//! chaos fault storms as the adversary.
+//!
+//! One serving-style trace (Zipfian requests under a diurnal load
+//! envelope, synthesized once and replayed byte-identically into every
+//! cell) drives five cells: four statically configured environments —
+//! `4K+4K`, `4K+VD`, `4K+GD`, `DD`, the segment-bearing ones defended by
+//! the legacy reactive degradation ladder — and one `DD` cell whose mode
+//! is chosen live by the mv-adapt controller from epoch telemetry. All
+//! five face the same fault plan: a storm confined to the second quarter
+//! of the measured window (or sustained noise under `--thrash`).
+//!
+//! Walk-cost accounting has two parts. *Walk cycles* come from the
+//! telemetry epoch histograms. *Switch cycles* price what the simulator's
+//! flush model cannot see: re-programming a direct segment means the
+//! OS/VMM balloons or compacts a contiguous span back into existence, so
+//! every successful promotion (ladder `"recovery"`, controller
+//! `"promotion"`) is charged a flat re-arm cost from the transition log.
+//! The charge is deliberately conservative — real compaction of a
+//! gigabyte-scale span costs orders of magnitude more — which is exactly
+//! the cost an eager retry ladder externalizes and a hysteresis
+//! controller is designed to respect.
+//!
+//! Scoring splits the measured window into eight phases (two per diurnal
+//! cycle of the four-cycle trace). The *static oracle* picks the cheapest
+//! static cell per phase — the hindsight scheduler the controller tries
+//! to approximate; the headline compares the adaptive run's total walk
+//! cost against the best single static cell and against that oracle, and
+//! reports how many epochs past the storm the controller needed to
+//! promote back to Direct.
+//!
+//! ```text
+//! cargo run --release -p mv-bench --bin adapt_study -- --quick --jobs 4
+//! ```
+//!
+//! Flags: `--quick` (smoke scale), `--jobs N`, `--quiet`, `--chaos-seed N`
+//! (default 0xc4a05), and `--thrash` (sustained fault noise instead of a
+//! storm; used by CI to verify the rollback backoff honors its cap).
+//! Cells are assembled in sweep order, so stdout is byte-identical for
+//! any `--jobs` value and fixed seeds. The binary exits nonzero if any
+//! cell dies, the oracle reports a violation, the adaptive cell fails to
+//! beat a static cell, or the controller's backoff/window-budget
+//! invariants fail.
+
+use mv_bench::experiments::{env_catalog, parse_parallelism, parse_scale};
+use mv_chaos::{ChaosSpec, DegradeLevel};
+use mv_metrics::Table;
+use mv_par::cli;
+use mv_sim::{
+    write_serving, AdaptSpec, ControllerConfig, GridCell, ReplaySource, RunResult, ServingParams,
+    SimConfig, Simulation, TelemetryConfig,
+};
+use mv_workloads::WorkloadKind;
+
+/// Injected faults per million accesses while chaos is active.
+const FAULT_RATE: u64 = 50_000;
+
+/// Fault spacing for `--thrash`, in decision epochs. Faults fire on a
+/// deterministic interval, so this picks the sustained regime directly:
+/// wide enough that quiet runs keep tempting the controller into
+/// promotions, tight enough that balloon denials keep aborting them —
+/// the cycle that drives the rollback backoff ladder, whose cap this
+/// mode exists to verify.
+const THRASH_EPOCHS_PER_FAULT: u64 = 4;
+
+/// Phases the measured window is scored over: two per diurnal cycle of
+/// the four-cycle serving trace (peak and trough halves).
+const PHASES: usize = 8;
+
+/// Cycles charged per successful segment promotion: the balloon /
+/// compaction pass that re-arms a contiguous direct-segment span. Real
+/// compaction of a gigabyte-scale span runs to milliseconds of work;
+/// 20k cycles (< 100 DRAM round trips) is a deliberate lower bound, so
+/// it understates — never manufactures — the cost of flapping.
+const SEGMENT_REARM_CYCLES: u64 = 20_000;
+
+/// The static adversaries, in output order. Segment-bearing cells run
+/// the legacy reactive ladder (degradation is the correctness mechanism
+/// under segment loss); `4K+4K` has no segment to lose.
+const STATICS: [(&str, env_catalog::NamedEnv); 4] = [
+    ("4K+4K", env_catalog::VIRT_4K_4K),
+    ("4K+VD", env_catalog::VMM_DIRECT),
+    ("4K+GD", env_catalog::GUEST_DIRECT),
+    ("DD", env_catalog::DUAL_DIRECT),
+];
+
+/// Per-phase walk and switch cycles for one cell's measured window.
+struct PhaseCost {
+    walk: [u64; PHASES],
+    switches: [u64; PHASES],
+}
+
+impl PhaseCost {
+    fn phase(&self, p: usize) -> u64 {
+        self.walk[p] + self.switches[p]
+    }
+
+    fn total(&self) -> u64 {
+        self.walk.iter().sum::<u64>() + self.switches.iter().sum::<u64>()
+    }
+}
+
+/// Attributes one cell's walk cycles and promotion charges to phases.
+///
+/// Epochs live on the MMU's access-sequence grid, which runs ahead of the
+/// workload clock on faulting runs (every retried access counts), so walk
+/// cycles map to phases *proportionally* over the cell's own observed
+/// span. Switch charges come from the transition log, which is stamped in
+/// workload accesses and maps exactly.
+fn phase_cost(r: &RunResult, warmup: u64, measured: u64) -> PhaseCost {
+    let mut cost = PhaseCost {
+        walk: [0; PHASES],
+        switches: [0; PHASES],
+    };
+    let Some(t) = r.telemetry.as_ref() else {
+        return cost;
+    };
+    let scale = t
+        .epochs()
+        .iter()
+        .map(|e| e.end_seq)
+        .max()
+        .unwrap_or(measured)
+        .max(1);
+    for e in t.epochs() {
+        let p = ((e.start_seq.saturating_sub(1) as u128 * PHASES as u128) / scale as u128) as usize;
+        cost.walk[p.min(PHASES - 1)] += e.hist.sum();
+    }
+    for tr in t.transitions() {
+        if tr.access < warmup || !matches!(tr.cause.as_str(), "recovery" | "promotion") {
+            continue;
+        }
+        let p =
+            (((tr.access - warmup) as u128 * PHASES as u128) / measured.max(1) as u128) as usize;
+        cost.switches[p.min(PHASES - 1)] += SEGMENT_REARM_CYCLES;
+    }
+    cost
+}
+
+fn kcyc(cycles: u64) -> String {
+    format!("{:.1}", cycles as f64 / 1000.0)
+}
+
+fn main() {
+    let scale = parse_scale();
+    let (jobs, reporter) = parse_parallelism();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let chaos_seed = cli::parse_u64_opt(&args, "--chaos-seed")
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+        .unwrap_or(0xc4a05);
+    let thrash = args.iter().any(|a| a == "--thrash");
+
+    // One trace, shared by reference into every cell. Records cover the
+    // whole run exactly (warmup + measured), so no cell wraps the trace.
+    let workload = WorkloadKind::Memcached;
+    let footprint = scale.footprint_for(workload);
+    let records = scale.warmup + scale.accesses;
+    let params = ServingParams::new(footprint, records, scale.seed);
+    let mut buf = Vec::new();
+    write_serving(&mut buf, &params).unwrap_or_else(|e| {
+        eprintln!("serving trace synthesis failed: {e}");
+        std::process::exit(2);
+    });
+    let trace = ReplaySource::bytes(buf);
+
+    // Decision/telemetry epochs: ~100 per measured window, and the storm
+    // quarter spans ~25 of them.
+    let epoch_len = (scale.accesses / 100).max(1_000);
+    let storm_start = scale.warmup + scale.accesses / 4;
+    let storm_len = scale.accesses / 4;
+    let thrash_rate = (1_000_000 / (THRASH_EPOCHS_PER_FAULT * epoch_len)).max(1);
+    let chaos = if thrash {
+        ChaosSpec::new(chaos_seed, thrash_rate)
+    } else {
+        ChaosSpec::new(chaos_seed, FAULT_RATE).with_storm(storm_start, storm_len)
+    };
+    let adapt = AdaptSpec {
+        epoch_len,
+        seed: 0xada7,
+        config: ControllerConfig::default(),
+    };
+    let tcfg = TelemetryConfig {
+        epoch_len,
+        flight_capacity: 0,
+    };
+
+    let cfg_for = |(paging, env): env_catalog::NamedEnv| SimConfig {
+        workload,
+        footprint,
+        guest_paging: paging,
+        env,
+        accesses: scale.accesses,
+        warmup: scale.warmup,
+        seed: scale.seed,
+    };
+    let mut cells: Vec<GridCell> = STATICS
+        .iter()
+        .map(|&(_, named)| {
+            GridCell::new(cfg_for(named))
+                .observed(tcfg)
+                .with_chaos(chaos)
+                .replayed(trace.clone())
+        })
+        .collect();
+    cells.push(
+        GridCell::new(cfg_for(env_catalog::DUAL_DIRECT))
+            .with_chaos(chaos)
+            .adaptive(adapt)
+            .replayed(trace.clone()),
+    );
+
+    println!(
+        "\nAdaptive mode controller vs. static environments — serving workload \
+         under chaos\n(chaos seed {chaos_seed:#x}, {}, {} accesses, \
+         epoch {epoch_len}, re-arm {SEGMENT_REARM_CYCLES} cyc)\n",
+        if thrash {
+            format!("rate {thrash_rate}/M sustained")
+        } else {
+            format!("rate {FAULT_RATE}/M, storm @ {storm_start}+{storm_len}")
+        },
+        scale.accesses
+    );
+    let report = Simulation::run_grid_reported(&cells, jobs, &reporter);
+    let results = report.outcomes();
+
+    let mut failed = false;
+    let mut ok: Vec<(&str, &RunResult)> = Vec::new();
+    let labels: Vec<&str> = STATICS
+        .iter()
+        .map(|&(l, _)| l)
+        .chain(std::iter::once("DD+adapt"))
+        .collect();
+    for (label, out) in labels.iter().zip(results) {
+        match &out.outcome {
+            Ok(r) => ok.push((label, r)),
+            Err(e) => {
+                eprintln!("error: cell {label} died: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    let costs: Vec<PhaseCost> = ok
+        .iter()
+        .map(|&(_, r)| phase_cost(r, scale.warmup, scale.accesses))
+        .collect();
+
+    // ------------------------------------------------------- summary table
+    let mut t = Table::new(&[
+        "env",
+        "policy",
+        "walk kcyc",
+        "switch kcyc",
+        "total kcyc",
+        "survived",
+        "injected",
+        "transitions",
+        "recoveries",
+        "direct%",
+    ]);
+    for (i, (&(label, r), cost)) in ok.iter().zip(&costs).enumerate() {
+        let policy = if i == ok.len() - 1 {
+            "adaptive"
+        } else if i == 0 {
+            "static"
+        } else {
+            "ladder"
+        };
+        let (survived, injected, transitions, recoveries, direct) = match &r.chaos {
+            Some(c) => {
+                let res: u64 = c.residency.iter().sum::<u64>().max(1);
+                (
+                    c.survived(),
+                    c.injected_total(),
+                    c.transitions,
+                    c.recoveries.to_string(),
+                    format!(
+                        "{:.1}",
+                        100.0 * c.residency[DegradeLevel::Direct.index()] as f64 / res as f64
+                    ),
+                )
+            }
+            None => (true, 0, 0, "-".to_string(), "100.0".to_string()),
+        };
+        if !survived {
+            eprintln!("error: cell {label} finished with oracle violations");
+            failed = true;
+        }
+        t.row(&[
+            label.to_string(),
+            policy.to_string(),
+            kcyc(cost.walk.iter().sum()),
+            kcyc(cost.switches.iter().sum()),
+            kcyc(cost.total()),
+            if survived { "yes".into() } else { "NO".to_string() },
+            injected.to_string(),
+            transitions.to_string(),
+            recoveries,
+            direct,
+        ]);
+    }
+    println!("{t}");
+
+    // ----------------------------------------------------- per-phase table
+    let mut pt = Table::new(&[
+        "phase", "4K+4K", "4K+VD", "4K+GD", "DD", "oracle", "adaptive",
+    ]);
+    let mut oracle_total = 0u64;
+    for p in 0..PHASES {
+        let static_costs: Vec<u64> = costs[..ok.len() - 1].iter().map(|c| c.phase(p)).collect();
+        let oracle = static_costs.iter().copied().min().unwrap_or(0);
+        oracle_total += oracle;
+        let mut row = vec![p.to_string()];
+        row.extend(static_costs.iter().map(|&c| kcyc(c)));
+        row.push(kcyc(oracle));
+        row.push(kcyc(costs[ok.len() - 1].phase(p)));
+        pt.row(&row);
+    }
+    println!("(per-phase walk + switch kilocycles over eighths of the measured");
+    println!(" window; the oracle takes the cheapest static cell in each phase —");
+    println!(" hindsight the controller has to earn online)\n");
+    println!("{pt}");
+
+    // ------------------------------------------------------------ headline
+    let adaptive_total = costs[costs.len() - 1].total();
+    let (best_label, best_static) = ok[..ok.len() - 1]
+        .iter()
+        .zip(&costs)
+        .map(|(&(l, _), c)| (l, c.total()))
+        .min_by_key(|&(_, c)| c)
+        .unwrap_or(("", 0));
+    let ratio = |a: u64, b: u64| {
+        if b == 0 {
+            f64::INFINITY
+        } else {
+            a as f64 / b as f64
+        }
+    };
+    println!(
+        "adaptive vs best static ({best_label}): {:.3}x total walk cost",
+        ratio(adaptive_total, best_static)
+    );
+    println!(
+        "adaptive vs per-phase static oracle: {:.3}x total walk cost",
+        ratio(adaptive_total, oracle_total)
+    );
+    let beats_all = costs[..costs.len() - 1]
+        .iter()
+        .all(|c| adaptive_total < c.total());
+    println!(
+        "adaptive beats every static cell: {}",
+        if beats_all { "yes" } else { "NO" }
+    );
+    // The beats-all criterion is the storm headline; sustained thrash
+    // exists to exercise the backoff ladder, not to be won.
+    if !beats_all && !thrash {
+        failed = true;
+    }
+
+    // Controller invariants + recovery time, from the adaptive cell.
+    let (_, adaptive_result) = ok[ok.len() - 1];
+    let Some(a) = adaptive_result.adapt.as_ref() else {
+        eprintln!("error: the adaptive cell produced no adapt report");
+        std::process::exit(1);
+    };
+    if a.max_backoff_epochs > adapt.config.backoff_cap_epochs {
+        eprintln!(
+            "error: rollback backoff exceeded its cap ({} > {})",
+            a.max_backoff_epochs, adapt.config.backoff_cap_epochs
+        );
+        failed = true;
+    }
+    let windows = a.epochs / adapt.config.window_epochs + 1;
+    if a.decisions > windows * adapt.config.max_promotions_per_window {
+        eprintln!(
+            "error: promotion decisions exceeded the window budget ({} > {})",
+            a.decisions,
+            windows * adapt.config.max_promotions_per_window
+        );
+        failed = true;
+    }
+    if a.transitions != a.promotions + a.forced_demotions + 2 * a.rollbacks {
+        eprintln!("error: transition accounting identity violated: {a:?}");
+        failed = true;
+    }
+    println!(
+        "controller: {} epochs, {} promotions, {} forced demotions, {} rollbacks, \
+         max backoff {} epochs (cap {})",
+        a.epochs,
+        a.promotions,
+        a.forced_demotions,
+        a.rollbacks,
+        a.max_backoff_epochs,
+        adapt.config.backoff_cap_epochs
+    );
+    if thrash {
+        println!("thrash mode: backoff cap and window budget verified under sustained noise");
+    } else {
+        // Recovery time: last promotion landing the run back on the full
+        // baseline plan, measured in epochs past the storm end.
+        let storm_end = storm_start + storm_len;
+        let recovery = adaptive_result
+            .telemetry
+            .as_ref()
+            .map(|t| t.transitions())
+            .unwrap_or(&[])
+            .iter()
+            .filter(|tr| tr.cause == "promotion" && tr.access >= storm_end)
+            .map(|tr| tr.access)
+            .max();
+        match (a.final_level == DegradeLevel::Direct, recovery) {
+            (true, Some(access)) => println!(
+                "recovery: home (Direct) {} epochs after the storm end",
+                access.saturating_sub(storm_end).div_ceil(epoch_len)
+            ),
+            (true, None) => println!("recovery: never left Direct after the storm"),
+            (false, _) => {
+                eprintln!("error: controller did not recover to Direct after the storm: {a:?}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -30,16 +30,21 @@ use mv_workloads::WorkloadKind;
 const RATES: [u64; 4] = [0, 1_000, 10_000, 50_000];
 
 /// Representative cross-section of the catalog: every segment-bearing
-/// mode (each degrades a different dimension), plus a base-paging and a
-/// shadow environment that exercise injection and the oracle with no
-/// segment to lose.
-const ENVS: [(&str, env_catalog::NamedEnv); 6] = [
+/// mode (each degrades a different dimension), a base-paging and a shadow
+/// environment that exercise injection and the oracle with no segment to
+/// lose, and the 3-deep L2 stack — per-layer segment loss over all three
+/// segments (`L2+TD`), over the two inner segments (`L2+MHD`), and the
+/// segmentless shadow-on-nested collapse.
+const ENVS: [(&str, env_catalog::NamedEnv); 9] = [
     ("DS", env_catalog::NATIVE_DS),
     ("4K+4K", env_catalog::VIRT_4K_4K),
     ("VD", env_catalog::VMM_DIRECT),
     ("GD", env_catalog::GUEST_DIRECT),
     ("DD", env_catalog::DUAL_DIRECT),
     ("shadow", env_catalog::SHADOW_4K),
+    ("L2+TD", env_catalog::L2_TRIPLE_DIRECT),
+    ("L2+MHD", env_catalog::L2_MID_HOST),
+    ("L2shadow", env_catalog::L2_SHADOW),
 ];
 
 fn main() {
@@ -69,10 +74,7 @@ fn main() {
                 };
                 let mut cell = GridCell::new(cfg);
                 if rate > 0 {
-                    cell = cell.with_chaos(ChaosSpec {
-                        seed: chaos_seed,
-                        fault_rate_per_million: rate,
-                    });
+                    cell = cell.with_chaos(ChaosSpec::new(chaos_seed, rate));
                 }
                 cell
             })

@@ -337,10 +337,7 @@ fn main() {
                 cell = cell.profiled(ProfileConfig { epoch_len });
             }
             if fault_rate > 0 {
-                cell = cell.with_chaos(ChaosSpec {
-                    seed: chaos_seed,
-                    fault_rate_per_million: fault_rate,
-                });
+                cell = cell.with_chaos(ChaosSpec::new(chaos_seed, fault_rate));
             }
             if let Some(src) = &replay_src {
                 cell = cell.replayed(src.clone());

@@ -1,86 +1,166 @@
 //! L2 (nested-nested) study: direct-segment placement swept per layer of
-//! the 3-deep translation stack, plus the shadow-on-nested alternative.
+//! the 3-deep translation stack, plus the shadow-on-nested alternative
+//! and a mid/nested leaf-size sweep.
 //!
 //! Extends the paper's dimensionality argument one level down: a fully
 //! paged 3-level stack pays up to 124 references per cold walk
 //! (T(3) = 124 from the T(d) = 4·(T(d−1)+1)+T(d−1) recurrence), and each
-//! direct segment removes one dimension from the product. The table
-//! reports every per-layer placement with the stack-derived walk
+//! direct segment removes one dimension from the product. The first
+//! table reports every per-layer placement with the stack-derived walk
 //! dimensionality next to the measured overhead, and cross-checks mv-prof
 //! conservation (attributed cycles must equal the walk total) on the 3D
 //! walk events.
+//!
+//! The second table sweeps the mid (L1 hypervisor) and nested (L0 host)
+//! leaf sizes over 4K/2M. Large leaves change TLB reach, never walk
+//! shape, so every swept stack must still satisfy the recurrence: the
+//! study asserts that `LayerStack::walk_dimensions` matches the count of
+//! paged layers derived straight from the environment's segment flags and
+//! that `common_walk_refs` equals T(dims) — with the per-layer leaf sizes
+//! reported truthfully instead of the historical hard-coded 4K.
 
-use mv_bench::experiments::{config, env_catalog, parse_scale, pct};
-use mv_core::MmuConfig;
+use mv_bench::experiments::{config, env_catalog, parse_scale, pct, Scale};
+use mv_core::{MmuConfig, TranslationMode};
 use mv_metrics::Table;
 use mv_prof::ProfileConfig;
-use mv_sim::Simulation;
+use mv_sim::{Env, L2Strategy, Simulation};
 use mv_workloads::WorkloadKind;
+
+/// The walk-reference recurrence: `T(0) = 0`, `T(d) = 4·(T(d−1)+1)+T(d−1)`.
+fn t_rec(d: u8) -> u32 {
+    (0..d).fold(0, |t, _| 4 * (t + 1) + t)
+}
+
+/// Walk dimensionality derived independently of the `LayerStack`: paged
+/// layers counted straight off the environment's segment flags (the
+/// shadow-on-nested collapse always walks 2D).
+fn derived_dims(env: &Env) -> u8 {
+    match *env {
+        Env::L2 {
+            mode:
+                TranslationMode::L2Nested {
+                    guest_ds,
+                    mid_ds,
+                    host_ds,
+                },
+            strategy,
+            ..
+        } => match strategy {
+            L2Strategy::NestedNested => {
+                u8::from(!guest_ds) + u8::from(!mid_ds) + u8::from(!host_ds)
+            }
+            L2Strategy::ShadowOnNested => 2,
+        },
+        _ => unreachable!("the L2 study only sweeps L2 environments"),
+    }
+}
+
+/// Runs one environment, appends its table row, and folds the mv-prof
+/// conservation and stack-recurrence checks into the shared flags.
+fn run_row(
+    t: &mut Table,
+    named: env_catalog::NamedEnv,
+    w: WorkloadKind,
+    scale: &Scale,
+    all_conserved: &mut bool,
+    all_consistent: &mut bool,
+) {
+    let (paging, env) = named;
+    let cfg = config(w, paging, env, scale);
+    eprintln!("running {}...", cfg.label());
+    let stack = env.layer_stack(paging);
+
+    let dims = stack.walk_dimensions();
+    let consistent = dims == derived_dims(&env) && stack.common_walk_refs() == t_rec(dims);
+    if !consistent {
+        eprintln!(
+            "stack inconsistency for {}: dims {dims} (derived {}), refs {} (T({dims}) = {})",
+            cfg.label(),
+            derived_dims(&env),
+            stack.common_walk_refs(),
+            t_rec(dims)
+        );
+    }
+    *all_consistent &= consistent;
+
+    let r = Simulation::run_profiled(&cfg, MmuConfig::default(), None, ProfileConfig::default())
+        .unwrap();
+    let layers: Vec<String> = stack
+        .layers()
+        .iter()
+        .map(|l| l.mode.label().to_string())
+        .collect();
+    let (attributed, total, mid_cycles) = r
+        .profile
+        .as_ref()
+        .map(|p| {
+            let m = p.total();
+            (m.attributed_cycles(), m.total_cycles, m.mid_dimension_cycles())
+        })
+        .unwrap_or_default();
+    let conserved = attributed == total;
+    *all_conserved &= conserved;
+    t.row(&[
+        cfg.label(),
+        layers.join("/"),
+        dims.to_string(),
+        stack.common_walk_refs().to_string(),
+        stack.bound_checks().to_string(),
+        pct(r.overhead),
+        r.vm_exits.to_string(),
+        mid_cycles.to_string(),
+        if conserved { "yes".into() } else { format!("{attributed}!={total}") },
+    ]);
+}
+
+const COLUMNS: [&str; 9] = [
+    "env",
+    "stack",
+    "dims",
+    "walk refs",
+    "checks",
+    "overhead",
+    "VM exits",
+    "mid cycles",
+    "conserved",
+];
 
 fn main() {
     let scale = parse_scale();
     let w = WorkloadKind::Gups;
-
-    let mut t = Table::new(&[
-        "env",
-        "stack",
-        "dims",
-        "walk refs",
-        "checks",
-        "overhead",
-        "VM exits",
-        "mid cycles",
-        "conserved",
-    ]);
     let mut all_conserved = true;
-    for (paging, env) in env_catalog::L2_SWEEP_ENVS {
-        let cfg = config(w, paging, env, &scale);
-        eprintln!("running {}...", cfg.label());
-        let stack = env_catalog::translation_mode(env).stack();
-        let r = Simulation::run_profiled(
-            &cfg,
-            MmuConfig::default(),
-            None,
-            ProfileConfig::default(),
-        )
-        .unwrap();
-        let layers: Vec<String> = stack
-            .layers()
-            .iter()
-            .map(|l| l.mode.label().to_string())
-            .collect();
-        let (attributed, total, mid_cycles) = r
-            .profile
-            .as_ref()
-            .map(|p| {
-                let m = p.total();
-                (m.attributed_cycles(), m.total_cycles, m.mid_dimension_cycles())
-            })
-            .unwrap_or_default();
-        let conserved = attributed == total;
-        all_conserved &= conserved;
-        t.row(&[
-            cfg.label(),
-            layers.join("/"),
-            stack.walk_dimensions().to_string(),
-            stack.common_walk_refs().to_string(),
-            stack.bound_checks().to_string(),
-            pct(r.overhead),
-            r.vm_exits.to_string(),
-            mid_cycles.to_string(),
-            if conserved { "yes".into() } else { format!("{attributed}!={total}") },
-        ]);
+    let mut all_consistent = true;
+
+    let mut placement = Table::new(&COLUMNS);
+    for named in env_catalog::L2_SWEEP_ENVS {
+        run_row(&mut placement, named, w, &scale, &mut all_conserved, &mut all_consistent);
+    }
+    let mut sizes = Table::new(&COLUMNS);
+    for named in env_catalog::L2_PAGE_SIZE_ENVS {
+        run_row(&mut sizes, named, w, &scale, &mut all_conserved, &mut all_consistent);
     }
 
     println!("\nL2 nested-nested study — per-layer direct-segment placement ({})", w.label());
-    println!("(stack columns are derived from the mode's layer stack: walk");
+    println!("(stack columns are derived from the environment's layer stack: walk");
     println!(" dimensionality, uncached walk-reference budget T(d), and fused");
     println!(" bound checks; `mid cycles` is the middle dimension's share of");
     println!(" attributed walk cycles, nonzero only for 3D walks)\n");
-    println!("{t}");
+    println!("{placement}");
+
+    println!("L2 mid/nested leaf-size sweep — 4K/2M per hypervisor layer");
+    println!("(leaf sizes change TLB reach, never walk shape: every swept stack");
+    println!(" keeps its dimensionality and T(d) budget, and the stack column");
+    println!(" now reports the real per-layer leaf sizes)\n");
+    println!("{sizes}");
+
     if !all_conserved {
         eprintln!("error: mv-prof attribution failed to conserve walk cycles");
         std::process::exit(1);
     }
+    if !all_consistent {
+        eprintln!("error: a swept stack violated the walk recurrence");
+        std::process::exit(1);
+    }
     println!("mv-prof conservation: attributed == total walk cycles for every env");
+    println!("stack consistency: dims match the segment flags and walk refs match T(d)");
 }

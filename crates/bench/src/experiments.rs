@@ -274,21 +274,24 @@ pub mod env_catalog {
         },
     );
 
-    /// Nested-nested (L2) entry with a direct segment per flagged layer.
-    const fn l2(guest_ds: bool, mid_ds: bool, host_ds: bool) -> NamedEnv {
+    /// Nested-nested (L2) entry with a direct segment per flagged layer
+    /// and explicit mid/nested leaf sizes.
+    const fn l2_sized(
+        guest_ds: bool,
+        mid_ds: bool,
+        host_ds: bool,
+        mid: PageSize,
+        nested: PageSize,
+    ) -> NamedEnv {
         (
             GuestPaging::Fixed(PageSize::Size4K),
-            Env::L2 {
-                mid: PageSize::Size4K,
-                nested: PageSize::Size4K,
-                mode: TranslationMode::L2Nested {
-                    guest_ds,
-                    mid_ds,
-                    host_ds,
-                },
-                strategy: mv_sim::L2Strategy::NestedNested,
-            },
+            Env::l2_sized(guest_ds, mid_ds, host_ds, mid, nested),
         )
+    }
+
+    /// Nested-nested (L2) entry with a direct segment per flagged layer.
+    const fn l2(guest_ds: bool, mid_ds: bool, host_ds: bool) -> NamedEnv {
+        l2_sized(guest_ds, mid_ds, host_ds, PageSize::Size4K, PageSize::Size4K)
     }
 
     /// Fully paged nested-nested L2 (`4K+L2`): 3D walks, up to 124
@@ -336,6 +339,23 @@ pub mod env_catalog {
         L2_MID_HOST,
         L2_TRIPLE_DIRECT,
         L2_SHADOW,
+    ];
+
+    /// Mid/nested leaf-size sweep over the 3-deep stack (`sec_l2`): the
+    /// fully paged stack and the guest-direct placement at every 4K/2M
+    /// mid × nested combination. The 4K/4K cells are the `L2_BASE` /
+    /// `L2_GUEST_DIRECT` baselines; the others exercise the per-layer
+    /// leaf sizes that the stack derivation must reflect without moving
+    /// any Table II quantity.
+    pub const L2_PAGE_SIZE_ENVS: [NamedEnv; 8] = [
+        l2_sized(false, false, false, PageSize::Size4K, PageSize::Size4K),
+        l2_sized(false, false, false, PageSize::Size2M, PageSize::Size4K),
+        l2_sized(false, false, false, PageSize::Size4K, PageSize::Size2M),
+        l2_sized(false, false, false, PageSize::Size2M, PageSize::Size2M),
+        l2_sized(true, false, false, PageSize::Size4K, PageSize::Size4K),
+        l2_sized(true, false, false, PageSize::Size2M, PageSize::Size4K),
+        l2_sized(true, false, false, PageSize::Size4K, PageSize::Size2M),
+        l2_sized(true, false, false, PageSize::Size2M, PageSize::Size2M),
     ];
 
     /// Figure 1's six-environment preview set.

@@ -18,20 +18,46 @@ pub struct ChaosSpec {
     pub seed: u64,
     /// Injected faults per million accesses (0 = off).
     pub fault_rate_per_million: u64,
+    /// First access of the fault storm. Only meaningful when
+    /// [`ChaosSpec::storm_len`] is nonzero.
+    pub storm_start: u64,
+    /// Length of the fault storm in accesses. Zero (the default) means the
+    /// plan fires for the whole run — the pre-storm behavior, so existing
+    /// specs are unchanged.
+    pub storm_len: u64,
 }
 
 impl ChaosSpec {
-    /// A spec injecting `fault_rate_per_million` faults from `seed`.
+    /// A spec injecting `fault_rate_per_million` faults from `seed` over
+    /// the whole run.
     pub fn new(seed: u64, fault_rate_per_million: u64) -> Self {
         ChaosSpec {
             seed,
             fault_rate_per_million,
+            storm_start: 0,
+            storm_len: 0,
         }
+    }
+
+    /// Confines injection to the `[start, start + len)` access window — a
+    /// fault *storm* with clean phases on either side, the adversary shape
+    /// adaptive-controller studies score recovery time against.
+    pub fn with_storm(mut self, start: u64, len: u64) -> Self {
+        self.storm_start = start;
+        self.storm_len = len;
+        self
     }
 
     /// Whether this spec injects anything at all.
     pub fn active(&self) -> bool {
         self.fault_rate_per_million > 0
+    }
+
+    /// Whether access `i` falls inside the injection window (always true
+    /// without a storm window).
+    pub fn storming(&self, i: u64) -> bool {
+        self.storm_len == 0
+            || (i >= self.storm_start && i - self.storm_start < self.storm_len)
     }
 }
 
@@ -115,7 +141,7 @@ impl FaultPlan {
     /// The fault (if any) scheduled at access `i`. Access zero never
     /// faults, so the first access of a run is always clean.
     pub fn due(&self, i: u64) -> Option<ChaosFault> {
-        if self.interval == 0 || i == 0 || i % self.interval != 0 {
+        if self.interval == 0 || i == 0 || i % self.interval != 0 || !self.spec.storming(i) {
             return None;
         }
         let kind = split_seed(self.spec.seed, i) % ChaosFault::ALL.len() as u64;
@@ -169,6 +195,19 @@ mod tests {
         for i in 1..1_000u64 {
             assert_eq!(plan.due(i).is_some(), i % 100 == 0, "at access {i}");
         }
+    }
+
+    #[test]
+    fn storm_window_gates_injection() {
+        let always = FaultPlan::new(ChaosSpec::new(1, 10_000));
+        let storm = FaultPlan::new(ChaosSpec::new(1, 10_000).with_storm(500, 300));
+        for i in 0..2_000u64 {
+            let expected = if (500..800).contains(&i) { always.due(i) } else { None };
+            assert_eq!(storm.due(i), expected, "at access {i}");
+        }
+        // Inside the window the schedule is identical to the unwindowed
+        // plan — same seeds, same kinds, same draws.
+        assert_eq!(storm.draw(600), always.draw(600));
     }
 
     #[test]

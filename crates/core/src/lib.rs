@@ -58,7 +58,7 @@ pub use counters::MmuCounters;
 pub use escape::{EscapeFilter, FILTER_BITS, NUM_HASHES};
 pub use fault::TranslationFault;
 pub use layer::{LayerMode, LayerStack, TranslationLayer};
-pub use mmu::{AccessOutcome, HitPath, MemoryContext, Mmu, MmuConfig};
+pub use mmu::{AccessOutcome, HitPath, MemoryContext, Mmu, MmuConfig, ModeSwitch};
 pub use mode::{SegmentCategory, Support, TranslationMode};
 pub use segment::Segment;
 pub use trace::{MissRecord, MissTrace};

@@ -277,7 +277,72 @@ pub struct Mmu {
     /// dimension is currently resolving for, meaningful only while
     /// `attr_on`.
     attr_row: usize,
+    /// Batched mode switches applied via [`Mmu::mode_switch`] (each one
+    /// cost a single [`Mmu::flush_all`]). A plain diagnostic, deliberately
+    /// outside [`MmuCounters`] so chaos-free exports stay byte-identical.
+    mode_switch_flushes: u64,
     counters: MmuCounters,
+}
+
+/// Deferred-invalidation view of an [`Mmu`] inside [`Mmu::mode_switch`]:
+/// the setters mirror the MMU's flushing ones but only stage state — the
+/// enclosing `mode_switch` applies one [`Mmu::flush_all`] for the whole
+/// batch, modeling a live mode transition as a single hardware switch.
+#[derive(Debug)]
+pub struct ModeSwitch<'a> {
+    mmu: &'a mut Mmu,
+}
+
+impl ModeSwitch<'_> {
+    /// Stages the guest segment registers (no flush).
+    pub fn set_guest_segment(&mut self, seg: Segment<Gva, Gpa>) {
+        self.mmu.guest_seg = seg;
+    }
+
+    /// Stages the VMM segment registers (no flush).
+    pub fn set_vmm_segment(&mut self, seg: Segment<Gpa, Hpa>) {
+        self.mmu.vmm_seg = seg;
+    }
+
+    /// Stages the mid segment registers (no flush).
+    pub fn set_mid_segment(&mut self, seg: Segment<Gpa, Gpa>) {
+        self.mmu.mid_seg = seg;
+    }
+
+    /// Stages the native direct segment (no flush).
+    pub fn set_native_segment(&mut self, seg: Segment<Gva, Hpa>) {
+        self.mmu.native_seg = seg;
+    }
+
+    /// Stages the VMM/native escape filter (no flush).
+    pub fn set_vmm_escape_filter(&mut self, filter: Option<EscapeFilter>) {
+        self.mmu.vmm_escape = filter;
+    }
+
+    /// Stages the guest escape filter (no flush).
+    pub fn set_guest_escape_filter(&mut self, filter: Option<EscapeFilter>) {
+        self.mmu.guest_escape = filter;
+    }
+
+    /// Stages the mid escape filter (no flush).
+    pub fn set_mid_escape_filter(&mut self, filter: Option<EscapeFilter>) {
+        self.mmu.mid_escape = filter;
+    }
+
+    /// Current guest segment registers (as staged so far).
+    pub fn guest_segment(&self) -> Segment<Gva, Gpa> {
+        self.mmu.guest_seg
+    }
+
+    /// Current VMM segment registers (as staged so far).
+    pub fn vmm_segment(&self) -> Segment<Gpa, Hpa> {
+        self.mmu.vmm_seg
+    }
+
+    /// Current mid segment registers (as staged so far).
+    pub fn mid_segment(&self) -> Segment<Gpa, Gpa> {
+        self.mmu.mid_seg
+    }
 }
 
 impl Mmu {
@@ -307,6 +372,7 @@ impl Mmu {
             attr: WalkAttr::default(),
             attr_on: false,
             attr_row: 0,
+            mode_switch_flushes: 0,
             counters: MmuCounters::default(),
         }
     }
@@ -419,6 +485,30 @@ impl Mmu {
     pub fn set_mid_escape_filter(&mut self, filter: Option<EscapeFilter>) {
         self.mid_escape = filter;
         self.flush_all();
+    }
+
+    /// Applies a batched mode switch: `f` may re-program any combination
+    /// of segments and escape filters through the [`ModeSwitch`] proxy
+    /// without intermediate flushes, and the MMU pays exactly one
+    /// [`Mmu::flush_all`] when `f` returns — the hardware cost model for a
+    /// live translation-mode transition (TLBs, PWCs, the mid structures,
+    /// and the PTE cache all go cold at once).
+    ///
+    /// A sequence of plain setters between accesses produces the same
+    /// post-switch cache state (consecutive flushes are idempotent); this
+    /// entry point exists so a transition reads as *one* switch and is
+    /// counted as such via [`Mmu::mode_switch_flushes`].
+    pub fn mode_switch<R>(&mut self, f: impl FnOnce(&mut ModeSwitch<'_>) -> R) -> R {
+        let r = f(&mut ModeSwitch { mmu: self });
+        self.mode_switch_flushes += 1;
+        self.flush_all();
+        r
+    }
+
+    /// Number of batched mode switches applied so far (each cost one full
+    /// flush).
+    pub fn mode_switch_flushes(&self) -> u64 {
+        self.mode_switch_flushes
     }
 
     /// Counter snapshot.

@@ -153,9 +153,9 @@ impl Telemetry {
                 "{{\"type\":\"transition\",\"access\":{},\"from\":\"{}\",\
                  \"to\":\"{}\",\"cause\":\"{}\"}}",
                 t.access,
-                json_escape(t.from),
-                json_escape(t.to),
-                json_escape(t.cause),
+                json_escape(&t.from),
+                json_escape(&t.to),
+                json_escape(&t.cause),
             )?;
         }
         for e in self.flight().events() {
@@ -363,9 +363,9 @@ mod tests {
         let mut t = sample_telemetry();
         t.record_transitions(&[crate::TransitionRecord {
             access: 120,
-            from: "direct",
-            to: "paging",
-            cause: "segment_alloc_fail",
+            from: "direct".into(),
+            to: "paging".into(),
+            cause: "segment_alloc_fail".into(),
         }]);
         let mut buf = Vec::new();
         t.write_jsonl(&mut buf).unwrap();

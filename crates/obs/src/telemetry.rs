@@ -216,6 +216,22 @@ impl Telemetry {
         self.flight = FlightRecorder::new(self.cfg.flight_capacity);
     }
 
+    /// Closes the in-flight epoch accumulator at its natural boundary,
+    /// pushing and returning its snapshot — exactly the snapshot the next
+    /// event's rollover would have produced, so closing an epoch early
+    /// (e.g. an adaptive controller sampling at every epoch boundary)
+    /// leaves the exported stream byte-identical.
+    ///
+    /// Returns `None` when no events arrived since the last boundary (a
+    /// quiet epoch) or epochs are disabled.
+    pub fn close_epoch(&mut self) -> Option<EpochSnapshot> {
+        let cur = self.cur.take()?;
+        let end = (cur.index + 1) * self.cfg.epoch_len;
+        let snap = cur.snapshot(self.cfg.epoch_len, end);
+        self.epochs.push(snap.clone());
+        Some(snap)
+    }
+
     /// Closes the collector at `total_accesses` accesses, flushing the
     /// trailing partial epoch (if it saw any events). Idempotent.
     pub fn finish(&mut self, total_accesses: u64) {
@@ -298,6 +314,18 @@ impl SharedTelemetry {
     /// A boxed observer feeding this handle's collector.
     pub fn observer(&self) -> Box<dyn WalkObserver> {
         Box::new(self.clone())
+    }
+
+    /// Closes the in-flight epoch at its natural boundary and returns its
+    /// snapshot (see [`Telemetry::close_epoch`]). `None` for a quiet
+    /// epoch.
+    pub fn close_epoch(&self) -> Option<EpochSnapshot> {
+        self.0.borrow_mut().close_epoch()
+    }
+
+    /// The configured epoch length, in accesses (0 = epochs disabled).
+    pub fn epoch_len(&self) -> u64 {
+        self.0.borrow().config().epoch_len
     }
 
     /// Finishes the collector at `total_accesses` and returns it. Clones

@@ -1,27 +1,30 @@
-//! Degradation-state transition records.
+//! Mode/degradation-state transition records.
 //!
-//! Chaos runs move a direct-segment environment between degradation levels
-//! (Direct → escape-heavy → paging and back). Those transitions are rare,
-//! run-level events — not per-miss walk events — so they ride alongside the
-//! epoch stream as their own record type rather than polluting the
-//! [`crate::WalkClass`] counters and histograms that the golden fixtures
-//! pin down.
+//! Chaos and adaptive runs move a direct-segment environment between
+//! translation modes (Direct → escape-heavy → paging and back, per layer).
+//! Those transitions are rare, run-level events — not per-miss walk events
+//! — so they ride alongside the epoch stream as their own record type
+//! rather than polluting the [`crate::WalkClass`] counters and histograms
+//! that the golden fixtures pin down.
 
-/// One degradation-state transition, stamped with the access index at
-/// which it fired.
+/// One mode transition, stamped with the access index at which it fired.
 ///
-/// Levels and causes are plain static labels so this crate stays free of a
-/// dependency on the chaos layer; the producer (the simulation driver)
-/// guarantees stable vocabulary (`"direct"`, `"escape_heavy"`, `"paging"`,
-/// and fault labels or `"recovery"` for the cause).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Levels and causes are owned labels so producers can record composite
+/// per-layer plans (e.g. `"escape_heavy/direct"`) as well as the classic
+/// single-level vocabulary; this crate stays free of a dependency on the
+/// chaos layer, and the producer (the simulation driver) guarantees stable
+/// vocabulary (`"direct"`, `"escape_heavy"`, `"paging"`, per-layer
+/// `/`-joined plans, and fault labels, `"promotion"`, `"rollback"`, or
+/// `"recovery"` for the cause).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransitionRecord {
     /// Access index at which the transition happened.
     pub access: u64,
-    /// Level before the transition.
-    pub from: &'static str,
-    /// Level after the transition.
-    pub to: &'static str,
-    /// What caused it (an injected-fault label, or `"recovery"`).
-    pub cause: &'static str,
+    /// Mode before the transition.
+    pub from: String,
+    /// Mode after the transition.
+    pub to: String,
+    /// What caused it (an injected-fault label, `"promotion"`,
+    /// `"rollback"`, or `"recovery"`).
+    pub cause: String,
 }

@@ -1,8 +1,32 @@
 //! Experiment configurations and their paper-style labels.
 
-use mv_core::TranslationMode;
+use mv_core::{LayerMode, LayerStack, TranslationMode};
 use mv_types::PageSize;
 use mv_workloads::WorkloadKind;
+
+/// The [`LayerMode`] a paging layer runs at for a given leaf size. The
+/// stack model distinguishes base (4 KiB) from large leaves; 1 GiB rides
+/// with 2 MiB since both are the "large leaf" class — walk shape and
+/// dimensionality are identical, only TLB reach differs.
+fn paging_layer_mode(size: PageSize) -> LayerMode {
+    match size {
+        PageSize::Size4K => LayerMode::Base4K,
+        PageSize::Size2M | PageSize::Size1G => LayerMode::Base2M,
+    }
+}
+
+/// Re-types each *paging* layer of `stack` with the given per-layer
+/// modes, leaving direct-segment layers untouched.
+fn refine_stack(stack: LayerStack, sizes: [LayerMode; LayerStack::MAX_DEPTH]) -> LayerStack {
+    let mut modes = [LayerMode::Base4K; LayerStack::MAX_DEPTH];
+    for (i, layer) in stack.layers().iter().enumerate() {
+        modes[i] = match layer.mode {
+            LayerMode::DirectSegment => LayerMode::DirectSegment,
+            _ => sizes[i],
+        };
+    }
+    LayerStack::from_modes(&modes[..stack.depth()]).unwrap_or(stack)
+}
 
 /// How the guest (or native) OS maps application memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +43,16 @@ impl GuestPaging {
         match self {
             GuestPaging::Fixed(s) => s.label(),
             GuestPaging::Thp => "THP",
+        }
+    }
+
+    /// The [`LayerMode`] the guest's paging layer runs at (THP demand
+    /// pages at 4 KiB; promotion is a reach optimization, not a walk-shape
+    /// change).
+    pub fn layer_mode(self) -> LayerMode {
+        match self {
+            GuestPaging::Fixed(s) => paging_layer_mode(s),
+            GuestPaging::Thp => LayerMode::Base4K,
         }
     }
 }
@@ -123,11 +157,25 @@ impl Env {
     }
 
     /// Nested-nested L2 virtualization with per-layer direct-segment
-    /// placement (all `false` = fully paged 3D walks).
+    /// placement (all `false` = fully paged 3D walks) and 4 KiB mid and
+    /// nested leaves.
     pub fn l2(guest_ds: bool, mid_ds: bool, host_ds: bool) -> Env {
+        Env::l2_sized(guest_ds, mid_ds, host_ds, PageSize::Size4K, PageSize::Size4K)
+    }
+
+    /// [`Env::l2`] with explicit mid (L1 hypervisor) and nested (L0 host)
+    /// page sizes; the sizes flow into the machine's mapping granularity
+    /// *and* into the reported [`LayerStack`](Env::layer_stack).
+    pub const fn l2_sized(
+        guest_ds: bool,
+        mid_ds: bool,
+        host_ds: bool,
+        mid: PageSize,
+        nested: PageSize,
+    ) -> Env {
         Env::L2 {
-            mid: PageSize::Size4K,
-            nested: PageSize::Size4K,
+            mid,
+            nested,
             mode: TranslationMode::L2Nested {
                 guest_ds,
                 mid_ds,
@@ -149,6 +197,49 @@ impl Env {
                 host_ds: false,
             },
             strategy: L2Strategy::ShadowOnNested,
+        }
+    }
+
+    /// The translation-layer stack this environment programs, with every
+    /// paging layer carrying its *actual* leaf size rather than the 4 KiB
+    /// that [`TranslationMode::stack`] assumes (the mode alone cannot know
+    /// the environment's page-size choices). Direct-segment placement,
+    /// depth, walk dimensionality, and the `T(d)` reference budget are
+    /// identical to the mode's canonical stack — large leaves change TLB
+    /// reach, not walk shape — so all Table II cost math is unaffected;
+    /// only the per-layer mode labels become truthful.
+    ///
+    /// Shadow environments report the stack the hardware actually walks:
+    /// one layer for classic shadow paging, two (shadow × nested) for
+    /// shadow-on-nested L2.
+    pub fn layer_stack(&self, guest: GuestPaging) -> LayerStack {
+        let g = guest.layer_mode();
+        match *self {
+            Env::Native { direct_segment } => {
+                if direct_segment {
+                    LayerStack::native(LayerMode::DirectSegment)
+                } else {
+                    LayerStack::native(g)
+                }
+            }
+            Env::Virtualized { nested, mode } => {
+                refine_stack(mode.stack(), [g, paging_layer_mode(nested), paging_layer_mode(nested)])
+            }
+            Env::Shadow { .. } => LayerStack::native(g),
+            Env::L2 {
+                mid,
+                nested,
+                mode,
+                strategy,
+            } => match strategy {
+                L2Strategy::NestedNested => refine_stack(
+                    mode.stack(),
+                    [g, paging_layer_mode(mid), paging_layer_mode(nested)],
+                ),
+                L2Strategy::ShadowOnNested => {
+                    LayerStack::virtualized(g, paging_layer_mode(nested))
+                }
+            },
         }
     }
 }
@@ -194,9 +285,21 @@ impl SimConfig {
                 m => format!("{}+{}", self.guest_paging.label(), m.label()),
             },
             Env::Shadow { .. } => format!("{}+shadow", self.guest_paging.label()),
-            Env::L2 { mode, strategy, .. } => match strategy {
+            Env::L2 {
+                mid,
+                nested,
+                mode,
+                strategy,
+            } => match strategy {
                 L2Strategy::NestedNested => {
-                    format!("{}+{}", self.guest_paging.label(), mode.label())
+                    let base = format!("{}+{}", self.guest_paging.label(), mode.label());
+                    // Non-default mid/nested leaf sizes are part of the
+                    // configuration's identity.
+                    if mid == PageSize::Size4K && nested == PageSize::Size4K {
+                        base
+                    } else {
+                        format!("{base}[{}/{}]", mid.label(), nested.label())
+                    }
                 }
                 L2Strategy::ShadowOnNested => {
                     format!("{}+L2shadow", self.guest_paging.label())
@@ -254,5 +357,59 @@ mod tests {
             "4K+L2+MD"
         );
         assert_eq!(cfg(Fixed(Size4K), Env::l2_shadow()).label(), "4K+L2shadow");
+        assert_eq!(
+            cfg(
+                Fixed(Size4K),
+                Env::l2_sized(false, false, false, Size2M, Size4K)
+            )
+            .label(),
+            "4K+L2[2M/4K]"
+        );
+        assert_eq!(
+            cfg(
+                Fixed(Size4K),
+                Env::l2_sized(true, false, false, Size4K, Size2M)
+            )
+            .label(),
+            "4K+L2+GD[4K/2M]"
+        );
+    }
+
+    #[test]
+    fn layer_stack_reflects_per_layer_page_sizes() {
+        use GuestPaging::Fixed;
+        use PageSize::*;
+
+        // The L2 mid/nested leaf sizes reach the reported stack…
+        let env = Env::l2_sized(false, false, false, Size2M, Size4K);
+        let stack = env.layer_stack(Fixed(Size4K));
+        let labels: Vec<&str> = stack.layers().iter().map(|l| l.mode.label()).collect();
+        assert_eq!(labels, ["4K", "2M", "4K"]);
+        // …without changing any derived Table II quantity.
+        let Env::L2 { mode, .. } = env else {
+            unreachable!()
+        };
+        let canonical = mode.stack();
+        assert_eq!(stack.walk_dimensions(), canonical.walk_dimensions());
+        assert_eq!(stack.common_walk_refs(), canonical.common_walk_refs());
+        assert_eq!(stack.bound_checks(), canonical.bound_checks());
+
+        // Direct-segment layers are never re-typed by a page size.
+        let env = Env::l2_sized(true, true, false, Size2M, Size2M);
+        let stack = env.layer_stack(Fixed(Size2M));
+        let labels: Vec<&str> = stack.layers().iter().map(|l| l.mode.label()).collect();
+        assert_eq!(labels, ["ds", "ds", "2M"]);
+        assert_eq!(stack.walk_dimensions(), 1);
+
+        // Classic virtualization refines the host layer the same way.
+        let stack = Env::base_virtualized(Size2M).layer_stack(Fixed(Size4K));
+        let labels: Vec<&str> = stack.layers().iter().map(|l| l.mode.label()).collect();
+        assert_eq!(labels, ["4K", "2M"]);
+        assert_eq!(stack.common_walk_refs(), 24);
+
+        // Shadow environments report the walked stack, not the software
+        // stack they collapse.
+        assert_eq!(Env::Shadow { nested: Size4K }.layer_stack(Fixed(Size4K)).depth(), 1);
+        assert_eq!(Env::l2_shadow().layer_stack(Fixed(Size4K)).depth(), 2);
     }
 }

@@ -16,6 +16,7 @@
 use std::fmt;
 use std::num::NonZeroUsize;
 
+use mv_adapt::AdaptSpec;
 use mv_chaos::ChaosSpec;
 use mv_core::MmuConfig;
 use mv_obs::TelemetryConfig;
@@ -43,6 +44,8 @@ pub struct GridCell {
     pub profile: Option<ProfileConfig>,
     /// Fault injection + translation oracle for the cell, if any.
     pub chaos: Option<ChaosSpec>,
+    /// Adaptive mode controller for the cell, if any.
+    pub adapt: Option<AdaptSpec>,
     /// Trace to replay instead of the configured generator, if any. The
     /// source is shared by reference, so one trace fans out to every
     /// trial cell without copying the bytes.
@@ -60,6 +63,7 @@ impl GridCell {
             telemetry: None,
             profile: None,
             chaos: None,
+            adapt: None,
             replay: None,
             record: None,
         }
@@ -96,6 +100,22 @@ impl GridCell {
     #[must_use]
     pub fn with_chaos(mut self, chaos: ChaosSpec) -> GridCell {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Attaches the adaptive mode controller to the cell. Telemetry is
+    /// attached too when the cell has none — the controller reads epoch
+    /// snapshots, so the telemetry epoch length is forced into lockstep
+    /// with the decision epoch length.
+    #[must_use]
+    pub fn adaptive(mut self, adapt: AdaptSpec) -> GridCell {
+        let mut telemetry = self.telemetry.unwrap_or(TelemetryConfig {
+            epoch_len: adapt.epoch_len,
+            flight_capacity: 0,
+        });
+        telemetry.epoch_len = adapt.epoch_len;
+        self.telemetry = Some(telemetry);
+        self.adapt = Some(adapt);
         self
     }
 
@@ -258,6 +278,7 @@ impl Simulation {
                 telemetry: cell.telemetry,
                 profile: cell.profile,
                 chaos: cell.chaos,
+                adapt: cell.adapt,
                 replay: cell.replay.clone(),
                 record: cell.record.clone(),
                 ..Instruments::default()

@@ -55,6 +55,10 @@ pub use native::NativeOs;
 pub use result::RunResult;
 pub use run::{SimError, Simulation};
 
+// Adaptive-controller vocabulary, re-exported so harness binaries can
+// configure adaptive runs without naming `mv-adapt` directly.
+pub use mv_adapt::{AdaptReport, AdaptSpec, ControllerConfig, ModePlan};
+
 // Telemetry vocabulary, re-exported so harness binaries can configure
 // observed runs without naming `mv-obs` directly.
 pub use mv_obs::{EpochSnapshot, Telemetry, TelemetryConfig};
@@ -70,5 +74,6 @@ pub use mv_par::{default_jobs, Reporter};
 // Trace vocabulary, re-exported so harness binaries can record and
 // replay access streams without naming `mv-trace` directly.
 pub use mv_trace::{
-    MemSink, ReplaySource, SharedTraceWriter, TraceError, TraceHeader, TraceWorkload, TraceWriter,
+    write_serving, MemSink, ReplaySource, ServingParams, SharedTraceWriter, TraceError,
+    TraceHeader, TraceWorkload, TraceWriter,
 };

@@ -1,31 +1,36 @@
-//! The chaos driver: deterministic fault injection, the degradation state
-//! machine, and oracle accounting, threaded through the generic access
-//! loop.
+//! Mode-policy drivers threaded through the generic access loop: the
+//! chaos driver (deterministic fault injection, the classic degradation
+//! ladder, and oracle accounting) and the adaptive driver (the
+//! telemetry-fed [`ModeController`]).
 //!
-//! The driver owns everything machine-independent: *when* faults fire
-//! ([`FaultPlan`]), *which* degradation level the run sits at, the
-//! exponential-backoff retry clock for recovery (measured in simulated
-//! accesses), and the translation oracle that cross-checks every completed
-//! access. The machines own the mechanics — how a level is entered on
-//! *their* MMU programming, and how the reference translation is derived
-//! from their authoritative software structures.
+//! The drivers own everything machine-independent: *when* faults fire
+//! ([`FaultPlan`]), which [`ModePlan`] the run sits at, the retry /
+//! hysteresis clocks (measured in simulated accesses and epochs), and the
+//! translation oracle that cross-checks every completed access. The
+//! machines own the mechanics — how a plan is applied to *their* MMU
+//! programming ([`Machine::apply_plan`]), and how the reference
+//! translation is derived from their authoritative software structures.
 //!
-//! Degradation is MMU-side only: the authoritative segments stay intact in
-//! the OS/VMM models, and a level change only re-programs (or nullifies)
-//! the MMU's copy. Frames demand-mapped while degraded are therefore the
-//! segment-computed frames, so recovery — re-programming the stored
-//! segment — can never diverge from the page tables built meanwhile.
+//! Mode changes are MMU-side only: the authoritative segments stay intact
+//! in the OS/VMM models, and a plan change only re-programs (or nullifies)
+//! the MMU's copy, inside one batched [`Mmu::mode_switch`] flush. Frames
+//! demand-mapped while degraded are therefore the segment-computed frames,
+//! so a promotion — re-programming the stored segment — can never diverge
+//! from the page tables built meanwhile; the same property is what makes
+//! rolling back a mid-flight switch trivially safe.
 
+use mv_adapt::{AdaptReport, AdaptSpec, EpochSignals, ModeController, ModePlan};
 use mv_chaos::{
     ChaosFault, ChaosReport, ChaosSpec, DegradeLevel, FaultPlan, Transition, TranslationOracle,
 };
-use mv_core::Mmu;
-use mv_obs::TransitionRecord;
+use mv_core::{EscapeFilter, Mmu};
+use mv_obs::{SharedTelemetry, TransitionRecord};
+use mv_types::rng::split_seed;
 use mv_types::Gva;
 
 use crate::machine::Machine;
 
-/// Initial recovery backoff, in simulated accesses.
+/// Initial recovery backoff, in simulated accesses (ladder policy).
 const BACKOFF_BASE: u64 = 64;
 
 /// Backoff cap (the run keeps retrying, just not pathologically often).
@@ -47,7 +52,34 @@ pub(crate) fn escape_pages(start: u64, len: u64, draw: u64) -> impl Iterator<Ite
     })
 }
 
-/// Per-run chaos state: plan, oracle, and the degradation state machine.
+/// Builds the escape filter guarding a segment in escape-heavy operation:
+/// `base` (the layer's authoritative filter, when it has one — bad frames
+/// must keep escaping) extended with the deterministically drawn escape
+/// pages over `[start, start + len)`.
+pub(crate) fn guard_filter(
+    base: Option<EscapeFilter>,
+    start: u64,
+    len: u64,
+    draw: u64,
+) -> EscapeFilter {
+    let mut filter = base.unwrap_or_else(|| EscapeFilter::new(draw));
+    for page in escape_pages(start, len, draw) {
+        filter.insert(page);
+    }
+    filter
+}
+
+/// The ladder's one-rung-down target, if any.
+fn ladder_down(level: DegradeLevel) -> Option<DegradeLevel> {
+    match level {
+        DegradeLevel::Direct => Some(DegradeLevel::EscapeHeavy),
+        DegradeLevel::EscapeHeavy => Some(DegradeLevel::Paging),
+        DegradeLevel::Paging => None,
+    }
+}
+
+/// Per-run chaos state: plan, oracle, and (under the default ladder
+/// policy) the degradation state machine.
 pub(crate) struct ChaosDriver {
     plan: FaultPlan,
     oracle: TranslationOracle,
@@ -55,6 +87,15 @@ pub(crate) struct ChaosDriver {
     backoff: u64,
     next_retry: Option<u64>,
     pending_denial: bool,
+    /// Mode policy is external (an [`AdaptDriver`] owns it): the ladder
+    /// and recovery clock stand down, and segment losses / denials queue
+    /// for the controller instead.
+    external_policy: bool,
+    /// Draw word of a queued segment-allocation failure, for the external
+    /// controller to consume.
+    pending_loss: Option<u64>,
+    /// Per-epoch fault signals accumulated for the external controller.
+    signals: EpochSignals,
     injected: [u64; 5],
     denials: u64,
     recoveries: u64,
@@ -72,6 +113,9 @@ impl ChaosDriver {
             backoff: BACKOFF_BASE,
             next_retry: None,
             pending_denial: false,
+            external_policy: false,
+            pending_loss: None,
+            signals: EpochSignals::default(),
             injected: [0; 5],
             denials: 0,
             recoveries: 0,
@@ -81,13 +125,75 @@ impl ChaosDriver {
         }
     }
 
+    /// Hands mode policy to an external controller: the ladder and the
+    /// recovery retry clock stand down; injection, the oracle, and all
+    /// accounting keep running.
+    pub(crate) fn set_external_policy(&mut self) {
+        self.external_policy = true;
+    }
+
+    /// Consumes the queued segment-allocation failure (external policy),
+    /// returning its draw word.
+    pub(crate) fn take_segment_loss(&mut self) -> Option<u64> {
+        self.pending_loss.take()
+    }
+
+    /// Consumes a pending balloon denial if one is queued — the denial
+    /// lands on whatever allocation attempt comes next, which under
+    /// external policy is the controller's promotion attempt. Counts it.
+    pub(crate) fn consume_denial(&mut self) -> bool {
+        if self.pending_denial {
+            self.pending_denial = false;
+            self.denials += 1;
+            self.signals.denials += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drains the per-epoch fault signals (external policy; called at each
+    /// epoch boundary).
+    pub(crate) fn drain_signals(&mut self) -> EpochSignals {
+        std::mem::take(&mut self.signals)
+    }
+
+    /// Records an externally applied plan transition so residency,
+    /// transition counts, and recovery accounting stay coherent in the
+    /// [`ChaosReport`] of an adaptive run.
+    pub(crate) fn note_plan_transition(
+        &mut self,
+        access: u64,
+        to: DegradeLevel,
+        cause: &'static str,
+    ) {
+        self.transitions.push(Transition {
+            access,
+            from: self.level,
+            to,
+            cause,
+        });
+        if to == DegradeLevel::Direct && self.level > DegradeLevel::Direct {
+            self.recoveries += 1;
+        }
+        self.level = to;
+    }
+
+    /// Records an externally rolled-back promotion (counts as a failed
+    /// recovery; the level is unchanged).
+    pub(crate) fn note_rollback(&mut self) {
+        self.failed_recoveries += 1;
+    }
+
     /// Runs before access `i`: counts residency, injects any scheduled
-    /// fault, and drives the recovery retry clock.
+    /// fault, and (under the ladder policy) drives the recovery retry
+    /// clock.
     pub(crate) fn pre_access<M: Machine>(&mut self, machine: &mut M, mmu: &mut Mmu, i: u64) {
         self.residency[self.level.index()] += 1;
 
         if let Some(kind) = self.plan.due(i) {
             self.injected[kind.index()] += 1;
+            self.signals.faults += 1;
             let draw = self.plan.draw(i);
             match kind {
                 ChaosFault::FrameLoss => {
@@ -98,18 +204,23 @@ impl ChaosDriver {
                 }
                 ChaosFault::SpuriousVmExit => machine.chaos_spurious_exit(),
                 ChaosFault::BalloonDenial => {
-                    // The next recovery attempt finds its balloon/compaction
-                    // request denied and re-arms the backoff.
+                    // The next recovery (or promotion) attempt finds its
+                    // balloon/compaction request denied.
                     self.pending_denial = true;
                 }
                 ChaosFault::SegmentAllocFail => {
-                    let target = match self.level {
-                        DegradeLevel::Direct => Some(DegradeLevel::EscapeHeavy),
-                        DegradeLevel::EscapeHeavy => Some(DegradeLevel::Paging),
-                        DegradeLevel::Paging => None,
-                    };
-                    if let Some(to) = target {
-                        if machine.degrade_to(mmu, to, draw) {
+                    self.signals.segment_losses += 1;
+                    if self.external_policy {
+                        // Queue for the controller's forced demotion.
+                        self.pending_loss = Some(draw);
+                        return;
+                    }
+                    if let Some(to) = ladder_down(self.level) {
+                        let seg = machine.segment_layers();
+                        let depth = machine.layer_stack().depth();
+                        let from_plan = ModePlan::ladder(seg, depth, self.level);
+                        let to_plan = ModePlan::ladder(seg, depth, to);
+                        if machine.apply_plan(mmu, &from_plan, &to_plan, draw) {
                             self.transitions.push(Transition {
                                 access: i,
                                 from: self.level,
@@ -127,7 +238,7 @@ impl ChaosDriver {
             }
         }
 
-        if self.level != DegradeLevel::Direct {
+        if !self.external_policy && self.level != DegradeLevel::Direct {
             if let Some(at) = self.next_retry {
                 if i >= at {
                     self.attempt_recovery(machine, mmu, i);
@@ -136,8 +247,8 @@ impl ChaosDriver {
         }
     }
 
-    /// One recovery attempt: denied (injected stall), successful, or
-    /// failed — the latter two re-arm or clear the retry clock.
+    /// One ladder recovery attempt: denied (injected stall), successful,
+    /// or failed — the latter two re-arm or clear the retry clock.
     fn attempt_recovery<M: Machine>(&mut self, machine: &mut M, mmu: &mut Mmu, i: u64) {
         if self.pending_denial {
             // An injected self-balloon denial stalls this attempt. It is an
@@ -149,7 +260,11 @@ impl ChaosDriver {
             self.next_retry = Some(i + self.backoff);
             return;
         }
-        if machine.try_recover(mmu) {
+        let seg = machine.segment_layers();
+        let depth = machine.layer_stack().depth();
+        let from_plan = ModePlan::ladder(seg, depth, self.level);
+        let to_plan = ModePlan::baseline(seg, depth);
+        if machine.apply_plan(mmu, &from_plan, &to_plan, 0) {
             self.transitions.push(Transition {
                 access: i,
                 from: self.level,
@@ -179,18 +294,24 @@ impl ChaosDriver {
     }
 
     /// Closes the driver into its report and the telemetry-facing
-    /// transition records.
+    /// transition records. Under external policy the records are empty —
+    /// the adaptive driver exports the authoritative transition log (full
+    /// per-layer plans); the ladder transitions synced here only feed the
+    /// report's residency and recovery accounting.
     pub(crate) fn finish(self) -> (ChaosReport, Vec<TransitionRecord>) {
-        let records = self
-            .transitions
-            .iter()
-            .map(|t| TransitionRecord {
-                access: t.access,
-                from: t.from.label(),
-                to: t.to.label(),
-                cause: t.cause,
-            })
-            .collect();
+        let records = if self.external_policy {
+            Vec::new()
+        } else {
+            self.transitions
+                .iter()
+                .map(|t| TransitionRecord {
+                    access: t.access,
+                    from: t.from.label().into(),
+                    to: t.to.label().into(),
+                    cause: t.cause.into(),
+                })
+                .collect()
+        };
         (
             ChaosReport {
                 injected: self.injected,
@@ -205,6 +326,112 @@ impl ChaosDriver {
             },
             records,
         )
+    }
+}
+
+/// Per-run adaptive state: the [`ModeController`] plus the glue that feeds
+/// it epochs and applies its decisions through [`Machine::apply_plan`].
+pub(crate) struct AdaptDriver {
+    spec: AdaptSpec,
+    controller: ModeController,
+}
+
+impl AdaptDriver {
+    pub(crate) fn new(spec: AdaptSpec, seg_layers: [bool; 3], depth: usize) -> Self {
+        AdaptDriver {
+            spec,
+            controller: ModeController::new(spec.config, seg_layers, depth),
+        }
+    }
+
+    /// Runs before access `i` (after the chaos driver, when one is
+    /// active): applies any forced demotion queued by a segment loss, and
+    /// at each epoch boundary closes the telemetry epoch, feeds the
+    /// controller, and applies — or rolls back — the promotion it asks
+    /// for.
+    pub(crate) fn pre_access<M: Machine>(
+        &mut self,
+        machine: &mut M,
+        mmu: &mut Mmu,
+        mut chaos: Option<&mut ChaosDriver>,
+        telemetry: Option<&SharedTelemetry>,
+        i: u64,
+        warmup: u64,
+    ) {
+        // Forced demotion: a segment-allocation failure bypasses every
+        // hysteresis clock — correctness-mandated transitions are never
+        // dampened.
+        if let Some(draw) = chaos.as_deref_mut().and_then(ChaosDriver::take_segment_loss) {
+            if let Some(target) = self.controller.force_demote() {
+                let cur = self.controller.plan();
+                if machine.apply_plan(mmu, &cur, &target, draw) {
+                    self.controller.commit(i, target, "segment_alloc_fail");
+                    if let Some(c) = chaos.as_deref_mut() {
+                        c.note_plan_transition(
+                            i,
+                            target.ladder_level(machine.segment_layers()),
+                            "segment_alloc_fail",
+                        );
+                    }
+                }
+            }
+        }
+
+        // Epoch boundary: only inside the measured window, where the
+        // telemetry observer (attached at the warmup reset) counts access
+        // sequence numbers on the same grid.
+        if i <= warmup || self.spec.epoch_len == 0 {
+            return;
+        }
+        let w = i - warmup;
+        if w % self.spec.epoch_len != 0 {
+            return;
+        }
+        let snap = telemetry.and_then(SharedTelemetry::close_epoch);
+        let signals = chaos
+            .as_deref_mut()
+            .map(ChaosDriver::drain_signals)
+            .unwrap_or_default();
+        let Some(target) = self.controller.observe_epoch(snap.as_ref(), signals) else {
+            return;
+        };
+        let cur = self.controller.plan();
+        // The switch draw is a pure function of (adapt seed, access
+        // index), like every other chaos/churn decision.
+        let draw = split_seed(self.spec.seed, i);
+        if !machine.apply_plan(mmu, &cur, &target, draw) {
+            return;
+        }
+        let denied = chaos
+            .as_deref_mut()
+            .is_some_and(ChaosDriver::consume_denial);
+        let seg = machine.segment_layers();
+        if denied {
+            // The promotion's allocation was denied mid-flight: roll the
+            // MMU back to the current plan. Both applications run inside
+            // their own mode-switch batch, so the aborted switch costs the
+            // run two full flushes — the hardware price of flapping.
+            machine.apply_plan(mmu, &target, &cur, draw);
+            self.controller.reject(i, target, "balloon_denial");
+            if let Some(c) = chaos.as_deref_mut() {
+                c.note_plan_transition(i, target.ladder_level(seg), "promotion");
+                c.note_plan_transition(i, cur.ladder_level(seg), "balloon_denial");
+                c.note_rollback();
+            }
+        } else {
+            self.controller.commit(i, target, "promotion");
+            if let Some(c) = chaos {
+                c.note_plan_transition(i, target.ladder_level(seg), "promotion");
+            }
+        }
+    }
+
+    /// Closes the driver into its report and the telemetry-facing
+    /// transition records.
+    pub(crate) fn finish(self) -> (AdaptReport, Vec<TransitionRecord>) {
+        let (report, transitions) = self.controller.finish();
+        let records = transitions.iter().map(|t| t.record()).collect();
+        (report, records)
     }
 }
 

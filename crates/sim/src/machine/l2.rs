@@ -10,10 +10,10 @@
 //! walks — but every shadow resync costs an L1 exit that L0 must emulate
 //! ([`mv_vmm::L2_EXIT_MULTIPLIER`]× a plain exit).
 
+use mv_adapt::ModePlan;
 use mv_chaos::DegradeLevel;
 use mv_core::{
-    EscapeFilter, LayerStack, MemoryContext, Mmu, MmuConfig, Segment, TranslationFault,
-    TranslationMode,
+    LayerStack, MemoryContext, Mmu, MmuConfig, Segment, TranslationFault, TranslationMode,
 };
 use mv_guestos::{FaultFix, GuestConfig, GuestOs, PageSizePolicy};
 use mv_pt::PageTable;
@@ -22,7 +22,7 @@ use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize, Prot, MIB};
 use mv_vmm::{L1Hypervisor, SegmentOptions, VmConfig, Vmm, VmmError, VM_EXIT_CYCLES};
 
 use crate::config::{Env, GuestPaging, L2Strategy, SimConfig};
-use crate::machine::degrade::escape_pages;
+use crate::machine::degrade::guard_filter;
 use crate::machine::{mmu_for, ExitStats, FaultService, Machine, CHURN_REGION};
 use crate::run::SimError;
 
@@ -77,13 +77,14 @@ impl Machine for L2Machine {
         };
         let pid = guest.create_process(policy)?;
 
-        let (stack, mmu_mode) = match strategy {
-            L2Strategy::NestedNested => (mode.stack(), mode),
+        // The environment's stack carries the real mid/nested leaf sizes
+        // (the mode's canonical stack assumes 4K everywhere); the collapse
+        // under shadow-on-nested is handled by `Env::layer_stack` too.
+        let stack = cfg.env.layer_stack(cfg.guest_paging);
+        let mmu_mode = match strategy {
+            L2Strategy::NestedNested => mode,
             // The hardware walks shadow × nested: a 2-layer stack.
-            L2Strategy::ShadowOnNested => (
-                TranslationMode::BaseVirtualized.stack(),
-                TranslationMode::BaseVirtualized,
-            ),
+            L2Strategy::ShadowOnNested => TranslationMode::BaseVirtualized,
         };
         let layers = l2_layers(mode.stack());
         let base = if layers[0].needs_escape_handling() {
@@ -294,110 +295,110 @@ impl Machine for L2Machine {
         self.l1.record_spurious_exit();
     }
 
-    fn degrade_to(&mut self, mmu: &mut Mmu, level: DegradeLevel, draw: u64) -> bool {
+    /// Shadow-on-nested owns no segments (`[false; 3]`) — the collapse
+    /// already pins the hardware to the 2D walk path.
+    fn segment_layers(&self) -> [bool; 3] {
         if self.shadow.is_some() {
-            return false; // no segments to degrade
+            return [false; 3];
         }
         let layers = l2_layers(self.stack);
-        let guest_seg = layers[0]
-            .needs_escape_handling()
-            .then(|| self.guest.process(self.pid).segment())
-            .flatten();
-        let mid_seg = layers[1]
-            .needs_escape_handling()
-            .then(|| self.l1.segment())
-            .flatten();
-        let vmm_seg = layers[2]
-            .needs_escape_handling()
-            .then(|| self.vmm.vm(self.vm).segment())
-            .flatten();
-        if guest_seg.is_none() && mid_seg.is_none() && vmm_seg.is_none() {
-            return false;
-        }
-        match level {
-            DegradeLevel::EscapeHeavy => {
-                // Guard the outermost available segment with a populated
-                // escape filter (same policy as the 2-level machines).
-                if let Some(seg) = guest_seg {
-                    let mut filter = EscapeFilter::new(draw);
-                    let range = seg.range();
-                    for page in escape_pages(range.start().as_u64(), range.len(), draw) {
-                        filter.insert(page);
-                    }
-                    mmu.set_guest_escape_filter(Some(filter));
-                } else if let Some(seg) = mid_seg {
-                    let mut filter = EscapeFilter::new(draw);
-                    let range = seg.range();
-                    for page in escape_pages(range.start().as_u64(), range.len(), draw) {
-                        filter.insert(page);
-                    }
-                    mmu.set_mid_escape_filter(Some(filter));
-                } else if let Some(seg) = vmm_seg {
-                    // Extend the VM's own filter (bad frames must keep
-                    // escaping) when one exists; its seed is kept.
-                    let mut filter = self
-                        .vmm
-                        .vm(self.vm)
-                        .escape_filter()
-                        .cloned()
-                        .unwrap_or_else(|| EscapeFilter::new(draw));
-                    let range = seg.range();
-                    for page in escape_pages(range.start().as_u64(), range.len(), draw) {
-                        filter.insert(page);
-                    }
-                    mmu.set_vmm_escape_filter(Some(filter));
-                }
-                true
-            }
-            DegradeLevel::Paging => {
-                if guest_seg.is_some() {
-                    mmu.set_guest_escape_filter(None);
-                    mmu.set_guest_segment(Segment::nullified());
-                }
-                if mid_seg.is_some() {
-                    mmu.set_mid_escape_filter(None);
-                    mmu.set_mid_segment(Segment::nullified());
-                }
-                if vmm_seg.is_some() {
-                    mmu.set_vmm_escape_filter(None);
-                    mmu.set_vmm_segment(Segment::nullified());
-                }
-                true
-            }
-            DegradeLevel::Direct => false,
-        }
+        [
+            layers[0].needs_escape_handling()
+                && self.guest.process(self.pid).segment().is_some(),
+            layers[1].needs_escape_handling() && self.l1.segment().is_some(),
+            layers[2].needs_escape_handling() && self.vmm.vm(self.vm).segment().is_some(),
+        ]
     }
 
-    fn try_recover(&mut self, mmu: &mut Mmu) -> bool {
-        if self.shadow.is_some() {
+    fn apply_plan(&mut self, mmu: &mut Mmu, from: &ModePlan, to: &ModePlan, draw: u64) -> bool {
+        let seg_layers = self.segment_layers();
+        if !(0..3).any(|k| seg_layers[k] && from.level(k) != to.level(k)) {
             return false;
         }
-        let layers = l2_layers(self.stack);
-        let mut restored = false;
-        if layers[0].needs_escape_handling() {
-            if let Some(seg) = self.guest.process(self.pid).segment() {
-                mmu.set_guest_escape_filter(None);
-                mmu.set_guest_segment(seg);
-                restored = true;
+        let guest_seg = seg_layers[0]
+            .then(|| self.guest.process(self.pid).segment())
+            .flatten();
+        let mid_seg = seg_layers[1].then(|| self.l1.segment()).flatten();
+        let vmm_seg = seg_layers[2].then(|| self.vmm.vm(self.vm).segment()).flatten();
+        // The VM's authoritative filter: restored as-is on direct host
+        // operation, extended under escape-heavy — bad frames must keep
+        // escaping either way.
+        let vm_filter = self.vmm.vm(self.vm).escape_filter().cloned();
+        mmu.mode_switch(|ms| {
+            if let Some(seg) = guest_seg {
+                if from.level(0) != to.level(0) {
+                    match to.level(0) {
+                        DegradeLevel::Direct => {
+                            ms.set_guest_escape_filter(None);
+                            ms.set_guest_segment(seg);
+                        }
+                        DegradeLevel::EscapeHeavy => {
+                            let range = seg.range();
+                            ms.set_guest_escape_filter(Some(guard_filter(
+                                None,
+                                range.start().as_u64(),
+                                range.len(),
+                                draw,
+                            )));
+                            ms.set_guest_segment(seg);
+                        }
+                        DegradeLevel::Paging => {
+                            ms.set_guest_escape_filter(None);
+                            ms.set_guest_segment(Segment::nullified());
+                        }
+                    }
+                }
             }
-        }
-        if layers[1].needs_escape_handling() {
-            if let Some(seg) = self.l1.segment() {
-                mmu.set_mid_escape_filter(None);
-                mmu.set_mid_segment(seg);
-                restored = true;
+            if let Some(seg) = mid_seg {
+                if from.level(1) != to.level(1) {
+                    match to.level(1) {
+                        DegradeLevel::Direct => {
+                            ms.set_mid_escape_filter(None);
+                            ms.set_mid_segment(seg);
+                        }
+                        DegradeLevel::EscapeHeavy => {
+                            let range = seg.range();
+                            ms.set_mid_escape_filter(Some(guard_filter(
+                                None,
+                                range.start().as_u64(),
+                                range.len(),
+                                draw,
+                            )));
+                            ms.set_mid_segment(seg);
+                        }
+                        DegradeLevel::Paging => {
+                            ms.set_mid_escape_filter(None);
+                            ms.set_mid_segment(Segment::nullified());
+                        }
+                    }
+                }
             }
-        }
-        if layers[2].needs_escape_handling() {
-            if let Some(seg) = self.vmm.vm(self.vm).segment() {
-                // Restore the VM's authoritative escape filter, not a
-                // blank one — bad frames must keep escaping.
-                mmu.set_vmm_escape_filter(self.vmm.vm(self.vm).escape_filter().cloned());
-                mmu.set_vmm_segment(seg);
-                restored = true;
+            if let Some(seg) = vmm_seg {
+                if from.level(2) != to.level(2) {
+                    match to.level(2) {
+                        DegradeLevel::Direct => {
+                            ms.set_vmm_escape_filter(vm_filter.clone());
+                            ms.set_vmm_segment(seg);
+                        }
+                        DegradeLevel::EscapeHeavy => {
+                            let range = seg.range();
+                            ms.set_vmm_escape_filter(Some(guard_filter(
+                                vm_filter.clone(),
+                                range.start().as_u64(),
+                                range.len(),
+                                draw,
+                            )));
+                            ms.set_vmm_segment(seg);
+                        }
+                        DegradeLevel::Paging => {
+                            ms.set_vmm_escape_filter(None);
+                            ms.set_vmm_segment(Segment::nullified());
+                        }
+                    }
+                }
             }
-        }
-        restored
+        });
+        true
     }
 
     fn reference_translate(&self, va: Gva) -> Option<u64> {

@@ -33,7 +33,8 @@ pub use native::NativeMachine;
 pub use shadow::ShadowMachine;
 pub use virtualized::VirtualizedMachine;
 
-use mv_chaos::{ChaosReport, ChaosSpec, DegradeLevel};
+use mv_adapt::{AdaptReport, AdaptSpec, ModePlan};
+use mv_chaos::{ChaosReport, ChaosSpec};
 use mv_core::{LayerStack, MemoryContext, Mmu, MmuConfig, TranslationFault, TranslationMode};
 use mv_obs::{SharedTelemetry, Telemetry, TelemetryConfig, WalkEvent, WalkObserver};
 use mv_prof::{Profile, ProfileConfig, SharedProfile};
@@ -41,7 +42,7 @@ use mv_trace::{RecordingWorkload, ReplaySource, SharedTraceWriter, TraceError};
 use mv_types::{Gva, MIB};
 use mv_workloads::Workload;
 
-use crate::machine::degrade::ChaosDriver;
+use crate::machine::degrade::{AdaptDriver, ChaosDriver};
 
 use crate::config::SimConfig;
 use crate::result::RunResult;
@@ -155,19 +156,25 @@ pub trait Machine: Sized {
     /// with no hypervisor.
     fn chaos_spurious_exit(&mut self) {}
 
-    /// Re-programs the MMU for degraded operation at `level`, returning
-    /// whether anything changed. The authoritative segments stay intact in
-    /// the software models — only the MMU's copy is nullified or guarded
-    /// by an escape filter — so frames demand-mapped while degraded remain
-    /// segment-consistent and recovery cannot diverge. Machines without a
-    /// segment (base paging, shadow) return `false`.
-    fn degrade_to(&mut self, _mmu: &mut Mmu, _level: DegradeLevel, _draw: u64) -> bool {
-        false
+    /// Which layers of this machine's translation stack own a direct
+    /// segment (outermost first, padded with `false` beyond the stack
+    /// depth). Drives per-layer mode planning; machines without segments
+    /// (base paging, shadow) report all-`false` and never switch modes.
+    fn segment_layers(&self) -> [bool; 3] {
+        [false; 3]
     }
 
-    /// Attempts recovery back to full Direct operation by re-programming
-    /// the stored segments, returning whether the MMU was restored.
-    fn try_recover(&mut self, _mmu: &mut Mmu) -> bool {
+    /// Re-programs the MMU from plan `from` to plan `to`, returning
+    /// whether anything changed. Only layers whose level differs between
+    /// the plans are touched, and all re-programming happens inside one
+    /// [`Mmu::mode_switch`] batch — a live transition costs exactly one
+    /// full flush. The authoritative segments stay intact in the software
+    /// models — only the MMU's copy is nullified or guarded by an escape
+    /// filter — so frames demand-mapped while degraded remain
+    /// segment-consistent and a later promotion (or a mid-switch rollback)
+    /// cannot diverge. `draw` seeds deterministic escape-page placement
+    /// for escape-heavy layers.
+    fn apply_plan(&mut self, _mmu: &mut Mmu, _from: &ModePlan, _to: &ModePlan, _draw: u64) -> bool {
         false
     }
 
@@ -203,6 +210,11 @@ pub(crate) struct Instruments {
     /// The stream itself is forwarded unchanged, so recording never
     /// perturbs the measured results.
     pub(crate) record: Option<SharedTraceWriter>,
+    /// Online adaptive mode control for the run. When set alongside an
+    /// active chaos spec, the chaos driver keeps injection and the oracle
+    /// but hands mode policy to the controller; without chaos the
+    /// controller still runs (it just never sees faults).
+    pub(crate) adapt: Option<AdaptSpec>,
     /// Forces single-access batches in the driver loop. Exists solely so
     /// equivalence tests can run the reference access-at-a-time pacing
     /// against the batched default and assert byte-identical results; it
@@ -364,14 +376,24 @@ pub(crate) fn drive<M: Machine>(
         .chaos
         .filter(ChaosSpec::active)
         .map(ChaosDriver::new);
+    let mut adapt = instr.adapt.map(|spec| {
+        AdaptDriver::new(spec, machine.segment_layers(), machine.layer_stack().depth())
+    });
+    if let (Some(c), Some(_)) = (chaos.as_mut(), adapt.as_ref()) {
+        // The controller owns mode policy; the chaos driver keeps
+        // injection, the oracle, and accounting, and queues segment losses
+        // / balloon denials for the controller to consume.
+        c.set_external_policy();
+    }
     let mut telemetry = None;
     let mut profile = None;
     let total = cfg.warmup + cfg.accesses;
-    // Chaos hooks in before and after *every* access (residency counting,
-    // scheduled injection, the oracle cross-check), so an active chaos
-    // driver pins the batch size to one; the chaos-free hot path amortizes
-    // the warmup and churn schedule checks across whole batches.
-    let per_access = chaos.is_some() || instr.reference_pacing;
+    // Chaos and the adaptive controller hook in before and/or after
+    // *every* access (residency counting, scheduled injection, epoch
+    // boundaries, the oracle cross-check), so either pins the batch size
+    // to one; the uninstrumented hot path amortizes the warmup and churn
+    // schedule checks across whole batches.
+    let per_access = chaos.is_some() || adapt.is_some() || instr.reference_pacing;
     let mut i = 0u64;
     while i < total {
         if i == cfg.warmup {
@@ -400,6 +422,16 @@ pub(crate) fn drive<M: Machine>(
             // mutably around it.
             if let Some(c) = chaos.as_mut() {
                 c.pre_access(&mut machine, &mut mmu, i);
+            }
+            if let Some(a) = adapt.as_mut() {
+                a.pre_access(
+                    &mut machine,
+                    &mut mmu,
+                    chaos.as_mut(),
+                    telemetry.as_ref(),
+                    i,
+                    cfg.warmup,
+                );
             }
             let acc = workload.next_access();
             let va = Gva::new(base + acc.offset);
@@ -485,10 +517,14 @@ pub(crate) fn drive<M: Machine>(
 
     let exits = machine.exit_stats();
     let chaos_outcome = chaos.map(ChaosDriver::finish);
+    let adapt_outcome = adapt.map(AdaptDriver::finish);
     // `collect_telemetry` detaches the shared observer (the tee, when both
     // instruments ran), so the profile handle below is the last one alive.
     let mut telemetry = collect_telemetry(&mut mmu, telemetry, cfg.accesses);
     if let (Some(t), Some((_, records))) = (telemetry.as_mut(), chaos_outcome.as_ref()) {
+        t.record_transitions(records);
+    }
+    if let (Some(t), Some((_, records))) = (telemetry.as_mut(), adapt_outcome.as_ref()) {
         t.record_transitions(records);
     }
     let profile = profile.map(|p| {
@@ -510,6 +546,7 @@ pub(crate) fn drive<M: Machine>(
             telemetry,
             profile,
             chaos_outcome.map(|(report, _)| report),
+            adapt_outcome.map(|(report, _)| report),
         ),
         trace,
     ))
@@ -527,6 +564,7 @@ fn finish(
     telemetry: Option<Telemetry>,
     profile: Option<Profile>,
     chaos: Option<ChaosReport>,
+    adapt: Option<AdaptReport>,
 ) -> RunResult {
     let counters = *mmu.counters();
     let ideal = cfg.accesses as f64 * cycles_per_access;
@@ -548,6 +586,7 @@ fn finish(
         telemetry,
         profile,
         chaos,
+        adapt,
     }
 }
 

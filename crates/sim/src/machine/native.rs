@@ -1,16 +1,16 @@
 //! Native execution (± direct segment): the paper's `4K`/`2M`/`1G`/`THP`
 //! and `DS` bars.
 
+use mv_adapt::ModePlan;
 use mv_chaos::DegradeLevel;
 use mv_core::{
-    EscapeFilter, LayerStack, MemoryContext, Mmu, MmuConfig, Segment, TranslationFault,
-    TranslationMode,
+    LayerStack, MemoryContext, Mmu, MmuConfig, Segment, TranslationFault, TranslationMode,
 };
 use mv_types::rng::StdRng;
 use mv_types::{AddrRange, Gva, Hpa, PageSize, MIB};
 
 use crate::config::{Env, GuestPaging, SimConfig};
-use crate::machine::degrade::escape_pages;
+use crate::machine::degrade::guard_filter;
 use crate::machine::{mmu_for, ExitStats, FaultService, Machine};
 use crate::native::NativeOs;
 use crate::run::SimError;
@@ -39,7 +39,7 @@ impl Machine for NativeMachine {
         // The single layer of the native stack drives the build: a
         // direct-segment layer programs its registers, a paging layer gets
         // its table pre-populated.
-        let stack = mode.stack();
+        let stack = cfg.env.layer_stack(cfg.guest_paging);
         let layer = stack.layers()[0];
         let mut mmu = mmu_for(hw, mode);
         if layer.needs_escape_handling() {
@@ -128,35 +128,37 @@ impl Machine for NativeMachine {
         taken
     }
 
-    fn degrade_to(&mut self, mmu: &mut Mmu, level: DegradeLevel, draw: u64) -> bool {
-        let Some(seg) = self.os.segment() else {
-            return false;
-        };
-        match level {
-            DegradeLevel::EscapeHeavy => {
-                let mut filter = EscapeFilter::new(draw);
-                let range = seg.range();
-                for page in escape_pages(range.start().as_u64(), range.len(), draw) {
-                    filter.insert(page);
-                }
-                mmu.set_guest_escape_filter(Some(filter));
-                true
-            }
-            DegradeLevel::Paging => {
-                mmu.set_guest_escape_filter(None);
-                mmu.set_native_segment(Segment::nullified());
-                true
-            }
-            DegradeLevel::Direct => false,
-        }
+    fn segment_layers(&self) -> [bool; 3] {
+        [self.os.segment().is_some(), false, false]
     }
 
-    fn try_recover(&mut self, mmu: &mut Mmu) -> bool {
+    fn apply_plan(&mut self, mmu: &mut Mmu, from: &ModePlan, to: &ModePlan, draw: u64) -> bool {
         let Some(seg) = self.os.segment() else {
             return false;
         };
-        mmu.set_guest_escape_filter(None);
-        mmu.set_native_segment(seg);
+        if from.level(0) == to.level(0) {
+            return false;
+        }
+        mmu.mode_switch(|ms| match to.level(0) {
+            DegradeLevel::Direct => {
+                ms.set_guest_escape_filter(None);
+                ms.set_native_segment(seg);
+            }
+            DegradeLevel::EscapeHeavy => {
+                let range = seg.range();
+                ms.set_guest_escape_filter(Some(guard_filter(
+                    None,
+                    range.start().as_u64(),
+                    range.len(),
+                    draw,
+                )));
+                ms.set_native_segment(seg);
+            }
+            DegradeLevel::Paging => {
+                ms.set_guest_escape_filter(None);
+                ms.set_native_segment(Segment::nullified());
+            }
+        });
         true
     }
 

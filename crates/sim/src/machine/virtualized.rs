@@ -1,10 +1,10 @@
 //! Hardware nested paging in all four translation modes: the paper's
 //! `4K+4K` … `1G+1G` base bars and the proposed `VD`/`GD`/`DD` modes.
 
+use mv_adapt::ModePlan;
 use mv_chaos::DegradeLevel;
 use mv_core::{
-    EscapeFilter, LayerStack, MemoryContext, Mmu, MmuConfig, Segment, TranslationFault,
-    TranslationMode,
+    LayerStack, MemoryContext, Mmu, MmuConfig, Segment, TranslationFault, TranslationMode,
 };
 use mv_guestos::{GuestConfig, GuestOs, PageSizePolicy};
 use mv_types::rng::StdRng;
@@ -12,7 +12,7 @@ use mv_types::{AddrRange, Gpa, Gva, Hpa, PageSize, Prot, MIB};
 use mv_vmm::{SegmentOptions, VmConfig, Vmm, VM_EXIT_CYCLES};
 
 use crate::config::{Env, GuestPaging, SimConfig};
-use crate::machine::degrade::escape_pages;
+use crate::machine::degrade::guard_filter;
 use crate::machine::{mmu_for, ExitStats, FaultService, Machine, CHURN_REGION};
 use crate::run::SimError;
 
@@ -74,7 +74,7 @@ impl Machine for VirtualizedMachine {
                 churn_base,
                 churn_cursor: 0,
                 exits_at_reset: 0,
-                stack: mode.stack(),
+                stack: cfg.env.layer_stack(cfg.guest_paging),
             },
             mmu,
         ))
@@ -164,83 +164,80 @@ impl Machine for VirtualizedMachine {
         let _ = self.vmm.record_spurious_exit(self.vm);
     }
 
-    fn degrade_to(&mut self, mmu: &mut Mmu, level: DegradeLevel, draw: u64) -> bool {
-        let [guest_layer, host_layer] = stack_layers(mmu.mode().stack());
-        let guest_seg = guest_layer
-            .needs_escape_handling()
-            .then(|| self.guest.process(self.pid).segment())
-            .flatten();
-        let vmm_seg = host_layer
-            .needs_escape_handling()
-            .then(|| self.vmm.vm(self.vm).segment())
-            .flatten();
-        if guest_seg.is_none() && vmm_seg.is_none() {
-            return false;
-        }
-        match level {
-            DegradeLevel::EscapeHeavy => {
-                // Guard the (outermost available) segment with a populated
-                // escape filter: the segment stays programmed, but a
-                // meaningful fraction of pages now escape to the walk path.
-                if let Some(seg) = guest_seg {
-                    let mut filter = EscapeFilter::new(draw);
-                    let range = seg.range();
-                    for page in escape_pages(range.start().as_u64(), range.len(), draw) {
-                        filter.insert(page);
-                    }
-                    mmu.set_guest_escape_filter(Some(filter));
-                } else if let Some(seg) = vmm_seg {
-                    // Extend the VM's own filter (bad frames must keep
-                    // escaping) when one exists; its seed is kept.
-                    let mut filter = self
-                        .vmm
-                        .vm(self.vm)
-                        .escape_filter()
-                        .cloned()
-                        .unwrap_or_else(|| EscapeFilter::new(draw));
-                    let range = seg.range();
-                    for page in escape_pages(range.start().as_u64(), range.len(), draw) {
-                        filter.insert(page);
-                    }
-                    mmu.set_vmm_escape_filter(Some(filter));
-                }
-                true
-            }
-            DegradeLevel::Paging => {
-                if guest_seg.is_some() {
-                    mmu.set_guest_escape_filter(None);
-                    mmu.set_guest_segment(Segment::nullified());
-                }
-                if vmm_seg.is_some() {
-                    mmu.set_vmm_escape_filter(None);
-                    mmu.set_vmm_segment(Segment::nullified());
-                }
-                true
-            }
-            DegradeLevel::Direct => false,
-        }
+    fn segment_layers(&self) -> [bool; 3] {
+        let [guest_layer, host_layer] = stack_layers(self.stack);
+        [
+            guest_layer.needs_escape_handling()
+                && self.guest.process(self.pid).segment().is_some(),
+            host_layer.needs_escape_handling() && self.vmm.vm(self.vm).segment().is_some(),
+            false,
+        ]
     }
 
-    fn try_recover(&mut self, mmu: &mut Mmu) -> bool {
-        let [guest_layer, host_layer] = stack_layers(mmu.mode().stack());
-        let mut restored = false;
-        if guest_layer.needs_escape_handling() {
-            if let Some(seg) = self.guest.process(self.pid).segment() {
-                mmu.set_guest_escape_filter(None);
-                mmu.set_guest_segment(seg);
-                restored = true;
-            }
+    fn apply_plan(&mut self, mmu: &mut Mmu, from: &ModePlan, to: &ModePlan, draw: u64) -> bool {
+        let seg_layers = self.segment_layers();
+        if !(0..2).any(|k| seg_layers[k] && from.level(k) != to.level(k)) {
+            return false;
         }
-        if host_layer.needs_escape_handling() {
-            if let Some(seg) = self.vmm.vm(self.vm).segment() {
-                // Restore the VM's authoritative escape filter, not a blank
-                // one — bad frames must keep escaping after recovery.
-                mmu.set_vmm_escape_filter(self.vmm.vm(self.vm).escape_filter().cloned());
-                mmu.set_vmm_segment(seg);
-                restored = true;
+        let guest_seg = seg_layers[0]
+            .then(|| self.guest.process(self.pid).segment())
+            .flatten();
+        let vmm_seg = seg_layers[1].then(|| self.vmm.vm(self.vm).segment()).flatten();
+        // The VM's authoritative filter: direct operation on the host layer
+        // restores it as-is, escape-heavy extends it — bad frames must keep
+        // escaping either way.
+        let vm_filter = self.vmm.vm(self.vm).escape_filter().cloned();
+        mmu.mode_switch(|ms| {
+            if let Some(seg) = guest_seg {
+                if from.level(0) != to.level(0) {
+                    match to.level(0) {
+                        DegradeLevel::Direct => {
+                            ms.set_guest_escape_filter(None);
+                            ms.set_guest_segment(seg);
+                        }
+                        DegradeLevel::EscapeHeavy => {
+                            let range = seg.range();
+                            ms.set_guest_escape_filter(Some(guard_filter(
+                                None,
+                                range.start().as_u64(),
+                                range.len(),
+                                draw,
+                            )));
+                            ms.set_guest_segment(seg);
+                        }
+                        DegradeLevel::Paging => {
+                            ms.set_guest_escape_filter(None);
+                            ms.set_guest_segment(Segment::nullified());
+                        }
+                    }
+                }
             }
-        }
-        restored
+            if let Some(seg) = vmm_seg {
+                if from.level(1) != to.level(1) {
+                    match to.level(1) {
+                        DegradeLevel::Direct => {
+                            ms.set_vmm_escape_filter(vm_filter.clone());
+                            ms.set_vmm_segment(seg);
+                        }
+                        DegradeLevel::EscapeHeavy => {
+                            let range = seg.range();
+                            ms.set_vmm_escape_filter(Some(guard_filter(
+                                vm_filter.clone(),
+                                range.start().as_u64(),
+                                range.len(),
+                                draw,
+                            )));
+                            ms.set_vmm_segment(seg);
+                        }
+                        DegradeLevel::Paging => {
+                            ms.set_vmm_escape_filter(None);
+                            ms.set_vmm_segment(Segment::nullified());
+                        }
+                    }
+                }
+            }
+        });
+        true
     }
 
     fn reference_translate(&self, va: Gva) -> Option<u64> {

@@ -1,5 +1,6 @@
 //! Results of a simulation run.
 
+use mv_adapt::AdaptReport;
 use mv_chaos::ChaosReport;
 use mv_core::MmuCounters;
 use mv_obs::Telemetry;
@@ -37,6 +38,9 @@ pub struct RunResult {
     /// checks), when the run was started through
     /// [`crate::Simulation::run_chaos`].
     pub chaos: Option<ChaosReport>,
+    /// Adaptive-controller outcome (promotions, rollbacks, backoff), when
+    /// the run was started through [`crate::Simulation::run_adaptive`].
+    pub adapt: Option<AdaptReport>,
 }
 
 impl RunResult {
@@ -121,6 +125,11 @@ impl RunResult {
             (None, Some(theirs)) => self.chaos = Some(*theirs),
             (_, None) => {}
         }
+        match (&mut self.adapt, &other.adapt) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.adapt = Some(*theirs),
+            (_, None) => {}
+        }
     }
 
     /// Renders this run's telemetry — and, on chaos runs, the degradation
@@ -192,6 +201,7 @@ mod tests {
             telemetry: None,
             profile: None,
             chaos: None,
+            adapt: None,
         };
         let cols = RunResult::csv_header().split(',').count();
         assert_eq!(r.csv_row().split(',').count(), cols);
@@ -212,6 +222,7 @@ mod tests {
             telemetry: None,
             profile: None,
             chaos: None,
+            adapt: None,
         };
         assert!(r.prometheus().is_none(), "no instruments, no exposition");
         r.chaos = Some(ChaosReport {
@@ -249,6 +260,7 @@ mod tests {
             telemetry: None,
             profile: None,
             chaos: None,
+            adapt: None,
         };
         assert!((r.mpka() - 100.0).abs() < 1e-12);
         assert!((r.cycles_per_miss() - 50.0).abs() < 1e-12);

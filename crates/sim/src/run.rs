@@ -4,6 +4,7 @@
 
 use core::fmt;
 
+use mv_adapt::AdaptSpec;
 use mv_chaos::ChaosSpec;
 use mv_core::{MmuConfig, TranslationFault};
 use mv_guestos::OsError;
@@ -234,6 +235,40 @@ impl Simulation {
         let instr = Instruments {
             telemetry,
             chaos: Some(chaos),
+            ..Instruments::default()
+        };
+        Ok(Self::dispatch(cfg, hw, &instr)?.0)
+    }
+
+    /// Like [`Simulation::run_chaos`], with the telemetry-driven adaptive
+    /// mode controller deciding per-layer translation modes online. The
+    /// controller consumes the run's own epoch snapshots (telemetry is
+    /// attached automatically, in lockstep with the decision epoch length,
+    /// when the caller does not supply a config) plus the chaos driver's
+    /// fault signals, and switches plans live between epochs — demotions
+    /// immediately on segment loss, promotions through the hysteresis
+    /// gates. The returned result carries the [`mv_adapt::AdaptReport`] in
+    /// [`RunResult::adapt`], and the telemetry export carries every plan
+    /// transition.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run`].
+    pub fn run_adaptive(
+        cfg: &SimConfig,
+        hw: MmuConfig,
+        telemetry: Option<TelemetryConfig>,
+        chaos: Option<ChaosSpec>,
+        adapt: AdaptSpec,
+    ) -> Result<RunResult, SimError> {
+        let telemetry = telemetry.unwrap_or(TelemetryConfig {
+            epoch_len: adapt.epoch_len,
+            flight_capacity: 0,
+        });
+        let instr = Instruments {
+            telemetry: Some(telemetry),
+            chaos,
+            adapt: Some(adapt),
             ..Instruments::default()
         };
         Ok(Self::dispatch(cfg, hw, &instr)?.0)

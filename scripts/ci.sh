@@ -126,6 +126,29 @@ if cmp -s "$tmpdir/chaos_11_j1.txt" "$tmpdir/chaos_42_j1.txt"; then
     exit 1
 fi
 
+echo "==> adapt smoke: two seeds x --quick, diffed across --jobs 1/4, plus thrash backoff cap"
+# Controller decisions are pure functions of the epoch-snapshot sequence,
+# so the adaptive study (and its transition accounting) must be
+# byte-identical at any worker count. The binary itself asserts the
+# storm-mode headline (adaptive beats every static cell, recovery to
+# Direct) and exits nonzero otherwise. The thrash leg paces sustained
+# faults to keep tempting promotions into balloon denials; seed 42 is a
+# forced-thrash seed (6 rollbacks) and the binary asserts the rollback
+# backoff never exceeds its cap and the window budget holds.
+adapt_bin=target/release/adapt_study
+for seed in 11 42; do
+    "$adapt_bin" --quick --quiet --chaos-seed "$seed" --jobs 1 \
+        > "$tmpdir/adapt_${seed}_j1.txt"
+    "$adapt_bin" --quick --quiet --chaos-seed "$seed" --jobs 4 \
+        > "$tmpdir/adapt_${seed}_j4.txt"
+    diff -u "$tmpdir/adapt_${seed}_j1.txt" "$tmpdir/adapt_${seed}_j4.txt"
+done
+if cmp -s "$tmpdir/adapt_11_j1.txt" "$tmpdir/adapt_42_j1.txt"; then
+    echo "adapt seeds 11 and 42 produced identical output" >&2
+    exit 1
+fi
+"$adapt_bin" --quick --quiet --thrash --chaos-seed 42 --jobs 4 > /dev/null
+
 echo "==> trace smoke: record --quick, replay, diff output vs the live run"
 # Record/replay fidelity end to end through the real binaries: a replay
 # of a recording must reproduce the live run byte for byte (CSV and

@@ -1,0 +1,183 @@
+//! End-to-end acceptance for the telemetry-driven adaptive mode
+//! controller: fault storms force demotions, hysteresis-gated promotions
+//! bring the run back to Direct within bounded epochs, the translation
+//! oracle stays silent across every switch boundary, and the transition
+//! log is byte-identical for any worker count.
+
+use std::num::NonZeroUsize;
+
+use mv_adapt::{AdaptSpec, ControllerConfig};
+use mv_chaos::{ChaosSpec, DegradeLevel};
+use mv_core::MmuConfig;
+use mv_sim::{Env, GridCell, GuestPaging, SimConfig, Simulation};
+use mv_types::{PageSize, MIB};
+use mv_workloads::WorkloadKind;
+
+fn cfg(env: Env) -> SimConfig {
+    SimConfig {
+        workload: WorkloadKind::Gups,
+        footprint: 16 * MIB,
+        guest_paging: GuestPaging::Fixed(PageSize::Size4K),
+        env,
+        accesses: 40_000,
+        warmup: 2_000,
+        seed: 7,
+    }
+}
+
+fn spec() -> AdaptSpec {
+    AdaptSpec {
+        epoch_len: 1_000,
+        seed: 0xada7,
+        config: ControllerConfig::default(),
+    }
+}
+
+/// A fault storm confined to the middle of the measured window: clean
+/// lead-in, 10k accesses of heavy injection, clean recovery phase.
+fn storm() -> ChaosSpec {
+    ChaosSpec::new(0xc4a05, 50_000).with_storm(10_000, 10_000)
+}
+
+#[test]
+fn adaptive_run_recovers_to_direct_after_the_storm() {
+    let result = Simulation::run_adaptive(
+        &cfg(Env::dual_direct()),
+        MmuConfig::default(),
+        None,
+        Some(storm()),
+        spec(),
+    )
+    .expect("adaptive chaos run must degrade, not fail");
+
+    let chaos = result.chaos.expect("chaos report is populated");
+    assert!(chaos.survived(), "zero oracle violations expected");
+    assert!(chaos.oracle_checks > 0);
+
+    let adapt = result.adapt.expect("adapt report is populated");
+    assert!(
+        adapt.forced_demotions > 0,
+        "the storm's segment losses must force demotions: {adapt:?}"
+    );
+    assert!(
+        adapt.promotions > 0,
+        "hysteresis must let the run climb back: {adapt:?}"
+    );
+    assert_eq!(
+        adapt.final_level,
+        DegradeLevel::Direct,
+        "the run must be home by the end of the clean phase: {adapt:?}"
+    );
+
+    // Recovery is bounded: the last transition (the final promotion to
+    // Direct) lands within a fixed number of epochs after the storm ends —
+    // dwell + quiet gates plus at most one denial-induced backoff round.
+    let telemetry = result.telemetry.expect("telemetry attached");
+    let transitions = telemetry.transitions();
+    assert_eq!(adapt.transitions, transitions.len() as u64);
+    let last = transitions.last().expect("transitions were recorded");
+    let storm_end = 20_000;
+    let bound_epochs = 15;
+    assert!(
+        last.access < storm_end + bound_epochs * spec().epoch_len,
+        "recovery must complete within {bound_epochs} epochs of the storm \
+         end, but the last transition was at access {}",
+        last.access
+    );
+    assert!(
+        transitions.iter().any(|t| t.cause == "segment_alloc_fail"),
+        "forced demotions must be recorded"
+    );
+    assert!(
+        transitions
+            .iter()
+            .any(|t| t.cause == "promotion" && t.to == "direct/direct"),
+        "the promotion home must carry the full per-layer plan label"
+    );
+}
+
+#[test]
+fn transition_log_is_byte_identical_for_any_worker_count() {
+    let trials = 6;
+    let cells: Vec<GridCell> = (0..trials)
+        .map(|t| {
+            GridCell::new(cfg(Env::dual_direct()))
+                .with_chaos(storm())
+                .adaptive(spec())
+                .trial(t)
+        })
+        .collect();
+
+    let digest = |jobs: usize| {
+        let report = Simulation::run_grid(&cells, NonZeroUsize::new(jobs).unwrap());
+        let mut out = Vec::new();
+        for r in report.results() {
+            out.extend_from_slice(r.csv_row().as_bytes());
+            let t = r.telemetry.as_ref().expect("telemetry attached");
+            t.write_jsonl(&mut out).expect("in-memory export");
+            out.extend_from_slice(format!("{:?}", r.adapt).as_bytes());
+        }
+        out
+    };
+
+    let one = digest(1);
+    assert_eq!(one, digest(4), "jobs 1 vs 4 must match byte for byte");
+    assert_eq!(one, digest(8), "jobs 1 vs 8 must match byte for byte");
+}
+
+/// Sustained heavy noise (no clean phase at all): the hysteresis window
+/// budget must bound promotion attempts, and the rollback backoff must
+/// respect its cap — the controller cannot thrash.
+#[test]
+fn hysteresis_bounds_transitions_under_sustained_noise() {
+    let s = spec();
+    let result = Simulation::run_adaptive(
+        &cfg(Env::dual_direct()),
+        MmuConfig::default(),
+        None,
+        Some(ChaosSpec::new(0xc4a05, 50_000)),
+        s,
+    )
+    .expect("sustained chaos must degrade, not fail");
+
+    let chaos = result.chaos.expect("chaos report");
+    assert!(chaos.survived(), "oracle must stay silent while thrashing");
+    let adapt = result.adapt.expect("adapt report");
+
+    // Promotion attempts are bounded by the per-window budget.
+    let windows = adapt.epochs / s.config.window_epochs + 1;
+    assert!(
+        adapt.decisions <= windows * s.config.max_promotions_per_window,
+        "window budget exceeded: {adapt:?}"
+    );
+    assert!(
+        adapt.max_backoff_epochs <= s.config.backoff_cap_epochs,
+        "backoff must respect its cap: {adapt:?}"
+    );
+    // Every transition is accounted: commits are one record, rollbacks two.
+    assert_eq!(
+        adapt.transitions,
+        adapt.promotions + adapt.forced_demotions + 2 * adapt.rollbacks,
+        "{adapt:?}"
+    );
+}
+
+/// A segmentless environment has nothing to adapt: the controller observes
+/// epochs but never moves, and the run is identical to plain chaos.
+#[test]
+fn segmentless_environment_never_transitions() {
+    let result = Simulation::run_adaptive(
+        &cfg(Env::base_virtualized(PageSize::Size4K)),
+        MmuConfig::default(),
+        None,
+        Some(storm()),
+        spec(),
+    )
+    .expect("segmentless adaptive run");
+    let adapt = result.adapt.expect("adapt report");
+    assert!(adapt.epochs > 0, "epochs still observed");
+    assert_eq!(adapt.transitions, 0, "nothing to switch: {adapt:?}");
+    assert_eq!(adapt.final_level, DegradeLevel::Direct);
+    let chaos = result.chaos.expect("chaos report");
+    assert!(chaos.survived());
+}

@@ -35,10 +35,7 @@ fn cfg(env: Env) -> SimConfig {
 }
 
 fn chaos() -> ChaosSpec {
-    ChaosSpec {
-        seed: 0xc4a05,
-        fault_rate_per_million: FAULT_RATE,
-    }
+    ChaosSpec::new(0xc4a05, FAULT_RATE)
 }
 
 #[test]
@@ -115,6 +112,30 @@ fn virtualized_direct_modes_stay_oracle_clean_under_chaos() {
         assert!(report.survived(), "{env:?}: oracle violations");
         assert!(report.oracle_checks > 0, "{env:?}");
         assert!(report.injected_total() > 0, "{env:?}");
+    }
+}
+
+/// The 3-deep L2 stack under the same chaos plan: segment-allocation
+/// failures must walk all three direct segments down the ladder (each
+/// layer's MMU copy nullified, the authoritative structures intact) and
+/// the recovery path must re-program all three — oracle-clean throughout.
+#[test]
+fn l2_triple_direct_survives_per_layer_segment_loss_oracle_clean() {
+    for env in [Env::l2(true, true, true), Env::l2(false, true, true)] {
+        let result = Simulation::run_chaos(&cfg(env), MmuConfig::default(), None, chaos())
+            .unwrap_or_else(|e| panic!("{env:?} must survive chaos: {e}"));
+        let report = result.chaos.expect("chaos report is populated");
+        assert!(report.survived(), "{env:?}: oracle violations");
+        assert!(report.oracle_checks > 0, "{env:?}");
+        assert!(
+            report.residency[DegradeLevel::Paging.index()] > 0
+                || report.residency[DegradeLevel::EscapeHeavy.index()] > 0,
+            "{env:?}: segment loss must push the stack off Direct"
+        );
+        assert!(
+            report.recoveries > 0,
+            "{env:?}: recovery must re-program every degraded layer"
+        );
     }
 }
 
