@@ -154,6 +154,7 @@ fn main() {
     let mut t = Table::new(&[
         "workload", "mode", "F (trace)", "predicted Mcyc", "simulated Mcyc", "pred/sim",
     ]);
+    let mut failed = 0usize;
     for (&w, report) in workloads.iter().zip(reports) {
         match report {
             Ok(rows) => {
@@ -162,7 +163,8 @@ fn main() {
                 }
             }
             Err(p) => {
-                eprintln!("{}: pipeline failed: {p}", w.label());
+                failed += 1;
+                eprintln!("badgertrap: {} pipeline failed: {p}", w.label());
                 t.row(&[
                     w.label().to_string(),
                     "-".to_string(),
@@ -179,4 +181,8 @@ fn main() {
     println!("{t}");
     println!("(on real hardware the paper can only produce the 'predicted'");
     println!(" column; the simulator closes the loop)");
+    if failed > 0 {
+        eprintln!("badgertrap: {failed} of {} workload pipeline(s) failed", workloads.len());
+        std::process::exit(1);
+    }
 }

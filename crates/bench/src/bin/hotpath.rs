@@ -3,7 +3,7 @@
 //! Measures end-to-end simulated-access throughput — accesses per second
 //! of wall time — for every environment of the `PAPER_10_ENVS` catalog,
 //! plus the wall-clock of the full quick grids, and writes the perf
-//! trajectory point as JSON (`BENCH_5.json`).
+//! trajectory point as JSON (`BENCH_8.json`).
 //!
 //! Output discipline: **stdout carries only deterministic bytes** (the
 //! per-environment counter digests), so CI can diff two invocations —
@@ -14,9 +14,10 @@
 //! ```text
 //! hotpath [--quick|--smoke] [--jobs N] [--quiet] [--out FILE] [--baseline FILE]
 //!         [--profile-overhead] [--history FILE] [--gate] [--gate-tol-pct N]
+//!         [--sample] [--compare-cursor]
 //! ```
 //!
-//! * `--quick`     quick scale (the BENCH_5.json configuration)
+//! * `--quick`     quick scale (the BENCH_8.json configuration)
 //! * `--smoke`     tiny scale for CI; digests only, finishes in seconds
 //! * `--out F`     write the JSON report to `F`
 //! * `--baseline F` read a previous report and embed the speedup ratio
@@ -32,6 +33,23 @@
 //!   `BENCH_ALLOW_REGRESSION=1` overrides (warns, appends, exits 0).
 //! * `--gate-tol-pct N` allowed throughput drop in percent (default 30 —
 //!   wall-clock gates on shared CI hardware need generous slack)
+//! * `--sample` run the sampled-fast-forward leg: for every environment,
+//!   a full-fidelity run and a sampled run (window 2000, interval 40000,
+//!   re-warm 500) of the same fixed configuration, reporting the wall
+//!   speedup and the worst relative error of the sampled estimates.
+//!   This is a *correctness* gate, not a wall-clock one: any estimate
+//!   off by more than 2% fails the run (the bound the differential test
+//!   and EXPERIMENTS.md establish). The sizing is fixed (24 MiB, 800k
+//!   accesses after 30k warmup) independent of `--smoke`/`--quick`,
+//!   because the bound assumes the warmup reaches steady state.
+//! * `--compare-cursor` run the stage-2 grid once under the work-stealing
+//!   deque scheduler and once under the retained fetch-add cursor
+//!   reference, assert the per-cell results are identical, and report
+//!   both wall times plus the deque's steal count (stderr + JSON).
+//!
+//! A failing environment or grid cell no longer aborts the sweep: it is
+//! reported to stderr with its env label and seed, the remaining cells
+//! run to completion, and the process exits 1 with a failure summary.
 
 use std::time::Instant;
 
@@ -39,7 +57,7 @@ use mv_bench::experiments::env_catalog::PAPER_10_ENVS;
 use mv_bench::experiments::{config, Scale};
 use mv_core::MmuConfig;
 use mv_par::cli;
-use mv_sim::{GridCell, ProfileConfig, RunResult, Simulation};
+use mv_sim::{GridCell, ProfileConfig, RunResult, SampleSpec, SimConfig, Simulation};
 use mv_types::MIB;
 use mv_workloads::WorkloadKind;
 
@@ -123,6 +141,12 @@ fn main() {
         })
         .unwrap_or(if smoke { 1 } else { 3 })
         .max(1);
+    let sample_leg = cli::has_flag(&args, "--sample");
+    let compare_cursor = cli::has_flag(&args, "--compare-cursor");
+
+    // Failures are contained: each is recorded here with enough context
+    // to re-run the cell alone, the sweep finishes, and main exits 1.
+    let mut failures: Vec<String> = Vec::new();
 
     let (scale, scale_name) = if smoke {
         (smoke_scale(), "smoke")
@@ -152,14 +176,20 @@ fn main() {
         let mut result = None;
         for _ in 0..repeats {
             let t = Instant::now();
-            let r = Simulation::run(&cfg)
-                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            match Simulation::run(&cfg) {
+                Ok(r) => result = Some(r),
+                Err(e) => {
+                    eprintln!("  {label} (seed {}) failed: {e}", cfg.seed);
+                    failures.push(format!("env {label} (seed {}): {e}", cfg.seed));
+                    result = None;
+                    break;
+                }
+            }
             wall = wall.min(t.elapsed().as_secs_f64());
-            result = Some(r);
         }
-        let r = result.expect("at least one repeat ran");
-        digests.push(digest(&label, &r));
-        println!("{}", digests.last().expect("just pushed"));
+        let Some(r) = result else { continue };
+        digests.push((label.clone(), digest(&label, &r)));
+        println!("{}", digests.last().map(|(_, d)| d.as_str()).unwrap_or_default());
         if !quiet {
             eprintln!(
                 "  {label:<10} {driven:>9} accesses in {wall:>7.3}s  ({:>12.0} acc/s)",
@@ -190,27 +220,38 @@ fn main() {
     let mut attached = None;
     if profile_overhead {
         let mut attached_wall = 0.0f64;
-        for (i, (paging, env)) in PAPER_10_ENVS.into_iter().enumerate() {
+        for (paging, env) in PAPER_10_ENVS {
             let cfg = config(workload, paging, env, &scale);
             let label = cfg.label();
+            // Envs whose detached run failed have no digest to compare
+            // against; they were already reported above.
+            let Some((_, detached)) = digests.iter().find(|(l, _)| *l == label) else {
+                continue;
+            };
             let mut wall = f64::INFINITY;
             let mut result = None;
             for _ in 0..repeats {
                 let t = Instant::now();
-                let r = Simulation::run_profiled(
+                match Simulation::run_profiled(
                     &cfg,
                     MmuConfig::default(),
                     None,
                     ProfileConfig::default(),
-                )
-                .unwrap_or_else(|e| panic!("{label}: {e}"));
+                ) {
+                    Ok(r) => result = Some(r),
+                    Err(e) => {
+                        eprintln!("  {label} (seed {}) profiled run failed: {e}", cfg.seed);
+                        failures.push(format!("profiled env {label} (seed {}): {e}", cfg.seed));
+                        result = None;
+                        break;
+                    }
+                }
                 wall = wall.min(t.elapsed().as_secs_f64());
-                result = Some(r);
             }
-            let r = result.expect("at least one repeat ran");
+            let Some(r) = result else { continue };
             assert_eq!(
-                digest(&label, &r),
-                digests[i],
+                &digest(&label, &r),
+                detached,
                 "{label}: attaching the profiler changed the simulation"
             );
             assert!(
@@ -243,15 +284,183 @@ fn main() {
     let t = Instant::now();
     let report = Simulation::run_grid(&cells, jobs);
     let grid_wall = t.elapsed().as_secs_f64();
-    if let Some((i, failure)) = report.failures().next() {
-        panic!("grid cell {i} failed: {failure}");
+    // A failed cell is skipped (its row simply doesn't appear in the
+    // digest block), reported with its coordinates, and fails the exit
+    // code — the other cells' digests still land on stdout for CI diffs.
+    for (i, failure) in report.failures() {
+        let cfg = &cells[i].cfg;
+        eprintln!(
+            "  grid cell {i} ({}/{} seed {}) failed: {failure}",
+            cfg.workload.label(),
+            cfg.label(),
+            cfg.seed
+        );
+        failures.push(format!(
+            "grid cell {i} ({}/{} seed {}): {failure}",
+            cfg.workload.label(),
+            cfg.label(),
+            cfg.seed
+        ));
     }
     println!("# grid digest ({} cells)", cells.len());
-    for (cell, r) in cells.iter().zip(report.results()) {
-        println!("{}/{}", cell.cfg.workload.label(), digest(&cell.cfg.label(), r));
+    for o in report.outcomes() {
+        if let Ok(r) = &o.outcome {
+            println!("{}/{}", o.cell.cfg.workload.label(), digest(&o.cell.cfg.label(), r));
+        }
     }
     if !quiet {
         eprintln!("  grid: {} cells in {grid_wall:.3}s at --jobs {jobs}", cells.len());
+    }
+
+    // Stage 2b — scheduler comparison: the same grid once under the
+    // work-stealing deque and once under the retained fetch-add cursor
+    // reference. Both must produce identical results (the determinism
+    // contract is scheduler-independent); the wall times and the deque's
+    // steal count go to stderr and the JSON.
+    let mut sched_compare = None;
+    if compare_cursor {
+        let run_cell = |_i: usize, cell: &GridCell| Simulation::run(&cell.cfg);
+        let t = Instant::now();
+        let (deque_out, stats) = mv_par::par_map_with_stats(jobs, &cells, run_cell);
+        let deque_wall = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let cursor_out = mv_par::par_map_cursor(jobs, &cells, run_cell);
+        let cursor_wall = t.elapsed().as_secs_f64();
+        for (i, (d, c)) in deque_out.iter().zip(cursor_out.iter()).enumerate() {
+            let (Ok(Ok(d)), Ok(Ok(c))) = (d, c) else {
+                let cfg = &cells[i].cfg;
+                failures.push(format!(
+                    "scheduler-compare cell {i} ({}/{} seed {}) failed",
+                    cfg.workload.label(),
+                    cfg.label(),
+                    cfg.seed
+                ));
+                continue;
+            };
+            assert_eq!(
+                d.csv_row(),
+                c.csv_row(),
+                "cell {i}: deque and cursor schedulers disagree"
+            );
+        }
+        let steals = stats.total_steals();
+        if !quiet {
+            eprintln!(
+                "  schedulers: deque {deque_wall:.3}s ({steals} steals) vs cursor \
+                 {cursor_wall:.3}s at --jobs {jobs}; results identical"
+            );
+        }
+        sched_compare = Some((deque_wall, cursor_wall, steals));
+    }
+
+    // Stage 2c — the sampled fast-forward leg. Fixed sizing independent
+    // of the scale flags: the 2% bound assumes the warmup reaches steady
+    // state, which the differential test established for this footprint
+    // at 30k warmup accesses (smoke/quick warmups do not qualify).
+    let mut sample_report = None;
+    if sample_leg {
+        const SAMPLE_SPEC: SampleSpec = SampleSpec {
+            window: 2_000,
+            interval: 40_000,
+            warmup: 500,
+        };
+        const SAMPLE_BOUND_PCT: f64 = 2.0;
+        let mut full_wall = 0.0f64;
+        let mut sampled_wall = 0.0f64;
+        let mut worst_err_pct = 0.0f64;
+        let mut sampled_envs = 0usize;
+        println!("# sampled digests (window {}, interval {}, re-warm {})",
+            SAMPLE_SPEC.window, SAMPLE_SPEC.interval, SAMPLE_SPEC.warmup);
+        for (paging, env) in PAPER_10_ENVS {
+            let cfg = SimConfig {
+                workload,
+                footprint: 24 * MIB,
+                guest_paging: paging,
+                env,
+                accesses: 800_000,
+                warmup: 30_000,
+                seed: 42,
+            };
+            let label = cfg.label();
+            // Both runs are deterministic across repeats, so keep the
+            // last result and the minimum wall (same policy as stage 1).
+            let mut env_full_wall = f64::INFINITY;
+            let mut full = None;
+            for _ in 0..repeats {
+                let t = Instant::now();
+                match Simulation::run(&cfg) {
+                    Ok(r) => full = Some(r),
+                    Err(e) => {
+                        eprintln!("  {label} (seed {}) full run failed: {e}", cfg.seed);
+                        failures.push(format!("sample full {label} (seed {}): {e}", cfg.seed));
+                        full = None;
+                        break;
+                    }
+                }
+                env_full_wall = env_full_wall.min(t.elapsed().as_secs_f64());
+            }
+            let Some(full) = full else { continue };
+            full_wall += env_full_wall;
+            let mut env_sampled_wall = f64::INFINITY;
+            let mut sampled = None;
+            for _ in 0..repeats {
+                let t = Instant::now();
+                match Simulation::run_sampled(&cfg, MmuConfig::default(), None, SAMPLE_SPEC) {
+                    Ok(r) => sampled = Some(r),
+                    Err(e) => {
+                        eprintln!("  {label} (seed {}) sampled run failed: {e}", cfg.seed);
+                        failures.push(format!("sampled {label} (seed {}): {e}", cfg.seed));
+                        sampled = None;
+                        break;
+                    }
+                }
+                env_sampled_wall = env_sampled_wall.min(t.elapsed().as_secs_f64());
+            }
+            let Some(sampled) = sampled else { continue };
+            sampled_wall += env_sampled_wall;
+            sampled_envs += 1;
+            println!("sampled/{}", digest(&label, &sampled));
+            if !quiet {
+                eprintln!(
+                    "  {label:<10} full {:>7.3}s vs sampled {env_sampled_wall:>7.3}s ({:.2}x)",
+                    env_full_wall,
+                    env_full_wall / env_sampled_wall
+                );
+            }
+            // Relative error with an absolute floor (one walk's worth of
+            // cycles per 40k accesses, as in the differential test) so
+            // near-zero quantities don't explode the ratio.
+            let rel = |est: f64, act: f64, floor: f64| {
+                if (est - act).abs() <= floor {
+                    0.0
+                } else {
+                    100.0 * (est - act).abs() / act.abs().max(floor)
+                }
+            };
+            let errs = [
+                ("translation_cycles", rel(sampled.translation_cycles, full.translation_cycles, 2_000.0)),
+                ("overhead", rel(sampled.overhead, full.overhead, 0.002)),
+            ];
+            for (what, e) in errs {
+                worst_err_pct = worst_err_pct.max(e);
+                if e > SAMPLE_BOUND_PCT {
+                    eprintln!(
+                        "  {label}: sampled {what} off by {e:.2}% (bound {SAMPLE_BOUND_PCT}%)"
+                    );
+                    failures.push(format!(
+                        "sampled {label}: {what} error {e:.2}% exceeds {SAMPLE_BOUND_PCT}%"
+                    ));
+                }
+            }
+        }
+        let speedup = if sampled_wall > 0.0 { full_wall / sampled_wall } else { 0.0 };
+        if !quiet {
+            eprintln!(
+                "  sampled: {sampled_envs} envs, full {full_wall:.3}s vs sampled \
+                 {sampled_wall:.3}s ({speedup:.2}x), worst estimate error {worst_err_pct:.3}%"
+            );
+        }
+        sample_report = Some((full_wall, sampled_wall, speedup, worst_err_pct));
     }
 
     // Stage 3 — the JSON trajectory point (timings live here, not stdout).
@@ -284,6 +493,19 @@ fn main() {
             jobs,
             grid_wall
         ));
+        if let Some((deque_wall, cursor_wall, steals)) = sched_compare {
+            json.push_str(&format!(
+                ",\n  \"scheduler_compare\": {{\"deque_wall_s\": {deque_wall:.6}, \
+                 \"cursor_wall_s\": {cursor_wall:.6}, \"steals\": {steals}}}"
+            ));
+        }
+        if let Some((full_wall, sampled_wall, speedup, worst_err_pct)) = sample_report {
+            json.push_str(&format!(
+                ",\n  \"sample\": {{\"full_wall_s\": {full_wall:.6}, \
+                 \"sampled_wall_s\": {sampled_wall:.6}, \"speedup\": {speedup:.3}, \
+                 \"worst_estimate_error_pct\": {worst_err_pct:.4}}}"
+            ));
+        }
         if let Some((wall, aps, ratio)) = attached {
             json.push_str(&format!(
                 ",\n  \"profile_overhead\": {{\"attached_wall_s\": {wall:.6}, \
@@ -381,6 +603,14 @@ fn main() {
         if !quiet {
             eprintln!("  appended {scale_name}-scale trajectory point to {path}");
         }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("{} cell(s) failed:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
     }
 }
 

@@ -42,7 +42,16 @@
 //!   (`gva;gL4;ref 160` lines) for flamegraph tooling. Implies nothing
 //!   else; requires `--profile`.
 //! * `--epoch-len <N>` — accesses per telemetry/profile epoch
-//!   (default 10000).
+//!   (default 10000). Zero is rejected at parse time: a zero-length
+//!   epoch would silently drop every walk event from the epoch stream.
+//! * `--sample <WINDOW:INTERVAL:WARMUP>` — sampled fast-forward: run
+//!   detailed measurement for WINDOW accesses out of every INTERVAL,
+//!   fast-forward the gap functionally, and re-warm the measurement
+//!   state for WARMUP accesses before each window. Reported counters
+//!   are scaled to full-run estimates (within 2% of full fidelity on
+//!   the PAPER_10 catalog; see EXPERIMENTS.md). Telemetry and the
+//!   profiler ride along (covering the measured windows); chaos and
+//!   trace record/replay need every access detailed and are rejected.
 //! * `--trace <N>` — keep the last N walk events in a flight recorder
 //!   (exported into the JSONL file; cleared by a `--trials` merge).
 //!   Default 0 (off).
@@ -72,8 +81,8 @@ use mv_chaos::ChaosSpec;
 use mv_par::{cli, Reporter};
 use mv_prof::fold_profile;
 use mv_sim::{
-    GridCell, GuestPaging, ProfileConfig, ReplaySource, SharedTraceWriter, SimConfig, Simulation,
-    TelemetryConfig, TraceHeader,
+    GridCell, GuestPaging, ProfileConfig, ReplaySource, SampleSpec, SharedTraceWriter, SimConfig,
+    Simulation, TelemetryConfig, TraceHeader,
 };
 use mv_types::{PageSize, GIB, KIB, MIB};
 use mv_workloads::WorkloadKind;
@@ -112,6 +121,7 @@ fn usage() -> ! {
          \x20          [--trials N] [--jobs N] [--quick] [--quiet]\n\
          \x20          [--telemetry-out PATH] [--epoch-len N] [--trace N]\n\
          \x20          [--profile] [--folded-out PATH]\n\
+         \x20          [--sample WINDOW:INTERVAL:WARMUP]\n\
          \x20          [--fault-rate N] [--chaos-seed N]\n\
          \x20          [--record-trace PATH] [--replay-trace PATH]"
     );
@@ -138,6 +148,7 @@ fn main() {
     let mut folded_out: Option<String> = None;
     let mut record_trace: Option<String> = None;
     let mut replay_trace: Option<String> = None;
+    let mut sample: Option<SampleSpec> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Chaos flags are parsed by the shared mv_par::cli helpers; both
@@ -219,12 +230,28 @@ fn main() {
                 value(flag);
             }
             "--telemetry-out" => telemetry_out = Some(value("--telemetry-out").to_string()),
-            "--epoch-len" => epoch_len = value("--epoch-len").parse().unwrap_or_else(|_| usage()),
+            "--epoch-len" => {
+                epoch_len = value("--epoch-len").parse().unwrap_or_else(|_| usage());
+                // A zero-length epoch used to silently drop every walk
+                // event from the epoch stream; reject it up front with
+                // the library's own validation error.
+                if let Err(e) = mv_sim::TelemetryConfig::new(epoch_len, 0) {
+                    eprintln!("--epoch-len: {e}");
+                    usage();
+                }
+            }
             "--trace" => flight = value("--trace").parse().unwrap_or_else(|_| usage()),
             "--profile" => profile = true,
             "--folded-out" => folded_out = Some(value("--folded-out").to_string()),
             "--record-trace" => record_trace = Some(value("--record-trace").to_string()),
             "--replay-trace" => replay_trace = Some(value("--replay-trace").to_string()),
+            "--sample" => {
+                let v = value("--sample");
+                sample = Some(SampleSpec::parse(v).unwrap_or_else(|e| {
+                    eprintln!("--sample {v:?}: {e}");
+                    usage()
+                }));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -345,18 +372,33 @@ fn main() {
             if let Some(rec) = &recorder {
                 cell = cell.recorded(rec.clone());
             }
+            if let Some(spec) = sample {
+                cell = cell.sampled(spec);
+            }
             cell
         })
         .collect();
     let report = Simulation::run_grid_reported(&cells, jobs, &reporter);
+    // Failures are contained to their row: report each one with enough
+    // context to re-run it alone (env label + effective trial seed),
+    // finish the sweep with whatever succeeded, and exit nonzero below.
+    let failed = report.failures().count();
     for (i, failure) in report.failures() {
-        eprintln!("trial {i} (seed {}) failed: {failure}", cells[i].cfg.seed);
+        eprintln!(
+            "trial {i} ({} seed {}) failed: {failure}",
+            cells[i].cfg.label(),
+            cells[i].cfg.seed
+        );
     }
+    let fail_exit = move || -> ! {
+        eprintln!("{failed} of {trials} trial(s) failed");
+        std::process::exit(1);
+    };
     let r = match report.merged() {
         Some(r) => r,
         None => {
             eprintln!("simulation failed: no trial succeeded");
-            std::process::exit(1);
+            fail_exit();
         }
     };
 
@@ -409,6 +451,9 @@ fn main() {
         for trial in report.results() {
             println!("{}", trial.csv_row());
         }
+        if failed > 0 {
+            fail_exit();
+        }
         return;
     }
     if trials > 1 {
@@ -445,6 +490,12 @@ fn main() {
     println!("VM exits:             {}", r.vm_exits);
     let (nl, nh) = r.nested_l2;
     println!("nested L2 (lkup/hit): {nl} / {nh}");
+    if let Some(s) = &r.sample {
+        println!(
+            "sampled:              {} of {} accesses measured ({}:{}:{} window:interval:warmup); counters are scaled estimates",
+            s.measured_accesses, r.accesses, s.spec.window, s.spec.interval, s.spec.warmup
+        );
+    }
 
     if let Some(p) = &r.profile {
         let m = p.total();
@@ -515,5 +566,9 @@ fn main() {
     if let Some(prom) = r.prometheus() {
         println!("\n--- telemetry (Prometheus text exposition) ---");
         print!("{prom}");
+    }
+
+    if failed > 0 {
+        fail_exit();
     }
 }

@@ -76,13 +76,18 @@ fn main() {
         "self-balloon pages moved",
         "compaction pages moved",
     ]);
+    let mut failed = 0usize;
     for (occupancy, row) in levels.iter().zip(rows) {
         match row {
             Ok(row) => {
                 t.row(&row);
             }
             Err(p) => {
-                eprintln!("occupancy {:.0}%: failed: {p}", occupancy * 100.0);
+                failed += 1;
+                eprintln!(
+                    "selfballoon_study: occupancy {:.0}% (seed 77) failed: {p}",
+                    occupancy * 100.0
+                );
                 t.row(&[
                     format!("{:.0}%", occupancy * 100.0),
                     "-".to_string(),
@@ -125,4 +130,8 @@ fn main() {
     println!("{t}");
     println!("(the paper: \"self-ballooning can also work with standard nested");
     println!(" page tables to create more large pages in a guest OS\")");
+    if failed > 0 {
+        eprintln!("selfballoon_study: {failed} of {} level(s) failed", levels.len());
+        std::process::exit(1);
+    }
 }

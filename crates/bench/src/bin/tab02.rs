@@ -64,9 +64,19 @@ fn main() {
     let columns = mv_par::par_map(jobs, &modes, |_, &m| {
         (0..ROWS.len()).map(|r| cell(r, m)).collect::<Vec<String>>()
     });
+    // A failed column never aborts the table: it renders as `failed!`
+    // cells, the mode is named on stderr, and the exit status is nonzero.
+    let mut failed = 0usize;
     let columns: Vec<Vec<String>> = columns
         .into_iter()
-        .map(|c| c.unwrap_or_else(|p| panic!("mode model panicked: {p}")))
+        .zip(&modes)
+        .map(|(c, m)| {
+            c.unwrap_or_else(|p| {
+                failed += 1;
+                eprintln!("tab02: mode {m} failed: {p}");
+                vec!["failed!".to_string(); ROWS.len()]
+            })
+        })
         .collect();
 
     let mut headers = vec!["property".to_string()];
@@ -81,4 +91,8 @@ fn main() {
 
     println!("\nTable II — trade-offs among virtualized translation modes\n");
     println!("{t}");
+    if failed > 0 {
+        eprintln!("tab02: {failed} of {} mode column(s) failed", modes.len());
+        std::process::exit(1);
+    }
 }

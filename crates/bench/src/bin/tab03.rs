@@ -110,6 +110,9 @@ fn main() {
         run_scenario(sc)
     });
 
+    // A failed scenario becomes an annotated row, not a dead run; the
+    // binary still exits nonzero so scripts notice.
+    let mut failed = 0usize;
     let mut t = Table::new(&["VM state", "initial mode", "mechanism", "final mode", "pages moved"]);
     for (sc, row) in scenarios.iter().zip(rows) {
         match row {
@@ -117,7 +120,8 @@ fn main() {
                 t.row(&row);
             }
             Err(p) => {
-                eprintln!("{}: scenario failed: {p}", sc.name);
+                failed += 1;
+                eprintln!("tab03: scenario '{}' (seed 7) failed: {p}", sc.name);
                 t.row(&[sc.name, "-", "failed!", "-", "-"]);
             }
         }
@@ -126,4 +130,8 @@ fn main() {
     println!("\nTable III — modes utilized in fragmented systems (big-memory VM)");
     println!("(each row is a live end-to-end run of the recovery flow)\n");
     println!("{t}");
+    if failed > 0 {
+        eprintln!("tab03: {failed} of {} scenario(s) failed", scenarios.len());
+        std::process::exit(1);
+    }
 }

@@ -80,6 +80,40 @@ impl MmuCounters {
         self.guest_walk_refs + self.nested_walk_refs + self.mid_walk_refs
     }
 
+    /// Scales every counter by the rational `num / den` with deterministic
+    /// integer arithmetic (per-field `v * num / den` in 128-bit, truncating)
+    /// — how a sampled run extrapolates its measured-window counters to a
+    /// full-run estimate. A zero `den` returns the counters unchanged
+    /// (nothing was measured, so there is nothing to scale).
+    #[must_use]
+    pub fn scaled(&self, num: u64, den: u64) -> MmuCounters {
+        if den == 0 {
+            return *self;
+        }
+        let s = |v: u64| ((v as u128 * num as u128) / den as u128) as u64;
+        MmuCounters {
+            accesses: s(self.accesses),
+            writes: s(self.writes),
+            l1_misses: s(self.l1_misses),
+            l2_misses: s(self.l2_misses),
+            cat_both: s(self.cat_both),
+            cat_vmm_only: s(self.cat_vmm_only),
+            cat_guest_only: s(self.cat_guest_only),
+            cat_neither: s(self.cat_neither),
+            ds_hits: s(self.ds_hits),
+            guest_walk_refs: s(self.guest_walk_refs),
+            nested_walk_refs: s(self.nested_walk_refs),
+            mid_walk_refs: s(self.mid_walk_refs),
+            bound_checks: s(self.bound_checks),
+            translation_cycles: s(self.translation_cycles),
+            escape_hits: s(self.escape_hits),
+            guest_faults: s(self.guest_faults),
+            nested_faults: s(self.nested_faults),
+            prot_faults: s(self.prot_faults),
+            mid_faults: s(self.mid_faults),
+        }
+    }
+
     /// Adds another counter set into this one.
     pub fn merge(&mut self, other: &MmuCounters) {
         self.accesses += other.accesses;
@@ -129,6 +163,32 @@ mod tests {
     #[test]
     fn cycles_per_miss_of_empty_counters_is_zero() {
         assert_eq!(MmuCounters::default().cycles_per_miss(), 0.0);
+    }
+
+    #[test]
+    fn scaled_uses_integer_math_per_field() {
+        let c = MmuCounters {
+            accesses: 1_000,
+            l1_misses: 333,
+            translation_cycles: 7,
+            ..MmuCounters::default()
+        };
+        let s = c.scaled(10_000, 1_000);
+        assert_eq!(s.accesses, 10_000);
+        assert_eq!(s.l1_misses, 3_330);
+        assert_eq!(s.translation_cycles, 70);
+        // Truncating division, never rounding up.
+        let t = c.scaled(1, 3);
+        assert_eq!(t.l1_misses, 111);
+        assert_eq!(t.translation_cycles, 2);
+        // Zero denominator: nothing measured, nothing scaled.
+        assert_eq!(c.scaled(5, 0), c);
+        // Large values must not overflow in the intermediate product.
+        let big = MmuCounters {
+            translation_cycles: u64::MAX / 2,
+            ..MmuCounters::default()
+        };
+        assert_eq!(big.scaled(2, 1).translation_cycles, u64::MAX - 1);
     }
 
     #[test]

@@ -67,5 +67,5 @@ pub use event::{EscapeOutcome, FaultKind, WalkClass, WalkEvent, WalkObserver};
 pub use export::{epoch_jsonl, event_jsonl};
 pub use flight::FlightRecorder;
 pub use hist::{LatencyHistogram, BUCKETS};
-pub use telemetry::{SharedTelemetry, Telemetry, TelemetryConfig};
+pub use telemetry::{SharedTelemetry, Telemetry, TelemetryConfig, TelemetryConfigError};
 pub use transition::TransitionRecord;

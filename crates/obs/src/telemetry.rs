@@ -13,11 +13,55 @@ use crate::transition::TransitionRecord;
 /// Configuration for a [`Telemetry`] collector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TelemetryConfig {
-    /// Accesses per epoch snapshot; 0 disables epoch collection (only the
-    /// run-total aggregates are kept).
+    /// Accesses per epoch snapshot. Zero is not a valid epoch length:
+    /// construct through [`TelemetryConfig::new`] to get a typed
+    /// rejection, and note that [`Telemetry::new`] normalizes a literal
+    /// zero to 1 rather than silently dropping every event's epoch
+    /// attribution (which is what a zero divisor used to do).
     pub epoch_len: u64,
     /// Flight-recorder capacity in events; 0 disables event retention.
     pub flight_capacity: usize,
+}
+
+/// Why a [`TelemetryConfig`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TelemetryConfigError {
+    /// `epoch_len` was zero. An epoch must span at least one access —
+    /// a zero length used to make the epoch divisor silently swallow
+    /// every event (no snapshot ever accumulated), which reads exactly
+    /// like a run with no misses.
+    ZeroEpochLen,
+}
+
+impl std::fmt::Display for TelemetryConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TelemetryConfigError::ZeroEpochLen => {
+                write!(f, "telemetry epoch length must be at least 1 access")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryConfigError {}
+
+impl TelemetryConfig {
+    /// Validated constructor: rejects a zero `epoch_len` instead of
+    /// letting it reach the collector's epoch divisor.
+    ///
+    /// # Errors
+    ///
+    /// [`TelemetryConfigError::ZeroEpochLen`] when `epoch_len` is zero.
+    pub fn new(epoch_len: u64, flight_capacity: usize) -> Result<Self, TelemetryConfigError> {
+        if epoch_len == 0 {
+            return Err(TelemetryConfigError::ZeroEpochLen);
+        }
+        Ok(TelemetryConfig {
+            epoch_len,
+            flight_capacity,
+        })
+    }
 }
 
 impl Default for TelemetryConfig {
@@ -92,8 +136,15 @@ impl EpochAccum {
 }
 
 impl Telemetry {
-    /// Creates an empty collector.
+    /// Creates an empty collector. A zero `epoch_len` (possible through
+    /// the struct literal, though [`TelemetryConfig::new`] rejects it) is
+    /// normalized to 1 — every event then lands in a one-access epoch
+    /// instead of vanishing into none.
     pub fn new(cfg: TelemetryConfig) -> Self {
+        let cfg = TelemetryConfig {
+            epoch_len: cfg.epoch_len.max(1),
+            ..cfg
+        };
         Telemetry {
             flight: FlightRecorder::new(cfg.flight_capacity),
             cfg,
@@ -255,28 +306,31 @@ impl WalkObserver for Telemetry {
         self.fault_counts[e.fault as usize] += 1;
         self.escape_counts[e.escape as usize] += 1;
 
-        if let Some(epoch) = e.seq.saturating_sub(1).checked_div(self.cfg.epoch_len) {
-            match &self.cur {
-                Some(cur) if cur.index != epoch => {
-                    let cur = self.cur.take().expect("matched Some");
-                    let end = (cur.index + 1) * self.cfg.epoch_len;
-                    self.epochs.push(cur.snapshot(self.cfg.epoch_len, end));
-                    self.cur = Some(EpochAccum::new(epoch));
-                }
-                None => self.cur = Some(EpochAccum::new(epoch)),
-                Some(_) => {}
+        // The constructor normalized `epoch_len >= 1`, so this division is
+        // total. (The old `checked_div` here swallowed a zero epoch length
+        // by skipping epoch accounting entirely — every event was dropped
+        // into *no* epoch, indistinguishable from a miss-free run.)
+        let epoch = e.seq.saturating_sub(1) / self.cfg.epoch_len;
+        match &self.cur {
+            Some(cur) if cur.index != epoch => {
+                let cur = self.cur.take().expect("matched Some");
+                let end = (cur.index + 1) * self.cfg.epoch_len;
+                self.epochs.push(cur.snapshot(self.cfg.epoch_len, end));
+                self.cur = Some(EpochAccum::new(epoch));
             }
-            let cur = self.cur.as_mut().expect("just ensured");
-            cur.events += 1;
-            cur.class_counts[e.class.index()] += 1;
-            if e.fault != FaultKind::None {
-                cur.faults += 1;
-            }
-            if e.escape == EscapeOutcome::Escaped {
-                cur.escapes += 1;
-            }
-            cur.hist.record(e.cycles);
+            None => self.cur = Some(EpochAccum::new(epoch)),
+            Some(_) => {}
         }
+        let cur = self.cur.as_mut().expect("just ensured");
+        cur.events += 1;
+        cur.class_counts[e.class.index()] += 1;
+        if e.fault != FaultKind::None {
+            cur.faults += 1;
+        }
+        if e.escape == EscapeOutcome::Escaped {
+            cur.escapes += 1;
+        }
+        cur.hist.record(e.cycles);
 
         if self.cfg.flight_capacity > 0 {
             self.flight.push(*e);
@@ -406,16 +460,35 @@ mod tests {
     }
 
     #[test]
-    fn zero_epoch_len_disables_snapshots() {
+    fn zero_epoch_len_is_rejected_and_normalized() {
+        // Regression: a zero epoch length used to make the epoch divisor
+        // swallow every event — 50 misses, zero epochs, a run that looked
+        // miss-free to anything reading the snapshots. The validated
+        // constructor now rejects it outright…
+        assert_eq!(
+            TelemetryConfig::new(0, 0),
+            Err(TelemetryConfigError::ZeroEpochLen)
+        );
+        assert_eq!(
+            TelemetryConfig::new(1, 4),
+            Ok(TelemetryConfig {
+                epoch_len: 1,
+                flight_capacity: 4,
+            })
+        );
+        // …and a literal zero smuggled past it is normalized to 1, so
+        // every event still lands in an epoch and conservation holds.
         let mut t = Telemetry::new(TelemetryConfig {
             epoch_len: 0,
             flight_capacity: 0,
         });
+        assert_eq!(t.config().epoch_len, 1);
         for s in 1..=50 {
             t.on_walk(&ev(s, 44, WalkClass::Walk2d));
         }
         t.finish(50);
-        assert!(t.epochs().is_empty());
+        assert_eq!(t.epochs().len(), 50, "one-access epochs, none dropped");
+        assert_eq!(t.epochs().iter().map(|e| e.events).sum::<u64>(), t.events());
         assert_eq!(t.events(), 50);
         assert_eq!(t.hist().count(), 50);
     }

@@ -7,10 +7,15 @@
 //! that independence with three pieces, all `std`-only (the workspace
 //! builds offline, with no external dependencies):
 //!
-//! * [`par_map`] — a scoped worker pool (`std::thread::scope`) over a
-//!   shared work queue. Results come back **in item order**, so output is
-//!   identical for any worker count; a panic in one job becomes an
-//!   `Err(`[`JobPanic`]`)` in that job's slot instead of killing the sweep.
+//! * [`par_map`] — a scoped worker pool (`std::thread::scope`) with
+//!   block-partitioned work-stealing deques: each worker owns a contiguous
+//!   block of jobs and idle workers steal from the back of busy workers'
+//!   blocks, so one straggler cell cannot idle the pool on a ragged grid.
+//!   Results come back **in item order**, so output is identical for any
+//!   worker count and any steal interleaving; a panic in one job becomes
+//!   an `Err(`[`JobPanic`]`)` in that job's slot instead of killing the
+//!   sweep. [`par_map_with_stats`] additionally reports per-worker
+//!   executed/steal counts ([`PoolStats`]) for liveness assertions.
 //! * [`Reporter`] — a mutex-guarded progress writer, so concurrent jobs'
 //!   stderr lines never interleave mid-line, with a `--quiet` switch.
 //! * [`cli`] — shared parsing for the `--jobs N` / `--quiet` flags every
@@ -49,5 +54,7 @@ pub mod cli;
 mod pool;
 mod reporter;
 
-pub use pool::{default_jobs, par_map, JobPanic, JobResult};
+pub use pool::{
+    default_jobs, par_map, par_map_cursor, par_map_with_stats, JobPanic, JobResult, PoolStats,
+};
 pub use reporter::Reporter;

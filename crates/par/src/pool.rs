@@ -1,11 +1,45 @@
-//! The scoped worker pool: a shared work queue of independent jobs,
-//! executed by `std::thread::scope` workers with per-job panic isolation.
+//! The scoped worker pool: per-worker work-stealing deques over a block
+//! partition of the jobs, executed by `std::thread::scope` workers with
+//! per-job panic isolation.
+//!
+//! # Scheduling
+//!
+//! [`par_map`] partitions the item indices into contiguous blocks, one
+//! per worker. Each worker drains its own block front to back; a worker
+//! whose block runs dry turns thief and steals single jobs from the
+//! *back* of other workers' blocks (a Chase–Lev-style split: owner and
+//! thieves work opposite ends, so they contend only on a block's last
+//! item). Because grid jobs never spawn jobs, the deques never grow —
+//! each is just a `(lo, hi)` index pair packed into one atomic word, and
+//! both ends retire items by compare-and-swap on that word, which makes
+//! the owner/thief race on the last item trivially safe: exactly one CAS
+//! wins it.
+//!
+//! Victim order is *deterministic*: worker `w`'s sweep `s` visits the
+//! other workers in a rotation derived from
+//! [`mv_types::rng::split_seed`]`(STEAL_SEED ^ w, s)` — a pure function
+//! of (worker index, sweep number), never of thread identity, load, or
+//! wall clock. A sweep that finds every victim empty terminates the
+//! worker: blocks only shrink, so "all empty once" means "all empty
+//! forever".
+//!
+//! Results are written to per-index slots and collected in item order,
+//! so the output is byte-identical for any worker count and any steal
+//! interleaving — the property the whole workspace's `--jobs` contract
+//! rests on.
 
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use mv_types::rng::split_seed;
+
+/// Base seed of the deterministic victim-selection sequence. Fixed so the
+/// steal order is a pure function of (worker, sweep) and two runs of the
+/// same grid behave identically modulo OS scheduling.
+const STEAL_SEED: u64 = 0x6d76_5f70_6172; // "mv_par"
 
 /// A job that panicked instead of producing a result.
 ///
@@ -37,6 +71,98 @@ pub fn default_jobs() -> NonZeroUsize {
     std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
 }
 
+/// Per-worker scheduling statistics from one [`par_map_with_stats`] run.
+///
+/// Which worker executes which job depends on OS scheduling, so these
+/// numbers are *advisory* — they vary run to run, unlike the result
+/// vector, which is byte-identical regardless. They exist so tests and
+/// benchmarks can assert liveness properties: e.g. that one 100x-cost
+/// cell does not starve the rest of the pool (other workers keep
+/// executing, steals drain the stuck worker's block).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs each worker executed (own block plus stolen).
+    pub executed: Vec<u64>,
+    /// Successful steals each worker performed.
+    pub steals: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Total successful steals across all workers.
+    pub fn total_steals(&self) -> u64 {
+        self.steals.iter().sum()
+    }
+}
+
+/// One worker's block of the initial partition: item indices `[lo, hi)`
+/// packed into a single atomic word, 32 bits per end. The owner retires
+/// from the front, thieves from the back; both by CAS on the pair.
+struct BlockDeque {
+    state: AtomicU64,
+}
+
+fn pack(lo: u32, hi: u32) -> u64 {
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+fn unpack(s: u64) -> (u32, u32) {
+    ((s >> 32) as u32, s as u32)
+}
+
+impl BlockDeque {
+    fn new(lo: usize, hi: usize) -> BlockDeque {
+        BlockDeque {
+            state: AtomicU64::new(pack(lo as u32, hi as u32)),
+        }
+    }
+
+    /// Owner end: take the lowest remaining index.
+    fn pop_front(&self) -> Option<usize> {
+        let mut s = self.state.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(s);
+            if lo >= hi {
+                return None;
+            }
+            match self.state.compare_exchange_weak(
+                s,
+                pack(lo + 1, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(lo as usize),
+                Err(cur) => s = cur,
+            }
+        }
+    }
+
+    /// Thief end: take the highest remaining index.
+    fn steal_back(&self) -> Option<usize> {
+        let mut s = self.state.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(s);
+            if lo >= hi {
+                return None;
+            }
+            match self.state.compare_exchange_weak(
+                s,
+                pack(lo, hi - 1),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((hi - 1) as usize),
+                Err(cur) => s = cur,
+            }
+        }
+    }
+}
+
+/// The `j`-th victim of worker `w`'s sweep with rotation `rot`: the other
+/// workers in rotated order, each visited exactly once per sweep.
+fn victim(w: usize, workers: usize, rot: usize, j: usize) -> usize {
+    (w + 1 + (rot + j) % (workers - 1)) % workers
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -50,10 +176,12 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Maps `f` over `items` on up to `jobs` worker threads, returning results
 /// in **item order** regardless of worker count or completion order.
 ///
-/// Work distribution is a shared atomic cursor: each worker claims the
-/// next unclaimed index, so there is no static partitioning and stragglers
-/// do not idle the pool. A panicking job yields `Err(JobPanic)` in its
-/// slot; the remaining jobs run to completion.
+/// Work distribution is block-partitioned work stealing (see the module
+/// docs): each worker owns a contiguous block of indices and drains it in
+/// order; idle workers steal from the back of busy workers' blocks, so a
+/// ragged grid (one 10x-cost cell) cannot leave the pool idle on the
+/// tail. A panicking job yields `Err(JobPanic)` in its slot; the
+/// remaining jobs run to completion.
 ///
 /// Determinism contract: `f` must derive everything from its arguments
 /// (index and item) — never from shared mutable state, thread identity, or
@@ -76,6 +204,127 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// assert_eq!(values, vec![10, 21, 32]);
 /// ```
 pub fn par_map<T, R, F>(jobs: NonZeroUsize, items: &[T], f: F) -> Vec<JobResult<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.len() >= u32::MAX as usize {
+        // The packed-word deque indexes with 32 bits per end; a grid of
+        // four billion simulations falls back to the cursor queue rather
+        // than failing.
+        return par_map_cursor(jobs, items, f);
+    }
+    par_map_with_stats(jobs, items, f).0
+}
+
+/// Like [`par_map`], additionally returning per-worker [`PoolStats`]
+/// (jobs executed, steals performed). The result vector is byte-identical
+/// to [`par_map`]'s; the stats are advisory and scheduling-dependent.
+pub fn par_map_with_stats<T, R, F>(
+    jobs: NonZeroUsize,
+    items: &[T],
+    f: F,
+) -> (Vec<JobResult<R>>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.get().min(n);
+    let run_one = |i: usize| -> JobResult<R> {
+        panic::catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).map_err(|payload| JobPanic {
+            index: i,
+            message: panic_message(payload),
+        })
+    };
+
+    if workers <= 1 {
+        let results: Vec<JobResult<R>> = (0..n).map(run_one).collect();
+        let stats = if n == 0 {
+            PoolStats::default()
+        } else {
+            PoolStats {
+                executed: vec![n as u64],
+                steals: vec![0],
+            }
+        };
+        return (results, stats);
+    }
+
+    // Initial block partition: worker w owns indices [w*n/W, (w+1)*n/W).
+    let deques: Vec<BlockDeque> = (0..workers)
+        .map(|w| BlockDeque::new(w * n / workers, (w + 1) * n / workers))
+        .collect();
+    let slots: Vec<Mutex<Option<JobResult<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let executed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let steals: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let run_one = &run_one;
+            let executed = &executed;
+            let steals = &steals;
+            scope.spawn(move || {
+                let mut ran = 0u64;
+                let mut stolen = 0u64;
+                // Phase 1: drain the owned block front to back.
+                while let Some(i) = deques[w].pop_front() {
+                    *slots[i].lock().expect("result slot poisoned") = Some(run_one(i));
+                    ran += 1;
+                }
+                // Phase 2: steal. Blocks never refill (jobs don't spawn
+                // jobs), so one full sweep that finds every victim empty
+                // proves the pool is drained.
+                let mut sweep = 0u64;
+                loop {
+                    let rot = split_seed(STEAL_SEED ^ w as u64, sweep) as usize;
+                    let mut stole = false;
+                    for j in 0..workers - 1 {
+                        let v = victim(w, workers, rot, j);
+                        if let Some(i) = deques[v].steal_back() {
+                            stolen += 1;
+                            *slots[i].lock().expect("result slot poisoned") = Some(run_one(i));
+                            ran += 1;
+                            stole = true;
+                            break;
+                        }
+                    }
+                    if !stole {
+                        break;
+                    }
+                    sweep += 1;
+                }
+                executed[w].store(ran, Ordering::Relaxed);
+                steals[w].store(stolen, Ordering::Relaxed);
+            });
+        }
+    });
+
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every partitioned index was executed")
+        })
+        .collect();
+    let stats = PoolStats {
+        executed: executed.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+        steals: steals.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+    };
+    (results, stats)
+}
+
+/// The pre-deque scheduler: a single shared fetch-add cursor. Kept as the
+/// reference implementation for scheduler-comparison benchmarks (the
+/// BENCH_8 jobs-scaling leg) and as the fallback for grids too large for
+/// the packed-word deque. Output is byte-identical to [`par_map`]'s.
+#[doc(hidden)]
+pub fn par_map_cursor<T, R, F>(jobs: NonZeroUsize, items: &[T], f: F) -> Vec<JobResult<R>>
 where
     T: Sync,
     R: Send,
@@ -140,15 +389,80 @@ mod tests {
     }
 
     #[test]
+    fn cursor_reference_matches_the_deque() {
+        let items: Vec<u64> = (0..257).collect();
+        for jobs in [1, 3, 8] {
+            let steal: Vec<u64> = par_map(n(jobs), &items, |i, &x| x * 31 + i as u64)
+                .into_iter()
+                .map(Result::unwrap)
+                .collect();
+            let cursor: Vec<u64> = par_map_cursor(n(jobs), &items, |i, &x| x * 31 + i as u64)
+                .into_iter()
+                .map(Result::unwrap)
+                .collect();
+            assert_eq!(steal, cursor, "jobs={jobs}");
+        }
+    }
+
+    #[test]
     fn empty_input_yields_empty_output() {
         let out: Vec<JobResult<u64>> = par_map(n(8), &[] as &[u64], |_, &x| x);
         assert!(out.is_empty());
+        let (out, stats) = par_map_with_stats(n(8), &[] as &[u64], |_, &x| x);
+        assert!(out.is_empty());
+        assert!(stats.executed.is_empty());
+        assert_eq!(stats.total_steals(), 0);
     }
 
     #[test]
     fn single_item_runs_inline() {
         let out = par_map(n(8), &[7u64], |i, &x| (i, x));
         assert_eq!(out, vec![Ok((0, 7))]);
+    }
+
+    #[test]
+    fn stats_account_for_every_job() {
+        let items: Vec<u64> = (0..64).collect();
+        for jobs in [2, 4, 8] {
+            let (out, stats) = par_map_with_stats(n(jobs), &items, |_, &x| x + 1);
+            assert_eq!(out.len(), 64);
+            assert_eq!(stats.executed.len(), jobs);
+            assert_eq!(stats.steals.len(), jobs);
+            assert_eq!(stats.executed.iter().sum::<u64>(), 64, "jobs={jobs}");
+            assert!(
+                stats.total_steals() <= 64,
+                "steals are a subset of executions"
+            );
+        }
+    }
+
+    #[test]
+    fn block_deque_ends_meet_exactly_once() {
+        // Owner and thief retiring from opposite ends of one block must
+        // hand out each index exactly once, including the last item.
+        let d = BlockDeque::new(10, 14);
+        assert_eq!(d.pop_front(), Some(10));
+        assert_eq!(d.steal_back(), Some(13));
+        assert_eq!(d.steal_back(), Some(12));
+        assert_eq!(d.pop_front(), Some(11));
+        assert_eq!(d.pop_front(), None);
+        assert_eq!(d.steal_back(), None);
+    }
+
+    #[test]
+    fn victim_sweep_visits_every_other_worker_once() {
+        for workers in [2usize, 3, 5, 8] {
+            for w in 0..workers {
+                for rot in [0usize, 1, 7, 1_000_003] {
+                    let mut seen: Vec<usize> = (0..workers - 1)
+                        .map(|j| victim(w, workers, rot, j))
+                        .collect();
+                    seen.sort_unstable();
+                    let expect: Vec<usize> = (0..workers).filter(|&v| v != w).collect();
+                    assert_eq!(seen, expect, "w={w} workers={workers} rot={rot}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::config::SimConfig;
 use crate::machine::Instruments;
 use crate::result::RunResult;
 use crate::run::{SimError, Simulation};
+use crate::sample::SampleSpec;
 
 /// One cell of an experiment grid: a configuration plus the hardware
 /// parameters and instrumentation it should run with.
@@ -52,6 +53,9 @@ pub struct GridCell {
     pub replay: Option<ReplaySource>,
     /// Recorder every workload access is teed into, if any.
     pub record: Option<SharedTraceWriter>,
+    /// Sampled-execution schedule for the cell, if any (see
+    /// [`Simulation::run_sampled`]).
+    pub sample: Option<SampleSpec>,
 }
 
 impl GridCell {
@@ -66,6 +70,7 @@ impl GridCell {
             adapt: None,
             replay: None,
             record: None,
+            sample: None,
         }
     }
 
@@ -137,6 +142,17 @@ impl GridCell {
     #[must_use]
     pub fn recorded(mut self, recorder: SharedTraceWriter) -> GridCell {
         self.record = Some(recorder);
+        self
+    }
+
+    /// Runs the cell sampled: functional fast-forward between detailed
+    /// windows per `spec`, with counters scaled to full-run estimates
+    /// (see [`Simulation::run_sampled`]). Incompatible with chaos,
+    /// adaptation, replay, and recording — such a cell fails with
+    /// [`SimError::Sample`] instead of running.
+    #[must_use]
+    pub fn sampled(mut self, spec: SampleSpec) -> GridCell {
+        self.sample = Some(spec);
         self
     }
 
@@ -281,6 +297,7 @@ impl Simulation {
                 adapt: cell.adapt,
                 replay: cell.replay.clone(),
                 record: cell.record.clone(),
+                sample: cell.sample,
                 ..Instruments::default()
             };
             Simulation::dispatch(&cell.cfg, cell.hw, &instr).map(|(result, _)| result)

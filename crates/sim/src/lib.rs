@@ -45,6 +45,7 @@ pub mod machine;
 mod native;
 mod result;
 mod run;
+mod sample;
 
 pub use config::{Env, GuestPaging, L2Strategy, SimConfig};
 pub use grid::{CellFailure, CellOutcome, GridCell, GridReport};
@@ -54,6 +55,7 @@ pub use machine::{
 pub use native::NativeOs;
 pub use result::RunResult;
 pub use run::{SimError, Simulation};
+pub use sample::{SampleError, SampleParseError, SampleSpec, SampleSpecError, SampleSummary};
 
 // Adaptive-controller vocabulary, re-exported so harness binaries can
 // configure adaptive runs without naming `mv-adapt` directly.
@@ -61,7 +63,7 @@ pub use mv_adapt::{AdaptReport, AdaptSpec, ControllerConfig, ModePlan};
 
 // Telemetry vocabulary, re-exported so harness binaries can configure
 // observed runs without naming `mv-obs` directly.
-pub use mv_obs::{EpochSnapshot, Telemetry, TelemetryConfig};
+pub use mv_obs::{EpochSnapshot, Telemetry, TelemetryConfig, TelemetryConfigError};
 
 // Profiler vocabulary, re-exported so harness binaries can configure
 // profiled runs without naming `mv-prof` directly.

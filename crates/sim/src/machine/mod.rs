@@ -47,6 +47,7 @@ use crate::machine::degrade::{AdaptDriver, ChaosDriver};
 use crate::config::SimConfig;
 use crate::result::RunResult;
 use crate::run::SimError;
+use crate::sample::{Phase, SampleError, SampleSpec, SampleSummary};
 
 /// Size of the auxiliary region used to model allocation churn.
 pub(crate) const CHURN_REGION: u64 = 8 * MIB;
@@ -220,6 +221,11 @@ pub(crate) struct Instruments {
     /// against the batched default and assert byte-identical results; it
     /// changes scheduling granularity, never behavior.
     pub(crate) reference_pacing: bool,
+    /// Sampled execution: fast-forward functionally between detailed
+    /// measurement windows and scale window counters to full-run
+    /// estimates. Incompatible with chaos, adaptation, replay, recording,
+    /// and reference pacing (all of which need every access detailed).
+    pub(crate) sample: Option<SampleSpec>,
 }
 
 /// Fans one walk event out to both the telemetry and profile observers.
@@ -348,6 +354,9 @@ pub(crate) fn drive<M: Machine>(
     hw: MmuConfig,
     instr: &Instruments,
 ) -> Result<(RunResult, Option<mv_core::MissTrace>), SimError> {
+    if let Some(spec) = instr.sample {
+        return drive_sampled::<M>(cfg, hw, instr, spec);
+    }
     let (mut machine, mut mmu) = M::build(cfg, hw)?;
     let mut workload: Box<dyn Workload> = match &instr.replay {
         Some(src) => {
@@ -552,6 +561,210 @@ pub(crate) fn drive<M: Machine>(
     ))
 }
 
+/// One access at the given sampling fidelity. Detailed and warm accesses
+/// share the full miss path (warm just suppresses measurement); the
+/// functional path only updates TLB state. All three surface the same
+/// faults, so the driver's servicing loop is fidelity-agnostic.
+fn sampled_access(
+    mmu: &mut Mmu,
+    ctx: &MemoryContext<'_>,
+    asid: u16,
+    va: Gva,
+    write: bool,
+    phase: Phase,
+) -> Result<(), TranslationFault> {
+    match phase {
+        Phase::Detailed => mmu.access(ctx, asid, va, write).map(drop),
+        Phase::Warm => mmu.access_warm(ctx, asid, va, write).map(drop),
+        Phase::Functional => mmu.access_functional(ctx, asid, va, write).map(drop),
+    }
+}
+
+/// Runs accesses `[start, end)` at one fidelity, with the same batched
+/// context borrow and fault-retry budget as the full-fidelity driver.
+#[allow(clippy::too_many_arguments)]
+fn run_span<M: Machine>(
+    machine: &mut M,
+    mmu: &mut Mmu,
+    workload: &mut dyn Workload,
+    base: u64,
+    asid: u16,
+    phase: Phase,
+    start: u64,
+    end: u64,
+) -> Result<(), SimError> {
+    let mut i = start;
+    while i < end {
+        let ctx = machine.ctx();
+        let mut faulted = None;
+        while i < end {
+            let acc = workload.next_access();
+            let va = Gva::new(base + acc.offset);
+            match sampled_access(mmu, &ctx, asid, va, acc.write, phase) {
+                Ok(()) => i += 1,
+                Err(fault) => {
+                    faulted = Some((va, acc.write, fault));
+                    break;
+                }
+            }
+        }
+        let Some((va, write, mut fault)) = faulted else {
+            continue;
+        };
+        let mut tries = 0u32;
+        loop {
+            if machine.service_fault(fault)? == FaultService::Unserviceable {
+                return Err(SimError::FaultLoop {
+                    va: va.as_u64(),
+                    last: fault,
+                });
+            }
+            tries += 1;
+            if tries > MAX_FAULTS_PER_ACCESS {
+                return Err(SimError::FaultLoop {
+                    va: va.as_u64(),
+                    last: fault,
+                });
+            }
+            match sampled_access(mmu, &machine.ctx(), asid, va, write, phase) {
+                Ok(()) => break,
+                Err(f) => fault = f,
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+/// The sampled driver loop: detailed warmup, then alternating detailed
+/// windows, functional gaps, and warm re-heat tails per the
+/// [`SampleSpec`] schedule, with churn and the warmup boundary firing at
+/// exactly the same indices as the full-fidelity driver. Counters are
+/// scaled to full-run estimates at the end; VM exits are *not* scaled
+/// (faults are serviced at full cadence through the gaps, so exits are
+/// exact, not sampled).
+fn drive_sampled<M: Machine>(
+    cfg: &SimConfig,
+    hw: MmuConfig,
+    instr: &Instruments,
+    spec: SampleSpec,
+) -> Result<(RunResult, Option<mv_core::MissTrace>), SimError> {
+    spec.validate()
+        .map_err(|e| SimError::Sample(SampleError::Spec(e)))?;
+    // Every rejected instrument needs each access detailed: chaos and the
+    // controller hook around every access, replay/record must see the
+    // exact full stream's measurements, and reference pacing exists to
+    // prove batching equivalence — meaningless under sampling.
+    let conflict = [
+        (instr.chaos.filter(ChaosSpec::active).is_some(), "chaos"),
+        (instr.adapt.is_some(), "adapt"),
+        (instr.replay.is_some(), "trace replay"),
+        (instr.record.is_some(), "trace recording"),
+        (instr.reference_pacing, "reference pacing"),
+    ]
+    .into_iter()
+    .find_map(|(active, name)| active.then_some(name));
+    if let Some(what) = conflict {
+        return Err(SimError::Sample(SampleError::Incompatible(what)));
+    }
+    let (mut machine, mut mmu) = M::build(cfg, hw)?;
+    let mut workload = cfg.workload.build(cfg.footprint, cfg.seed);
+    let churn = ChurnPlan::new(workload.churn_per_million());
+    let base = machine.arena_base();
+    let asid = machine.asid();
+    let mut telemetry = None;
+    let mut profile = None;
+    let total = cfg.warmup + cfg.accesses;
+    let mut i = 0u64;
+    while i < total {
+        if i == cfg.warmup {
+            mmu.reset_counters();
+            machine.window_open();
+            (telemetry, profile) = instr.attach(&mut mmu);
+        }
+        if churn.due(i) {
+            machine.churn_event(&mut mmu)?;
+        }
+        // The run's own warmup is fully detailed (it fills the TLBs and
+        // walk caches exactly as an unsampled run would); the sampling
+        // schedule tiles the measured region only, so the first detailed
+        // window opens at the warmup boundary.
+        let (phase, phase_end) = if i < cfg.warmup {
+            (Phase::Detailed, cfg.warmup)
+        } else {
+            let (phase, end) = spec.phase_at(i - cfg.warmup);
+            (phase, cfg.warmup + end)
+        };
+        let end = phase_end.min(total).min(churn.next_due(i));
+        debug_assert!(end > i, "a span always advances");
+        run_span(
+            &mut machine,
+            &mut mmu,
+            workload.as_mut(),
+            base,
+            asid,
+            phase,
+            i,
+            end,
+        )?;
+        i = end;
+    }
+
+    let exits = machine.exit_stats();
+    // Only detailed (measured) accesses moved the counters; this is the
+    // scaling denominator.
+    let measured = mmu.counters().accesses;
+    let telemetry = collect_telemetry(&mut mmu, telemetry, measured);
+    let profile = profile.map(|p| {
+        let mut p = p.take();
+        p.record_exits(exits.vm_exits, exits.cycles as u64);
+        p
+    });
+    let trace = mmu.take_miss_trace();
+
+    let counters = mmu.counters().scaled(cfg.accesses, measured);
+    let ideal = cfg.accesses as f64 * workload.cycles_per_access();
+    let translation = counters.translation_cycles as f64 + exits.cycles;
+    // Warm accesses accrue nested-L2 traffic into the debt ledger; what
+    // remains after subtracting it is the measured windows' share, which
+    // scales like every other counter.
+    let (l2_lookups, l2_hits) = mmu.nested_l2_stats();
+    let (debt_lookups, debt_hits) = mmu.nested_l2_debt();
+    let scale = |v: u64| {
+        if measured == 0 {
+            v
+        } else {
+            ((v as u128 * cfg.accesses as u128) / measured as u128) as u64
+        }
+    };
+    let nested_l2 = (
+        scale(l2_lookups.saturating_sub(debt_lookups)),
+        scale(l2_hits.saturating_sub(debt_hits)),
+    );
+    Ok((
+        RunResult {
+            label: cfg.label(),
+            workload: workload.name(),
+            accesses: cfg.accesses,
+            counters,
+            ideal_cycles: ideal,
+            translation_cycles: translation,
+            overhead: mv_metrics::overhead(translation, ideal),
+            vm_exits: exits.vm_exits,
+            nested_l2,
+            telemetry,
+            profile,
+            chaos: None,
+            adapt: None,
+            sample: Some(SampleSummary {
+                spec,
+                measured_accesses: measured,
+            }),
+        },
+        trace,
+    ))
+}
+
 /// Assembles the [`RunResult`] from the MMU counters and window deltas.
 #[allow(clippy::too_many_arguments)]
 fn finish(
@@ -587,6 +800,7 @@ fn finish(
         profile,
         chaos,
         adapt,
+        sample: None,
     }
 }
 

@@ -6,6 +6,8 @@ use mv_core::MmuCounters;
 use mv_obs::Telemetry;
 use mv_prof::Profile;
 
+use crate::sample::SampleSummary;
+
 /// Measurements from one configuration run — one bar of a paper figure.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -41,6 +43,11 @@ pub struct RunResult {
     /// Adaptive-controller outcome (promotions, rollbacks, backoff), when
     /// the run was started through [`crate::Simulation::run_adaptive`].
     pub adapt: Option<AdaptReport>,
+    /// Sampling summary, when the run was started through
+    /// [`crate::Simulation::run_sampled`]. Counters and cycle totals are
+    /// then full-run **estimates** scaled from the measured windows; this
+    /// records the schedule and the raw measured-access denominator.
+    pub sample: Option<SampleSummary>,
 }
 
 impl RunResult {
@@ -130,6 +137,11 @@ impl RunResult {
             (None, Some(theirs)) => self.adapt = Some(*theirs),
             (_, None) => {}
         }
+        // A merged aggregate is no longer one sampled run: the per-run
+        // scale factors differ, so no single summary describes it.
+        if self.sample.is_some() || other.sample.is_some() {
+            self.sample = None;
+        }
     }
 
     /// Renders this run's telemetry — and, on chaos runs, the degradation
@@ -202,6 +214,7 @@ mod tests {
             profile: None,
             chaos: None,
             adapt: None,
+            sample: None,
         };
         let cols = RunResult::csv_header().split(',').count();
         assert_eq!(r.csv_row().split(',').count(), cols);
@@ -223,6 +236,7 @@ mod tests {
             profile: None,
             chaos: None,
             adapt: None,
+            sample: None,
         };
         assert!(r.prometheus().is_none(), "no instruments, no exposition");
         r.chaos = Some(ChaosReport {
@@ -261,6 +275,7 @@ mod tests {
             profile: None,
             chaos: None,
             adapt: None,
+            sample: None,
         };
         assert!((r.mpka() - 100.0).abs() < 1e-12);
         assert!((r.cycles_per_miss() - 50.0).abs() < 1e-12);

@@ -16,6 +16,7 @@ use mv_vmm::VmmError;
 use crate::config::{Env, SimConfig};
 use crate::machine::{drive, Instruments, L2Machine, NativeMachine, ShadowMachine, VirtualizedMachine};
 use crate::result::RunResult;
+use crate::sample::{SampleError, SampleSpec};
 
 /// Errors surfaced while constructing or running a simulation.
 #[derive(Debug)]
@@ -35,6 +36,9 @@ pub enum SimError {
     /// A replayed or recorded trace failed (malformed bytes, I/O, or a
     /// footprint mismatch against the run configuration).
     Trace(TraceError),
+    /// A sampled run was rejected (invalid schedule, or sampling combined
+    /// with an instrument that needs every access detailed).
+    Sample(SampleError),
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +50,7 @@ impl fmt::Display for SimError {
                 write!(f, "access at {va:#x} kept faulting: {last}")
             }
             SimError::Trace(e) => write!(f, "trace error: {e}"),
+            SimError::Sample(e) => write!(f, "sampled run rejected: {e}"),
         }
     }
 }
@@ -57,6 +62,7 @@ impl std::error::Error for SimError {
             SimError::Vmm(e) => Some(e),
             SimError::FaultLoop { .. } => None,
             SimError::Trace(e) => Some(e),
+            SimError::Sample(e) => Some(e),
         }
     }
 }
@@ -319,6 +325,35 @@ impl Simulation {
         let instr = Instruments {
             telemetry,
             record: Some(recorder),
+            ..Instruments::default()
+        };
+        Ok(Self::dispatch(cfg, hw, &instr)?.0)
+    }
+
+    /// Like [`Simulation::run_with_mmu`], but sampled: the measured
+    /// region alternates detailed windows with functional fast-forward
+    /// gaps per `spec` (optionally with telemetry attached over the
+    /// detailed windows), and the returned counters and cycle totals are
+    /// full-run **estimates** scaled from the windows. The result carries
+    /// the schedule and the raw measured-access count in
+    /// [`RunResult::sample`]. VM exits are exact (faults are serviced at
+    /// full cadence through the gaps), and the TLBs stay architecturally
+    /// warm across gaps; the walk caches are re-heated by each interval's
+    /// warm tail instead.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Sample`] for an invalid schedule; otherwise the same
+    /// conditions as [`Simulation::run`].
+    pub fn run_sampled(
+        cfg: &SimConfig,
+        hw: MmuConfig,
+        telemetry: Option<TelemetryConfig>,
+        spec: SampleSpec,
+    ) -> Result<RunResult, SimError> {
+        let instr = Instruments {
+            telemetry,
+            sample: Some(spec),
             ..Instruments::default()
         };
         Ok(Self::dispatch(cfg, hw, &instr)?.0)

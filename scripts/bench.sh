@@ -3,15 +3,21 @@
 # appends the run to the perf trajectory (results/bench_history.jsonl).
 #
 # Runs the PAPER_10_ENVS sweep plus the workload x environment grid on a
-# single worker, keeping the minimum wall time across repeats. The classic
-# invocation (no variables set) reproduces the historical BENCH_5.json
-# configuration; BENCH_6.json is the profiler-overhead record:
+# single worker, keeping the minimum wall time across repeats. Historical
+# records: BENCH_5.json is the mv-fast hot-path configuration (plain
+# sweep), BENCH_6.json the profiler-overhead record
+# (`BENCH_ID=6 PROFILE_OVERHEAD=1`), and BENCH_8.json the scheduler +
+# sampled-execution record:
 #
-#   BENCH_ID=6 PROFILE_OVERHEAD=1 scripts/bench.sh
+#   SAMPLE=1 COMPARE_CURSOR=1 scripts/bench.sh
+#
+# (BENCH_7 was reserved when the layer-stack PR bumped the default id
+# but no record was ever written under it; the id stays retired so the
+# sequence in results/ reads unambiguously.)
 #
 # Parameters (environment variables):
 #
-#   BENCH_ID          id of the record to write       (default: 7; 5 and 6
+#   BENCH_ID          id of the record to write       (default: 8; 5 and 6
 #                                                      are historical records)
 #   OUT               output JSON path                (default: results/BENCH_${BENCH_ID}.json)
 #   BASELINE          JSON to embed a speedup against (default: results/bench5_baseline.json;
@@ -22,13 +28,17 @@
 #   SCALE             smoke | quick | full            (default: quick)
 #   PROFILE_OVERHEAD  1 = also measure the sweep with the attribution
 #                     profiler attached and record the wall ratio
+#   SAMPLE            1 = also run the sampled-execution leg (full vs.
+#                     sampled wall + estimate error on PAPER_10 envs)
+#   COMPARE_CURSOR    1 = also time the deque scheduler against the
+#                     retired fetch-add cursor at this --jobs
 #
 # Throughput numbers are machine-dependent; run on an otherwise idle box
 # (check `uptime` first) or the min-wall repeats will still be inflated.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_ID="${BENCH_ID:-7}"
+BENCH_ID="${BENCH_ID:-8}"
 OUT="${OUT:-results/BENCH_${BENCH_ID}.json}"
 
 # Bench records are append-only history: refuse to clobber one (the
@@ -54,6 +64,8 @@ esac
 [[ -f "$BASELINE" ]] && flags+=(--baseline "$BASELINE")
 [[ -n "$HISTORY" ]] && flags+=(--history "$HISTORY")
 [[ "${PROFILE_OVERHEAD:-0}" == "1" ]] && flags+=(--profile-overhead)
+[[ "${SAMPLE:-0}" == "1" ]] && flags+=(--sample)
+[[ "${COMPARE_CURSOR:-0}" == "1" ]] && flags+=(--compare-cursor)
 
 echo "==> cargo build --release -p mv-bench --bin hotpath"
 cargo build --release -p mv-bench --bin hotpath

@@ -33,6 +33,17 @@ run_bin=target/release/run
 diff -u "$tmpdir/out1.csv" "$tmpdir/out4.csv"
 diff -u "$tmpdir/t1.jsonl" "$tmpdir/t4.jsonl"
 
+echo "==> epoch-len-zero regression: run --quick --epoch-len 0 must be rejected"
+# A zero epoch length used to silently drop every telemetry event; the
+# harness must refuse it up front (usage error, exit 2) instead.
+if "$run_bin" --quick --epoch-len 0 --quiet > /dev/null 2>&1; then
+    echo "run accepted --epoch-len 0" >&2
+    exit 1
+elif [ $? -ne 2 ]; then
+    echo "run rejected --epoch-len 0 with the wrong exit code" >&2
+    exit 1
+fi
+
 echo "==> machine-equivalence smoke: repeatability across envs and job counts"
 # The unified Machine driver must be stable run-to-run and across worker
 # counts for every environment family (native, nested, direct modes,
@@ -109,17 +120,33 @@ echo "==> bench regression gate: hotpath --smoke --gate vs results/bench_history
     --gate --gate-tol-pct "${BENCH_TOL_PCT:-30}" \
     --history results/bench_history.jsonl > /dev/null
 
-echo "==> chaos smoke: two seeds x --quick, diffed across --jobs 1/4"
+echo "==> sampled-mode error gate: hotpath --sample, estimates within 2%"
+# The sampled fast-forward leg runs every PAPER_10 env full-fidelity and
+# sampled at a fixed steady-state sizing and exits 1 if any scaled
+# estimate lands more than 2% from the full-fidelity counter (the bound
+# EXPERIMENTS.md documents). Wall speedup is reported but not gated —
+# this leg is about estimate fidelity, not CI hardware speed.
+"$hotpath_bin" --smoke --repeats 2 --quiet --sample > /dev/null
+
+echo "==> chaos smoke: two seeds x --quick, diffed across --jobs 1/4/8"
 # The fault plan is a pure function of (chaos seed, access index), so the
 # degradation study must be byte-identical at any worker count — and
-# different seeds must actually change the injection stream.
+# different seeds must actually change the injection stream. The chaos
+# grid is the most irregular one the harness runs (degraded cells take
+# several times longer than healthy ones), so the jobs-8 diff is the
+# steal-determinism check for the work-stealing deque: with 8 workers on
+# this grid, idle workers must steal, and stolen cells must still land
+# in their own result slots.
 chaos_bin=target/release/chaos_study
 for seed in 11 42; do
     "$chaos_bin" --quick --quiet --chaos-seed "$seed" --jobs 1 \
         > "$tmpdir/chaos_${seed}_j1.txt"
     "$chaos_bin" --quick --quiet --chaos-seed "$seed" --jobs 4 \
         > "$tmpdir/chaos_${seed}_j4.txt"
+    "$chaos_bin" --quick --quiet --chaos-seed "$seed" --jobs 8 \
+        > "$tmpdir/chaos_${seed}_j8.txt"
     diff -u "$tmpdir/chaos_${seed}_j1.txt" "$tmpdir/chaos_${seed}_j4.txt"
+    diff -u "$tmpdir/chaos_${seed}_j1.txt" "$tmpdir/chaos_${seed}_j8.txt"
 done
 if cmp -s "$tmpdir/chaos_11_j1.txt" "$tmpdir/chaos_42_j1.txt"; then
     echo "chaos seeds 11 and 42 produced identical output" >&2

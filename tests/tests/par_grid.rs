@@ -130,6 +130,84 @@ fn panic_in_one_job_does_not_abort_the_grid() {
     }
 }
 
+/// Property: the pool's output is byte-identical to the serial reference
+/// for any worker count under *randomized steal schedules*. Job costs are
+/// drawn pseudo-randomly per round, so which worker steals which job from
+/// whom differs between rounds and worker counts — while the result
+/// vector, being written back by item index, must never change.
+#[test]
+fn work_stealing_output_matches_serial_for_any_schedule() {
+    use mv_types::rng::split_seed;
+    use std::time::Duration;
+
+    let items: Vec<u64> = (0..40).collect();
+    let value = |i: usize, x: u64| split_seed(x ^ 0xa5a5, i as u64);
+    let reference: Vec<u64> = mv_par::par_map(jobs(1), &items, |i, &x| value(i, x))
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+
+    for round in 0..3u64 {
+        for workers in [2, 3, 5, 8] {
+            let out: Vec<u64> = mv_par::par_map(jobs(workers), &items, |i, &x| {
+                // A pseudo-random 0–2ms stall per job perturbs the steal
+                // interleaving without touching the computed value.
+                let stall = split_seed(round, i as u64) % 3;
+                std::thread::sleep(Duration::from_millis(stall));
+                value(i, x)
+            })
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+            assert_eq!(
+                out, reference,
+                "jobs={workers} round={round} must match the serial reference"
+            );
+        }
+    }
+}
+
+/// Starvation resistance: one job costing ~100x the rest must not idle
+/// the pool. The straggler's owner gets stuck on it, and the other
+/// workers — after draining their own blocks — steal the rest of the
+/// straggler's block out from under it, so every job still runs and the
+/// owner ends the sweep having executed almost nothing else.
+#[test]
+fn one_expensive_cell_does_not_starve_the_pool() {
+    use std::time::Duration;
+
+    let items: Vec<u64> = (0..16).collect();
+    // Job 0 lands at the head of worker 0's initial block [0, 4).
+    let (results, stats) = mv_par::par_map_with_stats(jobs(4), &items, |i, &x| {
+        let cost = if i == 0 { 200 } else { 2 };
+        std::thread::sleep(Duration::from_millis(cost));
+        x * 2
+    });
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(*r.as_ref().expect("no panics"), i as u64 * 2);
+    }
+    assert_eq!(stats.executed.len(), 4);
+    assert_eq!(
+        stats.executed.iter().sum::<u64>(),
+        16,
+        "every job executed exactly once: {:?}",
+        stats.executed
+    );
+    // The other three workers drained their blocks (12 jobs, ~8ms of
+    // work) two orders of magnitude before worker 0 finished its
+    // straggler, so jobs 1–3 were stolen from worker 0's block.
+    assert!(
+        stats.total_steals() >= 3,
+        "the straggler's block must be stolen from: {:?}",
+        stats.steals
+    );
+    assert_eq!(
+        stats.executed[0], 1,
+        "the straggler's owner should execute only the straggler: {:?}",
+        stats.executed
+    );
+}
+
 #[test]
 fn empty_grid_is_a_clean_no_op() {
     for workers in [1, 8] {
